@@ -1,0 +1,32 @@
+//! E1 (paper §3.2): time to deliver the Cluster Schema to the presentation
+//! layer — recomputed on the fly versus loaded from the document store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbold::ExtractionPipeline;
+use hbold_bench::sized_endpoint;
+use hbold_docstore::DocStore;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_cluster_schema_delivery");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &classes in &[20usize, 80] {
+        let store = DocStore::in_memory();
+        let pipeline = ExtractionPipeline::new(&store);
+        let endpoint = sized_endpoint(classes, classes * 40, classes as u64);
+        pipeline.run(&endpoint, 0, None).expect("indexing succeeds");
+        let url = endpoint.url().to_string();
+
+        group.bench_with_input(BenchmarkId::new("on_the_fly", classes), &classes, |b, _| {
+            b.iter(|| pipeline.cluster_schema_on_the_fly(&url).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("stored_lookup", classes), &classes, |b, _| {
+            b.iter(|| pipeline.load_cluster_schema(&url).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

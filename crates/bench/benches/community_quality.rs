@@ -1,0 +1,28 @@
+//! E10: community detection over schema graphs — Louvain vs label
+//! propagation vs the structure-blind baseline (ablation behind §2.1 / [15]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbold_bench::{sized_endpoint, summary_of};
+use hbold_cluster::{ClusteringAlgorithm, WeightedGraph};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_community_detection");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &classes in &[30usize, 120] {
+        let summary = summary_of(&sized_endpoint(classes, classes * 15, classes as u64 + 1));
+        let graph = WeightedGraph::from_summary(&summary);
+        for algorithm in ClusteringAlgorithm::all() {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), classes),
+                &classes,
+                |b, _| b.iter(|| algorithm.run(&graph, 0)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E3 (paper Figure 2): the interactive exploration loop over the
+//! Scholarly-like dataset — per-step cost of selecting and expanding classes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbold_bench::{scholarly_session, summary_and_clusters, scholarly_endpoint};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_exploration");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let (summary, clusters) = summary_and_clusters(&scholarly_endpoint());
+    group.bench_function("select_and_expand_to_full_summary", |b| {
+        b.iter(|| {
+            let mut session = hbold::ExplorationSession::start(summary.clone(), clusters.clone());
+            session.select_class(0);
+            while !session.is_complete() {
+                session.expand_all();
+            }
+            session.steps().len()
+        })
+    });
+    group.bench_function("single_view_computation", |b| {
+        let mut session = scholarly_session();
+        session.select_class(0);
+        b.iter(|| session.view())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E11: index extraction with the pattern-strategy chain versus a single
+//! aggregate-only strategy, across endpoint implementations (paper §2.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbold_endpoint::synth::{random_lod, RandomLodConfig};
+use hbold_endpoint::{EndpointProfile, SparqlEndpoint, SparqlImplementation};
+use hbold_schema::IndexExtractor;
+
+fn bench(c: &mut Criterion) {
+    let graph = random_lod(&RandomLodConfig::sized(15, 600, 7));
+    let mut group = c.benchmark_group("e11_extraction_strategies");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for implementation in [SparqlImplementation::FullFeatured, SparqlImplementation::NoAggregates] {
+        let endpoint = SparqlEndpoint::new(
+            format!("http://{implementation:?}.example/sparql"),
+            &graph,
+            EndpointProfile::for_implementation(implementation, 0),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("strategy_chain", format!("{implementation:?}")),
+            &implementation,
+            |b, _| b.iter(|| IndexExtractor::new().extract(&endpoint, 0).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

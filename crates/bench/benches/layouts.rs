@@ -1,0 +1,39 @@
+//! E4–E7 (paper Figures 4–7): the four Cluster Schema / Schema Summary
+//! visualization layouts plus SVG rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbold_bench::{scholarly_endpoint, summary_and_clusters};
+use hbold_viz::{
+    CirclePackLayout, EdgeBundlingLayout, ForceLayout, ForceLayoutConfig, SunburstLayout, TreemapLayout,
+};
+
+fn bench(c: &mut Criterion) {
+    let (summary, clusters) = summary_and_clusters(&scholarly_endpoint());
+    let mut group = c.benchmark_group("e4_e7_layouts");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("e4_treemap", |b| {
+        b.iter(|| TreemapLayout::compute(&summary, &clusters, 960.0, 640.0).to_svg())
+    });
+    group.bench_function("e5_sunburst", |b| {
+        b.iter(|| SunburstLayout::compute(&summary, &clusters, 720.0).to_svg())
+    });
+    group.bench_function("e6_circle_packing", |b| {
+        b.iter(|| CirclePackLayout::compute(&summary, &clusters, 720.0).to_svg())
+    });
+    group.bench_function("e7_edge_bundling", |b| {
+        b.iter(|| EdgeBundlingLayout::compute(&summary, &clusters, Some(0), 0.85, 760.0).to_svg())
+    });
+    group.bench_function("figure2_force_layout", |b| {
+        let groups: Vec<usize> = (0..summary.node_count())
+            .map(|n| clusters.cluster_of(n).map(|c| c.id).unwrap_or(0))
+            .collect();
+        let config = ForceLayoutConfig { iterations: 100, ..ForceLayoutConfig::default() };
+        b.iter(|| ForceLayout::from_summary(&summary, &groups, &config).to_svg())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E8 (paper §5): end-to-end extraction pipeline cost as the dataset grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbold::ExtractionPipeline;
+use hbold_bench::sized_endpoint;
+use hbold_docstore::DocStore;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_pipeline_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &classes in &[10usize, 30] {
+        let endpoint = sized_endpoint(classes, classes * 30, 800 + classes as u64);
+        group.bench_with_input(BenchmarkId::new("full_pipeline", classes), &classes, |b, _| {
+            b.iter(|| {
+                let store = DocStore::in_memory();
+                ExtractionPipeline::new(&store).run(&endpoint, 0, None).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E2 (paper §3.3): crawling the three open-data portals with the Listing 1
+//! DCAT query and deduplicating against the existing catalog.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbold::{EndpointCatalog, EndpointSource, PortalCrawler};
+use hbold_docstore::DocStore;
+use hbold_endpoint::OpenDataPortal;
+
+fn bench(c: &mut Criterion) {
+    let portals = OpenDataPortal::paper_portals();
+    let mut group = c.benchmark_group("e2_portal_crawl");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("crawl_three_portals", |b| {
+        b.iter(|| {
+            let store = DocStore::in_memory();
+            let catalog = EndpointCatalog::new(&store);
+            for i in 0..610 {
+                catalog.register(&format!("http://legacy{i}.example/sparql"), EndpointSource::LegacyList);
+            }
+            PortalCrawler::new().crawl(&portals, &catalog)
+        })
+    });
+    group.bench_function("listing1_query_only", |b| {
+        b.iter(|| {
+            portals
+                .iter()
+                .map(|p| p.endpoint().select(hbold::crawler::LISTING1_QUERY).unwrap().len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

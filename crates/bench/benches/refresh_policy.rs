@@ -1,0 +1,41 @@
+//! E9 (paper §3.1): the weekly-refresh / daily-retry policy versus naive
+//! daily refresh over a fleet of flaky endpoints.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbold::{EndpointCatalog, ExtractionPipeline, RefreshPolicy, RefreshScheduler};
+use hbold_docstore::DocStore;
+use hbold_endpoint::{EndpointFleet, FleetConfig};
+
+fn bench(c: &mut Criterion) {
+    let fleet = EndpointFleet::generate(&FleetConfig {
+        endpoints: 6,
+        min_classes: 5,
+        max_classes: 15,
+        min_instances: 100,
+        max_instances: 400,
+        dead_fraction: 0.0,
+        flaky_fraction: 0.3,
+        seed: 99,
+    });
+    let mut group = c.benchmark_group("e9_refresh_policy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, policy) in [
+        ("weekly_with_daily_retry", RefreshPolicy::paper()),
+        ("naive_daily", RefreshPolicy::NaiveDaily),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let store = DocStore::in_memory();
+                let catalog = EndpointCatalog::new(&store);
+                let pipeline = ExtractionPipeline::new(&store);
+                RefreshScheduler::new(policy).simulate(&fleet, &pipeline, &catalog, 10)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Substrate microbenchmarks: the SPARQL queries Index Extraction issues most
+//! often, measured directly against the store (supports the E8 analysis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbold_endpoint::synth::{random_lod, RandomLodConfig};
+use hbold_sparql::execute_query;
+use hbold_triple_store::TripleStore;
+
+fn bench(c: &mut Criterion) {
+    let graph = random_lod(&RandomLodConfig::sized(40, 4_000, 11));
+    let store = TripleStore::from_graph(&graph);
+    let mut group = c.benchmark_group("sparql_engine");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("count_all_triples", |b| {
+        b.iter(|| execute_query(&store, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }").unwrap())
+    });
+    group.bench_function("classes_with_counts_group_by", |b| {
+        b.iter(|| {
+            execute_query(
+                &store,
+                "SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c ORDER BY DESC(?n)",
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("regex_filter_scan", |b| {
+        b.iter(|| {
+            execute_query(
+                &store,
+                "SELECT ?s WHERE { ?s ?p ?o FILTER(regex(?o, 'value-1')) } LIMIT 50",
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

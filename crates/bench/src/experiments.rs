@@ -1,0 +1,623 @@
+//! Experiment drivers: one function per experiment of `EXPERIMENTS.md`.
+//!
+//! Each driver returns a plain-data result that the `exp_report` binary
+//! formats as the paper-style table, and that the Criterion benches reuse as
+//! their workload definitions.
+
+use std::time::{Duration, Instant};
+
+use hbold::{
+    EndpointCatalog, EndpointSource, ExplorationSession, ExtractionPipeline, HBold, PortalCrawler,
+    RefreshPolicy, RefreshScheduler, SchedulerStats,
+};
+use hbold_cluster::{modularity, ClusterSchema, ClusteringAlgorithm, WeightedGraph};
+use hbold_docstore::DocStore;
+use hbold_endpoint::synth::{random_lod, RandomLodConfig};
+use hbold_endpoint::{
+    EndpointFleet, EndpointProfile, FleetConfig, OpenDataPortal, SparqlEndpoint,
+    SparqlImplementation,
+};
+use hbold_schema::{ExtractionError, IndexExtractor, SchemaSummary};
+use hbold_viz::{CirclePackLayout, EdgeBundlingLayout, ForceLayout, ForceLayoutConfig, SunburstLayout, TreemapLayout};
+
+use crate::fixtures::{scholarly_endpoint, sized_endpoint, summary_and_clusters};
+
+// ---------------------------------------------------------------------------
+// E1 — §3.2: stored Cluster Schema vs on-the-fly computation
+// ---------------------------------------------------------------------------
+
+/// Per-endpoint measurement of experiment E1.
+#[derive(Debug, Clone)]
+pub struct E1Row {
+    /// Endpoint URL.
+    pub endpoint: String,
+    /// Number of classes in its Schema Summary.
+    pub classes: usize,
+    /// Time to obtain the Cluster Schema with the old architecture
+    /// (community detection at request time).
+    pub on_the_fly: Duration,
+    /// Time to obtain it with the new architecture (document-store lookup).
+    pub stored: Duration,
+}
+
+impl E1Row {
+    /// Latency reduction of the new architecture, in percent.
+    pub fn reduction_pct(&self) -> f64 {
+        if self.on_the_fly.as_secs_f64() <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.stored.as_secs_f64() / self.on_the_fly.as_secs_f64())
+    }
+}
+
+/// The E1 result set.
+#[derive(Debug, Clone, Default)]
+pub struct E1Result {
+    /// One row per endpoint.
+    pub rows: Vec<E1Row>,
+}
+
+impl E1Result {
+    /// Median latency reduction across endpoints.
+    pub fn median_reduction_pct(&self) -> f64 {
+        let mut reductions: Vec<f64> = self.rows.iter().map(E1Row::reduction_pct).collect();
+        if reductions.is_empty() {
+            return 0.0;
+        }
+        reductions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        reductions[reductions.len() / 2]
+    }
+
+    /// Fraction of endpoints whose reduction is at least `threshold_pct`
+    /// (the paper reports ≥ 35 % on half of the endpoints).
+    pub fn fraction_with_reduction_at_least(&self, threshold_pct: f64) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().filter(|r| r.reduction_pct() >= threshold_pct).count() as f64
+            / self.rows.len() as f64
+    }
+}
+
+/// Runs experiment E1 over a fleet of `endpoints` synthetic datasets.
+///
+/// Every endpoint is indexed once (as the server does after extraction); the
+/// measured quantity is the presentation-layer request: produce the Cluster
+/// Schema either by re-running community detection over the stored Schema
+/// Summary (old architecture) or by loading the stored Cluster Schema (new
+/// architecture). Each request is repeated `repeats` times and averaged.
+pub fn e1_cluster_latency(endpoints: usize, repeats: usize) -> E1Result {
+    let store = DocStore::in_memory();
+    let pipeline = ExtractionPipeline::new(&store);
+    let fleet = EndpointFleet::generate(&FleetConfig {
+        endpoints,
+        min_classes: 10,
+        max_classes: 220,
+        min_instances: 500,
+        max_instances: 8_000,
+        dead_fraction: 0.0,
+        flaky_fraction: 0.0,
+        seed: 3_2,
+    });
+    let mut result = E1Result::default();
+    for endpoint in fleet.iter() {
+        if pipeline.run(endpoint, 0, None).is_err() {
+            continue;
+        }
+        let summary = pipeline.load_summary(endpoint.url()).expect("summary stored");
+
+        let started = Instant::now();
+        for _ in 0..repeats.max(1) {
+            let schema = pipeline
+                .cluster_schema_on_the_fly(endpoint.url())
+                .expect("summary exists");
+            std::hint::black_box(schema);
+        }
+        let on_the_fly = started.elapsed() / repeats.max(1) as u32;
+
+        let started = Instant::now();
+        for _ in 0..repeats.max(1) {
+            let schema = pipeline.load_cluster_schema(endpoint.url()).expect("stored");
+            std::hint::black_box(schema);
+        }
+        let stored = started.elapsed() / repeats.max(1) as u32;
+
+        result.rows.push(E1Row {
+            endpoint: endpoint.url().to_string(),
+            classes: summary.node_count(),
+            on_the_fly,
+            stored,
+        });
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// E2 — §3.3: crawling the open-data portals
+// ---------------------------------------------------------------------------
+
+/// The E2 result: the endpoint-discovery funnel.
+#[derive(Debug, Clone, Default)]
+pub struct E2Result {
+    /// (portal name, endpoints discovered) per portal.
+    pub discovered_per_portal: Vec<(String, usize)>,
+    /// Endpoints listed in the catalog before the crawl.
+    pub listed_before: usize,
+    /// Endpoints listed after the crawl.
+    pub listed_after: usize,
+    /// Endpoints newly added by the crawl.
+    pub newly_listed: usize,
+    /// Endpoints indexed before the crawl.
+    pub indexed_before: usize,
+    /// Endpoints indexed after attempting to index the new discoveries.
+    pub indexed_after: usize,
+}
+
+/// Runs experiment E2.
+///
+/// The catalog starts with `legacy_listed` endpoints of which
+/// `legacy_indexed` are marked indexed (the paper starts from 610 / 110).
+/// The three simulated portals are crawled with Listing 1; a fraction of the
+/// discovered endpoints actually serve data (the rest are dead links, as on
+/// the real portals), and indexing is attempted on every new discovery.
+pub fn e2_crawl_funnel(legacy_listed: usize, legacy_indexed: usize) -> E2Result {
+    let store = DocStore::in_memory();
+    let catalog = EndpointCatalog::new(&store);
+    let pipeline = ExtractionPipeline::new(&store);
+
+    // Legacy catalog.
+    for i in 0..legacy_listed {
+        let url = format!("http://legacy{i}.example/sparql");
+        catalog.register(&url, EndpointSource::LegacyList);
+        if i < legacy_indexed {
+            catalog.record_success(&url, 0);
+        }
+    }
+
+    let portals = OpenDataPortal::paper_portals();
+    let report = PortalCrawler::new().crawl(&portals, &catalog);
+
+    // A deterministic ~30 % of the newly discovered endpoints actually serve
+    // data (index extraction succeeds); the rest are unreachable, matching the
+    // paper's observation that only 20 of the 70 new endpoints were indexable.
+    let mut indexed_after = legacy_indexed;
+    let mut new_index = 0usize;
+    for entry in catalog.entries() {
+        if !matches!(entry.source, EndpointSource::Portal(_)) {
+            continue;
+        }
+        new_index += 1;
+        if new_index % 10 < 3 {
+            let classes = 5 + (new_index % 20);
+            let endpoint = SparqlEndpoint::new(
+                entry.url.clone(),
+                &random_lod(&RandomLodConfig::sized(classes, 400 + classes * 10, new_index as u64)),
+                EndpointProfile::full_featured(),
+            );
+            if pipeline.run(&endpoint, 1, Some(&catalog)).is_ok() {
+                indexed_after += 1;
+            }
+        } else {
+            catalog.record_failure(&entry.url, 1, true);
+        }
+    }
+
+    E2Result {
+        discovered_per_portal: report
+            .portals
+            .iter()
+            .map(|p| (p.portal.clone(), p.discovered))
+            .collect(),
+        listed_before: report.catalog_before,
+        listed_after: report.catalog_after,
+        newly_listed: report.total_new(),
+        indexed_before: legacy_indexed,
+        indexed_after,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Figure 2: interactive exploration of the Scholarly dataset
+// ---------------------------------------------------------------------------
+
+/// One row of the E3 trace.
+#[derive(Debug, Clone)]
+pub struct E3Step {
+    /// The user action.
+    pub action: String,
+    /// Classes displayed after the action.
+    pub visible_nodes: usize,
+    /// Percentage of instances represented (0–100).
+    pub coverage_pct: f64,
+}
+
+/// Runs experiment E3: the Figure 2 walkthrough on the Scholarly-like LD.
+pub fn e3_exploration_trace() -> Vec<E3Step> {
+    let endpoint = scholarly_endpoint();
+    let app = HBold::in_memory();
+    app.index_endpoint(&endpoint, 0).expect("scholarly endpoint indexes");
+    let mut session = app.explore(endpoint.url()).expect("session opens");
+
+    // Step 2 of the figure: select the "Event" class from its cluster.
+    let event = session
+        .summary()
+        .nodes
+        .iter()
+        .position(|n| n.label == "Event")
+        .unwrap_or(0);
+    session.select_class(event);
+    // Step 3: expand one of its neighbours.
+    if let Some(&neighbour) = session.visible_nodes().iter().find(|&&n| n != event) {
+        session.expand(neighbour);
+    }
+    // Step 4: keep expanding until the complete Schema Summary is visible.
+    let mut guard = 0;
+    while !session.is_complete() && guard < 32 {
+        session.expand_all();
+        guard += 1;
+    }
+    if !session.is_complete() {
+        session.show_all();
+    }
+
+    session
+        .steps()
+        .iter()
+        .map(|s| E3Step {
+            action: s.action.clone(),
+            visible_nodes: s.visible_nodes,
+            coverage_pct: 100.0 * s.instance_coverage,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// E4–E7 — Figures 4–7: the four visualization layouts
+// ---------------------------------------------------------------------------
+
+/// Summary of one layout reproduction (E4–E7).
+#[derive(Debug, Clone)]
+pub struct LayoutFigure {
+    /// Which figure of the paper this reproduces.
+    pub figure: &'static str,
+    /// Layout name.
+    pub layout: &'static str,
+    /// Number of clusters drawn.
+    pub clusters: usize,
+    /// Number of classes drawn.
+    pub classes: usize,
+    /// Number of edges / arcs drawn (0 for layouts without edges).
+    pub edges: usize,
+    /// Time to compute the layout.
+    pub compute_time: Duration,
+    /// The rendered SVG.
+    pub svg: String,
+}
+
+/// Runs experiments E4–E7 over the Scholarly dataset and returns the four
+/// figures (treemap, sunburst, circle packing, hierarchical edge bundling)
+/// plus the Figure 2 style force-directed Schema Summary for completeness.
+pub fn e4_to_e7_layout_figures() -> Vec<LayoutFigure> {
+    let endpoint = scholarly_endpoint();
+    let (summary, clusters) = summary_and_clusters(&endpoint);
+    let mut figures = Vec::new();
+
+    let started = Instant::now();
+    let treemap = TreemapLayout::compute(&summary, &clusters, 960.0, 640.0);
+    figures.push(LayoutFigure {
+        figure: "Figure 4",
+        layout: "treemap",
+        clusters: treemap.clusters.len(),
+        classes: treemap.classes.len(),
+        edges: 0,
+        compute_time: started.elapsed(),
+        svg: treemap.to_svg(),
+    });
+
+    let started = Instant::now();
+    let sunburst = SunburstLayout::compute(&summary, &clusters, 720.0);
+    figures.push(LayoutFigure {
+        figure: "Figure 5",
+        layout: "sunburst",
+        clusters: sunburst.clusters.len(),
+        classes: sunburst.classes.len(),
+        edges: 0,
+        compute_time: started.elapsed(),
+        svg: sunburst.to_svg(),
+    });
+
+    let started = Instant::now();
+    let pack = CirclePackLayout::compute(&summary, &clusters, 720.0);
+    figures.push(LayoutFigure {
+        figure: "Figure 6",
+        layout: "circle-packing",
+        clusters: pack.clusters.len(),
+        classes: pack.classes.len(),
+        edges: 0,
+        compute_time: started.elapsed(),
+        svg: pack.to_svg(),
+    });
+
+    let started = Instant::now();
+    let focus = summary.nodes.iter().position(|n| n.label == "Event");
+    let bundling = EdgeBundlingLayout::compute(&summary, &clusters, focus, 0.85, 760.0);
+    figures.push(LayoutFigure {
+        figure: "Figure 7",
+        layout: "hierarchical-edge-bundling",
+        clusters: clusters.cluster_count(),
+        classes: bundling.positions.len(),
+        edges: bundling.edges.len(),
+        compute_time: started.elapsed(),
+        svg: bundling.to_svg(),
+    });
+
+    let started = Instant::now();
+    let groups: Vec<usize> = (0..summary.node_count())
+        .map(|n| clusters.cluster_of(n).map(|c| c.id).unwrap_or(0))
+        .collect();
+    let force = ForceLayout::from_summary(&summary, &groups, &ForceLayoutConfig::default());
+    figures.push(LayoutFigure {
+        figure: "Figure 2 (graph view)",
+        layout: "force-directed",
+        clusters: clusters.cluster_count(),
+        classes: force.positions.len(),
+        edges: force.edges.len(),
+        compute_time: started.elapsed(),
+        svg: force.to_svg(),
+    });
+
+    figures
+}
+
+// ---------------------------------------------------------------------------
+// E8 — §5: pipeline scaling over many endpoints
+// ---------------------------------------------------------------------------
+
+/// One row of the E8 scaling table.
+#[derive(Debug, Clone)]
+pub struct E8Row {
+    /// Number of classes of the dataset.
+    pub classes: usize,
+    /// Number of triples served by the endpoint.
+    pub triples: usize,
+    /// Wall-clock time of index extraction (all SPARQL queries).
+    pub extraction: Duration,
+    /// Time to build the Schema Summary from the indexes.
+    pub summary: Duration,
+    /// Time to run community detection and build the Cluster Schema.
+    pub clustering: Duration,
+    /// SPARQL queries issued by the extraction.
+    pub queries: usize,
+}
+
+/// Runs experiment E8: end-to-end pipeline cost as dataset size grows.
+pub fn e8_pipeline_scaling(class_counts: &[usize], instances_per_class: usize) -> Vec<E8Row> {
+    let mut rows = Vec::new();
+    for (i, &classes) in class_counts.iter().enumerate() {
+        let endpoint = sized_endpoint(classes, classes * instances_per_class, 900 + i as u64);
+        let extractor = IndexExtractor::new();
+
+        let started = Instant::now();
+        let (indexes, report) = extractor.extract(&endpoint, 0).expect("extraction succeeds");
+        let extraction = started.elapsed();
+
+        let started = Instant::now();
+        let summary = SchemaSummary::from_indexes(&indexes);
+        let summary_time = started.elapsed();
+
+        let started = Instant::now();
+        let clusters = ClusterSchema::build(&summary, ClusteringAlgorithm::Louvain, 0);
+        let clustering = started.elapsed();
+        std::hint::black_box(clusters);
+
+        rows.push(E8Row {
+            classes: summary.node_count(),
+            triples: endpoint.triple_count(),
+            extraction,
+            summary: summary_time,
+            clustering,
+            queries: report.queries_issued,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E9 — §3.1: refresh policy
+// ---------------------------------------------------------------------------
+
+/// The E9 result: the paper's policy versus naive daily refresh.
+#[derive(Debug, Clone)]
+pub struct E9Result {
+    /// Stats under the weekly-with-daily-retry policy.
+    pub weekly: SchedulerStats,
+    /// Stats under the naive daily policy.
+    pub daily: SchedulerStats,
+}
+
+/// Runs experiment E9 over `endpoints` endpoints for `days` virtual days.
+pub fn e9_refresh_policy(endpoints: usize, days: u64) -> E9Result {
+    let fleet = EndpointFleet::generate(&FleetConfig {
+        endpoints,
+        min_classes: 5,
+        max_classes: 30,
+        min_instances: 200,
+        max_instances: 1_200,
+        dead_fraction: 0.05,
+        flaky_fraction: 0.35,
+        seed: 9_9,
+    });
+    let run = |policy: RefreshPolicy| {
+        let store = DocStore::in_memory();
+        let catalog = EndpointCatalog::new(&store);
+        let pipeline = ExtractionPipeline::new(&store);
+        RefreshScheduler::new(policy).simulate(&fleet, &pipeline, &catalog, days)
+    };
+    E9Result {
+        weekly: run(RefreshPolicy::paper()),
+        daily: run(RefreshPolicy::NaiveDaily),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E10 — community detection quality ablation
+// ---------------------------------------------------------------------------
+
+/// One row of the E10 table.
+#[derive(Debug, Clone)]
+pub struct E10Row {
+    /// Number of classes in the schema graph.
+    pub classes: usize,
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Modularity of the produced clustering.
+    pub modularity: f64,
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Time to run the algorithm.
+    pub time: Duration,
+}
+
+/// Runs experiment E10: clustering quality of Louvain vs label propagation vs
+/// the structure-blind baseline on schema summaries of growing size.
+pub fn e10_community_quality(class_counts: &[usize]) -> Vec<E10Row> {
+    let mut rows = Vec::new();
+    for (i, &classes) in class_counts.iter().enumerate() {
+        let endpoint = sized_endpoint(classes, classes * 12, 500 + i as u64);
+        let (summary, _) = summary_and_clusters(&endpoint);
+        let graph = WeightedGraph::from_summary(&summary);
+        for algorithm in ClusteringAlgorithm::all() {
+            let started = Instant::now();
+            let assignment = algorithm.run(&graph, 0);
+            let time = started.elapsed();
+            rows.push(E10Row {
+                classes: summary.node_count(),
+                algorithm: algorithm.name(),
+                modularity: modularity(&graph, &assignment),
+                clusters: assignment.iter().copied().max().map_or(0, |m| m + 1),
+                time,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E11 — pattern-strategy ablation for index extraction
+// ---------------------------------------------------------------------------
+
+/// One row of the E11 table.
+#[derive(Debug, Clone)]
+pub struct E11Row {
+    /// Endpoint implementation kind.
+    pub implementation: String,
+    /// Whether the fallback-enabled extractor succeeded.
+    pub with_fallbacks_ok: bool,
+    /// Queries issued by the fallback-enabled extractor.
+    pub with_fallbacks_queries: usize,
+    /// Fallbacks the extractor had to take.
+    pub fallbacks_taken: usize,
+    /// Whether the aggregate-only extractor succeeded.
+    pub aggregate_only_ok: bool,
+}
+
+/// Runs experiment E11: the pattern-strategy chain versus an aggregate-only
+/// extractor across every endpoint implementation kind.
+pub fn e11_extraction_strategies(classes: usize, instances: usize) -> Vec<E11Row> {
+    let graph = random_lod(&RandomLodConfig::sized(classes, instances, 77));
+    let mut rows = Vec::new();
+    for (i, implementation) in SparqlImplementation::all().into_iter().enumerate() {
+        let mut profile = EndpointProfile::for_implementation(implementation, i as u64);
+        profile.availability = hbold_endpoint::AvailabilityModel::always_up();
+        let endpoint = SparqlEndpoint::new(
+            format!("http://impl{i}.example/sparql"),
+            &graph,
+            profile,
+        );
+        let with_fallbacks = IndexExtractor::new().extract(&endpoint, 0);
+        let aggregate_only = IndexExtractor::aggregate_only().extract(&endpoint, 0);
+        rows.push(E11Row {
+            implementation: format!("{implementation:?}"),
+            with_fallbacks_ok: with_fallbacks.is_ok(),
+            with_fallbacks_queries: with_fallbacks
+                .as_ref()
+                .map(|(_, report)| report.queries_issued)
+                .unwrap_or(0),
+            fallbacks_taken: with_fallbacks
+                .as_ref()
+                .map(|(_, report)| report.fallbacks)
+                .unwrap_or(0),
+            aggregate_only_ok: !matches!(
+                aggregate_only,
+                Err(ExtractionError::Failed(_)) | Err(ExtractionError::EndpointUnavailable)
+            ),
+        });
+    }
+    rows
+}
+
+/// Opens an exploration session over the scholarly endpoint (helper shared by
+/// benches).
+pub fn scholarly_session() -> ExplorationSession {
+    let endpoint = scholarly_endpoint();
+    let (summary, clusters) = summary_and_clusters(&endpoint);
+    ExplorationSession::start(summary, clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_shows_stored_lookup_is_faster() {
+        let result = e1_cluster_latency(6, 3);
+        assert_eq!(result.rows.len(), 6);
+        assert!(result.median_reduction_pct() > 0.0, "stored lookups should be faster on average");
+        assert!(result.fraction_with_reduction_at_least(0.0) >= 0.5);
+    }
+
+    #[test]
+    fn e2_funnel_shapes_match_the_paper() {
+        let result = e2_crawl_funnel(120, 30);
+        assert_eq!(result.listed_before, 120);
+        assert!(result.newly_listed > 0);
+        assert_eq!(result.listed_after, result.listed_before + result.newly_listed);
+        assert!(result.indexed_after > result.indexed_before);
+        assert!(result.indexed_after - result.indexed_before < result.newly_listed,
+            "only a fraction of the new endpoints is indexable");
+        // EDP discovers the most endpoints, as in the paper (65 vs 9 vs 15).
+        assert!(result.discovered_per_portal[0].1 > result.discovered_per_portal[1].1);
+        assert!(result.discovered_per_portal[0].1 > result.discovered_per_portal[2].1);
+    }
+
+    #[test]
+    fn e3_trace_ends_with_full_coverage() {
+        let trace = e3_exploration_trace();
+        assert!(trace.len() >= 3);
+        assert_eq!(trace.first().unwrap().visible_nodes, 0);
+        let last = trace.last().unwrap();
+        assert!(last.coverage_pct > 99.9);
+        // Node counts never decrease after the focused selection.
+        for pair in trace.windows(2).skip(1) {
+            assert!(pair[1].visible_nodes >= pair[0].visible_nodes);
+        }
+    }
+
+    #[test]
+    fn e10_louvain_wins_on_modularity() {
+        let rows = e10_community_quality(&[30]);
+        let get = |name: &str| rows.iter().find(|r| r.algorithm == name).unwrap().modularity;
+        assert!(get("louvain") >= get("greedy-balanced"));
+        assert!(get("louvain") >= -1.0 && get("louvain") <= 1.0);
+    }
+
+    #[test]
+    fn e11_fallbacks_rescue_weak_endpoints() {
+        let rows = e11_extraction_strategies(12, 400);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.with_fallbacks_ok), "the strategy chain always succeeds");
+        assert!(rows.iter().any(|r| !r.aggregate_only_ok), "aggregate-only fails somewhere");
+        let weak = rows.iter().find(|r| r.implementation.contains("NoAggregates")).unwrap();
+        assert!(weak.fallbacks_taken > 0);
+    }
+}

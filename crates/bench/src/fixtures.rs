@@ -1,0 +1,78 @@
+//! Deterministic fixtures shared by benchmarks and experiments.
+
+use hbold_cluster::{ClusterSchema, ClusteringAlgorithm};
+use hbold_endpoint::synth::{random_lod, scholarly, RandomLodConfig, ScholarlyConfig};
+use hbold_endpoint::{EndpointFleet, EndpointProfile, FleetConfig, SparqlEndpoint};
+use hbold_schema::{IndexExtractor, SchemaSummary};
+
+/// The Scholarly-like endpoint used by the Figure 2 / Figures 4–7
+/// reproductions (E3–E7).
+pub fn scholarly_endpoint() -> SparqlEndpoint {
+    let graph = scholarly(&ScholarlyConfig {
+        conferences: 3,
+        papers_per_conference: 25,
+        authors_per_paper: 3,
+        seed: 2020,
+    });
+    SparqlEndpoint::new(
+        "http://scholarlydata.example/sparql",
+        &graph,
+        EndpointProfile::full_featured(),
+    )
+}
+
+/// A synthetic endpoint with the given number of classes and instances.
+pub fn sized_endpoint(classes: usize, instances: usize, seed: u64) -> SparqlEndpoint {
+    let graph = random_lod(&RandomLodConfig::sized(classes, instances, seed));
+    SparqlEndpoint::new(
+        format!("http://lod{seed}-{classes}c.example/sparql"),
+        &graph,
+        EndpointProfile::full_featured(),
+    )
+}
+
+/// Extracts the Schema Summary of an endpoint (panics on failure — fixtures
+/// always use fully capable endpoints).
+pub fn summary_of(endpoint: &SparqlEndpoint) -> SchemaSummary {
+    let (indexes, _) = IndexExtractor::new()
+        .extract(endpoint, 0)
+        .expect("fixture endpoints are always extractable");
+    SchemaSummary::from_indexes(&indexes)
+}
+
+/// Builds the Schema Summary and Louvain Cluster Schema of an endpoint.
+pub fn summary_and_clusters(endpoint: &SparqlEndpoint) -> (SchemaSummary, ClusterSchema) {
+    let summary = summary_of(endpoint);
+    let clusters = ClusterSchema::build(&summary, ClusteringAlgorithm::Louvain, 0);
+    (summary, clusters)
+}
+
+/// A small heterogeneous fleet for benchmark workloads (all endpoints are
+/// reachable; capability differences are preserved).
+pub fn bench_fleet(endpoints: usize, max_classes: usize, max_instances: usize, seed: u64) -> EndpointFleet {
+    EndpointFleet::generate(&FleetConfig {
+        endpoints,
+        min_classes: 5,
+        max_classes,
+        min_instances: 200,
+        max_instances,
+        dead_fraction: 0.0,
+        flaky_fraction: 0.0,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = summary_of(&scholarly_endpoint());
+        let b = summary_of(&scholarly_endpoint());
+        assert_eq!(a, b);
+        assert!(a.node_count() >= 15);
+        let fleet = bench_fleet(4, 20, 800, 5);
+        assert_eq!(fleet.len(), 4);
+    }
+}

@@ -1,0 +1,16 @@
+//! # hbold-bench
+//!
+//! Shared fixtures and experiment drivers behind the Criterion benchmarks
+//! (`benches/`) and the `exp_report` binary that regenerates the paper's
+//! evaluation tables (see `EXPERIMENTS.md` at the workspace root).
+//!
+//! Every fixture is deterministic (seeded) and deliberately smaller than the
+//! public datasets the paper used — the experiments compare *architectures*
+//! and *algorithms* against each other, so what matters is the shape of the
+//! results, not absolute wall-clock numbers.
+
+pub mod experiments;
+pub mod fixtures;
+
+pub use experiments::*;
+pub use fixtures::*;

@@ -1,0 +1,184 @@
+//! The undirected weighted graph community detection runs on.
+
+use std::collections::BTreeMap;
+
+use hbold_schema::SchemaSummary;
+
+/// An undirected weighted multigraph with nodes `0..n`.
+///
+/// Parallel edges of the Schema Summary are folded into a single weighted
+/// edge; self-loops are kept (they contribute to a node's degree as in the
+/// standard modularity definition).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WeightedGraph {
+    /// Number of nodes.
+    node_count: usize,
+    /// Adjacency: for each node, its neighbours with accumulated edge weight.
+    adjacency: Vec<BTreeMap<usize, f64>>,
+    /// Total edge weight (each undirected edge counted once; self-loops once).
+    total_weight: f64,
+}
+
+impl WeightedGraph {
+    /// Creates a graph with `node_count` isolated nodes.
+    pub fn new(node_count: usize) -> Self {
+        WeightedGraph {
+            node_count,
+            adjacency: vec![BTreeMap::new(); node_count],
+            total_weight: 0.0,
+        }
+    }
+
+    /// Builds the clustering graph of a Schema Summary: one node per class,
+    /// one undirected edge per object property (parallel properties add up).
+    pub fn from_summary(summary: &SchemaSummary) -> Self {
+        let mut graph = WeightedGraph::new(summary.node_count());
+        for edge in &summary.edges {
+            // Weight each schema arc equally: the companion paper clusters the
+            // schema structure, not the instance counts. Instance-weighted
+            // variants can be built by callers via add_edge.
+            graph.add_edge(edge.source, edge.target, 1.0);
+        }
+        graph
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Total weight of all edges (self-loops included once).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Adds (or increases the weight of) an undirected edge.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize, weight: f64) {
+        assert!(a < self.node_count && b < self.node_count, "edge endpoint out of range");
+        *self.adjacency[a].entry(b).or_insert(0.0) += weight;
+        if a != b {
+            *self.adjacency[b].entry(a).or_insert(0.0) += weight;
+        }
+        self.total_weight += weight;
+    }
+
+    /// The neighbours of `node` with their accumulated edge weights
+    /// (including `node` itself when it has a self-loop).
+    pub fn neighbours(&self, node: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.adjacency[node].iter().map(|(&n, &w)| (n, w))
+    }
+
+    /// The weighted degree of `node`: the sum of the weights of its incident
+    /// edges, with self-loops counted twice (standard modularity convention).
+    pub fn weighted_degree(&self, node: usize) -> f64 {
+        self.adjacency[node]
+            .iter()
+            .map(|(&n, &w)| if n == node { 2.0 * w } else { w })
+            .sum()
+    }
+
+    /// The weight of the edge between `a` and `b` (0 when absent).
+    pub fn edge_weight(&self, a: usize, b: usize) -> f64 {
+        self.adjacency[a].get(&b).copied().unwrap_or(0.0)
+    }
+
+    /// The number of connected components (useful to sanity-check synthetic
+    /// schema graphs).
+    pub fn connected_components(&self) -> usize {
+        let mut seen = vec![false; self.node_count];
+        let mut components = 0;
+        for start in 0..self.node_count {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(node) = stack.pop() {
+                for (neighbour, _) in self.neighbours(node) {
+                    if !seen[neighbour] {
+                        seen[neighbour] = true;
+                        stack.push(neighbour);
+                    }
+                }
+            }
+        }
+        components
+    }
+}
+
+/// Renumbers an assignment (node → community label) so community ids are
+/// dense, `0..k`, ordered by first appearance.
+pub fn normalize_assignment(assignment: &[usize]) -> Vec<usize> {
+    let mut mapping: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut next = 0;
+    let mut out = Vec::with_capacity(assignment.len());
+    for &label in assignment {
+        let id = *mapping.entry(label).or_insert_with(|| {
+            let id = next;
+            next += 1;
+            id
+        });
+        out.push(id);
+    }
+    out
+}
+
+/// Number of distinct communities in an assignment.
+pub fn community_count(assignment: &[usize]) -> usize {
+    let mut labels: Vec<usize> = assignment.to_vec();
+    labels.sort_unstable();
+    labels.dedup();
+    labels.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_and_degrees() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 2, 1.5);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_weight(0, 1), 3.0);
+        assert_eq!(g.edge_weight(1, 0), 3.0);
+        assert_eq!(g.edge_weight(0, 2), 0.0);
+        assert_eq!(g.weighted_degree(0), 3.0);
+        assert_eq!(g.weighted_degree(1), 4.0);
+        assert_eq!(g.weighted_degree(2), 4.0, "self loop counts twice");
+        assert_eq!(g.total_weight(), 5.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edges_panic() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    fn connected_components() {
+        let mut g = WeightedGraph::new(5);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        assert_eq!(g.connected_components(), 2);
+        let isolated = WeightedGraph::new(4);
+        assert_eq!(isolated.connected_components(), 4);
+    }
+
+    #[test]
+    fn normalization_and_counts() {
+        let assignment = vec![7, 7, 3, 9, 3];
+        assert_eq!(normalize_assignment(&assignment), vec![0, 0, 1, 2, 1]);
+        assert_eq!(community_count(&assignment), 3);
+        assert_eq!(community_count(&[]), 0);
+    }
+}

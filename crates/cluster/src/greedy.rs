@@ -1,0 +1,98 @@
+//! A structure-blind baseline clustering.
+//!
+//! The E10 ablation compares community detection (Louvain, label propagation)
+//! against the obvious strawman one would use without it: chop the class
+//! list into ⌈√n⌉ groups of (roughly) equal size, ordered by degree so hubs
+//! spread across groups. It produces a readable number of clusters but
+//! ignores the graph structure entirely — exactly what the Cluster Schema is
+//! supposed to improve on.
+
+use crate::graph::{normalize_assignment, WeightedGraph};
+
+/// Partitions the nodes into `target_clusters` balanced groups by descending
+/// degree (round-robin). When `target_clusters` is 0 the usual H-BOLD-style
+/// default of ⌈√n⌉ clusters is used.
+pub fn greedy_size_clustering(graph: &WeightedGraph, target_clusters: usize) -> Vec<usize> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let clusters = if target_clusters == 0 {
+        (n as f64).sqrt().ceil() as usize
+    } else {
+        target_clusters.min(n)
+    }
+    .max(1);
+
+    // Sort nodes by descending weighted degree (ties by index) and deal them
+    // round-robin into the clusters.
+    let mut nodes: Vec<usize> = (0..n).collect();
+    nodes.sort_by(|&a, &b| {
+        graph
+            .weighted_degree(b)
+            .partial_cmp(&graph.weighted_degree(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    });
+    let mut assignment = vec![0usize; n];
+    for (rank, &node) in nodes.iter().enumerate() {
+        assignment[node] = rank % clusters;
+    }
+    normalize_assignment(&assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::community_count;
+    use crate::louvain::louvain;
+    use crate::modularity::modularity;
+
+    fn ring_of_cliques(k: usize, size: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new(k * size);
+        for c in 0..k {
+            let base = c * size;
+            for i in 0..size {
+                for j in (i + 1)..size {
+                    g.add_edge(base + i, base + j, 1.0);
+                }
+            }
+            g.add_edge(base, ((c + 1) % k) * size, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn produces_requested_number_of_balanced_clusters() {
+        let g = ring_of_cliques(4, 4);
+        let assignment = greedy_size_clustering(&g, 4);
+        assert_eq!(community_count(&assignment), 4);
+        // Balanced: every cluster has 4 nodes.
+        let mut sizes = vec![0; 4];
+        for &c in &assignment {
+            sizes[c] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s == 4), "sizes = {sizes:?}");
+    }
+
+    #[test]
+    fn default_cluster_count_is_sqrt_n() {
+        let g = ring_of_cliques(5, 5); // 25 nodes
+        let assignment = greedy_size_clustering(&g, 0);
+        assert_eq!(community_count(&assignment), 5);
+        assert!(greedy_size_clustering(&WeightedGraph::new(0), 0).is_empty());
+    }
+
+    #[test]
+    fn louvain_dominates_the_baseline_on_modular_graphs() {
+        let g = ring_of_cliques(6, 5);
+        let baseline = greedy_size_clustering(&g, 6);
+        let communities = louvain(&g, 0);
+        assert!(
+            modularity(&g, &communities) > modularity(&g, &baseline) + 0.2,
+            "louvain {} vs baseline {}",
+            modularity(&g, &communities),
+            modularity(&g, &baseline)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # hbold-cluster
+//!
+//! Community detection over the Schema Summary and construction of the
+//! **Cluster Schema** (paper §2.1, §3.2 and the companion paper [15],
+//! "Community Detection Applied on Big Linked Data").
+//!
+//! When a Linked Data source has many classes, its Schema Summary is too
+//! dense to read. H-BOLD therefore groups the classes into *clusters* with a
+//! community detection algorithm and shows a Cluster Schema first: nodes are
+//! groups of classes, arcs are the connections between groups, and each
+//! cluster is labelled after its highest-degree class. A class belongs to
+//! exactly one cluster (the clustering is non-overlapping).
+//!
+//! This crate provides:
+//!
+//! * [`graph::WeightedGraph`] — the undirected weighted graph distilled from
+//!   a [`hbold_schema::SchemaSummary`],
+//! * [`modularity`] — the quality function all algorithms are evaluated with,
+//! * [`louvain`] — the Louvain method (the algorithm used by H-BOLD),
+//! * [`label_propagation`] — label propagation, a cheaper alternative,
+//! * [`greedy`] — a size-balanced agglomerative baseline, representing the
+//!   "no community detection, just chop the class list" strawman,
+//! * [`schema`] — the [`schema::ClusterSchema`] assembled from a clustering,
+//!   with document-store (de)serialization.
+
+pub mod graph;
+pub mod greedy;
+pub mod label_propagation;
+pub mod louvain;
+pub mod modularity;
+pub mod schema;
+
+pub use graph::WeightedGraph;
+pub use greedy::greedy_size_clustering;
+pub use label_propagation::label_propagation;
+pub use louvain::louvain;
+pub use modularity::modularity;
+pub use schema::{Cluster, ClusterEdge, ClusterSchema, ClusteringAlgorithm};

@@ -1,0 +1,227 @@
+//! The Louvain method for community detection.
+//!
+//! This is the algorithm H-BOLD's companion paper [15] applies to Schema
+//! Summaries to obtain the Cluster Schema. The implementation is the
+//! classical two-phase loop: local moving until no gain, then aggregation of
+//! communities into super-nodes, repeated until modularity stops improving.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::graph::{normalize_assignment, WeightedGraph};
+use crate::modularity::modularity;
+
+/// Runs Louvain on `graph` and returns a community label per node
+/// (labels are dense, `0..k`).
+///
+/// `seed` controls the node visiting order of the local-moving phase; any
+/// seed produces a valid clustering, and the same seed always produces the
+/// same result.
+pub fn louvain(graph: &WeightedGraph, seed: u64) -> Vec<usize> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    // node → community of the *current* (possibly aggregated) graph,
+    // plus the mapping from original nodes to current super-nodes.
+    let mut node_to_super: Vec<usize> = (0..n).collect();
+    let mut current = graph.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    loop {
+        let assignment = local_moving(&current, &mut rng);
+        let communities = normalize_assignment(&assignment);
+        let community_count = communities.iter().copied().max().map_or(0, |m| m + 1);
+
+        // No aggregation possible: every super-node kept its own community.
+        if community_count == current.node_count() {
+            break;
+        }
+
+        // Check the move actually helps on the current graph (it always
+        // should, but guard against numerical noise).
+        let before = modularity(&current, &(0..current.node_count()).collect::<Vec<_>>());
+        let after = modularity(&current, &communities);
+        if after <= before + 1e-12 && community_count == current.node_count() {
+            break;
+        }
+
+        // Map original nodes through the new communities.
+        for super_node in node_to_super.iter_mut() {
+            *super_node = communities[*super_node];
+        }
+
+        // Aggregate: communities become the nodes of the next graph.
+        let mut aggregated = WeightedGraph::new(community_count);
+        for node in 0..current.node_count() {
+            for (neighbour, weight) in current.neighbours(node) {
+                // Count each undirected edge once (node <= neighbour).
+                if neighbour < node {
+                    continue;
+                }
+                aggregated.add_edge(communities[node], communities[neighbour], weight);
+            }
+        }
+        current = aggregated;
+        if current.node_count() <= 1 {
+            break;
+        }
+    }
+
+    normalize_assignment(&node_to_super)
+}
+
+/// Phase 1: move nodes between communities while modularity improves.
+fn local_moving(graph: &WeightedGraph, rng: &mut StdRng) -> Vec<usize> {
+    let n = graph.node_count();
+    let m = graph.total_weight();
+    let mut assignment: Vec<usize> = (0..n).collect();
+    if m == 0.0 {
+        return assignment;
+    }
+    // Σ of weighted degrees per community.
+    let mut community_degree: Vec<f64> = (0..n).map(|i| graph.weighted_degree(i)).collect();
+    let node_degree: Vec<f64> = community_degree.clone();
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    let mut improved = true;
+    let mut rounds = 0;
+    while improved && rounds < 100 {
+        improved = false;
+        rounds += 1;
+        for &node in &order {
+            let current_community = assignment[node];
+            // Weights from `node` to each neighbouring community.
+            let mut weight_to: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+            let mut self_loop = 0.0;
+            for (neighbour, weight) in graph.neighbours(node) {
+                if neighbour == node {
+                    self_loop += weight;
+                    continue;
+                }
+                *weight_to.entry(assignment[neighbour]).or_insert(0.0) += weight;
+            }
+            let _ = self_loop;
+
+            // Remove the node from its community.
+            community_degree[current_community] -= node_degree[node];
+            let weight_to_current = weight_to.get(&current_community).copied().unwrap_or(0.0);
+
+            // Find the best community (including staying put).
+            let mut best_community = current_community;
+            let mut best_gain = gain(weight_to_current, community_degree[current_community], node_degree[node], m);
+            for (&community, &weight) in &weight_to {
+                if community == current_community {
+                    continue;
+                }
+                let g = gain(weight, community_degree[community], node_degree[node], m);
+                if g > best_gain + 1e-12 || (g > best_gain - 1e-12 && community < best_community) {
+                    // Strictly better, or equal but with a smaller id (gives a
+                    // deterministic tie-break independent of visiting order).
+                    if g > best_gain + 1e-12 || community < best_community {
+                        best_gain = g;
+                        best_community = community;
+                    }
+                }
+            }
+
+            community_degree[best_community] += node_degree[node];
+            if best_community != current_community {
+                assignment[node] = best_community;
+                improved = true;
+            }
+        }
+    }
+    assignment
+}
+
+/// Modularity gain of putting a node with degree `k` into a community it
+/// connects to with weight `w`, where the community currently has total
+/// degree `sigma` (node excluded) and the graph has total weight `m`.
+fn gain(w: f64, sigma: f64, k: f64, m: f64) -> f64 {
+    w - sigma * k / (2.0 * m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::community_count;
+
+    /// `k` cliques of `size` nodes, connected in a ring by single edges.
+    fn ring_of_cliques(k: usize, size: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new(k * size);
+        for c in 0..k {
+            let base = c * size;
+            for i in 0..size {
+                for j in (i + 1)..size {
+                    g.add_edge(base + i, base + j, 1.0);
+                }
+            }
+            let next_base = ((c + 1) % k) * size;
+            g.add_edge(base, next_base, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn recovers_cliques_in_ring() {
+        let g = ring_of_cliques(6, 5);
+        let assignment = louvain(&g, 0);
+        assert_eq!(assignment.len(), 30);
+        assert_eq!(community_count(&assignment), 6, "one community per clique");
+        // Nodes of the same clique share a label.
+        for clique in 0..6 {
+            let label = assignment[clique * 5];
+            for i in 0..5 {
+                assert_eq!(assignment[clique * 5 + i], label, "clique {clique} split");
+            }
+        }
+        let q = modularity(&g, &assignment);
+        assert!(q > 0.6, "expected strong modularity, got {q}");
+    }
+
+    #[test]
+    fn beats_trivial_partitions() {
+        let g = ring_of_cliques(4, 6);
+        let assignment = louvain(&g, 1);
+        let q = modularity(&g, &assignment);
+        assert!(q > modularity(&g, &vec![0; 24]));
+        assert!(q > modularity(&g, &(0..24).collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = ring_of_cliques(5, 4);
+        assert_eq!(louvain(&g, 7), louvain(&g, 7));
+    }
+
+    #[test]
+    fn handles_edgeless_and_tiny_graphs() {
+        assert!(louvain(&WeightedGraph::new(0), 0).is_empty());
+        let isolated = WeightedGraph::new(4);
+        let assignment = louvain(&isolated, 0);
+        assert_eq!(community_count(&assignment), 4, "isolated nodes stay singletons");
+        let mut pair = WeightedGraph::new(2);
+        pair.add_edge(0, 1, 1.0);
+        let assignment = louvain(&pair, 0);
+        assert_eq!(community_count(&assignment), 1, "a single edge collapses to one community");
+    }
+
+    #[test]
+    fn star_graph_is_one_community() {
+        let mut g = WeightedGraph::new(6);
+        for leaf in 1..6 {
+            g.add_edge(0, leaf, 1.0);
+        }
+        let assignment = louvain(&g, 3);
+        // A star has no better split than (roughly) everything together; the
+        // exact result may split leaves, but the hub must share its community
+        // with at least one leaf and modularity must be non-negative.
+        let q = modularity(&g, &assignment);
+        assert!(q >= -1e-9);
+        assert!(community_count(&assignment) <= 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! Newman–Girvan modularity.
+
+use crate::graph::WeightedGraph;
+
+/// Computes the modularity `Q` of a community assignment over `graph`.
+///
+/// `Q = (1/2m) Σ_ij [A_ij − k_i·k_j/(2m)] δ(c_i, c_j)` with `m` the total
+/// edge weight, `A` the adjacency weights and `k` the weighted degrees.
+/// Returns 0 for graphs without edges.
+pub fn modularity(graph: &WeightedGraph, assignment: &[usize]) -> f64 {
+    assert_eq!(
+        assignment.len(),
+        graph.node_count(),
+        "assignment must label every node"
+    );
+    let m = graph.total_weight();
+    if m == 0.0 {
+        return 0.0;
+    }
+    let two_m = 2.0 * m;
+
+    // Per-community sums of internal weight and total degree.
+    let community_max = assignment.iter().copied().max().unwrap_or(0);
+    let mut internal = vec![0.0f64; community_max + 1];
+    let mut degree = vec![0.0f64; community_max + 1];
+
+    for node in 0..graph.node_count() {
+        let community = assignment[node];
+        degree[community] += graph.weighted_degree(node);
+        for (neighbour, weight) in graph.neighbours(node) {
+            if assignment[neighbour] == community {
+                if neighbour == node {
+                    // A self-loop contributes its full weight once but appears
+                    // only once in the adjacency; count it as 2w in A_ii.
+                    internal[community] += 2.0 * weight;
+                } else {
+                    internal[community] += weight; // counted from both endpoints
+                }
+            }
+        }
+    }
+
+    internal
+        .iter()
+        .zip(degree.iter())
+        .map(|(&inside, &deg)| inside / two_m - (deg / two_m).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles joined by a single bridge edge.
+    fn two_triangles() -> WeightedGraph {
+        let mut g = WeightedGraph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            g.add_edge(a, b, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn natural_partition_beats_alternatives() {
+        let g = two_triangles();
+        let natural = vec![0, 0, 0, 1, 1, 1];
+        let all_one = vec![0; 6];
+        let singletons: Vec<usize> = (0..6).collect();
+        let q_natural = modularity(&g, &natural);
+        let q_one = modularity(&g, &all_one);
+        let q_singletons = modularity(&g, &singletons);
+        assert!(q_natural > q_one);
+        assert!(q_natural > q_singletons);
+        assert!(q_natural > 0.3, "two-triangle partition should have high modularity, got {q_natural}");
+        assert!(q_one.abs() < 1e-9, "single community has modularity 0");
+        assert!(q_singletons < 0.0);
+    }
+
+    #[test]
+    fn modularity_is_bounded() {
+        let g = two_triangles();
+        let natural = vec![0, 0, 0, 1, 1, 1];
+        let q = modularity(&g, &natural);
+        assert!(q <= 1.0 && q >= -1.0);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        let g = WeightedGraph::new(4);
+        assert_eq!(modularity(&g, &[0, 1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    fn self_loops_are_handled() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 0, 1.0);
+        g.add_edge(1, 1, 1.0);
+        // Each node alone with its self-loop is the best possible split.
+        let q = modularity(&g, &[0, 1]);
+        assert!(q > 0.4, "q = {q}");
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment must label every node")]
+    fn mismatched_assignment_panics() {
+        let g = WeightedGraph::new(3);
+        modularity(&g, &[0, 1]);
+    }
+}

@@ -1,0 +1,392 @@
+//! The Cluster Schema: the high-level view of a Schema Summary.
+//!
+//! Paper §2.1: "the classes of the Schema Summary are grouped into Clusters,
+//! therefore a Cluster Schema is generated for each LD where nodes are groups
+//! of classes and arches are connections among these Clusters. [...] The
+//! labels in the Cluster Schema are assigned based on the degree (the sum of
+//! in-degree and out-degree) of the classes (nodes) that are represented by
+//! the cluster." Overlapping membership is explicitly avoided.
+
+use std::collections::BTreeMap;
+
+use hbold_docstore::{doc, DocValue};
+use hbold_schema::SchemaSummary;
+
+use crate::graph::WeightedGraph;
+use crate::greedy::greedy_size_clustering;
+use crate::label_propagation::label_propagation;
+use crate::louvain::louvain;
+use crate::modularity::modularity;
+
+/// Which community detection algorithm to use for the Cluster Schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusteringAlgorithm {
+    /// The Louvain method (H-BOLD's choice, via [15]).
+    Louvain,
+    /// Label propagation.
+    LabelPropagation,
+    /// The structure-blind balanced baseline.
+    GreedyBalanced,
+}
+
+impl ClusteringAlgorithm {
+    /// All algorithms (used by the E10 ablation).
+    pub fn all() -> [ClusteringAlgorithm; 3] {
+        [
+            ClusteringAlgorithm::Louvain,
+            ClusteringAlgorithm::LabelPropagation,
+            ClusteringAlgorithm::GreedyBalanced,
+        ]
+    }
+
+    /// A short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusteringAlgorithm::Louvain => "louvain",
+            ClusteringAlgorithm::LabelPropagation => "label-propagation",
+            ClusteringAlgorithm::GreedyBalanced => "greedy-balanced",
+        }
+    }
+
+    /// Runs the algorithm on a clustering graph.
+    pub fn run(&self, graph: &WeightedGraph, seed: u64) -> Vec<usize> {
+        match self {
+            ClusteringAlgorithm::Louvain => louvain(graph, seed),
+            ClusteringAlgorithm::LabelPropagation => label_propagation(graph, seed),
+            ClusteringAlgorithm::GreedyBalanced => greedy_size_clustering(graph, 0),
+        }
+    }
+}
+
+/// One cluster of the Cluster Schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// Cluster identifier (dense, `0..k`).
+    pub id: usize,
+    /// Label: the label of the member class with the highest degree.
+    pub label: String,
+    /// Indexes (into the Schema Summary's `nodes`) of the member classes,
+    /// sorted by descending degree then instance count.
+    pub members: Vec<usize>,
+    /// Total number of instances across the member classes.
+    pub total_instances: usize,
+}
+
+/// An aggregated connection between two clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterEdge {
+    /// Source cluster id.
+    pub source: usize,
+    /// Target cluster id.
+    pub target: usize,
+    /// Number of Schema Summary arcs collapsed into this connection.
+    pub properties: usize,
+    /// Sum of the instance-level counts of those arcs.
+    pub weight: usize,
+}
+
+/// The Cluster Schema of one dataset.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClusterSchema {
+    /// The endpoint this Cluster Schema belongs to.
+    pub endpoint_url: String,
+    /// Which algorithm produced it.
+    pub algorithm: String,
+    /// The clusters, ordered by id.
+    pub clusters: Vec<Cluster>,
+    /// Aggregated inter-cluster (and intra-cluster, as self-loops) edges.
+    pub edges: Vec<ClusterEdge>,
+    /// Modularity of the underlying community assignment.
+    pub modularity: f64,
+}
+
+impl ClusterSchema {
+    /// Builds the Cluster Schema of `summary` using `algorithm`.
+    pub fn build(summary: &SchemaSummary, algorithm: ClusteringAlgorithm, seed: u64) -> Self {
+        let graph = WeightedGraph::from_summary(summary);
+        let assignment = algorithm.run(&graph, seed);
+        ClusterSchema::from_assignment(summary, &assignment, algorithm.name(), modularity(&graph, &assignment))
+    }
+
+    /// Builds the Cluster Schema from an explicit community assignment
+    /// (`assignment[node] = cluster`).
+    pub fn from_assignment(
+        summary: &SchemaSummary,
+        assignment: &[usize],
+        algorithm: &str,
+        modularity: f64,
+    ) -> Self {
+        assert_eq!(assignment.len(), summary.node_count(), "assignment must cover every class");
+        let cluster_count = assignment.iter().copied().max().map_or(0, |m| m + 1);
+
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); cluster_count];
+        for (node, &cluster) in assignment.iter().enumerate() {
+            members[cluster].push(node);
+        }
+
+        let clusters: Vec<Cluster> = members
+            .into_iter()
+            .enumerate()
+            .map(|(id, mut nodes)| {
+                nodes.sort_by(|&a, &b| {
+                    summary
+                        .degree(b)
+                        .cmp(&summary.degree(a))
+                        .then_with(|| summary.nodes[b].instances.cmp(&summary.nodes[a].instances))
+                        .then_with(|| a.cmp(&b))
+                });
+                let label = nodes
+                    .first()
+                    .map(|&n| summary.nodes[n].label.clone())
+                    .unwrap_or_else(|| format!("cluster-{id}"));
+                let total_instances = nodes.iter().map(|&n| summary.nodes[n].instances).sum();
+                Cluster {
+                    id,
+                    label,
+                    members: nodes,
+                    total_instances,
+                }
+            })
+            .collect();
+
+        // Aggregate summary edges between clusters.
+        let mut edge_map: BTreeMap<(usize, usize), (usize, usize)> = BTreeMap::new();
+        for edge in &summary.edges {
+            let a = assignment[edge.source];
+            let b = assignment[edge.target];
+            let key = if a <= b { (a, b) } else { (b, a) };
+            let entry = edge_map.entry(key).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += edge.count;
+        }
+        let edges = edge_map
+            .into_iter()
+            .map(|((source, target), (properties, weight))| ClusterEdge {
+                source,
+                target,
+                properties,
+                weight,
+            })
+            .collect();
+
+        ClusterSchema {
+            endpoint_url: summary.endpoint_url.clone(),
+            algorithm: algorithm.to_string(),
+            clusters,
+            edges,
+            modularity,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The cluster containing the given Schema Summary node.
+    pub fn cluster_of(&self, node: usize) -> Option<&Cluster> {
+        self.clusters.iter().find(|c| c.members.contains(&node))
+    }
+
+    /// Checks the non-overlap invariant: every Schema Summary node belongs to
+    /// exactly one cluster.
+    pub fn is_partition(&self, node_count: usize) -> bool {
+        let mut seen = vec![0usize; node_count];
+        for cluster in &self.clusters {
+            for &member in &cluster.members {
+                if member >= node_count {
+                    return false;
+                }
+                seen[member] += 1;
+            }
+        }
+        seen.iter().all(|&count| count == 1)
+    }
+
+    /// Serializes the Cluster Schema for the document store.
+    pub fn to_doc(&self) -> DocValue {
+        doc! {
+            "endpoint" => self.endpoint_url.clone(),
+            "algorithm" => self.algorithm.clone(),
+            "modularity" => self.modularity,
+            "clusters" => self
+                .clusters
+                .iter()
+                .map(|c| doc! {
+                    "id" => c.id,
+                    "label" => c.label.clone(),
+                    "members" => c.members.iter().map(|&m| DocValue::Int(m as i64)).collect::<Vec<_>>(),
+                    "total_instances" => c.total_instances,
+                })
+                .collect::<Vec<_>>(),
+            "edges" => self
+                .edges
+                .iter()
+                .map(|e| doc! {
+                    "source" => e.source,
+                    "target" => e.target,
+                    "properties" => e.properties,
+                    "weight" => e.weight,
+                })
+                .collect::<Vec<_>>(),
+        }
+    }
+
+    /// Rebuilds a Cluster Schema from a stored document.
+    pub fn from_doc(doc: &DocValue) -> Option<Self> {
+        let endpoint_url = doc.get("endpoint")?.as_str()?.to_string();
+        let algorithm = doc.get("algorithm")?.as_str()?.to_string();
+        let modularity = doc.get("modularity")?.as_f64()?;
+        let mut clusters = Vec::new();
+        for c in doc.get("clusters")?.as_array()? {
+            clusters.push(Cluster {
+                id: c.get("id")?.as_i64()? as usize,
+                label: c.get("label")?.as_str()?.to_string(),
+                members: c
+                    .get("members")?
+                    .as_array()?
+                    .iter()
+                    .filter_map(|m| m.as_i64().map(|v| v as usize))
+                    .collect(),
+                total_instances: c.get("total_instances")?.as_i64()? as usize,
+            });
+        }
+        let mut edges = Vec::new();
+        for e in doc.get("edges")?.as_array()? {
+            edges.push(ClusterEdge {
+                source: e.get("source")?.as_i64()? as usize,
+                target: e.get("target")?.as_i64()? as usize,
+                properties: e.get("properties")?.as_i64()? as usize,
+                weight: e.get("weight")?.as_i64()? as usize,
+            });
+        }
+        Some(ClusterSchema {
+            endpoint_url,
+            algorithm,
+            clusters,
+            edges,
+            modularity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_rdf_model::Iri;
+    use hbold_schema::{SchemaEdge, SchemaNode};
+
+    /// Two "communities" of classes: publication-related and venue-related,
+    /// joined by a single arc.
+    fn sample_summary() -> SchemaSummary {
+        let class = |name: &str| Iri::new(format!("http://e.org/{name}")).unwrap();
+        let prop = |name: &str| Iri::new(format!("http://e.org/p/{name}")).unwrap();
+        let names = ["Person", "Paper", "Keyword", "Conference", "Session", "Talk"];
+        let instances = [100, 80, 30, 5, 20, 40];
+        let nodes = names
+            .iter()
+            .zip(instances.iter())
+            .map(|(name, &n)| SchemaNode {
+                class: class(name),
+                label: (*name).to_string(),
+                instances: n,
+                attributes: vec![],
+            })
+            .collect();
+        // Person-Paper, Person-Keyword, Paper-Keyword (community A, Person is hub)
+        // Conference-Session, Session-Talk, Conference-Talk (community B)
+        // Paper-Conference (bridge)
+        let edges = vec![
+            (0, 1, "authorOf", 150),
+            (0, 2, "interestedIn", 50),
+            (1, 2, "hasKeyword", 80),
+            (0, 0, "knows", 30),
+            (3, 4, "hasSession", 20),
+            (4, 5, "hasTalk", 40),
+            (3, 5, "hostsTalk", 40),
+            (1, 3, "presentedAt", 80),
+        ]
+        .into_iter()
+        .map(|(s, t, p, c)| SchemaEdge {
+            source: s,
+            target: t,
+            property: prop(p),
+            count: c,
+        })
+        .collect();
+        SchemaSummary {
+            endpoint_url: "http://e.org/sparql".into(),
+            total_instances: 275,
+            nodes,
+            edges,
+        }
+    }
+
+    #[test]
+    fn louvain_cluster_schema_groups_the_two_communities() {
+        let summary = sample_summary();
+        let cs = ClusterSchema::build(&summary, ClusteringAlgorithm::Louvain, 0);
+        assert_eq!(cs.cluster_count(), 2);
+        assert!(cs.is_partition(summary.node_count()));
+        assert!(cs.modularity > 0.2);
+        // Person (degree 4: authorOf, interestedIn, self-loop knows... counts as 3 edges touching) —
+        // labels come from the highest-degree member of each cluster.
+        let labels: Vec<&str> = cs.clusters.iter().map(|c| c.label.as_str()).collect();
+        assert!(labels.contains(&"Person") || labels.contains(&"Paper"));
+        // Publication cluster holds Person, Paper, Keyword.
+        let pub_cluster = cs.cluster_of(0).unwrap();
+        assert!(pub_cluster.members.contains(&1));
+        assert!(pub_cluster.members.contains(&2));
+        assert_eq!(pub_cluster.total_instances, 210);
+        // The bridge arc Paper→Conference becomes an inter-cluster edge.
+        assert!(cs
+            .edges
+            .iter()
+            .any(|e| e.source != e.target && e.properties == 1 && e.weight == 80));
+    }
+
+    #[test]
+    fn every_algorithm_yields_a_partition() {
+        let summary = sample_summary();
+        for algorithm in ClusteringAlgorithm::all() {
+            let cs = ClusterSchema::build(&summary, algorithm, 1);
+            assert!(cs.is_partition(summary.node_count()), "{}", algorithm.name());
+            assert_eq!(cs.algorithm, algorithm.name());
+            let total: usize = cs.clusters.iter().map(|c| c.total_instances).sum();
+            assert_eq!(total, 275, "instances are conserved for {}", algorithm.name());
+        }
+    }
+
+    #[test]
+    fn cluster_labels_come_from_highest_degree_member() {
+        let summary = sample_summary();
+        let assignment = vec![0, 0, 0, 1, 1, 1];
+        let cs = ClusterSchema::from_assignment(&summary, &assignment, "manual", 0.0);
+        // In community A, Person touches edges authorOf, interestedIn, knows(self) → degree 3;
+        // Paper touches authorOf, hasKeyword, presentedAt → degree 3; tie broken by instances (Person 100 > Paper 80).
+        assert_eq!(cs.clusters[0].label, "Person");
+        // In community B, Conference has degree 3 (hasSession, hostsTalk and the
+        // incoming presentedAt bridge), beating Session (2) and Talk (2).
+        assert_eq!(cs.clusters[1].label, "Conference");
+    }
+
+    #[test]
+    fn doc_round_trip() {
+        let summary = sample_summary();
+        let cs = ClusterSchema::build(&summary, ClusteringAlgorithm::Louvain, 0);
+        let back = ClusterSchema::from_doc(&cs.to_doc()).unwrap();
+        assert_eq!(back, cs);
+        assert!(ClusterSchema::from_doc(&DocValue::Bool(true)).is_none());
+    }
+
+    #[test]
+    fn intra_cluster_edges_become_self_loops() {
+        let summary = sample_summary();
+        let assignment = vec![0, 0, 0, 1, 1, 1];
+        let cs = ClusterSchema::from_assignment(&summary, &assignment, "manual", 0.0);
+        let self_loop = cs.edges.iter().find(|e| e.source == 0 && e.target == 0).unwrap();
+        // authorOf, interestedIn, hasKeyword, knows → 4 intra-cluster arcs.
+        assert_eq!(self_loop.properties, 4);
+        assert_eq!(self_loop.weight, 150 + 50 + 80 + 30);
+    }
+}

@@ -1,0 +1,59 @@
+//! Errors of the document store.
+
+use std::fmt;
+
+/// Errors produced by the document store.
+#[derive(Debug)]
+pub enum DocStoreError {
+    /// JSON encoding / decoding failure.
+    Json(String),
+    /// Filesystem error during persistence.
+    Io(std::io::Error),
+    /// The requested document or collection does not exist.
+    NotFound(String),
+    /// A document did not have the shape an operation required
+    /// (e.g. a non-object passed to `insert`).
+    InvalidDocument(String),
+}
+
+impl fmt::Display for DocStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocStoreError::Json(msg) => write!(f, "JSON error: {msg}"),
+            DocStoreError::Io(e) => write!(f, "I/O error: {e}"),
+            DocStoreError::NotFound(what) => write!(f, "not found: {what}"),
+            DocStoreError::InvalidDocument(msg) => write!(f, "invalid document: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DocStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DocStoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DocStoreError {
+    fn from(e: std::io::Error) -> Self {
+        DocStoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DocStoreError::Json("bad".into()).to_string().contains("bad"));
+        assert!(DocStoreError::NotFound("collection x".into()).to_string().contains("collection x"));
+        assert!(DocStoreError::InvalidDocument("not an object".into())
+            .to_string()
+            .contains("not an object"));
+        let io = DocStoreError::from(std::io::Error::new(std::io::ErrorKind::Other, "disk"));
+        assert!(io.to_string().contains("disk"));
+    }
+}

@@ -1,0 +1,334 @@
+//! JSON encoding and decoding for [`DocValue`]s.
+//!
+//! Implemented locally so the workspace has no external JSON dependency (the
+//! document store needs its own value model regardless — see DESIGN.md). The
+//! encoder produces deterministic output (object keys are sorted because the
+//! underlying map is a `BTreeMap`), which keeps the persisted collection
+//! files diff-friendly and the tests stable.
+
+use std::collections::BTreeMap;
+
+use crate::error::DocStoreError;
+use crate::value::DocValue;
+
+/// Serializes a value to compact JSON.
+pub fn to_json(value: &DocValue) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    out
+}
+
+/// Parses a JSON document into a [`DocValue`].
+pub fn from_json(text: &str) -> Result<DocValue, DocStoreError> {
+    let mut parser = JsonParser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.chars.len() {
+        return Err(DocStoreError::Json(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+fn write_value(value: &DocValue, out: &mut String) {
+    match value {
+        DocValue::Null => out.push_str("null"),
+        DocValue::Bool(true) => out.push_str("true"),
+        DocValue::Bool(false) => out.push_str("false"),
+        DocValue::Int(v) => out.push_str(&v.to_string()),
+        DocValue::Float(v) => {
+            if v.is_finite() {
+                // Always include a decimal point / exponent so the value
+                // round-trips back to Float rather than Int.
+                let text = format!("{v}");
+                if text.contains('.') || text.contains('e') || text.contains('E') {
+                    out.push_str(&text);
+                } else {
+                    out.push_str(&text);
+                    out.push_str(".0");
+                }
+            } else {
+                // JSON has no NaN/Infinity; degrade to null like MongoDB's
+                // strict mode.
+                out.push_str("null");
+            }
+        }
+        DocValue::String(s) => write_string(s, out),
+        DocValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        DocValue::Object(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct JsonParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl JsonParser {
+    fn error(&self, message: impl Into<String>) -> DocStoreError {
+        DocStoreError::Json(format!("{} (at offset {})", message.into(), self.pos))
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, expected: char) -> Result<(), DocStoreError> {
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(self.error(format!("expected '{expected}', found '{c}'"))),
+            None => Err(self.error(format!("expected '{expected}', found end of input"))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<DocValue, DocStoreError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('n') => self.parse_keyword("null", DocValue::Null),
+            Some('t') => self.parse_keyword("true", DocValue::Bool(true)),
+            Some('f') => self.parse_keyword("false", DocValue::Bool(false)),
+            Some('"') => Ok(DocValue::String(self.parse_string()?)),
+            Some('[') => self.parse_array(),
+            Some('{') => self.parse_object(),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.error(format!("unexpected character '{c}'"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: DocValue) -> Result<DocValue, DocStoreError> {
+        for expected in keyword.chars() {
+            match self.bump() {
+                Some(c) if c == expected => {}
+                _ => return Err(self.error(format!("invalid literal (expected '{keyword}')"))),
+            }
+        }
+        Ok(value)
+    }
+
+    fn parse_string(&mut self) -> Result<String, DocStoreError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self.bump().ok_or_else(|| self.error("unterminated \\u escape"))?;
+                            let d = c
+                                .to_digit(16)
+                                .ok_or_else(|| self.error("invalid hex digit in \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    Some(c) => return Err(self.error(format!("unknown escape '\\{c}'"))),
+                    None => return Err(self.error("unterminated escape")),
+                },
+                Some(c) => out.push(c),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<DocValue, DocStoreError> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => self.pos += 1,
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(DocValue::Float)
+                .map_err(|_| self.error(format!("malformed number '{text}'")))
+        } else {
+            text.parse::<i64>()
+                .map(DocValue::Int)
+                .map_err(|_| self.error(format!("malformed integer '{text}'")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<DocValue, DocStoreError> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(DocValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(DocValue::Array(items)),
+                Some(c) => return Err(self.error(format!("expected ',' or ']', found '{c}'"))),
+                None => return Err(self.error("unterminated array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<DocValue, DocStoreError> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(DocValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(DocValue::Object(map)),
+                Some(c) => return Err(self.error(format!("expected ',' or '}}', found '{c}'"))),
+                None => return Err(self.error("unterminated object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+
+    #[test]
+    fn round_trip_of_nested_documents() {
+        let d = doc! {
+            "endpoint" => "http://e.org/sparql?query=1&format=json",
+            "available" => true,
+            "failures" => 0,
+            "score" => 0.85,
+            "classes" => vec!["Person", "Paper"],
+            "summary" => doc! { "triples" => 123456, "note" => "line1\nline2 \"quoted\"" },
+            "missing" => None::<i64>,
+        };
+        let json = to_json(&d);
+        let parsed = from_json(&json).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_sorted() {
+        let d = doc! { "zeta" => 1, "alpha" => 2 };
+        assert_eq!(to_json(&d), "{\"alpha\":2,\"zeta\":1}");
+    }
+
+    #[test]
+    fn floats_round_trip_as_floats() {
+        let json = to_json(&DocValue::Float(3.0));
+        assert_eq!(json, "3.0");
+        assert_eq!(from_json(&json).unwrap(), DocValue::Float(3.0));
+        assert_eq!(from_json("2.5e3").unwrap(), DocValue::Float(2500.0));
+        assert_eq!(from_json("-7").unwrap(), DocValue::Int(-7));
+        assert_eq!(to_json(&DocValue::Float(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn parses_whitespace_and_unicode_escapes() {
+        let parsed = from_json(" { \"a\" : [ 1 , 2 ] , \"b\" : \"\\u0041\\n\" } ").unwrap();
+        assert_eq!(parsed.get("b").and_then(DocValue::as_str), Some("A\n"));
+        assert_eq!(parsed.get("a").and_then(DocValue::as_array).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(from_json("[]").unwrap(), DocValue::Array(vec![]));
+        assert_eq!(from_json("{}").unwrap(), DocValue::object());
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(from_json("{\"a\":}").is_err());
+        assert!(from_json("[1, 2").is_err());
+        assert!(from_json("\"unterminated").is_err());
+        assert!(from_json("nulll").is_err());
+        assert!(from_json("{\"a\":1} extra").is_err());
+        assert!(from_json("tru").is_err());
+        assert!(from_json("").is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! The top-level document store: named collections plus optional persistence.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::collection::Collection;
+use crate::error::DocStoreError;
+
+/// A set of named collections, optionally backed by a directory on disk.
+///
+/// This plays the role MongoDB plays in the original H-BOLD deployment: the
+/// extraction pipeline writes Schema Summaries and Cluster Schemas into
+/// collections, and the presentation layer reads them back without touching
+/// the SPARQL endpoints.
+#[derive(Debug, Clone, Default)]
+pub struct DocStore {
+    inner: Arc<RwLock<BTreeMap<String, Collection>>>,
+    directory: Option<PathBuf>,
+}
+
+impl DocStore {
+    /// Creates a purely in-memory store.
+    pub fn in_memory() -> Self {
+        DocStore::default()
+    }
+
+    /// Creates a store backed by `directory` and loads any collections that
+    /// were previously persisted there (files with the `.jsonl` extension).
+    pub fn open(directory: impl AsRef<Path>) -> Result<Self, DocStoreError> {
+        let directory = directory.as_ref().to_path_buf();
+        std::fs::create_dir_all(&directory)?;
+        let mut collections = BTreeMap::new();
+        for entry in std::fs::read_dir(&directory)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+                continue;
+            }
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let text = std::fs::read_to_string(&path)?;
+            collections.insert(name.to_string(), Collection::from_jsonl(&text)?);
+        }
+        Ok(DocStore {
+            inner: Arc::new(RwLock::new(collections)),
+            directory: Some(directory),
+        })
+    }
+
+    /// Returns the collection with the given name, creating it if needed.
+    pub fn collection(&self, name: &str) -> Collection {
+        let mut inner = self.inner.write();
+        inner.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Names of all existing collections (sorted).
+    pub fn collection_names(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Drops a collection; returns `true` if it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.inner.write().remove(name).is_some()
+    }
+
+    /// Total number of documents across all collections.
+    pub fn total_documents(&self) -> usize {
+        self.inner.read().values().map(Collection::len).sum()
+    }
+
+    /// Persists every collection to the backing directory (one `.jsonl` file
+    /// per collection). Returns an error when the store is in-memory only.
+    pub fn persist(&self) -> Result<(), DocStoreError> {
+        let Some(directory) = &self.directory else {
+            return Err(DocStoreError::NotFound(
+                "store has no backing directory (created with in_memory)".into(),
+            ));
+        };
+        std::fs::create_dir_all(directory)?;
+        let inner = self.inner.read();
+        for (name, collection) in inner.iter() {
+            let path = directory.join(format!("{name}.jsonl"));
+            std::fs::write(path, collection.to_jsonl())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Filter;
+    use crate::{doc, DocValue};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hbold-docstore-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn collections_are_created_on_demand_and_shared() {
+        let store = DocStore::in_memory();
+        let a = store.collection("summaries");
+        a.insert(doc! { "endpoint" => "http://e.org/sparql" });
+        // A second handle to the same name sees the same data.
+        let b = store.collection("summaries");
+        assert_eq!(b.len(), 1);
+        assert_eq!(store.collection_names(), vec!["summaries"]);
+        assert_eq!(store.total_documents(), 1);
+        assert!(store.drop_collection("summaries"));
+        assert!(!store.drop_collection("summaries"));
+    }
+
+    #[test]
+    fn persist_and_reopen_round_trip() {
+        let dir = temp_dir("roundtrip");
+        {
+            let store = DocStore::open(&dir).unwrap();
+            let summaries = store.collection("schema_summaries");
+            summaries.insert(doc! { "endpoint" => "http://a.org/sparql", "classes" => 12 });
+            summaries.insert(doc! { "endpoint" => "http://b.org/sparql", "classes" => 300 });
+            store.collection("cluster_schemas").insert(doc! { "endpoint" => "http://a.org/sparql", "clusters" => 3 });
+            store.persist().unwrap();
+        }
+        {
+            let store = DocStore::open(&dir).unwrap();
+            assert_eq!(store.collection_names(), vec!["cluster_schemas", "schema_summaries"]);
+            let summaries = store.collection("schema_summaries");
+            assert_eq!(summaries.len(), 2);
+            let big = summaries.find(&Filter::Gt("classes".into(), DocValue::Int(100)));
+            assert_eq!(big.len(), 1);
+            assert_eq!(big[0].value.get("endpoint").and_then(DocValue::as_str), Some("http://b.org/sparql"));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_requires_a_directory() {
+        let store = DocStore::in_memory();
+        store.collection("x").insert(doc! { "a" => 1 });
+        assert!(store.persist().is_err());
+    }
+
+    #[test]
+    fn open_ignores_unrelated_files() {
+        let dir = temp_dir("unrelated");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("notes.txt"), "not a collection").unwrap();
+        let store = DocStore::open(&dir).unwrap();
+        assert!(store.collection_names().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,277 @@
+//! The document value model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-like value stored in documents.
+///
+/// Integers and floats are kept distinct (like BSON, unlike JSON) because the
+/// schema statistics H-BOLD stores are counts and must round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DocValue {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    String(String),
+    /// Ordered list.
+    Array(Vec<DocValue>),
+    /// String-keyed map with deterministic (sorted) iteration order.
+    Object(BTreeMap<String, DocValue>),
+}
+
+impl DocValue {
+    /// An empty object.
+    pub fn object() -> DocValue {
+        DocValue::Object(BTreeMap::new())
+    }
+
+    /// Returns the boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            DocValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            DocValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns a float view of `Int` or `Float`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            DocValue::Int(v) => Some(*v as f64),
+            DocValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            DocValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the array if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[DocValue]> {
+        match self {
+            DocValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the object map if this is an `Object`.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, DocValue>> {
+        match self {
+            DocValue::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, DocValue::Null)
+    }
+
+    /// Looks up a field of an object (returns `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&DocValue> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Looks up a dotted path, e.g. `"summary.classes"`.
+    pub fn get_path(&self, path: &str) -> Option<&DocValue> {
+        let mut current = self;
+        for part in path.split('.') {
+            current = current.get(part)?;
+        }
+        Some(current)
+    }
+
+    /// Inserts a field into an object value. Returns `false` (and does
+    /// nothing) if this value is not an object.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<DocValue>) -> bool {
+        match self {
+            DocValue::Object(map) => {
+                map.insert(key.into(), value.into());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Structural equality that treats `Int` and `Float` with the same
+    /// numeric value as equal (useful for filters written with integers
+    /// against float fields and vice versa).
+    pub fn loosely_equals(&self, other: &DocValue) -> bool {
+        match (self, other) {
+            (DocValue::Int(a), DocValue::Float(b)) | (DocValue::Float(b), DocValue::Int(a)) => {
+                (*a as f64) == *b
+            }
+            (a, b) => a == b,
+        }
+    }
+
+    /// Numeric comparison when both sides are numbers; string comparison when
+    /// both are strings; otherwise `None`.
+    pub fn compare(&self, other: &DocValue) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (DocValue::String(a), DocValue::String(b)) => Some(a.cmp(b)),
+            (DocValue::Bool(a), DocValue::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl fmt::Display for DocValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::json::to_json(self))
+    }
+}
+
+impl From<bool> for DocValue {
+    fn from(v: bool) -> Self {
+        DocValue::Bool(v)
+    }
+}
+
+impl From<i64> for DocValue {
+    fn from(v: i64) -> Self {
+        DocValue::Int(v)
+    }
+}
+
+impl From<i32> for DocValue {
+    fn from(v: i32) -> Self {
+        DocValue::Int(v as i64)
+    }
+}
+
+impl From<usize> for DocValue {
+    fn from(v: usize) -> Self {
+        DocValue::Int(v as i64)
+    }
+}
+
+impl From<u32> for DocValue {
+    fn from(v: u32) -> Self {
+        DocValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for DocValue {
+    fn from(v: f64) -> Self {
+        DocValue::Float(v)
+    }
+}
+
+impl From<&str> for DocValue {
+    fn from(v: &str) -> Self {
+        DocValue::String(v.to_string())
+    }
+}
+
+impl From<String> for DocValue {
+    fn from(v: String) -> Self {
+        DocValue::String(v)
+    }
+}
+
+impl<T: Into<DocValue>> From<Vec<T>> for DocValue {
+    fn from(v: Vec<T>) -> Self {
+        DocValue::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<DocValue>> From<Option<T>> for DocValue {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => DocValue::Null,
+        }
+    }
+}
+
+/// Builds a [`DocValue::Object`] with struct-literal-like syntax.
+///
+/// ```
+/// use hbold_docstore::{doc, DocValue};
+/// let d = doc! { "name" => "alice", "age" => 42, "tags" => vec!["a", "b"] };
+/// assert_eq!(d.get("age").and_then(DocValue::as_i64), Some(42));
+/// ```
+#[macro_export]
+macro_rules! doc {
+    ( $( $key:expr => $value:expr ),* $(,)? ) => {{
+        let mut map = ::std::collections::BTreeMap::new();
+        $( map.insert($key.to_string(), $crate::DocValue::from($value)); )*
+        $crate::DocValue::Object(map)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(DocValue::from(5i64).as_i64(), Some(5));
+        assert_eq!(DocValue::from(5i32).as_f64(), Some(5.0));
+        assert_eq!(DocValue::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(DocValue::from("hi").as_str(), Some("hi"));
+        assert_eq!(DocValue::from(true).as_bool(), Some(true));
+        assert_eq!(DocValue::from(vec![1i64, 2, 3]).as_array().unwrap().len(), 3);
+        assert!(DocValue::from(None::<i64>).is_null());
+        assert_eq!(DocValue::from(Some(7i64)).as_i64(), Some(7));
+        assert_eq!(DocValue::from(5i64).as_str(), None);
+    }
+
+    #[test]
+    fn doc_macro_and_paths() {
+        let d = doc! {
+            "endpoint" => "http://e.org/sparql",
+            "summary" => doc! { "classes" => 10, "triples" => 5000 },
+        };
+        assert_eq!(d.get_path("summary.classes").and_then(DocValue::as_i64), Some(10));
+        assert_eq!(d.get_path("summary.missing"), None);
+        assert_eq!(d.get_path("endpoint").and_then(DocValue::as_str), Some("http://e.org/sparql"));
+    }
+
+    #[test]
+    fn set_only_works_on_objects() {
+        let mut obj = DocValue::object();
+        assert!(obj.set("k", 1i64));
+        assert_eq!(obj.get("k").and_then(DocValue::as_i64), Some(1));
+        let mut not_obj = DocValue::Int(3);
+        assert!(!not_obj.set("k", 1i64));
+    }
+
+    #[test]
+    fn loose_equality_and_comparison() {
+        assert!(DocValue::Int(3).loosely_equals(&DocValue::Float(3.0)));
+        assert!(!DocValue::Int(3).loosely_equals(&DocValue::Float(3.5)));
+        assert!(DocValue::from("a").loosely_equals(&DocValue::from("a")));
+        assert_eq!(
+            DocValue::Int(2).compare(&DocValue::Float(2.5)),
+            Some(std::cmp::Ordering::Less)
+        );
+        assert_eq!(
+            DocValue::from("b").compare(&DocValue::from("a")),
+            Some(std::cmp::Ordering::Greater)
+        );
+        assert_eq!(DocValue::from("b").compare(&DocValue::Int(3)), None);
+    }
+}

@@ -1,0 +1,167 @@
+//! Endpoint availability over (virtual) time.
+//!
+//! The paper (§3.1) observes that a SPARQL endpoint "might be often not
+//! available, but this does not mean that it is completely out of order, it
+//! might work again after 1 or 2 days". The refresh scheduler in `hbold`
+//! exploits exactly that, so the simulation models availability as a
+//! per-virtual-day boolean derived from an uptime probability and a mean
+//! outage length.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic availability model.
+///
+/// The model is evaluated lazily per virtual day: day `d` is available or
+/// not based on a seeded RNG stream, so two simulations with the same seed
+/// agree on the entire availability timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityModel {
+    /// Long-run fraction of days the endpoint is reachable (0.0–1.0).
+    pub uptime: f64,
+    /// Mean length of an outage, in days (≥ 1). Outages shorter than a day
+    /// are not modelled — the scheduler only probes daily.
+    pub mean_outage_days: f64,
+    /// Seed making the timeline reproducible.
+    pub seed: u64,
+}
+
+impl Default for AvailabilityModel {
+    fn default() -> Self {
+        AvailabilityModel {
+            uptime: 0.95,
+            mean_outage_days: 1.5,
+            seed: 0,
+        }
+    }
+}
+
+impl AvailabilityModel {
+    /// An endpoint that is always reachable.
+    pub fn always_up() -> Self {
+        AvailabilityModel {
+            uptime: 1.0,
+            mean_outage_days: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// An endpoint that is permanently dead (e.g. the stale DataHub entries
+    /// the paper mentions).
+    pub fn always_down() -> Self {
+        AvailabilityModel {
+            uptime: 0.0,
+            mean_outage_days: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// A flaky endpoint with the given uptime and seed.
+    pub fn flaky(uptime: f64, seed: u64) -> Self {
+        AvailabilityModel {
+            uptime: uptime.clamp(0.0, 1.0),
+            mean_outage_days: 2.0,
+            seed,
+        }
+    }
+
+    /// Is the endpoint reachable on virtual day `day`?
+    ///
+    /// Implemented as a two-state (up/down) Markov chain whose stationary
+    /// distribution matches `uptime` and whose mean sojourn time in the down
+    /// state is `mean_outage_days`. The chain is replayed from day 0 so the
+    /// answer for any day is deterministic.
+    pub fn is_available(&self, day: u64) -> bool {
+        if self.uptime >= 1.0 {
+            return true;
+        }
+        if self.uptime <= 0.0 {
+            return false;
+        }
+        // Transition probabilities: P(down -> up) = 1 / mean_outage_days;
+        // stationarity gives P(up -> down) = p_du * (1 - uptime) / uptime.
+        let p_down_up = (1.0 / self.mean_outage_days.max(1.0)).clamp(0.01, 1.0);
+        let p_up_down = (p_down_up * (1.0 - self.uptime) / self.uptime).clamp(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut up = rng.gen_bool(self.uptime);
+        for _ in 0..day {
+            let flip = if up { p_up_down } else { p_down_up };
+            if rng.gen_bool(flip) {
+                up = !up;
+            }
+        }
+        up
+    }
+
+    /// Fraction of days in `[0, horizon)` the endpoint is reachable.
+    pub fn observed_uptime(&self, horizon: u64) -> f64 {
+        if horizon == 0 {
+            return 0.0;
+        }
+        let up_days = (0..horizon).filter(|&d| self.is_available(d)).count();
+        up_days as f64 / horizon as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes() {
+        let up = AvailabilityModel::always_up();
+        let down = AvailabilityModel::always_down();
+        for day in 0..30 {
+            assert!(up.is_available(day));
+            assert!(!down.is_available(day));
+        }
+    }
+
+    #[test]
+    fn timeline_is_deterministic() {
+        let m = AvailabilityModel::flaky(0.7, 42);
+        let a: Vec<bool> = (0..60).map(|d| m.is_available(d)).collect();
+        let b: Vec<bool> = (0..60).map(|d| m.is_available(d)).collect();
+        assert_eq!(a, b);
+        let other_seed = AvailabilityModel::flaky(0.7, 43);
+        let c: Vec<bool> = (0..60).map(|d| other_seed.is_available(d)).collect();
+        assert_ne!(a, c, "different seeds should give different timelines");
+    }
+
+    #[test]
+    fn observed_uptime_tracks_parameter() {
+        // Averaged over many seeds the observed uptime should approximate the
+        // configured uptime reasonably well.
+        let mut total = 0.0;
+        let seeds = 40;
+        for seed in 0..seeds {
+            total += AvailabilityModel::flaky(0.8, seed).observed_uptime(120);
+        }
+        let mean = total / seeds as f64;
+        assert!((mean - 0.8).abs() < 0.1, "mean observed uptime {mean} too far from 0.8");
+    }
+
+    #[test]
+    fn outages_last_more_than_one_day_sometimes() {
+        // With a mean outage of 2+ days, at least one outage of length >= 2
+        // should appear over a long horizon for a moderately flaky endpoint.
+        let m = AvailabilityModel {
+            uptime: 0.7,
+            mean_outage_days: 3.0,
+            seed: 7,
+        };
+        let timeline: Vec<bool> = (0..200).map(|d| m.is_available(d)).collect();
+        let mut longest_outage = 0;
+        let mut current = 0;
+        for up in timeline {
+            if up {
+                longest_outage = longest_outage.max(current);
+                current = 0;
+            } else {
+                current += 1;
+            }
+        }
+        longest_outage = longest_outage.max(current);
+        assert!(longest_outage >= 2, "expected a multi-day outage, longest was {longest_outage}");
+    }
+}

@@ -1,0 +1,350 @@
+//! The simulated SPARQL endpoint.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hbold_rdf_model::Graph;
+use hbold_sparql::ast::{Expression, Projection, ProjectionItem, Query, QueryForm};
+use hbold_sparql::{parse_query, QueryResults};
+use hbold_triple_store::{SharedStore, TripleStore};
+use parking_lot::Mutex;
+
+use crate::error::EndpointError;
+use crate::profile::EndpointProfile;
+
+/// The outcome of a successful query: the results plus the simulated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The query results.
+    pub results: QueryResults,
+    /// Simulated round-trip latency for this query.
+    pub simulated_latency: Duration,
+}
+
+/// An in-process stand-in for a remote SPARQL endpoint.
+///
+/// The endpoint owns a triple store, a behavioural [`EndpointProfile`], and a
+/// notion of "current virtual day" used by its availability model. Cloning an
+/// endpoint produces another handle to the same underlying state.
+#[derive(Debug, Clone)]
+pub struct SparqlEndpoint {
+    url: String,
+    name: String,
+    store: SharedStore,
+    profile: EndpointProfile,
+    state: Arc<Mutex<EndpointState>>,
+}
+
+#[derive(Debug, Default)]
+struct EndpointState {
+    /// Current virtual day (advanced by the scheduler simulation).
+    current_day: u64,
+    /// Total number of queries received (including failed ones).
+    queries_received: u64,
+}
+
+impl SparqlEndpoint {
+    /// Creates an endpoint serving `graph` under the given URL.
+    pub fn new(url: impl Into<String>, graph: &Graph, profile: EndpointProfile) -> Self {
+        SparqlEndpoint::from_store(url, TripleStore::from_graph(graph), profile)
+    }
+
+    /// Creates an endpoint from an already-built store.
+    pub fn from_store(url: impl Into<String>, store: TripleStore, profile: EndpointProfile) -> Self {
+        let url = url.into();
+        let name = url
+            .trim_end_matches('/')
+            .rsplit('/')
+            .nth(1)
+            .unwrap_or("endpoint")
+            .to_string();
+        SparqlEndpoint {
+            url,
+            name,
+            store: SharedStore::from_store(store),
+            profile,
+            state: Arc::new(Mutex::new(EndpointState::default())),
+        }
+    }
+
+    /// The endpoint URL (its identity throughout the system).
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// A short human-readable name derived from the URL.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The behavioural profile.
+    pub fn profile(&self) -> &EndpointProfile {
+        &self.profile
+    }
+
+    /// The number of triples served.
+    pub fn triple_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Shared access to the underlying store (used by tests and generators;
+    /// the H-BOLD pipeline itself only talks SPARQL).
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// Total number of queries this endpoint has received.
+    pub fn queries_received(&self) -> u64 {
+        self.state.lock().queries_received
+    }
+
+    /// Sets the current virtual day (used by the refresh scheduler).
+    pub fn set_day(&self, day: u64) {
+        self.state.lock().current_day = day;
+    }
+
+    /// The current virtual day.
+    pub fn current_day(&self) -> u64 {
+        self.state.lock().current_day
+    }
+
+    /// Returns `true` if the endpoint is reachable today.
+    pub fn is_available(&self) -> bool {
+        let day = self.current_day();
+        self.profile.availability.is_available(day)
+    }
+
+    /// Executes a SPARQL query, honouring the endpoint profile.
+    pub fn query(&self, query_text: &str) -> Result<QueryOutcome, EndpointError> {
+        {
+            let mut state = self.state.lock();
+            state.queries_received += 1;
+        }
+        if !self.is_available() {
+            return Err(EndpointError::Unavailable);
+        }
+        let parsed = parse_query(query_text)?;
+        self.check_capabilities(&parsed)?;
+
+        let results = self
+            .store
+            .read(|store| hbold_sparql::evaluate(store, &parsed))?;
+
+        let rows = match &results {
+            QueryResults::Select(s) => s.len(),
+            QueryResults::Ask(_) => 1,
+        };
+        if let Some(limit) = self.profile.max_result_rows {
+            if rows > limit {
+                return Err(EndpointError::ResultLimitExceeded { limit });
+            }
+        }
+        let simulated_latency = self.profile.latency.simulate(query_text, rows);
+        if let Some(budget_ms) = self.profile.timeout_ms {
+            if simulated_latency > Duration::from_millis(budget_ms) {
+                return Err(EndpointError::Timeout { budget_ms });
+            }
+        }
+        Ok(QueryOutcome {
+            results,
+            simulated_latency,
+        })
+    }
+
+    /// Convenience wrapper returning only the SELECT rows.
+    pub fn select(&self, query_text: &str) -> Result<hbold_sparql::SelectResults, EndpointError> {
+        match self.query(query_text)?.results {
+            QueryResults::Select(s) => Ok(s),
+            QueryResults::Ask(_) => Err(EndpointError::QueryRejected(
+                "expected a SELECT query".into(),
+            )),
+        }
+    }
+
+    fn check_capabilities(&self, query: &Query) -> Result<(), EndpointError> {
+        let uses_aggregates = query.uses_aggregates() || !query.group_by.is_empty();
+        if uses_aggregates && !self.profile.supports_aggregates {
+            return Err(EndpointError::QueryRejected(
+                "this endpoint implementation does not support aggregate queries".into(),
+            ));
+        }
+        if uses_aggregates && !self.profile.supports_count_distinct && query_uses_count_distinct(query) {
+            return Err(EndpointError::QueryRejected(
+                "this endpoint implementation does not support COUNT(DISTINCT ...)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn query_uses_count_distinct(query: &Query) -> bool {
+    let QueryForm::Select {
+        projection: Projection::Items(items),
+        ..
+    } = &query.form
+    else {
+        return false;
+    };
+    items.iter().any(|item| match item {
+        ProjectionItem::Expression { expr, .. } => expression_uses_count_distinct(expr),
+        ProjectionItem::Variable(_) => false,
+    })
+}
+
+fn expression_uses_count_distinct(expr: &Expression) -> bool {
+    match expr {
+        Expression::Aggregate { distinct, .. } => *distinct,
+        Expression::And(a, b) | Expression::Or(a, b) => {
+            expression_uses_count_distinct(a) || expression_uses_count_distinct(b)
+        }
+        Expression::Not(e) => expression_uses_count_distinct(e),
+        Expression::Comparison { left, right, .. } => {
+            expression_uses_count_distinct(left) || expression_uses_count_distinct(right)
+        }
+        Expression::Function { args, .. } => args.iter().any(expression_uses_count_distinct),
+        Expression::Variable(_) | Expression::Constant(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::availability::AvailabilityModel;
+    use hbold_rdf_model::vocab::{foaf, rdf};
+    use hbold_rdf_model::{Iri, Triple};
+
+    fn sample_graph(people: usize) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..people {
+            let s = Iri::new(format!("http://example.org/person/{i}")).unwrap();
+            g.insert(Triple::new(s.clone(), rdf::type_(), foaf::person()));
+            g.insert(Triple::new(
+                s,
+                foaf::name(),
+                hbold_rdf_model::Literal::string(format!("Person {i}")),
+            ));
+        }
+        g
+    }
+
+    #[test]
+    fn answers_select_queries() {
+        let ep = SparqlEndpoint::new(
+            "http://example.org/sparql",
+            &sample_graph(5),
+            EndpointProfile::full_featured(),
+        );
+        let out = ep
+            .select("SELECT (COUNT(?s) AS ?n) WHERE { ?s a <http://xmlns.com/foaf/0.1/Person> }")
+            .unwrap();
+        assert_eq!(out.value(0, "n").unwrap().label(), "5");
+        assert_eq!(ep.queries_received(), 1);
+        assert_eq!(ep.triple_count(), 10);
+        assert_eq!(ep.name(), "example.org");
+    }
+
+    #[test]
+    fn unavailable_endpoints_refuse_queries() {
+        let ep = SparqlEndpoint::new(
+            "http://down.example.org/sparql",
+            &sample_graph(1),
+            EndpointProfile::full_featured().with_availability(AvailabilityModel::always_down()),
+        );
+        assert!(!ep.is_available());
+        assert_eq!(ep.query("ASK { ?s ?p ?o }"), Err(EndpointError::Unavailable));
+        // Queries are still counted (the client did attempt one).
+        assert_eq!(ep.queries_received(), 1);
+    }
+
+    #[test]
+    fn no_aggregate_endpoints_reject_group_by() {
+        let ep = SparqlEndpoint::new(
+            "http://weak.example.org/sparql",
+            &sample_graph(3),
+            EndpointProfile::no_aggregates(),
+        );
+        let err = ep
+            .query("SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c")
+            .unwrap_err();
+        assert!(matches!(err, EndpointError::QueryRejected(_)));
+        assert!(!err.is_transient());
+        // Plain selects still work.
+        assert!(ep.query("SELECT ?s WHERE { ?s a ?c }").is_ok());
+    }
+
+    #[test]
+    fn count_distinct_capability_is_separate() {
+        let ep = SparqlEndpoint::new(
+            "http://capped.example.org/sparql",
+            &sample_graph(3),
+            EndpointProfile::result_capped(10_000),
+        );
+        assert!(ep
+            .query("SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }")
+            .is_ok());
+        assert!(matches!(
+            ep.query("SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ?p ?o }"),
+            Err(EndpointError::QueryRejected(_))
+        ));
+    }
+
+    #[test]
+    fn result_limits_are_enforced() {
+        let ep = SparqlEndpoint::new(
+            "http://tiny.example.org/sparql",
+            &sample_graph(100),
+            EndpointProfile::result_capped(50),
+        );
+        let err = ep.query("SELECT ?s ?p ?o WHERE { ?s ?p ?o }").unwrap_err();
+        assert_eq!(err, EndpointError::ResultLimitExceeded { limit: 50 });
+        // A LIMIT below the cap goes through.
+        assert!(ep.query("SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 50").is_ok());
+    }
+
+    #[test]
+    fn timeouts_depend_on_latency_budget() {
+        let mut profile = EndpointProfile::full_featured().with_latency(crate::LatencyModel {
+            base_us: 2_000_000,
+            per_row_us: 0,
+            jitter_us: 0,
+        });
+        profile.timeout_ms = Some(1_000);
+        let ep = SparqlEndpoint::new("http://slow.example.org/sparql", &sample_graph(2), profile);
+        assert!(matches!(
+            ep.query("SELECT ?s WHERE { ?s ?p ?o }"),
+            Err(EndpointError::Timeout { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_queries_are_sparql_errors() {
+        let ep = SparqlEndpoint::new(
+            "http://example.org/sparql",
+            &sample_graph(1),
+            EndpointProfile::full_featured(),
+        );
+        assert!(matches!(
+            ep.query("SELEKT ?s WHERE { ?s ?p ?o }"),
+            Err(EndpointError::Sparql(_))
+        ));
+        assert!(matches!(
+            ep.select("ASK { ?s ?p ?o }"),
+            Err(EndpointError::QueryRejected(_))
+        ));
+    }
+
+    #[test]
+    fn virtual_day_controls_availability() {
+        let profile = EndpointProfile::full_featured()
+            .with_availability(AvailabilityModel::flaky(0.5, 11));
+        let ep = SparqlEndpoint::new("http://flaky.example.org/sparql", &sample_graph(1), profile);
+        let availability: Vec<bool> = (0..40)
+            .map(|day| {
+                ep.set_day(day);
+                ep.is_available()
+            })
+            .collect();
+        assert!(availability.iter().any(|&a| a));
+        assert!(availability.iter().any(|&a| !a));
+    }
+}

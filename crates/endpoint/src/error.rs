@@ -1,0 +1,86 @@
+//! Errors returned by simulated endpoints.
+
+use std::fmt;
+
+use hbold_sparql::SparqlError;
+
+/// What went wrong when querying an endpoint.
+///
+/// These mirror the failure modes the paper's Index Extraction has to deal
+/// with on real endpoints: endpoints that are down (§3.1 notes an endpoint
+/// "might work again after 1 or 2 days"), endpoints that time out on heavy
+/// queries, endpoints whose SPARQL implementation rejects certain features,
+/// and endpoints that cap result sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EndpointError {
+    /// The endpoint is not reachable right now (comes back later).
+    Unavailable,
+    /// The query exceeded the endpoint's execution budget.
+    Timeout {
+        /// The budget that was exceeded, in simulated milliseconds.
+        budget_ms: u64,
+    },
+    /// The endpoint's SPARQL implementation refused the query.
+    QueryRejected(String),
+    /// The query produced more rows than the endpoint is willing to return.
+    ResultLimitExceeded {
+        /// The endpoint's maximum result size.
+        limit: usize,
+    },
+    /// The query failed to parse or evaluate.
+    Sparql(SparqlError),
+}
+
+impl fmt::Display for EndpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndpointError::Unavailable => write!(f, "endpoint is unavailable"),
+            EndpointError::Timeout { budget_ms } => {
+                write!(f, "query timed out (budget {budget_ms} ms)")
+            }
+            EndpointError::QueryRejected(reason) => write!(f, "query rejected: {reason}"),
+            EndpointError::ResultLimitExceeded { limit } => {
+                write!(f, "result limit exceeded (limit {limit} rows)")
+            }
+            EndpointError::Sparql(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EndpointError {}
+
+impl From<SparqlError> for EndpointError {
+    fn from(e: SparqlError) -> Self {
+        EndpointError::Sparql(e)
+    }
+}
+
+impl EndpointError {
+    /// Returns `true` when retrying the same query later could succeed
+    /// (unavailability, timeouts), as opposed to errors that will repeat
+    /// deterministically (rejected or malformed queries).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EndpointError::Unavailable | EndpointError::Timeout { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(EndpointError::Unavailable.is_transient());
+        assert!(EndpointError::Timeout { budget_ms: 100 }.is_transient());
+        assert!(!EndpointError::QueryRejected("no GROUP BY".into()).is_transient());
+        assert!(!EndpointError::ResultLimitExceeded { limit: 10_000 }.is_transient());
+        assert!(!EndpointError::Sparql(SparqlError::Unsupported("x".into())).is_transient());
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(EndpointError::Unavailable.to_string().contains("unavailable"));
+        assert!(EndpointError::Timeout { budget_ms: 5 }.to_string().contains('5'));
+        assert!(EndpointError::ResultLimitExceeded { limit: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic latency simulation.
+//!
+//! Endpoints report a *simulated* latency for every query instead of
+//! sleeping: experiments that care about wall-clock cost (E1, E8) measure the
+//! real computation they perform locally, while experiments that reason about
+//! remote behaviour (scheduling, crawling) use the simulated figures. Keeping
+//! the figures deterministic makes every experiment reproducible.
+
+use std::time::Duration;
+
+/// A simple latency model: a fixed base cost plus a per-row cost, plus a
+/// deterministic jitter derived from the query text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed round-trip overhead in microseconds.
+    pub base_us: u64,
+    /// Additional cost per result row in microseconds.
+    pub per_row_us: u64,
+    /// Maximum jitter in microseconds (added deterministically per query).
+    pub jitter_us: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // Ballpark figures for a reasonably healthy public endpoint.
+        LatencyModel {
+            base_us: 80_000,
+            per_row_us: 40,
+            jitter_us: 20_000,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A fast, local-network-like endpoint.
+    pub fn fast() -> Self {
+        LatencyModel {
+            base_us: 10_000,
+            per_row_us: 5,
+            jitter_us: 2_000,
+        }
+    }
+
+    /// A slow or overloaded endpoint.
+    pub fn slow() -> Self {
+        LatencyModel {
+            base_us: 900_000,
+            per_row_us: 250,
+            jitter_us: 300_000,
+        }
+    }
+
+    /// The simulated latency of a query returning `rows` rows.
+    ///
+    /// The jitter is a hash of the query text, so repeating the same query
+    /// yields the same latency (reproducibility) while different queries
+    /// spread across the jitter range.
+    pub fn simulate(&self, query: &str, rows: usize) -> Duration {
+        let jitter = if self.jitter_us == 0 {
+            0
+        } else {
+            fnv1a(query.as_bytes()) % self.jitter_us
+        };
+        Duration::from_micros(self.base_us + self.per_row_us * rows as u64 + jitter)
+    }
+}
+
+/// FNV-1a hash, used only to derive deterministic jitter.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_deterministic_per_query() {
+        let model = LatencyModel::default();
+        let a = model.simulate("SELECT ?s WHERE { ?s ?p ?o }", 100);
+        let b = model.simulate("SELECT ?s WHERE { ?s ?p ?o }", 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn latency_grows_with_rows() {
+        let model = LatencyModel::default();
+        let small = model.simulate("q", 10);
+        let large = model.simulate("q", 10_000);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn profiles_are_ordered_sensibly() {
+        let q = "SELECT * WHERE { ?s ?p ?o }";
+        assert!(LatencyModel::fast().simulate(q, 100) < LatencyModel::default().simulate(q, 100));
+        assert!(LatencyModel::default().simulate(q, 100) < LatencyModel::slow().simulate(q, 100));
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let model = LatencyModel {
+            base_us: 100,
+            per_row_us: 10,
+            jitter_us: 0,
+        };
+        assert_eq!(model.simulate("whatever", 5), Duration::from_micros(150));
+    }
+}

@@ -1,0 +1,44 @@
+//! # hbold-endpoint
+//!
+//! The simulated Linked-Data landscape H-BOLD runs against.
+//!
+//! The original system talks to live public SPARQL endpoints (DBpedia,
+//! ScholarlyData, national open-data portals, ...). A reproduction cannot,
+//! so this crate builds the closest controllable equivalent:
+//!
+//! * [`SparqlEndpoint`] — an in-process endpoint over a
+//!   [`hbold_triple_store::TripleStore`], with a per-endpoint
+//!   [`profile::EndpointProfile`] describing its quirks: which SPARQL
+//!   features its "implementation" supports, its result-size limit, its
+//!   latency characteristics and its availability pattern. These quirks are
+//!   what the paper's *pattern strategies* for Index Extraction exist to
+//!   cope with, so they are modelled explicitly.
+//! * [`synth`] — deterministic synthetic Linked-Data generators: a
+//!   Scholarly-like dataset (the paper's Figure 2 walks through
+//!   ScholarlyData), a DCAT/government-style dataset, a TRAFAIR-like sensor
+//!   dataset, and a configurable random LD generator with power-law class
+//!   sizes for scaling experiments.
+//! * [`portal`] — simulated open-data portals (European Data Portal, EU Open
+//!   Data Portal, IO Paris in the paper, §3.3) answering the DCAT discovery
+//!   query of Listing 1.
+//! * [`fleet`] — builds whole fleets of heterogeneous endpoints (the paper's
+//!   610→680 catalog) for the scaling and crawling experiments.
+//!
+//! Everything is seeded and deterministic.
+
+pub mod availability;
+pub mod endpoint;
+pub mod error;
+pub mod fleet;
+pub mod latency;
+pub mod portal;
+pub mod profile;
+pub mod synth;
+
+pub use availability::AvailabilityModel;
+pub use endpoint::{QueryOutcome, SparqlEndpoint};
+pub use error::EndpointError;
+pub use fleet::{EndpointFleet, FleetConfig};
+pub use latency::LatencyModel;
+pub use portal::OpenDataPortal;
+pub use profile::{EndpointProfile, SparqlImplementation};

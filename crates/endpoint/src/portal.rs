@@ -1,0 +1,264 @@
+//! Simulated open-data portals (DCAT catalogs).
+//!
+//! H-BOLD's crawler (§3.3) queries three portals — the European Data Portal,
+//! the EU Open Data Portal and IO Paris — with the DCAT query of Listing 1
+//! to discover SPARQL endpoints. Each simulated portal is itself a SPARQL
+//! endpoint whose data is a DCAT catalog: `dcat:Dataset`s with titles and
+//! `dcat:Distribution`s whose `dcat:accessURL`s sometimes point at SPARQL
+//! endpoints and sometimes at CSV/JSON downloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hbold_rdf_model::vocab::{dcat, dcterms, rdf};
+use hbold_rdf_model::{Graph, Iri, Literal, Triple};
+
+use crate::endpoint::SparqlEndpoint;
+use crate::profile::EndpointProfile;
+
+/// Configuration of a simulated open-data portal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortalConfig {
+    /// Portal name (used in IRIs and reports).
+    pub name: String,
+    /// Base URL of the portal.
+    pub base_url: String,
+    /// Number of DCAT datasets in the catalog.
+    pub datasets: usize,
+    /// Fraction of datasets that expose a SPARQL endpoint distribution.
+    pub sparql_fraction: f64,
+    /// Fraction of the SPARQL endpoints that are duplicates of endpoints
+    /// published under a *different* dataset of the same portal (real portals
+    /// list the same endpoint many times).
+    pub duplicate_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PortalConfig {
+    /// A portal sized like the European Data Portal in the paper
+    /// (65 SPARQL endpoints discovered).
+    pub fn european_data_portal() -> Self {
+        PortalConfig {
+            name: "European Data Portal".into(),
+            base_url: "https://www.europeandataportal.example".into(),
+            datasets: 400,
+            sparql_fraction: 0.22,
+            duplicate_fraction: 0.25,
+            seed: 101,
+        }
+    }
+
+    /// A portal sized like the EU Open Data Portal (9 endpoints discovered).
+    pub fn eu_open_data_portal() -> Self {
+        PortalConfig {
+            name: "EU Open Data Portal".into(),
+            base_url: "https://data.europa.example/euodp".into(),
+            datasets: 60,
+            sparql_fraction: 0.18,
+            duplicate_fraction: 0.1,
+            seed: 102,
+        }
+    }
+
+    /// A portal sized like IO Data Science Paris (15 endpoints discovered).
+    pub fn io_paris() -> Self {
+        PortalConfig {
+            name: "IO Data Science Paris".into(),
+            base_url: "https://io.datascience-paris.example".into(),
+            datasets: 80,
+            sparql_fraction: 0.24,
+            duplicate_fraction: 0.15,
+            seed: 103,
+        }
+    }
+
+    /// The three portals used in the paper's §3.3 experiment.
+    pub fn paper_portals() -> Vec<PortalConfig> {
+        vec![
+            PortalConfig::european_data_portal(),
+            PortalConfig::eu_open_data_portal(),
+            PortalConfig::io_paris(),
+        ]
+    }
+}
+
+/// A simulated open-data portal.
+#[derive(Debug, Clone)]
+pub struct OpenDataPortal {
+    config: PortalConfig,
+    endpoint: SparqlEndpoint,
+    sparql_urls: Vec<String>,
+}
+
+impl OpenDataPortal {
+    /// Builds the portal's DCAT catalog and wraps it in a SPARQL endpoint.
+    pub fn new(config: PortalConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut graph = Graph::new();
+        let mut sparql_urls: Vec<String> = Vec::new();
+        let slug: String = config
+            .name
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+
+        let catalog = Iri::new_unchecked(format!("{}/catalog", config.base_url));
+        graph.insert(Triple::new(catalog.clone(), rdf::type_(), dcat::catalog()));
+        graph.insert(Triple::new(
+            catalog.clone(),
+            dcterms::title(),
+            Literal::string(config.name.clone()),
+        ));
+
+        for i in 0..config.datasets {
+            let dataset = Iri::new_unchecked(format!("{}/dataset/{i}", config.base_url));
+            graph.insert(Triple::new(dataset.clone(), rdf::type_(), dcat::dataset()));
+            graph.insert(Triple::new(
+                dataset.clone(),
+                dcterms::title(),
+                Literal::string(format!("{} dataset {i}", config.name)),
+            ));
+            graph.insert(Triple::new(
+                dataset.clone(),
+                dcterms::publisher(),
+                Literal::string(format!("Publisher {}", i % 17)),
+            ));
+
+            // Every dataset has a plain download distribution.
+            let download = Iri::new_unchecked(format!("{}/dataset/{i}/dist/csv", config.base_url));
+            graph.insert(Triple::new(download.clone(), rdf::type_(), dcat::distribution_class()));
+            graph.insert(Triple::new(dataset.clone(), dcat::distribution(), download.clone()));
+            graph.insert(Triple::new(
+                download,
+                dcat::access_url(),
+                Iri::new_unchecked(format!("{}/download/{i}.csv", config.base_url)),
+            ));
+
+            // Some datasets additionally expose a SPARQL endpoint.
+            if rng.gen_bool(config.sparql_fraction) {
+                let duplicate = !sparql_urls.is_empty() && rng.gen_bool(config.duplicate_fraction);
+                let url = if duplicate {
+                    sparql_urls[rng.gen_range(0..sparql_urls.len())].clone()
+                } else {
+                    format!("http://ld.{slug}.example/{}/sparql", sparql_urls.len())
+                };
+                sparql_urls.push(url.clone());
+                let dist = Iri::new_unchecked(format!("{}/dataset/{i}/dist/sparql", config.base_url));
+                graph.insert(Triple::new(dist.clone(), rdf::type_(), dcat::distribution_class()));
+                graph.insert(Triple::new(dataset.clone(), dcat::distribution(), dist.clone()));
+                graph.insert(Triple::new(dist, dcat::access_url(), Iri::new_unchecked(url)));
+            }
+        }
+
+        let endpoint = SparqlEndpoint::new(
+            format!("{}/sparql", config.base_url),
+            &graph,
+            EndpointProfile::full_featured(),
+        );
+        OpenDataPortal {
+            config,
+            endpoint,
+            sparql_urls,
+        }
+    }
+
+    /// The three paper portals, ready to crawl.
+    pub fn paper_portals() -> Vec<OpenDataPortal> {
+        PortalConfig::paper_portals().into_iter().map(OpenDataPortal::new).collect()
+    }
+
+    /// The portal's configuration.
+    pub fn config(&self) -> &PortalConfig {
+        &self.config
+    }
+
+    /// The portal's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// The SPARQL endpoint serving the portal's DCAT catalog (this is what
+    /// the crawler queries with Listing 1).
+    pub fn endpoint(&self) -> &SparqlEndpoint {
+        &self.endpoint
+    }
+
+    /// Ground truth: the SPARQL endpoint URLs advertised by the catalog
+    /// (with duplicates, in publication order). Tests and the crawl
+    /// experiment compare the crawler's findings against this.
+    pub fn advertised_sparql_urls(&self) -> &[String] {
+        &self.sparql_urls
+    }
+
+    /// Ground truth: the number of *distinct* SPARQL endpoint URLs.
+    pub fn distinct_sparql_urls(&self) -> usize {
+        let mut unique: Vec<&String> = self.sparql_urls.iter().collect();
+        unique.sort();
+        unique.dedup();
+        unique.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Listing 1 query, verbatim apart from whitespace.
+    pub const LISTING1: &str = "\
+        PREFIX dcat: <http://www.w3.org/ns/dcat#>\n\
+        PREFIX dc: <http://purl.org/dc/terms/>\n\
+        SELECT ?dataset ?title ?url WHERE {\n\
+          ?dataset a dcat:Dataset .\n\
+          ?dataset dc:title ?title .\n\
+          ?dataset dcat:distribution ?distribution .\n\
+          ?distribution dcat:accessURL ?url .\n\
+          FILTER ( regex(?url, 'sparql') ) .\n\
+        }";
+
+    #[test]
+    fn listing1_query_discovers_exactly_the_advertised_endpoints() {
+        for portal in OpenDataPortal::paper_portals() {
+            let rows = portal.endpoint().select(LISTING1).unwrap();
+            assert_eq!(
+                rows.len(),
+                portal.advertised_sparql_urls().len(),
+                "portal {}",
+                portal.name()
+            );
+            // Every discovered URL contains 'sparql' and is advertised.
+            for i in 0..rows.len() {
+                let url = rows.value(i, "url").unwrap();
+                let url_text = url.as_iri().unwrap().as_str();
+                assert!(url_text.contains("sparql"));
+            }
+        }
+    }
+
+    #[test]
+    fn portals_have_the_expected_scale() {
+        let edp = OpenDataPortal::new(PortalConfig::european_data_portal());
+        let euodp = OpenDataPortal::new(PortalConfig::eu_open_data_portal());
+        let paris = OpenDataPortal::new(PortalConfig::io_paris());
+        // The paper discovered 65 / 9 / 15 endpoints; the synthetic portals
+        // are sized to land in the same ballpark (not exactly, they are
+        // random), preserving the relative ordering EDP >> Paris > EUODP.
+        assert!(edp.distinct_sparql_urls() > paris.distinct_sparql_urls());
+        assert!(paris.distinct_sparql_urls() >= euodp.distinct_sparql_urls());
+        assert!(edp.distinct_sparql_urls() >= 40, "EDP too small: {}", edp.distinct_sparql_urls());
+    }
+
+    #[test]
+    fn duplicates_exist_but_distinct_count_is_lower() {
+        let edp = OpenDataPortal::new(PortalConfig::european_data_portal());
+        assert!(edp.advertised_sparql_urls().len() > edp.distinct_sparql_urls());
+    }
+
+    #[test]
+    fn portal_is_deterministic() {
+        let a = OpenDataPortal::new(PortalConfig::io_paris());
+        let b = OpenDataPortal::new(PortalConfig::io_paris());
+        assert_eq!(a.advertised_sparql_urls(), b.advertised_sparql_urls());
+    }
+}

@@ -1,0 +1,175 @@
+//! Endpoint capability profiles.
+//!
+//! Public SPARQL endpoints differ wildly: some reject aggregate queries,
+//! some cap result sizes, some are slow, some are gone. The paper's Index
+//! Extraction copes with this heterogeneity through *pattern strategies*
+//! (§2.1, citing [1]); to exercise those strategies the simulation gives
+//! every endpoint an explicit capability profile.
+
+use crate::availability::AvailabilityModel;
+use crate::latency::LatencyModel;
+
+/// Which (simulated) SPARQL implementation serves the endpoint.
+///
+/// The names are generic on purpose — the point is the capability mix, not
+/// mimicking a specific product version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SparqlImplementation {
+    /// A full-featured, well-resourced endpoint.
+    FullFeatured,
+    /// Supports aggregates but caps result sizes aggressively.
+    ResultCapped,
+    /// No aggregate support (`GROUP BY` / `COUNT` rejected).
+    NoAggregates,
+    /// Minimal: no aggregates, small result cap, slow.
+    Minimal,
+}
+
+impl SparqlImplementation {
+    /// All implementation kinds, for fleet generation.
+    pub fn all() -> [SparqlImplementation; 4] {
+        [
+            SparqlImplementation::FullFeatured,
+            SparqlImplementation::ResultCapped,
+            SparqlImplementation::NoAggregates,
+            SparqlImplementation::Minimal,
+        ]
+    }
+}
+
+/// The full behavioural profile of a simulated endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointProfile {
+    /// Implementation kind (determines defaults).
+    pub implementation: SparqlImplementation,
+    /// Whether aggregate queries (GROUP BY / COUNT / SUM / ...) are accepted.
+    pub supports_aggregates: bool,
+    /// Whether `COUNT(DISTINCT ...)` specifically is accepted (some engines
+    /// accept plain COUNT but not DISTINCT counting).
+    pub supports_count_distinct: bool,
+    /// Maximum number of rows returned; `None` means unlimited.
+    pub max_result_rows: Option<usize>,
+    /// Simulated execution budget in milliseconds; queries whose simulated
+    /// latency exceeds it time out. `None` means no budget.
+    pub timeout_ms: Option<u64>,
+    /// Latency characteristics.
+    pub latency: LatencyModel,
+    /// Availability over virtual days.
+    pub availability: AvailabilityModel,
+}
+
+impl Default for EndpointProfile {
+    fn default() -> Self {
+        EndpointProfile::full_featured()
+    }
+}
+
+impl EndpointProfile {
+    /// A healthy endpoint supporting the whole query subset.
+    pub fn full_featured() -> Self {
+        EndpointProfile {
+            implementation: SparqlImplementation::FullFeatured,
+            supports_aggregates: true,
+            supports_count_distinct: true,
+            max_result_rows: None,
+            timeout_ms: Some(60_000),
+            latency: LatencyModel::default(),
+            availability: AvailabilityModel::always_up(),
+        }
+    }
+
+    /// An endpoint that answers everything but truncates large results.
+    pub fn result_capped(limit: usize) -> Self {
+        EndpointProfile {
+            implementation: SparqlImplementation::ResultCapped,
+            supports_aggregates: true,
+            supports_count_distinct: false,
+            max_result_rows: Some(limit),
+            timeout_ms: Some(30_000),
+            latency: LatencyModel::default(),
+            availability: AvailabilityModel::always_up(),
+        }
+    }
+
+    /// An endpoint whose engine rejects aggregate queries.
+    pub fn no_aggregates() -> Self {
+        EndpointProfile {
+            implementation: SparqlImplementation::NoAggregates,
+            supports_aggregates: false,
+            supports_count_distinct: false,
+            max_result_rows: Some(100_000),
+            timeout_ms: Some(30_000),
+            latency: LatencyModel::default(),
+            availability: AvailabilityModel::always_up(),
+        }
+    }
+
+    /// A slow, limited, flaky endpoint.
+    pub fn minimal(seed: u64) -> Self {
+        EndpointProfile {
+            implementation: SparqlImplementation::Minimal,
+            supports_aggregates: false,
+            supports_count_distinct: false,
+            max_result_rows: Some(10_000),
+            timeout_ms: Some(15_000),
+            latency: LatencyModel::slow(),
+            availability: AvailabilityModel::flaky(0.8, seed),
+        }
+    }
+
+    /// The default profile for an implementation kind.
+    pub fn for_implementation(implementation: SparqlImplementation, seed: u64) -> Self {
+        match implementation {
+            SparqlImplementation::FullFeatured => EndpointProfile::full_featured(),
+            SparqlImplementation::ResultCapped => EndpointProfile::result_capped(10_000),
+            SparqlImplementation::NoAggregates => EndpointProfile::no_aggregates(),
+            SparqlImplementation::Minimal => EndpointProfile::minimal(seed),
+        }
+    }
+
+    /// Overrides the availability model (builder style).
+    pub fn with_availability(mut self, availability: AvailabilityModel) -> Self {
+        self.availability = availability;
+        self
+    }
+
+    /// Overrides the latency model (builder style).
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implementation_defaults_are_distinct() {
+        let full = EndpointProfile::for_implementation(SparqlImplementation::FullFeatured, 0);
+        let capped = EndpointProfile::for_implementation(SparqlImplementation::ResultCapped, 0);
+        let noagg = EndpointProfile::for_implementation(SparqlImplementation::NoAggregates, 0);
+        let minimal = EndpointProfile::for_implementation(SparqlImplementation::Minimal, 0);
+        assert!(full.supports_aggregates && full.supports_count_distinct);
+        assert!(full.max_result_rows.is_none());
+        assert!(capped.supports_aggregates && !capped.supports_count_distinct);
+        assert_eq!(capped.max_result_rows, Some(10_000));
+        assert!(!noagg.supports_aggregates);
+        assert!(!minimal.supports_aggregates);
+        assert!(minimal.latency.base_us > full.latency.base_us);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = EndpointProfile::full_featured()
+            .with_availability(AvailabilityModel::always_down())
+            .with_latency(LatencyModel::fast());
+        assert!(!p.availability.is_available(0));
+        assert_eq!(p.latency, LatencyModel::fast());
+    }
+
+    #[test]
+    fn all_implementations_listed() {
+        assert_eq!(SparqlImplementation::all().len(), 4);
+    }
+}

@@ -1,0 +1,624 @@
+//! Deterministic synthetic Linked-Data generators.
+//!
+//! The paper evaluates H-BOLD on public datasets (ScholarlyData for Figure 2,
+//! the endpoints listed on open-data portals for §3.3, 130 indexed "Big LD"
+//! for §5). Those datasets cannot be redistributed or fetched here, so this
+//! module generates structurally similar data:
+//!
+//! * [`scholarly`] — a conference-publications dataset modelled on
+//!   ScholarlyData's ontology (the classes named in the paper's Figure 7 —
+//!   `Event`, `Situation`, `Vevent`, `SessionEvent`, `ConferenceSeries`,
+//!   `InformationObject` — all appear, plus the usual people/papers/
+//!   organisations machinery).
+//! * [`random_lod`] — a configurable generator producing `n` classes with
+//!   power-law instance counts, datatype properties, and object properties
+//!   wired with preferential attachment (so a few hub classes dominate, as
+//!   in real LD schemas).
+//! * [`sensor_network`] — a TRAFAIR-like air-quality/traffic sensor dataset
+//!   (the project the paper acknowledges), giving the examples a second
+//!   domain-specific workload.
+//!
+//! All generators are seeded and deterministic: the same configuration
+//! produces byte-identical graphs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use hbold_rdf_model::vocab::{foaf, rdf, rdfs, xsd};
+use hbold_rdf_model::{Graph, Iri, Literal, Triple};
+
+/// Base namespace used by all synthetic data.
+pub const SYNTH_NS: &str = "http://synthetic.hbold.example/";
+
+/// Builds an IRI in the synthetic namespace.
+pub fn synth_iri(path: &str) -> Iri {
+    Iri::new_unchecked(format!("{SYNTH_NS}{path}"))
+}
+
+// ---------------------------------------------------------------------------
+// Scholarly dataset
+// ---------------------------------------------------------------------------
+
+/// Configuration of the Scholarly-like generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScholarlyConfig {
+    /// Number of conferences (each brings workshops, sessions, talks).
+    pub conferences: usize,
+    /// Papers per conference.
+    pub papers_per_conference: usize,
+    /// Authors per paper (average).
+    pub authors_per_paper: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScholarlyConfig {
+    fn default() -> Self {
+        ScholarlyConfig {
+            conferences: 4,
+            papers_per_conference: 40,
+            authors_per_paper: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// The class IRIs of the scholarly ontology (also used by tests and the
+/// exploration example to refer to specific classes).
+pub mod scholarly_classes {
+    use super::*;
+
+    /// Returns the IRI of a scholarly ontology class by name.
+    pub fn class(name: &str) -> Iri {
+        synth_iri(&format!("scholarly/ontology#{name}"))
+    }
+
+    /// All class names instantiated by the scholarly generator.
+    pub const NAMES: &[&str] = &[
+        "Person",
+        "Author",
+        "Organisation",
+        "Document",
+        "InProceedings",
+        "Proceedings",
+        "Event",
+        "ConferenceEvent",
+        "WorkshopEvent",
+        "SessionEvent",
+        "Talk",
+        "Tutorial",
+        "ConferenceSeries",
+        "Situation",
+        "AffiliationSituation",
+        "Vevent",
+        "InformationObject",
+        "Keyword",
+        "Country",
+        "Site",
+        "Role",
+        "ProgramCommittee",
+    ];
+}
+
+/// Generates the Scholarly-like dataset.
+pub fn scholarly(config: &ScholarlyConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut g = Graph::new();
+    let class = scholarly_classes::class;
+    let prop = |name: &str| synth_iri(&format!("scholarly/ontology#{name}"));
+    let entity = |kind: &str, i: usize| synth_iri(&format!("scholarly/{kind}/{i}"));
+
+    // Declare the ontology (classes with labels) so TBox-style exploration
+    // has something to show even before instances are counted.
+    for name in scholarly_classes::NAMES {
+        g.insert(Triple::new(class(name), rdf::type_(), rdfs::class()));
+        g.insert(Triple::new(class(name), rdfs::label(), Literal::string(*name)));
+    }
+
+    // A fixed pool of people, organisations, countries and keywords.
+    let people = config.conferences * config.papers_per_conference * config.authors_per_paper / 2 + 10;
+    let organisations = (people / 8).max(3);
+    let countries = 12.min(organisations);
+    let keywords = 30;
+
+    for i in 0..countries {
+        let c = entity("country", i);
+        g.insert(Triple::new(c.clone(), rdf::type_(), class("Country")));
+        g.insert(Triple::new(c, rdfs::label(), Literal::string(format!("Country {i}"))));
+    }
+    for i in 0..organisations {
+        let o = entity("organisation", i);
+        g.insert(Triple::new(o.clone(), rdf::type_(), class("Organisation")));
+        g.insert(Triple::new(o.clone(), foaf::name(), Literal::string(format!("Organisation {i}"))));
+        g.insert(Triple::new(o.clone(), prop("basedIn"), entity("country", i % countries)));
+        let site = entity("site", i);
+        g.insert(Triple::new(site.clone(), rdf::type_(), class("Site")));
+        g.insert(Triple::new(o, prop("hasSite"), site));
+    }
+    for i in 0..keywords {
+        let k = entity("keyword", i);
+        g.insert(Triple::new(k.clone(), rdf::type_(), class("Keyword")));
+        g.insert(Triple::new(k, rdfs::label(), Literal::string(format!("topic-{i}"))));
+    }
+    for i in 0..people {
+        let p = entity("person", i);
+        g.insert(Triple::new(p.clone(), rdf::type_(), class("Person")));
+        g.insert(Triple::new(p.clone(), rdf::type_(), foaf::person()));
+        g.insert(Triple::new(p.clone(), foaf::name(), Literal::string(format!("Researcher {i}"))));
+        // Affiliation is reified through a Situation, as in ScholarlyData.
+        let situation = entity("affiliation", i);
+        g.insert(Triple::new(situation.clone(), rdf::type_(), class("AffiliationSituation")));
+        g.insert(Triple::new(situation.clone(), rdf::type_(), class("Situation")));
+        g.insert(Triple::new(situation.clone(), prop("isSettingFor"), p.clone()));
+        g.insert(Triple::new(
+            situation.clone(),
+            prop("withOrganisation"),
+            entity("organisation", rng.gen_range(0..organisations)),
+        ));
+    }
+
+    let mut paper_counter = 0usize;
+    for conf in 0..config.conferences {
+        let series = entity("series", conf % 3);
+        g.insert(Triple::new(series.clone(), rdf::type_(), class("ConferenceSeries")));
+        let event = entity("conference", conf);
+        for class_name in ["ConferenceEvent", "Event", "Vevent"] {
+            g.insert(Triple::new(event.clone(), rdf::type_(), class(class_name)));
+        }
+        g.insert(Triple::new(event.clone(), rdfs::label(), Literal::string(format!("Conference {conf}"))));
+        g.insert(Triple::new(event.clone(), prop("partOfSeries"), series));
+        g.insert(Triple::new(
+            event.clone(),
+            prop("year"),
+            Literal::typed((2015 + conf).to_string(), xsd::integer()),
+        ));
+
+        let proceedings = entity("proceedings", conf);
+        g.insert(Triple::new(proceedings.clone(), rdf::type_(), class("Proceedings")));
+        g.insert(Triple::new(proceedings.clone(), rdf::type_(), class("InformationObject")));
+        g.insert(Triple::new(proceedings.clone(), prop("ofEvent"), event.clone()));
+
+        // Each conference has a couple of workshops and sessions.
+        for w in 0..2 {
+            let workshop = entity("workshop", conf * 2 + w);
+            for class_name in ["WorkshopEvent", "Event", "Vevent"] {
+                g.insert(Triple::new(workshop.clone(), rdf::type_(), class(class_name)));
+            }
+            g.insert(Triple::new(workshop.clone(), prop("subEventOf"), event.clone()));
+        }
+        for s in 0..4 {
+            let session = entity("session", conf * 4 + s);
+            for class_name in ["SessionEvent", "Event", "Vevent"] {
+                g.insert(Triple::new(session.clone(), rdf::type_(), class(class_name)));
+            }
+            g.insert(Triple::new(session.clone(), prop("subEventOf"), event.clone()));
+        }
+
+        for _ in 0..config.papers_per_conference {
+            let paper = entity("paper", paper_counter);
+            paper_counter += 1;
+            for class_name in ["InProceedings", "Document", "InformationObject"] {
+                g.insert(Triple::new(paper.clone(), rdf::type_(), class(class_name)));
+            }
+            g.insert(Triple::new(
+                paper.clone(),
+                prop("title"),
+                Literal::string(format!("A study of topic {} at conference {conf}", paper_counter)),
+            ));
+            g.insert(Triple::new(paper.clone(), prop("publishedIn"), proceedings.clone()));
+            g.insert(Triple::new(
+                paper.clone(),
+                prop("hasKeyword"),
+                entity("keyword", rng.gen_range(0..keywords)),
+            ));
+            // A talk presents the paper in a session.
+            let talk = entity("talk", paper_counter);
+            for class_name in ["Talk", "Event"] {
+                g.insert(Triple::new(talk.clone(), rdf::type_(), class(class_name)));
+            }
+            g.insert(Triple::new(talk.clone(), prop("presents"), paper.clone()));
+            g.insert(Triple::new(
+                talk.clone(),
+                prop("inSession"),
+                entity("session", conf * 4 + rng.gen_range(0..4)),
+            ));
+
+            let author_count = rng.gen_range(1..=config.authors_per_paper.max(1) * 2 - 1);
+            for a in 0..author_count {
+                let person_id = rng.gen_range(0..people);
+                let person = entity("person", person_id);
+                g.insert(Triple::new(person.clone(), rdf::type_(), class("Author")));
+                g.insert(Triple::new(person.clone(), prop("authorOf"), paper.clone()));
+                if a == 0 {
+                    // First author also gets a speaking role at the talk.
+                    let role = entity("role", paper_counter);
+                    g.insert(Triple::new(role.clone(), rdf::type_(), class("Role")));
+                    g.insert(Triple::new(role.clone(), prop("heldBy"), person));
+                    g.insert(Triple::new(role, prop("atEvent"), talk.clone()));
+                }
+            }
+        }
+
+        // A small programme committee per conference.
+        for m in 0..5 {
+            let pc = entity("pc", conf * 5 + m);
+            g.insert(Triple::new(pc.clone(), rdf::type_(), class("ProgramCommittee")));
+            g.insert(Triple::new(pc.clone(), prop("ofEvent"), event.clone()));
+            g.insert(Triple::new(pc, prop("member"), entity("person", rng.gen_range(0..people))));
+        }
+        // One tutorial per conference.
+        let tutorial = entity("tutorial", conf);
+        for class_name in ["Tutorial", "Event"] {
+            g.insert(Triple::new(tutorial.clone(), rdf::type_(), class(class_name)));
+        }
+        g.insert(Triple::new(tutorial, prop("subEventOf"), event));
+    }
+
+    g
+}
+
+// ---------------------------------------------------------------------------
+// Random LD generator
+// ---------------------------------------------------------------------------
+
+/// Configuration of the random Linked-Data generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomLodConfig {
+    /// Number of classes.
+    pub classes: usize,
+    /// Total number of typed instances, distributed across classes by a
+    /// power law (a few large classes, a long tail of small ones).
+    pub instances: usize,
+    /// Average number of datatype properties per class.
+    pub datatype_properties_per_class: f64,
+    /// Average number of outgoing object properties per class (edges of the
+    /// schema graph).
+    pub object_properties_per_class: f64,
+    /// Power-law exponent for class sizes (1.0–2.0 is realistic).
+    pub size_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomLodConfig {
+    fn default() -> Self {
+        RandomLodConfig {
+            classes: 30,
+            instances: 3_000,
+            datatype_properties_per_class: 2.5,
+            object_properties_per_class: 2.0,
+            size_exponent: 1.4,
+            seed: 7,
+        }
+    }
+}
+
+impl RandomLodConfig {
+    /// A configuration scaled for a dataset with `classes` classes and
+    /// roughly `instances` instances (used by the fleet generator).
+    pub fn sized(classes: usize, instances: usize, seed: u64) -> Self {
+        RandomLodConfig {
+            classes,
+            instances,
+            seed,
+            ..RandomLodConfig::default()
+        }
+    }
+
+    /// The IRI of class `i` in this synthetic dataset.
+    pub fn class_iri(&self, i: usize) -> Iri {
+        synth_iri(&format!("lod{}/ontology#Class{i}", self.seed))
+    }
+
+    /// The IRI of object property `p` from class `i`.
+    pub fn object_property_iri(&self, i: usize, p: usize) -> Iri {
+        synth_iri(&format!("lod{}/ontology#link_{i}_{p}", self.seed))
+    }
+}
+
+/// Generates a random Linked-Data graph according to `config`.
+pub fn random_lod(config: &RandomLodConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut g = Graph::new();
+    let classes = config.classes.max(1);
+
+    // Power-law class sizes, normalized to the requested instance total.
+    let raw: Vec<f64> = (0..classes)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(config.size_exponent))
+        .collect();
+    let total_raw: f64 = raw.iter().sum();
+    let sizes: Vec<usize> = raw
+        .iter()
+        .map(|w| ((w / total_raw) * config.instances as f64).round().max(1.0) as usize)
+        .collect();
+
+    // Schema wiring: object properties with preferential attachment on the
+    // target (hubs attract more links), datatype properties per class.
+    let mut object_links: Vec<(usize, usize, usize)> = Vec::new(); // (from, link index, to)
+    for class_index in 0..classes {
+        let links = sample_count(&mut rng, config.object_properties_per_class);
+        for link in 0..links {
+            let target = preferential_target(&mut rng, &sizes);
+            object_links.push((class_index, link, target));
+        }
+    }
+
+    // Instance IRIs per class.
+    let instance_iri =
+        |class_index: usize, i: usize| synth_iri(&format!("lod{}/c{}/i{}", config.seed, class_index, i));
+
+    for (class_index, &size) in sizes.iter().enumerate() {
+        let class = config.class_iri(class_index);
+        g.insert(Triple::new(class.clone(), rdf::type_(), rdfs::class()));
+        g.insert(Triple::new(
+            class.clone(),
+            rdfs::label(),
+            Literal::string(format!("Class {class_index}")),
+        ));
+        let datatype_props = sample_count(&mut rng, config.datatype_properties_per_class);
+        for i in 0..size {
+            let instance = instance_iri(class_index, i);
+            g.insert(Triple::new(instance.clone(), rdf::type_(), class.clone()));
+            for p in 0..datatype_props {
+                let prop = synth_iri(&format!("lod{}/ontology#attr_{}_{}", config.seed, class_index, p));
+                let value: Literal = if p % 2 == 0 {
+                    Literal::integer(rng.gen_range(0..1_000))
+                } else {
+                    Literal::string(format!("value-{class_index}-{i}-{p}"))
+                };
+                g.insert(Triple::new(instance.clone(), prop, value));
+            }
+        }
+    }
+
+    // Instance-level links along the schema edges (each source instance links
+    // to a random instance of the target class).
+    for &(from, link, to) in &object_links {
+        let prop = config.object_property_iri(from, link);
+        let from_size = sizes[from];
+        let to_size = sizes[to];
+        // Link roughly 60% of source instances.
+        let links_to_make = (from_size as f64 * 0.6).ceil() as usize;
+        for _ in 0..links_to_make {
+            let s = instance_iri(from, rng.gen_range(0..from_size));
+            let o = instance_iri(to, rng.gen_range(0..to_size));
+            g.insert(Triple::new(s, prop.clone(), o));
+        }
+    }
+
+    g
+}
+
+fn sample_count(rng: &mut StdRng, mean: f64) -> usize {
+    let base = mean.floor() as usize;
+    let fraction = mean - base as f64;
+    base + usize::from(rng.gen_bool(fraction.clamp(0.0, 1.0)))
+}
+
+fn preferential_target(rng: &mut StdRng, sizes: &[usize]) -> usize {
+    let total: usize = sizes.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let mut pick = rng.gen_range(0..total);
+    for (i, &s) in sizes.iter().enumerate() {
+        if pick < s {
+            return i;
+        }
+        pick -= s;
+    }
+    sizes.len() - 1
+}
+
+// ---------------------------------------------------------------------------
+// Sensor network (TRAFAIR-like)
+// ---------------------------------------------------------------------------
+
+/// Configuration of the sensor-network generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorConfig {
+    /// Number of monitored streets.
+    pub streets: usize,
+    /// Air-quality sensors per street (roughly).
+    pub sensors_per_street: usize,
+    /// Observations per sensor.
+    pub observations_per_sensor: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig {
+            streets: 8,
+            sensors_per_street: 3,
+            observations_per_sensor: 50,
+            seed: 3,
+        }
+    }
+}
+
+/// Generates a TRAFAIR-like urban air-quality / traffic dataset.
+pub fn sensor_network(config: &SensorConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut g = Graph::new();
+    let class = |name: &str| synth_iri(&format!("trafair/ontology#{name}"));
+    let prop = |name: &str| synth_iri(&format!("trafair/ontology#{name}"));
+    let entity = |kind: &str, i: usize| synth_iri(&format!("trafair/{kind}/{i}"));
+
+    let city = entity("city", 0);
+    g.insert(Triple::new(city.clone(), rdf::type_(), class("City")));
+    g.insert(Triple::new(city.clone(), rdfs::label(), Literal::string("Modena")));
+
+    let pollutants = ["NO2", "O3", "PM10", "PM2_5"];
+    for (i, name) in pollutants.iter().enumerate() {
+        let p = entity("pollutant", i);
+        g.insert(Triple::new(p.clone(), rdf::type_(), class("Pollutant")));
+        g.insert(Triple::new(p, rdfs::label(), Literal::string(*name)));
+    }
+
+    let mut observation_id = 0usize;
+    for s in 0..config.streets {
+        let street = entity("street", s);
+        g.insert(Triple::new(street.clone(), rdf::type_(), class("Street")));
+        g.insert(Triple::new(street.clone(), prop("inCity"), city.clone()));
+        let traffic_model = entity("trafficmodel", s);
+        g.insert(Triple::new(traffic_model.clone(), rdf::type_(), class("TrafficModel")));
+        g.insert(Triple::new(traffic_model, prop("forStreet"), street.clone()));
+
+        for d in 0..config.sensors_per_street {
+            let sensor = entity("sensor", s * config.sensors_per_street + d);
+            g.insert(Triple::new(sensor.clone(), rdf::type_(), class("Sensor")));
+            g.insert(Triple::new(sensor.clone(), prop("locatedAt"), street.clone()));
+            let device = entity("device", s * config.sensors_per_street + d);
+            g.insert(Triple::new(device.clone(), rdf::type_(), class("Device")));
+            g.insert(Triple::new(sensor.clone(), prop("partOfDevice"), device));
+
+            for _ in 0..config.observations_per_sensor {
+                let obs = entity("observation", observation_id);
+                observation_id += 1;
+                g.insert(Triple::new(obs.clone(), rdf::type_(), class("Observation")));
+                g.insert(Triple::new(obs.clone(), prop("observedBy"), sensor.clone()));
+                g.insert(Triple::new(
+                    obs.clone(),
+                    prop("aboutPollutant"),
+                    entity("pollutant", rng.gen_range(0..pollutants.len())),
+                ));
+                g.insert(Triple::new(
+                    obs.clone(),
+                    prop("value"),
+                    Literal::typed(format!("{:.1}", rng.gen_range(0.0..180.0)), xsd::double()),
+                ));
+                g.insert(Triple::new(
+                    obs,
+                    prop("atTime"),
+                    Literal::date_time_from_unix(1_580_000_000 + observation_id as i64 * 3600),
+                ));
+            }
+        }
+    }
+
+    // A handful of legal limit records tie observations to regulation.
+    for (i, _) in pollutants.iter().enumerate() {
+        let limit = entity("limit", i);
+        g.insert(Triple::new(limit.clone(), rdf::type_(), class("LegalLimit")));
+        g.insert(Triple::new(limit.clone(), prop("aboutPollutant"), entity("pollutant", i)));
+        g.insert(Triple::new(limit, prop("threshold"), Literal::integer(50 + 10 * i as i64)));
+    }
+
+    g
+}
+
+/// Shuffles a slice deterministically (exposed for fleet construction).
+pub fn shuffled<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<T> = items.to_vec();
+    out.shuffle(&mut rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_rdf_model::TriplePattern;
+
+    #[test]
+    fn scholarly_is_deterministic_and_multiclass() {
+        let a = scholarly(&ScholarlyConfig::default());
+        let b = scholarly(&ScholarlyConfig::default());
+        assert_eq!(a, b);
+        let classes = a.classes();
+        // All ontology classes are instantiated or at least declared.
+        for name in ["Person", "InProceedings", "Event", "SessionEvent", "ConferenceSeries", "Situation"] {
+            assert!(
+                classes.contains(&scholarly_classes::class(name)) || !a
+                    .matching(&TriplePattern::any().with_object(scholarly_classes::class(name)))
+                    .next()
+                    .is_none(),
+                "class {name} missing"
+            );
+        }
+        assert!(a.len() > 1_000, "scholarly dataset should be non-trivial, got {}", a.len());
+    }
+
+    #[test]
+    fn scholarly_scales_with_config() {
+        let small = scholarly(&ScholarlyConfig {
+            conferences: 1,
+            papers_per_conference: 5,
+            ..ScholarlyConfig::default()
+        });
+        let large = scholarly(&ScholarlyConfig {
+            conferences: 6,
+            papers_per_conference: 60,
+            ..ScholarlyConfig::default()
+        });
+        assert!(large.len() > small.len() * 3);
+    }
+
+    #[test]
+    fn random_lod_respects_class_count_and_power_law() {
+        let config = RandomLodConfig {
+            classes: 20,
+            instances: 2_000,
+            seed: 11,
+            ..RandomLodConfig::default()
+        };
+        let g = random_lod(&config);
+        let stats = hbold_triple_store::StoreStats::compute(&hbold_triple_store::TripleStore::from_graph(&g));
+        // rdfs:Class declarations add one extra class (the meta-class usage),
+        // so instantiated classes are the declared ones plus rdfs:Class itself.
+        assert!(stats.classes >= 20 && stats.classes <= 22, "classes = {}", stats.classes);
+        let first = stats.class_sizes.get(&config.class_iri(0)).copied().unwrap_or(0);
+        let last = stats.class_sizes.get(&config.class_iri(19)).copied().unwrap_or(0);
+        assert!(first > last * 3, "power law expected: first={first} last={last}");
+        // Same seed → same graph; different seed → different graph.
+        assert_eq!(g, random_lod(&config));
+        assert_ne!(g, random_lod(&RandomLodConfig { seed: 12, ..config }));
+    }
+
+    #[test]
+    fn random_lod_total_instances_near_target() {
+        let config = RandomLodConfig {
+            classes: 15,
+            instances: 1_500,
+            seed: 5,
+            ..RandomLodConfig::default()
+        };
+        let g = random_lod(&config);
+        let typed = g
+            .matching(&TriplePattern::any().with_predicate(rdf::type_()))
+            .filter(|t| t.object != hbold_rdf_model::Term::from(rdfs::class()))
+            .count();
+        let target = config.instances as f64;
+        assert!(
+            (typed as f64) > target * 0.8 && (typed as f64) < target * 1.3,
+            "typed instances {typed} too far from target {target}"
+        );
+    }
+
+    #[test]
+    fn sensor_network_has_observations_linked_to_sensors() {
+        let g = sensor_network(&SensorConfig::default());
+        let observations = g
+            .matching(
+                &TriplePattern::any()
+                    .with_predicate(rdf::type_())
+                    .with_object(synth_iri("trafair/ontology#Observation")),
+            )
+            .count();
+        assert_eq!(observations, 8 * 3 * 50);
+        let by = g
+            .matching(&TriplePattern::any().with_predicate(synth_iri("trafair/ontology#observedBy")))
+            .count();
+        assert_eq!(by, observations);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let items: Vec<u32> = (0..20).collect();
+        assert_eq!(shuffled(&items, 9), shuffled(&items, 9));
+        assert_ne!(shuffled(&items, 9), items, "seed 9 should permute");
+    }
+}

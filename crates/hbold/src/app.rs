@@ -1,0 +1,154 @@
+//! The [`HBold`] facade: one object wiring the catalog, pipeline, crawler,
+//! scheduler, manual insertion and exploration sessions together, the way the
+//! deployed web application does.
+
+use hbold_cluster::ClusterSchema;
+use hbold_docstore::DocStore;
+use hbold_endpoint::{EndpointFleet, OpenDataPortal, SparqlEndpoint};
+use hbold_schema::SchemaSummary;
+
+use crate::catalog::{EndpointCatalog, EndpointSource};
+use crate::crawler::{CrawlReport, PortalCrawler};
+use crate::exploration::ExplorationSession;
+use crate::manual::{ManualInsertion, Notification};
+use crate::pipeline::{ExtractionPipeline, PipelineError, PipelineResult};
+use crate::scheduler::{RefreshPolicy, RefreshScheduler, SchedulerStats};
+
+/// The H-BOLD application.
+#[derive(Debug, Clone)]
+pub struct HBold {
+    store: DocStore,
+    catalog: EndpointCatalog,
+    pipeline: ExtractionPipeline,
+}
+
+impl HBold {
+    /// Creates an application instance over an in-memory document store.
+    pub fn in_memory() -> Self {
+        HBold::with_store(DocStore::in_memory())
+    }
+
+    /// Creates an application instance over an existing document store
+    /// (possibly file-backed, see [`DocStore::open`]).
+    pub fn with_store(store: DocStore) -> Self {
+        let catalog = EndpointCatalog::new(&store);
+        let pipeline = ExtractionPipeline::new(&store);
+        HBold {
+            store,
+            catalog,
+            pipeline,
+        }
+    }
+
+    /// The underlying document store.
+    pub fn store(&self) -> &DocStore {
+        &self.store
+    }
+
+    /// The endpoint catalog.
+    pub fn catalog(&self) -> &EndpointCatalog {
+        &self.catalog
+    }
+
+    /// The extraction pipeline.
+    pub fn pipeline(&self) -> &ExtractionPipeline {
+        &self.pipeline
+    }
+
+    /// Registers a fleet of endpoints as the legacy list (the catalog H-BOLD
+    /// inherited from LODeX).
+    pub fn register_fleet(&self, fleet: &EndpointFleet) -> usize {
+        let mut added = 0;
+        for endpoint in fleet.iter() {
+            if self.catalog.register(endpoint.url(), EndpointSource::LegacyList) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Indexes a single endpoint now (runs the full pipeline on day `day`).
+    pub fn index_endpoint(&self, endpoint: &SparqlEndpoint, day: u64) -> Result<PipelineResult, PipelineError> {
+        self.pipeline.run(endpoint, day, Some(&self.catalog))
+    }
+
+    /// Crawls a set of open-data portals, registering discoveries (§3.3).
+    pub fn crawl_portals(&self, portals: &[OpenDataPortal]) -> CrawlReport {
+        PortalCrawler::new().crawl(portals, &self.catalog)
+    }
+
+    /// Handles a manual endpoint submission (§3.4).
+    pub fn submit_endpoint(
+        &self,
+        endpoint: &SparqlEndpoint,
+        email: &str,
+        day: u64,
+    ) -> Result<Notification, PipelineError> {
+        ManualInsertion::new(self.pipeline.clone(), self.catalog.clone()).submit(endpoint, email, day)
+    }
+
+    /// Runs the refresh scheduler over a fleet for `days` virtual days (§3.1).
+    pub fn run_scheduler(&self, fleet: &EndpointFleet, policy: RefreshPolicy, days: u64) -> SchedulerStats {
+        RefreshScheduler::new(policy).simulate(fleet, &self.pipeline, &self.catalog, days)
+    }
+
+    /// Loads the stored Schema Summary of an endpoint.
+    pub fn schema_summary(&self, endpoint_url: &str) -> Result<SchemaSummary, PipelineError> {
+        self.pipeline.load_summary(endpoint_url)
+    }
+
+    /// Loads the stored Cluster Schema of an endpoint (the §3.2 fast path).
+    pub fn cluster_schema(&self, endpoint_url: &str) -> Result<ClusterSchema, PipelineError> {
+        self.pipeline.load_cluster_schema(endpoint_url)
+    }
+
+    /// Opens an interactive exploration session for an indexed endpoint,
+    /// starting from its Cluster Schema.
+    pub fn explore(&self, endpoint_url: &str) -> Result<ExplorationSession, PipelineError> {
+        let summary = self.pipeline.load_summary(endpoint_url)?;
+        let cluster_schema = self.pipeline.load_cluster_schema(endpoint_url)?;
+        Ok(ExplorationSession::start(summary, cluster_schema))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_endpoint::synth::{scholarly, ScholarlyConfig};
+    use hbold_endpoint::{EndpointProfile, FleetConfig};
+
+    #[test]
+    fn end_to_end_index_and_explore() {
+        let app = HBold::in_memory();
+        let graph = scholarly(&ScholarlyConfig {
+            conferences: 2,
+            papers_per_conference: 6,
+            authors_per_paper: 2,
+            seed: 3,
+        });
+        let endpoint = SparqlEndpoint::new("http://scholarly.example/sparql", &graph, EndpointProfile::full_featured());
+        let result = app.index_endpoint(&endpoint, 0).unwrap();
+        assert!(result.cluster_schema.cluster_count() >= 2);
+
+        let mut session = app.explore(endpoint.url()).unwrap();
+        let first_cluster_class = session.cluster_schema().clusters[0].members[0];
+        let view = session.select_class(first_cluster_class);
+        assert!(!view.nodes.is_empty());
+        assert!(view.instance_coverage > 0.0);
+
+        assert_eq!(app.catalog().indexed_count(), 1);
+        assert!(app.cluster_schema(endpoint.url()).is_ok());
+        assert!(app.schema_summary("http://unknown.example/sparql").is_err());
+    }
+
+    #[test]
+    fn crawl_and_register_fleet() {
+        let app = HBold::in_memory();
+        let fleet = EndpointFleet::generate(&FleetConfig::small(5, 31));
+        assert_eq!(app.register_fleet(&fleet), 5);
+        assert_eq!(app.register_fleet(&fleet), 0, "re-registration adds nothing");
+        let report = app.crawl_portals(&OpenDataPortal::paper_portals());
+        assert!(report.total_new() > 0);
+        assert_eq!(app.catalog().len(), 5 + report.total_new());
+    }
+}

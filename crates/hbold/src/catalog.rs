@@ -1,0 +1,275 @@
+//! The endpoint catalog.
+//!
+//! H-BOLD keeps a list of SPARQL endpoints gathered from DataHub, the
+//! open-data portals it crawls, and manual insertions; only a subset of those
+//! can actually be indexed (110 of 610 before the §3.3 crawl, 130 of 680
+//! after). The catalog tracks each endpoint's provenance, indexing status and
+//! the day of its last successful extraction (the input to the §3.1 refresh
+//! policy), persisting everything in the document store.
+
+use hbold_docstore::{doc, DocStore, DocValue, Filter};
+
+/// Where an endpoint entry came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndpointSource {
+    /// The pre-existing list inherited from LODeX / DataHub.
+    LegacyList,
+    /// Discovered by crawling an open-data portal (the portal name).
+    Portal(String),
+    /// Manually inserted by a user (§3.4).
+    Manual,
+}
+
+impl EndpointSource {
+    fn as_str(&self) -> String {
+        match self {
+            EndpointSource::LegacyList => "legacy".to_string(),
+            EndpointSource::Portal(name) => format!("portal:{name}"),
+            EndpointSource::Manual => "manual".to_string(),
+        }
+    }
+
+    fn parse(text: &str) -> EndpointSource {
+        match text {
+            "legacy" => EndpointSource::LegacyList,
+            "manual" => EndpointSource::Manual,
+            other => EndpointSource::Portal(other.strip_prefix("portal:").unwrap_or(other).to_string()),
+        }
+    }
+}
+
+/// Indexing status of a catalog entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointStatus {
+    /// Listed but never successfully indexed.
+    Unindexed,
+    /// Indexed: a Schema Summary and Cluster Schema exist for it.
+    Indexed,
+    /// Extraction was attempted and failed with a non-transient error.
+    Failed,
+}
+
+impl EndpointStatus {
+    fn as_str(&self) -> &'static str {
+        match self {
+            EndpointStatus::Unindexed => "unindexed",
+            EndpointStatus::Indexed => "indexed",
+            EndpointStatus::Failed => "failed",
+        }
+    }
+
+    fn parse(text: &str) -> EndpointStatus {
+        match text {
+            "indexed" => EndpointStatus::Indexed,
+            "failed" => EndpointStatus::Failed,
+            _ => EndpointStatus::Unindexed,
+        }
+    }
+}
+
+/// One catalog entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// The endpoint URL (the key).
+    pub url: String,
+    /// Provenance.
+    pub source: EndpointSource,
+    /// Indexing status.
+    pub status: EndpointStatus,
+    /// Virtual day of the last *successful* extraction.
+    pub last_extraction_day: Option<u64>,
+    /// Virtual day of the last extraction attempt (successful or not).
+    pub last_attempt_day: Option<u64>,
+    /// Consecutive failed attempts since the last success.
+    pub consecutive_failures: u32,
+}
+
+impl CatalogEntry {
+    fn to_doc(&self) -> DocValue {
+        doc! {
+            "url" => self.url.clone(),
+            "source" => self.source.as_str(),
+            "status" => self.status.as_str(),
+            "last_extraction_day" => self.last_extraction_day.map(|d| d as i64),
+            "last_attempt_day" => self.last_attempt_day.map(|d| d as i64),
+            "consecutive_failures" => self.consecutive_failures as i64,
+        }
+    }
+
+    fn from_doc(value: &DocValue) -> Option<CatalogEntry> {
+        Some(CatalogEntry {
+            url: value.get("url")?.as_str()?.to_string(),
+            source: EndpointSource::parse(value.get("source")?.as_str()?),
+            status: EndpointStatus::parse(value.get("status")?.as_str()?),
+            last_extraction_day: value.get("last_extraction_day").and_then(DocValue::as_i64).map(|d| d as u64),
+            last_attempt_day: value.get("last_attempt_day").and_then(DocValue::as_i64).map(|d| d as u64),
+            consecutive_failures: value
+                .get("consecutive_failures")
+                .and_then(DocValue::as_i64)
+                .unwrap_or(0) as u32,
+        })
+    }
+}
+
+/// The endpoint catalog, stored in the `endpoints` collection.
+#[derive(Debug, Clone)]
+pub struct EndpointCatalog {
+    store: DocStore,
+}
+
+impl EndpointCatalog {
+    /// Opens (or creates) the catalog inside `store`.
+    pub fn new(store: &DocStore) -> Self {
+        let collection = store.collection("endpoints");
+        collection.create_index("url");
+        EndpointCatalog { store: store.clone() }
+    }
+
+    fn collection(&self) -> hbold_docstore::Collection {
+        self.store.collection("endpoints")
+    }
+
+    /// Registers an endpoint; returns `true` if it was not already listed.
+    pub fn register(&self, url: &str, source: EndpointSource) -> bool {
+        let collection = self.collection();
+        if collection.find_one(&Filter::eq("url", url)).is_some() {
+            return false;
+        }
+        let entry = CatalogEntry {
+            url: url.to_string(),
+            source,
+            status: EndpointStatus::Unindexed,
+            last_extraction_day: None,
+            last_attempt_day: None,
+            consecutive_failures: 0,
+        };
+        collection.insert(entry.to_doc());
+        true
+    }
+
+    /// Looks an entry up by URL.
+    pub fn get(&self, url: &str) -> Option<CatalogEntry> {
+        self.collection()
+            .find_one(&Filter::eq("url", url))
+            .and_then(|d| CatalogEntry::from_doc(&d.value))
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> Vec<CatalogEntry> {
+        self.collection()
+            .all()
+            .iter()
+            .filter_map(|d| CatalogEntry::from_doc(&d.value))
+            .collect()
+    }
+
+    /// Number of listed endpoints.
+    pub fn len(&self) -> usize {
+        self.collection().len()
+    }
+
+    /// Returns `true` when no endpoint is listed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of endpoints currently marked as indexed.
+    pub fn indexed_count(&self) -> usize {
+        self.collection().count(&Filter::eq("status", "indexed"))
+    }
+
+    /// Records a successful extraction on `day`.
+    pub fn record_success(&self, url: &str, day: u64) {
+        self.update_entry(url, |entry| {
+            entry.status = EndpointStatus::Indexed;
+            entry.last_extraction_day = Some(day);
+            entry.last_attempt_day = Some(day);
+            entry.consecutive_failures = 0;
+        });
+    }
+
+    /// Records a failed extraction attempt on `day`; `transient` attempts
+    /// (endpoint down) keep the entry's status, permanent failures mark it
+    /// [`EndpointStatus::Failed`].
+    pub fn record_failure(&self, url: &str, day: u64, transient: bool) {
+        self.update_entry(url, |entry| {
+            entry.last_attempt_day = Some(day);
+            entry.consecutive_failures += 1;
+            if !transient {
+                entry.status = EndpointStatus::Failed;
+            }
+        });
+    }
+
+    fn update_entry(&self, url: &str, update: impl Fn(&mut CatalogEntry)) {
+        let collection = self.collection();
+        collection.update(&Filter::eq("url", url), |doc| {
+            if let Some(mut entry) = CatalogEntry::from_doc(doc) {
+                update(&mut entry);
+                *doc = entry.to_doc();
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> EndpointCatalog {
+        EndpointCatalog::new(&DocStore::in_memory())
+    }
+
+    #[test]
+    fn register_deduplicates_by_url() {
+        let catalog = catalog();
+        assert!(catalog.register("http://a.org/sparql", EndpointSource::LegacyList));
+        assert!(!catalog.register("http://a.org/sparql", EndpointSource::Manual));
+        assert!(catalog.register("http://b.org/sparql", EndpointSource::Portal("EDP".into())));
+        assert_eq!(catalog.len(), 2);
+        assert!(!catalog.is_empty());
+        let entry = catalog.get("http://b.org/sparql").unwrap();
+        assert_eq!(entry.source, EndpointSource::Portal("EDP".into()));
+        assert_eq!(entry.status, EndpointStatus::Unindexed);
+        assert!(catalog.get("http://missing.org/sparql").is_none());
+    }
+
+    #[test]
+    fn success_and_failure_tracking() {
+        let catalog = catalog();
+        catalog.register("http://a.org/sparql", EndpointSource::LegacyList);
+        catalog.record_failure("http://a.org/sparql", 1, true);
+        let entry = catalog.get("http://a.org/sparql").unwrap();
+        assert_eq!(entry.status, EndpointStatus::Unindexed, "transient failure keeps status");
+        assert_eq!(entry.consecutive_failures, 1);
+        assert_eq!(entry.last_attempt_day, Some(1));
+        assert_eq!(entry.last_extraction_day, None);
+
+        catalog.record_success("http://a.org/sparql", 2);
+        let entry = catalog.get("http://a.org/sparql").unwrap();
+        assert_eq!(entry.status, EndpointStatus::Indexed);
+        assert_eq!(entry.consecutive_failures, 0);
+        assert_eq!(entry.last_extraction_day, Some(2));
+        assert_eq!(catalog.indexed_count(), 1);
+
+        catalog.record_failure("http://a.org/sparql", 3, false);
+        let entry = catalog.get("http://a.org/sparql").unwrap();
+        assert_eq!(entry.status, EndpointStatus::Failed);
+        assert_eq!(entry.last_extraction_day, Some(2), "success day is kept");
+    }
+
+    #[test]
+    fn entries_round_trip_through_the_document_store() {
+        let store = DocStore::in_memory();
+        let catalog = EndpointCatalog::new(&store);
+        catalog.register("http://a.org/sparql", EndpointSource::Manual);
+        catalog.record_success("http://a.org/sparql", 5);
+        // A second catalog handle over the same store sees the same data.
+        let reopened = EndpointCatalog::new(&store);
+        let entries = reopened.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].url, "http://a.org/sparql");
+        assert_eq!(entries[0].source, EndpointSource::Manual);
+        assert_eq!(entries[0].last_extraction_day, Some(5));
+    }
+}

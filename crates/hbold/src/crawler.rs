@@ -1,0 +1,166 @@
+//! Discovery of SPARQL endpoints from open-data portals (§3.3).
+//!
+//! The crawler sends the paper's Listing 1 query to every configured portal,
+//! extracts the `?url` bindings whose access URL mentions "sparql", and
+//! registers the previously unknown ones in the catalog.
+
+use hbold_endpoint::OpenDataPortal;
+
+use crate::catalog::{EndpointCatalog, EndpointSource};
+
+/// The exact query of the paper's Listing 1 (modulo whitespace).
+pub const LISTING1_QUERY: &str = "\
+PREFIX dcat: <http://www.w3.org/ns/dcat#>
+PREFIX dc: <http://purl.org/dc/terms/>
+SELECT ?dataset ?title ?url
+WHERE {
+  ?dataset a dcat:Dataset .
+  ?dataset dc:title ?title .
+  ?dataset dcat:distribution ?distribution .
+  ?distribution dcat:accessURL ?url .
+  FILTER ( regex(?url, 'sparql') ) .
+}";
+
+/// Per-portal crawl numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortalCrawlOutcome {
+    /// Portal name.
+    pub portal: String,
+    /// Rows returned by the Listing 1 query.
+    pub rows: usize,
+    /// Distinct SPARQL endpoint URLs among them.
+    pub discovered: usize,
+    /// URLs that were not yet in the catalog and were added.
+    pub newly_registered: usize,
+}
+
+/// The result of crawling a set of portals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CrawlReport {
+    /// One outcome per portal, in crawl order.
+    pub portals: Vec<PortalCrawlOutcome>,
+    /// Catalog size before the crawl.
+    pub catalog_before: usize,
+    /// Catalog size after the crawl.
+    pub catalog_after: usize,
+}
+
+impl CrawlReport {
+    /// Total distinct endpoints discovered across all portals (before
+    /// deduplication against the catalog).
+    pub fn total_discovered(&self) -> usize {
+        self.portals.iter().map(|p| p.discovered).sum()
+    }
+
+    /// Total endpoints newly added to the catalog.
+    pub fn total_new(&self) -> usize {
+        self.portals.iter().map(|p| p.newly_registered).sum()
+    }
+}
+
+/// The portal crawler.
+#[derive(Debug, Clone, Default)]
+pub struct PortalCrawler;
+
+impl PortalCrawler {
+    /// Creates a crawler.
+    pub fn new() -> Self {
+        PortalCrawler
+    }
+
+    /// Crawls `portals`, registering discoveries in `catalog`.
+    pub fn crawl(&self, portals: &[OpenDataPortal], catalog: &EndpointCatalog) -> CrawlReport {
+        let catalog_before = catalog.len();
+        let mut report = CrawlReport {
+            catalog_before,
+            ..CrawlReport::default()
+        };
+        for portal in portals {
+            let outcome = match portal.endpoint().select(LISTING1_QUERY) {
+                Ok(rows) => {
+                    let mut urls: Vec<String> = (0..rows.len())
+                        .filter_map(|i| rows.value(i, "url"))
+                        .map(|term| match term {
+                            hbold_rdf_model::Term::Iri(iri) => iri.as_str().to_string(),
+                            other => other.label().to_string(),
+                        })
+                        .collect();
+                    let row_count = urls.len();
+                    urls.sort();
+                    urls.dedup();
+                    let mut newly_registered = 0;
+                    for url in &urls {
+                        if catalog.register(url, EndpointSource::Portal(portal.name().to_string())) {
+                            newly_registered += 1;
+                        }
+                    }
+                    PortalCrawlOutcome {
+                        portal: portal.name().to_string(),
+                        rows: row_count,
+                        discovered: urls.len(),
+                        newly_registered,
+                    }
+                }
+                Err(_) => PortalCrawlOutcome {
+                    portal: portal.name().to_string(),
+                    rows: 0,
+                    discovered: 0,
+                    newly_registered: 0,
+                },
+            };
+            report.portals.push(outcome);
+        }
+        report.catalog_after = catalog.len();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_docstore::DocStore;
+
+    #[test]
+    fn crawl_discovers_and_registers_portal_endpoints() {
+        let store = DocStore::in_memory();
+        let catalog = EndpointCatalog::new(&store);
+        // Seed the catalog with a legacy list that already contains one of the
+        // EDP endpoints (so deduplication against the catalog is exercised).
+        let portals = OpenDataPortal::paper_portals();
+        let preexisting = portals[0].advertised_sparql_urls()[0].clone();
+        catalog.register(&preexisting, EndpointSource::LegacyList);
+        for i in 0..9 {
+            catalog.register(&format!("http://legacy{i}.example/sparql"), EndpointSource::LegacyList);
+        }
+        assert_eq!(catalog.len(), 10);
+
+        let report = PortalCrawler::new().crawl(&portals, &catalog);
+        assert_eq!(report.portals.len(), 3);
+        assert_eq!(report.catalog_before, 10);
+        // Every portal discovered something, EDP the most.
+        for outcome in &report.portals {
+            assert!(outcome.discovered > 0, "portal {} found nothing", outcome.portal);
+            assert!(outcome.rows >= outcome.discovered, "rows include duplicates");
+        }
+        assert!(report.portals[0].discovered > report.portals[1].discovered);
+        // The preexisting endpoint is discovered again but not re-registered.
+        assert_eq!(report.total_new(), report.total_discovered() - 1);
+        assert_eq!(report.catalog_after, 10 + report.total_new());
+        // Crawling twice adds nothing new.
+        let second = PortalCrawler::new().crawl(&portals, &catalog);
+        assert_eq!(second.total_new(), 0);
+        assert_eq!(second.catalog_after, report.catalog_after);
+    }
+
+    #[test]
+    fn ground_truth_matches_portal_advertisements() {
+        let store = DocStore::in_memory();
+        let catalog = EndpointCatalog::new(&store);
+        let portals = OpenDataPortal::paper_portals();
+        let report = PortalCrawler::new().crawl(&portals, &catalog);
+        for (portal, outcome) in portals.iter().zip(report.portals.iter()) {
+            assert_eq!(outcome.rows, portal.advertised_sparql_urls().len());
+            assert_eq!(outcome.discovered, portal.distinct_sparql_urls());
+        }
+    }
+}

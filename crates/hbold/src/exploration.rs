@@ -1,0 +1,273 @@
+//! Interactive multilevel exploration sessions (§2.2, Figure 2).
+//!
+//! The user starts from either the Cluster Schema (concise) or the Schema
+//! Summary (complete), selects a class, and iteratively expands the displayed
+//! graph by following connections, until — if they keep going — the whole
+//! Schema Summary is visible. At every step H-BOLD reports how many nodes are
+//! displayed and which percentage of the dataset's instances they represent;
+//! this module reproduces that loop as a deterministic state machine the
+//! examples and experiment E3 drive.
+
+use std::collections::BTreeSet;
+
+use hbold_cluster::ClusterSchema;
+use hbold_schema::SchemaSummary;
+
+/// One recorded step of the exploration (for the E3 trace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorationStep {
+    /// Human-readable description of the action.
+    pub action: String,
+    /// Number of classes visible after the action.
+    pub visible_nodes: usize,
+    /// Fraction of all instances covered by the visible classes (0..=1).
+    pub instance_coverage: f64,
+}
+
+/// A snapshot of what is currently displayed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExplorationView {
+    /// Indexes (into the Schema Summary) of the visible classes.
+    pub nodes: Vec<usize>,
+    /// Edges between visible classes, as (source, target, property label).
+    pub edges: Vec<(usize, usize, String)>,
+    /// Fraction of instances represented.
+    pub instance_coverage: f64,
+}
+
+/// An interactive exploration session over one dataset.
+#[derive(Debug, Clone)]
+pub struct ExplorationSession {
+    summary: SchemaSummary,
+    cluster_schema: ClusterSchema,
+    visible: BTreeSet<usize>,
+    steps: Vec<ExplorationStep>,
+}
+
+impl ExplorationSession {
+    /// Starts a session from the Cluster Schema view: no class is expanded
+    /// yet (the user is looking at clusters).
+    pub fn start(summary: SchemaSummary, cluster_schema: ClusterSchema) -> Self {
+        let mut session = ExplorationSession {
+            summary,
+            cluster_schema,
+            visible: BTreeSet::new(),
+            steps: Vec::new(),
+        };
+        session.record("open Cluster Schema");
+        session
+    }
+
+    /// Starts directly from the full Schema Summary view (every class
+    /// visible), the alternative entry point of §2.2.
+    pub fn start_from_summary(summary: SchemaSummary, cluster_schema: ClusterSchema) -> Self {
+        let all: BTreeSet<usize> = (0..summary.node_count()).collect();
+        let mut session = ExplorationSession {
+            summary,
+            cluster_schema,
+            visible: all,
+            steps: Vec::new(),
+        };
+        session.record("open Schema Summary");
+        session
+    }
+
+    /// The Schema Summary being explored.
+    pub fn summary(&self) -> &SchemaSummary {
+        &self.summary
+    }
+
+    /// The Cluster Schema shown at the start.
+    pub fn cluster_schema(&self) -> &ClusterSchema {
+        &self.cluster_schema
+    }
+
+    /// Selects a class inside a cluster (Figure 2, step 2): the view focuses
+    /// on that class and its direct neighbours.
+    pub fn select_class(&mut self, node: usize) -> ExplorationView {
+        if node < self.summary.node_count() {
+            self.visible.clear();
+            self.visible.insert(node);
+            for neighbour in self.summary.neighbours(node) {
+                self.visible.insert(neighbour);
+            }
+            self.record(format!("select class {}", self.summary.nodes[node].label));
+        }
+        self.view()
+    }
+
+    /// Expands the connections of an already-visible class (Figure 2,
+    /// step 3), adding its neighbours to the view. Returns the new view.
+    pub fn expand(&mut self, node: usize) -> ExplorationView {
+        if node < self.summary.node_count() && self.visible.contains(&node) {
+            for neighbour in self.summary.neighbours(node) {
+                self.visible.insert(neighbour);
+            }
+            self.record(format!("expand {}", self.summary.nodes[node].label));
+        }
+        self.view()
+    }
+
+    /// Expands every visible class at once; repeated calls eventually show
+    /// the complete Schema Summary (Figure 2, step 4).
+    pub fn expand_all(&mut self) -> ExplorationView {
+        let snapshot: Vec<usize> = self.visible.iter().copied().collect();
+        for node in snapshot {
+            for neighbour in self.summary.neighbours(node) {
+                self.visible.insert(neighbour);
+            }
+        }
+        self.record("expand all visible classes");
+        self.view()
+    }
+
+    /// Shows the whole Schema Summary immediately.
+    pub fn show_all(&mut self) -> ExplorationView {
+        self.visible = (0..self.summary.node_count()).collect();
+        self.record("show complete Schema Summary");
+        self.view()
+    }
+
+    /// Returns `true` once every class of the Schema Summary is displayed.
+    pub fn is_complete(&self) -> bool {
+        self.visible.len() == self.summary.node_count()
+    }
+
+    /// The classes currently displayed.
+    pub fn visible_nodes(&self) -> Vec<usize> {
+        self.visible.iter().copied().collect()
+    }
+
+    /// The current view (visible classes, the edges among them, coverage).
+    pub fn view(&self) -> ExplorationView {
+        let nodes: Vec<usize> = self.visible.iter().copied().collect();
+        let edges = self
+            .summary
+            .edges
+            .iter()
+            .filter(|e| self.visible.contains(&e.source) && self.visible.contains(&e.target))
+            .map(|e| (e.source, e.target, e.property.local_name().to_string()))
+            .collect();
+        ExplorationView {
+            instance_coverage: self.summary.instance_coverage(&nodes),
+            nodes,
+            edges,
+        }
+    }
+
+    /// The per-step trace (action, node count, % of instances) reported to
+    /// the user during exploration.
+    pub fn steps(&self) -> &[ExplorationStep] {
+        &self.steps
+    }
+
+    fn record(&mut self, action: impl Into<String>) {
+        let nodes: Vec<usize> = self.visible.iter().copied().collect();
+        self.steps.push(ExplorationStep {
+            action: action.into(),
+            visible_nodes: nodes.len(),
+            instance_coverage: self.summary.instance_coverage(&nodes),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_cluster::ClusteringAlgorithm;
+    use hbold_rdf_model::Iri;
+    use hbold_schema::{SchemaEdge, SchemaNode};
+
+    /// A chain of five classes A-B-C-D-E with decreasing instance counts.
+    fn fixture() -> (SchemaSummary, ClusterSchema) {
+        let class = |name: &str| Iri::new(format!("http://e.org/{name}")).unwrap();
+        let nodes = ["A", "B", "C", "D", "E"]
+            .iter()
+            .enumerate()
+            .map(|(i, name)| SchemaNode {
+                class: class(name),
+                label: (*name).to_string(),
+                instances: 100 - 20 * i,
+                attributes: vec![],
+            })
+            .collect();
+        let edges = (0..4)
+            .map(|i| SchemaEdge {
+                source: i,
+                target: i + 1,
+                property: Iri::new(format!("http://e.org/p{i}")).unwrap(),
+                count: 10,
+            })
+            .collect();
+        let summary = SchemaSummary {
+            endpoint_url: "http://e.org/sparql".into(),
+            total_instances: 300,
+            nodes,
+            edges,
+        };
+        let cs = ClusterSchema::build(&summary, ClusteringAlgorithm::Louvain, 0);
+        (summary, cs)
+    }
+
+    #[test]
+    fn figure2_style_walkthrough() {
+        let (summary, cs) = fixture();
+        let mut session = ExplorationSession::start(summary, cs);
+        assert_eq!(session.visible_nodes().len(), 0);
+        assert!(!session.is_complete());
+
+        // Step 2: select class C (index 2) — C plus its neighbours B and D.
+        let view = session.select_class(2);
+        assert_eq!(view.nodes, vec![1, 2, 3]);
+        assert_eq!(view.edges.len(), 2);
+        assert!((view.instance_coverage - (80.0 + 60.0 + 40.0) / 300.0).abs() < 1e-9);
+
+        // Step 3: expand B — adds A.
+        let view = session.expand(1);
+        assert_eq!(view.nodes, vec![0, 1, 2, 3]);
+        assert!(!session.is_complete());
+
+        // Step 4: expand everything until the full Schema Summary is shown.
+        let mut guard = 0;
+        while !session.is_complete() && guard < 10 {
+            session.expand_all();
+            guard += 1;
+        }
+        assert!(session.is_complete());
+        let view = session.view();
+        assert_eq!(view.nodes.len(), 5);
+        assert!((view.instance_coverage - 1.0).abs() < 1e-9);
+
+        // The trace grows monotonically in coverage and node count.
+        let steps = session.steps();
+        assert!(steps.len() >= 4);
+        for pair in steps.windows(2) {
+            assert!(pair[1].visible_nodes >= pair[0].visible_nodes || pair[0].action.contains("select"));
+        }
+    }
+
+    #[test]
+    fn starting_from_the_summary_shows_everything() {
+        let (summary, cs) = fixture();
+        let session = ExplorationSession::start_from_summary(summary, cs);
+        assert!(session.is_complete());
+        assert_eq!(session.view().edges.len(), 4);
+        assert_eq!(session.steps()[0].visible_nodes, 5);
+    }
+
+    #[test]
+    fn invalid_interactions_are_ignored() {
+        let (summary, cs) = fixture();
+        let mut session = ExplorationSession::start(summary, cs);
+        session.select_class(99);
+        assert_eq!(session.visible_nodes().len(), 0);
+        session.select_class(0);
+        let before = session.visible_nodes();
+        // Expanding a node that is not visible is a no-op.
+        session.expand(4);
+        assert_eq!(session.visible_nodes(), before);
+        // show_all is always available.
+        session.show_all();
+        assert!(session.is_complete());
+    }
+}

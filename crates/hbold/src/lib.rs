@@ -1,0 +1,39 @@
+//! # hbold
+//!
+//! The H-BOLD application layer: everything the paper's server and
+//! presentation layers do, built on the substrate crates of this workspace.
+//!
+//! * [`catalog`] — the registry of known SPARQL endpoints (the paper's list
+//!   that grows from 610 to 680 entries, of which 110→130 are indexed).
+//! * [`crawler`] — discovery of new endpoints from open-data portals with the
+//!   DCAT query of Listing 1 (§3.3).
+//! * [`manual`] — user-submitted endpoints with e-mail notification of the
+//!   extraction outcome (§3.4).
+//! * [`pipeline`] — the extraction pipeline: Index Extraction → Schema
+//!   Summary → Cluster Schema → document store (§2.1, §3.2), including the
+//!   old "on the fly" cluster computation for comparison.
+//! * [`scheduler`] — the weekly-refresh / daily-retry policy (§3.1).
+//! * [`exploration`] — interactive multilevel exploration sessions
+//!   (§2.2, Figure 2).
+//! * [`query_builder`] — the visual query builder that generates SPARQL from
+//!   a class/attribute/link selection.
+//! * [`app`] — the [`app::HBold`] facade wiring all of the above together,
+//!   which is what the examples and benchmarks drive.
+
+pub mod app;
+pub mod catalog;
+pub mod crawler;
+pub mod exploration;
+pub mod manual;
+pub mod pipeline;
+pub mod query_builder;
+pub mod scheduler;
+
+pub use app::HBold;
+pub use catalog::{CatalogEntry, EndpointCatalog, EndpointSource, EndpointStatus};
+pub use crawler::{CrawlReport, PortalCrawler};
+pub use exploration::{ExplorationSession, ExplorationStep, ExplorationView};
+pub use manual::{ManualInsertion, Notification};
+pub use pipeline::{ExtractionPipeline, PipelineError, PipelineResult};
+pub use query_builder::VisualQueryBuilder;
+pub use scheduler::{RefreshPolicy, RefreshScheduler, SchedulerStats};

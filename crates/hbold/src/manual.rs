@@ -1,0 +1,160 @@
+//! Manual insertion of endpoints with e-mail notification (§3.4).
+//!
+//! A user submits the URL of a SPARQL endpoint together with an e-mail
+//! address; the system indexes the endpoint (which may take a while), then
+//! notifies the user of the outcome and *deletes the address* — the paper is
+//! explicit that no personal data is kept. The e-mail transport is simulated
+//! by an in-process outbox.
+
+use hbold_endpoint::SparqlEndpoint;
+
+use crate::catalog::{EndpointCatalog, EndpointSource};
+use crate::pipeline::{ExtractionPipeline, PipelineError};
+
+/// A notification "sent" to a user (the simulated e-mail).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    /// The recipient address.
+    pub email: String,
+    /// Subject line.
+    pub subject: String,
+    /// Body text.
+    pub body: String,
+    /// Whether the extraction succeeded.
+    pub success: bool,
+}
+
+/// The manual-insertion workflow.
+#[derive(Debug, Clone)]
+pub struct ManualInsertion {
+    pipeline: ExtractionPipeline,
+    catalog: EndpointCatalog,
+    outbox: std::sync::Arc<parking_lot::Mutex<Vec<Notification>>>,
+}
+
+impl ManualInsertion {
+    /// Creates the workflow on top of an existing pipeline and catalog.
+    pub fn new(pipeline: ExtractionPipeline, catalog: EndpointCatalog) -> Self {
+        ManualInsertion {
+            pipeline,
+            catalog,
+            outbox: std::sync::Arc::new(parking_lot::Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Submits an endpoint on behalf of a user: registers it, runs the
+    /// extraction pipeline, sends the notification and forgets the address.
+    ///
+    /// Returns the notification that was sent (the caller usually only needs
+    /// it in tests; the user-visible effect is the new dataset in the list).
+    pub fn submit(
+        &self,
+        endpoint: &SparqlEndpoint,
+        email: &str,
+        day: u64,
+    ) -> Result<Notification, PipelineError> {
+        let newly_listed = self.catalog.register(endpoint.url(), EndpointSource::Manual);
+        let result = self.pipeline.run(endpoint, day, Some(&self.catalog));
+        let notification = match &result {
+            Ok(pipeline_result) => Notification {
+                email: email.to_string(),
+                subject: format!("H-BOLD: {} is now available", endpoint.url()),
+                body: format!(
+                    "The extraction of <{}> completed successfully: {} classes, {} instances, {} clusters.{}",
+                    endpoint.url(),
+                    pipeline_result.summary.node_count(),
+                    pipeline_result.summary.total_instances,
+                    pipeline_result.cluster_schema.cluster_count(),
+                    if newly_listed { " The dataset has been added to the H-BOLD list." } else { "" }
+                ),
+                success: true,
+            },
+            Err(e) => Notification {
+                email: email.to_string(),
+                subject: format!("H-BOLD: extraction of {} failed", endpoint.url()),
+                body: format!("The extraction of <{}> failed: {e}. You can retry later.", endpoint.url()),
+                success: false,
+            },
+        };
+        self.outbox.lock().push(notification.clone());
+        // The e-mail address is not persisted anywhere: the catalog entry and
+        // the stored artefacts never contain it (asserted in tests).
+        match result {
+            Ok(_) => Ok(notification),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The notifications sent so far (most recent last).
+    pub fn outbox(&self) -> Vec<Notification> {
+        self.outbox.lock().clone()
+    }
+
+    /// The catalog used by this workflow.
+    pub fn catalog(&self) -> &EndpointCatalog {
+        &self.catalog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_docstore::DocStore;
+    use hbold_endpoint::synth::{sensor_network, SensorConfig};
+    use hbold_endpoint::{AvailabilityModel, EndpointProfile};
+
+    fn workflow() -> (ManualInsertion, DocStore) {
+        let store = DocStore::in_memory();
+        let catalog = EndpointCatalog::new(&store);
+        let pipeline = ExtractionPipeline::new(&store);
+        (ManualInsertion::new(pipeline, catalog), store)
+    }
+
+    #[test]
+    fn successful_submission_indexes_and_notifies() {
+        let (workflow, store) = workflow();
+        let graph = sensor_network(&SensorConfig {
+            streets: 3,
+            sensors_per_street: 2,
+            observations_per_sensor: 10,
+            seed: 1,
+        });
+        let endpoint = SparqlEndpoint::new("http://trafair.example/sparql", &graph, EndpointProfile::full_featured());
+        let notification = workflow.submit(&endpoint, "user@example.org", 2).unwrap();
+        assert!(notification.success);
+        assert!(notification.body.contains("classes"));
+        assert_eq!(workflow.outbox().len(), 1);
+        assert_eq!(workflow.catalog().indexed_count(), 1);
+        // The dataset is now listed and its artefacts stored...
+        assert_eq!(store.collection("schema_summaries").len(), 1);
+        // ...and the e-mail address is not persisted in any collection.
+        for name in store.collection_names() {
+            for document in store.collection(&name).all() {
+                assert!(
+                    !format!("{}", document.value).contains("user@example.org"),
+                    "address leaked into collection {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failed_submission_notifies_with_failure() {
+        let (workflow, _store) = workflow();
+        let graph = sensor_network(&SensorConfig::default());
+        let endpoint = SparqlEndpoint::new(
+            "http://dead.example/sparql",
+            &graph,
+            EndpointProfile::full_featured().with_availability(AvailabilityModel::always_down()),
+        );
+        let err = workflow.submit(&endpoint, "someone@example.org", 0).unwrap_err();
+        assert!(matches!(err, PipelineError::Extraction(_)));
+        let outbox = workflow.outbox();
+        assert_eq!(outbox.len(), 1);
+        assert!(!outbox[0].success);
+        assert!(outbox[0].subject.contains("failed"));
+        // The endpoint is still listed (users can see it pending/failed).
+        assert_eq!(workflow.catalog().len(), 1);
+        assert_eq!(workflow.catalog().indexed_count(), 0);
+    }
+}

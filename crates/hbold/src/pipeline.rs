@@ -1,0 +1,271 @@
+//! The extraction pipeline: endpoint → indexes → Schema Summary → Cluster
+//! Schema → document store.
+//!
+//! Section 3.2 of the paper describes the architectural change this module
+//! reproduces: the Cluster Schema used to be computed *on the fly* in the
+//! presentation layer at every user click; the re-engineered tool computes it
+//! once, right after index extraction, and stores it in MongoDB so the
+//! presentation layer only performs a lookup. Both paths are implemented so
+//! experiment E1 can compare them.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use hbold_cluster::{ClusterSchema, ClusteringAlgorithm};
+use hbold_docstore::{DocStore, Filter};
+use hbold_endpoint::SparqlEndpoint;
+use hbold_schema::{DatasetIndexes, ExtractionError, ExtractionReport, IndexExtractor, SchemaSummary};
+
+use crate::catalog::{EndpointCatalog, EndpointSource};
+
+/// Failure of the pipeline for one endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Index extraction failed.
+    Extraction(ExtractionError),
+    /// No stored summary / cluster schema exists for the requested endpoint.
+    NotStored(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Extraction(e) => write!(f, "{e}"),
+            PipelineError::NotStored(url) => write!(f, "no stored summary for {url}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ExtractionError> for PipelineError {
+    fn from(e: ExtractionError) -> Self {
+        PipelineError::Extraction(e)
+    }
+}
+
+/// What a successful pipeline run produced.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The extracted indexes.
+    pub indexes: DatasetIndexes,
+    /// The Schema Summary.
+    pub summary: SchemaSummary,
+    /// The Cluster Schema.
+    pub cluster_schema: ClusterSchema,
+    /// Extraction telemetry.
+    pub report: ExtractionReport,
+    /// Wall-clock time spent computing (excluding simulated network latency).
+    pub compute_time: Duration,
+}
+
+/// The extraction pipeline.
+#[derive(Debug, Clone)]
+pub struct ExtractionPipeline {
+    store: DocStore,
+    extractor: IndexExtractor,
+    algorithm: ClusteringAlgorithm,
+    seed: u64,
+}
+
+impl ExtractionPipeline {
+    /// Creates a pipeline writing into `store`, clustering with Louvain.
+    pub fn new(store: &DocStore) -> Self {
+        ExtractionPipeline {
+            store: store.clone(),
+            extractor: IndexExtractor::new(),
+            algorithm: ClusteringAlgorithm::Louvain,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the clustering algorithm (builder style).
+    pub fn with_algorithm(mut self, algorithm: ClusteringAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Overrides the index extractor (builder style).
+    pub fn with_extractor(mut self, extractor: IndexExtractor) -> Self {
+        self.extractor = extractor;
+        self
+    }
+
+    /// Runs the full pipeline for one endpoint on virtual day `day` and
+    /// stores every artefact; also updates `catalog` when one is supplied.
+    pub fn run(
+        &self,
+        endpoint: &SparqlEndpoint,
+        day: u64,
+        catalog: Option<&EndpointCatalog>,
+    ) -> Result<PipelineResult, PipelineError> {
+        if let Some(catalog) = catalog {
+            catalog.register(endpoint.url(), EndpointSource::LegacyList);
+        }
+        let started = Instant::now();
+        let extraction = self.extractor.extract(endpoint, day);
+        let (indexes, report) = match extraction {
+            Ok(ok) => ok,
+            Err(e) => {
+                if let Some(catalog) = catalog {
+                    catalog.record_failure(
+                        endpoint.url(),
+                        day,
+                        matches!(e, ExtractionError::EndpointUnavailable),
+                    );
+                }
+                return Err(e.into());
+            }
+        };
+        let summary = SchemaSummary::from_indexes(&indexes);
+        let cluster_schema = ClusterSchema::build(&summary, self.algorithm, self.seed);
+        let compute_time = started.elapsed();
+
+        // Store (upsert, keyed by endpoint URL) so repeated refreshes replace
+        // the previous artefacts.
+        let filter = Filter::eq("endpoint", endpoint.url());
+        self.store
+            .collection("indexes")
+            .upsert(&filter, indexes.to_doc())
+            .expect("indexes serialize to an object");
+        self.store
+            .collection("schema_summaries")
+            .upsert(&filter, summary.to_doc())
+            .expect("summary serializes to an object");
+        self.store
+            .collection("cluster_schemas")
+            .upsert(&filter, cluster_schema.to_doc())
+            .expect("cluster schema serializes to an object");
+        if let Some(catalog) = catalog {
+            catalog.record_success(endpoint.url(), day);
+        }
+
+        Ok(PipelineResult {
+            indexes,
+            summary,
+            cluster_schema,
+            report,
+            compute_time,
+        })
+    }
+
+    /// Loads the stored Schema Summary of an endpoint (presentation-layer
+    /// fast path).
+    pub fn load_summary(&self, endpoint_url: &str) -> Result<SchemaSummary, PipelineError> {
+        self.store
+            .collection("schema_summaries")
+            .find_one(&Filter::eq("endpoint", endpoint_url))
+            .and_then(|d| SchemaSummary::from_doc(&d.value))
+            .ok_or_else(|| PipelineError::NotStored(endpoint_url.to_string()))
+    }
+
+    /// Loads the stored Cluster Schema of an endpoint — the **new**
+    /// architecture of §3.2 (one document-store lookup).
+    pub fn load_cluster_schema(&self, endpoint_url: &str) -> Result<ClusterSchema, PipelineError> {
+        self.store
+            .collection("cluster_schemas")
+            .find_one(&Filter::eq("endpoint", endpoint_url))
+            .and_then(|d| ClusterSchema::from_doc(&d.value))
+            .ok_or_else(|| PipelineError::NotStored(endpoint_url.to_string()))
+    }
+
+    /// Computes the Cluster Schema **on the fly** from the stored Schema
+    /// Summary — the **old** architecture of §3.2, re-running community
+    /// detection at every request.
+    pub fn cluster_schema_on_the_fly(&self, endpoint_url: &str) -> Result<ClusterSchema, PipelineError> {
+        let summary = self.load_summary(endpoint_url)?;
+        Ok(ClusterSchema::build(&summary, self.algorithm, self.seed))
+    }
+
+    /// Loads the stored raw indexes of an endpoint.
+    pub fn load_indexes(&self, endpoint_url: &str) -> Result<DatasetIndexes, PipelineError> {
+        self.store
+            .collection("indexes")
+            .find_one(&Filter::eq("endpoint", endpoint_url))
+            .and_then(|d| DatasetIndexes::from_doc(&d.value))
+            .ok_or_else(|| PipelineError::NotStored(endpoint_url.to_string()))
+    }
+
+    /// The document store backing the pipeline.
+    pub fn store(&self) -> &DocStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_endpoint::synth::{scholarly, ScholarlyConfig};
+    use hbold_endpoint::{AvailabilityModel, EndpointProfile};
+
+    fn endpoint() -> SparqlEndpoint {
+        let graph = scholarly(&ScholarlyConfig {
+            conferences: 2,
+            papers_per_conference: 8,
+            authors_per_paper: 2,
+            seed: 9,
+        });
+        SparqlEndpoint::new("http://scholarly.example/sparql", &graph, EndpointProfile::full_featured())
+    }
+
+    #[test]
+    fn full_pipeline_stores_and_reloads_artifacts() {
+        let store = DocStore::in_memory();
+        let catalog = EndpointCatalog::new(&store);
+        let pipeline = ExtractionPipeline::new(&store);
+        let endpoint = endpoint();
+        let result = pipeline.run(&endpoint, 4, Some(&catalog)).unwrap();
+
+        assert!(result.summary.node_count() > 10);
+        assert!(result.cluster_schema.cluster_count() >= 2);
+        assert!(result.cluster_schema.is_partition(result.summary.node_count()));
+
+        // Everything can be read back identically.
+        assert_eq!(pipeline.load_summary(endpoint.url()).unwrap(), result.summary);
+        assert_eq!(pipeline.load_cluster_schema(endpoint.url()).unwrap(), result.cluster_schema);
+        assert_eq!(pipeline.load_indexes(endpoint.url()).unwrap(), result.indexes);
+
+        // The on-the-fly path produces the same clustering (same seed), just slower.
+        let on_the_fly = pipeline.cluster_schema_on_the_fly(endpoint.url()).unwrap();
+        assert_eq!(on_the_fly, result.cluster_schema);
+
+        // The catalog recorded the success.
+        let entry = catalog.get(endpoint.url()).unwrap();
+        assert_eq!(entry.last_extraction_day, Some(4));
+        assert_eq!(catalog.indexed_count(), 1);
+    }
+
+    #[test]
+    fn rerun_replaces_rather_than_duplicates() {
+        let store = DocStore::in_memory();
+        let pipeline = ExtractionPipeline::new(&store);
+        let endpoint = endpoint();
+        pipeline.run(&endpoint, 1, None).unwrap();
+        pipeline.run(&endpoint, 8, None).unwrap();
+        assert_eq!(store.collection("schema_summaries").len(), 1);
+        assert_eq!(store.collection("cluster_schemas").len(), 1);
+        assert_eq!(pipeline.load_indexes(endpoint.url()).unwrap().extracted_on_day, 8);
+    }
+
+    #[test]
+    fn failures_are_reported_and_recorded() {
+        let store = DocStore::in_memory();
+        let catalog = EndpointCatalog::new(&store);
+        let pipeline = ExtractionPipeline::new(&store);
+        let graph = scholarly(&ScholarlyConfig::default());
+        let down = SparqlEndpoint::new(
+            "http://down.example/sparql",
+            &graph,
+            EndpointProfile::full_featured().with_availability(AvailabilityModel::always_down()),
+        );
+        let err = pipeline.run(&down, 0, Some(&catalog)).unwrap_err();
+        assert!(matches!(err, PipelineError::Extraction(ExtractionError::EndpointUnavailable)));
+        let entry = catalog.get(down.url()).unwrap();
+        assert_eq!(entry.consecutive_failures, 1);
+        assert!(pipeline.load_summary(down.url()).is_err());
+        assert!(matches!(
+            pipeline.load_cluster_schema("http://never-seen.example/sparql"),
+            Err(PipelineError::NotStored(_))
+        ));
+    }
+}

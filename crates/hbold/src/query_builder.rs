@@ -1,0 +1,215 @@
+//! The visual SPARQL query builder.
+//!
+//! The abstract of the paper: H-BOLD "provides a visual interface for
+//! querying the endpoint that automatically generates SPARQL queries". The
+//! user picks a class in the Schema Summary, ticks some of its attributes and
+//! follows some of its links; the builder turns that selection into a
+//! `SELECT` query that can be sent to the endpoint as-is.
+
+use hbold_rdf_model::Iri;
+use hbold_schema::SchemaSummary;
+
+/// A visual query under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisualQueryBuilder {
+    class: Iri,
+    class_label: String,
+    attributes: Vec<Iri>,
+    links: Vec<(Iri, Iri, String)>, // (property, target class, target label)
+    limit: Option<usize>,
+    distinct: bool,
+}
+
+impl VisualQueryBuilder {
+    /// Starts a query on the class at `node` of `summary`.
+    ///
+    /// Returns `None` when the node index is out of range.
+    pub fn for_class(summary: &SchemaSummary, node: usize) -> Option<Self> {
+        let class_node = summary.nodes.get(node)?;
+        Some(VisualQueryBuilder {
+            class: class_node.class.clone(),
+            class_label: class_node.label.clone(),
+            attributes: Vec::new(),
+            links: Vec::new(),
+            limit: Some(100),
+            distinct: false,
+        })
+    }
+
+    /// Adds an attribute (datatype property) of the class to the projection.
+    pub fn with_attribute(mut self, property: Iri) -> Self {
+        if !self.attributes.contains(&property) {
+            self.attributes.push(property);
+        }
+        self
+    }
+
+    /// Follows an object property to another class; the linked resource is
+    /// added to the projection and constrained to the target class.
+    pub fn with_link(mut self, property: Iri, target_class: Iri, target_label: &str) -> Self {
+        self.links.push((property, target_class, target_label.to_string()));
+        self
+    }
+
+    /// Sets / clears the result limit (defaults to 100).
+    pub fn with_limit(mut self, limit: Option<usize>) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Requests `SELECT DISTINCT`.
+    pub fn distinct(mut self) -> Self {
+        self.distinct = true;
+        self
+    }
+
+    /// The projected variable names, in order (without `?`).
+    pub fn variables(&self) -> Vec<String> {
+        let mut vars = vec!["instance".to_string()];
+        vars.extend(self.attributes.iter().map(|p| sanitize(p.local_name())));
+        vars.extend(self.links.iter().map(|(_, _, label)| sanitize(label)));
+        vars
+    }
+
+    /// Generates the SPARQL query text.
+    pub fn to_sparql(&self) -> String {
+        let mut query = String::from("SELECT ");
+        if self.distinct {
+            query.push_str("DISTINCT ");
+        }
+        for variable in self.variables() {
+            query.push('?');
+            query.push_str(&variable);
+            query.push(' ');
+        }
+        query.push_str("WHERE {\n");
+        query.push_str(&format!("  ?instance a {} .\n", self.class.to_ntriples()));
+        for attribute in &self.attributes {
+            query.push_str(&format!(
+                "  ?instance {} ?{} .\n",
+                attribute.to_ntriples(),
+                sanitize(attribute.local_name())
+            ));
+        }
+        for (property, target_class, label) in &self.links {
+            let variable = sanitize(label);
+            query.push_str(&format!("  ?instance {} ?{variable} .\n", property.to_ntriples()));
+            query.push_str(&format!("  ?{variable} a {} .\n", target_class.to_ntriples()));
+        }
+        query.push('}');
+        if let Some(limit) = self.limit {
+            query.push_str(&format!("\nLIMIT {limit}"));
+        }
+        query
+    }
+
+    /// A query counting the instances of the selected class (used for the
+    /// previews H-BOLD shows next to each class).
+    pub fn count_query(&self) -> String {
+        format!(
+            "SELECT (COUNT(?instance) AS ?count) WHERE {{ ?instance a {} }}",
+            self.class.to_ntriples()
+        )
+    }
+
+    /// The label of the class being queried.
+    pub fn class_label(&self) -> &str {
+        &self.class_label
+    }
+}
+
+/// Turns a label into a safe SPARQL variable name.
+fn sanitize(label: &str) -> String {
+    let mut name: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if name.is_empty() || name.chars().next().unwrap().is_ascii_digit() {
+        name.insert(0, 'v');
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_endpoint::synth::{scholarly, scholarly_classes, ScholarlyConfig};
+    use hbold_endpoint::{EndpointProfile, SparqlEndpoint};
+    use hbold_rdf_model::vocab::foaf;
+    use hbold_schema::{IndexExtractor, SchemaSummary};
+
+    fn summary_and_endpoint() -> (SchemaSummary, SparqlEndpoint) {
+        let graph = scholarly(&ScholarlyConfig {
+            conferences: 1,
+            papers_per_conference: 6,
+            authors_per_paper: 2,
+            seed: 2,
+        });
+        let endpoint = SparqlEndpoint::new("http://sch.example/sparql", &graph, EndpointProfile::full_featured());
+        let (indexes, _) = IndexExtractor::new().extract(&endpoint, 0).unwrap();
+        (SchemaSummary::from_indexes(&indexes), endpoint)
+    }
+
+    #[test]
+    fn generated_query_is_valid_and_returns_rows() {
+        let (summary, endpoint) = summary_and_endpoint();
+        let person = summary.node_index(&scholarly_classes::class("Person")).unwrap();
+        let builder = VisualQueryBuilder::for_class(&summary, person)
+            .unwrap()
+            .with_attribute(foaf::name())
+            .with_limit(Some(10));
+        let query = builder.to_sparql();
+        assert!(query.contains("?instance a <"));
+        assert!(query.contains("foaf/0.1/name"));
+        assert!(query.ends_with("LIMIT 10"));
+        let rows = endpoint.select(&query).expect("generated query must parse and run");
+        assert!(!rows.is_empty());
+        assert_eq!(rows.variables, builder.variables());
+        assert!(rows.len() <= 10);
+    }
+
+    #[test]
+    fn link_selection_constrains_the_target_class() {
+        let (summary, endpoint) = summary_and_endpoint();
+        let person = summary.node_index(&scholarly_classes::class("Person")).unwrap();
+        let author_of = Iri::new(format!("{}scholarly/ontology#authorOf", hbold_endpoint::synth::SYNTH_NS)).unwrap();
+        let builder = VisualQueryBuilder::for_class(&summary, person)
+            .unwrap()
+            .with_link(author_of, scholarly_classes::class("InProceedings"), "paper")
+            .distinct()
+            .with_limit(None);
+        let query = builder.to_sparql();
+        assert!(query.starts_with("SELECT DISTINCT"));
+        assert!(query.contains("?paper a <"));
+        assert!(!query.contains("LIMIT"));
+        let rows = endpoint.select(&query).unwrap();
+        assert!(!rows.is_empty());
+        // Every returned paper is indeed an InProceedings.
+        let ask_class = scholarly_classes::class("InProceedings");
+        for binding in rows.iter_bindings() {
+            let paper = binding.get("paper").expect("paper bound");
+            let ask = format!("ASK {{ {} a {} }}", paper.to_ntriples(), ask_class.to_ntriples());
+            assert_eq!(endpoint.query(&ask).unwrap().results.as_ask(), Some(true));
+        }
+    }
+
+    #[test]
+    fn count_query_matches_summary_counts() {
+        let (summary, endpoint) = summary_and_endpoint();
+        let person = summary.node_index(&scholarly_classes::class("Person")).unwrap();
+        let builder = VisualQueryBuilder::for_class(&summary, person).unwrap();
+        assert_eq!(builder.class_label(), "Person");
+        let rows = endpoint.select(&builder.count_query()).unwrap();
+        let count: usize = rows.value(0, "count").unwrap().label().parse().unwrap();
+        assert_eq!(count, summary.nodes[person].instances);
+    }
+
+    #[test]
+    fn variable_names_are_sanitized_and_out_of_range_nodes_rejected() {
+        let (summary, _) = summary_and_endpoint();
+        assert!(VisualQueryBuilder::for_class(&summary, 10_000).is_none());
+        assert_eq!(sanitize("has keyword!"), "has_keyword_");
+        assert_eq!(sanitize("123abc"), "v123abc");
+        assert_eq!(sanitize(""), "v");
+    }
+}

@@ -1,0 +1,207 @@
+//! The index-refresh scheduler (§3.1).
+//!
+//! The paper's policy: extractions run daily, but an endpoint whose last
+//! successful extraction is less than seven days old is skipped — unless its
+//! last attempt failed (endpoints are often down for a day or two and come
+//! back), in which case it is retried every day. The [`RefreshScheduler`]
+//! simulates that policy (and the naive daily-refresh alternative) over a
+//! fleet of endpoints across a horizon of virtual days, which is what
+//! experiment E9 reports.
+
+use hbold_endpoint::EndpointFleet;
+
+use crate::catalog::{EndpointCatalog, EndpointStatus};
+use crate::pipeline::{ExtractionPipeline, PipelineError};
+
+/// Which refresh policy to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshPolicy {
+    /// The paper's policy: weekly refresh, daily retry of failures.
+    WeeklyWithDailyRetry {
+        /// Refresh period in days (the paper uses 7).
+        period_days: u64,
+    },
+    /// Re-extract every endpoint every day.
+    NaiveDaily,
+}
+
+impl RefreshPolicy {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        RefreshPolicy::WeeklyWithDailyRetry { period_days: 7 }
+    }
+}
+
+/// Aggregate statistics of a scheduler simulation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchedulerStats {
+    /// Number of simulated days.
+    pub days: u64,
+    /// Extraction attempts actually performed.
+    pub extraction_runs: usize,
+    /// Attempts skipped because the data was fresh enough.
+    pub skipped_fresh: usize,
+    /// Attempts that failed (endpoint unavailable or broken).
+    pub failed_runs: usize,
+    /// Endpoints with at least one successful extraction by the end.
+    pub endpoints_indexed: usize,
+    /// Mean staleness at the end of the horizon: average over indexed
+    /// endpoints of (last day − last successful extraction day).
+    pub mean_staleness_days: f64,
+}
+
+/// The refresh scheduler.
+#[derive(Debug, Clone)]
+pub struct RefreshScheduler {
+    policy: RefreshPolicy,
+}
+
+impl RefreshScheduler {
+    /// Creates a scheduler with the given policy.
+    pub fn new(policy: RefreshPolicy) -> Self {
+        RefreshScheduler { policy }
+    }
+
+    /// Should `entry` be refreshed on `day` under this policy?
+    pub fn should_refresh(&self, entry: &crate::catalog::CatalogEntry, day: u64) -> bool {
+        match self.policy {
+            RefreshPolicy::NaiveDaily => true,
+            RefreshPolicy::WeeklyWithDailyRetry { period_days } => {
+                match entry.last_extraction_day {
+                    // Never succeeded: keep trying daily (unless it is marked
+                    // permanently failed and has already been retried a lot).
+                    None => !(entry.status == EndpointStatus::Failed && entry.consecutive_failures > 14),
+                    Some(last_success) => {
+                        let due = day.saturating_sub(last_success) >= period_days;
+                        let last_attempt_failed = entry
+                            .last_attempt_day
+                            .map(|attempt| {
+                                attempt > last_success || entry.consecutive_failures > 0
+                            })
+                            .unwrap_or(false);
+                        due || last_attempt_failed
+                    }
+                }
+            }
+        }
+    }
+
+    /// Simulates the policy over `days` virtual days for every endpoint of
+    /// the fleet, running real extractions through `pipeline` and recording
+    /// outcomes in `catalog`.
+    pub fn simulate(
+        &self,
+        fleet: &EndpointFleet,
+        pipeline: &ExtractionPipeline,
+        catalog: &EndpointCatalog,
+        days: u64,
+    ) -> SchedulerStats {
+        let mut stats = SchedulerStats {
+            days,
+            ..SchedulerStats::default()
+        };
+        for endpoint in fleet.iter() {
+            catalog.register(endpoint.url(), crate::catalog::EndpointSource::LegacyList);
+        }
+        for day in 0..days {
+            fleet.set_day(day);
+            for endpoint in fleet.iter() {
+                let Some(entry) = catalog.get(endpoint.url()) else { continue };
+                if !self.should_refresh(&entry, day) {
+                    stats.skipped_fresh += 1;
+                    continue;
+                }
+                stats.extraction_runs += 1;
+                match pipeline.run(endpoint, day, Some(catalog)) {
+                    Ok(_) => {}
+                    Err(PipelineError::Extraction(_)) | Err(PipelineError::NotStored(_)) => {
+                        stats.failed_runs += 1;
+                    }
+                }
+            }
+        }
+        // Final staleness over endpoints that were indexed at least once.
+        let last_day = days.saturating_sub(1);
+        let mut staleness_total = 0.0;
+        let mut indexed = 0usize;
+        for entry in catalog.entries() {
+            if let Some(success_day) = entry.last_extraction_day {
+                indexed += 1;
+                staleness_total += (last_day.saturating_sub(success_day)) as f64;
+            }
+        }
+        stats.endpoints_indexed = indexed;
+        stats.mean_staleness_days = if indexed == 0 { 0.0 } else { staleness_total / indexed as f64 };
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{CatalogEntry, EndpointSource};
+    use hbold_docstore::DocStore;
+    use hbold_endpoint::FleetConfig;
+
+    fn entry(last_success: Option<u64>, last_attempt: Option<u64>, failures: u32) -> CatalogEntry {
+        CatalogEntry {
+            url: "http://e.org/sparql".into(),
+            source: EndpointSource::LegacyList,
+            status: if last_success.is_some() {
+                EndpointStatus::Indexed
+            } else {
+                EndpointStatus::Unindexed
+            },
+            last_extraction_day: last_success,
+            last_attempt_day: last_attempt,
+            consecutive_failures: failures,
+        }
+    }
+
+    #[test]
+    fn paper_policy_decision_table() {
+        let scheduler = RefreshScheduler::new(RefreshPolicy::paper());
+        // Never extracted → try.
+        assert!(scheduler.should_refresh(&entry(None, None, 0), 0));
+        // Fresh success (2 days old) → skip.
+        assert!(!scheduler.should_refresh(&entry(Some(10), Some(10), 0), 12));
+        // Stale success (8 days old) → refresh.
+        assert!(scheduler.should_refresh(&entry(Some(2), Some(2), 0), 10));
+        // Fresh success but the last attempt failed → retry daily.
+        assert!(scheduler.should_refresh(&entry(Some(10), Some(12), 1), 13));
+        // Naive policy always refreshes.
+        let naive = RefreshScheduler::new(RefreshPolicy::NaiveDaily);
+        assert!(naive.should_refresh(&entry(Some(10), Some(10), 0), 11));
+    }
+
+    #[test]
+    fn weekly_policy_saves_most_extractions_versus_daily() {
+        let fleet = hbold_endpoint::EndpointFleet::generate(&FleetConfig {
+            endpoints: 4,
+            max_instances: 600,
+            dead_fraction: 0.0,
+            flaky_fraction: 0.3,
+            ..FleetConfig::small(4, 77)
+        });
+        let days = 9;
+
+        let run = |policy: RefreshPolicy| {
+            let store = DocStore::in_memory();
+            let catalog = EndpointCatalog::new(&store);
+            let pipeline = ExtractionPipeline::new(&store);
+            RefreshScheduler::new(policy).simulate(&fleet, &pipeline, &catalog, days)
+        };
+        let weekly = run(RefreshPolicy::paper());
+        let daily = run(RefreshPolicy::NaiveDaily);
+
+        assert_eq!(weekly.days, days);
+        assert!(weekly.extraction_runs < daily.extraction_runs / 2,
+            "weekly policy should run far fewer extractions ({} vs {})",
+            weekly.extraction_runs, daily.extraction_runs);
+        assert!(weekly.endpoints_indexed >= daily.endpoints_indexed.saturating_sub(1),
+            "weekly policy should not lose coverage");
+        assert!(weekly.skipped_fresh > 0);
+        // Staleness under the weekly policy is bounded by the period.
+        assert!(weekly.mean_staleness_days <= 7.5);
+    }
+}

@@ -1,0 +1,447 @@
+//! RDF terms: IRIs, blank nodes and the [`Term`] sum type.
+//!
+//! Terms are cheap to clone: the underlying text is stored in an
+//! [`std::sync::Arc<str>`], so cloning a term is a reference-count bump.
+//! RDF datasets mention the same IRIs over and over (every instance of a
+//! class repeats the class IRI, every use of a property repeats the property
+//! IRI), so shared ownership is the natural representation.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::literal::Literal;
+
+/// Error returned by [`Iri::new`] when the supplied text is not an
+/// acceptable IRI.
+///
+/// The validation is deliberately pragmatic rather than a full RFC 3987
+/// implementation: H-BOLD ingests IRIs from SPARQL endpoints and open-data
+/// portals, and the properties that matter for the rest of the system are
+/// that an IRI is non-empty, has a scheme, and contains no characters that
+/// would corrupt N-Triples/SPARQL serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IriParseError {
+    text: String,
+    reason: &'static str,
+}
+
+impl IriParseError {
+    /// The offending input text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// A short human-readable description of what was wrong.
+    pub fn reason(&self) -> &'static str {
+        self.reason
+    }
+}
+
+impl fmt::Display for IriParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IRI `{}`: {}", self.text, self.reason)
+    }
+}
+
+impl std::error::Error for IriParseError {}
+
+/// An absolute IRI (Internationalized Resource Identifier).
+///
+/// `Iri` is an immutable, cheaply clonable wrapper around the IRI text.
+/// Equality, ordering and hashing are all by the textual form, which is what
+/// RDF semantics prescribe for IRI identity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Iri(Arc<str>);
+
+impl Iri {
+    /// Parses and validates `text` as an absolute IRI.
+    ///
+    /// Validation rules:
+    /// * non-empty,
+    /// * must contain a `:` separating a non-empty alphabetic scheme from the
+    ///   rest (i.e. the IRI is absolute),
+    /// * must not contain whitespace, `<`, `>`, `"`, `{`, `}`, `|`, `^` or
+    ///   backslash (characters that are illegal in the N-Triples / SPARQL
+    ///   `IRIREF` production).
+    pub fn new(text: impl Into<String>) -> Result<Self, IriParseError> {
+        let text = text.into();
+        if text.is_empty() {
+            return Err(IriParseError { text, reason: "empty string" });
+        }
+        let Some(colon) = text.find(':') else {
+            return Err(IriParseError { text, reason: "missing scheme (IRI must be absolute)" });
+        };
+        if colon == 0 {
+            return Err(IriParseError { text, reason: "empty scheme" });
+        }
+        let scheme = &text[..colon];
+        if !scheme.chars().next().map(|c| c.is_ascii_alphabetic()).unwrap_or(false)
+            || !scheme
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.')
+        {
+            return Err(IriParseError { text, reason: "scheme must be alphanumeric and start with a letter" });
+        }
+        if let Some(bad) = text
+            .chars()
+            .find(|c| c.is_whitespace() || matches!(c, '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\'))
+        {
+            let _ = bad;
+            return Err(IriParseError { text, reason: "contains a character not allowed in IRIREF" });
+        }
+        Ok(Iri(Arc::from(text)))
+    }
+
+    /// Creates an IRI without validation.
+    ///
+    /// Intended for compile-time-known vocabulary constants and for internal
+    /// generators that construct IRIs from already-validated parts. Prefer
+    /// [`Iri::new`] for externally supplied text.
+    pub fn new_unchecked(text: impl Into<String>) -> Self {
+        Iri(Arc::from(text.into()))
+    }
+
+    /// The full IRI text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns the "local name": the part after the last `#`, or after the
+    /// last `/` if there is no fragment.
+    ///
+    /// This is how H-BOLD labels classes and properties in its visualizations
+    /// (e.g. `http://xmlns.com/foaf/0.1/Person` → `Person`).
+    pub fn local_name(&self) -> &str {
+        let s = self.as_str();
+        if let Some(idx) = s.rfind('#') {
+            let tail = &s[idx + 1..];
+            if !tail.is_empty() {
+                return tail;
+            }
+        }
+        match s.rfind('/') {
+            Some(idx) if idx + 1 < s.len() => &s[idx + 1..],
+            _ => s,
+        }
+    }
+
+    /// Returns the namespace part: everything up to and including the last
+    /// `#` or `/`. The concatenation of [`Iri::namespace`] and
+    /// [`Iri::local_name`] is the full IRI whenever a split exists.
+    pub fn namespace(&self) -> &str {
+        let s = self.as_str();
+        let local = self.local_name();
+        &s[..s.len() - local.len()]
+    }
+
+    /// Formats the IRI in N-Triples / SPARQL syntax: `<...>`.
+    pub fn to_ntriples(&self) -> String {
+        format!("<{}>", self.as_str())
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.as_str())
+    }
+}
+
+impl AsRef<str> for Iri {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// A blank node, identified by a label that is only meaningful within a
+/// single graph/document.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlankNode(Arc<str>);
+
+impl BlankNode {
+    /// Creates a blank node with the given label. Labels are restricted to
+    /// ASCII alphanumerics, `_`, `-` and `.` so they can always be emitted in
+    /// N-Triples without escaping.
+    pub fn new(label: impl Into<String>) -> Self {
+        let label: String = label.into();
+        let sanitized: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' { c } else { '_' })
+            .collect();
+        BlankNode(Arc::from(if sanitized.is_empty() { "b0".to_string() } else { sanitized }))
+    }
+
+    /// Creates a blank node with a numeric label, e.g. `b42`.
+    pub fn numbered(n: u64) -> Self {
+        BlankNode(Arc::from(format!("b{n}")))
+    }
+
+    /// The blank node label (without the leading `_:`).
+    pub fn label(&self) -> &str {
+        &self.0
+    }
+
+    /// Formats the node in N-Triples syntax: `_:label`.
+    pub fn to_ntriples(&self) -> String {
+        format!("_:{}", self.label())
+    }
+}
+
+impl fmt::Display for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.label())
+    }
+}
+
+/// Discriminates the three kinds of RDF term without carrying the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TermKind {
+    /// An IRI.
+    Iri,
+    /// A blank node.
+    BlankNode,
+    /// A literal.
+    Literal,
+}
+
+/// Any RDF term: IRI, blank node or literal.
+///
+/// The ordering (`Ord`) sorts blank nodes before IRIs before literals and
+/// then by textual form, matching the ordering SPARQL uses for `ORDER BY`
+/// over unbound-free solutions closely enough for the engine in
+/// `hbold-sparql`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// An IRI term.
+    Iri(Iri),
+    /// A blank node term.
+    Blank(BlankNode),
+    /// A literal term.
+    Literal(Literal),
+}
+
+impl Term {
+    /// The kind of this term.
+    pub fn kind(&self) -> TermKind {
+        match self {
+            Term::Iri(_) => TermKind::Iri,
+            Term::Blank(_) => TermKind::BlankNode,
+            Term::Literal(_) => TermKind::Literal,
+        }
+    }
+
+    /// Returns `true` if this term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// Returns `true` if this term is a blank node.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    /// Returns `true` if this term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// Returns the IRI if this term is one.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            _ => None,
+        }
+    }
+
+    /// Returns the literal if this term is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(lit) => Some(lit),
+            _ => None,
+        }
+    }
+
+    /// Returns the blank node if this term is one.
+    pub fn as_blank(&self) -> Option<&BlankNode> {
+        match self {
+            Term::Blank(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// A short human-oriented label for the term: the local name for IRIs,
+    /// the lexical form for literals, the label for blank nodes.
+    pub fn label(&self) -> &str {
+        match self {
+            Term::Iri(iri) => iri.local_name(),
+            Term::Blank(b) => b.label(),
+            Term::Literal(l) => l.lexical_form(),
+        }
+    }
+
+    /// Formats the term in N-Triples syntax.
+    pub fn to_ntriples(&self) -> String {
+        match self {
+            Term::Iri(iri) => iri.to_ntriples(),
+            Term::Blank(b) => b.to_ntriples(),
+            Term::Literal(l) => l.to_ntriples(),
+        }
+    }
+
+    /// Returns `true` if the term may appear in the subject position of a
+    /// triple (IRIs and blank nodes; RDF 1.1 forbids literal subjects).
+    pub fn is_valid_subject(&self) -> bool {
+        !self.is_literal()
+    }
+
+    /// Returns `true` if the term may appear in the predicate position
+    /// (only IRIs).
+    pub fn is_valid_predicate(&self) -> bool {
+        self.is_iri()
+    }
+}
+
+impl PartialOrd for Term {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Term {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        fn rank(t: &Term) -> u8 {
+            match t {
+                Term::Blank(_) => 0,
+                Term::Iri(_) => 1,
+                Term::Literal(_) => 2,
+            }
+        }
+        rank(self).cmp(&rank(other)).then_with(|| match (self, other) {
+            (Term::Blank(a), Term::Blank(b)) => a.cmp(b),
+            (Term::Iri(a), Term::Iri(b)) => a.cmp(b),
+            (Term::Literal(a), Term::Literal(b)) => a.cmp(b),
+            _ => std::cmp::Ordering::Equal,
+        })
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ntriples())
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(value: Iri) -> Self {
+        Term::Iri(value)
+    }
+}
+
+impl From<BlankNode> for Term {
+    fn from(value: BlankNode) -> Self {
+        Term::Blank(value)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(value: Literal) -> Self {
+        Term::Literal(value)
+    }
+}
+
+impl From<&Iri> for Term {
+    fn from(value: &Iri) -> Self {
+        Term::Iri(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_accepts_http_and_urn() {
+        assert!(Iri::new("http://example.org/x").is_ok());
+        assert!(Iri::new("https://example.org/x#frag").is_ok());
+        assert!(Iri::new("urn:uuid:1234").is_ok());
+        assert!(Iri::new("mailto:someone@example.org").is_ok());
+    }
+
+    #[test]
+    fn iri_rejects_garbage() {
+        assert!(Iri::new("").is_err());
+        assert!(Iri::new("no-scheme-here").is_err());
+        assert!(Iri::new(":missing").is_err());
+        assert!(Iri::new("http://exa mple.org/").is_err());
+        assert!(Iri::new("http://example.org/<x>").is_err());
+        assert!(Iri::new("1http://example.org/").is_err());
+    }
+
+    #[test]
+    fn iri_local_name_and_namespace() {
+        let i = Iri::new("http://xmlns.com/foaf/0.1/Person").unwrap();
+        assert_eq!(i.local_name(), "Person");
+        assert_eq!(i.namespace(), "http://xmlns.com/foaf/0.1/");
+
+        let i = Iri::new("http://www.w3.org/1999/02/22-rdf-syntax-ns#type").unwrap();
+        assert_eq!(i.local_name(), "type");
+        assert_eq!(i.namespace(), "http://www.w3.org/1999/02/22-rdf-syntax-ns#");
+
+        // No separators after the scheme: local name falls back to the whole text.
+        let i = Iri::new("urn:thing").unwrap();
+        assert_eq!(i.local_name(), "urn:thing");
+    }
+
+    #[test]
+    fn iri_display_is_bracketed() {
+        let i = Iri::new("http://example.org/a").unwrap();
+        assert_eq!(i.to_string(), "<http://example.org/a>");
+        assert_eq!(i.to_ntriples(), "<http://example.org/a>");
+    }
+
+    #[test]
+    fn blank_node_labels_are_sanitized() {
+        let b = BlankNode::new("node with spaces");
+        assert!(!b.label().contains(' '));
+        assert_eq!(BlankNode::numbered(7).label(), "b7");
+        assert_eq!(BlankNode::new("").label(), "b0");
+    }
+
+    #[test]
+    fn term_kind_and_accessors() {
+        let iri = Iri::new("http://example.org/a").unwrap();
+        let t: Term = iri.clone().into();
+        assert_eq!(t.kind(), TermKind::Iri);
+        assert!(t.is_iri() && !t.is_blank() && !t.is_literal());
+        assert_eq!(t.as_iri(), Some(&iri));
+        assert!(t.is_valid_subject());
+        assert!(t.is_valid_predicate());
+
+        let b: Term = BlankNode::numbered(1).into();
+        assert_eq!(b.kind(), TermKind::BlankNode);
+        assert!(b.is_valid_subject());
+        assert!(!b.is_valid_predicate());
+
+        let l: Term = Literal::string("hi").into();
+        assert_eq!(l.kind(), TermKind::Literal);
+        assert!(!l.is_valid_subject());
+        assert!(!l.is_valid_predicate());
+        assert_eq!(l.label(), "hi");
+    }
+
+    #[test]
+    fn term_ordering_groups_by_kind() {
+        let blank: Term = BlankNode::numbered(9).into();
+        let iri: Term = Iri::new("http://a.example/z").unwrap().into();
+        let lit: Term = Literal::string("a").into();
+        let mut v = vec![lit.clone(), iri.clone(), blank.clone()];
+        v.sort();
+        assert_eq!(v, vec![blank, iri, lit]);
+    }
+
+    #[test]
+    fn iri_clone_is_shallow() {
+        let i = Iri::new("http://example.org/shared").unwrap();
+        let j = i.clone();
+        assert_eq!(i.as_str().as_ptr(), j.as_str().as_ptr());
+    }
+}

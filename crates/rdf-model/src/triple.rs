@@ -1,0 +1,216 @@
+//! Triples and triple patterns.
+
+use std::fmt;
+
+use crate::term::{Iri, Term};
+
+/// A single RDF triple (subject, predicate, object).
+///
+/// Construction through [`Triple::new`] is infallible for convenience; the
+/// positional validity rules (no literal subjects, IRI predicates) are
+/// enforced by [`Triple::try_new`], which parsers and stores use when
+/// ingesting untrusted data.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    /// The subject term (an IRI or blank node in valid RDF).
+    pub subject: Term,
+    /// The predicate term (an IRI in valid RDF).
+    pub predicate: Term,
+    /// The object term (any term).
+    pub object: Term,
+}
+
+/// Error returned by [`Triple::try_new`] when a term is not allowed in its
+/// position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TriplePositionError {
+    /// Literals cannot be subjects.
+    LiteralSubject,
+    /// Predicates must be IRIs.
+    NonIriPredicate,
+}
+
+impl fmt::Display for TriplePositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TriplePositionError::LiteralSubject => write!(f, "literal terms cannot be triple subjects"),
+            TriplePositionError::NonIriPredicate => write!(f, "triple predicates must be IRIs"),
+        }
+    }
+}
+
+impl std::error::Error for TriplePositionError {}
+
+impl Triple {
+    /// Builds a triple from any three terms (positional validity is not
+    /// checked — see [`Triple::try_new`]).
+    pub fn new(
+        subject: impl Into<Term>,
+        predicate: impl Into<Term>,
+        object: impl Into<Term>,
+    ) -> Self {
+        Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
+    }
+
+    /// Builds a triple, rejecting literal subjects and non-IRI predicates.
+    pub fn try_new(
+        subject: impl Into<Term>,
+        predicate: impl Into<Term>,
+        object: impl Into<Term>,
+    ) -> Result<Self, TriplePositionError> {
+        let t = Triple::new(subject, predicate, object);
+        if !t.subject.is_valid_subject() {
+            return Err(TriplePositionError::LiteralSubject);
+        }
+        if !t.predicate.is_valid_predicate() {
+            return Err(TriplePositionError::NonIriPredicate);
+        }
+        Ok(t)
+    }
+
+    /// The predicate as an IRI, when it is one.
+    pub fn predicate_iri(&self) -> Option<&Iri> {
+        self.predicate.as_iri()
+    }
+
+    /// Renders the triple as one N-Triples line (including the terminating
+    /// ` .`).
+    pub fn to_ntriples(&self) -> String {
+        format!(
+            "{} {} {} .",
+            self.subject.to_ntriples(),
+            self.predicate.to_ntriples(),
+            self.object.to_ntriples()
+        )
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ntriples())
+    }
+}
+
+/// A triple pattern: each position is either a concrete term or a wildcard.
+///
+/// This is the lookup interface shared by [`crate::Graph`] and the indexed
+/// store in `hbold-triple-store`. SPARQL basic graph patterns additionally
+/// carry variable names; those live in `hbold-sparql` and are lowered to
+/// `TriplePattern`s for index lookups.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TriplePattern {
+    /// Required subject, or `None` for any subject.
+    pub subject: Option<Term>,
+    /// Required predicate, or `None` for any predicate.
+    pub predicate: Option<Term>,
+    /// Required object, or `None` for any object.
+    pub object: Option<Term>,
+}
+
+impl TriplePattern {
+    /// The pattern that matches every triple.
+    pub fn any() -> Self {
+        TriplePattern::default()
+    }
+
+    /// Restricts the subject position.
+    pub fn with_subject(mut self, s: impl Into<Term>) -> Self {
+        self.subject = Some(s.into());
+        self
+    }
+
+    /// Restricts the predicate position.
+    pub fn with_predicate(mut self, p: impl Into<Term>) -> Self {
+        self.predicate = Some(p.into());
+        self
+    }
+
+    /// Restricts the object position.
+    pub fn with_object(mut self, o: impl Into<Term>) -> Self {
+        self.object = Some(o.into());
+        self
+    }
+
+    /// Returns `true` if `triple` matches this pattern.
+    pub fn matches(&self, triple: &Triple) -> bool {
+        self.subject.as_ref().map_or(true, |s| s == &triple.subject)
+            && self.predicate.as_ref().map_or(true, |p| p == &triple.predicate)
+            && self.object.as_ref().map_or(true, |o| o == &triple.object)
+    }
+
+    /// Number of bound (non-wildcard) positions, 0–3. Used by the store to
+    /// pick an index.
+    pub fn bound_positions(&self) -> usize {
+        usize::from(self.subject.is_some())
+            + usize::from(self.predicate.is_some())
+            + usize::from(self.object.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Literal;
+    use crate::term::{BlankNode, Iri};
+    use crate::vocab::{foaf, rdf};
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    #[test]
+    fn triple_display_is_ntriples() {
+        let t = Triple::new(iri("http://e.org/a"), rdf::type_(), foaf::person());
+        assert_eq!(
+            t.to_string(),
+            "<http://e.org/a> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://xmlns.com/foaf/0.1/Person> ."
+        );
+    }
+
+    #[test]
+    fn try_new_enforces_positions() {
+        let lit = Literal::string("x");
+        assert_eq!(
+            Triple::try_new(lit.clone(), rdf::type_(), foaf::person()),
+            Err(TriplePositionError::LiteralSubject)
+        );
+        assert_eq!(
+            Triple::try_new(iri("http://e.org/a"), BlankNode::numbered(0), foaf::person()),
+            Err(TriplePositionError::NonIriPredicate)
+        );
+        assert!(Triple::try_new(iri("http://e.org/a"), foaf::name(), lit).is_ok());
+        assert!(Triple::try_new(BlankNode::numbered(1), foaf::name(), Literal::string("b")).is_ok());
+    }
+
+    #[test]
+    fn pattern_matching() {
+        let t = Triple::new(iri("http://e.org/a"), foaf::name(), Literal::string("Alice"));
+        assert!(TriplePattern::any().matches(&t));
+        assert!(TriplePattern::any().with_subject(iri("http://e.org/a")).matches(&t));
+        assert!(TriplePattern::any().with_predicate(foaf::name()).matches(&t));
+        assert!(!TriplePattern::any().with_predicate(foaf::mbox()).matches(&t));
+        assert!(TriplePattern::any()
+            .with_subject(iri("http://e.org/a"))
+            .with_object(Literal::string("Alice"))
+            .matches(&t));
+        assert!(!TriplePattern::any().with_object(Literal::string("Bob")).matches(&t));
+    }
+
+    #[test]
+    fn bound_positions_counts() {
+        assert_eq!(TriplePattern::any().bound_positions(), 0);
+        assert_eq!(TriplePattern::any().with_predicate(rdf::type_()).bound_positions(), 1);
+        assert_eq!(
+            TriplePattern::any()
+                .with_subject(iri("http://e.org/a"))
+                .with_predicate(rdf::type_())
+                .with_object(foaf::person())
+                .bound_positions(),
+            3
+        );
+    }
+}

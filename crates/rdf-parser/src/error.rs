@@ -1,0 +1,66 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// An error raised while parsing an RDF document.
+///
+/// Carries the 1-based line and column of the offending character plus a
+/// human-readable message, which is what H-BOLD surfaces to a user whose
+/// manually inserted document failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    line: usize,
+    column: usize,
+    message: String,
+}
+
+impl ParseError {
+    /// Creates a new parse error at the given 1-based position.
+    pub fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of the error.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// The error message (without position information).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}, column {}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(3, 14, "unexpected end of input");
+        let text = e.to_string();
+        assert!(text.contains("line 3"));
+        assert!(text.contains("column 14"));
+        assert!(text.contains("unexpected end of input"));
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.column(), 14);
+        assert_eq!(e.message(), "unexpected end of input");
+    }
+}

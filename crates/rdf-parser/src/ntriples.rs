@@ -1,0 +1,288 @@
+//! N-Triples parsing and serialization.
+//!
+//! N-Triples is the line-oriented RDF syntax: one triple per line, terms in
+//! their fully expanded form, a `.` terminator. It is the exchange format
+//! used between the synthetic dataset generators, the simulated endpoints
+//! and the test suite because it round-trips exactly.
+
+use hbold_rdf_model::{BlankNode, Graph, Iri, Literal, Term, Triple};
+
+use crate::error::ParseError;
+
+/// Parses an N-Triples document into a [`Graph`].
+///
+/// Empty lines and `#` comment lines are ignored. Errors carry the position
+/// of the offending character.
+pub fn parse(input: &str) -> Result<Graph, ParseError> {
+    let mut graph = Graph::new();
+    for (line_no, raw_line) in input.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let triple = parse_line(line, line_no + 1)?;
+        graph.insert(triple);
+    }
+    Ok(graph)
+}
+
+/// Parses a single N-Triples statement (without trailing newline).
+pub fn parse_line(line: &str, line_no: usize) -> Result<Triple, ParseError> {
+    let mut cursor = Cursor::new(line, line_no);
+    cursor.skip_ws();
+    let subject = cursor.parse_term()?;
+    cursor.skip_ws();
+    let predicate = cursor.parse_term()?;
+    cursor.skip_ws();
+    let object = cursor.parse_term()?;
+    cursor.skip_ws();
+    cursor.expect('.')?;
+    cursor.skip_ws();
+    if !cursor.at_end() {
+        return Err(cursor.error("trailing content after '.'"));
+    }
+    Triple::try_new(subject, predicate, object).map_err(|e| ParseError::new(line_no, 1, e.to_string()))
+}
+
+/// Serializes a [`Graph`] as N-Triples text (deterministic order).
+pub fn write(graph: &Graph) -> String {
+    graph.to_ntriples()
+}
+
+/// A character cursor over one statement.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line_no: usize,
+}
+
+impl Cursor {
+    fn new(line: &str, line_no: usize) -> Self {
+        Cursor {
+            chars: line.chars().collect(),
+            pos: 0,
+            line_no,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line_no, self.pos + 1, message)
+    }
+
+    fn expect(&mut self, expected: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(self.error(format!("expected '{expected}', found '{c}'"))),
+            None => Err(self.error(format!("expected '{expected}', found end of line"))),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.peek() {
+            Some('<') => self.parse_iri().map(Term::from),
+            Some('_') => self.parse_blank().map(Term::from),
+            Some('"') => self.parse_literal().map(Term::from),
+            Some(c) => Err(self.error(format!("unexpected character '{c}' at start of term"))),
+            None => Err(self.error("unexpected end of line, expected a term")),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<Iri, ParseError> {
+        self.expect('<')?;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '>' {
+                let text: String = self.chars[start..self.pos].iter().collect();
+                self.pos += 1;
+                return Iri::new(text).map_err(|e| self.error(e.to_string()));
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated IRI (missing '>')"))
+    }
+
+    fn parse_blank(&mut self) -> Result<BlankNode, ParseError> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("empty blank node label"));
+        }
+        // A trailing '.' belongs to the statement terminator, not the label.
+        let mut end = self.pos;
+        while end > start && self.chars[end - 1] == '.' {
+            end -= 1;
+        }
+        let label: String = self.chars[start..end].iter().collect();
+        self.pos = end;
+        Ok(BlankNode::new(label))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        self.expect('"')?;
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => value.push('\n'),
+                    Some('r') => value.push('\r'),
+                    Some('t') => value.push('\t'),
+                    Some('"') => value.push('"'),
+                    Some('\\') => value.push('\\'),
+                    Some('u') => value.push(self.parse_unicode_escape(4)?),
+                    Some('U') => value.push(self.parse_unicode_escape(8)?),
+                    Some(c) => return Err(self.error(format!("unknown escape sequence '\\{c}'"))),
+                    None => return Err(self.error("unterminated escape sequence")),
+                },
+                Some(c) => value.push(c),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+        match self.peek() {
+            Some('@') => {
+                self.pos += 1;
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-') {
+                    self.pos += 1;
+                }
+                if self.pos == start {
+                    return Err(self.error("empty language tag"));
+                }
+                let lang: String = self.chars[start..self.pos].iter().collect();
+                Ok(Literal::lang_string(value, lang))
+            }
+            Some('^') => {
+                self.pos += 1;
+                self.expect('^')?;
+                let datatype = self.parse_iri()?;
+                Ok(Literal::typed(value, datatype))
+            }
+            _ => Ok(Literal::string(value)),
+        }
+    }
+
+    fn parse_unicode_escape(&mut self, digits: usize) -> Result<char, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..digits {
+            let c = self.bump().ok_or_else(|| self.error("unterminated unicode escape"))?;
+            let d = c.to_digit(16).ok_or_else(|| self.error("invalid hex digit in unicode escape"))?;
+            code = code * 16 + d;
+        }
+        char::from_u32(code).ok_or_else(|| self.error("unicode escape is not a valid code point"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_rdf_model::vocab::{foaf, rdf, xsd};
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    #[test]
+    fn parses_plain_triples() {
+        let doc = "\
+# a comment line
+<http://e.org/alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://xmlns.com/foaf/0.1/Person> .
+
+<http://e.org/alice> <http://xmlns.com/foaf/0.1/name> \"Alice\" .
+";
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(&Triple::new(iri("http://e.org/alice"), rdf::type_(), foaf::person())));
+        assert!(g.contains(&Triple::new(iri("http://e.org/alice"), foaf::name(), Literal::string("Alice"))));
+    }
+
+    #[test]
+    fn parses_typed_and_language_literals() {
+        let doc = concat!(
+            "<http://e.org/x> <http://e.org/age> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+            "<http://e.org/x> <http://e.org/label> \"ciao\"@IT .\n",
+        );
+        let g = parse(doc).unwrap();
+        let triples: Vec<_> = g.iter().cloned().collect();
+        assert!(triples.contains(&Triple::new(
+            iri("http://e.org/x"),
+            iri("http://e.org/age"),
+            Literal::typed("42", xsd::integer())
+        )));
+        assert!(triples.contains(&Triple::new(
+            iri("http://e.org/x"),
+            iri("http://e.org/label"),
+            Literal::lang_string("ciao", "it")
+        )));
+    }
+
+    #[test]
+    fn parses_blank_nodes() {
+        let doc = "_:a <http://e.org/knows> _:b .\n";
+        let g = parse(doc).unwrap();
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.subject, Term::from(BlankNode::new("a")));
+        assert_eq!(t.object, Term::from(BlankNode::new("b")));
+    }
+
+    #[test]
+    fn parses_escapes_in_literals() {
+        let doc = r#"<http://e.org/x> <http://e.org/p> "line\nbreak \"quote\" tab\t\\ uA" ."#;
+        let g = parse(doc).unwrap();
+        let t = g.iter().next().unwrap();
+        let lit = t.object.as_literal().unwrap();
+        assert_eq!(lit.lexical_form(), "line\nbreak \"quote\" tab\t\\ uA");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("<http://e.org/a> <http://e.org/p> .").is_err(), "missing object");
+        assert!(parse("<http://e.org/a> <http://e.org/p> \"x\"").is_err(), "missing dot");
+        assert!(parse("<http://e.org/a> <http://e.org/p> \"x\" . extra").is_err(), "trailing content");
+        assert!(parse("<http://e.org/a> <http://e.org/p> <unclosed .").is_err(), "unterminated IRI");
+        assert!(parse("\"lit\" <http://e.org/p> \"x\" .").is_err(), "literal subject");
+        let err = parse("<http://e.org/a> <http://e.org/p> \"unterminated .").unwrap_err();
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn round_trip_write_then_parse() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("http://e.org/a"), rdf::type_(), foaf::person()));
+        g.insert(Triple::new(iri("http://e.org/a"), foaf::name(), Literal::lang_string("Ałice\n\"x\"", "en")));
+        g.insert(Triple::new(BlankNode::new("n1"), foaf::knows(), iri("http://e.org/a")));
+        g.insert(Triple::new(
+            iri("http://e.org/a"),
+            iri("http://e.org/score"),
+            Literal::typed("3.14", xsd::double()),
+        ));
+        let text = write(&g);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+}

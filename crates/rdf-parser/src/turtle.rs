@@ -1,0 +1,625 @@
+//! A Turtle (subset) parser.
+//!
+//! Supported syntax:
+//!
+//! * `@prefix` / SPARQL-style `PREFIX` declarations and `@base` / `BASE`,
+//! * IRIs in `<...>` form and prefixed names (`foaf:Person`),
+//! * the `a` keyword for `rdf:type`,
+//! * predicate lists (`;`) and object lists (`,`),
+//! * blank node labels (`_:x`) and anonymous blank nodes (`[ ... ]`),
+//! * string literals with escapes, language tags and `^^` datatypes,
+//! * numeric (`42`, `-3.14`, `1.2e6`) and boolean (`true`/`false`) shorthand
+//!   literals,
+//! * `#` comments.
+//!
+//! Not supported (documented subset): collections `( ... )`, triple-quoted
+//! long strings, and relative IRI resolution beyond simple concatenation with
+//! the base. None of these appear in the documents H-BOLD manipulates.
+
+use std::collections::HashMap;
+
+use hbold_rdf_model::vocab::{rdf, xsd};
+use hbold_rdf_model::{BlankNode, Graph, Iri, Literal, Term, Triple};
+
+use crate::error::ParseError;
+
+/// Parses a Turtle document into a [`Graph`].
+pub fn parse(input: &str) -> Result<Graph, ParseError> {
+    Parser::new(input).parse_document()
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    prefixes: HashMap<String, String>,
+    base: Option<String>,
+    graph: Graph,
+    blank_counter: u64,
+}
+
+impl Parser {
+    fn new(input: &str) -> Self {
+        Parser {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            prefixes: HashMap::new(),
+            base: None,
+            graph: Graph::new(),
+            blank_counter: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Graph, ParseError> {
+        loop {
+            self.skip_ws_and_comments();
+            if self.at_end() {
+                break;
+            }
+            if self.try_directive()? {
+                continue;
+            }
+            self.parse_statement()?;
+        }
+        Ok(self.graph)
+    }
+
+    // ---- character machinery -------------------------------------------------
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+        c
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.column, message)
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, expected: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(self.error(format!("expected '{expected}', found '{c}'"))),
+            None => Err(self.error(format!("expected '{expected}', found end of input"))),
+        }
+    }
+
+    /// Consumes a case-insensitive keyword if it is next (followed by a
+    /// non-name character). Returns whether it was consumed.
+    fn try_keyword(&mut self, keyword: &str) -> bool {
+        let len = keyword.chars().count();
+        for (i, k) in keyword.chars().enumerate() {
+            match self.peek_at(i) {
+                Some(c) if c.eq_ignore_ascii_case(&k) => {}
+                _ => return false,
+            }
+        }
+        // Must not be followed by a name character (so `a` doesn't match `abc:x`).
+        if matches!(self.peek_at(len), Some(c) if c.is_alphanumeric() || c == '_' || c == ':') {
+            return false;
+        }
+        for _ in 0..len {
+            self.bump();
+        }
+        true
+    }
+
+    // ---- directives -----------------------------------------------------------
+
+    fn try_directive(&mut self) -> Result<bool, ParseError> {
+        if self.peek() == Some('@') {
+            self.bump();
+            if self.try_keyword("prefix") {
+                self.parse_prefix_directive(true)?;
+                return Ok(true);
+            }
+            if self.try_keyword("base") {
+                self.parse_base_directive(true)?;
+                return Ok(true);
+            }
+            return Err(self.error("unknown @-directive (expected @prefix or @base)"));
+        }
+        // SPARQL-style directives: PREFIX / BASE without '@' and without '.'.
+        if self.looks_like_sparql_directive("PREFIX") {
+            self.try_keyword("PREFIX");
+            self.parse_prefix_directive(false)?;
+            return Ok(true);
+        }
+        if self.looks_like_sparql_directive("BASE") {
+            self.try_keyword("BASE");
+            self.parse_base_directive(false)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    fn looks_like_sparql_directive(&self, keyword: &str) -> bool {
+        for (i, k) in keyword.chars().enumerate() {
+            match self.peek_at(i) {
+                Some(c) if c.eq_ignore_ascii_case(&k) => {}
+                _ => return false,
+            }
+        }
+        matches!(self.peek_at(keyword.len()), Some(c) if c.is_whitespace())
+    }
+
+    fn parse_prefix_directive(&mut self, dotted: bool) -> Result<(), ParseError> {
+        self.skip_ws_and_comments();
+        let prefix = self.parse_prefix_label()?;
+        self.skip_ws_and_comments();
+        let iri = self.parse_iri_ref()?;
+        self.prefixes.insert(prefix, iri);
+        if dotted {
+            self.skip_ws_and_comments();
+            self.expect('.')?;
+        }
+        Ok(())
+    }
+
+    fn parse_base_directive(&mut self, dotted: bool) -> Result<(), ParseError> {
+        self.skip_ws_and_comments();
+        let iri = self.parse_iri_ref()?;
+        self.base = Some(iri);
+        if dotted {
+            self.skip_ws_and_comments();
+            self.expect('.')?;
+        }
+        Ok(())
+    }
+
+    /// Parses `name:` (the prefix label of a @prefix directive).
+    fn parse_prefix_label(&mut self) -> Result<String, ParseError> {
+        let mut name = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.') {
+            name.push(self.bump().unwrap());
+        }
+        self.expect(':')?;
+        Ok(name)
+    }
+
+    /// Parses `<...>`, returning the raw IRI text (resolved against the base
+    /// if it is relative).
+    fn parse_iri_ref(&mut self) -> Result<String, ParseError> {
+        self.expect('<')?;
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => break,
+                Some(c) => text.push(c),
+                None => return Err(self.error("unterminated IRI (missing '>')")),
+            }
+        }
+        if !text.contains(':') {
+            if let Some(base) = &self.base {
+                return Ok(format!("{base}{text}"));
+            }
+        }
+        Ok(text)
+    }
+
+    // ---- statements -----------------------------------------------------------
+
+    fn parse_statement(&mut self) -> Result<(), ParseError> {
+        let subject = self.parse_subject()?;
+        self.skip_ws_and_comments();
+        self.parse_predicate_object_list(&subject)?;
+        self.skip_ws_and_comments();
+        self.expect('.')
+    }
+
+    fn parse_subject(&mut self) -> Result<Term, ParseError> {
+        match self.peek() {
+            Some('<') => {
+                let iri = self.parse_iri_ref()?;
+                Ok(Term::Iri(Iri::new(iri).map_err(|e| self.error(e.to_string()))?))
+            }
+            Some('_') => Ok(Term::Blank(self.parse_blank_label()?)),
+            Some('[') => {
+                let node = self.parse_anonymous_blank()?;
+                Ok(Term::Blank(node))
+            }
+            Some(_) => {
+                let iri = self.parse_prefixed_name()?;
+                Ok(Term::Iri(iri))
+            }
+            None => Err(self.error("unexpected end of input, expected a subject")),
+        }
+    }
+
+    fn parse_predicate_object_list(&mut self, subject: &Term) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws_and_comments();
+            let predicate = self.parse_predicate()?;
+            loop {
+                self.skip_ws_and_comments();
+                let object = self.parse_object()?;
+                let triple = Triple::try_new(subject.clone(), predicate.clone(), object)
+                    .map_err(|e| self.error(e.to_string()))?;
+                self.graph.insert(triple);
+                self.skip_ws_and_comments();
+                if self.peek() == Some(',') {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if self.peek() == Some(';') {
+                self.bump();
+                self.skip_ws_and_comments();
+                // A dangling ';' before '.' or ']' is allowed.
+                if matches!(self.peek(), Some('.') | Some(']')) {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_predicate(&mut self) -> Result<Iri, ParseError> {
+        if self.try_keyword("a") {
+            return Ok(rdf::type_());
+        }
+        match self.peek() {
+            Some('<') => {
+                let iri = self.parse_iri_ref()?;
+                Iri::new(iri).map_err(|e| self.error(e.to_string()))
+            }
+            Some(_) => self.parse_prefixed_name(),
+            None => Err(self.error("unexpected end of input, expected a predicate")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Term, ParseError> {
+        match self.peek() {
+            Some('<') => {
+                let iri = self.parse_iri_ref()?;
+                Ok(Term::Iri(Iri::new(iri).map_err(|e| self.error(e.to_string()))?))
+            }
+            Some('_') => Ok(Term::Blank(self.parse_blank_label()?)),
+            Some('[') => Ok(Term::Blank(self.parse_anonymous_blank()?)),
+            Some('"') => Ok(Term::Literal(self.parse_string_literal()?)),
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => {
+                Ok(Term::Literal(self.parse_numeric_literal()?))
+            }
+            Some(_) => {
+                // Boolean shorthand or a prefixed name.
+                if self.try_keyword("true") {
+                    return Ok(Term::Literal(Literal::boolean(true)));
+                }
+                if self.try_keyword("false") {
+                    return Ok(Term::Literal(Literal::boolean(false)));
+                }
+                Ok(Term::Iri(self.parse_prefixed_name()?))
+            }
+            None => Err(self.error("unexpected end of input, expected an object")),
+        }
+    }
+
+    fn parse_blank_label(&mut self) -> Result<BlankNode, ParseError> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let mut label = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
+            label.push(self.bump().unwrap());
+        }
+        if label.is_empty() {
+            return Err(self.error("empty blank node label"));
+        }
+        Ok(BlankNode::new(label))
+    }
+
+    /// Parses `[ ... ]`, emitting the contained triples with a fresh blank
+    /// node subject, and returns that node.
+    fn parse_anonymous_blank(&mut self) -> Result<BlankNode, ParseError> {
+        self.expect('[')?;
+        self.blank_counter += 1;
+        let node = BlankNode::new(format!("anon{}", self.blank_counter));
+        self.skip_ws_and_comments();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(node);
+        }
+        let subject = Term::Blank(node.clone());
+        self.parse_predicate_object_list(&subject)?;
+        self.skip_ws_and_comments();
+        self.expect(']')?;
+        Ok(node)
+    }
+
+    fn parse_prefixed_name(&mut self) -> Result<Iri, ParseError> {
+        let mut prefix = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.') {
+            prefix.push(self.bump().unwrap());
+        }
+        if self.peek() != Some(':') {
+            return Err(self.error(format!("expected ':' after prefix '{prefix}'")));
+        }
+        self.bump();
+        let mut local = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '%') {
+            local.push(self.bump().unwrap());
+        }
+        let Some(ns) = self.prefixes.get(&prefix) else {
+            return Err(self.error(format!("undeclared prefix '{prefix}:'")));
+        };
+        Iri::new(format!("{ns}{local}")).map_err(|e| self.error(e.to_string()))
+    }
+
+    fn parse_string_literal(&mut self) -> Result<Literal, ParseError> {
+        self.expect('"')?;
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => value.push('\n'),
+                    Some('r') => value.push('\r'),
+                    Some('t') => value.push('\t'),
+                    Some('"') => value.push('"'),
+                    Some('\\') => value.push('\\'),
+                    Some('u') => value.push(self.parse_unicode_escape(4)?),
+                    Some('U') => value.push(self.parse_unicode_escape(8)?),
+                    Some(c) => return Err(self.error(format!("unknown escape sequence '\\{c}'"))),
+                    None => return Err(self.error("unterminated escape sequence")),
+                },
+                Some(c) => value.push(c),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+        match self.peek() {
+            Some('@') => {
+                self.bump();
+                let mut lang = String::new();
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-') {
+                    lang.push(self.bump().unwrap());
+                }
+                if lang.is_empty() {
+                    return Err(self.error("empty language tag"));
+                }
+                Ok(Literal::lang_string(value, lang))
+            }
+            Some('^') => {
+                self.bump();
+                self.expect('^')?;
+                let datatype = match self.peek() {
+                    Some('<') => {
+                        let iri = self.parse_iri_ref()?;
+                        Iri::new(iri).map_err(|e| self.error(e.to_string()))?
+                    }
+                    _ => self.parse_prefixed_name()?,
+                };
+                Ok(Literal::typed(value, datatype))
+            }
+            _ => Ok(Literal::string(value)),
+        }
+    }
+
+    fn parse_unicode_escape(&mut self, digits: usize) -> Result<char, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..digits {
+            let c = self.bump().ok_or_else(|| self.error("unterminated unicode escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit in unicode escape"))?;
+            code = code * 16 + d;
+        }
+        char::from_u32(code).ok_or_else(|| self.error("unicode escape is not a valid code point"))
+    }
+
+    fn parse_numeric_literal(&mut self) -> Result<Literal, ParseError> {
+        let mut text = String::new();
+        if matches!(self.peek(), Some('-') | Some('+')) {
+            text.push(self.bump().unwrap());
+        }
+        let mut is_double = false;
+        let mut is_decimal = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => text.push(self.bump().unwrap()),
+                '.' => {
+                    // A '.' followed by a digit is a decimal point; otherwise it
+                    // terminates the statement.
+                    if matches!(self.peek_at(1), Some(d) if d.is_ascii_digit()) {
+                        is_decimal = true;
+                        text.push(self.bump().unwrap());
+                    } else {
+                        break;
+                    }
+                }
+                'e' | 'E' => {
+                    is_double = true;
+                    text.push(self.bump().unwrap());
+                    if matches!(self.peek(), Some('-') | Some('+')) {
+                        text.push(self.bump().unwrap());
+                    }
+                }
+                _ => break,
+            }
+        }
+        if text.is_empty() || text == "-" || text == "+" {
+            return Err(self.error("malformed numeric literal"));
+        }
+        let datatype = if is_double {
+            xsd::double()
+        } else if is_decimal {
+            xsd::decimal()
+        } else {
+            xsd::integer()
+        };
+        Ok(Literal::typed(text, datatype))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_rdf_model::vocab::foaf;
+    use hbold_rdf_model::TriplePattern;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    const PREFIXES: &str = "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n@prefix ex: <http://example.org/> .\n";
+
+    #[test]
+    fn parses_prefixed_statements_with_lists() {
+        let doc = format!(
+            "{PREFIXES}ex:alice a foaf:Person ;\n    foaf:name \"Alice\" , \"Alicia\"@es ;\n    foaf:knows ex:bob .\n"
+        );
+        let g = parse(&doc).unwrap();
+        assert_eq!(g.len(), 4);
+        assert!(g.contains(&Triple::new(iri("http://example.org/alice"), rdf::type_(), foaf::person())));
+        assert!(g.contains(&Triple::new(
+            iri("http://example.org/alice"),
+            foaf::name(),
+            Literal::lang_string("Alicia", "es")
+        )));
+    }
+
+    #[test]
+    fn parses_sparql_style_prefix_and_base() {
+        let doc = "PREFIX ex: <http://example.org/>\nBASE <http://base.org/>\nex:a ex:p </rel> .";
+        let g = parse(doc).unwrap();
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.object, Term::Iri(iri("http://base.org//rel")));
+    }
+
+    #[test]
+    fn parses_numeric_and_boolean_literals() {
+        let doc = format!(
+            "{PREFIXES}ex:x ex:int 42 ; ex:neg -7 ; ex:dec 3.14 ; ex:exp 1.5e3 ; ex:flag true ; ex:off false .\n"
+        );
+        let g = parse(&doc).unwrap();
+        assert_eq!(g.len(), 6);
+        let objects: Vec<Literal> = g.iter().filter_map(|t| t.object.as_literal().cloned()).collect();
+        assert!(objects.contains(&Literal::typed("42", xsd::integer())));
+        assert!(objects.contains(&Literal::typed("-7", xsd::integer())));
+        assert!(objects.contains(&Literal::typed("3.14", xsd::decimal())));
+        assert!(objects.contains(&Literal::typed("1.5e3", xsd::double())));
+        assert!(objects.contains(&Literal::boolean(true)));
+        assert!(objects.contains(&Literal::boolean(false)));
+    }
+
+    #[test]
+    fn parses_typed_literals_with_prefixed_datatype() {
+        let doc = "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n@prefix ex: <http://example.org/> .\nex:x ex:when \"2020-03-30T00:00:00Z\"^^xsd:dateTime .";
+        let g = parse(doc).unwrap();
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.object.as_literal().unwrap().datatype(), &xsd::date_time());
+    }
+
+    #[test]
+    fn parses_anonymous_blank_nodes() {
+        let doc = format!("{PREFIXES}ex:alice foaf:knows [ a foaf:Person ; foaf:name \"Bob\" ] .\n");
+        let g = parse(&doc).unwrap();
+        assert_eq!(g.len(), 3);
+        // The anonymous node is the object of foaf:knows and the subject of two triples.
+        let knows: Vec<_> = g
+            .matching(&TriplePattern::any().with_predicate(foaf::knows()))
+            .collect();
+        assert_eq!(knows.len(), 1);
+        let anon = knows[0].object.clone();
+        assert!(anon.is_blank());
+        assert_eq!(
+            g.matching(&TriplePattern::any().with_subject(anon)).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn parses_empty_anonymous_blank_node() {
+        let doc = format!("{PREFIXES}ex:alice foaf:knows [] .\n");
+        let g = parse(&doc).unwrap();
+        assert_eq!(g.len(), 1);
+        assert!(g.iter().next().unwrap().object.is_blank());
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let doc = format!("{PREFIXES}# a comment\nex:a ex:p ex:b . # trailing comment\n\n# done\n");
+        let g = parse(&doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn a_keyword_does_not_swallow_prefixed_names() {
+        let doc = "@prefix a: <http://example.org/a#> .\na:thing a:prop a:other .";
+        let g = parse(doc).unwrap();
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.predicate, Term::Iri(iri("http://example.org/a#prop")));
+    }
+
+    #[test]
+    fn errors_carry_positions_and_reasons() {
+        let err = parse("@prefix ex: <http://example.org/> .\nex:a ex:p unknown:x .").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.message().contains("undeclared prefix"));
+
+        let err = parse("@prefix ex: <http://example.org/> .\nex:a ex:p \"unterminated .").unwrap_err();
+        assert!(err.message().contains("unterminated"));
+
+        let err = parse("@wibble foo .").unwrap_err();
+        assert!(err.message().contains("unknown @-directive"));
+
+        assert!(parse("@prefix ex: <http://example.org/> .\nex:a ex:p ex:b").is_err(), "missing final dot");
+    }
+
+    #[test]
+    fn dangling_semicolon_is_accepted() {
+        let doc = format!("{PREFIXES}ex:a foaf:name \"A\" ; .\n");
+        let g = parse(&doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn ntriples_documents_are_valid_turtle() {
+        let doc = "<http://e.org/a> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://xmlns.com/foaf/0.1/Person> .";
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+}

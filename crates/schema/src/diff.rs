@@ -1,0 +1,208 @@
+//! Change detection between two Schema Summaries of the same endpoint.
+//!
+//! Section 3.1 of the paper argues that Linked Data sources "usually change
+//! weekly, or monthly, or do not change ever", and §3.2 observes that "if the
+//! Schema Summary does not change then the Cluster Schema will not change
+//! neither". [`SummaryDiff`] makes that reasoning executable: the refresh
+//! pipeline can compare the freshly extracted summary against the stored one
+//! and skip community detection (and any downstream invalidation) when the
+//! structure is unchanged.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hbold_rdf_model::Iri;
+
+use crate::summary::SchemaSummary;
+
+/// The structural difference between an old and a new Schema Summary.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SummaryDiff {
+    /// Classes present in the new summary but not in the old one.
+    pub added_classes: Vec<Iri>,
+    /// Classes present in the old summary but not in the new one.
+    pub removed_classes: Vec<Iri>,
+    /// Classes whose instance count changed: (class, old count, new count).
+    pub resized_classes: Vec<(Iri, usize, usize)>,
+    /// Arcs (source class, property, target class) present only in the new summary.
+    pub added_edges: Vec<(Iri, Iri, Iri)>,
+    /// Arcs present only in the old summary.
+    pub removed_edges: Vec<(Iri, Iri, Iri)>,
+}
+
+impl SummaryDiff {
+    /// Compares two summaries of the same dataset.
+    pub fn compare(old: &SchemaSummary, new: &SchemaSummary) -> SummaryDiff {
+        let old_sizes: BTreeMap<&Iri, usize> =
+            old.nodes.iter().map(|n| (&n.class, n.instances)).collect();
+        let new_sizes: BTreeMap<&Iri, usize> =
+            new.nodes.iter().map(|n| (&n.class, n.instances)).collect();
+
+        let added_classes = new_sizes
+            .keys()
+            .filter(|c| !old_sizes.contains_key(*c))
+            .map(|c| (*c).clone())
+            .collect();
+        let removed_classes = old_sizes
+            .keys()
+            .filter(|c| !new_sizes.contains_key(*c))
+            .map(|c| (*c).clone())
+            .collect();
+        let resized_classes = new_sizes
+            .iter()
+            .filter_map(|(class, &new_count)| {
+                old_sizes.get(*class).and_then(|&old_count| {
+                    (old_count != new_count).then(|| ((*class).clone(), old_count, new_count))
+                })
+            })
+            .collect();
+
+        let edge_set = |summary: &SchemaSummary| -> BTreeSet<(Iri, Iri, Iri)> {
+            summary
+                .edges
+                .iter()
+                .map(|e| {
+                    (
+                        summary.nodes[e.source].class.clone(),
+                        e.property.clone(),
+                        summary.nodes[e.target].class.clone(),
+                    )
+                })
+                .collect()
+        };
+        let old_edges = edge_set(old);
+        let new_edges = edge_set(new);
+        let added_edges = new_edges.difference(&old_edges).cloned().collect();
+        let removed_edges = old_edges.difference(&new_edges).cloned().collect();
+
+        SummaryDiff {
+            added_classes,
+            removed_classes,
+            resized_classes,
+            added_edges,
+            removed_edges,
+        }
+    }
+
+    /// Returns `true` when the *structure* is unchanged: same classes and the
+    /// same arcs between them (instance counts may still have drifted).
+    pub fn structure_unchanged(&self) -> bool {
+        self.added_classes.is_empty()
+            && self.removed_classes.is_empty()
+            && self.added_edges.is_empty()
+            && self.removed_edges.is_empty()
+    }
+
+    /// Returns `true` when absolutely nothing changed, instance counts
+    /// included.
+    pub fn is_empty(&self) -> bool {
+        self.structure_unchanged() && self.resized_classes.is_empty()
+    }
+
+    /// Whether the Cluster Schema needs to be recomputed: only structural
+    /// changes affect the community structure (the clustering ignores
+    /// instance counts), so pure resizes do not require it.
+    pub fn requires_reclustering(&self) -> bool {
+        !self.structure_unchanged()
+    }
+
+    /// A one-line human-readable description, used in refresh logs.
+    pub fn describe(&self) -> String {
+        if self.is_empty() {
+            return "no changes".to_string();
+        }
+        format!(
+            "+{} classes, -{} classes, {} resized, +{} arcs, -{} arcs",
+            self.added_classes.len(),
+            self.removed_classes.len(),
+            self.resized_classes.len(),
+            self.added_edges.len(),
+            self.removed_edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::{SchemaEdge, SchemaNode};
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(format!("http://e.org/{s}")).unwrap()
+    }
+
+    fn summary(classes: &[(&str, usize)], edges: &[(usize, &str, usize)]) -> SchemaSummary {
+        SchemaSummary {
+            endpoint_url: "http://e.org/sparql".into(),
+            total_instances: classes.iter().map(|(_, n)| n).sum(),
+            nodes: classes
+                .iter()
+                .map(|(name, instances)| SchemaNode {
+                    class: iri(name),
+                    label: (*name).to_string(),
+                    instances: *instances,
+                    attributes: vec![],
+                })
+                .collect(),
+            edges: edges
+                .iter()
+                .map(|(s, p, t)| SchemaEdge {
+                    source: *s,
+                    target: *t,
+                    property: iri(p),
+                    count: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_summaries_have_empty_diff() {
+        let a = summary(&[("Person", 10), ("Paper", 5)], &[(0, "authorOf", 1)]);
+        let diff = SummaryDiff::compare(&a, &a.clone());
+        assert!(diff.is_empty());
+        assert!(diff.structure_unchanged());
+        assert!(!diff.requires_reclustering());
+        assert_eq!(diff.describe(), "no changes");
+    }
+
+    #[test]
+    fn instance_growth_does_not_require_reclustering() {
+        let old = summary(&[("Person", 10), ("Paper", 5)], &[(0, "authorOf", 1)]);
+        let new = summary(&[("Person", 12), ("Paper", 5)], &[(0, "authorOf", 1)]);
+        let diff = SummaryDiff::compare(&old, &new);
+        assert!(!diff.is_empty());
+        assert!(diff.structure_unchanged());
+        assert!(!diff.requires_reclustering());
+        assert_eq!(diff.resized_classes, vec![(iri("Person"), 10, 12)]);
+    }
+
+    #[test]
+    fn structural_changes_are_detected() {
+        let old = summary(&[("Person", 10), ("Paper", 5)], &[(0, "authorOf", 1)]);
+        let new = summary(
+            &[("Person", 10), ("Paper", 5), ("Venue", 2)],
+            &[(0, "authorOf", 1), (1, "publishedAt", 2)],
+        );
+        let diff = SummaryDiff::compare(&old, &new);
+        assert_eq!(diff.added_classes, vec![iri("Venue")]);
+        assert!(diff.removed_classes.is_empty());
+        assert_eq!(diff.added_edges.len(), 1);
+        assert!(diff.requires_reclustering());
+        assert!(diff.describe().contains("+1 classes"));
+
+        // The reverse comparison sees the removals.
+        let reverse = SummaryDiff::compare(&new, &old);
+        assert_eq!(reverse.removed_classes, vec![iri("Venue")]);
+        assert_eq!(reverse.removed_edges.len(), 1);
+    }
+
+    #[test]
+    fn node_reordering_alone_is_not_a_change() {
+        // The same classes and arcs, listed in a different node order (as can
+        // happen when instance counts shift the sort order).
+        let old = summary(&[("Person", 10), ("Paper", 5)], &[(0, "authorOf", 1)]);
+        let new = summary(&[("Paper", 5), ("Person", 10)], &[(1, "authorOf", 0)]);
+        let diff = SummaryDiff::compare(&old, &new);
+        assert!(diff.is_empty(), "diff should ignore node ordering: {diff:?}");
+    }
+}

@@ -1,0 +1,573 @@
+//! Index Extraction with pattern strategies.
+//!
+//! The extractor obtains a [`DatasetIndexes`] from an endpoint **only through
+//! SPARQL**, the way the real H-BOLD server must. Endpoints differ in what
+//! they accept (see `hbold_endpoint::profile`), so the extractor works in
+//! strategy layers, from cheapest to most robust:
+//!
+//! 1. **Aggregate** — `GROUP BY` / `COUNT` queries: one query for the class
+//!    list with instance counts, one per class for properties and links.
+//! 2. **Enumerate** — when aggregates are rejected or results are capped,
+//!    fall back to `SELECT DISTINCT` enumeration with `LIMIT`/`OFFSET`
+//!    paging, counting client-side.
+//!
+//! Every fallback is recorded in the [`ExtractionReport`], which the E11
+//! experiment uses to compare the strategy chain against a single-strategy
+//! extractor.
+
+use std::fmt;
+use std::time::Duration;
+
+use hbold_endpoint::{EndpointError, SparqlEndpoint};
+use hbold_rdf_model::vocab::rdf;
+use hbold_rdf_model::{Iri, Term};
+use hbold_sparql::SelectResults;
+
+use crate::indexes::{ClassIndex, DatasetIndexes, ObjectLinkIndex, PropertyIndex};
+
+/// Which strategy ultimately produced a piece of the indexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractionStrategy {
+    /// Aggregate (GROUP BY / COUNT) queries.
+    Aggregate,
+    /// Paged enumeration with client-side counting.
+    Enumerate,
+}
+
+impl fmt::Display for ExtractionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractionStrategy::Aggregate => write!(f, "aggregate"),
+            ExtractionStrategy::Enumerate => write!(f, "enumerate"),
+        }
+    }
+}
+
+/// Telemetry of one extraction run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExtractionReport {
+    /// Number of SPARQL queries issued (including failed ones).
+    pub queries_issued: usize,
+    /// Number of queries that failed and triggered a fallback.
+    pub fallbacks: usize,
+    /// Strategy that produced the class list.
+    pub class_strategy: Option<ExtractionStrategy>,
+    /// Total simulated network latency of all successful queries.
+    pub simulated_latency: Duration,
+    /// Human-readable notes about fallbacks taken.
+    pub notes: Vec<String>,
+}
+
+/// Extraction failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtractionError {
+    /// The endpoint was unavailable; retry another day (paper §3.1).
+    EndpointUnavailable,
+    /// The extraction could not be completed with any strategy.
+    Failed(String),
+}
+
+impl fmt::Display for ExtractionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractionError::EndpointUnavailable => write!(f, "endpoint unavailable"),
+            ExtractionError::Failed(msg) => write!(f, "extraction failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractionError {}
+
+/// The index extractor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexExtractor {
+    /// Page size used by the enumeration strategy.
+    pub page_size: usize,
+    /// Safety cap on pages fetched per enumeration (avoids unbounded loops on
+    /// adversarial endpoints).
+    pub max_pages: usize,
+    /// If `true`, only the aggregate strategy is attempted (used by the E11
+    /// ablation to show why the fallback chain matters).
+    pub aggregate_only: bool,
+}
+
+impl Default for IndexExtractor {
+    fn default() -> Self {
+        IndexExtractor {
+            page_size: 5_000,
+            max_pages: 200,
+            aggregate_only: false,
+        }
+    }
+}
+
+impl IndexExtractor {
+    /// An extractor with default paging parameters.
+    pub fn new() -> Self {
+        IndexExtractor::default()
+    }
+
+    /// An extractor restricted to the aggregate strategy (no fallbacks).
+    pub fn aggregate_only() -> Self {
+        IndexExtractor {
+            aggregate_only: true,
+            ..IndexExtractor::default()
+        }
+    }
+
+    /// Extracts the dataset indexes from `endpoint`, recording the run as
+    /// happening on virtual day `day`.
+    pub fn extract(
+        &self,
+        endpoint: &SparqlEndpoint,
+        day: u64,
+    ) -> Result<(DatasetIndexes, ExtractionReport), ExtractionError> {
+        let mut report = ExtractionReport::default();
+
+        if !endpoint.is_available() {
+            return Err(ExtractionError::EndpointUnavailable);
+        }
+
+        // --- total triple count -------------------------------------------------
+        let triples = match self.run(endpoint, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }", &mut report) {
+            Ok(rows) => first_count(&rows),
+            Err(e) if e.is_transient() => return Err(ExtractionError::EndpointUnavailable),
+            Err(_) => {
+                // Endpoints without aggregates: estimate by paging ?s ?p ?o is too
+                // expensive; the count is not essential, mark it unknown (0).
+                report.note("triple count unavailable without aggregates; recorded as 0");
+                0
+            }
+        };
+
+        // --- class list with instance counts ------------------------------------
+        let (class_counts, class_strategy) = self.extract_class_counts(endpoint, &mut report)?;
+        report.class_strategy = Some(class_strategy);
+
+        // --- per-class details ----------------------------------------------------
+        let mut classes = Vec::with_capacity(class_counts.len());
+        for (class, instances) in &class_counts {
+            let (attributes, links) = self.extract_class_details(endpoint, class, &mut report)?;
+            classes.push(ClassIndex {
+                label: class.local_name().to_string(),
+                class: class.clone(),
+                instances: *instances,
+                attributes,
+                links,
+            });
+        }
+        classes.sort_by(|a, b| b.instances.cmp(&a.instances).then_with(|| a.class.cmp(&b.class)));
+
+        // --- total typed instances -------------------------------------------------
+        let instances = match self.run(
+            endpoint,
+            "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a ?class }",
+            &mut report,
+        ) {
+            Ok(rows) => first_count(&rows),
+            Err(e) if e.is_transient() => return Err(ExtractionError::EndpointUnavailable),
+            Err(_) => {
+                report.note("distinct instance count unavailable; using sum of class sizes");
+                class_counts.iter().map(|(_, n)| n).sum()
+            }
+        };
+
+        Ok((
+            DatasetIndexes {
+                endpoint_url: endpoint.url().to_string(),
+                extracted_on_day: day,
+                triples,
+                instances,
+                classes,
+            },
+            report,
+        ))
+    }
+
+    // --- strategies ---------------------------------------------------------------
+
+    fn extract_class_counts(
+        &self,
+        endpoint: &SparqlEndpoint,
+        report: &mut ExtractionReport,
+    ) -> Result<(Vec<(Iri, usize)>, ExtractionStrategy), ExtractionError> {
+        // Strategy 1: one aggregate query.
+        let aggregate_query =
+            "SELECT ?class (COUNT(?s) AS ?n) WHERE { ?s a ?class } GROUP BY ?class ORDER BY ?class";
+        match self.run(endpoint, aggregate_query, report) {
+            Ok(rows) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for i in 0..rows.len() {
+                    let (Some(class), Some(count)) = (rows.value(i, "class"), rows.value(i, "n")) else {
+                        continue;
+                    };
+                    if let Some(iri) = class.as_iri() {
+                        out.push((iri.clone(), term_count(count)));
+                    }
+                }
+                return Ok((out, ExtractionStrategy::Aggregate));
+            }
+            Err(e) if e.is_transient() => return Err(ExtractionError::EndpointUnavailable),
+            Err(e) => {
+                report.fallback(format!("class-count aggregate rejected ({e}); enumerating"));
+                if self.aggregate_only {
+                    return Err(ExtractionError::Failed(format!(
+                        "aggregate class-count query rejected and fallbacks are disabled: {e}"
+                    )));
+                }
+            }
+        }
+
+        // Strategy 2: enumerate distinct classes, then count instances per class
+        // by paging.
+        let classes = self.paged_distinct(
+            endpoint,
+            "SELECT DISTINCT ?class WHERE { ?s a ?class } ORDER BY ?class",
+            "class",
+            report,
+        )?;
+        let mut out = Vec::with_capacity(classes.len());
+        for class_term in classes {
+            let Some(class) = class_term.as_iri().cloned() else { continue };
+            let count_query = format!(
+                "SELECT ?s WHERE {{ ?s a <{}> }} ORDER BY ?s",
+                class.as_str()
+            );
+            let count = self.paged_count(endpoint, &count_query, report)?;
+            out.push((class, count));
+        }
+        Ok((out, ExtractionStrategy::Enumerate))
+    }
+
+    fn extract_class_details(
+        &self,
+        endpoint: &SparqlEndpoint,
+        class: &Iri,
+        report: &mut ExtractionReport,
+    ) -> Result<(Vec<PropertyIndex>, Vec<ObjectLinkIndex>), ExtractionError> {
+        // Property usage (counts when aggregates work, presence otherwise).
+        let aggregate_props = format!(
+            "SELECT ?p (COUNT(?o) AS ?n) WHERE {{ ?s a <{0}> . ?s ?p ?o }} GROUP BY ?p ORDER BY ?p",
+            class.as_str()
+        );
+        let properties: Vec<(Iri, usize)> = match self.run(endpoint, &aggregate_props, report) {
+            Ok(rows) => (0..rows.len())
+                .filter_map(|i| {
+                    let p = rows.value(i, "p")?.as_iri()?.clone();
+                    let n = rows.value(i, "n").map(term_count).unwrap_or(0);
+                    Some((p, n))
+                })
+                .collect(),
+            Err(e) if e.is_transient() => return Err(ExtractionError::EndpointUnavailable),
+            Err(e) => {
+                report.fallback(format!("property aggregate rejected for {class} ({e}); enumerating"));
+                if self.aggregate_only {
+                    return Err(ExtractionError::Failed(format!(
+                        "aggregate property query rejected and fallbacks are disabled: {e}"
+                    )));
+                }
+                let query = format!(
+                    "SELECT DISTINCT ?p WHERE {{ ?s a <{}> . ?s ?p ?o }} ORDER BY ?p",
+                    class.as_str()
+                );
+                self.paged_distinct(endpoint, &query, "p", report)?
+                    .into_iter()
+                    .filter_map(|t| t.as_iri().cloned())
+                    .map(|p| (p, 0))
+                    .collect()
+            }
+        };
+
+        // Object links: which of those properties point at typed resources,
+        // and of which class.
+        let aggregate_links = format!(
+            "SELECT ?p ?target (COUNT(?o) AS ?n) WHERE {{ ?s a <{0}> . ?s ?p ?o . ?o a ?target }} \
+             GROUP BY ?p ?target ORDER BY ?p ?target",
+            class.as_str()
+        );
+        let links: Vec<ObjectLinkIndex> = match self.run(endpoint, &aggregate_links, report) {
+            Ok(rows) => (0..rows.len())
+                .filter_map(|i| {
+                    Some(ObjectLinkIndex {
+                        property: rows.value(i, "p")?.as_iri()?.clone(),
+                        target_class: rows.value(i, "target")?.as_iri()?.clone(),
+                        count: rows.value(i, "n").map(term_count).unwrap_or(0),
+                    })
+                })
+                .collect(),
+            Err(e) if e.is_transient() => return Err(ExtractionError::EndpointUnavailable),
+            Err(e) => {
+                report.fallback(format!("link aggregate rejected for {class} ({e}); enumerating"));
+                if self.aggregate_only {
+                    return Err(ExtractionError::Failed(format!(
+                        "aggregate link query rejected and fallbacks are disabled: {e}"
+                    )));
+                }
+                let query = format!(
+                    "SELECT DISTINCT ?p ?target WHERE {{ ?s a <{}> . ?s ?p ?o . ?o a ?target }} ORDER BY ?p ?target",
+                    class.as_str()
+                );
+                let rows = self.paged_rows(endpoint, &query, report)?;
+                rows.into_iter()
+                    .filter_map(|row| {
+                        let p = row.first()?.clone()?;
+                        let target = row.get(1)?.clone()?;
+                        Some(ObjectLinkIndex {
+                            property: p.as_iri()?.clone(),
+                            target_class: target.as_iri()?.clone(),
+                            count: 1,
+                        })
+                    })
+                    .collect()
+            }
+        };
+
+        let rdf_type = rdf::type_();
+        let link_properties: Vec<&Iri> = links.iter().map(|l| &l.property).collect();
+        let attributes = properties
+            .into_iter()
+            .filter(|(p, _)| p != &rdf_type && !link_properties.contains(&p))
+            .map(|(property, count)| PropertyIndex { property, count })
+            .collect();
+        Ok((attributes, links))
+    }
+
+    // --- query plumbing --------------------------------------------------------------
+
+    fn run(
+        &self,
+        endpoint: &SparqlEndpoint,
+        query: &str,
+        report: &mut ExtractionReport,
+    ) -> Result<SelectResults, EndpointError> {
+        report.queries_issued += 1;
+        match endpoint.query(query) {
+            Ok(outcome) => {
+                report.simulated_latency += outcome.simulated_latency;
+                outcome
+                    .results
+                    .into_select()
+                    .ok_or_else(|| EndpointError::QueryRejected("expected SELECT results".into()))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Pages through a DISTINCT single-variable query until a short page is
+    /// returned, collecting the values of `variable`.
+    fn paged_distinct(
+        &self,
+        endpoint: &SparqlEndpoint,
+        query: &str,
+        variable: &str,
+        report: &mut ExtractionReport,
+    ) -> Result<Vec<Term>, ExtractionError> {
+        let rows = self.paged_rows(endpoint, query, report)?;
+        let mut out = Vec::new();
+        for row in rows {
+            if let Some(Some(term)) = row.first().map(|t| t.clone()) {
+                out.push(term);
+            }
+        }
+        let _ = variable;
+        Ok(out)
+    }
+
+    /// Pages through a query, returning all rows.
+    fn paged_rows(
+        &self,
+        endpoint: &SparqlEndpoint,
+        query: &str,
+        report: &mut ExtractionReport,
+    ) -> Result<Vec<Vec<Option<Term>>>, ExtractionError> {
+        let page_size = endpoint
+            .profile()
+            .max_result_rows
+            .map(|cap| cap.min(self.page_size))
+            .unwrap_or(self.page_size)
+            .max(1);
+        let mut rows = Vec::new();
+        for page in 0..self.max_pages {
+            let paged_query = format!("{query} LIMIT {page_size} OFFSET {}", page * page_size);
+            match self.run(endpoint, &paged_query, report) {
+                Ok(page_rows) => {
+                    let fetched = page_rows.len();
+                    rows.extend(page_rows.rows);
+                    if fetched < page_size {
+                        return Ok(rows);
+                    }
+                }
+                Err(e) if e.is_transient() => return Err(ExtractionError::EndpointUnavailable),
+                Err(e) => {
+                    return Err(ExtractionError::Failed(format!(
+                        "paged query failed on page {page}: {e}"
+                    )))
+                }
+            }
+        }
+        report.note(format!("paging stopped at the {}-page safety cap", self.max_pages));
+        Ok(rows)
+    }
+
+    /// Counts the rows of a query by paging through it.
+    fn paged_count(
+        &self,
+        endpoint: &SparqlEndpoint,
+        query: &str,
+        report: &mut ExtractionReport,
+    ) -> Result<usize, ExtractionError> {
+        Ok(self.paged_rows(endpoint, query, report)?.len())
+    }
+}
+
+impl ExtractionReport {
+    fn note(&mut self, message: impl Into<String>) {
+        self.notes.push(message.into());
+    }
+
+    fn fallback(&mut self, message: impl Into<String>) {
+        self.fallbacks += 1;
+        self.notes.push(message.into());
+    }
+}
+
+/// Reads the single COUNT value of an aggregate result.
+fn first_count(rows: &SelectResults) -> usize {
+    rows.rows
+        .first()
+        .and_then(|row| row.first())
+        .and_then(|t| t.as_ref())
+        .map(term_count)
+        .unwrap_or(0)
+}
+
+fn term_count(term: &Term) -> usize {
+    term.as_literal()
+        .and_then(|l| l.value().as_i64())
+        .unwrap_or(0)
+        .max(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_endpoint::synth::{scholarly, ScholarlyConfig};
+    use hbold_endpoint::{AvailabilityModel, EndpointProfile};
+    use hbold_rdf_model::Graph;
+    use hbold_triple_store::{StoreStats, TripleStore};
+
+    fn scholarly_graph() -> Graph {
+        scholarly(&ScholarlyConfig {
+            conferences: 2,
+            papers_per_conference: 10,
+            authors_per_paper: 2,
+            seed: 5,
+        })
+    }
+
+    fn ground_truth(graph: &Graph) -> StoreStats {
+        StoreStats::compute(&TripleStore::from_graph(graph))
+    }
+
+    #[test]
+    fn aggregate_extraction_matches_ground_truth() {
+        let graph = scholarly_graph();
+        let truth = ground_truth(&graph);
+        let endpoint = SparqlEndpoint::new("http://sch.example/sparql", &graph, EndpointProfile::full_featured());
+        let (indexes, report) = IndexExtractor::new().extract(&endpoint, 3).unwrap();
+
+        assert_eq!(indexes.extracted_on_day, 3);
+        assert_eq!(indexes.triples, graph.len());
+        assert_eq!(indexes.class_count(), truth.classes);
+        for class_index in &indexes.classes {
+            assert_eq!(
+                class_index.instances,
+                truth.class_sizes[&class_index.class],
+                "class {}",
+                class_index.class
+            );
+        }
+        assert_eq!(report.class_strategy, Some(ExtractionStrategy::Aggregate));
+        assert_eq!(report.fallbacks, 0);
+        assert!(report.queries_issued >= 2 + indexes.class_count());
+        // Classes are sorted by descending size.
+        for pair in indexes.classes.windows(2) {
+            assert!(pair[0].instances >= pair[1].instances);
+        }
+    }
+
+    #[test]
+    fn enumeration_fallback_matches_aggregate_results() {
+        let graph = scholarly_graph();
+        let full = SparqlEndpoint::new("http://full.example/sparql", &graph, EndpointProfile::full_featured());
+        let weak = SparqlEndpoint::new("http://weak.example/sparql", &graph, EndpointProfile::no_aggregates());
+
+        let (agg, _) = IndexExtractor::new().extract(&full, 0).unwrap();
+        let (enumerated, report) = IndexExtractor::new().extract(&weak, 0).unwrap();
+
+        assert_eq!(report.class_strategy, Some(ExtractionStrategy::Enumerate));
+        assert!(report.fallbacks > 0);
+        assert_eq!(agg.class_count(), enumerated.class_count());
+        for class_index in &agg.classes {
+            let other = enumerated.class(&class_index.class).expect("class missing in fallback");
+            assert_eq!(other.instances, class_index.instances, "class {}", class_index.class);
+        }
+    }
+
+    #[test]
+    fn aggregate_only_extractor_fails_on_weak_endpoints() {
+        let graph = scholarly_graph();
+        let weak = SparqlEndpoint::new("http://weak.example/sparql", &graph, EndpointProfile::no_aggregates());
+        let err = IndexExtractor::aggregate_only().extract(&weak, 0).unwrap_err();
+        assert!(matches!(err, ExtractionError::Failed(_)));
+    }
+
+    #[test]
+    fn unavailable_endpoint_reports_transient_error() {
+        let graph = scholarly_graph();
+        let endpoint = SparqlEndpoint::new(
+            "http://down.example/sparql",
+            &graph,
+            EndpointProfile::full_featured().with_availability(AvailabilityModel::always_down()),
+        );
+        assert_eq!(
+            IndexExtractor::new().extract(&endpoint, 0).unwrap_err(),
+            ExtractionError::EndpointUnavailable
+        );
+    }
+
+    #[test]
+    fn result_capped_endpoint_is_paged() {
+        let graph = scholarly_graph();
+        let capped = SparqlEndpoint::new(
+            "http://capped.example/sparql",
+            &graph,
+            EndpointProfile::result_capped(50),
+        );
+        // COUNT(DISTINCT ...) is rejected by this profile, aggregates are fine,
+        // per-class aggregates return few rows, so extraction succeeds with a
+        // note about the distinct-count fallback.
+        let (indexes, report) = IndexExtractor::new().extract(&capped, 0).unwrap();
+        assert!(indexes.class_count() > 5);
+        assert!(report.notes.iter().any(|n| n.contains("instance count")));
+        let truth = ground_truth(&graph);
+        assert_eq!(indexes.class_count(), truth.classes);
+    }
+
+    #[test]
+    fn attributes_exclude_links_and_rdf_type() {
+        let graph = scholarly_graph();
+        let endpoint = SparqlEndpoint::new("http://sch.example/sparql", &graph, EndpointProfile::full_featured());
+        let (indexes, _) = IndexExtractor::new().extract(&endpoint, 0).unwrap();
+        let person = indexes
+            .classes
+            .iter()
+            .find(|c| c.label == "Person")
+            .expect("Person class present");
+        assert!(!person.attributes.iter().any(|a| a.property == rdf::type_()));
+        let link_props: Vec<_> = person.links.iter().map(|l| l.property.clone()).collect();
+        assert!(person.attributes.iter().all(|a| !link_props.contains(&a.property)));
+        assert!(person.links.iter().any(|l| l.target_class.local_name() == "InProceedings"
+            || l.target_class.local_name() == "Document"));
+    }
+}

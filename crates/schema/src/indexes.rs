@@ -1,0 +1,219 @@
+//! The extracted indexes of a dataset.
+//!
+//! The paper (§2.1) lists the indexes produced by Index Extraction: "the
+//! number of instances, the number of classes, the list of classes with the
+//! respective properties and the number of instances belonging to a specific
+//! class". [`DatasetIndexes`] is exactly that, with object properties
+//! additionally carrying their observed target classes so the Schema Summary
+//! can be assembled without going back to the endpoint.
+
+use hbold_docstore::{doc, DocValue};
+use hbold_rdf_model::Iri;
+
+/// Usage of a datatype property (attribute) on a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyIndex {
+    /// The property IRI.
+    pub property: Iri,
+    /// How many triples use it on instances of the class.
+    pub count: usize,
+}
+
+/// Usage of an object property linking a class to another class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectLinkIndex {
+    /// The property IRI.
+    pub property: Iri,
+    /// The class of the objects (rdfs:range as observed in the data).
+    pub target_class: Iri,
+    /// How many triples follow this (property, target class) combination.
+    pub count: usize,
+}
+
+/// Everything extracted about one class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassIndex {
+    /// The class IRI.
+    pub class: Iri,
+    /// Human-oriented label (local name unless an `rdfs:label` was found).
+    pub label: String,
+    /// Number of instances (`rdf:type` subjects).
+    pub instances: usize,
+    /// Datatype properties (attributes) used by instances of the class.
+    pub attributes: Vec<PropertyIndex>,
+    /// Object properties to other classes.
+    pub links: Vec<ObjectLinkIndex>,
+}
+
+/// The full set of indexes extracted from one endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DatasetIndexes {
+    /// The endpoint the indexes describe.
+    pub endpoint_url: String,
+    /// Virtual day on which the extraction ran (paper §3.1 stores the date of
+    /// the last index extraction to drive the refresh policy).
+    pub extracted_on_day: u64,
+    /// Total number of triples reported by the endpoint.
+    pub triples: usize,
+    /// Total number of typed instances.
+    pub instances: usize,
+    /// The per-class indexes, sorted by descending instance count.
+    pub classes: Vec<ClassIndex>,
+}
+
+impl DatasetIndexes {
+    /// Number of distinct instantiated classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Looks up a class index by IRI.
+    pub fn class(&self, iri: &Iri) -> Option<&ClassIndex> {
+        self.classes.iter().find(|c| &c.class == iri)
+    }
+
+    /// Serializes the indexes into a document for the document store.
+    pub fn to_doc(&self) -> DocValue {
+        let classes: Vec<DocValue> = self
+            .classes
+            .iter()
+            .map(|c| {
+                doc! {
+                    "class" => c.class.as_str(),
+                    "label" => c.label.clone(),
+                    "instances" => c.instances,
+                    "attributes" => c
+                        .attributes
+                        .iter()
+                        .map(|a| doc! { "property" => a.property.as_str(), "count" => a.count })
+                        .collect::<Vec<_>>(),
+                    "links" => c
+                        .links
+                        .iter()
+                        .map(|l| doc! {
+                            "property" => l.property.as_str(),
+                            "target" => l.target_class.as_str(),
+                            "count" => l.count,
+                        })
+                        .collect::<Vec<_>>(),
+                }
+            })
+            .collect();
+        doc! {
+            "endpoint" => self.endpoint_url.clone(),
+            "extracted_on_day" => self.extracted_on_day as i64,
+            "triples" => self.triples,
+            "instances" => self.instances,
+            "classes" => classes,
+        }
+    }
+
+    /// Rebuilds the indexes from a stored document. Returns `None` when the
+    /// document does not have the expected shape.
+    pub fn from_doc(doc: &DocValue) -> Option<Self> {
+        let endpoint_url = doc.get("endpoint")?.as_str()?.to_string();
+        let extracted_on_day = doc.get("extracted_on_day")?.as_i64()? as u64;
+        let triples = doc.get("triples")?.as_i64()? as usize;
+        let instances = doc.get("instances")?.as_i64()? as usize;
+        let mut classes = Vec::new();
+        for c in doc.get("classes")?.as_array()? {
+            let class = Iri::new(c.get("class")?.as_str()?).ok()?;
+            let label = c.get("label")?.as_str()?.to_string();
+            let class_instances = c.get("instances")?.as_i64()? as usize;
+            let mut attributes = Vec::new();
+            for a in c.get("attributes")?.as_array()? {
+                attributes.push(PropertyIndex {
+                    property: Iri::new(a.get("property")?.as_str()?).ok()?,
+                    count: a.get("count")?.as_i64()? as usize,
+                });
+            }
+            let mut links = Vec::new();
+            for l in c.get("links")?.as_array()? {
+                links.push(ObjectLinkIndex {
+                    property: Iri::new(l.get("property")?.as_str()?).ok()?,
+                    target_class: Iri::new(l.get("target")?.as_str()?).ok()?,
+                    count: l.get("count")?.as_i64()? as usize,
+                });
+            }
+            classes.push(ClassIndex {
+                class,
+                label,
+                instances: class_instances,
+                attributes,
+                links,
+            });
+        }
+        Some(DatasetIndexes {
+            endpoint_url,
+            extracted_on_day,
+            triples,
+            instances,
+            classes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DatasetIndexes {
+        let person = Iri::new("http://e.org/Person").unwrap();
+        let paper = Iri::new("http://e.org/Paper").unwrap();
+        DatasetIndexes {
+            endpoint_url: "http://e.org/sparql".into(),
+            extracted_on_day: 12,
+            triples: 500,
+            instances: 90,
+            classes: vec![
+                ClassIndex {
+                    class: person.clone(),
+                    label: "Person".into(),
+                    instances: 60,
+                    attributes: vec![PropertyIndex {
+                        property: Iri::new("http://e.org/name").unwrap(),
+                        count: 58,
+                    }],
+                    links: vec![ObjectLinkIndex {
+                        property: Iri::new("http://e.org/authorOf").unwrap(),
+                        target_class: paper.clone(),
+                        count: 120,
+                    }],
+                },
+                ClassIndex {
+                    class: paper,
+                    label: "Paper".into(),
+                    instances: 30,
+                    attributes: vec![],
+                    links: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let idx = sample();
+        assert_eq!(idx.class_count(), 2);
+        let person = Iri::new("http://e.org/Person").unwrap();
+        assert_eq!(idx.class(&person).unwrap().instances, 60);
+        assert!(idx.class(&Iri::new("http://e.org/Nothing").unwrap()).is_none());
+    }
+
+    #[test]
+    fn doc_round_trip() {
+        let idx = sample();
+        let doc = idx.to_doc();
+        let back = DatasetIndexes::from_doc(&doc).unwrap();
+        assert_eq!(back, idx);
+    }
+
+    #[test]
+    fn from_doc_rejects_malformed_documents() {
+        assert!(DatasetIndexes::from_doc(&DocValue::Int(3)).is_none());
+        assert!(DatasetIndexes::from_doc(&doc! { "endpoint" => "x" }).is_none());
+        let mut broken = sample().to_doc();
+        broken.set("classes", DocValue::Int(5));
+        assert!(DatasetIndexes::from_doc(&broken).is_none());
+    }
+}

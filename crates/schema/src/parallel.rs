@@ -1,0 +1,126 @@
+//! Fleet-wide extraction with worker threads.
+//!
+//! The H-BOLD server refreshes many endpoints per run (§3.1 automates the
+//! procedure to run daily); extracting them sequentially would make the
+//! paper-scale experiments (130 endpoints, E8) needlessly slow, so this
+//! module fans the work out over scoped threads.
+
+use hbold_endpoint::{EndpointFleet, SparqlEndpoint};
+
+use crate::extraction::{ExtractionError, ExtractionReport, IndexExtractor};
+use crate::indexes::DatasetIndexes;
+
+/// The outcome of extracting one endpoint of a fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetExtractionOutcome {
+    /// The endpoint URL.
+    pub endpoint_url: String,
+    /// The extracted indexes and telemetry, or the failure.
+    pub result: Result<(DatasetIndexes, ExtractionReport), ExtractionError>,
+}
+
+impl FleetExtractionOutcome {
+    /// Returns `true` if extraction succeeded.
+    pub fn is_success(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// Extracts every endpoint of the fleet on virtual day `day`, using at most
+/// `workers` threads. Results are returned in fleet order regardless of
+/// completion order.
+pub fn extract_fleet(
+    fleet: &EndpointFleet,
+    extractor: &IndexExtractor,
+    day: u64,
+    workers: usize,
+) -> Vec<FleetExtractionOutcome> {
+    let endpoints: Vec<&SparqlEndpoint> = fleet.iter().collect();
+    if endpoints.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, endpoints.len());
+    let mut results: Vec<Option<FleetExtractionOutcome>> = vec![None; endpoints.len()];
+
+    // Chunk the endpoint list into `workers` contiguous slices and give each
+    // worker one slice; the per-slice results are written into disjoint parts
+    // of `results`.
+    let chunk_size = endpoints.len().div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        let mut remaining: &mut [Option<FleetExtractionOutcome>] = &mut results;
+        let mut offset = 0usize;
+        let mut handles = Vec::new();
+        while offset < endpoints.len() {
+            let take = chunk_size.min(endpoints.len() - offset);
+            let (chunk_out, rest) = remaining.split_at_mut(take);
+            remaining = rest;
+            let chunk_endpoints = &endpoints[offset..offset + take];
+            handles.push(scope.spawn(move |_| {
+                for (slot, endpoint) in chunk_out.iter_mut().zip(chunk_endpoints.iter()) {
+                    endpoint.set_day(day);
+                    let result = extractor.extract(endpoint, day);
+                    *slot = Some(FleetExtractionOutcome {
+                        endpoint_url: endpoint.url().to_string(),
+                        result,
+                    });
+                }
+            }));
+            offset += take;
+        }
+        for handle in handles {
+            handle.join().expect("extraction worker panicked");
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot is filled by its worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_endpoint::FleetConfig;
+
+    #[test]
+    fn extracts_whole_fleet_in_order() {
+        let fleet = EndpointFleet::generate(&FleetConfig::small(8, 17));
+        let outcomes = extract_fleet(&fleet, &IndexExtractor::new(), 0, 4);
+        assert_eq!(outcomes.len(), 8);
+        for (outcome, endpoint) in outcomes.iter().zip(fleet.iter()) {
+            assert_eq!(outcome.endpoint_url, endpoint.url());
+        }
+        let successes = outcomes.iter().filter(|o| o.is_success()).count();
+        assert!(successes >= 4, "most endpoints should be extractable, got {successes}");
+        // Every success has at least one class.
+        for outcome in &outcomes {
+            if let Ok((indexes, _)) = &outcome.result {
+                assert!(indexes.class_count() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let fleet = EndpointFleet::generate(&FleetConfig::small(6, 23));
+        let sequential = extract_fleet(&fleet, &IndexExtractor::new(), 1, 1);
+        let parallel = extract_fleet(&fleet, &IndexExtractor::new(), 1, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(parallel.iter()) {
+            assert_eq!(a.endpoint_url, b.endpoint_url);
+            match (&a.result, &b.result) {
+                (Ok((ia, _)), Ok((ib, _))) => assert_eq!(ia, ib),
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+                other => panic!("divergent outcomes: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fleet_is_fine() {
+        let fleet = EndpointFleet::new();
+        assert!(extract_fleet(&fleet, &IndexExtractor::new(), 0, 4).is_empty());
+    }
+}

@@ -1,0 +1,354 @@
+//! The Schema Summary: a pseudograph of the instantiated classes.
+//!
+//! Paper §2.1: "a pseudograph that represents, through nodes and arches, the
+//! relations between the various instantiated classes of the dataset".
+//! Nodes are classes (with their attributes and instance counts), arcs are
+//! object properties between classes; self-loops and parallel arcs are
+//! allowed (hence *pseudo*graph).
+
+use std::collections::BTreeMap;
+
+use hbold_docstore::{doc, DocValue};
+use hbold_rdf_model::Iri;
+
+use crate::indexes::DatasetIndexes;
+
+/// A node of the Schema Summary (an instantiated class).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaNode {
+    /// The class IRI.
+    pub class: Iri,
+    /// Display label.
+    pub label: String,
+    /// Number of instances of the class.
+    pub instances: usize,
+    /// Datatype properties (attribute IRI, usage count).
+    pub attributes: Vec<(Iri, usize)>,
+}
+
+/// An arc of the Schema Summary (an object property between two classes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaEdge {
+    /// Index of the source node in [`SchemaSummary::nodes`].
+    pub source: usize,
+    /// Index of the target node in [`SchemaSummary::nodes`].
+    pub target: usize,
+    /// The property IRI.
+    pub property: Iri,
+    /// Number of instance-level triples realizing the arc.
+    pub count: usize,
+}
+
+/// The Schema Summary of one dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SchemaSummary {
+    /// The endpoint the summary describes.
+    pub endpoint_url: String,
+    /// Total instances in the dataset (for the "% of instances shown"
+    /// indicator of the interactive exploration, Figure 2).
+    pub total_instances: usize,
+    /// The class nodes, sorted by descending instance count.
+    pub nodes: Vec<SchemaNode>,
+    /// The property arcs between nodes.
+    pub edges: Vec<SchemaEdge>,
+}
+
+impl SchemaSummary {
+    /// Builds the Schema Summary from extracted indexes.
+    ///
+    /// Links whose target class was never itself extracted (it can happen
+    /// when the target has no instances of its own) are dropped: the summary
+    /// only shows instantiated classes, as the paper specifies.
+    pub fn from_indexes(indexes: &DatasetIndexes) -> Self {
+        let nodes: Vec<SchemaNode> = indexes
+            .classes
+            .iter()
+            .map(|c| SchemaNode {
+                class: c.class.clone(),
+                label: c.label.clone(),
+                instances: c.instances,
+                attributes: c.attributes.iter().map(|a| (a.property.clone(), a.count)).collect(),
+            })
+            .collect();
+        let index_of: BTreeMap<&Iri, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (&n.class, i)).collect();
+        let mut edges = Vec::new();
+        for class_index in &indexes.classes {
+            let Some(&source) = index_of.get(&class_index.class) else { continue };
+            for link in &class_index.links {
+                let Some(&target) = index_of.get(&link.target_class) else { continue };
+                edges.push(SchemaEdge {
+                    source,
+                    target,
+                    property: link.property.clone(),
+                    count: link.count,
+                });
+            }
+        }
+        SchemaSummary {
+            endpoint_url: indexes.endpoint_url.clone(),
+            total_instances: indexes.instances,
+            nodes,
+            edges,
+        }
+    }
+
+    /// Number of class nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of property arcs.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The index of a class node, if present.
+    pub fn node_index(&self, class: &Iri) -> Option<usize> {
+        self.nodes.iter().position(|n| &n.class == class)
+    }
+
+    /// The total degree (in + out, counting parallel edges once each) of a
+    /// node. The Cluster Schema labels clusters by their highest-degree class
+    /// (paper §2.1), so this is exposed here.
+    pub fn degree(&self, node: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.source == node || e.target == node)
+            .count()
+    }
+
+    /// The neighbours of a node (both directions), without duplicates,
+    /// excluding the node itself.
+    pub fn neighbours(&self, node: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .edges
+            .iter()
+            .filter_map(|e| {
+                if e.source == node && e.target != node {
+                    Some(e.target)
+                } else if e.target == node && e.source != node {
+                    Some(e.source)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The fraction of all instances covered by the given set of nodes
+    /// (the "percentage of the instances represented by the graph" shown
+    /// during interactive exploration, Figure 2).
+    pub fn instance_coverage(&self, nodes: &[usize]) -> f64 {
+        if self.total_instances == 0 {
+            return 0.0;
+        }
+        let mut sorted: Vec<usize> = nodes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let covered: usize = sorted
+            .iter()
+            .filter_map(|&i| self.nodes.get(i))
+            .map(|n| n.instances)
+            .sum();
+        (covered as f64 / self.total_instances as f64).min(1.0)
+    }
+
+    /// Serializes the summary for the document store.
+    pub fn to_doc(&self) -> DocValue {
+        doc! {
+            "endpoint" => self.endpoint_url.clone(),
+            "total_instances" => self.total_instances,
+            "nodes" => self
+                .nodes
+                .iter()
+                .map(|n| doc! {
+                    "class" => n.class.as_str(),
+                    "label" => n.label.clone(),
+                    "instances" => n.instances,
+                    "attributes" => n
+                        .attributes
+                        .iter()
+                        .map(|(p, c)| doc! { "property" => p.as_str(), "count" => *c })
+                        .collect::<Vec<_>>(),
+                })
+                .collect::<Vec<_>>(),
+            "edges" => self
+                .edges
+                .iter()
+                .map(|e| doc! {
+                    "source" => e.source,
+                    "target" => e.target,
+                    "property" => e.property.as_str(),
+                    "count" => e.count,
+                })
+                .collect::<Vec<_>>(),
+        }
+    }
+
+    /// Rebuilds a summary from a stored document.
+    pub fn from_doc(doc: &DocValue) -> Option<Self> {
+        let endpoint_url = doc.get("endpoint")?.as_str()?.to_string();
+        let total_instances = doc.get("total_instances")?.as_i64()? as usize;
+        let mut nodes = Vec::new();
+        for n in doc.get("nodes")?.as_array()? {
+            let mut attributes = Vec::new();
+            for a in n.get("attributes")?.as_array()? {
+                attributes.push((
+                    Iri::new(a.get("property")?.as_str()?).ok()?,
+                    a.get("count")?.as_i64()? as usize,
+                ));
+            }
+            nodes.push(SchemaNode {
+                class: Iri::new(n.get("class")?.as_str()?).ok()?,
+                label: n.get("label")?.as_str()?.to_string(),
+                instances: n.get("instances")?.as_i64()? as usize,
+                attributes,
+            });
+        }
+        let mut edges = Vec::new();
+        for e in doc.get("edges")?.as_array()? {
+            edges.push(SchemaEdge {
+                source: e.get("source")?.as_i64()? as usize,
+                target: e.get("target")?.as_i64()? as usize,
+                property: Iri::new(e.get("property")?.as_str()?).ok()?,
+                count: e.get("count")?.as_i64()? as usize,
+            });
+        }
+        Some(SchemaSummary {
+            endpoint_url,
+            total_instances,
+            nodes,
+            edges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexes::{ClassIndex, ObjectLinkIndex, PropertyIndex};
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    /// person --authorOf--> paper --publishedIn--> proceedings, person self-loop knows.
+    fn sample_indexes() -> DatasetIndexes {
+        let person = iri("http://e.org/Person");
+        let paper = iri("http://e.org/Paper");
+        let proceedings = iri("http://e.org/Proceedings");
+        DatasetIndexes {
+            endpoint_url: "http://e.org/sparql".into(),
+            extracted_on_day: 0,
+            triples: 1000,
+            instances: 180,
+            classes: vec![
+                ClassIndex {
+                    class: person.clone(),
+                    label: "Person".into(),
+                    instances: 100,
+                    attributes: vec![PropertyIndex { property: iri("http://e.org/name"), count: 95 }],
+                    links: vec![
+                        ObjectLinkIndex {
+                            property: iri("http://e.org/authorOf"),
+                            target_class: paper.clone(),
+                            count: 150,
+                        },
+                        ObjectLinkIndex {
+                            property: iri("http://e.org/knows"),
+                            target_class: person.clone(),
+                            count: 40,
+                        },
+                        ObjectLinkIndex {
+                            property: iri("http://e.org/memberOf"),
+                            target_class: iri("http://e.org/GhostClass"),
+                            count: 3,
+                        },
+                    ],
+                },
+                ClassIndex {
+                    class: paper.clone(),
+                    label: "Paper".into(),
+                    instances: 60,
+                    attributes: vec![PropertyIndex { property: iri("http://e.org/title"), count: 60 }],
+                    links: vec![ObjectLinkIndex {
+                        property: iri("http://e.org/publishedIn"),
+                        target_class: proceedings.clone(),
+                        count: 60,
+                    }],
+                },
+                ClassIndex {
+                    class: proceedings,
+                    label: "Proceedings".into(),
+                    instances: 20,
+                    attributes: vec![],
+                    links: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn builds_pseudograph_with_self_loops_and_drops_ghost_targets() {
+        let summary = SchemaSummary::from_indexes(&sample_indexes());
+        assert_eq!(summary.node_count(), 3);
+        // GhostClass has no node, so its link is dropped: authorOf, knows, publishedIn remain.
+        assert_eq!(summary.edge_count(), 3);
+        let person = summary.node_index(&iri("http://e.org/Person")).unwrap();
+        let knows_edge = summary
+            .edges
+            .iter()
+            .find(|e| e.property == iri("http://e.org/knows"))
+            .unwrap();
+        assert_eq!(knows_edge.source, person);
+        assert_eq!(knows_edge.target, person, "self loops are preserved");
+    }
+
+    #[test]
+    fn degrees_and_neighbours() {
+        let summary = SchemaSummary::from_indexes(&sample_indexes());
+        let person = summary.node_index(&iri("http://e.org/Person")).unwrap();
+        let paper = summary.node_index(&iri("http://e.org/Paper")).unwrap();
+        let proceedings = summary.node_index(&iri("http://e.org/Proceedings")).unwrap();
+        assert_eq!(summary.degree(person), 2, "authorOf + knows self-loop");
+        assert_eq!(summary.degree(paper), 2, "authorOf in + publishedIn out");
+        assert_eq!(summary.degree(proceedings), 1);
+        assert_eq!(summary.neighbours(person), vec![paper]);
+        assert_eq!(summary.neighbours(paper), vec![person, proceedings]);
+    }
+
+    #[test]
+    fn instance_coverage_is_a_fraction_of_total() {
+        let summary = SchemaSummary::from_indexes(&sample_indexes());
+        let person = summary.node_index(&iri("http://e.org/Person")).unwrap();
+        let paper = summary.node_index(&iri("http://e.org/Paper")).unwrap();
+        assert!((summary.instance_coverage(&[person]) - 100.0 / 180.0).abs() < 1e-9);
+        assert!((summary.instance_coverage(&[person, paper]) - 160.0 / 180.0).abs() < 1e-9);
+        // Duplicates do not double-count.
+        assert_eq!(
+            summary.instance_coverage(&[person, person]),
+            summary.instance_coverage(&[person])
+        );
+        let all: Vec<usize> = (0..summary.node_count()).collect();
+        assert!(summary.instance_coverage(&all) <= 1.0);
+    }
+
+    #[test]
+    fn doc_round_trip() {
+        let summary = SchemaSummary::from_indexes(&sample_indexes());
+        let doc = summary.to_doc();
+        let back = SchemaSummary::from_doc(&doc).unwrap();
+        assert_eq!(back, summary);
+        assert!(SchemaSummary::from_doc(&DocValue::Int(1)).is_none());
+    }
+
+    #[test]
+    fn empty_summary_coverage_is_zero() {
+        let summary = SchemaSummary::default();
+        assert_eq!(summary.instance_coverage(&[0, 1, 2]), 0.0);
+    }
+}

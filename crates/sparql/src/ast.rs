@@ -1,0 +1,373 @@
+//! The abstract syntax of the supported SPARQL subset.
+
+use hbold_rdf_model::{Iri, Literal, Term};
+
+/// A parsed SPARQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The query form (SELECT or ASK) with its form-specific parts.
+    pub form: QueryForm,
+    /// The WHERE clause.
+    pub pattern: GraphPattern,
+    /// GROUP BY variables (empty when not grouping).
+    pub group_by: Vec<String>,
+    /// ORDER BY conditions, applied in sequence.
+    pub order_by: Vec<OrderCondition>,
+    /// LIMIT, if present.
+    pub limit: Option<usize>,
+    /// OFFSET, if present.
+    pub offset: Option<usize>,
+}
+
+/// The query form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryForm {
+    /// A SELECT query.
+    Select {
+        /// Whether `DISTINCT` was specified.
+        distinct: bool,
+        /// Projection: explicit items, or `*` when empty... never empty —
+        /// `*` is represented by [`Projection::Star`].
+        projection: Projection,
+    },
+    /// An ASK query.
+    Ask,
+}
+
+/// The SELECT projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `SELECT *`.
+    Star,
+    /// An explicit list of projection items.
+    Items(Vec<ProjectionItem>),
+}
+
+/// One item of a SELECT projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProjectionItem {
+    /// A plain variable, e.g. `?s`.
+    Variable(String),
+    /// An expression bound to a new variable, e.g. `(COUNT(?s) AS ?n)`.
+    Expression {
+        /// The expression (often an aggregate).
+        expr: Expression,
+        /// The output variable name (without `?`).
+        alias: String,
+    },
+}
+
+/// An ORDER BY condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderCondition {
+    /// The expression to sort by (usually a variable).
+    pub expr: Expression,
+    /// `true` for descending order.
+    pub descending: bool,
+}
+
+/// A graph pattern (the contents of a group `{ ... }` after normalization).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphPattern {
+    /// A basic graph pattern: a conjunction of triple patterns.
+    Bgp(Vec<TriplePatternAst>),
+    /// Sequential join of sub-patterns.
+    Join(Vec<GraphPattern>),
+    /// `OPTIONAL { ... }` — left join.
+    Optional {
+        /// The required left side.
+        left: Box<GraphPattern>,
+        /// The optional right side.
+        right: Box<GraphPattern>,
+    },
+    /// `{ ... } UNION { ... }`.
+    Union(Box<GraphPattern>, Box<GraphPattern>),
+    /// A pattern restricted by a FILTER expression.
+    Filter {
+        /// The constrained pattern.
+        inner: Box<GraphPattern>,
+        /// The filter condition.
+        condition: Expression,
+    },
+}
+
+impl GraphPattern {
+    /// An empty basic graph pattern (matches the single empty solution).
+    pub fn empty() -> Self {
+        GraphPattern::Bgp(Vec::new())
+    }
+
+    /// Collects every variable mentioned anywhere in the pattern, in first-
+    /// appearance order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<String>) {
+        let mut push = |name: &str| {
+            if !out.iter().any(|v| v == name) {
+                out.push(name.to_string());
+            }
+        };
+        match self {
+            GraphPattern::Bgp(patterns) => {
+                for tp in patterns {
+                    for node in [&tp.subject, &tp.predicate, &tp.object] {
+                        if let TermOrVariable::Variable(v) = node {
+                            push(v);
+                        }
+                    }
+                }
+            }
+            GraphPattern::Join(parts) => {
+                for p in parts {
+                    p.collect_variables(out);
+                }
+            }
+            GraphPattern::Optional { left, right } => {
+                left.collect_variables(out);
+                right.collect_variables(out);
+            }
+            GraphPattern::Union(a, b) => {
+                a.collect_variables(out);
+                b.collect_variables(out);
+            }
+            GraphPattern::Filter { inner, .. } => inner.collect_variables(out),
+        }
+    }
+}
+
+/// A triple pattern whose positions may be variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePatternAst {
+    /// Subject position.
+    pub subject: TermOrVariable,
+    /// Predicate position.
+    pub predicate: TermOrVariable,
+    /// Object position.
+    pub object: TermOrVariable,
+}
+
+/// Either a concrete RDF term or a variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermOrVariable {
+    /// A concrete term.
+    Term(Term),
+    /// A variable (name without `?`).
+    Variable(String),
+}
+
+impl TermOrVariable {
+    /// Convenience constructor from an IRI.
+    pub fn iri(iri: Iri) -> Self {
+        TermOrVariable::Term(Term::Iri(iri))
+    }
+
+    /// Convenience constructor from a literal.
+    pub fn literal(lit: Literal) -> Self {
+        TermOrVariable::Term(Term::Literal(lit))
+    }
+
+    /// Convenience constructor for a variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        TermOrVariable::Variable(name.into())
+    }
+
+    /// Returns the variable name, if this is a variable.
+    pub fn as_variable(&self) -> Option<&str> {
+        match self {
+            TermOrVariable::Variable(v) => Some(v),
+            TermOrVariable::Term(_) => None,
+        }
+    }
+}
+
+/// A filter / projection expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expression {
+    /// A variable reference.
+    Variable(String),
+    /// A constant term.
+    Constant(Term),
+    /// Logical OR.
+    Or(Box<Expression>, Box<Expression>),
+    /// Logical AND.
+    And(Box<Expression>, Box<Expression>),
+    /// Logical NOT.
+    Not(Box<Expression>),
+    /// Comparison between two expressions.
+    Comparison {
+        /// Comparison operator.
+        op: ComparisonOp,
+        /// Left operand.
+        left: Box<Expression>,
+        /// Right operand.
+        right: Box<Expression>,
+    },
+    /// A built-in function call.
+    Function {
+        /// Which function.
+        func: Function,
+        /// The arguments.
+        args: Vec<Expression>,
+    },
+    /// An aggregate (only valid in projections of grouped queries).
+    Aggregate {
+        /// Which aggregate function.
+        func: AggregateFunction,
+        /// Whether `DISTINCT` was specified inside the aggregate.
+        distinct: bool,
+        /// The aggregated expression; `None` means `COUNT(*)`.
+        arg: Option<Box<Expression>>,
+    },
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComparisonOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Supported built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Function {
+    /// `REGEX(text, pattern [, flags])`
+    Regex,
+    /// `STR(term)`
+    Str,
+    /// `LANG(literal)`
+    Lang,
+    /// `DATATYPE(literal)`
+    Datatype,
+    /// `BOUND(?var)`
+    Bound,
+    /// `isIRI(term)` / `isURI(term)`
+    IsIri,
+    /// `isLiteral(term)`
+    IsLiteral,
+    /// `isBlank(term)`
+    IsBlank,
+    /// `CONTAINS(haystack, needle)`
+    Contains,
+    /// `STRSTARTS(text, prefix)`
+    StrStarts,
+    /// `STRENDS(text, suffix)`
+    StrEnds,
+}
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateFunction {
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `AVG`
+    Avg,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+}
+
+impl Query {
+    /// Returns `true` when the query (projection) uses any aggregate, which
+    /// forces grouped evaluation even without an explicit GROUP BY.
+    pub fn uses_aggregates(&self) -> bool {
+        match &self.form {
+            QueryForm::Select { projection: Projection::Items(items), .. } => items.iter().any(|item| {
+                matches!(item, ProjectionItem::Expression { expr, .. } if expr_contains_aggregate(expr))
+            }),
+            _ => false,
+        }
+    }
+}
+
+fn expr_contains_aggregate(expr: &Expression) -> bool {
+    match expr {
+        Expression::Aggregate { .. } => true,
+        Expression::Or(a, b) | Expression::And(a, b) => {
+            expr_contains_aggregate(a) || expr_contains_aggregate(b)
+        }
+        Expression::Not(e) => expr_contains_aggregate(e),
+        Expression::Comparison { left, right, .. } => {
+            expr_contains_aggregate(left) || expr_contains_aggregate(right)
+        }
+        Expression::Function { args, .. } => args.iter().any(expr_contains_aggregate),
+        Expression::Variable(_) | Expression::Constant(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_rdf_model::vocab::rdf;
+
+    #[test]
+    fn pattern_variable_collection_is_ordered_and_deduplicated() {
+        let pattern = GraphPattern::Join(vec![
+            GraphPattern::Bgp(vec![TriplePatternAst {
+                subject: TermOrVariable::var("s"),
+                predicate: TermOrVariable::iri(rdf::type_()),
+                object: TermOrVariable::var("c"),
+            }]),
+            GraphPattern::Bgp(vec![TriplePatternAst {
+                subject: TermOrVariable::var("s"),
+                predicate: TermOrVariable::var("p"),
+                object: TermOrVariable::var("o"),
+            }]),
+        ]);
+        assert_eq!(pattern.variables(), vec!["s", "c", "p", "o"]);
+    }
+
+    #[test]
+    fn uses_aggregates_detection() {
+        let base = Query {
+            form: QueryForm::Select {
+                distinct: false,
+                projection: Projection::Items(vec![ProjectionItem::Variable("s".into())]),
+            },
+            pattern: GraphPattern::empty(),
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        };
+        assert!(!base.uses_aggregates());
+
+        let counted = Query {
+            form: QueryForm::Select {
+                distinct: false,
+                projection: Projection::Items(vec![ProjectionItem::Expression {
+                    expr: Expression::Aggregate {
+                        func: AggregateFunction::Count,
+                        distinct: false,
+                        arg: None,
+                    },
+                    alias: "n".into(),
+                }]),
+            },
+            ..base
+        };
+        assert!(counted.uses_aggregates());
+    }
+
+    #[test]
+    fn term_or_variable_accessors() {
+        assert_eq!(TermOrVariable::var("x").as_variable(), Some("x"));
+        assert_eq!(TermOrVariable::iri(rdf::type_()).as_variable(), None);
+    }
+}

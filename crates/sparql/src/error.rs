@@ -1,0 +1,60 @@
+//! Errors produced while parsing or evaluating SPARQL queries.
+
+use std::fmt;
+
+/// An error from the SPARQL engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// The query text could not be tokenized or parsed.
+    Parse {
+        /// Byte-offset-independent position: 1-based line.
+        line: usize,
+        /// 1-based column.
+        column: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The query parsed but uses a feature outside the supported subset, or
+    /// is internally inconsistent (e.g. projecting an unbound aggregate).
+    Unsupported(String),
+    /// An error raised during evaluation (e.g. invalid regular expression).
+    Evaluation(String),
+}
+
+impl SparqlError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, column: usize, message: impl Into<String>) -> Self {
+        SparqlError::Parse {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Parse { line, column, message } => {
+                write!(f, "SPARQL parse error at line {line}, column {column}: {message}")
+            }
+            SparqlError::Unsupported(msg) => write!(f, "unsupported SPARQL feature: {msg}"),
+            SparqlError::Evaluation(msg) => write!(f, "SPARQL evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SparqlError::parse(2, 5, "unexpected token");
+        assert!(e.to_string().contains("line 2"));
+        assert!(SparqlError::Unsupported("CONSTRUCT".into()).to_string().contains("CONSTRUCT"));
+        assert!(SparqlError::Evaluation("bad regex".into()).to_string().contains("bad regex"));
+    }
+}

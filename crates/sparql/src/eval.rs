@@ -1,0 +1,697 @@
+//! Query evaluation over a [`TripleStore`].
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+
+use hbold_rdf_model::{Term, TriplePattern};
+use hbold_triple_store::TripleStore;
+
+use crate::ast::*;
+use crate::error::SparqlError;
+use crate::expr::{
+    evaluate_expression, filter_passes, numeric_value, number_term, Binding, EvalValue,
+};
+use crate::parser::parse_query;
+use crate::results::{QueryResults, SelectResults};
+
+/// Parses and evaluates a query string against a store.
+pub fn execute_query(store: &TripleStore, query: &str) -> Result<QueryResults, SparqlError> {
+    let parsed = parse_query(query)?;
+    evaluate(store, &parsed)
+}
+
+/// Evaluates a parsed [`Query`] against a store.
+pub fn evaluate(store: &TripleStore, query: &Query) -> Result<QueryResults, SparqlError> {
+    let solutions = eval_pattern(store, &query.pattern, vec![Binding::new()])?;
+
+    match &query.form {
+        QueryForm::Ask => Ok(QueryResults::Ask(!solutions.is_empty())),
+        QueryForm::Select { distinct, projection } => {
+            let mut results = if query.uses_aggregates() || !query.group_by.is_empty() {
+                project_grouped(query, projection, solutions)?
+            } else {
+                let ordered = order_solutions(&query.order_by, solutions)?;
+                project_plain(&query.pattern, projection, ordered)?
+            };
+
+            if *distinct {
+                let mut seen: BTreeSet<String> = BTreeSet::new();
+                results.rows.retain(|row| {
+                    let key = row_key(row);
+                    seen.insert(key)
+                });
+            }
+
+            let offset = query.offset.unwrap_or(0);
+            if offset > 0 {
+                results.rows.drain(..offset.min(results.rows.len()));
+            }
+            if let Some(limit) = query.limit {
+                results.rows.truncate(limit);
+            }
+            Ok(QueryResults::Select(results))
+        }
+    }
+}
+
+fn row_key(row: &[Option<Term>]) -> String {
+    row.iter()
+        .map(|t| t.as_ref().map(|t| t.to_ntriples()).unwrap_or_default())
+        .collect::<Vec<_>>()
+        .join("\u{1}")
+}
+
+// ---- graph pattern evaluation --------------------------------------------------
+
+/// Evaluates a pattern given a set of input solutions (the "current" partial
+/// bindings) and returns the extended solutions.
+fn eval_pattern(
+    store: &TripleStore,
+    pattern: &GraphPattern,
+    input: Vec<Binding>,
+) -> Result<Vec<Binding>, SparqlError> {
+    match pattern {
+        GraphPattern::Bgp(triple_patterns) => eval_bgp(store, triple_patterns, input),
+        GraphPattern::Join(parts) => {
+            let mut current = input;
+            for part in parts {
+                current = eval_pattern(store, part, current)?;
+                if current.is_empty() {
+                    break;
+                }
+            }
+            Ok(current)
+        }
+        GraphPattern::Optional { left, right } => {
+            let left_solutions = eval_pattern(store, left, input)?;
+            let mut out = Vec::new();
+            for binding in left_solutions {
+                let extended = eval_pattern(store, right, vec![binding.clone()])?;
+                if extended.is_empty() {
+                    out.push(binding);
+                } else {
+                    out.extend(extended);
+                }
+            }
+            Ok(out)
+        }
+        GraphPattern::Union(a, b) => {
+            let mut out = eval_pattern(store, a, input.clone())?;
+            out.extend(eval_pattern(store, b, input)?);
+            Ok(out)
+        }
+        GraphPattern::Filter { inner, condition } => {
+            let solutions = eval_pattern(store, inner, input)?;
+            let mut out = Vec::with_capacity(solutions.len());
+            for binding in solutions {
+                if filter_passes(condition, &binding)? {
+                    out.push(binding);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Evaluates a basic graph pattern with a greedy join order: at each step the
+/// remaining triple pattern with the most bound positions (given what is
+/// already bound) is evaluated next. This mirrors what any reasonable SPARQL
+/// engine does and keeps the extraction queries fast on large stores.
+fn eval_bgp(
+    store: &TripleStore,
+    patterns: &[TriplePatternAst],
+    input: Vec<Binding>,
+) -> Result<Vec<Binding>, SparqlError> {
+    if patterns.is_empty() {
+        return Ok(input);
+    }
+    let mut remaining: Vec<&TriplePatternAst> = patterns.iter().collect();
+    let mut bound_vars: BTreeSet<String> = input
+        .first()
+        .map(|b| b.keys().cloned().collect())
+        .unwrap_or_default();
+    let mut solutions = input;
+
+    while !remaining.is_empty() {
+        // Pick the most selective pattern: the one with most concrete/bound positions.
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, tp)| pattern_selectivity(tp, &bound_vars))
+            .expect("remaining is non-empty");
+        let tp = remaining.remove(idx);
+        solutions = join_triple_pattern(store, tp, solutions);
+        for node in [&tp.subject, &tp.predicate, &tp.object] {
+            if let TermOrVariable::Variable(v) = node {
+                bound_vars.insert(v.clone());
+            }
+        }
+        if solutions.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+    Ok(solutions)
+}
+
+fn pattern_selectivity(tp: &TriplePatternAst, bound: &BTreeSet<String>) -> usize {
+    let score = |node: &TermOrVariable| match node {
+        TermOrVariable::Term(_) => 2,
+        TermOrVariable::Variable(v) if bound.contains(v) => 2,
+        TermOrVariable::Variable(_) => 0,
+    };
+    score(&tp.subject) + score(&tp.predicate) + score(&tp.object)
+}
+
+fn join_triple_pattern(
+    store: &TripleStore,
+    tp: &TriplePatternAst,
+    solutions: Vec<Binding>,
+) -> Vec<Binding> {
+    let mut out = Vec::new();
+    for binding in solutions {
+        let resolve = |node: &TermOrVariable| -> Option<Term> {
+            match node {
+                TermOrVariable::Term(t) => Some(t.clone()),
+                TermOrVariable::Variable(v) => binding.get(v).cloned(),
+            }
+        };
+        let pattern = TriplePattern {
+            subject: resolve(&tp.subject),
+            predicate: resolve(&tp.predicate),
+            object: resolve(&tp.object),
+        };
+        for triple in store.matching(&pattern) {
+            let mut extended = binding.clone();
+            let mut consistent = true;
+            for (node, term) in [
+                (&tp.subject, &triple.subject),
+                (&tp.predicate, &triple.predicate),
+                (&tp.object, &triple.object),
+            ] {
+                if let TermOrVariable::Variable(v) = node {
+                    match extended.get(v) {
+                        Some(existing) if existing != term => {
+                            consistent = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            extended.insert(v.clone(), term.clone());
+                        }
+                    }
+                }
+            }
+            if consistent {
+                out.push(extended);
+            }
+        }
+    }
+    out
+}
+
+// ---- projection ------------------------------------------------------------------
+
+fn project_plain(
+    pattern: &GraphPattern,
+    projection: &Projection,
+    solutions: Vec<Binding>,
+) -> Result<SelectResults, SparqlError> {
+    let variables: Vec<String> = match projection {
+        Projection::Star => pattern.variables(),
+        Projection::Items(items) => items
+            .iter()
+            .map(|item| match item {
+                ProjectionItem::Variable(v) => v.clone(),
+                ProjectionItem::Expression { alias, .. } => alias.clone(),
+            })
+            .collect(),
+    };
+    let mut rows = Vec::with_capacity(solutions.len());
+    for binding in &solutions {
+        let row = match projection {
+            Projection::Star => variables.iter().map(|v| binding.get(v).cloned()).collect(),
+            Projection::Items(items) => {
+                let mut row = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        ProjectionItem::Variable(v) => row.push(binding.get(v).cloned()),
+                        ProjectionItem::Expression { expr, .. } => {
+                            row.push(evaluate_expression(expr, binding)?.into_term())
+                        }
+                    }
+                }
+                row
+            }
+        };
+        rows.push(row);
+    }
+    Ok(SelectResults { variables, rows })
+}
+
+fn project_grouped(
+    query: &Query,
+    projection: &Projection,
+    solutions: Vec<Binding>,
+) -> Result<SelectResults, SparqlError> {
+    let Projection::Items(items) = projection else {
+        return Err(SparqlError::Unsupported(
+            "SELECT * cannot be combined with GROUP BY or aggregates".into(),
+        ));
+    };
+
+    // Partition the solutions into groups keyed by the GROUP BY variables.
+    let mut groups: BTreeMap<String, (Binding, Vec<Binding>)> = BTreeMap::new();
+    for binding in solutions {
+        let mut key_binding = Binding::new();
+        for var in &query.group_by {
+            if let Some(term) = binding.get(var) {
+                key_binding.insert(var.clone(), term.clone());
+            }
+        }
+        let key = key_binding
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.to_ntriples()))
+            .collect::<Vec<_>>()
+            .join("\u{1}");
+        groups.entry(key).or_insert_with(|| (key_binding, Vec::new())).1.push(binding);
+    }
+    // With no GROUP BY (pure aggregate query) there is exactly one group,
+    // even if it is empty.
+    if query.group_by.is_empty() && groups.is_empty() {
+        groups.insert(String::new(), (Binding::new(), Vec::new()));
+    }
+
+    let variables: Vec<String> = items
+        .iter()
+        .map(|item| match item {
+            ProjectionItem::Variable(v) => v.clone(),
+            ProjectionItem::Expression { alias, .. } => alias.clone(),
+        })
+        .collect();
+
+    // Evaluate each group into an output binding so ORDER BY can see aliases.
+    let mut grouped_bindings: Vec<Binding> = Vec::with_capacity(groups.len());
+    for (_, (key_binding, members)) in groups {
+        let mut out = Binding::new();
+        for item in items {
+            match item {
+                ProjectionItem::Variable(v) => {
+                    if !query.group_by.contains(v) {
+                        return Err(SparqlError::Evaluation(format!(
+                            "variable ?{v} is projected but is neither grouped nor aggregated"
+                        )));
+                    }
+                    if let Some(term) = key_binding.get(v) {
+                        out.insert(v.clone(), term.clone());
+                    }
+                }
+                ProjectionItem::Expression { expr, alias } => {
+                    if let Some(term) = evaluate_projection_expression(expr, &key_binding, &members)? {
+                        out.insert(alias.clone(), term);
+                    }
+                }
+            }
+        }
+        grouped_bindings.push(out);
+    }
+
+    let ordered = order_solutions(&query.order_by, grouped_bindings)?;
+    let rows = ordered
+        .iter()
+        .map(|b| variables.iter().map(|v| b.get(v).cloned()).collect())
+        .collect();
+    Ok(SelectResults { variables, rows })
+}
+
+/// Evaluates a projection expression in a grouped query: aggregates see the
+/// group members, everything else sees the group key binding.
+fn evaluate_projection_expression(
+    expr: &Expression,
+    key_binding: &Binding,
+    members: &[Binding],
+) -> Result<Option<Term>, SparqlError> {
+    match expr {
+        Expression::Aggregate { func, distinct, arg } => {
+            evaluate_aggregate(*func, *distinct, arg.as_deref(), members)
+        }
+        other => Ok(evaluate_expression(other, key_binding)?.into_term()),
+    }
+}
+
+fn evaluate_aggregate(
+    func: AggregateFunction,
+    distinct: bool,
+    arg: Option<&Expression>,
+    members: &[Binding],
+) -> Result<Option<Term>, SparqlError> {
+    // Collect the argument values over the group (for COUNT(*) every member
+    // counts, bound or not).
+    let mut values: Vec<Term> = Vec::new();
+    for member in members {
+        match arg {
+            None => values.push(Term::Literal(hbold_rdf_model::Literal::integer(1))),
+            Some(expr) => {
+                if let EvalValue::Term(t) = evaluate_expression(expr, member)? {
+                    values.push(t);
+                } else if let Some(t) = evaluate_expression(expr, member)?.into_term() {
+                    values.push(t);
+                }
+            }
+        }
+    }
+    if distinct {
+        let mut seen = BTreeSet::new();
+        values.retain(|t| seen.insert(t.to_ntriples()));
+    }
+    Ok(match func {
+        AggregateFunction::Count => Some(number_term(values.len() as f64)),
+        AggregateFunction::Sum => {
+            let sum: f64 = values.iter().filter_map(numeric_value).sum();
+            Some(number_term(sum))
+        }
+        AggregateFunction::Avg => {
+            let nums: Vec<f64> = values.iter().filter_map(numeric_value).collect();
+            if nums.is_empty() {
+                Some(number_term(0.0))
+            } else {
+                Some(number_term(nums.iter().sum::<f64>() / nums.len() as f64))
+            }
+        }
+        AggregateFunction::Min => values.iter().min_by(|a, b| compare_terms(a, b)).cloned(),
+        AggregateFunction::Max => values.iter().max_by(|a, b| compare_terms(a, b)).cloned(),
+    })
+}
+
+// ---- ordering --------------------------------------------------------------------
+
+fn order_solutions(
+    order_by: &[OrderCondition],
+    mut solutions: Vec<Binding>,
+) -> Result<Vec<Binding>, SparqlError> {
+    if order_by.is_empty() {
+        return Ok(solutions);
+    }
+    // Precompute sort keys to avoid re-evaluating expressions in the comparator.
+    let mut keyed: Vec<(Vec<Option<Term>>, Binding)> = solutions
+        .drain(..)
+        .map(|binding| {
+            let keys = order_by
+                .iter()
+                .map(|cond| {
+                    evaluate_expression(&cond.expr, &binding)
+                        .ok()
+                        .and_then(EvalValue::into_term)
+                })
+                .collect();
+            (keys, binding)
+        })
+        .collect();
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, cond) in order_by.iter().enumerate() {
+            let ord = compare_optional_terms(&ka[i], &kb[i]);
+            let ord = if cond.descending { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(keyed.into_iter().map(|(_, b)| b).collect())
+}
+
+fn compare_optional_terms(a: &Option<Term>, b: &Option<Term>) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(a), Some(b)) => compare_terms(a, b),
+    }
+}
+
+/// Value-aware term comparison used for ORDER BY and MIN/MAX: numeric
+/// literals compare numerically, everything else falls back to the model
+/// ordering (blank < IRI < literal, then textual).
+fn compare_terms(a: &Term, b: &Term) -> Ordering {
+    if let (Term::Literal(la), Term::Literal(lb)) = (a, b) {
+        if let Some(ord) = la.value().partial_cmp(&lb.value()) {
+            return ord;
+        }
+    }
+    a.cmp(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_rdf_model::vocab::{foaf, rdf, xsd};
+    use hbold_rdf_model::{Iri, Literal, Triple};
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    /// Builds a small "scholarly" store: 3 people (2 with names), 2 papers,
+    /// 1 organization, authorship and affiliation links.
+    fn sample_store() -> TripleStore {
+        let mut store = TripleStore::new();
+        let person = iri("http://e.org/Person");
+        let paper = iri("http://e.org/Paper");
+        let org = iri("http://e.org/Organization");
+        let author_of = iri("http://e.org/authorOf");
+        let affiliated = iri("http://e.org/affiliatedWith");
+        let age = iri("http://e.org/age");
+
+        for (name, years) in [("alice", 42), ("bob", 31), ("carol", 77)] {
+            let s = iri(&format!("http://e.org/{name}"));
+            store.insert(&Triple::new(s.clone(), rdf::type_(), person.clone()));
+            store.insert(&Triple::new(s.clone(), age.clone(), Literal::integer(years)));
+            if name != "carol" {
+                store.insert(&Triple::new(s.clone(), foaf::name(), Literal::string(name)));
+            }
+        }
+        for p in ["p1", "p2"] {
+            let s = iri(&format!("http://e.org/{p}"));
+            store.insert(&Triple::new(s.clone(), rdf::type_(), paper.clone()));
+            store.insert(&Triple::new(iri("http://e.org/alice"), author_of.clone(), s.clone()));
+        }
+        store.insert(&Triple::new(iri("http://e.org/bob"), author_of.clone(), iri("http://e.org/p1")));
+        store.insert(&Triple::new(iri("http://e.org/unimore"), rdf::type_(), org.clone()));
+        store.insert(&Triple::new(
+            iri("http://e.org/alice"),
+            affiliated,
+            iri("http://e.org/unimore"),
+        ));
+        store
+    }
+
+    fn select(store: &TripleStore, q: &str) -> SelectResults {
+        execute_query(store, q).unwrap().into_select().unwrap()
+    }
+
+    #[test]
+    fn simple_bgp_select() {
+        let store = sample_store();
+        let r = select(&store, "SELECT ?s WHERE { ?s a <http://e.org/Person> }");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.variables, vec!["s"]);
+    }
+
+    #[test]
+    fn join_across_patterns() {
+        let store = sample_store();
+        let r = select(
+            &store,
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             SELECT ?name WHERE { ?s a <http://e.org/Person> . ?s foaf:name ?name . ?s <http://e.org/authorOf> ?p }",
+        );
+        // alice authored 2 papers, bob 1 → 3 rows.
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn select_star_and_distinct() {
+        let store = sample_store();
+        let r = select(&store, "SELECT * WHERE { ?s <http://e.org/authorOf> ?p }");
+        assert_eq!(r.variables, vec!["s", "p"]);
+        assert_eq!(r.len(), 3);
+        let r = select(&store, "SELECT DISTINCT ?s WHERE { ?s <http://e.org/authorOf> ?p }");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn filter_with_comparison() {
+        let store = sample_store();
+        let r = select(
+            &store,
+            "SELECT ?s WHERE { ?s <http://e.org/age> ?age FILTER(?age > 40) }",
+        );
+        assert_eq!(r.len(), 2, "alice (42) and carol (77)");
+    }
+
+    #[test]
+    fn filter_with_regex() {
+        let store = sample_store();
+        let r = select(
+            &store,
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             SELECT ?s WHERE { ?s foaf:name ?n FILTER(regex(?n, '^ali')) }",
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.value(0, "s").unwrap().label(), "alice");
+    }
+
+    #[test]
+    fn optional_keeps_unmatched_rows() {
+        let store = sample_store();
+        let r = select(
+            &store,
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             SELECT ?s ?name WHERE { ?s a <http://e.org/Person> OPTIONAL { ?s foaf:name ?name } }",
+        );
+        assert_eq!(r.len(), 3);
+        let unbound = r
+            .rows
+            .iter()
+            .filter(|row| row[1].is_none())
+            .count();
+        assert_eq!(unbound, 1, "carol has no name");
+    }
+
+    #[test]
+    fn union_combines_branches() {
+        let store = sample_store();
+        let r = select(
+            &store,
+            "SELECT ?x WHERE { { ?x a <http://e.org/Paper> } UNION { ?x a <http://e.org/Organization> } }",
+        );
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn count_group_by_class_ordered() {
+        let store = sample_store();
+        let r = select(
+            &store,
+            "SELECT ?class (COUNT(?s) AS ?n) WHERE { ?s a ?class } GROUP BY ?class ORDER BY DESC(?n)",
+        );
+        assert_eq!(r.variables, vec!["class", "n"]);
+        assert_eq!(r.len(), 3);
+        // Person (3) first, then Paper (2), then Organization (1).
+        assert_eq!(r.value(0, "class").unwrap().label(), "Person");
+        assert_eq!(r.value(0, "n").unwrap().label(), "3");
+        assert_eq!(r.value(2, "n").unwrap().label(), "1");
+    }
+
+    #[test]
+    fn count_distinct() {
+        let store = sample_store();
+        let r = select(
+            &store,
+            "SELECT (COUNT(DISTINCT ?s) AS ?authors) WHERE { ?s <http://e.org/authorOf> ?p }",
+        );
+        assert_eq!(r.value(0, "authors").unwrap().label(), "2");
+    }
+
+    #[test]
+    fn count_star_without_group() {
+        let store = sample_store();
+        let r = select(&store, "SELECT (COUNT(*) AS ?triples) WHERE { ?s ?p ?o }");
+        assert_eq!(r.value(0, "triples").unwrap().label(), &store.len().to_string());
+    }
+
+    #[test]
+    fn aggregate_sum_avg_min_max() {
+        let store = sample_store();
+        let r = select(
+            &store,
+            "SELECT (SUM(?age) AS ?total) (AVG(?age) AS ?mean) (MIN(?age) AS ?lo) (MAX(?age) AS ?hi) \
+             WHERE { ?s <http://e.org/age> ?age }",
+        );
+        assert_eq!(r.value(0, "total").unwrap().label(), "150");
+        assert_eq!(r.value(0, "mean").unwrap().label(), "50");
+        assert_eq!(r.value(0, "lo").unwrap().label(), "31");
+        assert_eq!(r.value(0, "hi").unwrap().label(), "77");
+    }
+
+    #[test]
+    fn order_limit_offset() {
+        let store = sample_store();
+        let r = select(
+            &store,
+            "SELECT ?s ?age WHERE { ?s <http://e.org/age> ?age } ORDER BY DESC(?age) LIMIT 2",
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.value(0, "s").unwrap().label(), "carol");
+        let r = select(
+            &store,
+            "SELECT ?s ?age WHERE { ?s <http://e.org/age> ?age } ORDER BY ?age OFFSET 1 LIMIT 1",
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.value(0, "s").unwrap().label(), "alice");
+    }
+
+    #[test]
+    fn ask_queries() {
+        let store = sample_store();
+        assert_eq!(
+            execute_query(&store, "ASK { ?s a <http://e.org/Person> }").unwrap().as_ask(),
+            Some(true)
+        );
+        assert_eq!(
+            execute_query(&store, "ASK { ?s a <http://e.org/Spaceship> }").unwrap().as_ask(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn empty_group_count_is_zero() {
+        let store = sample_store();
+        let r = select(
+            &store,
+            "SELECT (COUNT(?s) AS ?n) WHERE { ?s a <http://e.org/Spaceship> }",
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.value(0, "n").unwrap().label(), "0");
+    }
+
+    #[test]
+    fn typed_literal_objects_match() {
+        let store = sample_store();
+        let r = select(
+            &store,
+            "PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+             SELECT ?s WHERE { ?s <http://e.org/age> \"42\"^^xsd:integer }",
+        );
+        assert_eq!(r.len(), 1);
+        let _ = xsd::integer();
+    }
+
+    #[test]
+    fn projecting_ungrouped_variable_is_an_error() {
+        let store = sample_store();
+        let err = execute_query(
+            &store,
+            "SELECT ?s (COUNT(?p) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?o",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SparqlError::Evaluation(_)));
+    }
+
+    #[test]
+    fn index_extraction_style_query() {
+        // The shape of query H-BOLD's index extraction uses: classes with
+        // their instance counts and, per class, the properties used.
+        let store = sample_store();
+        let classes = select(
+            &store,
+            "SELECT ?class (COUNT(?s) AS ?instances) WHERE { ?s a ?class } GROUP BY ?class ORDER BY ?class",
+        );
+        assert_eq!(classes.len(), 3);
+        let props = select(
+            &store,
+            "SELECT DISTINCT ?p WHERE { ?s a <http://e.org/Person> . ?s ?p ?o } ORDER BY ?p",
+        );
+        // rdf:type, age, name, authorOf, affiliatedWith
+        assert_eq!(props.len(), 5);
+    }
+}

@@ -1,0 +1,55 @@
+//! # hbold-sparql
+//!
+//! A SPARQL 1.1 *subset* query engine over [`hbold_triple_store::TripleStore`].
+//!
+//! H-BOLD talks to its data sources exclusively through SPARQL: the Index
+//! Extraction issues statistics queries (`SELECT (COUNT(...) AS ...) ...
+//! GROUP BY ...`), the portal crawler issues the DCAT discovery query of the
+//! paper's Listing 1 (with a `FILTER(regex(...))`), and the visual query
+//! builder generates class/property queries on behalf of the user. This
+//! crate implements exactly that query language, end to end:
+//!
+//! * [`lexer`] — tokenizer,
+//! * [`ast`] — the parsed query representation,
+//! * [`parser`] — recursive-descent parser,
+//! * [`eval`] — evaluation over a triple store (BGP joins, `FILTER`,
+//!   `OPTIONAL`, `UNION`, `GROUP BY` + aggregates, `ORDER BY`, `DISTINCT`,
+//!   `LIMIT`/`OFFSET`),
+//! * [`expr`] — expression evaluation (comparisons, logical operators,
+//!   `REGEX`, string and term functions),
+//! * [`regex`] — a small self-contained regular-expression engine used by
+//!   the `REGEX`/`CONTAINS` filters,
+//! * [`results`] — query results plus SPARQL-JSON and CSV serialization.
+//!
+//! ```
+//! use hbold_rdf_model::{Iri, Triple, vocab::{foaf, rdf}};
+//! use hbold_triple_store::TripleStore;
+//! use hbold_sparql::execute_query;
+//!
+//! let mut store = TripleStore::new();
+//! for name in ["alice", "bob"] {
+//!     let s = Iri::new(format!("http://example.org/{name}")).unwrap();
+//!     store.insert(&Triple::new(s, rdf::type_(), foaf::person()));
+//! }
+//!
+//! let results = execute_query(
+//!     &store,
+//!     "SELECT (COUNT(?s) AS ?n) WHERE { ?s a <http://xmlns.com/foaf/0.1/Person> }",
+//! ).unwrap();
+//! let rows = results.into_select().unwrap();
+//! assert_eq!(rows.rows[0][0].as_ref().unwrap().label(), "2");
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod regex;
+pub mod results;
+
+pub use error::SparqlError;
+pub use eval::{evaluate, execute_query};
+pub use parser::parse_query;
+pub use results::{QueryResults, SelectResults};

@@ -1,0 +1,529 @@
+//! A small, self-contained regular-expression engine.
+//!
+//! SPARQL's `REGEX` filter is what H-BOLD's portal crawler relies on
+//! (`FILTER(regex(?url, 'sparql'))` in the paper's Listing 1), so the engine
+//! implements the subset of XPath/XQuery regular expressions that realistic
+//! catalog queries use:
+//!
+//! * literal characters, `.` (any char),
+//! * character classes `[abc]`, ranges `[a-z]`, negation `[^...]`,
+//! * escapes `\d`, `\w`, `\s` (and their negations), `\.` etc.,
+//! * quantifiers `*`, `+`, `?` (greedy, with backtracking),
+//! * alternation `|` and groups `( ... )`,
+//! * anchors `^` and `$`,
+//! * the `i` (case-insensitive) flag.
+//!
+//! Matching is *search* semantics (the pattern may match anywhere in the
+//! text), as SPARQL specifies. The implementation is a straightforward
+//! backtracking matcher over a parsed AST — quadratic in the worst case,
+//! which is irrelevant at the sizes involved (IRIs and titles).
+
+use std::fmt;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    alternatives: Vec<Vec<Piece>>,
+    case_insensitive: bool,
+    anchored_start: bool,
+    anchored_end: bool,
+}
+
+/// Error produced when compiling an invalid pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(String);
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid regular expression: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// One quantified atom.
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    quantifier: Quantifier,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Quantifier {
+    One,
+    ZeroOrOne,
+    ZeroOrMore,
+    OneOrMore,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A single literal character.
+    Literal(char),
+    /// `.` — any character.
+    Any,
+    /// A character class.
+    Class { negated: bool, items: Vec<ClassItem> },
+    /// A parenthesised group of alternatives.
+    Group(Vec<Vec<Piece>>),
+}
+
+#[derive(Debug, Clone)]
+enum ClassItem {
+    Char(char),
+    Range(char, char),
+    Digit,
+    NotDigit,
+    Word,
+    NotWord,
+    Space,
+    NotSpace,
+}
+
+impl Regex {
+    /// Compiles `pattern` with no flags.
+    pub fn new(pattern: &str) -> Result<Self, RegexError> {
+        Regex::with_flags(pattern, "")
+    }
+
+    /// Compiles `pattern` with SPARQL-style flags (only `i` is supported;
+    /// unknown flags are rejected).
+    pub fn with_flags(pattern: &str, flags: &str) -> Result<Self, RegexError> {
+        let mut case_insensitive = false;
+        for f in flags.chars() {
+            match f {
+                'i' => case_insensitive = true,
+                's' | 'm' | 'x' => {
+                    // Accepted but not meaningfully different for the patterns
+                    // the system uses (no multiline inputs, no free spacing).
+                }
+                other => return Err(RegexError(format!("unsupported flag '{other}'"))),
+            }
+        }
+        let mut chars: Vec<char> = pattern.chars().collect();
+        let anchored_start = chars.first() == Some(&'^');
+        if anchored_start {
+            chars.remove(0);
+        }
+        let anchored_end = chars.last() == Some(&'$') && !ends_with_escaped_dollar(&chars);
+        if anchored_end {
+            chars.pop();
+        }
+        let mut parser = PatternParser { chars: &chars, pos: 0 };
+        let alternatives = parser.parse_alternatives(false)?;
+        if parser.pos != chars.len() {
+            return Err(RegexError("unbalanced ')'".into()));
+        }
+        Ok(Regex {
+            alternatives,
+            case_insensitive,
+            anchored_start,
+            anchored_end,
+        })
+    }
+
+    /// Returns `true` if the pattern matches anywhere in `text`
+    /// (or at the anchored positions when `^`/`$` are used).
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = if self.case_insensitive {
+            text.chars().flat_map(|c| c.to_lowercase()).collect()
+        } else {
+            text.chars().collect()
+        };
+        let starts: Vec<usize> = if self.anchored_start {
+            vec![0]
+        } else {
+            (0..=chars.len()).collect()
+        };
+        for start in starts {
+            for alt in &self.alternatives {
+                let mut ends = Vec::new();
+                self.match_seq(alt, &chars, start, &mut ends);
+                if self.anchored_end {
+                    if ends.iter().any(|&e| e == chars.len()) {
+                        return true;
+                    }
+                } else if !ends.is_empty() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Collects every position the sequence can end at when matching starting
+    /// at `pos` (backtracking materialized as a set of end positions).
+    fn match_seq(&self, pieces: &[Piece], text: &[char], pos: usize, out: &mut Vec<usize>) {
+        let Some((first, rest)) = pieces.split_first() else {
+            out.push(pos);
+            return;
+        };
+        // Determine all end positions the first piece can reach.
+        let reachable = self.match_piece(first, text, pos);
+        for end in reachable {
+            self.match_seq(rest, text, end, out);
+        }
+    }
+
+    fn match_piece(&self, piece: &Piece, text: &[char], pos: usize) -> Vec<usize> {
+        let single = |p: usize| -> Vec<usize> { self.match_atom(&piece.atom, text, p) };
+        match piece.quantifier {
+            Quantifier::One => single(pos),
+            Quantifier::ZeroOrOne => {
+                let mut ends = vec![pos];
+                ends.extend(single(pos));
+                ends
+            }
+            Quantifier::ZeroOrMore | Quantifier::OneOrMore => {
+                let mut ends = Vec::new();
+                let mut frontier = vec![pos];
+                if piece.quantifier == Quantifier::ZeroOrMore {
+                    ends.push(pos);
+                }
+                let mut seen = vec![false; text.len() + 1];
+                seen[pos] = true;
+                while let Some(p) = frontier.pop() {
+                    for end in single(p) {
+                        if !seen[end] {
+                            seen[end] = true;
+                            ends.push(end);
+                            frontier.push(end);
+                        }
+                    }
+                }
+                ends
+            }
+        }
+    }
+
+    fn match_atom(&self, atom: &Atom, text: &[char], pos: usize) -> Vec<usize> {
+        match atom {
+            Atom::Group(alternatives) => {
+                let mut ends = Vec::new();
+                for alt in alternatives {
+                    self.match_seq(alt, text, pos, &mut ends);
+                }
+                ends.sort_unstable();
+                ends.dedup();
+                ends
+            }
+            _ => {
+                let Some(&c) = text.get(pos) else { return Vec::new() };
+                let matched = match atom {
+                    Atom::Literal(l) => {
+                        if self.case_insensitive {
+                            l.to_lowercase().eq(c.to_lowercase())
+                        } else {
+                            *l == c
+                        }
+                    }
+                    Atom::Any => true,
+                    Atom::Class { negated, items } => {
+                        let inside = items.iter().any(|item| class_item_matches(item, c, self.case_insensitive));
+                        inside != *negated
+                    }
+                    Atom::Group(_) => unreachable!(),
+                };
+                if matched {
+                    vec![pos + 1]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+}
+
+fn ends_with_escaped_dollar(chars: &[char]) -> bool {
+    chars.len() >= 2 && chars[chars.len() - 1] == '$' && chars[chars.len() - 2] == '\\'
+}
+
+fn class_item_matches(item: &ClassItem, c: char, case_insensitive: bool) -> bool {
+    let eq = |a: char, b: char| {
+        if case_insensitive {
+            a.to_lowercase().eq(b.to_lowercase())
+        } else {
+            a == b
+        }
+    };
+    match item {
+        ClassItem::Char(x) => eq(*x, c),
+        ClassItem::Range(lo, hi) => {
+            if case_insensitive {
+                let cl = c.to_ascii_lowercase();
+                let cu = c.to_ascii_uppercase();
+                (*lo..=*hi).contains(&cl) || (*lo..=*hi).contains(&cu) || (*lo..=*hi).contains(&c)
+            } else {
+                (*lo..=*hi).contains(&c)
+            }
+        }
+        ClassItem::Digit => c.is_ascii_digit(),
+        ClassItem::NotDigit => !c.is_ascii_digit(),
+        ClassItem::Word => c.is_alphanumeric() || c == '_',
+        ClassItem::NotWord => !(c.is_alphanumeric() || c == '_'),
+        ClassItem::Space => c.is_whitespace(),
+        ClassItem::NotSpace => !c.is_whitespace(),
+    }
+}
+
+struct PatternParser<'a> {
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl PatternParser<'_> {
+    fn parse_alternatives(&mut self, in_group: bool) -> Result<Vec<Vec<Piece>>, RegexError> {
+        let mut alternatives = Vec::new();
+        let mut current = Vec::new();
+        loop {
+            match self.peek() {
+                None => break,
+                Some(')') if in_group => break,
+                Some(')') => return Err(RegexError("unbalanced ')'".into())),
+                Some('|') => {
+                    self.pos += 1;
+                    alternatives.push(std::mem::take(&mut current));
+                }
+                Some(_) => {
+                    let atom = self.parse_atom()?;
+                    let quantifier = self.parse_quantifier();
+                    current.push(Piece { atom, quantifier });
+                }
+            }
+        }
+        alternatives.push(current);
+        Ok(alternatives)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn parse_quantifier(&mut self) -> Quantifier {
+        let q = match self.peek() {
+            Some('*') => Quantifier::ZeroOrMore,
+            Some('+') => Quantifier::OneOrMore,
+            Some('?') => Quantifier::ZeroOrOne,
+            _ => return Quantifier::One,
+        };
+        self.pos += 1;
+        q
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, RegexError> {
+        let c = self.peek().ok_or_else(|| RegexError("unexpected end of pattern".into()))?;
+        self.pos += 1;
+        match c {
+            '.' => Ok(Atom::Any),
+            '(' => {
+                let alternatives = self.parse_alternatives(true)?;
+                if self.peek() != Some(')') {
+                    return Err(RegexError("missing ')'".into()));
+                }
+                self.pos += 1;
+                Ok(Atom::Group(alternatives))
+            }
+            '[' => self.parse_class(),
+            '\\' => {
+                let escaped = self
+                    .peek()
+                    .ok_or_else(|| RegexError("dangling escape at end of pattern".into()))?;
+                self.pos += 1;
+                Ok(match escaped {
+                    'd' => Atom::Class { negated: false, items: vec![ClassItem::Digit] },
+                    'D' => Atom::Class { negated: false, items: vec![ClassItem::NotDigit] },
+                    'w' => Atom::Class { negated: false, items: vec![ClassItem::Word] },
+                    'W' => Atom::Class { negated: false, items: vec![ClassItem::NotWord] },
+                    's' => Atom::Class { negated: false, items: vec![ClassItem::Space] },
+                    'S' => Atom::Class { negated: false, items: vec![ClassItem::NotSpace] },
+                    'n' => Atom::Literal('\n'),
+                    't' => Atom::Literal('\t'),
+                    'r' => Atom::Literal('\r'),
+                    other => Atom::Literal(other),
+                })
+            }
+            '*' | '+' | '?' => Err(RegexError(format!("quantifier '{c}' with nothing to repeat"))),
+            other => Ok(Atom::Literal(other)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Atom, RegexError> {
+        let negated = self.peek() == Some('^');
+        if negated {
+            self.pos += 1;
+        }
+        let mut items = Vec::new();
+        loop {
+            let c = self.peek().ok_or_else(|| RegexError("unterminated character class".into()))?;
+            self.pos += 1;
+            match c {
+                ']' => {
+                    if items.is_empty() {
+                        return Err(RegexError("empty character class".into()));
+                    }
+                    return Ok(Atom::Class { negated, items });
+                }
+                '\\' => {
+                    let escaped = self
+                        .peek()
+                        .ok_or_else(|| RegexError("dangling escape in character class".into()))?;
+                    self.pos += 1;
+                    items.push(match escaped {
+                        'd' => ClassItem::Digit,
+                        'D' => ClassItem::NotDigit,
+                        'w' => ClassItem::Word,
+                        'W' => ClassItem::NotWord,
+                        's' => ClassItem::Space,
+                        'S' => ClassItem::NotSpace,
+                        'n' => ClassItem::Char('\n'),
+                        't' => ClassItem::Char('\t'),
+                        other => ClassItem::Char(other),
+                    });
+                }
+                first => {
+                    // A range `a-z`, unless '-' is the last character.
+                    if self.peek() == Some('-') && self.chars.get(self.pos + 1).copied() != Some(']') {
+                        self.pos += 1; // consume '-'
+                        let end = self
+                            .peek()
+                            .ok_or_else(|| RegexError("unterminated range in character class".into()))?;
+                        self.pos += 1;
+                        if end < first {
+                            return Err(RegexError(format!("invalid range '{first}-{end}'")));
+                        }
+                        items.push(ClassItem::Range(first, end));
+                    } else {
+                        items.push(ClassItem::Char(first));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substring_search_like_listing1() {
+        // The crawler's use: does the URL mention 'sparql' anywhere?
+        let re = Regex::new("sparql").unwrap();
+        assert!(re.is_match("http://data.europa.eu/sparql"));
+        assert!(re.is_match("https://example.org/api/sparql/query"));
+        assert!(!re.is_match("http://example.org/download.csv"));
+    }
+
+    #[test]
+    fn case_insensitive_flag() {
+        let re = Regex::with_flags("sparql", "i").unwrap();
+        assert!(re.is_match("http://example.org/SPARQL"));
+        assert!(re.is_match("http://example.org/Sparql-endpoint"));
+        let strict = Regex::new("sparql").unwrap();
+        assert!(!strict.is_match("http://example.org/SPARQL"));
+    }
+
+    #[test]
+    fn anchors() {
+        let re = Regex::new("^http").unwrap();
+        assert!(re.is_match("http://example.org"));
+        assert!(!re.is_match("see http://example.org"));
+        let re = Regex::new("sparql$").unwrap();
+        assert!(re.is_match("http://example.org/sparql"));
+        assert!(!re.is_match("http://example.org/sparql/query"));
+        let re = Regex::new("^exact$").unwrap();
+        assert!(re.is_match("exact"));
+        assert!(!re.is_match("inexact"));
+    }
+
+    #[test]
+    fn quantifiers_and_dot() {
+        let re = Regex::new("ab*c").unwrap();
+        assert!(re.is_match("ac"));
+        assert!(re.is_match("abc"));
+        assert!(re.is_match("abbbbc"));
+        assert!(!re.is_match("a c"));
+        let re = Regex::new("ab+c").unwrap();
+        assert!(!re.is_match("ac"));
+        assert!(re.is_match("abbc"));
+        let re = Regex::new("colou?r").unwrap();
+        assert!(re.is_match("color"));
+        assert!(re.is_match("colour"));
+        let re = Regex::new("a.c").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(re.is_match("a-c"));
+        assert!(!re.is_match("ac"));
+    }
+
+    #[test]
+    fn character_classes() {
+        let re = Regex::new("[0-9]+").unwrap();
+        assert!(re.is_match("endpoint42"));
+        assert!(!re.is_match("endpoint"));
+        let re = Regex::new("[^a-z]").unwrap();
+        assert!(re.is_match("abcX"));
+        assert!(!re.is_match("abc"));
+        let re = Regex::new(r"\d\d\d\d-\d\d").unwrap();
+        assert!(re.is_match("updated 2020-03-30"));
+        let re = Regex::new(r"\w+@\w+").unwrap();
+        assert!(re.is_match("user@example"));
+        let re = Regex::new(r"\s").unwrap();
+        assert!(re.is_match("a b"));
+        assert!(!re.is_match("ab"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let re = Regex::new("cat|dog").unwrap();
+        assert!(re.is_match("hotdog"));
+        assert!(re.is_match("catalog"));
+        assert!(!re.is_match("bird"));
+        let re = Regex::new("(end|start)point").unwrap();
+        assert!(re.is_match("endpoint"));
+        assert!(re.is_match("startpoint"));
+        assert!(!re.is_match("midpoint"));
+        let re = Regex::new("(ab)+c").unwrap();
+        assert!(re.is_match("ababc"));
+        assert!(!re.is_match("c"));
+        let re = Regex::new("^(https?|ftp)://").unwrap();
+        assert!(re.is_match("http://x"));
+        assert!(re.is_match("https://x"));
+        assert!(re.is_match("ftp://x"));
+        assert!(!re.is_match("gopher://x"));
+    }
+
+    #[test]
+    fn escaped_metacharacters() {
+        let re = Regex::new(r"data\.europa\.eu").unwrap();
+        assert!(re.is_match("http://data.europa.eu/x"));
+        assert!(!re.is_match("http://dataXeuropaXeu/x"));
+        let re = Regex::new(r"\$\d+").unwrap();
+        assert!(re.is_match("price $42"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let re = Regex::new("").unwrap();
+        assert!(re.is_match(""));
+        assert!(re.is_match("anything"));
+    }
+
+    #[test]
+    fn invalid_patterns_are_rejected() {
+        assert!(Regex::new("(unclosed").is_err());
+        assert!(Regex::new("unopened)").is_err());
+        assert!(Regex::new("[unterminated").is_err());
+        assert!(Regex::new("*dangling").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        assert!(Regex::with_flags("x", "q").is_err());
+        assert!(Regex::new("[]").is_err());
+    }
+
+    #[test]
+    fn unicode_text_is_handled() {
+        let re = Regex::with_flags("modèna", "i").unwrap();
+        assert!(re.is_match("Università di MODÈNA e Reggio Emilia"));
+        let re = Regex::new("über.*bahn").unwrap();
+        assert!(re.is_match("überlandbahn"));
+    }
+}

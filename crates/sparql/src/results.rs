@@ -1,0 +1,263 @@
+//! Query results and their serializations.
+
+use hbold_rdf_model::Term;
+
+use crate::expr::Binding;
+
+/// The result of evaluating a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResults {
+    /// Result of a SELECT query.
+    Select(SelectResults),
+    /// Result of an ASK query.
+    Ask(bool),
+}
+
+impl QueryResults {
+    /// Consumes the results, returning the SELECT table if this was a SELECT.
+    pub fn into_select(self) -> Option<SelectResults> {
+        match self {
+            QueryResults::Select(s) => Some(s),
+            QueryResults::Ask(_) => None,
+        }
+    }
+
+    /// Returns the boolean if this was an ASK result.
+    pub fn as_ask(&self) -> Option<bool> {
+        match self {
+            QueryResults::Ask(b) => Some(*b),
+            QueryResults::Select(_) => None,
+        }
+    }
+}
+
+/// A SELECT result table.
+///
+/// `rows[i][j]` is the binding of `variables[j]` in solution `i`; `None`
+/// means the variable is unbound in that solution (e.g. under `OPTIONAL`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectResults {
+    /// Projected variable names, in projection order, without the leading `?`.
+    pub variables: Vec<String>,
+    /// Solution rows.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl SelectResults {
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The column index of a variable, if projected.
+    pub fn column(&self, variable: &str) -> Option<usize> {
+        self.variables.iter().position(|v| v == variable)
+    }
+
+    /// The binding of `variable` in row `row`, if both exist and it is bound.
+    pub fn value(&self, row: usize, variable: &str) -> Option<&Term> {
+        let col = self.column(variable)?;
+        self.rows.get(row)?.get(col)?.as_ref()
+    }
+
+    /// Iterates the rows as [`Binding`] maps (unbound variables omitted).
+    pub fn iter_bindings(&self) -> impl Iterator<Item = Binding> + '_ {
+        self.rows.iter().map(move |row| {
+            self.variables
+                .iter()
+                .zip(row.iter())
+                .filter_map(|(v, t)| t.as_ref().map(|t| (v.clone(), t.clone())))
+                .collect()
+        })
+    }
+
+    /// Serializes the table in the SPARQL 1.1 Query Results JSON format.
+    ///
+    /// The encoder is local to this crate (see DESIGN.md: no external JSON
+    /// dependency); it escapes strings and emits the standard
+    /// `head`/`results.bindings` structure.
+    pub fn to_sparql_json(&self) -> String {
+        let mut out = String::from("{\"head\":{\"vars\":[");
+        for (i, v) in self.variables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(v));
+        }
+        out.push_str("]},\"results\":{\"bindings\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            let mut first = true;
+            for (v, term) in self.variables.iter().zip(row.iter()) {
+                let Some(term) = term else { continue };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&json_string(v));
+                out.push(':');
+                out.push_str(&term_to_json(term));
+            }
+            out.push('}');
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Serializes the table as CSV (header row of variables, then one row per
+    /// solution; values are the term string values).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.variables.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|t| match t {
+                    Some(term) => csv_escape(&crate::expr::term_string_value(term)),
+                    None => String::new(),
+                })
+                .collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Escapes a string for JSON output (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn term_to_json(term: &Term) -> String {
+    match term {
+        Term::Iri(iri) => format!("{{\"type\":\"uri\",\"value\":{}}}", json_string(iri.as_str())),
+        Term::Blank(b) => format!("{{\"type\":\"bnode\",\"value\":{}}}", json_string(b.label())),
+        Term::Literal(lit) => {
+            let mut out = format!("{{\"type\":\"literal\",\"value\":{}", json_string(lit.lexical_form()));
+            if let Some(lang) = lit.language() {
+                out.push_str(&format!(",\"xml:lang\":{}", json_string(lang)));
+            } else {
+                out.push_str(&format!(",\"datatype\":{}", json_string(lit.datatype().as_str())));
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_rdf_model::{Iri, Literal};
+
+    fn results() -> SelectResults {
+        SelectResults {
+            variables: vec!["s".into(), "name".into()],
+            rows: vec![
+                vec![
+                    Some(Term::Iri(Iri::new("http://e.org/alice").unwrap())),
+                    Some(Term::Literal(Literal::lang_string("Alice \"A\"", "en"))),
+                ],
+                vec![Some(Term::Iri(Iri::new("http://e.org/bob").unwrap())), None],
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = results();
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.column("name"), Some(1));
+        assert_eq!(r.column("missing"), None);
+        assert_eq!(
+            r.value(0, "s").unwrap().label(),
+            "alice"
+        );
+        assert!(r.value(1, "name").is_none());
+        let bindings: Vec<_> = r.iter_bindings().collect();
+        assert_eq!(bindings[0].len(), 2);
+        assert_eq!(bindings[1].len(), 1);
+    }
+
+    #[test]
+    fn sparql_json_shape() {
+        let json = results().to_sparql_json();
+        assert!(json.starts_with("{\"head\":{\"vars\":[\"s\",\"name\"]}"));
+        assert!(json.contains("\"type\":\"uri\""));
+        assert!(json.contains("\"xml:lang\":\"en\""));
+        assert!(json.contains("\\\"A\\\""), "quotes must be escaped");
+        // Unbound variables are simply omitted from their binding object.
+        assert!(json.contains("{\"s\":{\"type\":\"uri\",\"value\":\"http://e.org/bob\"}}"));
+    }
+
+    #[test]
+    fn csv_output_escapes_commas_and_quotes() {
+        let r = SelectResults {
+            variables: vec!["v".into()],
+            rows: vec![
+                vec![Some(Term::Literal(Literal::string("a,b")))],
+                vec![Some(Term::Literal(Literal::string("say \"hi\"")))],
+                vec![None],
+            ],
+        };
+        let csv = r.to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "v");
+        assert_eq!(lines[1], "\"a,b\"");
+        assert_eq!(lines[2], "\"say \"\"hi\"\"\"");
+        assert_eq!(lines[3], "");
+    }
+
+    #[test]
+    fn query_results_wrappers() {
+        let select = QueryResults::Select(results());
+        assert!(select.as_ask().is_none());
+        assert!(select.into_select().is_some());
+        let ask = QueryResults::Ask(true);
+        assert_eq!(ask.as_ask(), Some(true));
+        assert!(ask.into_select().is_none());
+    }
+
+    #[test]
+    fn json_typed_literal_has_datatype() {
+        let r = SelectResults {
+            variables: vec!["n".into()],
+            rows: vec![vec![Some(Term::Literal(Literal::integer(5)))]],
+        };
+        let json = r.to_sparql_json();
+        assert!(json.contains("\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\""));
+    }
+}

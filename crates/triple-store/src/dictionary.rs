@@ -1,0 +1,124 @@
+//! Term interning: every distinct RDF term gets a dense `u32` identifier.
+
+use std::collections::HashMap;
+
+use hbold_rdf_model::Term;
+
+/// Identifier of an interned term. Dense, starting at 0, unique per store.
+pub type TermId = u32;
+
+/// A bidirectional mapping between [`Term`]s and [`TermId`]s.
+///
+/// Interning is append-only: terms are never removed, even when the last
+/// triple mentioning them is deleted. For H-BOLD's workload (load a dataset,
+/// query it many times) this is the right trade-off, and it keeps all
+/// existing identifiers stable.
+#[derive(Debug, Clone, Default)]
+pub struct TermDictionary {
+    by_term: HashMap<Term, TermId>,
+    by_id: Vec<Term>,
+}
+
+impl TermDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        TermDictionary::default()
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Returns `true` if no terms have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Interns `term`, returning its identifier. Idempotent.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = self.by_id.len() as TermId;
+        self.by_id.push(term.clone());
+        self.by_term.insert(term.clone(), id);
+        id
+    }
+
+    /// Looks up the identifier of an already-interned term.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Returns the term with the given identifier.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this dictionary.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.by_id[id as usize]
+    }
+
+    /// Returns the term with the given identifier, or `None` if out of range.
+    pub fn get(&self, id: TermId) -> Option<&Term> {
+        self.by_id.get(id as usize)
+    }
+
+    /// Iterates over all `(id, term)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.by_id.iter().enumerate().map(|(i, t)| (i as TermId, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_rdf_model::{Iri, Literal};
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut d = TermDictionary::new();
+        let a: Term = Iri::new("http://e.org/a").unwrap().into();
+        let b: Term = Literal::string("b").into();
+        let ia = d.intern(&a);
+        let ib = d.intern(&b);
+        assert_ne!(ia, ib);
+        assert_eq!(d.intern(&a), ia);
+        assert_eq!(d.len(), 2);
+        assert_eq!(ia, 0);
+        assert_eq!(ib, 1);
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let mut d = TermDictionary::new();
+        let t: Term = Literal::lang_string("ciao", "it").into();
+        let id = d.intern(&t);
+        assert_eq!(d.term(id), &t);
+        assert_eq!(d.get(id), Some(&t));
+        assert_eq!(d.id_of(&t), Some(id));
+        assert_eq!(d.get(99), None);
+        assert_eq!(d.id_of(&Literal::string("missing").into()), None);
+    }
+
+    #[test]
+    fn distinct_literals_with_same_text_are_distinct_terms() {
+        let mut d = TermDictionary::new();
+        let plain: Term = Literal::string("5").into();
+        let typed: Term = Literal::integer(5).into();
+        assert_ne!(d.intern(&plain), d.intern(&typed));
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut d = TermDictionary::new();
+        let terms: Vec<Term> = (0..5)
+            .map(|i| Iri::new(format!("http://e.org/{i}")).unwrap().into())
+            .collect();
+        for t in &terms {
+            d.intern(t);
+        }
+        let collected: Vec<&Term> = d.iter().map(|(_, t)| t).collect();
+        assert_eq!(collected, terms.iter().collect::<Vec<_>>());
+    }
+}

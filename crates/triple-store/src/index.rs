@@ -1,0 +1,132 @@
+//! Positional triple indexes over encoded triples.
+//!
+//! An index stores `(a, b, c)` keys in a `BTreeSet`, where `(a, b, c)` is a
+//! permutation of `(subject, predicate, object)` identifiers. A lookup that
+//! binds a prefix of the permutation becomes a range scan.
+
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+use crate::dictionary::TermId;
+
+/// The three index orderings kept by the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexOrder {
+    /// subject, predicate, object — serves (s ? ?), (s p ?), (s p o).
+    Spo,
+    /// predicate, object, subject — serves (? p ?), (? p o).
+    Pos,
+    /// object, subject, predicate — serves (? ? o), (s ? o).
+    Osp,
+}
+
+/// A single sorted index over one permutation of triple positions.
+#[derive(Debug, Clone, Default)]
+pub struct PositionalIndex {
+    keys: BTreeSet<(TermId, TermId, TermId)>,
+}
+
+impl PositionalIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        PositionalIndex::default()
+    }
+
+    /// Number of keys in the index.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Inserts a key; returns `true` if it was new.
+    pub fn insert(&mut self, key: (TermId, TermId, TermId)) -> bool {
+        self.keys.insert(key)
+    }
+
+    /// Removes a key; returns `true` if it was present.
+    pub fn remove(&mut self, key: &(TermId, TermId, TermId)) -> bool {
+        self.keys.remove(key)
+    }
+
+    /// Returns `true` if the key is present.
+    pub fn contains(&self, key: &(TermId, TermId, TermId)) -> bool {
+        self.keys.contains(key)
+    }
+
+    /// Scans keys whose first component equals `first`.
+    pub fn scan_prefix1(&self, first: TermId) -> impl Iterator<Item = &(TermId, TermId, TermId)> {
+        self.keys
+            .range((Bound::Included((first, 0, 0)), Bound::Included((first, TermId::MAX, TermId::MAX))))
+    }
+
+    /// Scans keys whose first two components equal `(first, second)`.
+    pub fn scan_prefix2(
+        &self,
+        first: TermId,
+        second: TermId,
+    ) -> impl Iterator<Item = &(TermId, TermId, TermId)> {
+        self.keys.range((
+            Bound::Included((first, second, 0)),
+            Bound::Included((first, second, TermId::MAX)),
+        ))
+    }
+
+    /// Scans every key.
+    pub fn scan_all(&self) -> impl Iterator<Item = &(TermId, TermId, TermId)> {
+        self.keys.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled() -> PositionalIndex {
+        let mut idx = PositionalIndex::new();
+        for s in 0..3 {
+            for p in 0..3 {
+                for o in 0..3 {
+                    idx.insert((s, p, o));
+                }
+            }
+        }
+        idx
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut idx = PositionalIndex::new();
+        assert!(idx.insert((1, 2, 3)));
+        assert!(!idx.insert((1, 2, 3)));
+        assert!(idx.contains(&(1, 2, 3)));
+        assert!(idx.remove(&(1, 2, 3)));
+        assert!(!idx.remove(&(1, 2, 3)));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn prefix_scans_cover_exactly_the_prefix() {
+        let idx = filled();
+        assert_eq!(idx.len(), 27);
+        assert_eq!(idx.scan_prefix1(1).count(), 9);
+        assert_eq!(idx.scan_prefix2(1, 2).count(), 3);
+        assert_eq!(idx.scan_all().count(), 27);
+        assert!(idx.scan_prefix1(1).all(|k| k.0 == 1));
+        assert!(idx.scan_prefix2(1, 2).all(|k| k.0 == 1 && k.1 == 2));
+        assert_eq!(idx.scan_prefix1(7).count(), 0);
+    }
+
+    #[test]
+    fn prefix_scan_includes_extreme_ids() {
+        let mut idx = PositionalIndex::new();
+        idx.insert((5, 0, 0));
+        idx.insert((5, TermId::MAX, TermId::MAX));
+        idx.insert((6, 0, 0));
+        assert_eq!(idx.scan_prefix1(5).count(), 2);
+        assert_eq!(idx.scan_prefix2(5, TermId::MAX).count(), 1);
+    }
+}

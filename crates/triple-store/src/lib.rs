@@ -1,0 +1,38 @@
+//! # hbold-triple-store
+//!
+//! A dictionary-encoded, triple-indexed, in-memory RDF store.
+//!
+//! Each SPARQL endpoint simulated by `hbold-endpoint` holds its dataset in a
+//! [`TripleStore`]. The store interns every RDF term once in a
+//! [`TermDictionary`] and keeps the resulting `(u32, u32, u32)` triples in
+//! three sorted indexes (SPO, POS, OSP). A triple-pattern lookup picks the
+//! index whose ordering puts the bound positions first, so it becomes a range
+//! scan — the standard design of native RDF stores, scaled down to what the
+//! H-BOLD experiments need (hundreds of thousands of triples per endpoint).
+//!
+//! ```
+//! use hbold_rdf_model::{Iri, Literal, Triple, TriplePattern, vocab::{foaf, rdf}};
+//! use hbold_triple_store::TripleStore;
+//!
+//! let mut store = TripleStore::new();
+//! let alice = Iri::new("http://example.org/alice").unwrap();
+//! store.insert(&Triple::new(alice.clone(), rdf::type_(), foaf::person()));
+//! store.insert(&Triple::new(alice.clone(), foaf::name(), Literal::string("Alice")));
+//!
+//! assert_eq!(store.len(), 2);
+//! let people = store.matching(&TriplePattern::any()
+//!     .with_predicate(rdf::type_())
+//!     .with_object(foaf::person()));
+//! assert_eq!(people.len(), 1);
+//! ```
+
+pub mod dictionary;
+pub mod index;
+pub mod shared;
+pub mod stats;
+pub mod store;
+
+pub use dictionary::{TermDictionary, TermId};
+pub use shared::SharedStore;
+pub use stats::StoreStats;
+pub use store::{EncodedTriple, TripleStore};

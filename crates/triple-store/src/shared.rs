@@ -1,0 +1,123 @@
+//! A thread-safe handle around a [`TripleStore`].
+//!
+//! The simulated endpoint fleet serves queries from multiple extraction
+//! worker threads (see `hbold-schema`'s parallel extraction), so each
+//! endpoint wraps its store in a [`SharedStore`]: an `Arc<RwLock<_>>` with a
+//! small API surface that keeps lock scopes inside this module.
+
+use std::sync::Arc;
+
+use hbold_rdf_model::{Graph, Triple, TriplePattern};
+use parking_lot::RwLock;
+
+use crate::store::TripleStore;
+
+/// A cheaply clonable, thread-safe triple store handle.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStore {
+    inner: Arc<RwLock<TripleStore>>,
+}
+
+impl SharedStore {
+    /// Creates an empty shared store.
+    pub fn new() -> Self {
+        SharedStore::default()
+    }
+
+    /// Wraps an existing store.
+    pub fn from_store(store: TripleStore) -> Self {
+        SharedStore {
+            inner: Arc::new(RwLock::new(store)),
+        }
+    }
+
+    /// Builds a shared store from a graph.
+    pub fn from_graph(graph: &Graph) -> Self {
+        SharedStore::from_store(TripleStore::from_graph(graph))
+    }
+
+    /// Number of stored triples.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Returns `true` if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Inserts a triple.
+    pub fn insert(&self, triple: &Triple) -> bool {
+        self.inner.write().insert(triple)
+    }
+
+    /// Removes a triple.
+    pub fn remove(&self, triple: &Triple) -> bool {
+        self.inner.write().remove(triple)
+    }
+
+    /// Returns all triples matching the pattern.
+    pub fn matching(&self, pattern: &TriplePattern) -> Vec<Triple> {
+        self.inner.read().matching(pattern)
+    }
+
+    /// Counts triples matching the pattern.
+    pub fn count_matching(&self, pattern: &TriplePattern) -> usize {
+        self.inner.read().count_matching(pattern)
+    }
+
+    /// Runs `f` with shared (read) access to the underlying store.
+    pub fn read<R>(&self, f: impl FnOnce(&TripleStore) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` with exclusive (write) access to the underlying store.
+    pub fn write<R>(&self, f: impl FnOnce(&mut TripleStore) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_rdf_model::vocab::{foaf, rdf};
+    use hbold_rdf_model::Iri;
+
+    #[test]
+    fn shared_store_is_usable_across_threads() {
+        let shared = SharedStore::new();
+        let mut handles = Vec::new();
+        for worker in 0..4 {
+            let store = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let subject = Iri::new(format!("http://e.org/w{worker}/i{i}")).unwrap();
+                    store.insert(&Triple::new(subject, rdf::type_(), foaf::person()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.len(), 200);
+        assert_eq!(
+            shared.count_matching(&TriplePattern::any().with_predicate(rdf::type_())),
+            200
+        );
+    }
+
+    #[test]
+    fn read_and_write_closures() {
+        let shared = SharedStore::new();
+        shared.write(|store| {
+            store.insert(&Triple::new(
+                Iri::new("http://e.org/a").unwrap(),
+                rdf::type_(),
+                foaf::person(),
+            ));
+        });
+        let classes = shared.read(|store| store.to_graph().classes());
+        assert!(classes.contains(&foaf::person()));
+        assert!(!shared.is_empty());
+    }
+}

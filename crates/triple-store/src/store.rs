@@ -1,0 +1,383 @@
+//! The [`TripleStore`]: dictionary + three positional indexes.
+
+use hbold_rdf_model::{Graph, Iri, Term, Triple, TriplePattern};
+
+use crate::dictionary::{TermDictionary, TermId};
+use crate::index::PositionalIndex;
+
+/// A triple with all three terms replaced by dictionary identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EncodedTriple {
+    /// Subject identifier.
+    pub subject: TermId,
+    /// Predicate identifier.
+    pub predicate: TermId,
+    /// Object identifier.
+    pub object: TermId,
+}
+
+/// An in-memory RDF store with dictionary encoding and SPO/POS/OSP indexes.
+#[derive(Debug, Clone, Default)]
+pub struct TripleStore {
+    dict: TermDictionary,
+    spo: PositionalIndex,
+    pos: PositionalIndex,
+    osp: PositionalIndex,
+    len: usize,
+}
+
+impl TripleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TripleStore::default()
+    }
+
+    /// Builds a store from a [`Graph`].
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut store = TripleStore::new();
+        for t in graph.iter() {
+            store.insert(t);
+        }
+        store
+    }
+
+    /// Number of triples stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct terms interned by the store.
+    pub fn term_count(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Access to the term dictionary (read-only).
+    pub fn dictionary(&self) -> &TermDictionary {
+        &self.dict
+    }
+
+    /// Inserts a triple; returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: &Triple) -> bool {
+        let s = self.dict.intern(&triple.subject);
+        let p = self.dict.intern(&triple.predicate);
+        let o = self.dict.intern(&triple.object);
+        let inserted = self.spo.insert((s, p, o));
+        if inserted {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+            self.len += 1;
+        }
+        inserted
+    }
+
+    /// Removes a triple; returns `true` if it was present.
+    ///
+    /// The dictionary entries of its terms are kept (interning is
+    /// append-only; see [`TermDictionary`]).
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.id_of(&triple.subject),
+            self.dict.id_of(&triple.predicate),
+            self.dict.id_of(&triple.object),
+        ) else {
+            return false;
+        };
+        let removed = self.spo.remove(&(s, p, o));
+        if removed {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Returns `true` if the exact triple is present.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        match (
+            self.dict.id_of(&triple.subject),
+            self.dict.id_of(&triple.predicate),
+            self.dict.id_of(&triple.object),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// The identifier of a term, if it has been interned.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.dict.id_of(term)
+    }
+
+    /// The term behind an identifier.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.dict.term(id)
+    }
+
+    /// Returns all encoded triples matching the encoded pattern
+    /// `(subject?, predicate?, object?)`, choosing the best index.
+    pub fn matching_encoded(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> Vec<EncodedTriple> {
+        let from_spo = |k: &(TermId, TermId, TermId)| EncodedTriple {
+            subject: k.0,
+            predicate: k.1,
+            object: k.2,
+        };
+        let from_pos = |k: &(TermId, TermId, TermId)| EncodedTriple {
+            predicate: k.0,
+            object: k.1,
+            subject: k.2,
+        };
+        let from_osp = |k: &(TermId, TermId, TermId)| EncodedTriple {
+            object: k.0,
+            subject: k.1,
+            predicate: k.2,
+        };
+        match (subject, predicate, object) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    vec![EncodedTriple { subject: s, predicate: p, object: o }]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), Some(p), None) => self.spo.scan_prefix2(s, p).map(from_spo).collect(),
+            (Some(s), None, None) => self.spo.scan_prefix1(s).map(from_spo).collect(),
+            (None, Some(p), Some(o)) => self.pos.scan_prefix2(p, o).map(from_pos).collect(),
+            (None, Some(p), None) => self.pos.scan_prefix1(p).map(from_pos).collect(),
+            (None, None, Some(o)) => self.osp.scan_prefix1(o).map(from_osp).collect(),
+            (Some(s), None, Some(o)) => self
+                .osp
+                .scan_prefix2(o, s)
+                .map(from_osp)
+                .collect(),
+            (None, None, None) => self.spo.scan_all().map(from_spo).collect(),
+        }
+    }
+
+    /// Returns all triples (decoded) matching a [`TriplePattern`].
+    ///
+    /// A pattern mentioning a term that has never been interned matches
+    /// nothing, without touching the indexes.
+    pub fn matching(&self, pattern: &TriplePattern) -> Vec<Triple> {
+        let lookup = |term: &Option<Term>| -> Result<Option<TermId>, ()> {
+            match term {
+                None => Ok(None),
+                Some(t) => self.dict.id_of(t).map(Some).ok_or(()),
+            }
+        };
+        let (Ok(s), Ok(p), Ok(o)) = (
+            lookup(&pattern.subject),
+            lookup(&pattern.predicate),
+            lookup(&pattern.object),
+        ) else {
+            return Vec::new();
+        };
+        self.matching_encoded(s, p, o)
+            .into_iter()
+            .map(|e| self.decode(e))
+            .collect()
+    }
+
+    /// Counts the triples matching a pattern without decoding them.
+    pub fn count_matching(&self, pattern: &TriplePattern) -> usize {
+        let lookup = |term: &Option<Term>| -> Result<Option<TermId>, ()> {
+            match term {
+                None => Ok(None),
+                Some(t) => self.dict.id_of(t).map(Some).ok_or(()),
+            }
+        };
+        let (Ok(s), Ok(p), Ok(o)) = (
+            lookup(&pattern.subject),
+            lookup(&pattern.predicate),
+            lookup(&pattern.object),
+        ) else {
+            return 0;
+        };
+        self.matching_encoded(s, p, o).len()
+    }
+
+    /// Decodes an encoded triple back into terms.
+    pub fn decode(&self, encoded: EncodedTriple) -> Triple {
+        Triple::new(
+            self.dict.term(encoded.subject).clone(),
+            self.dict.term(encoded.predicate).clone(),
+            self.dict.term(encoded.object).clone(),
+        )
+    }
+
+    /// Iterates over every stored triple (decoded, in SPO id order).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.scan_all().map(|&(s, p, o)| {
+            Triple::new(
+                self.dict.term(s).clone(),
+                self.dict.term(p).clone(),
+                self.dict.term(o).clone(),
+            )
+        })
+    }
+
+    /// Exports the store contents as a [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        self.iter().collect()
+    }
+
+    /// All distinct predicate IRIs in use, with the number of triples using
+    /// each (sorted by IRI).
+    pub fn predicate_usage(&self) -> Vec<(Iri, usize)> {
+        let mut usage: Vec<(Iri, usize)> = Vec::new();
+        let mut current: Option<(TermId, usize)> = None;
+        for &(p, _, _) in self.pos.scan_all() {
+            match current {
+                Some((cur, n)) if cur == p => current = Some((cur, n + 1)),
+                Some((cur, n)) => {
+                    if let Some(iri) = self.dict.term(cur).as_iri() {
+                        usage.push((iri.clone(), n));
+                    }
+                    current = Some((p, 1));
+                }
+                None => current = Some((p, 1)),
+            }
+        }
+        if let Some((cur, n)) = current {
+            if let Some(iri) = self.dict.term(cur).as_iri() {
+                usage.push((iri.clone(), n));
+            }
+        }
+        usage.sort_by(|a, b| a.0.cmp(&b.0));
+        usage
+    }
+}
+
+impl FromIterator<Triple> for TripleStore {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        let mut store = TripleStore::new();
+        for t in iter {
+            store.insert(&t);
+        }
+        store
+    }
+}
+
+impl Extend<Triple> for TripleStore {
+    fn extend<I: IntoIterator<Item = Triple>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(&t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_rdf_model::vocab::{foaf, rdf};
+    use hbold_rdf_model::Literal;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    fn sample() -> TripleStore {
+        let mut store = TripleStore::new();
+        store.insert(&Triple::new(iri("http://e.org/alice"), rdf::type_(), foaf::person()));
+        store.insert(&Triple::new(iri("http://e.org/bob"), rdf::type_(), foaf::person()));
+        store.insert(&Triple::new(iri("http://e.org/acme"), rdf::type_(), foaf::organization()));
+        store.insert(&Triple::new(iri("http://e.org/alice"), foaf::name(), Literal::string("Alice")));
+        store.insert(&Triple::new(iri("http://e.org/alice"), foaf::knows(), iri("http://e.org/bob")));
+        store.insert(&Triple::new(iri("http://e.org/bob"), foaf::member(), iri("http://e.org/acme")));
+        store
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut store = TripleStore::new();
+        let t = Triple::new(iri("http://e.org/a"), rdf::type_(), foaf::person());
+        assert!(store.insert(&t));
+        assert!(!store.insert(&t), "duplicate insertion is a no-op");
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(&t));
+        assert!(store.remove(&t));
+        assert!(!store.remove(&t));
+        assert!(store.is_empty());
+        // Terms stay interned after removal.
+        assert!(store.term_count() >= 3);
+    }
+
+    #[test]
+    fn all_pattern_shapes_agree_with_naive_scan() {
+        let store = sample();
+        let graph = store.to_graph();
+        let alice: Term = iri("http://e.org/alice").into();
+        let type_: Term = rdf::type_().into();
+        let person: Term = foaf::person().into();
+        let subjects = [None, Some(alice)];
+        let predicates = [None, Some(type_)];
+        let objects = [None, Some(person)];
+        for s in &subjects {
+            for p in &predicates {
+                for o in &objects {
+                    let pattern = TriplePattern {
+                        subject: s.clone(),
+                        predicate: p.clone(),
+                        object: o.clone(),
+                    };
+                    let mut indexed = store.matching(&pattern);
+                    indexed.sort();
+                    let mut naive: Vec<Triple> = graph.matching(&pattern).cloned().collect();
+                    naive.sort();
+                    assert_eq!(indexed, naive, "pattern {pattern:?}");
+                    assert_eq!(store.count_matching(&pattern), naive.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_terms_match_nothing() {
+        let store = sample();
+        let pattern = TriplePattern::any().with_subject(iri("http://e.org/nobody"));
+        assert!(store.matching(&pattern).is_empty());
+        assert_eq!(store.count_matching(&pattern), 0);
+    }
+
+    #[test]
+    fn graph_round_trip() {
+        let store = sample();
+        let graph = store.to_graph();
+        let rebuilt = TripleStore::from_graph(&graph);
+        assert_eq!(rebuilt.len(), store.len());
+        assert_eq!(rebuilt.to_graph(), graph);
+    }
+
+    #[test]
+    fn predicate_usage_counts() {
+        let store = sample();
+        let usage = store.predicate_usage();
+        let get = |iri: &Iri| usage.iter().find(|(p, _)| p == iri).map(|(_, n)| *n);
+        assert_eq!(get(&rdf::type_()), Some(3));
+        assert_eq!(get(&foaf::name()), Some(1));
+        assert_eq!(get(&foaf::knows()), Some(1));
+        assert_eq!(get(&foaf::member()), Some(1));
+        assert_eq!(usage.len(), 4);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let triples = vec![
+            Triple::new(iri("http://e.org/a"), rdf::type_(), foaf::person()),
+            Triple::new(iri("http://e.org/b"), rdf::type_(), foaf::person()),
+        ];
+        let mut store: TripleStore = triples.clone().into_iter().collect();
+        assert_eq!(store.len(), 2);
+        store.extend(triples);
+        assert_eq!(store.len(), 2);
+    }
+}

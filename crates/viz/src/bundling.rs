@@ -1,0 +1,434 @@
+//! Hierarchical edge bundling of the Schema Summary (paper Figure 7).
+//!
+//! Classes are placed on an (invisible) circle, grouped by cluster; every
+//! object property becomes a curve routed through the cluster hierarchy
+//! (class → its cluster's anchor → centre → other cluster's anchor → class),
+//! following Holten's method: the control polygon runs through the hierarchy
+//! and is straightened toward the direct line by the *bundling strength*
+//! parameter β.
+//!
+//! Figure 7 highlights a focus class in bold, the `rdfs:range` side of its
+//! properties in green and the `rdfs:domain` side in red; the layout exposes
+//! the same classification so the SVG can replicate the figure.
+
+use std::f64::consts::TAU;
+
+use hbold_cluster::ClusterSchema;
+use hbold_schema::SchemaSummary;
+
+use crate::geometry::Point;
+use crate::palette::category_color;
+use crate::svg::SvgDocument;
+
+/// How a node relates to the focus class (Figure 7's colour code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FocusRole {
+    /// Not connected to the focus class.
+    None,
+    /// The focus class itself (bold).
+    Focus,
+    /// Object of a property whose subject is the focus class (rdfs:range, green).
+    Range,
+    /// Subject of a property whose object is the focus class (rdfs:domain, red).
+    Domain,
+}
+
+/// One bundled edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundledEdge {
+    /// Source node (Schema Summary index).
+    pub source: usize,
+    /// Target node (Schema Summary index).
+    pub target: usize,
+    /// The property label.
+    pub property: String,
+    /// The control points of the curve, from source to target (already
+    /// straightened by the bundling strength).
+    pub control_points: Vec<Point>,
+    /// Whether the edge touches the focus class.
+    pub touches_focus: bool,
+}
+
+/// The computed hierarchical edge bundling layout.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EdgeBundlingLayout {
+    /// Position of every class on the circle.
+    pub positions: Vec<Point>,
+    /// Angle of every class on the circle (radians).
+    pub angles: Vec<f64>,
+    /// Cluster id of every class.
+    pub groups: Vec<usize>,
+    /// Node labels.
+    pub labels: Vec<String>,
+    /// Role of every node relative to the focus class.
+    pub roles: Vec<FocusRole>,
+    /// The bundled edges.
+    pub edges: Vec<BundledEdge>,
+    /// Canvas size (square).
+    pub size: f64,
+    /// The focus node, if any.
+    pub focus: Option<usize>,
+}
+
+impl EdgeBundlingLayout {
+    /// Computes the layout.
+    ///
+    /// * `focus` — optional Schema Summary node to highlight (Figure 7
+    ///   highlights the `Event` class).
+    /// * `beta` — bundling strength in `0.0..=1.0`; 0 gives straight lines,
+    ///   1 routes fully through the hierarchy. The paper's figures use a
+    ///   strong bundling, around 0.85.
+    pub fn compute(
+        summary: &SchemaSummary,
+        cluster_schema: &ClusterSchema,
+        focus: Option<usize>,
+        beta: f64,
+        size: f64,
+    ) -> Self {
+        let n = summary.node_count();
+        let center = Point::new(size / 2.0, size / 2.0);
+        let radius = size / 2.0 * 0.8;
+        let beta = beta.clamp(0.0, 1.0);
+
+        // Order the classes around the circle cluster by cluster so bundles
+        // form naturally; leave a small angular gap between clusters.
+        let mut angles = vec![0.0f64; n];
+        let mut groups = vec![0usize; n];
+        let gap = TAU * 0.02;
+        let cluster_count = cluster_schema.cluster_count().max(1);
+        let usable = TAU - gap * cluster_count as f64;
+        let mut angle = 0.0;
+        for cluster in &cluster_schema.clusters {
+            let share = usable * cluster.members.len() as f64 / n.max(1) as f64;
+            for (i, &node) in cluster.members.iter().enumerate() {
+                let t = (i as f64 + 0.5) / cluster.members.len() as f64;
+                angles[node] = angle + share * t;
+                groups[node] = cluster.id;
+            }
+            angle += share + gap;
+        }
+        let positions: Vec<Point> = angles
+            .iter()
+            .map(|&a| Point::on_circle(center, radius, a))
+            .collect();
+
+        // Cluster anchors: the centroid direction of each cluster at a
+        // smaller radius — the "parent" waypoint of the hierarchy.
+        let anchor_radius = radius * 0.45;
+        let cluster_anchor: Vec<Point> = cluster_schema
+            .clusters
+            .iter()
+            .map(|cluster| {
+                if cluster.members.is_empty() {
+                    return center;
+                }
+                let mean_angle = cluster.members.iter().map(|&m| angles[m]).sum::<f64>()
+                    / cluster.members.len() as f64;
+                Point::on_circle(center, anchor_radius, mean_angle)
+            })
+            .collect();
+
+        // Roles relative to the focus class.
+        let mut roles = vec![FocusRole::None; n];
+        if let Some(focus_node) = focus {
+            if focus_node < n {
+                roles[focus_node] = FocusRole::Focus;
+                for edge in &summary.edges {
+                    if edge.source == focus_node && edge.target != focus_node {
+                        // The focus is the domain; the target is the range side.
+                        if roles[edge.target] == FocusRole::None {
+                            roles[edge.target] = FocusRole::Range;
+                        }
+                    }
+                    if edge.target == focus_node && edge.source != focus_node {
+                        if roles[edge.source] == FocusRole::None {
+                            roles[edge.source] = FocusRole::Domain;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Bundle each edge: control polygon through the hierarchy, then
+        // straightened toward the endpoints by (1 - beta).
+        let edges = summary
+            .edges
+            .iter()
+            .filter(|e| e.source != e.target)
+            .map(|e| {
+                let source_point = positions[e.source];
+                let target_point = positions[e.target];
+                let mut waypoints = vec![source_point];
+                if groups[e.source] == groups[e.target] {
+                    waypoints.push(cluster_anchor[groups[e.source]]);
+                } else {
+                    waypoints.push(cluster_anchor[groups[e.source]]);
+                    waypoints.push(center);
+                    waypoints.push(cluster_anchor[groups[e.target]]);
+                }
+                waypoints.push(target_point);
+                // Straighten: interpolate every interior waypoint toward the
+                // straight source→target line by (1 - beta).
+                let control_points: Vec<Point> = waypoints
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        if i == 0 || i == waypoints.len() - 1 {
+                            return *p;
+                        }
+                        let t = i as f64 / (waypoints.len() - 1) as f64;
+                        let straight = source_point.lerp(&target_point, t);
+                        straight.lerp(p, beta)
+                    })
+                    .collect();
+                let touches_focus = focus.map_or(false, |f| e.source == f || e.target == f);
+                BundledEdge {
+                    source: e.source,
+                    target: e.target,
+                    property: e.property.local_name().to_string(),
+                    control_points,
+                    touches_focus,
+                }
+            })
+            .collect();
+
+        EdgeBundlingLayout {
+            positions,
+            angles,
+            groups,
+            labels: summary.nodes.iter().map(|node| node.label.clone()).collect(),
+            roles,
+            edges,
+            size,
+            focus,
+        }
+    }
+
+    /// Renders the layout as SVG (grey bundles, highlighted focus edges,
+    /// coloured node dots and labels).
+    pub fn to_svg(&self) -> String {
+        let mut doc = SvgDocument::new(self.size, self.size);
+        doc.open_group("class=\"bundles\"");
+        for edge in &self.edges {
+            let (stroke, opacity) = if edge.touches_focus {
+                ("#d62728", 0.9)
+            } else {
+                ("#9ecae1", 0.45)
+            };
+            doc.path(&spline_path(&edge.control_points), stroke, "none", opacity);
+        }
+        doc.close_group();
+        doc.open_group("class=\"classes\"");
+        let center = Point::new(self.size / 2.0, self.size / 2.0);
+        for (i, p) in self.positions.iter().enumerate() {
+            let (fill, radius) = match self.roles[i] {
+                FocusRole::Focus => ("#000000".to_string(), 6.0),
+                FocusRole::Range => ("#2ca02c".to_string(), 5.0),
+                FocusRole::Domain => ("#d62728".to_string(), 5.0),
+                FocusRole::None => (category_color(self.groups[i]), 3.5),
+            };
+            doc.circle(p.x, p.y, radius, &fill, "#ffffff");
+            // Labels sit just outside the circle, anchored by which side they
+            // fall on.
+            let label_point = Point::on_circle(center, self.size / 2.0 * 0.85, self.angles[i]);
+            let anchor = if self.angles[i].cos() >= 0.0 { "start" } else { "end" };
+            doc.text_anchored(label_point.x, label_point.y, 9.0, anchor, &self.labels[i]);
+        }
+        doc.close_group();
+        doc.finish()
+    }
+}
+
+/// Builds a smooth SVG path through the control points (piecewise quadratic
+/// Bézier through midpoints — the standard trick for B-spline-like curves).
+fn spline_path(points: &[Point]) -> String {
+    match points.len() {
+        0 => return String::new(),
+        1 => return format!("M {:.2} {:.2}", points[0].x, points[0].y),
+        2 => {
+            return format!(
+                "M {:.2} {:.2} L {:.2} {:.2}",
+                points[0].x, points[0].y, points[1].x, points[1].y
+            )
+        }
+        _ => {}
+    }
+    let mut d = format!("M {:.2} {:.2}", points[0].x, points[0].y);
+    for i in 1..points.len() - 1 {
+        let mid = points[i].lerp(&points[i + 1], 0.5);
+        d.push_str(&format!(
+            " Q {:.2} {:.2} {:.2} {:.2}",
+            points[i].x, points[i].y, mid.x, mid.y
+        ));
+    }
+    let last = points[points.len() - 1];
+    d.push_str(&format!(" L {:.2} {:.2}", last.x, last.y));
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_cluster::ClusteringAlgorithm;
+    use hbold_rdf_model::Iri;
+    use hbold_schema::{SchemaEdge, SchemaNode};
+
+    /// A small scholarly-flavoured summary mirroring Figure 7: Event is the
+    /// focus, Situation is in its range, several event types point at it.
+    fn fixture() -> (SchemaSummary, ClusterSchema, usize) {
+        let class = |name: &str| Iri::new(format!("http://e.org/{name}")).unwrap();
+        let prop = |name: &str| Iri::new(format!("http://e.org/p/{name}")).unwrap();
+        let names = [
+            "Event", "Situation", "Vevent", "SessionEvent", "ConferenceSeries", "InformationObject",
+            "Person", "Document",
+        ];
+        let nodes = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| SchemaNode {
+                class: class(name),
+                label: (*name).to_string(),
+                instances: 100 - 10 * i,
+                attributes: vec![],
+            })
+            .collect();
+        let edges = vec![
+            (0, 1, "hasSetting"),    // Event -> Situation (range of the focus)
+            (2, 0, "specializes"),   // Vevent -> Event (domain side)
+            (3, 0, "subEventOf"),    // SessionEvent -> Event
+            (4, 0, "hasEvent"),      // ConferenceSeries -> Event
+            (5, 0, "about"),         // InformationObject -> Event
+            (6, 7, "authorOf"),      // Person -> Document (unrelated to focus)
+            (7, 5, "realizes"),
+        ]
+        .into_iter()
+        .map(|(s, t, p)| SchemaEdge {
+            source: s,
+            target: t,
+            property: prop(p),
+            count: 1,
+        })
+        .collect();
+        let summary = SchemaSummary {
+            endpoint_url: "http://e.org/sparql".into(),
+            total_instances: 520,
+            nodes,
+            edges,
+        };
+        let cs = ClusterSchema::build(&summary, ClusteringAlgorithm::Louvain, 0);
+        (summary, cs, 0)
+    }
+
+    #[test]
+    fn nodes_lie_on_the_circle_grouped_by_cluster() {
+        let (summary, cs, _) = fixture();
+        let layout = EdgeBundlingLayout::compute(&summary, &cs, None, 0.85, 600.0);
+        let center = Point::new(300.0, 300.0);
+        let radius = 300.0 * 0.8;
+        for p in &layout.positions {
+            assert!((p.distance(&center) - radius).abs() < 1e-6);
+        }
+        // Nodes of the same cluster occupy a contiguous angular range: sort by
+        // angle and check the cluster sequence has at most `k` group changes
+        // around the circle.
+        let mut order: Vec<usize> = (0..summary.node_count()).collect();
+        order.sort_by(|&a, &b| layout.angles[a].partial_cmp(&layout.angles[b]).unwrap());
+        let mut changes = 0;
+        for pair in order.windows(2) {
+            if layout.groups[pair[0]] != layout.groups[pair[1]] {
+                changes += 1;
+            }
+        }
+        assert!(changes <= cs.cluster_count(), "clusters are interleaved around the circle");
+    }
+
+    #[test]
+    fn focus_roles_match_figure_seven() {
+        let (summary, cs, focus) = fixture();
+        let layout = EdgeBundlingLayout::compute(&summary, &cs, Some(focus), 0.85, 600.0);
+        assert_eq!(layout.roles[0], FocusRole::Focus);
+        assert_eq!(layout.roles[1], FocusRole::Range, "Situation is in the range of the focus");
+        for domain_node in [2, 3, 4, 5] {
+            assert_eq!(layout.roles[domain_node], FocusRole::Domain, "node {domain_node}");
+        }
+        assert_eq!(layout.roles[6], FocusRole::None);
+        let focus_edges = layout.edges.iter().filter(|e| e.touches_focus).count();
+        assert_eq!(focus_edges, 5);
+    }
+
+    #[test]
+    fn bundling_strength_controls_detours() {
+        let (summary, cs, _) = fixture();
+        let straight = EdgeBundlingLayout::compute(&summary, &cs, None, 0.0, 600.0);
+        let bundled = EdgeBundlingLayout::compute(&summary, &cs, None, 1.0, 600.0);
+        // Measure the total polyline length of cross-cluster edges; full
+        // bundling routes through the centre so it is at least as long, and
+        // the interior control points differ.
+        let path_length = |edge: &BundledEdge| {
+            edge.control_points
+                .windows(2)
+                .map(|w| w[0].distance(&w[1]))
+                .sum::<f64>()
+        };
+        let mut saw_difference = false;
+        for (a, b) in straight.edges.iter().zip(bundled.edges.iter()) {
+            assert_eq!((a.source, a.target), (b.source, b.target));
+            if a.control_points != b.control_points {
+                saw_difference = true;
+            }
+            assert!(path_length(b) + 1e-6 >= path_length(a) * 0.999);
+        }
+        assert!(saw_difference, "beta must change the curves");
+        // With beta = 0 every interior control point lies on the straight line.
+        for edge in &straight.edges {
+            let first = edge.control_points[0];
+            let last = *edge.control_points.last().unwrap();
+            for p in &edge.control_points {
+                let t = if first.distance(&last) < 1e-9 {
+                    0.0
+                } else {
+                    // Projection parameter of p onto the segment.
+                    ((p.x - first.x) * (last.x - first.x) + (p.y - first.y) * (last.y - first.y))
+                        / first.distance(&last).powi(2)
+                };
+                let projected = first.lerp(&last, t.clamp(0.0, 1.0));
+                assert!(projected.distance(p) < 1e-6, "control point off the straight line");
+            }
+        }
+    }
+
+    #[test]
+    fn svg_output_has_paths_and_focus_highlight() {
+        let (summary, cs, focus) = fixture();
+        let layout = EdgeBundlingLayout::compute(&summary, &cs, Some(focus), 0.85, 600.0);
+        let svg = layout.to_svg();
+        assert_eq!(svg.matches("<path").count(), layout.edges.len());
+        assert_eq!(svg.matches("<circle").count(), summary.node_count());
+        assert!(svg.contains("#d62728"), "focus edges / domain nodes are highlighted");
+        assert!(svg.contains("Situation"));
+    }
+
+    #[test]
+    fn self_loops_are_skipped() {
+        let class = |name: &str| Iri::new(format!("http://e.org/{name}")).unwrap();
+        let summary = SchemaSummary {
+            endpoint_url: "http://e.org/sparql".into(),
+            total_instances: 5,
+            nodes: vec![SchemaNode {
+                class: class("Only"),
+                label: "Only".into(),
+                instances: 5,
+                attributes: vec![],
+            }],
+            edges: vec![SchemaEdge {
+                source: 0,
+                target: 0,
+                property: Iri::new("http://e.org/p/knows").unwrap(),
+                count: 3,
+            }],
+        };
+        let cs = ClusterSchema::build(&summary, ClusteringAlgorithm::Louvain, 0);
+        let layout = EdgeBundlingLayout::compute(&summary, &cs, None, 0.8, 400.0);
+        assert!(layout.edges.is_empty());
+    }
+}

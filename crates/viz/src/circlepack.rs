@@ -1,0 +1,449 @@
+//! Circle packing of the Cluster Schema (paper Figure 6).
+//!
+//! "Containment within each circle represents a level in the hierarchy [...]
+//! the inner circles represent the classes, while the intermediate circles
+//! represent the clusters, an external circle represents the entire dataset.
+//! In some cases, a cluster can contain only one class." (§3.5.3)
+
+use std::f64::consts::TAU;
+
+use hbold_cluster::ClusterSchema;
+use hbold_schema::SchemaSummary;
+
+use crate::geometry::Point;
+use crate::palette::{category_color, lighter_shade};
+use crate::svg::SvgDocument;
+
+/// One circle of the packing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedCircle {
+    /// Centre of the circle.
+    pub center: Point,
+    /// Radius.
+    pub radius: f64,
+    /// Cluster id (`None` for the outer dataset circle).
+    pub cluster: Option<usize>,
+    /// Schema Summary node index for class circles, `None` for cluster and
+    /// dataset circles.
+    pub node: Option<usize>,
+    /// Display label.
+    pub label: String,
+}
+
+impl PackedCircle {
+    /// Returns `true` if `other` is entirely contained in `self` (with a
+    /// small tolerance).
+    pub fn contains(&self, other: &PackedCircle) -> bool {
+        self.center.distance(&other.center) + other.radius <= self.radius + 1e-6
+    }
+
+    /// Returns `true` if the interiors of the two circles overlap (more than
+    /// a small tolerance).
+    pub fn overlaps(&self, other: &PackedCircle) -> bool {
+        self.center.distance(&other.center) + 1e-6 < self.radius + other.radius
+    }
+}
+
+/// The computed circle packing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CirclePackLayout {
+    /// The outer circle representing the whole dataset.
+    pub dataset: Option<PackedCircle>,
+    /// One circle per cluster.
+    pub clusters: Vec<PackedCircle>,
+    /// One circle per class, inside its cluster circle.
+    pub classes: Vec<PackedCircle>,
+    /// Canvas size (square).
+    pub size: f64,
+}
+
+impl CirclePackLayout {
+    /// Computes the packing on a square canvas of side `size`.
+    pub fn compute(summary: &SchemaSummary, cluster_schema: &ClusterSchema, size: f64) -> Self {
+        // 1. Pack the classes of each cluster into a cluster-local circle.
+        struct ClusterPack {
+            id: usize,
+            label: String,
+            radius: f64,
+            classes: Vec<PackedCircle>, // centres relative to the cluster centre
+        }
+        let mut packs: Vec<ClusterPack> = Vec::new();
+        for cluster in &cluster_schema.clusters {
+            let radii: Vec<f64> = cluster
+                .members
+                .iter()
+                .map(|&n| ((summary.nodes[n].instances as f64).max(1.0)).sqrt())
+                .collect();
+            let centres = pack_circles(&radii);
+            let enclosing = enclosing_radius(&centres, &radii) * 1.08 + 2.0;
+            let classes = cluster
+                .members
+                .iter()
+                .zip(centres.iter().zip(radii.iter()))
+                .map(|(&node, (centre, &radius))| PackedCircle {
+                    center: *centre,
+                    radius,
+                    cluster: Some(cluster.id),
+                    node: Some(node),
+                    label: summary.nodes[node].label.clone(),
+                })
+                .collect();
+            packs.push(ClusterPack {
+                id: cluster.id,
+                label: cluster.label.clone(),
+                radius: enclosing,
+                classes,
+            });
+        }
+
+        // 2. Pack the cluster circles inside the dataset circle.
+        let cluster_radii: Vec<f64> = packs.iter().map(|p| p.radius).collect();
+        let cluster_centres = pack_circles(&cluster_radii);
+        let dataset_radius = enclosing_radius(&cluster_centres, &cluster_radii) * 1.05 + 2.0;
+
+        // 3. Scale everything to the canvas.
+        let scale = (size / 2.0 * 0.95) / dataset_radius.max(1e-9);
+        let canvas_center = Point::new(size / 2.0, size / 2.0);
+
+        let dataset = PackedCircle {
+            center: canvas_center,
+            radius: dataset_radius * scale,
+            cluster: None,
+            node: None,
+            label: summary.endpoint_url.clone(),
+        };
+        let mut clusters = Vec::with_capacity(packs.len());
+        let mut classes = Vec::new();
+        for (pack, cluster_centre) in packs.into_iter().zip(cluster_centres.iter()) {
+            let cluster_center = Point::new(
+                canvas_center.x + cluster_centre.x * scale,
+                canvas_center.y + cluster_centre.y * scale,
+            );
+            clusters.push(PackedCircle {
+                center: cluster_center,
+                radius: pack.radius * scale,
+                cluster: Some(pack.id),
+                node: None,
+                label: pack.label,
+            });
+            for class in pack.classes {
+                classes.push(PackedCircle {
+                    center: Point::new(
+                        cluster_center.x + class.center.x * scale,
+                        cluster_center.y + class.center.y * scale,
+                    ),
+                    radius: class.radius * scale,
+                    ..class
+                });
+            }
+        }
+
+        CirclePackLayout {
+            dataset: Some(dataset),
+            clusters,
+            classes,
+            size,
+        }
+    }
+
+    /// Renders the packing as SVG.
+    pub fn to_svg(&self) -> String {
+        let mut doc = SvgDocument::new(self.size, self.size);
+        if let Some(dataset) = &self.dataset {
+            doc.circle(dataset.center.x, dataset.center.y, dataset.radius, "#f4f4f4", "#999999");
+        }
+        for cluster in &self.clusters {
+            doc.circle(
+                cluster.center.x,
+                cluster.center.y,
+                cluster.radius,
+                &lighter_shade(cluster.cluster.unwrap_or(0), 3),
+                &category_color(cluster.cluster.unwrap_or(0)),
+            );
+        }
+        for class in &self.classes {
+            doc.circle(
+                class.center.x,
+                class.center.y,
+                class.radius,
+                &category_color(class.cluster.unwrap_or(0)),
+                "#ffffff",
+            );
+            if class.radius > 18.0 {
+                doc.text_anchored(class.center.x, class.center.y + 3.0, 9.0, "middle", &class.label);
+            }
+        }
+        doc.finish()
+    }
+}
+
+/// Packs circles of the given radii around the origin, returning their
+/// centres. Uses a deterministic front-chain-style placement: the first
+/// circle sits at the origin, the second next to it, and every further circle
+/// is placed tangent to the two most recently placed circles, rotating around
+/// the cluster as needed to avoid overlaps.
+pub fn pack_circles(radii: &[f64]) -> Vec<Point> {
+    match radii.len() {
+        0 => return Vec::new(),
+        1 => return vec![Point::new(0.0, 0.0)],
+        _ => {}
+    }
+    let mut centres: Vec<Point> = Vec::with_capacity(radii.len());
+    centres.push(Point::new(0.0, 0.0));
+    centres.push(Point::new(radii[0] + radii[1], 0.0));
+
+    for i in 2..radii.len() {
+        let r = radii[i];
+        // Try to place tangent to each pair of already-placed circles,
+        // keeping the position closest to the centroid that does not overlap
+        // anything.
+        let centroid = Point::new(
+            centres.iter().map(|c| c.x).sum::<f64>() / centres.len() as f64,
+            centres.iter().map(|c| c.y).sum::<f64>() / centres.len() as f64,
+        );
+        let mut best: Option<Point> = None;
+        let mut best_distance = f64::INFINITY;
+        for a in 0..centres.len() {
+            for b in (a + 1)..centres.len() {
+                for candidate in tangent_positions(centres[a], radii[a], centres[b], radii[b], r) {
+                    let overlaps = centres.iter().zip(radii.iter()).any(|(c, &cr)| {
+                        c.distance(&candidate) + 1e-7 < cr + r
+                    });
+                    if overlaps {
+                        continue;
+                    }
+                    let d = candidate.distance(&centroid);
+                    if d < best_distance {
+                        best_distance = d;
+                        best = Some(candidate);
+                    }
+                }
+            }
+        }
+        // Fallback (should not happen): march outward along the x axis.
+        let position = best.unwrap_or_else(|| {
+            let max_extent: f64 = centres
+                .iter()
+                .zip(radii.iter())
+                .map(|(c, &cr)| c.x + cr)
+                .fold(0.0, f64::max);
+            Point::new(max_extent + r, 0.0)
+        });
+        centres.push(position);
+    }
+    centres
+}
+
+/// The two positions where a circle of radius `r` is externally tangent to
+/// both circle A and circle B.
+fn tangent_positions(a: Point, ra: f64, b: Point, rb: f64, r: f64) -> Vec<Point> {
+    let da = ra + r;
+    let db = rb + r;
+    let ab = a.distance(&b);
+    if ab < 1e-12 || ab > da + db {
+        return Vec::new();
+    }
+    // Solve the two-circle intersection of circles centred at a (radius da)
+    // and b (radius db).
+    let x = (ab * ab + da * da - db * db) / (2.0 * ab);
+    let h2 = da * da - x * x;
+    if h2 < 0.0 {
+        return Vec::new();
+    }
+    let h = h2.sqrt();
+    let ux = (b.x - a.x) / ab;
+    let uy = (b.y - a.y) / ab;
+    let base = Point::new(a.x + ux * x, a.y + uy * x);
+    vec![
+        Point::new(base.x - uy * h, base.y + ux * h),
+        Point::new(base.x + uy * h, base.y - ux * h),
+    ]
+}
+
+/// The radius of a circle centred at the origin that encloses all the given
+/// circles (after recentring them on their weighted centroid).
+pub fn enclosing_radius(centres: &[Point], radii: &[f64]) -> f64 {
+    centres
+        .iter()
+        .zip(radii.iter())
+        .map(|(c, &r)| c.distance(&Point::new(0.0, 0.0)) + r)
+        .fold(0.0, f64::max)
+}
+
+/// A quick angular spread check used by tests: how much of the circle around
+/// the origin the packed circles occupy (in radians, 0..TAU).
+pub fn angular_spread(centres: &[Point]) -> f64 {
+    if centres.len() < 2 {
+        return 0.0;
+    }
+    let mut angles: Vec<f64> = centres
+        .iter()
+        .filter(|c| c.distance(&Point::new(0.0, 0.0)) > 1e-9)
+        .map(|c| c.y.atan2(c.x).rem_euclid(TAU))
+        .collect();
+    if angles.len() < 2 {
+        return 0.0;
+    }
+    angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut largest_gap = TAU - (angles.last().unwrap() - angles.first().unwrap());
+    for pair in angles.windows(2) {
+        largest_gap = largest_gap.max(pair[1] - pair[0]);
+    }
+    TAU - largest_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_cluster::ClusteringAlgorithm;
+    use hbold_rdf_model::Iri;
+    use hbold_schema::{SchemaEdge, SchemaNode};
+
+    fn fixture() -> (SchemaSummary, ClusterSchema) {
+        let class = |name: &str| Iri::new(format!("http://e.org/{name}")).unwrap();
+        let prop = |name: &str| Iri::new(format!("http://e.org/p/{name}")).unwrap();
+        let nodes = (0..9)
+            .map(|i| SchemaNode {
+                class: class(&format!("C{i}")),
+                label: format!("C{i}"),
+                instances: 30 * (i + 1) * (i + 1),
+                attributes: vec![],
+            })
+            .collect();
+        let edges = vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (6, 7), (7, 8), (6, 8), (2, 3), (5, 6)]
+            .into_iter()
+            .map(|(s, t)| SchemaEdge {
+                source: s,
+                target: t,
+                property: prop("p"),
+                count: 1,
+            })
+            .collect();
+        let summary = SchemaSummary {
+            endpoint_url: "http://e.org/sparql".into(),
+            total_instances: 8550,
+            nodes,
+            edges,
+        };
+        let cs = ClusterSchema::build(&summary, ClusteringAlgorithm::Louvain, 0);
+        (summary, cs)
+    }
+
+    #[test]
+    fn packed_circles_do_not_overlap() {
+        let radii = vec![10.0, 8.0, 6.0, 5.0, 5.0, 4.0, 3.0, 2.0, 2.0, 1.0];
+        let centres = pack_circles(&radii);
+        assert_eq!(centres.len(), radii.len());
+        for i in 0..radii.len() {
+            for j in (i + 1)..radii.len() {
+                let d = centres[i].distance(&centres[j]);
+                assert!(
+                    d + 1e-6 >= radii[i] + radii[j],
+                    "circles {i} and {j} overlap: d = {d}, r sum = {}",
+                    radii[i] + radii[j]
+                );
+            }
+        }
+        // The packing is reasonably tight: enclosing radius is far below the
+        // sum of all diameters (the degenerate "line of circles" layout).
+        let enclosing = enclosing_radius(&centres, &radii);
+        let line_length: f64 = radii.iter().map(|r| 2.0 * r).sum();
+        assert!(enclosing < line_length * 0.6, "enclosing {enclosing} vs line {line_length}");
+        assert!(
+            angular_spread(&centres) > TAU * 0.15,
+            "packing should spread around the first circle rather than form a line, spread = {}",
+            angular_spread(&centres)
+        );
+    }
+
+    #[test]
+    fn pack_edge_cases() {
+        assert!(pack_circles(&[]).is_empty());
+        assert_eq!(pack_circles(&[3.0]), vec![Point::new(0.0, 0.0)]);
+        let two = pack_circles(&[3.0, 2.0]);
+        assert!((two[0].distance(&two[1]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchy_is_properly_nested() {
+        let (summary, cs) = fixture();
+        let layout = CirclePackLayout::compute(&summary, &cs, 700.0);
+        let dataset = layout.dataset.as_ref().unwrap();
+        assert_eq!(layout.clusters.len(), cs.cluster_count());
+        assert_eq!(layout.classes.len(), summary.node_count());
+        for cluster in &layout.clusters {
+            assert!(dataset.contains(cluster), "cluster {} escapes the dataset circle", cluster.label);
+        }
+        for class in &layout.classes {
+            let parent = layout
+                .clusters
+                .iter()
+                .find(|c| c.cluster == class.cluster)
+                .unwrap();
+            assert!(parent.contains(class), "class {} escapes its cluster", class.label);
+        }
+        // Sibling clusters do not overlap.
+        for i in 0..layout.clusters.len() {
+            for j in (i + 1)..layout.clusters.len() {
+                assert!(!layout.clusters[i].overlaps(&layout.clusters[j]));
+            }
+        }
+        // Sibling classes within the same cluster do not overlap.
+        for i in 0..layout.classes.len() {
+            for j in (i + 1)..layout.classes.len() {
+                if layout.classes[i].cluster == layout.classes[j].cluster {
+                    assert!(!layout.classes[i].overlaps(&layout.classes[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_areas_reflect_instance_counts() {
+        let (summary, cs) = fixture();
+        let layout = CirclePackLayout::compute(&summary, &cs, 700.0);
+        // Radius ∝ sqrt(instances) → area ∝ instances; check the ordering holds.
+        let mut by_instances: Vec<(usize, f64)> = layout
+            .classes
+            .iter()
+            .map(|c| (summary.nodes[c.node.unwrap()].instances, c.radius))
+            .collect();
+        by_instances.sort_by_key(|(instances, _)| *instances);
+        for pair in by_instances.windows(2) {
+            assert!(pair[0].1 <= pair[1].1 + 1e-9, "radii must grow with instance counts");
+        }
+    }
+
+    #[test]
+    fn svg_contains_every_circle() {
+        let (summary, cs) = fixture();
+        let layout = CirclePackLayout::compute(&summary, &cs, 700.0);
+        let svg = layout.to_svg();
+        assert_eq!(
+            svg.matches("<circle").count(),
+            1 + layout.clusters.len() + layout.classes.len()
+        );
+    }
+
+    #[test]
+    fn single_class_cluster_is_supported() {
+        // The paper notes "in some cases, a cluster can contain only one class".
+        let class = |name: &str| Iri::new(format!("http://e.org/{name}")).unwrap();
+        let summary = SchemaSummary {
+            endpoint_url: "http://e.org/sparql".into(),
+            total_instances: 10,
+            nodes: vec![SchemaNode {
+                class: class("Lonely"),
+                label: "Lonely".into(),
+                instances: 10,
+                attributes: vec![],
+            }],
+            edges: vec![],
+        };
+        let cs = ClusterSchema::build(&summary, ClusteringAlgorithm::Louvain, 0);
+        let layout = CirclePackLayout::compute(&summary, &cs, 300.0);
+        assert_eq!(layout.clusters.len(), 1);
+        assert_eq!(layout.classes.len(), 1);
+        assert!(layout.clusters[0].contains(&layout.classes[0]));
+    }
+}

@@ -1,0 +1,277 @@
+//! Force-directed layout for the graph views (paper Figure 2).
+//!
+//! The Schema Summary and Cluster Schema graph views are node-link diagrams;
+//! the layout is a seeded Fruchterman–Reingold simulation, so the same
+//! dataset always produces the same picture.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hbold_schema::SchemaSummary;
+
+use crate::geometry::Point;
+use crate::palette::category_color;
+use crate::svg::SvgDocument;
+
+/// Parameters of the force simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForceLayoutConfig {
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+    /// Number of iterations.
+    pub iterations: usize,
+    /// RNG seed for the initial placement.
+    pub seed: u64,
+}
+
+impl Default for ForceLayoutConfig {
+    fn default() -> Self {
+        ForceLayoutConfig {
+            width: 900.0,
+            height: 700.0,
+            iterations: 300,
+            seed: 42,
+        }
+    }
+}
+
+/// The computed node-link layout.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ForceLayout {
+    /// Node positions, indexed like the input nodes.
+    pub positions: Vec<Point>,
+    /// The edges as (source, target) index pairs (copied from the input).
+    pub edges: Vec<(usize, usize)>,
+    /// Node labels.
+    pub labels: Vec<String>,
+    /// Node radii (scaled by instance count when built from a summary).
+    pub radii: Vec<f64>,
+    /// Optional cluster id per node (colors the nodes).
+    pub groups: Vec<usize>,
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+}
+
+impl ForceLayout {
+    /// Lays out an arbitrary node-link graph.
+    pub fn compute(
+        node_count: usize,
+        edges: &[(usize, usize)],
+        config: &ForceLayoutConfig,
+    ) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let width = config.width;
+        let height = config.height;
+        let mut positions: Vec<Point> = (0..node_count)
+            .map(|_| Point::new(rng.gen_range(0.0..width), rng.gen_range(0.0..height)))
+            .collect();
+        if node_count == 0 {
+            return positions;
+        }
+        let area = width * height;
+        let k = (area / node_count as f64).sqrt();
+        let mut temperature = width / 8.0;
+        let cooling = temperature / config.iterations.max(1) as f64;
+
+        for _ in 0..config.iterations {
+            let mut displacement = vec![Point::new(0.0, 0.0); node_count];
+            // Repulsive forces between all pairs.
+            for i in 0..node_count {
+                for j in (i + 1)..node_count {
+                    let dx = positions[i].x - positions[j].x;
+                    let dy = positions[i].y - positions[j].y;
+                    let distance = (dx * dx + dy * dy).sqrt().max(0.01);
+                    let force = k * k / distance;
+                    let (fx, fy) = (dx / distance * force, dy / distance * force);
+                    displacement[i].x += fx;
+                    displacement[i].y += fy;
+                    displacement[j].x -= fx;
+                    displacement[j].y -= fy;
+                }
+            }
+            // Attractive forces along edges.
+            for &(a, b) in edges {
+                if a >= node_count || b >= node_count || a == b {
+                    continue;
+                }
+                let dx = positions[a].x - positions[b].x;
+                let dy = positions[a].y - positions[b].y;
+                let distance = (dx * dx + dy * dy).sqrt().max(0.01);
+                let force = distance * distance / k;
+                let (fx, fy) = (dx / distance * force, dy / distance * force);
+                displacement[a].x -= fx;
+                displacement[a].y -= fy;
+                displacement[b].x += fx;
+                displacement[b].y += fy;
+            }
+            // Apply displacements, capped by the temperature, and clamp to the
+            // canvas.
+            for i in 0..node_count {
+                let d = &displacement[i];
+                let length = (d.x * d.x + d.y * d.y).sqrt().max(0.01);
+                let capped = length.min(temperature);
+                positions[i].x = (positions[i].x + d.x / length * capped).clamp(10.0, width - 10.0);
+                positions[i].y = (positions[i].y + d.y / length * capped).clamp(10.0, height - 10.0);
+            }
+            temperature = (temperature - cooling).max(0.5);
+        }
+        positions
+    }
+
+    /// Lays out a Schema Summary (optionally restricted to a subset of nodes,
+    /// as during interactive exploration) with cluster colouring.
+    pub fn from_summary(
+        summary: &SchemaSummary,
+        groups: &[usize],
+        config: &ForceLayoutConfig,
+    ) -> Self {
+        let edges: Vec<(usize, usize)> = summary
+            .edges
+            .iter()
+            .map(|e| (e.source, e.target))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let positions = ForceLayout::compute(summary.node_count(), &edges, config);
+        let max_instances = summary
+            .nodes
+            .iter()
+            .map(|n| n.instances)
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64;
+        ForceLayout {
+            positions,
+            edges,
+            labels: summary.nodes.iter().map(|n| n.label.clone()).collect(),
+            radii: summary
+                .nodes
+                .iter()
+                .map(|n| 6.0 + 18.0 * ((n.instances as f64) / max_instances).sqrt())
+                .collect(),
+            groups: if groups.len() == summary.node_count() {
+                groups.to_vec()
+            } else {
+                vec![0; summary.node_count()]
+            },
+            width: config.width,
+            height: config.height,
+        }
+    }
+
+    /// Renders the node-link diagram as SVG.
+    pub fn to_svg(&self) -> String {
+        let mut doc = SvgDocument::new(self.width, self.height);
+        doc.open_group("class=\"edges\"");
+        for &(a, b) in &self.edges {
+            let (pa, pb) = (self.positions[a], self.positions[b]);
+            doc.segment(pa.x, pa.y, pb.x, pb.y, "#bbbbbb", 1.0);
+        }
+        doc.close_group();
+        doc.open_group("class=\"nodes\"");
+        for (i, p) in self.positions.iter().enumerate() {
+            let radius = self.radii.get(i).copied().unwrap_or(8.0);
+            let group = self.groups.get(i).copied().unwrap_or(0);
+            doc.circle(p.x, p.y, radius, &category_color(group), "#333333");
+            doc.text_anchored(
+                p.x,
+                p.y - radius - 3.0,
+                10.0,
+                "middle",
+                self.labels.get(i).map(String::as_str).unwrap_or(""),
+            );
+        }
+        doc.close_group();
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_rdf_model::Iri;
+    use hbold_schema::{SchemaEdge, SchemaNode};
+
+    fn chain_summary(n: usize) -> SchemaSummary {
+        let nodes = (0..n)
+            .map(|i| SchemaNode {
+                class: Iri::new(format!("http://e.org/C{i}")).unwrap(),
+                label: format!("C{i}"),
+                instances: 10 * (i + 1),
+                attributes: vec![],
+            })
+            .collect();
+        let edges = (0..n.saturating_sub(1))
+            .map(|i| SchemaEdge {
+                source: i,
+                target: i + 1,
+                property: Iri::new("http://e.org/p").unwrap(),
+                count: 1,
+            })
+            .collect();
+        SchemaSummary {
+            endpoint_url: "http://e.org/sparql".into(),
+            total_instances: 100,
+            nodes,
+            edges,
+        }
+    }
+
+    #[test]
+    fn layout_is_deterministic_and_inside_canvas() {
+        let config = ForceLayoutConfig::default();
+        let edges = vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)];
+        let a = ForceLayout::compute(4, &edges, &config);
+        let b = ForceLayout::compute(4, &edges, &config);
+        assert_eq!(a, b);
+        for p in &a {
+            assert!(p.x >= 0.0 && p.x <= config.width);
+            assert!(p.y >= 0.0 && p.y <= config.height);
+        }
+        let other_seed = ForceLayout::compute(4, &edges, &ForceLayoutConfig { seed: 1, ..config });
+        assert_ne!(a, other_seed);
+    }
+
+    #[test]
+    fn connected_nodes_end_up_closer_than_disconnected_ones() {
+        // Two triangles far apart in the graph: nodes within a triangle should
+        // end up closer to each other (on average) than nodes across triangles.
+        let edges = vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)];
+        let positions = ForceLayout::compute(6, &edges, &ForceLayoutConfig::default());
+        let avg = |pairs: &[(usize, usize)]| {
+            pairs
+                .iter()
+                .map(|&(a, b)| positions[a].distance(&positions[b]))
+                .sum::<f64>()
+                / pairs.len() as f64
+        };
+        let intra = avg(&edges);
+        let inter = avg(&[(0, 3), (1, 4), (2, 5), (0, 5), (2, 3)]);
+        assert!(intra < inter, "intra {intra} should be smaller than inter {inter}");
+    }
+
+    #[test]
+    fn summary_layout_scales_radii_and_renders() {
+        let summary = chain_summary(5);
+        let layout = ForceLayout::from_summary(&summary, &[0, 0, 1, 1, 1], &ForceLayoutConfig::default());
+        assert_eq!(layout.positions.len(), 5);
+        assert_eq!(layout.edges.len(), 4);
+        // Radii grow with instance counts.
+        for pair in layout.radii.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        let svg = layout.to_svg();
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert_eq!(svg.matches("<line").count(), 4);
+        assert!(svg.contains("C4"));
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let positions = ForceLayout::compute(0, &[], &ForceLayoutConfig::default());
+        assert!(positions.is_empty());
+    }
+}

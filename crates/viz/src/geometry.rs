@@ -1,0 +1,161 @@
+//! Geometric primitives shared by the layouts.
+
+/// A 2-D point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+
+    /// The point at `radius` from the origin in direction `angle` (radians),
+    /// offset by `center`.
+    pub fn on_circle(center: Point, radius: f64, angle: f64) -> Point {
+        Point {
+            x: center.x + radius * angle.cos(),
+            y: center.y + radius * angle.sin(),
+        }
+    }
+}
+
+/// An axis-aligned rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge.
+    pub y: f64,
+    /// Width.
+    pub width: f64,
+    /// Height.
+    pub height: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    pub fn new(x: f64, y: f64, width: f64, height: f64) -> Self {
+        Rect { x, y, width, height }
+    }
+
+    /// The rectangle's area.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// The aspect ratio `max(w/h, h/w)` (1.0 is a square). Degenerate
+    /// rectangles report infinity.
+    pub fn aspect_ratio(&self) -> f64 {
+        if self.width <= 0.0 || self.height <= 0.0 {
+            return f64::INFINITY;
+        }
+        (self.width / self.height).max(self.height / self.width)
+    }
+
+    /// The center point.
+    pub fn center(&self) -> Point {
+        Point::new(self.x + self.width / 2.0, self.y + self.height / 2.0)
+    }
+
+    /// Returns `true` when `other` lies fully inside `self` (allowing a small
+    /// numerical tolerance).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-6;
+        other.x >= self.x - EPS
+            && other.y >= self.y - EPS
+            && other.x + other.width <= self.x + self.width + EPS
+            && other.y + other.height <= self.y + self.height + EPS
+    }
+
+    /// Returns `true` when the interiors of the two rectangles overlap.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x < other.x + other.width
+            && other.x < self.x + self.width
+            && self.y < other.y + other.height
+            && other.y < self.y + self.height
+    }
+
+    /// Shrinks the rectangle by `margin` on every side (clamped to zero size).
+    pub fn inset(&self, margin: f64) -> Rect {
+        let width = (self.width - 2.0 * margin).max(0.0);
+        let height = (self.height - 2.0 * margin).max(0.0);
+        Rect::new(self.x + margin, self.y + margin, width, height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance_and_lerp() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        let mid = a.lerp(&b, 0.5);
+        assert_eq!(mid, Point::new(1.5, 2.0));
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+    }
+
+    #[test]
+    fn point_on_circle() {
+        let c = Point::new(10.0, 10.0);
+        let p = Point::on_circle(c, 5.0, 0.0);
+        assert!((p.x - 15.0).abs() < 1e-9);
+        assert!((p.y - 10.0).abs() < 1e-9);
+        let q = Point::on_circle(c, 5.0, std::f64::consts::FRAC_PI_2);
+        assert!((q.x - 10.0).abs() < 1e-9);
+        assert!((q.y - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_area_aspect_and_center() {
+        let r = Rect::new(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(r.area(), 8.0);
+        assert_eq!(r.aspect_ratio(), 2.0);
+        assert_eq!(r.center(), Point::new(2.0, 1.0));
+        assert_eq!(Rect::new(0.0, 0.0, 0.0, 5.0).aspect_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn rect_containment_and_intersection() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::new(2.0, 2.0, 3.0, 3.0);
+        let outside = Rect::new(9.0, 9.0, 5.0, 5.0);
+        assert!(outer.contains_rect(&inner));
+        assert!(!outer.contains_rect(&outside));
+        assert!(outer.intersects(&outside));
+        assert!(!inner.intersects(&outside));
+        let touching = Rect::new(5.0, 2.0, 3.0, 3.0);
+        assert!(!inner.intersects(&touching), "touching edges do not overlap");
+    }
+
+    #[test]
+    fn rect_inset() {
+        let r = Rect::new(0.0, 0.0, 10.0, 6.0).inset(1.0);
+        assert_eq!(r, Rect::new(1.0, 1.0, 8.0, 4.0));
+        let collapsed = Rect::new(0.0, 0.0, 1.0, 1.0).inset(2.0);
+        assert_eq!(collapsed.width, 0.0);
+        assert_eq!(collapsed.height, 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # hbold-viz
+//!
+//! The presentation-layer geometry of H-BOLD.
+//!
+//! The original tool renders its visualizations with D3 in the browser; the
+//! reproducible core of that layer is the *layout computation* — which
+//! rectangle, arc, circle or curve each class and cluster gets — plus an SVG
+//! rendering of the result. This crate implements the five layouts the paper
+//! shows:
+//!
+//! * [`force`] — seeded Fruchterman–Reingold force-directed layout for the
+//!   graph views of the Schema Summary and Cluster Schema (Figure 2),
+//! * [`treemap`] — squarified treemap of the Cluster Schema (Figure 4),
+//! * [`sunburst`] — two-ring sunburst of the Cluster Schema (Figure 5),
+//! * [`circlepack`] — circle packing of the Cluster Schema (Figure 6),
+//! * [`bundling`] — hierarchical edge bundling of the Schema Summary
+//!   (Figure 7), with domain/range highlighting of a focus class,
+//!
+//! together with [`geometry`] primitives, a color [`palette`], and a small
+//! [`svg`] document builder used by all of them.
+
+pub mod bundling;
+pub mod circlepack;
+pub mod force;
+pub mod geometry;
+pub mod palette;
+pub mod sunburst;
+pub mod svg;
+pub mod treemap;
+
+pub use bundling::{BundledEdge, EdgeBundlingLayout};
+pub use circlepack::{CirclePackLayout, PackedCircle};
+pub use force::{ForceLayout, ForceLayoutConfig};
+pub use geometry::{Point, Rect};
+pub use sunburst::{SunburstLayout, SunburstSegment};
+pub use svg::SvgDocument;
+pub use treemap::{TreemapLayout, TreemapRect};

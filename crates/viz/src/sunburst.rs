@@ -1,0 +1,285 @@
+//! Sunburst chart of the Cluster Schema (paper Figure 5).
+//!
+//! "The Sunburst Chart visualization shows the hierarchy through a series of
+//! rings, that is sliced for each category node. The inner ring represents
+//! the clusters while the outer ring shows the classes grouped by the
+//! clusters." (§3.5.2)
+
+use std::f64::consts::TAU;
+
+use hbold_cluster::ClusterSchema;
+use hbold_schema::SchemaSummary;
+
+use crate::geometry::Point;
+use crate::palette::{category_color, lighter_shade};
+use crate::svg::SvgDocument;
+
+/// One angular segment of the sunburst.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SunburstSegment {
+    /// Cluster id the segment belongs to.
+    pub cluster: usize,
+    /// Schema Summary node index for class segments, `None` for cluster
+    /// (inner-ring) segments.
+    pub node: Option<usize>,
+    /// Display label.
+    pub label: String,
+    /// Start angle in radians (0 at the positive x axis, growing clockwise in
+    /// SVG's y-down coordinate system).
+    pub start_angle: f64,
+    /// End angle in radians.
+    pub end_angle: f64,
+    /// Inner radius of the ring the segment lives on.
+    pub inner_radius: f64,
+    /// Outer radius of the ring.
+    pub outer_radius: f64,
+    /// The weight (instance count) driving the angular span.
+    pub weight: f64,
+}
+
+impl SunburstSegment {
+    /// The angular span of the segment, in radians.
+    pub fn span(&self) -> f64 {
+        self.end_angle - self.start_angle
+    }
+}
+
+/// The computed sunburst: an inner ring of clusters and an outer ring of
+/// classes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SunburstLayout {
+    /// Inner-ring segments (one per cluster).
+    pub clusters: Vec<SunburstSegment>,
+    /// Outer-ring segments (one per class).
+    pub classes: Vec<SunburstSegment>,
+    /// Canvas size (the chart is centred in a square canvas).
+    pub size: f64,
+}
+
+impl SunburstLayout {
+    /// Computes the sunburst for `cluster_schema` on a square canvas of the
+    /// given `size`.
+    pub fn compute(summary: &SchemaSummary, cluster_schema: &ClusterSchema, size: f64) -> Self {
+        let radius = size / 2.0 * 0.9;
+        let inner_ring = (radius * 0.35, radius * 0.65);
+        let outer_ring = (radius * 0.65, radius);
+
+        let total_weight: f64 = cluster_schema
+            .clusters
+            .iter()
+            .map(|c| (c.total_instances as f64).max(1.0))
+            .sum::<f64>()
+            .max(1.0);
+
+        let mut clusters = Vec::with_capacity(cluster_schema.clusters.len());
+        let mut classes = Vec::new();
+        let mut angle = 0.0f64;
+        for cluster in &cluster_schema.clusters {
+            let cluster_weight = (cluster.total_instances as f64).max(1.0);
+            let cluster_span = TAU * cluster_weight / total_weight;
+            clusters.push(SunburstSegment {
+                cluster: cluster.id,
+                node: None,
+                label: cluster.label.clone(),
+                start_angle: angle,
+                end_angle: angle + cluster_span,
+                inner_radius: inner_ring.0,
+                outer_radius: inner_ring.1,
+                weight: cluster_weight,
+            });
+
+            // Classes split their cluster's span proportionally to instances
+            // (equal split when all are zero, per the paper's treemap rule).
+            let member_weights: Vec<f64> = cluster
+                .members
+                .iter()
+                .map(|&n| (summary.nodes[n].instances as f64).max(1.0))
+                .collect();
+            let member_total: f64 = member_weights.iter().sum::<f64>().max(1.0);
+            let mut member_angle = angle;
+            for (&node, weight) in cluster.members.iter().zip(member_weights.iter()) {
+                let span = cluster_span * weight / member_total;
+                classes.push(SunburstSegment {
+                    cluster: cluster.id,
+                    node: Some(node),
+                    label: summary.nodes[node].label.clone(),
+                    start_angle: member_angle,
+                    end_angle: member_angle + span,
+                    inner_radius: outer_ring.0,
+                    outer_radius: outer_ring.1,
+                    weight: *weight,
+                });
+                member_angle += span;
+            }
+            angle += cluster_span;
+        }
+        SunburstLayout {
+            clusters,
+            classes,
+            size,
+        }
+    }
+
+    /// Renders the sunburst as SVG.
+    pub fn to_svg(&self) -> String {
+        let mut doc = SvgDocument::new(self.size, self.size);
+        let center = Point::new(self.size / 2.0, self.size / 2.0);
+        doc.open_group("class=\"sunburst-clusters\"");
+        for segment in &self.clusters {
+            doc.path(
+                &annular_sector_path(center, segment),
+                "#ffffff",
+                &category_color(segment.cluster),
+                1.0,
+            );
+        }
+        doc.close_group();
+        doc.open_group("class=\"sunburst-classes\"");
+        for segment in &self.classes {
+            doc.path(
+                &annular_sector_path(center, segment),
+                "#ffffff",
+                &lighter_shade(segment.cluster, 1 + segment.node.unwrap_or(0) % 3),
+                1.0,
+            );
+        }
+        doc.close_group();
+        // Label the clusters at their mid-angle.
+        for segment in &self.clusters {
+            if segment.span() < 0.15 {
+                continue;
+            }
+            let mid = (segment.start_angle + segment.end_angle) / 2.0;
+            let p = Point::on_circle(center, (segment.inner_radius + segment.outer_radius) / 2.0, mid);
+            doc.text_anchored(p.x, p.y, 10.0, "middle", &segment.label);
+        }
+        doc.finish()
+    }
+}
+
+/// Builds the SVG path of an annular sector (the shape of one segment).
+fn annular_sector_path(center: Point, segment: &SunburstSegment) -> String {
+    let large_arc = if segment.span() > std::f64::consts::PI { 1 } else { 0 };
+    let p0 = Point::on_circle(center, segment.outer_radius, segment.start_angle);
+    let p1 = Point::on_circle(center, segment.outer_radius, segment.end_angle);
+    let p2 = Point::on_circle(center, segment.inner_radius, segment.end_angle);
+    let p3 = Point::on_circle(center, segment.inner_radius, segment.start_angle);
+    format!(
+        "M {:.2} {:.2} A {:.2} {:.2} 0 {} 1 {:.2} {:.2} L {:.2} {:.2} A {:.2} {:.2} 0 {} 0 {:.2} {:.2} Z",
+        p0.x,
+        p0.y,
+        segment.outer_radius,
+        segment.outer_radius,
+        large_arc,
+        p1.x,
+        p1.y,
+        p2.x,
+        p2.y,
+        segment.inner_radius,
+        segment.inner_radius,
+        large_arc,
+        p3.x,
+        p3.y
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_cluster::ClusteringAlgorithm;
+    use hbold_rdf_model::Iri;
+    use hbold_schema::{SchemaEdge, SchemaNode};
+
+    fn fixture() -> (SchemaSummary, ClusterSchema) {
+        let class = |name: &str| Iri::new(format!("http://e.org/{name}")).unwrap();
+        let prop = |name: &str| Iri::new(format!("http://e.org/p/{name}")).unwrap();
+        let nodes = (0..8)
+            .map(|i| SchemaNode {
+                class: class(&format!("C{i}")),
+                label: format!("C{i}"),
+                instances: 50 * (i + 1),
+                attributes: vec![],
+            })
+            .collect();
+        let edges = vec![(0, 1), (1, 2), (2, 3), (0, 3), (4, 5), (5, 6), (6, 7), (4, 7)]
+            .into_iter()
+            .map(|(s, t)| SchemaEdge {
+                source: s,
+                target: t,
+                property: prop("p"),
+                count: 1,
+            })
+            .collect();
+        let summary = SchemaSummary {
+            endpoint_url: "http://e.org/sparql".into(),
+            total_instances: 1800,
+            nodes,
+            edges,
+        };
+        let cs = ClusterSchema::build(&summary, ClusteringAlgorithm::Louvain, 0);
+        (summary, cs)
+    }
+
+    #[test]
+    fn angles_cover_the_full_circle_without_overlap() {
+        let (summary, cs) = fixture();
+        let layout = SunburstLayout::compute(&summary, &cs, 600.0);
+        let cluster_total: f64 = layout.clusters.iter().map(SunburstSegment::span).sum();
+        assert!((cluster_total - TAU).abs() < 1e-9);
+        let class_total: f64 = layout.classes.iter().map(SunburstSegment::span).sum();
+        assert!((class_total - TAU).abs() < 1e-9);
+        // Segments are contiguous and non-overlapping within each ring.
+        for ring in [&layout.clusters, &layout.classes] {
+            for pair in ring.windows(2) {
+                assert!(pair[0].end_angle <= pair[1].start_angle + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn class_spans_are_proportional_to_instances_within_cluster() {
+        let (summary, cs) = fixture();
+        let layout = SunburstLayout::compute(&summary, &cs, 600.0);
+        for cluster_segment in &layout.clusters {
+            let members: Vec<_> = layout
+                .classes
+                .iter()
+                .filter(|c| c.cluster == cluster_segment.cluster)
+                .collect();
+            let weight_total: f64 = members.iter().map(|m| m.weight).sum();
+            for member in &members {
+                let expected = cluster_segment.span() * member.weight / weight_total;
+                assert!((member.span() - expected).abs() < 1e-9, "span of {}", member.label);
+            }
+            // Members stay within their cluster's angular range.
+            for member in &members {
+                assert!(member.start_angle >= cluster_segment.start_angle - 1e-9);
+                assert!(member.end_angle <= cluster_segment.end_angle + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rings_are_nested() {
+        let (summary, cs) = fixture();
+        let layout = SunburstLayout::compute(&summary, &cs, 600.0);
+        for cluster in &layout.clusters {
+            for class in &layout.classes {
+                assert!(class.inner_radius >= cluster.outer_radius - 1e-9);
+            }
+            assert!(cluster.outer_radius <= 600.0 / 2.0);
+        }
+    }
+
+    #[test]
+    fn svg_has_a_path_per_segment() {
+        let (summary, cs) = fixture();
+        let layout = SunburstLayout::compute(&summary, &cs, 600.0);
+        let svg = layout.to_svg();
+        assert_eq!(
+            svg.matches("<path").count(),
+            layout.clusters.len() + layout.classes.len()
+        );
+        assert!(svg.contains("sunburst-clusters"));
+    }
+}

@@ -1,0 +1,182 @@
+//! A minimal SVG document builder.
+//!
+//! Only the handful of elements the layouts need (rect, circle, line, path,
+//! text, group) — enough to write the paper's figures to disk as standalone
+//! `.svg` files that open in any browser.
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDocument {
+    width: f64,
+    height: f64,
+    body: String,
+    indent: usize,
+    open_groups: usize,
+}
+
+impl SvgDocument {
+    /// Creates a document with the given canvas size.
+    pub fn new(width: f64, height: f64) -> Self {
+        SvgDocument {
+            width,
+            height,
+            body: String::new(),
+            indent: 1,
+            open_groups: 0,
+        }
+    }
+
+    /// Canvas width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Canvas height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.body.push_str("  ");
+        }
+        self.body.push_str(text);
+        self.body.push('\n');
+    }
+
+    /// Opens a `<g>` group with the given attributes (e.g. `class="cluster"`).
+    pub fn open_group(&mut self, attributes: &str) {
+        let attrs = if attributes.is_empty() {
+            String::new()
+        } else {
+            format!(" {attributes}")
+        };
+        self.line(&format!("<g{attrs}>"));
+        self.indent += 1;
+        self.open_groups += 1;
+    }
+
+    /// Closes the innermost `<g>` group.
+    pub fn close_group(&mut self) {
+        if self.open_groups == 0 {
+            return;
+        }
+        self.indent -= 1;
+        self.open_groups -= 1;
+        self.line("</g>");
+    }
+
+    /// Adds a rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, width: f64, height: f64, fill: &str, stroke: &str) {
+        self.line(&format!(
+            "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{width:.2}\" height=\"{height:.2}\" fill=\"{fill}\" stroke=\"{stroke}\" stroke-width=\"1\"/>"
+        ));
+    }
+
+    /// Adds a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, stroke: &str) {
+        self.line(&format!(
+            "<circle cx=\"{cx:.2}\" cy=\"{cy:.2}\" r=\"{r:.2}\" fill=\"{fill}\" stroke=\"{stroke}\" stroke-width=\"1\"/>"
+        ));
+    }
+
+    /// Adds a line segment.
+    pub fn segment(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        self.line(&format!(
+            "<line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\" stroke=\"{stroke}\" stroke-width=\"{width:.2}\"/>"
+        ));
+    }
+
+    /// Adds a path from raw path data.
+    pub fn path(&mut self, d: &str, stroke: &str, fill: &str, opacity: f64) {
+        self.line(&format!(
+            "<path d=\"{d}\" stroke=\"{stroke}\" fill=\"{fill}\" opacity=\"{opacity:.2}\" stroke-width=\"1\"/>"
+        ));
+    }
+
+    /// Adds a text label anchored at its start.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        self.line(&format!(
+            "<text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size:.1}\" font-family=\"sans-serif\">{}</text>",
+            escape_text(content)
+        ));
+    }
+
+    /// Adds a text label with an explicit `text-anchor`.
+    pub fn text_anchored(&mut self, x: f64, y: f64, size: f64, anchor: &str, content: &str) {
+        self.line(&format!(
+            "<text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size:.1}\" font-family=\"sans-serif\" text-anchor=\"{anchor}\">{}</text>",
+            escape_text(content)
+        ));
+    }
+
+    /// Finishes the document, closing any groups left open, and returns the
+    /// complete SVG text.
+    pub fn finish(mut self) -> String {
+        while self.open_groups > 0 {
+            self.close_group();
+        }
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+/// Escapes text content for XML.
+pub fn escape_text(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_wellformed_svg() {
+        let mut doc = SvgDocument::new(200.0, 100.0);
+        doc.open_group("class=\"cluster\"");
+        doc.rect(0.0, 0.0, 50.0, 20.0, "#ff0000", "none");
+        doc.circle(25.0, 25.0, 10.0, "#00ff00", "#000000");
+        doc.segment(0.0, 0.0, 10.0, 10.0, "#333333", 1.5);
+        doc.path("M 0 0 C 10 10, 20 10, 30 0", "#0000ff", "none", 0.5);
+        doc.text(5.0, 15.0, 12.0, "Person & <Friends>");
+        doc.close_group();
+        let svg = doc.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<g").count(), svg.matches("</g>").count());
+        assert!(svg.contains("&amp;"));
+        assert!(svg.contains("&lt;Friends&gt;"));
+        assert!(!svg.contains("Person & <Friends>"));
+        assert!(svg.contains("width=\"200\""));
+    }
+
+    #[test]
+    fn unbalanced_groups_are_closed_on_finish() {
+        let mut doc = SvgDocument::new(10.0, 10.0);
+        doc.open_group("");
+        doc.open_group("");
+        let svg = doc.finish();
+        assert_eq!(svg.matches("<g").count(), 2);
+        assert_eq!(svg.matches("</g>").count(), 2);
+    }
+
+    #[test]
+    fn close_group_without_open_is_a_noop() {
+        let mut doc = SvgDocument::new(10.0, 10.0);
+        doc.close_group();
+        let svg = doc.finish();
+        assert!(!svg.contains("</g>"));
+    }
+
+    #[test]
+    fn dimensions_accessors() {
+        let doc = SvgDocument::new(640.0, 480.0);
+        assert_eq!(doc.width(), 640.0);
+        assert_eq!(doc.height(), 480.0);
+    }
+}

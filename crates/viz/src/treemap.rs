@@ -1,0 +1,371 @@
+//! Squarified treemap of the Cluster Schema (paper Figure 4).
+//!
+//! "Each cluster is assigned to a rectangle area with a specific color and
+//! their classes rectangles nested inside of it. When a quantity is assigned
+//! to a class, its rectangle area size is displayed in proportion to that
+//! quantity [...] Also, the area size of the cluster is the total of its
+//! classes. If no quantity is assigned to a class, then its area is divided
+//! equally amongst the other classes within its cluster." (§3.5.1)
+
+use hbold_cluster::ClusterSchema;
+use hbold_schema::SchemaSummary;
+
+use crate::geometry::Rect;
+use crate::palette::{category_color, lighter_shade};
+use crate::svg::SvgDocument;
+
+/// One rectangle of the treemap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreemapRect {
+    /// The rectangle geometry.
+    pub rect: Rect,
+    /// The cluster this rectangle belongs to.
+    pub cluster: usize,
+    /// The Schema Summary node index, or `None` for the cluster's own
+    /// (outer) rectangle.
+    pub node: Option<usize>,
+    /// Display label.
+    pub label: String,
+    /// The weight (instance count) driving the rectangle area.
+    pub weight: f64,
+}
+
+/// The computed treemap.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TreemapLayout {
+    /// Cluster rectangles (one per cluster, covering their classes).
+    pub clusters: Vec<TreemapRect>,
+    /// Class rectangles, nested inside their cluster rectangle.
+    pub classes: Vec<TreemapRect>,
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+}
+
+impl TreemapLayout {
+    /// Computes the treemap of `cluster_schema` (weights are instance counts
+    /// from `summary`) on a `width` × `height` canvas.
+    pub fn compute(
+        summary: &SchemaSummary,
+        cluster_schema: &ClusterSchema,
+        width: f64,
+        height: f64,
+    ) -> Self {
+        let canvas = Rect::new(0.0, 0.0, width, height);
+        // Weight per cluster: total instances, with a floor of 1 so empty
+        // clusters still get a sliver (paper: area divided equally when no
+        // quantity is assigned).
+        let cluster_weights: Vec<f64> = cluster_schema
+            .clusters
+            .iter()
+            .map(|c| (c.total_instances as f64).max(1.0))
+            .collect();
+        let cluster_rects = squarify(&cluster_weights, canvas);
+
+        let mut clusters = Vec::with_capacity(cluster_schema.clusters.len());
+        let mut classes = Vec::new();
+        for (cluster, rect) in cluster_schema.clusters.iter().zip(cluster_rects.iter()) {
+            clusters.push(TreemapRect {
+                rect: *rect,
+                cluster: cluster.id,
+                node: None,
+                label: cluster.label.clone(),
+                weight: cluster.total_instances as f64,
+            });
+            let inner = rect.inset(2.0);
+            let member_weights: Vec<f64> = cluster
+                .members
+                .iter()
+                .map(|&n| (summary.nodes[n].instances as f64).max(1.0))
+                .collect();
+            let member_rects = squarify(&member_weights, inner);
+            for ((&node, weight), member_rect) in cluster
+                .members
+                .iter()
+                .zip(member_weights.iter())
+                .zip(member_rects.iter())
+            {
+                classes.push(TreemapRect {
+                    rect: *member_rect,
+                    cluster: cluster.id,
+                    node: Some(node),
+                    label: summary.nodes[node].label.clone(),
+                    weight: *weight,
+                });
+            }
+        }
+        TreemapLayout {
+            clusters,
+            classes,
+            width,
+            height,
+        }
+    }
+
+    /// Renders the treemap as an SVG document.
+    pub fn to_svg(&self) -> String {
+        let mut doc = SvgDocument::new(self.width, self.height);
+        for cluster in &self.clusters {
+            doc.open_group(&format!("class=\"cluster\" data-cluster=\"{}\"", cluster.cluster));
+            doc.rect(
+                cluster.rect.x,
+                cluster.rect.y,
+                cluster.rect.width,
+                cluster.rect.height,
+                &category_color(cluster.cluster),
+                "#ffffff",
+            );
+            for class in self.classes.iter().filter(|c| c.cluster == cluster.cluster) {
+                doc.rect(
+                    class.rect.x,
+                    class.rect.y,
+                    class.rect.width,
+                    class.rect.height,
+                    &lighter_shade(cluster.cluster, 1 + (class.node.unwrap_or(0) % 3)),
+                    "#ffffff",
+                );
+                if class.rect.width > 40.0 && class.rect.height > 14.0 {
+                    doc.text(class.rect.x + 3.0, class.rect.y + 12.0, 10.0, &class.label);
+                }
+            }
+            if cluster.rect.width > 60.0 && cluster.rect.height > 18.0 {
+                doc.text(cluster.rect.x + 3.0, cluster.rect.y + cluster.rect.height - 4.0, 11.0, &cluster.label);
+            }
+            doc.close_group();
+        }
+        doc.finish()
+    }
+}
+
+/// Squarified treemap layout (Bruls, Huizing, van Wijk): lays `weights` out
+/// inside `bounds`, keeping aspect ratios close to 1. Returns one rectangle
+/// per weight, in input order, whose areas are proportional to the weights.
+pub fn squarify(weights: &[f64], bounds: Rect) -> Vec<Rect> {
+    let n = weights.len();
+    if n == 0 || bounds.area() <= 0.0 {
+        return vec![Rect::default(); n];
+    }
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    if total <= 0.0 {
+        // Degenerate: split evenly in a single row.
+        return squarify(&vec![1.0; n], bounds);
+    }
+    let scale = bounds.area() / total;
+    // Work on (original index, scaled area), sorted by descending area as the
+    // algorithm requires.
+    let mut items: Vec<(usize, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (i, (w.max(0.0) * scale).max(1e-9)))
+        .collect();
+    items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut out = vec![Rect::default(); n];
+    let mut remaining = bounds;
+    let mut row: Vec<(usize, f64)> = Vec::new();
+
+    let mut queue = items.into_iter().peekable();
+    while queue.peek().is_some() {
+        let item = *queue.peek().unwrap();
+        let side = remaining.width.min(remaining.height);
+        if row.is_empty() || worst_ratio(&row, side) >= worst_ratio_with(&row, item.1, side) {
+            row.push(item);
+            queue.next();
+        } else {
+            layout_row(&row, &mut remaining, &mut out);
+            row.clear();
+        }
+    }
+    if !row.is_empty() {
+        layout_row(&row, &mut remaining, &mut out);
+    }
+    out
+}
+
+fn worst_ratio(row: &[(usize, f64)], side: f64) -> f64 {
+    if row.is_empty() {
+        return f64::INFINITY;
+    }
+    let sum: f64 = row.iter().map(|(_, a)| a).sum();
+    let max = row.iter().map(|(_, a)| *a).fold(f64::MIN, f64::max);
+    let min = row.iter().map(|(_, a)| *a).fold(f64::MAX, f64::min);
+    let side2 = side * side;
+    let sum2 = sum * sum;
+    (side2 * max / sum2).max(sum2 / (side2 * min))
+}
+
+fn worst_ratio_with(row: &[(usize, f64)], extra: f64, side: f64) -> f64 {
+    let mut with: Vec<(usize, f64)> = row.to_vec();
+    with.push((usize::MAX, extra));
+    worst_ratio(&with, side)
+}
+
+fn layout_row(row: &[(usize, f64)], remaining: &mut Rect, out: &mut [Rect]) {
+    let row_area: f64 = row.iter().map(|(_, a)| a).sum();
+    if row_area <= 0.0 {
+        return;
+    }
+    if remaining.width >= remaining.height {
+        // Vertical strip on the left.
+        let strip_width = row_area / remaining.height.max(1e-9);
+        let mut y = remaining.y;
+        for &(index, area) in row {
+            let h = area / strip_width.max(1e-9);
+            if index != usize::MAX {
+                out[index] = Rect::new(remaining.x, y, strip_width, h);
+            }
+            y += h;
+        }
+        remaining.x += strip_width;
+        remaining.width = (remaining.width - strip_width).max(0.0);
+    } else {
+        // Horizontal strip on the top.
+        let strip_height = row_area / remaining.width.max(1e-9);
+        let mut x = remaining.x;
+        for &(index, area) in row {
+            let w = area / strip_height.max(1e-9);
+            if index != usize::MAX {
+                out[index] = Rect::new(x, remaining.y, w, strip_height);
+            }
+            x += w;
+        }
+        remaining.y += strip_height;
+        remaining.height = (remaining.height - strip_height).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_cluster::ClusteringAlgorithm;
+    use hbold_rdf_model::Iri;
+    use hbold_schema::{SchemaEdge, SchemaNode};
+
+    fn summary_with_clusters() -> (SchemaSummary, ClusterSchema) {
+        let class = |name: &str| Iri::new(format!("http://e.org/{name}")).unwrap();
+        let prop = |name: &str| Iri::new(format!("http://e.org/p/{name}")).unwrap();
+        let nodes = ["A", "B", "C", "D", "E", "F"]
+            .iter()
+            .enumerate()
+            .map(|(i, name)| SchemaNode {
+                class: class(name),
+                label: (*name).to_string(),
+                instances: (i + 1) * 100,
+                attributes: vec![],
+            })
+            .collect();
+        let edges = vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+            .into_iter()
+            .map(|(s, t)| SchemaEdge {
+                source: s,
+                target: t,
+                property: prop("p"),
+                count: 1,
+            })
+            .collect();
+        let summary = SchemaSummary {
+            endpoint_url: "http://e.org/sparql".into(),
+            total_instances: 2100,
+            nodes,
+            edges,
+        };
+        let cs = ClusterSchema::build(&summary, ClusteringAlgorithm::Louvain, 0);
+        (summary, cs)
+    }
+
+    #[test]
+    fn squarify_preserves_areas_and_bounds() {
+        let weights = vec![6.0, 6.0, 4.0, 3.0, 2.0, 2.0, 1.0];
+        let bounds = Rect::new(0.0, 0.0, 600.0, 400.0);
+        let rects = squarify(&weights, bounds);
+        let total_weight: f64 = weights.iter().sum();
+        let total_area: f64 = rects.iter().map(Rect::area).sum();
+        assert!((total_area - bounds.area()).abs() < 1.0, "areas must tile the canvas");
+        for (w, r) in weights.iter().zip(rects.iter()) {
+            let expected = bounds.area() * w / total_weight;
+            assert!((r.area() - expected).abs() < 1e-6, "weight {w}: area {} vs {expected}", r.area());
+            assert!(bounds.contains_rect(r), "rect {r:?} escapes the canvas");
+        }
+        // No two rectangles overlap.
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                assert!(!rects[i].intersects(&rects[j]), "rects {i} and {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn squarify_aspect_ratios_beat_naive_slicing() {
+        let weights: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let bounds = Rect::new(0.0, 0.0, 500.0, 500.0);
+        let squarified = squarify(&weights, bounds);
+        let worst_squarified = squarified.iter().map(Rect::aspect_ratio).fold(0.0, f64::max);
+        // Naive slicing: one column per weight across the full height.
+        let total: f64 = weights.iter().sum();
+        let worst_sliced = weights
+            .iter()
+            .map(|w| Rect::new(0.0, 0.0, 500.0 * w / total, 500.0).aspect_ratio())
+            .fold(0.0, f64::max);
+        assert!(
+            worst_squarified < worst_sliced,
+            "squarified {worst_squarified} should beat sliced {worst_sliced}"
+        );
+        assert!(worst_squarified < 8.0);
+    }
+
+    #[test]
+    fn squarify_edge_cases() {
+        assert!(squarify(&[], Rect::new(0.0, 0.0, 10.0, 10.0)).is_empty());
+        let zero = squarify(&[0.0, 0.0], Rect::new(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(zero.len(), 2);
+        let total: f64 = zero.iter().map(Rect::area).sum();
+        assert!((total - 100.0).abs() < 1e-6, "zero weights fall back to equal split");
+        let single = squarify(&[5.0], Rect::new(0.0, 0.0, 10.0, 20.0));
+        assert_eq!(single[0], Rect::new(0.0, 0.0, 10.0, 20.0));
+    }
+
+    #[test]
+    fn treemap_nests_classes_inside_clusters() {
+        let (summary, cs) = summary_with_clusters();
+        let layout = TreemapLayout::compute(&summary, &cs, 800.0, 600.0);
+        assert_eq!(layout.clusters.len(), cs.cluster_count());
+        assert_eq!(layout.classes.len(), summary.node_count());
+        for class in &layout.classes {
+            let cluster_rect = layout
+                .clusters
+                .iter()
+                .find(|c| c.cluster == class.cluster)
+                .unwrap();
+            assert!(
+                cluster_rect.rect.contains_rect(&class.rect),
+                "class {} escapes its cluster",
+                class.label
+            );
+        }
+        // Class areas are proportional to instances within each cluster.
+        for cluster in &layout.clusters {
+            let members: Vec<_> = layout.classes.iter().filter(|c| c.cluster == cluster.cluster).collect();
+            let weight_sum: f64 = members.iter().map(|c| c.weight).sum();
+            let area_sum: f64 = members.iter().map(|c| c.rect.area()).sum();
+            for member in members {
+                let expected = area_sum * member.weight / weight_sum;
+                assert!(
+                    (member.rect.area() - expected).abs() / expected < 0.01,
+                    "area of {} deviates",
+                    member.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn treemap_svg_contains_all_rectangles() {
+        let (summary, cs) = summary_with_clusters();
+        let layout = TreemapLayout::compute(&summary, &cs, 800.0, 600.0);
+        let svg = layout.to_svg();
+        let rect_count = svg.matches("<rect").count();
+        assert_eq!(rect_count, layout.clusters.len() + layout.classes.len());
+        assert!(svg.contains("data-cluster=\"0\""));
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 2 + Figures 4–7 over the Scholarly-like Linked Data source.
+//!
+//! ```text
+//! cargo run --example scholarly_exploration
+//! ```
+//!
+//! Reproduces the paper's walkthrough: start from the Cluster Schema of the
+//! Scholarly dataset, focus on the `Event` class, expand step by step until
+//! the full Schema Summary is displayed — printing, at every step, the number
+//! of visible classes and the percentage of instances they represent — and
+//! finally writes the four alternative visualizations (treemap, sunburst,
+//! circle packing, hierarchical edge bundling) as SVG files.
+
+use hbold::HBold;
+use hbold_endpoint::synth::{scholarly, ScholarlyConfig};
+use hbold_endpoint::{EndpointProfile, SparqlEndpoint};
+use hbold_viz::{CirclePackLayout, EdgeBundlingLayout, SunburstLayout, TreemapLayout};
+
+fn main() {
+    // The Scholarly-like dataset (ScholarlyData.org stand-in).
+    let graph = scholarly(&ScholarlyConfig {
+        conferences: 3,
+        papers_per_conference: 30,
+        authors_per_paper: 3,
+        seed: 2020,
+    });
+    let endpoint = SparqlEndpoint::new(
+        "http://scholarlydata.example/sparql",
+        &graph,
+        EndpointProfile::full_featured(),
+    );
+
+    let app = HBold::in_memory();
+    let result = app.index_endpoint(&endpoint, 0).expect("indexing succeeds");
+    println!(
+        "Scholarly LD: {} triples, {} classes, {} clusters\n",
+        endpoint.triple_count(),
+        result.summary.node_count(),
+        result.cluster_schema.cluster_count()
+    );
+
+    // --- Figure 2: step-by-step exploration ---------------------------------
+    let mut session = app.explore(endpoint.url()).unwrap();
+    println!("Step 1 — Cluster Schema:");
+    for cluster in &session.cluster_schema().clusters {
+        println!(
+            "  cluster \"{}\": {} classes, {} instances",
+            cluster.label,
+            cluster.members.len(),
+            cluster.total_instances
+        );
+    }
+
+    let event = session
+        .summary()
+        .nodes
+        .iter()
+        .position(|n| n.label == "Event")
+        .expect("the Event class exists");
+    let view = session.select_class(event);
+    println!(
+        "\nStep 2 — select \"Event\": {} classes visible, {:.1}% of instances",
+        view.nodes.len(),
+        100.0 * view.instance_coverage
+    );
+
+    let neighbour = *view.nodes.iter().find(|&&n| n != event).unwrap();
+    let view = session.expand(neighbour);
+    println!(
+        "Step 3 — expand \"{}\": {} classes visible, {:.1}% of instances",
+        session.summary().nodes[neighbour].label,
+        view.nodes.len(),
+        100.0 * view.instance_coverage
+    );
+
+    let mut step = 4;
+    while !session.is_complete() {
+        let view = session.expand_all();
+        println!(
+            "Step {step} — expand all: {} classes visible, {:.1}% of instances",
+            view.nodes.len(),
+            100.0 * view.instance_coverage
+        );
+        step += 1;
+    }
+    println!("The complete Schema Summary is now displayed.\n");
+
+    // --- Figures 4–7: alternative visualizations ----------------------------
+    let summary = &result.summary;
+    let clusters = &result.cluster_schema;
+    let out_dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(out_dir).expect("can create target/figures");
+
+    let figures = [
+        ("figure4_treemap.svg", TreemapLayout::compute(summary, clusters, 960.0, 640.0).to_svg()),
+        ("figure5_sunburst.svg", SunburstLayout::compute(summary, clusters, 720.0).to_svg()),
+        ("figure6_circle_packing.svg", CirclePackLayout::compute(summary, clusters, 720.0).to_svg()),
+        (
+            "figure7_edge_bundling.svg",
+            EdgeBundlingLayout::compute(summary, clusters, Some(event), 0.85, 760.0).to_svg(),
+        ),
+    ];
+    for (name, svg) in figures {
+        let path = out_dir.join(name);
+        std::fs::write(&path, svg).expect("can write the SVG");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: the full H-BOLD workflow from raw RDF text
+//! to visualization geometry.
+
+use hbold::{HBold, RefreshPolicy, VisualQueryBuilder};
+use hbold_cluster::ClusteringAlgorithm;
+use hbold_endpoint::synth::{scholarly, ScholarlyConfig};
+use hbold_endpoint::{EndpointFleet, EndpointProfile, FleetConfig, OpenDataPortal, SparqlEndpoint};
+use hbold_rdf_parser::parse_turtle;
+use hbold_viz::{CirclePackLayout, EdgeBundlingLayout, SunburstLayout, TreemapLayout};
+
+fn scholarly_endpoint() -> SparqlEndpoint {
+    let graph = scholarly(&ScholarlyConfig {
+        conferences: 2,
+        papers_per_conference: 12,
+        authors_per_paper: 2,
+        seed: 42,
+    });
+    SparqlEndpoint::new(
+        "http://scholarlydata.example/sparql",
+        &graph,
+        EndpointProfile::full_featured(),
+    )
+}
+
+#[test]
+fn turtle_to_cluster_schema_to_query() {
+    let turtle = r#"
+        @prefix ex: <http://example.org/> .
+        @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+        ex:a a foaf:Person ; foaf:name "A" ; ex:worksAt ex:org .
+        ex:b a foaf:Person ; foaf:name "B" ; ex:worksAt ex:org ; foaf:knows ex:a .
+        ex:org a foaf:Organization ; foaf:name "Org" .
+        ex:p1 a ex:Project ; ex:ledBy ex:a .
+    "#;
+    let graph = parse_turtle(turtle).unwrap();
+    let endpoint = SparqlEndpoint::new("http://mini.example/sparql", &graph, EndpointProfile::full_featured());
+
+    let app = HBold::in_memory();
+    let result = app.index_endpoint(&endpoint, 0).unwrap();
+    assert_eq!(result.summary.node_count(), 3, "Person, Organization, Project");
+    assert!(result.cluster_schema.is_partition(3));
+
+    // Every class can be turned into a runnable query.
+    for node in 0..result.summary.node_count() {
+        let query = VisualQueryBuilder::for_class(&result.summary, node).unwrap().to_sparql();
+        let rows = endpoint.select(&query).unwrap();
+        assert_eq!(rows.len(), result.summary.nodes[node].instances);
+    }
+}
+
+#[test]
+fn exploration_coverage_grows_to_one_hundred_percent() {
+    let endpoint = scholarly_endpoint();
+    let app = HBold::in_memory();
+    app.index_endpoint(&endpoint, 0).unwrap();
+    let mut session = app.explore(endpoint.url()).unwrap();
+
+    let start = session.cluster_schema().clusters[0].members[0];
+    let mut coverage = session.select_class(start).instance_coverage;
+    let mut guard = 0;
+    while !session.is_complete() && guard < 64 {
+        let view = session.expand_all();
+        assert!(view.instance_coverage + 1e-12 >= coverage, "coverage must not shrink");
+        coverage = view.instance_coverage;
+        guard += 1;
+    }
+    assert!(session.is_complete());
+    assert!((session.view().instance_coverage - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn all_layouts_agree_on_the_same_clustering() {
+    let endpoint = scholarly_endpoint();
+    let app = HBold::in_memory();
+    let result = app.index_endpoint(&endpoint, 0).unwrap();
+    let (summary, clusters) = (&result.summary, &result.cluster_schema);
+
+    let treemap = TreemapLayout::compute(summary, clusters, 800.0, 600.0);
+    let sunburst = SunburstLayout::compute(summary, clusters, 600.0);
+    let pack = CirclePackLayout::compute(summary, clusters, 600.0);
+    let bundling = EdgeBundlingLayout::compute(summary, clusters, None, 0.8, 600.0);
+
+    // Every layout draws every class exactly once.
+    assert_eq!(treemap.classes.len(), summary.node_count());
+    assert_eq!(sunburst.classes.len(), summary.node_count());
+    assert_eq!(pack.classes.len(), summary.node_count());
+    assert_eq!(bundling.positions.len(), summary.node_count());
+    // And every layout draws every cluster exactly once.
+    assert_eq!(treemap.clusters.len(), clusters.cluster_count());
+    assert_eq!(sunburst.clusters.len(), clusters.cluster_count());
+    assert_eq!(pack.clusters.len(), clusters.cluster_count());
+    // The SVG renderings are non-trivial documents.
+    for svg in [treemap.to_svg(), sunburst.to_svg(), pack.to_svg(), bundling.to_svg()] {
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.len() > 500);
+    }
+}
+
+#[test]
+fn crawl_then_schedule_then_explore() {
+    let app = HBold::in_memory();
+    let fleet = EndpointFleet::generate(&FleetConfig {
+        endpoints: 5,
+        min_classes: 6,
+        max_classes: 20,
+        min_instances: 150,
+        max_instances: 700,
+        dead_fraction: 0.0,
+        flaky_fraction: 0.2,
+        seed: 5,
+    });
+    app.register_fleet(&fleet);
+    let report = app.crawl_portals(&OpenDataPortal::paper_portals());
+    assert!(report.total_new() > 50, "the portals contribute many new endpoints");
+
+    let stats = app.run_scheduler(&fleet, RefreshPolicy::paper(), 10);
+    assert_eq!(stats.endpoints_indexed, 5, "every fleet endpoint gets indexed within 10 days");
+    assert!(stats.skipped_fresh > 0, "the weekly policy skips fresh endpoints");
+
+    // Each indexed endpoint can be explored and visualized.
+    for endpoint in fleet.iter() {
+        let summary = app.schema_summary(endpoint.url()).unwrap();
+        let clusters = app.cluster_schema(endpoint.url()).unwrap();
+        assert!(clusters.is_partition(summary.node_count()));
+        let mut session = app.explore(endpoint.url()).unwrap();
+        session.show_all();
+        assert!(session.is_complete());
+    }
+}
+
+#[test]
+fn alternative_clustering_algorithms_flow_through_the_pipeline() {
+    let endpoint = scholarly_endpoint();
+    for algorithm in ClusteringAlgorithm::all() {
+        let store = hbold_docstore::DocStore::in_memory();
+        let pipeline = hbold::ExtractionPipeline::new(&store).with_algorithm(algorithm);
+        let result = pipeline.run(&endpoint, 0, None).unwrap();
+        assert_eq!(result.cluster_schema.algorithm, algorithm.name());
+        assert!(result.cluster_schema.is_partition(result.summary.node_count()));
+        // The stored copy round-trips.
+        let loaded = pipeline.load_cluster_schema(endpoint.url()).unwrap();
+        assert_eq!(loaded, result.cluster_schema);
+    }
+}

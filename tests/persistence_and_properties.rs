@@ -1,0 +1,138 @@
+//! Persistence round-trips through the document store, plus property-based
+//! tests of cross-crate invariants (clustering partitions, treemap areas,
+//! N-Triples round-trips) on randomly generated inputs.
+
+use proptest::prelude::*;
+
+use hbold::HBold;
+use hbold_cluster::{ClusterSchema, ClusteringAlgorithm};
+use hbold_docstore::DocStore;
+use hbold_endpoint::synth::{random_lod, RandomLodConfig};
+use hbold_endpoint::{EndpointProfile, SparqlEndpoint};
+use hbold_rdf_model::{Graph, Iri, Literal, Triple};
+use hbold_rdf_parser::{parse_ntriples, write_ntriples};
+use hbold_schema::SchemaSummary;
+use hbold_triple_store::TripleStore;
+use hbold_viz::treemap::squarify;
+use hbold_viz::Rect;
+
+#[test]
+fn indexed_artifacts_survive_a_store_reopen() {
+    let dir = std::env::temp_dir().join(format!("hbold-it-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let endpoint = SparqlEndpoint::new(
+        "http://persisted.example/sparql",
+        &random_lod(&RandomLodConfig::sized(15, 900, 4)),
+        EndpointProfile::full_featured(),
+    );
+    let expected = {
+        let store = DocStore::open(&dir).unwrap();
+        let app = HBold::with_store(store.clone());
+        let result = app.index_endpoint(&endpoint, 3).unwrap();
+        store.persist().unwrap();
+        result
+    };
+    // Reopen from disk: the summary, cluster schema and catalog survive.
+    let app = HBold::with_store(DocStore::open(&dir).unwrap());
+    assert_eq!(app.schema_summary(endpoint.url()).unwrap(), expected.summary);
+    assert_eq!(app.cluster_schema(endpoint.url()).unwrap(), expected.cluster_schema);
+    assert_eq!(app.catalog().indexed_count(), 1);
+    assert_eq!(
+        app.catalog().get(endpoint.url()).unwrap().last_extraction_day,
+        Some(3)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any random LD dataset produces a Cluster Schema that is a partition of
+    /// its Schema Summary, under every algorithm, and instance counts are
+    /// conserved by the clustering.
+    #[test]
+    fn clustering_is_always_a_partition(classes in 2usize..25, instances in 50usize..600, seed in 0u64..1000) {
+        let graph = random_lod(&RandomLodConfig::sized(classes, instances, seed));
+        let endpoint = SparqlEndpoint::new(
+            "http://prop.example/sparql",
+            &graph,
+            EndpointProfile::full_featured(),
+        );
+        let (indexes, _) = hbold_schema::IndexExtractor::new().extract(&endpoint, 0).unwrap();
+        let summary = SchemaSummary::from_indexes(&indexes);
+        for algorithm in ClusteringAlgorithm::all() {
+            let cs = ClusterSchema::build(&summary, algorithm, seed);
+            prop_assert!(cs.is_partition(summary.node_count()));
+            let clustered_instances: usize = cs.clusters.iter().map(|c| c.total_instances).sum();
+            let summary_instances: usize = summary.nodes.iter().map(|n| n.instances).sum();
+            prop_assert_eq!(clustered_instances, summary_instances);
+        }
+    }
+
+    /// Squarified treemaps always tile the canvas with the right areas and
+    /// never overlap, for arbitrary positive weights.
+    #[test]
+    fn treemap_areas_are_proportional(weights in proptest::collection::vec(1.0f64..500.0, 1..30)) {
+        let bounds = Rect::new(0.0, 0.0, 640.0, 480.0);
+        let rects = squarify(&weights, bounds);
+        let total: f64 = weights.iter().sum();
+        for (w, r) in weights.iter().zip(rects.iter()) {
+            let expected = bounds.area() * w / total;
+            prop_assert!((r.area() - expected).abs() < 1e-6 * bounds.area());
+            prop_assert!(bounds.contains_rect(r));
+        }
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                prop_assert!(!rects[i].intersects(&rects[j]));
+            }
+        }
+    }
+
+    /// Any graph of simple generated triples survives an N-Triples
+    /// serialization round trip and a store round trip unchanged.
+    #[test]
+    fn ntriples_and_store_round_trips(
+        entities in 1usize..30,
+        links in proptest::collection::vec((0usize..30, 0usize..30), 0..60),
+        labels in proptest::collection::vec("[a-zA-Z0-9 àèé\\\\\"\n]{0,12}", 0..10),
+    ) {
+        let mut graph = Graph::new();
+        let iri = |i: usize| Iri::new(format!("http://prop.example/e{i}")).unwrap();
+        let knows = Iri::new("http://prop.example/knows").unwrap();
+        let label = Iri::new("http://prop.example/label").unwrap();
+        for i in 0..entities {
+            graph.insert(Triple::new(iri(i), hbold_rdf_model::vocab::rdf::type_(), iri(1000 + i % 3)));
+        }
+        for (a, b) in links {
+            graph.insert(Triple::new(iri(a % entities), knows.clone(), iri(b % entities)));
+        }
+        for (i, text) in labels.iter().enumerate() {
+            graph.insert(Triple::new(iri(i % entities), label.clone(), Literal::string(text.clone())));
+        }
+        let text = write_ntriples(&graph);
+        let parsed = parse_ntriples(&text).unwrap();
+        prop_assert_eq!(&parsed, &graph);
+        let store = TripleStore::from_graph(&graph);
+        prop_assert_eq!(store.to_graph(), graph);
+    }
+
+    /// The SPARQL engine's COUNT per class always agrees with the store's
+    /// native statistics, whatever the dataset shape.
+    #[test]
+    fn sparql_counts_match_native_stats(classes in 1usize..15, instances in 20usize..300, seed in 0u64..500) {
+        let graph = random_lod(&RandomLodConfig::sized(classes, instances, seed));
+        let store = TripleStore::from_graph(&graph);
+        let stats = hbold_triple_store::StoreStats::compute(&store);
+        let rows = hbold_sparql::execute_query(
+            &store,
+            "SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c ORDER BY ?c",
+        ).unwrap().into_select().unwrap();
+        prop_assert_eq!(rows.len(), stats.classes);
+        for i in 0..rows.len() {
+            let class = rows.value(i, "c").unwrap().as_iri().unwrap().clone();
+            let count: usize = rows.value(i, "n").unwrap().label().parse().unwrap();
+            prop_assert_eq!(count, stats.class_sizes[&class]);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-crate checks of the SPARQL substrate: Turtle parsing → triple store
+//! → query engine, with results compared against hand-computed expectations
+//! and against store-native statistics.
+
+use hbold_rdf_model::vocab::rdf;
+use hbold_rdf_model::TriplePattern;
+use hbold_rdf_parser::{parse_ntriples, parse_turtle, write_ntriples};
+use hbold_sparql::execute_query;
+use hbold_triple_store::{StoreStats, TripleStore};
+
+const DATASET: &str = r#"
+@prefix ex:   <http://example.org/> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix xsd:  <http://www.w3.org/2001/XMLSchema#> .
+
+ex:alice a foaf:Person ; foaf:name "Alice" ; ex:age 42 ; ex:memberOf ex:dbgroup .
+ex:bob   a foaf:Person ; foaf:name "Bob"@en ; ex:age 31 ; ex:memberOf ex:dbgroup .
+ex:carol a foaf:Person ; ex:age "77"^^xsd:integer .
+ex:dbgroup a foaf:Organization ; foaf:name "DB Group" ; ex:hostedBy ex:unimore .
+ex:unimore a foaf:Organization ; foaf:name "UNIMORE" .
+ex:p1 a ex:Publication ; ex:author ex:alice ; ex:author ex:bob ; ex:year 2020 .
+ex:p2 a ex:Publication ; ex:author ex:alice ; ex:year 2018 .
+"#;
+
+fn store() -> TripleStore {
+    TripleStore::from_graph(&parse_turtle(DATASET).unwrap())
+}
+
+#[test]
+fn turtle_and_ntriples_round_trip_into_the_same_store() {
+    let graph = parse_turtle(DATASET).unwrap();
+    let ntriples = write_ntriples(&graph);
+    let reparsed = parse_ntriples(&ntriples).unwrap();
+    assert_eq!(graph, reparsed);
+    let store = TripleStore::from_graph(&graph);
+    assert_eq!(store.len(), graph.len());
+    assert_eq!(store.to_graph(), graph);
+}
+
+#[test]
+fn aggregate_queries_match_store_statistics() {
+    let store = store();
+    let stats = StoreStats::compute(&store);
+
+    let rows = execute_query(&store, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
+        .unwrap()
+        .into_select()
+        .unwrap();
+    assert_eq!(rows.value(0, "n").unwrap().label(), store.len().to_string());
+
+    let rows = execute_query(
+        &store,
+        "SELECT ?class (COUNT(?s) AS ?n) WHERE { ?s a ?class } GROUP BY ?class ORDER BY ?class",
+    )
+    .unwrap()
+    .into_select()
+    .unwrap();
+    assert_eq!(rows.len(), stats.classes);
+    for i in 0..rows.len() {
+        let class = rows.value(i, "class").unwrap().as_iri().unwrap().clone();
+        let count: usize = rows.value(i, "n").unwrap().label().parse().unwrap();
+        assert_eq!(count, stats.class_sizes[&class], "class {class}");
+    }
+}
+
+#[test]
+fn filters_optional_and_ordering_work_together() {
+    let store = store();
+    // People ordered by descending age, with their (optional) names.
+    let rows = execute_query(
+        &store,
+        "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+         PREFIX ex: <http://example.org/>\n\
+         SELECT ?person ?name ?age WHERE {\n\
+           ?person a foaf:Person ; ex:age ?age\n\
+           OPTIONAL { ?person foaf:name ?name }\n\
+           FILTER(?age > 30)\n\
+         } ORDER BY DESC(?age)",
+    )
+    .unwrap()
+    .into_select()
+    .unwrap();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows.value(0, "age").unwrap().label(), "77");
+    assert!(rows.value(0, "name").is_none(), "carol has no name");
+    assert_eq!(rows.value(1, "name").unwrap().label(), "Alice");
+    assert_eq!(rows.value(2, "name").unwrap().label(), "Bob");
+}
+
+#[test]
+fn regex_and_string_functions() {
+    let store = store();
+    let rows = execute_query(
+        &store,
+        "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+         SELECT ?org WHERE { ?org a foaf:Organization ; foaf:name ?n FILTER(regex(?n, '^DB')) }",
+    )
+    .unwrap()
+    .into_select()
+    .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows.value(0, "org").unwrap().label(), "dbgroup");
+
+    let ask = execute_query(
+        &store,
+        "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+         ASK { ?p a foaf:Person ; foaf:name ?n FILTER(CONTAINS(?n, 'lice')) }",
+    )
+    .unwrap();
+    assert_eq!(ask.as_ask(), Some(true));
+}
+
+#[test]
+fn union_distinct_and_limit() {
+    let store = store();
+    let rows = execute_query(
+        &store,
+        "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+         PREFIX ex: <http://example.org/>\n\
+         SELECT DISTINCT ?x WHERE { { ?x a foaf:Person } UNION { ?x a ex:Publication } } ORDER BY ?x",
+    )
+    .unwrap()
+    .into_select()
+    .unwrap();
+    assert_eq!(rows.len(), 5, "3 people + 2 publications");
+    let limited = execute_query(
+        &store,
+        "SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s LIMIT 3 OFFSET 2",
+    )
+    .unwrap()
+    .into_select()
+    .unwrap();
+    assert_eq!(limited.len(), 3);
+}
+
+#[test]
+fn sparql_results_serializations_are_wellformed() {
+    let store = store();
+    let rows = execute_query(
+        &store,
+        "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+         SELECT ?p ?name WHERE { ?p a foaf:Person OPTIONAL { ?p foaf:name ?name } } ORDER BY ?p",
+    )
+    .unwrap()
+    .into_select()
+    .unwrap();
+    let json = rows.to_sparql_json();
+    assert!(json.starts_with("{\"head\":{\"vars\":[\"p\",\"name\"]}"));
+    assert!(json.contains("\"xml:lang\":\"en\""), "Bob's language tag survives");
+    let csv = rows.to_csv();
+    assert_eq!(csv.lines().count(), 1 + rows.len());
+
+    // The JSON is parseable by the workspace's own JSON codec.
+    let parsed = hbold_docstore::json::from_json(&json).unwrap();
+    assert_eq!(
+        parsed
+            .get_path("results.bindings")
+            .and_then(|b| b.as_array())
+            .map(|a| a.len()),
+        Some(rows.len())
+    );
+}
+
+#[test]
+fn store_pattern_queries_and_sparql_agree() {
+    let store = store();
+    let people_via_pattern = store.count_matching(
+        &TriplePattern::any()
+            .with_predicate(rdf::type_())
+            .with_object(hbold_rdf_model::vocab::foaf::person()),
+    );
+    let rows = execute_query(
+        &store,
+        "SELECT (COUNT(?s) AS ?n) WHERE { ?s a <http://xmlns.com/foaf/0.1/Person> }",
+    )
+    .unwrap()
+    .into_select()
+    .unwrap();
+    assert_eq!(rows.value(0, "n").unwrap().label(), people_via_pattern.to_string());
+}
