@@ -21,9 +21,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("on_the_fly", classes), &classes, |b, _| {
             b.iter(|| pipeline.cluster_schema_on_the_fly(&url).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("stored_lookup", classes), &classes, |b, _| {
-            b.iter(|| pipeline.load_cluster_schema(&url).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("stored_lookup", classes),
+            &classes,
+            |b, _| b.iter(|| pipeline.load_cluster_schema(&url).unwrap()),
+        );
     }
     group.finish();
 }

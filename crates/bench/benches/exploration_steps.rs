@@ -2,7 +2,7 @@
 //! Scholarly-like dataset — per-step cost of selecting and expanding classes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hbold_bench::{scholarly_session, summary_and_clusters, scholarly_endpoint};
+use hbold_bench::{scholarly_endpoint, scholarly_session, summary_and_clusters};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_exploration");

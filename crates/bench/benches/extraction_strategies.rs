@@ -12,7 +12,10 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for implementation in [SparqlImplementation::FullFeatured, SparqlImplementation::NoAggregates] {
+    for implementation in [
+        SparqlImplementation::FullFeatured,
+        SparqlImplementation::NoAggregates,
+    ] {
         let endpoint = SparqlEndpoint::new(
             format!("http://{implementation:?}.example/sparql"),
             &graph,

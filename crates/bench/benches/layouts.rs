@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hbold_bench::{scholarly_endpoint, summary_and_clusters};
 use hbold_viz::{
-    CirclePackLayout, EdgeBundlingLayout, ForceLayout, ForceLayoutConfig, SunburstLayout, TreemapLayout,
+    CirclePackLayout, EdgeBundlingLayout, ForceLayout, ForceLayoutConfig, SunburstLayout,
+    TreemapLayout,
 };
 
 fn bench(c: &mut Criterion) {
@@ -29,7 +30,10 @@ fn bench(c: &mut Criterion) {
         let groups: Vec<usize> = (0..summary.node_count())
             .map(|n| clusters.cluster_of(n).map(|c| c.id).unwrap_or(0))
             .collect();
-        let config = ForceLayoutConfig { iterations: 100, ..ForceLayoutConfig::default() };
+        let config = ForceLayoutConfig {
+            iterations: 100,
+            ..ForceLayoutConfig::default()
+        };
         b.iter(|| ForceLayout::from_summary(&summary, &groups, &config).to_svg())
     });
     group.finish();

@@ -12,12 +12,18 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for &classes in &[10usize, 30] {
         let endpoint = sized_endpoint(classes, classes * 30, 800 + classes as u64);
-        group.bench_with_input(BenchmarkId::new("full_pipeline", classes), &classes, |b, _| {
-            b.iter(|| {
-                let store = DocStore::in_memory();
-                ExtractionPipeline::new(&store).run(&endpoint, 0, None).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("full_pipeline", classes),
+            &classes,
+            |b, _| {
+                b.iter(|| {
+                    let store = DocStore::in_memory();
+                    ExtractionPipeline::new(&store)
+                        .run(&endpoint, 0, None)
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -17,7 +17,10 @@ fn bench(c: &mut Criterion) {
             let store = DocStore::in_memory();
             let catalog = EndpointCatalog::new(&store);
             for i in 0..610 {
-                catalog.register(&format!("http://legacy{i}.example/sparql"), EndpointSource::LegacyList);
+                catalog.register(
+                    &format!("http://legacy{i}.example/sparql"),
+                    EndpointSource::LegacyList,
+                );
             }
             PortalCrawler::new().crawl(&portals, &catalog)
         })
@@ -26,7 +29,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             portals
                 .iter()
-                .map(|p| p.endpoint().select(hbold::crawler::LISTING1_QUERY).unwrap().len())
+                .map(|p| {
+                    p.endpoint()
+                        .select(hbold::crawler::LISTING1_QUERY)
+                        .unwrap()
+                        .len()
+                })
                 .sum::<usize>()
         })
     });

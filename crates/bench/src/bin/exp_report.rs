@@ -23,7 +23,10 @@ fn main() {
         .position(|a| a == "--figures-dir")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
-    let figures_value_index = args.iter().position(|a| a == "--figures-dir").map(|i| i + 1);
+    let figures_value_index = args
+        .iter()
+        .position(|a| a == "--figures-dir")
+        .map(|i| i + 1);
     let selected: Vec<String> = args
         .iter()
         .enumerate()
@@ -67,7 +70,10 @@ fn run_e1(quick: bool) {
     println!("E1  — Cluster Schema delivery: on-the-fly vs stored (paper §3.2)");
     println!("     {endpoints} endpoints, {repeats} requests each\n");
     let result = e1_cluster_latency(endpoints, repeats);
-    println!("     {:<10} {:>12} {:>12} {:>12}", "classes", "on-the-fly", "stored", "reduction");
+    println!(
+        "     {:<10} {:>12} {:>12} {:>12}",
+        "classes", "on-the-fly", "stored", "reduction"
+    );
     for row in &result.rows {
         println!(
             "     {:<10} {:>10.2}ms {:>10.3}ms {:>11.1}%",
@@ -104,9 +110,15 @@ fn run_e2() {
 
 fn run_e3() {
     println!("E3  — Interactive exploration of the Scholarly LD (paper Figure 2)");
-    println!("     {:<38} {:>8} {:>12}", "action", "classes", "% instances");
+    println!(
+        "     {:<38} {:>8} {:>12}",
+        "action", "classes", "% instances"
+    );
     for step in e3_exploration_trace() {
-        println!("     {:<38} {:>8} {:>11.1}%", step.action, step.visible_nodes, step.coverage_pct);
+        println!(
+            "     {:<38} {:>8} {:>11.1}%",
+            step.action, step.visible_nodes, step.coverage_pct
+        );
     }
     println!();
 }
@@ -140,7 +152,11 @@ fn run_layouts(figures_dir: Option<&std::path::Path>) {
 }
 
 fn run_e8(quick: bool) {
-    let sizes: &[usize] = if quick { &[10, 25, 50] } else { &[10, 25, 50, 100, 200] };
+    let sizes: &[usize] = if quick {
+        &[10, 25, 50]
+    } else {
+        &[10, 25, 50, 100, 200]
+    };
     println!("E8  — Pipeline scaling with dataset size (paper §5: 130 Big LD)");
     println!(
         "     {:<10} {:>10} {:>9} {:>14} {:>10} {:>12}",
@@ -184,7 +200,11 @@ fn run_e9(quick: bool) {
 }
 
 fn run_e10(quick: bool) {
-    let sizes: &[usize] = if quick { &[20, 60] } else { &[20, 60, 150, 300] };
+    let sizes: &[usize] = if quick {
+        &[20, 60]
+    } else {
+        &[20, 60, 150, 300]
+    };
     println!("E10 — Community detection quality on schema graphs (ablation, cf. [15])");
     println!(
         "     {:<10} {:<20} {:>12} {:>10} {:>10}",
@@ -204,7 +224,9 @@ fn run_e10(quick: bool) {
 }
 
 fn run_e11() {
-    println!("E11 — Index-extraction pattern strategies across endpoint implementations (paper §2.1)");
+    println!(
+        "E11 — Index-extraction pattern strategies across endpoint implementations (paper §2.1)"
+    );
     println!(
         "     {:<16} {:>18} {:>10} {:>11} {:>16}",
         "implementation", "chain succeeds", "queries", "fallbacks", "aggregate-only"
@@ -216,7 +238,11 @@ fn run_e11() {
             if row.with_fallbacks_ok { "yes" } else { "NO" },
             row.with_fallbacks_queries,
             row.fallbacks_taken,
-            if row.aggregate_only_ok { "succeeds" } else { "fails" }
+            if row.aggregate_only_ok {
+                "succeeds"
+            } else {
+                "fails"
+            }
         );
     }
     println!();

@@ -18,7 +18,10 @@ use hbold_endpoint::{
     SparqlImplementation,
 };
 use hbold_schema::{ExtractionError, IndexExtractor, SchemaSummary};
-use hbold_viz::{CirclePackLayout, EdgeBundlingLayout, ForceLayout, ForceLayoutConfig, SunburstLayout, TreemapLayout};
+use hbold_viz::{
+    CirclePackLayout, EdgeBundlingLayout, ForceLayout, ForceLayoutConfig, SunburstLayout,
+    TreemapLayout,
+};
 
 use crate::fixtures::{scholarly_endpoint, sized_endpoint, summary_and_clusters};
 
@@ -74,7 +77,10 @@ impl E1Result {
         if self.rows.is_empty() {
             return 0.0;
         }
-        self.rows.iter().filter(|r| r.reduction_pct() >= threshold_pct).count() as f64
+        self.rows
+            .iter()
+            .filter(|r| r.reduction_pct() >= threshold_pct)
+            .count() as f64
             / self.rows.len() as f64
     }
 }
@@ -104,7 +110,9 @@ pub fn e1_cluster_latency(endpoints: usize, repeats: usize) -> E1Result {
         if pipeline.run(endpoint, 0, None).is_err() {
             continue;
         }
-        let summary = pipeline.load_summary(endpoint.url()).expect("summary stored");
+        let summary = pipeline
+            .load_summary(endpoint.url())
+            .expect("summary stored");
 
         let started = Instant::now();
         for _ in 0..repeats.max(1) {
@@ -117,7 +125,9 @@ pub fn e1_cluster_latency(endpoints: usize, repeats: usize) -> E1Result {
 
         let started = Instant::now();
         for _ in 0..repeats.max(1) {
-            let schema = pipeline.load_cluster_schema(endpoint.url()).expect("stored");
+            let schema = pipeline
+                .load_cluster_schema(endpoint.url())
+                .expect("stored");
             std::hint::black_box(schema);
         }
         let stored = started.elapsed() / repeats.max(1) as u32;
@@ -191,7 +201,11 @@ pub fn e2_crawl_funnel(legacy_listed: usize, legacy_indexed: usize) -> E2Result 
             let classes = 5 + (new_index % 20);
             let endpoint = SparqlEndpoint::new(
                 entry.url.clone(),
-                &random_lod(&RandomLodConfig::sized(classes, 400 + classes * 10, new_index as u64)),
+                &random_lod(&RandomLodConfig::sized(
+                    classes,
+                    400 + classes * 10,
+                    new_index as u64,
+                )),
                 EndpointProfile::full_featured(),
             );
             if pipeline.run(&endpoint, 1, Some(&catalog)).is_ok() {
@@ -235,7 +249,8 @@ pub struct E3Step {
 pub fn e3_exploration_trace() -> Vec<E3Step> {
     let endpoint = scholarly_endpoint();
     let app = HBold::in_memory();
-    app.index_endpoint(&endpoint, 0).expect("scholarly endpoint indexes");
+    app.index_endpoint(&endpoint, 0)
+        .expect("scholarly endpoint indexes");
     let mut session = app.explore(endpoint.url()).expect("session opens");
 
     // Step 2 of the figure: select the "Event" class from its cluster.
@@ -398,7 +413,9 @@ pub fn e8_pipeline_scaling(class_counts: &[usize], instances_per_class: usize) -
         let extractor = IndexExtractor::new();
 
         let started = Instant::now();
-        let (indexes, report) = extractor.extract(&endpoint, 0).expect("extraction succeeds");
+        let (indexes, report) = extractor
+            .extract(&endpoint, 0)
+            .expect("extraction succeeds");
         let extraction = started.elapsed();
 
         let started = Instant::now();
@@ -529,11 +546,8 @@ pub fn e11_extraction_strategies(classes: usize, instances: usize) -> Vec<E11Row
     for (i, implementation) in SparqlImplementation::all().into_iter().enumerate() {
         let mut profile = EndpointProfile::for_implementation(implementation, i as u64);
         profile.availability = hbold_endpoint::AvailabilityModel::always_up();
-        let endpoint = SparqlEndpoint::new(
-            format!("http://impl{i}.example/sparql"),
-            &graph,
-            profile,
-        );
+        let endpoint =
+            SparqlEndpoint::new(format!("http://impl{i}.example/sparql"), &graph, profile);
         let with_fallbacks = IndexExtractor::new().extract(&endpoint, 0);
         let aggregate_only = IndexExtractor::aggregate_only().extract(&endpoint, 0);
         rows.push(E11Row {
@@ -572,7 +586,10 @@ mod tests {
     fn e1_shows_stored_lookup_is_faster() {
         let result = e1_cluster_latency(6, 3);
         assert_eq!(result.rows.len(), 6);
-        assert!(result.median_reduction_pct() > 0.0, "stored lookups should be faster on average");
+        assert!(
+            result.median_reduction_pct() > 0.0,
+            "stored lookups should be faster on average"
+        );
         assert!(result.fraction_with_reduction_at_least(0.0) >= 0.5);
     }
 
@@ -581,10 +598,15 @@ mod tests {
         let result = e2_crawl_funnel(120, 30);
         assert_eq!(result.listed_before, 120);
         assert!(result.newly_listed > 0);
-        assert_eq!(result.listed_after, result.listed_before + result.newly_listed);
+        assert_eq!(
+            result.listed_after,
+            result.listed_before + result.newly_listed
+        );
         assert!(result.indexed_after > result.indexed_before);
-        assert!(result.indexed_after - result.indexed_before < result.newly_listed,
-            "only a fraction of the new endpoints is indexable");
+        assert!(
+            result.indexed_after - result.indexed_before < result.newly_listed,
+            "only a fraction of the new endpoints is indexable"
+        );
         // EDP discovers the most endpoints, as in the paper (65 vs 9 vs 15).
         assert!(result.discovered_per_portal[0].1 > result.discovered_per_portal[1].1);
         assert!(result.discovered_per_portal[0].1 > result.discovered_per_portal[2].1);
@@ -606,7 +628,12 @@ mod tests {
     #[test]
     fn e10_louvain_wins_on_modularity() {
         let rows = e10_community_quality(&[30]);
-        let get = |name: &str| rows.iter().find(|r| r.algorithm == name).unwrap().modularity;
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.algorithm == name)
+                .unwrap()
+                .modularity
+        };
         assert!(get("louvain") >= get("greedy-balanced"));
         assert!(get("louvain") >= -1.0 && get("louvain") <= 1.0);
     }
@@ -615,9 +642,18 @@ mod tests {
     fn e11_fallbacks_rescue_weak_endpoints() {
         let rows = e11_extraction_strategies(12, 400);
         assert_eq!(rows.len(), 4);
-        assert!(rows.iter().all(|r| r.with_fallbacks_ok), "the strategy chain always succeeds");
-        assert!(rows.iter().any(|r| !r.aggregate_only_ok), "aggregate-only fails somewhere");
-        let weak = rows.iter().find(|r| r.implementation.contains("NoAggregates")).unwrap();
+        assert!(
+            rows.iter().all(|r| r.with_fallbacks_ok),
+            "the strategy chain always succeeds"
+        );
+        assert!(
+            rows.iter().any(|r| !r.aggregate_only_ok),
+            "aggregate-only fails somewhere"
+        );
+        let weak = rows
+            .iter()
+            .find(|r| r.implementation.contains("NoAggregates"))
+            .unwrap();
         assert!(weak.fallbacks_taken > 0);
     }
 }

@@ -49,7 +49,12 @@ pub fn summary_and_clusters(endpoint: &SparqlEndpoint) -> (SchemaSummary, Cluste
 
 /// A small heterogeneous fleet for benchmark workloads (all endpoints are
 /// reachable; capability differences are preserved).
-pub fn bench_fleet(endpoints: usize, max_classes: usize, max_instances: usize, seed: u64) -> EndpointFleet {
+pub fn bench_fleet(
+    endpoints: usize,
+    max_classes: usize,
+    max_instances: usize,
+    seed: u64,
+) -> EndpointFleet {
     EndpointFleet::generate(&FleetConfig {
         endpoints,
         min_classes: 5,

@@ -57,7 +57,10 @@ impl WeightedGraph {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, a: usize, b: usize, weight: f64) {
-        assert!(a < self.node_count && b < self.node_count, "edge endpoint out of range");
+        assert!(
+            a < self.node_count && b < self.node_count,
+            "edge endpoint out of range"
+        );
         *self.adjacency[a].entry(b).or_insert(0.0) += weight;
         if a != b {
             *self.adjacency[b].entry(a).or_insert(0.0) += weight;

@@ -6,14 +6,13 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::graph::{normalize_assignment, WeightedGraph};
 
 /// Runs (weighted, synchronous-order, asynchronous-update) label propagation.
 ///
-/// `seed` controls the node visiting order. Ties between equally frequent
-/// labels are broken toward the smallest label, which makes the result
+/// `seed` controls the node visiting order and tie-breaking; the result is
 /// deterministic for a given seed.
 pub fn label_propagation(graph: &WeightedGraph, seed: u64) -> Vec<usize> {
     let n = graph.node_count();
@@ -49,12 +48,14 @@ pub fn label_propagation(graph: &WeightedGraph, seed: u64) -> Vec<usize> {
                 .map(|(&label, _)| label)
                 .collect();
             // Keep the current label when it ties for the maximum (the
-            // standard stabilizing rule); otherwise break ties toward the
-            // smallest label, which keeps the run deterministic per seed.
+            // standard stabilizing rule); otherwise break ties uniformly at
+            // random. A fixed preference (e.g. smallest label) would let one
+            // label spread epidemically across weak bridges and merge
+            // communities that share a single edge.
             let best = if tied.contains(&labels[node]) {
                 labels[node]
             } else {
-                *tied.first().expect("tied is non-empty")
+                tied[rng.gen_range(0..tied.len())]
             };
             if best != labels[node] {
                 labels[node] = best;

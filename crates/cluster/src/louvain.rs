@@ -95,7 +95,8 @@ fn local_moving(graph: &WeightedGraph, rng: &mut StdRng) -> Vec<usize> {
         for &node in &order {
             let current_community = assignment[node];
             // Weights from `node` to each neighbouring community.
-            let mut weight_to: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+            let mut weight_to: std::collections::BTreeMap<usize, f64> =
+                std::collections::BTreeMap::new();
             let mut self_loop = 0.0;
             for (neighbour, weight) in graph.neighbours(node) {
                 if neighbour == node {
@@ -112,7 +113,12 @@ fn local_moving(graph: &WeightedGraph, rng: &mut StdRng) -> Vec<usize> {
 
             // Find the best community (including staying put).
             let mut best_community = current_community;
-            let mut best_gain = gain(weight_to_current, community_degree[current_community], node_degree[node], m);
+            let mut best_gain = gain(
+                weight_to_current,
+                community_degree[current_community],
+                node_degree[node],
+                m,
+            );
             for (&community, &weight) in &weight_to {
                 if community == current_community {
                     continue;
@@ -203,11 +209,19 @@ mod tests {
         assert!(louvain(&WeightedGraph::new(0), 0).is_empty());
         let isolated = WeightedGraph::new(4);
         let assignment = louvain(&isolated, 0);
-        assert_eq!(community_count(&assignment), 4, "isolated nodes stay singletons");
+        assert_eq!(
+            community_count(&assignment),
+            4,
+            "isolated nodes stay singletons"
+        );
         let mut pair = WeightedGraph::new(2);
         pair.add_edge(0, 1, 1.0);
         let assignment = louvain(&pair, 0);
-        assert_eq!(community_count(&assignment), 1, "a single edge collapses to one community");
+        assert_eq!(
+            community_count(&assignment),
+            1,
+            "a single edge collapses to one community"
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ mod tests {
         let q_singletons = modularity(&g, &singletons);
         assert!(q_natural > q_one);
         assert!(q_natural > q_singletons);
-        assert!(q_natural > 0.3, "two-triangle partition should have high modularity, got {q_natural}");
+        assert!(
+            q_natural > 0.3,
+            "two-triangle partition should have high modularity, got {q_natural}"
+        );
         assert!(q_one.abs() < 1e-9, "single community has modularity 0");
         assert!(q_singletons < 0.0);
     }

@@ -105,7 +105,12 @@ impl ClusterSchema {
     pub fn build(summary: &SchemaSummary, algorithm: ClusteringAlgorithm, seed: u64) -> Self {
         let graph = WeightedGraph::from_summary(summary);
         let assignment = algorithm.run(&graph, seed);
-        ClusterSchema::from_assignment(summary, &assignment, algorithm.name(), modularity(&graph, &assignment))
+        ClusterSchema::from_assignment(
+            summary,
+            &assignment,
+            algorithm.name(),
+            modularity(&graph, &assignment),
+        )
     }
 
     /// Builds the Cluster Schema from an explicit community assignment
@@ -116,7 +121,11 @@ impl ClusterSchema {
         algorithm: &str,
         modularity: f64,
     ) -> Self {
-        assert_eq!(assignment.len(), summary.node_count(), "assignment must cover every class");
+        assert_eq!(
+            assignment.len(),
+            summary.node_count(),
+            "assignment must cover every class"
+        );
         let cluster_count = assignment.iter().copied().max().map_or(0, |m| m + 1);
 
         let mut members: Vec<Vec<usize>> = vec![Vec::new(); cluster_count];
@@ -281,7 +290,14 @@ mod tests {
     fn sample_summary() -> SchemaSummary {
         let class = |name: &str| Iri::new(format!("http://e.org/{name}")).unwrap();
         let prop = |name: &str| Iri::new(format!("http://e.org/p/{name}")).unwrap();
-        let names = ["Person", "Paper", "Keyword", "Conference", "Session", "Talk"];
+        let names = [
+            "Person",
+            "Paper",
+            "Keyword",
+            "Conference",
+            "Session",
+            "Talk",
+        ];
         let instances = [100, 80, 30, 5, 20, 40];
         let nodes = names
             .iter()
@@ -350,10 +366,19 @@ mod tests {
         let summary = sample_summary();
         for algorithm in ClusteringAlgorithm::all() {
             let cs = ClusterSchema::build(&summary, algorithm, 1);
-            assert!(cs.is_partition(summary.node_count()), "{}", algorithm.name());
+            assert!(
+                cs.is_partition(summary.node_count()),
+                "{}",
+                algorithm.name()
+            );
             assert_eq!(cs.algorithm, algorithm.name());
             let total: usize = cs.clusters.iter().map(|c| c.total_instances).sum();
-            assert_eq!(total, 275, "instances are conserved for {}", algorithm.name());
+            assert_eq!(
+                total,
+                275,
+                "instances are conserved for {}",
+                algorithm.name()
+            );
         }
     }
 
@@ -384,7 +409,11 @@ mod tests {
         let summary = sample_summary();
         let assignment = vec![0, 0, 0, 1, 1, 1];
         let cs = ClusterSchema::from_assignment(&summary, &assignment, "manual", 0.0);
-        let self_loop = cs.edges.iter().find(|e| e.source == 0 && e.target == 0).unwrap();
+        let self_loop = cs
+            .edges
+            .iter()
+            .find(|e| e.source == 0 && e.target == 0)
+            .unwrap();
         // authorOf, interestedIn, hasKeyword, knows → 4 intra-cluster arcs.
         assert_eq!(self_loop.properties, 4);
         assert_eq!(self_loop.weight, 150 + 50 + 80 + 30);

@@ -64,11 +64,17 @@ impl Filter {
     pub fn matches(&self, doc: &DocValue) -> bool {
         match self {
             Filter::All => true,
-            Filter::Eq(path, value) => doc.get_path(path).map_or(false, |v| v.loosely_equals(value)),
-            Filter::Gt(path, value) => cmp_is(doc, path, value, |o| o == std::cmp::Ordering::Greater),
+            Filter::Eq(path, value) => doc
+                .get_path(path)
+                .map_or(false, |v| v.loosely_equals(value)),
+            Filter::Gt(path, value) => {
+                cmp_is(doc, path, value, |o| o == std::cmp::Ordering::Greater)
+            }
             Filter::Ge(path, value) => cmp_is(doc, path, value, |o| o != std::cmp::Ordering::Less),
             Filter::Lt(path, value) => cmp_is(doc, path, value, |o| o == std::cmp::Ordering::Less),
-            Filter::Le(path, value) => cmp_is(doc, path, value, |o| o != std::cmp::Ordering::Greater),
+            Filter::Le(path, value) => {
+                cmp_is(doc, path, value, |o| o != std::cmp::Ordering::Greater)
+            }
             Filter::Exists(path) => doc.get_path(path).map_or(false, |v| !v.is_null()),
             Filter::Contains(path, needle) => doc
                 .get_path(path)
@@ -153,7 +159,8 @@ impl Collection {
     /// Panics if `value` is not an object; use [`Collection::try_insert`] for
     /// a fallible version.
     pub fn insert(&self, value: DocValue) -> u64 {
-        self.try_insert(value).expect("document must be a JSON object")
+        self.try_insert(value)
+            .expect("document must be a JSON object")
     }
 
     /// Inserts a document, returning an error if it is not an object.
@@ -170,7 +177,13 @@ impl Collection {
         let paths: Vec<String> = inner.indexes.keys().cloned().collect();
         for path in paths {
             if let Some(key) = index_key(&value, &path) {
-                inner.indexes.get_mut(&path).unwrap().entry(key).or_default().push(id);
+                inner
+                    .indexes
+                    .get_mut(&path)
+                    .unwrap()
+                    .entry(key)
+                    .or_default()
+                    .push(id);
             }
         }
         inner.documents.insert(id, value);
@@ -179,11 +192,10 @@ impl Collection {
 
     /// Retrieves a document by id.
     pub fn get(&self, id: u64) -> Option<Document> {
-        self.inner
-            .read()
-            .documents
-            .get(&id)
-            .map(|value| Document { id, value: value.clone() })
+        self.inner.read().documents.get(&id).map(|value| Document {
+            id,
+            value: value.clone(),
+        })
     }
 
     /// Returns all documents matching `filter`, in insertion (id) order.
@@ -201,7 +213,10 @@ impl Collection {
                     .into_iter()
                     .flatten()
                     .filter_map(|id| {
-                        inner.documents.get(id).map(|v| Document { id: *id, value: v.clone() })
+                        inner.documents.get(id).map(|v| Document {
+                            id: *id,
+                            value: v.clone(),
+                        })
                     })
                     .collect();
                 out.sort_by_key(|d| d.id);
@@ -212,7 +227,10 @@ impl Collection {
             .documents
             .iter()
             .filter(|(_, doc)| filter.matches(doc))
-            .map(|(&id, value)| Document { id, value: value.clone() })
+            .map(|(&id, value)| Document {
+                id,
+                value: value.clone(),
+            })
             .collect()
     }
 
@@ -224,7 +242,11 @@ impl Collection {
     /// Counts matching documents without cloning them.
     pub fn count(&self, filter: &Filter) -> usize {
         let inner = self.inner.read();
-        inner.documents.values().filter(|doc| filter.matches(doc)).count()
+        inner
+            .documents
+            .values()
+            .filter(|doc| filter.matches(doc))
+            .count()
     }
 
     /// Replaces the first document matching `filter` with `value`, inserting
@@ -243,7 +265,13 @@ impl Collection {
                 let paths: Vec<String> = inner.indexes.keys().cloned().collect();
                 for path in paths {
                     if let Some(key) = index_key(&value, &path) {
-                        inner.indexes.get_mut(&path).unwrap().entry(key).or_default().push(id);
+                        inner
+                            .indexes
+                            .get_mut(&path)
+                            .unwrap()
+                            .entry(key)
+                            .or_default()
+                            .push(id);
                     }
                 }
                 inner.documents.insert(id, value);
@@ -273,7 +301,13 @@ impl Collection {
                 let paths: Vec<String> = inner.indexes.keys().cloned().collect();
                 for path in paths {
                     if let Some(key) = index_key(&doc, &path) {
-                        inner.indexes.get_mut(&path).unwrap().entry(key).or_default().push(id);
+                        inner
+                            .indexes
+                            .get_mut(&path)
+                            .unwrap()
+                            .entry(key)
+                            .or_default()
+                            .push(id);
                     }
                 }
             }
@@ -327,9 +361,9 @@ impl Collection {
                 let (id_text, json) = line.split_once('\t').ok_or_else(|| {
                     DocStoreError::Json(format!("line {}: missing tab separator", line_no + 1))
                 })?;
-                let id: u64 = id_text
-                    .parse()
-                    .map_err(|_| DocStoreError::Json(format!("line {}: invalid id", line_no + 1)))?;
+                let id: u64 = id_text.parse().map_err(|_| {
+                    DocStoreError::Json(format!("line {}: invalid id", line_no + 1))
+                })?;
                 let doc = crate::json::from_json(json)?;
                 inner.documents.insert(id, doc);
                 inner.next_id = inner.next_id.max(id + 1);
@@ -364,8 +398,10 @@ mod tests {
         let c = Collection::new();
         c.insert(doc! { "url" => "http://a.org/sparql", "classes" => 10, "available" => true });
         c.insert(doc! { "url" => "http://b.org/sparql", "classes" => 120, "available" => false });
-        c.insert(doc! { "url" => "http://c.org/sparql", "classes" => 55, "available" => true,
-                         "tags" => vec!["government", "transport"] });
+        c.insert(
+            doc! { "url" => "http://c.org/sparql", "classes" => 55, "available" => true,
+            "tags" => vec!["government", "transport"] },
+        );
         c
     }
 
@@ -373,21 +409,47 @@ mod tests {
     fn insert_get_and_ids_are_sequential() {
         let c = endpoints();
         assert_eq!(c.len(), 3);
-        assert_eq!(c.get(0).unwrap().value.get("url").and_then(DocValue::as_str), Some("http://a.org/sparql"));
+        assert_eq!(
+            c.get(0)
+                .unwrap()
+                .value
+                .get("url")
+                .and_then(DocValue::as_str),
+            Some("http://a.org/sparql")
+        );
         assert!(c.get(99).is_none());
-        assert!(c.try_insert(DocValue::Int(3)).is_err(), "non-objects are rejected");
+        assert!(
+            c.try_insert(DocValue::Int(3)).is_err(),
+            "non-objects are rejected"
+        );
     }
 
     #[test]
     fn filters() {
         let c = endpoints();
         assert_eq!(c.find(&Filter::eq("available", true)).len(), 2);
-        assert_eq!(c.find(&Filter::Gt("classes".into(), DocValue::Int(50))).len(), 2);
-        assert_eq!(c.find(&Filter::Le("classes".into(), DocValue::Int(55))).len(), 2);
-        assert_eq!(c.find(&Filter::Contains("url".into(), "b.org".into())).len(), 1);
+        assert_eq!(
+            c.find(&Filter::Gt("classes".into(), DocValue::Int(50)))
+                .len(),
+            2
+        );
+        assert_eq!(
+            c.find(&Filter::Le("classes".into(), DocValue::Int(55)))
+                .len(),
+            2
+        );
+        assert_eq!(
+            c.find(&Filter::Contains("url".into(), "b.org".into()))
+                .len(),
+            1
+        );
         assert_eq!(c.find(&Filter::exists("tags")).len(), 1);
         assert_eq!(
-            c.find(&Filter::ArrayContains("tags".into(), DocValue::from("transport"))).len(),
+            c.find(&Filter::ArrayContains(
+                "tags".into(),
+                DocValue::from("transport")
+            ))
+            .len(),
             1
         );
         assert_eq!(
@@ -406,7 +468,11 @@ mod tests {
             .len(),
             2
         );
-        assert_eq!(c.find(&Filter::Not(Box::new(Filter::eq("available", true)))).len(), 1);
+        assert_eq!(
+            c.find(&Filter::Not(Box::new(Filter::eq("available", true))))
+                .len(),
+            1
+        );
         assert_eq!(c.count(&Filter::All), 3);
     }
 
@@ -424,23 +490,37 @@ mod tests {
             d.set("url", "http://renamed.org/sparql");
         });
         assert_eq!(c.find(&Filter::eq("url", "http://d.org/sparql")).len(), 0);
-        assert_eq!(c.find(&Filter::eq("url", "http://renamed.org/sparql")).len(), 1);
+        assert_eq!(
+            c.find(&Filter::eq("url", "http://renamed.org/sparql"))
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn upsert_replaces_or_inserts() {
         let c = endpoints();
         let id = c
-            .upsert(&Filter::eq("url", "http://a.org/sparql"), doc! { "url" => "http://a.org/sparql", "classes" => 11 })
+            .upsert(
+                &Filter::eq("url", "http://a.org/sparql"),
+                doc! { "url" => "http://a.org/sparql", "classes" => 11 },
+            )
             .unwrap();
         assert_eq!(id, 0, "existing document keeps its id");
         assert_eq!(c.len(), 3);
         assert_eq!(
-            c.find_one(&Filter::eq("url", "http://a.org/sparql")).unwrap().value.get("classes").and_then(DocValue::as_i64),
+            c.find_one(&Filter::eq("url", "http://a.org/sparql"))
+                .unwrap()
+                .value
+                .get("classes")
+                .and_then(DocValue::as_i64),
             Some(11)
         );
         let id = c
-            .upsert(&Filter::eq("url", "http://new.org/sparql"), doc! { "url" => "http://new.org/sparql" })
+            .upsert(
+                &Filter::eq("url", "http://new.org/sparql"),
+                doc! { "url" => "http://new.org/sparql" },
+            )
             .unwrap();
         assert_eq!(id, 3);
         assert_eq!(c.len(), 4);
@@ -477,7 +557,11 @@ mod tests {
         let c = Collection::new();
         c.insert(doc! { "summary" => doc! { "classes" => 7 }, "name" => "x" });
         c.insert(doc! { "summary" => doc! { "classes" => 99 }, "name" => "y" });
-        assert_eq!(c.find(&Filter::Gt("summary.classes".into(), DocValue::Int(10))).len(), 1);
+        assert_eq!(
+            c.find(&Filter::Gt("summary.classes".into(), DocValue::Int(10)))
+                .len(),
+            1
+        );
         c.create_index("summary.classes");
         assert_eq!(c.find(&Filter::eq("summary.classes", 7)).len(), 1);
     }

@@ -48,8 +48,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(DocStoreError::Json("bad".into()).to_string().contains("bad"));
-        assert!(DocStoreError::NotFound("collection x".into()).to_string().contains("collection x"));
+        assert!(DocStoreError::Json("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(DocStoreError::NotFound("collection x".into())
+            .to_string()
+            .contains("collection x"));
         assert!(DocStoreError::InvalidDocument("not an object".into())
             .to_string()
             .contains("not an object"));

@@ -180,7 +180,9 @@ impl JsonParser {
                     Some('u') => {
                         let mut code = 0u32;
                         for _ in 0..4 {
-                            let c = self.bump().ok_or_else(|| self.error("unterminated \\u escape"))?;
+                            let c = self
+                                .bump()
+                                .ok_or_else(|| self.error("unterminated \\u escape"))?;
                             let d = c
                                 .to_digit(16)
                                 .ok_or_else(|| self.error("invalid hex digit in \\u escape"))?;
@@ -312,7 +314,10 @@ mod tests {
     fn parses_whitespace_and_unicode_escapes() {
         let parsed = from_json(" { \"a\" : [ 1 , 2 ] , \"b\" : \"\\u0041\\n\" } ").unwrap();
         assert_eq!(parsed.get("b").and_then(DocValue::as_str), Some("A\n"));
-        assert_eq!(parsed.get("a").and_then(DocValue::as_array).unwrap().len(), 2);
+        assert_eq!(
+            parsed.get("a").and_then(DocValue::as_array).unwrap().len(),
+            2
+        );
     }
 
     #[test]

@@ -97,10 +97,8 @@ mod tests {
     use crate::{doc, DocValue};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "hbold-docstore-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("hbold-docstore-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -127,17 +125,25 @@ mod tests {
             let summaries = store.collection("schema_summaries");
             summaries.insert(doc! { "endpoint" => "http://a.org/sparql", "classes" => 12 });
             summaries.insert(doc! { "endpoint" => "http://b.org/sparql", "classes" => 300 });
-            store.collection("cluster_schemas").insert(doc! { "endpoint" => "http://a.org/sparql", "clusters" => 3 });
+            store
+                .collection("cluster_schemas")
+                .insert(doc! { "endpoint" => "http://a.org/sparql", "clusters" => 3 });
             store.persist().unwrap();
         }
         {
             let store = DocStore::open(&dir).unwrap();
-            assert_eq!(store.collection_names(), vec!["cluster_schemas", "schema_summaries"]);
+            assert_eq!(
+                store.collection_names(),
+                vec!["cluster_schemas", "schema_summaries"]
+            );
             let summaries = store.collection("schema_summaries");
             assert_eq!(summaries.len(), 2);
             let big = summaries.find(&Filter::Gt("classes".into(), DocValue::Int(100)));
             assert_eq!(big.len(), 1);
-            assert_eq!(big[0].value.get("endpoint").and_then(DocValue::as_str), Some("http://b.org/sparql"));
+            assert_eq!(
+                big[0].value.get("endpoint").and_then(DocValue::as_str),
+                Some("http://b.org/sparql")
+            );
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

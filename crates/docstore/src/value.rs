@@ -233,7 +233,10 @@ mod tests {
         assert_eq!(DocValue::from(2.5).as_f64(), Some(2.5));
         assert_eq!(DocValue::from("hi").as_str(), Some("hi"));
         assert_eq!(DocValue::from(true).as_bool(), Some(true));
-        assert_eq!(DocValue::from(vec![1i64, 2, 3]).as_array().unwrap().len(), 3);
+        assert_eq!(
+            DocValue::from(vec![1i64, 2, 3]).as_array().unwrap().len(),
+            3
+        );
         assert!(DocValue::from(None::<i64>).is_null());
         assert_eq!(DocValue::from(Some(7i64)).as_i64(), Some(7));
         assert_eq!(DocValue::from(5i64).as_str(), None);
@@ -245,9 +248,15 @@ mod tests {
             "endpoint" => "http://e.org/sparql",
             "summary" => doc! { "classes" => 10, "triples" => 5000 },
         };
-        assert_eq!(d.get_path("summary.classes").and_then(DocValue::as_i64), Some(10));
+        assert_eq!(
+            d.get_path("summary.classes").and_then(DocValue::as_i64),
+            Some(10)
+        );
         assert_eq!(d.get_path("summary.missing"), None);
-        assert_eq!(d.get_path("endpoint").and_then(DocValue::as_str), Some("http://e.org/sparql"));
+        assert_eq!(
+            d.get_path("endpoint").and_then(DocValue::as_str),
+            Some("http://e.org/sparql")
+        );
     }
 
     #[test]

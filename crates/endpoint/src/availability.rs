@@ -138,7 +138,10 @@ mod tests {
             total += AvailabilityModel::flaky(0.8, seed).observed_uptime(120);
         }
         let mean = total / seeds as f64;
-        assert!((mean - 0.8).abs() < 0.1, "mean observed uptime {mean} too far from 0.8");
+        assert!(
+            (mean - 0.8).abs() < 0.1,
+            "mean observed uptime {mean} too far from 0.8"
+        );
     }
 
     #[test]
@@ -162,6 +165,9 @@ mod tests {
             }
         }
         longest_outage = longest_outage.max(current);
-        assert!(longest_outage >= 2, "expected a multi-day outage, longest was {longest_outage}");
+        assert!(
+            longest_outage >= 2,
+            "expected a multi-day outage, longest was {longest_outage}"
+        );
     }
 }

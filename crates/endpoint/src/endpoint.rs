@@ -50,7 +50,11 @@ impl SparqlEndpoint {
     }
 
     /// Creates an endpoint from an already-built store.
-    pub fn from_store(url: impl Into<String>, store: TripleStore, profile: EndpointProfile) -> Self {
+    pub fn from_store(
+        url: impl Into<String>,
+        store: TripleStore,
+        profile: EndpointProfile,
+    ) -> Self {
         let url = url.into();
         let name = url
             .trim_end_matches('/')
@@ -168,7 +172,10 @@ impl SparqlEndpoint {
                 "this endpoint implementation does not support aggregate queries".into(),
             ));
         }
-        if uses_aggregates && !self.profile.supports_count_distinct && query_uses_count_distinct(query) {
+        if uses_aggregates
+            && !self.profile.supports_count_distinct
+            && query_uses_count_distinct(query)
+        {
             return Err(EndpointError::QueryRejected(
                 "this endpoint implementation does not support COUNT(DISTINCT ...)".into(),
             ));
@@ -251,7 +258,10 @@ mod tests {
             EndpointProfile::full_featured().with_availability(AvailabilityModel::always_down()),
         );
         assert!(!ep.is_available());
-        assert_eq!(ep.query("ASK { ?s ?p ?o }"), Err(EndpointError::Unavailable));
+        assert_eq!(
+            ep.query("ASK { ?s ?p ?o }"),
+            Err(EndpointError::Unavailable)
+        );
         // Queries are still counted (the client did attempt one).
         assert_eq!(ep.queries_received(), 1);
     }
@@ -298,7 +308,9 @@ mod tests {
         let err = ep.query("SELECT ?s ?p ?o WHERE { ?s ?p ?o }").unwrap_err();
         assert_eq!(err, EndpointError::ResultLimitExceeded { limit: 50 });
         // A LIMIT below the cap goes through.
-        assert!(ep.query("SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 50").is_ok());
+        assert!(ep
+            .query("SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 50")
+            .is_ok());
     }
 
     #[test]
@@ -335,8 +347,8 @@ mod tests {
 
     #[test]
     fn virtual_day_controls_availability() {
-        let profile = EndpointProfile::full_featured()
-            .with_availability(AvailabilityModel::flaky(0.5, 11));
+        let profile =
+            EndpointProfile::full_featured().with_availability(AvailabilityModel::flaky(0.5, 11));
         let ep = SparqlEndpoint::new("http://flaky.example.org/sparql", &sample_graph(1), profile);
         let availability: Vec<bool> = (0..40)
             .map(|day| {

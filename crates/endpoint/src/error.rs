@@ -60,7 +60,10 @@ impl EndpointError {
     /// (unavailability, timeouts), as opposed to errors that will repeat
     /// deterministically (rejected or malformed queries).
     pub fn is_transient(&self) -> bool {
-        matches!(self, EndpointError::Unavailable | EndpointError::Timeout { .. })
+        matches!(
+            self,
+            EndpointError::Unavailable | EndpointError::Timeout { .. }
+        )
     }
 }
 
@@ -79,8 +82,14 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(EndpointError::Unavailable.to_string().contains("unavailable"));
-        assert!(EndpointError::Timeout { budget_ms: 5 }.to_string().contains('5'));
-        assert!(EndpointError::ResultLimitExceeded { limit: 3 }.to_string().contains('3'));
+        assert!(EndpointError::Unavailable
+            .to_string()
+            .contains("unavailable"));
+        assert!(EndpointError::Timeout { budget_ms: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(EndpointError::ResultLimitExceeded { limit: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

@@ -102,15 +102,18 @@ impl EndpointFleet {
         for i in 0..config.endpoints {
             let classes = rng.gen_range(config.min_classes..=config.max_classes);
             let instances = rng.gen_range(config.min_instances..=config.max_instances);
-            let data_config = RandomLodConfig::sized(classes, instances, config.seed.wrapping_add(i as u64));
+            let data_config =
+                RandomLodConfig::sized(classes, instances, config.seed.wrapping_add(i as u64));
             let graph = random_lod(&data_config);
 
             let implementation = implementations[rng.gen_range(0..implementations.len())];
-            let mut profile = EndpointProfile::for_implementation(implementation, config.seed + i as u64);
+            let mut profile =
+                EndpointProfile::for_implementation(implementation, config.seed + i as u64);
             if rng.gen_bool(config.dead_fraction) {
                 profile.availability = AvailabilityModel::always_down();
             } else if rng.gen_bool(config.flaky_fraction) {
-                profile.availability = AvailabilityModel::flaky(rng.gen_range(0.6..0.95), config.seed + i as u64);
+                profile.availability =
+                    AvailabilityModel::flaky(rng.gen_range(0.6..0.95), config.seed + i as u64);
             }
 
             let url = format!("http://ld{}.fleet.example/sparql", i);
@@ -164,7 +167,10 @@ impl EndpointFleet {
 
     /// Total triples across the fleet.
     pub fn total_triples(&self) -> usize {
-        self.endpoints.iter().map(SparqlEndpoint::triple_count).sum()
+        self.endpoints
+            .iter()
+            .map(SparqlEndpoint::triple_count)
+            .sum()
     }
 }
 
@@ -202,13 +208,14 @@ mod tests {
             endpoints: 40,
             ..FleetConfig::small(40, 7)
         });
-        let mut implementations: Vec<_> = fleet
-            .iter()
-            .map(|e| e.profile().implementation)
-            .collect();
+        let mut implementations: Vec<_> =
+            fleet.iter().map(|e| e.profile().implementation).collect();
         implementations.sort_by_key(|i| format!("{i:?}"));
         implementations.dedup();
-        assert!(implementations.len() >= 3, "expected at least 3 implementation kinds");
+        assert!(
+            implementations.len() >= 3,
+            "expected at least 3 implementation kinds"
+        );
     }
 
     #[test]

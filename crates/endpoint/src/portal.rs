@@ -128,8 +128,16 @@ impl OpenDataPortal {
 
             // Every dataset has a plain download distribution.
             let download = Iri::new_unchecked(format!("{}/dataset/{i}/dist/csv", config.base_url));
-            graph.insert(Triple::new(download.clone(), rdf::type_(), dcat::distribution_class()));
-            graph.insert(Triple::new(dataset.clone(), dcat::distribution(), download.clone()));
+            graph.insert(Triple::new(
+                download.clone(),
+                rdf::type_(),
+                dcat::distribution_class(),
+            ));
+            graph.insert(Triple::new(
+                dataset.clone(),
+                dcat::distribution(),
+                download.clone(),
+            ));
             graph.insert(Triple::new(
                 download,
                 dcat::access_url(),
@@ -145,10 +153,23 @@ impl OpenDataPortal {
                     format!("http://ld.{slug}.example/{}/sparql", sparql_urls.len())
                 };
                 sparql_urls.push(url.clone());
-                let dist = Iri::new_unchecked(format!("{}/dataset/{i}/dist/sparql", config.base_url));
-                graph.insert(Triple::new(dist.clone(), rdf::type_(), dcat::distribution_class()));
-                graph.insert(Triple::new(dataset.clone(), dcat::distribution(), dist.clone()));
-                graph.insert(Triple::new(dist, dcat::access_url(), Iri::new_unchecked(url)));
+                let dist =
+                    Iri::new_unchecked(format!("{}/dataset/{i}/dist/sparql", config.base_url));
+                graph.insert(Triple::new(
+                    dist.clone(),
+                    rdf::type_(),
+                    dcat::distribution_class(),
+                ));
+                graph.insert(Triple::new(
+                    dataset.clone(),
+                    dcat::distribution(),
+                    dist.clone(),
+                ));
+                graph.insert(Triple::new(
+                    dist,
+                    dcat::access_url(),
+                    Iri::new_unchecked(url),
+                ));
             }
         }
 
@@ -166,7 +187,10 @@ impl OpenDataPortal {
 
     /// The three paper portals, ready to crawl.
     pub fn paper_portals() -> Vec<OpenDataPortal> {
-        PortalConfig::paper_portals().into_iter().map(OpenDataPortal::new).collect()
+        PortalConfig::paper_portals()
+            .into_iter()
+            .map(OpenDataPortal::new)
+            .collect()
     }
 
     /// The portal's configuration.
@@ -246,7 +270,11 @@ mod tests {
         // random), preserving the relative ordering EDP >> Paris > EUODP.
         assert!(edp.distinct_sparql_urls() > paris.distinct_sparql_urls());
         assert!(paris.distinct_sparql_urls() >= euodp.distinct_sparql_urls());
-        assert!(edp.distinct_sparql_urls() >= 40, "EDP too small: {}", edp.distinct_sparql_urls());
+        assert!(
+            edp.distinct_sparql_urls() >= 40,
+            "EDP too small: {}",
+            edp.distinct_sparql_urls()
+        );
     }
 
     #[test]

@@ -113,11 +113,16 @@ pub fn scholarly(config: &ScholarlyConfig) -> Graph {
     // has something to show even before instances are counted.
     for name in scholarly_classes::NAMES {
         g.insert(Triple::new(class(name), rdf::type_(), rdfs::class()));
-        g.insert(Triple::new(class(name), rdfs::label(), Literal::string(*name)));
+        g.insert(Triple::new(
+            class(name),
+            rdfs::label(),
+            Literal::string(*name),
+        ));
     }
 
     // A fixed pool of people, organisations, countries and keywords.
-    let people = config.conferences * config.papers_per_conference * config.authors_per_paper / 2 + 10;
+    let people =
+        config.conferences * config.papers_per_conference * config.authors_per_paper / 2 + 10;
     let organisations = (people / 8).max(3);
     let countries = 12.min(organisations);
     let keywords = 30;
@@ -125,13 +130,25 @@ pub fn scholarly(config: &ScholarlyConfig) -> Graph {
     for i in 0..countries {
         let c = entity("country", i);
         g.insert(Triple::new(c.clone(), rdf::type_(), class("Country")));
-        g.insert(Triple::new(c, rdfs::label(), Literal::string(format!("Country {i}"))));
+        g.insert(Triple::new(
+            c,
+            rdfs::label(),
+            Literal::string(format!("Country {i}")),
+        ));
     }
     for i in 0..organisations {
         let o = entity("organisation", i);
         g.insert(Triple::new(o.clone(), rdf::type_(), class("Organisation")));
-        g.insert(Triple::new(o.clone(), foaf::name(), Literal::string(format!("Organisation {i}"))));
-        g.insert(Triple::new(o.clone(), prop("basedIn"), entity("country", i % countries)));
+        g.insert(Triple::new(
+            o.clone(),
+            foaf::name(),
+            Literal::string(format!("Organisation {i}")),
+        ));
+        g.insert(Triple::new(
+            o.clone(),
+            prop("basedIn"),
+            entity("country", i % countries),
+        ));
         let site = entity("site", i);
         g.insert(Triple::new(site.clone(), rdf::type_(), class("Site")));
         g.insert(Triple::new(o, prop("hasSite"), site));
@@ -139,18 +156,38 @@ pub fn scholarly(config: &ScholarlyConfig) -> Graph {
     for i in 0..keywords {
         let k = entity("keyword", i);
         g.insert(Triple::new(k.clone(), rdf::type_(), class("Keyword")));
-        g.insert(Triple::new(k, rdfs::label(), Literal::string(format!("topic-{i}"))));
+        g.insert(Triple::new(
+            k,
+            rdfs::label(),
+            Literal::string(format!("topic-{i}")),
+        ));
     }
     for i in 0..people {
         let p = entity("person", i);
         g.insert(Triple::new(p.clone(), rdf::type_(), class("Person")));
         g.insert(Triple::new(p.clone(), rdf::type_(), foaf::person()));
-        g.insert(Triple::new(p.clone(), foaf::name(), Literal::string(format!("Researcher {i}"))));
+        g.insert(Triple::new(
+            p.clone(),
+            foaf::name(),
+            Literal::string(format!("Researcher {i}")),
+        ));
         // Affiliation is reified through a Situation, as in ScholarlyData.
         let situation = entity("affiliation", i);
-        g.insert(Triple::new(situation.clone(), rdf::type_(), class("AffiliationSituation")));
-        g.insert(Triple::new(situation.clone(), rdf::type_(), class("Situation")));
-        g.insert(Triple::new(situation.clone(), prop("isSettingFor"), p.clone()));
+        g.insert(Triple::new(
+            situation.clone(),
+            rdf::type_(),
+            class("AffiliationSituation"),
+        ));
+        g.insert(Triple::new(
+            situation.clone(),
+            rdf::type_(),
+            class("Situation"),
+        ));
+        g.insert(Triple::new(
+            situation.clone(),
+            prop("isSettingFor"),
+            p.clone(),
+        ));
         g.insert(Triple::new(
             situation.clone(),
             prop("withOrganisation"),
@@ -161,12 +198,20 @@ pub fn scholarly(config: &ScholarlyConfig) -> Graph {
     let mut paper_counter = 0usize;
     for conf in 0..config.conferences {
         let series = entity("series", conf % 3);
-        g.insert(Triple::new(series.clone(), rdf::type_(), class("ConferenceSeries")));
+        g.insert(Triple::new(
+            series.clone(),
+            rdf::type_(),
+            class("ConferenceSeries"),
+        ));
         let event = entity("conference", conf);
         for class_name in ["ConferenceEvent", "Event", "Vevent"] {
             g.insert(Triple::new(event.clone(), rdf::type_(), class(class_name)));
         }
-        g.insert(Triple::new(event.clone(), rdfs::label(), Literal::string(format!("Conference {conf}"))));
+        g.insert(Triple::new(
+            event.clone(),
+            rdfs::label(),
+            Literal::string(format!("Conference {conf}")),
+        ));
         g.insert(Triple::new(event.clone(), prop("partOfSeries"), series));
         g.insert(Triple::new(
             event.clone(),
@@ -175,24 +220,52 @@ pub fn scholarly(config: &ScholarlyConfig) -> Graph {
         ));
 
         let proceedings = entity("proceedings", conf);
-        g.insert(Triple::new(proceedings.clone(), rdf::type_(), class("Proceedings")));
-        g.insert(Triple::new(proceedings.clone(), rdf::type_(), class("InformationObject")));
-        g.insert(Triple::new(proceedings.clone(), prop("ofEvent"), event.clone()));
+        g.insert(Triple::new(
+            proceedings.clone(),
+            rdf::type_(),
+            class("Proceedings"),
+        ));
+        g.insert(Triple::new(
+            proceedings.clone(),
+            rdf::type_(),
+            class("InformationObject"),
+        ));
+        g.insert(Triple::new(
+            proceedings.clone(),
+            prop("ofEvent"),
+            event.clone(),
+        ));
 
         // Each conference has a couple of workshops and sessions.
         for w in 0..2 {
             let workshop = entity("workshop", conf * 2 + w);
             for class_name in ["WorkshopEvent", "Event", "Vevent"] {
-                g.insert(Triple::new(workshop.clone(), rdf::type_(), class(class_name)));
+                g.insert(Triple::new(
+                    workshop.clone(),
+                    rdf::type_(),
+                    class(class_name),
+                ));
             }
-            g.insert(Triple::new(workshop.clone(), prop("subEventOf"), event.clone()));
+            g.insert(Triple::new(
+                workshop.clone(),
+                prop("subEventOf"),
+                event.clone(),
+            ));
         }
         for s in 0..4 {
             let session = entity("session", conf * 4 + s);
             for class_name in ["SessionEvent", "Event", "Vevent"] {
-                g.insert(Triple::new(session.clone(), rdf::type_(), class(class_name)));
+                g.insert(Triple::new(
+                    session.clone(),
+                    rdf::type_(),
+                    class(class_name),
+                ));
             }
-            g.insert(Triple::new(session.clone(), prop("subEventOf"), event.clone()));
+            g.insert(Triple::new(
+                session.clone(),
+                prop("subEventOf"),
+                event.clone(),
+            ));
         }
 
         for _ in 0..config.papers_per_conference {
@@ -204,9 +277,16 @@ pub fn scholarly(config: &ScholarlyConfig) -> Graph {
             g.insert(Triple::new(
                 paper.clone(),
                 prop("title"),
-                Literal::string(format!("A study of topic {} at conference {conf}", paper_counter)),
+                Literal::string(format!(
+                    "A study of topic {} at conference {conf}",
+                    paper_counter
+                )),
             ));
-            g.insert(Triple::new(paper.clone(), prop("publishedIn"), proceedings.clone()));
+            g.insert(Triple::new(
+                paper.clone(),
+                prop("publishedIn"),
+                proceedings.clone(),
+            ));
             g.insert(Triple::new(
                 paper.clone(),
                 prop("hasKeyword"),
@@ -221,7 +301,7 @@ pub fn scholarly(config: &ScholarlyConfig) -> Graph {
             g.insert(Triple::new(
                 talk.clone(),
                 prop("inSession"),
-                entity("session", conf * 4 + rng.gen_range(0..4)),
+                entity("session", conf * 4 + rng.gen_range(0..4usize)),
             ));
 
             let author_count = rng.gen_range(1..=config.authors_per_paper.max(1) * 2 - 1);
@@ -243,14 +323,26 @@ pub fn scholarly(config: &ScholarlyConfig) -> Graph {
         // A small programme committee per conference.
         for m in 0..5 {
             let pc = entity("pc", conf * 5 + m);
-            g.insert(Triple::new(pc.clone(), rdf::type_(), class("ProgramCommittee")));
+            g.insert(Triple::new(
+                pc.clone(),
+                rdf::type_(),
+                class("ProgramCommittee"),
+            ));
             g.insert(Triple::new(pc.clone(), prop("ofEvent"), event.clone()));
-            g.insert(Triple::new(pc, prop("member"), entity("person", rng.gen_range(0..people))));
+            g.insert(Triple::new(
+                pc,
+                prop("member"),
+                entity("person", rng.gen_range(0..people)),
+            ));
         }
         // One tutorial per conference.
         let tutorial = entity("tutorial", conf);
         for class_name in ["Tutorial", "Event"] {
-            g.insert(Triple::new(tutorial.clone(), rdf::type_(), class(class_name)));
+            g.insert(Triple::new(
+                tutorial.clone(),
+                rdf::type_(),
+                class(class_name),
+            ));
         }
         g.insert(Triple::new(tutorial, prop("subEventOf"), event));
     }
@@ -345,8 +437,9 @@ pub fn random_lod(config: &RandomLodConfig) -> Graph {
     }
 
     // Instance IRIs per class.
-    let instance_iri =
-        |class_index: usize, i: usize| synth_iri(&format!("lod{}/c{}/i{}", config.seed, class_index, i));
+    let instance_iri = |class_index: usize, i: usize| {
+        synth_iri(&format!("lod{}/c{}/i{}", config.seed, class_index, i))
+    };
 
     for (class_index, &size) in sizes.iter().enumerate() {
         let class = config.class_iri(class_index);
@@ -361,7 +454,10 @@ pub fn random_lod(config: &RandomLodConfig) -> Graph {
             let instance = instance_iri(class_index, i);
             g.insert(Triple::new(instance.clone(), rdf::type_(), class.clone()));
             for p in 0..datatype_props {
-                let prop = synth_iri(&format!("lod{}/ontology#attr_{}_{}", config.seed, class_index, p));
+                let prop = synth_iri(&format!(
+                    "lod{}/ontology#attr_{}_{}",
+                    config.seed, class_index, p
+                ));
                 let value: Literal = if p % 2 == 0 {
                     Literal::integer(rng.gen_range(0..1_000))
                 } else {
@@ -449,7 +545,11 @@ pub fn sensor_network(config: &SensorConfig) -> Graph {
 
     let city = entity("city", 0);
     g.insert(Triple::new(city.clone(), rdf::type_(), class("City")));
-    g.insert(Triple::new(city.clone(), rdfs::label(), Literal::string("Modena")));
+    g.insert(Triple::new(
+        city.clone(),
+        rdfs::label(),
+        Literal::string("Modena"),
+    ));
 
     let pollutants = ["NO2", "O3", "PM10", "PM2_5"];
     for (i, name) in pollutants.iter().enumerate() {
@@ -464,13 +564,25 @@ pub fn sensor_network(config: &SensorConfig) -> Graph {
         g.insert(Triple::new(street.clone(), rdf::type_(), class("Street")));
         g.insert(Triple::new(street.clone(), prop("inCity"), city.clone()));
         let traffic_model = entity("trafficmodel", s);
-        g.insert(Triple::new(traffic_model.clone(), rdf::type_(), class("TrafficModel")));
-        g.insert(Triple::new(traffic_model, prop("forStreet"), street.clone()));
+        g.insert(Triple::new(
+            traffic_model.clone(),
+            rdf::type_(),
+            class("TrafficModel"),
+        ));
+        g.insert(Triple::new(
+            traffic_model,
+            prop("forStreet"),
+            street.clone(),
+        ));
 
         for d in 0..config.sensors_per_street {
             let sensor = entity("sensor", s * config.sensors_per_street + d);
             g.insert(Triple::new(sensor.clone(), rdf::type_(), class("Sensor")));
-            g.insert(Triple::new(sensor.clone(), prop("locatedAt"), street.clone()));
+            g.insert(Triple::new(
+                sensor.clone(),
+                prop("locatedAt"),
+                street.clone(),
+            ));
             let device = entity("device", s * config.sensors_per_street + d);
             g.insert(Triple::new(device.clone(), rdf::type_(), class("Device")));
             g.insert(Triple::new(sensor.clone(), prop("partOfDevice"), device));
@@ -502,9 +614,21 @@ pub fn sensor_network(config: &SensorConfig) -> Graph {
     // A handful of legal limit records tie observations to regulation.
     for (i, _) in pollutants.iter().enumerate() {
         let limit = entity("limit", i);
-        g.insert(Triple::new(limit.clone(), rdf::type_(), class("LegalLimit")));
-        g.insert(Triple::new(limit.clone(), prop("aboutPollutant"), entity("pollutant", i)));
-        g.insert(Triple::new(limit, prop("threshold"), Literal::integer(50 + 10 * i as i64)));
+        g.insert(Triple::new(
+            limit.clone(),
+            rdf::type_(),
+            class("LegalLimit"),
+        ));
+        g.insert(Triple::new(
+            limit.clone(),
+            prop("aboutPollutant"),
+            entity("pollutant", i),
+        ));
+        g.insert(Triple::new(
+            limit,
+            prop("threshold"),
+            Literal::integer(50 + 10 * i as i64),
+        ));
     }
 
     g
@@ -530,16 +654,28 @@ mod tests {
         assert_eq!(a, b);
         let classes = a.classes();
         // All ontology classes are instantiated or at least declared.
-        for name in ["Person", "InProceedings", "Event", "SessionEvent", "ConferenceSeries", "Situation"] {
+        for name in [
+            "Person",
+            "InProceedings",
+            "Event",
+            "SessionEvent",
+            "ConferenceSeries",
+            "Situation",
+        ] {
             assert!(
-                classes.contains(&scholarly_classes::class(name)) || !a
-                    .matching(&TriplePattern::any().with_object(scholarly_classes::class(name)))
-                    .next()
-                    .is_none(),
+                classes.contains(&scholarly_classes::class(name))
+                    || !a
+                        .matching(&TriplePattern::any().with_object(scholarly_classes::class(name)))
+                        .next()
+                        .is_none(),
                 "class {name} missing"
             );
         }
-        assert!(a.len() > 1_000, "scholarly dataset should be non-trivial, got {}", a.len());
+        assert!(
+            a.len() > 1_000,
+            "scholarly dataset should be non-trivial, got {}",
+            a.len()
+        );
     }
 
     #[test]
@@ -566,13 +702,30 @@ mod tests {
             ..RandomLodConfig::default()
         };
         let g = random_lod(&config);
-        let stats = hbold_triple_store::StoreStats::compute(&hbold_triple_store::TripleStore::from_graph(&g));
+        let stats = hbold_triple_store::StoreStats::compute(
+            &hbold_triple_store::TripleStore::from_graph(&g),
+        );
         // rdfs:Class declarations add one extra class (the meta-class usage),
         // so instantiated classes are the declared ones plus rdfs:Class itself.
-        assert!(stats.classes >= 20 && stats.classes <= 22, "classes = {}", stats.classes);
-        let first = stats.class_sizes.get(&config.class_iri(0)).copied().unwrap_or(0);
-        let last = stats.class_sizes.get(&config.class_iri(19)).copied().unwrap_or(0);
-        assert!(first > last * 3, "power law expected: first={first} last={last}");
+        assert!(
+            stats.classes >= 20 && stats.classes <= 22,
+            "classes = {}",
+            stats.classes
+        );
+        let first = stats
+            .class_sizes
+            .get(&config.class_iri(0))
+            .copied()
+            .unwrap_or(0);
+        let last = stats
+            .class_sizes
+            .get(&config.class_iri(19))
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            first > last * 3,
+            "power law expected: first={first} last={last}"
+        );
         // Same seed → same graph; different seed → different graph.
         assert_eq!(g, random_lod(&config));
         assert_ne!(g, random_lod(&RandomLodConfig { seed: 12, ..config }));
@@ -610,7 +763,9 @@ mod tests {
             .count();
         assert_eq!(observations, 8 * 3 * 50);
         let by = g
-            .matching(&TriplePattern::any().with_predicate(synth_iri("trafair/ontology#observedBy")))
+            .matching(
+                &TriplePattern::any().with_predicate(synth_iri("trafair/ontology#observedBy")),
+            )
             .count();
         assert_eq!(by, observations);
     }

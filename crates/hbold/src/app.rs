@@ -60,7 +60,10 @@ impl HBold {
     pub fn register_fleet(&self, fleet: &EndpointFleet) -> usize {
         let mut added = 0;
         for endpoint in fleet.iter() {
-            if self.catalog.register(endpoint.url(), EndpointSource::LegacyList) {
+            if self
+                .catalog
+                .register(endpoint.url(), EndpointSource::LegacyList)
+            {
                 added += 1;
             }
         }
@@ -68,7 +71,11 @@ impl HBold {
     }
 
     /// Indexes a single endpoint now (runs the full pipeline on day `day`).
-    pub fn index_endpoint(&self, endpoint: &SparqlEndpoint, day: u64) -> Result<PipelineResult, PipelineError> {
+    pub fn index_endpoint(
+        &self,
+        endpoint: &SparqlEndpoint,
+        day: u64,
+    ) -> Result<PipelineResult, PipelineError> {
         self.pipeline.run(endpoint, day, Some(&self.catalog))
     }
 
@@ -84,11 +91,17 @@ impl HBold {
         email: &str,
         day: u64,
     ) -> Result<Notification, PipelineError> {
-        ManualInsertion::new(self.pipeline.clone(), self.catalog.clone()).submit(endpoint, email, day)
+        ManualInsertion::new(self.pipeline.clone(), self.catalog.clone())
+            .submit(endpoint, email, day)
     }
 
     /// Runs the refresh scheduler over a fleet for `days` virtual days (§3.1).
-    pub fn run_scheduler(&self, fleet: &EndpointFleet, policy: RefreshPolicy, days: u64) -> SchedulerStats {
+    pub fn run_scheduler(
+        &self,
+        fleet: &EndpointFleet,
+        policy: RefreshPolicy,
+        days: u64,
+    ) -> SchedulerStats {
         RefreshScheduler::new(policy).simulate(fleet, &self.pipeline, &self.catalog, days)
     }
 
@@ -126,7 +139,11 @@ mod tests {
             authors_per_paper: 2,
             seed: 3,
         });
-        let endpoint = SparqlEndpoint::new("http://scholarly.example/sparql", &graph, EndpointProfile::full_featured());
+        let endpoint = SparqlEndpoint::new(
+            "http://scholarly.example/sparql",
+            &graph,
+            EndpointProfile::full_featured(),
+        );
         let result = app.index_endpoint(&endpoint, 0).unwrap();
         assert!(result.cluster_schema.cluster_count() >= 2);
 
@@ -146,7 +163,11 @@ mod tests {
         let app = HBold::in_memory();
         let fleet = EndpointFleet::generate(&FleetConfig::small(5, 31));
         assert_eq!(app.register_fleet(&fleet), 5);
-        assert_eq!(app.register_fleet(&fleet), 0, "re-registration adds nothing");
+        assert_eq!(
+            app.register_fleet(&fleet),
+            0,
+            "re-registration adds nothing"
+        );
         let report = app.crawl_portals(&OpenDataPortal::paper_portals());
         assert!(report.total_new() > 0);
         assert_eq!(app.catalog().len(), 5 + report.total_new());

@@ -33,7 +33,9 @@ impl EndpointSource {
         match text {
             "legacy" => EndpointSource::LegacyList,
             "manual" => EndpointSource::Manual,
-            other => EndpointSource::Portal(other.strip_prefix("portal:").unwrap_or(other).to_string()),
+            other => {
+                EndpointSource::Portal(other.strip_prefix("portal:").unwrap_or(other).to_string())
+            }
         }
     }
 }
@@ -101,8 +103,14 @@ impl CatalogEntry {
             url: value.get("url")?.as_str()?.to_string(),
             source: EndpointSource::parse(value.get("source")?.as_str()?),
             status: EndpointStatus::parse(value.get("status")?.as_str()?),
-            last_extraction_day: value.get("last_extraction_day").and_then(DocValue::as_i64).map(|d| d as u64),
-            last_attempt_day: value.get("last_attempt_day").and_then(DocValue::as_i64).map(|d| d as u64),
+            last_extraction_day: value
+                .get("last_extraction_day")
+                .and_then(DocValue::as_i64)
+                .map(|d| d as u64),
+            last_attempt_day: value
+                .get("last_attempt_day")
+                .and_then(DocValue::as_i64)
+                .map(|d| d as u64),
             consecutive_failures: value
                 .get("consecutive_failures")
                 .and_then(DocValue::as_i64)
@@ -122,7 +130,9 @@ impl EndpointCatalog {
     pub fn new(store: &DocStore) -> Self {
         let collection = store.collection("endpoints");
         collection.create_index("url");
-        EndpointCatalog { store: store.clone() }
+        EndpointCatalog {
+            store: store.clone(),
+        }
     }
 
     fn collection(&self) -> hbold_docstore::Collection {
@@ -240,7 +250,11 @@ mod tests {
         catalog.register("http://a.org/sparql", EndpointSource::LegacyList);
         catalog.record_failure("http://a.org/sparql", 1, true);
         let entry = catalog.get("http://a.org/sparql").unwrap();
-        assert_eq!(entry.status, EndpointStatus::Unindexed, "transient failure keeps status");
+        assert_eq!(
+            entry.status,
+            EndpointStatus::Unindexed,
+            "transient failure keeps status"
+        );
         assert_eq!(entry.consecutive_failures, 1);
         assert_eq!(entry.last_attempt_day, Some(1));
         assert_eq!(entry.last_extraction_day, None);

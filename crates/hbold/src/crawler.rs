@@ -90,7 +90,8 @@ impl PortalCrawler {
                     urls.dedup();
                     let mut newly_registered = 0;
                     for url in &urls {
-                        if catalog.register(url, EndpointSource::Portal(portal.name().to_string())) {
+                        if catalog.register(url, EndpointSource::Portal(portal.name().to_string()))
+                        {
                             newly_registered += 1;
                         }
                     }
@@ -130,7 +131,10 @@ mod tests {
         let preexisting = portals[0].advertised_sparql_urls()[0].clone();
         catalog.register(&preexisting, EndpointSource::LegacyList);
         for i in 0..9 {
-            catalog.register(&format!("http://legacy{i}.example/sparql"), EndpointSource::LegacyList);
+            catalog.register(
+                &format!("http://legacy{i}.example/sparql"),
+                EndpointSource::LegacyList,
+            );
         }
         assert_eq!(catalog.len(), 10);
 
@@ -139,8 +143,15 @@ mod tests {
         assert_eq!(report.catalog_before, 10);
         // Every portal discovered something, EDP the most.
         for outcome in &report.portals {
-            assert!(outcome.discovered > 0, "portal {} found nothing", outcome.portal);
-            assert!(outcome.rows >= outcome.discovered, "rows include duplicates");
+            assert!(
+                outcome.discovered > 0,
+                "portal {} found nothing",
+                outcome.portal
+            );
+            assert!(
+                outcome.rows >= outcome.discovered,
+                "rows include duplicates"
+            );
         }
         assert!(report.portals[0].discovered > report.portals[1].discovered);
         // The preexisting endpoint is discovered again but not re-registered.

@@ -242,7 +242,9 @@ mod tests {
         let steps = session.steps();
         assert!(steps.len() >= 4);
         for pair in steps.windows(2) {
-            assert!(pair[1].visible_nodes >= pair[0].visible_nodes || pair[0].action.contains("select"));
+            assert!(
+                pair[1].visible_nodes >= pair[0].visible_nodes || pair[0].action.contains("select")
+            );
         }
     }
 

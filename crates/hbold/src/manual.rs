@@ -53,7 +53,9 @@ impl ManualInsertion {
         email: &str,
         day: u64,
     ) -> Result<Notification, PipelineError> {
-        let newly_listed = self.catalog.register(endpoint.url(), EndpointSource::Manual);
+        let newly_listed = self
+            .catalog
+            .register(endpoint.url(), EndpointSource::Manual);
         let result = self.pipeline.run(endpoint, day, Some(&self.catalog));
         let notification = match &result {
             Ok(pipeline_result) => Notification {
@@ -119,7 +121,11 @@ mod tests {
             observations_per_sensor: 10,
             seed: 1,
         });
-        let endpoint = SparqlEndpoint::new("http://trafair.example/sparql", &graph, EndpointProfile::full_featured());
+        let endpoint = SparqlEndpoint::new(
+            "http://trafair.example/sparql",
+            &graph,
+            EndpointProfile::full_featured(),
+        );
         let notification = workflow.submit(&endpoint, "user@example.org", 2).unwrap();
         assert!(notification.success);
         assert!(notification.body.contains("classes"));
@@ -147,7 +153,9 @@ mod tests {
             &graph,
             EndpointProfile::full_featured().with_availability(AvailabilityModel::always_down()),
         );
-        let err = workflow.submit(&endpoint, "someone@example.org", 0).unwrap_err();
+        let err = workflow
+            .submit(&endpoint, "someone@example.org", 0)
+            .unwrap_err();
         assert!(matches!(err, PipelineError::Extraction(_)));
         let outbox = workflow.outbox();
         assert_eq!(outbox.len(), 1);

@@ -14,7 +14,9 @@ use std::time::{Duration, Instant};
 use hbold_cluster::{ClusterSchema, ClusteringAlgorithm};
 use hbold_docstore::{DocStore, Filter};
 use hbold_endpoint::SparqlEndpoint;
-use hbold_schema::{DatasetIndexes, ExtractionError, ExtractionReport, IndexExtractor, SchemaSummary};
+use hbold_schema::{
+    DatasetIndexes, ExtractionError, ExtractionReport, IndexExtractor, SchemaSummary,
+};
 
 use crate::catalog::{EndpointCatalog, EndpointSource};
 
@@ -172,7 +174,10 @@ impl ExtractionPipeline {
     /// Computes the Cluster Schema **on the fly** from the stored Schema
     /// Summary — the **old** architecture of §3.2, re-running community
     /// detection at every request.
-    pub fn cluster_schema_on_the_fly(&self, endpoint_url: &str) -> Result<ClusterSchema, PipelineError> {
+    pub fn cluster_schema_on_the_fly(
+        &self,
+        endpoint_url: &str,
+    ) -> Result<ClusterSchema, PipelineError> {
         let summary = self.load_summary(endpoint_url)?;
         Ok(ClusterSchema::build(&summary, self.algorithm, self.seed))
     }
@@ -205,7 +210,11 @@ mod tests {
             authors_per_paper: 2,
             seed: 9,
         });
-        SparqlEndpoint::new("http://scholarly.example/sparql", &graph, EndpointProfile::full_featured())
+        SparqlEndpoint::new(
+            "http://scholarly.example/sparql",
+            &graph,
+            EndpointProfile::full_featured(),
+        )
     }
 
     #[test]
@@ -218,12 +227,23 @@ mod tests {
 
         assert!(result.summary.node_count() > 10);
         assert!(result.cluster_schema.cluster_count() >= 2);
-        assert!(result.cluster_schema.is_partition(result.summary.node_count()));
+        assert!(result
+            .cluster_schema
+            .is_partition(result.summary.node_count()));
 
         // Everything can be read back identically.
-        assert_eq!(pipeline.load_summary(endpoint.url()).unwrap(), result.summary);
-        assert_eq!(pipeline.load_cluster_schema(endpoint.url()).unwrap(), result.cluster_schema);
-        assert_eq!(pipeline.load_indexes(endpoint.url()).unwrap(), result.indexes);
+        assert_eq!(
+            pipeline.load_summary(endpoint.url()).unwrap(),
+            result.summary
+        );
+        assert_eq!(
+            pipeline.load_cluster_schema(endpoint.url()).unwrap(),
+            result.cluster_schema
+        );
+        assert_eq!(
+            pipeline.load_indexes(endpoint.url()).unwrap(),
+            result.indexes
+        );
 
         // The on-the-fly path produces the same clustering (same seed), just slower.
         let on_the_fly = pipeline.cluster_schema_on_the_fly(endpoint.url()).unwrap();
@@ -244,7 +264,13 @@ mod tests {
         pipeline.run(&endpoint, 8, None).unwrap();
         assert_eq!(store.collection("schema_summaries").len(), 1);
         assert_eq!(store.collection("cluster_schemas").len(), 1);
-        assert_eq!(pipeline.load_indexes(endpoint.url()).unwrap().extracted_on_day, 8);
+        assert_eq!(
+            pipeline
+                .load_indexes(endpoint.url())
+                .unwrap()
+                .extracted_on_day,
+            8
+        );
     }
 
     #[test]
@@ -259,7 +285,10 @@ mod tests {
             EndpointProfile::full_featured().with_availability(AvailabilityModel::always_down()),
         );
         let err = pipeline.run(&down, 0, Some(&catalog)).unwrap_err();
-        assert!(matches!(err, PipelineError::Extraction(ExtractionError::EndpointUnavailable)));
+        assert!(matches!(
+            err,
+            PipelineError::Extraction(ExtractionError::EndpointUnavailable)
+        ));
         let entry = catalog.get(down.url()).unwrap();
         assert_eq!(entry.consecutive_failures, 1);
         assert!(pipeline.load_summary(down.url()).is_err());

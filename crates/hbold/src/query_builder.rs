@@ -47,7 +47,8 @@ impl VisualQueryBuilder {
     /// Follows an object property to another class; the linked resource is
     /// added to the projection and constrained to the target class.
     pub fn with_link(mut self, property: Iri, target_class: Iri, target_label: &str) -> Self {
-        self.links.push((property, target_class, target_label.to_string()));
+        self.links
+            .push((property, target_class, target_label.to_string()));
         self
     }
 
@@ -93,8 +94,14 @@ impl VisualQueryBuilder {
         }
         for (property, target_class, label) in &self.links {
             let variable = sanitize(label);
-            query.push_str(&format!("  ?instance {} ?{variable} .\n", property.to_ntriples()));
-            query.push_str(&format!("  ?{variable} a {} .\n", target_class.to_ntriples()));
+            query.push_str(&format!(
+                "  ?instance {} ?{variable} .\n",
+                property.to_ntriples()
+            ));
+            query.push_str(&format!(
+                "  ?{variable} a {} .\n",
+                target_class.to_ntriples()
+            ));
         }
         query.push('}');
         if let Some(limit) = self.limit {
@@ -122,7 +129,13 @@ impl VisualQueryBuilder {
 fn sanitize(label: &str) -> String {
     let mut name: String = label
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if name.is_empty() || name.chars().next().unwrap().is_ascii_digit() {
         name.insert(0, 'v');
@@ -145,7 +158,11 @@ mod tests {
             authors_per_paper: 2,
             seed: 2,
         });
-        let endpoint = SparqlEndpoint::new("http://sch.example/sparql", &graph, EndpointProfile::full_featured());
+        let endpoint = SparqlEndpoint::new(
+            "http://sch.example/sparql",
+            &graph,
+            EndpointProfile::full_featured(),
+        );
         let (indexes, _) = IndexExtractor::new().extract(&endpoint, 0).unwrap();
         (SchemaSummary::from_indexes(&indexes), endpoint)
     }
@@ -153,7 +170,9 @@ mod tests {
     #[test]
     fn generated_query_is_valid_and_returns_rows() {
         let (summary, endpoint) = summary_and_endpoint();
-        let person = summary.node_index(&scholarly_classes::class("Person")).unwrap();
+        let person = summary
+            .node_index(&scholarly_classes::class("Person"))
+            .unwrap();
         let builder = VisualQueryBuilder::for_class(&summary, person)
             .unwrap()
             .with_attribute(foaf::name())
@@ -162,7 +181,9 @@ mod tests {
         assert!(query.contains("?instance a <"));
         assert!(query.contains("foaf/0.1/name"));
         assert!(query.ends_with("LIMIT 10"));
-        let rows = endpoint.select(&query).expect("generated query must parse and run");
+        let rows = endpoint
+            .select(&query)
+            .expect("generated query must parse and run");
         assert!(!rows.is_empty());
         assert_eq!(rows.variables, builder.variables());
         assert!(rows.len() <= 10);
@@ -171,11 +192,21 @@ mod tests {
     #[test]
     fn link_selection_constrains_the_target_class() {
         let (summary, endpoint) = summary_and_endpoint();
-        let person = summary.node_index(&scholarly_classes::class("Person")).unwrap();
-        let author_of = Iri::new(format!("{}scholarly/ontology#authorOf", hbold_endpoint::synth::SYNTH_NS)).unwrap();
+        let person = summary
+            .node_index(&scholarly_classes::class("Person"))
+            .unwrap();
+        let author_of = Iri::new(format!(
+            "{}scholarly/ontology#authorOf",
+            hbold_endpoint::synth::SYNTH_NS
+        ))
+        .unwrap();
         let builder = VisualQueryBuilder::for_class(&summary, person)
             .unwrap()
-            .with_link(author_of, scholarly_classes::class("InProceedings"), "paper")
+            .with_link(
+                author_of,
+                scholarly_classes::class("InProceedings"),
+                "paper",
+            )
             .distinct()
             .with_limit(None);
         let query = builder.to_sparql();
@@ -188,7 +219,11 @@ mod tests {
         let ask_class = scholarly_classes::class("InProceedings");
         for binding in rows.iter_bindings() {
             let paper = binding.get("paper").expect("paper bound");
-            let ask = format!("ASK {{ {} a {} }}", paper.to_ntriples(), ask_class.to_ntriples());
+            let ask = format!(
+                "ASK {{ {} a {} }}",
+                paper.to_ntriples(),
+                ask_class.to_ntriples()
+            );
             assert_eq!(endpoint.query(&ask).unwrap().results.as_ask(), Some(true));
         }
     }
@@ -196,7 +231,9 @@ mod tests {
     #[test]
     fn count_query_matches_summary_counts() {
         let (summary, endpoint) = summary_and_endpoint();
-        let person = summary.node_index(&scholarly_classes::class("Person")).unwrap();
+        let person = summary
+            .node_index(&scholarly_classes::class("Person"))
+            .unwrap();
         let builder = VisualQueryBuilder::for_class(&summary, person).unwrap();
         assert_eq!(builder.class_label(), "Person");
         let rows = endpoint.select(&builder.count_query()).unwrap();

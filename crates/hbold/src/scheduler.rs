@@ -70,14 +70,14 @@ impl RefreshScheduler {
                 match entry.last_extraction_day {
                     // Never succeeded: keep trying daily (unless it is marked
                     // permanently failed and has already been retried a lot).
-                    None => !(entry.status == EndpointStatus::Failed && entry.consecutive_failures > 14),
+                    None => {
+                        !(entry.status == EndpointStatus::Failed && entry.consecutive_failures > 14)
+                    }
                     Some(last_success) => {
                         let due = day.saturating_sub(last_success) >= period_days;
                         let last_attempt_failed = entry
                             .last_attempt_day
-                            .map(|attempt| {
-                                attempt > last_success || entry.consecutive_failures > 0
-                            })
+                            .map(|attempt| attempt > last_success || entry.consecutive_failures > 0)
                             .unwrap_or(false);
                         due || last_attempt_failed
                     }
@@ -106,7 +106,9 @@ impl RefreshScheduler {
         for day in 0..days {
             fleet.set_day(day);
             for endpoint in fleet.iter() {
-                let Some(entry) = catalog.get(endpoint.url()) else { continue };
+                let Some(entry) = catalog.get(endpoint.url()) else {
+                    continue;
+                };
                 if !self.should_refresh(&entry, day) {
                     stats.skipped_fresh += 1;
                     continue;
@@ -131,7 +133,11 @@ impl RefreshScheduler {
             }
         }
         stats.endpoints_indexed = indexed;
-        stats.mean_staleness_days = if indexed == 0 { 0.0 } else { staleness_total / indexed as f64 };
+        stats.mean_staleness_days = if indexed == 0 {
+            0.0
+        } else {
+            staleness_total / indexed as f64
+        };
         stats
     }
 }
@@ -195,11 +201,16 @@ mod tests {
         let daily = run(RefreshPolicy::NaiveDaily);
 
         assert_eq!(weekly.days, days);
-        assert!(weekly.extraction_runs < daily.extraction_runs / 2,
+        assert!(
+            weekly.extraction_runs < daily.extraction_runs / 2,
             "weekly policy should run far fewer extractions ({} vs {})",
-            weekly.extraction_runs, daily.extraction_runs);
-        assert!(weekly.endpoints_indexed >= daily.endpoints_indexed.saturating_sub(1),
-            "weekly policy should not lose coverage");
+            weekly.extraction_runs,
+            daily.extraction_runs
+        );
+        assert!(
+            weekly.endpoints_indexed >= daily.endpoints_indexed.saturating_sub(1),
+            "weekly policy should not lose coverage"
+        );
         assert!(weekly.skipped_fresh > 0);
         // Staleness under the weekly policy is bounded by the period.
         assert!(weekly.mean_staleness_days <= 7.5);

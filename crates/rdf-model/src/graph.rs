@@ -55,7 +55,10 @@ impl Graph {
     }
 
     /// Iterates over the triples matching `pattern` (linear scan).
-    pub fn matching<'a>(&'a self, pattern: &TriplePattern) -> impl Iterator<Item = &'a Triple> + 'a {
+    pub fn matching<'a>(
+        &'a self,
+        pattern: &TriplePattern,
+    ) -> impl Iterator<Item = &'a Triple> + 'a {
         let pattern = pattern.clone();
         self.triples.iter().filter(move |t| pattern.matches(t))
     }
@@ -153,11 +156,31 @@ mod tests {
 
     fn sample() -> Graph {
         let mut g = Graph::new();
-        g.insert(Triple::new(iri("http://e.org/alice"), rdf::type_(), foaf::person()));
-        g.insert(Triple::new(iri("http://e.org/bob"), rdf::type_(), foaf::person()));
-        g.insert(Triple::new(iri("http://e.org/acme"), rdf::type_(), foaf::organization()));
-        g.insert(Triple::new(iri("http://e.org/alice"), foaf::name(), Literal::string("Alice")));
-        g.insert(Triple::new(iri("http://e.org/alice"), foaf::knows(), iri("http://e.org/bob")));
+        g.insert(Triple::new(
+            iri("http://e.org/alice"),
+            rdf::type_(),
+            foaf::person(),
+        ));
+        g.insert(Triple::new(
+            iri("http://e.org/bob"),
+            rdf::type_(),
+            foaf::person(),
+        ));
+        g.insert(Triple::new(
+            iri("http://e.org/acme"),
+            rdf::type_(),
+            foaf::organization(),
+        ));
+        g.insert(Triple::new(
+            iri("http://e.org/alice"),
+            foaf::name(),
+            Literal::string("Alice"),
+        ));
+        g.insert(Triple::new(
+            iri("http://e.org/alice"),
+            foaf::knows(),
+            iri("http://e.org/bob"),
+        ));
         g
     }
 
@@ -177,7 +200,11 @@ mod tests {
     fn pattern_queries() {
         let g = sample();
         let people: Vec<_> = g
-            .matching(&TriplePattern::any().with_predicate(rdf::type_()).with_object(foaf::person()))
+            .matching(
+                &TriplePattern::any()
+                    .with_predicate(rdf::type_())
+                    .with_object(foaf::person()),
+            )
             .collect();
         assert_eq!(people.len(), 2);
         assert_eq!(g.matching(&TriplePattern::any()).count(), 5);
@@ -199,8 +226,16 @@ mod tests {
     fn merge_counts_new_triples() {
         let mut g = sample();
         let mut h = Graph::new();
-        h.insert(Triple::new(iri("http://e.org/alice"), foaf::name(), Literal::string("Alice")));
-        h.insert(Triple::new(iri("http://e.org/carol"), rdf::type_(), foaf::person()));
+        h.insert(Triple::new(
+            iri("http://e.org/alice"),
+            foaf::name(),
+            Literal::string("Alice"),
+        ));
+        h.insert(Triple::new(
+            iri("http://e.org/carol"),
+            rdf::type_(),
+            foaf::person(),
+        ));
         assert_eq!(g.extend_from(&h), 1, "only the carol triple is new");
         assert_eq!(g.len(), 6);
     }
@@ -216,6 +251,10 @@ mod tests {
             lines.sort();
             lines
         };
-        assert_eq!(text.lines().collect::<Vec<_>>(), sorted, "output must be deterministic");
+        assert_eq!(
+            text.lines().collect::<Vec<_>>(),
+            sorted,
+            "output must be deterministic"
+        );
     }
 }

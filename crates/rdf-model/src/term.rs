@@ -66,28 +66,46 @@ impl Iri {
     pub fn new(text: impl Into<String>) -> Result<Self, IriParseError> {
         let text = text.into();
         if text.is_empty() {
-            return Err(IriParseError { text, reason: "empty string" });
+            return Err(IriParseError {
+                text,
+                reason: "empty string",
+            });
         }
         let Some(colon) = text.find(':') else {
-            return Err(IriParseError { text, reason: "missing scheme (IRI must be absolute)" });
+            return Err(IriParseError {
+                text,
+                reason: "missing scheme (IRI must be absolute)",
+            });
         };
         if colon == 0 {
-            return Err(IriParseError { text, reason: "empty scheme" });
+            return Err(IriParseError {
+                text,
+                reason: "empty scheme",
+            });
         }
         let scheme = &text[..colon];
-        if !scheme.chars().next().map(|c| c.is_ascii_alphabetic()).unwrap_or(false)
+        if !scheme
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic())
+            .unwrap_or(false)
             || !scheme
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.')
         {
-            return Err(IriParseError { text, reason: "scheme must be alphanumeric and start with a letter" });
+            return Err(IriParseError {
+                text,
+                reason: "scheme must be alphanumeric and start with a letter",
+            });
         }
-        if let Some(bad) = text
-            .chars()
-            .find(|c| c.is_whitespace() || matches!(c, '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\'))
-        {
+        if let Some(bad) = text.chars().find(|c| {
+            c.is_whitespace() || matches!(c, '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\')
+        }) {
             let _ = bad;
-            return Err(IriParseError { text, reason: "contains a character not allowed in IRIREF" });
+            return Err(IriParseError {
+                text,
+                reason: "contains a character not allowed in IRIREF",
+            });
         }
         Ok(Iri(Arc::from(text)))
     }
@@ -165,9 +183,19 @@ impl BlankNode {
         let label: String = label.into();
         let sanitized: String = label
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
-        BlankNode(Arc::from(if sanitized.is_empty() { "b0".to_string() } else { sanitized }))
+        BlankNode(Arc::from(if sanitized.is_empty() {
+            "b0".to_string()
+        } else {
+            sanitized
+        }))
     }
 
     /// Creates a blank node with a numeric label, e.g. `b42`.
@@ -315,12 +343,14 @@ impl Ord for Term {
                 Term::Literal(_) => 2,
             }
         }
-        rank(self).cmp(&rank(other)).then_with(|| match (self, other) {
-            (Term::Blank(a), Term::Blank(b)) => a.cmp(b),
-            (Term::Iri(a), Term::Iri(b)) => a.cmp(b),
-            (Term::Literal(a), Term::Literal(b)) => a.cmp(b),
-            _ => std::cmp::Ordering::Equal,
-        })
+        rank(self)
+            .cmp(&rank(other))
+            .then_with(|| match (self, other) {
+                (Term::Blank(a), Term::Blank(b)) => a.cmp(b),
+                (Term::Iri(a), Term::Iri(b)) => a.cmp(b),
+                (Term::Literal(a), Term::Literal(b)) => a.cmp(b),
+                _ => std::cmp::Ordering::Equal,
+            })
     }
 }
 

@@ -33,7 +33,9 @@ pub enum TriplePositionError {
 impl fmt::Display for TriplePositionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TriplePositionError::LiteralSubject => write!(f, "literal terms cannot be triple subjects"),
+            TriplePositionError::LiteralSubject => {
+                write!(f, "literal terms cannot be triple subjects")
+            }
             TriplePositionError::NonIriPredicate => write!(f, "triple predicates must be IRIs"),
         }
     }
@@ -138,7 +140,10 @@ impl TriplePattern {
     /// Returns `true` if `triple` matches this pattern.
     pub fn matches(&self, triple: &Triple) -> bool {
         self.subject.as_ref().map_or(true, |s| s == &triple.subject)
-            && self.predicate.as_ref().map_or(true, |p| p == &triple.predicate)
+            && self
+                .predicate
+                .as_ref()
+                .map_or(true, |p| p == &triple.predicate)
             && self.object.as_ref().map_or(true, |o| o == &triple.object)
     }
 
@@ -179,31 +184,54 @@ mod tests {
             Err(TriplePositionError::LiteralSubject)
         );
         assert_eq!(
-            Triple::try_new(iri("http://e.org/a"), BlankNode::numbered(0), foaf::person()),
+            Triple::try_new(
+                iri("http://e.org/a"),
+                BlankNode::numbered(0),
+                foaf::person()
+            ),
             Err(TriplePositionError::NonIriPredicate)
         );
         assert!(Triple::try_new(iri("http://e.org/a"), foaf::name(), lit).is_ok());
-        assert!(Triple::try_new(BlankNode::numbered(1), foaf::name(), Literal::string("b")).is_ok());
+        assert!(
+            Triple::try_new(BlankNode::numbered(1), foaf::name(), Literal::string("b")).is_ok()
+        );
     }
 
     #[test]
     fn pattern_matching() {
-        let t = Triple::new(iri("http://e.org/a"), foaf::name(), Literal::string("Alice"));
+        let t = Triple::new(
+            iri("http://e.org/a"),
+            foaf::name(),
+            Literal::string("Alice"),
+        );
         assert!(TriplePattern::any().matches(&t));
-        assert!(TriplePattern::any().with_subject(iri("http://e.org/a")).matches(&t));
-        assert!(TriplePattern::any().with_predicate(foaf::name()).matches(&t));
-        assert!(!TriplePattern::any().with_predicate(foaf::mbox()).matches(&t));
+        assert!(TriplePattern::any()
+            .with_subject(iri("http://e.org/a"))
+            .matches(&t));
+        assert!(TriplePattern::any()
+            .with_predicate(foaf::name())
+            .matches(&t));
+        assert!(!TriplePattern::any()
+            .with_predicate(foaf::mbox())
+            .matches(&t));
         assert!(TriplePattern::any()
             .with_subject(iri("http://e.org/a"))
             .with_object(Literal::string("Alice"))
             .matches(&t));
-        assert!(!TriplePattern::any().with_object(Literal::string("Bob")).matches(&t));
+        assert!(!TriplePattern::any()
+            .with_object(Literal::string("Bob"))
+            .matches(&t));
     }
 
     #[test]
     fn bound_positions_counts() {
         assert_eq!(TriplePattern::any().bound_positions(), 0);
-        assert_eq!(TriplePattern::any().with_predicate(rdf::type_()).bound_positions(), 1);
+        assert_eq!(
+            TriplePattern::any()
+                .with_predicate(rdf::type_())
+                .bound_positions(),
+            1
+        );
         assert_eq!(
             TriplePattern::any()
                 .with_subject(iri("http://e.org/a"))

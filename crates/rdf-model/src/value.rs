@@ -171,10 +171,22 @@ mod tests {
 
     #[test]
     fn parse_integer_and_double() {
-        assert_eq!(LiteralValue::parse("42", &xsd::integer()), LiteralValue::Integer(42));
-        assert_eq!(LiteralValue::parse(" -7 ", &xsd::int()), LiteralValue::Integer(-7));
-        assert_eq!(LiteralValue::parse("2.5", &xsd::double()), LiteralValue::Double(2.5));
-        assert_eq!(LiteralValue::parse("1e3", &xsd::float()), LiteralValue::Double(1000.0));
+        assert_eq!(
+            LiteralValue::parse("42", &xsd::integer()),
+            LiteralValue::Integer(42)
+        );
+        assert_eq!(
+            LiteralValue::parse(" -7 ", &xsd::int()),
+            LiteralValue::Integer(-7)
+        );
+        assert_eq!(
+            LiteralValue::parse("2.5", &xsd::double()),
+            LiteralValue::Double(2.5)
+        );
+        assert_eq!(
+            LiteralValue::parse("1e3", &xsd::float()),
+            LiteralValue::Double(1000.0)
+        );
         // Ill-formed numeric falls back to text rather than erroring.
         assert_eq!(
             LiteralValue::parse("forty-two", &xsd::integer()),
@@ -184,8 +196,14 @@ mod tests {
 
     #[test]
     fn parse_boolean() {
-        assert_eq!(LiteralValue::parse("true", &xsd::boolean()), LiteralValue::Boolean(true));
-        assert_eq!(LiteralValue::parse("0", &xsd::boolean()), LiteralValue::Boolean(false));
+        assert_eq!(
+            LiteralValue::parse("true", &xsd::boolean()),
+            LiteralValue::Boolean(true)
+        );
+        assert_eq!(
+            LiteralValue::parse("0", &xsd::boolean()),
+            LiteralValue::Boolean(false)
+        );
         assert_eq!(
             LiteralValue::parse("maybe", &xsd::boolean()),
             LiteralValue::Text("maybe".into())
@@ -223,9 +241,18 @@ mod tests {
     fn effective_boolean_values() {
         assert_eq!(LiteralValue::Integer(0).effective_boolean(), Some(false));
         assert_eq!(LiteralValue::Integer(3).effective_boolean(), Some(true));
-        assert_eq!(LiteralValue::Text(String::new()).effective_boolean(), Some(false));
-        assert_eq!(LiteralValue::Text("x".into()).effective_boolean(), Some(true));
-        assert_eq!(LiteralValue::Double(f64::NAN).effective_boolean(), Some(false));
+        assert_eq!(
+            LiteralValue::Text(String::new()).effective_boolean(),
+            Some(false)
+        );
+        assert_eq!(
+            LiteralValue::Text("x".into()).effective_boolean(),
+            Some(true)
+        );
+        assert_eq!(
+            LiteralValue::Double(f64::NAN).effective_boolean(),
+            Some(false)
+        );
         assert_eq!(LiteralValue::DateTime(0).effective_boolean(), None);
     }
 }

@@ -228,7 +228,10 @@ impl crate::term::Iri {
 
 /// Returns `true` if `dt` is one of the XSD integer datatypes.
 pub fn is_integer_datatype(dt: &Iri) -> bool {
-    dt == &xsd::integer() || dt == &xsd::int() || dt == &xsd::long() || dt == &xsd::non_negative_integer()
+    dt == &xsd::integer()
+        || dt == &xsd::int()
+        || dt == &xsd::long()
+        || dt == &xsd::non_negative_integer()
 }
 
 /// Returns `true` if `dt` is one of the XSD floating-point / decimal datatypes.
@@ -257,7 +260,10 @@ mod tests {
             foaf::NAMESPACE,
             void::NAMESPACE,
         ] {
-            assert!(Iri::new(ns.to_string() + "x").is_ok(), "namespace {ns} must yield valid IRIs");
+            assert!(
+                Iri::new(ns.to_string() + "x").is_ok(),
+                "namespace {ns} must yield valid IRIs"
+            );
         }
     }
 
@@ -266,7 +272,10 @@ mod tests {
         let a = rdf::type_();
         let b = rdf::type_();
         assert_eq!(a, b);
-        assert_eq!(a.as_str(), "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+        assert_eq!(
+            a.as_str(),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        );
         assert_eq!(a.local_name(), "type");
     }
 
@@ -289,9 +298,18 @@ mod tests {
     #[test]
     fn dcat_terms_match_listing1_query() {
         // The crawler's Listing 1 query relies on these exact IRIs.
-        assert_eq!(dcat::dataset().as_str(), "http://www.w3.org/ns/dcat#Dataset");
-        assert_eq!(dcat::distribution().as_str(), "http://www.w3.org/ns/dcat#distribution");
-        assert_eq!(dcat::access_url().as_str(), "http://www.w3.org/ns/dcat#accessURL");
+        assert_eq!(
+            dcat::dataset().as_str(),
+            "http://www.w3.org/ns/dcat#Dataset"
+        );
+        assert_eq!(
+            dcat::distribution().as_str(),
+            "http://www.w3.org/ns/dcat#distribution"
+        );
+        assert_eq!(
+            dcat::access_url().as_str(),
+            "http://www.w3.org/ns/dcat#accessURL"
+        );
         assert_eq!(dcterms::title().as_str(), "http://purl.org/dc/terms/title");
     }
 }

@@ -41,7 +41,8 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Triple, ParseError> {
     if !cursor.at_end() {
         return Err(cursor.error("trailing content after '.'"));
     }
-    Triple::try_new(subject, predicate, object).map_err(|e| ParseError::new(line_no, 1, e.to_string()))
+    Triple::try_new(subject, predicate, object)
+        .map_err(|e| ParseError::new(line_no, 1, e.to_string()))
 }
 
 /// Serializes a [`Graph`] as N-Triples text (deterministic order).
@@ -127,7 +128,8 @@ impl Cursor {
         self.expect('_')?;
         self.expect(':')?;
         let start = self.pos;
-        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.') {
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+        {
             self.pos += 1;
         }
         if self.pos == start {
@@ -190,8 +192,12 @@ impl Cursor {
     fn parse_unicode_escape(&mut self, digits: usize) -> Result<char, ParseError> {
         let mut code = 0u32;
         for _ in 0..digits {
-            let c = self.bump().ok_or_else(|| self.error("unterminated unicode escape"))?;
-            let d = c.to_digit(16).ok_or_else(|| self.error("invalid hex digit in unicode escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.error("unterminated unicode escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit in unicode escape"))?;
             code = code * 16 + d;
         }
         char::from_u32(code).ok_or_else(|| self.error("unicode escape is not a valid code point"))
@@ -217,8 +223,16 @@ mod tests {
 ";
         let g = parse(doc).unwrap();
         assert_eq!(g.len(), 2);
-        assert!(g.contains(&Triple::new(iri("http://e.org/alice"), rdf::type_(), foaf::person())));
-        assert!(g.contains(&Triple::new(iri("http://e.org/alice"), foaf::name(), Literal::string("Alice"))));
+        assert!(g.contains(&Triple::new(
+            iri("http://e.org/alice"),
+            rdf::type_(),
+            foaf::person()
+        )));
+        assert!(g.contains(&Triple::new(
+            iri("http://e.org/alice"),
+            foaf::name(),
+            Literal::string("Alice")
+        )));
     }
 
     #[test]
@@ -261,11 +275,26 @@ mod tests {
 
     #[test]
     fn rejects_malformed_lines() {
-        assert!(parse("<http://e.org/a> <http://e.org/p> .").is_err(), "missing object");
-        assert!(parse("<http://e.org/a> <http://e.org/p> \"x\"").is_err(), "missing dot");
-        assert!(parse("<http://e.org/a> <http://e.org/p> \"x\" . extra").is_err(), "trailing content");
-        assert!(parse("<http://e.org/a> <http://e.org/p> <unclosed .").is_err(), "unterminated IRI");
-        assert!(parse("\"lit\" <http://e.org/p> \"x\" .").is_err(), "literal subject");
+        assert!(
+            parse("<http://e.org/a> <http://e.org/p> .").is_err(),
+            "missing object"
+        );
+        assert!(
+            parse("<http://e.org/a> <http://e.org/p> \"x\"").is_err(),
+            "missing dot"
+        );
+        assert!(
+            parse("<http://e.org/a> <http://e.org/p> \"x\" . extra").is_err(),
+            "trailing content"
+        );
+        assert!(
+            parse("<http://e.org/a> <http://e.org/p> <unclosed .").is_err(),
+            "unterminated IRI"
+        );
+        assert!(
+            parse("\"lit\" <http://e.org/p> \"x\" .").is_err(),
+            "literal subject"
+        );
         let err = parse("<http://e.org/a> <http://e.org/p> \"unterminated .").unwrap_err();
         assert_eq!(err.line(), 1);
     }
@@ -273,9 +302,21 @@ mod tests {
     #[test]
     fn round_trip_write_then_parse() {
         let mut g = Graph::new();
-        g.insert(Triple::new(iri("http://e.org/a"), rdf::type_(), foaf::person()));
-        g.insert(Triple::new(iri("http://e.org/a"), foaf::name(), Literal::lang_string("Ałice\n\"x\"", "en")));
-        g.insert(Triple::new(BlankNode::new("n1"), foaf::knows(), iri("http://e.org/a")));
+        g.insert(Triple::new(
+            iri("http://e.org/a"),
+            rdf::type_(),
+            foaf::person(),
+        ));
+        g.insert(Triple::new(
+            iri("http://e.org/a"),
+            foaf::name(),
+            Literal::lang_string("Ałice\n\"x\"", "en"),
+        ));
+        g.insert(Triple::new(
+            BlankNode::new("n1"),
+            foaf::knows(),
+            iri("http://e.org/a"),
+        ));
         g.insert(Triple::new(
             iri("http://e.org/a"),
             iri("http://e.org/score"),

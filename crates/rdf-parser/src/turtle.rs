@@ -212,7 +212,8 @@ impl Parser {
     /// Parses `name:` (the prefix label of a @prefix directive).
     fn parse_prefix_label(&mut self) -> Result<String, ParseError> {
         let mut name = String::new();
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.') {
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.')
+        {
             name.push(self.bump().unwrap());
         }
         self.expect(':')?;
@@ -253,7 +254,9 @@ impl Parser {
         match self.peek() {
             Some('<') => {
                 let iri = self.parse_iri_ref()?;
-                Ok(Term::Iri(Iri::new(iri).map_err(|e| self.error(e.to_string()))?))
+                Ok(Term::Iri(
+                    Iri::new(iri).map_err(|e| self.error(e.to_string()))?,
+                ))
             }
             Some('_') => Ok(Term::Blank(self.parse_blank_label()?)),
             Some('[') => {
@@ -317,7 +320,9 @@ impl Parser {
         match self.peek() {
             Some('<') => {
                 let iri = self.parse_iri_ref()?;
-                Ok(Term::Iri(Iri::new(iri).map_err(|e| self.error(e.to_string()))?))
+                Ok(Term::Iri(
+                    Iri::new(iri).map_err(|e| self.error(e.to_string()))?,
+                ))
             }
             Some('_') => Ok(Term::Blank(self.parse_blank_label()?)),
             Some('[') => Ok(Term::Blank(self.parse_anonymous_blank()?)),
@@ -372,7 +377,8 @@ impl Parser {
 
     fn parse_prefixed_name(&mut self) -> Result<Iri, ParseError> {
         let mut prefix = String::new();
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.') {
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.')
+        {
             prefix.push(self.bump().unwrap());
         }
         if self.peek() != Some(':') {
@@ -380,7 +386,8 @@ impl Parser {
         }
         self.bump();
         let mut local = String::new();
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '%') {
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '%')
+        {
             local.push(self.bump().unwrap());
         }
         let Some(ns) = self.prefixes.get(&prefix) else {
@@ -441,7 +448,9 @@ impl Parser {
     fn parse_unicode_escape(&mut self, digits: usize) -> Result<char, ParseError> {
         let mut code = 0u32;
         for _ in 0..digits {
-            let c = self.bump().ok_or_else(|| self.error("unterminated unicode escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.error("unterminated unicode escape"))?;
             let d = c
                 .to_digit(16)
                 .ok_or_else(|| self.error("invalid hex digit in unicode escape"))?;
@@ -504,7 +513,8 @@ mod tests {
         Iri::new(s).unwrap()
     }
 
-    const PREFIXES: &str = "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n@prefix ex: <http://example.org/> .\n";
+    const PREFIXES: &str =
+        "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n@prefix ex: <http://example.org/> .\n";
 
     #[test]
     fn parses_prefixed_statements_with_lists() {
@@ -513,7 +523,11 @@ mod tests {
         );
         let g = parse(&doc).unwrap();
         assert_eq!(g.len(), 4);
-        assert!(g.contains(&Triple::new(iri("http://example.org/alice"), rdf::type_(), foaf::person())));
+        assert!(g.contains(&Triple::new(
+            iri("http://example.org/alice"),
+            rdf::type_(),
+            foaf::person()
+        )));
         assert!(g.contains(&Triple::new(
             iri("http://example.org/alice"),
             foaf::name(),
@@ -536,7 +550,10 @@ mod tests {
         );
         let g = parse(&doc).unwrap();
         assert_eq!(g.len(), 6);
-        let objects: Vec<Literal> = g.iter().filter_map(|t| t.object.as_literal().cloned()).collect();
+        let objects: Vec<Literal> = g
+            .iter()
+            .filter_map(|t| t.object.as_literal().cloned())
+            .collect();
         assert!(objects.contains(&Literal::typed("42", xsd::integer())));
         assert!(objects.contains(&Literal::typed("-7", xsd::integer())));
         assert!(objects.contains(&Literal::typed("3.14", xsd::decimal())));
@@ -555,7 +572,8 @@ mod tests {
 
     #[test]
     fn parses_anonymous_blank_nodes() {
-        let doc = format!("{PREFIXES}ex:alice foaf:knows [ a foaf:Person ; foaf:name \"Bob\" ] .\n");
+        let doc =
+            format!("{PREFIXES}ex:alice foaf:knows [ a foaf:Person ; foaf:name \"Bob\" ] .\n");
         let g = parse(&doc).unwrap();
         assert_eq!(g.len(), 3);
         // The anonymous node is the object of foaf:knows and the subject of two triples.
@@ -600,13 +618,17 @@ mod tests {
         assert_eq!(err.line(), 2);
         assert!(err.message().contains("undeclared prefix"));
 
-        let err = parse("@prefix ex: <http://example.org/> .\nex:a ex:p \"unterminated .").unwrap_err();
+        let err =
+            parse("@prefix ex: <http://example.org/> .\nex:a ex:p \"unterminated .").unwrap_err();
         assert!(err.message().contains("unterminated"));
 
         let err = parse("@wibble foo .").unwrap_err();
         assert!(err.message().contains("unknown @-directive"));
 
-        assert!(parse("@prefix ex: <http://example.org/> .\nex:a ex:p ex:b").is_err(), "missing final dot");
+        assert!(
+            parse("@prefix ex: <http://example.org/> .\nex:a ex:p ex:b").is_err(),
+            "missing final dot"
+        );
     }
 
     #[test]

@@ -203,6 +203,9 @@ mod tests {
         let old = summary(&[("Person", 10), ("Paper", 5)], &[(0, "authorOf", 1)]);
         let new = summary(&[("Paper", 5), ("Person", 10)], &[(1, "authorOf", 0)]);
         let diff = SummaryDiff::compare(&old, &new);
-        assert!(diff.is_empty(), "diff should ignore node ordering: {diff:?}");
+        assert!(
+            diff.is_empty(),
+            "diff should ignore node ordering: {diff:?}"
+        );
     }
 }

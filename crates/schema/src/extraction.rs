@@ -129,7 +129,11 @@ impl IndexExtractor {
         }
 
         // --- total triple count -------------------------------------------------
-        let triples = match self.run(endpoint, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }", &mut report) {
+        let triples = match self.run(
+            endpoint,
+            "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }",
+            &mut report,
+        ) {
             Ok(rows) => first_count(&rows),
             Err(e) if e.is_transient() => return Err(ExtractionError::EndpointUnavailable),
             Err(_) => {
@@ -156,7 +160,11 @@ impl IndexExtractor {
                 links,
             });
         }
-        classes.sort_by(|a, b| b.instances.cmp(&a.instances).then_with(|| a.class.cmp(&b.class)));
+        classes.sort_by(|a, b| {
+            b.instances
+                .cmp(&a.instances)
+                .then_with(|| a.class.cmp(&b.class))
+        });
 
         // --- total typed instances -------------------------------------------------
         let instances = match self.run(
@@ -198,7 +206,8 @@ impl IndexExtractor {
             Ok(rows) => {
                 let mut out = Vec::with_capacity(rows.len());
                 for i in 0..rows.len() {
-                    let (Some(class), Some(count)) = (rows.value(i, "class"), rows.value(i, "n")) else {
+                    let (Some(class), Some(count)) = (rows.value(i, "class"), rows.value(i, "n"))
+                    else {
                         continue;
                     };
                     if let Some(iri) = class.as_iri() {
@@ -228,7 +237,9 @@ impl IndexExtractor {
         )?;
         let mut out = Vec::with_capacity(classes.len());
         for class_term in classes {
-            let Some(class) = class_term.as_iri().cloned() else { continue };
+            let Some(class) = class_term.as_iri().cloned() else {
+                continue;
+            };
             let count_query = format!(
                 "SELECT ?s WHERE {{ ?s a <{}> }} ORDER BY ?s",
                 class.as_str()
@@ -260,7 +271,9 @@ impl IndexExtractor {
                 .collect(),
             Err(e) if e.is_transient() => return Err(ExtractionError::EndpointUnavailable),
             Err(e) => {
-                report.fallback(format!("property aggregate rejected for {class} ({e}); enumerating"));
+                report.fallback(format!(
+                    "property aggregate rejected for {class} ({e}); enumerating"
+                ));
                 if self.aggregate_only {
                     return Err(ExtractionError::Failed(format!(
                         "aggregate property query rejected and fallbacks are disabled: {e}"
@@ -297,7 +310,9 @@ impl IndexExtractor {
                 .collect(),
             Err(e) if e.is_transient() => return Err(ExtractionError::EndpointUnavailable),
             Err(e) => {
-                report.fallback(format!("link aggregate rejected for {class} ({e}); enumerating"));
+                report.fallback(format!(
+                    "link aggregate rejected for {class} ({e}); enumerating"
+                ));
                 if self.aggregate_only {
                     return Err(ExtractionError::Failed(format!(
                         "aggregate link query rejected and fallbacks are disabled: {e}"
@@ -405,7 +420,10 @@ impl IndexExtractor {
                 }
             }
         }
-        report.note(format!("paging stopped at the {}-page safety cap", self.max_pages));
+        report.note(format!(
+            "paging stopped at the {}-page safety cap",
+            self.max_pages
+        ));
         Ok(rows)
     }
 
@@ -473,7 +491,11 @@ mod tests {
     fn aggregate_extraction_matches_ground_truth() {
         let graph = scholarly_graph();
         let truth = ground_truth(&graph);
-        let endpoint = SparqlEndpoint::new("http://sch.example/sparql", &graph, EndpointProfile::full_featured());
+        let endpoint = SparqlEndpoint::new(
+            "http://sch.example/sparql",
+            &graph,
+            EndpointProfile::full_featured(),
+        );
         let (indexes, report) = IndexExtractor::new().extract(&endpoint, 3).unwrap();
 
         assert_eq!(indexes.extracted_on_day, 3);
@@ -481,8 +503,7 @@ mod tests {
         assert_eq!(indexes.class_count(), truth.classes);
         for class_index in &indexes.classes {
             assert_eq!(
-                class_index.instances,
-                truth.class_sizes[&class_index.class],
+                class_index.instances, truth.class_sizes[&class_index.class],
                 "class {}",
                 class_index.class
             );
@@ -499,8 +520,16 @@ mod tests {
     #[test]
     fn enumeration_fallback_matches_aggregate_results() {
         let graph = scholarly_graph();
-        let full = SparqlEndpoint::new("http://full.example/sparql", &graph, EndpointProfile::full_featured());
-        let weak = SparqlEndpoint::new("http://weak.example/sparql", &graph, EndpointProfile::no_aggregates());
+        let full = SparqlEndpoint::new(
+            "http://full.example/sparql",
+            &graph,
+            EndpointProfile::full_featured(),
+        );
+        let weak = SparqlEndpoint::new(
+            "http://weak.example/sparql",
+            &graph,
+            EndpointProfile::no_aggregates(),
+        );
 
         let (agg, _) = IndexExtractor::new().extract(&full, 0).unwrap();
         let (enumerated, report) = IndexExtractor::new().extract(&weak, 0).unwrap();
@@ -509,16 +538,28 @@ mod tests {
         assert!(report.fallbacks > 0);
         assert_eq!(agg.class_count(), enumerated.class_count());
         for class_index in &agg.classes {
-            let other = enumerated.class(&class_index.class).expect("class missing in fallback");
-            assert_eq!(other.instances, class_index.instances, "class {}", class_index.class);
+            let other = enumerated
+                .class(&class_index.class)
+                .expect("class missing in fallback");
+            assert_eq!(
+                other.instances, class_index.instances,
+                "class {}",
+                class_index.class
+            );
         }
     }
 
     #[test]
     fn aggregate_only_extractor_fails_on_weak_endpoints() {
         let graph = scholarly_graph();
-        let weak = SparqlEndpoint::new("http://weak.example/sparql", &graph, EndpointProfile::no_aggregates());
-        let err = IndexExtractor::aggregate_only().extract(&weak, 0).unwrap_err();
+        let weak = SparqlEndpoint::new(
+            "http://weak.example/sparql",
+            &graph,
+            EndpointProfile::no_aggregates(),
+        );
+        let err = IndexExtractor::aggregate_only()
+            .extract(&weak, 0)
+            .unwrap_err();
         assert!(matches!(err, ExtractionError::Failed(_)));
     }
 
@@ -557,7 +598,11 @@ mod tests {
     #[test]
     fn attributes_exclude_links_and_rdf_type() {
         let graph = scholarly_graph();
-        let endpoint = SparqlEndpoint::new("http://sch.example/sparql", &graph, EndpointProfile::full_featured());
+        let endpoint = SparqlEndpoint::new(
+            "http://sch.example/sparql",
+            &graph,
+            EndpointProfile::full_featured(),
+        );
         let (indexes, _) = IndexExtractor::new().extract(&endpoint, 0).unwrap();
         let person = indexes
             .classes
@@ -566,8 +611,14 @@ mod tests {
             .expect("Person class present");
         assert!(!person.attributes.iter().any(|a| a.property == rdf::type_()));
         let link_props: Vec<_> = person.links.iter().map(|l| l.property.clone()).collect();
-        assert!(person.attributes.iter().all(|a| !link_props.contains(&a.property)));
-        assert!(person.links.iter().any(|l| l.target_class.local_name() == "InProceedings"
-            || l.target_class.local_name() == "Document"));
+        assert!(person
+            .attributes
+            .iter()
+            .all(|a| !link_props.contains(&a.property)));
+        assert!(person
+            .links
+            .iter()
+            .any(|l| l.target_class.local_name() == "InProceedings"
+                || l.target_class.local_name() == "Document"));
     }
 }

@@ -197,7 +197,9 @@ mod tests {
         assert_eq!(idx.class_count(), 2);
         let person = Iri::new("http://e.org/Person").unwrap();
         assert_eq!(idx.class(&person).unwrap().instances, 60);
-        assert!(idx.class(&Iri::new("http://e.org/Nothing").unwrap()).is_none());
+        assert!(idx
+            .class(&Iri::new("http://e.org/Nothing").unwrap())
+            .is_none());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub fn extract_fleet(
     // worker one slice; the per-slice results are written into disjoint parts
     // of `results`.
     let chunk_size = endpoints.len().div_ceil(workers);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut remaining: &mut [Option<FleetExtractionOutcome>] = &mut results;
         let mut offset = 0usize;
         let mut handles = Vec::new();
@@ -55,7 +55,7 @@ pub fn extract_fleet(
             let (chunk_out, rest) = remaining.split_at_mut(take);
             remaining = rest;
             let chunk_endpoints = &endpoints[offset..offset + take];
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 for (slot, endpoint) in chunk_out.iter_mut().zip(chunk_endpoints.iter()) {
                     endpoint.set_day(day);
                     let result = extractor.extract(endpoint, day);
@@ -70,8 +70,7 @@ pub fn extract_fleet(
         for handle in handles {
             handle.join().expect("extraction worker panicked");
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     results
         .into_iter()
@@ -93,7 +92,10 @@ mod tests {
             assert_eq!(outcome.endpoint_url, endpoint.url());
         }
         let successes = outcomes.iter().filter(|o| o.is_success()).count();
-        assert!(successes >= 4, "most endpoints should be extractable, got {successes}");
+        assert!(
+            successes >= 4,
+            "most endpoints should be extractable, got {successes}"
+        );
         // Every success has at least one class.
         for outcome in &outcomes {
             if let Ok((indexes, _)) = &outcome.result {

@@ -67,16 +67,27 @@ impl SchemaSummary {
                 class: c.class.clone(),
                 label: c.label.clone(),
                 instances: c.instances,
-                attributes: c.attributes.iter().map(|a| (a.property.clone(), a.count)).collect(),
+                attributes: c
+                    .attributes
+                    .iter()
+                    .map(|a| (a.property.clone(), a.count))
+                    .collect(),
             })
             .collect();
-        let index_of: BTreeMap<&Iri, usize> =
-            nodes.iter().enumerate().map(|(i, n)| (&n.class, i)).collect();
+        let index_of: BTreeMap<&Iri, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (&n.class, i))
+            .collect();
         let mut edges = Vec::new();
         for class_index in &indexes.classes {
-            let Some(&source) = index_of.get(&class_index.class) else { continue };
+            let Some(&source) = index_of.get(&class_index.class) else {
+                continue;
+            };
             for link in &class_index.links {
-                let Some(&target) = index_of.get(&link.target_class) else { continue };
+                let Some(&target) = index_of.get(&link.target_class) else {
+                    continue;
+                };
                 edges.push(SchemaEdge {
                     source,
                     target,
@@ -251,7 +262,10 @@ mod tests {
                     class: person.clone(),
                     label: "Person".into(),
                     instances: 100,
-                    attributes: vec![PropertyIndex { property: iri("http://e.org/name"), count: 95 }],
+                    attributes: vec![PropertyIndex {
+                        property: iri("http://e.org/name"),
+                        count: 95,
+                    }],
                     links: vec![
                         ObjectLinkIndex {
                             property: iri("http://e.org/authorOf"),
@@ -274,7 +288,10 @@ mod tests {
                     class: paper.clone(),
                     label: "Paper".into(),
                     instances: 60,
-                    attributes: vec![PropertyIndex { property: iri("http://e.org/title"), count: 60 }],
+                    attributes: vec![PropertyIndex {
+                        property: iri("http://e.org/title"),
+                        count: 60,
+                    }],
                     links: vec![ObjectLinkIndex {
                         property: iri("http://e.org/publishedIn"),
                         target_class: proceedings.clone(),
@@ -313,7 +330,9 @@ mod tests {
         let summary = SchemaSummary::from_indexes(&sample_indexes());
         let person = summary.node_index(&iri("http://e.org/Person")).unwrap();
         let paper = summary.node_index(&iri("http://e.org/Paper")).unwrap();
-        let proceedings = summary.node_index(&iri("http://e.org/Proceedings")).unwrap();
+        let proceedings = summary
+            .node_index(&iri("http://e.org/Proceedings"))
+            .unwrap();
         assert_eq!(summary.degree(person), 2, "authorOf + knows self-loop");
         assert_eq!(summary.degree(paper), 2, "authorOf in + publishedIn out");
         assert_eq!(summary.degree(proceedings), 1);

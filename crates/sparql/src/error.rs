@@ -35,8 +35,15 @@ impl SparqlError {
 impl fmt::Display for SparqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparqlError::Parse { line, column, message } => {
-                write!(f, "SPARQL parse error at line {line}, column {column}: {message}")
+            SparqlError::Parse {
+                line,
+                column,
+                message,
+            } => {
+                write!(
+                    f,
+                    "SPARQL parse error at line {line}, column {column}: {message}"
+                )
             }
             SparqlError::Unsupported(msg) => write!(f, "unsupported SPARQL feature: {msg}"),
             SparqlError::Evaluation(msg) => write!(f, "SPARQL evaluation error: {msg}"),
@@ -54,7 +61,11 @@ mod tests {
     fn display_formats() {
         let e = SparqlError::parse(2, 5, "unexpected token");
         assert!(e.to_string().contains("line 2"));
-        assert!(SparqlError::Unsupported("CONSTRUCT".into()).to_string().contains("CONSTRUCT"));
-        assert!(SparqlError::Evaluation("bad regex".into()).to_string().contains("bad regex"));
+        assert!(SparqlError::Unsupported("CONSTRUCT".into())
+            .to_string()
+            .contains("CONSTRUCT"));
+        assert!(SparqlError::Evaluation("bad regex".into())
+            .to_string()
+            .contains("bad regex"));
     }
 }

@@ -9,7 +9,7 @@ use hbold_triple_store::TripleStore;
 use crate::ast::*;
 use crate::error::SparqlError;
 use crate::expr::{
-    evaluate_expression, filter_passes, numeric_value, number_term, Binding, EvalValue,
+    evaluate_expression, filter_passes, number_term, numeric_value, Binding, EvalValue,
 };
 use crate::parser::parse_query;
 use crate::results::{QueryResults, SelectResults};
@@ -26,7 +26,10 @@ pub fn evaluate(store: &TripleStore, query: &Query) -> Result<QueryResults, Spar
 
     match &query.form {
         QueryForm::Ask => Ok(QueryResults::Ask(!solutions.is_empty())),
-        QueryForm::Select { distinct, projection } => {
+        QueryForm::Select {
+            distinct,
+            projection,
+        } => {
             let mut results = if query.uses_aggregates() || !query.group_by.is_empty() {
                 project_grouped(query, projection, solutions)?
             } else {
@@ -153,13 +156,29 @@ fn eval_bgp(
     Ok(solutions)
 }
 
-fn pattern_selectivity(tp: &TriplePatternAst, bound: &BTreeSet<String>) -> usize {
-    let score = |node: &TermOrVariable| match node {
-        TermOrVariable::Term(_) => 2,
-        TermOrVariable::Variable(v) if bound.contains(v) => 2,
-        TermOrVariable::Variable(_) => 0,
-    };
-    score(&tp.subject) + score(&tp.predicate) + score(&tp.object)
+fn pattern_selectivity(tp: &TriplePatternAst, bound: &BTreeSet<String>) -> i64 {
+    let mut score = 0i64;
+    let mut has_unbound = false;
+    let mut has_bound_var = false;
+    for node in [&tp.subject, &tp.predicate, &tp.object] {
+        match node {
+            TermOrVariable::Term(_) => score += 2,
+            TermOrVariable::Variable(v) if bound.contains(v) => {
+                // A variable the current solutions already bind acts as a
+                // concrete term, and additionally keeps the join connected.
+                score += 3;
+                has_bound_var = true;
+            }
+            TermOrVariable::Variable(_) => has_unbound = true,
+        }
+    }
+    // A pattern with unbound variables but no link to the bound ones would
+    // produce a cartesian product with the current solutions; defer it until
+    // everything connected has been joined.
+    if !bound.is_empty() && has_unbound && !has_bound_var {
+        score -= 100;
+    }
+    score
 }
 
 fn join_triple_pattern(
@@ -273,7 +292,11 @@ fn project_grouped(
             .map(|(k, v)| format!("{k}={}", v.to_ntriples()))
             .collect::<Vec<_>>()
             .join("\u{1}");
-        groups.entry(key).or_insert_with(|| (key_binding, Vec::new())).1.push(binding);
+        groups
+            .entry(key)
+            .or_insert_with(|| (key_binding, Vec::new()))
+            .1
+            .push(binding);
     }
     // With no GROUP BY (pure aggregate query) there is exactly one group,
     // even if it is empty.
@@ -306,7 +329,9 @@ fn project_grouped(
                     }
                 }
                 ProjectionItem::Expression { expr, alias } => {
-                    if let Some(term) = evaluate_projection_expression(expr, &key_binding, &members)? {
+                    if let Some(term) =
+                        evaluate_projection_expression(expr, &key_binding, &members)?
+                    {
                         out.insert(alias.clone(), term);
                     }
                 }
@@ -331,9 +356,11 @@ fn evaluate_projection_expression(
     members: &[Binding],
 ) -> Result<Option<Term>, SparqlError> {
     match expr {
-        Expression::Aggregate { func, distinct, arg } => {
-            evaluate_aggregate(*func, *distinct, arg.as_deref(), members)
-        }
+        Expression::Aggregate {
+            func,
+            distinct,
+            arg,
+        } => evaluate_aggregate(*func, *distinct, arg.as_deref(), members),
         other => Ok(evaluate_expression(other, key_binding)?.into_term()),
     }
 }
@@ -464,7 +491,11 @@ mod tests {
         for (name, years) in [("alice", 42), ("bob", 31), ("carol", 77)] {
             let s = iri(&format!("http://e.org/{name}"));
             store.insert(&Triple::new(s.clone(), rdf::type_(), person.clone()));
-            store.insert(&Triple::new(s.clone(), age.clone(), Literal::integer(years)));
+            store.insert(&Triple::new(
+                s.clone(),
+                age.clone(),
+                Literal::integer(years),
+            ));
             if name != "carol" {
                 store.insert(&Triple::new(s.clone(), foaf::name(), Literal::string(name)));
             }
@@ -472,10 +503,22 @@ mod tests {
         for p in ["p1", "p2"] {
             let s = iri(&format!("http://e.org/{p}"));
             store.insert(&Triple::new(s.clone(), rdf::type_(), paper.clone()));
-            store.insert(&Triple::new(iri("http://e.org/alice"), author_of.clone(), s.clone()));
+            store.insert(&Triple::new(
+                iri("http://e.org/alice"),
+                author_of.clone(),
+                s.clone(),
+            ));
         }
-        store.insert(&Triple::new(iri("http://e.org/bob"), author_of.clone(), iri("http://e.org/p1")));
-        store.insert(&Triple::new(iri("http://e.org/unimore"), rdf::type_(), org.clone()));
+        store.insert(&Triple::new(
+            iri("http://e.org/bob"),
+            author_of.clone(),
+            iri("http://e.org/p1"),
+        ));
+        store.insert(&Triple::new(
+            iri("http://e.org/unimore"),
+            rdf::type_(),
+            org.clone(),
+        ));
         store.insert(&Triple::new(
             iri("http://e.org/alice"),
             affiliated,
@@ -514,7 +557,10 @@ mod tests {
         let r = select(&store, "SELECT * WHERE { ?s <http://e.org/authorOf> ?p }");
         assert_eq!(r.variables, vec!["s", "p"]);
         assert_eq!(r.len(), 3);
-        let r = select(&store, "SELECT DISTINCT ?s WHERE { ?s <http://e.org/authorOf> ?p }");
+        let r = select(
+            &store,
+            "SELECT DISTINCT ?s WHERE { ?s <http://e.org/authorOf> ?p }",
+        );
         assert_eq!(r.len(), 2);
     }
 
@@ -549,11 +595,7 @@ mod tests {
              SELECT ?s ?name WHERE { ?s a <http://e.org/Person> OPTIONAL { ?s foaf:name ?name } }",
         );
         assert_eq!(r.len(), 3);
-        let unbound = r
-            .rows
-            .iter()
-            .filter(|row| row[1].is_none())
-            .count();
+        let unbound = r.rows.iter().filter(|row| row[1].is_none()).count();
         assert_eq!(unbound, 1, "carol has no name");
     }
 
@@ -596,7 +638,10 @@ mod tests {
     fn count_star_without_group() {
         let store = sample_store();
         let r = select(&store, "SELECT (COUNT(*) AS ?triples) WHERE { ?s ?p ?o }");
-        assert_eq!(r.value(0, "triples").unwrap().label(), &store.len().to_string());
+        assert_eq!(
+            r.value(0, "triples").unwrap().label(),
+            &store.len().to_string()
+        );
     }
 
     #[test]
@@ -634,11 +679,15 @@ mod tests {
     fn ask_queries() {
         let store = sample_store();
         assert_eq!(
-            execute_query(&store, "ASK { ?s a <http://e.org/Person> }").unwrap().as_ask(),
+            execute_query(&store, "ASK { ?s a <http://e.org/Person> }")
+                .unwrap()
+                .as_ask(),
             Some(true)
         );
         assert_eq!(
-            execute_query(&store, "ASK { ?s a <http://e.org/Spaceship> }").unwrap().as_ask(),
+            execute_query(&store, "ASK { ?s a <http://e.org/Spaceship> }")
+                .unwrap()
+                .as_ask(),
             Some(false)
         );
     }

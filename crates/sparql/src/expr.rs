@@ -101,7 +101,9 @@ pub fn evaluate_expression(expr: &Expression, binding: &Binding) -> Result<EvalV
 
 /// Evaluates a filter condition: errors and non-boolean outcomes are `false`.
 pub fn filter_passes(expr: &Expression, binding: &Binding) -> Result<bool, SparqlError> {
-    Ok(evaluate_expression(expr, binding)?.effective_boolean().unwrap_or(false))
+    Ok(evaluate_expression(expr, binding)?
+        .effective_boolean()
+        .unwrap_or(false))
 }
 
 fn compare(op: ComparisonOp, left: &EvalValue, right: &EvalValue) -> EvalValue {
@@ -161,11 +163,15 @@ fn evaluate_function(
         Function::Bound => match args.first() {
             Some(Expression::Variable(name)) => EvalValue::Bool(binding.contains_key(name)),
             _ => {
-                return Err(SparqlError::Evaluation("BOUND expects a single variable argument".into()))
+                return Err(SparqlError::Evaluation(
+                    "BOUND expects a single variable argument".into(),
+                ))
             }
         },
         Function::Str => match arg(0)? {
-            EvalValue::Term(t) => EvalValue::Term(Term::Literal(Literal::string(term_string_value(&t)))),
+            EvalValue::Term(t) => {
+                EvalValue::Term(Term::Literal(Literal::string(term_string_value(&t))))
+            }
             _ => EvalValue::Error,
         },
         Function::Lang => match arg(0)? {
@@ -175,7 +181,9 @@ fn evaluate_function(
             _ => EvalValue::Error,
         },
         Function::Datatype => match arg(0)? {
-            EvalValue::Term(Term::Literal(lit)) => EvalValue::Term(Term::Iri(lit.datatype().clone())),
+            EvalValue::Term(Term::Literal(lit)) => {
+                EvalValue::Term(Term::Iri(lit.datatype().clone()))
+            }
             _ => EvalValue::Error,
         },
         Function::IsIri => match arg(0)? {
@@ -254,7 +262,10 @@ mod tests {
     use hbold_rdf_model::Iri;
 
     fn binding(pairs: &[(&str, Term)]) -> Binding {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     fn int(n: i64) -> Term {
@@ -268,7 +279,10 @@ mod tests {
             evaluate_expression(&E::Variable("x".into()), &b).unwrap(),
             EvalValue::Term(int(5))
         );
-        assert_eq!(evaluate_expression(&E::Variable("missing".into()), &b).unwrap(), EvalValue::Error);
+        assert_eq!(
+            evaluate_expression(&E::Variable("missing".into()), &b).unwrap(),
+            EvalValue::Error
+        );
         assert_eq!(
             evaluate_expression(&E::Constant(int(1)), &b).unwrap(),
             EvalValue::Term(int(1))
@@ -308,7 +322,10 @@ mod tests {
             left: Box::new(E::Variable("x".into())),
             right: Box::new(E::Constant(b_term)),
         };
-        assert!(!filter_passes(&lt, &b).unwrap(), "IRI order comparison is an error, hence false");
+        assert!(
+            !filter_passes(&lt, &b).unwrap(),
+            "IRI order comparison is an error, hence false"
+        );
     }
 
     #[test]
@@ -335,22 +352,46 @@ mod tests {
         let b = binding(&[("url", url)]);
         let make = |func, args| E::Function { func, args };
         assert!(filter_passes(
-            &make(Function::Contains, vec![E::Variable("url".into()), E::Constant(Term::Literal(Literal::string("europa")))]),
+            &make(
+                Function::Contains,
+                vec![
+                    E::Variable("url".into()),
+                    E::Constant(Term::Literal(Literal::string("europa")))
+                ]
+            ),
             &b
         )
         .unwrap());
         assert!(filter_passes(
-            &make(Function::StrStarts, vec![E::Variable("url".into()), E::Constant(Term::Literal(Literal::string("http")))]),
+            &make(
+                Function::StrStarts,
+                vec![
+                    E::Variable("url".into()),
+                    E::Constant(Term::Literal(Literal::string("http")))
+                ]
+            ),
             &b
         )
         .unwrap());
         assert!(filter_passes(
-            &make(Function::StrEnds, vec![E::Variable("url".into()), E::Constant(Term::Literal(Literal::string("sparql")))]),
+            &make(
+                Function::StrEnds,
+                vec![
+                    E::Variable("url".into()),
+                    E::Constant(Term::Literal(Literal::string("sparql")))
+                ]
+            ),
             &b
         )
         .unwrap());
         assert!(!filter_passes(
-            &make(Function::Contains, vec![E::Variable("url".into()), E::Constant(Term::Literal(Literal::string("csv")))]),
+            &make(
+                Function::Contains,
+                vec![
+                    E::Variable("url".into()),
+                    E::Constant(Term::Literal(Literal::string("csv")))
+                ]
+            ),
             &b
         )
         .unwrap());

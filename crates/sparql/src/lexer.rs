@@ -82,10 +82,48 @@ pub enum TokenKind {
 
 /// Reserved words recognized as keywords (upper-cased).
 const KEYWORDS: &[&str] = &[
-    "SELECT", "ASK", "WHERE", "DISTINCT", "REDUCED", "FILTER", "OPTIONAL", "UNION", "GROUP", "BY",
-    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "PREFIX", "BASE", "AS", "COUNT", "SUM", "AVG", "MIN",
-    "MAX", "REGEX", "STR", "LANG", "DATATYPE", "BOUND", "ISIRI", "ISURI", "ISLITERAL", "ISBLANK",
-    "CONTAINS", "STRSTARTS", "STRENDS", "TRUE", "FALSE", "HAVING", "VALUES", "IN", "NOT", "EXISTS",
+    "SELECT",
+    "ASK",
+    "WHERE",
+    "DISTINCT",
+    "REDUCED",
+    "FILTER",
+    "OPTIONAL",
+    "UNION",
+    "GROUP",
+    "BY",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "PREFIX",
+    "BASE",
+    "AS",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "REGEX",
+    "STR",
+    "LANG",
+    "DATATYPE",
+    "BOUND",
+    "ISIRI",
+    "ISURI",
+    "ISLITERAL",
+    "ISBLANK",
+    "CONTAINS",
+    "STRSTARTS",
+    "STRENDS",
+    "TRUE",
+    "FALSE",
+    "HAVING",
+    "VALUES",
+    "IN",
+    "NOT",
+    "EXISTS",
 ];
 
 /// Tokenizes a SPARQL query string.
@@ -419,7 +457,9 @@ impl Lexer {
         if KEYWORDS.contains(&upper.as_str()) {
             return Ok(TokenKind::Keyword(upper));
         }
-        Err(self.error(format!("unexpected word '{word}' (not a keyword, variable or prefixed name)")))
+        Err(self.error(format!(
+            "unexpected word '{word}' (not a keyword, variable or prefixed name)"
+        )))
     }
 }
 
@@ -435,7 +475,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -531,7 +575,10 @@ mod tests {
     #[test]
     fn positions_are_tracked() {
         let toks = tokenize("SELECT ?s\nWHERE { }").unwrap();
-        let where_tok = toks.iter().find(|t| t.kind == TokenKind::Keyword("WHERE".into())).unwrap();
+        let where_tok = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Keyword("WHERE".into()))
+            .unwrap();
         assert_eq!(where_tok.line, 2);
         assert_eq!(where_tok.column, 1);
     }

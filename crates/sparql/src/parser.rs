@@ -41,7 +41,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -79,7 +81,10 @@ impl Parser {
         if self.eat_keyword(keyword) {
             Ok(())
         } else {
-            Err(self.error(format!("expected keyword {keyword}, found {:?}", self.peek())))
+            Err(self.error(format!(
+                "expected keyword {keyword}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -105,7 +110,11 @@ impl Parser {
             loop {
                 match self.bump() {
                     TokenKind::Var(v) => group_by.push(v),
-                    other => return Err(self.error(format!("GROUP BY expects variables, found {other:?}"))),
+                    other => {
+                        return Err(
+                            self.error(format!("GROUP BY expects variables, found {other:?}"))
+                        )
+                    }
                 }
                 if !matches!(self.peek(), TokenKind::Var(_)) {
                     break;
@@ -131,12 +140,17 @@ impl Parser {
                     // Bare variable form.
                     match self.peek() {
                         TokenKind::Var(_) => {
-                            let TokenKind::Var(v) = self.bump() else { unreachable!() };
+                            let TokenKind::Var(v) = self.bump() else {
+                                unreachable!()
+                            };
                             order_by.push(OrderCondition {
                                 expr: Expression::Variable(v),
                                 descending: false,
                             });
-                            if matches!(self.peek(), TokenKind::Var(_)) || self.is_keyword("ASC") || self.is_keyword("DESC") {
+                            if matches!(self.peek(), TokenKind::Var(_))
+                                || self.is_keyword("ASC")
+                                || self.is_keyword("DESC")
+                            {
                                 continue;
                             }
                             break;
@@ -147,7 +161,10 @@ impl Parser {
                 let expr = self.parse_expression()?;
                 self.expect(&TokenKind::RParen)?;
                 order_by.push(OrderCondition { expr, descending });
-                if !(matches!(self.peek(), TokenKind::Var(_)) || self.is_keyword("ASC") || self.is_keyword("DESC")) {
+                if !(matches!(self.peek(), TokenKind::Var(_))
+                    || self.is_keyword("ASC")
+                    || self.is_keyword("DESC"))
+                {
                     break;
                 }
             }
@@ -160,12 +177,20 @@ impl Parser {
             if self.eat_keyword("LIMIT") {
                 match self.bump() {
                     TokenKind::Integer(n) if n >= 0 => limit = Some(n as usize),
-                    other => return Err(self.error(format!("LIMIT expects a non-negative integer, found {other:?}"))),
+                    other => {
+                        return Err(self.error(format!(
+                            "LIMIT expects a non-negative integer, found {other:?}"
+                        )))
+                    }
                 }
             } else if self.eat_keyword("OFFSET") {
                 match self.bump() {
                     TokenKind::Integer(n) if n >= 0 => offset = Some(n as usize),
-                    other => return Err(self.error(format!("OFFSET expects a non-negative integer, found {other:?}"))),
+                    other => {
+                        return Err(self.error(format!(
+                            "OFFSET expects a non-negative integer, found {other:?}"
+                        )))
+                    }
                 }
             }
         }
@@ -189,17 +214,23 @@ impl Parser {
             if self.eat_keyword("PREFIX") {
                 let (prefix, _local) = match self.bump() {
                     TokenKind::PrefixedName(p, l) => (p, l),
-                    other => return Err(self.error(format!("PREFIX expects `name:`, found {other:?}"))),
+                    other => {
+                        return Err(self.error(format!("PREFIX expects `name:`, found {other:?}")))
+                    }
                 };
                 let iri = match self.bump() {
                     TokenKind::Iri(iri) => iri,
-                    other => return Err(self.error(format!("PREFIX expects an IRI, found {other:?}"))),
+                    other => {
+                        return Err(self.error(format!("PREFIX expects an IRI, found {other:?}")))
+                    }
                 };
                 self.prefixes.insert(prefix, iri);
             } else if self.eat_keyword("BASE") {
                 match self.bump() {
                     TokenKind::Iri(_) => {}
-                    other => return Err(self.error(format!("BASE expects an IRI, found {other:?}"))),
+                    other => {
+                        return Err(self.error(format!("BASE expects an IRI, found {other:?}")))
+                    }
                 }
             } else {
                 return Ok(());
@@ -227,7 +258,11 @@ impl Parser {
                         self.expect_keyword("AS")?;
                         let alias = match self.bump() {
                             TokenKind::Var(v) => v,
-                            other => return Err(self.error(format!("AS expects a variable, found {other:?}"))),
+                            other => {
+                                return Err(
+                                    self.error(format!("AS expects a variable, found {other:?}"))
+                                )
+                            }
                         };
                         self.expect(&TokenKind::RParen)?;
                         items.push(ProjectionItem::Expression { expr, alias });
@@ -240,7 +275,10 @@ impl Parser {
             }
             Projection::Items(items)
         };
-        Ok(QueryForm::Select { distinct, projection })
+        Ok(QueryForm::Select {
+            distinct,
+            projection,
+        })
     }
 
     // ---- graph patterns ---------------------------------------------------------
@@ -303,7 +341,9 @@ impl Parser {
                 TokenKind::Dot => {
                     self.bump();
                 }
-                TokenKind::Eof => return Err(self.error("unexpected end of query inside group pattern")),
+                TokenKind::Eof => {
+                    return Err(self.error("unexpected end of query inside group pattern"))
+                }
                 _ => {
                     // A triple pattern (possibly with ; and , continuations).
                     self.parse_triples_same_subject(&mut current_bgp)?;
@@ -328,7 +368,10 @@ impl Parser {
         Ok(pattern)
     }
 
-    fn parse_triples_same_subject(&mut self, bgp: &mut Vec<TriplePatternAst>) -> Result<(), SparqlError> {
+    fn parse_triples_same_subject(
+        &mut self,
+        bgp: &mut Vec<TriplePatternAst>,
+    ) -> Result<(), SparqlError> {
         let subject = self.parse_term_or_variable()?;
         loop {
             let predicate = self.parse_verb()?;
@@ -373,11 +416,20 @@ impl Parser {
             TokenKind::PrefixedName(prefix, local) => {
                 Ok(TermOrVariable::iri(self.resolve_prefixed(&prefix, &local)?))
             }
-            TokenKind::String(value) => Ok(TermOrVariable::literal(self.finish_string_literal(value)?)),
+            TokenKind::String(value) => {
+                Ok(TermOrVariable::literal(self.finish_string_literal(value)?))
+            }
             TokenKind::Integer(n) => Ok(TermOrVariable::literal(Literal::integer(n))),
-            TokenKind::Decimal(d) => Ok(TermOrVariable::literal(Literal::typed(format!("{d}"), xsd::decimal()))),
-            TokenKind::Keyword(k) if k == "TRUE" => Ok(TermOrVariable::literal(Literal::boolean(true))),
-            TokenKind::Keyword(k) if k == "FALSE" => Ok(TermOrVariable::literal(Literal::boolean(false))),
+            TokenKind::Decimal(d) => Ok(TermOrVariable::literal(Literal::typed(
+                format!("{d}"),
+                xsd::decimal(),
+            ))),
+            TokenKind::Keyword(k) if k == "TRUE" => {
+                Ok(TermOrVariable::literal(Literal::boolean(true)))
+            }
+            TokenKind::Keyword(k) if k == "FALSE" => {
+                Ok(TermOrVariable::literal(Literal::boolean(false)))
+            }
             other => Err(self.error(format!("expected a term or variable, found {other:?}"))),
         }
     }
@@ -393,8 +445,14 @@ impl Parser {
                 self.bump();
                 let datatype = match self.bump() {
                     TokenKind::Iri(iri) => self.make_iri(&iri)?,
-                    TokenKind::PrefixedName(prefix, local) => self.resolve_prefixed(&prefix, &local)?,
-                    other => return Err(self.error(format!("expected datatype IRI after ^^, found {other:?}"))),
+                    TokenKind::PrefixedName(prefix, local) => {
+                        self.resolve_prefixed(&prefix, &local)?
+                    }
+                    other => {
+                        return Err(
+                            self.error(format!("expected datatype IRI after ^^, found {other:?}"))
+                        )
+                    }
                 };
                 Ok(Literal::typed(value, datatype))
             }
@@ -497,7 +555,9 @@ impl Parser {
             }
             TokenKind::String(s) => {
                 self.bump();
-                Ok(Expression::Constant(Term::Literal(self.finish_string_literal(s)?)))
+                Ok(Expression::Constant(Term::Literal(
+                    self.finish_string_literal(s)?,
+                )))
             }
             TokenKind::Iri(iri) => {
                 self.bump();
@@ -505,7 +565,9 @@ impl Parser {
             }
             TokenKind::PrefixedName(prefix, local) => {
                 self.bump();
-                Ok(Expression::Constant(Term::Iri(self.resolve_prefixed(&prefix, &local)?)))
+                Ok(Expression::Constant(Term::Iri(
+                    self.resolve_prefixed(&prefix, &local)?,
+                )))
             }
             TokenKind::Keyword(k) => self.parse_keyword_expression(&k),
             other => Err(self.error(format!("unexpected token in expression: {other:?}"))),
@@ -540,7 +602,11 @@ impl Parser {
                     Some(Box::new(self.parse_expression()?))
                 };
                 self.expect(&TokenKind::RParen)?;
-                Ok(Expression::Aggregate { func, distinct, arg })
+                Ok(Expression::Aggregate {
+                    func,
+                    distinct,
+                    arg,
+                })
             }
             "REGEX" | "STR" | "LANG" | "DATATYPE" | "BOUND" | "ISIRI" | "ISURI" | "ISLITERAL"
             | "ISBLANK" | "CONTAINS" | "STRSTARTS" | "STRENDS" => {
@@ -585,13 +651,23 @@ mod tests {
 
     #[test]
     fn parses_simple_select() {
-        let q = parse_query("SELECT ?s WHERE { ?s a <http://xmlns.com/foaf/0.1/Person> . }").unwrap();
-        let QueryForm::Select { distinct, projection } = &q.form else {
+        let q =
+            parse_query("SELECT ?s WHERE { ?s a <http://xmlns.com/foaf/0.1/Person> . }").unwrap();
+        let QueryForm::Select {
+            distinct,
+            projection,
+        } = &q.form
+        else {
             panic!("expected SELECT")
         };
         assert!(!distinct);
-        assert_eq!(projection, &Projection::Items(vec![ProjectionItem::Variable("s".into())]));
-        let GraphPattern::Bgp(tps) = &q.pattern else { panic!("expected BGP") };
+        assert_eq!(
+            projection,
+            &Projection::Items(vec![ProjectionItem::Variable("s".into())])
+        );
+        let GraphPattern::Bgp(tps) = &q.pattern else {
+            panic!("expected BGP")
+        };
         assert_eq!(tps.len(), 1);
         assert_eq!(tps[0].predicate, TermOrVariable::iri(rdf::type_()));
         assert_eq!(tps[0].object, TermOrVariable::iri(foaf::person()));
@@ -604,7 +680,9 @@ mod tests {
              SELECT ?s ?n WHERE { ?s a foaf:Person ; foaf:name ?n , ?alias . }",
         )
         .unwrap();
-        let GraphPattern::Bgp(tps) = &q.pattern else { panic!() };
+        let GraphPattern::Bgp(tps) = &q.pattern else {
+            panic!()
+        };
         assert_eq!(tps.len(), 3);
         assert!(tps.iter().all(|tp| tp.subject == TermOrVariable::var("s")));
     }
@@ -620,10 +698,24 @@ mod tests {
         assert_eq!(q.order_by.len(), 1);
         assert!(q.order_by[0].descending);
         assert!(q.uses_aggregates());
-        let QueryForm::Select { projection: Projection::Items(items), .. } = &q.form else { panic!() };
+        let QueryForm::Select {
+            projection: Projection::Items(items),
+            ..
+        } = &q.form
+        else {
+            panic!()
+        };
         assert_eq!(items.len(), 2);
         match &items[1] {
-            ProjectionItem::Expression { expr: Expression::Aggregate { func, distinct, arg }, alias } => {
+            ProjectionItem::Expression {
+                expr:
+                    Expression::Aggregate {
+                        func,
+                        distinct,
+                        arg,
+                    },
+                alias,
+            } => {
                 assert_eq!(*func, AggregateFunction::Count);
                 assert!(*distinct);
                 assert!(arg.is_some());
@@ -652,22 +744,25 @@ mod tests {
         let GraphPattern::Filter { inner, condition } = &q.pattern else {
             panic!("expected FILTER at the top, got {:?}", q.pattern)
         };
-        let GraphPattern::Bgp(tps) = inner.as_ref() else { panic!() };
+        let GraphPattern::Bgp(tps) = inner.as_ref() else {
+            panic!()
+        };
         assert_eq!(tps.len(), 4);
         assert_eq!(tps[0].object, TermOrVariable::iri(dcat::dataset()));
         assert_eq!(tps[1].predicate, TermOrVariable::iri(dcterms::title()));
         match condition {
-            Expression::Function { func: Function::Regex, args } => assert_eq!(args.len(), 2),
+            Expression::Function {
+                func: Function::Regex,
+                args,
+            } => assert_eq!(args.len(), 2),
             other => panic!("expected regex filter, got {other:?}"),
         }
     }
 
     #[test]
     fn parses_optional_and_union() {
-        let q = parse_query(
-            "SELECT * WHERE { ?s a ?c OPTIONAL { ?s <http://e.org/name> ?n } }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * WHERE { ?s a ?c OPTIONAL { ?s <http://e.org/name> ?n } }")
+            .unwrap();
         assert!(matches!(q.pattern, GraphPattern::Optional { .. }));
 
         let q = parse_query(
@@ -685,8 +780,13 @@ mod tests {
 
     #[test]
     fn parses_filter_comparisons() {
-        let q = parse_query("SELECT ?s WHERE { ?s <http://e.org/age> ?age FILTER(?age >= 18 && ?age < 65) }").unwrap();
-        let GraphPattern::Filter { condition, .. } = &q.pattern else { panic!() };
+        let q = parse_query(
+            "SELECT ?s WHERE { ?s <http://e.org/age> ?age FILTER(?age >= 18 && ?age < 65) }",
+        )
+        .unwrap();
+        let GraphPattern::Filter { condition, .. } = &q.pattern else {
+            panic!()
+        };
         assert!(matches!(condition, Expression::And(_, _)));
     }
 
@@ -696,14 +796,19 @@ mod tests {
         assert!(parse_query("SELECT ?s WHERE { ?s ?p }").is_err());
         assert!(parse_query("SELECT WHERE { ?s ?p ?o }").is_err());
         assert!(parse_query("SELECT ?s WHERE { ?s ?p ?o } HAVING (?s > 2)").is_err());
-        assert!(parse_query("SELECT ?s WHERE { ?s foaf:name ?n }").is_err(), "undeclared prefix");
+        assert!(
+            parse_query("SELECT ?s WHERE { ?s foaf:name ?n }").is_err(),
+            "undeclared prefix"
+        );
         assert!(parse_query("SELECT ?s WHERE { ?s ?p ?o } LIMIT -3").is_err());
     }
 
     #[test]
     fn select_star_and_offset() {
         let q = parse_query("SELECT * WHERE { ?s ?p ?o } OFFSET 5 LIMIT 3").unwrap();
-        let QueryForm::Select { projection, .. } = &q.form else { panic!() };
+        let QueryForm::Select { projection, .. } = &q.form else {
+            panic!()
+        };
         assert_eq!(projection, &Projection::Star);
         assert_eq!(q.offset, Some(5));
         assert_eq!(q.limit, Some(3));

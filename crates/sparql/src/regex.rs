@@ -63,7 +63,10 @@ enum Atom {
     /// `.` — any character.
     Any,
     /// A character class.
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     /// A parenthesised group of alternatives.
     Group(Vec<Vec<Piece>>),
 }
@@ -109,7 +112,10 @@ impl Regex {
         if anchored_end {
             chars.pop();
         }
-        let mut parser = PatternParser { chars: &chars, pos: 0 };
+        let mut parser = PatternParser {
+            chars: &chars,
+            pos: 0,
+        };
         let alternatives = parser.parse_alternatives(false)?;
         if parser.pos != chars.len() {
             return Err(RegexError("unbalanced ')'".into()));
@@ -208,7 +214,9 @@ impl Regex {
                 ends
             }
             _ => {
-                let Some(&c) = text.get(pos) else { return Vec::new() };
+                let Some(&c) = text.get(pos) else {
+                    return Vec::new();
+                };
                 let matched = match atom {
                     Atom::Literal(l) => {
                         if self.case_insensitive {
@@ -219,7 +227,9 @@ impl Regex {
                     }
                     Atom::Any => true,
                     Atom::Class { negated, items } => {
-                        let inside = items.iter().any(|item| class_item_matches(item, c, self.case_insensitive));
+                        let inside = items
+                            .iter()
+                            .any(|item| class_item_matches(item, c, self.case_insensitive));
                         inside != *negated
                     }
                     Atom::Group(_) => unreachable!(),
@@ -311,7 +321,9 @@ impl PatternParser<'_> {
     }
 
     fn parse_atom(&mut self) -> Result<Atom, RegexError> {
-        let c = self.peek().ok_or_else(|| RegexError("unexpected end of pattern".into()))?;
+        let c = self
+            .peek()
+            .ok_or_else(|| RegexError("unexpected end of pattern".into()))?;
         self.pos += 1;
         match c {
             '.' => Ok(Atom::Any),
@@ -330,19 +342,39 @@ impl PatternParser<'_> {
                     .ok_or_else(|| RegexError("dangling escape at end of pattern".into()))?;
                 self.pos += 1;
                 Ok(match escaped {
-                    'd' => Atom::Class { negated: false, items: vec![ClassItem::Digit] },
-                    'D' => Atom::Class { negated: false, items: vec![ClassItem::NotDigit] },
-                    'w' => Atom::Class { negated: false, items: vec![ClassItem::Word] },
-                    'W' => Atom::Class { negated: false, items: vec![ClassItem::NotWord] },
-                    's' => Atom::Class { negated: false, items: vec![ClassItem::Space] },
-                    'S' => Atom::Class { negated: false, items: vec![ClassItem::NotSpace] },
+                    'd' => Atom::Class {
+                        negated: false,
+                        items: vec![ClassItem::Digit],
+                    },
+                    'D' => Atom::Class {
+                        negated: false,
+                        items: vec![ClassItem::NotDigit],
+                    },
+                    'w' => Atom::Class {
+                        negated: false,
+                        items: vec![ClassItem::Word],
+                    },
+                    'W' => Atom::Class {
+                        negated: false,
+                        items: vec![ClassItem::NotWord],
+                    },
+                    's' => Atom::Class {
+                        negated: false,
+                        items: vec![ClassItem::Space],
+                    },
+                    'S' => Atom::Class {
+                        negated: false,
+                        items: vec![ClassItem::NotSpace],
+                    },
                     'n' => Atom::Literal('\n'),
                     't' => Atom::Literal('\t'),
                     'r' => Atom::Literal('\r'),
                     other => Atom::Literal(other),
                 })
             }
-            '*' | '+' | '?' => Err(RegexError(format!("quantifier '{c}' with nothing to repeat"))),
+            '*' | '+' | '?' => Err(RegexError(format!(
+                "quantifier '{c}' with nothing to repeat"
+            ))),
             other => Ok(Atom::Literal(other)),
         }
     }
@@ -354,7 +386,9 @@ impl PatternParser<'_> {
         }
         let mut items = Vec::new();
         loop {
-            let c = self.peek().ok_or_else(|| RegexError("unterminated character class".into()))?;
+            let c = self
+                .peek()
+                .ok_or_else(|| RegexError("unterminated character class".into()))?;
             self.pos += 1;
             match c {
                 ']' => {
@@ -382,11 +416,13 @@ impl PatternParser<'_> {
                 }
                 first => {
                     // A range `a-z`, unless '-' is the last character.
-                    if self.peek() == Some('-') && self.chars.get(self.pos + 1).copied() != Some(']') {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied() != Some(']')
+                    {
                         self.pos += 1; // consume '-'
-                        let end = self
-                            .peek()
-                            .ok_or_else(|| RegexError("unterminated range in character class".into()))?;
+                        let end = self.peek().ok_or_else(|| {
+                            RegexError("unterminated range in character class".into())
+                        })?;
                         self.pos += 1;
                         if end < first {
                             return Err(RegexError(format!("invalid range '{first}-{end}'")));

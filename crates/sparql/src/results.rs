@@ -154,14 +154,26 @@ pub fn json_string(s: &str) -> String {
 
 fn term_to_json(term: &Term) -> String {
     match term {
-        Term::Iri(iri) => format!("{{\"type\":\"uri\",\"value\":{}}}", json_string(iri.as_str())),
-        Term::Blank(b) => format!("{{\"type\":\"bnode\",\"value\":{}}}", json_string(b.label())),
+        Term::Iri(iri) => format!(
+            "{{\"type\":\"uri\",\"value\":{}}}",
+            json_string(iri.as_str())
+        ),
+        Term::Blank(b) => format!(
+            "{{\"type\":\"bnode\",\"value\":{}}}",
+            json_string(b.label())
+        ),
         Term::Literal(lit) => {
-            let mut out = format!("{{\"type\":\"literal\",\"value\":{}", json_string(lit.lexical_form()));
+            let mut out = format!(
+                "{{\"type\":\"literal\",\"value\":{}",
+                json_string(lit.lexical_form())
+            );
             if let Some(lang) = lit.language() {
                 out.push_str(&format!(",\"xml:lang\":{}", json_string(lang)));
             } else {
-                out.push_str(&format!(",\"datatype\":{}", json_string(lit.datatype().as_str())));
+                out.push_str(&format!(
+                    ",\"datatype\":{}",
+                    json_string(lit.datatype().as_str())
+                ));
             }
             out.push('}');
             out
@@ -202,10 +214,7 @@ mod tests {
         assert!(!r.is_empty());
         assert_eq!(r.column("name"), Some(1));
         assert_eq!(r.column("missing"), None);
-        assert_eq!(
-            r.value(0, "s").unwrap().label(),
-            "alice"
-        );
+        assert_eq!(r.value(0, "s").unwrap().label(), "alice");
         assert!(r.value(1, "name").is_none());
         let bindings: Vec<_> = r.iter_bindings().collect();
         assert_eq!(bindings[0].len(), 2);

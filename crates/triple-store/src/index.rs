@@ -59,8 +59,10 @@ impl PositionalIndex {
 
     /// Scans keys whose first component equals `first`.
     pub fn scan_prefix1(&self, first: TermId) -> impl Iterator<Item = &(TermId, TermId, TermId)> {
-        self.keys
-            .range((Bound::Included((first, 0, 0)), Bound::Included((first, TermId::MAX, TermId::MAX))))
+        self.keys.range((
+            Bound::Included((first, 0, 0)),
+            Bound::Included((first, TermId::MAX, TermId::MAX)),
+        ))
     }
 
     /// Scans keys whose first two components equal `(first, second)`.

@@ -101,8 +101,16 @@ mod tests {
                 foaf::organization(),
             ));
         }
-        store.insert(&Triple::new(iri("http://e.org/p0"), foaf::name(), Literal::string("P0")));
-        store.insert(&Triple::new(iri("http://e.org/p0"), foaf::member(), iri("http://e.org/o0")));
+        store.insert(&Triple::new(
+            iri("http://e.org/p0"),
+            foaf::name(),
+            Literal::string("P0"),
+        ));
+        store.insert(&Triple::new(
+            iri("http://e.org/p0"),
+            foaf::member(),
+            iri("http://e.org/o0"),
+        ));
         store
     }
 

@@ -144,7 +144,11 @@ impl TripleStore {
         match (subject, predicate, object) {
             (Some(s), Some(p), Some(o)) => {
                 if self.spo.contains(&(s, p, o)) {
-                    vec![EncodedTriple { subject: s, predicate: p, object: o }]
+                    vec![EncodedTriple {
+                        subject: s,
+                        predicate: p,
+                        object: o,
+                    }]
                 } else {
                     Vec::new()
                 }
@@ -154,11 +158,7 @@ impl TripleStore {
             (None, Some(p), Some(o)) => self.pos.scan_prefix2(p, o).map(from_pos).collect(),
             (None, Some(p), None) => self.pos.scan_prefix1(p).map(from_pos).collect(),
             (None, None, Some(o)) => self.osp.scan_prefix1(o).map(from_osp).collect(),
-            (Some(s), None, Some(o)) => self
-                .osp
-                .scan_prefix2(o, s)
-                .map(from_osp)
-                .collect(),
+            (Some(s), None, Some(o)) => self.osp.scan_prefix2(o, s).map(from_osp).collect(),
             (None, None, None) => self.spo.scan_all().map(from_spo).collect(),
         }
     }
@@ -287,12 +287,36 @@ mod tests {
 
     fn sample() -> TripleStore {
         let mut store = TripleStore::new();
-        store.insert(&Triple::new(iri("http://e.org/alice"), rdf::type_(), foaf::person()));
-        store.insert(&Triple::new(iri("http://e.org/bob"), rdf::type_(), foaf::person()));
-        store.insert(&Triple::new(iri("http://e.org/acme"), rdf::type_(), foaf::organization()));
-        store.insert(&Triple::new(iri("http://e.org/alice"), foaf::name(), Literal::string("Alice")));
-        store.insert(&Triple::new(iri("http://e.org/alice"), foaf::knows(), iri("http://e.org/bob")));
-        store.insert(&Triple::new(iri("http://e.org/bob"), foaf::member(), iri("http://e.org/acme")));
+        store.insert(&Triple::new(
+            iri("http://e.org/alice"),
+            rdf::type_(),
+            foaf::person(),
+        ));
+        store.insert(&Triple::new(
+            iri("http://e.org/bob"),
+            rdf::type_(),
+            foaf::person(),
+        ));
+        store.insert(&Triple::new(
+            iri("http://e.org/acme"),
+            rdf::type_(),
+            foaf::organization(),
+        ));
+        store.insert(&Triple::new(
+            iri("http://e.org/alice"),
+            foaf::name(),
+            Literal::string("Alice"),
+        ));
+        store.insert(&Triple::new(
+            iri("http://e.org/alice"),
+            foaf::knows(),
+            iri("http://e.org/bob"),
+        ));
+        store.insert(&Triple::new(
+            iri("http://e.org/bob"),
+            foaf::member(),
+            iri("http://e.org/acme"),
+        ));
         store
     }
 

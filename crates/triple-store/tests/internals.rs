@@ -1,0 +1,221 @@
+//! Internals-focused tests: dictionary encode/decode round-trips and
+//! agreement of the SPO/POS/OSP index orderings on every pattern shape.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hbold_rdf_model::{BlankNode, Iri, Literal, Term, Triple, TriplePattern};
+use hbold_triple_store::{TermId, TripleStore};
+
+/// A deterministic zoo of terms covering every [`Term`] variant, including
+/// pairs that are textually close but must intern separately.
+fn term_zoo() -> Vec<Term> {
+    let mut terms: Vec<Term> = Vec::new();
+    for i in 0..20 {
+        terms.push(
+            Iri::new(format!("http://zoo.example/resource/{i}"))
+                .unwrap()
+                .into(),
+        );
+    }
+    terms.push(Iri::new("http://zoo.example/resource").unwrap().into());
+    terms.push(Iri::new("http://zoo.example/resource/").unwrap().into());
+    for i in 0..10 {
+        terms.push(BlankNode::numbered(i).into());
+    }
+    terms.push(BlankNode::new("b0").into());
+    terms.push(Literal::string("5").into());
+    terms.push(Literal::integer(5).into());
+    terms.push(Literal::double(5.0).into());
+    terms.push(Literal::string("").into());
+    terms.push(Literal::lang_string("chat", "fr").into());
+    terms.push(Literal::lang_string("chat", "en").into());
+    terms.push(Literal::string("chat").into());
+    terms.push(Literal::boolean(true).into());
+    terms.push(Literal::string("with \"quotes\" and \\slashes\\ and\nnewlines").into());
+    terms
+}
+
+#[test]
+fn dictionary_round_trips_every_term_variant() {
+    let mut store = TripleStore::new();
+    let p = Iri::new("http://zoo.example/p").unwrap();
+    let subject = Iri::new("http://zoo.example/s").unwrap();
+    let zoo = term_zoo();
+    for term in &zoo {
+        store.insert(&Triple::new(subject.clone(), p.clone(), term.clone()));
+    }
+
+    // Every term decodes back to itself through its id.
+    for term in &zoo {
+        let id = store.id_of(term).expect("term was interned on insert");
+        assert_eq!(store.term(id), term, "id {id} does not decode back");
+        // And the id is stable: re-resolving gives the same id.
+        assert_eq!(store.id_of(term), Some(id));
+    }
+
+    // Ids are dense: every id below term_count resolves to a distinct term.
+    let mut seen = std::collections::BTreeSet::new();
+    for id in 0..store.term_count() as TermId {
+        let term = store.term(id).clone();
+        assert!(
+            seen.insert(term.to_ntriples()),
+            "id {id} duplicates an earlier term"
+        );
+    }
+
+    // Near-miss terms interned separately.
+    let ids = [
+        store.id_of(&Literal::string("5").into()),
+        store.id_of(&Literal::integer(5).into()),
+        store.id_of(&Literal::string("chat").into()),
+        store.id_of(&Literal::lang_string("chat", "fr").into()),
+        store.id_of(&Literal::lang_string("chat", "en").into()),
+    ];
+    let distinct: std::collections::BTreeSet<_> = ids.iter().flatten().collect();
+    assert_eq!(
+        distinct.len(),
+        ids.len(),
+        "near-miss literals must not collide"
+    );
+}
+
+#[test]
+fn dictionary_survives_removal_and_reinsertion() {
+    let mut store = TripleStore::new();
+    let t = Triple::new(
+        Iri::new("http://zoo.example/s").unwrap(),
+        Iri::new("http://zoo.example/p").unwrap(),
+        Literal::string("kept"),
+    );
+    store.insert(&t);
+    let id = store.id_of(&t.object).unwrap();
+    store.remove(&t);
+    // Interning is append-only: the id survives triple removal...
+    assert_eq!(store.id_of(&t.object), Some(id));
+    assert!(store.is_empty());
+    // ...and re-inserting reuses it rather than growing the dictionary.
+    let terms_before = store.term_count();
+    store.insert(&t);
+    assert_eq!(store.term_count(), terms_before);
+    assert_eq!(store.id_of(&t.object), Some(id));
+}
+
+/// Builds a random but deterministic store plus its triples as a plain list.
+fn random_store(seed: u64, size: usize) -> (TripleStore, Vec<Triple>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let subjects: Vec<Iri> = (0..12)
+        .map(|i| Iri::new(format!("http://r.example/s{i}")).unwrap())
+        .collect();
+    let predicates: Vec<Iri> = (0..6)
+        .map(|i| Iri::new(format!("http://r.example/p{i}")).unwrap())
+        .collect();
+    let mut store = TripleStore::new();
+    let mut triples = Vec::new();
+    while store.len() < size {
+        let s = subjects[rng.gen_range(0..subjects.len())].clone();
+        let p = predicates[rng.gen_range(0..predicates.len())].clone();
+        let o: Term = if rng.gen_bool(0.5) {
+            subjects[rng.gen_range(0..subjects.len())].clone().into()
+        } else {
+            Literal::integer(rng.gen_range(0..30i64)).into()
+        };
+        let t = Triple::new(s, p, o);
+        if store.insert(&t) {
+            triples.push(t);
+        }
+    }
+    (store, triples)
+}
+
+#[test]
+fn index_orderings_agree_on_every_pattern_shape() {
+    let (store, triples) = random_store(42, 300);
+
+    // Probe terms: some present, some interned-but-differently-used, one
+    // never interned.
+    let some = |t: &Triple| (t.subject.clone(), t.predicate.clone(), t.object.clone());
+    let (s0, p0, o0) = some(&triples[17]);
+    let foreign: Term = Iri::new("http://r.example/never-seen").unwrap().into();
+
+    let subjects = [None, Some(s0.clone()), Some(foreign.clone())];
+    let predicates = [None, Some(p0.clone()), Some(foreign.clone())];
+    let objects = [None, Some(o0.clone()), Some(s0.clone()), Some(foreign)];
+
+    for s in &subjects {
+        for p in &predicates {
+            for o in &objects {
+                let pattern = TriplePattern {
+                    subject: s.clone(),
+                    predicate: p.clone(),
+                    object: o.clone(),
+                };
+                // Ground truth: a naive scan over the triple list.
+                let mut expected: Vec<Triple> = triples
+                    .iter()
+                    .filter(|t| {
+                        s.as_ref().map_or(true, |x| &t.subject == x)
+                            && p.as_ref().map_or(true, |x| &t.predicate == x)
+                            && o.as_ref().map_or(true, |x| &t.object == x)
+                    })
+                    .cloned()
+                    .collect();
+                expected.sort();
+                // Indexed answer: whichever of SPO/POS/OSP the store picked.
+                let mut actual = store.matching(&pattern);
+                actual.sort();
+                assert_eq!(actual, expected, "pattern {pattern:?}");
+                assert_eq!(store.count_matching(&pattern), expected.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn indexes_stay_consistent_under_interleaved_insert_remove() {
+    let (mut store, triples) = random_store(7, 200);
+    let mut live: std::collections::BTreeSet<Triple> = triples.iter().cloned().collect();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    for round in 0..300 {
+        if rng.gen_bool(0.5) && !live.is_empty() {
+            let victim = live
+                .iter()
+                .nth(rng.gen_range(0..live.len()))
+                .cloned()
+                .unwrap();
+            assert!(
+                store.remove(&victim),
+                "round {round}: remove reported absent triple"
+            );
+            live.remove(&victim);
+        } else {
+            let t = &triples[rng.gen_range(0..triples.len())];
+            assert_eq!(store.insert(t), live.insert(t.clone()), "round {round}");
+        }
+    }
+
+    assert_eq!(store.len(), live.len());
+    // After the churn, a full decode agrees with the live set, meaning all
+    // three orderings were kept in lock-step by insert/remove.
+    let mut from_store: Vec<Triple> = store.iter().collect();
+    from_store.sort();
+    let mut expected: Vec<Triple> = live.into_iter().collect();
+    expected.sort();
+    assert_eq!(from_store, expected);
+    // And each surviving triple is reachable through each access path.
+    for t in &expected {
+        assert!(store.contains(t));
+        assert!(store
+            .matching(&TriplePattern::any().with_subject(t.subject.as_iri().unwrap().clone()))
+            .contains(t));
+        assert_eq!(
+            store.count_matching(&TriplePattern {
+                subject: Some(t.subject.clone()),
+                predicate: Some(t.predicate.clone()),
+                object: Some(t.object.clone()),
+            }),
+            1
+        );
+    }
+}

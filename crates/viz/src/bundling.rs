@@ -196,7 +196,11 @@ impl EdgeBundlingLayout {
             positions,
             angles,
             groups,
-            labels: summary.nodes.iter().map(|node| node.label.clone()).collect(),
+            labels: summary
+                .nodes
+                .iter()
+                .map(|node| node.label.clone())
+                .collect(),
             roles,
             edges,
             size,
@@ -231,7 +235,11 @@ impl EdgeBundlingLayout {
             // Labels sit just outside the circle, anchored by which side they
             // fall on.
             let label_point = Point::on_circle(center, self.size / 2.0 * 0.85, self.angles[i]);
-            let anchor = if self.angles[i].cos() >= 0.0 { "start" } else { "end" };
+            let anchor = if self.angles[i].cos() >= 0.0 {
+                "start"
+            } else {
+                "end"
+            };
             doc.text_anchored(label_point.x, label_point.y, 9.0, anchor, &self.labels[i]);
         }
         doc.close_group();
@@ -279,8 +287,14 @@ mod tests {
         let class = |name: &str| Iri::new(format!("http://e.org/{name}")).unwrap();
         let prop = |name: &str| Iri::new(format!("http://e.org/p/{name}")).unwrap();
         let names = [
-            "Event", "Situation", "Vevent", "SessionEvent", "ConferenceSeries", "InformationObject",
-            "Person", "Document",
+            "Event",
+            "Situation",
+            "Vevent",
+            "SessionEvent",
+            "ConferenceSeries",
+            "InformationObject",
+            "Person",
+            "Document",
         ];
         let nodes = names
             .iter()
@@ -293,12 +307,12 @@ mod tests {
             })
             .collect();
         let edges = vec![
-            (0, 1, "hasSetting"),    // Event -> Situation (range of the focus)
-            (2, 0, "specializes"),   // Vevent -> Event (domain side)
-            (3, 0, "subEventOf"),    // SessionEvent -> Event
-            (4, 0, "hasEvent"),      // ConferenceSeries -> Event
-            (5, 0, "about"),         // InformationObject -> Event
-            (6, 7, "authorOf"),      // Person -> Document (unrelated to focus)
+            (0, 1, "hasSetting"),  // Event -> Situation (range of the focus)
+            (2, 0, "specializes"), // Vevent -> Event (domain side)
+            (3, 0, "subEventOf"),  // SessionEvent -> Event
+            (4, 0, "hasEvent"),    // ConferenceSeries -> Event
+            (5, 0, "about"),       // InformationObject -> Event
+            (6, 7, "authorOf"),    // Person -> Document (unrelated to focus)
             (7, 5, "realizes"),
         ]
         .into_iter()
@@ -339,7 +353,10 @@ mod tests {
                 changes += 1;
             }
         }
-        assert!(changes <= cs.cluster_count(), "clusters are interleaved around the circle");
+        assert!(
+            changes <= cs.cluster_count(),
+            "clusters are interleaved around the circle"
+        );
     }
 
     #[test]
@@ -347,9 +364,17 @@ mod tests {
         let (summary, cs, focus) = fixture();
         let layout = EdgeBundlingLayout::compute(&summary, &cs, Some(focus), 0.85, 600.0);
         assert_eq!(layout.roles[0], FocusRole::Focus);
-        assert_eq!(layout.roles[1], FocusRole::Range, "Situation is in the range of the focus");
+        assert_eq!(
+            layout.roles[1],
+            FocusRole::Range,
+            "Situation is in the range of the focus"
+        );
         for domain_node in [2, 3, 4, 5] {
-            assert_eq!(layout.roles[domain_node], FocusRole::Domain, "node {domain_node}");
+            assert_eq!(
+                layout.roles[domain_node],
+                FocusRole::Domain,
+                "node {domain_node}"
+            );
         }
         assert_eq!(layout.roles[6], FocusRole::None);
         let focus_edges = layout.edges.iter().filter(|e| e.touches_focus).count();
@@ -392,7 +417,10 @@ mod tests {
                         / first.distance(&last).powi(2)
                 };
                 let projected = first.lerp(&last, t.clamp(0.0, 1.0));
-                assert!(projected.distance(p) < 1e-6, "control point off the straight line");
+                assert!(
+                    projected.distance(p) < 1e-6,
+                    "control point off the straight line"
+                );
             }
         }
     }
@@ -404,7 +432,10 @@ mod tests {
         let svg = layout.to_svg();
         assert_eq!(svg.matches("<path").count(), layout.edges.len());
         assert_eq!(svg.matches("<circle").count(), summary.node_count());
-        assert!(svg.contains("#d62728"), "focus edges / domain nodes are highlighted");
+        assert!(
+            svg.contains("#d62728"),
+            "focus edges / domain nodes are highlighted"
+        );
         assert!(svg.contains("Situation"));
     }
 

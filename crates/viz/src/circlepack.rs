@@ -150,7 +150,13 @@ impl CirclePackLayout {
     pub fn to_svg(&self) -> String {
         let mut doc = SvgDocument::new(self.size, self.size);
         if let Some(dataset) = &self.dataset {
-            doc.circle(dataset.center.x, dataset.center.y, dataset.radius, "#f4f4f4", "#999999");
+            doc.circle(
+                dataset.center.x,
+                dataset.center.y,
+                dataset.radius,
+                "#f4f4f4",
+                "#999999",
+            );
         }
         for cluster in &self.clusters {
             doc.circle(
@@ -170,7 +176,13 @@ impl CirclePackLayout {
                 "#ffffff",
             );
             if class.radius > 18.0 {
-                doc.text_anchored(class.center.x, class.center.y + 3.0, 9.0, "middle", &class.label);
+                doc.text_anchored(
+                    class.center.x,
+                    class.center.y + 3.0,
+                    9.0,
+                    "middle",
+                    &class.label,
+                );
             }
         }
         doc.finish()
@@ -206,9 +218,10 @@ pub fn pack_circles(radii: &[f64]) -> Vec<Point> {
         for a in 0..centres.len() {
             for b in (a + 1)..centres.len() {
                 for candidate in tangent_positions(centres[a], radii[a], centres[b], radii[b], r) {
-                    let overlaps = centres.iter().zip(radii.iter()).any(|(c, &cr)| {
-                        c.distance(&candidate) + 1e-7 < cr + r
-                    });
+                    let overlaps = centres
+                        .iter()
+                        .zip(radii.iter())
+                        .any(|(c, &cr)| c.distance(&candidate) + 1e-7 < cr + r);
                     if overlaps {
                         continue;
                     }
@@ -310,15 +323,27 @@ mod tests {
                 attributes: vec![],
             })
             .collect();
-        let edges = vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (6, 7), (7, 8), (6, 8), (2, 3), (5, 6)]
-            .into_iter()
-            .map(|(s, t)| SchemaEdge {
-                source: s,
-                target: t,
-                property: prop("p"),
-                count: 1,
-            })
-            .collect();
+        let edges = vec![
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+            (6, 7),
+            (7, 8),
+            (6, 8),
+            (2, 3),
+            (5, 6),
+        ]
+        .into_iter()
+        .map(|(s, t)| SchemaEdge {
+            source: s,
+            target: t,
+            property: prop("p"),
+            count: 1,
+        })
+        .collect();
         let summary = SchemaSummary {
             endpoint_url: "http://e.org/sparql".into(),
             total_instances: 8550,
@@ -348,7 +373,10 @@ mod tests {
         // sum of all diameters (the degenerate "line of circles" layout).
         let enclosing = enclosing_radius(&centres, &radii);
         let line_length: f64 = radii.iter().map(|r| 2.0 * r).sum();
-        assert!(enclosing < line_length * 0.6, "enclosing {enclosing} vs line {line_length}");
+        assert!(
+            enclosing < line_length * 0.6,
+            "enclosing {enclosing} vs line {line_length}"
+        );
         assert!(
             angular_spread(&centres) > TAU * 0.15,
             "packing should spread around the first circle rather than form a line, spread = {}",
@@ -372,7 +400,11 @@ mod tests {
         assert_eq!(layout.clusters.len(), cs.cluster_count());
         assert_eq!(layout.classes.len(), summary.node_count());
         for cluster in &layout.clusters {
-            assert!(dataset.contains(cluster), "cluster {} escapes the dataset circle", cluster.label);
+            assert!(
+                dataset.contains(cluster),
+                "cluster {} escapes the dataset circle",
+                cluster.label
+            );
         }
         for class in &layout.classes {
             let parent = layout
@@ -380,7 +412,11 @@ mod tests {
                 .iter()
                 .find(|c| c.cluster == class.cluster)
                 .unwrap();
-            assert!(parent.contains(class), "class {} escapes its cluster", class.label);
+            assert!(
+                parent.contains(class),
+                "class {} escapes its cluster",
+                class.label
+            );
         }
         // Sibling clusters do not overlap.
         for i in 0..layout.clusters.len() {
@@ -410,7 +446,10 @@ mod tests {
             .collect();
         by_instances.sort_by_key(|(instances, _)| *instances);
         for pair in by_instances.windows(2) {
-            assert!(pair[0].1 <= pair[1].1 + 1e-9, "radii must grow with instance counts");
+            assert!(
+                pair[0].1 <= pair[1].1 + 1e-9,
+                "radii must grow with instance counts"
+            );
         }
     }
 

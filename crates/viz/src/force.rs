@@ -115,7 +115,8 @@ impl ForceLayout {
                 let length = (d.x * d.x + d.y * d.y).sqrt().max(0.01);
                 let capped = length.min(temperature);
                 positions[i].x = (positions[i].x + d.x / length * capped).clamp(10.0, width - 10.0);
-                positions[i].y = (positions[i].y + d.y / length * capped).clamp(10.0, height - 10.0);
+                positions[i].y =
+                    (positions[i].y + d.y / length * capped).clamp(10.0, height - 10.0);
             }
             temperature = (temperature - cooling).max(0.5);
         }
@@ -250,13 +251,17 @@ mod tests {
         };
         let intra = avg(&edges);
         let inter = avg(&[(0, 3), (1, 4), (2, 5), (0, 5), (2, 3)]);
-        assert!(intra < inter, "intra {intra} should be smaller than inter {inter}");
+        assert!(
+            intra < inter,
+            "intra {intra} should be smaller than inter {inter}"
+        );
     }
 
     #[test]
     fn summary_layout_scales_radii_and_renders() {
         let summary = chain_summary(5);
-        let layout = ForceLayout::from_summary(&summary, &[0, 0, 1, 1, 1], &ForceLayoutConfig::default());
+        let layout =
+            ForceLayout::from_summary(&summary, &[0, 0, 1, 1, 1], &ForceLayoutConfig::default());
         assert_eq!(layout.positions.len(), 5);
         assert_eq!(layout.edges.len(), 4);
         // Radii grow with instance counts.

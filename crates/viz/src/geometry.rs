@@ -54,7 +54,12 @@ pub struct Rect {
 impl Rect {
     /// Creates a rectangle.
     pub fn new(x: f64, y: f64, width: f64, height: f64) -> Self {
-        Rect { x, y, width, height }
+        Rect {
+            x,
+            y,
+            width,
+            height,
+        }
     }
 
     /// The rectangle's area.
@@ -147,7 +152,10 @@ mod tests {
         assert!(outer.intersects(&outside));
         assert!(!inner.intersects(&outside));
         let touching = Rect::new(5.0, 2.0, 3.0, 3.0);
-        assert!(!inner.intersects(&touching), "touching edges do not overlap");
+        assert!(
+            !inner.intersects(&touching),
+            "touching edges do not overlap"
+        );
     }
 
     #[test]

@@ -150,7 +150,11 @@ impl SunburstLayout {
                 continue;
             }
             let mid = (segment.start_angle + segment.end_angle) / 2.0;
-            let p = Point::on_circle(center, (segment.inner_radius + segment.outer_radius) / 2.0, mid);
+            let p = Point::on_circle(
+                center,
+                (segment.inner_radius + segment.outer_radius) / 2.0,
+                mid,
+            );
             doc.text_anchored(p.x, p.y, 10.0, "middle", &segment.label);
         }
         doc.finish()
@@ -159,7 +163,11 @@ impl SunburstLayout {
 
 /// Builds the SVG path of an annular sector (the shape of one segment).
 fn annular_sector_path(center: Point, segment: &SunburstSegment) -> String {
-    let large_arc = if segment.span() > std::f64::consts::PI { 1 } else { 0 };
+    let large_arc = if segment.span() > std::f64::consts::PI {
+        1
+    } else {
+        0
+    };
     let p0 = Point::on_circle(center, segment.outer_radius, segment.start_angle);
     let p1 = Point::on_circle(center, segment.outer_radius, segment.end_angle);
     let p2 = Point::on_circle(center, segment.inner_radius, segment.end_angle);
@@ -201,15 +209,24 @@ mod tests {
                 attributes: vec![],
             })
             .collect();
-        let edges = vec![(0, 1), (1, 2), (2, 3), (0, 3), (4, 5), (5, 6), (6, 7), (4, 7)]
-            .into_iter()
-            .map(|(s, t)| SchemaEdge {
-                source: s,
-                target: t,
-                property: prop("p"),
-                count: 1,
-            })
-            .collect();
+        let edges = vec![
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (0, 3),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (4, 7),
+        ]
+        .into_iter()
+        .map(|(s, t)| SchemaEdge {
+            source: s,
+            target: t,
+            property: prop("p"),
+            count: 1,
+        })
+        .collect();
         let summary = SchemaSummary {
             endpoint_url: "http://e.org/sparql".into(),
             total_instances: 1800,
@@ -249,7 +266,11 @@ mod tests {
             let weight_total: f64 = members.iter().map(|m| m.weight).sum();
             for member in &members {
                 let expected = cluster_segment.span() * member.weight / weight_total;
-                assert!((member.span() - expected).abs() < 1e-9, "span of {}", member.label);
+                assert!(
+                    (member.span() - expected).abs() < 1e-9,
+                    "span of {}",
+                    member.label
+                );
             }
             // Members stay within their cluster's angular range.
             for member in &members {

@@ -107,7 +107,10 @@ impl TreemapLayout {
     pub fn to_svg(&self) -> String {
         let mut doc = SvgDocument::new(self.width, self.height);
         for cluster in &self.clusters {
-            doc.open_group(&format!("class=\"cluster\" data-cluster=\"{}\"", cluster.cluster));
+            doc.open_group(&format!(
+                "class=\"cluster\" data-cluster=\"{}\"",
+                cluster.cluster
+            ));
             doc.rect(
                 cluster.rect.x,
                 cluster.rect.y,
@@ -130,7 +133,12 @@ impl TreemapLayout {
                 }
             }
             if cluster.rect.width > 60.0 && cluster.rect.height > 18.0 {
-                doc.text(cluster.rect.x + 3.0, cluster.rect.y + cluster.rect.height - 4.0, 11.0, &cluster.label);
+                doc.text(
+                    cluster.rect.x + 3.0,
+                    cluster.rect.y + cluster.rect.height - 4.0,
+                    11.0,
+                    &cluster.label,
+                );
             }
             doc.close_group();
         }
@@ -281,10 +289,17 @@ mod tests {
         let rects = squarify(&weights, bounds);
         let total_weight: f64 = weights.iter().sum();
         let total_area: f64 = rects.iter().map(Rect::area).sum();
-        assert!((total_area - bounds.area()).abs() < 1.0, "areas must tile the canvas");
+        assert!(
+            (total_area - bounds.area()).abs() < 1.0,
+            "areas must tile the canvas"
+        );
         for (w, r) in weights.iter().zip(rects.iter()) {
             let expected = bounds.area() * w / total_weight;
-            assert!((r.area() - expected).abs() < 1e-6, "weight {w}: area {} vs {expected}", r.area());
+            assert!(
+                (r.area() - expected).abs() < 1e-6,
+                "weight {w}: area {} vs {expected}",
+                r.area()
+            );
             assert!(bounds.contains_rect(r), "rect {r:?} escapes the canvas");
         }
         // No two rectangles overlap.
@@ -300,7 +315,10 @@ mod tests {
         let weights: Vec<f64> = (1..=10).map(|i| i as f64).collect();
         let bounds = Rect::new(0.0, 0.0, 500.0, 500.0);
         let squarified = squarify(&weights, bounds);
-        let worst_squarified = squarified.iter().map(Rect::aspect_ratio).fold(0.0, f64::max);
+        let worst_squarified = squarified
+            .iter()
+            .map(Rect::aspect_ratio)
+            .fold(0.0, f64::max);
         // Naive slicing: one column per weight across the full height.
         let total: f64 = weights.iter().sum();
         let worst_sliced = weights
@@ -320,7 +338,10 @@ mod tests {
         let zero = squarify(&[0.0, 0.0], Rect::new(0.0, 0.0, 10.0, 10.0));
         assert_eq!(zero.len(), 2);
         let total: f64 = zero.iter().map(Rect::area).sum();
-        assert!((total - 100.0).abs() < 1e-6, "zero weights fall back to equal split");
+        assert!(
+            (total - 100.0).abs() < 1e-6,
+            "zero weights fall back to equal split"
+        );
         let single = squarify(&[5.0], Rect::new(0.0, 0.0, 10.0, 20.0));
         assert_eq!(single[0], Rect::new(0.0, 0.0, 10.0, 20.0));
     }
@@ -345,7 +366,11 @@ mod tests {
         }
         // Class areas are proportional to instances within each cluster.
         for cluster in &layout.clusters {
-            let members: Vec<_> = layout.classes.iter().filter(|c| c.cluster == cluster.cluster).collect();
+            let members: Vec<_> = layout
+                .classes
+                .iter()
+                .filter(|c| c.cluster == cluster.cluster)
+                .collect();
             let weight_sum: f64 = members.iter().map(|c| c.weight).sum();
             let area_sum: f64 = members.iter().map(|c| c.rect.area()).sum();
             for member in members {

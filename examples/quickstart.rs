@@ -55,7 +55,11 @@ fn main() {
     );
 
     // 3. The Cluster Schema: the high-level entry point of the exploration.
-    println!("\ncluster schema ({} clusters, modularity {:.3}):", result.cluster_schema.cluster_count(), result.cluster_schema.modularity);
+    println!(
+        "\ncluster schema ({} clusters, modularity {:.3}):",
+        result.cluster_schema.cluster_count(),
+        result.cluster_schema.modularity
+    );
     for cluster in &result.cluster_schema.clusters {
         let members: Vec<&str> = cluster
             .members
@@ -72,7 +76,9 @@ fn main() {
     }
 
     // 4. Interactive exploration, as in Figure 2 of the paper.
-    let mut session = app.explore(endpoint.url()).expect("the endpoint is indexed");
+    let mut session = app
+        .explore(endpoint.url())
+        .expect("the endpoint is indexed");
     let person = session
         .summary()
         .node_index(&foaf::person())
@@ -91,10 +97,18 @@ fn main() {
         .with_limit(Some(10))
         .to_sparql();
     println!("\ngenerated SPARQL query:\n{query}\n");
-    let rows = endpoint.select(&query).expect("the generated query is valid");
+    let rows = endpoint
+        .select(&query)
+        .expect("the generated query is valid");
     for binding in rows.iter_bindings() {
-        let name = binding.get("name").map(|t| t.label().to_string()).unwrap_or_default();
-        let instance = binding.get("instance").map(|t| t.label().to_string()).unwrap_or_default();
+        let name = binding
+            .get("name")
+            .map(|t| t.label().to_string())
+            .unwrap_or_default();
+        let instance = binding
+            .get("instance")
+            .map(|t| t.label().to_string())
+            .unwrap_or_default();
         println!("  {instance}: {name}");
     }
 }

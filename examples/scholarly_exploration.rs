@@ -92,9 +92,18 @@ fn main() {
     std::fs::create_dir_all(out_dir).expect("can create target/figures");
 
     let figures = [
-        ("figure4_treemap.svg", TreemapLayout::compute(summary, clusters, 960.0, 640.0).to_svg()),
-        ("figure5_sunburst.svg", SunburstLayout::compute(summary, clusters, 720.0).to_svg()),
-        ("figure6_circle_packing.svg", CirclePackLayout::compute(summary, clusters, 720.0).to_svg()),
+        (
+            "figure4_treemap.svg",
+            TreemapLayout::compute(summary, clusters, 960.0, 640.0).to_svg(),
+        ),
+        (
+            "figure5_sunburst.svg",
+            SunburstLayout::compute(summary, clusters, 720.0).to_svg(),
+        ),
+        (
+            "figure6_circle_packing.svg",
+            CirclePackLayout::compute(summary, clusters, 720.0).to_svg(),
+        ),
         (
             "figure7_edge_bundling.svg",
             EdgeBundlingLayout::compute(summary, clusters, Some(event), 0.85, 760.0).to_svg(),

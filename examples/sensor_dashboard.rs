@@ -82,9 +82,18 @@ fn main() {
     for binding in rows.iter_bindings() {
         println!(
             "  {} = {} (sensor {})",
-            binding.get("instance").map(|t| t.label().to_string()).unwrap_or_default(),
-            binding.get("value").map(|t| t.label().to_string()).unwrap_or_default(),
-            binding.get("sensor").map(|t| t.label().to_string()).unwrap_or_default(),
+            binding
+                .get("instance")
+                .map(|t| t.label().to_string())
+                .unwrap_or_default(),
+            binding
+                .get("value")
+                .map(|t| t.label().to_string())
+                .unwrap_or_default(),
+            binding
+                .get("sensor")
+                .map(|t| t.label().to_string())
+                .unwrap_or_default(),
         );
     }
 }

@@ -33,16 +33,26 @@ fn turtle_to_cluster_schema_to_query() {
         ex:p1 a ex:Project ; ex:ledBy ex:a .
     "#;
     let graph = parse_turtle(turtle).unwrap();
-    let endpoint = SparqlEndpoint::new("http://mini.example/sparql", &graph, EndpointProfile::full_featured());
+    let endpoint = SparqlEndpoint::new(
+        "http://mini.example/sparql",
+        &graph,
+        EndpointProfile::full_featured(),
+    );
 
     let app = HBold::in_memory();
     let result = app.index_endpoint(&endpoint, 0).unwrap();
-    assert_eq!(result.summary.node_count(), 3, "Person, Organization, Project");
+    assert_eq!(
+        result.summary.node_count(),
+        3,
+        "Person, Organization, Project"
+    );
     assert!(result.cluster_schema.is_partition(3));
 
     // Every class can be turned into a runnable query.
     for node in 0..result.summary.node_count() {
-        let query = VisualQueryBuilder::for_class(&result.summary, node).unwrap().to_sparql();
+        let query = VisualQueryBuilder::for_class(&result.summary, node)
+            .unwrap()
+            .to_sparql();
         let rows = endpoint.select(&query).unwrap();
         assert_eq!(rows.len(), result.summary.nodes[node].instances);
     }
@@ -60,7 +70,10 @@ fn exploration_coverage_grows_to_one_hundred_percent() {
     let mut guard = 0;
     while !session.is_complete() && guard < 64 {
         let view = session.expand_all();
-        assert!(view.instance_coverage + 1e-12 >= coverage, "coverage must not shrink");
+        assert!(
+            view.instance_coverage + 1e-12 >= coverage,
+            "coverage must not shrink"
+        );
         coverage = view.instance_coverage;
         guard += 1;
     }
@@ -90,7 +103,12 @@ fn all_layouts_agree_on_the_same_clustering() {
     assert_eq!(sunburst.clusters.len(), clusters.cluster_count());
     assert_eq!(pack.clusters.len(), clusters.cluster_count());
     // The SVG renderings are non-trivial documents.
-    for svg in [treemap.to_svg(), sunburst.to_svg(), pack.to_svg(), bundling.to_svg()] {
+    for svg in [
+        treemap.to_svg(),
+        sunburst.to_svg(),
+        pack.to_svg(),
+        bundling.to_svg(),
+    ] {
         assert!(svg.starts_with("<svg"));
         assert!(svg.len() > 500);
     }
@@ -111,11 +129,20 @@ fn crawl_then_schedule_then_explore() {
     });
     app.register_fleet(&fleet);
     let report = app.crawl_portals(&OpenDataPortal::paper_portals());
-    assert!(report.total_new() > 50, "the portals contribute many new endpoints");
+    assert!(
+        report.total_new() > 50,
+        "the portals contribute many new endpoints"
+    );
 
     let stats = app.run_scheduler(&fleet, RefreshPolicy::paper(), 10);
-    assert_eq!(stats.endpoints_indexed, 5, "every fleet endpoint gets indexed within 10 days");
-    assert!(stats.skipped_fresh > 0, "the weekly policy skips fresh endpoints");
+    assert_eq!(
+        stats.endpoints_indexed, 5,
+        "every fleet endpoint gets indexed within 10 days"
+    );
+    assert!(
+        stats.skipped_fresh > 0,
+        "the weekly policy skips fresh endpoints"
+    );
 
     // Each indexed endpoint can be explored and visualized.
     for endpoint in fleet.iter() {
@@ -136,7 +163,9 @@ fn alternative_clustering_algorithms_flow_through_the_pipeline() {
         let pipeline = hbold::ExtractionPipeline::new(&store).with_algorithm(algorithm);
         let result = pipeline.run(&endpoint, 0, None).unwrap();
         assert_eq!(result.cluster_schema.algorithm, algorithm.name());
-        assert!(result.cluster_schema.is_partition(result.summary.node_count()));
+        assert!(result
+            .cluster_schema
+            .is_partition(result.summary.node_count()));
         // The stored copy round-trips.
         let loaded = pipeline.load_cluster_schema(endpoint.url()).unwrap();
         assert_eq!(loaded, result.cluster_schema);

@@ -35,11 +35,20 @@ fn indexed_artifacts_survive_a_store_reopen() {
     };
     // Reopen from disk: the summary, cluster schema and catalog survive.
     let app = HBold::with_store(DocStore::open(&dir).unwrap());
-    assert_eq!(app.schema_summary(endpoint.url()).unwrap(), expected.summary);
-    assert_eq!(app.cluster_schema(endpoint.url()).unwrap(), expected.cluster_schema);
+    assert_eq!(
+        app.schema_summary(endpoint.url()).unwrap(),
+        expected.summary
+    );
+    assert_eq!(
+        app.cluster_schema(endpoint.url()).unwrap(),
+        expected.cluster_schema
+    );
     assert_eq!(app.catalog().indexed_count(), 1);
     assert_eq!(
-        app.catalog().get(endpoint.url()).unwrap().last_extraction_day,
+        app.catalog()
+            .get(endpoint.url())
+            .unwrap()
+            .last_extraction_day,
         Some(3)
     );
     let _ = std::fs::remove_dir_all(&dir);

@@ -146,7 +146,10 @@ fn sparql_results_serializations_are_wellformed() {
     .unwrap();
     let json = rows.to_sparql_json();
     assert!(json.starts_with("{\"head\":{\"vars\":[\"p\",\"name\"]}"));
-    assert!(json.contains("\"xml:lang\":\"en\""), "Bob's language tag survives");
+    assert!(
+        json.contains("\"xml:lang\":\"en\""),
+        "Bob's language tag survives"
+    );
     let csv = rows.to_csv();
     assert_eq!(csv.lines().count(), 1 + rows.len());
 
@@ -176,5 +179,8 @@ fn store_pattern_queries_and_sparql_agree() {
     .unwrap()
     .into_select()
     .unwrap();
-    assert_eq!(rows.value(0, "n").unwrap().label(), people_via_pattern.to_string());
+    assert_eq!(
+        rows.value(0, "n").unwrap().label(),
+        people_via_pattern.to_string()
+    );
 }

@@ -1,0 +1,378 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Exposes the bench-authoring API this workspace uses — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `criterion_group!`, `criterion_main!` — and measures
+//! with plain wall-clock timing: a short warm-up, then `sample_size`
+//! batches whose per-iteration mean and min/max are printed to stdout.
+//! There is no statistical analysis, plotting, or HTML report; the point is
+//! that `cargo bench` runs the same bench sources the real crate would.
+//!
+//! Honors `--no-run`-style smoke invocations naturally (nothing executes at
+//! build time) and understands the harness flags Cargo passes to bench
+//! targets: `--bench` runs everything with measurement, `--test` (what
+//! `cargo test --benches` passes) runs each benchmark exactly once without
+//! measuring, and `--list` only enumerates.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for a parameterized benchmark, e.g. `full_pipeline/25`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+    list_only: bool,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut list_only = false;
+        let mut bench_mode = false;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--nocapture" | "--quiet" | "-q" | "--exact" | "--ignored"
+                | "--include-ignored" | "--test" => {}
+                // Cargo passes --bench only under `cargo bench`; without it
+                // (e.g. `cargo test --benches`) real criterion runs each
+                // benchmark once, unmeasured, as a smoke test — so do we.
+                "--bench" => bench_mode = true,
+                "--list" => list_only = true,
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--sample-size" | "--warm-up-time" | "--output-format" | "--color"
+                | "--format" | "--logfile" | "-Z" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            filter,
+            list_only,
+            test_mode: !bench_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+            warm_up_time: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        let warm_up_time = self.warm_up_time;
+        self.run_one(&id.id, sample_size, measurement_time, warm_up_time, f);
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        full_name: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        warm_up_time: Duration,
+        mut f: F,
+    ) {
+        if self.list_only {
+            println!("{full_name}: bench");
+            return;
+        }
+        if !self.matches(full_name) {
+            return;
+        }
+        if self.test_mode {
+            // `cargo test --benches`: a single unmeasured iteration proves
+            // the benchmark runs without paying for a full measurement.
+            let mut bencher = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            println!("{full_name}: test ok");
+            return;
+        }
+
+        // Warm-up: time one iteration at a time until the warm-up budget is
+        // spent, learning the per-iteration cost as we go.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_start.elapsed() < warm_up_time {
+            f(&mut bencher);
+            if bencher.elapsed > Duration::ZERO {
+                per_iter = bencher.elapsed / bencher.iters as u32;
+            }
+        }
+
+        // Choose an iteration count so all samples fit in measurement_time.
+        let budget_per_sample = measurement_time.as_nanos() / sample_size.max(1) as u128;
+        let iters = (budget_per_sample / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples.push(bencher.elapsed / iters as u32);
+        }
+        samples.sort_unstable();
+        let mean: Duration = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+        println!(
+            "{full_name:<50} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_duration(lo),
+            fmt_duration(mean),
+            fmt_duration(hi),
+            samples.len(),
+            iters,
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and overrides.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    warm_up_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = Some(dur);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.warm_up_time = Some(dur);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let measurement_time = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        let warm_up_time = self.warm_up_time.unwrap_or(self.criterion.warm_up_time);
+        self.criterion
+            .run_one(&full, sample_size, measurement_time, warm_up_time, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("full_pipeline", 25).to_string(),
+            "full_pipeline/25"
+        );
+        assert_eq!(BenchmarkId::from_parameter(640).to_string(), "640");
+    }
+
+    #[test]
+    fn bencher_iter_counts_every_iteration() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 100);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+}

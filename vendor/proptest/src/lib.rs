@@ -1,0 +1,490 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the authoring surface this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! * range strategies (`0usize..30`, `0u64..=99`, `1.0f64..500.0`),
+//! * tuple strategies up to arity 4,
+//! * `proptest::collection::vec(strategy, size_range)`,
+//! * string strategies from a character-class regex: `"[a-z0-9]{0,12}"`
+//!   (a char class with ranges and escapes plus a `{lo,hi}` repeat; `+`,
+//!   `*` and `?` quantifiers are also accepted).
+//!
+//! Differences from real proptest: inputs are generated, not shrunk — a
+//! failing case panics with the generated values via the normal assert
+//! message; and generation is derandomized per test (seeded from the test
+//! name and case index) so failures reproduce across runs.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 generator used for all value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from the test name and case number so each `proptest!` case
+        /// is reproducible without a persisted failure file.
+        pub fn deterministic(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ ((case as u64) << 32 | 0x9E37_79B9),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+            }
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod strategy {
+    use super::*;
+
+    /// A recipe for generating values of `Value`. Generation-only (no
+    /// shrink tree), which keeps the trait object-safe and tiny.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    (lo as i128 + rng.below(span.saturating_add(1).max(1)) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_strategy!(f32, f64);
+
+    /// `bool` strategy: `proptest::bool::ANY` equivalent via `any::<bool>()`
+    /// is not used by this workspace, but a bare bool weight helper is handy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolStrategy {
+        pub probability_true: f64,
+    }
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.unit_f64() < self.probability_true
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A / 0, B / 1)
+        (A / 0, B / 1, C / 2)
+        (A / 0, B / 1, C / 2, D / 3)
+    }
+
+    /// String strategy parsed from a character-class regex literal.
+    ///
+    /// Grammar: `[` class `]` quantifier, where class items are single
+    /// characters, `\`-escapes (`\\`, `\"`, `\n`, `\t`, `\r`, `\]`, `\-`)
+    /// and `a-z` ranges, and the quantifier is `{lo,hi}`, `{n}`, `+`, `*`,
+    /// `?` or absent (one repetition).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (chars, lo, hi) = parse_char_class_regex(self)
+                .unwrap_or_else(|| panic!("unsupported string strategy regex: {self:?}"));
+            let span = (hi - lo) as u64;
+            let len = lo + rng.below(span + 1) as usize;
+            (0..len)
+                .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.as_str().generate(rng)
+        }
+    }
+
+    /// Parse `[class]{lo,hi}` into (alphabet, lo, hi). Returns `None` for
+    /// anything outside the supported subset.
+    fn parse_char_class_regex(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let mut it = pattern.chars().peekable();
+        if it.next()? != '[' {
+            return None;
+        }
+        let mut alphabet: Vec<char> = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = it.next()?;
+            match c {
+                ']' => break,
+                '\\' => {
+                    let esc = it.next()?;
+                    let lit = match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    };
+                    alphabet.push(lit);
+                    prev = Some(lit);
+                }
+                '-' => {
+                    // Range if flanked by chars; literal '-' at the edges.
+                    let lo = match prev {
+                        Some(p) => p,
+                        None => {
+                            alphabet.push('-');
+                            prev = Some('-');
+                            continue;
+                        }
+                    };
+                    match it.peek() {
+                        Some(&']') | None => {
+                            alphabet.push('-');
+                            prev = Some('-');
+                        }
+                        Some(_) => {
+                            let hi = it.next()?;
+                            if (lo as u32) > (hi as u32) {
+                                return None;
+                            }
+                            for cp in (lo as u32 + 1)..=(hi as u32) {
+                                alphabet.push(char::from_u32(cp)?);
+                            }
+                            prev = None;
+                        }
+                    }
+                }
+                other => {
+                    alphabet.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+        let (lo, hi) = match it.next() {
+            None => (1, 1),
+            Some('+') => (1, 16),
+            Some('*') => (0, 16),
+            Some('?') => (0, 1),
+            Some('{') => {
+                let rest: String = it.collect();
+                let body = rest.strip_suffix('}')?;
+                match body.split_once(',') {
+                    Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+                    None => {
+                        let n = body.trim().parse().ok()?;
+                        (n, n)
+                    }
+                }
+            }
+            Some(_) => return None,
+        };
+        if lo > hi {
+            return None;
+        }
+        Some((alphabet, lo, hi))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn char_class_parsing_covers_ranges_and_escapes() {
+            let (alpha, lo, hi) = parse_char_class_regex("[a-cXY\\n\\\\]{0,12}").unwrap();
+            assert_eq!(lo, 0);
+            assert_eq!(hi, 12);
+            for c in ['a', 'b', 'c', 'X', 'Y', '\n', '\\'] {
+                assert!(alpha.contains(&c), "missing {c:?}");
+            }
+            assert_eq!(alpha.len(), 7);
+        }
+
+        #[test]
+        fn string_strategy_respects_alphabet_and_length() {
+            let mut rng = TestRng::deterministic("string_strategy", 0);
+            for _ in 0..200 {
+                let s = "[ab]{2,5}".generate(&mut rng);
+                assert!((2..=5).contains(&s.chars().count()), "bad len: {s:?}");
+                assert!(s.chars().all(|c| c == 'a' || c == 'b'), "bad char: {s:?}");
+            }
+        }
+
+        #[test]
+        fn range_strategies_stay_in_bounds() {
+            let mut rng = TestRng::deterministic("ranges", 1);
+            for _ in 0..1000 {
+                let v = (3usize..9).generate(&mut rng);
+                assert!((3..9).contains(&v));
+                let w = (10u64..=12).generate(&mut rng);
+                assert!((10..=12).contains(&w));
+                let f = (1.0f64..500.0).generate(&mut rng);
+                assert!((1.0..500.0).contains(&f));
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of an element strategy, with a length
+    /// drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Assert inside a `proptest!` body. Panics (failing the case) with the
+/// formatted message; there is no shrinking, so the message carries the
+/// generated inputs via the enclosing macro's case report.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// The `proptest!` block: an optional config header followed by test
+/// functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name), case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                )+
+                // Render the inputs up front: the body is free to move them.
+                let mut case_inputs = String::new();
+                $(
+                    case_inputs.push_str(&format!(
+                        "  {} = {:?}\n",
+                        stringify!($arg),
+                        &$arg,
+                    ));
+                )+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || $body,
+                ));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {case}/{} failed in `{}` with inputs:\n{case_inputs}",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn generated_values_respect_their_strategies(
+            n in 1usize..10,
+            pair in (0u64..5, 0u64..5),
+            items in collection::vec(0i32..100, 1..20),
+            text in "[a-f]{1,4}",
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(pair.0 < 5 && pair.1 < 5);
+            prop_assert!(!items.is_empty() && items.len() < 20);
+            prop_assert!(items.iter().all(|v| (0..100).contains(v)));
+            prop_assert!((1..=4).contains(&text.len()));
+            prop_assert!(text.chars().all(|c| ('a'..='f').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut a = TestRng::deterministic("repro", 3);
+        let mut b = TestRng::deterministic("repro", 3);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
