@@ -1,9 +1,12 @@
-//! E8 (paper §5): end-to-end extraction pipeline cost as the dataset grows.
+//! E8 (paper §5): end-to-end extraction pipeline cost as the dataset grows,
+//! plus the 1→N-thread scaling axis of the parallel fleet extraction and the
+//! plan-cache hit rate over repeated extraction queries.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hbold::ExtractionPipeline;
 use hbold_bench::sized_endpoint;
 use hbold_docstore::DocStore;
+use hbold_endpoint::SparqlEndpoint;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_pipeline_scaling");
@@ -26,6 +29,53 @@ fn bench(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // Scaling axis: the same wave of extraction pipelines over a small fleet,
+    // executed with 1..=N worker threads. The 1-thread row is the baseline
+    // the speedup is measured against.
+    let endpoints: Vec<SparqlEndpoint> = (0..6)
+        .map(|i| sized_endpoint(12, 500, 9_000 + i as u64))
+        .collect();
+    let refs: Vec<&SparqlEndpoint> = endpoints.iter().collect();
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    let mut group = c.benchmark_group("pipeline_scaling_threads");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut threads = 1;
+    while threads <= max_threads {
+        group.bench_with_input(
+            BenchmarkId::new("fleet_extraction", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let store = DocStore::in_memory();
+                    ExtractionPipeline::new(&store).run_many(&refs, 0, None, threads)
+                })
+            },
+        );
+        threads *= 2;
+    }
+    group.finish();
+
+    // Plan-cache effectiveness on the extraction workload: after one warm-up
+    // pipeline run, every statistics query of a repeat run hits the cache.
+    hbold_sparql::plan::reset();
+    let store = DocStore::in_memory();
+    let pipeline = ExtractionPipeline::new(&store);
+    pipeline.run(&endpoints[0], 0, None).unwrap();
+    let cold = hbold_sparql::plan::stats();
+    pipeline.run(&endpoints[0], 1, None).unwrap();
+    let warm = hbold_sparql::plan::stats();
+    println!(
+        "plan_cache: cold run misses={} — repeat run hits={} (hit rate {:.1}%)",
+        cold.misses,
+        warm.hits - cold.hits,
+        warm.hit_rate() * 100.0
+    );
 }
 
 criterion_group!(benches, bench);

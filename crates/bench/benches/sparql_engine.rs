@@ -1,9 +1,9 @@
 //! Substrate microbenchmarks: the SPARQL queries Index Extraction issues most
 //! often, measured directly against the store (supports the E8 analysis).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hbold_endpoint::synth::{random_lod, RandomLodConfig};
-use hbold_sparql::execute_query;
+use hbold_sparql::{execute_query, execute_query_with, EvalOptions};
 use hbold_triple_store::TripleStore;
 
 fn bench(c: &mut Criterion) {
@@ -34,6 +34,43 @@ fn bench(c: &mut Criterion) {
             .unwrap()
         })
     });
+    group.bench_function("order_by_topk_limit", |b| {
+        // Streams through the top-k heap instead of a full sort.
+        b.iter(|| {
+            execute_query(
+                &store,
+                "SELECT ?s ?o WHERE { ?s ?p ?o } ORDER BY ?o LIMIT 10",
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+
+    // Parallel sharded joins + GROUP BY: 1 vs N threads over a heavy
+    // extraction-shaped aggregate.
+    let heavy =
+        "SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c . ?s ?p ?o } GROUP BY ?c ORDER BY DESC(?n)";
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    let mut group = c.benchmark_group("sparql_engine_threads");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut threads = 1;
+    while threads <= max_threads {
+        group.bench_with_input(
+            BenchmarkId::new("group_by_join", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    execute_query_with(&store, heavy, &EvalOptions::with_threads(threads)).unwrap()
+                })
+            },
+        );
+        threads *= 2;
+    }
     group.finish();
 }
 

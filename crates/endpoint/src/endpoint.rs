@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use hbold_rdf_model::Graph;
 use hbold_sparql::ast::{Expression, Projection, ProjectionItem, Query, QueryForm};
-use hbold_sparql::{parse_query, QueryResults};
+use hbold_sparql::{parse_cached, EvalOptions, QueryResults};
 use hbold_triple_store::{SharedStore, TripleStore};
 use parking_lot::Mutex;
 
@@ -32,6 +32,7 @@ pub struct SparqlEndpoint {
     name: String,
     store: SharedStore,
     profile: EndpointProfile,
+    eval_options: EvalOptions,
     state: Arc<Mutex<EndpointState>>,
 }
 
@@ -67,8 +68,18 @@ impl SparqlEndpoint {
             name,
             store: SharedStore::from_store(store),
             profile,
+            eval_options: EvalOptions::auto(),
             state: Arc::new(Mutex::new(EndpointState::default())),
         }
+    }
+
+    /// Overrides the query-engine threading options (builder style). The
+    /// default is [`EvalOptions::auto`]: parallel joins sized to the machine,
+    /// engaged only once a query's seed scan is large enough to amortize the
+    /// thread fan-out.
+    pub fn with_eval_options(mut self, options: EvalOptions) -> Self {
+        self.eval_options = options;
+        self
     }
 
     /// The endpoint URL (its identity throughout the system).
@@ -127,12 +138,16 @@ impl SparqlEndpoint {
         if !self.is_available() {
             return Err(EndpointError::Unavailable);
         }
-        let parsed = parse_query(query_text)?;
+        // Plan-cached parse: the extraction pipeline re-issues the same
+        // statistics query shapes against every endpoint.
+        let parsed = parse_cached(query_text)?;
         self.check_capabilities(&parsed)?;
 
-        let results = self
-            .store
-            .read(|store| hbold_sparql::evaluate(store, &parsed))?;
+        // Evaluate against a lock-free snapshot: concurrent writers (and
+        // other queries) never block this query, and it never observes a
+        // half-applied bulk-load.
+        let snapshot = self.store.snapshot();
+        let results = hbold_sparql::evaluate_with(&snapshot, &parsed, &self.eval_options)?;
 
         let rows = match &results {
             QueryResults::Select(s) => s.len(),

@@ -151,6 +151,49 @@ impl ExtractionPipeline {
         })
     }
 
+    /// Runs the pipeline for many endpoints concurrently on `threads` scoped
+    /// worker threads, returning per-endpoint results in input order.
+    ///
+    /// Every layer underneath is safe for this: endpoints serve queries from
+    /// lock-free store snapshots, the document store and catalog are
+    /// internally synchronized, and each endpoint's artefacts are keyed by
+    /// its URL so concurrent upserts never collide.
+    pub fn run_many(
+        &self,
+        endpoints: &[&SparqlEndpoint],
+        day: u64,
+        catalog: Option<&EndpointCatalog>,
+        threads: usize,
+    ) -> Vec<Result<PipelineResult, PipelineError>> {
+        let threads = threads.clamp(1, endpoints.len().max(1));
+        if threads <= 1 {
+            return endpoints
+                .iter()
+                .map(|endpoint| self.run(endpoint, day, catalog))
+                .collect();
+        }
+        let chunk_size = endpoints.len().div_ceil(threads).max(1);
+        let outputs: Vec<Vec<Result<PipelineResult, PipelineError>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = endpoints
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|endpoint| self.run(endpoint, day, catalog))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pipeline worker panicked"))
+                    .collect()
+            });
+        outputs.into_iter().flatten().collect()
+    }
+
     /// Loads the stored Schema Summary of an endpoint (presentation-layer
     /// fast path).
     pub fn load_summary(&self, endpoint_url: &str) -> Result<SchemaSummary, PipelineError> {
@@ -253,6 +296,40 @@ mod tests {
         let entry = catalog.get(endpoint.url()).unwrap();
         assert_eq!(entry.last_extraction_day, Some(4));
         assert_eq!(catalog.indexed_count(), 1);
+    }
+
+    #[test]
+    fn run_many_matches_sequential_runs() {
+        let store = DocStore::in_memory();
+        let catalog = EndpointCatalog::new(&store);
+        let pipeline = ExtractionPipeline::new(&store);
+        let endpoints: Vec<SparqlEndpoint> = (0..6)
+            .map(|i| {
+                let graph = scholarly(&ScholarlyConfig {
+                    conferences: 1,
+                    papers_per_conference: 4,
+                    authors_per_paper: 2,
+                    seed: 100 + i,
+                });
+                SparqlEndpoint::new(
+                    format!("http://many{i}.example/sparql"),
+                    &graph,
+                    EndpointProfile::full_featured(),
+                )
+            })
+            .collect();
+        let refs: Vec<&SparqlEndpoint> = endpoints.iter().collect();
+        let parallel = pipeline.run_many(&refs, 2, Some(&catalog), 4);
+        assert_eq!(parallel.len(), 6);
+        for (endpoint, result) in endpoints.iter().zip(&parallel) {
+            let result = result.as_ref().expect("pipeline run failed");
+            // Parallel runs store the same artefacts a sequential run would.
+            let sequential = pipeline.run(endpoint, 2, None).unwrap();
+            assert_eq!(result.summary, sequential.summary);
+            assert_eq!(result.cluster_schema, sequential.cluster_schema);
+        }
+        assert_eq!(catalog.indexed_count(), 6);
+        assert_eq!(store.collection("schema_summaries").len(), 6);
     }
 
     #[test]

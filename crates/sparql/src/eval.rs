@@ -1,7 +1,22 @@
 //! Query evaluation over a [`TripleStore`].
+//!
+//! The engine is a *streaming operator pipeline*: graph patterns compile to
+//! lazy iterators over solution bindings, pulled one at a time. BGP joins
+//! stream index scans, `FILTER` filters lazily, `OPTIONAL` probes the right
+//! side per left solution, `ASK` stops at the first solution, and un-ordered
+//! `LIMIT` queries stop as soon as enough rows exist. `ORDER BY ... LIMIT k`
+//! keeps a bounded top-k heap instead of sorting the full solution set.
+//!
+//! On top of the streaming core, [`evaluate_with`] can shard work across
+//! threads (`std::thread::scope`): the most selective triple pattern is
+//! scanned once, its solutions are split into chunks, and each thread runs
+//! the remaining pipeline over its chunk; `GROUP BY` partitions and
+//! aggregates groups in parallel the same way. Results are concatenated in
+//! chunk order, so parallel evaluation returns exactly the sequential answer.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::Arc;
 
 use hbold_rdf_model::{Term, TriplePattern};
 use hbold_triple_store::TripleStore;
@@ -11,40 +26,112 @@ use crate::error::SparqlError;
 use crate::expr::{
     evaluate_expression, filter_passes, number_term, numeric_value, Binding, EvalValue,
 };
-use crate::parser::parse_query;
+use crate::plan::parse_cached;
 use crate::results::{QueryResults, SelectResults};
 
-/// Parses and evaluates a query string against a store.
-pub fn execute_query(store: &TripleStore, query: &str) -> Result<QueryResults, SparqlError> {
-    let parsed = parse_query(query)?;
-    evaluate(store, &parsed)
+/// A lazy stream of solutions; errors are carried in-band and surface at the
+/// first pull that encounters them.
+type SolutionStream<'a> = Box<dyn Iterator<Item = Result<Binding, SparqlError>> + 'a>;
+
+/// Tuning knobs for [`evaluate_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Worker threads for sharded BGP joins and GROUP BY (1 = sequential).
+    pub threads: usize,
+    /// Minimum number of seed solutions before sharding pays for itself;
+    /// below it, evaluation stays sequential even when `threads > 1`.
+    pub parallel_threshold: usize,
 }
 
-/// Evaluates a parsed [`Query`] against a store.
-pub fn evaluate(store: &TripleStore, query: &Query) -> Result<QueryResults, SparqlError> {
-    let solutions = eval_pattern(store, &query.pattern, vec![Binding::new()])?;
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            threads: 1,
+            parallel_threshold: 256,
+        }
+    }
+}
 
+impl EvalOptions {
+    /// Purely sequential evaluation.
+    pub fn sequential() -> Self {
+        EvalOptions::default()
+    }
+
+    /// Evaluation with an explicit worker-thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        EvalOptions {
+            threads: threads.max(1),
+            ..EvalOptions::default()
+        }
+    }
+
+    /// Sizes the worker pool from the machine's available parallelism
+    /// (capped at 8 — extraction queries stop scaling past that).
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        EvalOptions::with_threads(threads)
+    }
+}
+
+/// Parses (through the plan cache) and evaluates a query string.
+pub fn execute_query(store: &TripleStore, query: &str) -> Result<QueryResults, SparqlError> {
+    let plan = parse_cached(query)?;
+    evaluate(store, &plan)
+}
+
+/// Parses (through the plan cache) and evaluates with explicit options.
+pub fn execute_query_with(
+    store: &TripleStore,
+    query: &str,
+    options: &EvalOptions,
+) -> Result<QueryResults, SparqlError> {
+    let plan = parse_cached(query)?;
+    evaluate_with(store, &plan, options)
+}
+
+/// Evaluates a parsed [`Query`] against a store, sequentially.
+pub fn evaluate(store: &TripleStore, query: &Query) -> Result<QueryResults, SparqlError> {
+    evaluate_with(store, query, &EvalOptions::sequential())
+}
+
+/// Evaluates a parsed [`Query`] with the given threading options.
+pub fn evaluate_with(
+    store: &TripleStore,
+    query: &Query,
+    options: &EvalOptions,
+) -> Result<QueryResults, SparqlError> {
     match &query.form {
-        QueryForm::Ask => Ok(QueryResults::Ask(!solutions.is_empty())),
+        QueryForm::Ask => {
+            // Streaming pays off immediately: the first solution settles it.
+            let mut stream = root_stream(store, &query.pattern);
+            match stream.next() {
+                None => Ok(QueryResults::Ask(false)),
+                Some(Ok(_)) => Ok(QueryResults::Ask(true)),
+                Some(Err(e)) => Err(e),
+            }
+        }
         QueryForm::Select {
             distinct,
             projection,
         } => {
-            let mut results = if query.uses_aggregates() || !query.group_by.is_empty() {
-                project_grouped(query, projection, solutions)?
+            let grouped = query.uses_aggregates() || !query.group_by.is_empty();
+            let mut results = if grouped {
+                let solutions = collect_solutions(store, query, options)?;
+                project_grouped(query, projection, solutions, options)?
+            } else if query.order_by.is_empty() {
+                select_streaming(store, query, projection, *distinct, options)?
             } else {
-                let ordered = order_solutions(&query.order_by, solutions)?;
-                project_plain(&query.pattern, projection, ordered)?
+                select_ordered(store, query, projection, *distinct, options)?
             };
 
             if *distinct {
                 let mut seen: BTreeSet<String> = BTreeSet::new();
-                results.rows.retain(|row| {
-                    let key = row_key(row);
-                    seen.insert(key)
-                });
+                results.rows.retain(|row| seen.insert(row_key(row)));
             }
-
             let offset = query.offset.unwrap_or(0);
             if offset > 0 {
                 results.rows.drain(..offset.min(results.rows.len()));
@@ -64,96 +151,213 @@ fn row_key(row: &[Option<Term>]) -> String {
         .join("\u{1}")
 }
 
-// ---- graph pattern evaluation --------------------------------------------------
+// ---- SELECT evaluation strategies ------------------------------------------------
 
-/// Evaluates a pattern given a set of input solutions (the "current" partial
-/// bindings) and returns the extended solutions.
-fn eval_pattern(
+/// Un-ordered SELECT: stream solutions straight into projected rows, stopping
+/// early once `OFFSET + LIMIT` (distinct) rows exist.
+fn select_streaming(
     store: &TripleStore,
-    pattern: &GraphPattern,
-    input: Vec<Binding>,
-) -> Result<Vec<Binding>, SparqlError> {
-    match pattern {
-        GraphPattern::Bgp(triple_patterns) => eval_bgp(store, triple_patterns, input),
-        GraphPattern::Join(parts) => {
-            let mut current = input;
-            for part in parts {
-                current = eval_pattern(store, part, current)?;
-                if current.is_empty() {
-                    break;
-                }
+    query: &Query,
+    projection: &Projection,
+    distinct: bool,
+    options: &EvalOptions,
+) -> Result<SelectResults, SparqlError> {
+    // A LIMIT makes early termination the whole point; without one, the
+    // sharded parallel path can still win on large stores.
+    if query.limit.is_none() && options.threads > 1 {
+        let solutions = collect_solutions(store, query, options)?;
+        return project_plain(&query.pattern, projection, solutions);
+    }
+    let variables = projection_variables(&query.pattern, projection);
+    let target = query
+        .limit
+        .map(|limit| query.offset.unwrap_or(0).saturating_add(limit));
+    let mut rows: Vec<Vec<Option<Term>>> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    if target != Some(0) {
+        for solution in root_stream(store, &query.pattern) {
+            let binding = solution?;
+            let row = project_row(projection, &variables, &binding)?;
+            if distinct && !seen.insert(row_key(&row)) {
+                continue;
             }
-            Ok(current)
+            rows.push(row);
+            if Some(rows.len()) == target {
+                break;
+            }
+        }
+    }
+    Ok(SelectResults { variables, rows })
+}
+
+/// Ordered SELECT: `LIMIT` without `DISTINCT` runs a bounded top-k heap over
+/// the solution stream; everything else materializes and fully sorts.
+fn select_ordered(
+    store: &TripleStore,
+    query: &Query,
+    projection: &Projection,
+    distinct: bool,
+    options: &EvalOptions,
+) -> Result<SelectResults, SparqlError> {
+    let ordered = match query.limit {
+        // DISTINCT dedupes *projected rows* before LIMIT applies, so top-k
+        // over raw solutions could come up short — full sort in that case.
+        Some(limit) if !distinct && options.threads <= 1 => {
+            let k = query.offset.unwrap_or(0).saturating_add(limit);
+            order_solutions_topk(&query.order_by, root_stream(store, &query.pattern), k)?
+        }
+        _ => {
+            let solutions = collect_solutions(store, query, options)?;
+            order_solutions(&query.order_by, solutions)?
+        }
+    };
+    project_plain(&query.pattern, projection, ordered)
+}
+
+// ---- graph pattern streaming -----------------------------------------------------
+
+/// The stream of all solutions of `pattern` starting from the empty binding.
+fn root_stream<'a>(store: &'a TripleStore, pattern: &'a GraphPattern) -> SolutionStream<'a> {
+    stream_pattern(
+        store,
+        pattern,
+        &BTreeSet::new(),
+        Box::new(std::iter::once(Ok(Binding::new()))),
+    )
+}
+
+/// Compiles `pattern` over `input` into a lazy solution stream.
+///
+/// `bound` is the set of variables statically known to be bound by the time
+/// `input`'s solutions arrive; it only steers join ordering, never
+/// correctness (an unbound variable in a specific solution simply scans
+/// wider).
+fn stream_pattern<'a>(
+    store: &'a TripleStore,
+    pattern: &'a GraphPattern,
+    bound: &BTreeSet<String>,
+    input: SolutionStream<'a>,
+) -> SolutionStream<'a> {
+    match pattern {
+        GraphPattern::Bgp(triple_patterns) => stream_bgp(store, triple_patterns, bound, input),
+        GraphPattern::Join(parts) => {
+            let mut stream = input;
+            let mut vars = bound.clone();
+            for part in parts {
+                stream = stream_pattern(store, part, &vars, stream);
+                vars.extend(part.variables());
+            }
+            stream
         }
         GraphPattern::Optional { left, right } => {
-            let left_solutions = eval_pattern(store, left, input)?;
-            let mut out = Vec::new();
-            for binding in left_solutions {
-                let extended = eval_pattern(store, right, vec![binding.clone()])?;
-                if extended.is_empty() {
-                    out.push(binding);
-                } else {
-                    out.extend(extended);
+            let left_stream = stream_pattern(store, left, bound, input);
+            let mut right_bound = bound.clone();
+            right_bound.extend(left.variables());
+            Box::new(left_stream.flat_map(move |solution| -> SolutionStream<'a> {
+                match solution {
+                    Err(e) => Box::new(std::iter::once(Err(e))),
+                    Ok(binding) => {
+                        let seed: SolutionStream<'a> =
+                            Box::new(std::iter::once(Ok(binding.clone())));
+                        let mut extended = stream_pattern(store, right, &right_bound, seed);
+                        match extended.next() {
+                            // Left join: an unmatched left solution survives.
+                            None => Box::new(std::iter::once(Ok(binding))),
+                            Some(first) => Box::new(std::iter::once(first).chain(extended)),
+                        }
+                    }
                 }
-            }
-            Ok(out)
+            }))
         }
         GraphPattern::Union(a, b) => {
-            let mut out = eval_pattern(store, a, input.clone())?;
-            out.extend(eval_pattern(store, b, input)?);
-            Ok(out)
+            // Stream the input once, feeding each solution through branch a
+            // then branch b. The branch order per input solution differs from
+            // a fully materialized `eval(a) ++ eval(b)` but yields the same
+            // multiset, and sequencing is only observable under ORDER BY —
+            // where the deterministic sort makes both forms identical.
+            let bound = bound.clone();
+            Box::new(input.flat_map(move |solution| -> SolutionStream<'a> {
+                match solution {
+                    Err(e) => Box::new(std::iter::once(Err(e))),
+                    Ok(binding) => {
+                        let left = stream_pattern(
+                            store,
+                            a,
+                            &bound,
+                            Box::new(std::iter::once(Ok(binding.clone()))),
+                        );
+                        let right = stream_pattern(
+                            store,
+                            b,
+                            &bound,
+                            Box::new(std::iter::once(Ok(binding))),
+                        );
+                        Box::new(left.chain(right))
+                    }
+                }
+            }))
         }
         GraphPattern::Filter { inner, condition } => {
-            let solutions = eval_pattern(store, inner, input)?;
-            let mut out = Vec::with_capacity(solutions.len());
-            for binding in solutions {
-                if filter_passes(condition, &binding)? {
-                    out.push(binding);
-                }
-            }
-            Ok(out)
+            let stream = stream_pattern(store, inner, bound, input);
+            Box::new(stream.filter_map(move |solution| match solution {
+                Ok(binding) => match filter_passes(condition, &binding) {
+                    Ok(true) => Some(Ok(binding)),
+                    Ok(false) => None,
+                    Err(e) => Some(Err(e)),
+                },
+                Err(e) => Some(Err(e)),
+            }))
         }
     }
 }
 
-/// Evaluates a basic graph pattern with a greedy join order: at each step the
-/// remaining triple pattern with the most bound positions (given what is
-/// already bound) is evaluated next. This mirrors what any reasonable SPARQL
-/// engine does and keeps the extraction queries fast on large stores.
-fn eval_bgp(
-    store: &TripleStore,
-    patterns: &[TriplePatternAst],
-    input: Vec<Binding>,
-) -> Result<Vec<Binding>, SparqlError> {
-    if patterns.is_empty() {
-        return Ok(input);
+/// Streams a basic graph pattern: triple patterns are greedily ordered once
+/// (most selective first, given the statically bound variables), then each
+/// becomes a nested index-scan stage of the pipeline.
+fn stream_bgp<'a>(
+    store: &'a TripleStore,
+    patterns: &'a [TriplePatternAst],
+    bound: &BTreeSet<String>,
+    input: SolutionStream<'a>,
+) -> SolutionStream<'a> {
+    let mut stream = input;
+    for idx in bgp_join_order(patterns, bound) {
+        let tp = &patterns[idx];
+        stream = Box::new(stream.flat_map(move |solution| -> SolutionStream<'a> {
+            match solution {
+                Err(e) => Box::new(std::iter::once(Err(e))),
+                Ok(binding) => Box::new(scan_triple_pattern(store, tp, binding)),
+            }
+        }));
     }
-    let mut remaining: Vec<&TriplePatternAst> = patterns.iter().collect();
-    let mut bound_vars: BTreeSet<String> = input
-        .first()
-        .map(|b| b.keys().cloned().collect())
-        .unwrap_or_default();
-    let mut solutions = input;
+    stream
+}
 
+/// Greedy join order: repeatedly pick the remaining pattern with the most
+/// concrete/bound positions. Returns indexes into `patterns`.
+fn bgp_join_order(patterns: &[TriplePatternAst], bound: &BTreeSet<String>) -> Vec<usize> {
+    let mut bound = bound.clone();
+    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+    let mut order = Vec::with_capacity(patterns.len());
     while !remaining.is_empty() {
-        // Pick the most selective pattern: the one with most concrete/bound positions.
-        let (idx, _) = remaining
+        let (pos, &idx) = remaining
             .iter()
             .enumerate()
-            .max_by_key(|(_, tp)| pattern_selectivity(tp, &bound_vars))
+            .max_by_key(|(_, &idx)| pattern_selectivity(&patterns[idx], &bound))
             .expect("remaining is non-empty");
-        let tp = remaining.remove(idx);
-        solutions = join_triple_pattern(store, tp, solutions);
-        for node in [&tp.subject, &tp.predicate, &tp.object] {
+        remaining.remove(pos);
+        order.push(idx);
+        for node in [
+            &patterns[idx].subject,
+            &patterns[idx].predicate,
+            &patterns[idx].object,
+        ] {
             if let TermOrVariable::Variable(v) = node {
-                bound_vars.insert(v.clone());
+                bound.insert(v.clone());
             }
         }
-        if solutions.is_empty() {
-            return Ok(Vec::new());
-        }
     }
-    Ok(solutions)
+    order
 }
 
 fn pattern_selectivity(tp: &TriplePatternAst, bound: &BTreeSet<String>) -> i64 {
@@ -181,61 +385,150 @@ fn pattern_selectivity(tp: &TriplePatternAst, bound: &BTreeSet<String>) -> i64 {
     score
 }
 
-fn join_triple_pattern(
-    store: &TripleStore,
-    tp: &TriplePatternAst,
-    solutions: Vec<Binding>,
-) -> Vec<Binding> {
-    let mut out = Vec::new();
-    for binding in solutions {
-        let resolve = |node: &TermOrVariable| -> Option<Term> {
-            match node {
-                TermOrVariable::Term(t) => Some(t.clone()),
-                TermOrVariable::Variable(v) => binding.get(v).cloned(),
-            }
-        };
-        let pattern = TriplePattern {
-            subject: resolve(&tp.subject),
-            predicate: resolve(&tp.predicate),
-            object: resolve(&tp.object),
-        };
-        for triple in store.matching(&pattern) {
-            let mut extended = binding.clone();
-            let mut consistent = true;
-            for (node, term) in [
-                (&tp.subject, &triple.subject),
-                (&tp.predicate, &triple.predicate),
-                (&tp.object, &triple.object),
-            ] {
-                if let TermOrVariable::Variable(v) = node {
-                    match extended.get(v) {
-                        Some(existing) if existing != term => {
-                            consistent = false;
-                            break;
-                        }
-                        Some(_) => {}
-                        None => {
-                            extended.insert(v.clone(), term.clone());
-                        }
+/// Lazily extends one binding through one triple pattern via an index scan.
+fn scan_triple_pattern<'a>(
+    store: &'a TripleStore,
+    tp: &'a TriplePatternAst,
+    binding: Binding,
+) -> impl Iterator<Item = Result<Binding, SparqlError>> + 'a {
+    let resolve = |node: &TermOrVariable| -> Option<Term> {
+        match node {
+            TermOrVariable::Term(t) => Some(t.clone()),
+            TermOrVariable::Variable(v) => binding.get(v).cloned(),
+        }
+    };
+    let pattern = TriplePattern {
+        subject: resolve(&tp.subject),
+        predicate: resolve(&tp.predicate),
+        object: resolve(&tp.object),
+    };
+    store.matching_iter(&pattern).filter_map(move |triple| {
+        let mut extended = binding.clone();
+        for (node, term) in [
+            (&tp.subject, &triple.subject),
+            (&tp.predicate, &triple.predicate),
+            (&tp.object, &triple.object),
+        ] {
+            if let TermOrVariable::Variable(v) = node {
+                match extended.get(v) {
+                    Some(existing) if existing != term => return None,
+                    Some(_) => {}
+                    None => {
+                        extended.insert(v.clone(), term.clone());
                     }
                 }
             }
-            if consistent {
-                out.push(extended);
+        }
+        Some(Ok(extended))
+    })
+}
+
+// ---- parallel execution ----------------------------------------------------------
+
+/// Materializes every solution of the query pattern, sharding across worker
+/// threads when the options and the pattern shape allow it.
+fn collect_solutions(
+    store: &TripleStore,
+    query: &Query,
+    options: &EvalOptions,
+) -> Result<Vec<Binding>, SparqlError> {
+    if options.threads > 1 {
+        if let Some((first, rest)) = split_first_scan(&query.pattern) {
+            let seeds: Vec<Binding> =
+                scan_triple_pattern(store, &first, Binding::new()).collect::<Result<_, _>>()?;
+            let mut bound = BTreeSet::new();
+            for node in [&first.subject, &first.predicate, &first.object] {
+                if let TermOrVariable::Variable(v) = node {
+                    bound.insert(v.clone());
+                }
             }
+            if seeds.len() >= options.parallel_threshold.max(1) {
+                return eval_rest_parallel(store, &rest, &bound, seeds, options.threads);
+            }
+            return stream_pattern(store, &rest, &bound, Box::new(seeds.into_iter().map(Ok)))
+                .collect();
         }
     }
-    out
+    root_stream(store, &query.pattern).collect()
+}
+
+/// Splits the plan into "scan the most selective triple pattern" plus "the
+/// rest of the pipeline", when the pattern shape permits (BGPs, joins and
+/// filters — the shapes extraction queries use). `OPTIONAL`/`UNION` roots
+/// return `None` and run sequentially.
+fn split_first_scan(pattern: &GraphPattern) -> Option<(TriplePatternAst, GraphPattern)> {
+    match pattern {
+        GraphPattern::Bgp(tps) if !tps.is_empty() => {
+            let first_idx = bgp_join_order(tps, &BTreeSet::new())[0];
+            let rest: Vec<TriplePatternAst> = tps
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != first_idx)
+                .map(|(_, tp)| tp.clone())
+                .collect();
+            Some((tps[first_idx].clone(), GraphPattern::Bgp(rest)))
+        }
+        GraphPattern::Join(parts) if !parts.is_empty() => {
+            let (first, rest_head) = split_first_scan(&parts[0])?;
+            let mut rest = vec![rest_head];
+            rest.extend(parts[1..].iter().cloned());
+            Some((first, GraphPattern::Join(rest)))
+        }
+        GraphPattern::Filter { inner, condition } => {
+            let (first, rest_inner) = split_first_scan(inner)?;
+            Some((
+                first,
+                GraphPattern::Filter {
+                    inner: Box::new(rest_inner),
+                    condition: condition.clone(),
+                },
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Runs the residual pipeline over seed chunks on scoped threads and
+/// concatenates results in chunk order, so the output is identical to the
+/// sequential evaluation.
+fn eval_rest_parallel(
+    store: &TripleStore,
+    rest: &GraphPattern,
+    bound: &BTreeSet<String>,
+    seeds: Vec<Binding>,
+    threads: usize,
+) -> Result<Vec<Binding>, SparqlError> {
+    let chunk_size = seeds.len().div_ceil(threads).max(1);
+    let chunks: Vec<Vec<Binding>> = seeds
+        .chunks(chunk_size)
+        .map(|chunk| chunk.to_vec())
+        .collect();
+    let outputs: Vec<Result<Vec<Binding>, SparqlError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    stream_pattern(store, rest, bound, Box::new(chunk.into_iter().map(Ok)))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    });
+    let mut solutions = Vec::new();
+    for output in outputs {
+        solutions.extend(output?);
+    }
+    Ok(solutions)
 }
 
 // ---- projection ------------------------------------------------------------------
 
-fn project_plain(
-    pattern: &GraphPattern,
-    projection: &Projection,
-    solutions: Vec<Binding>,
-) -> Result<SelectResults, SparqlError> {
-    let variables: Vec<String> = match projection {
+fn projection_variables(pattern: &GraphPattern, projection: &Projection) -> Vec<String> {
+    match projection {
         Projection::Star => pattern.variables(),
         Projection::Items(items) => items
             .iter()
@@ -244,25 +537,40 @@ fn project_plain(
                 ProjectionItem::Expression { alias, .. } => alias.clone(),
             })
             .collect(),
-    };
-    let mut rows = Vec::with_capacity(solutions.len());
-    for binding in &solutions {
-        let row = match projection {
-            Projection::Star => variables.iter().map(|v| binding.get(v).cloned()).collect(),
-            Projection::Items(items) => {
-                let mut row = Vec::with_capacity(items.len());
-                for item in items {
-                    match item {
-                        ProjectionItem::Variable(v) => row.push(binding.get(v).cloned()),
-                        ProjectionItem::Expression { expr, .. } => {
-                            row.push(evaluate_expression(expr, binding)?.into_term())
-                        }
+    }
+}
+
+fn project_row(
+    projection: &Projection,
+    variables: &[String],
+    binding: &Binding,
+) -> Result<Vec<Option<Term>>, SparqlError> {
+    Ok(match projection {
+        Projection::Star => variables.iter().map(|v| binding.get(v).cloned()).collect(),
+        Projection::Items(items) => {
+            let mut row = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    ProjectionItem::Variable(v) => row.push(binding.get(v).cloned()),
+                    ProjectionItem::Expression { expr, .. } => {
+                        row.push(evaluate_expression(expr, binding)?.into_term())
                     }
                 }
-                row
             }
-        };
-        rows.push(row);
+            row
+        }
+    })
+}
+
+fn project_plain(
+    pattern: &GraphPattern,
+    projection: &Projection,
+    solutions: Vec<Binding>,
+) -> Result<SelectResults, SparqlError> {
+    let variables = projection_variables(pattern, projection);
+    let mut rows = Vec::with_capacity(solutions.len());
+    for binding in &solutions {
+        rows.push(project_row(projection, &variables, binding)?);
     }
     Ok(SelectResults { variables, rows })
 }
@@ -271,6 +579,7 @@ fn project_grouped(
     query: &Query,
     projection: &Projection,
     solutions: Vec<Binding>,
+    options: &EvalOptions,
 ) -> Result<SelectResults, SparqlError> {
     let Projection::Items(items) = projection else {
         return Err(SparqlError::Unsupported(
@@ -278,26 +587,7 @@ fn project_grouped(
         ));
     };
 
-    // Partition the solutions into groups keyed by the GROUP BY variables.
-    let mut groups: BTreeMap<String, (Binding, Vec<Binding>)> = BTreeMap::new();
-    for binding in solutions {
-        let mut key_binding = Binding::new();
-        for var in &query.group_by {
-            if let Some(term) = binding.get(var) {
-                key_binding.insert(var.clone(), term.clone());
-            }
-        }
-        let key = key_binding
-            .iter()
-            .map(|(k, v)| format!("{k}={}", v.to_ntriples()))
-            .collect::<Vec<_>>()
-            .join("\u{1}");
-        groups
-            .entry(key)
-            .or_insert_with(|| (key_binding, Vec::new()))
-            .1
-            .push(binding);
-    }
+    let mut groups = group_solutions(query, solutions, options);
     // With no GROUP BY (pure aggregate query) there is exactly one group,
     // even if it is empty.
     if query.group_by.is_empty() && groups.is_empty() {
@@ -312,33 +602,43 @@ fn project_grouped(
         })
         .collect();
 
-    // Evaluate each group into an output binding so ORDER BY can see aliases.
-    let mut grouped_bindings: Vec<Binding> = Vec::with_capacity(groups.len());
-    for (_, (key_binding, members)) in groups {
-        let mut out = Binding::new();
-        for item in items {
-            match item {
-                ProjectionItem::Variable(v) => {
-                    if !query.group_by.contains(v) {
-                        return Err(SparqlError::Evaluation(format!(
-                            "variable ?{v} is projected but is neither grouped nor aggregated"
-                        )));
-                    }
-                    if let Some(term) = key_binding.get(v) {
-                        out.insert(v.clone(), term.clone());
-                    }
-                }
-                ProjectionItem::Expression { expr, alias } => {
-                    if let Some(term) =
-                        evaluate_projection_expression(expr, &key_binding, &members)?
-                    {
-                        out.insert(alias.clone(), term);
-                    }
-                }
-            }
+    // Evaluate each group into an output binding so ORDER BY can see aliases;
+    // groups are independent, so large group sets are sharded across threads.
+    let group_list: Vec<(Binding, Vec<Binding>)> = groups.into_values().collect();
+    let grouped_bindings = if options.threads > 1 && group_list.len() >= options.threads * 4 {
+        let chunk_size = group_list.len().div_ceil(options.threads).max(1);
+        let chunks: Vec<Vec<(Binding, Vec<Binding>)>> = group_list
+            .chunks(chunk_size)
+            .map(|chunk| chunk.to_vec())
+            .collect();
+        let outputs: Vec<Result<Vec<Binding>, SparqlError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(key, members)| evaluate_group(query, items, key, members))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("aggregation worker panicked"))
+                .collect()
+        });
+        let mut all = Vec::with_capacity(group_list.len());
+        for output in outputs {
+            all.extend(output?);
         }
-        grouped_bindings.push(out);
-    }
+        all
+    } else {
+        group_list
+            .iter()
+            .map(|(key, members)| evaluate_group(query, items, key, members))
+            .collect::<Result<Vec<_>, _>>()?
+    };
 
     let ordered = order_solutions(&query.order_by, grouped_bindings)?;
     let rows = ordered
@@ -346,6 +646,101 @@ fn project_grouped(
         .map(|b| variables.iter().map(|v| b.get(v).cloned()).collect())
         .collect();
     Ok(SelectResults { variables, rows })
+}
+
+/// Partitions solutions into groups keyed by the GROUP BY variables,
+/// sharding the partitioning across threads for large solution sets. Chunk
+/// maps are merged in chunk order, so member order inside each group matches
+/// the sequential partitioning exactly.
+fn group_solutions(
+    query: &Query,
+    solutions: Vec<Binding>,
+    options: &EvalOptions,
+) -> BTreeMap<String, (Binding, Vec<Binding>)> {
+    let partition = |chunk: Vec<Binding>| -> BTreeMap<String, (Binding, Vec<Binding>)> {
+        let mut groups: BTreeMap<String, (Binding, Vec<Binding>)> = BTreeMap::new();
+        for binding in chunk {
+            let mut key_binding = Binding::new();
+            for var in &query.group_by {
+                if let Some(term) = binding.get(var) {
+                    key_binding.insert(var.clone(), term.clone());
+                }
+            }
+            let key = key_binding
+                .iter()
+                .map(|(k, v)| format!("{k}={}", v.to_ntriples()))
+                .collect::<Vec<_>>()
+                .join("\u{1}");
+            groups
+                .entry(key)
+                .or_insert_with(|| (key_binding, Vec::new()))
+                .1
+                .push(binding);
+        }
+        groups
+    };
+
+    if options.threads > 1 && solutions.len() >= options.parallel_threshold.max(1) {
+        let chunk_size = solutions.len().div_ceil(options.threads).max(1);
+        let chunks: Vec<Vec<Binding>> = solutions
+            .chunks(chunk_size)
+            .map(|chunk| chunk.to_vec())
+            .collect();
+        let partials: Vec<BTreeMap<String, (Binding, Vec<Binding>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| scope.spawn(|| partition(chunk)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("grouping worker panicked"))
+                    .collect()
+            });
+        let mut merged: BTreeMap<String, (Binding, Vec<Binding>)> = BTreeMap::new();
+        for partial in partials {
+            for (key, (key_binding, members)) in partial {
+                merged
+                    .entry(key)
+                    .or_insert_with(|| (key_binding, Vec::new()))
+                    .1
+                    .extend(members);
+            }
+        }
+        merged
+    } else {
+        partition(solutions)
+    }
+}
+
+/// Evaluates one group into its output binding.
+fn evaluate_group(
+    query: &Query,
+    items: &[ProjectionItem],
+    key_binding: &Binding,
+    members: &[Binding],
+) -> Result<Binding, SparqlError> {
+    let mut out = Binding::new();
+    for item in items {
+        match item {
+            ProjectionItem::Variable(v) => {
+                if !query.group_by.contains(v) {
+                    return Err(SparqlError::Evaluation(format!(
+                        "variable ?{v} is projected but is neither grouped nor aggregated"
+                    )));
+                }
+                if let Some(term) = key_binding.get(v) {
+                    out.insert(v.clone(), term.clone());
+                }
+            }
+            ProjectionItem::Expression { expr, alias } => {
+                if let Some(term) = evaluate_projection_expression(expr, key_binding, members)? {
+                    out.insert(alias.clone(), term);
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Evaluates a projection expression in a grouped query: aggregates see the
@@ -365,7 +760,7 @@ fn evaluate_projection_expression(
     }
 }
 
-fn evaluate_aggregate(
+pub(crate) fn evaluate_aggregate(
     func: AggregateFunction,
     distinct: bool,
     arg: Option<&Expression>,
@@ -378,9 +773,7 @@ fn evaluate_aggregate(
         match arg {
             None => values.push(Term::Literal(hbold_rdf_model::Literal::integer(1))),
             Some(expr) => {
-                if let EvalValue::Term(t) = evaluate_expression(expr, member)? {
-                    values.push(t);
-                } else if let Some(t) = evaluate_expression(expr, member)?.into_term() {
+                if let Some(t) = evaluate_expression(expr, member)?.into_term() {
                     values.push(t);
                 }
             }
@@ -411,7 +804,38 @@ fn evaluate_aggregate(
 
 // ---- ordering --------------------------------------------------------------------
 
-fn order_solutions(
+fn order_keys(order_by: &[OrderCondition], binding: &Binding) -> Vec<Option<Term>> {
+    order_by
+        .iter()
+        .map(|cond| {
+            evaluate_expression(&cond.expr, binding)
+                .ok()
+                .and_then(EvalValue::into_term)
+        })
+        .collect()
+}
+
+fn compare_keyed(
+    order_by: &[OrderCondition],
+    ka: &[Option<Term>],
+    ba: &Binding,
+    kb: &[Option<Term>],
+    bb: &Binding,
+) -> Ordering {
+    for (i, cond) in order_by.iter().enumerate() {
+        let ord = compare_optional_terms(&ka[i], &kb[i]);
+        let ord = if cond.descending { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    // Total deterministic tie-break: equal sort keys fall back to the full
+    // binding, so every engine (sequential, parallel, reference oracle) cuts
+    // LIMIT boundaries identically.
+    compare_bindings(ba, bb)
+}
+
+pub(crate) fn order_solutions(
     order_by: &[OrderCondition],
     mut solutions: Vec<Binding>,
 ) -> Result<Vec<Binding>, SparqlError> {
@@ -421,29 +845,70 @@ fn order_solutions(
     // Precompute sort keys to avoid re-evaluating expressions in the comparator.
     let mut keyed: Vec<(Vec<Option<Term>>, Binding)> = solutions
         .drain(..)
-        .map(|binding| {
-            let keys = order_by
-                .iter()
-                .map(|cond| {
-                    evaluate_expression(&cond.expr, &binding)
-                        .ok()
-                        .and_then(EvalValue::into_term)
-                })
-                .collect();
-            (keys, binding)
-        })
+        .map(|binding| (order_keys(order_by, &binding), binding))
         .collect();
-    keyed.sort_by(|(ka, _), (kb, _)| {
-        for (i, cond) in order_by.iter().enumerate() {
-            let ord = compare_optional_terms(&ka[i], &kb[i]);
-            let ord = if cond.descending { ord.reverse() } else { ord };
-            if ord != Ordering::Equal {
-                return ord;
-            }
-        }
-        Ordering::Equal
-    });
+    keyed.sort_by(|(ka, ba), (kb, bb)| compare_keyed(order_by, ka, ba, kb, bb));
     Ok(keyed.into_iter().map(|(_, b)| b).collect())
+}
+
+/// Bounded top-k ordering over a solution stream: a max-heap of size `k`
+/// keeps the k smallest solutions (under the ORDER BY comparator) while the
+/// stream is consumed, so `ORDER BY ... LIMIT k` never materializes or fully
+/// sorts the solution set.
+fn order_solutions_topk(
+    order_by: &[OrderCondition],
+    stream: SolutionStream<'_>,
+    k: usize,
+) -> Result<Vec<Binding>, SparqlError> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    struct Entry {
+        keys: Vec<Option<Term>>,
+        binding: Binding,
+        order_by: Arc<[OrderCondition]>,
+    }
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            compare_keyed(
+                &self.order_by,
+                &self.keys,
+                &self.binding,
+                &other.keys,
+                &other.binding,
+            )
+        }
+    }
+    let order_by: Arc<[OrderCondition]> = order_by.to_vec().into();
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for solution in stream {
+        let binding = solution?;
+        let entry = Entry {
+            keys: order_keys(&order_by, &binding),
+            binding,
+            order_by: order_by.clone(),
+        };
+        heap.push(entry);
+        if heap.len() > k {
+            heap.pop(); // drop the current worst
+        }
+    }
+    Ok(heap
+        .into_sorted_vec()
+        .into_iter()
+        .map(|e| e.binding)
+        .collect())
 }
 
 fn compare_optional_terms(a: &Option<Term>, b: &Option<Term>) -> Ordering {
@@ -458,13 +923,35 @@ fn compare_optional_terms(a: &Option<Term>, b: &Option<Term>) -> Ordering {
 /// Value-aware term comparison used for ORDER BY and MIN/MAX: numeric
 /// literals compare numerically, everything else falls back to the model
 /// ordering (blank < IRI < literal, then textual).
-fn compare_terms(a: &Term, b: &Term) -> Ordering {
+pub(crate) fn compare_terms(a: &Term, b: &Term) -> Ordering {
     if let (Term::Literal(la), Term::Literal(lb)) = (a, b) {
         if let Some(ord) = la.value().partial_cmp(&lb.value()) {
             return ord;
         }
     }
     a.cmp(b)
+}
+
+/// Total deterministic order over whole bindings (variable names, then term
+/// N-Triples forms); the shared ORDER BY tie-break.
+pub(crate) fn compare_bindings(a: &Binding, b: &Binding) -> Ordering {
+    let mut ia = a.iter();
+    let mut ib = b.iter();
+    loop {
+        match (ia.next(), ib.next()) {
+            (None, None) => return Ordering::Equal,
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+            (Some((ka, va)), Some((kb, vb))) => {
+                let ord = ka
+                    .cmp(kb)
+                    .then_with(|| va.to_ntriples().cmp(&vb.to_ntriples()));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -742,5 +1229,64 @@ mod tests {
         );
         // rdf:type, age, name, authorOf, affiliatedWith
         assert_eq!(props.len(), 5);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let store = sample_store();
+        let queries = [
+            "SELECT ?s ?p ?o WHERE { ?s ?p ?o }",
+            "SELECT ?class (COUNT(?s) AS ?n) WHERE { ?s a ?class } GROUP BY ?class ORDER BY DESC(?n)",
+            "SELECT ?s ?age WHERE { ?s <http://e.org/age> ?age FILTER(?age > 30) } ORDER BY ?age",
+            "SELECT DISTINCT ?p WHERE { ?s a <http://e.org/Person> . ?s ?p ?o } ORDER BY ?p",
+        ];
+        let mut options = EvalOptions::with_threads(4);
+        options.parallel_threshold = 1; // force the sharded path on this tiny store
+        for q in queries {
+            let plan = crate::parse_query(q).unwrap();
+            let sequential = evaluate(&store, &plan).unwrap();
+            let parallel = evaluate_with(&store, &plan, &options).unwrap();
+            assert_eq!(sequential, parallel, "query {q}");
+        }
+    }
+
+    #[test]
+    fn topk_matches_full_sort_with_ties() {
+        let mut store = TripleStore::new();
+        let p = iri("http://e.org/score");
+        for i in 0..50 {
+            store.insert(&Triple::new(
+                iri(&format!("http://e.org/item{i:02}")),
+                p.clone(),
+                Literal::integer(i % 7), // plenty of ties
+            ));
+        }
+        for q in [
+            "SELECT ?s ?v WHERE { ?s <http://e.org/score> ?v } ORDER BY ?v LIMIT 5",
+            "SELECT ?s ?v WHERE { ?s <http://e.org/score> ?v } ORDER BY DESC(?v) ?s LIMIT 9 OFFSET 3",
+        ] {
+            let plan = crate::parse_query(q).unwrap();
+            let topk = evaluate(&store, &plan).unwrap();
+            // Full-sort reference: same query without LIMIT/OFFSET, cut by hand.
+            let mut unlimited = plan.clone();
+            let offset = unlimited.offset.take().unwrap_or(0);
+            let limit = unlimited.limit.take().unwrap();
+            let mut full = evaluate(&store, &unlimited)
+                .unwrap()
+                .into_select()
+                .unwrap();
+            full.rows.drain(..offset.min(full.rows.len()));
+            full.rows.truncate(limit);
+            assert_eq!(topk.into_select().unwrap(), full, "query {q}");
+        }
+    }
+
+    #[test]
+    fn streaming_limit_short_circuits_without_order() {
+        let store = sample_store();
+        let r = select(&store, "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 4");
+        assert_eq!(r.len(), 4);
+        let r = select(&store, "SELECT ?s WHERE { ?s ?p ?o } OFFSET 1000");
+        assert!(r.is_empty());
     }
 }

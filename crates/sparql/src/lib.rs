@@ -12,9 +12,13 @@
 //! * [`lexer`] — tokenizer,
 //! * [`ast`] — the parsed query representation,
 //! * [`parser`] — recursive-descent parser,
-//! * [`eval`] — evaluation over a triple store (BGP joins, `FILTER`,
-//!   `OPTIONAL`, `UNION`, `GROUP BY` + aggregates, `ORDER BY`, `DISTINCT`,
-//!   `LIMIT`/`OFFSET`),
+//! * [`eval`] — a streaming operator pipeline over a triple store (BGP
+//!   joins, `FILTER`, `OPTIONAL`, `UNION`, `GROUP BY` + aggregates,
+//!   `ORDER BY` with top-k short-circuit, `DISTINCT`, `LIMIT`/`OFFSET`),
+//!   with optional sharded parallel execution via [`EvalOptions`],
+//! * [`plan`] — the normalized-query plan cache,
+//! * [`reference`] — a deliberately naive evaluator used as a differential
+//!   test oracle against the streaming engine,
 //! * [`expr`] — expression evaluation (comparisons, logical operators,
 //!   `REGEX`, string and term functions),
 //! * [`regex`] — a small self-contained regular-expression engine used by
@@ -46,10 +50,13 @@ pub mod eval;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
+pub mod reference;
 pub mod regex;
 pub mod results;
 
 pub use error::SparqlError;
-pub use eval::{evaluate, execute_query};
+pub use eval::{evaluate, evaluate_with, execute_query, execute_query_with, EvalOptions};
 pub use parser::parse_query;
+pub use plan::{parse_cached, PlanCacheStats};
 pub use results::{QueryResults, SelectResults};

@@ -47,6 +47,13 @@ impl PositionalIndex {
         self.keys.insert(key)
     }
 
+    /// Bulk-inserts a batch of keys. Duplicates (within the batch or with
+    /// existing keys) are silently deduplicated by the underlying set; the
+    /// batch form saves per-key call overhead on large loads.
+    pub fn insert_batch(&mut self, keys: impl IntoIterator<Item = (TermId, TermId, TermId)>) {
+        self.keys.extend(keys);
+    }
+
     /// Removes a key; returns `true` if it was present.
     pub fn remove(&mut self, key: &(TermId, TermId, TermId)) -> bool {
         self.keys.remove(key)

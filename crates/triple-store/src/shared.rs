@@ -1,9 +1,19 @@
-//! A thread-safe handle around a [`TripleStore`].
+//! A thread-safe, snapshot-based handle around a [`TripleStore`].
 //!
-//! The simulated endpoint fleet serves queries from multiple extraction
-//! worker threads (see `hbold-schema`'s parallel extraction), so each
-//! endpoint wraps its store in a [`SharedStore`]: an `Arc<RwLock<_>>` with a
-//! small API surface that keeps lock scopes inside this module.
+//! The simulated endpoint fleet serves queries from many extraction worker
+//! threads at once (see `hbold-schema`'s parallel extraction and the parallel
+//! SPARQL engine in `hbold-sparql`), so the read path must never block behind
+//! a writer. [`SharedStore`] therefore keeps the current store behind an
+//! `Arc`: readers grab a [`SharedStore::snapshot`] — a brief read-lock to
+//! clone the `Arc`, after which they query the immutable snapshot entirely
+//! lock-free — while writers mutate copy-on-write under a write lock
+//! (`Arc::make_mut` clones the store only when snapshots are outstanding).
+//!
+//! The result is that a query never observes a half-applied write: either it
+//! sees the store from before a bulk-load or from after it, with dictionary
+//! and SPO/POS/OSP indexes always mutually consistent. Writers should prefer
+//! the batched [`SharedStore::bulk_load`], which pays the copy-on-write clone
+//! once per batch instead of once per triple.
 
 use std::sync::Arc;
 
@@ -12,10 +22,10 @@ use parking_lot::RwLock;
 
 use crate::store::TripleStore;
 
-/// A cheaply clonable, thread-safe triple store handle.
+/// A cheaply clonable, thread-safe triple store handle with snapshot reads.
 #[derive(Debug, Clone, Default)]
 pub struct SharedStore {
-    inner: Arc<RwLock<TripleStore>>,
+    inner: Arc<RwLock<Arc<TripleStore>>>,
 }
 
 impl SharedStore {
@@ -27,7 +37,7 @@ impl SharedStore {
     /// Wraps an existing store.
     pub fn from_store(store: TripleStore) -> Self {
         SharedStore {
-            inner: Arc::new(RwLock::new(store)),
+            inner: Arc::new(RwLock::new(Arc::new(store))),
         }
     }
 
@@ -36,44 +46,69 @@ impl SharedStore {
         SharedStore::from_store(TripleStore::from_graph(graph))
     }
 
+    /// Returns an immutable snapshot of the current store state.
+    ///
+    /// The lock is held only long enough to clone the `Arc`; all subsequent
+    /// reads against the snapshot are lock-free and see a single consistent
+    /// version of the dictionary and indexes, even while writers keep
+    /// loading data concurrently.
+    pub fn snapshot(&self) -> Arc<TripleStore> {
+        self.inner.read().clone()
+    }
+
     /// Number of stored triples.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.snapshot().len()
     }
 
     /// Returns `true` if the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.snapshot().is_empty()
     }
 
     /// Inserts a triple.
     pub fn insert(&self, triple: &Triple) -> bool {
-        self.inner.write().insert(triple)
+        self.write(|store| store.insert(triple))
     }
 
     /// Removes a triple.
     pub fn remove(&self, triple: &Triple) -> bool {
-        self.inner.write().remove(triple)
+        self.write(|store| store.remove(triple))
+    }
+
+    /// Bulk-loads a batch of triples, returning how many were new.
+    ///
+    /// One write lock and at most one copy-on-write clone for the whole
+    /// batch; concurrent readers keep querying the previous snapshot and
+    /// never see a partially applied batch.
+    pub fn bulk_load<'a>(&self, triples: impl IntoIterator<Item = &'a Triple>) -> usize {
+        self.write(|store| store.insert_batch(triples))
     }
 
     /// Returns all triples matching the pattern.
     pub fn matching(&self, pattern: &TriplePattern) -> Vec<Triple> {
-        self.inner.read().matching(pattern)
+        self.snapshot().matching(pattern)
     }
 
     /// Counts triples matching the pattern.
     pub fn count_matching(&self, pattern: &TriplePattern) -> usize {
-        self.inner.read().count_matching(pattern)
+        self.snapshot().count_matching(pattern)
     }
 
-    /// Runs `f` with shared (read) access to the underlying store.
+    /// Runs `f` with shared (read) access to a consistent snapshot of the
+    /// underlying store. The store lock is *not* held while `f` runs.
     pub fn read<R>(&self, f: impl FnOnce(&TripleStore) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.snapshot())
     }
 
     /// Runs `f` with exclusive (write) access to the underlying store.
+    ///
+    /// Outstanding snapshots are unaffected: if any exist, the store is
+    /// cloned before mutation (copy-on-write) and the new version is
+    /// published atomically when `f` returns.
     pub fn write<R>(&self, f: impl FnOnce(&mut TripleStore) -> R) -> R {
-        f(&mut self.inner.write())
+        let mut guard = self.inner.write();
+        f(Arc::make_mut(&mut guard))
     }
 }
 
@@ -119,5 +154,37 @@ mod tests {
         let classes = shared.read(|store| store.to_graph().classes());
         assert!(classes.contains(&foaf::person()));
         assert!(!shared.is_empty());
+    }
+
+    #[test]
+    fn snapshots_are_immune_to_later_writes() {
+        let shared = SharedStore::new();
+        let t = |n: u32| {
+            Triple::new(
+                Iri::new(format!("http://e.org/{n}")).unwrap(),
+                rdf::type_(),
+                foaf::person(),
+            )
+        };
+        shared.insert(&t(0));
+        let before = shared.snapshot();
+        let batch: Vec<Triple> = (1..100).map(t).collect();
+        assert_eq!(shared.bulk_load(batch.iter()), 99);
+        assert_eq!(before.len(), 1, "old snapshot stays frozen");
+        assert_eq!(shared.len(), 100);
+        assert_eq!(shared.snapshot().len(), 100);
+    }
+
+    #[test]
+    fn bulk_load_deduplicates() {
+        let shared = SharedStore::new();
+        let t = Triple::new(
+            Iri::new("http://e.org/a").unwrap(),
+            rdf::type_(),
+            foaf::person(),
+        );
+        assert_eq!(shared.bulk_load([&t, &t]), 1);
+        assert_eq!(shared.bulk_load([&t]), 0);
+        assert_eq!(shared.len(), 1);
     }
 }

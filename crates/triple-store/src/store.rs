@@ -32,12 +32,10 @@ impl TripleStore {
         TripleStore::default()
     }
 
-    /// Builds a store from a [`Graph`].
+    /// Builds a store from a [`Graph`] using the batched bulk-load path.
     pub fn from_graph(graph: &Graph) -> Self {
         let mut store = TripleStore::new();
-        for t in graph.iter() {
-            store.insert(t);
-        }
+        store.insert_batch(graph.iter());
         store
     }
 
@@ -73,6 +71,33 @@ impl TripleStore {
             self.len += 1;
         }
         inserted
+    }
+
+    /// Bulk-loads a batch of triples, returning how many were new.
+    ///
+    /// Terms are interned once per occurrence and the three positional
+    /// indexes are extended in one pass each, which is markedly cheaper than
+    /// per-triple [`TripleStore::insert`] calls on large loads.
+    pub fn insert_batch<'a>(&mut self, triples: impl IntoIterator<Item = &'a Triple>) -> usize {
+        let encoded: Vec<(TermId, TermId, TermId)> = triples
+            .into_iter()
+            .map(|t| {
+                (
+                    self.dict.intern(&t.subject),
+                    self.dict.intern(&t.predicate),
+                    self.dict.intern(&t.object),
+                )
+            })
+            .collect();
+        let before = self.spo.len();
+        self.spo.insert_batch(encoded.iter().copied());
+        self.pos
+            .insert_batch(encoded.iter().map(|&(s, p, o)| (p, o, s)));
+        self.osp
+            .insert_batch(encoded.iter().map(|&(s, p, o)| (o, s, p)));
+        let added = self.spo.len() - before;
+        self.len += added;
+        added
     }
 
     /// Removes a triple; returns `true` if it was present.
@@ -168,6 +193,16 @@ impl TripleStore {
     /// A pattern mentioning a term that has never been interned matches
     /// nothing, without touching the indexes.
     pub fn matching(&self, pattern: &TriplePattern) -> Vec<Triple> {
+        self.matching_iter(pattern).collect()
+    }
+
+    /// Streams the triples matching a [`TriplePattern`] without materializing
+    /// them: the backbone of the streaming SPARQL operator pipeline, which
+    /// pulls solutions one at a time instead of building intermediate `Vec`s.
+    pub fn matching_iter<'s>(
+        &'s self,
+        pattern: &TriplePattern,
+    ) -> Box<dyn Iterator<Item = Triple> + 's> {
         let lookup = |term: &Option<Term>| -> Result<Option<TermId>, ()> {
             match term {
                 None => Ok(None),
@@ -179,12 +214,44 @@ impl TripleStore {
             lookup(&pattern.predicate),
             lookup(&pattern.object),
         ) else {
-            return Vec::new();
+            return Box::new(std::iter::empty());
         };
-        self.matching_encoded(s, p, o)
-            .into_iter()
-            .map(|e| self.decode(e))
-            .collect()
+        let from_spo = |k: &(TermId, TermId, TermId)| EncodedTriple {
+            subject: k.0,
+            predicate: k.1,
+            object: k.2,
+        };
+        let from_pos = |k: &(TermId, TermId, TermId)| EncodedTriple {
+            predicate: k.0,
+            object: k.1,
+            subject: k.2,
+        };
+        let from_osp = |k: &(TermId, TermId, TermId)| EncodedTriple {
+            object: k.0,
+            subject: k.1,
+            predicate: k.2,
+        };
+        let encoded: Box<dyn Iterator<Item = EncodedTriple> + 's> = match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    Box::new(std::iter::once(EncodedTriple {
+                        subject: s,
+                        predicate: p,
+                        object: o,
+                    }))
+                } else {
+                    Box::new(std::iter::empty())
+                }
+            }
+            (Some(s), Some(p), None) => Box::new(self.spo.scan_prefix2(s, p).map(from_spo)),
+            (Some(s), None, None) => Box::new(self.spo.scan_prefix1(s).map(from_spo)),
+            (None, Some(p), Some(o)) => Box::new(self.pos.scan_prefix2(p, o).map(from_pos)),
+            (None, Some(p), None) => Box::new(self.pos.scan_prefix1(p).map(from_pos)),
+            (None, None, Some(o)) => Box::new(self.osp.scan_prefix1(o).map(from_osp)),
+            (Some(s), None, Some(o)) => Box::new(self.osp.scan_prefix2(o, s).map(from_osp)),
+            (None, None, None) => Box::new(self.spo.scan_all().map(from_spo)),
+        };
+        Box::new(encoded.map(|e| self.decode(e)))
     }
 
     /// Counts the triples matching a pattern without decoding them.
@@ -269,9 +336,8 @@ impl FromIterator<Triple> for TripleStore {
 
 impl Extend<Triple> for TripleStore {
     fn extend<I: IntoIterator<Item = Triple>>(&mut self, iter: I) {
-        for t in iter {
-            self.insert(&t);
-        }
+        let triples: Vec<Triple> = iter.into_iter().collect();
+        self.insert_batch(triples.iter());
     }
 }
 
