@@ -1,0 +1,119 @@
+//! The `load_gen` CLI: a closed-loop burst against a SPARQL Protocol server.
+//!
+//! ```text
+//! load_gen --url http://127.0.0.1:8080/sparql [--connections N] [--requests M]
+//!          [--query SPARQL]... [--assert-all-2xx] [--shutdown-after]
+//! ```
+//!
+//! `--assert-all-2xx` exits 1 unless every request was answered 2xx (the CI
+//! smoke gate). `--shutdown-after` POSTs `/shutdown` to the same host when
+//! the burst is done, so one command can drive the whole boot → load →
+//! graceful-stop cycle.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use hbold_bench::loadgen::{run_load, LoadGenConfig};
+use hbold_endpoint::http_client::{parse_http_url, HttpConnection};
+
+fn usage() -> &'static str {
+    "usage: load_gen --url URL [--connections N] [--requests M] [--query SPARQL]... \
+     [--timeout-secs S] [--assert-all-2xx] [--shutdown-after]"
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let mut url: Option<String> = None;
+    let mut connections = 8usize;
+    let mut requests = 25usize;
+    let mut timeout = Duration::from_secs(10);
+    let mut queries: Vec<String> = Vec::new();
+    let mut assert_all_2xx = false;
+    let mut shutdown_after = false;
+
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--url" => url = Some(value("--url")?),
+                "--connections" => {
+                    connections = value("--connections")?
+                        .parse()
+                        .map_err(|_| "--connections expects a number".to_string())?
+                }
+                "--requests" => {
+                    requests = value("--requests")?
+                        .parse()
+                        .map_err(|_| "--requests expects a number".to_string())?
+                }
+                "--timeout-secs" => {
+                    timeout = Duration::from_secs(
+                        value("--timeout-secs")?
+                            .parse()
+                            .map_err(|_| "--timeout-secs expects a number".to_string())?,
+                    )
+                }
+                "--query" => queries.push(value("--query")?),
+                "--assert-all-2xx" => assert_all_2xx = true,
+                "--shutdown-after" => shutdown_after = true,
+                "--help" | "-h" => return Err(usage().to_string()),
+                other => return Err(format!("unknown flag {other}\n{}", usage())),
+            }
+            Ok(())
+        })();
+        if let Err(message) = result {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let Some(url) = url else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+
+    let mut config = LoadGenConfig::new(url.clone());
+    config.connections = connections.max(1);
+    config.requests_per_connection = requests.max(1);
+    config.timeout = timeout;
+    if !queries.is_empty() {
+        config.queries = queries;
+    }
+
+    println!(
+        "load_gen: {} connections x {} requests against {}",
+        config.connections, config.requests_per_connection, config.url
+    );
+    let report = run_load(&config);
+    print!("{}", report.render());
+
+    if shutdown_after {
+        match request_shutdown(&url, timeout) {
+            Ok(status) => println!("load_gen: POST /shutdown -> {status}"),
+            Err(e) => eprintln!("load_gen: shutdown request failed: {e}"),
+        }
+    }
+
+    if assert_all_2xx && !report.all_2xx() {
+        eprintln!(
+            "load_gen: FAIL: {} of {} requests were not answered 2xx",
+            report.total_requests - report.ok_2xx,
+            report.total_requests
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// POSTs `/shutdown` on the host serving `url`.
+fn request_shutdown(url: &str, timeout: Duration) -> Result<u16, String> {
+    let (host_port, _) = parse_http_url(url)?;
+    let mut conn = HttpConnection::connect(&host_port, timeout).map_err(|e| e.to_string())?;
+    let response = conn
+        .request("POST", "/shutdown", "*/*", Some(("text/plain", b"")))
+        .map_err(|e| e.to_string())?;
+    Ok(response.status)
+}

@@ -11,6 +11,8 @@
 
 pub mod experiments;
 pub mod fixtures;
+pub mod loadgen;
 
 pub use experiments::*;
 pub use fixtures::*;
+pub use loadgen::{run_load, LoadGenConfig, LoadReport};

@@ -1,0 +1,81 @@
+//! Closed-loop load generator against a live loopback server: every request
+//! must be answered 2xx, latency percentiles must be sane, and the server
+//! must shut down gracefully afterwards — the in-process twin of the CI
+//! smoke job.
+
+use std::time::Duration;
+
+use hbold_bench::loadgen::{run_load, LoadGenConfig};
+use hbold_endpoint::synth::{random_lod, RandomLodConfig};
+use hbold_server::{ServerConfig, SparqlServer};
+use hbold_triple_store::SharedStore;
+
+#[test]
+fn load_burst_is_all_2xx_with_sane_latencies() {
+    let graph = random_lod(&RandomLodConfig::sized(10, 800, 7));
+    let server = SparqlServer::start(
+        SharedStore::from_graph(&graph),
+        ServerConfig {
+            workers: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let mut config = LoadGenConfig::new(server.url());
+    config.connections = 8;
+    config.requests_per_connection = 20;
+    config.timeout = Duration::from_secs(10);
+    let report = run_load(&config);
+
+    assert_eq!(report.total_requests, 160);
+    assert!(
+        report.all_2xx(),
+        "expected 100% 2xx, got:\n{}",
+        report.render()
+    );
+    assert_eq!(report.status_counts.get(&200), Some(&160));
+    assert!(report.p50_us > 0);
+    assert!(report.p50_us <= report.p95_us);
+    assert!(report.p95_us <= report.p99_us);
+    assert!(report.p99_us <= report.max_us);
+    assert!(report.throughput_rps() > 0.0);
+
+    // Keep-alive did its job: 8 closed-loop connections, not 160 dials.
+    // (The load generator may reconnect after server-side idle reaps, so
+    // allow slack without letting it degrade to connection-per-request.)
+    let accepted = server
+        .stats()
+        .connections_accepted
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        (8..40).contains(&accepted),
+        "expected ~8 keep-alive connections, server accepted {accepted}"
+    );
+
+    // The server's own histogram saw the same traffic.
+    assert!(server.stats().sparql.latency.count() >= 160);
+    server.shutdown();
+}
+
+#[test]
+fn mixed_valid_and_invalid_queries_are_reported_by_status() {
+    let graph = random_lod(&RandomLodConfig::sized(6, 200, 9));
+    let server = SparqlServer::start(SharedStore::from_graph(&graph), ServerConfig::default())
+        .expect("server starts");
+    let mut config = LoadGenConfig::new(server.url());
+    config.connections = 2;
+    config.requests_per_connection = 10;
+    config.queries = vec![
+        "ASK { ?s ?p ?o }".into(),
+        "SELEKT broken".into(), // parse error → 400
+    ];
+    let report = run_load(&config);
+    assert_eq!(report.total_requests, 20);
+    assert_eq!(report.ok_2xx, 10);
+    assert_eq!(report.non_2xx, 10);
+    assert_eq!(report.status_counts.get(&400), Some(&10));
+    assert!(!report.all_2xx());
+    assert_eq!(report.transport_errors, 0, "4xx still keeps the connection");
+    server.shutdown();
+}

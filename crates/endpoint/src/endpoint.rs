@@ -1,15 +1,16 @@
 //! The simulated SPARQL endpoint.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hbold_rdf_model::Graph;
 use hbold_sparql::ast::{Expression, Projection, ProjectionItem, Query, QueryForm};
-use hbold_sparql::{parse_cached, EvalOptions, QueryResults};
+use hbold_sparql::{parse_cached, EvalOptions, PlanCacheStats, QueryResults};
 use hbold_triple_store::{SharedStore, TripleStore};
 use parking_lot::Mutex;
 
 use crate::error::EndpointError;
+use crate::http_client::HttpSparqlClient;
 use crate::profile::EndpointProfile;
 
 /// The outcome of a successful query: the results plus the simulated cost.
@@ -21,19 +22,40 @@ pub struct QueryOutcome {
     pub simulated_latency: Duration,
 }
 
-/// An in-process stand-in for a remote SPARQL endpoint.
+/// A SPARQL endpoint the rest of the system queries.
 ///
-/// The endpoint owns a triple store, a behavioural [`EndpointProfile`], and a
-/// notion of "current virtual day" used by its availability model. Cloning an
-/// endpoint produces another handle to the same underlying state.
+/// Two backends hide behind one interface, so the crawler, the extraction
+/// pipeline and the fleet never know (or care) where answers come from:
+///
+/// * **local** — an in-process stand-in over a [`SharedStore`], with a
+///   behavioural [`EndpointProfile`] simulating a remote implementation's
+///   quirks and latency;
+/// * **remote** — a live HTTP SPARQL Protocol server (e.g. `hbold_server`
+///   on a loopback port, or any other conforming endpoint), reached through
+///   [`HttpSparqlClient`] with *measured* round-trip latency.
+///
+/// The endpoint also carries a notion of "current virtual day" used by its
+/// availability model. Cloning an endpoint produces another handle to the
+/// same underlying state.
 #[derive(Debug, Clone)]
 pub struct SparqlEndpoint {
     url: String,
     name: String,
-    store: SharedStore,
+    backend: Backend,
     profile: EndpointProfile,
-    eval_options: EvalOptions,
     state: Arc<Mutex<EndpointState>>,
+}
+
+/// Where queries are answered.
+#[derive(Debug, Clone)]
+enum Backend {
+    /// In-process evaluation over a lock-free store snapshot.
+    Local {
+        store: SharedStore,
+        eval_options: EvalOptions,
+    },
+    /// A live HTTP server across a socket.
+    Http(HttpSparqlClient),
 }
 
 #[derive(Debug, Default)]
@@ -66,9 +88,45 @@ impl SparqlEndpoint {
         SparqlEndpoint {
             url,
             name,
-            store: SharedStore::from_store(store),
+            backend: Backend::Local {
+                store: SharedStore::from_store(store),
+                eval_options: EvalOptions::auto(),
+            },
             profile,
-            eval_options: EvalOptions::auto(),
+            state: Arc::new(Mutex::new(EndpointState::default())),
+        }
+    }
+
+    /// Creates an endpoint backed by a live HTTP SPARQL Protocol server at
+    /// `url` — this is the paper's actual remote-endpoint scenario.
+    ///
+    /// The profile defaults to [`EndpointProfile::full_featured`] (a remote
+    /// server enforces its own limits; the simulated quirks stay out of the
+    /// way), and latency is measured, not simulated. Use
+    /// [`SparqlEndpoint::remote_with_profile`] to layer client-side
+    /// capability checks on top of a real server.
+    pub fn remote(url: impl Into<String>) -> Self {
+        let url = url.into();
+        SparqlEndpoint::remote_with_profile(
+            HttpSparqlClient::new(url),
+            EndpointProfile::full_featured(),
+        )
+    }
+
+    /// Creates a remote endpoint from a configured client and profile.
+    pub fn remote_with_profile(client: HttpSparqlClient, profile: EndpointProfile) -> Self {
+        let url = client.url().to_string();
+        let name = url
+            .trim_end_matches('/')
+            .rsplit('/')
+            .nth(1)
+            .unwrap_or("endpoint")
+            .to_string();
+        SparqlEndpoint {
+            url,
+            name,
+            backend: Backend::Http(client),
+            profile,
             state: Arc::new(Mutex::new(EndpointState::default())),
         }
     }
@@ -76,9 +134,12 @@ impl SparqlEndpoint {
     /// Overrides the query-engine threading options (builder style). The
     /// default is [`EvalOptions::auto`]: parallel joins sized to the machine,
     /// engaged only once a query's seed scan is large enough to amortize the
-    /// thread fan-out.
+    /// thread fan-out. No-op on remote endpoints (the server owns its
+    /// engine options).
     pub fn with_eval_options(mut self, options: EvalOptions) -> Self {
-        self.eval_options = options;
+        if let Backend::Local { eval_options, .. } = &mut self.backend {
+            *eval_options = options;
+        }
         self
     }
 
@@ -97,15 +158,44 @@ impl SparqlEndpoint {
         &self.profile
     }
 
-    /// The number of triples served.
+    /// Returns `true` when this endpoint answers over a real socket.
+    pub fn is_remote(&self) -> bool {
+        matches!(self.backend, Backend::Http(_))
+    }
+
+    /// The number of triples served. Local endpoints read the store; remote
+    /// endpoints ask the server with a `COUNT(*)` query (0 if unreachable).
     pub fn triple_count(&self) -> usize {
-        self.store.len()
+        match &self.backend {
+            Backend::Local { store, .. } => store.len(),
+            Backend::Http(client) => client
+                .query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
+                .ok()
+                .and_then(|r| r.into_select())
+                .and_then(|rows| rows.value(0, "n").and_then(|t| t.label().parse().ok()))
+                .unwrap_or(0),
+        }
     }
 
     /// Shared access to the underlying store (used by tests and generators;
-    /// the H-BOLD pipeline itself only talks SPARQL).
-    pub fn store(&self) -> &SharedStore {
-        &self.store
+    /// the H-BOLD pipeline itself only talks SPARQL). `None` for remote
+    /// endpoints — their store lives on the other side of a socket.
+    pub fn store(&self) -> Option<&SharedStore> {
+        match &self.backend {
+            Backend::Local { store, .. } => Some(store),
+            Backend::Http(_) => None,
+        }
+    }
+
+    /// Process-wide SPARQL plan-cache counters, as seen from this endpoint.
+    ///
+    /// Every local endpoint parses through the same normalized-query cache
+    /// (the extraction pipeline re-issues the same statistics shapes against
+    /// every endpoint in the fleet, so hit rates climb fast); remote
+    /// endpoints still pay a local cached parse for capability checking
+    /// before the query goes over the wire.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        hbold_sparql::plan::stats()
     }
 
     /// Total number of queries this endpoint has received.
@@ -139,15 +229,30 @@ impl SparqlEndpoint {
             return Err(EndpointError::Unavailable);
         }
         // Plan-cached parse: the extraction pipeline re-issues the same
-        // statistics query shapes against every endpoint.
+        // statistics query shapes against every endpoint. Remote queries are
+        // parsed too, so capability checks (and parse errors) are settled
+        // before anything crosses the wire.
         let parsed = parse_cached(query_text)?;
         self.check_capabilities(&parsed)?;
 
-        // Evaluate against a lock-free snapshot: concurrent writers (and
-        // other queries) never block this query, and it never observes a
-        // half-applied bulk-load.
-        let snapshot = self.store.snapshot();
-        let results = hbold_sparql::evaluate_with(&snapshot, &parsed, &self.eval_options)?;
+        let (results, latency) = match &self.backend {
+            Backend::Local {
+                store,
+                eval_options,
+            } => {
+                // Evaluate against a lock-free snapshot: concurrent writers
+                // (and other queries) never block this query, and it never
+                // observes a half-applied bulk-load.
+                let snapshot = store.snapshot();
+                let results = hbold_sparql::evaluate_with(&snapshot, &parsed, eval_options)?;
+                (results, None)
+            }
+            Backend::Http(client) => {
+                let started = Instant::now();
+                let results = client.query(query_text)?;
+                (results, Some(started.elapsed()))
+            }
+        };
 
         let rows = match &results {
             QueryResults::Select(s) => s.len(),
@@ -158,7 +263,10 @@ impl SparqlEndpoint {
                 return Err(EndpointError::ResultLimitExceeded { limit });
             }
         }
-        let simulated_latency = self.profile.latency.simulate(query_text, rows);
+        // Local backends simulate their profile's latency; remote backends
+        // report the measured round trip.
+        let simulated_latency =
+            latency.unwrap_or_else(|| self.profile.latency.simulate(query_text, rows));
         if let Some(budget_ms) = self.profile.timeout_ms {
             if simulated_latency > Duration::from_millis(budget_ms) {
                 return Err(EndpointError::Timeout { budget_ms });
@@ -357,6 +465,53 @@ mod tests {
         assert!(matches!(
             ep.select("ASK { ?s ?p ?o }"),
             Err(EndpointError::QueryRejected(_))
+        ));
+    }
+
+    #[test]
+    fn plan_cache_counters_are_visible_through_the_endpoint() {
+        let ep = SparqlEndpoint::new(
+            "http://cache.example.org/sparql",
+            &sample_graph(3),
+            EndpointProfile::full_featured(),
+        );
+        // Counters are process-global and tests run in parallel, so assert
+        // deltas on a query text unique to this test.
+        let q = "SELECT ?endpoint_cache_probe WHERE { ?endpoint_cache_probe a ?c }";
+        let before = ep.plan_cache_stats();
+        ep.query(q).unwrap();
+        let after_first = ep.plan_cache_stats();
+        assert!(
+            after_first.misses >= before.misses + 1,
+            "first parse misses"
+        );
+        for _ in 0..3 {
+            ep.query(q).unwrap();
+        }
+        let after = ep.plan_cache_stats();
+        assert!(
+            after.hits >= after_first.hits + 3,
+            "re-issues hit the cache"
+        );
+        assert!(after.entries >= 1);
+        assert!(after.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn remote_endpoints_report_unavailable_when_nothing_listens() {
+        // Port 1 on loopback is never served.
+        let ep = SparqlEndpoint::remote("http://127.0.0.1:1/sparql");
+        assert!(ep.is_remote());
+        assert!(ep.store().is_none());
+        assert_eq!(ep.name(), "127.0.0.1:1");
+        let err = ep.query("ASK { ?s ?p ?o }").unwrap_err();
+        assert_eq!(err, EndpointError::Unavailable);
+        assert!(err.is_transient());
+        assert_eq!(ep.triple_count(), 0);
+        // Malformed queries fail at the local parse, before any socket work.
+        assert!(matches!(
+            ep.query("SELEKT nope"),
+            Err(EndpointError::Sparql(_))
         ));
     }
 

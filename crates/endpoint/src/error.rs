@@ -55,6 +55,27 @@ impl From<SparqlError> for EndpointError {
     }
 }
 
+impl From<crate::http_client::HttpClientError> for EndpointError {
+    /// Maps remote (HTTP) failures onto the same taxonomy the simulation
+    /// uses, preserving the transient/permanent distinction the refresh
+    /// scheduler relies on: transport failures are retryable
+    /// ([`EndpointError::Unavailable`]), server verdicts are not.
+    fn from(e: crate::http_client::HttpClientError) -> Self {
+        use crate::http_client::HttpClientError;
+        match e {
+            // Server down, connection refused, reset, or timed out.
+            HttpClientError::Io(_) => EndpointError::Unavailable,
+            HttpClientError::Status { status, .. } if status >= 500 => EndpointError::Unavailable,
+            HttpClientError::Status { status, body } => {
+                EndpointError::QueryRejected(format!("HTTP {status}: {}", body.trim_end()))
+            }
+            HttpClientError::InvalidUrl(msg) | HttpClientError::Malformed(msg) => {
+                EndpointError::QueryRejected(msg)
+            }
+        }
+    }
+}
+
 impl EndpointError {
     /// Returns `true` when retrying the same query later could succeed
     /// (unavailability, timeouts), as opposed to errors that will repeat

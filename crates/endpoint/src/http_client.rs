@@ -1,0 +1,510 @@
+//! An HTTP client for the SPARQL 1.1 Protocol.
+//!
+//! This is the network half of the paper's actual scenario: H-BOLD talks to
+//! *remote* SPARQL endpoints over HTTP. [`HttpSparqlClient`] sends a query
+//! to any SPARQL Protocol server (in this workspace: `hbold_server`) and
+//! decodes the `application/sparql-results+json` answer back into the exact
+//! [`QueryResults`] the engine would have produced in-process.
+//!
+//! The transport is a std-only HTTP/1.1 implementation mirroring the server
+//! side: [`HttpConnection`] owns one TCP connection and can be reused across
+//! requests (keep-alive), which is what the closed-loop load generator in
+//! `hbold_bench` drives; the client itself opens a fresh connection per
+//! query for simplicity and robustness against server-side idle reaping.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use hbold_sparql::QueryResults;
+
+/// Splits an `http://host:port/path` URL into (`host:port`, `path`).
+///
+/// Only plain `http` is supported — the workspace is offline and std-only,
+/// so there is no TLS stack to speak `https` with.
+pub fn parse_http_url(url: &str) -> Result<(String, String), String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("unsupported URL scheme in {url:?} (only http:// works)"))?;
+    let (authority, path) = match rest.find('/') {
+        Some(idx) => (&rest[..idx], &rest[idx..]),
+        None => (rest, "/"),
+    };
+    if authority.is_empty() {
+        return Err(format!("URL {url:?} has no host"));
+    }
+    let host_port = if authority.contains(':') {
+        authority.to_string()
+    } else {
+        format!("{authority}:80")
+    };
+    Ok((host_port, path.to_string()))
+}
+
+/// Percent-encodes a query-string component (RFC 3986 unreserved characters
+/// pass through, everything else is `%XX`-escaped byte-wise).
+pub fn percent_encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// A response read off the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpClientResponse {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy — error bodies are for humans).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Whether the server intends to keep the connection open.
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// One TCP connection speaking HTTP/1.1, reusable across requests.
+#[derive(Debug)]
+pub struct HttpConnection {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    host: String,
+    max_response_bytes: usize,
+}
+
+/// Response heads larger than this are not a SPARQL endpoint talking.
+const MAX_RESPONSE_HEAD_BYTES: usize = 64 * 1024;
+
+/// Default cap on a response body. Remote endpoints are untrusted (the
+/// paper's crawl runs against the open web): without a ceiling, a hostile
+/// or broken server declaring a huge `Content-Length` — or streaming an
+/// unframed body forever — would grow the client buffer until OOM.
+pub const DEFAULT_MAX_RESPONSE_BYTES: usize = 64 * 1024 * 1024;
+
+impl HttpConnection {
+    /// Connects to `host:port` with `timeout` applied to connect, reads and
+    /// writes, and the default response-size cap.
+    pub fn connect(host_port: &str, timeout: Duration) -> io::Result<HttpConnection> {
+        HttpConnection::connect_with_cap(host_port, timeout, DEFAULT_MAX_RESPONSE_BYTES)
+    }
+
+    /// Connects with an explicit response-body cap.
+    pub fn connect_with_cap(
+        host_port: &str,
+        timeout: Duration,
+        max_response_bytes: usize,
+    ) -> io::Result<HttpConnection> {
+        let addr = host_port
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "host resolves to nothing"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpConnection {
+            stream,
+            buf: Vec::new(),
+            host: host_port.to_string(),
+            max_response_bytes,
+        })
+    }
+
+    /// Sends one request and reads the full response. `body` is
+    /// `(content_type, bytes)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        accept: &str,
+        body: Option<(&str, &[u8])>,
+    ) -> io::Result<HttpClientResponse> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nAccept: {accept}\r\n",
+            self.host
+        );
+        if let Some((content_type, bytes)) = body {
+            head.push_str(&format!(
+                "Content-Type: {content_type}\r\nContent-Length: {}\r\n",
+                bytes.len()
+            ));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        if let Some((_, bytes)) = body {
+            self.stream.write_all(bytes)?;
+        }
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn fill(&mut self) -> io::Result<usize> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn read_response(&mut self) -> io::Result<HttpClientResponse> {
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            if self.buf.len() > MAX_RESPONSE_HEAD_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "response head exceeds 64 KiB",
+                ));
+            }
+            if self.fill()? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before response head finished",
+                ));
+            }
+        };
+        let head = String::from_utf8(self.buf[..head_end].to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+        self.buf.drain(..head_end + 4);
+
+        let mut lines = head.lines();
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed status line {status_line:?}"),
+                )
+            })?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        let response = HttpClientResponse {
+            status,
+            headers,
+            body: Vec::new(),
+        };
+        let too_big = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response body exceeds the client's size cap",
+            )
+        };
+        let body = match response.header("content-length") {
+            Some(v) => {
+                let len: usize = v.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "invalid Content-Length")
+                })?;
+                if len > self.max_response_bytes {
+                    return Err(too_big());
+                }
+                while self.buf.len() < len {
+                    if self.fill()? == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-body",
+                        ));
+                    }
+                }
+                self.buf.drain(..len).collect()
+            }
+            None => {
+                // No framing: the body runs to connection close — but never
+                // past the cap, whatever the server keeps streaming.
+                loop {
+                    if self.buf.len() > self.max_response_bytes {
+                        return Err(too_big());
+                    }
+                    if self.fill()? == 0 {
+                        break;
+                    }
+                }
+                std::mem::take(&mut self.buf)
+            }
+        };
+        Ok(HttpClientResponse { body, ..response })
+    }
+}
+
+/// How the client ships the query (all three SPARQL Protocol transports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryTransport {
+    /// `GET /sparql?query=...` with percent-encoding.
+    Get,
+    /// `POST` with `Content-Type: application/sparql-query` (default — no
+    /// encoding overhead and no URL length limits).
+    #[default]
+    PostDirect,
+    /// `POST` with a form-encoded `query=` field.
+    PostForm,
+}
+
+/// What went wrong talking to a remote endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpClientError {
+    /// The endpoint URL itself is unusable.
+    InvalidUrl(String),
+    /// Connect/read/write failure (server down, timeout, reset).
+    Io(String),
+    /// The server answered with a non-2xx status.
+    Status {
+        /// HTTP status code.
+        status: u16,
+        /// Response body (the server's explanation).
+        body: String,
+    },
+    /// The 2xx response body was not a decodable results document.
+    Malformed(String),
+}
+
+impl fmt::Display for HttpClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpClientError::InvalidUrl(msg) => write!(f, "invalid endpoint URL: {msg}"),
+            HttpClientError::Io(msg) => write!(f, "HTTP transport error: {msg}"),
+            HttpClientError::Status { status, body } => {
+                write!(f, "HTTP {status}: {}", body.trim_end())
+            }
+            HttpClientError::Malformed(msg) => {
+                write!(f, "malformed results from server: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpClientError {}
+
+/// A SPARQL Protocol client bound to one endpoint URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpSparqlClient {
+    url: String,
+    transport: QueryTransport,
+    timeout: Duration,
+    max_response_bytes: usize,
+}
+
+impl HttpSparqlClient {
+    /// A client for `url` (e.g. `http://127.0.0.1:8080/sparql`), defaulting
+    /// to the direct-POST transport, a 10 s timeout and a
+    /// [`DEFAULT_MAX_RESPONSE_BYTES`] response cap.
+    pub fn new(url: impl Into<String>) -> Self {
+        HttpSparqlClient {
+            url: url.into(),
+            transport: QueryTransport::default(),
+            timeout: Duration::from_secs(10),
+            max_response_bytes: DEFAULT_MAX_RESPONSE_BYTES,
+        }
+    }
+
+    /// Overrides the response-body size cap (builder style).
+    pub fn with_max_response_bytes(mut self, max_response_bytes: usize) -> Self {
+        self.max_response_bytes = max_response_bytes;
+        self
+    }
+
+    /// Overrides the query transport (builder style).
+    pub fn with_transport(mut self, transport: QueryTransport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Overrides the socket timeout (builder style).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The endpoint URL this client talks to.
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// Sends `query` and decodes the SPARQL-JSON answer.
+    pub fn query(&self, query: &str) -> Result<QueryResults, HttpClientError> {
+        let response = self.raw_query(query)?;
+        if response.status / 100 != 2 {
+            return Err(HttpClientError::Status {
+                status: response.status,
+                body: response.body_text(),
+            });
+        }
+        let text = String::from_utf8(response.body)
+            .map_err(|_| HttpClientError::Malformed("results body is not UTF-8".into()))?;
+        QueryResults::from_sparql_json(&text).map_err(|e| HttpClientError::Malformed(e.to_string()))
+    }
+
+    /// Sends `query` and returns the raw HTTP response (any status).
+    pub fn raw_query(&self, query: &str) -> Result<HttpClientResponse, HttpClientError> {
+        let (host_port, path) = parse_http_url(&self.url).map_err(HttpClientError::InvalidUrl)?;
+        let mut conn =
+            HttpConnection::connect_with_cap(&host_port, self.timeout, self.max_response_bytes)
+                .map_err(|e| HttpClientError::Io(e.to_string()))?;
+        let accept = "application/sparql-results+json";
+        let result = match self.transport {
+            QueryTransport::Get => {
+                let target = format!("{path}?query={}", percent_encode_component(query));
+                conn.request("GET", &target, accept, None)
+            }
+            QueryTransport::PostDirect => conn.request(
+                "POST",
+                &path,
+                accept,
+                Some(("application/sparql-query", query.as_bytes())),
+            ),
+            QueryTransport::PostForm => {
+                let form = format!("query={}", percent_encode_component(query));
+                conn.request(
+                    "POST",
+                    &path,
+                    accept,
+                    Some(("application/x-www-form-urlencoded", form.as_bytes())),
+                )
+            }
+        };
+        result.map_err(|e| HttpClientError::Io(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing() {
+        assert_eq!(
+            parse_http_url("http://127.0.0.1:8080/sparql").unwrap(),
+            ("127.0.0.1:8080".into(), "/sparql".into())
+        );
+        assert_eq!(
+            parse_http_url("http://example.org/sparql").unwrap(),
+            ("example.org:80".into(), "/sparql".into())
+        );
+        assert_eq!(
+            parse_http_url("http://example.org").unwrap(),
+            ("example.org:80".into(), "/".into())
+        );
+        assert!(parse_http_url("https://example.org/sparql").is_err());
+        assert!(parse_http_url("ftp://example.org/x").is_err());
+        assert!(parse_http_url("http:///sparql").is_err());
+    }
+
+    #[test]
+    fn component_encoding_round_trips_through_the_server_decoder() {
+        let original = "SELECT ?s WHERE { ?s ?p \"été +&=%\" }";
+        let encoded = percent_encode_component(original);
+        assert!(!encoded.contains(' '));
+        assert!(!encoded.contains('&'));
+        assert!(!encoded.contains('+'));
+        // Decode with the same rules the server applies to form components.
+        let mut decoded = Vec::new();
+        let bytes = encoded.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'%' {
+                decoded.push(
+                    u8::from_str_radix(std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap(), 16)
+                        .unwrap(),
+                );
+                i += 3;
+            } else {
+                decoded.push(bytes[i]);
+                i += 1;
+            }
+        }
+        assert_eq!(String::from_utf8(decoded).unwrap(), original);
+    }
+
+    #[test]
+    fn hostile_response_sizes_are_capped_not_buffered() {
+        use std::io::{Read, Write};
+
+        // A fake "endpoint" that declares an absurd Content-Length and then
+        // an unframed endless body: the client must error out at its cap
+        // instead of buffering toward OOM.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut sink = [0u8; 1024];
+                let _ = stream.read(&mut sink); // swallow the request
+                let _ =
+                    stream.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 999999999999\r\n\r\n");
+                // Second round: no framing at all, stream until the client
+                // hangs up.
+                let (mut stream, _) = listener.accept().unwrap();
+                let _ = stream.read(&mut sink);
+                let _ = stream.write_all(b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n");
+                let chunk = [b'x'; 4096];
+                while stream.write_all(&chunk).is_ok() {}
+                break;
+            }
+        });
+
+        let client = HttpSparqlClient::new(format!("http://{addr}/sparql"))
+            .with_timeout(Duration::from_secs(5))
+            .with_max_response_bytes(64 * 1024);
+        // Declared-huge body: rejected on the declaration.
+        match client.query("ASK { ?s ?p ?o }") {
+            Err(HttpClientError::Io(msg)) => assert!(msg.contains("size cap"), "{msg}"),
+            other => panic!("expected capped error, got {other:?}"),
+        }
+        // Unframed endless body: rejected once the cap is crossed.
+        match client.query("ASK { ?s ?p ?o }") {
+            Err(HttpClientError::Io(msg)) => assert!(msg.contains("size cap"), "{msg}"),
+            other => panic!("expected capped error, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn unreachable_servers_are_io_errors() {
+        // Port 1 on loopback: nothing listens there.
+        let client = HttpSparqlClient::new("http://127.0.0.1:1/sparql")
+            .with_timeout(Duration::from_millis(200));
+        match client.query("ASK { ?s ?p ?o }") {
+            Err(HttpClientError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

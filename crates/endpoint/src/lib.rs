@@ -23,13 +23,20 @@
 //!   query of Listing 1.
 //! * [`fleet`] — builds whole fleets of heterogeneous endpoints (the paper's
 //!   610→680 catalog) for the scaling and crawling experiments.
+//! * [`http_client`] — the HTTP SPARQL Protocol client. With
+//!   [`SparqlEndpoint::remote`], the same `SparqlEndpoint` interface can
+//!   target a *live* server (`hbold_server` on a loopback port, or any
+//!   conforming endpoint) instead of an in-process store — the paper's
+//!   actual remote-endpoint scenario, with measured rather than simulated
+//!   latency.
 //!
-//! Everything is seeded and deterministic.
+//! Everything simulated is seeded and deterministic.
 
 pub mod availability;
 pub mod endpoint;
 pub mod error;
 pub mod fleet;
+pub mod http_client;
 pub mod latency;
 pub mod portal;
 pub mod profile;
@@ -39,6 +46,7 @@ pub use availability::AvailabilityModel;
 pub use endpoint::{QueryOutcome, SparqlEndpoint};
 pub use error::EndpointError;
 pub use fleet::{EndpointFleet, FleetConfig};
+pub use http_client::{HttpClientError, HttpSparqlClient, QueryTransport};
 pub use latency::LatencyModel;
 pub use portal::OpenDataPortal;
 pub use profile::{EndpointProfile, SparqlImplementation};

@@ -1,0 +1,86 @@
+//! The extraction pipeline over the wire: running H-BOLD's index
+//! extraction against a live loopback `hbold-server` must produce the same
+//! artefacts as running it against the equivalent in-process endpoint —
+//! the application layer cannot tell the backends apart.
+
+use hbold::pipeline::ExtractionPipeline;
+use hbold_docstore::DocStore;
+use hbold_endpoint::synth::{scholarly, ScholarlyConfig};
+use hbold_endpoint::{EndpointProfile, SparqlEndpoint};
+use hbold_server::{ServerConfig, SparqlServer};
+use hbold_triple_store::SharedStore;
+
+#[test]
+fn extraction_pipeline_is_backend_transparent() {
+    let graph = scholarly(&ScholarlyConfig::default());
+    let server = SparqlServer::start(
+        SharedStore::from_graph(&graph),
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let local = SparqlEndpoint::new(
+        "http://local.example/sparql",
+        &graph,
+        EndpointProfile::full_featured(),
+    );
+    let remote = SparqlEndpoint::remote(server.url());
+
+    let store = DocStore::in_memory();
+    let pipeline = ExtractionPipeline::new(&store);
+    let from_local = pipeline.run(&local, 0, None).expect("local pipeline");
+    let from_remote = pipeline.run(&remote, 0, None).expect("remote pipeline");
+
+    // Identical indexes, modulo the endpoint's identity.
+    assert_eq!(from_remote.indexes.triples, from_local.indexes.triples);
+    assert_eq!(from_remote.indexes.instances, from_local.indexes.instances);
+    assert_eq!(from_remote.indexes.classes, from_local.indexes.classes);
+    // And identical derived artefacts.
+    assert_eq!(
+        from_remote.summary.node_count(),
+        from_local.summary.node_count()
+    );
+    assert_eq!(
+        from_remote.summary.edge_count(),
+        from_local.summary.edge_count()
+    );
+    assert_eq!(
+        from_remote.cluster_schema.cluster_count(),
+        from_local.cluster_schema.cluster_count()
+    );
+
+    // Both runs' artefacts are retrievable under their own URLs.
+    assert!(pipeline.load_summary(local.url()).is_ok());
+    assert!(pipeline.load_summary(remote.url()).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn run_many_mixes_local_and_remote_endpoints() {
+    let graph = scholarly(&ScholarlyConfig::default());
+    let server = SparqlServer::start(SharedStore::from_graph(&graph), ServerConfig::default())
+        .expect("server starts");
+
+    let local = SparqlEndpoint::new(
+        "http://local.example/sparql",
+        &graph,
+        EndpointProfile::full_featured(),
+    );
+    let remote = SparqlEndpoint::remote(server.url());
+    let endpoints = [&local, &remote, &local];
+
+    let store = DocStore::in_memory();
+    let pipeline = ExtractionPipeline::new(&store);
+    let results = pipeline.run_many(&endpoints, 0, None, 3);
+    assert_eq!(results.len(), 3);
+    let ok: Vec<_> = results
+        .into_iter()
+        .map(|r| r.expect("every endpoint extracts"))
+        .collect();
+    assert_eq!(ok[0].indexes.classes, ok[1].indexes.classes);
+    assert_eq!(ok[1].indexes.classes, ok[2].indexes.classes);
+    server.shutdown();
+}

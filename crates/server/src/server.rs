@@ -1,0 +1,503 @@
+//! The SPARQL Protocol server: acceptor + worker pool over a [`SharedStore`].
+//!
+//! Every worker serves whole connections (HTTP/1.1 keep-alive) and answers
+//! each query from a lock-free store snapshot with a plan-cached parse —
+//! exactly the read path the in-process engine uses, now exercised across a
+//! socket. Shutdown is graceful: workers finish the connection they hold,
+//! the acceptor is woken with a self-connect, and `join` drains everything.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hbold_sparql::{parse_cached, EvalOptions, QueryResults};
+use hbold_triple_store::SharedStore;
+
+use crate::http::{Connection, HttpRequest, HttpResponse, Limits};
+use crate::stats::ServerStats;
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick a free loopback port.
+    pub addr: String,
+    /// Worker threads, each serving one connection at a time.
+    pub workers: usize,
+    /// Byte budgets for request heads and bodies.
+    pub limits: Limits,
+    /// How many requests one keep-alive connection may issue.
+    pub keep_alive_max_requests: usize,
+    /// Socket read timeout (also bounds idle keep-alive connections).
+    pub read_timeout: Duration,
+    /// Accepted connections waiting for a free worker beyond this count are
+    /// shed with a 503 instead of queueing without bound.
+    pub max_pending_connections: usize,
+    /// Query-engine options used for every request.
+    pub eval: EvalOptions,
+    /// Whether `POST /shutdown` remotely stops the server (used by the CLI
+    /// binary and CI smoke test; off by default).
+    pub enable_shutdown_route: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            limits: Limits::default(),
+            keep_alive_max_requests: 1000,
+            read_timeout: Duration::from_secs(10),
+            max_pending_connections: 1024,
+            eval: EvalOptions::auto(),
+            enable_shutdown_route: false,
+        }
+    }
+}
+
+struct Shared {
+    store: SharedStore,
+    config: ServerConfig,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_ready: Condvar,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.queue_ready.notify_all();
+            // Wake the acceptor out of its blocking accept().
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A running server; dropping the handle shuts it down.
+pub struct SparqlServer {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SparqlServer {
+    /// Binds and starts serving `store` according to `config`.
+    pub fn start(store: SharedStore, config: ServerConfig) -> io::Result<SparqlServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            store,
+            config,
+            stats: ServerStats::default(),
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            addr,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+
+        Ok(SparqlServer {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The query endpoint URL.
+    pub fn url(&self) -> String {
+        format!("http://{}/sparql", self.shared.addr)
+    }
+
+    /// Live telemetry.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Whether a shutdown has been requested (via [`SparqlServer::shutdown`]
+    /// or the `/shutdown` route).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and joins every thread; in-flight connections are
+    /// served to completion first.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Blocks until a shutdown is requested (e.g. through the `/shutdown`
+    /// route), then drains and joins. Used by the `hbold-server` binary.
+    pub fn wait(mut self) {
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            std::thread::park_timeout(Duration::from_millis(100));
+        }
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.request_shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.queue_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for SparqlServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The wake-up self-connect (or a late client) during
+                    // shutdown: drop it without queueing.
+                    drop(stream);
+                    return;
+                }
+                shared
+                    .stats
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+                let _ = stream.set_nodelay(true);
+                let mut queue = shared.queue.lock().expect("connection queue poisoned");
+                if queue.len() >= shared.config.max_pending_connections {
+                    // Backpressure: a connection flood must not grow the
+                    // queue (and the process's FD table) without bound.
+                    // Shed the newest connection with a best-effort 503 —
+                    // on a short write timeout, so a peer that never reads
+                    // cannot stall the acceptor.
+                    drop(queue);
+                    shared.stats.record_status(503);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    let mut conn = Connection::new(stream);
+                    let _ = conn.write_response(
+                        &HttpResponse::error(
+                            503,
+                            "Service Unavailable",
+                            "connection queue is full, retry later",
+                        )
+                        .with_close(),
+                        false,
+                    );
+                    continue;
+                }
+                queue.push_back(stream);
+                shared.queue_ready.notify_one();
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (e.g. EMFILE): back off briefly.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("connection queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .queue_ready
+                    .wait(queue)
+                    .expect("connection queue poisoned");
+            }
+        };
+        match stream {
+            Some(stream) => serve_connection(&shared, Connection::new(stream)),
+            None => return,
+        }
+    }
+}
+
+fn serve_connection(shared: &Shared, mut conn: Connection) {
+    for served in 0.. {
+        let request = match conn.read_request(&shared.config.limits) {
+            Ok(request) => request,
+            Err(error) => {
+                match error.status() {
+                    Some((status, reason)) => {
+                        shared
+                            .stats
+                            .malformed_requests
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared.stats.record_status(status);
+                        let response =
+                            HttpResponse::error(status, reason, error.detail()).with_close();
+                        let _ = conn.write_response(&response, false);
+                    }
+                    // Clean close, idle timeout or transport failure:
+                    // nothing to say, nothing malformed to count.
+                    None => {}
+                }
+                return;
+            }
+        };
+        shared.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+
+        let started = Instant::now();
+        let mut response = route(shared, &request);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        if request.path == "/sparql" {
+            shared.stats.sparql.latency.record(elapsed_us);
+        } else {
+            shared.stats.other.latency.record(elapsed_us);
+        }
+        shared.stats.record_status(response.status);
+
+        let closing = response.close
+            || !request.wants_keep_alive()
+            || served + 1 >= shared.config.keep_alive_max_requests
+            || shared.shutdown.load(Ordering::SeqCst);
+        response.close = closing;
+        let head_only = request.method == "HEAD";
+        if conn.write_response(&response, head_only).is_err() || closing {
+            return;
+        }
+    }
+}
+
+/// The negotiated result serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResultFormat {
+    Json,
+    Csv,
+    Tsv,
+}
+
+impl ResultFormat {
+    fn content_type(self) -> &'static str {
+        match self {
+            ResultFormat::Json => "application/sparql-results+json",
+            ResultFormat::Csv => "text/csv; charset=utf-8",
+            ResultFormat::Tsv => "text/tab-separated-values; charset=utf-8",
+        }
+    }
+}
+
+/// Picks the best supported format from an `Accept` header (RFC 9110 §12.5.1
+/// with q-values; specificity beyond media ranges is ignored). `None` means
+/// nothing acceptable → 406.
+fn negotiate(accept: Option<&str>) -> Option<ResultFormat> {
+    let Some(accept) = accept else {
+        return Some(ResultFormat::Json);
+    };
+    let mut best: Option<(f64, ResultFormat)> = None;
+    for item in accept.split(',') {
+        let mut parts = item.split(';');
+        let media = parts.next().unwrap_or("").trim().to_ascii_lowercase();
+        let mut q = 1.0f64;
+        for param in parts {
+            if let Some((k, v)) = param.split_once('=') {
+                if k.trim().eq_ignore_ascii_case("q") {
+                    q = v.trim().parse().unwrap_or(0.0);
+                }
+            }
+        }
+        let format = match media.as_str() {
+            "application/sparql-results+json" | "application/json" | "application/*" => {
+                Some(ResultFormat::Json)
+            }
+            "text/csv" => Some(ResultFormat::Csv),
+            "text/tab-separated-values" => Some(ResultFormat::Tsv),
+            "text/*" => Some(ResultFormat::Csv),
+            "*/*" => Some(ResultFormat::Json),
+            _ => None,
+        };
+        if let Some(format) = format {
+            if q > 0.0 && best.map_or(true, |(bq, _)| q > bq) {
+                best = Some((q, format));
+            }
+        }
+    }
+    best.map(|(_, f)| f)
+}
+
+fn route(shared: &Shared, request: &HttpRequest) -> HttpResponse {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET" | "HEAD", "/health") => HttpResponse::ok("text/plain; charset=utf-8", "ok\n"),
+        ("GET", "/stats") => {
+            HttpResponse::ok("application/json; charset=utf-8", shared.stats.to_json())
+        }
+        ("GET", "/sparql") => match request.query_param("query") {
+            Some(query) => execute(shared, query.to_string(), request),
+            None => HttpResponse::error(400, "Bad Request", "missing required \"query\" parameter"),
+        },
+        ("POST", "/sparql") => {
+            let content_type = request
+                .header("content-type")
+                .unwrap_or("")
+                .split(';')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_ascii_lowercase();
+            match content_type.as_str() {
+                "application/sparql-query" => match String::from_utf8(request.body.clone()) {
+                    Ok(query) => execute(shared, query, request),
+                    Err(_) => {
+                        HttpResponse::error(400, "Bad Request", "query body is not UTF-8")
+                    }
+                },
+                "application/x-www-form-urlencoded" => {
+                    let body = match std::str::from_utf8(&request.body) {
+                        Ok(body) => body,
+                        Err(_) => {
+                            return HttpResponse::error(
+                                400,
+                                "Bad Request",
+                                "form body is not UTF-8",
+                            )
+                        }
+                    };
+                    match crate::http::parse_query_string(body) {
+                        Ok(params) => match params.into_iter().find(|(k, _)| k == "query") {
+                            Some((_, query)) => execute(shared, query, request),
+                            None => HttpResponse::error(
+                                400,
+                                "Bad Request",
+                                "form body has no \"query\" field",
+                            ),
+                        },
+                        Err(e) => HttpResponse::error(
+                            400,
+                            "Bad Request",
+                            format!("malformed form body: {e}"),
+                        ),
+                    }
+                }
+                other => HttpResponse::error(
+                    415,
+                    "Unsupported Media Type",
+                    format!(
+                        "unsupported Content-Type {other:?}; use application/sparql-query or application/x-www-form-urlencoded"
+                    ),
+                ),
+            }
+        }
+        (_, "/sparql") => HttpResponse::error(
+            405,
+            "Method Not Allowed",
+            "use GET ?query= or POST on /sparql",
+        )
+        .with_header("Allow", "GET, POST"),
+        ("POST", "/shutdown") if shared.config.enable_shutdown_route => {
+            shared.request_shutdown();
+            HttpResponse::ok("text/plain; charset=utf-8", "shutting down\n").with_close()
+        }
+        (_, "/health") | (_, "/stats") => {
+            HttpResponse::error(405, "Method Not Allowed", "use GET").with_header("Allow", "GET")
+        }
+        _ => HttpResponse::error(404, "Not Found", "no such route"),
+    }
+}
+
+fn execute(shared: &Shared, query: String, request: &HttpRequest) -> HttpResponse {
+    // Negotiate before doing any work so an unacceptable Accept header costs
+    // nothing.
+    let Some(format) = negotiate(request.header("accept")) else {
+        return HttpResponse::error(
+            406,
+            "Not Acceptable",
+            "supported result formats: application/sparql-results+json, text/csv, text/tab-separated-values",
+        );
+    };
+    let plan = match parse_cached(&query) {
+        Ok(plan) => plan,
+        Err(e) => return HttpResponse::error(400, "Bad Request", e.to_string()),
+    };
+    let snapshot = shared.store.snapshot();
+    let results = match hbold_sparql::evaluate_with(&snapshot, &plan, &shared.config.eval) {
+        Ok(results) => results,
+        Err(e) => return HttpResponse::error(400, "Bad Request", e.to_string()),
+    };
+    let body = match (&results, format) {
+        (_, ResultFormat::Json) => results.to_sparql_json(),
+        (QueryResults::Select(s), ResultFormat::Csv) => s.to_csv(),
+        (QueryResults::Select(s), ResultFormat::Tsv) => s.to_tsv(),
+        (QueryResults::Ask(_), ResultFormat::Csv | ResultFormat::Tsv) => {
+            return HttpResponse::error(
+                406,
+                "Not Acceptable",
+                "ASK results are only available as application/sparql-results+json",
+            )
+        }
+    };
+    HttpResponse::ok(format.content_type(), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_negotiation() {
+        assert_eq!(negotiate(None), Some(ResultFormat::Json));
+        assert_eq!(negotiate(Some("*/*")), Some(ResultFormat::Json));
+        assert_eq!(
+            negotiate(Some("application/sparql-results+json")),
+            Some(ResultFormat::Json)
+        );
+        assert_eq!(negotiate(Some("text/csv")), Some(ResultFormat::Csv));
+        assert_eq!(
+            negotiate(Some("text/tab-separated-values")),
+            Some(ResultFormat::Tsv)
+        );
+        // q-values order preferences.
+        assert_eq!(
+            negotiate(Some("text/csv;q=0.5, application/json;q=0.9")),
+            Some(ResultFormat::Json)
+        );
+        assert_eq!(
+            negotiate(Some("application/json;q=0.1, text/tab-separated-values")),
+            Some(ResultFormat::Tsv)
+        );
+        // Wildcards and unknowns.
+        assert_eq!(negotiate(Some("text/*")), Some(ResultFormat::Csv));
+        assert_eq!(negotiate(Some("application/xml")), None);
+        assert_eq!(
+            negotiate(Some("application/xml, */*;q=0.1")),
+            Some(ResultFormat::Json)
+        );
+        assert_eq!(negotiate(Some("text/csv;q=0")), None);
+    }
+}

@@ -1,0 +1,219 @@
+//! Server telemetry: request counters and per-route latency histograms.
+//!
+//! Everything is lock-free (`AtomicU64`) so the hot path pays two atomic
+//! increments per request; the `/stats` route renders a JSON snapshot that
+//! folds in the process-wide SPARQL plan-cache counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use hbold_sparql::results::json_string;
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1 µs`), topping out above
+/// half a minute.
+const BUCKETS: usize = 26;
+
+/// A log-scaled latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one sample.
+    pub fn record(&self, micros: u64) {
+        let idx = (64 - u64::leading_zeros(micros | 1) as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(micros, Ordering::Relaxed);
+        self.max_us.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample, in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) / count
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q` quantile (`0.0..=1.0`),
+    /// in microseconds. Bucketed, so accurate to a factor of two — plenty
+    /// for spotting a p99 collapse.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << idx;
+            }
+        }
+        self.max_us()
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            self.count(),
+            self.mean_us(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.95),
+            self.quantile_us(0.99),
+            self.max_us(),
+        )
+    }
+}
+
+/// Counters for one route.
+#[derive(Debug, Default)]
+pub struct RouteStats {
+    /// Request latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+/// Aggregate server telemetry, shared across workers.
+#[derive(Debug)]
+pub struct ServerStats {
+    started: Instant,
+    /// Accepted TCP connections.
+    pub connections_accepted: AtomicU64,
+    /// Total requests parsed (any route).
+    pub requests_total: AtomicU64,
+    /// Responses by status class: index 0 → 1xx ... index 4 → 5xx.
+    pub responses_by_class: [AtomicU64; 5],
+    /// Requests rejected before routing (malformed HTTP).
+    pub malformed_requests: AtomicU64,
+    /// `/sparql` query route.
+    pub sparql: RouteStats,
+    /// Every other served route (`/stats`, `/health`, ...).
+    pub other: RouteStats,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            connections_accepted: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            responses_by_class: Default::default(),
+            malformed_requests: AtomicU64::new(0),
+            sparql: RouteStats::default(),
+            other: RouteStats::default(),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Records a response's status code.
+    pub fn record_status(&self, status: u16) {
+        let class = (status / 100).clamp(1, 5) as usize - 1;
+        self.responses_by_class[class].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Responses in the 2xx class so far.
+    pub fn ok_responses(&self) -> u64 {
+        self.responses_by_class[1].load(Ordering::Relaxed)
+    }
+
+    /// Renders the `/stats` JSON document, including the process-wide plan
+    /// cache counters from the SPARQL engine.
+    pub fn to_json(&self) -> String {
+        let plan = hbold_sparql::plan::stats();
+        let classes: Vec<String> = self
+            .responses_by_class
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("\"{}xx\":{}", i + 1, c.load(Ordering::Relaxed)))
+            .collect();
+        format!(
+            "{{\"uptime_ms\":{},\"connections_accepted\":{},\"requests_total\":{},\"malformed_requests\":{},\"responses\":{{{}}},\"routes\":{{{}:{},{}:{}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{:.4}}}}}",
+            self.started.elapsed().as_millis(),
+            self.connections_accepted.load(Ordering::Relaxed),
+            self.requests_total.load(Ordering::Relaxed),
+            self.malformed_requests.load(Ordering::Relaxed),
+            classes.join(","),
+            json_string("/sparql"),
+            self.sparql.latency.to_json(),
+            json_string("other"),
+            self.other.latency.to_json(),
+            plan.hits,
+            plan.misses,
+            plan.entries,
+            plan.hit_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 2, 3, 100, 100, 100, 100, 100, 100, 8_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max_us(), 8_000);
+        assert!(h.mean_us() > 0);
+        // p50 falls in the 64..128 µs bucket → upper bound 128.
+        assert_eq!(h.quantile_us(0.5), 128);
+        // p100 falls in the 4096..8192 bucket.
+        assert_eq!(h.quantile_us(1.0), 8192);
+        assert_eq!(LatencyHistogram::default().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn huge_samples_saturate_the_last_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_us(1.0), 1u64 << (BUCKETS - 1));
+        assert_eq!(h.max_us(), u64::MAX);
+    }
+
+    #[test]
+    fn stats_json_is_parseable() {
+        let stats = ServerStats::default();
+        stats.connections_accepted.fetch_add(3, Ordering::Relaxed);
+        stats.requests_total.fetch_add(5, Ordering::Relaxed);
+        stats.record_status(200);
+        stats.record_status(200);
+        stats.record_status(404);
+        stats.sparql.latency.record(250);
+        let json = stats.to_json();
+        let doc = hbold_sparql::json::JsonValue::parse(&json).expect("stats JSON parses");
+        assert_eq!(doc.get("connections_accepted").unwrap().as_f64(), Some(3.0));
+        assert_eq!(
+            doc.get("responses").unwrap().get("2xx").unwrap().as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            doc.get("responses").unwrap().get("4xx").unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert!(doc.get("plan_cache").unwrap().get("hits").is_some());
+        assert_eq!(stats.ok_responses(), 2);
+    }
+}

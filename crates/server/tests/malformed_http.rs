@@ -1,0 +1,256 @@
+//! Hostile/malformed HTTP input: every case must produce a clean 4xx/5xx or
+//! a quiet close — never a panic, a hang, or a half-written response.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use hbold_rdf_model::vocab::{foaf, rdf};
+use hbold_rdf_model::{Graph, Iri, Triple};
+use hbold_server::http::Limits;
+use hbold_server::{ServerConfig, SparqlServer};
+use hbold_triple_store::SharedStore;
+
+fn tiny_store() -> SharedStore {
+    let mut g = Graph::new();
+    g.insert(Triple::new(
+        Iri::new("http://example.org/a").unwrap(),
+        rdf::type_(),
+        foaf::person(),
+    ));
+    SharedStore::from_graph(&g)
+}
+
+fn start_server() -> SparqlServer {
+    SparqlServer::start(
+        tiny_store(),
+        ServerConfig {
+            workers: 2,
+            limits: Limits {
+                max_head_bytes: 2048,
+                max_body_bytes: 4096,
+            },
+            read_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts")
+}
+
+/// Sends raw bytes, half-closes the write side, returns everything the
+/// server answers before closing.
+fn send_raw(server: &SparqlServer, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(bytes).expect("send");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn status_of(response: &str) -> Option<u16> {
+    response.split(' ').nth(1)?.parse().ok()
+}
+
+#[test]
+fn truncated_request_line_gets_400() {
+    let server = start_server();
+    // The client gives up (half-closes) mid-request-line.
+    let response = send_raw(&server, b"GET /spa");
+    assert_eq!(status_of(&response), Some(400));
+    assert!(response.contains("Connection: close"));
+    // The server is still perfectly healthy afterwards.
+    let ok = send_raw(&server, b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status_of(&ok), Some(200));
+    server.shutdown();
+}
+
+#[test]
+fn garbage_request_lines_get_400() {
+    let server = start_server();
+    for garbage in [
+        b"\x00\x01\x02\x03 garbage\r\n\r\n".as_slice(),
+        b"GET\r\n\r\n",
+        b"get /x HTTP/1.1\r\n\r\n",
+        b"GET relative-target HTTP/1.1\r\n\r\n",
+        b"GET /x HTTP/1.1 extra\r\n\r\n",
+        b"GET /x FTP/1.1\r\n\r\n",
+    ] {
+        let response = send_raw(&server, garbage);
+        assert_eq!(status_of(&response), Some(400), "for {garbage:?}");
+        assert!(response.contains("Connection: close"));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn bad_percent_encoding_gets_400() {
+    let server = start_server();
+    for target in [
+        "/sparql?query=%zz",
+        "/sparql?query=%4",
+        "/sparql?query=%ff%fe",
+    ] {
+        let response = send_raw(
+            &server,
+            format!("GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes(),
+        );
+        assert_eq!(status_of(&response), Some(400), "for {target}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversized_request_line_gets_414() {
+    let server = start_server();
+    let long = format!("GET /sparql?query={} HTTP/1.1\r\n\r\n", "x".repeat(4096));
+    let response = send_raw(&server, long.as_bytes());
+    assert_eq!(status_of(&response), Some(414));
+    server.shutdown();
+}
+
+#[test]
+fn oversized_headers_get_431() {
+    let server = start_server();
+    let mut request = String::from("GET /health HTTP/1.1\r\n");
+    for i in 0..100 {
+        request.push_str(&format!("X-Padding-{i}: {}\r\n", "y".repeat(64)));
+    }
+    request.push_str("\r\n");
+    let response = send_raw(&server, request.as_bytes());
+    assert_eq!(status_of(&response), Some(431));
+    server.shutdown();
+}
+
+#[test]
+fn oversized_body_gets_413_without_reading_it() {
+    let server = start_server();
+    // Declared 1 MiB body against a 4 KiB limit: rejected on the declaration.
+    let response = send_raw(
+        &server,
+        b"POST /sparql HTTP/1.1\r\nHost: x\r\nContent-Type: application/sparql-query\r\nContent-Length: 1048576\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), Some(413));
+    server.shutdown();
+}
+
+#[test]
+fn post_without_content_length_gets_411() {
+    let server = start_server();
+    let response = send_raw(
+        &server,
+        b"POST /sparql HTTP/1.1\r\nHost: x\r\nContent-Type: application/sparql-query\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), Some(411));
+    server.shutdown();
+}
+
+#[test]
+fn chunked_bodies_get_501() {
+    let server = start_server();
+    let response = send_raw(
+        &server,
+        b"POST /sparql HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), Some(501));
+    server.shutdown();
+}
+
+#[test]
+fn unsupported_http_version_gets_505() {
+    let server = start_server();
+    let response = send_raw(&server, b"GET /health HTTP/2.0\r\nHost: x\r\n\r\n");
+    assert_eq!(status_of(&response), Some(505));
+    server.shutdown();
+}
+
+#[test]
+fn wrong_methods_get_405_with_allow() {
+    let server = start_server();
+    let response = send_raw(&server, b"DELETE /sparql HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status_of(&response), Some(405));
+    assert!(response.contains("Allow: GET, POST"));
+    let response = send_raw(
+        &server,
+        b"POST /health HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), Some(405));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_sparql_gets_400_not_a_hang() {
+    let server = start_server();
+    let query = "SELEKT ?s WHERE { ?s ?p ?o }";
+    let response = send_raw(
+        &server,
+        format!(
+            "POST /sparql HTTP/1.1\r\nHost: x\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{}",
+            query.len(),
+            query
+        )
+        .as_bytes(),
+    );
+    assert_eq!(status_of(&response), Some(400));
+    assert!(
+        response.contains("parse error"),
+        "body explains: {response}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn wrong_content_type_gets_415() {
+    let server = start_server();
+    let response = send_raw(
+        &server,
+        b"POST /sparql HTTP/1.1\r\nHost: x\r\nContent-Type: text/plain\r\nContent-Length: 3\r\n\r\nxyz",
+    );
+    assert_eq!(status_of(&response), Some(415));
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_by_the_read_timeout() {
+    let server = start_server(); // read_timeout = 500 ms
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Send nothing: a slowloris-style idle connection. The server must hang
+    // up on its own, well before our 10 s client-side timeout.
+    let mut buf = [0u8; 16];
+    let n = stream.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "server closed the idle connection");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "idle reap took {:?}",
+        started.elapsed()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_traffic_is_counted_but_never_fatal() {
+    let server = start_server();
+    for _ in 0..5 {
+        let _ = send_raw(&server, b"BOGUS\r\n\r\n");
+    }
+    assert!(
+        server
+            .stats()
+            .malformed_requests
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 5
+    );
+    // Still serving.
+    let ok = send_raw(&server, b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status_of(&ok), Some(200));
+    server.shutdown();
+}

@@ -23,7 +23,9 @@
 //!   `REGEX`, string and term functions),
 //! * [`regex`] — a small self-contained regular-expression engine used by
 //!   the `REGEX`/`CONTAINS` filters,
-//! * [`results`] — query results plus SPARQL-JSON and CSV serialization.
+//! * [`results`] — query results plus SPARQL-JSON (both directions), CSV and
+//!   TSV serialization,
+//! * [`json`] — the minimal JSON reader behind the SPARQL-JSON decoder.
 //!
 //! ```
 //! use hbold_rdf_model::{Iri, Triple, vocab::{foaf, rdf}};
@@ -48,6 +50,7 @@ pub mod ast;
 pub mod error;
 pub mod eval;
 pub mod expr;
+pub mod json;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
@@ -59,4 +62,4 @@ pub use error::SparqlError;
 pub use eval::{evaluate, evaluate_with, execute_query, execute_query_with, EvalOptions};
 pub use parser::parse_query;
 pub use plan::{parse_cached, PlanCacheStats};
-pub use results::{QueryResults, SelectResults};
+pub use results::{QueryResults, ResultsParseError, SelectResults};

@@ -1,8 +1,19 @@
 //! Query results and their serializations.
+//!
+//! Serialization formats follow the SPARQL 1.1 recommendations the HTTP
+//! protocol layer negotiates between: the Query Results JSON Format
+//! (`application/sparql-results+json`, both directions), CSV
+//! (`text/csv`) and TSV (`text/tab-separated-values`). The JSON decoder
+//! exists so [`hbold_server`]-served results can be read back by the HTTP
+//! client into the exact [`QueryResults`] the engine produced — the
+//! round-trip is lexical and lossless.
 
-use hbold_rdf_model::Term;
+use std::fmt;
+
+use hbold_rdf_model::{BlankNode, Iri, Literal, Term};
 
 use crate::expr::Binding;
+use crate::json::JsonValue;
 
 /// The result of evaluating a query.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +39,111 @@ impl QueryResults {
             QueryResults::Ask(b) => Some(*b),
             QueryResults::Select(_) => None,
         }
+    }
+
+    /// Serializes either result form in the SPARQL 1.1 Query Results JSON
+    /// format (`{"head":{},"boolean":...}` for ASK).
+    pub fn to_sparql_json(&self) -> String {
+        match self {
+            QueryResults::Select(s) => s.to_sparql_json(),
+            QueryResults::Ask(b) => format!("{{\"head\":{{}},\"boolean\":{b}}}"),
+        }
+    }
+
+    /// Parses a SPARQL 1.1 Query Results JSON document (SELECT or ASK).
+    ///
+    /// This is the exact inverse of [`QueryResults::to_sparql_json`]: the
+    /// variables, row order, bound/unbound structure and every term's
+    /// lexical form, language tag and datatype survive the round-trip.
+    pub fn from_sparql_json(text: &str) -> Result<QueryResults, ResultsParseError> {
+        let doc = JsonValue::parse(text)
+            .map_err(|e| ResultsParseError(format!("malformed results document: {e}")))?;
+        if let Some(boolean) = doc.get("boolean") {
+            let b = boolean
+                .as_bool()
+                .ok_or_else(|| ResultsParseError("\"boolean\" is not a boolean".into()))?;
+            return Ok(QueryResults::Ask(b));
+        }
+        let vars = doc
+            .get("head")
+            .and_then(|h| h.get("vars"))
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ResultsParseError("missing head.vars array".into()))?;
+        let variables: Vec<String> = vars
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ResultsParseError("head.vars entry is not a string".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        let bindings = doc
+            .get("results")
+            .and_then(|r| r.get("bindings"))
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ResultsParseError("missing results.bindings array".into()))?;
+        let mut rows = Vec::with_capacity(bindings.len());
+        for binding in bindings {
+            let members = binding
+                .as_object()
+                .ok_or_else(|| ResultsParseError("binding is not an object".into()))?;
+            for (name, _) in members {
+                if !variables.iter().any(|v| v == name) {
+                    return Err(ResultsParseError(format!(
+                        "binding mentions unprojected variable ?{name}"
+                    )));
+                }
+            }
+            let row = variables
+                .iter()
+                .map(|v| binding.get(v).map(term_from_json).transpose())
+                .collect::<Result<Vec<Option<Term>>, _>>()?;
+            rows.push(row);
+        }
+        Ok(QueryResults::Select(SelectResults { variables, rows }))
+    }
+}
+
+/// Error decoding a serialized results document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultsParseError(pub String);
+
+impl fmt::Display for ResultsParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid SPARQL results: {}", self.0)
+    }
+}
+
+impl std::error::Error for ResultsParseError {}
+
+fn term_from_json(value: &JsonValue) -> Result<Term, ResultsParseError> {
+    let kind = value
+        .get("type")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ResultsParseError("term has no \"type\"".into()))?;
+    let lexical = value
+        .get("value")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ResultsParseError("term has no string \"value\"".into()))?;
+    match kind {
+        "uri" => Iri::new(lexical)
+            .map(Term::Iri)
+            .map_err(|e| ResultsParseError(format!("invalid IRI term: {}", e.reason()))),
+        "bnode" => Ok(Term::Blank(BlankNode::new(lexical))),
+        // "typed-literal" is the legacy D2R/Virtuoso spelling.
+        "literal" | "typed-literal" => {
+            if let Some(lang) = value.get("xml:lang").and_then(JsonValue::as_str) {
+                Ok(Term::Literal(Literal::lang_string(lexical, lang)))
+            } else if let Some(dt) = value.get("datatype").and_then(JsonValue::as_str) {
+                let datatype = Iri::new(dt).map_err(|e| {
+                    ResultsParseError(format!("invalid datatype IRI: {}", e.reason()))
+                })?;
+                Ok(Term::Literal(Literal::typed(lexical, datatype)))
+            } else {
+                Ok(Term::Literal(Literal::string(lexical)))
+            }
+        }
+        other => Err(ResultsParseError(format!("unknown term type {other:?}"))),
     }
 }
 
@@ -131,6 +247,37 @@ impl SelectResults {
         }
         out
     }
+
+    /// Serializes the table in the SPARQL 1.1 Query Results TSV format:
+    /// a header of `?`-prefixed variables, then one row per solution with
+    /// terms in their SPARQL/Turtle syntax (`<iri>`, `"literal"@lang`,
+    /// `"5"^^<...#integer>`, `_:label`); unbound variables are empty cells.
+    ///
+    /// Tabs, newlines and quotes inside literals are backslash-escaped by
+    /// the N-Triples encoder, so a cell can never break the row structure.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for (i, v) in self.variables.iter().enumerate() {
+            if i > 0 {
+                out.push('\t');
+            }
+            out.push('?');
+            out.push_str(v);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, term) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push('\t');
+                }
+                if let Some(term) = term {
+                    out.push_str(&term.to_ntriples());
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// Escapes a string for JSON output (quotes included).
@@ -182,7 +329,9 @@ fn term_to_json(term: &Term) -> String {
 }
 
 fn csv_escape(s: &str) -> String {
-    if s.contains(',') || s.contains('"') || s.contains('\n') {
+    // A bare carriage return would also break the row structure for RFC 4180
+    // consumers, so it forces quoting exactly like an embedded newline.
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
@@ -258,6 +407,118 @@ mod tests {
         let ask = QueryResults::Ask(true);
         assert_eq!(ask.as_ask(), Some(true));
         assert!(ask.into_select().is_none());
+    }
+
+    #[test]
+    fn tsv_output_uses_sparql_term_syntax() {
+        let r = SelectResults {
+            variables: vec!["s".into(), "v".into()],
+            rows: vec![
+                vec![
+                    Some(Term::Iri(Iri::new("http://e.org/a").unwrap())),
+                    Some(Term::Literal(Literal::lang_string("héllo", "en"))),
+                ],
+                vec![
+                    Some(Term::Blank(hbold_rdf_model::BlankNode::numbered(7))),
+                    Some(Term::Literal(Literal::integer(5))),
+                ],
+                vec![
+                    None,
+                    Some(Term::Literal(Literal::string("tab\there\nand line"))),
+                ],
+            ],
+        };
+        let tsv = r.to_tsv();
+        let lines: Vec<_> = tsv.lines().collect();
+        assert_eq!(lines[0], "?s\t?v");
+        assert_eq!(lines[1], "<http://e.org/a>\t\"héllo\"@en");
+        assert_eq!(
+            lines[2],
+            "_:b7\t\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+        // Embedded tab and newline are escaped, keeping one solution per line.
+        assert_eq!(lines[3], "\t\"tab\\there\\nand line\"");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn csv_quotes_carriage_returns() {
+        let r = SelectResults {
+            variables: vec!["v".into()],
+            rows: vec![vec![Some(Term::Literal(Literal::string("a\rb")))]],
+        };
+        assert_eq!(r.to_csv(), "v\n\"a\rb\"\n");
+    }
+
+    #[test]
+    fn ask_json_round_trips() {
+        for b in [true, false] {
+            let json = QueryResults::Ask(b).to_sparql_json();
+            assert_eq!(json, format!("{{\"head\":{{}},\"boolean\":{b}}}"));
+            assert_eq!(
+                QueryResults::from_sparql_json(&json).unwrap(),
+                QueryResults::Ask(b)
+            );
+        }
+    }
+
+    #[test]
+    fn select_json_round_trips_adversarial_literals() {
+        // Control characters, embedded quotes/backslashes/newlines, non-BMP
+        // code points, and every term kind — the wire format must preserve
+        // all of it exactly.
+        let nasty = [
+            "plain",
+            "say \"hi\"",
+            "back\\slash",
+            "line\nbreak\rand\ttab",
+            "control\u{0001}\u{001f}chars",
+            "unicode é ☃ 😀",
+            "{\"json\":\"looking\"}",
+            "",
+        ];
+        let mut rows: Vec<Vec<Option<Term>>> = nasty
+            .iter()
+            .map(|s| {
+                vec![
+                    Some(Term::Literal(Literal::string(*s))),
+                    Some(Term::Literal(Literal::lang_string(*s, "en"))),
+                    None,
+                ]
+            })
+            .collect();
+        rows.push(vec![
+            Some(Term::Iri(Iri::new("http://e.org/x#frag").unwrap())),
+            Some(Term::Blank(hbold_rdf_model::BlankNode::new("b1"))),
+            Some(Term::Literal(Literal::double(1.5))),
+        ]);
+        let original = QueryResults::Select(SelectResults {
+            variables: vec!["a".into(), "b".into(), "c".into()],
+            rows,
+        });
+        let json = original.to_sparql_json();
+        let parsed = QueryResults::from_sparql_json(&json).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn malformed_results_documents_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            "{\"head\":{}}",
+            "{\"head\":{\"vars\":[1]},\"results\":{\"bindings\":[]}}",
+            "{\"head\":{\"vars\":[\"s\"]},\"results\":{}}",
+            "{\"head\":{\"vars\":[\"s\"]},\"results\":{\"bindings\":[{\"other\":{\"type\":\"uri\",\"value\":\"http://e.org/\"}}]}}",
+            "{\"head\":{\"vars\":[\"s\"]},\"results\":{\"bindings\":[{\"s\":{\"value\":\"x\"}}]}}",
+            "{\"head\":{\"vars\":[\"s\"]},\"results\":{\"bindings\":[{\"s\":{\"type\":\"nope\",\"value\":\"x\"}}]}}",
+            "{\"boolean\":\"yes\"}",
+        ] {
+            assert!(
+                QueryResults::from_sparql_json(bad).is_err(),
+                "accepted: {bad}"
+            );
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub use hbold_endpoint as endpoint;
 pub use hbold_rdf_model as rdf;
 pub use hbold_rdf_parser as rdf_parser;
 pub use hbold_schema as schema;
+pub use hbold_server as server;
 pub use hbold_sparql as sparql;
 pub use hbold_triple_store as store;
 pub use hbold_viz as viz;
