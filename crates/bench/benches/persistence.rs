@@ -1,0 +1,99 @@
+//! Persistence benchmarks: what a checkpoint costs and how fast a restart
+//! recovers, so snapshot/WAL overhead shows up in the perf trajectory next
+//! to query latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbold_endpoint::synth::{random_lod, RandomLodConfig};
+use hbold_rdf_model::Triple;
+use hbold_triple_store::persist::snapshot;
+use hbold_triple_store::{SharedStore, TripleStore};
+
+fn bench(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("hbold-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for (classes, instances) in [(20usize, 2_000usize), (40, 8_000)] {
+        let graph = random_lod(&RandomLodConfig::sized(classes, instances, 7));
+        let store = TripleStore::from_graph(&graph);
+        let triples: Vec<Triple> = graph.iter().cloned().collect();
+        let label = format!("{}t", store.len());
+
+        let mut group = c.benchmark_group("persistence");
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(3));
+
+        // Snapshot serialization alone (no disk): the CPU cost of encode.
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_encode", &label),
+            &store,
+            |b, s| b.iter(|| snapshot::encode(s)),
+        );
+
+        // Snapshot decode alone: the CPU cost of a snapshot-only restart.
+        let encoded = snapshot::encode(&store);
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_decode", &label),
+            &encoded,
+            |b, bytes| b.iter(|| snapshot::decode(bytes).unwrap()),
+        );
+
+        // Full checkpoint: encode + write + fsync + rename + WAL reset.
+        group.bench_with_input(
+            BenchmarkId::new("checkpoint_to_disk", &label),
+            &triples,
+            |b, triples| {
+                let ckpt_dir = dir.join(format!("ckpt-{label}"));
+                let (shared, _) = SharedStore::open(&ckpt_dir).unwrap();
+                shared.bulk_load(triples.iter());
+                b.iter(|| shared.checkpoint().unwrap())
+            },
+        );
+
+        // Restart from a checkpointed directory: read + validate + rebuild
+        // the three indexes.
+        group.bench_with_input(
+            BenchmarkId::new("recover_from_snapshot", &label),
+            &(),
+            |b, _| {
+                let snap_dir = dir.join(format!("snap-{label}"));
+                {
+                    let (shared, _) = SharedStore::open(&snap_dir).unwrap();
+                    shared.bulk_load(triples.iter());
+                    shared.checkpoint().unwrap();
+                }
+                b.iter(|| {
+                    let (shared, report) = SharedStore::open(&snap_dir).unwrap();
+                    assert!(report.snapshot_generation.is_some());
+                    shared.len()
+                })
+            },
+        );
+
+        // Restart from a WAL alone (no checkpoint happened before the
+        // "crash"): replay cost per triple is the worst case of recovery.
+        group.bench_with_input(BenchmarkId::new("recover_from_wal", &label), &(), |b, _| {
+            let wal_dir = dir.join(format!("wal-{label}"));
+            {
+                let _ = std::fs::remove_dir_all(&wal_dir);
+                let (shared, _) = SharedStore::open(&wal_dir).unwrap();
+                for chunk in triples.chunks(256) {
+                    shared.bulk_load(chunk.iter());
+                }
+            }
+            b.iter(|| {
+                let (shared, report) = SharedStore::open(&wal_dir).unwrap();
+                assert!(report.wal_ops_replayed > 0);
+                shared.len()
+            })
+        });
+
+        group.finish();
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -16,9 +16,32 @@ use std::time::Duration;
 use hbold_bench::loadgen::{run_load, LoadGenConfig};
 use hbold_endpoint::http_client::{parse_http_url, HttpConnection};
 
+const HELP: &str = "\
+load_gen — closed-loop load burst against a SPARQL Protocol server
+
+USAGE:
+    load_gen --url URL [OPTIONS]
+
+OPTIONS:
+    --url URL           Target /sparql endpoint (required)
+    --connections N     Concurrent keep-alive connections (default 8)
+    --requests M        Requests issued per connection (default 25)
+    --query SPARQL      Query to issue; repeatable, rotated round-robin
+                        (default: a built-in query mix)
+    --timeout-secs S    Per-request socket timeout (default 10)
+    --assert-all-2xx    Exit 1 unless every request was answered 2xx
+    --shutdown-after    POST /shutdown to the target host once done
+    -h, --help          Print this help and exit 0
+
+EXIT CODES:
+    0   burst completed (and, with --assert-all-2xx, every request was 2xx)
+    1   --assert-all-2xx was set and at least one request was not 2xx
+    2   usage error (missing --url, unknown flag, malformed value)";
+
 fn usage() -> &'static str {
     "usage: load_gen --url URL [--connections N] [--requests M] [--query SPARQL]... \
-     [--timeout-secs S] [--assert-all-2xx] [--shutdown-after]"
+     [--timeout-secs S] [--assert-all-2xx] [--shutdown-after]\n\
+     Try `load_gen --help` for details."
 }
 
 fn main() -> ExitCode {
@@ -31,12 +54,16 @@ fn main() -> ExitCode {
     let mut assert_all_2xx = false;
     let mut shutdown_after = false;
 
+    enum Parsed {
+        Continue,
+        Help,
+    }
     while let Some(flag) = argv.next() {
         let mut value = |flag: &str| {
             argv.next()
                 .ok_or_else(|| format!("{flag} requires a value"))
         };
-        let result: Result<(), String> = (|| {
+        let result: Result<Parsed, String> = (|| {
             match flag.as_str() {
                 "--url" => url = Some(value("--url")?),
                 "--connections" => {
@@ -59,14 +86,21 @@ fn main() -> ExitCode {
                 "--query" => queries.push(value("--query")?),
                 "--assert-all-2xx" => assert_all_2xx = true,
                 "--shutdown-after" => shutdown_after = true,
-                "--help" | "-h" => return Err(usage().to_string()),
+                "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown flag {other}\n{}", usage())),
             }
-            Ok(())
+            Ok(Parsed::Continue)
         })();
-        if let Err(message) = result {
-            eprintln!("{message}");
-            return ExitCode::from(2);
+        match result {
+            Ok(Parsed::Continue) => {}
+            Ok(Parsed::Help) => {
+                println!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::from(2);
+            }
         }
     }
 

@@ -1,7 +1,7 @@
 //! # hbold-cluster
 //!
 //! Community detection over the Schema Summary and construction of the
-//! **Cluster Schema** (paper §2.1, §3.2 and the companion paper [15],
+//! **Cluster Schema** (paper §2.1, §3.2 and the companion paper \[15\],
 //! "Community Detection Applied on Big Linked Data").
 //!
 //! When a Linked Data source has many classes, its Schema Summary is too
@@ -15,9 +15,9 @@
 //!
 //! * [`graph::WeightedGraph`] — the undirected weighted graph distilled from
 //!   a [`hbold_schema::SchemaSummary`],
-//! * [`modularity`] — the quality function all algorithms are evaluated with,
-//! * [`louvain`] — the Louvain method (the algorithm used by H-BOLD),
-//! * [`label_propagation`] — label propagation, a cheaper alternative,
+//! * [`mod@modularity`] — the quality function all algorithms are evaluated with,
+//! * [`mod@louvain`] — the Louvain method (the algorithm used by H-BOLD),
+//! * [`mod@label_propagation`] — label propagation, a cheaper alternative,
 //! * [`greedy`] — a size-balanced agglomerative baseline, representing the
 //!   "no community detection, just chop the class list" strawman,
 //! * [`schema`] — the [`schema::ClusterSchema`] assembled from a clustering,

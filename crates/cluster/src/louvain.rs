@@ -1,6 +1,6 @@
 //! The Louvain method for community detection.
 //!
-//! This is the algorithm H-BOLD's companion paper [15] applies to Schema
+//! This is the algorithm H-BOLD's companion paper \[15\] applies to Schema
 //! Summaries to obtain the Cluster Schema. The implementation is the
 //! classical two-phase loop: local moving until no gain, then aggregation of
 //! communities into super-nodes, repeated until modularity stops improving.

@@ -21,7 +21,7 @@ use crate::modularity::modularity;
 /// Which community detection algorithm to use for the Cluster Schema.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClusteringAlgorithm {
-    /// The Louvain method (H-BOLD's choice, via [15]).
+    /// The Louvain method (H-BOLD's choice, via \[15\]).
     Louvain,
     /// Label propagation.
     LabelPropagation,

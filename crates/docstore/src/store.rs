@@ -72,6 +72,12 @@ impl DocStore {
         self.inner.read().values().map(Collection::len).sum()
     }
 
+    /// Returns `true` when the store was opened with a backing directory
+    /// (so [`DocStore::persist`] can succeed).
+    pub fn is_durable(&self) -> bool {
+        self.directory.is_some()
+    }
+
     /// Persists every collection to the backing directory (one `.jsonl` file
     /// per collection). Returns an error when the store is in-memory only.
     pub fn persist(&self) -> Result<(), DocStoreError> {

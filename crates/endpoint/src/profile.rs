@@ -3,7 +3,7 @@
 //! Public SPARQL endpoints differ wildly: some reject aggregate queries,
 //! some cap result sizes, some are slow, some are gone. The paper's Index
 //! Extraction copes with this heterogeneity through *pattern strategies*
-//! (§2.1, citing [1]); to exercise those strategies the simulation gives
+//! (§2.1, citing \[1\]); to exercise those strategies the simulation gives
 //! every endpoint an explicit capability profile.
 
 use crate::availability::AvailabilityModel;

@@ -238,6 +238,15 @@ impl ExtractionPipeline {
     pub fn store(&self) -> &DocStore {
         &self.store
     }
+
+    /// Persists every stored artefact (indexes, Schema Summaries, Cluster
+    /// Schemas, the catalog) to the document store's backing directory, so
+    /// extraction results survive a restart and the next run resumes from
+    /// them. Returns an error when the store is in-memory only; use
+    /// [`hbold_docstore::DocStore::open`] to create a durable store.
+    pub fn persist(&self) -> Result<(), hbold_docstore::DocStoreError> {
+        self.store.persist()
+    }
 }
 
 #[cfg(test)]

@@ -43,6 +43,10 @@ pub struct SchedulerStats {
     pub skipped_fresh: usize,
     /// Attempts that failed (endpoint unavailable or broken).
     pub failed_runs: usize,
+    /// Per-day persist calls that failed (only with
+    /// [`RefreshScheduler::with_persist_each_day`]; the wave's results
+    /// stay in memory and the next day's persist retries them).
+    pub persist_failures: usize,
     /// Endpoints with at least one successful extraction by the end.
     pub endpoints_indexed: usize,
     /// Mean staleness at the end of the horizon: average over indexed
@@ -55,12 +59,17 @@ pub struct SchedulerStats {
 pub struct RefreshScheduler {
     policy: RefreshPolicy,
     threads: usize,
+    persist_each_day: bool,
 }
 
 impl RefreshScheduler {
     /// Creates a scheduler with the given policy (sequential extraction).
     pub fn new(policy: RefreshPolicy) -> Self {
-        RefreshScheduler { policy, threads: 1 }
+        RefreshScheduler {
+            policy,
+            threads: 1,
+            persist_each_day: false,
+        }
     }
 
     /// Runs each day's due extractions on `threads` concurrent pipelines
@@ -68,6 +77,17 @@ impl RefreshScheduler {
     /// day `d + 1` from the catalog state after day `d` completed.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Persists the pipeline's document store to disk after every day's
+    /// extraction wave (builder style), so a crawl interrupted between
+    /// waves resumes from the last completed day instead of re-extracting
+    /// everything. Requires the pipeline to be backed by a durable
+    /// [`hbold_docstore::DocStore`] (see [`hbold_docstore::DocStore::open`]);
+    /// on an in-memory store the flag is ignored.
+    pub fn with_persist_each_day(mut self, persist: bool) -> Self {
+        self.persist_each_day = persist;
         self
     }
 
@@ -132,6 +152,16 @@ impl RefreshScheduler {
             for outcome in pipeline.run_many(&due, day, Some(catalog), self.threads) {
                 if outcome.is_err() {
                     stats.failed_runs += 1;
+                }
+            }
+            if self.persist_each_day && pipeline.store().is_durable() {
+                // A transient persist failure must not abort a multi-day
+                // crawl: the artefacts stay in the in-memory store and the
+                // next day's persist (which rewrites every collection)
+                // retries them.
+                if let Err(e) = pipeline.persist() {
+                    eprintln!("hbold scheduler: persisting day {day}'s wave failed: {e}");
+                    stats.persist_failures += 1;
                 }
             }
         }
@@ -216,6 +246,56 @@ mod tests {
         // on per-endpoint catalog state, so the schedules are identical.
         assert_eq!(sequential, parallel);
         assert!(sequential.extraction_runs > 0);
+    }
+
+    #[test]
+    fn persisted_waves_survive_restart_and_skip_fresh_endpoints() {
+        let dir = std::env::temp_dir().join(format!(
+            "hbold-scheduler-persist-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Hand-built fleet of fully featured, always-up endpoints so every
+        // extraction deterministically succeeds.
+        let mut fleet = hbold_endpoint::EndpointFleet::new();
+        for i in 0..4 {
+            let graph = hbold_endpoint::synth::scholarly(&hbold_endpoint::synth::ScholarlyConfig {
+                conferences: 1,
+                papers_per_conference: 4,
+                authors_per_paper: 2,
+                seed: 50 + i,
+            });
+            fleet.push(hbold_endpoint::SparqlEndpoint::new(
+                format!("http://wave{i}.example/sparql"),
+                &graph,
+                hbold_endpoint::EndpointProfile::full_featured(),
+            ));
+        }
+        {
+            let store = DocStore::open(&dir).unwrap();
+            let catalog = EndpointCatalog::new(&store);
+            let pipeline = ExtractionPipeline::new(&store);
+            let stats = RefreshScheduler::new(RefreshPolicy::paper())
+                .with_persist_each_day(true)
+                .simulate(&fleet, &pipeline, &catalog, 2);
+            assert_eq!(stats.extraction_runs, 4, "day 0 extracts every endpoint");
+            assert_eq!(stats.failed_runs, 0);
+            // No explicit persist() call here: the scheduler saved each wave.
+        }
+        // "Restart": a fresh process reopens the directory and resumes. All
+        // endpoints were extracted less than seven days ago, so the paper
+        // policy skips every one instead of re-crawling from scratch.
+        let store = DocStore::open(&dir).unwrap();
+        assert_eq!(store.collection("schema_summaries").len(), 4);
+        let catalog = EndpointCatalog::new(&store);
+        assert_eq!(catalog.indexed_count(), 4);
+        let pipeline = ExtractionPipeline::new(&store);
+        let resumed = RefreshScheduler::new(RefreshPolicy::paper())
+            .with_persist_each_day(true)
+            .simulate(&fleet, &pipeline, &catalog, 3);
+        assert_eq!(resumed.extraction_runs, 0, "fresh endpoints are skipped");
+        assert_eq!(resumed.skipped_fresh, 12);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,41 +1,92 @@
-//! The `hbold-server` CLI: serve a dataset over the SPARQL 1.1 Protocol.
+//! The `hbold-server` CLI: serve a dataset over the SPARQL 1.1 Protocol,
+//! optionally backed by a durable data directory.
 //!
 //! ```text
 //! hbold-server [--addr 127.0.0.1:8080] [--workers N] [--data FILE.{ttl,nt}]
-//!              [--demo-people N] [--enable-shutdown]
+//!              [--data-dir DIR] [--demo-people N] [--enable-shutdown]
 //! ```
 //!
 //! With `--data`, the file is parsed as Turtle (or N-Triples for `.nt`) and
-//! served; otherwise a small built-in demo dataset is generated. With
-//! `--enable-shutdown`, `POST /shutdown` stops the server gracefully — the
-//! process exits 0 once every in-flight connection has drained (this is how
-//! the CI smoke job verifies graceful shutdown without signal handling).
+//! served; otherwise (and without `--data-dir`) a small built-in demo dataset
+//! is generated. With `--data-dir`, the store is durable: the directory is
+//! recovered on boot (snapshot + write-ahead-log replay, truncating a torn
+//! tail), every load is logged, and a graceful shutdown compacts the log
+//! into a fresh snapshot. With `--enable-shutdown`, `POST /shutdown` stops
+//! the server gracefully — the process exits 0 once every in-flight
+//! connection has drained (this is how the CI smoke job verifies graceful
+//! shutdown without signal handling).
 
 use std::process::ExitCode;
 
 use hbold_rdf_model::vocab::{foaf, rdf};
 use hbold_rdf_model::{Graph, Iri, Literal, Triple};
 use hbold_server::{ServerConfig, SparqlServer};
-use hbold_triple_store::SharedStore;
+use hbold_triple_store::{PersistOptions, SharedStore};
+
+const HELP: &str = "\
+hbold-server — serve a dataset over the SPARQL 1.1 Protocol
+
+USAGE:
+    hbold-server [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT        Bind address (default 127.0.0.1:0 = OS-picked port)
+    --workers N             Worker threads, one connection each (default 8)
+    --data FILE.{ttl,nt}    Serve this Turtle (.ttl) or N-Triples (.nt) file;
+                            with --data-dir the file is loaded *into* the
+                            durable store (write-ahead logged)
+    --data-dir DIR          Durable mode: recover the store from DIR on boot
+                            (newest valid snapshot + WAL replay), log every
+                            load, checkpoint on graceful shutdown
+    --checkpoint-wal-bytes N
+                            Auto-checkpoint once the WAL exceeds N bytes
+                            (default 67108864; requires --data-dir)
+    --sync-writes           fsync the WAL after every write (power-loss
+                            durability per write; requires --data-dir)
+    --demo-people N         Size of the built-in demo dataset, served when
+                            no --data is given and used to seed an empty
+                            --data-dir (default 200; 0 serves no data)
+    --max-body-bytes N      Reject request bodies larger than N bytes
+    --enable-shutdown       Enable POST /shutdown for remote graceful stop
+    -h, --help              Print this help and exit 0
+
+ROUTES:
+    /sparql (GET ?query= or POST), /stats, /health[, /shutdown]
+
+EXIT CODES:
+    0   clean exit after a graceful shutdown
+    2   usage error (unknown flag, missing value, unreadable or unparsable
+        data file, bind failure, unrecoverable data directory)";
 
 fn usage() -> &'static str {
     "usage: hbold-server [--addr HOST:PORT] [--workers N] [--data FILE.{ttl,nt}] \
-     [--demo-people N] [--max-body-bytes N] [--enable-shutdown]"
+     [--data-dir DIR] [--checkpoint-wal-bytes N] [--sync-writes] [--demo-people N] \
+     [--max-body-bytes N] [--enable-shutdown]\nTry `hbold-server --help` for details."
 }
 
 struct Args {
     config: ServerConfig,
     data: Option<String>,
+    data_dir: Option<String>,
+    persist: PersistOptions,
     demo_people: usize,
 }
 
-fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+enum Parsed {
+    Run(Box<Args>),
+    Help,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Parsed, String> {
     let _ = argv.next(); // program name
     let mut args = Args {
         config: ServerConfig::default(),
         data: None,
+        data_dir: None,
+        persist: PersistOptions::default(),
         demo_people: 200,
     };
+    let mut persist_flag: Option<&'static str> = None;
     while let Some(flag) = argv.next() {
         let mut value = |flag: &str| {
             argv.next()
@@ -49,6 +100,19 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                     .map_err(|_| "--workers expects a number".to_string())?
             }
             "--data" => args.data = Some(value("--data")?),
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
+            "--checkpoint-wal-bytes" => {
+                args.persist.checkpoint_wal_bytes = Some(
+                    value("--checkpoint-wal-bytes")?
+                        .parse()
+                        .map_err(|_| "--checkpoint-wal-bytes expects a number".to_string())?,
+                );
+                persist_flag = Some("--checkpoint-wal-bytes");
+            }
+            "--sync-writes" => {
+                args.persist.sync_writes = true;
+                persist_flag = Some("--sync-writes");
+            }
             "--demo-people" => {
                 args.demo_people = value("--demo-people")?
                     .parse()
@@ -60,11 +124,18 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                     .map_err(|_| "--max-body-bytes expects a number".to_string())?
             }
             "--enable-shutdown" => args.config.enable_shutdown_route = true,
-            "--help" | "-h" => return Err(usage().to_string()),
+            "--help" | "-h" => return Ok(Parsed::Help),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
-    Ok(args)
+    if let (Some(flag), None) = (persist_flag, &args.data_dir) {
+        return Err(format!(
+            "{flag} requires --data-dir (without one the store is in-memory \
+             and the flag would be silently ignored)\n{}",
+            usage()
+        ));
+    }
+    Ok(Parsed::Run(Box::new(args)))
 }
 
 /// A small FOAF-ish dataset so the server has something to answer about out
@@ -87,43 +158,83 @@ fn demo_graph(people: usize) -> Graph {
     g
 }
 
+fn load_graph(args: &Args) -> Result<Option<Graph>, String> {
+    let Some(path) = &args.data else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let parsed = if path.ends_with(".nt") {
+        hbold_rdf_parser::ntriples::parse(&text)
+    } else {
+        hbold_rdf_parser::turtle::parse(&text)
+    };
+    parsed
+        .map(Some)
+        .map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args()) {
-        Ok(args) => args,
+        Ok(Parsed::Run(args)) => args,
+        Ok(Parsed::Help) => {
+            println!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::from(2);
         }
     };
 
-    let graph = match &args.data {
-        Some(path) => {
-            let text = match std::fs::read_to_string(path) {
-                Ok(text) => text,
-                Err(e) => {
-                    eprintln!("cannot read {path}: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            let parsed = if path.ends_with(".nt") {
-                hbold_rdf_parser::ntriples::parse(&text)
-            } else {
-                hbold_rdf_parser::turtle::parse(&text)
-            };
-            match parsed {
-                Ok(graph) => graph,
-                Err(e) => {
-                    eprintln!("cannot parse {path}: {e}");
-                    return ExitCode::from(2);
-                }
-            }
+    let graph = match load_graph(&args) {
+        Ok(graph) => graph,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
         }
-        None => demo_graph(args.demo_people),
     };
 
-    let store = SharedStore::from_graph(&graph);
+    let store = match &args.data_dir {
+        Some(dir) => {
+            let (store, report) = match SharedStore::open_with(dir, args.persist.clone()) {
+                Ok(opened) => opened,
+                Err(e) => {
+                    eprintln!("cannot open data directory {dir}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            println!(
+                "hbold-server: recovered {} triples from {dir} (snapshot generation {:?}, \
+                 {} WAL ops replayed{})",
+                store.len(),
+                report.snapshot_generation,
+                report.wal_ops_replayed,
+                if report.wal_tail_truncated {
+                    ", torn WAL tail truncated"
+                } else {
+                    ""
+                },
+            );
+            if let Some(graph) = &graph {
+                let added = store.bulk_load(graph.iter());
+                println!("hbold-server: loaded {added} new triples into {dir}");
+            } else if store.is_empty() {
+                // A brand-new data directory with nothing to load: seed it
+                // with the demo dataset so the server (and the CI smoke
+                // cycle) has data to serve and to persist.
+                let added = store.bulk_load(demo_graph(args.demo_people).iter());
+                println!("hbold-server: seeded {dir} with {added} demo triples");
+            }
+            store
+        }
+        None => {
+            let graph = graph.unwrap_or_else(|| demo_graph(args.demo_people));
+            SharedStore::from_graph(&graph)
+        }
+    };
+
     let triples = store.len();
-    let server = match SparqlServer::start(store, args.config) {
+    let server = match SparqlServer::start(store.clone(), args.config.clone()) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot bind: {e}");
@@ -133,6 +244,22 @@ fn main() -> ExitCode {
     println!("hbold-server serving {triples} triples at {}", server.url());
     println!("routes: /sparql /stats /health");
     server.wait();
+    if store.is_durable() {
+        if store.wal_bytes() == Some(0) {
+            // Nothing written since the last checkpoint (e.g. a read-only
+            // serving run): rewriting an identical snapshot would be pure
+            // I/O and a needless crash window.
+            println!("hbold-server: no new writes since last checkpoint; nothing to compact");
+        } else {
+            match store.checkpoint() {
+                Ok(generation) => println!(
+                    "hbold-server: checkpointed data directory (snapshot generation {:?})",
+                    generation
+                ),
+                Err(e) => eprintln!("hbold-server: shutdown checkpoint failed: {e}"),
+            }
+        }
+    }
     println!("hbold-server: drained and shut down gracefully");
     ExitCode::SUCCESS
 }

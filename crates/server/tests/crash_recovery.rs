@@ -1,0 +1,301 @@
+//! Kill-and-restart recovery tests for the real `hbold-server` binary.
+//!
+//! The acceptance bar: a server started with `--data-dir`, killed with
+//! SIGKILL (no drain, no checkpoint), and restarted must recover to the
+//! last committed write and serve **byte-identical** SPARQL results to an
+//! in-memory server holding the same data.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use hbold_rdf_model::vocab::{foaf, rdf};
+use hbold_rdf_model::{Graph, Iri, Literal, Triple};
+use hbold_server::{ServerConfig, SparqlServer};
+use hbold_triple_store::SharedStore;
+
+const QUERIES: &[&str] = &[
+    "SELECT ?s ?name WHERE { ?s <http://xmlns.com/foaf/0.1/name> ?name } ORDER BY ?name LIMIT 25",
+    "SELECT (COUNT(?s) AS ?n) WHERE { ?s a <http://xmlns.com/foaf/0.1/Person> }",
+    "SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p",
+    "ASK { ?s a <http://xmlns.com/foaf/0.1/Person> }",
+    "SELECT ?a ?b WHERE { ?a <http://xmlns.com/foaf/0.1/knows> ?b } ORDER BY ?a ?b LIMIT 40",
+];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hbold-crash-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn people_graph(n: usize) -> Graph {
+    let mut g = Graph::new();
+    for i in 0..n {
+        let s = Iri::new(format!("http://example.org/person/{i}")).unwrap();
+        g.insert(Triple::new(s.clone(), rdf::type_(), foaf::person()));
+        g.insert(Triple::new(
+            s.clone(),
+            foaf::name(),
+            Literal::string(format!("Person {i}")),
+        ));
+        if i > 0 {
+            let other = Iri::new(format!("http://example.org/person/{}", i / 2)).unwrap();
+            g.insert(Triple::new(s, foaf::knows(), other));
+        }
+    }
+    g
+}
+
+fn write_ntriples(graph: &Graph, path: &PathBuf) {
+    let mut text = String::new();
+    for t in graph.iter() {
+        text.push_str(&format!(
+            "{} {} {} .\n",
+            t.subject.to_ntriples(),
+            t.predicate.to_ntriples(),
+            t.object.to_ntriples()
+        ));
+    }
+    std::fs::write(path, text).unwrap();
+}
+
+/// A spawned `hbold-server` child plus the port it reported on stdout.
+struct ServerProcess {
+    child: Child,
+    port: u16,
+}
+
+fn spawn_server(args: &[&str]) -> ServerProcess {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hbold-server"))
+        .args(["--addr", "127.0.0.1:0"])
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn hbold-server");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    let port = loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read server stdout");
+        assert!(n > 0, "server exited before announcing its address");
+        if let Some(rest) = line.split("http://127.0.0.1:").nth(1) {
+            let port: u16 = rest
+                .split('/')
+                .next()
+                .and_then(|p| p.trim().parse().ok())
+                .unwrap_or_else(|| panic!("unparsable address line {line:?}"));
+            break port;
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut rest = String::new();
+        let _ = reader.read_to_string(&mut rest);
+    });
+    ServerProcess { child, port }
+}
+
+fn percent_encode(query: &str) -> String {
+    let mut out = String::new();
+    for b in query.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// GET ?query= against a loopback port; returns (status, body bytes).
+fn http_query(port: u16, query: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let request = format!(
+        "GET /sparql?query={} HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n",
+        percent_encode(query)
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let head = String::from_utf8_lossy(&raw[..head_end]).to_string();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {head:?}"));
+    (status, raw[head_end + 4..].to_vec())
+}
+
+fn wait_until_serving(port: u16) {
+    for _ in 0..100 {
+        if TcpStream::connect(("127.0.0.1", port)).is_ok() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("server on port {port} never came up");
+}
+
+#[test]
+fn killed_server_restarts_with_byte_identical_results() {
+    let dir = temp_dir("kill-restart");
+    let data_dir = dir.join("data");
+    let nt_path = dir.join("people.nt");
+    write_ntriples(&people_graph(150), &nt_path);
+    let data_dir_str = data_dir.to_str().unwrap();
+    let nt_str = nt_path.to_str().unwrap();
+
+    // Boot a durable server that loads the dataset (write-ahead logged),
+    // then SIGKILL it: no graceful drain, no shutdown checkpoint — the WAL
+    // is all that survives.
+    let mut first = spawn_server(&["--data-dir", data_dir_str, "--data", nt_str]);
+    wait_until_serving(first.port);
+    let (status, warm_body) = http_query(first.port, QUERIES[0]);
+    assert_eq!(status, 200, "durable server answers before the crash");
+    first.child.kill().expect("SIGKILL the server");
+    let _ = first.child.wait();
+    assert!(
+        data_dir.join("wal.log").exists(),
+        "the WAL survived the kill"
+    );
+
+    // Restart from the data directory alone — no --data this time.
+    let mut restarted = spawn_server(&["--data-dir", data_dir_str]);
+    wait_until_serving(restarted.port);
+
+    // Reference: a plain in-memory server over the same file.
+    let mut reference = spawn_server(&["--data", nt_str]);
+    wait_until_serving(reference.port);
+
+    for query in QUERIES {
+        let (restarted_status, restarted_body) = http_query(restarted.port, query);
+        let (reference_status, reference_body) = http_query(reference.port, query);
+        assert_eq!(restarted_status, 200, "query {query:?} on restarted server");
+        assert_eq!(reference_status, 200, "query {query:?} on reference server");
+        assert_eq!(
+            restarted_body, reference_body,
+            "byte-identical results for {query:?}"
+        );
+    }
+    // The pre-crash answer is reproduced byte-for-byte too.
+    let (_, post_crash_body) = http_query(restarted.port, QUERIES[0]);
+    assert_eq!(post_crash_body, warm_body);
+
+    restarted.child.kill().expect("stop restarted server");
+    let _ = restarted.child.wait();
+    reference.child.kill().expect("stop reference server");
+    let _ = reference.child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_checkpoints_so_restart_needs_no_wal() {
+    let dir = temp_dir("graceful-checkpoint");
+    let data_dir = dir.join("data");
+    let nt_path = dir.join("people.nt");
+    write_ntriples(&people_graph(40), &nt_path);
+
+    // Boot durable, then stop through POST /shutdown: the drain must
+    // checkpoint, leaving a snapshot and an empty WAL.
+    let mut server = spawn_server(&[
+        "--data-dir",
+        data_dir.to_str().unwrap(),
+        "--data",
+        nt_path.to_str().unwrap(),
+        "--enable-shutdown",
+    ]);
+    wait_until_serving(server.port);
+    let mut stream = TcpStream::connect(("127.0.0.1", server.port)).unwrap();
+    stream
+        .write_all(b"POST /shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+    let mut drain = Vec::new();
+    let _ = stream.read_to_end(&mut drain);
+    let status = server.child.wait().expect("server exits");
+    assert!(status.success(), "graceful shutdown exits 0");
+
+    assert_eq!(
+        std::fs::metadata(data_dir.join("wal.log")).unwrap().len(),
+        0,
+        "shutdown checkpoint compacted the WAL away"
+    );
+    let snapshots = std::fs::read_dir(&data_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".hbs"))
+        .count();
+    assert_eq!(snapshots, 1, "exactly one snapshot generation remains");
+
+    // And the snapshot alone reproduces the data.
+    let mut restarted = spawn_server(&["--data-dir", data_dir.to_str().unwrap()]);
+    wait_until_serving(restarted.port);
+    let (status, body) = http_query(
+        restarted.port,
+        "SELECT (COUNT(?s) AS ?n) WHERE { ?s a <http://xmlns.com/foaf/0.1/Person> }",
+    );
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&body).contains("\"40\""));
+    restarted.child.kill().unwrap();
+    let _ = restarted.child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// In-process variant of a kill arriving *mid-append*: the final WAL
+/// record is torn in half, and the restarted server must serve exactly the
+/// committed prefix — the torn wave rolls back, everything earlier stays.
+#[test]
+fn torn_wal_tail_rolls_back_only_the_uncommitted_wave() {
+    let dir = temp_dir("torn-tail");
+    let committed = people_graph(60);
+    {
+        let (store, _) = SharedStore::open(&dir).unwrap();
+        store.bulk_load(committed.iter());
+        // The doomed wave, written last.
+        let extra = Triple::new(
+            Iri::new("http://example.org/uncommitted").unwrap(),
+            rdf::type_(),
+            foaf::person(),
+        );
+        store.insert(&extra);
+    } // dropped without checkpoint — only the WAL holds the data
+    let wal = dir.join("wal.log");
+    let len = std::fs::metadata(&wal).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal)
+        .unwrap()
+        .set_len(len - 7)
+        .unwrap();
+
+    let (recovered, report) = SharedStore::open(&dir).unwrap();
+    assert!(report.wal_tail_truncated);
+    let durable_server =
+        SparqlServer::start(recovered, ServerConfig::default()).expect("serve recovered store");
+    let memory_server =
+        SparqlServer::start(SharedStore::from_graph(&committed), ServerConfig::default())
+            .expect("serve reference store");
+
+    for query in QUERIES {
+        let (s1, b1) = http_query(durable_server.addr().port(), query);
+        let (s2, b2) = http_query(memory_server.addr().port(), query);
+        assert_eq!((s1, s2), (200, 200));
+        assert_eq!(b1, b2, "committed prefix only, byte-identical: {query:?}");
+    }
+    durable_server.shutdown();
+    memory_server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -78,12 +78,55 @@ impl EvalOptions {
 }
 
 /// Parses (through the plan cache) and evaluates a query string.
+///
+/// This is the front door of the engine: one call from query text to
+/// [`QueryResults`], sequentially evaluated.
+///
+/// ```
+/// use hbold_rdf_model::{Iri, Triple, vocab::{foaf, rdf}};
+/// use hbold_sparql::execute_query;
+/// use hbold_triple_store::TripleStore;
+///
+/// let mut store = TripleStore::new();
+/// store.insert(&Triple::new(
+///     Iri::new("http://example.org/alice")?,
+///     rdf::type_(),
+///     foaf::person(),
+/// ));
+///
+/// let results = execute_query(&store, "SELECT ?s WHERE { ?s a ?c }")?;
+/// let rows = results.into_select().unwrap();
+/// assert_eq!(rows.rows.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn execute_query(store: &TripleStore, query: &str) -> Result<QueryResults, SparqlError> {
     let plan = parse_cached(query)?;
     evaluate(store, &plan)
 }
 
 /// Parses (through the plan cache) and evaluates with explicit options.
+///
+/// ```
+/// use hbold_rdf_model::{Iri, Triple, vocab::{foaf, rdf}};
+/// use hbold_sparql::{execute_query, execute_query_with, EvalOptions};
+/// use hbold_triple_store::TripleStore;
+///
+/// let mut store = TripleStore::new();
+/// for i in 0..100 {
+///     store.insert(&Triple::new(
+///         Iri::new(format!("http://example.org/{i}"))?,
+///         rdf::type_(),
+///         foaf::person(),
+///     ));
+/// }
+///
+/// let query = "SELECT (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c";
+/// // Sharded parallel execution returns exactly what sequential does.
+/// let parallel = execute_query_with(&store, query, &EvalOptions::with_threads(4))?;
+/// let sequential = execute_query(&store, query)?;
+/// assert_eq!(parallel.to_sparql_json(), sequential.to_sparql_json());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn execute_query_with(
     store: &TripleStore,
     query: &str,

@@ -17,7 +17,7 @@
 //!   `ORDER BY` with top-k short-circuit, `DISTINCT`, `LIMIT`/`OFFSET`),
 //!   with optional sharded parallel execution via [`EvalOptions`],
 //! * [`plan`] — the normalized-query plan cache,
-//! * [`reference`] — a deliberately naive evaluator used as a differential
+//! * [`mod@reference`] — a deliberately naive evaluator used as a differential
 //!   test oracle against the streaming engine,
 //! * [`expr`] — expression evaluation (comparisons, logical operators,
 //!   `REGEX`, string and term functions),
@@ -45,6 +45,8 @@
 //! let rows = results.into_select().unwrap();
 //! assert_eq!(rows.rows[0][0].as_ref().unwrap().label(), "2");
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod ast;
 pub mod error;

@@ -110,7 +110,7 @@ fn normalize(text: &str) -> String {
     let chars: Vec<char> = text.chars().collect();
     let mut i = 0;
     let mut pending_space = false;
-    let mut push = |out: &mut String, c: char, pending_space: &mut bool| {
+    let push = |out: &mut String, c: char, pending_space: &mut bool| {
         if *pending_space && !out.is_empty() {
             out.push(' ');
         }

@@ -4,7 +4,7 @@
 //! protocol layer negotiates between: the Query Results JSON Format
 //! (`application/sparql-results+json`, both directions), CSV
 //! (`text/csv`) and TSV (`text/tab-separated-values`). The JSON decoder
-//! exists so [`hbold_server`]-served results can be read back by the HTTP
+//! exists so `hbold_server`-served results can be read back by the HTTP
 //! client into the exact [`QueryResults`] the engine produced — the
 //! round-trip is lexical and lossless.
 

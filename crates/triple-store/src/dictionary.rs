@@ -35,6 +35,20 @@ impl TermDictionary {
         self.by_id.is_empty()
     }
 
+    /// Rebuilds a dictionary from its id-ordered term list (the snapshot
+    /// term table): entry `i` of `terms` becomes the term with id `i`.
+    pub(crate) fn from_terms(terms: Vec<Term>) -> Self {
+        let by_term = terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as TermId))
+            .collect();
+        TermDictionary {
+            by_term,
+            by_id: terms,
+        }
+    }
+
     /// Interns `term`, returning its identifier. Idempotent.
     pub fn intern(&mut self, term: &Term) -> TermId {
         if let Some(&id) = self.by_term.get(term) {

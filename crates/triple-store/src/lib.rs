@@ -26,13 +26,17 @@
 //! assert_eq!(people.len(), 1);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod dictionary;
 pub mod index;
+pub mod persist;
 pub mod shared;
 pub mod stats;
 pub mod store;
 
 pub use dictionary::{TermDictionary, TermId};
+pub use persist::{PersistError, PersistOptions, RecoveryReport};
 pub use shared::SharedStore;
 pub use stats::StoreStats;
 pub use store::{EncodedTriple, TripleStore};

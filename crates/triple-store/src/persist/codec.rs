@@ -1,0 +1,271 @@
+//! Binary primitives shared by the snapshot and WAL formats: LEB128
+//! varints, length-prefixed strings, the [`Term`] codec and the CRC-32
+//! checksum that guards every on-disk payload.
+//!
+//! Everything here is std-only and deterministic: the same store state
+//! always serializes to the same bytes, which keeps snapshot files
+//! diffable and the recovery tests exact.
+
+use hbold_rdf_model::{BlankNode, Iri, Literal, Term};
+
+use super::PersistError;
+
+/// Term tag bytes. A tag is the first byte of every encoded term.
+const TAG_IRI: u8 = 0;
+const TAG_BLANK: u8 = 1;
+const TAG_STRING: u8 = 2;
+const TAG_LANG: u8 = 3;
+const TAG_TYPED: u8 = 4;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, reflected), table built at compile time.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`. Used to validate snapshot payloads and every
+/// WAL record before it is trusted during recovery.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Varints and strings.
+// ---------------------------------------------------------------------------
+
+/// Appends `value` as an LEB128 varint (7 bits per byte, high bit = more).
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `bytes` starting at `*pos`, advancing `*pos`.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, PersistError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = bytes.get(*pos) else {
+            return Err(PersistError::corrupt("varint runs past end of input"));
+        };
+        *pos += 1;
+        if shift >= 64 {
+            return Err(PersistError::corrupt("varint longer than 64 bits"));
+        }
+        let low = (byte & 0x7F) as u64;
+        // At shift 63 only the lowest payload bit still fits in a u64; a
+        // crafted file must fail as corrupt, not decode to a wrong value.
+        if shift == 63 && low > 1 {
+            return Err(PersistError::corrupt("varint overflows 64 bits"));
+        }
+        value |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Reads a `u64` that must fit in `usize` (a length or count); rejects
+/// values that would wrap on 32-bit targets instead of truncating them.
+pub fn read_len(bytes: &[u8], pos: &mut usize) -> Result<usize, PersistError> {
+    usize::try_from(read_varint(bytes, pos)?)
+        .map_err(|_| PersistError::corrupt("length does not fit in usize"))
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn read_str(bytes: &[u8], pos: &mut usize) -> Result<String, PersistError> {
+    let len = read_len(bytes, pos)?;
+    let end = pos
+        .checked_add(len)
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| PersistError::corrupt("string length runs past end of input"))?;
+    let text = std::str::from_utf8(&bytes[*pos..end])
+        .map_err(|_| PersistError::corrupt("string is not valid UTF-8"))?
+        .to_string();
+    *pos = end;
+    Ok(text)
+}
+
+// ---------------------------------------------------------------------------
+// Terms.
+// ---------------------------------------------------------------------------
+
+/// Appends an encoded [`Term`]: a tag byte followed by the term's
+/// length-prefixed text component(s).
+pub fn write_term(out: &mut Vec<u8>, term: &Term) {
+    match term {
+        Term::Iri(iri) => {
+            out.push(TAG_IRI);
+            write_str(out, iri.as_str());
+        }
+        Term::Blank(blank) => {
+            out.push(TAG_BLANK);
+            write_str(out, blank.label());
+        }
+        Term::Literal(literal) => {
+            if let Some(lang) = literal.language() {
+                out.push(TAG_LANG);
+                write_str(out, literal.lexical_form());
+                write_str(out, lang);
+            } else if literal.datatype() == &hbold_rdf_model::vocab::xsd::string() {
+                out.push(TAG_STRING);
+                write_str(out, literal.lexical_form());
+            } else {
+                out.push(TAG_TYPED);
+                write_str(out, literal.lexical_form());
+                write_str(out, literal.datatype().as_str());
+            }
+        }
+    }
+}
+
+/// Reads one encoded [`Term`].
+pub fn read_term(bytes: &[u8], pos: &mut usize) -> Result<Term, PersistError> {
+    let Some(&tag) = bytes.get(*pos) else {
+        return Err(PersistError::corrupt("term tag runs past end of input"));
+    };
+    *pos += 1;
+    match tag {
+        TAG_IRI => {
+            let text = read_str(bytes, pos)?;
+            // Snapshot/WAL terms were validated when first constructed, so a
+            // decode failure here means file corruption, not user input.
+            Ok(Iri::new(text)
+                .map_err(|e| PersistError::corrupt(format!("invalid IRI in term: {e}")))?
+                .into())
+        }
+        TAG_BLANK => Ok(BlankNode::new(read_str(bytes, pos)?).into()),
+        TAG_STRING => Ok(Literal::string(read_str(bytes, pos)?).into()),
+        TAG_LANG => {
+            let lexical = read_str(bytes, pos)?;
+            let lang = read_str(bytes, pos)?;
+            Ok(Literal::lang_string(lexical, lang).into())
+        }
+        TAG_TYPED => {
+            let lexical = read_str(bytes, pos)?;
+            let datatype = Iri::new(read_str(bytes, pos)?)
+                .map_err(|e| PersistError::corrupt(format!("invalid datatype IRI: {e}")))?;
+            Ok(Literal::typed(lexical, datatype).into())
+        }
+        other => Err(PersistError::corrupt(format!("unknown term tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn varint_round_trips_across_widths() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        for &v in &values {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+        // 11 continuation bytes exceed 64 bits.
+        let overlong = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert!(read_varint(&overlong, &mut pos).is_err());
+        // A 10-byte varint whose final byte carries bits that cannot fit in
+        // a u64 must fail as corrupt, not silently drop them.
+        let mut crafted = vec![0x80u8; 9];
+        crafted.push(0x7F);
+        let mut pos = 0;
+        assert!(read_varint(&crafted, &mut pos).is_err());
+    }
+
+    #[test]
+    fn every_term_kind_round_trips() {
+        let terms: Vec<Term> = vec![
+            Iri::new("http://example.org/a").unwrap().into(),
+            BlankNode::new("b42").into(),
+            Literal::string("plain ✓ text").into(),
+            Literal::lang_string("ciao", "it").into(),
+            Literal::integer(-7).into(),
+            Literal::double(2.5).into(),
+            Literal::boolean(true).into(),
+        ];
+        let mut buf = Vec::new();
+        for t in &terms {
+            write_term(&mut buf, t);
+        }
+        let mut pos = 0;
+        for t in &terms {
+            assert_eq!(&read_term(&buf, &mut pos).unwrap(), t);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn unknown_tag_is_corruption() {
+        let buf = vec![99u8, 0];
+        let mut pos = 0;
+        assert!(read_term(&buf, &mut pos).is_err());
+    }
+}

@@ -1,0 +1,379 @@
+//! The append-only write-ahead log.
+//!
+//! Every durable mutation ([`WalOp::Insert`] / [`WalOp::Remove`] batches)
+//! is appended as one self-validating record *before* it is applied to the
+//! in-memory store, so a crash at any instant loses at most the record
+//! that was mid-write. Record layout:
+//!
+//! ```text
+//! [u32 LE payload length][u32 LE CRC-32 of payload][payload]
+//! payload: [u8 op tag][varint triple count][count × (term, term, term)]
+//! ```
+//!
+//! Terms are stored by value (the codec of [`super::codec`]), not by
+//! dictionary id: WAL records must stay meaningful across checkpoints,
+//! which renumber nothing but make id assignment an implementation detail
+//! of the snapshot they compact into.
+//!
+//! Recovery reads records until the first torn or corrupt one, **truncates
+//! the file there**, and replays the valid prefix. Replay is idempotent —
+//! inserting a present triple or removing an absent one is a no-op — which
+//! is what makes the checkpoint protocol crash-safe: a crash between
+//! "snapshot renamed into place" and "WAL truncated" merely replays
+//! already-applied records onto the new snapshot.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use hbold_rdf_model::Triple;
+
+use crate::store::TripleStore;
+
+use super::codec::{crc32, read_term, write_term, write_varint};
+use super::PersistError;
+
+const OP_INSERT: u8 = 1;
+const OP_REMOVE: u8 = 2;
+const RECORD_HEADER_LEN: usize = 8;
+
+/// One logical operation recorded in (or replayed from) the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Insert every triple of the batch (idempotent per triple).
+    Insert(Vec<Triple>),
+    /// Remove every triple of the batch (idempotent per triple).
+    Remove(Vec<Triple>),
+}
+
+impl WalOp {
+    /// Applies the operation to `store`.
+    pub fn apply(&self, store: &mut TripleStore) {
+        match self {
+            WalOp::Insert(triples) => {
+                store.insert_batch(triples.iter());
+            }
+            WalOp::Remove(triples) => {
+                for t in triples {
+                    store.remove(t);
+                }
+            }
+        }
+    }
+}
+
+/// Serializes one operation into a complete record (header + payload).
+pub fn encode_record(op: &WalOp) -> Vec<u8> {
+    let (tag, triples) = match op {
+        WalOp::Insert(t) => (OP_INSERT, t),
+        WalOp::Remove(t) => (OP_REMOVE, t),
+    };
+    let mut payload = Vec::new();
+    payload.push(tag);
+    write_varint(&mut payload, triples.len() as u64);
+    for t in triples.iter() {
+        write_term(&mut payload, &t.subject);
+        write_term(&mut payload, &t.predicate);
+        write_term(&mut payload, &t.object);
+    }
+    let mut record = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(&crc32(&payload).to_le_bytes());
+    record.extend_from_slice(&payload);
+    record
+}
+
+fn decode_payload(payload: &[u8]) -> Result<WalOp, PersistError> {
+    let mut pos = 0usize;
+    let Some(&tag) = payload.first() else {
+        return Err(PersistError::corrupt("empty WAL record payload"));
+    };
+    pos += 1;
+    let count = super::codec::read_len(payload, &mut pos)?;
+    let mut triples = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let s = read_term(payload, &mut pos)?;
+        let p = read_term(payload, &mut pos)?;
+        let o = read_term(payload, &mut pos)?;
+        triples.push(Triple::new(s, p, o));
+    }
+    if pos != payload.len() {
+        return Err(PersistError::corrupt("WAL record has trailing bytes"));
+    }
+    match tag {
+        OP_INSERT => Ok(WalOp::Insert(triples)),
+        OP_REMOVE => Ok(WalOp::Remove(triples)),
+        other => Err(PersistError::corrupt(format!("unknown WAL op tag {other}"))),
+    }
+}
+
+/// What the recovery scan in [`Wal::open`] found.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalRecovery {
+    /// Complete, checksum-valid operations in log order.
+    pub ops: Vec<WalOp>,
+    /// Bytes of valid log data (the offset the file was truncated to).
+    pub valid_bytes: u64,
+    /// `true` when a torn or corrupt tail was found and cut off.
+    pub truncated_tail: bool,
+}
+
+/// An open write-ahead log file.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    sync_writes: bool,
+    /// Set when a failed append left bytes after `len` that could not be
+    /// truncated away: appending more would write after a torn record,
+    /// and recovery would silently drop everything from the tear on.
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, first scanning it for
+    /// valid records and truncating any torn tail. The returned recovery
+    /// holds the surviving operations; the `Wal` is positioned to append.
+    pub fn open(path: &Path, sync_writes: bool) -> Result<(Wal, WalRecovery), PersistError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| PersistError::from(e).at_path(path))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| PersistError::from(e).at_path(path))?;
+
+        let mut recovery = WalRecovery::default();
+        let mut pos = 0usize;
+        while pos + RECORD_HEADER_LEN <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+            let start = pos + RECORD_HEADER_LEN;
+            let Some(payload) = bytes.get(start..start + len) else {
+                break; // Torn mid-payload.
+            };
+            if crc32(payload) != crc {
+                break; // Torn or corrupt payload.
+            }
+            let Ok(op) = decode_payload(payload) else {
+                break; // Checksum collided with garbage; treat as torn.
+            };
+            recovery.ops.push(op);
+            pos = start + len;
+        }
+        recovery.valid_bytes = pos as u64;
+        recovery.truncated_tail = pos != bytes.len();
+        if recovery.truncated_tail {
+            file.set_len(recovery.valid_bytes)
+                .map_err(|e| PersistError::from(e).at_path(path))?;
+            file.sync_all()
+                .map_err(|e| PersistError::from(e).at_path(path))?;
+        }
+        file.seek(SeekFrom::Start(recovery.valid_bytes))
+            .map_err(|e| PersistError::from(e).at_path(path))?;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                len: recovery.valid_bytes,
+                sync_writes,
+                poisoned: false,
+            },
+            recovery,
+        ))
+    }
+
+    /// Appends one operation. The record is written with a single
+    /// `write_all`, flushed, and (when `sync_writes` is on) fsynced before
+    /// the call returns.
+    ///
+    /// On failure the file is truncated back to the last committed record,
+    /// so a caller that handles the error (e.g. frees disk space) can keep
+    /// appending; if even that truncation fails, the log is poisoned and
+    /// every further append errors rather than writing after a torn
+    /// record that recovery would silently cut away.
+    pub fn append(&mut self, op: &WalOp) -> Result<(), PersistError> {
+        if self.poisoned {
+            return Err(PersistError::corrupt(
+                "write-ahead log is poisoned by an earlier failed append; reopen to recover",
+            )
+            .at_path(&self.path));
+        }
+        let record = encode_record(op);
+        if let Err(e) = self.try_append(&record) {
+            let restored = self
+                .file
+                .set_len(self.len)
+                .and_then(|()| self.file.seek(SeekFrom::Start(self.len)).map(|_| ()));
+            if restored.is_err() {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
+        self.len += record.len() as u64;
+        Ok(())
+    }
+
+    fn try_append(&mut self, record: &[u8]) -> Result<(), PersistError> {
+        self.file
+            .write_all(record)
+            .map_err(|e| PersistError::from(e).at_path(&self.path))?;
+        self.file
+            .flush()
+            .map_err(|e| PersistError::from(e).at_path(&self.path))?;
+        if self.sync_writes {
+            self.file
+                .sync_data()
+                .map_err(|e| PersistError::from(e).at_path(&self.path))?;
+        }
+        Ok(())
+    }
+
+    /// Current log length in bytes (drives auto-checkpoint policies).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Empties the log (called after a checkpoint has made its contents
+    /// redundant) and fsyncs the truncation.
+    pub fn reset(&mut self) -> Result<(), PersistError> {
+        self.file
+            .set_len(0)
+            .map_err(|e| PersistError::from(e).at_path(&self.path))?;
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| PersistError::from(e).at_path(&self.path))?;
+        self.file
+            .sync_all()
+            .map_err(|e| PersistError::from(e).at_path(&self.path))?;
+        self.len = 0;
+        // Truncation restored the "nothing after `len`" invariant.
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// Fsyncs any buffered log data.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.file
+            .sync_data()
+            .map_err(|e| PersistError::from(e).at_path(&self.path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbold_rdf_model::vocab::{foaf, rdf};
+    use hbold_rdf_model::Iri;
+
+    fn triple(n: u32) -> Triple {
+        Triple::new(
+            Iri::new(format!("http://e.org/{n}")).unwrap(),
+            rdf::type_(),
+            foaf::person(),
+        )
+    }
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hbold-wal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    #[test]
+    fn append_reopen_replays_in_order() {
+        let path = temp_wal("order");
+        let ops = vec![
+            WalOp::Insert(vec![triple(1), triple(2)]),
+            WalOp::Remove(vec![triple(1)]),
+            WalOp::Insert(vec![triple(3)]),
+        ];
+        {
+            let (mut wal, recovery) = Wal::open(&path, false).unwrap();
+            assert!(recovery.ops.is_empty());
+            for op in &ops {
+                wal.append(op).unwrap();
+            }
+        }
+        let (_, recovery) = Wal::open(&path, false).unwrap();
+        assert_eq!(recovery.ops, ops);
+        assert!(!recovery.truncated_tail);
+        let mut store = TripleStore::new();
+        for op in &recovery.ops {
+            op.apply(&mut store);
+        }
+        assert_eq!(store.len(), 2);
+        assert!(!store.contains(&triple(1)));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let path = temp_wal("torn");
+        {
+            let (mut wal, _) = Wal::open(&path, false).unwrap();
+            wal.append(&WalOp::Insert(vec![triple(1)])).unwrap();
+            wal.append(&WalOp::Insert(vec![triple(2)])).unwrap();
+        }
+        // Tear the last record in half.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full - 5).unwrap();
+        drop(file);
+
+        let (mut wal, recovery) = Wal::open(&path, false).unwrap();
+        assert_eq!(recovery.ops, vec![WalOp::Insert(vec![triple(1)])]);
+        assert!(recovery.truncated_tail);
+        // The log keeps working after the cut.
+        wal.append(&WalOp::Insert(vec![triple(9)])).unwrap();
+        drop(wal);
+        let (_, recovery) = Wal::open(&path, false).unwrap();
+        assert_eq!(recovery.ops.len(), 2);
+        assert!(!recovery.truncated_tail);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn corrupt_record_cuts_everything_after_it() {
+        let path = temp_wal("corrupt");
+        {
+            let (mut wal, _) = Wal::open(&path, false).unwrap();
+            for n in 0..4 {
+                wal.append(&WalOp::Insert(vec![triple(n)])).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let record_len = bytes.len() / 4;
+        // Flip one payload byte inside the second record.
+        bytes[record_len + RECORD_HEADER_LEN + 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, recovery) = Wal::open(&path, false).unwrap();
+        assert_eq!(recovery.ops, vec![WalOp::Insert(vec![triple(0)])]);
+        assert!(recovery.truncated_tail);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            recovery.valid_bytes
+        );
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = temp_wal("reset");
+        let (mut wal, _) = Wal::open(&path, true).unwrap();
+        wal.append(&WalOp::Insert(vec![triple(1)])).unwrap();
+        assert!(wal.len_bytes() > 0);
+        wal.reset().unwrap();
+        assert_eq!(wal.len_bytes(), 0);
+        drop(wal);
+        let (_, recovery) = Wal::open(&path, false).unwrap();
+        assert!(recovery.ops.is_empty());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

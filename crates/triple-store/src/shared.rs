@@ -1,4 +1,5 @@
-//! A thread-safe, snapshot-based handle around a [`TripleStore`].
+//! A thread-safe, snapshot-based handle around a [`TripleStore`], with
+//! optional durability.
 //!
 //! The simulated endpoint fleet serves queries from many extraction worker
 //! threads at once (see `hbold-schema`'s parallel extraction and the parallel
@@ -14,36 +15,169 @@
 //! and SPO/POS/OSP indexes always mutually consistent. Writers should prefer
 //! the batched [`SharedStore::bulk_load`], which pays the copy-on-write clone
 //! once per batch instead of once per triple.
+//!
+//! # Durability
+//!
+//! A store created with [`SharedStore::open`] is backed by a persistence
+//! directory (see [`crate::persist`]): every [`SharedStore::insert`],
+//! [`SharedStore::remove`] and [`SharedStore::bulk_load`] is appended to a
+//! write-ahead log before the method returns, and
+//! [`SharedStore::checkpoint`] compacts the log into a fresh binary
+//! snapshot. Reopening the same directory — including after the process
+//! was killed mid-write — recovers exactly the committed writes.
+//!
+//! ```
+//! use hbold_rdf_model::{Iri, Triple, vocab::{foaf, rdf}};
+//! use hbold_triple_store::SharedStore;
+//!
+//! let dir = std::env::temp_dir().join(format!("hbold-doc-shared-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! {
+//!     let (store, _report) = SharedStore::open(&dir)?;
+//!     store.insert(&Triple::new(
+//!         Iri::new("http://example.org/alice")?,
+//!         rdf::type_(),
+//!         foaf::person(),
+//!     ));
+//! } // process "dies" here — no checkpoint, the WAL has the write
+//! let (reopened, report) = SharedStore::open(&dir)?;
+//! assert_eq!(reopened.len(), 1);
+//! assert_eq!(report.wal_ops_replayed, 1);
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use hbold_rdf_model::{Graph, Triple, TriplePattern};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use crate::persist::{PersistError, PersistOptions, Persistence, RecoveryReport, WalOp};
 use crate::store::TripleStore;
 
-/// A cheaply clonable, thread-safe triple store handle with snapshot reads.
+/// A cheaply clonable, thread-safe triple store handle with snapshot reads
+/// and optional write-ahead-logged durability.
+///
+/// ```
+/// use hbold_rdf_model::{Iri, Triple, vocab::{foaf, rdf}};
+/// use hbold_triple_store::SharedStore;
+///
+/// let store = SharedStore::new();
+/// let snapshot = store.snapshot(); // frozen view, lock-free to query
+/// store.insert(&Triple::new(
+///     Iri::new("http://example.org/alice")?,
+///     rdf::type_(),
+///     foaf::person(),
+/// ));
+/// assert_eq!(snapshot.len(), 0, "snapshots never see later writes");
+/// assert_eq!(store.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct SharedStore {
     inner: Arc<RwLock<Arc<TripleStore>>>,
+    // Lock order: `persist` first, then the `inner` write lock. Durable
+    // writers hold the persist mutex across apply + WAL append, so the log
+    // always reflects the published store history; checkpoints hold only
+    // `persist` during their slow encode/fsync phase, keeping readers
+    // (who take `inner` read locks and never touch `persist`) unblocked.
+    persist: Option<Arc<Mutex<Persistence>>>,
 }
 
 impl SharedStore {
-    /// Creates an empty shared store.
+    /// Creates an empty, purely in-memory shared store.
     pub fn new() -> Self {
         SharedStore::default()
     }
 
-    /// Wraps an existing store.
+    /// Wraps an existing store (in-memory, no durability).
     pub fn from_store(store: TripleStore) -> Self {
         SharedStore {
             inner: Arc::new(RwLock::new(Arc::new(store))),
+            persist: None,
         }
     }
 
-    /// Builds a shared store from a graph.
+    /// Builds a shared store from a graph (in-memory, no durability).
     pub fn from_graph(graph: &Graph) -> Self {
         SharedStore::from_store(TripleStore::from_graph(graph))
+    }
+
+    /// Opens (creating if needed) a durable store rooted at `dir` with
+    /// default [`PersistOptions`], recovering whatever a previous process
+    /// left there: the newest valid snapshot plus a replay of the
+    /// write-ahead log, truncating a torn tail record instead of failing.
+    ///
+    /// The directory is exclusively held (advisory `dir/lock` file) until
+    /// every clone of the returned store is dropped: a second concurrent
+    /// open — same process or another — fails cleanly instead of letting
+    /// two writers corrupt the shared WAL. The lock dies with the
+    /// process, so a crash never wedges the directory.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(SharedStore, RecoveryReport), PersistError> {
+        SharedStore::open_with(dir, PersistOptions::default())
+    }
+
+    /// [`SharedStore::open`] with explicit [`PersistOptions`].
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        options: PersistOptions,
+    ) -> Result<(SharedStore, RecoveryReport), PersistError> {
+        let (store, persistence, report) = Persistence::open(dir, options)?;
+        Ok((
+            SharedStore {
+                inner: Arc::new(RwLock::new(Arc::new(store))),
+                persist: Some(Arc::new(Mutex::new(persistence))),
+            },
+            report,
+        ))
+    }
+
+    /// `true` when this store is backed by a persistence directory.
+    pub fn is_durable(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// The persistence directory, when the store is durable.
+    pub fn data_dir(&self) -> Option<PathBuf> {
+        self.persist.as_ref().map(|p| p.lock().dir().to_path_buf())
+    }
+
+    /// Bytes currently in the write-ahead log (`None` for in-memory
+    /// stores). Grows with every durable write, returns to zero at each
+    /// checkpoint.
+    pub fn wal_bytes(&self) -> Option<u64> {
+        self.persist.as_ref().map(|p| p.lock().wal_bytes())
+    }
+
+    /// Compacts the write-ahead log into a fresh snapshot (temp file +
+    /// fsync + atomic rename), then empties the log and deletes older
+    /// snapshot generations. Returns the new snapshot generation, or
+    /// `Ok(None)` for an in-memory store.
+    ///
+    /// Durable writers are excluded for the duration (they queue on the
+    /// persistence lock); readers are not — the slow encode/write/fsync
+    /// runs against a frozen `Arc` snapshot, never under the store lock.
+    pub fn checkpoint(&self) -> Result<Option<u64>, PersistError> {
+        let Some(persist) = &self.persist else {
+            return Ok(None);
+        };
+        let mut persist = persist.lock();
+        // With the persistence lock held no durable write can apply or
+        // log, so this snapshot is exactly the state the WAL describes.
+        let snapshot = self.inner.read().clone();
+        let generation = persist.checkpoint(&snapshot)?;
+        Ok(Some(generation))
+    }
+
+    /// Fsyncs the write-ahead log, making all committed writes power-loss
+    /// durable without the cost of a checkpoint. No-op for in-memory
+    /// stores.
+    pub fn sync(&self) -> Result<(), PersistError> {
+        match &self.persist {
+            Some(persist) => persist.lock().sync(),
+            None => Ok(()),
+        }
     }
 
     /// Returns an immutable snapshot of the current store state.
@@ -66,23 +200,69 @@ impl SharedStore {
         self.snapshot().is_empty()
     }
 
-    /// Inserts a triple.
+    /// Inserts a triple; returns `true` if it was not already present.
+    ///
+    /// On a durable store the triple is appended to the write-ahead log
+    /// *before* it is applied (only when actually new), so a failed append
+    /// never publishes state the on-disk history lacks.
+    ///
+    /// # Panics
+    /// Panics if the store is durable and the log append fails — the
+    /// in-memory and on-disk histories would otherwise diverge silently.
     pub fn insert(&self, triple: &Triple) -> bool {
-        self.write(|store| store.insert(triple))
+        let Some(persist) = &self.persist else {
+            return self.write(|store| store.insert(triple));
+        };
+        self.durable_commit(persist, |store| {
+            (!store.contains(triple)).then(|| WalOp::Insert(vec![triple.clone()]))
+        })
+        .is_some()
     }
 
-    /// Removes a triple.
+    /// Removes a triple; returns `true` if it was present. Logged like
+    /// [`SharedStore::insert`] on durable stores (and panics like it on
+    /// log failure).
     pub fn remove(&self, triple: &Triple) -> bool {
-        self.write(|store| store.remove(triple))
+        let Some(persist) = &self.persist else {
+            return self.write(|store| store.remove(triple));
+        };
+        self.durable_commit(persist, |store| {
+            store
+                .contains(triple)
+                .then(|| WalOp::Remove(vec![triple.clone()]))
+        })
+        .is_some()
     }
 
     /// Bulk-loads a batch of triples, returning how many were new.
     ///
-    /// One write lock and at most one copy-on-write clone for the whole
-    /// batch; concurrent readers keep querying the previous snapshot and
-    /// never see a partially applied batch.
+    /// One write lock, at most one copy-on-write clone and (on durable
+    /// stores) one write-ahead-log record holding exactly the genuinely
+    /// new triples — re-loading an already-loaded dataset appends nothing,
+    /// so the WAL never grows with duplicates across repeated boots.
+    /// Concurrent readers keep querying the previous snapshot and never
+    /// see a partially applied batch.
+    ///
+    /// # Panics
+    /// Panics if the store is durable and the log append fails.
     pub fn bulk_load<'a>(&self, triples: impl IntoIterator<Item = &'a Triple>) -> usize {
-        self.write(|store| store.insert_batch(triples))
+        let Some(persist) = &self.persist else {
+            // In-memory: keep the original zero-copy path.
+            return self.write(|store| store.insert_batch(triples));
+        };
+        let batch: Vec<Triple> = triples.into_iter().cloned().collect();
+        match self.durable_commit(persist, move |store| {
+            let mut seen = std::collections::HashSet::new();
+            let new: Vec<Triple> = batch
+                .iter()
+                .filter(|t| !store.contains(t) && seen.insert(*t))
+                .cloned()
+                .collect();
+            (!new.is_empty()).then(|| WalOp::Insert(new))
+        }) {
+            Some(WalOp::Insert(new)) => new.len(),
+            _ => 0,
+        }
     }
 
     /// Returns all triples matching the pattern.
@@ -106,9 +286,68 @@ impl SharedStore {
     /// Outstanding snapshots are unaffected: if any exist, the store is
     /// cloned before mutation (copy-on-write) and the new version is
     /// published atomically when `f` returns.
+    ///
+    /// **Durability escape hatch:** mutations made through this closure
+    /// are *not* recorded in the write-ahead log — only the structured
+    /// [`SharedStore::insert`] / [`SharedStore::remove`] /
+    /// [`SharedStore::bulk_load`] operations are. On a durable store,
+    /// follow ad-hoc `write` mutations with a [`SharedStore::checkpoint`]
+    /// if they must survive a restart.
     pub fn write<R>(&self, f: impl FnOnce(&mut TripleStore) -> R) -> R {
         let mut guard = self.inner.write();
         f(Arc::make_mut(&mut guard))
+    }
+
+    /// The durable mutation path: `plan` inspects the current store (no
+    /// mutation) and reports the exact delta to commit, which is then
+    /// **logged first and applied second** under the store write lock —
+    /// a failed append can never publish state the on-disk history lacks.
+    /// Auto-checkpoints afterwards when the WAL has outgrown its budget.
+    /// Returns the committed op (`None` = the plan was a no-op).
+    fn durable_commit(
+        &self,
+        persist: &Mutex<Persistence>,
+        plan: impl FnOnce(&TripleStore) -> Option<WalOp>,
+    ) -> Option<WalOp> {
+        // Persistence lock first (see the field's lock-order note), held
+        // across plan + append + apply so the WAL order matches publish
+        // order.
+        let mut persist = persist.lock();
+        let applied = {
+            let mut guard = self.inner.write();
+            match plan(&guard) {
+                None => None,
+                Some(op) => {
+                    // The append IS the commit point; nothing has been
+                    // applied yet, so failing here leaves memory and disk
+                    // consistent (both without the write).
+                    persist
+                        .log(&op)
+                        .expect("write-ahead log append failed; cannot guarantee durability");
+                    op.apply(Arc::make_mut(&mut guard));
+                    Some(op)
+                }
+            }
+        }; // store lock released — readers proceed during any checkpoint
+        if persist.wants_checkpoint() {
+            let snapshot = self.inner.read().clone();
+            // A failed compaction loses nothing — the operation is already
+            // committed in the WAL, which simply keeps growing until a
+            // later checkpoint succeeds. Warn (once per failure streak,
+            // not once per write) and keep serving; embedders that need a
+            // programmatic signal call [`SharedStore::checkpoint`]
+            // themselves and get the error.
+            match persist.checkpoint(&snapshot) {
+                Ok(_) => persist.checkpoint_failing = false,
+                Err(e) => {
+                    if !persist.checkpoint_failing {
+                        eprintln!("hbold_triple_store: auto-checkpoint failed (will retry): {e}");
+                    }
+                    persist.checkpoint_failing = true;
+                }
+            }
+        }
+        applied
     }
 }
 
@@ -117,6 +356,21 @@ mod tests {
     use super::*;
     use hbold_rdf_model::vocab::{foaf, rdf};
     use hbold_rdf_model::Iri;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hbold-shared-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn t(n: u32) -> Triple {
+        Triple::new(
+            Iri::new(format!("http://e.org/{n}")).unwrap(),
+            rdf::type_(),
+            foaf::person(),
+        )
+    }
 
     #[test]
     fn shared_store_is_usable_across_threads() {
@@ -154,18 +408,14 @@ mod tests {
         let classes = shared.read(|store| store.to_graph().classes());
         assert!(classes.contains(&foaf::person()));
         assert!(!shared.is_empty());
+        assert!(!shared.is_durable());
+        assert_eq!(shared.wal_bytes(), None);
+        assert_eq!(shared.checkpoint().unwrap(), None);
     }
 
     #[test]
     fn snapshots_are_immune_to_later_writes() {
         let shared = SharedStore::new();
-        let t = |n: u32| {
-            Triple::new(
-                Iri::new(format!("http://e.org/{n}")).unwrap(),
-                rdf::type_(),
-                foaf::person(),
-            )
-        };
         shared.insert(&t(0));
         let before = shared.snapshot();
         let batch: Vec<Triple> = (1..100).map(t).collect();
@@ -178,13 +428,131 @@ mod tests {
     #[test]
     fn bulk_load_deduplicates() {
         let shared = SharedStore::new();
-        let t = Triple::new(
-            Iri::new("http://e.org/a").unwrap(),
-            rdf::type_(),
-            foaf::person(),
-        );
-        assert_eq!(shared.bulk_load([&t, &t]), 1);
-        assert_eq!(shared.bulk_load([&t]), 0);
+        assert_eq!(shared.bulk_load([&t(0), &t(0)]), 1);
+        assert_eq!(shared.bulk_load([&t(0)]), 0);
         assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn durable_store_round_trips_without_checkpoint() {
+        let dir = temp_dir("wal-only");
+        {
+            let (shared, report) = SharedStore::open(&dir).unwrap();
+            assert_eq!(report, RecoveryReport::default());
+            assert!(shared.is_durable());
+            assert_eq!(shared.data_dir(), Some(dir.clone()));
+            shared.insert(&t(1));
+            let batch: Vec<Triple> = (2..20).map(t).collect();
+            shared.bulk_load(batch.iter());
+            shared.remove(&t(5));
+            assert!(shared.wal_bytes().unwrap() > 0);
+        }
+        let (reopened, report) = SharedStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 18);
+        assert!(!reopened.matching(&TriplePattern::any()).contains(&t(5)));
+        assert_eq!(report.wal_ops_replayed, 3);
+        assert_eq!(report.snapshot_generation, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_then_more_writes_then_recover() {
+        let dir = temp_dir("checkpointed");
+        {
+            let (shared, _) = SharedStore::open(&dir).unwrap();
+            let batch: Vec<Triple> = (0..50).map(t).collect();
+            shared.bulk_load(batch.iter());
+            assert_eq!(shared.checkpoint().unwrap(), Some(1));
+            assert_eq!(shared.wal_bytes(), Some(0));
+            shared.insert(&t(100)); // lands in the fresh WAL
+        }
+        let (reopened, report) = SharedStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 51);
+        assert_eq!(report.snapshot_generation, Some(1));
+        assert_eq!(report.wal_ops_replayed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_op_writes_leave_the_wal_untouched() {
+        let dir = temp_dir("noop");
+        let (shared, _) = SharedStore::open(&dir).unwrap();
+        shared.insert(&t(1));
+        let after_insert = shared.wal_bytes().unwrap();
+        shared.insert(&t(1)); // duplicate
+        shared.remove(&t(99)); // absent
+        shared.bulk_load([&t(1)]); // fully deduplicated batch
+        assert_eq!(shared.wal_bytes().unwrap(), after_insert);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bulk_load_logs_only_the_genuinely_new_triples() {
+        let dir = temp_dir("delta-log");
+        let (shared, _) = SharedStore::open(&dir).unwrap();
+        let batch: Vec<Triple> = (0..20).map(t).collect();
+        shared.bulk_load(batch.iter());
+        let after_first = shared.wal_bytes().unwrap();
+        // Re-loading the same dataset plus one new triple must append a
+        // record for exactly that one triple, not the whole batch again —
+        // otherwise repeated boots grow the WAL by the full dataset.
+        let mut grown = batch.clone();
+        grown.push(t(100));
+        assert_eq!(shared.bulk_load(grown.iter()), 1);
+        let delta = shared.wal_bytes().unwrap() - after_first;
+        assert!(
+            delta < after_first / 4,
+            "one-triple record ({delta} bytes) should be far smaller than \
+             the 20-triple record ({after_first} bytes)"
+        );
+        drop(shared); // release the directory lock before reopening
+        let (reopened, _) = SharedStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 21);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_when_wal_exceeds_budget() {
+        let dir = temp_dir("auto");
+        let options = PersistOptions {
+            checkpoint_wal_bytes: Some(256),
+            ..PersistOptions::default()
+        };
+        let (shared, _) = SharedStore::open_with(&dir, options).unwrap();
+        for n in 0..64 {
+            shared.insert(&t(n));
+        }
+        // The WAL kept being compacted away, so it is far below 64 records.
+        assert!(shared.wal_bytes().unwrap() <= 256 + 128);
+        drop(shared); // release the directory lock before reopening
+        let (reopened, report) = SharedStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 64);
+        assert!(report.snapshot_generation.unwrap_or(0) >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_writes_from_many_threads_all_recover() {
+        let dir = temp_dir("threads");
+        {
+            let (shared, _) = SharedStore::open(&dir).unwrap();
+            let mut handles = Vec::new();
+            for worker in 0..4 {
+                let store = shared.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..25 {
+                        let s = Iri::new(format!("http://e.org/w{worker}/{i}")).unwrap();
+                        store.insert(&Triple::new(s, rdf::type_(), foaf::person()));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(shared.len(), 100);
+        }
+        let (reopened, _) = SharedStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 100);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -17,6 +17,25 @@ pub struct EncodedTriple {
 }
 
 /// An in-memory RDF store with dictionary encoding and SPO/POS/OSP indexes.
+///
+/// ```
+/// use hbold_rdf_model::{Iri, Triple, TriplePattern, vocab::{foaf, rdf}};
+/// use hbold_triple_store::TripleStore;
+///
+/// let mut store = TripleStore::new();
+/// let alice = Iri::new("http://example.org/alice")?;
+/// let triple = Triple::new(alice.clone(), rdf::type_(), foaf::person());
+/// assert!(store.insert(&triple));
+/// assert!(!store.insert(&triple), "inserts are set-semantics");
+///
+/// // A pattern with bound positions becomes a range scan on the best index.
+/// let people = store.matching(&TriplePattern::any().with_predicate(rdf::type_()));
+/// assert_eq!(people.len(), 1);
+///
+/// assert!(store.remove(&triple));
+/// assert!(store.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct TripleStore {
     dict: TermDictionary,
@@ -37,6 +56,34 @@ impl TripleStore {
         let mut store = TripleStore::new();
         store.insert_batch(graph.iter());
         store
+    }
+
+    /// Rebuilds a store from a decoded snapshot: the id-ordered dictionary
+    /// plus the SPO-sorted encoded triples. The POS/OSP indexes are derived
+    /// here rather than stored, halving the snapshot size.
+    pub(crate) fn from_snapshot_parts(
+        dict: TermDictionary,
+        triples: Vec<(TermId, TermId, TermId)>,
+    ) -> Self {
+        let mut store = TripleStore {
+            dict,
+            ..TripleStore::default()
+        };
+        store.spo.insert_batch(triples.iter().copied());
+        store
+            .pos
+            .insert_batch(triples.iter().map(|&(s, p, o)| (p, o, s)));
+        store
+            .osp
+            .insert_batch(triples.iter().map(|&(s, p, o)| (o, s, p)));
+        store.len = store.spo.len();
+        store
+    }
+
+    /// Iterates the encoded triples in ascending SPO order (the order the
+    /// snapshot writer delta-encodes them in).
+    pub(crate) fn encoded_spo_iter(&self) -> impl Iterator<Item = &(TermId, TermId, TermId)> {
+        self.spo.scan_all()
     }
 
     /// Number of triples stored.
