@@ -44,6 +44,20 @@ fn bench(c: &mut Criterion) {
             .unwrap()
         })
     });
+    group.bench_function("extraction_bgp_join", |b| {
+        // The headline perf-trajectory number (BENCH_*.json): an
+        // extraction-style two-pattern join materializing every solution —
+        // exactly the shape whose intermediate-row cost the encoded engine
+        // attacks.
+        b.iter(|| execute_query(&store, "SELECT ?s ?p ?o WHERE { ?s a ?c . ?s ?p ?o }").unwrap())
+    });
+    group.bench_function("extraction_class_properties_distinct", |b| {
+        // H-BOLD's class/property table: join + DISTINCT dedup of a wide
+        // intermediate result.
+        b.iter(|| {
+            execute_query(&store, "SELECT DISTINCT ?c ?p WHERE { ?s a ?c . ?s ?p ?o }").unwrap()
+        })
+    });
     group.finish();
 
     // Parallel sharded joins + GROUP BY: 1 vs N threads over a heavy

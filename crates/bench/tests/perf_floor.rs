@@ -1,0 +1,100 @@
+//! Perf regression floor: the dictionary-encoded streaming engine must beat
+//! the deliberately naive `hbold_sparql::reference` evaluator by a generous
+//! margin on a mid-size extraction-style BGP join.
+//!
+//! The reference evaluator full-scans the store per triple pattern and
+//! materializes `BTreeMap` bindings throughout; the encoded engine runs
+//! index range scans over `TermId` slot rows. On this fixture the real gap
+//! is two orders of magnitude — the asserted floor is deliberately loose
+//! (and only enforced in release builds) so the test never flakes on slow
+//! or noisy CI hardware while still catching a wholesale regression, e.g.
+//! the engine silently falling back to full scans or Term-domain rows.
+
+use std::time::{Duration, Instant};
+
+use hbold_endpoint::synth::{random_lod, RandomLodConfig};
+use hbold_sparql::{execute_query, reference};
+use hbold_triple_store::TripleStore;
+
+/// Extraction-style two-pattern join: the class/property table of H-BOLD's
+/// index extraction.
+const EXTRACTION_JOIN: &str = "SELECT DISTINCT ?c ?p WHERE { ?s a ?c . ?s ?p ?o }";
+
+/// Anything above 1 means "faster than naive"; the engine actually clears
+/// this by ~100x in release mode on this fixture.
+const FLOOR_SPEEDUP: f64 = 5.0;
+
+fn median_secs(mut runs: Vec<Duration>) -> f64 {
+    runs.sort_unstable();
+    runs[runs.len() / 2].as_secs_f64()
+}
+
+#[test]
+fn encoded_engine_beats_reference_floor() {
+    // Mid-size fixture: big enough that join cost dominates, small enough
+    // that the naive evaluator finishes in well under a second per run.
+    let graph = random_lod(&RandomLodConfig::sized(12, 600, 77));
+    let store = TripleStore::from_graph(&graph);
+
+    // Correctness first (also warms both paths): same multiset of rows.
+    let fast = execute_query(&store, EXTRACTION_JOIN)
+        .unwrap()
+        .into_select()
+        .unwrap();
+    let naive = reference::execute_query(&store, EXTRACTION_JOIN)
+        .unwrap()
+        .into_select()
+        .unwrap();
+    let render = |r: &hbold_sparql::SelectResults| {
+        let mut rows: Vec<Vec<Option<String>>> = r
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|c| c.as_ref().map(|t| t.to_ntriples()))
+                    .collect()
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(fast.variables, naive.variables);
+    assert_eq!(render(&fast), render(&naive), "engines disagree on rows");
+
+    if cfg!(debug_assertions) {
+        // Unoptimized timing says nothing about the release engine; the
+        // correctness half above still ran.
+        eprintln!("perf_floor: skipping timing assertion in debug build");
+        return;
+    }
+
+    let time = |runs: usize, f: &dyn Fn()| -> f64 {
+        median_secs(
+            (0..runs)
+                .map(|_| {
+                    let start = Instant::now();
+                    f();
+                    start.elapsed()
+                })
+                .collect(),
+        )
+    };
+    let fast_secs = time(9, &|| {
+        execute_query(&store, EXTRACTION_JOIN).unwrap();
+    });
+    let naive_secs = time(3, &|| {
+        reference::execute_query(&store, EXTRACTION_JOIN).unwrap();
+    });
+
+    let speedup = naive_secs / fast_secs.max(1e-9);
+    assert!(
+        speedup >= FLOOR_SPEEDUP,
+        "encoded engine is only {speedup:.1}x faster than the naive reference \
+         (encoded {fast_secs:.6}s vs naive {naive_secs:.6}s, floor {FLOOR_SPEEDUP}x)"
+    );
+    println!(
+        "perf_floor: encoded {:.3}ms vs naive {:.3}ms — {speedup:.0}x (floor {FLOOR_SPEEDUP}x)",
+        fast_secs * 1e3,
+        naive_secs * 1e3
+    );
+}

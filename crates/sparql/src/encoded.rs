@@ -1,0 +1,1559 @@
+//! The dictionary-encoded execution domain: slot layouts and `TermId` rows.
+//!
+//! The streaming engine in [`crate::eval`] carries solutions between
+//! operators as **slot-addressed encoded rows** instead of
+//! `BTreeMap<String, Term>` bindings:
+//!
+//! * At evaluation start each query's variables are compiled into a dense
+//!   [`SlotLayout`]: every variable the query mentions anywhere (graph
+//!   pattern, projection, GROUP BY, ORDER BY, filter and aggregate
+//!   expressions) gets one fixed slot index.
+//! * A solution is then a fixed-width `Vec<TermId>` ([`EncRow`]) with the
+//!   sentinel [`UNBOUND`] marking unbound slots. Extending a solution
+//!   through a triple pattern binds and compares raw `u32`s; cloning a row
+//!   is a flat `memcpy` instead of a tree rebuild with per-term `Arc`
+//!   traffic.
+//! * Joins, `FILTER`, `OPTIONAL`, `UNION`, `DISTINCT`, `GROUP BY`
+//!   partitioning and the `ORDER BY` tie-break all operate on identifiers;
+//!   the dictionary is consulted lazily — only where lexical values are
+//!   genuinely needed (expression evaluation, ORDER BY sort keys, aggregate
+//!   arithmetic) — and full [`Term`] rows materialize exactly once, at the
+//!   [`SelectResults`] boundary.
+//!
+//! The naive reference evaluator ([`crate::reference`]) deliberately stays
+//! in the Term domain, so the differential oracle keeps checking this whole
+//! module against an implementation that shares none of it.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use hbold_rdf_model::Term;
+use hbold_triple_store::{EncodedScan, TermDictionary, TermId, TripleStore};
+
+use crate::ast::*;
+use crate::error::SparqlError;
+use crate::eval::{aggregate_values, compare_optional_terms, order_solutions, EvalOptions};
+use crate::expr::{evaluate_scoped, filter_passes_scoped, Binding, EvalValue, Scope};
+use crate::results::SelectResults;
+
+/// Sentinel marking an unbound slot in an [`EncRow`].
+///
+/// `TermId`s are dense indexes starting at 0, so `u32::MAX` can never be a
+/// real identifier unless a store interns four billion terms — at which
+/// point the dictionary's `Vec<Term>` backing would have failed long before.
+pub const UNBOUND: TermId = TermId::MAX;
+
+/// A fixed-width encoded solution row: `row[slot]` is the [`TermId`] bound
+/// to the variable occupying `slot` in the query's [`SlotLayout`], or
+/// [`UNBOUND`].
+pub type EncRow = Vec<TermId>;
+
+/// A lazy stream of encoded solutions; errors are carried in-band and
+/// surface at the first pull that encounters them.
+pub(crate) type EncStream<'a> = Box<dyn Iterator<Item = Result<EncRow, SparqlError>> + 'a>;
+
+// ---- slot layout -----------------------------------------------------------------
+
+/// The dense variable → slot mapping compiled from one query.
+///
+/// Slots are assigned in two groups: graph-pattern variables first, in
+/// first-appearance order (so a `SELECT *` projection is simply slots
+/// `0..pattern_vars()`), then variables referenced only by projection,
+/// GROUP BY or ORDER BY expressions (those slots exist so lookups are
+/// total, and stay [`UNBOUND`] in every row).
+#[derive(Debug, Clone, Default)]
+pub struct SlotLayout {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+    /// Slots reordered by variable name — the ORDER BY tie-break walks
+    /// bindings in name order, exactly like a `BTreeMap` iteration would.
+    name_sorted: Vec<u32>,
+    /// How many leading slots are graph-pattern variables.
+    pattern_vars: usize,
+}
+
+impl SlotLayout {
+    /// Compiles the layout for `query`.
+    pub fn of_query(query: &Query) -> SlotLayout {
+        let mut layout = SlotLayout::default();
+        for v in query.pattern.variables() {
+            layout.add(&v);
+        }
+        layout.pattern_vars = layout.names.len();
+        // FILTER conditions may mention variables no triple pattern binds
+        // (always unbound, e.g. `FILTER(BOUND(?x))` with no ?x pattern);
+        // they still get slots so lookups stay total.
+        layout.add_filter_vars(&query.pattern);
+        if let QueryForm::Select {
+            projection: Projection::Items(items),
+            ..
+        } = &query.form
+        {
+            for item in items {
+                match item {
+                    ProjectionItem::Variable(v) => layout.add(v),
+                    ProjectionItem::Expression { expr, .. } => layout.add_expression_vars(expr),
+                }
+            }
+        }
+        for v in &query.group_by {
+            layout.add(v);
+        }
+        for cond in &query.order_by {
+            layout.add_expression_vars(&cond.expr);
+        }
+        let mut sorted: Vec<u32> = (0..layout.names.len() as u32).collect();
+        sorted.sort_by(|a, b| layout.names[*a as usize].cmp(&layout.names[*b as usize]));
+        layout.name_sorted = sorted;
+        layout
+    }
+
+    fn add(&mut self, name: &str) {
+        if !self.index.contains_key(name) {
+            let slot = self.names.len() as u32;
+            self.names.push(name.to_string());
+            self.index.insert(name.to_string(), slot);
+        }
+    }
+
+    fn add_filter_vars(&mut self, pattern: &GraphPattern) {
+        match pattern {
+            GraphPattern::Bgp(_) => {}
+            GraphPattern::Join(parts) => {
+                for p in parts {
+                    self.add_filter_vars(p);
+                }
+            }
+            GraphPattern::Optional { left, right } => {
+                self.add_filter_vars(left);
+                self.add_filter_vars(right);
+            }
+            GraphPattern::Union(a, b) => {
+                self.add_filter_vars(a);
+                self.add_filter_vars(b);
+            }
+            GraphPattern::Filter { inner, condition } => {
+                self.add_expression_vars(condition);
+                self.add_filter_vars(inner);
+            }
+        }
+    }
+
+    fn add_expression_vars(&mut self, expr: &Expression) {
+        match expr {
+            Expression::Variable(v) => self.add(v),
+            Expression::Constant(_) => {}
+            Expression::Or(a, b) | Expression::And(a, b) => {
+                self.add_expression_vars(a);
+                self.add_expression_vars(b);
+            }
+            Expression::Not(inner) => self.add_expression_vars(inner),
+            Expression::Comparison { left, right, .. } => {
+                self.add_expression_vars(left);
+                self.add_expression_vars(right);
+            }
+            Expression::Function { args, .. } => {
+                for a in args {
+                    self.add_expression_vars(a);
+                }
+            }
+            Expression::Aggregate { arg, .. } => {
+                if let Some(arg) = arg {
+                    self.add_expression_vars(arg);
+                }
+            }
+        }
+    }
+
+    /// The slot of a variable, if the query mentions it anywhere.
+    pub fn slot_of(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The variable name occupying `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn name_of(&self, slot: u32) -> &str {
+        &self.names[slot as usize]
+    }
+
+    /// Number of slots (row width).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when the query mentions no variables at all.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Number of leading slots holding graph-pattern variables (the
+    /// `SELECT *` projection).
+    pub fn pattern_vars(&self) -> usize {
+        self.pattern_vars
+    }
+
+    /// All slot names, in slot order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// A fresh all-unbound row of this layout's width.
+    pub fn empty_row(&self) -> EncRow {
+        vec![UNBOUND; self.names.len()]
+    }
+}
+
+// ---- encoded scope (lazy decode for expressions) ---------------------------------
+
+/// A [`Scope`] view over one encoded row: variable lookups resolve through
+/// the slot layout and decode through the dictionary only when an
+/// expression actually needs the term.
+pub(crate) struct EncScope<'a> {
+    pub row: &'a [TermId],
+    pub layout: &'a SlotLayout,
+    pub dict: &'a TermDictionary,
+}
+
+impl Scope for EncScope<'_> {
+    fn term(&self, name: &str) -> Option<Term> {
+        let slot = self.layout.slot_of(name)?;
+        let id = self.row[slot as usize];
+        (id != UNBOUND).then(|| self.dict.term(id).clone())
+    }
+
+    fn is_bound(&self, name: &str) -> bool {
+        self.layout
+            .slot_of(name)
+            .is_some_and(|slot| self.row[slot as usize] != UNBOUND)
+    }
+}
+
+// ---- compiled pattern ------------------------------------------------------------
+
+/// One position of an encoded triple pattern.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EncNode {
+    /// A constant term, pre-resolved against the store dictionary.
+    /// `None` means the term was never interned: the pattern matches
+    /// nothing, decided at compile time without touching an index.
+    Const(Option<TermId>),
+    /// A variable, addressed by its slot.
+    Var(u32),
+}
+
+/// A triple pattern in the encoded domain.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EncTriplePattern {
+    pub subject: EncNode,
+    pub predicate: EncNode,
+    pub object: EncNode,
+}
+
+impl EncTriplePattern {
+    fn nodes(&self) -> [EncNode; 3] {
+        [self.subject, self.predicate, self.object]
+    }
+}
+
+/// A graph pattern compiled to the encoded domain. Filter conditions keep
+/// their AST form and evaluate through [`EncScope`] (decoding lazily).
+#[derive(Debug, Clone)]
+pub(crate) enum EncPattern {
+    Bgp(Vec<EncTriplePattern>),
+    Join(Vec<EncPattern>),
+    Optional {
+        left: Box<EncPattern>,
+        right: Box<EncPattern>,
+    },
+    Union(Box<EncPattern>, Box<EncPattern>),
+    Filter {
+        inner: Box<EncPattern>,
+        condition: Expression,
+    },
+}
+
+impl EncPattern {
+    /// Marks every slot this pattern can bind in `bound`.
+    fn collect_bound(&self, bound: &mut [bool]) {
+        match self {
+            EncPattern::Bgp(tps) => {
+                for tp in tps {
+                    for node in tp.nodes() {
+                        if let EncNode::Var(slot) = node {
+                            bound[slot as usize] = true;
+                        }
+                    }
+                }
+            }
+            EncPattern::Join(parts) => {
+                for p in parts {
+                    p.collect_bound(bound);
+                }
+            }
+            EncPattern::Optional { left, right } => {
+                left.collect_bound(bound);
+                right.collect_bound(bound);
+            }
+            EncPattern::Union(a, b) => {
+                a.collect_bound(bound);
+                b.collect_bound(bound);
+            }
+            EncPattern::Filter { inner, .. } => inner.collect_bound(bound),
+        }
+    }
+}
+
+/// Compiles a parsed graph pattern against a store dictionary and layout.
+pub(crate) fn compile_pattern(
+    pattern: &GraphPattern,
+    layout: &SlotLayout,
+    dict: &TermDictionary,
+) -> EncPattern {
+    let node = |n: &TermOrVariable| -> EncNode {
+        match n {
+            TermOrVariable::Term(t) => EncNode::Const(dict.id_of(t)),
+            TermOrVariable::Variable(v) => EncNode::Var(
+                layout
+                    .slot_of(v)
+                    .expect("layout covers all pattern variables"),
+            ),
+        }
+    };
+    match pattern {
+        GraphPattern::Bgp(tps) => EncPattern::Bgp(
+            tps.iter()
+                .map(|tp| EncTriplePattern {
+                    subject: node(&tp.subject),
+                    predicate: node(&tp.predicate),
+                    object: node(&tp.object),
+                })
+                .collect(),
+        ),
+        GraphPattern::Join(parts) => EncPattern::Join(
+            parts
+                .iter()
+                .map(|p| compile_pattern(p, layout, dict))
+                .collect(),
+        ),
+        GraphPattern::Optional { left, right } => EncPattern::Optional {
+            left: Box::new(compile_pattern(left, layout, dict)),
+            right: Box::new(compile_pattern(right, layout, dict)),
+        },
+        GraphPattern::Union(a, b) => EncPattern::Union(
+            Box::new(compile_pattern(a, layout, dict)),
+            Box::new(compile_pattern(b, layout, dict)),
+        ),
+        GraphPattern::Filter { inner, condition } => EncPattern::Filter {
+            inner: Box::new(compile_pattern(inner, layout, dict)),
+            condition: condition.clone(),
+        },
+    }
+}
+
+/// Everything an encoded operator needs, bundled for cheap threading through
+/// the pipeline (and across worker threads — all fields are `Sync`).
+pub(crate) struct EncContext<'a> {
+    pub store: &'a TripleStore,
+    pub dict: &'a TermDictionary,
+    pub layout: &'a SlotLayout,
+}
+
+// ---- triple-pattern scans --------------------------------------------------------
+
+/// Lazily extends one encoded row through one triple pattern via an encoded
+/// index scan. Concrete type so BGP stages avoid a heap allocation per
+/// input row.
+pub(crate) struct ScanRows<'a> {
+    /// `None` when a constant of the pattern is absent from the dictionary.
+    scan: Option<EncodedScan<'a>>,
+    tp: &'a EncTriplePattern,
+    row: EncRow,
+}
+
+impl<'a> ScanRows<'a> {
+    pub(crate) fn new(ctx: &EncContext<'a>, tp: &'a EncTriplePattern, row: EncRow) -> ScanRows<'a> {
+        // Resolve each position: a constant uses its pre-compiled id, a
+        // variable already bound in the row acts as a constant, and an
+        // unbound variable leaves the position open for the range scan.
+        let resolve = |node: EncNode| -> Result<Option<TermId>, ()> {
+            match node {
+                EncNode::Const(Some(id)) => Ok(Some(id)),
+                EncNode::Const(None) => Err(()),
+                EncNode::Var(slot) => match row[slot as usize] {
+                    UNBOUND => Ok(None),
+                    id => Ok(Some(id)),
+                },
+            }
+        };
+        let scan = match (
+            resolve(tp.subject),
+            resolve(tp.predicate),
+            resolve(tp.object),
+        ) {
+            (Ok(s), Ok(p), Ok(o)) => Some(ctx.store.matching_encoded_iter(s, p, o)),
+            _ => None,
+        };
+        ScanRows { scan, tp, row }
+    }
+}
+
+impl Iterator for ScanRows<'_> {
+    type Item = Result<EncRow, SparqlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let scan = self.scan.as_mut()?;
+        'next_triple: for triple in scan {
+            let mut extended = self.row.clone();
+            for (node, id) in [
+                (self.tp.subject, triple.subject),
+                (self.tp.predicate, triple.predicate),
+                (self.tp.object, triple.object),
+            ] {
+                if let EncNode::Var(slot) = node {
+                    let cell = &mut extended[slot as usize];
+                    if *cell == UNBOUND {
+                        *cell = id;
+                    } else if *cell != id {
+                        // Same variable twice in one pattern with a
+                        // conflicting match (e.g. `?x ?p ?x`).
+                        continue 'next_triple;
+                    }
+                }
+            }
+            return Some(Ok(extended));
+        }
+        None
+    }
+}
+
+/// Per-input-row stage output: either the input's error passed through, or
+/// a scan of its extensions. Lets a BGP stage `flat_map` without boxing an
+/// iterator per row.
+pub(crate) enum RowScan<'a> {
+    Failed(Option<SparqlError>),
+    Scan(ScanRows<'a>),
+}
+
+impl Iterator for RowScan<'_> {
+    type Item = Result<EncRow, SparqlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            RowScan::Failed(e) => e.take().map(Err),
+            RowScan::Scan(scan) => scan.next(),
+        }
+    }
+}
+
+// ---- streaming operators ---------------------------------------------------------
+
+/// The stream of all solutions of `pattern` starting from the empty row.
+pub(crate) fn root_stream<'a>(ctx: &'a EncContext<'a>, pattern: &'a EncPattern) -> EncStream<'a> {
+    let start = vec![false; ctx.layout.len()];
+    stream_pattern(
+        ctx,
+        pattern,
+        &start,
+        Box::new(std::iter::once(Ok(ctx.layout.empty_row()))),
+    )
+}
+
+/// Compiles `pattern` over `input` into a lazy encoded solution stream.
+///
+/// `bound` flags the slots statically known to be bound by the time
+/// `input`'s rows arrive; it only steers join ordering, never correctness.
+pub(crate) fn stream_pattern<'a>(
+    ctx: &'a EncContext<'a>,
+    pattern: &'a EncPattern,
+    bound: &[bool],
+    input: EncStream<'a>,
+) -> EncStream<'a> {
+    match pattern {
+        EncPattern::Bgp(tps) => stream_bgp(ctx, tps, bound, input),
+        EncPattern::Join(parts) => {
+            let mut stream = input;
+            let mut bound = bound.to_vec();
+            for part in parts {
+                stream = stream_pattern(ctx, part, &bound, stream);
+                part.collect_bound(&mut bound);
+            }
+            stream
+        }
+        EncPattern::Optional { left, right } => {
+            let left_stream = stream_pattern(ctx, left, bound, input);
+            let mut right_bound = bound.to_vec();
+            left.collect_bound(&mut right_bound);
+            Box::new(left_stream.flat_map(move |solution| -> EncStream<'a> {
+                match solution {
+                    Err(e) => Box::new(std::iter::once(Err(e))),
+                    Ok(row) => {
+                        let seed: EncStream<'a> = Box::new(std::iter::once(Ok(row.clone())));
+                        let mut extended = stream_pattern(ctx, right, &right_bound, seed);
+                        match extended.next() {
+                            // Left join: an unmatched left solution survives.
+                            None => Box::new(std::iter::once(Ok(row))),
+                            Some(first) => Box::new(std::iter::once(first).chain(extended)),
+                        }
+                    }
+                }
+            }))
+        }
+        EncPattern::Union(a, b) => {
+            // Feed each input row through branch a then branch b; same
+            // multiset as materialized `eval(a) ++ eval(b)`, and sequencing
+            // is only observable under ORDER BY where the deterministic
+            // sort makes both forms identical.
+            let bound = bound.to_vec();
+            Box::new(input.flat_map(move |solution| -> EncStream<'a> {
+                match solution {
+                    Err(e) => Box::new(std::iter::once(Err(e))),
+                    Ok(row) => {
+                        let left = stream_pattern(
+                            ctx,
+                            a,
+                            &bound,
+                            Box::new(std::iter::once(Ok(row.clone()))),
+                        );
+                        let right =
+                            stream_pattern(ctx, b, &bound, Box::new(std::iter::once(Ok(row))));
+                        Box::new(left.chain(right))
+                    }
+                }
+            }))
+        }
+        EncPattern::Filter { inner, condition } => {
+            let stream = stream_pattern(ctx, inner, bound, input);
+            Box::new(stream.filter_map(move |solution| match solution {
+                Ok(row) => {
+                    let scope = EncScope {
+                        row: &row,
+                        layout: ctx.layout,
+                        dict: ctx.dict,
+                    };
+                    match filter_passes_scoped(condition, &scope) {
+                        Ok(true) => Some(Ok(row)),
+                        Ok(false) => None,
+                        Err(e) => Some(Err(e)),
+                    }
+                }
+                Err(e) => Some(Err(e)),
+            }))
+        }
+    }
+}
+
+/// Streams a basic graph pattern: triple patterns are greedily ordered once
+/// (most selective first, given the statically bound slots), then each
+/// becomes a nested index-scan stage of the pipeline.
+fn stream_bgp<'a>(
+    ctx: &'a EncContext<'a>,
+    patterns: &'a [EncTriplePattern],
+    bound: &[bool],
+    input: EncStream<'a>,
+) -> EncStream<'a> {
+    let mut stream = input;
+    for idx in bgp_join_order(patterns, bound) {
+        let tp = &patterns[idx];
+        stream = Box::new(stream.flat_map(move |solution| match solution {
+            Err(e) => RowScan::Failed(Some(e)),
+            Ok(row) => RowScan::Scan(ScanRows::new(ctx, tp, row)),
+        }));
+    }
+    stream
+}
+
+/// Greedy join order: repeatedly pick the remaining pattern with the most
+/// concrete/bound positions. Returns indexes into `patterns`. Mirrors the
+/// scoring the pre-encoded engine used (and the differential oracle pinned).
+pub(crate) fn bgp_join_order(patterns: &[EncTriplePattern], bound: &[bool]) -> Vec<usize> {
+    let mut bound = bound.to_vec();
+    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+    let mut order = Vec::with_capacity(patterns.len());
+    while !remaining.is_empty() {
+        let (pos, &idx) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &idx)| pattern_selectivity(&patterns[idx], &bound))
+            .expect("remaining is non-empty");
+        remaining.remove(pos);
+        order.push(idx);
+        for node in patterns[idx].nodes() {
+            if let EncNode::Var(slot) = node {
+                bound[slot as usize] = true;
+            }
+        }
+    }
+    order
+}
+
+fn pattern_selectivity(tp: &EncTriplePattern, bound: &[bool]) -> i64 {
+    let mut score = 0i64;
+    let mut has_unbound = false;
+    let mut has_bound_var = false;
+    for node in tp.nodes() {
+        match node {
+            EncNode::Const(_) => score += 2,
+            EncNode::Var(slot) if bound[slot as usize] => {
+                // A variable the current rows already bind acts as a
+                // concrete term, and additionally keeps the join connected.
+                score += 3;
+                has_bound_var = true;
+            }
+            EncNode::Var(_) => has_unbound = true,
+        }
+    }
+    // A pattern with unbound variables but no link to the bound ones would
+    // produce a cartesian product with the current rows; defer it until
+    // everything connected has been joined.
+    if bound.iter().any(|&b| b) && has_unbound && !has_bound_var {
+        score -= 100;
+    }
+    score
+}
+
+// ---- parallel execution ----------------------------------------------------------
+
+/// Materializes every encoded solution of `pattern`, sharding across worker
+/// threads when the options and the pattern shape allow it.
+pub(crate) fn collect_solutions(
+    ctx: &EncContext<'_>,
+    pattern: &EncPattern,
+    options: &EvalOptions,
+) -> Result<Vec<EncRow>, SparqlError> {
+    if options.threads > 1 {
+        if let Some((first, rest)) = split_first_scan(pattern) {
+            let seeds: Vec<EncRow> =
+                ScanRows::new(ctx, &first, ctx.layout.empty_row()).collect::<Result<_, _>>()?;
+            let mut bound = vec![false; ctx.layout.len()];
+            for node in first.nodes() {
+                if let EncNode::Var(slot) = node {
+                    bound[slot as usize] = true;
+                }
+            }
+            if seeds.len() >= options.parallel_threshold.max(1) {
+                return eval_rest_parallel(ctx, &rest, &bound, seeds, options.threads);
+            }
+            return stream_pattern(ctx, &rest, &bound, Box::new(seeds.into_iter().map(Ok)))
+                .collect();
+        }
+    }
+    root_stream(ctx, pattern).collect()
+}
+
+/// Splits the plan into "scan the most selective triple pattern" plus "the
+/// rest of the pipeline", when the pattern shape permits (BGPs, joins and
+/// filters — the shapes extraction queries use). `OPTIONAL`/`UNION` roots
+/// return `None` and run sequentially.
+fn split_first_scan(pattern: &EncPattern) -> Option<(EncTriplePattern, EncPattern)> {
+    match pattern {
+        EncPattern::Bgp(tps) if !tps.is_empty() => {
+            // No slots are bound at the root; size the bitmap by the
+            // largest slot the BGP mentions.
+            let width = tps
+                .iter()
+                .flat_map(|tp| tp.nodes())
+                .filter_map(|n| match n {
+                    EncNode::Var(s) => Some(s as usize + 1),
+                    EncNode::Const(_) => None,
+                })
+                .max()
+                .unwrap_or(0);
+            let first_idx = bgp_join_order(tps, &vec![false; width])[0];
+            let rest: Vec<EncTriplePattern> = tps
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != first_idx)
+                .map(|(_, tp)| *tp)
+                .collect();
+            Some((tps[first_idx], EncPattern::Bgp(rest)))
+        }
+        EncPattern::Join(parts) if !parts.is_empty() => {
+            let (first, rest_head) = split_first_scan(&parts[0])?;
+            let mut rest = vec![rest_head];
+            rest.extend(parts[1..].iter().cloned());
+            Some((first, EncPattern::Join(rest)))
+        }
+        EncPattern::Filter { inner, condition } => {
+            let (first, rest_inner) = split_first_scan(inner)?;
+            Some((
+                first,
+                EncPattern::Filter {
+                    inner: Box::new(rest_inner),
+                    condition: condition.clone(),
+                },
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Runs the residual pipeline over seed chunks on scoped threads and
+/// concatenates results in chunk order, so the output is identical to the
+/// sequential evaluation.
+fn eval_rest_parallel(
+    ctx: &EncContext<'_>,
+    rest: &EncPattern,
+    bound: &[bool],
+    seeds: Vec<EncRow>,
+    threads: usize,
+) -> Result<Vec<EncRow>, SparqlError> {
+    let chunk_size = seeds.len().div_ceil(threads).max(1);
+    let chunks: Vec<Vec<EncRow>> = seeds.chunks(chunk_size).map(|c| c.to_vec()).collect();
+    let outputs: Vec<Result<Vec<EncRow>, SparqlError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    stream_pattern(ctx, rest, bound, Box::new(chunk.into_iter().map(Ok)))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    });
+    let mut solutions = Vec::new();
+    for output in outputs {
+        solutions.extend(output?);
+    }
+    Ok(solutions)
+}
+
+// ---- projection (the decode boundary) --------------------------------------------
+
+/// A projection compiled against the slot layout.
+pub(crate) enum EncProjection<'q> {
+    /// Every column is a plain variable (or `SELECT *`): column `i` reads
+    /// slot `slots[i]`, and DISTINCT can dedup on raw identifiers.
+    Slots {
+        variables: Vec<String>,
+        slots: Vec<u32>,
+    },
+    /// At least one column is a computed expression; rows materialize into
+    /// the Term domain at projection time.
+    Mixed {
+        variables: Vec<String>,
+        items: &'q [ProjectionItem],
+    },
+}
+
+pub(crate) fn compile_projection<'q>(
+    projection: &'q Projection,
+    layout: &SlotLayout,
+) -> EncProjection<'q> {
+    match projection {
+        Projection::Star => {
+            let slots: Vec<u32> = (0..layout.pattern_vars() as u32).collect();
+            EncProjection::Slots {
+                variables: layout.names()[..layout.pattern_vars()].to_vec(),
+                slots,
+            }
+        }
+        Projection::Items(items) => {
+            let variables: Vec<String> = items
+                .iter()
+                .map(|item| match item {
+                    ProjectionItem::Variable(v) => v.clone(),
+                    ProjectionItem::Expression { alias, .. } => alias.clone(),
+                })
+                .collect();
+            let all_slots: Option<Vec<u32>> = items
+                .iter()
+                .map(|item| match item {
+                    ProjectionItem::Variable(v) => layout.slot_of(v),
+                    ProjectionItem::Expression { .. } => None,
+                })
+                .collect();
+            match all_slots {
+                Some(slots) => EncProjection::Slots { variables, slots },
+                None => EncProjection::Mixed { variables, items },
+            }
+        }
+    }
+}
+
+impl EncProjection<'_> {
+    pub(crate) fn variables(&self) -> &[String] {
+        match self {
+            EncProjection::Slots { variables, .. } | EncProjection::Mixed { variables, .. } => {
+                variables
+            }
+        }
+    }
+}
+
+/// Projects one row into slot-id space (Slots projections only).
+fn project_slots(slots: &[u32], row: &[TermId]) -> Vec<TermId> {
+    slots.iter().map(|&s| row[s as usize]).collect()
+}
+
+/// Decodes a projected slot-id row into terms — the single point where
+/// variable columns materialize.
+fn decode_projected(dict: &TermDictionary, projected: &[TermId]) -> Vec<Option<Term>> {
+    projected
+        .iter()
+        .map(|&id| (id != UNBOUND).then(|| dict.term(id).clone()))
+        .collect()
+}
+
+/// Projects one row through a Mixed projection (expressions evaluate with
+/// lazy decode; results land directly in the Term domain).
+fn project_mixed(
+    ctx: &EncContext<'_>,
+    items: &[ProjectionItem],
+    row: &[TermId],
+) -> Result<Vec<Option<Term>>, SparqlError> {
+    let scope = EncScope {
+        row,
+        layout: ctx.layout,
+        dict: ctx.dict,
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            ProjectionItem::Variable(v) => out.push(scope.term(v)),
+            ProjectionItem::Expression { expr, .. } => {
+                out.push(evaluate_scoped(expr, &scope)?.into_term())
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// N-Triples-rendered dedup key for a Term-domain row (Mixed DISTINCT).
+pub(crate) fn term_row_key(row: &[Option<Term>]) -> String {
+    row.iter()
+        .map(|t| t.as_ref().map(|t| t.to_ntriples()).unwrap_or_default())
+        .collect::<Vec<_>>()
+        .join("\u{1}")
+}
+
+/// Applies DISTINCT (in row order), OFFSET and LIMIT to fully-materialized
+/// encoded solutions, decoding only the surviving rows.
+pub(crate) fn finalize_rows(
+    ctx: &EncContext<'_>,
+    projection: &EncProjection<'_>,
+    solutions: Vec<EncRow>,
+    distinct: bool,
+    offset: usize,
+    limit: Option<usize>,
+) -> Result<SelectResults, SparqlError> {
+    let variables = projection.variables().to_vec();
+    let rows = match projection {
+        EncProjection::Slots { slots, .. } => {
+            let mut projected: Vec<Vec<TermId>> = solutions
+                .iter()
+                .map(|row| project_slots(slots, row))
+                .collect();
+            if distinct {
+                let mut seen: HashSet<Vec<TermId>> = HashSet::with_capacity(projected.len());
+                projected.retain(|p| seen.insert(p.clone()));
+            }
+            cut(&mut projected, offset, limit);
+            projected
+                .iter()
+                .map(|p| decode_projected(ctx.dict, p))
+                .collect()
+        }
+        EncProjection::Mixed { items, .. } => {
+            let mut rows: Vec<Vec<Option<Term>>> = Vec::with_capacity(solutions.len());
+            for row in &solutions {
+                rows.push(project_mixed(ctx, items, row)?);
+            }
+            if distinct {
+                let mut seen: HashSet<String> = HashSet::with_capacity(rows.len());
+                rows.retain(|r| seen.insert(term_row_key(r)));
+            }
+            cut(&mut rows, offset, limit);
+            rows
+        }
+    };
+    Ok(SelectResults { variables, rows })
+}
+
+fn cut<T>(rows: &mut Vec<T>, offset: usize, limit: Option<usize>) {
+    if offset > 0 {
+        rows.drain(..offset.min(rows.len()));
+    }
+    if let Some(limit) = limit {
+        rows.truncate(limit);
+    }
+}
+
+// ---- SELECT strategies -----------------------------------------------------------
+
+/// Un-ordered SELECT: stream encoded rows straight into projected rows,
+/// stopping early once `OFFSET + LIMIT` (distinct) rows exist.
+pub(crate) fn select_streaming(
+    ctx: &EncContext<'_>,
+    pattern: &EncPattern,
+    query: &Query,
+    projection: &Projection,
+    distinct: bool,
+    options: &EvalOptions,
+) -> Result<SelectResults, SparqlError> {
+    let proj = compile_projection(projection, ctx.layout);
+    let offset = query.offset.unwrap_or(0);
+    // A LIMIT makes early termination the whole point; without one, the
+    // sharded parallel path can still win on large stores.
+    if query.limit.is_none() && options.threads > 1 {
+        let solutions = collect_solutions(ctx, pattern, options)?;
+        return finalize_rows(ctx, &proj, solutions, distinct, offset, None);
+    }
+    let target = query.limit.map(|limit| offset.saturating_add(limit));
+    let variables = proj.variables().to_vec();
+    let rows = match &proj {
+        EncProjection::Slots { slots, .. } if !distinct => {
+            // No dedup needed: decode straight off the stream, one output
+            // row allocation per solution and nothing else.
+            let mut kept: Vec<Vec<Option<Term>>> = Vec::new();
+            if target != Some(0) {
+                for solution in root_stream(ctx, pattern) {
+                    let row = solution?;
+                    kept.push(
+                        slots
+                            .iter()
+                            .map(|&s| {
+                                let id = row[s as usize];
+                                (id != UNBOUND).then(|| ctx.dict.term(id).clone())
+                            })
+                            .collect(),
+                    );
+                    if Some(kept.len()) == target {
+                        break;
+                    }
+                }
+            }
+            cut(&mut kept, offset, query.limit);
+            kept
+        }
+        EncProjection::Slots { slots, .. } => {
+            let mut kept: Vec<Vec<TermId>> = Vec::new();
+            let mut seen: HashSet<Vec<TermId>> = HashSet::new();
+            if target != Some(0) {
+                for solution in root_stream(ctx, pattern) {
+                    let row = solution?;
+                    let projected = project_slots(slots, &row);
+                    if !seen.insert(projected.clone()) {
+                        continue;
+                    }
+                    kept.push(projected);
+                    if Some(kept.len()) == target {
+                        break;
+                    }
+                }
+            }
+            cut(&mut kept, offset, query.limit);
+            kept.iter().map(|p| decode_projected(ctx.dict, p)).collect()
+        }
+        EncProjection::Mixed { items, .. } => {
+            let mut kept: Vec<Vec<Option<Term>>> = Vec::new();
+            let mut seen: HashSet<String> = HashSet::new();
+            if target != Some(0) {
+                for solution in root_stream(ctx, pattern) {
+                    let row = solution?;
+                    let projected = project_mixed(ctx, items, &row)?;
+                    if distinct && !seen.insert(term_row_key(&projected)) {
+                        continue;
+                    }
+                    kept.push(projected);
+                    if Some(kept.len()) == target {
+                        break;
+                    }
+                }
+            }
+            cut(&mut kept, offset, query.limit);
+            kept
+        }
+    };
+    Ok(SelectResults { variables, rows })
+}
+
+/// Ordered SELECT: `LIMIT` without `DISTINCT` runs a bounded top-k heap over
+/// the encoded stream; everything else materializes and fully sorts.
+pub(crate) fn select_ordered(
+    ctx: &EncContext<'_>,
+    pattern: &EncPattern,
+    query: &Query,
+    projection: &Projection,
+    distinct: bool,
+    options: &EvalOptions,
+) -> Result<SelectResults, SparqlError> {
+    let proj = compile_projection(projection, ctx.layout);
+    let offset = query.offset.unwrap_or(0);
+    let ordered = match query.limit {
+        // DISTINCT dedupes *projected rows* before LIMIT applies, so top-k
+        // over raw solutions could come up short — full sort in that case.
+        Some(limit) if !distinct && options.threads <= 1 => {
+            let k = offset.saturating_add(limit);
+            order_solutions_topk(ctx, &query.order_by, root_stream(ctx, pattern), k)?
+        }
+        _ => {
+            let solutions = collect_solutions(ctx, pattern, options)?;
+            order_encoded_solutions(ctx, &query.order_by, solutions)
+        }
+    };
+    finalize_rows(ctx, &proj, ordered, distinct, offset, query.limit)
+}
+
+// ---- ordering --------------------------------------------------------------------
+
+/// ORDER BY sort keys for one row: expression evaluation with lazy decode.
+fn order_keys(
+    ctx: &EncContext<'_>,
+    order_by: &[OrderCondition],
+    row: &[TermId],
+) -> Vec<Option<Term>> {
+    let scope = EncScope {
+        row,
+        layout: ctx.layout,
+        dict: ctx.dict,
+    };
+    order_by
+        .iter()
+        .map(|cond| {
+            evaluate_scoped(&cond.expr, &scope)
+                .ok()
+                .and_then(EvalValue::into_term)
+        })
+        .collect()
+}
+
+/// Total deterministic order over whole encoded rows: slots walked in
+/// variable-name order, unbound slots skipped, terms compared by their
+/// N-Triples form — byte-for-byte the `compare_bindings` order the
+/// Term-domain engine and the reference oracle use, reproduced without
+/// building a `BTreeMap`.
+pub(crate) fn compare_rows_tiebreak(ctx: &EncContext<'_>, a: &[TermId], b: &[TermId]) -> Ordering {
+    let mut ia = ctx
+        .layout
+        .name_sorted
+        .iter()
+        .filter(|&&slot| a[slot as usize] != UNBOUND);
+    let mut ib = ctx
+        .layout
+        .name_sorted
+        .iter()
+        .filter(|&&slot| b[slot as usize] != UNBOUND);
+    loop {
+        match (ia.next(), ib.next()) {
+            (None, None) => return Ordering::Equal,
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+            (Some(&sa), Some(&sb)) => {
+                let ord = ctx.layout.name_of(sa).cmp(ctx.layout.name_of(sb));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+                let (ida, idb) = (a[sa as usize], b[sb as usize]);
+                if ida != idb {
+                    // Distinct ids are distinct terms with distinct
+                    // N-Triples forms (interning is injective).
+                    let ord = ctx
+                        .dict
+                        .term(ida)
+                        .to_ntriples()
+                        .cmp(&ctx.dict.term(idb).to_ntriples());
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn compare_keyed(
+    ctx: &EncContext<'_>,
+    order_by: &[OrderCondition],
+    ka: &[Option<Term>],
+    ra: &[TermId],
+    kb: &[Option<Term>],
+    rb: &[TermId],
+) -> Ordering {
+    for (i, cond) in order_by.iter().enumerate() {
+        let ord = compare_optional_terms(&ka[i], &kb[i]);
+        let ord = if cond.descending { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    compare_rows_tiebreak(ctx, ra, rb)
+}
+
+/// Sorts materialized encoded solutions under ORDER BY.
+pub(crate) fn order_encoded_solutions(
+    ctx: &EncContext<'_>,
+    order_by: &[OrderCondition],
+    mut solutions: Vec<EncRow>,
+) -> Vec<EncRow> {
+    if order_by.is_empty() {
+        return solutions;
+    }
+    // Precompute sort keys to avoid re-evaluating expressions in the
+    // comparator.
+    let mut keyed: Vec<(Vec<Option<Term>>, EncRow)> = solutions
+        .drain(..)
+        .map(|row| (order_keys(ctx, order_by, &row), row))
+        .collect();
+    keyed.sort_by(|(ka, ra), (kb, rb)| compare_keyed(ctx, order_by, ka, ra, kb, rb));
+    keyed.into_iter().map(|(_, row)| row).collect()
+}
+
+/// Bounded top-k ordering over an encoded stream: a max-heap of size `k`
+/// keeps the k smallest rows (under the ORDER BY comparator) while the
+/// stream is consumed, so `ORDER BY ... LIMIT k` never materializes or
+/// fully sorts the solution set.
+fn order_solutions_topk(
+    ctx: &EncContext<'_>,
+    order_by: &[OrderCondition],
+    stream: EncStream<'_>,
+    k: usize,
+) -> Result<Vec<EncRow>, SparqlError> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    struct Entry<'e> {
+        keys: Vec<Option<Term>>,
+        row: EncRow,
+        ctx: &'e EncContext<'e>,
+        order_by: &'e [OrderCondition],
+    }
+    impl PartialEq for Entry<'_> {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Entry<'_> {}
+    impl PartialOrd for Entry<'_> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry<'_> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            compare_keyed(
+                self.ctx,
+                self.order_by,
+                &self.keys,
+                &self.row,
+                &other.keys,
+                &other.row,
+            )
+        }
+    }
+    let mut heap: BinaryHeap<Entry<'_>> = BinaryHeap::with_capacity(k + 1);
+    for solution in stream {
+        let row = solution?;
+        let entry = Entry {
+            keys: order_keys(ctx, order_by, &row),
+            row,
+            ctx,
+            order_by,
+        };
+        heap.push(entry);
+        if heap.len() > k {
+            heap.pop(); // drop the current worst
+        }
+    }
+    Ok(heap.into_sorted_vec().into_iter().map(|e| e.row).collect())
+}
+
+// ---- grouped evaluation ----------------------------------------------------------
+
+/// Streaming fast path for ungrouped pure-count projections
+/// (`SELECT (COUNT(*) AS ?n) (COUNT(?v) AS ?m) ... WHERE ...`): counts the
+/// encoded stream without materializing a single row. Returns `None` when
+/// the projection has any other shape (DISTINCT counts included — those
+/// need the values).
+pub(crate) fn count_only_streaming(
+    ctx: &EncContext<'_>,
+    pattern: &EncPattern,
+    query: &Query,
+    items: &[ProjectionItem],
+) -> Option<Result<SelectResults, SparqlError>> {
+    if !query.group_by.is_empty() || items.is_empty() {
+        return None;
+    }
+    // (alias, counted slot): `None` counts every solution (COUNT(*)),
+    // `Some(slot)` counts solutions where the variable is bound.
+    let mut counters: Vec<(String, Option<u32>)> = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            ProjectionItem::Expression {
+                expr:
+                    Expression::Aggregate {
+                        func: AggregateFunction::Count,
+                        distinct: false,
+                        arg,
+                    },
+                alias,
+            } => match arg.as_deref() {
+                None => counters.push((alias.clone(), None)),
+                Some(Expression::Variable(v)) => {
+                    counters.push((alias.clone(), Some(ctx.layout.slot_of(v)?)))
+                }
+                Some(_) => return None,
+            },
+            _ => return None,
+        }
+    }
+    let mut counts = vec![0usize; counters.len()];
+    for solution in root_stream(ctx, pattern) {
+        let row = match solution {
+            Ok(row) => row,
+            Err(e) => return Some(Err(e)),
+        };
+        for (i, (_, slot)) in counters.iter().enumerate() {
+            match slot {
+                None => counts[i] += 1,
+                Some(slot) => {
+                    if row[*slot as usize] != UNBOUND {
+                        counts[i] += 1;
+                    }
+                }
+            }
+        }
+    }
+    Some(Ok(SelectResults {
+        variables: counters.iter().map(|(alias, _)| alias.clone()).collect(),
+        rows: vec![counts
+            .iter()
+            .map(|&n| aggregate_values(AggregateFunction::Count, Vec::new(), n))
+            .collect()],
+    }))
+}
+
+/// Evaluates a grouped/aggregated projection over encoded solutions.
+///
+/// Partitioning hashes raw slot-id key vectors (the hot part — one hash of
+/// a few `u32`s per solution instead of a formatted string); group *output*
+/// evaluation decodes into Term-domain bindings, since ORDER BY over
+/// aggregate aliases and the tiny post-aggregation row count live naturally
+/// there.
+pub(crate) fn project_grouped(
+    ctx: &EncContext<'_>,
+    query: &Query,
+    projection: &Projection,
+    solutions: Vec<EncRow>,
+    options: &EvalOptions,
+) -> Result<SelectResults, SparqlError> {
+    let Projection::Items(items) = projection else {
+        return Err(SparqlError::Unsupported(
+            "SELECT * cannot be combined with GROUP BY or aggregates".into(),
+        ));
+    };
+
+    // Group keys address the GROUP BY variables' slots; duplicate names
+    // collapse to one slot occurrence for the legacy ordering.
+    let group_slots: Vec<u32> = query
+        .group_by
+        .iter()
+        .map(|v| {
+            ctx.layout
+                .slot_of(v)
+                .expect("layout covers group variables")
+        })
+        .collect();
+    // (name, slot) pairs in name order — the order a BTreeMap-keyed group
+    // binding would iterate in, used for the deterministic group order.
+    let mut named_slots: Vec<(&str, u32)> = query
+        .group_by
+        .iter()
+        .map(|v| {
+            (
+                v.as_str(),
+                ctx.layout
+                    .slot_of(v)
+                    .expect("layout covers group variables"),
+            )
+        })
+        .collect();
+    named_slots.sort();
+    named_slots.dedup();
+
+    let mut groups = group_solutions(&group_slots, solutions, options);
+    // With no GROUP BY (pure aggregate query) there is exactly one group,
+    // even if it is empty.
+    if query.group_by.is_empty() && groups.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+    // Deterministic group order: exactly the string the Term-domain engine
+    // used to key its BTreeMap of groups ("name=<ntriples>" joined), so the
+    // encoded engine emits grouped rows in the identical order.
+    groups.sort_by_cached_key(|(key, _)| legacy_group_key(ctx, &named_slots, &group_slots, key));
+
+    let variables: Vec<String> = items
+        .iter()
+        .map(|item| match item {
+            ProjectionItem::Variable(v) => v.clone(),
+            ProjectionItem::Expression { alias, .. } => alias.clone(),
+        })
+        .collect();
+
+    // Evaluate each group into an output binding so ORDER BY can see
+    // aliases; groups are independent, so large group sets are sharded
+    // across threads.
+    let group_slots = &group_slots;
+    let grouped_bindings: Vec<Binding> =
+        if options.threads > 1 && groups.len() >= options.threads * 4 {
+            let chunk_size = groups.len().div_ceil(options.threads).max(1);
+            let chunks: Vec<Vec<(Vec<TermId>, Vec<EncRow>)>> =
+                groups.chunks(chunk_size).map(|c| c.to_vec()).collect();
+            let outputs: Vec<Result<Vec<Binding>, SparqlError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|(key, members)| {
+                                    evaluate_group(ctx, query, items, group_slots, key, members)
+                                })
+                                .collect::<Result<Vec<_>, _>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("aggregation worker panicked"))
+                    .collect()
+            });
+            let mut all = Vec::with_capacity(groups.len());
+            for output in outputs {
+                all.extend(output?);
+            }
+            all
+        } else {
+            groups
+                .iter()
+                .map(|(key, members)| evaluate_group(ctx, query, items, group_slots, key, members))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+
+    let ordered = order_solutions(&query.order_by, grouped_bindings)?;
+    let rows = ordered
+        .iter()
+        .map(|b| variables.iter().map(|v| b.get(v).cloned()).collect())
+        .collect();
+    Ok(SelectResults { variables, rows })
+}
+
+/// The string the Term-domain engine used to key its group map:
+/// `"name=<ntriples>"` for every *bound* group variable, name-sorted,
+/// joined with `\u{1}`. `key` holds the group-slot values in GROUP BY
+/// order; each named slot's value is found by its first occurrence there.
+fn legacy_group_key(
+    ctx: &EncContext<'_>,
+    named_slots: &[(&str, u32)],
+    group_slots: &[u32],
+    key: &[TermId],
+) -> String {
+    let mut parts: Vec<String> = Vec::with_capacity(named_slots.len());
+    for &(name, slot) in named_slots {
+        let pos = group_slots
+            .iter()
+            .position(|&s| s == slot)
+            .expect("named slot comes from group_slots");
+        let id = key.get(pos).copied().unwrap_or(UNBOUND);
+        if id != UNBOUND {
+            parts.push(format!("{name}={}", ctx.dict.term(id).to_ntriples()));
+        }
+    }
+    parts.join("\u{1}")
+}
+
+/// Partitions encoded solutions into groups keyed by the GROUP BY slots,
+/// sharding the partitioning across threads for large solution sets. Chunk
+/// maps are merged in chunk order, so member order inside each group
+/// matches the sequential partitioning exactly. Returns groups in
+/// first-encounter order (callers re-sort deterministically).
+fn group_solutions(
+    group_slots: &[u32],
+    solutions: Vec<EncRow>,
+    options: &EvalOptions,
+) -> Vec<(Vec<TermId>, Vec<EncRow>)> {
+    let partition = |chunk: Vec<EncRow>| -> (
+        Vec<Vec<TermId>>,
+        HashMap<Vec<TermId>, usize>,
+        Vec<Vec<EncRow>>,
+    ) {
+        let mut order: Vec<Vec<TermId>> = Vec::new();
+        let mut index: HashMap<Vec<TermId>, usize> = HashMap::new();
+        let mut members: Vec<Vec<EncRow>> = Vec::new();
+        for row in chunk {
+            let key: Vec<TermId> = group_slots.iter().map(|&s| row[s as usize]).collect();
+            match index.entry(key) {
+                Entry::Occupied(e) => members[*e.get()].push(row),
+                Entry::Vacant(v) => {
+                    order.push(v.key().clone());
+                    v.insert(members.len());
+                    members.push(vec![row]);
+                }
+            }
+        }
+        (order, index, members)
+    };
+
+    if options.threads > 1 && solutions.len() >= options.parallel_threshold.max(1) {
+        let chunk_size = solutions.len().div_ceil(options.threads).max(1);
+        let chunks: Vec<Vec<EncRow>> = solutions.chunks(chunk_size).map(|c| c.to_vec()).collect();
+        let partials: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(|| partition(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("grouping worker panicked"))
+                .collect()
+        });
+        let mut order: Vec<Vec<TermId>> = Vec::new();
+        let mut index: HashMap<Vec<TermId>, usize> = HashMap::new();
+        let mut merged: Vec<Vec<EncRow>> = Vec::new();
+        for (chunk_order, _, mut chunk_members) in partials {
+            for (i, key) in chunk_order.into_iter().enumerate() {
+                let rows = std::mem::take(&mut chunk_members[i]);
+                match index.entry(key) {
+                    Entry::Occupied(e) => merged[*e.get()].extend(rows),
+                    Entry::Vacant(v) => {
+                        order.push(v.key().clone());
+                        v.insert(merged.len());
+                        merged.push(rows);
+                    }
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|key| {
+                let idx = index[&key];
+                (key, std::mem::take(&mut merged[idx]))
+            })
+            .collect()
+    } else {
+        let (order, index, mut members) = partition(solutions);
+        order
+            .into_iter()
+            .map(|key| {
+                let idx = index[&key];
+                (key, std::mem::take(&mut members[idx]))
+            })
+            .collect()
+    }
+}
+
+/// Evaluates one group into its Term-domain output binding.
+fn evaluate_group(
+    ctx: &EncContext<'_>,
+    query: &Query,
+    items: &[ProjectionItem],
+    group_slots: &[u32],
+    key: &[TermId],
+    members: &[EncRow],
+) -> Result<Binding, SparqlError> {
+    // A synthetic row binding exactly the group-key slots: non-aggregate
+    // expressions in the projection see the key (and nothing else), the
+    // same visibility the Term-domain key binding used to give them.
+    let mut key_row = ctx.layout.empty_row();
+    for (i, &slot) in group_slots.iter().enumerate() {
+        key_row[slot as usize] = key[i];
+    }
+    let key_scope = EncScope {
+        row: &key_row,
+        layout: ctx.layout,
+        dict: ctx.dict,
+    };
+
+    let mut out = Binding::new();
+    for item in items {
+        match item {
+            ProjectionItem::Variable(v) => {
+                if !query.group_by.contains(v) {
+                    return Err(SparqlError::Evaluation(format!(
+                        "variable ?{v} is projected but is neither grouped nor aggregated"
+                    )));
+                }
+                if let Some(term) = key_scope.term(v) {
+                    out.insert(v.clone(), term);
+                }
+            }
+            ProjectionItem::Expression { expr, alias } => {
+                let value = match expr {
+                    Expression::Aggregate {
+                        func,
+                        distinct,
+                        arg,
+                    } => evaluate_aggregate(ctx, *func, *distinct, arg.as_deref(), members)?,
+                    other => evaluate_scoped(other, &key_scope)?.into_term(),
+                };
+                if let Some(term) = value {
+                    out.insert(alias.clone(), term);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates one aggregate over a group's encoded members.
+///
+/// The common `agg(?var)` shape stays in the id domain until the arithmetic:
+/// `COUNT` never decodes at all, and `COUNT(DISTINCT ?v)` dedups raw ids.
+fn evaluate_aggregate(
+    ctx: &EncContext<'_>,
+    func: AggregateFunction,
+    distinct: bool,
+    arg: Option<&Expression>,
+    members: &[EncRow],
+) -> Result<Option<Term>, SparqlError> {
+    // Fast path: plain variable argument.
+    if let Some(Expression::Variable(name)) = arg {
+        if let Some(slot) = ctx.layout.slot_of(name) {
+            let mut ids: Vec<TermId> = members
+                .iter()
+                .map(|row| row[slot as usize])
+                .filter(|&id| id != UNBOUND)
+                .collect();
+            if distinct {
+                let mut seen: HashSet<TermId> = HashSet::with_capacity(ids.len());
+                ids.retain(|&id| seen.insert(id));
+            }
+            if func == AggregateFunction::Count {
+                return Ok(aggregate_values(func, Vec::new(), ids.len()));
+            }
+            let values: Vec<Term> = ids.iter().map(|&id| ctx.dict.term(id).clone()).collect();
+            let count = values.len();
+            return Ok(aggregate_values(func, values, count));
+        }
+    }
+    // General path: evaluate the argument expression per member (or count
+    // every member for COUNT(*)).
+    let mut values: Vec<Term> = Vec::new();
+    for member in members {
+        match arg {
+            None => values.push(Term::Literal(hbold_rdf_model::Literal::integer(1))),
+            Some(expr) => {
+                let scope = EncScope {
+                    row: member,
+                    layout: ctx.layout,
+                    dict: ctx.dict,
+                };
+                if let Some(t) = evaluate_scoped(expr, &scope)?.into_term() {
+                    values.push(t);
+                }
+            }
+        }
+    }
+    if distinct {
+        let mut seen: HashSet<String> = HashSet::with_capacity(values.len());
+        values.retain(|t| seen.insert(t.to_ntriples()));
+    }
+    let count = values.len();
+    Ok(aggregate_values(func, values, count))
+}

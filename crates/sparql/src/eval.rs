@@ -1,11 +1,20 @@
 //! Query evaluation over a [`TripleStore`].
 //!
-//! The engine is a *streaming operator pipeline*: graph patterns compile to
-//! lazy iterators over solution bindings, pulled one at a time. BGP joins
-//! stream index scans, `FILTER` filters lazily, `OPTIONAL` probes the right
-//! side per left solution, `ASK` stops at the first solution, and un-ordered
-//! `LIMIT` queries stop as soon as enough rows exist. `ORDER BY ... LIMIT k`
-//! keeps a bounded top-k heap instead of sorting the full solution set.
+//! The engine is a *streaming operator pipeline* running in the
+//! **dictionary-encoded domain** (see [`crate::encoded`]): at evaluation
+//! start the query's variables are compiled to a dense slot layout, and
+//! every operator — BGP index-scan joins, `FILTER`, `OPTIONAL`, `UNION`,
+//! `DISTINCT`, `GROUP BY` partitioning, the `ORDER BY` tie-break — carries
+//! and compares fixed-width rows of raw `TermId`s. The dictionary is
+//! consulted lazily, only where lexical values are genuinely needed
+//! (expression evaluation, sort keys, aggregate arithmetic), and full
+//! [`Term`] rows materialize exactly once, at the [`QueryResults`]
+//! boundary.
+//!
+//! Streaming behaviours carry over from the Term-domain engine this
+//! replaced: `ASK` stops at the first solution, un-ordered `LIMIT` queries
+//! stop as soon as enough rows exist, and `ORDER BY ... LIMIT k` keeps a
+//! bounded top-k heap instead of sorting the full solution set.
 //!
 //! On top of the streaming core, [`evaluate_with`] can shard work across
 //! threads (`std::thread::scope`): the most selective triple pattern is
@@ -15,23 +24,17 @@
 //! chunk order, so parallel evaluation returns exactly the sequential answer.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
-use std::sync::Arc;
+use std::collections::BTreeSet;
 
-use hbold_rdf_model::{Term, TriplePattern};
+use hbold_rdf_model::Term;
 use hbold_triple_store::TripleStore;
 
 use crate::ast::*;
+use crate::encoded::{compile_pattern, term_row_key, EncContext, SlotLayout};
 use crate::error::SparqlError;
-use crate::expr::{
-    evaluate_expression, filter_passes, number_term, numeric_value, Binding, EvalValue,
-};
+use crate::expr::{evaluate_expression, number_term, numeric_value, Binding, EvalValue};
 use crate::plan::parse_cached;
-use crate::results::{QueryResults, SelectResults};
-
-/// A lazy stream of solutions; errors are carried in-band and surface at the
-/// first pull that encounters them.
-type SolutionStream<'a> = Box<dyn Iterator<Item = Result<Binding, SparqlError>> + 'a>;
+use crate::results::QueryResults;
 
 /// Tuning knobs for [`evaluate_with`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,10 +150,22 @@ pub fn evaluate_with(
     query: &Query,
     options: &EvalOptions,
 ) -> Result<QueryResults, SparqlError> {
+    // Compile the query to the encoded domain: variables get dense slots,
+    // constant terms resolve to dictionary ids (a constant the store never
+    // interned compiles to a scan that is statically empty).
+    let layout = SlotLayout::of_query(query);
+    let dict = store.dictionary();
+    let ctx = EncContext {
+        store,
+        dict,
+        layout: &layout,
+    };
+    let pattern = compile_pattern(&query.pattern, &layout, dict);
+
     match &query.form {
         QueryForm::Ask => {
             // Streaming pays off immediately: the first solution settles it.
-            let mut stream = root_stream(store, &query.pattern);
+            let mut stream = crate::encoded::root_stream(&ctx, &pattern);
             match stream.next() {
                 None => Ok(QueryResults::Ask(false)),
                 Some(Ok(_)) => Ok(QueryResults::Ask(true)),
@@ -162,647 +177,90 @@ pub fn evaluate_with(
             projection,
         } => {
             let grouped = query.uses_aggregates() || !query.group_by.is_empty();
-            let mut results = if grouped {
-                let solutions = collect_solutions(store, query, options)?;
-                project_grouped(query, projection, solutions, options)?
+            let results = if grouped {
+                // Pure-count projections stream without materializing rows.
+                let fast = match projection {
+                    Projection::Items(items) => {
+                        crate::encoded::count_only_streaming(&ctx, &pattern, query, items)
+                    }
+                    Projection::Star => None,
+                };
+                let mut results = match fast {
+                    Some(results) => results?,
+                    None => {
+                        let solutions = crate::encoded::collect_solutions(&ctx, &pattern, options)?;
+                        crate::encoded::project_grouped(
+                            &ctx, query, projection, solutions, options,
+                        )?
+                    }
+                };
+                // Post-aggregation row counts are small; DISTINCT/OFFSET/
+                // LIMIT run in the Term domain here.
+                if *distinct {
+                    let mut seen: BTreeSet<String> = BTreeSet::new();
+                    results.rows.retain(|row| seen.insert(term_row_key(row)));
+                }
+                let offset = query.offset.unwrap_or(0);
+                if offset > 0 {
+                    results.rows.drain(..offset.min(results.rows.len()));
+                }
+                if let Some(limit) = query.limit {
+                    results.rows.truncate(limit);
+                }
+                results
             } else if query.order_by.is_empty() {
-                select_streaming(store, query, projection, *distinct, options)?
+                crate::encoded::select_streaming(
+                    &ctx, &pattern, query, projection, *distinct, options,
+                )?
             } else {
-                select_ordered(store, query, projection, *distinct, options)?
+                crate::encoded::select_ordered(
+                    &ctx, &pattern, query, projection, *distinct, options,
+                )?
             };
-
-            if *distinct {
-                let mut seen: BTreeSet<String> = BTreeSet::new();
-                results.rows.retain(|row| seen.insert(row_key(row)));
-            }
-            let offset = query.offset.unwrap_or(0);
-            if offset > 0 {
-                results.rows.drain(..offset.min(results.rows.len()));
-            }
-            if let Some(limit) = query.limit {
-                results.rows.truncate(limit);
-            }
             Ok(QueryResults::Select(results))
         }
     }
 }
 
-fn row_key(row: &[Option<Term>]) -> String {
-    row.iter()
-        .map(|t| t.as_ref().map(|t| t.to_ntriples()).unwrap_or_default())
-        .collect::<Vec<_>>()
-        .join("\u{1}")
-}
+// ---- Term-domain semantic primitives ---------------------------------------------
+//
+// Everything below operates on decoded terms and `Binding` maps. These are
+// the *semantic* primitives shared with the naive reference evaluator (the
+// differential oracle) and with grouped output evaluation, which works on
+// the small post-aggregation row set; the hot encoded operators in
+// `crate::encoded` reproduce their exact orderings in the id domain.
 
-// ---- SELECT evaluation strategies ------------------------------------------------
-
-/// Un-ordered SELECT: stream solutions straight into projected rows, stopping
-/// early once `OFFSET + LIMIT` (distinct) rows exist.
-fn select_streaming(
-    store: &TripleStore,
-    query: &Query,
-    projection: &Projection,
-    distinct: bool,
-    options: &EvalOptions,
-) -> Result<SelectResults, SparqlError> {
-    // A LIMIT makes early termination the whole point; without one, the
-    // sharded parallel path can still win on large stores.
-    if query.limit.is_none() && options.threads > 1 {
-        let solutions = collect_solutions(store, query, options)?;
-        return project_plain(&query.pattern, projection, solutions);
-    }
-    let variables = projection_variables(&query.pattern, projection);
-    let target = query
-        .limit
-        .map(|limit| query.offset.unwrap_or(0).saturating_add(limit));
-    let mut rows: Vec<Vec<Option<Term>>> = Vec::new();
-    let mut seen: BTreeSet<String> = BTreeSet::new();
-    if target != Some(0) {
-        for solution in root_stream(store, &query.pattern) {
-            let binding = solution?;
-            let row = project_row(projection, &variables, &binding)?;
-            if distinct && !seen.insert(row_key(&row)) {
-                continue;
-            }
-            rows.push(row);
-            if Some(rows.len()) == target {
-                break;
+/// Final arithmetic step of an aggregate: folds the collected (already
+/// DISTINCT-filtered) argument values. `count` is the number of collected
+/// values — passed separately so `COUNT` fast paths can skip materializing
+/// `values` entirely.
+pub(crate) fn aggregate_values(
+    func: AggregateFunction,
+    values: Vec<Term>,
+    count: usize,
+) -> Option<Term> {
+    match func {
+        AggregateFunction::Count => Some(number_term(count as f64)),
+        AggregateFunction::Sum => {
+            let sum: f64 = values.iter().filter_map(numeric_value).sum();
+            Some(number_term(sum))
+        }
+        AggregateFunction::Avg => {
+            let nums: Vec<f64> = values.iter().filter_map(numeric_value).collect();
+            if nums.is_empty() {
+                Some(number_term(0.0))
+            } else {
+                Some(number_term(nums.iter().sum::<f64>() / nums.len() as f64))
             }
         }
-    }
-    Ok(SelectResults { variables, rows })
-}
-
-/// Ordered SELECT: `LIMIT` without `DISTINCT` runs a bounded top-k heap over
-/// the solution stream; everything else materializes and fully sorts.
-fn select_ordered(
-    store: &TripleStore,
-    query: &Query,
-    projection: &Projection,
-    distinct: bool,
-    options: &EvalOptions,
-) -> Result<SelectResults, SparqlError> {
-    let ordered = match query.limit {
-        // DISTINCT dedupes *projected rows* before LIMIT applies, so top-k
-        // over raw solutions could come up short — full sort in that case.
-        Some(limit) if !distinct && options.threads <= 1 => {
-            let k = query.offset.unwrap_or(0).saturating_add(limit);
-            order_solutions_topk(&query.order_by, root_stream(store, &query.pattern), k)?
-        }
-        _ => {
-            let solutions = collect_solutions(store, query, options)?;
-            order_solutions(&query.order_by, solutions)?
-        }
-    };
-    project_plain(&query.pattern, projection, ordered)
-}
-
-// ---- graph pattern streaming -----------------------------------------------------
-
-/// The stream of all solutions of `pattern` starting from the empty binding.
-fn root_stream<'a>(store: &'a TripleStore, pattern: &'a GraphPattern) -> SolutionStream<'a> {
-    stream_pattern(
-        store,
-        pattern,
-        &BTreeSet::new(),
-        Box::new(std::iter::once(Ok(Binding::new()))),
-    )
-}
-
-/// Compiles `pattern` over `input` into a lazy solution stream.
-///
-/// `bound` is the set of variables statically known to be bound by the time
-/// `input`'s solutions arrive; it only steers join ordering, never
-/// correctness (an unbound variable in a specific solution simply scans
-/// wider).
-fn stream_pattern<'a>(
-    store: &'a TripleStore,
-    pattern: &'a GraphPattern,
-    bound: &BTreeSet<String>,
-    input: SolutionStream<'a>,
-) -> SolutionStream<'a> {
-    match pattern {
-        GraphPattern::Bgp(triple_patterns) => stream_bgp(store, triple_patterns, bound, input),
-        GraphPattern::Join(parts) => {
-            let mut stream = input;
-            let mut vars = bound.clone();
-            for part in parts {
-                stream = stream_pattern(store, part, &vars, stream);
-                vars.extend(part.variables());
-            }
-            stream
-        }
-        GraphPattern::Optional { left, right } => {
-            let left_stream = stream_pattern(store, left, bound, input);
-            let mut right_bound = bound.clone();
-            right_bound.extend(left.variables());
-            Box::new(left_stream.flat_map(move |solution| -> SolutionStream<'a> {
-                match solution {
-                    Err(e) => Box::new(std::iter::once(Err(e))),
-                    Ok(binding) => {
-                        let seed: SolutionStream<'a> =
-                            Box::new(std::iter::once(Ok(binding.clone())));
-                        let mut extended = stream_pattern(store, right, &right_bound, seed);
-                        match extended.next() {
-                            // Left join: an unmatched left solution survives.
-                            None => Box::new(std::iter::once(Ok(binding))),
-                            Some(first) => Box::new(std::iter::once(first).chain(extended)),
-                        }
-                    }
-                }
-            }))
-        }
-        GraphPattern::Union(a, b) => {
-            // Stream the input once, feeding each solution through branch a
-            // then branch b. The branch order per input solution differs from
-            // a fully materialized `eval(a) ++ eval(b)` but yields the same
-            // multiset, and sequencing is only observable under ORDER BY —
-            // where the deterministic sort makes both forms identical.
-            let bound = bound.clone();
-            Box::new(input.flat_map(move |solution| -> SolutionStream<'a> {
-                match solution {
-                    Err(e) => Box::new(std::iter::once(Err(e))),
-                    Ok(binding) => {
-                        let left = stream_pattern(
-                            store,
-                            a,
-                            &bound,
-                            Box::new(std::iter::once(Ok(binding.clone()))),
-                        );
-                        let right = stream_pattern(
-                            store,
-                            b,
-                            &bound,
-                            Box::new(std::iter::once(Ok(binding))),
-                        );
-                        Box::new(left.chain(right))
-                    }
-                }
-            }))
-        }
-        GraphPattern::Filter { inner, condition } => {
-            let stream = stream_pattern(store, inner, bound, input);
-            Box::new(stream.filter_map(move |solution| match solution {
-                Ok(binding) => match filter_passes(condition, &binding) {
-                    Ok(true) => Some(Ok(binding)),
-                    Ok(false) => None,
-                    Err(e) => Some(Err(e)),
-                },
-                Err(e) => Some(Err(e)),
-            }))
-        }
+        AggregateFunction::Min => values.iter().min_by(|a, b| compare_terms(a, b)).cloned(),
+        AggregateFunction::Max => values.iter().max_by(|a, b| compare_terms(a, b)).cloned(),
     }
 }
 
-/// Streams a basic graph pattern: triple patterns are greedily ordered once
-/// (most selective first, given the statically bound variables), then each
-/// becomes a nested index-scan stage of the pipeline.
-fn stream_bgp<'a>(
-    store: &'a TripleStore,
-    patterns: &'a [TriplePatternAst],
-    bound: &BTreeSet<String>,
-    input: SolutionStream<'a>,
-) -> SolutionStream<'a> {
-    let mut stream = input;
-    for idx in bgp_join_order(patterns, bound) {
-        let tp = &patterns[idx];
-        stream = Box::new(stream.flat_map(move |solution| -> SolutionStream<'a> {
-            match solution {
-                Err(e) => Box::new(std::iter::once(Err(e))),
-                Ok(binding) => Box::new(scan_triple_pattern(store, tp, binding)),
-            }
-        }));
-    }
-    stream
-}
-
-/// Greedy join order: repeatedly pick the remaining pattern with the most
-/// concrete/bound positions. Returns indexes into `patterns`.
-fn bgp_join_order(patterns: &[TriplePatternAst], bound: &BTreeSet<String>) -> Vec<usize> {
-    let mut bound = bound.clone();
-    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
-    let mut order = Vec::with_capacity(patterns.len());
-    while !remaining.is_empty() {
-        let (pos, &idx) = remaining
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &idx)| pattern_selectivity(&patterns[idx], &bound))
-            .expect("remaining is non-empty");
-        remaining.remove(pos);
-        order.push(idx);
-        for node in [
-            &patterns[idx].subject,
-            &patterns[idx].predicate,
-            &patterns[idx].object,
-        ] {
-            if let TermOrVariable::Variable(v) = node {
-                bound.insert(v.clone());
-            }
-        }
-    }
-    order
-}
-
-fn pattern_selectivity(tp: &TriplePatternAst, bound: &BTreeSet<String>) -> i64 {
-    let mut score = 0i64;
-    let mut has_unbound = false;
-    let mut has_bound_var = false;
-    for node in [&tp.subject, &tp.predicate, &tp.object] {
-        match node {
-            TermOrVariable::Term(_) => score += 2,
-            TermOrVariable::Variable(v) if bound.contains(v) => {
-                // A variable the current solutions already bind acts as a
-                // concrete term, and additionally keeps the join connected.
-                score += 3;
-                has_bound_var = true;
-            }
-            TermOrVariable::Variable(_) => has_unbound = true,
-        }
-    }
-    // A pattern with unbound variables but no link to the bound ones would
-    // produce a cartesian product with the current solutions; defer it until
-    // everything connected has been joined.
-    if !bound.is_empty() && has_unbound && !has_bound_var {
-        score -= 100;
-    }
-    score
-}
-
-/// Lazily extends one binding through one triple pattern via an index scan.
-fn scan_triple_pattern<'a>(
-    store: &'a TripleStore,
-    tp: &'a TriplePatternAst,
-    binding: Binding,
-) -> impl Iterator<Item = Result<Binding, SparqlError>> + 'a {
-    let resolve = |node: &TermOrVariable| -> Option<Term> {
-        match node {
-            TermOrVariable::Term(t) => Some(t.clone()),
-            TermOrVariable::Variable(v) => binding.get(v).cloned(),
-        }
-    };
-    let pattern = TriplePattern {
-        subject: resolve(&tp.subject),
-        predicate: resolve(&tp.predicate),
-        object: resolve(&tp.object),
-    };
-    store.matching_iter(&pattern).filter_map(move |triple| {
-        let mut extended = binding.clone();
-        for (node, term) in [
-            (&tp.subject, &triple.subject),
-            (&tp.predicate, &triple.predicate),
-            (&tp.object, &triple.object),
-        ] {
-            if let TermOrVariable::Variable(v) = node {
-                match extended.get(v) {
-                    Some(existing) if existing != term => return None,
-                    Some(_) => {}
-                    None => {
-                        extended.insert(v.clone(), term.clone());
-                    }
-                }
-            }
-        }
-        Some(Ok(extended))
-    })
-}
-
-// ---- parallel execution ----------------------------------------------------------
-
-/// Materializes every solution of the query pattern, sharding across worker
-/// threads when the options and the pattern shape allow it.
-fn collect_solutions(
-    store: &TripleStore,
-    query: &Query,
-    options: &EvalOptions,
-) -> Result<Vec<Binding>, SparqlError> {
-    if options.threads > 1 {
-        if let Some((first, rest)) = split_first_scan(&query.pattern) {
-            let seeds: Vec<Binding> =
-                scan_triple_pattern(store, &first, Binding::new()).collect::<Result<_, _>>()?;
-            let mut bound = BTreeSet::new();
-            for node in [&first.subject, &first.predicate, &first.object] {
-                if let TermOrVariable::Variable(v) = node {
-                    bound.insert(v.clone());
-                }
-            }
-            if seeds.len() >= options.parallel_threshold.max(1) {
-                return eval_rest_parallel(store, &rest, &bound, seeds, options.threads);
-            }
-            return stream_pattern(store, &rest, &bound, Box::new(seeds.into_iter().map(Ok)))
-                .collect();
-        }
-    }
-    root_stream(store, &query.pattern).collect()
-}
-
-/// Splits the plan into "scan the most selective triple pattern" plus "the
-/// rest of the pipeline", when the pattern shape permits (BGPs, joins and
-/// filters — the shapes extraction queries use). `OPTIONAL`/`UNION` roots
-/// return `None` and run sequentially.
-fn split_first_scan(pattern: &GraphPattern) -> Option<(TriplePatternAst, GraphPattern)> {
-    match pattern {
-        GraphPattern::Bgp(tps) if !tps.is_empty() => {
-            let first_idx = bgp_join_order(tps, &BTreeSet::new())[0];
-            let rest: Vec<TriplePatternAst> = tps
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != first_idx)
-                .map(|(_, tp)| tp.clone())
-                .collect();
-            Some((tps[first_idx].clone(), GraphPattern::Bgp(rest)))
-        }
-        GraphPattern::Join(parts) if !parts.is_empty() => {
-            let (first, rest_head) = split_first_scan(&parts[0])?;
-            let mut rest = vec![rest_head];
-            rest.extend(parts[1..].iter().cloned());
-            Some((first, GraphPattern::Join(rest)))
-        }
-        GraphPattern::Filter { inner, condition } => {
-            let (first, rest_inner) = split_first_scan(inner)?;
-            Some((
-                first,
-                GraphPattern::Filter {
-                    inner: Box::new(rest_inner),
-                    condition: condition.clone(),
-                },
-            ))
-        }
-        _ => None,
-    }
-}
-
-/// Runs the residual pipeline over seed chunks on scoped threads and
-/// concatenates results in chunk order, so the output is identical to the
-/// sequential evaluation.
-fn eval_rest_parallel(
-    store: &TripleStore,
-    rest: &GraphPattern,
-    bound: &BTreeSet<String>,
-    seeds: Vec<Binding>,
-    threads: usize,
-) -> Result<Vec<Binding>, SparqlError> {
-    let chunk_size = seeds.len().div_ceil(threads).max(1);
-    let chunks: Vec<Vec<Binding>> = seeds
-        .chunks(chunk_size)
-        .map(|chunk| chunk.to_vec())
-        .collect();
-    let outputs: Vec<Result<Vec<Binding>, SparqlError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    stream_pattern(store, rest, bound, Box::new(chunk.into_iter().map(Ok)))
-                        .collect::<Result<Vec<_>, _>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluation worker panicked"))
-            .collect()
-    });
-    let mut solutions = Vec::new();
-    for output in outputs {
-        solutions.extend(output?);
-    }
-    Ok(solutions)
-}
-
-// ---- projection ------------------------------------------------------------------
-
-fn projection_variables(pattern: &GraphPattern, projection: &Projection) -> Vec<String> {
-    match projection {
-        Projection::Star => pattern.variables(),
-        Projection::Items(items) => items
-            .iter()
-            .map(|item| match item {
-                ProjectionItem::Variable(v) => v.clone(),
-                ProjectionItem::Expression { alias, .. } => alias.clone(),
-            })
-            .collect(),
-    }
-}
-
-fn project_row(
-    projection: &Projection,
-    variables: &[String],
-    binding: &Binding,
-) -> Result<Vec<Option<Term>>, SparqlError> {
-    Ok(match projection {
-        Projection::Star => variables.iter().map(|v| binding.get(v).cloned()).collect(),
-        Projection::Items(items) => {
-            let mut row = Vec::with_capacity(items.len());
-            for item in items {
-                match item {
-                    ProjectionItem::Variable(v) => row.push(binding.get(v).cloned()),
-                    ProjectionItem::Expression { expr, .. } => {
-                        row.push(evaluate_expression(expr, binding)?.into_term())
-                    }
-                }
-            }
-            row
-        }
-    })
-}
-
-fn project_plain(
-    pattern: &GraphPattern,
-    projection: &Projection,
-    solutions: Vec<Binding>,
-) -> Result<SelectResults, SparqlError> {
-    let variables = projection_variables(pattern, projection);
-    let mut rows = Vec::with_capacity(solutions.len());
-    for binding in &solutions {
-        rows.push(project_row(projection, &variables, binding)?);
-    }
-    Ok(SelectResults { variables, rows })
-}
-
-fn project_grouped(
-    query: &Query,
-    projection: &Projection,
-    solutions: Vec<Binding>,
-    options: &EvalOptions,
-) -> Result<SelectResults, SparqlError> {
-    let Projection::Items(items) = projection else {
-        return Err(SparqlError::Unsupported(
-            "SELECT * cannot be combined with GROUP BY or aggregates".into(),
-        ));
-    };
-
-    let mut groups = group_solutions(query, solutions, options);
-    // With no GROUP BY (pure aggregate query) there is exactly one group,
-    // even if it is empty.
-    if query.group_by.is_empty() && groups.is_empty() {
-        groups.insert(String::new(), (Binding::new(), Vec::new()));
-    }
-
-    let variables: Vec<String> = items
-        .iter()
-        .map(|item| match item {
-            ProjectionItem::Variable(v) => v.clone(),
-            ProjectionItem::Expression { alias, .. } => alias.clone(),
-        })
-        .collect();
-
-    // Evaluate each group into an output binding so ORDER BY can see aliases;
-    // groups are independent, so large group sets are sharded across threads.
-    let group_list: Vec<(Binding, Vec<Binding>)> = groups.into_values().collect();
-    let grouped_bindings = if options.threads > 1 && group_list.len() >= options.threads * 4 {
-        let chunk_size = group_list.len().div_ceil(options.threads).max(1);
-        let chunks: Vec<Vec<(Binding, Vec<Binding>)>> = group_list
-            .chunks(chunk_size)
-            .map(|chunk| chunk.to_vec())
-            .collect();
-        let outputs: Vec<Result<Vec<Binding>, SparqlError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|(key, members)| evaluate_group(query, items, key, members))
-                            .collect::<Result<Vec<_>, _>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("aggregation worker panicked"))
-                .collect()
-        });
-        let mut all = Vec::with_capacity(group_list.len());
-        for output in outputs {
-            all.extend(output?);
-        }
-        all
-    } else {
-        group_list
-            .iter()
-            .map(|(key, members)| evaluate_group(query, items, key, members))
-            .collect::<Result<Vec<_>, _>>()?
-    };
-
-    let ordered = order_solutions(&query.order_by, grouped_bindings)?;
-    let rows = ordered
-        .iter()
-        .map(|b| variables.iter().map(|v| b.get(v).cloned()).collect())
-        .collect();
-    Ok(SelectResults { variables, rows })
-}
-
-/// Partitions solutions into groups keyed by the GROUP BY variables,
-/// sharding the partitioning across threads for large solution sets. Chunk
-/// maps are merged in chunk order, so member order inside each group matches
-/// the sequential partitioning exactly.
-fn group_solutions(
-    query: &Query,
-    solutions: Vec<Binding>,
-    options: &EvalOptions,
-) -> BTreeMap<String, (Binding, Vec<Binding>)> {
-    let partition = |chunk: Vec<Binding>| -> BTreeMap<String, (Binding, Vec<Binding>)> {
-        let mut groups: BTreeMap<String, (Binding, Vec<Binding>)> = BTreeMap::new();
-        for binding in chunk {
-            let mut key_binding = Binding::new();
-            for var in &query.group_by {
-                if let Some(term) = binding.get(var) {
-                    key_binding.insert(var.clone(), term.clone());
-                }
-            }
-            let key = key_binding
-                .iter()
-                .map(|(k, v)| format!("{k}={}", v.to_ntriples()))
-                .collect::<Vec<_>>()
-                .join("\u{1}");
-            groups
-                .entry(key)
-                .or_insert_with(|| (key_binding, Vec::new()))
-                .1
-                .push(binding);
-        }
-        groups
-    };
-
-    if options.threads > 1 && solutions.len() >= options.parallel_threshold.max(1) {
-        let chunk_size = solutions.len().div_ceil(options.threads).max(1);
-        let chunks: Vec<Vec<Binding>> = solutions
-            .chunks(chunk_size)
-            .map(|chunk| chunk.to_vec())
-            .collect();
-        let partials: Vec<BTreeMap<String, (Binding, Vec<Binding>)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| scope.spawn(|| partition(chunk)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("grouping worker panicked"))
-                    .collect()
-            });
-        let mut merged: BTreeMap<String, (Binding, Vec<Binding>)> = BTreeMap::new();
-        for partial in partials {
-            for (key, (key_binding, members)) in partial {
-                merged
-                    .entry(key)
-                    .or_insert_with(|| (key_binding, Vec::new()))
-                    .1
-                    .extend(members);
-            }
-        }
-        merged
-    } else {
-        partition(solutions)
-    }
-}
-
-/// Evaluates one group into its output binding.
-fn evaluate_group(
-    query: &Query,
-    items: &[ProjectionItem],
-    key_binding: &Binding,
-    members: &[Binding],
-) -> Result<Binding, SparqlError> {
-    let mut out = Binding::new();
-    for item in items {
-        match item {
-            ProjectionItem::Variable(v) => {
-                if !query.group_by.contains(v) {
-                    return Err(SparqlError::Evaluation(format!(
-                        "variable ?{v} is projected but is neither grouped nor aggregated"
-                    )));
-                }
-                if let Some(term) = key_binding.get(v) {
-                    out.insert(v.clone(), term.clone());
-                }
-            }
-            ProjectionItem::Expression { expr, alias } => {
-                if let Some(term) = evaluate_projection_expression(expr, key_binding, members)? {
-                    out.insert(alias.clone(), term);
-                }
-            }
-        }
-    }
-    Ok(out)
-}
-
-/// Evaluates a projection expression in a grouped query: aggregates see the
-/// group members, everything else sees the group key binding.
-fn evaluate_projection_expression(
-    expr: &Expression,
-    key_binding: &Binding,
-    members: &[Binding],
-) -> Result<Option<Term>, SparqlError> {
-    match expr {
-        Expression::Aggregate {
-            func,
-            distinct,
-            arg,
-        } => evaluate_aggregate(*func, *distinct, arg.as_deref(), members),
-        other => Ok(evaluate_expression(other, key_binding)?.into_term()),
-    }
-}
-
+/// Evaluates one aggregate over Term-domain group members (the reference
+/// evaluator's path; the engine's encoded equivalent lives in
+/// `crate::encoded`).
 pub(crate) fn evaluate_aggregate(
     func: AggregateFunction,
     distinct: bool,
@@ -826,26 +284,9 @@ pub(crate) fn evaluate_aggregate(
         let mut seen = BTreeSet::new();
         values.retain(|t| seen.insert(t.to_ntriples()));
     }
-    Ok(match func {
-        AggregateFunction::Count => Some(number_term(values.len() as f64)),
-        AggregateFunction::Sum => {
-            let sum: f64 = values.iter().filter_map(numeric_value).sum();
-            Some(number_term(sum))
-        }
-        AggregateFunction::Avg => {
-            let nums: Vec<f64> = values.iter().filter_map(numeric_value).collect();
-            if nums.is_empty() {
-                Some(number_term(0.0))
-            } else {
-                Some(number_term(nums.iter().sum::<f64>() / nums.len() as f64))
-            }
-        }
-        AggregateFunction::Min => values.iter().min_by(|a, b| compare_terms(a, b)).cloned(),
-        AggregateFunction::Max => values.iter().max_by(|a, b| compare_terms(a, b)).cloned(),
-    })
+    let count = values.len();
+    Ok(aggregate_values(func, values, count))
 }
-
-// ---- ordering --------------------------------------------------------------------
 
 fn order_keys(order_by: &[OrderCondition], binding: &Binding) -> Vec<Option<Term>> {
     order_by
@@ -878,6 +319,8 @@ fn compare_keyed(
     compare_bindings(ba, bb)
 }
 
+/// Sorts Term-domain solutions under ORDER BY (grouped output rows and the
+/// reference evaluator).
 pub(crate) fn order_solutions(
     order_by: &[OrderCondition],
     mut solutions: Vec<Binding>,
@@ -894,67 +337,7 @@ pub(crate) fn order_solutions(
     Ok(keyed.into_iter().map(|(_, b)| b).collect())
 }
 
-/// Bounded top-k ordering over a solution stream: a max-heap of size `k`
-/// keeps the k smallest solutions (under the ORDER BY comparator) while the
-/// stream is consumed, so `ORDER BY ... LIMIT k` never materializes or fully
-/// sorts the solution set.
-fn order_solutions_topk(
-    order_by: &[OrderCondition],
-    stream: SolutionStream<'_>,
-    k: usize,
-) -> Result<Vec<Binding>, SparqlError> {
-    if k == 0 {
-        return Ok(Vec::new());
-    }
-    struct Entry {
-        keys: Vec<Option<Term>>,
-        binding: Binding,
-        order_by: Arc<[OrderCondition]>,
-    }
-    impl PartialEq for Entry {
-        fn eq(&self, other: &Self) -> bool {
-            self.cmp(other) == Ordering::Equal
-        }
-    }
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            compare_keyed(
-                &self.order_by,
-                &self.keys,
-                &self.binding,
-                &other.keys,
-                &other.binding,
-            )
-        }
-    }
-    let order_by: Arc<[OrderCondition]> = order_by.to_vec().into();
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
-    for solution in stream {
-        let binding = solution?;
-        let entry = Entry {
-            keys: order_keys(&order_by, &binding),
-            binding,
-            order_by: order_by.clone(),
-        };
-        heap.push(entry);
-        if heap.len() > k {
-            heap.pop(); // drop the current worst
-        }
-    }
-    Ok(heap
-        .into_sorted_vec()
-        .into_iter()
-        .map(|e| e.binding)
-        .collect())
-}
-
-fn compare_optional_terms(a: &Option<Term>, b: &Option<Term>) -> Ordering {
+pub(crate) fn compare_optional_terms(a: &Option<Term>, b: &Option<Term>) -> Ordering {
     match (a, b) {
         (None, None) => Ordering::Equal,
         (None, Some(_)) => Ordering::Less,
@@ -976,7 +359,8 @@ pub(crate) fn compare_terms(a: &Term, b: &Term) -> Ordering {
 }
 
 /// Total deterministic order over whole bindings (variable names, then term
-/// N-Triples forms); the shared ORDER BY tie-break.
+/// N-Triples forms); the shared ORDER BY tie-break. The encoded engine's
+/// `compare_rows_tiebreak` reproduces this order over slot rows.
 pub(crate) fn compare_bindings(a: &Binding, b: &Binding) -> Ordering {
     let mut ia = a.iter();
     let mut ib = b.iter();
@@ -1000,6 +384,7 @@ pub(crate) fn compare_bindings(a: &Binding, b: &Binding) -> Ordering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::results::SelectResults;
     use hbold_rdf_model::vocab::{foaf, rdf, xsd};
     use hbold_rdf_model::{Iri, Literal, Triple};
 
@@ -1331,5 +716,53 @@ mod tests {
         assert_eq!(r.len(), 4);
         let r = select(&store, "SELECT ?s WHERE { ?s ?p ?o } OFFSET 1000");
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn unmentioned_projection_variable_is_unbound() {
+        // ?ghost never appears in the pattern: it gets a slot past the
+        // pattern variables and stays unbound in every row.
+        let store = sample_store();
+        let r = select(
+            &store,
+            "SELECT ?s ?ghost WHERE { ?s a <http://e.org/Person> }",
+        );
+        assert_eq!(r.variables, vec!["s", "ghost"]);
+        assert_eq!(r.len(), 3);
+        assert!(r.rows.iter().all(|row| row[1].is_none()));
+    }
+
+    #[test]
+    fn constant_absent_from_store_matches_nothing() {
+        // The constant compiles to `Const(None)`: a statically-empty scan,
+        // decided without touching an index.
+        let store = sample_store();
+        let r = select(&store, "SELECT ?s WHERE { ?s a <http://e.org/Ghost> }");
+        assert!(r.is_empty());
+        let r = select(
+            &store,
+            "SELECT ?s ?name WHERE { ?s a <http://e.org/Person> OPTIONAL { ?s <http://e.org/Ghost> ?name } }",
+        );
+        assert_eq!(r.len(), 3, "OPTIONAL over an empty scan keeps left rows");
+        assert!(r.rows.iter().all(|row| row[1].is_none()));
+    }
+
+    #[test]
+    fn repeated_variable_in_one_pattern_constrains() {
+        let mut store = TripleStore::new();
+        let p = iri("http://e.org/rel");
+        store.insert(&Triple::new(
+            iri("http://e.org/a"),
+            p.clone(),
+            iri("http://e.org/a"),
+        ));
+        store.insert(&Triple::new(
+            iri("http://e.org/a"),
+            p.clone(),
+            iri("http://e.org/b"),
+        ));
+        let r = select(&store, "SELECT ?x WHERE { ?x <http://e.org/rel> ?x }");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.value(0, "x").unwrap().label(), "a");
     }
 }

@@ -13,7 +13,42 @@ use crate::regex::Regex;
 ///
 /// A `BTreeMap` keeps iteration deterministic, which keeps query results and
 /// therefore every experiment in the benchmark harness reproducible.
+///
+/// The streaming engine itself no longer carries `Binding`s between
+/// operators — it runs on dictionary-encoded slot rows (see
+/// [`crate::encoded`]) and decodes lazily through a [`Scope`] — but the
+/// naive reference evaluator, grouped output bindings and several public
+/// APIs still speak this type.
 pub type Binding = BTreeMap<String, Term>;
+
+/// A source of variable bindings for expression evaluation.
+///
+/// Expressions are evaluated identically over a Term-domain [`Binding`] and
+/// over the engine's dictionary-encoded slot rows; this trait is the seam.
+/// `term` returns a decoded (owned) term — for encoded rows that is a lazy
+/// dictionary decode performed only when an expression actually touches the
+/// variable, which is the "decode only where lexical values are genuinely
+/// needed" half of encoded execution.
+pub trait Scope {
+    /// The term bound to `name`, or `None` when unbound.
+    fn term(&self, name: &str) -> Option<Term>;
+
+    /// Whether `name` is bound (the `BOUND(?v)` test); unlike [`Scope::term`]
+    /// this never needs to decode.
+    fn is_bound(&self, name: &str) -> bool {
+        self.term(name).is_some()
+    }
+}
+
+impl Scope for Binding {
+    fn term(&self, name: &str) -> Option<Term> {
+        self.get(name).cloned()
+    }
+
+    fn is_bound(&self, name: &str) -> bool {
+        self.contains_key(name)
+    }
+}
 
 /// The value an expression evaluates to.
 ///
@@ -57,15 +92,21 @@ impl EvalValue {
 /// Aggregates are *not* handled here (they are evaluated per group by the
 /// engine); encountering one is reported as an error.
 pub fn evaluate_expression(expr: &Expression, binding: &Binding) -> Result<EvalValue, SparqlError> {
+    evaluate_scoped(expr, binding)
+}
+
+/// Evaluates `expr` against any [`Scope`] — the shared core behind both the
+/// Term-domain [`evaluate_expression`] and the encoded engine's slot rows.
+pub fn evaluate_scoped(expr: &Expression, scope: &impl Scope) -> Result<EvalValue, SparqlError> {
     Ok(match expr {
-        Expression::Variable(name) => match binding.get(name) {
-            Some(term) => EvalValue::Term(term.clone()),
+        Expression::Variable(name) => match scope.term(name) {
+            Some(term) => EvalValue::Term(term),
             None => EvalValue::Error,
         },
         Expression::Constant(term) => EvalValue::Term(term.clone()),
         Expression::Or(a, b) => {
-            let left = evaluate_expression(a, binding)?.effective_boolean();
-            let right = evaluate_expression(b, binding)?.effective_boolean();
+            let left = evaluate_scoped(a, scope)?.effective_boolean();
+            let right = evaluate_scoped(b, scope)?.effective_boolean();
             match (left, right) {
                 (Some(true), _) | (_, Some(true)) => EvalValue::Bool(true),
                 (Some(false), Some(false)) => EvalValue::Bool(false),
@@ -73,24 +114,24 @@ pub fn evaluate_expression(expr: &Expression, binding: &Binding) -> Result<EvalV
             }
         }
         Expression::And(a, b) => {
-            let left = evaluate_expression(a, binding)?.effective_boolean();
-            let right = evaluate_expression(b, binding)?.effective_boolean();
+            let left = evaluate_scoped(a, scope)?.effective_boolean();
+            let right = evaluate_scoped(b, scope)?.effective_boolean();
             match (left, right) {
                 (Some(false), _) | (_, Some(false)) => EvalValue::Bool(false),
                 (Some(true), Some(true)) => EvalValue::Bool(true),
                 _ => EvalValue::Error,
             }
         }
-        Expression::Not(inner) => match evaluate_expression(inner, binding)?.effective_boolean() {
+        Expression::Not(inner) => match evaluate_scoped(inner, scope)?.effective_boolean() {
             Some(b) => EvalValue::Bool(!b),
             None => EvalValue::Error,
         },
         Expression::Comparison { op, left, right } => {
-            let l = evaluate_expression(left, binding)?;
-            let r = evaluate_expression(right, binding)?;
+            let l = evaluate_scoped(left, scope)?;
+            let r = evaluate_scoped(right, scope)?;
             compare(*op, &l, &r)
         }
-        Expression::Function { func, args } => evaluate_function(*func, args, binding)?,
+        Expression::Function { func, args } => evaluate_function(*func, args, scope)?,
         Expression::Aggregate { .. } => {
             return Err(SparqlError::Evaluation(
                 "aggregate used outside of a grouped projection".into(),
@@ -101,7 +142,12 @@ pub fn evaluate_expression(expr: &Expression, binding: &Binding) -> Result<EvalV
 
 /// Evaluates a filter condition: errors and non-boolean outcomes are `false`.
 pub fn filter_passes(expr: &Expression, binding: &Binding) -> Result<bool, SparqlError> {
-    Ok(evaluate_expression(expr, binding)?
+    filter_passes_scoped(expr, binding)
+}
+
+/// [`filter_passes`] over any [`Scope`].
+pub fn filter_passes_scoped(expr: &Expression, scope: &impl Scope) -> Result<bool, SparqlError> {
+    Ok(evaluate_scoped(expr, scope)?
         .effective_boolean()
         .unwrap_or(false))
 }
@@ -152,16 +198,16 @@ fn apply_ordering(op: ComparisonOp, ord: std::cmp::Ordering) -> EvalValue {
 fn evaluate_function(
     func: Function,
     args: &[Expression],
-    binding: &Binding,
+    scope: &impl Scope,
 ) -> Result<EvalValue, SparqlError> {
     let arg = |i: usize| -> Result<EvalValue, SparqlError> {
         args.get(i)
-            .map(|e| evaluate_expression(e, binding))
+            .map(|e| evaluate_scoped(e, scope))
             .unwrap_or(Ok(EvalValue::Error))
     };
     Ok(match func {
         Function::Bound => match args.first() {
-            Some(Expression::Variable(name)) => EvalValue::Bool(binding.contains_key(name)),
+            Some(Expression::Variable(name)) => EvalValue::Bool(scope.is_bound(name)),
             _ => {
                 return Err(SparqlError::Evaluation(
                     "BOUND expects a single variable argument".into(),

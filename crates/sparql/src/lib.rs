@@ -16,6 +16,9 @@
 //!   joins, `FILTER`, `OPTIONAL`, `UNION`, `GROUP BY` + aggregates,
 //!   `ORDER BY` with top-k short-circuit, `DISTINCT`, `LIMIT`/`OFFSET`),
 //!   with optional sharded parallel execution via [`EvalOptions`],
+//! * [`encoded`] — the dictionary-encoded execution domain the operators
+//!   run in: variable→slot layouts ([`SlotLayout`]) and fixed-width
+//!   `TermId` rows, decoded only at the results boundary,
 //! * [`plan`] — the normalized-query plan cache,
 //! * [`mod@reference`] — a deliberately naive evaluator used as a differential
 //!   test oracle against the streaming engine,
@@ -49,6 +52,7 @@
 #![deny(missing_docs)]
 
 pub mod ast;
+pub mod encoded;
 pub mod error;
 pub mod eval;
 pub mod expr;
@@ -60,6 +64,7 @@ pub mod reference;
 pub mod regex;
 pub mod results;
 
+pub use encoded::SlotLayout;
 pub use error::SparqlError;
 pub use eval::{evaluate, evaluate_with, execute_query, execute_query_with, EvalOptions};
 pub use parser::parse_query;

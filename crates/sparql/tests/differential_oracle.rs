@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 
 use hbold_rdf_model::{Iri, Literal, Term, Triple};
 use hbold_sparql::ast::*;
-use hbold_sparql::{evaluate, evaluate_with, reference, EvalOptions, QueryResults};
+use hbold_sparql::{evaluate, evaluate_with, reference, EvalOptions, QueryResults, SlotLayout};
 use hbold_triple_store::TripleStore;
 
 const VARS: [&str; 4] = ["a", "b", "c", "d"];
@@ -343,6 +343,11 @@ proptest! {
     fn streaming_engine_matches_naive_reference(seed in 0u64..1_000_000_000_000) {
         run_case(seed)
     }
+
+    #[test]
+    fn slot_compilation_resolves_every_variable(seed in 0u64..1_000_000_000_000) {
+        run_slot_case(seed)
+    }
 }
 
 /// A handful of pinned regression seeds that exercised every operator during
@@ -351,5 +356,156 @@ proptest! {
 fn pinned_seeds_stay_green() {
     for seed in [0, 1, 7, 42, 1234, 99999, 424242, 31337421] {
         run_case(seed);
+        run_slot_case(seed);
+    }
+}
+
+// ---- variable→slot compilation ---------------------------------------------------
+
+fn expression_variables(expr: &Expression, out: &mut Vec<String>) {
+    match expr {
+        Expression::Variable(v) => out.push(v.clone()),
+        Expression::Constant(_) => {}
+        Expression::Or(a, b) | Expression::And(a, b) => {
+            expression_variables(a, out);
+            expression_variables(b, out);
+        }
+        Expression::Not(inner) => expression_variables(inner, out),
+        Expression::Comparison { left, right, .. } => {
+            expression_variables(left, out);
+            expression_variables(right, out);
+        }
+        Expression::Function { args, .. } => {
+            for a in args {
+                expression_variables(a, out);
+            }
+        }
+        Expression::Aggregate { arg, .. } => {
+            if let Some(arg) = arg {
+                expression_variables(arg, out);
+            }
+        }
+    }
+}
+
+/// Property: the compiled [`SlotLayout`] of a random query (with nested
+/// OPTIONAL/UNION scopes) is a bijection between slots and names, puts the
+/// pattern variables first in first-appearance order, and resolves every
+/// projected, grouped and ordered variable to the slot carrying its name.
+fn run_slot_case(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _store = random_store(&mut rng); // keep rng in lockstep with run_case
+    let query = random_query(&mut rng);
+    let layout = SlotLayout::of_query(&query);
+
+    // Pattern variables occupy the leading slots in first-appearance order.
+    let pattern_vars = query.pattern.variables();
+    assert_eq!(layout.pattern_vars(), pattern_vars.len(), "query {query:?}");
+    for (i, v) in pattern_vars.iter().enumerate() {
+        assert_eq!(layout.slot_of(v), Some(i as u32), "pattern var ?{v}");
+        assert_eq!(layout.name_of(i as u32), v, "slot {i}");
+    }
+
+    // Every variable the query projects, groups or orders by resolves, and
+    // the slot it resolves to carries exactly that name back.
+    let mut referenced: Vec<String> = Vec::new();
+    if let QueryForm::Select {
+        projection: Projection::Items(items),
+        ..
+    } = &query.form
+    {
+        for item in items {
+            match item {
+                ProjectionItem::Variable(v) => referenced.push(v.clone()),
+                ProjectionItem::Expression { expr, .. } => {
+                    expression_variables(expr, &mut referenced)
+                }
+            }
+        }
+    }
+    referenced.extend(query.group_by.iter().cloned());
+    for cond in &query.order_by {
+        expression_variables(&cond.expr, &mut referenced);
+    }
+    for v in &referenced {
+        let slot = layout
+            .slot_of(v)
+            .unwrap_or_else(|| panic!("?{v} has no slot in {query:?}"));
+        assert_eq!(layout.name_of(slot), v, "slot round-trip for ?{v}");
+    }
+
+    // The layout is a dense bijection: every slot's name maps back to it.
+    let mut seen = std::collections::HashSet::new();
+    for slot in 0..layout.len() as u32 {
+        let name = layout.name_of(slot);
+        assert!(seen.insert(name.to_string()), "duplicate slot name {name}");
+        assert_eq!(layout.slot_of(name), Some(slot));
+    }
+    assert_eq!(layout.names().len(), layout.len());
+}
+
+/// Hand-built deep OPTIONAL/UNION nesting: one variable appearing in every
+/// scope must compile to a single shared slot, and execution through that
+/// layout must agree with the reference evaluator.
+#[test]
+fn nested_optional_union_scopes_share_slots() {
+    let tp = |s: &str, p: usize, o: &str| TriplePatternAst {
+        subject: TermOrVariable::Variable(s.into()),
+        predicate: TermOrVariable::Term(iri(&format!("http://o.example/p{p}"))),
+        object: TermOrVariable::Variable(o.into()),
+    };
+    // { ?a p0 ?b OPTIONAL { { ?a p1 ?c } UNION { ?b p2 ?c OPTIONAL { ?c p3 ?d } } } }
+    let pattern = GraphPattern::Optional {
+        left: Box::new(GraphPattern::Bgp(vec![tp("a", 0, "b")])),
+        right: Box::new(GraphPattern::Union(
+            Box::new(GraphPattern::Bgp(vec![tp("a", 1, "c")])),
+            Box::new(GraphPattern::Optional {
+                left: Box::new(GraphPattern::Bgp(vec![tp("b", 2, "c")])),
+                right: Box::new(GraphPattern::Bgp(vec![tp("c", 3, "d")])),
+            }),
+        )),
+    };
+    let query = Query {
+        form: QueryForm::Select {
+            distinct: false,
+            projection: Projection::Items(vec![
+                ProjectionItem::Variable("a".into()),
+                ProjectionItem::Variable("c".into()),
+                ProjectionItem::Variable("d".into()),
+            ]),
+        },
+        pattern,
+        group_by: vec![],
+        order_by: vec![
+            OrderCondition {
+                expr: Expression::Variable("c".into()),
+                descending: false,
+            },
+            OrderCondition {
+                expr: Expression::Variable("a".into()),
+                descending: true,
+            },
+        ],
+        limit: None,
+        offset: None,
+    };
+    let layout = SlotLayout::of_query(&query);
+    // ?c appears in both UNION branches and the inner OPTIONAL: one slot.
+    assert_eq!(layout.len(), 4, "a, b, c, d — each exactly once");
+    for v in ["a", "b", "c", "d"] {
+        assert_eq!(layout.name_of(layout.slot_of(v).unwrap()), v);
+    }
+
+    // And the engines agree on a store exercising all scopes.
+    let mut rng = StdRng::seed_from_u64(20260726);
+    for _ in 0..16 {
+        let store = random_store(&mut rng);
+        let naive = reference::evaluate(&store, &query).unwrap();
+        let sequential = evaluate(&store, &query).unwrap();
+        let mut options = EvalOptions::with_threads(3);
+        options.parallel_threshold = 1;
+        let parallel = evaluate_with(&store, &query, &options).unwrap();
+        assert_equivalent(&query, &naive, &sequential, "sequential");
+        assert_equivalent(&query, &naive, &parallel, "parallel");
     }
 }

@@ -1,11 +1,37 @@
 //! Term interning: every distinct RDF term gets a dense `u32` identifier.
 
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use hbold_rdf_model::Term;
 
 /// Identifier of an interned term. Dense, starting at 0, unique per store.
 pub type TermId = u32;
+
+/// Ids sharing one 64-bit term hash. Collisions are vanishingly rare, so the
+/// one-id case avoids a heap allocation.
+#[derive(Debug, Clone)]
+enum Bucket {
+    One(TermId),
+    Many(Vec<TermId>),
+}
+
+impl Bucket {
+    fn find(&self, by_id: &[Term], term: &Term) -> Option<TermId> {
+        match self {
+            Bucket::One(id) => (by_id[*id as usize] == *term).then_some(*id),
+            Bucket::Many(ids) => ids.iter().copied().find(|&id| by_id[id as usize] == *term),
+        }
+    }
+
+    fn push(&mut self, id: TermId) {
+        match self {
+            Bucket::One(first) => *self = Bucket::Many(vec![*first, id]),
+            Bucket::Many(ids) => ids.push(id),
+        }
+    }
+}
 
 /// A bidirectional mapping between [`Term`]s and [`TermId`]s.
 ///
@@ -13,10 +39,23 @@ pub type TermId = u32;
 /// triple mentioning them is deleted. For H-BOLD's workload (load a dataset,
 /// query it many times) this is the right trade-off, and it keeps all
 /// existing identifiers stable.
+///
+/// The reverse map is keyed by the term's 64-bit hash rather than by the
+/// term itself: each `intern` miss therefore pays exactly one hash
+/// computation, one table probe and one `Term` clone (into the id-ordered
+/// `by_id` table), instead of the two lookups and two clones a
+/// `HashMap<Term, TermId>` would cost — and the table stores 12 bytes per
+/// entry instead of a second copy of every term.
 #[derive(Debug, Clone, Default)]
 pub struct TermDictionary {
-    by_term: HashMap<Term, TermId>,
+    by_hash: HashMap<u64, Bucket>,
     by_id: Vec<Term>,
+}
+
+fn hash_term(term: &Term) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    term.hash(&mut hasher);
+    hasher.finish()
 }
 
 impl TermDictionary {
@@ -35,34 +74,58 @@ impl TermDictionary {
         self.by_id.is_empty()
     }
 
+    /// Pre-reserves capacity for at least `additional` further terms; bulk
+    /// load paths call this once up front instead of growing both tables
+    /// incrementally.
+    pub fn reserve(&mut self, additional: usize) {
+        self.by_id.reserve(additional);
+        self.by_hash.reserve(additional);
+    }
+
     /// Rebuilds a dictionary from its id-ordered term list (the snapshot
     /// term table): entry `i` of `terms` becomes the term with id `i`.
     pub(crate) fn from_terms(terms: Vec<Term>) -> Self {
-        let by_term = terms
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.clone(), i as TermId))
-            .collect();
+        let mut by_hash: HashMap<u64, Bucket> = HashMap::with_capacity(terms.len());
+        for (i, term) in terms.iter().enumerate() {
+            match by_hash.entry(hash_term(term)) {
+                Entry::Occupied(mut e) => e.get_mut().push(i as TermId),
+                Entry::Vacant(v) => {
+                    v.insert(Bucket::One(i as TermId));
+                }
+            }
+        }
         TermDictionary {
-            by_term,
+            by_hash,
             by_id: terms,
         }
     }
 
     /// Interns `term`, returning its identifier. Idempotent.
+    ///
+    /// A hit costs one hash + probe and no clone; a miss additionally clones
+    /// the term once, into the id table.
     pub fn intern(&mut self, term: &Term) -> TermId {
-        if let Some(&id) = self.by_term.get(term) {
-            return id;
-        }
         let id = self.by_id.len() as TermId;
+        match self.by_hash.entry(hash_term(term)) {
+            Entry::Occupied(mut e) => {
+                if let Some(existing) = e.get().find(&self.by_id, term) {
+                    return existing;
+                }
+                e.get_mut().push(id);
+            }
+            Entry::Vacant(v) => {
+                v.insert(Bucket::One(id));
+            }
+        }
         self.by_id.push(term.clone());
-        self.by_term.insert(term.clone(), id);
         id
     }
 
     /// Looks up the identifier of an already-interned term.
     pub fn id_of(&self, term: &Term) -> Option<TermId> {
-        self.by_term.get(term).copied()
+        self.by_hash
+            .get(&hash_term(term))
+            .and_then(|bucket| bucket.find(&self.by_id, term))
     }
 
     /// Returns the term with the given identifier.
@@ -134,5 +197,41 @@ mod tests {
         }
         let collected: Vec<&Term> = d.iter().map(|(_, t)| t).collect();
         assert_eq!(collected, terms.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_terms_rebuild_matches_interning() {
+        let terms: Vec<Term> = (0..20)
+            .map(|i| Iri::new(format!("http://e.org/{i}")).unwrap().into())
+            .collect();
+        let rebuilt = TermDictionary::from_terms(terms.clone());
+        assert_eq!(rebuilt.len(), 20);
+        for (i, t) in terms.iter().enumerate() {
+            assert_eq!(rebuilt.id_of(t), Some(i as TermId));
+            assert_eq!(rebuilt.term(i as TermId), t);
+        }
+    }
+
+    #[test]
+    fn reserve_does_not_disturb_contents() {
+        let mut d = TermDictionary::new();
+        let t: Term = Literal::string("x").into();
+        let id = d.intern(&t);
+        d.reserve(10_000);
+        assert_eq!(d.id_of(&t), Some(id));
+        assert_eq!(d.len(), 1);
+    }
+
+    /// Forced hash-bucket collisions must chain, not clobber. We can't force
+    /// a `DefaultHasher` collision deterministically, so this exercises the
+    /// bucket type directly.
+    #[test]
+    fn bucket_chains_on_collision() {
+        let terms: Vec<Term> = vec![Literal::string("a").into(), Literal::string("b").into()];
+        let mut bucket = Bucket::One(0);
+        bucket.push(1);
+        assert_eq!(bucket.find(&terms, &terms[0]), Some(0));
+        assert_eq!(bucket.find(&terms, &terms[1]), Some(1));
+        assert_eq!(bucket.find(&terms, &Literal::string("c").into()), None);
     }
 }

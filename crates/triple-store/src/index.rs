@@ -1,8 +1,31 @@
 //! Positional triple indexes over encoded triples.
 //!
-//! An index stores `(a, b, c)` keys in a `BTreeSet`, where `(a, b, c)` is a
-//! permutation of `(subject, predicate, object)` identifiers. A lookup that
-//! binds a prefix of the permutation becomes a range scan.
+//! An index stores `(a, b, c)` keys, where `(a, b, c)` is a permutation of
+//! `(subject, predicate, object)` identifiers. A lookup that binds a prefix
+//! of the permutation becomes a range scan.
+//!
+//! # Hybrid layout: sorted flat vector + B-tree delta
+//!
+//! The hot read path of the whole system is the SPARQL engine range-scanning
+//! these indexes, and H-BOLD's workload is load-mostly: datasets arrive
+//! through [`PositionalIndex::insert_batch`] (bulk loads, snapshot restores)
+//! and are then queried many times. The index therefore keeps its keys in
+//! two tiers:
+//!
+//! * **`flat`** — a sorted, deduplicated `Vec` of keys. Prefix lookups are
+//!   two binary searches (`partition_point`) followed by a walk over
+//!   *contiguous memory*: no pointer chasing, perfect cache locality, and
+//!   the compiler can see through the iteration. Every `insert_batch`
+//!   merges into this tier (folding any outstanding delta in), so a
+//!   bulk-loaded store scans at flat-vector speed.
+//! * **`delta`** — a `BTreeSet` absorbing incremental single-key churn
+//!   ([`PositionalIndex::insert`]), plus a `dead` tombstone set for keys
+//!   removed from `flat`. Scans merge the two sorted sources on the fly;
+//!   when both churn sets are empty (the common case) the merge collapses
+//!   to a bare slice iterator.
+//!
+//! Invariants maintained by every mutation: `flat` is sorted and unique,
+//! `delta` is disjoint from `flat`, and `dead ⊆ flat`.
 
 use std::collections::BTreeSet;
 use std::ops::Bound;
@@ -20,10 +43,17 @@ pub enum IndexOrder {
     Osp,
 }
 
+type Key = (TermId, TermId, TermId);
+
 /// A single sorted index over one permutation of triple positions.
 #[derive(Debug, Clone, Default)]
 pub struct PositionalIndex {
-    keys: BTreeSet<(TermId, TermId, TermId)>,
+    /// Sorted, deduplicated bulk tier — see the module docs.
+    flat: Vec<Key>,
+    /// Incremental inserts not yet merged into `flat` (disjoint from it).
+    delta: BTreeSet<Key>,
+    /// Keys logically removed from `flat` (tombstones).
+    dead: BTreeSet<Key>,
 }
 
 impl PositionalIndex {
@@ -32,61 +62,250 @@ impl PositionalIndex {
         PositionalIndex::default()
     }
 
+    /// Builds an index directly from an already-sorted, deduplicated key
+    /// vector (the snapshot-restore fast path). Debug builds verify the
+    /// precondition.
+    pub(crate) fn from_sorted(keys: Vec<Key>) -> Self {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be sorted+unique"
+        );
+        PositionalIndex {
+            flat: keys,
+            delta: BTreeSet::new(),
+            dead: BTreeSet::new(),
+        }
+    }
+
     /// Number of keys in the index.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.flat.len() + self.delta.len() - self.dead.len()
     }
 
     /// Returns `true` if the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.len() == 0
+    }
+
+    fn flat_contains(&self, key: &Key) -> bool {
+        self.flat.binary_search(key).is_ok()
     }
 
     /// Inserts a key; returns `true` if it was new.
-    pub fn insert(&mut self, key: (TermId, TermId, TermId)) -> bool {
-        self.keys.insert(key)
+    ///
+    /// Single-key inserts land in the B-tree delta tier; bulk loads should
+    /// prefer [`PositionalIndex::insert_batch`], which merges into the flat
+    /// tier and keeps scans on the contiguous fast path.
+    pub fn insert(&mut self, key: Key) -> bool {
+        if self.flat_contains(&key) {
+            // Present in the bulk tier: new only if it was tombstoned.
+            self.dead.remove(&key)
+        } else {
+            self.delta.insert(key)
+        }
     }
 
-    /// Bulk-inserts a batch of keys. Duplicates (within the batch or with
-    /// existing keys) are silently deduplicated by the underlying set; the
-    /// batch form saves per-key call overhead on large loads.
-    pub fn insert_batch(&mut self, keys: impl IntoIterator<Item = (TermId, TermId, TermId)>) {
-        self.keys.extend(keys);
+    /// Bulk-inserts a batch of keys by merging them (and any outstanding
+    /// delta-tier keys) into the sorted flat tier. Duplicates — within the
+    /// batch or with existing keys — are deduplicated.
+    ///
+    /// Cost is `O((n + m) + m log m)` for an index of `n` keys and a batch
+    /// of `m`: right for bulk loads and snapshot restores, deliberately not
+    /// for one-key-at-a-time churn (use [`PositionalIndex::insert`]).
+    pub fn insert_batch(&mut self, keys: impl IntoIterator<Item = Key>) {
+        let mut incoming: Vec<Key> = keys.into_iter().collect();
+        // Fold the delta tier into the rebuild so the result is 100% flat.
+        incoming.extend(self.delta.iter().copied());
+        if incoming.is_empty() && self.dead.is_empty() {
+            return;
+        }
+        self.delta.clear();
+        incoming.sort_unstable();
+        incoming.dedup();
+
+        let old = std::mem::take(&mut self.flat);
+        let mut merged = Vec::with_capacity(old.len() + incoming.len());
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() && j < incoming.len() {
+            match old[i].cmp(&incoming[j]) {
+                std::cmp::Ordering::Less => {
+                    if !self.dead.contains(&old[i]) {
+                        merged.push(old[i]);
+                    }
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(incoming[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    // Re-inserting a tombstoned key resurrects it.
+                    merged.push(old[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        while i < old.len() {
+            if !self.dead.contains(&old[i]) {
+                merged.push(old[i]);
+            }
+            i += 1;
+        }
+        merged.extend_from_slice(&incoming[j..]);
+        self.dead.clear();
+        self.flat = merged;
     }
 
     /// Removes a key; returns `true` if it was present.
-    pub fn remove(&mut self, key: &(TermId, TermId, TermId)) -> bool {
-        self.keys.remove(key)
+    pub fn remove(&mut self, key: &Key) -> bool {
+        if self.delta.remove(key) {
+            return true;
+        }
+        if self.flat_contains(key) {
+            self.dead.insert(*key)
+        } else {
+            false
+        }
     }
 
     /// Returns `true` if the key is present.
-    pub fn contains(&self, key: &(TermId, TermId, TermId)) -> bool {
-        self.keys.contains(key)
+    pub fn contains(&self, key: &Key) -> bool {
+        if self.delta.contains(key) {
+            return true;
+        }
+        self.flat_contains(key) && !self.dead.contains(key)
     }
 
-    /// Scans keys whose first component equals `first`.
-    pub fn scan_prefix1(&self, first: TermId) -> impl Iterator<Item = &(TermId, TermId, TermId)> {
-        self.keys.range((
-            Bound::Included((first, 0, 0)),
-            Bound::Included((first, TermId::MAX, TermId::MAX)),
-        ))
+    /// The contiguous `flat` subrange covering `[lo, hi]` (inclusive).
+    fn flat_range(&self, lo: Key, hi: Key) -> &[Key] {
+        let start = self.flat.partition_point(|k| *k < lo);
+        let end = self.flat.partition_point(|k| *k <= hi);
+        &self.flat[start..end]
     }
 
-    /// Scans keys whose first two components equal `(first, second)`.
-    pub fn scan_prefix2(
-        &self,
-        first: TermId,
-        second: TermId,
-    ) -> impl Iterator<Item = &(TermId, TermId, TermId)> {
-        self.keys.range((
-            Bound::Included((first, second, 0)),
-            Bound::Included((first, second, TermId::MAX)),
-        ))
+    fn scan_range(&self, lo: Key, hi: Key) -> PrefixScan<'_> {
+        PrefixScan::new(
+            self.flat_range(lo, hi),
+            self.delta.range((Bound::Included(lo), Bound::Included(hi))),
+            if self.dead.is_empty() {
+                None
+            } else {
+                Some(&self.dead)
+            },
+        )
     }
 
-    /// Scans every key.
-    pub fn scan_all(&self) -> impl Iterator<Item = &(TermId, TermId, TermId)> {
-        self.keys.iter()
+    /// Scans keys whose first component equals `first`, in ascending order.
+    pub fn scan_prefix1(&self, first: TermId) -> PrefixScan<'_> {
+        self.scan_range((first, 0, 0), (first, TermId::MAX, TermId::MAX))
+    }
+
+    /// Scans keys whose first two components equal `(first, second)`, in
+    /// ascending order.
+    pub fn scan_prefix2(&self, first: TermId, second: TermId) -> PrefixScan<'_> {
+        self.scan_range((first, second, 0), (first, second, TermId::MAX))
+    }
+
+    /// Scans the (at most one) key equal to `(first, second, third)` — the
+    /// fully-bound pattern shape, expressed as a scan so every pattern
+    /// lookup returns one iterator type.
+    pub fn scan_prefix3(&self, first: TermId, second: TermId, third: TermId) -> PrefixScan<'_> {
+        self.scan_range((first, second, third), (first, second, third))
+    }
+
+    /// Scans every key in ascending order.
+    pub fn scan_all(&self) -> PrefixScan<'_> {
+        PrefixScan::new(
+            &self.flat,
+            self.delta.range(..),
+            if self.dead.is_empty() {
+                None
+            } else {
+                Some(&self.dead)
+            },
+        )
+    }
+}
+
+/// Ordered scan over a prefix range: a two-way merge of the flat tier's
+/// contiguous subslice and the delta tier's B-tree range, with tombstoned
+/// flat keys skipped. When the index has no incremental churn this is a
+/// plain slice walk.
+pub struct PrefixScan<'a> {
+    flat: std::slice::Iter<'a, Key>,
+    flat_next: Option<&'a Key>,
+    delta: std::collections::btree_set::Range<'a, Key>,
+    delta_next: Option<&'a Key>,
+    dead: Option<&'a BTreeSet<Key>>,
+}
+
+impl<'a> PrefixScan<'a> {
+    fn new(
+        flat: &'a [Key],
+        mut delta: std::collections::btree_set::Range<'a, Key>,
+        dead: Option<&'a BTreeSet<Key>>,
+    ) -> Self {
+        let mut flat_iter = flat.iter();
+        let flat_next = Self::pull(&mut flat_iter, dead);
+        let delta_next = delta.next();
+        PrefixScan {
+            flat: flat_iter,
+            flat_next,
+            delta,
+            delta_next,
+            dead,
+        }
+    }
+
+    fn pull(
+        flat: &mut std::slice::Iter<'a, Key>,
+        dead: Option<&'a BTreeSet<Key>>,
+    ) -> Option<&'a Key> {
+        match dead {
+            None => flat.next(),
+            Some(dead) => flat.find(|k| !dead.contains(k)),
+        }
+    }
+}
+
+impl<'a> Iterator for PrefixScan<'a> {
+    type Item = &'a Key;
+
+    fn next(&mut self) -> Option<&'a Key> {
+        match (self.flat_next, self.delta_next) {
+            (None, None) => None,
+            (Some(f), None) => {
+                self.flat_next = Self::pull(&mut self.flat, self.dead);
+                Some(f)
+            }
+            (None, Some(d)) => {
+                self.delta_next = self.delta.next();
+                Some(d)
+            }
+            (Some(f), Some(d)) => {
+                // The tiers are disjoint by invariant; `<=` is defensive.
+                if f <= d {
+                    self.flat_next = Self::pull(&mut self.flat, self.dead);
+                    Some(f)
+                } else {
+                    self.delta_next = self.delta.next();
+                    Some(d)
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // The delta range's length is not known in O(1); give collectors the
+        // flat tier's guaranteed minimum and leave the upper bound open.
+        let pending =
+            usize::from(self.flat_next.is_some()) + usize::from(self.delta_next.is_some());
+        if self.dead.is_none() {
+            (self.flat.len() + pending, None)
+        } else {
+            (0, None)
+        }
     }
 }
 
@@ -106,6 +325,20 @@ mod tests {
         idx
     }
 
+    fn filled_flat() -> PositionalIndex {
+        let mut keys = Vec::new();
+        for s in 0..3 {
+            for p in 0..3 {
+                for o in 0..3 {
+                    keys.push((s, p, o));
+                }
+            }
+        }
+        let mut idx = PositionalIndex::new();
+        idx.insert_batch(keys);
+        idx
+    }
+
     #[test]
     fn insert_remove_contains() {
         let mut idx = PositionalIndex::new();
@@ -119,14 +352,15 @@ mod tests {
 
     #[test]
     fn prefix_scans_cover_exactly_the_prefix() {
-        let idx = filled();
-        assert_eq!(idx.len(), 27);
-        assert_eq!(idx.scan_prefix1(1).count(), 9);
-        assert_eq!(idx.scan_prefix2(1, 2).count(), 3);
-        assert_eq!(idx.scan_all().count(), 27);
-        assert!(idx.scan_prefix1(1).all(|k| k.0 == 1));
-        assert!(idx.scan_prefix2(1, 2).all(|k| k.0 == 1 && k.1 == 2));
-        assert_eq!(idx.scan_prefix1(7).count(), 0);
+        for idx in [filled(), filled_flat()] {
+            assert_eq!(idx.len(), 27);
+            assert_eq!(idx.scan_prefix1(1).count(), 9);
+            assert_eq!(idx.scan_prefix2(1, 2).count(), 3);
+            assert_eq!(idx.scan_all().count(), 27);
+            assert!(idx.scan_prefix1(1).all(|k| k.0 == 1));
+            assert!(idx.scan_prefix2(1, 2).all(|k| k.0 == 1 && k.1 == 2));
+            assert_eq!(idx.scan_prefix1(7).count(), 0);
+        }
     }
 
     #[test]
@@ -137,5 +371,78 @@ mod tests {
         idx.insert((6, 0, 0));
         assert_eq!(idx.scan_prefix1(5).count(), 2);
         assert_eq!(idx.scan_prefix2(5, TermId::MAX).count(), 1);
+    }
+
+    #[test]
+    fn scans_merge_flat_and_delta_in_order() {
+        let mut idx = PositionalIndex::new();
+        idx.insert_batch([(1, 1, 1), (1, 1, 3), (2, 0, 0)]);
+        // Incremental churn interleaves with the flat tier.
+        idx.insert((1, 1, 2));
+        idx.insert((1, 1, 0));
+        idx.insert((0, 9, 9));
+        let all: Vec<Key> = idx.scan_all().copied().collect();
+        assert_eq!(
+            all,
+            vec![
+                (0, 9, 9),
+                (1, 1, 0),
+                (1, 1, 1),
+                (1, 1, 2),
+                (1, 1, 3),
+                (2, 0, 0)
+            ]
+        );
+        let ones: Vec<Key> = idx.scan_prefix2(1, 1).copied().collect();
+        assert_eq!(ones, vec![(1, 1, 0), (1, 1, 1), (1, 1, 2), (1, 1, 3)]);
+        assert_eq!(idx.len(), 6);
+    }
+
+    #[test]
+    fn tombstones_hide_flat_keys_until_reinserted() {
+        let mut idx = PositionalIndex::new();
+        idx.insert_batch([(1, 1, 1), (1, 1, 2), (1, 1, 3)]);
+        assert!(idx.remove(&(1, 1, 2)));
+        assert!(!idx.contains(&(1, 1, 2)));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.scan_prefix1(1).count(), 2);
+        assert!(idx.scan_all().all(|k| *k != (1, 1, 2)));
+        // Re-inserting a tombstoned key resurrects it in place.
+        assert!(idx.insert((1, 1, 2)));
+        assert!(!idx.insert((1, 1, 2)));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.scan_prefix1(1).count(), 3);
+    }
+
+    #[test]
+    fn insert_batch_folds_delta_and_tombstones_away() {
+        let mut idx = PositionalIndex::new();
+        idx.insert_batch([(1, 0, 0), (3, 0, 0)]);
+        idx.insert((2, 0, 0)); // delta
+        idx.remove(&(3, 0, 0)); // tombstone
+        idx.insert_batch([(4, 0, 0), (1, 0, 0)]); // dup with flat
+        let all: Vec<Key> = idx.scan_all().copied().collect();
+        assert_eq!(all, vec![(1, 0, 0), (2, 0, 0), (4, 0, 0)]);
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.contains(&(3, 0, 0)));
+    }
+
+    #[test]
+    fn remove_then_batch_reinsert_resurrects() {
+        let mut idx = PositionalIndex::new();
+        idx.insert_batch([(1, 0, 0), (2, 0, 0)]);
+        idx.remove(&(2, 0, 0));
+        idx.insert_batch([(2, 0, 0)]);
+        assert!(idx.contains(&(2, 0, 0)));
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn from_sorted_round_trips() {
+        let keys = vec![(0, 0, 1), (0, 1, 0), (5, 5, 5)];
+        let idx = PositionalIndex::from_sorted(keys.clone());
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.scan_all().copied().collect::<Vec<_>>(), keys);
+        assert!(idx.contains(&(0, 1, 0)));
     }
 }

@@ -39,4 +39,4 @@ pub use dictionary::{TermDictionary, TermId};
 pub use persist::{PersistError, PersistOptions, RecoveryReport};
 pub use shared::SharedStore;
 pub use stats::StoreStats;
-pub use store::{EncodedTriple, TripleStore};
+pub use store::{EncodedScan, EncodedTriple, TripleStore};

@@ -3,7 +3,7 @@
 use hbold_rdf_model::{Graph, Iri, Term, Triple, TriplePattern};
 
 use crate::dictionary::{TermDictionary, TermId};
-use crate::index::PositionalIndex;
+use crate::index::{IndexOrder, PositionalIndex, PrefixScan};
 
 /// A triple with all three terms replaced by dictionary identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -61,23 +61,32 @@ impl TripleStore {
     /// Rebuilds a store from a decoded snapshot: the id-ordered dictionary
     /// plus the SPO-sorted encoded triples. The POS/OSP indexes are derived
     /// here rather than stored, halving the snapshot size.
+    ///
+    /// All three indexes are built as pure sorted flat vectors (see
+    /// [`PositionalIndex`]), so a restored store starts on the contiguous
+    /// scan fast path with zero B-tree nodes.
     pub(crate) fn from_snapshot_parts(
         dict: TermDictionary,
-        triples: Vec<(TermId, TermId, TermId)>,
+        mut triples: Vec<(TermId, TermId, TermId)>,
     ) -> Self {
-        let mut store = TripleStore {
+        // The snapshot writer emits ascending SPO order, but defend against
+        // hand-crafted files: sort + dedup is cheap relative to decode.
+        triples.sort_unstable();
+        triples.dedup();
+        let mut pos: Vec<(TermId, TermId, TermId)> =
+            triples.iter().map(|&(s, p, o)| (p, o, s)).collect();
+        pos.sort_unstable();
+        let mut osp: Vec<(TermId, TermId, TermId)> =
+            triples.iter().map(|&(s, p, o)| (o, s, p)).collect();
+        osp.sort_unstable();
+        let len = triples.len();
+        TripleStore {
             dict,
-            ..TripleStore::default()
-        };
-        store.spo.insert_batch(triples.iter().copied());
-        store
-            .pos
-            .insert_batch(triples.iter().map(|&(s, p, o)| (p, o, s)));
-        store
-            .osp
-            .insert_batch(triples.iter().map(|&(s, p, o)| (o, s, p)));
-        store.len = store.spo.len();
-        store
+            spo: PositionalIndex::from_sorted(triples),
+            pos: PositionalIndex::from_sorted(pos),
+            osp: PositionalIndex::from_sorted(osp),
+            len,
+        }
     }
 
     /// Iterates the encoded triples in ascending SPO order (the order the
@@ -126,16 +135,20 @@ impl TripleStore {
     /// indexes are extended in one pass each, which is markedly cheaper than
     /// per-triple [`TripleStore::insert`] calls on large loads.
     pub fn insert_batch<'a>(&mut self, triples: impl IntoIterator<Item = &'a Triple>) -> usize {
-        let encoded: Vec<(TermId, TermId, TermId)> = triples
-            .into_iter()
-            .map(|t| {
-                (
-                    self.dict.intern(&t.subject),
-                    self.dict.intern(&t.predicate),
-                    self.dict.intern(&t.object),
-                )
-            })
-            .collect();
+        let triples = triples.into_iter();
+        // Most batches repeat subjects/predicates heavily, so the triple
+        // count itself is a reasonable (slightly generous) bound on new
+        // dictionary entries — reserving it once beats rehashing mid-load.
+        let hint = triples.size_hint().0;
+        self.dict.reserve(hint);
+        let mut encoded: Vec<(TermId, TermId, TermId)> = Vec::with_capacity(hint);
+        encoded.extend(triples.map(|t| {
+            (
+                self.dict.intern(&t.subject),
+                self.dict.intern(&t.predicate),
+                self.dict.intern(&t.object),
+            )
+        }));
         let before = self.spo.len();
         self.spo.insert_batch(encoded.iter().copied());
         self.pos
@@ -190,6 +203,32 @@ impl TripleStore {
         self.dict.term(id)
     }
 
+    /// Streams the encoded triples matching the encoded pattern
+    /// `(subject?, predicate?, object?)`, choosing the best index.
+    ///
+    /// This is the innermost loop of the SPARQL engine's encoded operator
+    /// pipeline: it returns a concrete iterator (no boxing, no decoding)
+    /// walking a contiguous index range, so a BGP join stays entirely in
+    /// the `TermId` domain.
+    pub fn matching_encoded_iter(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> EncodedScan<'_> {
+        let (scan, order) = match (subject, predicate, object) {
+            (Some(s), Some(p), Some(o)) => (self.spo.scan_prefix3(s, p, o), IndexOrder::Spo),
+            (Some(s), Some(p), None) => (self.spo.scan_prefix2(s, p), IndexOrder::Spo),
+            (Some(s), None, None) => (self.spo.scan_prefix1(s), IndexOrder::Spo),
+            (None, Some(p), Some(o)) => (self.pos.scan_prefix2(p, o), IndexOrder::Pos),
+            (None, Some(p), None) => (self.pos.scan_prefix1(p), IndexOrder::Pos),
+            (None, None, Some(o)) => (self.osp.scan_prefix1(o), IndexOrder::Osp),
+            (Some(s), None, Some(o)) => (self.osp.scan_prefix2(o, s), IndexOrder::Osp),
+            (None, None, None) => (self.spo.scan_all(), IndexOrder::Spo),
+        };
+        EncodedScan { scan, order }
+    }
+
     /// Returns all encoded triples matching the encoded pattern
     /// `(subject?, predicate?, object?)`, choosing the best index.
     pub fn matching_encoded(
@@ -198,41 +237,27 @@ impl TripleStore {
         predicate: Option<TermId>,
         object: Option<TermId>,
     ) -> Vec<EncodedTriple> {
-        let from_spo = |k: &(TermId, TermId, TermId)| EncodedTriple {
-            subject: k.0,
-            predicate: k.1,
-            object: k.2,
-        };
-        let from_pos = |k: &(TermId, TermId, TermId)| EncodedTriple {
-            predicate: k.0,
-            object: k.1,
-            subject: k.2,
-        };
-        let from_osp = |k: &(TermId, TermId, TermId)| EncodedTriple {
-            object: k.0,
-            subject: k.1,
-            predicate: k.2,
-        };
-        match (subject, predicate, object) {
-            (Some(s), Some(p), Some(o)) => {
-                if self.spo.contains(&(s, p, o)) {
-                    vec![EncodedTriple {
-                        subject: s,
-                        predicate: p,
-                        object: o,
-                    }]
-                } else {
-                    Vec::new()
-                }
+        self.matching_encoded_iter(subject, predicate, object)
+            .collect()
+    }
+
+    /// Resolves a [`TriplePattern`]'s bound positions to identifiers;
+    /// `Err(())` means some bound term was never interned (nothing matches).
+    fn encode_pattern(
+        &self,
+        pattern: &TriplePattern,
+    ) -> Result<(Option<TermId>, Option<TermId>, Option<TermId>), ()> {
+        let lookup = |term: &Option<Term>| -> Result<Option<TermId>, ()> {
+            match term {
+                None => Ok(None),
+                Some(t) => self.dict.id_of(t).map(Some).ok_or(()),
             }
-            (Some(s), Some(p), None) => self.spo.scan_prefix2(s, p).map(from_spo).collect(),
-            (Some(s), None, None) => self.spo.scan_prefix1(s).map(from_spo).collect(),
-            (None, Some(p), Some(o)) => self.pos.scan_prefix2(p, o).map(from_pos).collect(),
-            (None, Some(p), None) => self.pos.scan_prefix1(p).map(from_pos).collect(),
-            (None, None, Some(o)) => self.osp.scan_prefix1(o).map(from_osp).collect(),
-            (Some(s), None, Some(o)) => self.osp.scan_prefix2(o, s).map(from_osp).collect(),
-            (None, None, None) => self.spo.scan_all().map(from_spo).collect(),
-        }
+        };
+        Ok((
+            lookup(&pattern.subject)?,
+            lookup(&pattern.predicate)?,
+            lookup(&pattern.object)?,
+        ))
     }
 
     /// Returns all triples (decoded) matching a [`TriplePattern`].
@@ -244,79 +269,26 @@ impl TripleStore {
     }
 
     /// Streams the triples matching a [`TriplePattern`] without materializing
-    /// them: the backbone of the streaming SPARQL operator pipeline, which
-    /// pulls solutions one at a time instead of building intermediate `Vec`s.
+    /// them, decoding each on the way out. Callers that can work on
+    /// identifiers should prefer [`TripleStore::matching_encoded_iter`] and
+    /// decode only what they keep.
     pub fn matching_iter<'s>(
         &'s self,
         pattern: &TriplePattern,
     ) -> Box<dyn Iterator<Item = Triple> + 's> {
-        let lookup = |term: &Option<Term>| -> Result<Option<TermId>, ()> {
-            match term {
-                None => Ok(None),
-                Some(t) => self.dict.id_of(t).map(Some).ok_or(()),
-            }
-        };
-        let (Ok(s), Ok(p), Ok(o)) = (
-            lookup(&pattern.subject),
-            lookup(&pattern.predicate),
-            lookup(&pattern.object),
-        ) else {
-            return Box::new(std::iter::empty());
-        };
-        let from_spo = |k: &(TermId, TermId, TermId)| EncodedTriple {
-            subject: k.0,
-            predicate: k.1,
-            object: k.2,
-        };
-        let from_pos = |k: &(TermId, TermId, TermId)| EncodedTriple {
-            predicate: k.0,
-            object: k.1,
-            subject: k.2,
-        };
-        let from_osp = |k: &(TermId, TermId, TermId)| EncodedTriple {
-            object: k.0,
-            subject: k.1,
-            predicate: k.2,
-        };
-        let encoded: Box<dyn Iterator<Item = EncodedTriple> + 's> = match (s, p, o) {
-            (Some(s), Some(p), Some(o)) => {
-                if self.spo.contains(&(s, p, o)) {
-                    Box::new(std::iter::once(EncodedTriple {
-                        subject: s,
-                        predicate: p,
-                        object: o,
-                    }))
-                } else {
-                    Box::new(std::iter::empty())
-                }
-            }
-            (Some(s), Some(p), None) => Box::new(self.spo.scan_prefix2(s, p).map(from_spo)),
-            (Some(s), None, None) => Box::new(self.spo.scan_prefix1(s).map(from_spo)),
-            (None, Some(p), Some(o)) => Box::new(self.pos.scan_prefix2(p, o).map(from_pos)),
-            (None, Some(p), None) => Box::new(self.pos.scan_prefix1(p).map(from_pos)),
-            (None, None, Some(o)) => Box::new(self.osp.scan_prefix1(o).map(from_osp)),
-            (Some(s), None, Some(o)) => Box::new(self.osp.scan_prefix2(o, s).map(from_osp)),
-            (None, None, None) => Box::new(self.spo.scan_all().map(from_spo)),
-        };
-        Box::new(encoded.map(|e| self.decode(e)))
+        match self.encode_pattern(pattern) {
+            Err(()) => Box::new(std::iter::empty()),
+            Ok((s, p, o)) => Box::new(self.matching_encoded_iter(s, p, o).map(|e| self.decode(e))),
+        }
     }
 
-    /// Counts the triples matching a pattern without decoding them.
+    /// Counts the triples matching a pattern without decoding or
+    /// materializing them.
     pub fn count_matching(&self, pattern: &TriplePattern) -> usize {
-        let lookup = |term: &Option<Term>| -> Result<Option<TermId>, ()> {
-            match term {
-                None => Ok(None),
-                Some(t) => self.dict.id_of(t).map(Some).ok_or(()),
-            }
-        };
-        let (Ok(s), Ok(p), Ok(o)) = (
-            lookup(&pattern.subject),
-            lookup(&pattern.predicate),
-            lookup(&pattern.object),
-        ) else {
-            return 0;
-        };
-        self.matching_encoded(s, p, o).len()
+        match self.encode_pattern(pattern) {
+            Err(()) => 0,
+            Ok((s, p, o)) => self.matching_encoded_iter(s, p, o).count(),
+        }
     }
 
     /// Decodes an encoded triple back into terms.
@@ -368,6 +340,44 @@ impl TripleStore {
         }
         usage.sort_by(|a, b| a.0.cmp(&b.0));
         usage
+    }
+}
+
+/// A streaming scan of encoded triples from one positional index, with the
+/// index's key permutation mapped back to subject/predicate/object on the
+/// fly. Concrete (unboxed) so BGP join inner loops monomorphize fully.
+pub struct EncodedScan<'s> {
+    scan: PrefixScan<'s>,
+    order: IndexOrder,
+}
+
+impl Iterator for EncodedScan<'_> {
+    type Item = EncodedTriple;
+
+    #[inline]
+    fn next(&mut self) -> Option<EncodedTriple> {
+        let &(a, b, c) = self.scan.next()?;
+        Some(match self.order {
+            IndexOrder::Spo => EncodedTriple {
+                subject: a,
+                predicate: b,
+                object: c,
+            },
+            IndexOrder::Pos => EncodedTriple {
+                predicate: a,
+                object: b,
+                subject: c,
+            },
+            IndexOrder::Osp => EncodedTriple {
+                object: a,
+                subject: b,
+                predicate: c,
+            },
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.scan.size_hint()
     }
 }
 

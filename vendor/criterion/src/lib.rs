@@ -13,10 +13,83 @@
 //! targets: `--bench` runs everything with measurement, `--test` (what
 //! `cargo test --benches` passes) runs each benchmark exactly once without
 //! measuring, and `--list` only enumerates.
+//!
+//! # Machine-readable output
+//!
+//! Passing `--json <path>` (after the `--` separator of `cargo bench`)
+//! writes every measured benchmark as a JSON array of
+//! `{"name", "median_ns", "mean_ns", "min_ns", "max_ns", "throughput_hz",
+//! "samples", "iters_per_sample"}` objects — the format the perf-trajectory
+//! files (`BENCH_*.json`) and the CI bench-smoke artifact use. Results
+//! accumulate across benchmark groups within one process; the file is
+//! rewritten whole each time a group finishes, so the final write holds the
+//! complete run.
+//!
+//! Setting `HBOLD_BENCH_FAST=1` caps sample counts and measurement budgets
+//! regardless of what the bench source requests — the CI smoke mode: real
+//! measurements, just fewer of them.
 
 use std::fmt;
 use std::hint::black_box as std_black_box;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// One measured benchmark, as recorded for `--json` output.
+#[derive(Debug, Clone)]
+struct JsonRecord {
+    name: String,
+    median_ns: u128,
+    mean_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Process-wide registry of measured results: every `Criterion` instance
+/// (one per `criterion_group!`) appends here and rewrites the `--json` file
+/// on drop, so the last group to finish leaves the complete run on disk.
+fn json_registry() -> &'static Mutex<Vec<JsonRecord>> {
+    static REGISTRY: OnceLock<Mutex<Vec<JsonRecord>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn write_json_report(path: &str) {
+    let records = json_registry().lock().expect("json registry poisoned");
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let throughput = if r.median_ns == 0 {
+            0.0
+        } else {
+            1.0e9 / r.median_ns as f64
+        };
+        out.push_str(&format!(
+            "  {{\"name\":\"{}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"throughput_hz\":{:.3},\"samples\":{},\"iters_per_sample\":{}}}",
+            r.name.replace('"', "\\\""),
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            throughput,
+            r.samples,
+            r.iters_per_sample,
+        ));
+    }
+    out.push_str("\n]\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("criterion stand-in: failed to write --json report to {path}: {e}");
+    }
+}
+
+/// `HBOLD_BENCH_FAST=1` — the CI smoke mode (short, still measured).
+fn fast_mode() -> bool {
+    std::env::var("HBOLD_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
 
 /// Re-export so benches can use `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -107,6 +180,7 @@ pub struct Criterion {
     filter: Option<String>,
     list_only: bool,
     test_mode: bool,
+    json_path: Option<String>,
 }
 
 impl Default for Criterion {
@@ -114,6 +188,7 @@ impl Default for Criterion {
         let mut filter = None;
         let mut list_only = false;
         let mut bench_mode = false;
+        let mut json_path = None;
         let mut args = std::env::args().skip(1).peekable();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -124,6 +199,7 @@ impl Default for Criterion {
                 // benchmark once, unmeasured, as a smoke test — so do we.
                 "--bench" => bench_mode = true,
                 "--list" => list_only = true,
+                "--json" => json_path = args.next(),
                 "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
                 | "--sample-size" | "--warm-up-time" | "--output-format" | "--color"
                 | "--format" | "--logfile" | "-Z" => {
@@ -140,6 +216,17 @@ impl Default for Criterion {
             filter,
             list_only,
             test_mode: !bench_mode,
+            json_path,
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if let Some(path) = &self.json_path {
+            if !self.test_mode && !self.list_only {
+                write_json_report(path);
+            }
         }
     }
 }
@@ -217,6 +304,17 @@ impl Criterion {
             return;
         }
 
+        // CI smoke mode: shrink the budgets without skipping the measurement.
+        let (sample_size, measurement_time, warm_up_time) = if fast_mode() {
+            (
+                sample_size.min(5),
+                measurement_time.min(Duration::from_millis(300)),
+                warm_up_time.min(Duration::from_millis(100)),
+            )
+        } else {
+            (sample_size, measurement_time, warm_up_time)
+        };
+
         // Warm-up: time one iteration at a time until the warm-up budget is
         // spent, learning the per-iteration cost as we go.
         let mut bencher = Bencher {
@@ -247,15 +345,29 @@ impl Criterion {
         }
         samples.sort_unstable();
         let mean: Duration = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let median = samples[samples.len() / 2];
         let (lo, hi) = (samples[0], samples[samples.len() - 1]);
         println!(
-            "{full_name:<50} time: [{} {} {}]  ({} samples x {} iters)",
+            "{full_name:<50} time: [{} {} {}]  (median {}, {} samples x {} iters)",
             fmt_duration(lo),
             fmt_duration(mean),
             fmt_duration(hi),
+            fmt_duration(median),
             samples.len(),
             iters,
         );
+        json_registry()
+            .lock()
+            .expect("json registry poisoned")
+            .push(JsonRecord {
+                name: full_name.to_string(),
+                median_ns: median.as_nanos(),
+                mean_ns: mean.as_nanos(),
+                min_ns: lo.as_nanos(),
+                max_ns: hi.as_nanos(),
+                samples: samples.len(),
+                iters_per_sample: iters,
+            });
     }
 }
 
