@@ -310,6 +310,27 @@ impl Connection {
         }
         self.stream.flush()
     }
+
+    /// Politely tears down a connection that is being rejected mid-request:
+    /// sends our FIN first, then reads and discards whatever the peer was
+    /// still sending, bounded in bytes and by the socket's read timeout.
+    /// Closing with unread input queued makes the kernel answer with an RST,
+    /// which can destroy the already-sent error response before the peer
+    /// reads it — turning a clean 4xx into a connection-reset race.
+    pub fn drain_before_close(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+        let mut chunk = [0u8; 4096];
+        let mut budget = 64 * 1024usize;
+        while budget > 0 {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return,
+                Ok(n) => budget = budget.saturating_sub(n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Read timeout or reset: the peer is not finishing; give up.
+                Err(_) => return,
+            }
+        }
+    }
 }
 
 struct HeadEnd {

@@ -263,7 +263,9 @@ fn serve_connection(shared: &Shared, mut conn: Connection) {
                         shared.stats.record_status(status);
                         let response =
                             HttpResponse::error(status, reason, error.detail()).with_close();
-                        let _ = conn.write_response(&response, false);
+                        if conn.write_response(&response, false).is_ok() {
+                            conn.drain_before_close();
+                        }
                     }
                     // Clean close, idle timeout or transport failure:
                     // nothing to say, nothing malformed to count.

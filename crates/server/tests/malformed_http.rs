@@ -44,10 +44,12 @@ fn send_raw(server: &SparqlServer, bytes: &[u8]) -> String {
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
         .unwrap();
-    stream.write_all(bytes).expect("send");
-    stream
-        .shutdown(std::net::Shutdown::Write)
-        .expect("half-close");
+    // The server may reject and respond before the full payload is sent
+    // (e.g. an oversized head cut off at the budget); a send/half-close
+    // failing with EPIPE/ECONNRESET/ENOTCONN at that point is fine — the
+    // assertions below are on the response, not on the send.
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
     let mut out = Vec::new();
     let _ = stream.read_to_end(&mut out);
     String::from_utf8_lossy(&out).into_owned()

@@ -1147,7 +1147,11 @@ fn order_solutions_topk(
             )
         }
     }
-    let mut heap: BinaryHeap<Entry<'_>> = BinaryHeap::with_capacity(k + 1);
+    // `k` comes from `offset + limit` and may be astronomically large (e.g.
+    // `LIMIT 9223372036854775807 OFFSET 9223372036854775807`), so it must
+    // only bound the heap's *size*, never pre-size its allocation: the
+    // capacity hint is clamped and `k + 1` style arithmetic avoided.
+    let mut heap: BinaryHeap<Entry<'_>> = BinaryHeap::with_capacity(k.saturating_add(1).min(1024));
     for solution in stream {
         let row = solution?;
         let entry = Entry {

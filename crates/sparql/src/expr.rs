@@ -166,7 +166,18 @@ fn compare(op: ComparisonOp, left: &EvalValue, right: &EvalValue) -> EvalValue {
             let vb = b.value();
             match va.partial_cmp(&vb) {
                 Some(ord) => apply_ordering(op, ord),
-                // Incomparable values: only = / != are defined, by term equality.
+                // Two numeric values with no ordering means NaN is involved:
+                // per XPath numeric comparison NaN is not equal to anything
+                // (itself included), so `=` is false and `!=` is true — NOT
+                // term equality, which would make `"NaN"^^xsd:double = ?x`
+                // true when ?x is the same literal.
+                None if va.is_numeric() && vb.is_numeric() => match op {
+                    ComparisonOp::Eq => EvalValue::Bool(false),
+                    ComparisonOp::Ne => EvalValue::Bool(true),
+                    _ => EvalValue::Error,
+                },
+                // Otherwise incomparable (mixed types): only = / != are
+                // defined, by RDF term equality.
                 None => match op {
                     ComparisonOp::Eq => EvalValue::Bool(a == b),
                     ComparisonOp::Ne => EvalValue::Bool(a != b),
@@ -294,7 +305,13 @@ pub fn numeric_value(term: &Term) -> Option<f64> {
 /// Builds an `xsd:integer` or `xsd:double` literal term from an `f64`,
 /// preferring the integer form when the value is integral.
 pub fn number_term(value: f64) -> Term {
-    if value.fract() == 0.0 && value.abs() < i64::MAX as f64 {
+    // Exactly the f64 values representable as an i64: the half-open range
+    // [-2^63, 2^63). `i64::MAX as f64` rounds *up* to 2^63, so `<` (not `<=`)
+    // is the correct upper test, and the lower bound must be checked
+    // separately — `value.abs() < i64::MAX as f64` wrongly excluded
+    // `-2^63` (= `i64::MIN`, exactly representable) because `|-2^63|` is not
+    // strictly below 2^63.
+    if value.fract() == 0.0 && value >= i64::MIN as f64 && value < i64::MAX as f64 {
         Term::Literal(Literal::integer(value as i64))
     } else {
         Term::Literal(Literal::typed(format!("{value}"), xsd::double()))

@@ -1,0 +1,832 @@
+//! Grammar-based SPARQL fuzzing: generators plus a three-way differential
+//! harness.
+//!
+//! Every case is derived from a single `u64` seed through a self-contained
+//! SplitMix64 generator, so any failure reproduces exactly from its seed —
+//! no corpus files, no global state. A case builds a small adversarial graph
+//! and a random query AST covering the full implemented surface (nested
+//! `OPTIONAL`/`UNION`, every `FILTER` operator and function, `DISTINCT`,
+//! `ORDER BY`, `LIMIT`/`OFFSET` in all combinations, `GROUP BY` with
+//! aggregates, and every literal shape: typed numerics at the `i64`/`f64`
+//! boundary, `NaN`, language tags, strings needing CSV/TSV/JSON escaping)
+//! and then checks, via [`check_case`]:
+//!
+//! 1. **Syntax round-trip** — the query survives pretty-print → parse →
+//!    pretty-print → parse with a stable AST ([`crate::pretty`] is a
+//!    fixpoint on parser output).
+//! 2. **Three-way differential** — the streaming engine, the sharded
+//!    parallel engine (`threads = 3`, `parallel_threshold = 1`), and the
+//!    naive [`crate::reference`] evaluator agree: exact row sequences under
+//!    `ORDER BY`, identical multisets otherwise, and a sub-multiset + count
+//!    check for the implementation-defined unordered `LIMIT`/`OFFSET` cut.
+//!    If the reference rejects the query, both engines must too.
+//! 3. **Serialization round-trip** — the result survives SPARQL-JSON and
+//!    TSV encode/decode losslessly, and the CSV output parses back (via
+//!    [`CsvTable`]) to exactly the term string values.
+//!
+//! Reproducing a failure: the harness in `tests/fuzz_differential.rs` prints
+//! the offending seed; re-run just that case with
+//! `HBOLD_FUZZ_SEED=<seed> cargo test -p hbold_sparql --test fuzz_differential`,
+//! then shrink by hand — the failure message embeds the generated query text,
+//! which is usually a few clauses and minimizes quickly by deleting parts.
+//! `HBOLD_FUZZ_CASES` scales the sweep (default 512; CI smoke uses the same).
+
+use std::collections::HashMap;
+
+use hbold_rdf_model::vocab::rdf;
+use hbold_rdf_model::{BlankNode, Iri, Literal, Term, Triple};
+use hbold_triple_store::TripleStore;
+
+use crate::ast::*;
+use crate::eval::{self, EvalOptions};
+use crate::expr::term_string_value;
+use crate::parser::parse_query;
+use crate::pretty::print_query;
+use crate::reference;
+use crate::results::{CsvTable, QueryResults, SelectResults};
+
+/// A tiny deterministic RNG (SplitMix64) so the fuzzer needs no external
+/// crates and every case is a pure function of its seed.
+#[derive(Debug, Clone)]
+pub struct FuzzRng(u64);
+
+impl FuzzRng {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        FuzzRng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be non-zero). The modulo
+    /// bias is irrelevant for fuzzing purposes.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// `true` with probability `percent / 100`.
+    pub fn chance(&mut self, percent: usize) -> bool {
+        self.below(100) < percent
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+}
+
+fn iri(s: &str) -> Iri {
+    Iri::new(s).expect("generator IRIs are valid")
+}
+
+fn subject_iris() -> Vec<Iri> {
+    (0..6)
+        .map(|i| iri(&format!("http://f.example/s{i}")))
+        .collect()
+}
+
+fn predicate_iris() -> Vec<Iri> {
+    let mut p: Vec<Iri> = (0..4)
+        .map(|i| iri(&format!("http://f.example/p{i}")))
+        .collect();
+    p.push(rdf::type_());
+    p
+}
+
+fn class_iris() -> Vec<Iri> {
+    (0..3)
+        .map(|i| iri(&format!("http://f.example/C{i}")))
+        .collect()
+}
+
+/// The adversarial literal pool: numeric boundary values, `NaN`, ill-formed
+/// typed literals, language tags, and strings exercising every escape path
+/// of the CSV/TSV/JSON encoders.
+pub fn literal_pool() -> Vec<Literal> {
+    let mut pool = vec![
+        Literal::integer(0),
+        Literal::integer(1),
+        Literal::integer(-1),
+        Literal::integer(5),
+        Literal::integer(i64::MAX),
+        Literal::integer(i64::MIN),
+        Literal::double(2.5),
+        Literal::double(-0.0),
+        Literal::double(1e300),
+        // Largest f64 strictly below 2^63: the float→int narrowing boundary.
+        Literal::double(9_223_372_036_854_774_784.0),
+        Literal::typed("NaN", hbold_rdf_model::vocab::xsd::double()),
+        // Ill-formed: lexical form does not match the datatype.
+        Literal::typed("abc", hbold_rdf_model::vocab::xsd::integer()),
+        Literal::boolean(true),
+        Literal::boolean(false),
+        Literal::date_time_from_unix(0),
+        Literal::date_time_from_unix(86_400),
+        Literal::lang_string("hello", "en"),
+        Literal::lang_string("hello", "en-GB"),
+        Literal::lang_string("bonjour", "fr"),
+    ];
+    for s in [
+        "",
+        "a",
+        "plain value",
+        "comma,separated",
+        "quo\"ted",
+        "line\nbreak",
+        "tab\there",
+        "carriage\rreturn",
+        "back\\slash",
+        "mixed,\"\n\t\r\\end",
+        "uni – ö",
+        "\u{1}control",
+    ] {
+        pool.push(Literal::string(s));
+    }
+    pool
+}
+
+/// Builds a small random graph over the fixed IRI pools, blank nodes and the
+/// adversarial literal pool.
+pub fn generate_store(rng: &mut FuzzRng) -> TripleStore {
+    let subjects = subject_iris();
+    let predicates = predicate_iris();
+    let classes = class_iris();
+    let literals = literal_pool();
+    let mut store = TripleStore::new();
+    let triples = 6 + rng.below(24);
+    for _ in 0..triples {
+        let s = rng.pick(&subjects).clone();
+        let p = rng.pick(&predicates).clone();
+        let o = match rng.below(10) {
+            0..=3 => Term::Literal(rng.pick(&literals).clone()),
+            4..=5 => Term::Iri(rng.pick(&subjects).clone()),
+            6..=7 => Term::Iri(rng.pick(&classes).clone()),
+            8 => Term::Blank(BlankNode::numbered(rng.below(3) as u64)),
+            _ => Term::Iri(rng.pick(&predicates).clone()),
+        };
+        store.insert(&Triple::new(s, p, o));
+    }
+    store
+}
+
+const VARS: [&str; 6] = ["s", "p", "o", "x", "y", "z"];
+
+fn random_var(rng: &mut FuzzRng) -> String {
+    rng.pick(&VARS).to_string()
+}
+
+/// A query-safe constant: any term except blank nodes (which have no query
+/// syntax in this subset and would break the print → parse round-trip).
+fn random_constant(rng: &mut FuzzRng) -> Term {
+    match rng.below(10) {
+        0..=5 => Term::Literal(rng.pick(&literal_pool()).clone()),
+        6..=7 => Term::Iri(rng.pick(&subject_iris()).clone()),
+        8 => Term::Iri(rng.pick(&class_iris()).clone()),
+        _ => Term::Iri(rng.pick(&predicate_iris()).clone()),
+    }
+}
+
+fn random_triple_pattern(rng: &mut FuzzRng) -> TriplePatternAst {
+    let subject = if rng.chance(60) {
+        TermOrVariable::Variable(random_var(rng))
+    } else {
+        TermOrVariable::Term(Term::Iri(rng.pick(&subject_iris()).clone()))
+    };
+    let predicate = if rng.chance(40) {
+        TermOrVariable::Variable(random_var(rng))
+    } else {
+        TermOrVariable::Term(Term::Iri(rng.pick(&predicate_iris()).clone()))
+    };
+    let object = if rng.chance(50) {
+        TermOrVariable::Variable(random_var(rng))
+    } else {
+        TermOrVariable::Term(random_constant(rng))
+    };
+    TriplePatternAst {
+        subject,
+        predicate,
+        object,
+    }
+}
+
+fn random_bgp(rng: &mut FuzzRng) -> GraphPattern {
+    let n = 1 + rng.below(3);
+    GraphPattern::Bgp((0..n).map(|_| random_triple_pattern(rng)).collect())
+}
+
+/// A valid pattern for the built-in regex engine: concatenated simple atoms,
+/// optional anchors, optional top-level alternation and grouping.
+pub fn random_regex_pattern(rng: &mut FuzzRng) -> String {
+    fn concat(rng: &mut FuzzRng) -> String {
+        const ATOMS: [&str; 12] = [
+            "a", "b", "s", "l", ".", "[ab]", "[^b]", "a*", "b+", "e?", "(a|l)", "\\.",
+        ];
+        let n = 1 + rng.below(3);
+        (0..n).map(|_| *rng.pick(&ATOMS)).collect()
+    }
+    let mut pattern = concat(rng);
+    if rng.chance(25) {
+        pattern = format!("{pattern}|{}", concat(rng));
+    }
+    if rng.chance(30) {
+        pattern = format!("^{pattern}");
+    }
+    if rng.chance(30) {
+        pattern = format!("{pattern}$");
+    }
+    pattern
+}
+
+/// A string-valued operand over a variable: `?v`, `STR(?v)` or `LANG(?v)`.
+fn string_operand(rng: &mut FuzzRng) -> Expression {
+    let var = Expression::Variable(random_var(rng));
+    match rng.below(3) {
+        0 => var,
+        1 => Expression::Function {
+            func: Function::Str,
+            args: vec![var],
+        },
+        _ => Expression::Function {
+            func: Function::Lang,
+            args: vec![var],
+        },
+    }
+}
+
+/// A random filter condition covering every supported operator and function.
+pub fn random_condition(rng: &mut FuzzRng, depth: usize) -> Expression {
+    if depth > 0 && rng.chance(35) {
+        let a = Box::new(random_condition(rng, depth - 1));
+        let b = Box::new(random_condition(rng, depth - 1));
+        return match rng.below(3) {
+            0 => Expression::Or(a, b),
+            1 => Expression::And(a, b),
+            _ => Expression::Not(a),
+        };
+    }
+    match rng.below(10) {
+        0 => Expression::Function {
+            func: Function::Bound,
+            args: vec![Expression::Variable(random_var(rng))],
+        },
+        1 => {
+            let func = *rng.pick(&[Function::IsIri, Function::IsLiteral, Function::IsBlank]);
+            Expression::Function {
+                func,
+                args: vec![Expression::Variable(random_var(rng))],
+            }
+        }
+        2 => {
+            let func = *rng.pick(&[Function::Contains, Function::StrStarts, Function::StrEnds]);
+            let needle = *rng.pick(&["", "a", "s", "val", ",", "\""]);
+            Expression::Function {
+                func,
+                args: vec![
+                    string_operand(rng),
+                    Expression::Constant(Term::Literal(Literal::string(needle))),
+                ],
+            }
+        }
+        3 => {
+            let mut args = vec![
+                string_operand(rng),
+                Expression::Constant(Term::Literal(Literal::string(random_regex_pattern(rng)))),
+            ];
+            if rng.chance(50) {
+                let flags = *rng.pick(&["i", "s", "m", "x", "im", "is", ""]);
+                args.push(Expression::Constant(Term::Literal(Literal::string(flags))));
+            }
+            Expression::Function {
+                func: Function::Regex,
+                args,
+            }
+        }
+        4 => Expression::Comparison {
+            op: random_comparison_op(rng),
+            left: Box::new(Expression::Function {
+                func: *rng.pick(&[Function::Str, Function::Datatype, Function::Lang]),
+                args: vec![Expression::Variable(random_var(rng))],
+            }),
+            right: Box::new(Expression::Constant(random_constant(rng))),
+        },
+        5 => Expression::Comparison {
+            op: random_comparison_op(rng),
+            left: Box::new(Expression::Variable(random_var(rng))),
+            right: Box::new(Expression::Variable(random_var(rng))),
+        },
+        _ => Expression::Comparison {
+            op: random_comparison_op(rng),
+            left: Box::new(Expression::Variable(random_var(rng))),
+            right: Box::new(Expression::Constant(random_constant(rng))),
+        },
+    }
+}
+
+fn random_comparison_op(rng: &mut FuzzRng) -> ComparisonOp {
+    *rng.pick(&[
+        ComparisonOp::Eq,
+        ComparisonOp::Ne,
+        ComparisonOp::Lt,
+        ComparisonOp::Le,
+        ComparisonOp::Gt,
+        ComparisonOp::Ge,
+    ])
+}
+
+fn random_pattern(rng: &mut FuzzRng, depth: usize) -> GraphPattern {
+    if depth == 0 {
+        return random_bgp(rng);
+    }
+    match rng.below(8) {
+        0 | 1 => random_bgp(rng),
+        2 => GraphPattern::Join(vec![
+            random_pattern(rng, depth - 1),
+            random_pattern(rng, depth - 1),
+        ]),
+        3 => GraphPattern::Optional {
+            left: Box::new(random_pattern(rng, depth - 1)),
+            right: Box::new(random_pattern(rng, depth - 1)),
+        },
+        4 => GraphPattern::Optional {
+            left: Box::new(GraphPattern::empty()),
+            right: Box::new(random_pattern(rng, depth - 1)),
+        },
+        5 => GraphPattern::Union(
+            Box::new(random_pattern(rng, depth - 1)),
+            Box::new(random_pattern(rng, depth - 1)),
+        ),
+        _ => GraphPattern::Filter {
+            inner: Box::new(random_pattern(rng, depth - 1)),
+            condition: random_condition(rng, 2),
+        },
+    }
+}
+
+/// Interesting LIMIT/OFFSET values: zero, small, larger than any result set,
+/// and the `i64::MAX` extreme that once overflowed top-k heap sizing.
+fn random_cut_value(rng: &mut FuzzRng) -> usize {
+    *rng.pick(&[
+        0,
+        1,
+        2,
+        3,
+        5,
+        8,
+        1_000,
+        i64::MAX as usize - 1,
+        i64::MAX as usize,
+    ])
+}
+
+/// Generates a random query over the full supported surface.
+pub fn generate_query(rng: &mut FuzzRng) -> Query {
+    let pattern = random_pattern(rng, 2);
+    if rng.chance(10) {
+        return Query {
+            form: QueryForm::Ask,
+            pattern,
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        };
+    }
+
+    let pattern_vars = pattern.variables();
+    let distinct = rng.chance(25);
+    let aggregated = rng.chance(25);
+
+    // `orderable` lists the names ORDER BY may reference: for grouped queries
+    // only grouped variables and aggregate aliases are in scope; for plain
+    // queries any pattern variable is (ordering happens before projection).
+    let (projection, group_by, orderable): (Projection, Vec<String>, Vec<String>) = if aggregated {
+        let mut group_by: Vec<String> = Vec::new();
+        for var in &pattern_vars {
+            if group_by.len() < 2 && rng.chance(40) {
+                group_by.push(var.clone());
+            }
+        }
+        let mut items: Vec<ProjectionItem> = group_by
+            .iter()
+            .map(|v| ProjectionItem::Variable(v.clone()))
+            .collect();
+        let mut orderable = group_by.clone();
+        for i in 0..1 + rng.below(2) {
+            let func = *rng.pick(&[
+                AggregateFunction::Count,
+                AggregateFunction::Sum,
+                AggregateFunction::Avg,
+                AggregateFunction::Min,
+                AggregateFunction::Max,
+            ]);
+            let arg = if func == AggregateFunction::Count && rng.chance(30) {
+                None // COUNT(*)
+            } else {
+                Some(Box::new(Expression::Variable(random_var(rng))))
+            };
+            let alias = format!("agg{i}");
+            orderable.push(alias.clone());
+            items.push(ProjectionItem::Expression {
+                expr: Expression::Aggregate {
+                    func,
+                    distinct: rng.chance(30),
+                    arg,
+                },
+                alias,
+            });
+        }
+        (Projection::Items(items), group_by.clone(), orderable)
+    } else if rng.chance(25) || pattern_vars.is_empty() {
+        (Projection::Star, vec![], pattern_vars.clone())
+    } else {
+        let mut projected: Vec<String> = pattern_vars
+            .iter()
+            .filter(|_| rng.chance(60))
+            .cloned()
+            .collect();
+        if projected.is_empty() {
+            projected.push(pattern_vars[0].clone());
+        }
+        let mut items: Vec<ProjectionItem> = projected
+            .iter()
+            .map(|v| ProjectionItem::Variable(v.clone()))
+            .collect();
+        if rng.chance(20) {
+            items.push(ProjectionItem::Expression {
+                expr: Expression::Function {
+                    func: *rng.pick(&[Function::Str, Function::Datatype, Function::Lang]),
+                    args: vec![Expression::Variable(random_var(rng))],
+                },
+                alias: "e0".to_string(),
+            });
+        }
+        (Projection::Items(items), vec![], pattern_vars.clone())
+    };
+
+    let order_by: Vec<OrderCondition> = if !orderable.is_empty() && rng.chance(40) {
+        (0..1 + rng.below(2))
+            .map(|_| {
+                let name = rng.pick(&orderable).clone();
+                let expr = if group_by.is_empty() && rng.chance(25) {
+                    Expression::Function {
+                        func: Function::Str,
+                        args: vec![Expression::Variable(name)],
+                    }
+                } else {
+                    Expression::Variable(name)
+                };
+                OrderCondition {
+                    expr,
+                    descending: rng.chance(50),
+                }
+            })
+            .collect()
+    } else {
+        vec![]
+    };
+
+    // Unlike the narrower differential oracle, LIMIT/OFFSET are generated
+    // with and without ORDER BY: the unordered cut is implementation-defined
+    // row-wise but still pinned down by a sub-multiset + count check.
+    let limit = rng.chance(35).then(|| random_cut_value(rng));
+    let offset = rng.chance(25).then(|| random_cut_value(rng));
+
+    Query {
+        form: QueryForm::Select {
+            distinct,
+            projection,
+        },
+        pattern,
+        group_by,
+        order_by,
+        limit,
+        offset,
+    }
+}
+
+// ---- the differential + round-trip checker ---------------------------------
+
+type RenderedRow = Vec<Option<String>>;
+
+fn rendered_rows(results: &SelectResults) -> Vec<RenderedRow> {
+    results
+        .rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|cell| cell.as_ref().map(|t| t.to_ntriples()))
+                .collect()
+        })
+        .collect()
+}
+
+fn check_select_equivalent(
+    query: &Query,
+    expected: &SelectResults,
+    actual: &SelectResults,
+    uncut_reference: Option<&SelectResults>,
+    label: &str,
+) -> Result<(), String> {
+    if expected.variables != actual.variables {
+        return Err(format!(
+            "{label}: projected variables differ: {:?} vs {:?}",
+            expected.variables, actual.variables
+        ));
+    }
+    if !query.order_by.is_empty() {
+        // ORDER BY pins the exact sequence (ties broken deterministically by
+        // the shared comparator).
+        let ea = rendered_rows(expected);
+        let aa = rendered_rows(actual);
+        if ea != aa {
+            return Err(format!("{label}: ordered rows differ:\n  {ea:?}\n  {aa:?}"));
+        }
+        return Ok(());
+    }
+    if let Some(full) = uncut_reference {
+        // Unordered LIMIT/OFFSET: each engine may keep different rows, but
+        // must keep the right *number* of rows and only rows the uncut query
+        // produces (with multiplicity).
+        let mut remaining: HashMap<RenderedRow, isize> = HashMap::new();
+        for row in rendered_rows(full) {
+            *remaining.entry(row).or_insert(0) += 1;
+        }
+        let total = full.rows.len();
+        let after_offset = total.saturating_sub(query.offset.unwrap_or(0));
+        let expected_count = after_offset.min(query.limit.unwrap_or(usize::MAX));
+        if actual.rows.len() != expected_count {
+            return Err(format!(
+                "{label}: unordered cut kept {} rows, expected {expected_count} (total {total})",
+                actual.rows.len()
+            ));
+        }
+        for row in rendered_rows(actual) {
+            let n = remaining.entry(row.clone()).or_insert(0);
+            *n -= 1;
+            if *n < 0 {
+                return Err(format!(
+                    "{label}: row {row:?} not in (or over-represented vs) the uncut reference result"
+                ));
+            }
+        }
+        return Ok(());
+    }
+    let mut ea = rendered_rows(expected);
+    let mut aa = rendered_rows(actual);
+    ea.sort();
+    aa.sort();
+    if ea != aa {
+        return Err(format!(
+            "{label}: row multisets differ:\n  {ea:?}\n  {aa:?}"
+        ));
+    }
+    Ok(())
+}
+
+fn check_equivalent(
+    query: &Query,
+    expected: &QueryResults,
+    actual: &QueryResults,
+    uncut_reference: Option<&SelectResults>,
+    label: &str,
+) -> Result<(), String> {
+    match (expected, actual) {
+        (QueryResults::Ask(a), QueryResults::Ask(b)) => {
+            if a != b {
+                return Err(format!("{label}: ASK disagreement ({a} vs {b})"));
+            }
+            Ok(())
+        }
+        (QueryResults::Select(e), QueryResults::Select(a)) => {
+            check_select_equivalent(query, e, a, uncut_reference, label)
+        }
+        _ => Err(format!("{label}: result kinds differ")),
+    }
+}
+
+/// JSON, TSV and CSV round-trip checks on a concrete result.
+fn check_serialization(results: &QueryResults) -> Result<(), String> {
+    let json = results.to_sparql_json();
+    let back = QueryResults::from_sparql_json(&json)
+        .map_err(|e| format!("JSON round-trip: decoder rejected own output: {e}\n{json}"))?;
+    match (results, &back) {
+        (QueryResults::Ask(a), QueryResults::Ask(b)) if a == b => {}
+        (QueryResults::Select(a), QueryResults::Select(b))
+            if a.variables == b.variables && a.rows == b.rows => {}
+        _ => return Err(format!("JSON round-trip changed the result:\n{json}")),
+    }
+
+    let select = match results {
+        QueryResults::Select(s) => s,
+        QueryResults::Ask(_) => return Ok(()),
+    };
+
+    let tsv = select.to_tsv();
+    let back = SelectResults::from_tsv(&tsv)
+        .map_err(|e| format!("TSV round-trip: decoder rejected own output: {e}\n{tsv:?}"))?;
+    if back.variables != select.variables || back.rows != select.rows {
+        return Err(format!("TSV round-trip changed the result:\n{tsv:?}"));
+    }
+
+    let csv = select.to_csv();
+    let table = CsvTable::parse(&csv)
+        .map_err(|e| format!("CSV parse of own output failed: {e}\n{csv:?}"))?;
+    // CSV is lossy by design (string values only), so the check is against
+    // the expected *strings*. A zero-variable table serializes as blank
+    // lines, which read back as a single empty field per record.
+    let expected_header: Vec<String> = if select.variables.is_empty() {
+        vec![String::new()]
+    } else {
+        select.variables.clone()
+    };
+    if table.header != expected_header {
+        return Err(format!(
+            "CSV header mismatch: {:?} vs {:?}",
+            table.header, expected_header
+        ));
+    }
+    if table.rows.len() != select.rows.len() {
+        return Err(format!(
+            "CSV row count mismatch: {} vs {}",
+            table.rows.len(),
+            select.rows.len()
+        ));
+    }
+    for (parsed, row) in table.rows.iter().zip(&select.rows) {
+        let expected: Vec<String> = if select.variables.is_empty() {
+            vec![String::new()]
+        } else {
+            row.iter()
+                .map(|cell| cell.as_ref().map(term_string_value).unwrap_or_default())
+                .collect()
+        };
+        if *parsed != expected {
+            return Err(format!("CSV cell mismatch: {parsed:?} vs {expected:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Runs one full fuzz case for `seed`; `Err` carries a reproduction report
+/// (seed + generated query + what diverged).
+pub fn check_case(seed: u64) -> Result<(), String> {
+    let mut rng = FuzzRng::new(seed);
+    let store = generate_store(&mut rng);
+    let query = generate_query(&mut rng);
+    let printed = print_query(&query);
+    let fail = |msg: String| format!("seed {seed}: {msg}\n  query: {printed}");
+
+    // Leg 1: parse → pretty-print → re-parse fixpoint.
+    let ast =
+        parse_query(&printed).map_err(|e| fail(format!("printed query does not parse: {e}")))?;
+    let reprinted = print_query(&ast);
+    let ast2 = parse_query(&reprinted).map_err(|e| {
+        fail(format!(
+            "re-printed query does not parse: {e}\n  reprint: {reprinted}"
+        ))
+    })?;
+    if ast != ast2 {
+        return Err(fail(format!(
+            "print → parse is not a fixpoint:\n  first:  {printed}\n  second: {reprinted}"
+        )));
+    }
+
+    // Leg 2: three-way differential evaluation.
+    let naive = reference::evaluate(&store, &ast);
+    let sequential = eval::evaluate(&store, &ast);
+    let mut options = EvalOptions::with_threads(3);
+    options.parallel_threshold = 1; // force sharding even on tiny stores
+    let parallel = eval::evaluate_with(&store, &ast, &options);
+
+    let expected = match naive {
+        Err(e) => {
+            if sequential.is_ok() || parallel.is_ok() {
+                return Err(fail(format!(
+                    "reference rejected the query ({e}) but an engine accepted it \
+                     (sequential ok: {}, parallel ok: {})",
+                    sequential.is_ok(),
+                    parallel.is_ok()
+                )));
+            }
+            return Ok(());
+        }
+        Ok(results) => results,
+    };
+    let sequential = sequential
+        .map_err(|e| fail(format!("streaming engine failed, reference succeeded: {e}")))?;
+    let parallel =
+        parallel.map_err(|e| fail(format!("parallel engine failed, reference succeeded: {e}")))?;
+
+    // For an unordered cut we additionally need the uncut reference rows.
+    let uncut = if ast.order_by.is_empty()
+        && (ast.limit.is_some() || ast.offset.is_some())
+        && matches!(expected, QueryResults::Select(_))
+    {
+        let mut uncut_query = ast.clone();
+        uncut_query.limit = None;
+        uncut_query.offset = None;
+        let full = reference::evaluate(&store, &uncut_query)
+            .map_err(|e| fail(format!("uncut reference evaluation failed: {e}")))?;
+        full.into_select()
+    } else {
+        None
+    };
+
+    check_equivalent(&ast, &expected, &sequential, uncut.as_ref(), "sequential").map_err(&fail)?;
+    check_equivalent(&ast, &expected, &parallel, uncut.as_ref(), "parallel").map_err(&fail)?;
+    // The reference result itself must satisfy the cut-count invariant too.
+    if let (Some(full), QueryResults::Select(exp)) = (&uncut, &expected) {
+        check_select_equivalent(&ast, exp, exp, Some(full), "reference").map_err(&fail)?;
+    }
+
+    // Leg 3: serialization round-trips on the streaming engine's result.
+    check_serialization(&sequential).map_err(&fail)?;
+    Ok(())
+}
+
+/// Number of cases to run, from `HBOLD_FUZZ_CASES` (default `default`).
+pub fn cases_from_env(default: u64) -> u64 {
+    std::env::var("HBOLD_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Single-case reproduction seed, from `HBOLD_FUZZ_SEED`.
+pub fn seed_from_env() -> Option<u64> {
+    std::env::var("HBOLD_FUZZ_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_spread_out() {
+        let mut a = FuzzRng::new(42);
+        let mut b = FuzzRng::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<&u64> = xs.iter().collect();
+        assert_eq!(distinct.len(), xs.len(), "degenerate RNG stream: {xs:?}");
+        let mut c = FuzzRng::new(43);
+        assert_ne!(c.next_u64(), xs[0]);
+    }
+
+    #[test]
+    fn generators_cover_the_grammar_quickly() {
+        // Within a modest seed range the generator must produce all the
+        // constructs the tentpole calls for — otherwise the fuzzer silently
+        // stops covering part of the surface.
+        let mut saw_ask = false;
+        let mut saw_group = false;
+        let mut saw_order = false;
+        let mut saw_cut_without_order = false;
+        let mut saw_optional = false;
+        let mut saw_union = false;
+        let mut saw_filter = false;
+        let mut saw_distinct = false;
+        for seed in 0..400 {
+            let mut rng = FuzzRng::new(seed);
+            let _ = generate_store(&mut rng);
+            let q = generate_query(&mut rng);
+            saw_ask |= matches!(q.form, QueryForm::Ask);
+            saw_group |= !q.group_by.is_empty();
+            saw_order |= !q.order_by.is_empty();
+            saw_cut_without_order |=
+                q.order_by.is_empty() && (q.limit.is_some() || q.offset.is_some());
+            saw_distinct |= matches!(q.form, QueryForm::Select { distinct: true, .. });
+            let printed = print_query(&q);
+            saw_optional |= printed.contains("OPTIONAL");
+            saw_union |= printed.contains("UNION");
+            saw_filter |= printed.contains("FILTER");
+        }
+        assert!(
+            saw_ask && saw_group && saw_order && saw_cut_without_order,
+            "coverage gap: ask={saw_ask} group={saw_group} order={saw_order} cut={saw_cut_without_order}"
+        );
+        assert!(
+            saw_optional && saw_union && saw_filter && saw_distinct,
+            "coverage gap: optional={saw_optional} union={saw_union} filter={saw_filter} distinct={saw_distinct}"
+        );
+    }
+
+    #[test]
+    fn a_smoke_batch_of_cases_passes() {
+        for seed in 0..64 {
+            if let Err(report) = check_case(seed) {
+                panic!("{report}");
+            }
+        }
+    }
+}

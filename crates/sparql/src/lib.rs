@@ -28,7 +28,10 @@
 //!   the `REGEX`/`CONTAINS` filters,
 //! * [`results`] — query results plus SPARQL-JSON (both directions), CSV and
 //!   TSV serialization,
-//! * [`json`] — the minimal JSON reader behind the SPARQL-JSON decoder.
+//! * [`json`] — the minimal JSON reader behind the SPARQL-JSON decoder,
+//! * [`pretty`] — pretty-printer whose output re-parses to the same AST,
+//! * [`fuzz`] — seeded grammar-based query/graph generators and the
+//!   three-way differential + serialization round-trip fuzz harness.
 //!
 //! ```
 //! use hbold_rdf_model::{Iri, Triple, vocab::{foaf, rdf}};
@@ -56,10 +59,12 @@ pub mod encoded;
 pub mod error;
 pub mod eval;
 pub mod expr;
+pub mod fuzz;
 pub mod json;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod pretty;
 pub mod reference;
 pub mod regex;
 pub mod results;
@@ -69,4 +74,5 @@ pub use error::SparqlError;
 pub use eval::{evaluate, evaluate_with, execute_query, execute_query_with, EvalOptions};
 pub use parser::parse_query;
 pub use plan::{parse_cached, PlanCacheStats};
-pub use results::{QueryResults, ResultsParseError, SelectResults};
+pub use pretty::print_query;
+pub use results::{CsvTable, QueryResults, ResultsParseError, SelectResults};

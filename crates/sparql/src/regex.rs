@@ -5,13 +5,18 @@
 //! implements the subset of XPath/XQuery regular expressions that realistic
 //! catalog queries use:
 //!
-//! * literal characters, `.` (any char),
+//! * literal characters, `.` (any char except newline, as XPath specifies),
 //! * character classes `[abc]`, ranges `[a-z]`, negation `[^...]`,
 //! * escapes `\d`, `\w`, `\s` (and their negations), `\.` etc.,
 //! * quantifiers `*`, `+`, `?` (greedy, with backtracking),
 //! * alternation `|` and groups `( ... )`,
-//! * anchors `^` and `$`,
-//! * the `i` (case-insensitive) flag.
+//! * anchors `^` and `$` as real zero-width assertions — valid anywhere in
+//!   the pattern and scoped per alternative (`^a|b` anchors only the first
+//!   branch),
+//! * the flags `i` (case-insensitive), `s` (dot matches newline too),
+//!   `m` (`^`/`$` also match at line boundaries) and `x` (whitespace in the
+//!   pattern is ignored outside character classes). The XPath `q` flag is
+//!   not supported.
 //!
 //! Matching is *search* semantics (the pattern may match anywhere in the
 //! text), as SPARQL specifies. The implementation is a straightforward
@@ -25,8 +30,8 @@ use std::fmt;
 pub struct Regex {
     alternatives: Vec<Vec<Piece>>,
     case_insensitive: bool,
-    anchored_start: bool,
-    anchored_end: bool,
+    dot_all: bool,
+    multiline: bool,
 }
 
 /// Error produced when compiling an invalid pattern.
@@ -60,8 +65,12 @@ enum Quantifier {
 enum Atom {
     /// A single literal character.
     Literal(char),
-    /// `.` — any character.
+    /// `.` — any character except newline (any at all under the `s` flag).
     Any,
+    /// `^` — zero-width start-of-string assertion (start-of-line under `m`).
+    Start,
+    /// `$` — zero-width end-of-string assertion (end-of-line under `m`).
+    End,
     /// A character class.
     Class {
         negated: bool,
@@ -89,29 +98,28 @@ impl Regex {
         Regex::with_flags(pattern, "")
     }
 
-    /// Compiles `pattern` with SPARQL-style flags (only `i` is supported;
-    /// unknown flags are rejected).
+    /// Compiles `pattern` with SPARQL/XPath flags: `i` (case-insensitive),
+    /// `s` (dot-all), `m` (multiline anchors) and `x` (free spacing).
+    /// Unknown flags — including XPath's `q` — are rejected.
     pub fn with_flags(pattern: &str, flags: &str) -> Result<Self, RegexError> {
         let mut case_insensitive = false;
+        let mut dot_all = false;
+        let mut multiline = false;
+        let mut free_spacing = false;
         for f in flags.chars() {
             match f {
                 'i' => case_insensitive = true,
-                's' | 'm' | 'x' => {
-                    // Accepted but not meaningfully different for the patterns
-                    // the system uses (no multiline inputs, no free spacing).
-                }
+                's' => dot_all = true,
+                'm' => multiline = true,
+                'x' => free_spacing = true,
                 other => return Err(RegexError(format!("unsupported flag '{other}'"))),
             }
         }
-        let mut chars: Vec<char> = pattern.chars().collect();
-        let anchored_start = chars.first() == Some(&'^');
-        if anchored_start {
-            chars.remove(0);
-        }
-        let anchored_end = chars.last() == Some(&'$') && !ends_with_escaped_dollar(&chars);
-        if anchored_end {
-            chars.pop();
-        }
+        let chars: Vec<char> = if free_spacing {
+            strip_free_spacing(pattern)
+        } else {
+            pattern.chars().collect()
+        };
         let mut parser = PatternParser {
             chars: &chars,
             pos: 0,
@@ -123,33 +131,24 @@ impl Regex {
         Ok(Regex {
             alternatives,
             case_insensitive,
-            anchored_start,
-            anchored_end,
+            dot_all,
+            multiline,
         })
     }
 
     /// Returns `true` if the pattern matches anywhere in `text`
-    /// (or at the anchored positions when `^`/`$` are used).
+    /// (or at the asserted positions when `^`/`$` are used).
     pub fn is_match(&self, text: &str) -> bool {
         let chars: Vec<char> = if self.case_insensitive {
             text.chars().flat_map(|c| c.to_lowercase()).collect()
         } else {
             text.chars().collect()
         };
-        let starts: Vec<usize> = if self.anchored_start {
-            vec![0]
-        } else {
-            (0..=chars.len()).collect()
-        };
-        for start in starts {
+        for start in 0..=chars.len() {
             for alt in &self.alternatives {
                 let mut ends = Vec::new();
                 self.match_seq(alt, &chars, start, &mut ends);
-                if self.anchored_end {
-                    if ends.iter().any(|&e| e == chars.len()) {
-                        return true;
-                    }
-                } else if !ends.is_empty() {
+                if !ends.is_empty() {
                     return true;
                 }
             }
@@ -213,6 +212,24 @@ impl Regex {
                 ends.dedup();
                 ends
             }
+            // Zero-width assertions: they consume nothing, so they succeed by
+            // yielding the *current* position (not pos + 1).
+            Atom::Start => {
+                let at_start = pos == 0 || (self.multiline && text[pos - 1] == '\n');
+                if at_start {
+                    vec![pos]
+                } else {
+                    Vec::new()
+                }
+            }
+            Atom::End => {
+                let at_end = pos == text.len() || (self.multiline && text.get(pos) == Some(&'\n'));
+                if at_end {
+                    vec![pos]
+                } else {
+                    Vec::new()
+                }
+            }
             _ => {
                 let Some(&c) = text.get(pos) else {
                     return Vec::new();
@@ -225,14 +242,16 @@ impl Regex {
                             *l == c
                         }
                     }
-                    Atom::Any => true,
+                    // XPath default: `.` matches everything except newline;
+                    // the `s` (dot-all) flag lifts the exception.
+                    Atom::Any => self.dot_all || c != '\n',
                     Atom::Class { negated, items } => {
                         let inside = items
                             .iter()
                             .any(|item| class_item_matches(item, c, self.case_insensitive));
                         inside != *negated
                     }
-                    Atom::Group(_) => unreachable!(),
+                    Atom::Group(_) | Atom::Start | Atom::End => unreachable!(),
                 };
                 if matched {
                     vec![pos + 1]
@@ -244,8 +263,37 @@ impl Regex {
     }
 }
 
-fn ends_with_escaped_dollar(chars: &[char]) -> bool {
-    chars.len() >= 2 && chars[chars.len() - 1] == '$' && chars[chars.len() - 2] == '\\'
+/// Implements the `x` flag: removes unescaped whitespace outside character
+/// classes before parsing (so `a b | c d` means `ab|cd`). Whitespace inside
+/// `[...]` and escaped whitespace (`\ `) are preserved.
+fn strip_free_spacing(pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut in_class = false;
+    let mut escaped = false;
+    for c in pattern.chars() {
+        if escaped {
+            out.push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => {
+                out.push(c);
+                escaped = true;
+            }
+            '[' if !in_class => {
+                out.push(c);
+                in_class = true;
+            }
+            ']' if in_class => {
+                out.push(c);
+                in_class = false;
+            }
+            c if c.is_whitespace() && !in_class => {}
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn class_item_matches(item: &ClassItem, c: char, case_insensitive: bool) -> bool {
@@ -297,6 +345,9 @@ impl PatternParser<'_> {
                 Some(_) => {
                     let atom = self.parse_atom()?;
                     let quantifier = self.parse_quantifier();
+                    if matches!(atom, Atom::Start | Atom::End) && quantifier != Quantifier::One {
+                        return Err(RegexError("quantifier applied to an anchor".into()));
+                    }
                     current.push(Piece { atom, quantifier });
                 }
             }
@@ -327,6 +378,8 @@ impl PatternParser<'_> {
         self.pos += 1;
         match c {
             '.' => Ok(Atom::Any),
+            '^' => Ok(Atom::Start),
+            '$' => Ok(Atom::End),
             '(' => {
                 let alternatives = self.parse_alternatives(true)?;
                 if self.peek() != Some(')') {
@@ -553,6 +606,66 @@ mod tests {
         assert!(Regex::new("[z-a]").is_err());
         assert!(Regex::with_flags("x", "q").is_err());
         assert!(Regex::new("[]").is_err());
+    }
+
+    #[test]
+    fn anchors_are_per_alternative_and_positional() {
+        // `^a|b`: only the first branch is anchored (the old implementation
+        // stripped a leading `^` for the whole pattern, anchoring both).
+        let re = Regex::new("^a|b").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(re.is_match("zb"), "the b branch is not anchored");
+        assert!(!re.is_match("za"));
+        // `$` mid-pattern is an assertion, not a literal character.
+        let re = Regex::new("a$b").unwrap();
+        assert!(!re.is_match("a$b"));
+        assert!(!re.is_match("ab"));
+        // Anchors work inside groups.
+        let re = Regex::new("(^h|f)ttp").unwrap();
+        assert!(re.is_match("http"));
+        assert!(re.is_match("xfttp"));
+        assert!(!re.is_match("xhttp"));
+        // Quantifying an anchor is an error.
+        assert!(Regex::new("^*a").is_err());
+        assert!(Regex::new("a$+").is_err());
+    }
+
+    #[test]
+    fn dot_does_not_match_newline_by_default() {
+        let re = Regex::new("a.b").unwrap();
+        assert!(re.is_match("axb"));
+        assert!(!re.is_match("a\nb"));
+        let re = Regex::with_flags("a.b", "s").unwrap();
+        assert!(re.is_match("a\nb"));
+    }
+
+    #[test]
+    fn multiline_flag_moves_anchors_to_line_boundaries() {
+        let re = Regex::new("^b$").unwrap();
+        assert!(!re.is_match("a\nb"));
+        let re = Regex::with_flags("^b$", "m").unwrap();
+        assert!(re.is_match("a\nb"));
+        assert!(re.is_match("b\nc"));
+        assert!(!re.is_match("ab"));
+    }
+
+    #[test]
+    fn free_spacing_flag_ignores_pattern_whitespace() {
+        let re = Regex::with_flags("s p a r q l", "x").unwrap();
+        assert!(re.is_match("sparql"));
+        assert!(!re.is_match("s p a r q l"));
+        // Whitespace inside a class and escaped whitespace survive.
+        let re = Regex::with_flags("a[ ]b", "x").unwrap();
+        assert!(re.is_match("a b"));
+        let re = Regex::with_flags(r"a\ b", "x").unwrap();
+        assert!(re.is_match("a b"));
+    }
+
+    #[test]
+    fn escaped_anchors_remain_literals() {
+        let re = Regex::new(r"\^x\$").unwrap();
+        assert!(re.is_match("pay ^x$ now"));
+        assert!(!re.is_match("x"));
     }
 
     #[test]

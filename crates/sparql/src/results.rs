@@ -10,6 +10,7 @@
 
 use std::fmt;
 
+use hbold_rdf_model::vocab::rdf;
 use hbold_rdf_model::{BlankNode, Iri, Literal, Term};
 
 use crate::expr::Binding;
@@ -130,19 +131,38 @@ fn term_from_json(value: &JsonValue) -> Result<Term, ResultsParseError> {
             .map(Term::Iri)
             .map_err(|e| ResultsParseError(format!("invalid IRI term: {}", e.reason()))),
         "bnode" => Ok(Term::Blank(BlankNode::new(lexical))),
-        // "typed-literal" is the legacy D2R/Virtuoso spelling.
-        "literal" | "typed-literal" => {
-            if let Some(lang) = value.get("xml:lang").and_then(JsonValue::as_str) {
-                Ok(Term::Literal(Literal::lang_string(lexical, lang)))
-            } else if let Some(dt) = value.get("datatype").and_then(JsonValue::as_str) {
-                let datatype = Iri::new(dt).map_err(|e| {
-                    ResultsParseError(format!("invalid datatype IRI: {}", e.reason()))
-                })?;
-                Ok(Term::Literal(Literal::typed(lexical, datatype)))
-            } else {
-                Ok(Term::Literal(Literal::string(lexical)))
+        "literal" => {
+            let lang = value.get("xml:lang").and_then(JsonValue::as_str);
+            let dt = value.get("datatype").and_then(JsonValue::as_str);
+            match (lang, dt) {
+                // The encoder emits *either* xml:lang or datatype, never
+                // both; a document carrying both is corrupt, not a term this
+                // implementation could have produced.
+                (Some(_), Some(_)) => Err(ResultsParseError(
+                    "literal carries both xml:lang and datatype".into(),
+                )),
+                (Some(lang), None) => Ok(Term::Literal(Literal::lang_string(lexical, lang))),
+                (None, Some(dt)) => {
+                    let datatype = Iri::new(dt).map_err(|e| {
+                        ResultsParseError(format!("invalid datatype IRI: {}", e.reason()))
+                    })?;
+                    // rdf:langString only ever appears *with* a language tag.
+                    if datatype == rdf::lang_string() {
+                        return Err(ResultsParseError(
+                            "rdf:langString literal without xml:lang".into(),
+                        ));
+                    }
+                    Ok(Term::Literal(Literal::typed(lexical, datatype)))
+                }
+                (None, None) => Ok(Term::Literal(Literal::string(lexical))),
             }
         }
+        // The legacy D2R/Virtuoso "typed-literal" spelling is deliberately
+        // rejected: the encoder in this crate can never emit it, so a decoder
+        // accepting it could not be exercised by round-trip testing.
+        "typed-literal" => Err(ResultsParseError(
+            "legacy \"typed-literal\" term type is not supported".into(),
+        )),
         other => Err(ResultsParseError(format!("unknown term type {other:?}"))),
     }
 }
@@ -277,6 +297,265 @@ impl SelectResults {
             out.push('\n');
         }
         out
+    }
+
+    /// Parses a SPARQL TSV results document — the exact inverse of
+    /// [`SelectResults::to_tsv`]: variables, row order, bound/unbound
+    /// structure and every term (IRI, blank node, plain / language-tagged /
+    /// typed literal) survive the round-trip losslessly.
+    ///
+    /// The decoder is strict: it only accepts what the encoder can emit
+    /// (backslash escapes limited to `\" \\ \n \r \t`, `?`-prefixed header
+    /// columns, one solution per line, a trailing newline).
+    pub fn from_tsv(text: &str) -> Result<SelectResults, ResultsParseError> {
+        let mut lines: Vec<&str> = text.split('\n').collect();
+        // The encoder terminates every line, including the last row, with
+        // '\n', so a well-formed document splits into a trailing "".
+        match lines.pop() {
+            Some("") => {}
+            _ => return Err(ResultsParseError("TSV must end with a newline".into())),
+        }
+        if lines.is_empty() {
+            return Err(ResultsParseError("TSV is missing its header line".into()));
+        }
+        let header = lines.remove(0);
+        let variables: Vec<String> = if header.is_empty() {
+            Vec::new()
+        } else {
+            header
+                .split('\t')
+                .map(|col| match col.strip_prefix('?') {
+                    Some(name) if !name.is_empty() => Ok(name.to_string()),
+                    _ => Err(ResultsParseError(format!(
+                        "TSV header column {col:?} is not a ?-prefixed variable"
+                    ))),
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let mut rows = Vec::with_capacity(lines.len());
+        for line in lines {
+            let row: Vec<Option<Term>> = if variables.is_empty() {
+                if !line.is_empty() {
+                    return Err(ResultsParseError(
+                        "TSV row has cells but the header projects no variables".into(),
+                    ));
+                }
+                Vec::new()
+            } else {
+                let cells: Vec<&str> = line.split('\t').collect();
+                if cells.len() != variables.len() {
+                    return Err(ResultsParseError(format!(
+                        "TSV row has {} cells, header has {} variables",
+                        cells.len(),
+                        variables.len()
+                    )));
+                }
+                cells.into_iter().map(tsv_term).collect::<Result<_, _>>()?
+            };
+            rows.push(row);
+        }
+        Ok(SelectResults { variables, rows })
+    }
+}
+
+/// Parses one TSV cell: empty = unbound, otherwise an N-Triples term.
+fn tsv_term(cell: &str) -> Result<Option<Term>, ResultsParseError> {
+    if cell.is_empty() {
+        return Ok(None);
+    }
+    if let Some(rest) = cell.strip_prefix('<') {
+        let iri = rest
+            .strip_suffix('>')
+            .ok_or_else(|| ResultsParseError(format!("unterminated IRI cell {cell:?}")))?;
+        return Iri::new(iri)
+            .map(|iri| Some(Term::Iri(iri)))
+            .map_err(|e| ResultsParseError(format!("invalid IRI in TSV: {}", e.reason())));
+    }
+    if let Some(label) = cell.strip_prefix("_:") {
+        // Only labels the encoder can produce (BlankNode sanitizes to this
+        // alphabet), so decoding them with `BlankNode::new` is lossless.
+        if label.is_empty()
+            || !label
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+        {
+            return Err(ResultsParseError(format!(
+                "invalid blank node label in TSV: {label:?}"
+            )));
+        }
+        return Ok(Some(Term::Blank(BlankNode::new(label))));
+    }
+    if !cell.starts_with('"') {
+        return Err(ResultsParseError(format!("unrecognized TSV term {cell:?}")));
+    }
+    // Quoted literal: unescape up to the closing quote, then read the
+    // optional @lang / ^^<datatype> suffix.
+    let mut lexical = String::new();
+    let mut chars = cell.chars().skip(1);
+    loop {
+        match chars.next() {
+            None => {
+                return Err(ResultsParseError(format!(
+                    "unterminated literal cell {cell:?}"
+                )))
+            }
+            Some('"') => break,
+            Some('\\') => match chars.next() {
+                Some('"') => lexical.push('"'),
+                Some('\\') => lexical.push('\\'),
+                Some('n') => lexical.push('\n'),
+                Some('r') => lexical.push('\r'),
+                Some('t') => lexical.push('\t'),
+                other => {
+                    return Err(ResultsParseError(format!(
+                        "unsupported escape \\{} in TSV literal",
+                        other.map(String::from).unwrap_or_default()
+                    )))
+                }
+            },
+            Some(c) => lexical.push(c),
+        }
+    }
+    let suffix: String = chars.collect();
+    if suffix.is_empty() {
+        return Ok(Some(Term::Literal(Literal::string(lexical))));
+    }
+    if let Some(lang) = suffix.strip_prefix('@') {
+        if lang.is_empty() || !lang.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+            return Err(ResultsParseError(format!(
+                "invalid language tag {lang:?} in TSV literal"
+            )));
+        }
+        return Ok(Some(Term::Literal(Literal::lang_string(lexical, lang))));
+    }
+    if let Some(dt) = suffix.strip_prefix("^^") {
+        let iri = dt
+            .strip_prefix('<')
+            .and_then(|d| d.strip_suffix('>'))
+            .ok_or_else(|| {
+                ResultsParseError(format!("datatype {dt:?} is not an <IRI> in TSV literal"))
+            })?;
+        let datatype = Iri::new(iri).map_err(|e| {
+            ResultsParseError(format!("invalid datatype IRI in TSV: {}", e.reason()))
+        })?;
+        return Ok(Some(Term::Literal(Literal::typed(lexical, datatype))));
+    }
+    Err(ResultsParseError(format!(
+        "unexpected characters {suffix:?} after TSV literal"
+    )))
+}
+
+/// A decoded CSV results document: the raw header and cell strings.
+///
+/// SPARQL's CSV serialization is intentionally *lossy* — cells hold term
+/// string values with no type, language or bound/unbound distinction — so
+/// decoding produces strings, not [`Term`]s. What the decoder does guarantee
+/// (and what the fuzz harness checks) is that RFC 4180 quoting round-trips
+/// every string exactly: commas, quotes, newlines and carriage returns
+/// embedded in values never corrupt the table structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvTable {
+    /// The header row (variable names).
+    pub header: Vec<String>,
+    /// One entry per solution, in order; each holds one string per variable.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Parses an RFC 4180 CSV document as produced by
+    /// [`SelectResults::to_csv`]. Quoted fields may contain commas, doubled
+    /// quotes, newlines and carriage returns; a quote inside an unquoted
+    /// field, a lone CR between fields, or text after a closing quote are
+    /// rejected.
+    pub fn parse(text: &str) -> Result<CsvTable, ResultsParseError> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut i = 0;
+        let mut records: Vec<Vec<String>> = Vec::new();
+        'records: loop {
+            let mut record: Vec<String> = Vec::new();
+            loop {
+                let mut field = String::new();
+                if chars.get(i) == Some(&'"') {
+                    i += 1;
+                    loop {
+                        match chars.get(i) {
+                            None => {
+                                return Err(ResultsParseError(
+                                    "unterminated quoted CSV field".into(),
+                                ))
+                            }
+                            Some('"') if chars.get(i + 1) == Some(&'"') => {
+                                field.push('"');
+                                i += 2;
+                            }
+                            Some('"') => {
+                                i += 1;
+                                break;
+                            }
+                            Some(&c) => {
+                                field.push(c);
+                                i += 1;
+                            }
+                        }
+                    }
+                } else {
+                    while let Some(&c) = chars.get(i) {
+                        if c == ',' || c == '\n' || c == '\r' {
+                            break;
+                        }
+                        if c == '"' {
+                            return Err(ResultsParseError(
+                                "quote inside unquoted CSV field".into(),
+                            ));
+                        }
+                        field.push(c);
+                        i += 1;
+                    }
+                }
+                record.push(field);
+                match chars.get(i) {
+                    Some(',') => i += 1,
+                    Some('\r') if chars.get(i + 1) == Some(&'\n') => {
+                        i += 2;
+                        break;
+                    }
+                    Some('\n') => {
+                        i += 1;
+                        break;
+                    }
+                    None => {
+                        records.push(record);
+                        break 'records;
+                    }
+                    Some(c) => {
+                        return Err(ResultsParseError(format!(
+                            "unexpected {c:?} after CSV field"
+                        )))
+                    }
+                }
+            }
+            records.push(record);
+            if i >= chars.len() {
+                break;
+            }
+        }
+        if records.is_empty() {
+            return Err(ResultsParseError("CSV is missing its header row".into()));
+        }
+        let header = records.remove(0);
+        for (n, row) in records.iter().enumerate() {
+            if row.len() != header.len() {
+                return Err(ResultsParseError(format!(
+                    "CSV row {n} has {} fields, header has {}",
+                    row.len(),
+                    header.len()
+                )));
+            }
+        }
+        Ok(CsvTable {
+            header,
+            rows: records,
+        })
     }
 }
 
@@ -513,6 +792,124 @@ mod tests {
             "{\"head\":{\"vars\":[\"s\"]},\"results\":{\"bindings\":[{\"s\":{\"value\":\"x\"}}]}}",
             "{\"head\":{\"vars\":[\"s\"]},\"results\":{\"bindings\":[{\"s\":{\"type\":\"nope\",\"value\":\"x\"}}]}}",
             "{\"boolean\":\"yes\"}",
+        ] {
+            assert!(
+                QueryResults::from_sparql_json(bad).is_err(),
+                "accepted: {bad}"
+            );
+        }
+    }
+
+    fn nasty_table() -> SelectResults {
+        let nasty = [
+            "plain",
+            "say \"hi\"",
+            "back\\slash",
+            "line\nbreak\rand\ttab",
+            "comma,separated",
+            "unicode é ☃ 😀",
+            "",
+        ];
+        let mut rows: Vec<Vec<Option<Term>>> = nasty
+            .iter()
+            .map(|s| {
+                vec![
+                    Some(Term::Literal(Literal::string(*s))),
+                    Some(Term::Literal(Literal::lang_string(*s, "en-gb"))),
+                    None,
+                ]
+            })
+            .collect();
+        rows.push(vec![
+            Some(Term::Iri(Iri::new("http://e.org/x#frag").unwrap())),
+            Some(Term::Blank(hbold_rdf_model::BlankNode::new("b1"))),
+            Some(Term::Literal(Literal::integer(i64::MIN))),
+        ]);
+        SelectResults {
+            variables: vec!["a".into(), "b".into(), "c".into()],
+            rows,
+        }
+    }
+
+    #[test]
+    fn tsv_round_trips_adversarial_table() {
+        let original = nasty_table();
+        let tsv = original.to_tsv();
+        assert_eq!(SelectResults::from_tsv(&tsv).unwrap(), original);
+        // Zero-variable tables (SELECT * over an empty pattern) round-trip
+        // too, including the empty-row / zero-cells distinction.
+        let empty = SelectResults {
+            variables: vec![],
+            rows: vec![vec![], vec![]],
+        };
+        assert_eq!(SelectResults::from_tsv(&empty.to_tsv()).unwrap(), empty);
+        // An unbound single cell is distinguishable from the empty string.
+        let unbound = SelectResults {
+            variables: vec!["v".into()],
+            rows: vec![vec![None], vec![Some(Term::Literal(Literal::string("")))]],
+        };
+        assert_eq!(SelectResults::from_tsv(&unbound.to_tsv()).unwrap(), unbound);
+    }
+
+    #[test]
+    fn malformed_tsv_is_rejected() {
+        for bad in [
+            "",                                         // no trailing newline / no header
+            "v\n",                                      // header column without '?'
+            "?v\n<http://e.org/a>\t<http://e.org/b>\n", // cell count mismatch
+            "?v\n\"bad\\qescape\"\n",                   // unknown escape
+            "?v\n\"unterminated\n",                     // unterminated literal
+            "?v\n\"x\"@bad tag\n",                      // invalid language tag
+            "?v\n\"x\"^^plain\n",                       // datatype not an <IRI>
+            "?v\nnot-a-term\n",
+            "?v\n_:label with space\n",
+        ] {
+            assert!(
+                SelectResults::from_tsv(bad).is_err(),
+                "accepted TSV: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn csv_parse_round_trips_string_values() {
+        let original = nasty_table();
+        let table = CsvTable::parse(&original.to_csv()).unwrap();
+        assert_eq!(table.header, original.variables);
+        assert_eq!(table.rows.len(), original.rows.len());
+        for (parsed, row) in table.rows.iter().zip(&original.rows) {
+            for (cell, term) in parsed.iter().zip(row) {
+                let expected = term
+                    .as_ref()
+                    .map(|t| crate::expr::term_string_value(t))
+                    .unwrap_or_default();
+                assert_eq!(cell, &expected);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_csv_is_rejected() {
+        for bad in [
+            "v\n\"unterminated",
+            "v\nfield\"with quote\n",
+            "v\n\"closed\"trailing\n",
+            "v\nbare\rreturn\n",
+            "a,b\nonly-one\n",
+        ] {
+            assert!(CsvTable::parse(bad).is_err(), "accepted CSV: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn json_decoder_rejects_what_the_encoder_cannot_emit() {
+        for bad in [
+            // Legacy "typed-literal" spelling.
+            "{\"head\":{\"vars\":[\"s\"]},\"results\":{\"bindings\":[{\"s\":{\"type\":\"typed-literal\",\"value\":\"5\",\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\"}}]}}",
+            // Both xml:lang and datatype on one literal.
+            "{\"head\":{\"vars\":[\"s\"]},\"results\":{\"bindings\":[{\"s\":{\"type\":\"literal\",\"value\":\"x\",\"xml:lang\":\"en\",\"datatype\":\"http://www.w3.org/2001/XMLSchema#string\"}}]}}",
+            // rdf:langString without a language tag.
+            "{\"head\":{\"vars\":[\"s\"]},\"results\":{\"bindings\":[{\"s\":{\"type\":\"literal\",\"value\":\"x\",\"datatype\":\"http://www.w3.org/1999/02/22-rdf-syntax-ns#langString\"}}]}}",
         ] {
             assert!(
                 QueryResults::from_sparql_json(bad).is_err(),

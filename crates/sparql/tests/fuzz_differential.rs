@@ -1,0 +1,40 @@
+//! Grammar-based fuzz sweep: every seeded case must pass the three-way
+//! differential check, the parse → pretty-print → re-parse fixpoint, and the
+//! JSON/CSV/TSV serialization round-trips (see `hbold_sparql::fuzz`).
+//!
+//! * `HBOLD_FUZZ_CASES=<n>` scales the sweep (default 512; the CI smoke job
+//!   uses the default, local deep sweeps use 10k+).
+//! * `HBOLD_FUZZ_SEED=<seed>` reruns exactly one failing case.
+//!
+//! On failure the panic message embeds the seed and the generated query, so
+//! any red run is reproducible with `HBOLD_FUZZ_SEED`.
+
+use hbold_sparql::fuzz::{cases_from_env, check_case, seed_from_env};
+
+#[test]
+fn generated_queries_agree_across_engines_and_serializations() {
+    if let Some(seed) = seed_from_env() {
+        if let Err(report) = check_case(seed) {
+            panic!("HBOLD_FUZZ_SEED reproduction failed:\n{report}");
+        }
+        return;
+    }
+    let cases = cases_from_env(512);
+    let mut failures = Vec::new();
+    for seed in 0..cases {
+        if let Err(report) = check_case(seed) {
+            eprintln!("fuzz failure: {report}");
+            failures.push(seed);
+            if failures.len() >= 5 {
+                break;
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} fuzz case(s) failed; rerun one with HBOLD_FUZZ_SEED={} \
+         (see stderr for the full reports)",
+        failures.len(),
+        failures[0]
+    );
+}

@@ -1,0 +1,381 @@
+//! Minimized, pinned regressions for every bug the fuzzing sweep's bug-fix
+//! pass covered, plus property tests over fuzz-generated regex patterns.
+//!
+//! Each test is the smallest graph + query that exercised the original
+//! defect; they stay green forever regardless of the fuzz case count.
+
+use hbold_rdf_model::vocab::xsd;
+use hbold_rdf_model::{Iri, Literal, Term, Triple};
+use hbold_sparql::expr::number_term;
+use hbold_sparql::fuzz::{random_regex_pattern, FuzzRng};
+use hbold_sparql::regex::Regex;
+use hbold_sparql::{evaluate_with, reference, EvalOptions, QueryResults};
+use hbold_triple_store::TripleStore;
+
+fn iri(s: &str) -> Iri {
+    Iri::new(s).unwrap()
+}
+
+/// All three engines on a query string; panics if any disagrees with the
+/// reference (exact rows — every caller pins an ORDER BY or a 0/1-row shape).
+fn three_way(store: &TripleStore, query: &str) -> QueryResults {
+    let parsed = hbold_sparql::parse_query(query).unwrap();
+    let naive = reference::evaluate(store, &parsed).unwrap();
+    let sequential = hbold_sparql::evaluate(store, &parsed).unwrap();
+    let mut options = EvalOptions::with_threads(3);
+    options.parallel_threshold = 1;
+    let parallel = evaluate_with(store, &parsed, &options).unwrap();
+    let render = |r: &QueryResults| match r {
+        QueryResults::Ask(b) => format!("ask:{b}"),
+        QueryResults::Select(s) => format!(
+            "{:?}|{:?}",
+            s.variables,
+            s.rows
+                .iter()
+                .map(|row| row
+                    .iter()
+                    .map(|c| c.as_ref().map(|t| t.to_ntriples()))
+                    .collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        ),
+    };
+    assert_eq!(
+        render(&naive),
+        render(&sequential),
+        "sequential diverged on {query}"
+    );
+    assert_eq!(
+        render(&naive),
+        render(&parallel),
+        "parallel diverged on {query}"
+    );
+    naive
+}
+
+fn numeric_store() -> TripleStore {
+    let mut store = TripleStore::new();
+    let p = iri("http://r.example/p");
+    for (label, term) in [
+        ("a", Term::Literal(Literal::typed("NaN", xsd::double()))),
+        ("b", Term::Literal(Literal::integer(1))),
+        ("c", Term::Literal(Literal::integer(i64::MIN))),
+        ("d", Term::Literal(Literal::double(2.5))),
+    ] {
+        store.insert(&Triple::new(
+            iri(&format!("http://r.example/{label}")),
+            p.clone(),
+            term,
+        ));
+    }
+    store
+}
+
+// ---- expr.rs: float→int narrowing at the i64 boundary ----------------------------
+
+/// `number_term` used `value.fract() == 0.0 && value.abs() < i64::MAX as f64`,
+/// which (a) excluded `-2^63` (exactly representable; its absolute value is
+/// *not* strictly below `i64::MAX as f64 == 2^63`) and (b) leaned on the
+/// rounded-up constant. The representable window is the half-open
+/// `[-2^63, 2^63)`.
+#[test]
+fn number_term_handles_the_i64_boundary() {
+    // i64::MIN is exactly representable and must narrow to an integer.
+    assert_eq!(
+        number_term(i64::MIN as f64),
+        Term::Literal(Literal::integer(i64::MIN))
+    );
+    // 2^63 (`i64::MAX as f64` rounds up to it) is NOT representable as i64;
+    // it must stay a double (whatever lexical form Rust's formatter picks).
+    let two_63 = 9_223_372_036_854_775_808.0_f64;
+    assert_eq!(
+        number_term(two_63),
+        Term::Literal(Literal::typed(format!("{two_63}"), xsd::double()))
+    );
+    // The largest f64 below 2^63 still narrows.
+    assert_eq!(
+        number_term(9_223_372_036_854_774_784.0),
+        Term::Literal(Literal::integer(9_223_372_036_854_774_784))
+    );
+    // Just below -2^63 stays a double.
+    let below_min = -9_223_372_036_854_777_856.0_f64;
+    assert_eq!(
+        number_term(below_min),
+        Term::Literal(Literal::typed(format!("{below_min}"), xsd::double()))
+    );
+    // NaN/infinities must never enter the integer branch.
+    assert_eq!(
+        number_term(f64::NAN),
+        Term::Literal(Literal::typed("NaN", xsd::double()))
+    );
+    assert_eq!(
+        number_term(f64::INFINITY),
+        Term::Literal(Literal::typed("inf", xsd::double()))
+    );
+}
+
+/// SUM over a graph containing `i64::MIN` flows through `number_term`; the
+/// engines must agree and keep it integral.
+#[test]
+fn aggregating_i64_min_stays_integral_everywhere() {
+    let mut store = TripleStore::new();
+    store.insert(&Triple::new(
+        iri("http://r.example/c"),
+        iri("http://r.example/p"),
+        Term::Literal(Literal::integer(i64::MIN)),
+    ));
+    let results = three_way(&store, "SELECT (SUM(?o) AS ?t) WHERE { ?s ?p ?o }");
+    let rows = results.into_select().unwrap().rows;
+    assert_eq!(
+        rows[0][0].as_ref().unwrap(),
+        &Term::Literal(Literal::integer(i64::MIN))
+    );
+}
+
+// ---- expr.rs: NaN and mixed-type comparison semantics ----------------------------
+
+/// `"NaN"^^xsd:double = <itself>` fell through to RDF term equality and came
+/// out `true`; XPath numeric comparison says NaN is unequal to everything,
+/// itself included. `!=` is the complement; the ordering operators are an
+/// error (row filtered out) in every engine.
+#[test]
+fn nan_compares_unequal_to_itself_in_all_engines() {
+    let store = numeric_store();
+    // `?o = ?o` keeps every row except the NaN one.
+    let eq = three_way(
+        &store,
+        "SELECT ?o WHERE { ?s ?p ?o FILTER(?o = ?o) } ORDER BY ?o",
+    );
+    let eq_rows = eq.into_select().unwrap().rows;
+    assert_eq!(eq_rows.len(), 3, "NaN row must fail ?o = ?o");
+    assert!(eq_rows
+        .iter()
+        .all(|r| r[0].as_ref().unwrap().label() != "NaN"));
+
+    // `?o != ?o` keeps exactly the NaN row.
+    let ne = three_way(&store, "SELECT ?o WHERE { ?s ?p ?o FILTER(?o != ?o) }");
+    let ne_rows = ne.into_select().unwrap().rows;
+    assert_eq!(ne_rows.len(), 1);
+    assert_eq!(ne_rows[0][0].as_ref().unwrap().label(), "NaN");
+
+    // Ordering comparisons on NaN are an evaluation error → row dropped.
+    let lt = three_way(
+        &store,
+        "SELECT ?o WHERE { ?s ?p ?o FILTER(?o <= ?o) } ORDER BY ?o",
+    );
+    assert_eq!(lt.into_select().unwrap().rows.len(), 3);
+}
+
+/// Mixed-type `=`/`!=` (number vs string) still falls back to RDF term
+/// equality rather than erroring, and ORDER BY over a value set containing
+/// NaN and mixed types produces the same deterministic order everywhere.
+#[test]
+fn mixed_type_equality_and_nan_ordering_agree() {
+    let mut store = numeric_store();
+    store.insert(&Triple::new(
+        iri("http://r.example/e"),
+        iri("http://r.example/p"),
+        Term::Literal(Literal::string("1")),
+    ));
+    let eq = three_way(
+        &store,
+        "SELECT ?o WHERE { ?s ?p ?o FILTER(?o = \"1\") } ORDER BY ?o",
+    );
+    // Only the plain string "1" is term-equal to "1"; the integer 1 is not.
+    let rows = eq.into_select().unwrap().rows;
+    assert_eq!(rows.len(), 1);
+    assert_eq!(
+        rows[0][0].as_ref().unwrap(),
+        &Term::Literal(Literal::string("1"))
+    );
+    // Total order over NaN + integers + doubles + strings is consistent.
+    three_way(&store, "SELECT ?o WHERE { ?s ?p ?o } ORDER BY ?o ?s");
+}
+
+// ---- eval.rs / encoded.rs: LIMIT/OFFSET arithmetic at the extremes ---------------
+
+/// `ORDER BY` + huge `LIMIT`/`OFFSET` drove `order_solutions_topk` into
+/// `BinaryHeap::with_capacity(offset + limit + 1)` — a capacity-overflow
+/// abort reachable straight from the parser. The capacity hint is now
+/// clamped; the whole pipeline must survive and return the right rows.
+#[test]
+fn huge_limit_offset_under_order_by_does_not_panic() {
+    let store = numeric_store();
+    let q = "SELECT ?o WHERE { ?s ?p ?o } ORDER BY ?o \
+             LIMIT 9223372036854775807 OFFSET 9223372036854775807";
+    let results = three_way(&store, q);
+    assert!(results.into_select().unwrap().rows.is_empty());
+
+    // Same extreme without the OFFSET: every row survives the cut.
+    let q = "SELECT ?o WHERE { ?s ?p ?o } ORDER BY ?o LIMIT 9223372036854775807";
+    let results = three_way(&store, q);
+    assert_eq!(results.into_select().unwrap().rows.len(), 4);
+
+    // DISTINCT disables the top-k path; the plain sort path must cope too.
+    let q = "SELECT DISTINCT ?o WHERE { ?s ?p ?o } ORDER BY ?o \
+             LIMIT 9223372036854775806 OFFSET 1";
+    let results = three_way(&store, q);
+    assert_eq!(results.into_select().unwrap().rows.len(), 3);
+}
+
+/// LIMIT 0 and OFFSET beyond the result size, ordered and unordered, grouped
+/// and plain — all cut to empty without overflow or underflow.
+#[test]
+fn zero_limit_and_oversized_offset_cut_to_empty() {
+    let store = numeric_store();
+    for q in [
+        "SELECT ?o WHERE { ?s ?p ?o } LIMIT 0",
+        "SELECT ?o WHERE { ?s ?p ?o } ORDER BY ?o LIMIT 0",
+        "SELECT ?o WHERE { ?s ?p ?o } OFFSET 1000",
+        "SELECT ?o WHERE { ?s ?p ?o } ORDER BY ?o OFFSET 9223372036854775807",
+        "SELECT DISTINCT ?o WHERE { ?s ?p ?o } LIMIT 0 OFFSET 2",
+        "SELECT (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } LIMIT 0",
+        "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s OFFSET 99",
+    ] {
+        let results = three_way(&store, q);
+        assert!(
+            results.into_select().unwrap().rows.is_empty(),
+            "expected an empty cut for {q}"
+        );
+    }
+    // OFFSET mid-stream under ORDER BY: exact tail retained.
+    let q = "SELECT ?o WHERE { ?s ?p ?o } ORDER BY ?o LIMIT 2 OFFSET 1";
+    let results = three_way(&store, q);
+    assert_eq!(results.into_select().unwrap().rows.len(), 2);
+}
+
+// ---- regex.rs: flags and anchors on fuzz-generated patterns ----------------------
+
+/// Property sweep over fuzz-generated patterns: flag and anchor behavior
+/// must match SPARQL (XPath/XSD regex) semantics. Each property is checked
+/// against several adversarial texts.
+#[test]
+fn fuzz_generated_patterns_obey_flag_and_anchor_semantics() {
+    let texts = [
+        "",
+        "a",
+        "b",
+        "sab",
+        "AB",
+        "Sparql",
+        "line\nbreak",
+        "a\nb",
+        "..",
+        "ab|b",
+    ];
+    let mut rng = FuzzRng::new(0xF1A6);
+    for _ in 0..600 {
+        let pattern = random_regex_pattern(&mut rng);
+        let plain = Regex::new(&pattern)
+            .unwrap_or_else(|e| panic!("generator produced invalid pattern {pattern:?}: {e}"));
+        let ci = Regex::with_flags(&pattern, "i").unwrap();
+        let dotall = Regex::with_flags(&pattern, "s").unwrap();
+        for text in texts {
+            let hit = plain.is_match(text);
+            // "i" on ASCII text: case of the *text* cannot matter.
+            assert_eq!(
+                ci.is_match(text),
+                ci.is_match(&text.to_ascii_uppercase()),
+                "i-flag case sensitivity leak: {pattern:?} on {text:?}"
+            );
+            // "i" only widens the plain match — except for negated classes,
+            // where folding legitimately *excludes* more (`[^b]` under "i"
+            // must reject `B` as well).
+            if hit && !pattern.contains("[^") {
+                assert!(ci.is_match(text), "i-flag narrowed {pattern:?} on {text:?}");
+            }
+            // "s" only widens (`.` additionally matches newline).
+            if hit {
+                assert!(
+                    dotall.is_match(text),
+                    "s-flag narrowed {pattern:?} on {text:?}"
+                );
+            }
+            // "x" with spaces injected between pattern characters is a no-op
+            // (only safe when no classes/escapes whose interior would split).
+            if !pattern.contains('[') && !pattern.contains('\\') {
+                let spaced: String = pattern.chars().flat_map(|c| [c, ' ']).collect();
+                let x = Regex::with_flags(&spaced, "x").unwrap();
+                assert_eq!(
+                    x.is_match(text),
+                    hit,
+                    "x-flag changed semantics: {pattern:?} vs {spaced:?} on {text:?}"
+                );
+            }
+            // Full anchoring only ever narrows the match set.
+            if !pattern.starts_with('^') && !pattern.ends_with('$') {
+                let anchored = Regex::new(&format!("^{pattern}$")).unwrap();
+                if anchored.is_match(text) {
+                    assert!(hit, "anchoring widened {pattern:?} on {text:?}");
+                }
+            }
+        }
+    }
+}
+
+/// The REGEX() filter plumbing (encoded engine included) agrees with the
+/// reference evaluator on fuzz-generated patterns and flags.
+#[test]
+fn regex_filters_agree_across_engines_on_generated_patterns() {
+    let mut store = TripleStore::new();
+    let p = iri("http://r.example/p");
+    for (i, s) in ["", "a", "sab", "AB", "Sparql", "line\nbreak", "a.b", "ab|b"]
+        .iter()
+        .enumerate()
+    {
+        store.insert(&Triple::new(
+            iri(&format!("http://r.example/t{i}")),
+            p.clone(),
+            Term::Literal(Literal::string(*s)),
+        ));
+    }
+    let mut rng = FuzzRng::new(0x5EED);
+    for i in 0..300 {
+        let pattern = random_regex_pattern(&mut rng);
+        let flags = ["", "i", "s", "m", "is", "im"][i % 6];
+        let escaped = pattern.replace('\\', "\\\\").replace('"', "\\\"");
+        let query = if flags.is_empty() {
+            format!("SELECT ?o WHERE {{ ?s ?p ?o FILTER(REGEX(?o, \"{escaped}\")) }} ORDER BY ?o")
+        } else {
+            format!(
+                "SELECT ?o WHERE {{ ?s ?p ?o FILTER(REGEX(?o, \"{escaped}\", \"{flags}\")) }} ORDER BY ?o"
+            )
+        };
+        three_way(&store, &query);
+    }
+}
+
+// ---- anchors through the full SPARQL pipeline ------------------------------------
+
+/// The old engine stripped a leading `^`/trailing `$` from the *whole*
+/// pattern, silently anchoring every alternative and mis-handling interior
+/// anchors. Pin the corrected per-alternative semantics end to end.
+#[test]
+fn alternation_anchors_are_per_branch_in_queries() {
+    let mut store = TripleStore::new();
+    let p = iri("http://r.example/p");
+    for (i, s) in ["applepie", "pie", "apple"].iter().enumerate() {
+        store.insert(&Triple::new(
+            iri(&format!("http://r.example/t{i}")),
+            p.clone(),
+            Term::Literal(Literal::string(*s)),
+        ));
+    }
+    // `^apple$|pie`: full-string "apple" OR substring "pie".
+    let results = three_way(
+        &store,
+        "SELECT ?o WHERE { ?s ?p ?o FILTER(REGEX(?o, \"^apple$|pie\")) } ORDER BY ?o",
+    );
+    let rows = results.into_select().unwrap().rows;
+    let values: Vec<&str> = rows
+        .iter()
+        .map(|r| r[0].as_ref().unwrap().label())
+        .collect();
+    assert_eq!(values, ["apple", "applepie", "pie"]);
+
+    // An interior `$` makes the branch unmatchable rather than literal.
+    let results = three_way(
+        &store,
+        "SELECT ?o WHERE { ?s ?p ?o FILTER(REGEX(?o, \"apple$pie\")) }",
+    );
+    assert!(results.into_select().unwrap().rows.is_empty());
+}
