@@ -1,0 +1,126 @@
+//! Skewed-cardinality join benchmarks: the graphs where the statistics
+//! optimizer's cheapest-next-join order beats the static shape heuristic.
+//!
+//! Two deliberately skewed LOD shapes (the uniform `random_lod` graphs of
+//! `sparql_engine` barely distinguish join orders, so this bench builds its
+//! own):
+//!
+//! * **hub predicate** — every subject is typed and carries four triples of
+//!   one dominant predicate, while a handful carry a rare one. The shape
+//!   heuristic starts from the two-constant type pattern (thousands of
+//!   rows); the estimator starts from the rare pattern (tens).
+//! * **long tail** — a typed social graph with a fat `follows` edge set and
+//!   a tiny `expert_in` relation three hops in. Written in the natural
+//!   type-first order, the heuristic drags the full follows expansion
+//!   through the join; the estimator runs the chain backwards.
+//!
+//! Each graph runs the same query under both [`JoinOptimizer`] modes, so the
+//! reported ratio isolates join ordering from everything else in the engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbold_rdf_model::vocab::rdf;
+use hbold_rdf_model::{Graph, Iri, Triple};
+use hbold_sparql::{execute_query_with, EvalOptions, JoinOptimizer};
+use hbold_triple_store::TripleStore;
+
+fn iri(s: &str) -> Iri {
+    Iri::new(s).unwrap()
+}
+
+fn options(optimizer: JoinOptimizer) -> EvalOptions {
+    // Sequential on purpose: parallel fan-out would blur the ordering win.
+    let mut options = EvalOptions::sequential();
+    options.optimizer = optimizer;
+    options
+}
+
+/// 4,000 typed subjects with four hub-predicate triples each (20,000
+/// dominant triples), 20 of them carrying one rare triple.
+fn hub_store() -> TripleStore {
+    let thing = iri("http://bench.example/Thing");
+    let hub = iri("http://bench.example/hub");
+    let rare = iri("http://bench.example/rare");
+    let mut graph = Graph::new();
+    for i in 0..4_000usize {
+        let s = iri(&format!("http://bench.example/s{i}"));
+        graph.insert(Triple::new(s.clone(), rdf::type_(), thing.clone()));
+        for j in 0..4usize {
+            let o = iri(&format!(
+                "http://bench.example/o{}",
+                (i * 7 + j * 131) % 500
+            ));
+            graph.insert(Triple::new(s.clone(), hub.clone(), o));
+        }
+    }
+    for i in 0..20usize {
+        graph.insert(Triple::new(
+            iri(&format!("http://bench.example/s{}", i * 97)),
+            rare.clone(),
+            iri(&format!("http://bench.example/r{i}")),
+        ));
+    }
+    TripleStore::from_graph(&graph)
+}
+
+/// 2,000 typed users, ten `follows` edges each (20,000 edges), and 60
+/// `expert_in` facts on a small subset of followees.
+fn long_tail_store() -> TripleStore {
+    let user = iri("http://bench.example/User");
+    let follows = iri("http://bench.example/follows");
+    let expert = iri("http://bench.example/expert_in");
+    let mut graph = Graph::new();
+    for i in 0..2_000usize {
+        let s = iri(&format!("http://bench.example/u{i}"));
+        graph.insert(Triple::new(s.clone(), rdf::type_(), user.clone()));
+        for j in 0..10usize {
+            let t = iri(&format!(
+                "http://bench.example/u{}",
+                (i * 13 + j * 389 + 1) % 2_000
+            ));
+            graph.insert(Triple::new(s.clone(), follows.clone(), t));
+        }
+    }
+    for i in 0..60usize {
+        graph.insert(Triple::new(
+            iri(&format!("http://bench.example/u{}", i * 31)),
+            expert.clone(),
+            iri(&format!("http://bench.example/topic{}", i % 7)),
+        ));
+    }
+    TripleStore::from_graph(&graph)
+}
+
+fn bench(c: &mut Criterion) {
+    let hub = hub_store();
+    let hub_query = "SELECT ?s ?v WHERE { \
+         ?s a <http://bench.example/Thing> . \
+         ?s <http://bench.example/rare> ?v }";
+    let long_tail = long_tail_store();
+    let long_tail_query = "SELECT ?a ?b ?c WHERE { \
+         ?a a <http://bench.example/User> . \
+         ?a <http://bench.example/follows> ?b . \
+         ?b <http://bench.example/expert_in> ?c }";
+
+    let mut group = c.benchmark_group("skewed_join");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, store, query) in [
+        ("hub_predicate", &hub, hub_query),
+        ("long_tail", &long_tail, long_tail_query),
+    ] {
+        for (mode, optimizer) in [
+            ("statistics", JoinOptimizer::Statistics),
+            ("heuristic", JoinOptimizer::Heuristic),
+        ] {
+            group.bench_function(format!("{name}_{mode}"), |b| {
+                let options = options(optimizer);
+                b.iter(|| execute_query_with(store, query, &options).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -198,6 +198,14 @@ impl SparqlEndpoint {
         hbold_sparql::plan::stats()
     }
 
+    /// Process-wide cost-based-optimizer counters, as seen from this
+    /// endpoint: how many BGPs were planned, how many came out in a
+    /// different order than written, how many equality filters were pushed
+    /// into the scan, and how many plans fell back to the shape heuristic.
+    pub fn plan_stats(&self) -> hbold_sparql::OptimizerStats {
+        hbold_sparql::plan_stats()
+    }
+
     /// Total number of queries this endpoint has received.
     pub fn queries_received(&self) -> u64 {
         self.state.lock().queries_received
@@ -495,6 +503,28 @@ mod tests {
         );
         assert!(after.entries >= 1);
         assert!(after.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn optimizer_counters_are_visible_through_the_endpoint() {
+        let ep = SparqlEndpoint::new(
+            "http://optimizer.example.org/sparql",
+            &sample_graph(4),
+            EndpointProfile::full_featured(),
+        );
+        // Counters are process-global and tests run in parallel, so assert
+        // deltas: a two-pattern BGP must plan at least one more BGP.
+        let before = ep.plan_stats();
+        ep.query(
+            "SELECT ?s WHERE { ?s a <http://xmlns.com/foaf/0.1/Person> . \
+             ?s <http://xmlns.com/foaf/0.1/name> ?n }",
+        )
+        .unwrap();
+        let after = ep.plan_stats();
+        assert!(
+            after.bgps_planned > before.bgps_planned,
+            "query planning increments the BGP counter"
+        );
     }
 
     #[test]

@@ -137,9 +137,10 @@ impl ServerStats {
     }
 
     /// Renders the `/stats` JSON document, including the process-wide plan
-    /// cache counters from the SPARQL engine.
+    /// cache and cost-based-optimizer counters from the SPARQL engine.
     pub fn to_json(&self) -> String {
         let plan = hbold_sparql::plan::stats();
+        let optimizer = hbold_sparql::plan_stats();
         let classes: Vec<String> = self
             .responses_by_class
             .iter()
@@ -147,7 +148,7 @@ impl ServerStats {
             .map(|(i, c)| format!("\"{}xx\":{}", i + 1, c.load(Ordering::Relaxed)))
             .collect();
         format!(
-            "{{\"uptime_ms\":{},\"connections_accepted\":{},\"requests_total\":{},\"malformed_requests\":{},\"responses\":{{{}}},\"routes\":{{{}:{},{}:{}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{:.4}}}}}",
+            "{{\"uptime_ms\":{},\"connections_accepted\":{},\"requests_total\":{},\"malformed_requests\":{},\"responses\":{{{}}},\"routes\":{{{}:{},{}:{}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{:.4}}},\"optimizer\":{{\"bgps_planned\":{},\"bgps_reordered\":{},\"filters_pushed\":{},\"heuristic_plans\":{}}}}}",
             self.started.elapsed().as_millis(),
             self.connections_accepted.load(Ordering::Relaxed),
             self.requests_total.load(Ordering::Relaxed),
@@ -161,6 +162,10 @@ impl ServerStats {
             plan.misses,
             plan.entries,
             plan.hit_rate(),
+            optimizer.bgps_planned,
+            optimizer.bgps_reordered,
+            optimizer.filters_pushed,
+            optimizer.heuristic_plans,
         )
     }
 }
@@ -214,6 +219,15 @@ mod tests {
             Some(1.0)
         );
         assert!(doc.get("plan_cache").unwrap().get("hits").is_some());
+        let optimizer = doc.get("optimizer").unwrap();
+        for key in [
+            "bgps_planned",
+            "bgps_reordered",
+            "filters_pushed",
+            "heuristic_plans",
+        ] {
+            assert!(optimizer.get(key).is_some(), "optimizer JSON carries {key}");
+        }
         assert_eq!(stats.ok_responses(), 2);
     }
 }

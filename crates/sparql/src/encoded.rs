@@ -253,13 +253,18 @@ pub(crate) struct EncTriplePattern {
 }
 
 impl EncTriplePattern {
-    fn nodes(&self) -> [EncNode; 3] {
+    pub(crate) fn nodes(&self) -> [EncNode; 3] {
         [self.subject, self.predicate, self.object]
     }
 }
 
 /// A graph pattern compiled to the encoded domain. Filter conditions keep
 /// their AST form and evaluate through [`EncScope`] (decoding lazily).
+///
+/// BGPs carry their triple patterns in **execution order**: the single
+/// pre-execution planning pass ([`crate::optimize::plan_pattern`]) permutes
+/// them in place, so the streaming and parallel paths both just walk the
+/// stored order.
 #[derive(Debug, Clone)]
 pub(crate) enum EncPattern {
     Bgp(Vec<EncTriplePattern>),
@@ -272,38 +277,13 @@ pub(crate) enum EncPattern {
     Filter {
         inner: Box<EncPattern>,
         condition: Expression,
+        /// Equality conjuncts the optimizer pushed down: `(slot, id)`
+        /// pre-binds the slot before `inner` scans (`None` id means the
+        /// constant was never interned — no row can match). Sound only
+        /// under the conditions `crate::optimize` checks; empty unless the
+        /// statistics optimizer planned this pattern.
+        prebind: Vec<(u32, Option<TermId>)>,
     },
-}
-
-impl EncPattern {
-    /// Marks every slot this pattern can bind in `bound`.
-    fn collect_bound(&self, bound: &mut [bool]) {
-        match self {
-            EncPattern::Bgp(tps) => {
-                for tp in tps {
-                    for node in tp.nodes() {
-                        if let EncNode::Var(slot) = node {
-                            bound[slot as usize] = true;
-                        }
-                    }
-                }
-            }
-            EncPattern::Join(parts) => {
-                for p in parts {
-                    p.collect_bound(bound);
-                }
-            }
-            EncPattern::Optional { left, right } => {
-                left.collect_bound(bound);
-                right.collect_bound(bound);
-            }
-            EncPattern::Union(a, b) => {
-                a.collect_bound(bound);
-                b.collect_bound(bound);
-            }
-            EncPattern::Filter { inner, .. } => inner.collect_bound(bound),
-        }
-    }
 }
 
 /// Compiles a parsed graph pattern against a store dictionary and layout.
@@ -349,6 +329,7 @@ pub(crate) fn compile_pattern(
         GraphPattern::Filter { inner, condition } => EncPattern::Filter {
             inner: Box::new(compile_pattern(inner, layout, dict)),
             condition: condition.clone(),
+            prebind: Vec::new(),
         },
     }
 }
@@ -359,6 +340,8 @@ pub(crate) struct EncContext<'a> {
     pub store: &'a TripleStore,
     pub dict: &'a TermDictionary,
     pub layout: &'a SlotLayout,
+    /// Join-ordering strategy the planning pass uses for this evaluation.
+    pub optimizer: crate::optimize::JoinOptimizer,
 }
 
 // ---- triple-pattern scans --------------------------------------------------------
@@ -451,47 +434,42 @@ impl Iterator for RowScan<'_> {
 // ---- streaming operators ---------------------------------------------------------
 
 /// The stream of all solutions of `pattern` starting from the empty row.
+///
+/// `pattern` must already be planned ([`crate::optimize::plan_pattern`]):
+/// the operators here execute BGPs in their stored order and apply pushed
+/// filter pre-binds, making no ordering decisions of their own.
 pub(crate) fn root_stream<'a>(ctx: &'a EncContext<'a>, pattern: &'a EncPattern) -> EncStream<'a> {
-    let start = vec![false; ctx.layout.len()];
     stream_pattern(
         ctx,
         pattern,
-        &start,
         Box::new(std::iter::once(Ok(ctx.layout.empty_row()))),
     )
 }
 
-/// Compiles `pattern` over `input` into a lazy encoded solution stream.
-///
-/// `bound` flags the slots statically known to be bound by the time
-/// `input`'s rows arrive; it only steers join ordering, never correctness.
+/// Compiles a planned `pattern` over `input` into a lazy encoded solution
+/// stream.
 pub(crate) fn stream_pattern<'a>(
     ctx: &'a EncContext<'a>,
     pattern: &'a EncPattern,
-    bound: &[bool],
     input: EncStream<'a>,
 ) -> EncStream<'a> {
     match pattern {
-        EncPattern::Bgp(tps) => stream_bgp(ctx, tps, bound, input),
+        EncPattern::Bgp(tps) => stream_bgp(ctx, tps, input),
         EncPattern::Join(parts) => {
             let mut stream = input;
-            let mut bound = bound.to_vec();
             for part in parts {
-                stream = stream_pattern(ctx, part, &bound, stream);
-                part.collect_bound(&mut bound);
+                stream = stream_pattern(ctx, part, stream);
             }
             stream
         }
         EncPattern::Optional { left, right } => {
-            let left_stream = stream_pattern(ctx, left, bound, input);
-            let mut right_bound = bound.to_vec();
-            left.collect_bound(&mut right_bound);
+            let left_stream = stream_pattern(ctx, left, input);
             Box::new(left_stream.flat_map(move |solution| -> EncStream<'a> {
                 match solution {
                     Err(e) => Box::new(std::iter::once(Err(e))),
                     Ok(row) => {
                         let seed: EncStream<'a> = Box::new(std::iter::once(Ok(row.clone())));
-                        let mut extended = stream_pattern(ctx, right, &right_bound, seed);
+                        let mut extended = stream_pattern(ctx, right, seed);
                         match extended.next() {
                             // Left join: an unmatched left solution survives.
                             None => Box::new(std::iter::once(Ok(row))),
@@ -506,26 +484,37 @@ pub(crate) fn stream_pattern<'a>(
             // multiset as materialized `eval(a) ++ eval(b)`, and sequencing
             // is only observable under ORDER BY where the deterministic
             // sort makes both forms identical.
-            let bound = bound.to_vec();
             Box::new(input.flat_map(move |solution| -> EncStream<'a> {
                 match solution {
                     Err(e) => Box::new(std::iter::once(Err(e))),
                     Ok(row) => {
-                        let left = stream_pattern(
-                            ctx,
-                            a,
-                            &bound,
-                            Box::new(std::iter::once(Ok(row.clone()))),
-                        );
-                        let right =
-                            stream_pattern(ctx, b, &bound, Box::new(std::iter::once(Ok(row))));
+                        let left =
+                            stream_pattern(ctx, a, Box::new(std::iter::once(Ok(row.clone()))));
+                        let right = stream_pattern(ctx, b, Box::new(std::iter::once(Ok(row))));
                         Box::new(left.chain(right))
                     }
                 }
             }))
         }
-        EncPattern::Filter { inner, condition } => {
-            let stream = stream_pattern(ctx, inner, bound, input);
+        EncPattern::Filter {
+            inner,
+            condition,
+            prebind,
+        } => {
+            // Pushed-down equality conjuncts pre-bind their slots on every
+            // input row, so the inner scans treat them as constants; the
+            // residual condition still evaluates in full on each survivor.
+            let input: EncStream<'a> = if prebind.is_empty() {
+                input
+            } else {
+                Box::new(input.filter_map(move |solution| match solution {
+                    Ok(mut row) => {
+                        crate::optimize::apply_prebind(prebind, &mut row).then_some(Ok(row))
+                    }
+                    Err(e) => Some(Err(e)),
+                }))
+            };
+            let stream = stream_pattern(ctx, inner, input);
             Box::new(stream.filter_map(move |solution| match solution {
                 Ok(row) => {
                     let scope = EncScope {
@@ -545,73 +534,22 @@ pub(crate) fn stream_pattern<'a>(
     }
 }
 
-/// Streams a basic graph pattern: triple patterns are greedily ordered once
-/// (most selective first, given the statically bound slots), then each
-/// becomes a nested index-scan stage of the pipeline.
+/// Streams a basic graph pattern: each triple pattern — already permuted
+/// into execution order by the planning pass — becomes a nested index-scan
+/// stage of the pipeline.
 fn stream_bgp<'a>(
     ctx: &'a EncContext<'a>,
     patterns: &'a [EncTriplePattern],
-    bound: &[bool],
     input: EncStream<'a>,
 ) -> EncStream<'a> {
     let mut stream = input;
-    for idx in bgp_join_order(patterns, bound) {
-        let tp = &patterns[idx];
+    for tp in patterns {
         stream = Box::new(stream.flat_map(move |solution| match solution {
             Err(e) => RowScan::Failed(Some(e)),
             Ok(row) => RowScan::Scan(ScanRows::new(ctx, tp, row)),
         }));
     }
     stream
-}
-
-/// Greedy join order: repeatedly pick the remaining pattern with the most
-/// concrete/bound positions. Returns indexes into `patterns`. Mirrors the
-/// scoring the pre-encoded engine used (and the differential oracle pinned).
-pub(crate) fn bgp_join_order(patterns: &[EncTriplePattern], bound: &[bool]) -> Vec<usize> {
-    let mut bound = bound.to_vec();
-    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
-    let mut order = Vec::with_capacity(patterns.len());
-    while !remaining.is_empty() {
-        let (pos, &idx) = remaining
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &idx)| pattern_selectivity(&patterns[idx], &bound))
-            .expect("remaining is non-empty");
-        remaining.remove(pos);
-        order.push(idx);
-        for node in patterns[idx].nodes() {
-            if let EncNode::Var(slot) = node {
-                bound[slot as usize] = true;
-            }
-        }
-    }
-    order
-}
-
-fn pattern_selectivity(tp: &EncTriplePattern, bound: &[bool]) -> i64 {
-    let mut score = 0i64;
-    let mut has_unbound = false;
-    let mut has_bound_var = false;
-    for node in tp.nodes() {
-        match node {
-            EncNode::Const(_) => score += 2,
-            EncNode::Var(slot) if bound[slot as usize] => {
-                // A variable the current rows already bind acts as a
-                // concrete term, and additionally keeps the join connected.
-                score += 3;
-                has_bound_var = true;
-            }
-            EncNode::Var(_) => has_unbound = true,
-        }
-    }
-    // A pattern with unbound variables but no link to the bound ones would
-    // produce a cartesian product with the current rows; defer it until
-    // everything connected has been joined.
-    if bound.iter().any(|&b| b) && has_unbound && !has_bound_var {
-        score -= 100;
-    }
-    score
 }
 
 // ---- parallel execution ----------------------------------------------------------
@@ -624,66 +562,58 @@ pub(crate) fn collect_solutions(
     options: &EvalOptions,
 ) -> Result<Vec<EncRow>, SparqlError> {
     if options.threads > 1 {
-        if let Some((first, rest)) = split_first_scan(pattern) {
-            let seeds: Vec<EncRow> =
-                ScanRows::new(ctx, &first, ctx.layout.empty_row()).collect::<Result<_, _>>()?;
-            let mut bound = vec![false; ctx.layout.len()];
-            for node in first.nodes() {
-                if let EncNode::Var(slot) = node {
-                    bound[slot as usize] = true;
-                }
-            }
+        if let Some((first, rest, seed)) = split_first_scan(ctx, pattern) {
+            let seeds: Vec<EncRow> = ScanRows::new(ctx, &first, seed).collect::<Result<_, _>>()?;
             if seeds.len() >= options.parallel_threshold.max(1) {
-                return eval_rest_parallel(ctx, &rest, &bound, seeds, options.threads);
+                return eval_rest_parallel(ctx, &rest, seeds, options.threads);
             }
-            return stream_pattern(ctx, &rest, &bound, Box::new(seeds.into_iter().map(Ok)))
-                .collect();
+            return stream_pattern(ctx, &rest, Box::new(seeds.into_iter().map(Ok))).collect();
         }
     }
     root_stream(ctx, pattern).collect()
 }
 
-/// Splits the plan into "scan the most selective triple pattern" plus "the
-/// rest of the pipeline", when the pattern shape permits (BGPs, joins and
-/// filters — the shapes extraction queries use). `OPTIONAL`/`UNION` roots
-/// return `None` and run sequentially.
-fn split_first_scan(pattern: &EncPattern) -> Option<(EncTriplePattern, EncPattern)> {
+/// Splits the plan into "scan the first triple pattern" plus "the rest of
+/// the pipeline", when the pattern shape permits (BGPs, joins and filters —
+/// the shapes extraction queries use). The first pattern is whatever the
+/// planning pass put first, so the parallel path executes the exact plan
+/// the sequential path would. Pushed filter pre-binds apply to the returned
+/// seed row (a never-interned constant makes the split unsatisfiable:
+/// return `None` and let the sequential path yield nothing).
+/// `OPTIONAL`/`UNION` roots return `None` and run sequentially.
+fn split_first_scan(
+    ctx: &EncContext<'_>,
+    pattern: &EncPattern,
+) -> Option<(EncTriplePattern, EncPattern, EncRow)> {
     match pattern {
-        EncPattern::Bgp(tps) if !tps.is_empty() => {
-            // No slots are bound at the root; size the bitmap by the
-            // largest slot the BGP mentions.
-            let width = tps
-                .iter()
-                .flat_map(|tp| tp.nodes())
-                .filter_map(|n| match n {
-                    EncNode::Var(s) => Some(s as usize + 1),
-                    EncNode::Const(_) => None,
-                })
-                .max()
-                .unwrap_or(0);
-            let first_idx = bgp_join_order(tps, &vec![false; width])[0];
-            let rest: Vec<EncTriplePattern> = tps
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != first_idx)
-                .map(|(_, tp)| *tp)
-                .collect();
-            Some((tps[first_idx], EncPattern::Bgp(rest)))
-        }
+        EncPattern::Bgp(tps) if !tps.is_empty() => Some((
+            tps[0],
+            EncPattern::Bgp(tps[1..].to_vec()),
+            ctx.layout.empty_row(),
+        )),
         EncPattern::Join(parts) if !parts.is_empty() => {
-            let (first, rest_head) = split_first_scan(&parts[0])?;
+            let (first, rest_head, seed) = split_first_scan(ctx, &parts[0])?;
             let mut rest = vec![rest_head];
             rest.extend(parts[1..].iter().cloned());
-            Some((first, EncPattern::Join(rest)))
+            Some((first, EncPattern::Join(rest), seed))
         }
-        EncPattern::Filter { inner, condition } => {
-            let (first, rest_inner) = split_first_scan(inner)?;
+        EncPattern::Filter {
+            inner,
+            condition,
+            prebind,
+        } => {
+            let (first, rest_inner, mut seed) = split_first_scan(ctx, inner)?;
+            if !crate::optimize::apply_prebind(prebind, &mut seed) {
+                return None;
+            }
             Some((
                 first,
                 EncPattern::Filter {
                     inner: Box::new(rest_inner),
                     condition: condition.clone(),
+                    prebind: prebind.clone(),
                 },
+                seed,
             ))
         }
         _ => None,
@@ -696,7 +626,6 @@ fn split_first_scan(pattern: &EncPattern) -> Option<(EncTriplePattern, EncPatter
 fn eval_rest_parallel(
     ctx: &EncContext<'_>,
     rest: &EncPattern,
-    bound: &[bool],
     seeds: Vec<EncRow>,
     threads: usize,
 ) -> Result<Vec<EncRow>, SparqlError> {
@@ -707,7 +636,7 @@ fn eval_rest_parallel(
             .into_iter()
             .map(|chunk| {
                 scope.spawn(move || {
-                    stream_pattern(ctx, rest, bound, Box::new(chunk.into_iter().map(Ok)))
+                    stream_pattern(ctx, rest, Box::new(chunk.into_iter().map(Ok)))
                         .collect::<Result<Vec<_>, _>>()
                 })
             })

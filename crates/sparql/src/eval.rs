@@ -33,6 +33,7 @@ use crate::ast::*;
 use crate::encoded::{compile_pattern, term_row_key, EncContext, SlotLayout};
 use crate::error::SparqlError;
 use crate::expr::{evaluate_expression, number_term, numeric_value, Binding, EvalValue};
+use crate::optimize::JoinOptimizer;
 use crate::plan::parse_cached;
 use crate::results::QueryResults;
 
@@ -44,6 +45,10 @@ pub struct EvalOptions {
     /// Minimum number of seed solutions before sharding pays for itself;
     /// below it, evaluation stays sequential even when `threads > 1`.
     pub parallel_threshold: usize,
+    /// Join-ordering strategy (see [`crate::optimize`]). Defaults to the
+    /// statistics-driven optimizer; [`JoinOptimizer::Heuristic`] keeps the
+    /// legacy shape score.
+    pub optimizer: JoinOptimizer,
 }
 
 impl Default for EvalOptions {
@@ -51,6 +56,7 @@ impl Default for EvalOptions {
         EvalOptions {
             threads: 1,
             parallel_threshold: 256,
+            optimizer: JoinOptimizer::default(),
         }
     }
 }
@@ -159,8 +165,13 @@ pub fn evaluate_with(
         store,
         dict,
         layout: &layout,
+        optimizer: options.optimizer,
     };
-    let pattern = compile_pattern(&query.pattern, &layout, dict);
+    let mut pattern = compile_pattern(&query.pattern, &layout, dict);
+    // The single planning pass: orders every BGP (cost-based by default)
+    // and pushes eligible equality filters down, before any operator runs.
+    // Streaming and parallel execution then share one identical plan.
+    crate::optimize::plan_pattern(&ctx, &mut pattern);
 
     match &query.form {
         QueryForm::Ask => {
@@ -239,14 +250,23 @@ pub(crate) fn aggregate_values(
     values: Vec<Term>,
     count: usize,
 ) -> Option<Term> {
+    // SUM/AVG fold in *canonical* (total-order sorted) sequence, not in the
+    // order the values arrived: float addition is non-associative, and the
+    // engines collect group members in different row orders (streaming,
+    // sharded parallel, reference oracle). Near the f64 precision edge —
+    // e.g. a group containing both 2^63 and -2^63 plus small values — the
+    // arrival-order sum visibly differs per engine; sorting first makes the
+    // fold a pure function of the value multiset.
     match func {
         AggregateFunction::Count => Some(number_term(count as f64)),
         AggregateFunction::Sum => {
-            let sum: f64 = values.iter().filter_map(numeric_value).sum();
-            Some(number_term(sum))
+            let mut nums: Vec<f64> = values.iter().filter_map(numeric_value).collect();
+            nums.sort_unstable_by(f64::total_cmp);
+            Some(number_term(nums.iter().sum()))
         }
         AggregateFunction::Avg => {
-            let nums: Vec<f64> = values.iter().filter_map(numeric_value).collect();
+            let mut nums: Vec<f64> = values.iter().filter_map(numeric_value).collect();
+            nums.sort_unstable_by(f64::total_cmp);
             if nums.is_empty() {
                 Some(number_term(0.0))
             } else {

@@ -14,12 +14,17 @@
 //! 1. **Syntax round-trip** — the query survives pretty-print → parse →
 //!    pretty-print → parse with a stable AST ([`crate::pretty`] is a
 //!    fixpoint on parser output).
-//! 2. **Three-way differential** — the streaming engine, the sharded
-//!    parallel engine (`threads = 3`, `parallel_threshold = 1`), and the
-//!    naive [`crate::reference`] evaluator agree: exact row sequences under
-//!    `ORDER BY`, identical multisets otherwise, and a sub-multiset + count
-//!    check for the implementation-defined unordered `LIMIT`/`OFFSET` cut.
-//!    If the reference rejects the query, both engines must too.
+//! 2. **Differential evaluation** — the streaming engine (statistics
+//!    optimizer, the default), the sharded parallel engine (`threads = 3`,
+//!    `parallel_threshold = 1`), the streaming engine under the legacy
+//!    heuristic join order ([`crate::optimize::JoinOptimizer::Heuristic`]),
+//!    and the naive [`crate::reference`] evaluator all agree: exact row
+//!    sequences under `ORDER BY`, identical multisets otherwise, and a
+//!    sub-multiset + count check for the implementation-defined unordered
+//!    `LIMIT`/`OFFSET` cut. If the reference rejects the query, every
+//!    engine must too. The optimizer can change plans, never results — the
+//!    generated graphs include heavy cardinality skew (hub predicates, star
+//!    subjects) precisely so cost-based and heuristic plans diverge.
 //! 3. **Serialization round-trip** — the result survives SPARQL-JSON and
 //!    TSV encode/decode losslessly, and the CSV output parses back (via
 //!    [`CsvTable`]) to exactly the term string values.
@@ -154,16 +159,37 @@ pub fn literal_pool() -> Vec<Literal> {
 
 /// Builds a small random graph over the fixed IRI pools, blank nodes and the
 /// adversarial literal pool.
+///
+/// Four shape modes: uniform (the original distribution, half the cases),
+/// **hub-predicate** skew (~80% of a larger triple count share one
+/// predicate) and **star-subject** skew (~75% share one subject). The
+/// skewed modes give the cost-based optimizer real cardinality spreads to
+/// exploit — and the differential harness a chance to catch it changing
+/// results rather than just plans.
 pub fn generate_store(rng: &mut FuzzRng) -> TripleStore {
     let subjects = subject_iris();
     let predicates = predicate_iris();
     let classes = class_iris();
     let literals = literal_pool();
     let mut store = TripleStore::new();
-    let triples = 6 + rng.below(24);
+    let mode = rng.below(4);
+    let triples = match mode {
+        0 | 1 => 6 + rng.below(24),
+        _ => 20 + rng.below(40),
+    };
+    let hub_predicate = rng.pick(&predicates).clone();
+    let star_subject = rng.pick(&subjects).clone();
     for _ in 0..triples {
-        let s = rng.pick(&subjects).clone();
-        let p = rng.pick(&predicates).clone();
+        let s = if mode == 3 && rng.chance(75) {
+            star_subject.clone()
+        } else {
+            rng.pick(&subjects).clone()
+        };
+        let p = if mode == 2 && rng.chance(80) {
+            hub_predicate.clone()
+        } else {
+            rng.pick(&predicates).clone()
+        };
         let o = match rng.below(10) {
             0..=3 => Term::Literal(rng.pick(&literals).clone()),
             4..=5 => Term::Iri(rng.pick(&subjects).clone()),
@@ -698,21 +724,27 @@ pub fn check_case(seed: u64) -> Result<(), String> {
         )));
     }
 
-    // Leg 2: three-way differential evaluation.
+    // Leg 2: differential evaluation — statistics-optimized streaming,
+    // sharded parallel, heuristic-ordered streaming, all against the naive
+    // reference. The optimizer can change plans, never results.
     let naive = reference::evaluate(&store, &ast);
     let sequential = eval::evaluate(&store, &ast);
     let mut options = EvalOptions::with_threads(3);
     options.parallel_threshold = 1; // force sharding even on tiny stores
     let parallel = eval::evaluate_with(&store, &ast, &options);
+    let mut heuristic_options = EvalOptions::sequential();
+    heuristic_options.optimizer = crate::optimize::JoinOptimizer::Heuristic;
+    let heuristic = eval::evaluate_with(&store, &ast, &heuristic_options);
 
     let expected = match naive {
         Err(e) => {
-            if sequential.is_ok() || parallel.is_ok() {
+            if sequential.is_ok() || parallel.is_ok() || heuristic.is_ok() {
                 return Err(fail(format!(
                     "reference rejected the query ({e}) but an engine accepted it \
-                     (sequential ok: {}, parallel ok: {})",
+                     (sequential ok: {}, parallel ok: {}, heuristic ok: {})",
                     sequential.is_ok(),
-                    parallel.is_ok()
+                    parallel.is_ok(),
+                    heuristic.is_ok()
                 )));
             }
             return Ok(());
@@ -723,6 +755,11 @@ pub fn check_case(seed: u64) -> Result<(), String> {
         .map_err(|e| fail(format!("streaming engine failed, reference succeeded: {e}")))?;
     let parallel =
         parallel.map_err(|e| fail(format!("parallel engine failed, reference succeeded: {e}")))?;
+    let heuristic = heuristic.map_err(|e| {
+        fail(format!(
+            "heuristic-ordered engine failed, reference succeeded: {e}"
+        ))
+    })?;
 
     // For an unordered cut we additionally need the uncut reference rows.
     let uncut = if ast.order_by.is_empty()
@@ -741,6 +778,7 @@ pub fn check_case(seed: u64) -> Result<(), String> {
 
     check_equivalent(&ast, &expected, &sequential, uncut.as_ref(), "sequential").map_err(&fail)?;
     check_equivalent(&ast, &expected, &parallel, uncut.as_ref(), "parallel").map_err(&fail)?;
+    check_equivalent(&ast, &expected, &heuristic, uncut.as_ref(), "heuristic").map_err(&fail)?;
     // The reference result itself must satisfy the cut-count invariant too.
     if let (Some(full), QueryResults::Select(exp)) = (&uncut, &expected) {
         check_select_equivalent(&ast, exp, exp, Some(full), "reference").map_err(&fail)?;
@@ -819,6 +857,40 @@ mod tests {
             saw_optional && saw_union && saw_filter && saw_distinct,
             "coverage gap: optional={saw_optional} union={saw_union} filter={saw_filter} distinct={saw_distinct}"
         );
+    }
+
+    #[test]
+    fn skewed_store_modes_appear() {
+        // The skew modes must actually produce hub predicates and star
+        // subjects within a modest seed range, or the optimizer differential
+        // silently runs on uniform graphs only.
+        let dominant_share = |store: &TripleStore, query: &str| -> f64 {
+            let top = eval::execute_query(store, query)
+                .unwrap()
+                .into_select()
+                .unwrap();
+            let n: f64 = top.value(0, "n").unwrap().label().parse().unwrap();
+            n / store.len() as f64
+        };
+        let mut saw_hub = false;
+        let mut saw_star = false;
+        for seed in 0..200 {
+            let mut rng = FuzzRng::new(seed);
+            let store = generate_store(&mut rng);
+            if store.len() < 20 {
+                continue;
+            }
+            saw_hub |= dominant_share(
+                &store,
+                "SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY DESC(?n) LIMIT 1",
+            ) >= 0.6;
+            saw_star |= dominant_share(
+                &store,
+                "SELECT ?s (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s ORDER BY DESC(?n) LIMIT 1",
+            ) >= 0.55;
+        }
+        assert!(saw_hub, "no hub-predicate graph within 200 seeds");
+        assert!(saw_star, "no star-subject graph within 200 seeds");
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! * [`encoded`] — the dictionary-encoded execution domain the operators
 //!   run in: variable→slot layouts ([`SlotLayout`]) and fixed-width
 //!   `TermId` rows, decoded only at the results boundary,
+//! * [`optimize`] — the statistics-driven cost-based optimizer: exact
+//!   index-range cardinality estimates drive greedy cheapest-next-join BGP
+//!   ordering and equality-filter pushdown, with the legacy shape heuristic
+//!   as the storeless fallback,
 //! * [`plan`] — the normalized-query plan cache,
 //! * [`mod@reference`] — a deliberately naive evaluator used as a differential
 //!   test oracle against the streaming engine,
@@ -62,6 +66,7 @@ pub mod expr;
 pub mod fuzz;
 pub mod json;
 pub mod lexer;
+pub mod optimize;
 pub mod parser;
 pub mod plan;
 pub mod pretty;
@@ -72,6 +77,7 @@ pub mod results;
 pub use encoded::SlotLayout;
 pub use error::SparqlError;
 pub use eval::{evaluate, evaluate_with, execute_query, execute_query_with, EvalOptions};
+pub use optimize::{explain, plan_stats, JoinOptimizer, OptimizerStats, PlanExplanation};
 pub use parser::parse_query;
 pub use plan::{parse_cached, PlanCacheStats};
 pub use pretty::print_query;

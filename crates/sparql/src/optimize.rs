@@ -1,0 +1,776 @@
+//! Statistics-driven cost-based optimization of compiled query plans.
+//!
+//! The extraction queries at the heart of H-BOLD are multi-pattern BGP
+//! joins, and join order dominates their cost: scanning a hub predicate
+//! first can materialize thousands of intermediate rows that a rare
+//! predicate would have pruned to a handful. This module plans each
+//! compiled [`EncPattern`](crate::encoded) exactly once, before execution:
+//!
+//! * **Cardinality estimation** — every triple pattern's constant prefix is
+//!   counted *exactly* against the store's flat SPO/POS/OSP indexes (two
+//!   binary searches per count, delta tier included; see
+//!   `TripleStore::count_matching_encoded`), and positions occupied by
+//!   already-bound variables divide that count by a distinct-value estimate
+//!   for the position, yielding the expected rows *per input row*.
+//! * **Greedy cheapest-next-join ordering** — [`JoinOptimizer::Statistics`]
+//!   repeatedly picks the connected pattern with the smallest estimate
+//!   (ties broken by the shape heuristic, then by lowest pattern index).
+//!   Patterns with unbound variables and no link to the bound ones are
+//!   deferred while any connected pattern remains, so cartesian products
+//!   cannot be chosen by a cheap-looking estimate.
+//! * **Equality-filter pushdown** — a top-level `FILTER` conjunct of the
+//!   form `?v = <iri>` pre-binds `?v`'s slot before the filtered pattern
+//!   scans, so pruning happens during the index walk instead of after row
+//!   construction. Pushdown only fires when it provably cannot change
+//!   results: the constant must be an IRI (term equality, never value
+//!   coercion), the variable must be bound in *every* solution of the inner
+//!   pattern, and the whole condition must be statically unable to raise an
+//!   evaluation error (see `cannot_raise` in this module) — the residual
+//!   filter still runs, so pushdown only removes rows it would reject anyway.
+//!
+//! [`JoinOptimizer::Heuristic`] keeps the legacy shape score (constants and
+//! bound variables counted, cartesian products penalized) as the fallback
+//! for contexts without a store — it consults no statistics and performs no
+//! pushdown, matching how the naive reference evaluator behaves. Both modes
+//! run through the same single pre-execution planning pass, so the
+//! streaming and parallel engines consume one identical plan.
+//!
+//! The optimizer can change plans, never results: the PR 6 differential
+//! fuzz harness runs every generated query under both modes against the
+//! naive reference (see [`crate::fuzz`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hbold_rdf_model::Term;
+use hbold_triple_store::{TermId, TripleStore};
+
+use crate::ast::{ComparisonOp, Expression, Function, Query};
+use crate::encoded::{compile_pattern, EncContext, EncNode, EncPattern, EncTriplePattern};
+use crate::encoded::{SlotLayout, UNBOUND};
+
+// ---- optimizer selection ---------------------------------------------------------
+
+/// Join-ordering strategy used when planning basic graph patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinOptimizer {
+    /// Cost-based greedy ordering over index cardinality estimates, with
+    /// equality-filter pushdown. The default.
+    #[default]
+    Statistics,
+    /// The legacy shape-score heuristic: consults no store statistics and
+    /// performs no filter pushdown. The fallback when no statistics are
+    /// trustworthy (and the mode the differential fuzz harness pits against
+    /// [`JoinOptimizer::Statistics`]).
+    Heuristic,
+}
+
+// ---- decision counters (the plan_stats debug surface) ----------------------------
+
+static BGPS_PLANNED: AtomicU64 = AtomicU64::new(0);
+static BGPS_REORDERED: AtomicU64 = AtomicU64::new(0);
+static FILTERS_PUSHED: AtomicU64 = AtomicU64::new(0);
+static HEURISTIC_PLANS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide optimizer decision counters, exposed on
+/// `SparqlEndpoint::plan_stats` and the server's `/stats` document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizerStats {
+    /// Basic graph patterns planned (either mode).
+    pub bgps_planned: u64,
+    /// BGPs whose execution order differs from their written order.
+    pub bgps_reordered: u64,
+    /// Equality-filter conjuncts pushed down into scans.
+    pub filters_pushed: u64,
+    /// BGPs planned with the legacy heuristic (fallback mode).
+    pub heuristic_plans: u64,
+}
+
+/// Current optimizer counters.
+pub fn plan_stats() -> OptimizerStats {
+    OptimizerStats {
+        bgps_planned: BGPS_PLANNED.load(Ordering::Relaxed),
+        bgps_reordered: BGPS_REORDERED.load(Ordering::Relaxed),
+        filters_pushed: FILTERS_PUSHED.load(Ordering::Relaxed),
+        heuristic_plans: HEURISTIC_PLANS.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the optimizer counters (used by benchmarks and tests).
+pub fn reset_plan_stats() {
+    BGPS_PLANNED.store(0, Ordering::Relaxed);
+    BGPS_REORDERED.store(0, Ordering::Relaxed);
+    FILTERS_PUSHED.store(0, Ordering::Relaxed);
+    HEURISTIC_PLANS.store(0, Ordering::Relaxed);
+}
+
+// ---- per-query explain surface ---------------------------------------------------
+
+/// The optimizer's decision record for one BGP.
+#[derive(Debug, Clone)]
+pub struct BgpPlan {
+    /// Execution order, as indexes into the BGP's written pattern list.
+    pub order: Vec<usize>,
+    /// Estimated rows produced per input row for each chosen pattern,
+    /// parallel to `order`. Empty under [`JoinOptimizer::Heuristic`], which
+    /// estimates nothing.
+    pub estimates: Vec<u64>,
+}
+
+/// A per-query report of the optimizer's decisions.
+#[derive(Debug, Clone)]
+pub struct PlanExplanation {
+    /// One entry per BGP, in planning (execution) order.
+    pub bgps: Vec<BgpPlan>,
+    /// Number of equality-filter conjuncts pushed down into scans.
+    pub pushed_filters: usize,
+}
+
+/// Plans `query` against `store` with [`JoinOptimizer::Statistics`] and
+/// returns the decisions without executing anything. The planning pass is
+/// the real one, so the counters behind [`plan_stats`] advance.
+pub fn explain(store: &TripleStore, query: &Query) -> PlanExplanation {
+    let layout = SlotLayout::of_query(query);
+    let dict = store.dictionary();
+    let ctx = EncContext {
+        store,
+        dict,
+        layout: &layout,
+        optimizer: JoinOptimizer::Statistics,
+    };
+    let mut pattern = compile_pattern(&query.pattern, &layout, dict);
+    let bgps = plan_pattern(&ctx, &mut pattern);
+    PlanExplanation {
+        bgps,
+        pushed_filters: count_prebinds(&pattern),
+    }
+}
+
+fn count_prebinds(pattern: &EncPattern) -> usize {
+    match pattern {
+        EncPattern::Bgp(_) => 0,
+        EncPattern::Join(parts) => parts.iter().map(count_prebinds).sum(),
+        EncPattern::Optional { left, right } => count_prebinds(left) + count_prebinds(right),
+        EncPattern::Union(a, b) => count_prebinds(a) + count_prebinds(b),
+        EncPattern::Filter { inner, prebind, .. } => prebind.len() + count_prebinds(inner),
+    }
+}
+
+// ---- the planning pass -----------------------------------------------------------
+
+/// Plans a compiled pattern in place: every BGP's triple patterns are
+/// permuted into execution order and every eligible equality filter is
+/// pushed down. Runs exactly once per evaluation, before any operator
+/// streams — the streaming and parallel paths then consume the same plan.
+///
+/// Returns the per-BGP decision records (consumed by [`explain`]).
+pub(crate) fn plan_pattern(ctx: &EncContext<'_>, pattern: &mut EncPattern) -> Vec<BgpPlan> {
+    let mut bound = vec![false; ctx.layout.len()];
+    let mut bgps = Vec::new();
+    plan_rec(ctx, pattern, &mut bound, &mut bgps);
+    bgps
+}
+
+/// Recursive planning walk. Contract: plans `pattern` given the slots in
+/// `bound`, and marks every slot the pattern can bind — mirroring exactly
+/// the bound-slot propagation the streaming operators perform, so estimates
+/// describe the rows each operator will actually see.
+fn plan_rec(
+    ctx: &EncContext<'_>,
+    pattern: &mut EncPattern,
+    bound: &mut Vec<bool>,
+    out: &mut Vec<BgpPlan>,
+) {
+    match pattern {
+        EncPattern::Bgp(tps) => {
+            let (order, estimates) = match ctx.optimizer {
+                JoinOptimizer::Statistics => stats_join_order(ctx.store, tps, bound),
+                JoinOptimizer::Heuristic => {
+                    HEURISTIC_PLANS.fetch_add(1, Ordering::Relaxed);
+                    (bgp_join_order(tps, bound), Vec::new())
+                }
+            };
+            BGPS_PLANNED.fetch_add(1, Ordering::Relaxed);
+            if order.iter().enumerate().any(|(i, &idx)| i != idx) {
+                BGPS_REORDERED.fetch_add(1, Ordering::Relaxed);
+            }
+            *tps = order.iter().map(|&i| tps[i]).collect();
+            for tp in tps.iter() {
+                mark_pattern_vars(tp, bound);
+            }
+            out.push(BgpPlan { order, estimates });
+        }
+        EncPattern::Join(parts) => {
+            for part in parts {
+                plan_rec(ctx, part, bound, out);
+            }
+        }
+        EncPattern::Optional { left, right } => {
+            // The right side streams per left row, so it plans with the
+            // left side's bindings visible.
+            plan_rec(ctx, left, bound, out);
+            plan_rec(ctx, right, bound, out);
+        }
+        EncPattern::Union(a, b) => {
+            // Each branch sees only the bindings from *before* the union;
+            // afterwards either branch may have bound its variables.
+            let mut bound_a = bound.clone();
+            plan_rec(ctx, a, &mut bound_a, out);
+            plan_rec(ctx, b, bound, out);
+            for (slot, a_bound) in bound.iter_mut().zip(bound_a) {
+                *slot |= a_bound;
+            }
+        }
+        EncPattern::Filter {
+            inner,
+            condition,
+            prebind,
+        } => {
+            if ctx.optimizer == JoinOptimizer::Statistics {
+                extract_prebinds(ctx, condition, inner, bound, prebind);
+            }
+            plan_rec(ctx, inner, bound, out);
+        }
+    }
+}
+
+fn mark_pattern_vars(tp: &EncTriplePattern, bound: &mut [bool]) {
+    for node in tp.nodes() {
+        if let EncNode::Var(slot) = node {
+            bound[slot as usize] = true;
+        }
+    }
+}
+
+// ---- cost-based join ordering ----------------------------------------------------
+
+/// Greedy cheapest-next-join ordering: repeatedly pick the *connected*
+/// remaining pattern with the smallest cardinality estimate. A pattern is
+/// connected when it shares a bound variable with what has been joined so
+/// far (or has no unbound variables at all); while any connected pattern
+/// remains, disconnected ones are ineligible — a cartesian product is never
+/// chosen over a join, no matter how cheap it looks.
+///
+/// Ties break by the shape heuristic score, then to the lowest pattern
+/// index (candidates are scanned in ascending index order and only a
+/// strictly better candidate replaces the incumbent), so plans are
+/// deterministic and identical between the streaming and parallel paths.
+fn stats_join_order(
+    store: &TripleStore,
+    tps: &[EncTriplePattern],
+    bound: &[bool],
+) -> (Vec<usize>, Vec<u64>) {
+    let mut bound = bound.to_vec();
+    let mut remaining: Vec<usize> = (0..tps.len()).collect();
+    let mut order = Vec::with_capacity(tps.len());
+    let mut estimates = Vec::with_capacity(tps.len());
+    while !remaining.is_empty() {
+        let any_connected = remaining.iter().any(|&idx| is_connected(&tps[idx], &bound));
+        let mut best: Option<(usize, u64, i64)> = None; // (pos, estimate, heuristic)
+        for (pos, &idx) in remaining.iter().enumerate() {
+            if any_connected && !is_connected(&tps[idx], &bound) {
+                continue;
+            }
+            let est = estimate_pattern(store, &tps[idx], &bound);
+            let heur = pattern_selectivity(&tps[idx], &bound);
+            let better = match best {
+                None => true,
+                Some((_, best_est, best_heur)) => {
+                    est < best_est || (est == best_est && heur > best_heur)
+                }
+            };
+            if better {
+                best = Some((pos, est, heur));
+            }
+        }
+        let (pos, est, _) = best.expect("candidate pool is never empty");
+        let idx = remaining.remove(pos);
+        order.push(idx);
+        estimates.push(est);
+        mark_pattern_vars(&tps[idx], &mut bound);
+    }
+    (order, estimates)
+}
+
+/// `true` when the pattern joins against the already-bound slots: it
+/// mentions a bound variable, or has no unbound variables at all.
+fn is_connected(tp: &EncTriplePattern, bound: &[bool]) -> bool {
+    let mut has_bound_var = false;
+    let mut has_unbound_var = false;
+    for node in tp.nodes() {
+        if let EncNode::Var(slot) = node {
+            if bound[slot as usize] {
+                has_bound_var = true;
+            } else {
+                has_unbound_var = true;
+            }
+        }
+    }
+    has_bound_var || !has_unbound_var
+}
+
+/// Expected number of rows this pattern produces *per input row*, given the
+/// bound slots.
+///
+/// The constant positions are counted exactly against the store indexes;
+/// each position occupied by a bound variable then divides the count by a
+/// distinct-value estimate for that position (conditioned on a constant
+/// neighbor when one exists — e.g. a bound subject under a constant object
+/// divides by the distinct subjects *of that object*). The estimate is
+/// clamped to at least 1 unless the constant prefix matches nothing.
+fn estimate_pattern(store: &TripleStore, tp: &EncTriplePattern, bound: &[bool]) -> u64 {
+    let mut consts: [Option<TermId>; 3] = [None; 3];
+    let mut bound_var = [false; 3];
+    for (i, node) in tp.nodes().into_iter().enumerate() {
+        match node {
+            EncNode::Const(Some(id)) => consts[i] = Some(id),
+            // A constant the store never interned: statically empty scan.
+            EncNode::Const(None) => return 0,
+            EncNode::Var(slot) if bound[slot as usize] => bound_var[i] = true,
+            EncNode::Var(_) => {}
+        }
+    }
+    let total = store.count_matching_encoded(consts[0], consts[1], consts[2]) as u64;
+    if total <= 1 {
+        return total;
+    }
+    let mut divisor: u64 = 1;
+    if bound_var[0] {
+        let d = match consts[2] {
+            Some(o) => store.distinct_subjects_of_object(o),
+            None => store.distinct_subjects_estimate(),
+        };
+        divisor = divisor.saturating_mul(d.max(1) as u64);
+    }
+    if bound_var[1] {
+        let d = match consts[0] {
+            Some(s) => store.distinct_predicates_of_subject(s),
+            None => store.distinct_predicates_estimate(),
+        };
+        divisor = divisor.saturating_mul(d.max(1) as u64);
+    }
+    if bound_var[2] {
+        let d = match consts[1] {
+            Some(p) => store.distinct_objects_of_predicate(p),
+            None => store.distinct_objects_estimate(),
+        };
+        divisor = divisor.saturating_mul(d.max(1) as u64);
+    }
+    (total / divisor).max(1)
+}
+
+// ---- the legacy shape heuristic (fallback) ---------------------------------------
+
+/// Greedy join order by shape score: repeatedly pick the remaining pattern
+/// with the most concrete/bound positions. Returns indexes into `patterns`.
+/// Mirrors the scoring the pre-encoded engine used (and the differential
+/// oracle pinned).
+///
+/// Ties break to the *lowest* pattern index: candidates are scanned in
+/// ascending index order and only a strictly greater score replaces the
+/// incumbent. (`max_by_key` would return the last maximum, which made plans
+/// depend on where in the BGP a pattern happened to be written.)
+pub(crate) fn bgp_join_order(patterns: &[EncTriplePattern], bound: &[bool]) -> Vec<usize> {
+    let mut bound = bound.to_vec();
+    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+    let mut order = Vec::with_capacity(patterns.len());
+    while !remaining.is_empty() {
+        let mut best_pos = 0;
+        let mut best_score = pattern_selectivity(&patterns[remaining[0]], &bound);
+        for (pos, &idx) in remaining.iter().enumerate().skip(1) {
+            let score = pattern_selectivity(&patterns[idx], &bound);
+            if score > best_score {
+                best_pos = pos;
+                best_score = score;
+            }
+        }
+        let idx = remaining.remove(best_pos);
+        order.push(idx);
+        mark_pattern_vars(&patterns[idx], &mut bound);
+    }
+    order
+}
+
+fn pattern_selectivity(tp: &EncTriplePattern, bound: &[bool]) -> i64 {
+    let mut score = 0i64;
+    let mut has_unbound = false;
+    let mut has_bound_var = false;
+    for node in tp.nodes() {
+        match node {
+            EncNode::Const(_) => score += 2,
+            EncNode::Var(slot) if bound[slot as usize] => {
+                // A variable the current rows already bind acts as a
+                // concrete term, and additionally keeps the join connected.
+                score += 3;
+                has_bound_var = true;
+            }
+            EncNode::Var(_) => has_unbound = true,
+        }
+    }
+    // A pattern with unbound variables but no link to the bound ones would
+    // produce a cartesian product with the current rows; defer it until
+    // everything connected has been joined.
+    if bound.iter().any(|&b| b) && has_unbound && !has_bound_var {
+        score -= 100;
+    }
+    score
+}
+
+// ---- equality-filter pushdown ----------------------------------------------------
+
+/// Collects `?v = <iri>` conjuncts from `condition` that can soundly
+/// pre-bind `?v`'s slot before `inner` scans, appending them to `prebind`
+/// and marking the slots bound (so the estimator sees them as constants).
+fn extract_prebinds(
+    ctx: &EncContext<'_>,
+    condition: &Expression,
+    inner: &EncPattern,
+    bound: &mut [bool],
+    prebind: &mut Vec<(u32, Option<TermId>)>,
+) {
+    let mut pairs: Vec<(&str, &Term)> = Vec::new();
+    collect_eq_conjuncts(condition, &mut pairs);
+    if pairs.is_empty() || !cannot_raise(condition) {
+        return;
+    }
+    // Pushdown requires the variable bound in *every* inner solution:
+    // pruning on the pre-bound value is then exactly what the residual
+    // filter would have done (the conjunct evaluates to plain false on
+    // every pruned row, and a false top-level conjunct makes the whole
+    // error-free condition false).
+    let mut certain = vec![false; bound.len()];
+    certainly_binds(inner, &mut certain);
+    for (name, term) in pairs {
+        let Some(slot) = ctx.layout.slot_of(name) else {
+            continue;
+        };
+        if !certain[slot as usize] {
+            continue;
+        }
+        if prebind.iter().any(|&(s, _)| s == slot) {
+            // Two conjuncts on the same variable: keep the first; the
+            // residual filter resolves the (necessarily false) conflict.
+            continue;
+        }
+        // `None` when the IRI was never interned: no row can satisfy the
+        // conjunct, so the scan is pruned to nothing.
+        prebind.push((slot, ctx.dict.id_of(term)));
+        bound[slot as usize] = true;
+        FILTERS_PUSHED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Walks the top-level `&&` spine collecting `?v = <iri>` conjuncts (either
+/// orientation). Only IRI constants qualify: literal `=` in SPARQL compares
+/// by *value* (`"1"^^xsd:integer = "1.0"^^xsd:double` holds across distinct
+/// terms), so a literal pre-bind on term identity would drop rows the
+/// filter keeps. IRI equality is term equality, and interning is injective.
+fn collect_eq_conjuncts<'e>(expr: &'e Expression, out: &mut Vec<(&'e str, &'e Term)>) {
+    match expr {
+        Expression::And(a, b) => {
+            collect_eq_conjuncts(a, out);
+            collect_eq_conjuncts(b, out);
+        }
+        Expression::Comparison {
+            op: ComparisonOp::Eq,
+            left,
+            right,
+        } => match (left.as_ref(), right.as_ref()) {
+            (Expression::Variable(v), Expression::Constant(t))
+            | (Expression::Constant(t), Expression::Variable(v))
+                if matches!(t, Term::Iri(_)) =>
+            {
+                out.push((v.as_str(), t));
+            }
+            _ => {}
+        },
+        _ => {}
+    }
+}
+
+/// `true` when evaluating `expr` can never return a hard `SparqlError` —
+/// only values (including the soft `EvalValue::Error`, which is falsy in
+/// filters).
+///
+/// This gate is what makes pushdown sound: `&&` evaluates *both* sides and
+/// propagates a hard error from the right even when the left conjunct is
+/// already false, so pruning a row early may hide an error the reference
+/// evaluator reports. The hard-error sources in `crate::expr` are
+/// aggregates, `BOUND` with a non-variable argument, and `REGEX` (its
+/// pattern may be invalid); everything else evaluates totally.
+fn cannot_raise(expr: &Expression) -> bool {
+    match expr {
+        Expression::Variable(_) | Expression::Constant(_) => true,
+        Expression::Or(a, b) | Expression::And(a, b) => cannot_raise(a) && cannot_raise(b),
+        Expression::Not(inner) => cannot_raise(inner),
+        Expression::Comparison { left, right, .. } => cannot_raise(left) && cannot_raise(right),
+        Expression::Function {
+            func: Function::Regex,
+            ..
+        } => false,
+        Expression::Function {
+            func: Function::Bound,
+            args,
+        } => args.len() == 1 && matches!(args[0], Expression::Variable(_)),
+        Expression::Function { args, .. } => args.iter().all(cannot_raise),
+        Expression::Aggregate { .. } => false,
+    }
+}
+
+/// Marks the slots bound in *every* solution of `pattern`: all BGP/Join
+/// variables, only the left side of `OPTIONAL`, and the intersection of
+/// `UNION` branches.
+fn certainly_binds(pattern: &EncPattern, out: &mut [bool]) {
+    match pattern {
+        EncPattern::Bgp(tps) => {
+            for tp in tps {
+                mark_pattern_vars(tp, out);
+            }
+        }
+        EncPattern::Join(parts) => {
+            for p in parts {
+                certainly_binds(p, out);
+            }
+        }
+        EncPattern::Optional { left, .. } => certainly_binds(left, out),
+        EncPattern::Union(a, b) => {
+            let mut in_a = vec![false; out.len()];
+            let mut in_b = vec![false; out.len()];
+            certainly_binds(a, &mut in_a);
+            certainly_binds(b, &mut in_b);
+            for (slot, (a_bound, b_bound)) in out.iter_mut().zip(in_a.into_iter().zip(in_b)) {
+                *slot |= a_bound && b_bound;
+            }
+        }
+        EncPattern::Filter { inner, .. } => certainly_binds(inner, out),
+    }
+}
+
+/// Applies a filter's pushed-down bindings to one row: sets unbound slots,
+/// passes matching bound slots, and returns `false` (drop the row) on a
+/// conflict or an unsatisfiable (never-interned) constant.
+pub(crate) fn apply_prebind(prebind: &[(u32, Option<TermId>)], row: &mut [TermId]) -> bool {
+    for &(slot, id) in prebind {
+        let Some(id) = id else {
+            return false;
+        };
+        let cell = &mut row[slot as usize];
+        if *cell == UNBOUND {
+            *cell = id;
+        } else if *cell != id {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use hbold_rdf_model::{Iri, Triple};
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    /// A store with strong cardinality skew: one hub predicate with 60
+    /// triples, one rare predicate with 2.
+    fn skewed_store() -> TripleStore {
+        let mut triples = Vec::new();
+        for i in 0..20 {
+            let s = iri(&format!("http://e.org/s{i}"));
+            for j in 0..3 {
+                triples.push(Triple::new(
+                    s.clone(),
+                    iri("http://e.org/hub"),
+                    iri(&format!("http://e.org/o{i}_{j}")),
+                ));
+            }
+        }
+        for i in 0..2 {
+            triples.push(Triple::new(
+                iri(&format!("http://e.org/s{i}")),
+                iri("http://e.org/rare"),
+                iri(&format!("http://e.org/r{i}")),
+            ));
+        }
+        let mut store = TripleStore::new();
+        store.insert_batch(triples.iter());
+        store
+    }
+
+    fn var(layout_slot: u32) -> EncNode {
+        EncNode::Var(layout_slot)
+    }
+
+    fn tp(s: EncNode, p: EncNode, o: EncNode) -> EncTriplePattern {
+        EncTriplePattern {
+            subject: s,
+            predicate: p,
+            object: o,
+        }
+    }
+
+    #[test]
+    fn tie_break_is_lowest_pattern_index_in_both_modes() {
+        // Three identical patterns: every score and estimate ties, so both
+        // strategies must keep the written order (the old `max_by_key`
+        // picked the *last* maximum).
+        let store = skewed_store();
+        let hub = store
+            .id_of(&iri("http://e.org/hub").into())
+            .map(|id| EncNode::Const(Some(id)))
+            .unwrap();
+        let patterns = vec![
+            tp(var(0), hub, var(1)),
+            tp(var(0), hub, var(1)),
+            tp(var(0), hub, var(1)),
+        ];
+        let bound = vec![false; 2];
+        assert_eq!(bgp_join_order(&patterns, &bound), vec![0, 1, 2]);
+        let (order, _) = stats_join_order(&store, &patterns, &bound);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn statistics_pick_the_rare_pattern_first_regardless_of_writing_order() {
+        let store = skewed_store();
+        for (query, rare_written_at) in [
+            (
+                "SELECT ?s ?v ?o WHERE { ?s <http://e.org/rare> ?v . ?s <http://e.org/hub> ?o }",
+                0usize,
+            ),
+            (
+                "SELECT ?s ?v ?o WHERE { ?s <http://e.org/hub> ?o . ?s <http://e.org/rare> ?v }",
+                1usize,
+            ),
+        ] {
+            let plan = explain(&store, &parse_query(query).unwrap());
+            assert_eq!(plan.bgps.len(), 1);
+            let bgp = &plan.bgps[0];
+            assert_eq!(
+                bgp.order[0], rare_written_at,
+                "rare pattern must be scanned first: {query}"
+            );
+            // The rare pattern's constant-prefix count is exact.
+            assert_eq!(bgp.estimates[0], 2);
+        }
+    }
+
+    #[test]
+    fn estimates_divide_by_distinct_counts_for_bound_vars() {
+        let store = skewed_store();
+        let hub = store.id_of(&iri("http://e.org/hub").into()).unwrap();
+        // (?s hub ?o) with ?s already bound: 60 triples / 20 subjects = 3.
+        let pattern = tp(var(0), EncNode::Const(Some(hub)), var(1));
+        let est = estimate_pattern(&store, &pattern, &[true, false]);
+        assert_eq!(est, 3);
+        // Unbound: the full predicate count.
+        let est = estimate_pattern(&store, &pattern, &[false, false]);
+        assert_eq!(est, 60);
+        // A never-interned constant is statically empty.
+        let pattern = tp(var(0), EncNode::Const(None), var(1));
+        assert_eq!(estimate_pattern(&store, &pattern, &[false, false]), 0);
+    }
+
+    #[test]
+    fn connected_expensive_pattern_beats_cheap_disconnected_one() {
+        // rare(2) and lone(2) tie at the cold start (nothing bound yet, so
+        // neither is "connected"); the heuristic tie-break keeps rare
+        // (lowest index) first. After that, hub(60, connected via ?s) must
+        // come before the disconnected lone even though lone's estimate is
+        // far smaller: 2 cheap rows never outrank a connected join.
+        let store = {
+            let mut store = skewed_store();
+            for i in 0..2 {
+                store.insert(&Triple::new(
+                    iri(&format!("http://e.org/island{i}")),
+                    iri("http://e.org/lone"),
+                    iri("http://e.org/isle"),
+                ));
+            }
+            store
+        };
+        let plan = explain(
+            &store,
+            &parse_query(
+                "SELECT * WHERE { ?s <http://e.org/rare> ?v . \
+                 ?s <http://e.org/hub> ?o . ?x <http://e.org/lone> ?y }",
+            )
+            .unwrap(),
+        );
+        assert_eq!(plan.bgps[0].order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pushdown_requires_certain_binding_and_error_free_condition() {
+        let store = skewed_store();
+        // Certainly bound + IRI equality: pushed.
+        let pushed = explain(
+            &store,
+            &parse_query(
+                "SELECT * WHERE { ?s <http://e.org/hub> ?o \
+                 FILTER(?s = <http://e.org/s3>) }",
+            )
+            .unwrap(),
+        );
+        assert_eq!(pushed.pushed_filters, 1);
+        // OPTIONAL-only binding: not certain, not pushed.
+        let optional = explain(
+            &store,
+            &parse_query(
+                "SELECT * WHERE { ?s <http://e.org/hub> ?o \
+                 OPTIONAL { ?s <http://e.org/rare> ?v } FILTER(?v = <http://e.org/r1>) }",
+            )
+            .unwrap(),
+        );
+        assert_eq!(optional.pushed_filters, 0);
+        // A REGEX conjunct can raise a hard error: nothing is pushed.
+        let regex = explain(
+            &store,
+            &parse_query(
+                "SELECT * WHERE { ?s <http://e.org/hub> ?o \
+                 FILTER(?s = <http://e.org/s3> && regex(?o, 'o3')) }",
+            )
+            .unwrap(),
+        );
+        assert_eq!(regex.pushed_filters, 0);
+        // Literal equality compares by value, never pushed.
+        let literal = explain(
+            &store,
+            &parse_query("SELECT * WHERE { ?s <http://e.org/hub> ?o FILTER(?o = \"x\") }").unwrap(),
+        );
+        assert_eq!(literal.pushed_filters, 0);
+    }
+
+    #[test]
+    fn cannot_raise_classifies_the_hard_error_sources() {
+        let parse_condition = |filter: &str| {
+            let q = format!("SELECT * WHERE {{ ?s ?p ?o FILTER({filter}) }}");
+            let query = parse_query(&q).unwrap();
+            match &query.pattern {
+                crate::ast::GraphPattern::Filter { condition, .. } => condition.clone(),
+                other => panic!("unexpected pattern {other:?}"),
+            }
+        };
+        assert!(cannot_raise(&parse_condition("?s = <http://e.org/a>")));
+        assert!(cannot_raise(&parse_condition(
+            "BOUND(?s) && (?o > 3 || !(?p != ?o))"
+        )));
+        assert!(cannot_raise(&parse_condition("CONTAINS(STR(?o), 'x')")));
+        assert!(!cannot_raise(&parse_condition("regex(?o, 'x')")));
+        assert!(!cannot_raise(&parse_condition(
+            "?s = <http://e.org/a> && regex(?o, 'x')"
+        )));
+    }
+
+    #[test]
+    fn apply_prebind_sets_passes_and_drops() {
+        let mut row = vec![UNBOUND, 7];
+        assert!(apply_prebind(&[(0, Some(5))], &mut row));
+        assert_eq!(row, vec![5, 7]);
+        assert!(apply_prebind(&[(1, Some(7))], &mut row));
+        assert!(!apply_prebind(&[(1, Some(8))], &mut row));
+        assert!(!apply_prebind(&[(0, None)], &mut row));
+    }
+}

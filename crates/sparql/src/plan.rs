@@ -16,16 +16,27 @@ use crate::ast::Query;
 use crate::error::SparqlError;
 use crate::parser::parse_query;
 
-/// Entries beyond this bound trigger a full clear: the workload is a small
-/// set of recurring extraction shapes, so a simple epoch eviction beats LRU
-/// bookkeeping on the hot path.
+/// Capacity bound. Reaching it evicts the least-recently-used *quarter* of
+/// the entries — never the whole map: a workload cycling through one more
+/// than `MAX_ENTRIES` distinct queries used to clear the cache on every
+/// insert, collapsing the hit rate of the hot extraction shapes to ~0 in a
+/// sawtooth. Recency is a single atomic stamp bumped on hit, so the hot
+/// path stays a `HashMap` lookup.
 const MAX_ENTRIES: usize = 4096;
 
-static CACHE: OnceLock<Mutex<HashMap<String, Arc<Query>>>> = OnceLock::new();
+/// One cached plan plus the logical time of its last use.
+struct CacheEntry {
+    plan: Arc<Query>,
+    last_used: u64,
+}
+
+static CACHE: OnceLock<Mutex<HashMap<String, CacheEntry>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+/// Logical clock for LRU stamps: bumped on every hit and insert.
+static CLOCK: AtomicU64 = AtomicU64::new(0);
 
-fn cache() -> &'static Mutex<HashMap<String, Arc<Query>>> {
+fn cache() -> &'static Mutex<HashMap<String, CacheEntry>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -59,10 +70,11 @@ impl PlanCacheStats {
 pub fn parse_cached(text: &str) -> Result<Arc<Query>, SparqlError> {
     let key = normalize(text);
     {
-        let cache = cache().lock().expect("plan cache poisoned");
-        if let Some(plan) = cache.get(&key) {
+        let mut cache = cache().lock().expect("plan cache poisoned");
+        if let Some(entry) = cache.get_mut(&key) {
+            entry.last_used = CLOCK.fetch_add(1, Ordering::Relaxed);
             HITS.fetch_add(1, Ordering::Relaxed);
-            return Ok(plan.clone());
+            return Ok(entry.plan.clone());
         }
     }
     // Parse outside the lock: parsing is the slow part, and two threads
@@ -71,10 +83,29 @@ pub fn parse_cached(text: &str) -> Result<Arc<Query>, SparqlError> {
     MISSES.fetch_add(1, Ordering::Relaxed);
     let mut cache = cache().lock().expect("plan cache poisoned");
     if cache.len() >= MAX_ENTRIES {
-        cache.clear();
+        evict_lru_quarter(&mut cache);
     }
-    cache.insert(key, plan.clone());
+    cache.insert(
+        key,
+        CacheEntry {
+            plan: plan.clone(),
+            last_used: CLOCK.fetch_add(1, Ordering::Relaxed),
+        },
+    );
     Ok(plan)
+}
+
+/// Drops the least-recently-used quarter of the cache (at least one entry),
+/// keeping recently-hit plans resident across the eviction cycle.
+fn evict_lru_quarter(cache: &mut HashMap<String, CacheEntry>) {
+    let mut stamped: Vec<(u64, String)> = cache
+        .iter()
+        .map(|(key, entry)| (entry.last_used, key.clone()))
+        .collect();
+    stamped.sort_unstable();
+    for (_, key) in stamped.iter().take((cache.len() / 4).max(1)) {
+        cache.remove(key);
+    }
 }
 
 /// Current cache counters.
@@ -253,5 +284,34 @@ mod tests {
         // Failing twice proves the error was re-derived, not served stale.
         assert!(parse_cached("SELEKT nope").is_err());
         assert!(parse_cached("SELEKT nope").is_err());
+    }
+
+    #[test]
+    fn hot_queries_survive_an_eviction_cycle() {
+        // Churn far more than MAX_ENTRIES distinct queries while re-touching
+        // one hot query regularly. The old wholesale `clear()` dropped the
+        // hot plan on (almost) every insert past capacity; LRU eviction must
+        // keep it resident the whole way through, and keep the cache bounded.
+        let hot_text = "SELECT ?hot_survivor WHERE { ?hot_survivor a ?class_eviction_probe }";
+        let hot = parse_cached(hot_text).unwrap();
+        for i in 0..(MAX_ENTRIES * 2) {
+            parse_cached(&format!(
+                "SELECT ?churn WHERE {{ ?churn <http://e.org/evict_probe_{i}> ?o }}"
+            ))
+            .unwrap();
+            if i % 64 == 0 {
+                let again = parse_cached(hot_text).unwrap();
+                assert!(
+                    Arc::ptr_eq(&hot, &again),
+                    "hot plan evicted after {i} churn inserts"
+                );
+            }
+        }
+        let again = parse_cached(hot_text).unwrap();
+        assert!(Arc::ptr_eq(&hot, &again), "hot plan evicted by churn");
+        assert!(
+            stats().entries <= MAX_ENTRIES,
+            "eviction keeps the cache bounded"
+        );
     }
 }

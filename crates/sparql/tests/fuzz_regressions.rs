@@ -9,15 +9,17 @@ use hbold_rdf_model::{Iri, Literal, Term, Triple};
 use hbold_sparql::expr::number_term;
 use hbold_sparql::fuzz::{random_regex_pattern, FuzzRng};
 use hbold_sparql::regex::Regex;
-use hbold_sparql::{evaluate_with, reference, EvalOptions, QueryResults};
+use hbold_sparql::{evaluate_with, explain, reference, EvalOptions, JoinOptimizer, QueryResults};
 use hbold_triple_store::TripleStore;
 
 fn iri(s: &str) -> Iri {
     Iri::new(s).unwrap()
 }
 
-/// All three engines on a query string; panics if any disagrees with the
-/// reference (exact rows — every caller pins an ORDER BY or a 0/1-row shape).
+/// All engines on a query string — statistics-optimized streaming, sharded
+/// parallel, heuristic-ordered streaming — panicking if any disagrees with
+/// the reference (exact rows — every caller pins an ORDER BY or a 0/1-row
+/// shape).
 fn three_way(store: &TripleStore, query: &str) -> QueryResults {
     let parsed = hbold_sparql::parse_query(query).unwrap();
     let naive = reference::evaluate(store, &parsed).unwrap();
@@ -25,6 +27,9 @@ fn three_way(store: &TripleStore, query: &str) -> QueryResults {
     let mut options = EvalOptions::with_threads(3);
     options.parallel_threshold = 1;
     let parallel = evaluate_with(store, &parsed, &options).unwrap();
+    let mut heuristic_options = EvalOptions::sequential();
+    heuristic_options.optimizer = JoinOptimizer::Heuristic;
+    let heuristic = evaluate_with(store, &parsed, &heuristic_options).unwrap();
     let render = |r: &QueryResults| match r {
         QueryResults::Ask(b) => format!("ask:{b}"),
         QueryResults::Select(s) => format!(
@@ -48,6 +53,11 @@ fn three_way(store: &TripleStore, query: &str) -> QueryResults {
         render(&naive),
         render(&parallel),
         "parallel diverged on {query}"
+    );
+    assert_eq!(
+        render(&naive),
+        render(&heuristic),
+        "heuristic-ordered diverged on {query}"
     );
     naive
 }
@@ -378,4 +388,175 @@ fn alternation_anchors_are_per_branch_in_queries() {
         "SELECT ?o WHERE { ?s ?p ?o FILTER(REGEX(?o, \"apple$pie\")) }",
     );
     assert!(results.into_select().unwrap().rows.is_empty());
+}
+
+// ---- eval.rs: order-independent SUM/AVG folds at the f64 precision edge ----------
+
+/// Found by the fuzz sweep at seed 7742 once skewed graph modes landed:
+/// `SUM`/`AVG` folded f64 values in member-arrival order, and the engines
+/// enumerate group members in different row orders — so a group containing
+/// both `-2^63` and `~2^63` plus small values summed to *different* totals
+/// per engine (adding 2.5 to ±2^63 is absorbed; adding it to their
+/// cancelled remainder is not). The fold now sorts by `f64::total_cmp`
+/// first, making the result a pure function of the value multiset.
+#[test]
+fn sum_and_avg_are_independent_of_member_enumeration_order() {
+    let mut store = TripleStore::new();
+    let p = iri("http://r.example/v");
+    for (label, value) in [
+        (
+            "huge_pos",
+            Literal::typed("9223372036854775807", xsd::double()),
+        ),
+        ("huge_neg", Literal::integer(i64::MIN)),
+        ("small_a", Literal::double(2.5)),
+        ("small_b", Literal::double(-1.0)),
+        ("tiny", Literal::integer(-1)),
+    ] {
+        store.insert(&Triple::new(
+            iri(&format!("http://r.example/{label}")),
+            p.clone(),
+            Term::Literal(value),
+        ));
+    }
+    // The engines walk ?s ?p ?o in different orders (reference scans
+    // insertion order, the encoded engine scans index order, parallel
+    // chunks), so before the canonical fold these disagreed near 2^63.
+    for agg in ["SUM", "AVG"] {
+        for distinct in ["", "DISTINCT "] {
+            let results = three_way(
+                &store,
+                &format!("SELECT ({agg}({distinct}?o) AS ?n) WHERE {{ ?s ?p ?o }}"),
+            );
+            let rows = results.into_select().unwrap().rows;
+            assert_eq!(rows.len(), 1);
+            assert!(rows[0][0].is_some(), "{agg}({distinct}?o) produced a value");
+        }
+    }
+}
+
+// ---- optimize.rs: join-order pins on skewed-cardinality graphs -------------------
+
+/// Heavy skew: one hub predicate (150 triples over 50 subjects), one rare
+/// predicate (2 triples on hub subjects), and one disconnected "lone"
+/// predicate (2 triples on island subjects no other pattern touches).
+fn skewed_join_store() -> TripleStore {
+    let mut store = TripleStore::new();
+    let hub = iri("http://r.example/hub");
+    let rare = iri("http://r.example/rare");
+    let lone = iri("http://r.example/lone");
+    for i in 0..50 {
+        let s = iri(&format!("http://r.example/s{i}"));
+        for j in 0..3 {
+            store.insert(&Triple::new(
+                s.clone(),
+                hub.clone(),
+                iri(&format!("http://r.example/o{i}_{j}")),
+            ));
+        }
+    }
+    for i in 0..2 {
+        store.insert(&Triple::new(
+            iri(&format!("http://r.example/s{i}")),
+            rare.clone(),
+            iri(&format!("http://r.example/r{i}")),
+        ));
+    }
+    for i in 0..2 {
+        store.insert(&Triple::new(
+            iri(&format!("http://r.example/island{i}")),
+            lone.clone(),
+            iri("http://r.example/isle"),
+        ));
+    }
+    store
+}
+
+/// The worst ordering the old shape heuristic could produce: with rare and
+/// hub written after a pattern over disconnected variables, the score-based
+/// order could interleave a cartesian product between two components while
+/// a connected join was still available. Pin: the statistics optimizer
+/// never picks a disconnected pattern while a connected one remains.
+#[test]
+fn optimizer_never_interleaves_a_cartesian_product() {
+    let store = skewed_join_store();
+    // rare(2) and lone(2) tie at the cold start; rare wins on the written
+    // index. hub (150, connected via ?a) must then beat the cheap (2 rows)
+    // but disconnected lone pattern.
+    let plan = explain(
+        &store,
+        &hbold_sparql::parse_query(
+            "SELECT * WHERE { ?a <http://r.example/rare> ?b . \
+             ?a <http://r.example/hub> ?c . ?x <http://r.example/lone> ?y }",
+        )
+        .unwrap(),
+    );
+    assert_eq!(plan.bgps.len(), 1);
+    assert_eq!(plan.bgps[0].order, vec![0, 1, 2]);
+    // The rare pattern's constant-prefix cardinality is exact.
+    assert_eq!(plan.bgps[0].estimates[0], 2);
+
+    // Results stay identical across all engines on the same shape.
+    let results = three_way(
+        &store,
+        "SELECT ?a ?b ?c ?x ?y WHERE { ?a <http://r.example/rare> ?b . \
+         ?a <http://r.example/hub> ?c . ?x <http://r.example/lone> ?y } ORDER BY ?a ?c ?x",
+    );
+    // 2 rare subjects × 3 hub objects each × 2 lone rows = 12.
+    assert_eq!(results.into_select().unwrap().rows.len(), 12);
+}
+
+/// A fully-constant pattern (score +6 under the old heuristic, no cartesian
+/// penalty since it binds nothing) must not disarm connectedness for the
+/// rest of the plan: after it, the optimizer still joins the connected
+/// component cheapest-first and defers the disconnected pattern.
+#[test]
+fn constant_pattern_does_not_disarm_connectedness() {
+    let store = skewed_join_store();
+    let plan = explain(
+        &store,
+        &hbold_sparql::parse_query(
+            "SELECT * WHERE { <http://r.example/s0> <http://r.example/hub> <http://r.example/o0_0> . \
+             ?x <http://r.example/lone> ?y . \
+             ?a <http://r.example/hub> ?c . \
+             ?a <http://r.example/rare> ?b }",
+        )
+        .unwrap(),
+    );
+    // Constant existence check first (connected by definition, est 1);
+    // then nothing is bound, so lone(2) ties rare(2) and wins on index;
+    // then rare before the 150-triple hub.
+    assert_eq!(plan.bgps[0].order, vec![0, 1, 3, 2]);
+}
+
+/// The statistics order is written-order independent: the rare pattern
+/// leads whichever side of the BGP it is written on (the old `max_by_key`
+/// tie-break made this depend on pattern position), and the engines agree
+/// on the results either way.
+#[test]
+fn rare_pattern_leads_regardless_of_writing_order() {
+    let store = skewed_join_store();
+    let forward = explain(
+        &store,
+        &hbold_sparql::parse_query(
+            "SELECT * WHERE { ?s <http://r.example/rare> ?v . ?s <http://r.example/hub> ?h }",
+        )
+        .unwrap(),
+    );
+    assert_eq!(forward.bgps[0].order, vec![0, 1]);
+    let reversed = explain(
+        &store,
+        &hbold_sparql::parse_query(
+            "SELECT * WHERE { ?s <http://r.example/hub> ?h . ?s <http://r.example/rare> ?v }",
+        )
+        .unwrap(),
+    );
+    assert_eq!(reversed.bgps[0].order, vec![1, 0]);
+    for q in [
+        "SELECT ?s ?v ?h WHERE { ?s <http://r.example/rare> ?v . ?s <http://r.example/hub> ?h } ORDER BY ?s ?h",
+        "SELECT ?s ?v ?h WHERE { ?s <http://r.example/hub> ?h . ?s <http://r.example/rare> ?v } ORDER BY ?s ?h",
+    ] {
+        let results = three_way(&store, q);
+        assert_eq!(results.into_select().unwrap().rows.len(), 6);
+    }
 }

@@ -226,6 +226,140 @@ impl PositionalIndex {
             },
         )
     }
+
+    /// Exact number of keys in `[lo, hi]`: two `partition_point` binary
+    /// searches on the flat tier, plus range counts over the (small) churn
+    /// tiers — no key is materialized.
+    fn count_range(&self, lo: Key, hi: Key) -> usize {
+        let start = self.flat.partition_point(|k| *k < lo);
+        let end = self.flat.partition_point(|k| *k <= hi);
+        let mut n = end - start;
+        if !self.delta.is_empty() {
+            n += self
+                .delta
+                .range((Bound::Included(lo), Bound::Included(hi)))
+                .count();
+        }
+        if !self.dead.is_empty() {
+            n -= self
+                .dead
+                .range((Bound::Included(lo), Bound::Included(hi)))
+                .count();
+        }
+        n
+    }
+
+    /// Exact number of keys whose first component equals `first`, without
+    /// walking them. This is the cardinality of a one-constant pattern
+    /// lookup and costs two binary searches.
+    pub fn count_prefix1(&self, first: TermId) -> usize {
+        self.count_range((first, 0, 0), (first, TermId::MAX, TermId::MAX))
+    }
+
+    /// Exact number of keys whose first two components equal
+    /// `(first, second)`, without walking them.
+    pub fn count_prefix2(&self, first: TermId, second: TermId) -> usize {
+        self.count_range((first, second, 0), (first, second, TermId::MAX))
+    }
+
+    /// Smallest live key in `[lo, hi]`, merging both tiers.
+    fn first_in_range(&self, lo: Key, hi: Key) -> Option<Key> {
+        let start = self.flat.partition_point(|k| *k < lo);
+        let mut best: Option<Key> = None;
+        for k in &self.flat[start..] {
+            if *k > hi {
+                break;
+            }
+            // Tombstones are churn-small, so this skip loop is short.
+            if self.dead.is_empty() || !self.dead.contains(k) {
+                best = Some(*k);
+                break;
+            }
+        }
+        if let Some(d) = self
+            .delta
+            .range((Bound::Included(lo), Bound::Included(hi)))
+            .next()
+        {
+            best = Some(match best {
+                Some(b) => b.min(*d),
+                None => *d,
+            });
+        }
+        best
+    }
+
+    /// Estimated number of distinct first components across the index.
+    ///
+    /// Exact when there are at most `DISTINCT_PROBES` (16) distinct leading
+    /// values; beyond that the remainder is extrapolated from the average
+    /// run length observed so far. Each probe gallops over one run with two
+    /// binary searches, so the cost is `O(DISTINCT_PROBES · log n)`.
+    pub fn distinct_first_estimate(&self) -> usize {
+        self.distinct_run_estimate((0, 0, 0), (TermId::MAX, TermId::MAX, TermId::MAX), |k| {
+            (k.0, TermId::MAX, TermId::MAX)
+        })
+    }
+
+    /// Estimated number of distinct second components among keys whose
+    /// first component equals `first` (same probe budget and cost model as
+    /// [`PositionalIndex::distinct_first_estimate`]).
+    pub fn distinct_second_estimate(&self, first: TermId) -> usize {
+        self.distinct_run_estimate((first, 0, 0), (first, TermId::MAX, TermId::MAX), |k| {
+            (k.0, k.1, TermId::MAX)
+        })
+    }
+
+    /// Counts runs of equal-prefix keys in `[lo, hi]`, where `run_hi` maps
+    /// a key to the largest possible key of its run. Stops after
+    /// [`DISTINCT_PROBES`] runs and extrapolates the tail.
+    fn distinct_run_estimate(&self, lo: Key, hi: Key, run_hi: impl Fn(Key) -> Key) -> usize {
+        let total = self.count_range(lo, hi);
+        if total == 0 {
+            return 0;
+        }
+        let mut distinct = 0usize;
+        let mut covered = 0usize;
+        let mut cursor = lo;
+        while distinct < DISTINCT_PROBES {
+            let Some(key) = self.first_in_range(cursor, hi) else {
+                return distinct;
+            };
+            distinct += 1;
+            let end = run_hi(key).min(hi);
+            covered += self.count_range(key, end);
+            let Some(next) = key_successor(end) else {
+                return distinct;
+            };
+            if next > hi {
+                return distinct;
+            }
+            cursor = next;
+        }
+        // Probe budget exhausted: assume the remaining keys form runs of
+        // the average length seen so far.
+        let avg = (covered / distinct).max(1);
+        distinct + (total - covered).div_ceil(avg)
+    }
+}
+
+/// Probe budget for the distinct-value estimators: after this many runs
+/// have been counted exactly, the rest of the range is extrapolated.
+const DISTINCT_PROBES: usize = 16;
+
+/// The key immediately after `k` in lexicographic order, or `None` at the
+/// top of the key space.
+fn key_successor(k: Key) -> Option<Key> {
+    let (a, b, c) = k;
+    if c < TermId::MAX {
+        Some((a, b, c + 1))
+    } else if b < TermId::MAX {
+        Some((a, b + 1, 0))
+    } else if a < TermId::MAX {
+        Some((a + 1, 0, 0))
+    } else {
+        None
+    }
 }
 
 /// Ordered scan over a prefix range: a two-way merge of the flat tier's
@@ -435,6 +569,79 @@ mod tests {
         idx.insert_batch([(2, 0, 0)]);
         assert!(idx.contains(&(2, 0, 0)));
         assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn prefix_counts_match_scans_across_tiers() {
+        // A mix of flat, delta, and tombstoned keys: counts must agree with
+        // the merged scan on every prefix shape.
+        let mut idx = PositionalIndex::new();
+        idx.insert_batch([(1, 1, 1), (1, 1, 3), (1, 2, 0), (2, 0, 0), (3, 5, 5)]);
+        idx.insert((1, 1, 2)); // delta inside a flat run
+        idx.insert((0, 9, 9)); // delta before all flat keys
+        idx.remove(&(1, 2, 0)); // tombstone
+        for first in 0..4 {
+            assert_eq!(idx.count_prefix1(first), idx.scan_prefix1(first).count());
+            for second in 0..3 {
+                assert_eq!(
+                    idx.count_prefix2(first, second),
+                    idx.scan_prefix2(first, second).count()
+                );
+            }
+        }
+        assert_eq!(idx.count_prefix1(7), 0);
+        assert_eq!(idx.count_prefix2(1, 1), 3);
+    }
+
+    #[test]
+    fn prefix_counts_include_extreme_ids() {
+        let mut idx = PositionalIndex::new();
+        idx.insert((5, 0, 0));
+        idx.insert((5, TermId::MAX, TermId::MAX));
+        idx.insert((6, 0, 0));
+        assert_eq!(idx.count_prefix1(5), 2);
+        assert_eq!(idx.count_prefix2(5, TermId::MAX), 1);
+    }
+
+    #[test]
+    fn distinct_estimates_are_exact_under_probe_budget() {
+        for idx in [filled(), filled_flat()] {
+            // 3 distinct firsts, 3 distinct seconds per first — all under
+            // the probe budget, so the estimates are exact.
+            assert_eq!(idx.distinct_first_estimate(), 3);
+            for first in 0..3 {
+                assert_eq!(idx.distinct_second_estimate(first), 3);
+            }
+            assert_eq!(idx.distinct_second_estimate(9), 0);
+        }
+        assert_eq!(PositionalIndex::new().distinct_first_estimate(), 0);
+    }
+
+    #[test]
+    fn distinct_estimate_extrapolates_past_probe_budget() {
+        // 100 uniform runs of 10 keys: the estimator probes 16 and must
+        // extrapolate the rest to roughly the true count.
+        let mut keys = Vec::new();
+        for s in 0..100 {
+            for o in 0..10 {
+                keys.push((s, 0, o));
+            }
+        }
+        let mut idx = PositionalIndex::new();
+        idx.insert_batch(keys);
+        let est = idx.distinct_first_estimate();
+        assert!((90..=110).contains(&est), "estimate {est} not near 100");
+    }
+
+    #[test]
+    fn distinct_estimates_respect_tombstones_and_delta() {
+        let mut idx = PositionalIndex::new();
+        idx.insert_batch([(1, 0, 0), (2, 0, 0), (3, 0, 0)]);
+        idx.remove(&(2, 0, 0));
+        idx.insert((4, 7, 7));
+        assert_eq!(idx.distinct_first_estimate(), 3); // 1, 3, 4
+        assert_eq!(idx.distinct_second_estimate(4), 1);
+        assert_eq!(idx.distinct_second_estimate(2), 0);
     }
 
     #[test]

@@ -241,6 +241,60 @@ impl TripleStore {
             .collect()
     }
 
+    /// Counts the triples matching the encoded pattern
+    /// `(subject?, predicate?, object?)` without walking them: the same
+    /// index dispatch as [`TripleStore::matching_encoded_iter`], but each
+    /// prefix is resolved with two binary searches on the flat tier (plus
+    /// the churn tiers). This is the exact-cardinality primitive behind the
+    /// SPARQL cost-based join optimizer.
+    pub fn count_matching_encoded(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> usize {
+        match (subject, predicate, object) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.spo.contains(&(s, p, o))),
+            (Some(s), Some(p), None) => self.spo.count_prefix2(s, p),
+            (Some(s), None, None) => self.spo.count_prefix1(s),
+            (None, Some(p), Some(o)) => self.pos.count_prefix2(p, o),
+            (None, Some(p), None) => self.pos.count_prefix1(p),
+            (None, None, Some(o)) => self.osp.count_prefix1(o),
+            (Some(s), None, Some(o)) => self.osp.count_prefix2(o, s),
+            (None, None, None) => self.len,
+        }
+    }
+
+    /// Estimated number of distinct subjects in the store.
+    pub fn distinct_subjects_estimate(&self) -> usize {
+        self.spo.distinct_first_estimate()
+    }
+
+    /// Estimated number of distinct predicates in the store.
+    pub fn distinct_predicates_estimate(&self) -> usize {
+        self.pos.distinct_first_estimate()
+    }
+
+    /// Estimated number of distinct objects in the store.
+    pub fn distinct_objects_estimate(&self) -> usize {
+        self.osp.distinct_first_estimate()
+    }
+
+    /// Estimated number of distinct predicates on triples with subject `s`.
+    pub fn distinct_predicates_of_subject(&self, s: TermId) -> usize {
+        self.spo.distinct_second_estimate(s)
+    }
+
+    /// Estimated number of distinct objects on triples with predicate `p`.
+    pub fn distinct_objects_of_predicate(&self, p: TermId) -> usize {
+        self.pos.distinct_second_estimate(p)
+    }
+
+    /// Estimated number of distinct subjects on triples with object `o`.
+    pub fn distinct_subjects_of_object(&self, o: TermId) -> usize {
+        self.osp.distinct_second_estimate(o)
+    }
+
     /// Resolves a [`TriplePattern`]'s bound positions to identifiers;
     /// `Err(())` means some bound term was never interned (nothing matches).
     fn encode_pattern(
@@ -485,6 +539,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn encoded_counts_agree_with_scans_on_every_shape() {
+        let store = sample();
+        let mut slots: Vec<Option<TermId>> = vec![None];
+        slots.extend((0..store.term_count() as TermId).map(Some));
+        // Every dispatch arm, for every interned id in every position.
+        for &s in &slots {
+            for &p in &slots {
+                for &o in &slots {
+                    assert_eq!(
+                        store.count_matching_encoded(s, p, o),
+                        store.matching_encoded_iter(s, p, o).count(),
+                        "pattern ({s:?}, {p:?}, {o:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_stats_match_sample_graph() {
+        let store = sample();
+        // alice, bob, acme are subjects; type/name/knows/member predicates.
+        assert_eq!(store.distinct_subjects_estimate(), 3);
+        assert_eq!(store.distinct_predicates_estimate(), 4);
+        let alice = store.id_of(&iri("http://e.org/alice").into()).unwrap();
+        assert_eq!(store.distinct_predicates_of_subject(alice), 3);
+        let type_ = store.id_of(&rdf::type_().into()).unwrap();
+        assert_eq!(store.distinct_objects_of_predicate(type_), 2);
+        let bob = store.id_of(&iri("http://e.org/bob").into()).unwrap();
+        assert_eq!(store.distinct_subjects_of_object(bob), 1);
     }
 
     #[test]
