@@ -13,7 +13,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use hbold_bench::loadgen::{run_load, LoadGenConfig};
+use hbold_bench::loadgen::{check_scrape_delta, run_load, scrape_metrics, LoadGenConfig};
 use hbold_endpoint::http_client::{parse_http_url, HttpConnection};
 
 const HELP: &str = "\
@@ -30,17 +30,21 @@ OPTIONS:
                         (default: a built-in query mix)
     --timeout-secs S    Per-request socket timeout (default 10)
     --assert-all-2xx    Exit 1 unless every request was answered 2xx
+    --scrape-metrics    GET /metrics before and after the burst and exit 1
+                        unless the server-side counter deltas match the
+                        client-side totals (exact when there were no
+                        transport errors, lower bounds otherwise)
     --shutdown-after    POST /shutdown to the target host once done
     -h, --help          Print this help and exit 0
 
 EXIT CODES:
-    0   burst completed (and, with --assert-all-2xx, every request was 2xx)
-    1   --assert-all-2xx was set and at least one request was not 2xx
+    0   burst completed (and every enabled assertion held)
+    1   --assert-all-2xx or --scrape-metrics was set and an assertion failed
     2   usage error (missing --url, unknown flag, malformed value)";
 
 fn usage() -> &'static str {
     "usage: load_gen --url URL [--connections N] [--requests M] [--query SPARQL]... \
-     [--timeout-secs S] [--assert-all-2xx] [--shutdown-after]\n\
+     [--timeout-secs S] [--assert-all-2xx] [--scrape-metrics] [--shutdown-after]\n\
      Try `load_gen --help` for details."
 }
 
@@ -52,6 +56,7 @@ fn main() -> ExitCode {
     let mut timeout = Duration::from_secs(10);
     let mut queries: Vec<String> = Vec::new();
     let mut assert_all_2xx = false;
+    let mut scrape = false;
     let mut shutdown_after = false;
 
     enum Parsed {
@@ -85,6 +90,7 @@ fn main() -> ExitCode {
                 }
                 "--query" => queries.push(value("--query")?),
                 "--assert-all-2xx" => assert_all_2xx = true,
+                "--scrape-metrics" => scrape = true,
                 "--shutdown-after" => shutdown_after = true,
                 "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown flag {other}\n{}", usage())),
@@ -121,8 +127,43 @@ fn main() -> ExitCode {
         "load_gen: {} connections x {} requests against {}",
         config.connections, config.requests_per_connection, config.url
     );
+    let before = if scrape {
+        match scrape_metrics(&url, timeout) {
+            Ok(expo) => Some(expo),
+            Err(e) => {
+                eprintln!("load_gen: FAIL: pre-run metrics scrape: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     let report = run_load(&config);
     print!("{}", report.render());
+
+    let mut failed = false;
+    if let Some(before) = before {
+        match scrape_metrics(&url, timeout) {
+            Ok(after) => {
+                let problems = check_scrape_delta(&before, &after, &report);
+                if problems.is_empty() {
+                    println!(
+                        "load_gen: /metrics deltas agree with client totals ({} answered)",
+                        report.ok_2xx + report.non_2xx
+                    );
+                } else {
+                    for problem in problems {
+                        eprintln!("load_gen: FAIL: metrics mismatch: {problem}");
+                    }
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("load_gen: FAIL: post-run metrics scrape: {e}");
+                failed = true;
+            }
+        }
+    }
 
     if shutdown_after {
         match request_shutdown(&url, timeout) {
@@ -137,6 +178,9 @@ fn main() -> ExitCode {
             report.total_requests - report.ok_2xx,
             report.total_requests
         );
+        failed = true;
+    }
+    if failed {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

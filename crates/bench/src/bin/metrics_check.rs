@@ -1,0 +1,106 @@
+//! The `metrics_check` CLI: scrape a server's `/metrics` endpoint and
+//! validate the Prometheus text exposition by parsing it back.
+//!
+//! ```text
+//! metrics_check --url http://127.0.0.1:8080/sparql [--require FAMILY]...
+//! ```
+//!
+//! Exit 0 means the document parsed, passed structural validation (every
+//! family typed, histogram buckets cumulative and `+Inf`-terminated,
+//! `_count`/`_sum` present), and contained every `--require`d family. This
+//! is the CI gate behind the server smoke job.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use hbold_bench::loadgen::scrape_metrics;
+
+const HELP: &str = "\
+metrics_check — validate a server's Prometheus /metrics exposition
+
+USAGE:
+    metrics_check --url URL [OPTIONS]
+
+OPTIONS:
+    --url URL           Any URL on the target server (the scrape always
+                        GETs /metrics on that host; required)
+    --require FAMILY    Fail unless this metric family is present;
+                        repeatable
+    --timeout-secs S    Socket timeout (default 10)
+    -h, --help          Print this help and exit 0
+
+EXIT CODES:
+    0   exposition scraped, parsed, validated; required families present
+    1   scrape failed, exposition invalid, or a required family is missing
+    2   usage error (missing --url, unknown flag, malformed value)";
+
+fn usage() -> &'static str {
+    "usage: metrics_check --url URL [--require FAMILY]... [--timeout-secs S]\n\
+     Try `metrics_check --help` for details."
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let mut url: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut timeout = Duration::from_secs(10);
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--url" => url = Some(value("--url")?),
+                "--require" => required.push(value("--require")?),
+                "--timeout-secs" => {
+                    timeout = Duration::from_secs(
+                        value("--timeout-secs")?
+                            .parse()
+                            .map_err(|_| "--timeout-secs expects a number".to_string())?,
+                    )
+                }
+                "--help" | "-h" => {
+                    println!("{HELP}");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other}\n{}", usage())),
+            }
+            Ok(())
+        })();
+        if let Err(message) = result {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    }
+    let Some(url) = url else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+
+    // scrape_metrics parses AND validates; any structural problem is an Err.
+    let expo = match scrape_metrics(&url, timeout) {
+        Ok(expo) => expo,
+        Err(e) => {
+            eprintln!("metrics_check: FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let families = expo.families();
+    let mut missing = false;
+    for family in &required {
+        if !families.contains(family) {
+            eprintln!("metrics_check: FAIL: required family {family} is missing");
+            missing = true;
+        }
+    }
+    if missing {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "metrics_check: OK: {} families, {} samples",
+        families.len(),
+        expo.samples.len()
+    );
+    ExitCode::SUCCESS
+}

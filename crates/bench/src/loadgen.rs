@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use hbold_endpoint::http_client::{parse_http_url, HttpConnection};
+use hbold_telemetry::expo::{parse_exposition, Exposition};
 
 /// Load-generator configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -233,6 +234,96 @@ pub fn run_load(config: &LoadGenConfig) -> LoadReport {
         p99_us: percentile(&latencies, 0.99),
         max_us: latencies.last().copied().unwrap_or(0),
     }
+}
+
+/// Fetches and parses `GET /metrics` from the host serving `url` (any path
+/// on the target server, typically the `/sparql` endpoint under load).
+pub fn scrape_metrics(url: &str, timeout: Duration) -> Result<Exposition, String> {
+    let (host_port, _) = parse_http_url(url)?;
+    let mut conn = HttpConnection::connect(&host_port, timeout).map_err(|e| e.to_string())?;
+    let response = conn
+        .request("GET", "/metrics", "text/plain", None)
+        .map_err(|e| e.to_string())?;
+    if response.status != 200 {
+        return Err(format!("GET /metrics answered {}", response.status));
+    }
+    let text = std::str::from_utf8(&response.body).map_err(|e| format!("non-UTF-8 body: {e}"))?;
+    let expo = parse_exposition(text)?;
+    let problems = expo.validate();
+    if !problems.is_empty() {
+        return Err(format!("invalid exposition: {}", problems.join("; ")));
+    }
+    Ok(expo)
+}
+
+/// Cross-checks a before/after pair of `/metrics` scrapes against what the
+/// client measured. Returns the discrepancies (empty = everything agreed).
+///
+/// The scrapes themselves show up in the server's counters with a known
+/// offset: a request is counted *before* `/metrics` renders, its response
+/// *after* — so the before-scrape's own request is inside the before
+/// snapshot, the after-scrape's inside the after snapshot
+/// (`requests delta = answered + 1`), and exactly one scrape response (the
+/// before-scrape's 200) lands inside the delta. The `/sparql` latency
+/// histogram is untouched by scrapes, so its count must match exactly.
+/// With transport errors the client cannot know how many of its failed
+/// exchanges the server served, so the checks relax to lower bounds.
+pub fn check_scrape_delta(
+    before: &Exposition,
+    after: &Exposition,
+    report: &LoadReport,
+) -> Vec<String> {
+    let delta = |name: &str, labels: &[(&str, &str)]| -> f64 {
+        after.value(name, labels).unwrap_or(0.0) - before.value(name, labels).unwrap_or(0.0)
+    };
+    let answered = (report.ok_2xx + report.non_2xx) as f64;
+    let strict = report.transport_errors == 0;
+    let mut problems = Vec::new();
+    let mut check = |what: &str, got: f64, want: f64| {
+        let ok = if strict { got == want } else { got >= want };
+        if !ok {
+            let relation = if strict { "" } else { " at least" };
+            problems.push(format!(
+                "{what}: server saw {got}, client expects{relation} {want}"
+            ));
+        }
+    };
+    check(
+        "sparql requests (duration histogram count)",
+        delta(
+            "hbold_http_request_duration_us_count",
+            &[("route", "/sparql")],
+        ),
+        answered,
+    );
+    check(
+        "requests_total (including the after-scrape itself)",
+        delta("hbold_http_requests_total", &[]),
+        answered + 1.0,
+    );
+    check(
+        "2xx responses (including the before-scrape's own)",
+        delta("hbold_http_responses_total", &[("class", "2xx")]),
+        report.ok_2xx as f64 + 1.0,
+    );
+    let non_2xx: f64 = ["1xx", "3xx", "4xx", "5xx"]
+        .iter()
+        .map(|class| delta("hbold_http_responses_total", &[("class", class)]))
+        .sum();
+    if strict {
+        if non_2xx != report.non_2xx as f64 {
+            problems.push(format!(
+                "non-2xx responses: server saw {non_2xx}, client expects {}",
+                report.non_2xx
+            ));
+        }
+    } else if non_2xx < report.non_2xx as f64 {
+        problems.push(format!(
+            "non-2xx responses: server saw {non_2xx}, client expects at least {}",
+            report.non_2xx
+        ));
+    }
+    problems
 }
 
 #[cfg(test)]

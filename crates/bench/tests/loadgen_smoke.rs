@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 
-use hbold_bench::loadgen::{run_load, LoadGenConfig};
+use hbold_bench::loadgen::{check_scrape_delta, run_load, scrape_metrics, LoadGenConfig};
 use hbold_endpoint::synth::{random_lod, RandomLodConfig};
 use hbold_server::{ServerConfig, SparqlServer};
 use hbold_triple_store::SharedStore;
@@ -44,10 +44,7 @@ fn load_burst_is_all_2xx_with_sane_latencies() {
     // Keep-alive did its job: 8 closed-loop connections, not 160 dials.
     // (The load generator may reconnect after server-side idle reaps, so
     // allow slack without letting it degrade to connection-per-request.)
-    let accepted = server
-        .stats()
-        .connections_accepted
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let accepted = server.stats().connections_accepted.get();
     assert!(
         (8..40).contains(&accepted),
         "expected ~8 keep-alive connections, server accepted {accepted}"
@@ -55,6 +52,45 @@ fn load_burst_is_all_2xx_with_sane_latencies() {
 
     // The server's own histogram saw the same traffic.
     assert!(server.stats().sparql.latency.count() >= 160);
+    server.shutdown();
+}
+
+/// Satellite of the telemetry PR: the `--scrape-metrics` cross-check. With
+/// zero transport errors the server-side counter deltas must match the
+/// client's totals exactly (scrape requests accounted for).
+#[test]
+fn metrics_scrape_deltas_match_client_totals() {
+    let graph = random_lod(&RandomLodConfig::sized(8, 400, 11));
+    let server = SparqlServer::start(
+        SharedStore::from_graph(&graph),
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let mut config = LoadGenConfig::new(server.url());
+    config.connections = 4;
+    config.requests_per_connection = 15;
+    config.queries = vec![
+        "ASK { ?s ?p ?o }".into(),
+        "SELEKT broken".into(), // parse error → 400, still counted both sides
+    ];
+    let before = scrape_metrics(&server.url(), Duration::from_secs(5)).expect("pre-run scrape");
+    let report = run_load(&config);
+    let after = scrape_metrics(&server.url(), Duration::from_secs(5)).expect("post-run scrape");
+
+    assert_eq!(
+        report.transport_errors, 0,
+        "strict comparison needs a clean run"
+    );
+    let problems = check_scrape_delta(&before, &after, &report);
+    assert!(
+        problems.is_empty(),
+        "server/client disagree: {problems:?}\n{}",
+        report.render()
+    );
     server.shutdown();
 }
 

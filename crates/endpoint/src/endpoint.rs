@@ -1,11 +1,15 @@
 //! The simulated SPARQL endpoint.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hbold_rdf_model::Graph;
 use hbold_sparql::ast::{Expression, Projection, ProjectionItem, Query, QueryForm};
-use hbold_sparql::{parse_cached, EvalOptions, PlanCacheStats, QueryResults};
+use hbold_sparql::{
+    parse_cached_tracked, EvalHooks, EvalOptions, PlanCacheStats, PlanCounters, QueryResults,
+};
+use hbold_telemetry::Span;
 use hbold_triple_store::{SharedStore, TripleStore};
 use parking_lot::Mutex;
 
@@ -44,6 +48,19 @@ pub struct SparqlEndpoint {
     backend: Backend,
     profile: EndpointProfile,
     state: Arc<Mutex<EndpointState>>,
+    counters: Arc<EndpointCounters>,
+}
+
+/// Per-endpoint observation counters. Clones of the endpoint share one set
+/// (they are handles to the same endpoint), but two distinct endpoints never
+/// share — so tests and dashboards can attribute planning decisions and
+/// plan-cache traffic to a single endpoint without racing the rest of the
+/// process. The process-wide registry aggregates advance independently.
+#[derive(Debug, Default)]
+struct EndpointCounters {
+    plan: PlanCounters,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 /// Where queries are answered.
@@ -94,6 +111,7 @@ impl SparqlEndpoint {
             },
             profile,
             state: Arc::new(Mutex::new(EndpointState::default())),
+            counters: Arc::new(EndpointCounters::default()),
         }
     }
 
@@ -128,6 +146,7 @@ impl SparqlEndpoint {
             backend: Backend::Http(client),
             profile,
             state: Arc::new(Mutex::new(EndpointState::default())),
+            counters: Arc::new(EndpointCounters::default()),
         }
     }
 
@@ -187,23 +206,33 @@ impl SparqlEndpoint {
         }
     }
 
-    /// Process-wide SPARQL plan-cache counters, as seen from this endpoint.
+    /// *This endpoint's* SPARQL plan-cache counters.
     ///
-    /// Every local endpoint parses through the same normalized-query cache
-    /// (the extraction pipeline re-issues the same statistics shapes against
-    /// every endpoint in the fleet, so hit rates climb fast); remote
-    /// endpoints still pay a local cached parse for capability checking
-    /// before the query goes over the wire.
+    /// Every local endpoint parses through the same process-wide
+    /// normalized-query cache (the extraction pipeline re-issues the same
+    /// statistics shapes against every endpoint in the fleet, so hit rates
+    /// climb fast); remote endpoints still pay a local cached parse for
+    /// capability checking before the query goes over the wire. The hit and
+    /// miss counts here cover only queries issued through this endpoint —
+    /// parallel users of the shared cache cannot perturb them — while
+    /// `entries` reports the shared cache's current size. The process-wide
+    /// aggregate remains available as `hbold_sparql::plan::stats()`.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        hbold_sparql::plan::stats()
+        PlanCacheStats {
+            hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            entries: hbold_sparql::plan::stats().entries,
+        }
     }
 
-    /// Process-wide cost-based-optimizer counters, as seen from this
-    /// endpoint: how many BGPs were planned, how many came out in a
-    /// different order than written, how many equality filters were pushed
-    /// into the scan, and how many plans fell back to the shape heuristic.
+    /// *This endpoint's* cost-based-optimizer counters: how many BGPs were
+    /// planned, how many came out in a different order than written, how
+    /// many equality filters were pushed into the scan, and how many plans
+    /// fell back to the shape heuristic — counting only queries evaluated
+    /// through this endpoint. The process-wide aggregate remains available
+    /// as [`hbold_sparql::plan_stats`].
     pub fn plan_stats(&self) -> hbold_sparql::OptimizerStats {
-        hbold_sparql::plan_stats()
+        self.counters.plan.snapshot()
     }
 
     /// Total number of queries this endpoint has received.
@@ -229,6 +258,35 @@ impl SparqlEndpoint {
 
     /// Executes a SPARQL query, honouring the endpoint profile.
     pub fn query(&self, query_text: &str) -> Result<QueryOutcome, EndpointError> {
+        self.query_with_trace(query_text, None)
+    }
+
+    /// Executes a SPARQL query like [`SparqlEndpoint::query`], additionally
+    /// recording an execution trace: returns the outcome together with the
+    /// root span of a tree covering parse → plan → execute, with one span
+    /// per streaming operator (rows produced, cumulative wall time, join
+    /// order and cardinality estimates). Render it with `Span::to_json`.
+    ///
+    /// Only local backends can trace (the operators run in this process);
+    /// a remote endpoint returns [`EndpointError::QueryRejected`].
+    pub fn trace_query(&self, query_text: &str) -> Result<(QueryOutcome, Span), EndpointError> {
+        if self.is_remote() {
+            return Err(EndpointError::QueryRejected(
+                "query tracing requires a local endpoint (the remote server owns its operators)"
+                    .into(),
+            ));
+        }
+        let root = Span::root("query");
+        root.set_attr("query", query_text);
+        let outcome = self.query_with_trace(query_text, Some(&root))?;
+        Ok((outcome, root))
+    }
+
+    fn query_with_trace(
+        &self,
+        query_text: &str,
+        trace: Option<&Span>,
+    ) -> Result<QueryOutcome, EndpointError> {
         {
             let mut state = self.state.lock();
             state.queries_received += 1;
@@ -240,7 +298,21 @@ impl SparqlEndpoint {
         // statistics query shapes against every endpoint. Remote queries are
         // parsed too, so capability checks (and parse errors) are settled
         // before anything crosses the wire.
-        let parsed = parse_cached(query_text)?;
+        let parse_span = trace.map(|root| root.child("parse"));
+        let parse = || parse_cached_tracked(query_text);
+        let (parsed, cache_hit) = match &parse_span {
+            Some(span) => span.timed(parse)?,
+            None => parse()?,
+        };
+        let hit_counter = if cache_hit {
+            &self.counters.cache_hits
+        } else {
+            &self.counters.cache_misses
+        };
+        hit_counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(span) = &parse_span {
+            span.set_attr("cache_hit", u64::from(cache_hit));
+        }
         self.check_capabilities(&parsed)?;
 
         let (results, latency) = match &self.backend {
@@ -252,7 +324,12 @@ impl SparqlEndpoint {
                 // (and other queries) never block this query, and it never
                 // observes a half-applied bulk-load.
                 let snapshot = store.snapshot();
-                let results = hbold_sparql::evaluate_with(&snapshot, &parsed, eval_options)?;
+                let hooks = EvalHooks {
+                    counters: Some(&self.counters.plan),
+                    trace,
+                };
+                let results =
+                    hbold_sparql::evaluate_with_hooks(&snapshot, &parsed, eval_options, &hooks)?;
                 (results, None)
             }
             Backend::Http(client) => {
@@ -266,6 +343,9 @@ impl SparqlEndpoint {
             QueryResults::Select(s) => s.len(),
             QueryResults::Ask(_) => 1,
         };
+        if let Some(root) = trace {
+            root.add_rows(rows as u64);
+        }
         if let Some(limit) = self.profile.max_result_rows {
             if rows > limit {
                 return Err(EndpointError::ResultLimitExceeded { limit });
@@ -483,26 +563,27 @@ mod tests {
             &sample_graph(3),
             EndpointProfile::full_featured(),
         );
-        // Counters are process-global and tests run in parallel, so assert
-        // deltas on a query text unique to this test.
+        // Hit/miss counters are per-endpoint, so the assertions are exact
+        // even with other tests hammering the shared cache in parallel.
         let q = "SELECT ?endpoint_cache_probe WHERE { ?endpoint_cache_probe a ?c }";
-        let before = ep.plan_cache_stats();
+        assert_eq!(ep.plan_cache_stats().hits, 0);
+        assert_eq!(ep.plan_cache_stats().misses, 0);
         ep.query(q).unwrap();
         let after_first = ep.plan_cache_stats();
-        assert!(
-            after_first.misses >= before.misses + 1,
-            "first parse misses"
-        );
+        assert_eq!(after_first.misses, 1, "first parse misses");
+        assert_eq!(after_first.hits, 0);
         for _ in 0..3 {
             ep.query(q).unwrap();
         }
         let after = ep.plan_cache_stats();
-        assert!(
-            after.hits >= after_first.hits + 3,
-            "re-issues hit the cache"
-        );
+        assert_eq!(after.hits, 3, "re-issues hit the cache");
+        assert_eq!(after.misses, 1);
         assert!(after.entries >= 1);
-        assert!(after.hit_rate() > 0.0);
+        assert_eq!(after.hit_rate(), 0.75);
+        // A clone is a handle to the same endpoint: it shares the counters.
+        let clone = ep.clone();
+        clone.query(q).unwrap();
+        assert_eq!(ep.plan_cache_stats().hits, 4);
     }
 
     #[test]
@@ -512,19 +593,53 @@ mod tests {
             &sample_graph(4),
             EndpointProfile::full_featured(),
         );
-        // Counters are process-global and tests run in parallel, so assert
-        // deltas: a two-pattern BGP must plan at least one more BGP.
-        let before = ep.plan_stats();
+        // Optimizer counters are per-endpoint: exactly one BGP planned for
+        // this endpoint's first query, regardless of parallel tests.
+        assert_eq!(ep.plan_stats().bgps_planned, 0);
         ep.query(
             "SELECT ?s WHERE { ?s a <http://xmlns.com/foaf/0.1/Person> . \
              ?s <http://xmlns.com/foaf/0.1/name> ?n }",
         )
         .unwrap();
         let after = ep.plan_stats();
-        assert!(
-            after.bgps_planned > before.bgps_planned,
+        assert_eq!(
+            after.bgps_planned, 1,
             "query planning increments the BGP counter"
         );
+        assert_eq!(after.heuristic_plans, 0);
+    }
+
+    #[test]
+    fn trace_query_returns_a_span_tree() {
+        let ep = SparqlEndpoint::new(
+            "http://trace.example.org/sparql",
+            &sample_graph(4),
+            EndpointProfile::full_featured(),
+        );
+        let q = "SELECT ?s ?n WHERE { ?s a <http://xmlns.com/foaf/0.1/Person> . \
+                 ?s <http://xmlns.com/foaf/0.1/name> ?n }";
+        let (outcome, trace) = ep.trace_query(q).unwrap();
+        assert_eq!(outcome.results.clone().into_select().unwrap().len(), 4);
+        assert_eq!(trace.name(), "query");
+        assert_eq!(trace.rows(), 4);
+        assert_eq!(trace.attr("query").unwrap().as_str(), Some(q));
+        let children = trace.children();
+        let names: Vec<&str> = children.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["parse", "plan", "execute"]);
+        // Traced queries flow through the same counters as plain ones.
+        assert_eq!(ep.plan_stats().bgps_planned, 1);
+        // The rendered document is self-describing JSON.
+        let json = trace.to_json();
+        assert!(json.starts_with("{\"name\":\"query\""));
+        assert!(json.contains("\"name\":\"execute\""));
+        assert!(json.contains("\"estimate\""));
+
+        // Remote endpoints cannot trace.
+        let remote = SparqlEndpoint::remote("http://127.0.0.1:1/sparql");
+        assert!(matches!(
+            remote.trace_query("ASK { ?s ?p ?o }"),
+            Err(EndpointError::QueryRejected(_))
+        ));
     }
 
     #[test]

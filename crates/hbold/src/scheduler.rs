@@ -9,6 +9,7 @@
 //! experiment E9 reports.
 
 use hbold_endpoint::EndpointFleet;
+use hbold_telemetry::Registry;
 
 use crate::catalog::{EndpointCatalog, EndpointStatus};
 use crate::pipeline::ExtractionPipeline;
@@ -181,8 +182,50 @@ impl RefreshScheduler {
         } else {
             staleness_total / indexed as f64
         };
+        publish_stats(&stats);
         stats
     }
+}
+
+/// Mirrors a completed simulation into the process-wide metric registry, so
+/// a `/metrics` scrape sees crawl activity next to the engine counters.
+fn publish_stats(stats: &SchedulerStats) {
+    let registry = Registry::global();
+    let counter = |name: &str, help: &str, value: u64| {
+        registry.counter(name, help, &[]).add(value);
+    };
+    counter(
+        "hbold_scheduler_days_total",
+        "Virtual days simulated by the refresh scheduler.",
+        stats.days,
+    );
+    counter(
+        "hbold_scheduler_extraction_runs_total",
+        "Extraction attempts actually performed.",
+        stats.extraction_runs as u64,
+    );
+    counter(
+        "hbold_scheduler_skipped_fresh_total",
+        "Extraction attempts skipped because the data was fresh enough.",
+        stats.skipped_fresh as u64,
+    );
+    counter(
+        "hbold_scheduler_failed_runs_total",
+        "Extraction attempts that failed.",
+        stats.failed_runs as u64,
+    );
+    counter(
+        "hbold_scheduler_persist_failures_total",
+        "Per-day persist calls that failed.",
+        stats.persist_failures as u64,
+    );
+    registry
+        .gauge(
+            "hbold_scheduler_endpoints_indexed",
+            "Endpoints with at least one successful extraction after the last simulation.",
+            &[],
+        )
+        .set(stats.endpoints_indexed as u64);
 }
 
 #[cfg(test)]

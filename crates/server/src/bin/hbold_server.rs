@@ -47,11 +47,17 @@ OPTIONS:
                             no --data is given and used to seed an empty
                             --data-dir (default 200; 0 serves no data)
     --max-body-bytes N      Reject request bodies larger than N bytes
+    --slow-query-ms N       Trace every /sparql query and log queries slower
+                            than N ms as one JSON line to stderr (query text,
+                            join order, estimates vs actuals, per-operator
+                            timings, trace id). Traced queries execute
+                            single-threaded.
     --enable-shutdown       Enable POST /shutdown for remote graceful stop
     -h, --help              Print this help and exit 0
 
 ROUTES:
-    /sparql (GET ?query= or POST), /stats, /health[, /shutdown]
+    /sparql (GET ?query= or POST ; add trace=1 for an execution trace),
+    /stats, /metrics, /health[, /shutdown]
 
 EXIT CODES:
     0   clean exit after a graceful shutdown
@@ -61,7 +67,8 @@ EXIT CODES:
 fn usage() -> &'static str {
     "usage: hbold-server [--addr HOST:PORT] [--workers N] [--data FILE.{ttl,nt}] \
      [--data-dir DIR] [--checkpoint-wal-bytes N] [--sync-writes] [--demo-people N] \
-     [--max-body-bytes N] [--enable-shutdown]\nTry `hbold-server --help` for details."
+     [--max-body-bytes N] [--slow-query-ms N] [--enable-shutdown]\n\
+     Try `hbold-server --help` for details."
 }
 
 struct Args {
@@ -122,6 +129,13 @@ fn parse_args(mut argv: std::env::Args) -> Result<Parsed, String> {
                 args.config.limits.max_body_bytes = value("--max-body-bytes")?
                     .parse()
                     .map_err(|_| "--max-body-bytes expects a number".to_string())?
+            }
+            "--slow-query-ms" => {
+                args.config.slow_query_ms = Some(
+                    value("--slow-query-ms")?
+                        .parse()
+                        .map_err(|_| "--slow-query-ms expects a number".to_string())?,
+                )
             }
             "--enable-shutdown" => args.config.enable_shutdown_route = true,
             "--help" | "-h" => return Ok(Parsed::Help),
@@ -242,7 +256,7 @@ fn main() -> ExitCode {
         }
     };
     println!("hbold-server serving {triples} triples at {}", server.url());
-    println!("routes: /sparql /stats /health");
+    println!("routes: /sparql /stats /metrics /health");
     server.wait();
     if store.is_durable() {
         if store.wal_bytes() == Some(0) {

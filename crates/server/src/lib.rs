@@ -21,6 +21,8 @@
 //! * `GET /sparql?query=...` / `POST /sparql` — the protocol endpoint,
 //! * `GET /stats` — request counters, per-route latency histograms and the
 //!   engine's plan-cache hit/miss counters, as JSON,
+//! * `GET /metrics` — the same telemetry as Prometheus text exposition,
+//!   plus store/index/WAL gauges refreshed at scrape time,
 //! * `GET /health` — liveness probe,
 //! * `POST /shutdown` — graceful remote stop (opt-in, for the CLI binary
 //!   and the CI smoke test).
@@ -51,4 +53,4 @@ pub mod stats;
 
 pub use http::{HttpRequest, HttpResponse, Limits};
 pub use server::{ServerConfig, SparqlServer};
-pub use stats::{LatencyHistogram, ServerStats};
+pub use stats::{RouteStats, ServerStats};

@@ -9,12 +9,16 @@
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hbold_sparql::{parse_cached, EvalOptions, QueryResults};
+use hbold_sparql::results::json_string;
+use hbold_sparql::{
+    evaluate_with_hooks, parse_cached, parse_cached_tracked, EvalHooks, EvalOptions, QueryResults,
+};
+use hbold_telemetry::{Span, EXPOSITION_CONTENT_TYPE};
 use hbold_triple_store::SharedStore;
 
 use crate::http::{Connection, HttpRequest, HttpResponse, Limits};
@@ -41,6 +45,12 @@ pub struct ServerConfig {
     /// Whether `POST /shutdown` remotely stops the server (used by the CLI
     /// binary and CI smoke test; off by default).
     pub enable_shutdown_route: bool,
+    /// When set, every `/sparql` query is traced and queries slower than
+    /// this many milliseconds emit one JSON line to stderr (query text, join
+    /// order, estimates vs actuals, per-operator timings, trace id). Traced
+    /// execution runs single-threaded, so leave this `None` on
+    /// latency-critical deployments.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +64,7 @@ impl Default for ServerConfig {
             max_pending_connections: 1024,
             eval: EvalOptions::auto(),
             enable_shutdown_route: false,
+            slow_query_ms: None,
         }
     }
 }
@@ -63,7 +74,9 @@ struct Shared {
     config: ServerConfig,
     stats: ServerStats,
     shutdown: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Monotonic connection ids; the `c<conn>` half of every trace id.
+    next_conn_id: AtomicU64,
+    queue: Mutex<VecDeque<(u64, TcpStream)>>,
     queue_ready: Condvar,
     addr: SocketAddr,
 }
@@ -96,6 +109,7 @@ impl SparqlServer {
             config,
             stats: ServerStats::default(),
             shutdown: AtomicBool::new(false),
+            next_conn_id: AtomicU64::new(1),
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
             addr,
@@ -183,10 +197,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     drop(stream);
                     return;
                 }
-                shared
-                    .stats
-                    .connections_accepted
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.stats.connections_accepted.inc();
+                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
                 let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
                 let _ = stream.set_nodelay(true);
                 let mut queue = shared.queue.lock().expect("connection queue poisoned");
@@ -197,6 +209,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     // on a short write timeout, so a peer that never reads
                     // cannot stall the acceptor.
                     drop(queue);
+                    let started = Instant::now();
                     shared.stats.record_status(503);
                     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
                     let mut conn = Connection::new(stream);
@@ -209,9 +222,16 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                         .with_close(),
                         false,
                     );
+                    // Every recorded status gets a latency sample, shed
+                    // responses included, so `/stats` counts line up.
+                    shared
+                        .stats
+                        .other
+                        .latency
+                        .record(started.elapsed().as_micros() as u64);
                     continue;
                 }
-                queue.push_back(stream);
+                queue.push_back((conn_id, stream));
                 shared.queue_ready.notify_one();
             }
             Err(_) => {
@@ -243,27 +263,37 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         };
         match stream {
-            Some(stream) => serve_connection(&shared, Connection::new(stream)),
+            Some((conn_id, stream)) => serve_connection(&shared, conn_id, Connection::new(stream)),
             None => return,
         }
     }
 }
 
-fn serve_connection(shared: &Shared, mut conn: Connection) {
+fn serve_connection(shared: &Shared, conn_id: u64, mut conn: Connection) {
     for served in 0.. {
         let request = match conn.read_request(&shared.config.limits) {
             Ok(request) => request,
             Err(error) => {
                 match error.status() {
                     Some((status, reason)) => {
-                        shared
-                            .stats
-                            .malformed_requests
-                            .fetch_add(1, Ordering::Relaxed);
+                        let started = Instant::now();
+                        shared.stats.malformed_requests.inc();
                         shared.stats.record_status(status);
                         let response =
                             HttpResponse::error(status, reason, error.detail()).with_close();
-                        if conn.write_response(&response, false).is_ok() {
+                        let written = conn.write_response(&response, false).is_ok();
+                        // Malformed requests record a status, so they record
+                        // a latency sample too — otherwise the histogram
+                        // count drifts below the response count. Recorded
+                        // before drain_before_close, whose FIN lets the peer
+                        // observe the response (and assert on the sample)
+                        // while the drain is still in flight.
+                        shared
+                            .stats
+                            .other
+                            .latency
+                            .record(started.elapsed().as_micros() as u64);
+                        if written {
                             conn.drain_before_close();
                         }
                     }
@@ -274,10 +304,14 @@ fn serve_connection(shared: &Shared, mut conn: Connection) {
                 return;
             }
         };
-        shared.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+        shared.stats.requests_total.inc();
+        let trace_id = TraceId {
+            conn_id,
+            seq: served as u64,
+        };
 
         let started = Instant::now();
-        let mut response = route(shared, &request);
+        let mut response = route(shared, &request, &trace_id);
         let elapsed_us = started.elapsed().as_micros() as u64;
         if request.path == "/sparql" {
             shared.stats.sparql.latency.record(elapsed_us);
@@ -295,6 +329,21 @@ fn serve_connection(shared: &Shared, mut conn: Connection) {
         if conn.write_response(&response, head_only).is_err() || closing {
             return;
         }
+    }
+}
+
+/// A request's identity for tracing and the slow-query log: connection
+/// number (process-wide, from the accept loop) and the request's sequence
+/// number on that keep-alive connection. Renders as `c<conn>-r<seq>`.
+#[derive(Debug, Clone, Copy)]
+struct TraceId {
+    conn_id: u64,
+    seq: u64,
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}-r{}", self.conn_id, self.seq)
     }
 }
 
@@ -354,14 +403,16 @@ fn negotiate(accept: Option<&str>) -> Option<ResultFormat> {
     best.map(|(_, f)| f)
 }
 
-fn route(shared: &Shared, request: &HttpRequest) -> HttpResponse {
+fn route(shared: &Shared, request: &HttpRequest, trace_id: &TraceId) -> HttpResponse {
+    let trace_wanted = request.query_param("trace") == Some("1");
     match (request.method.as_str(), request.path.as_str()) {
         ("GET" | "HEAD", "/health") => HttpResponse::ok("text/plain; charset=utf-8", "ok\n"),
         ("GET", "/stats") => {
             HttpResponse::ok("application/json; charset=utf-8", shared.stats.to_json())
         }
+        ("GET", "/metrics") => metrics(shared),
         ("GET", "/sparql") => match request.query_param("query") {
-            Some(query) => execute(shared, query.to_string(), request),
+            Some(query) => execute(shared, query.to_string(), request, trace_wanted, trace_id),
             None => HttpResponse::error(400, "Bad Request", "missing required \"query\" parameter"),
         },
         ("POST", "/sparql") => {
@@ -375,7 +426,7 @@ fn route(shared: &Shared, request: &HttpRequest) -> HttpResponse {
                 .to_ascii_lowercase();
             match content_type.as_str() {
                 "application/sparql-query" => match String::from_utf8(request.body.clone()) {
-                    Ok(query) => execute(shared, query, request),
+                    Ok(query) => execute(shared, query, request, trace_wanted, trace_id),
                     Err(_) => {
                         HttpResponse::error(400, "Bad Request", "query body is not UTF-8")
                     }
@@ -392,14 +443,20 @@ fn route(shared: &Shared, request: &HttpRequest) -> HttpResponse {
                         }
                     };
                     match crate::http::parse_query_string(body) {
-                        Ok(params) => match params.into_iter().find(|(k, _)| k == "query") {
-                            Some((_, query)) => execute(shared, query, request),
-                            None => HttpResponse::error(
-                                400,
-                                "Bad Request",
-                                "form body has no \"query\" field",
-                            ),
-                        },
+                        Ok(params) => {
+                            let trace = trace_wanted
+                                || params.iter().any(|(k, v)| k == "trace" && v == "1");
+                            match params.into_iter().find(|(k, _)| k == "query") {
+                                Some((_, query)) => {
+                                    execute(shared, query, request, trace, trace_id)
+                                }
+                                None => HttpResponse::error(
+                                    400,
+                                    "Bad Request",
+                                    "form body has no \"query\" field",
+                                ),
+                            }
+                        }
                         Err(e) => HttpResponse::error(
                             400,
                             "Bad Request",
@@ -426,32 +483,149 @@ fn route(shared: &Shared, request: &HttpRequest) -> HttpResponse {
             shared.request_shutdown();
             HttpResponse::ok("text/plain; charset=utf-8", "shutting down\n").with_close()
         }
-        (_, "/health") | (_, "/stats") => {
+        (_, "/health") | (_, "/stats") | (_, "/metrics") => {
             HttpResponse::error(405, "Method Not Allowed", "use GET").with_header("Allow", "GET")
         }
         _ => HttpResponse::error(404, "Not Found", "no such route"),
     }
 }
 
-fn execute(shared: &Shared, query: String, request: &HttpRequest) -> HttpResponse {
+/// Refreshes the scrape-time gauges and renders the instance plus global
+/// registries as one Prometheus exposition document.
+fn metrics(shared: &Shared) -> HttpResponse {
+    let registry = shared.stats.registry();
+    let snapshot = shared.store.snapshot();
+    registry
+        .gauge("hbold_store_triples", "Triples in the store.", &[])
+        .set(snapshot.len() as u64);
+    registry
+        .gauge(
+            "hbold_store_terms",
+            "Interned terms in the dictionary.",
+            &[],
+        )
+        .set(snapshot.term_count() as u64);
+    for (order, tiers) in snapshot.index_tier_sizes() {
+        let order = match order {
+            hbold_triple_store::IndexOrder::Spo => "spo",
+            hbold_triple_store::IndexOrder::Pos => "pos",
+            hbold_triple_store::IndexOrder::Osp => "osp",
+        };
+        for (tier, entries) in [
+            ("flat", tiers.flat),
+            ("delta", tiers.delta),
+            ("dead", tiers.dead),
+        ] {
+            registry
+                .gauge(
+                    "hbold_index_tier_entries",
+                    "Entries per positional index tier.",
+                    &[("order", order), ("tier", tier)],
+                )
+                .set(entries as u64);
+        }
+    }
+    registry
+        .gauge(
+            "hbold_plan_cache_entries",
+            "Live entries in the query plan cache.",
+            &[],
+        )
+        .set(hbold_sparql::plan::stats().entries as u64);
+    HttpResponse::ok(EXPOSITION_CONTENT_TYPE, shared.stats.render_metrics())
+}
+
+fn execute(
+    shared: &Shared,
+    query: String,
+    request: &HttpRequest,
+    trace_wanted: bool,
+    trace_id: &TraceId,
+) -> HttpResponse {
     // Negotiate before doing any work so an unacceptable Accept header costs
-    // nothing.
-    let Some(format) = negotiate(request.header("accept")) else {
-        return HttpResponse::error(
-            406,
-            "Not Acceptable",
-            "supported result formats: application/sparql-results+json, text/csv, text/tab-separated-values",
-        );
+    // nothing. A trace response is always JSON, so negotiation is skipped.
+    let format = if trace_wanted {
+        ResultFormat::Json
+    } else {
+        match negotiate(request.header("accept")) {
+            Some(format) => format,
+            None => {
+                return HttpResponse::error(
+                    406,
+                    "Not Acceptable",
+                    "supported result formats: application/sparql-results+json, text/csv, text/tab-separated-values",
+                )
+            }
+        }
     };
-    let plan = match parse_cached(&query) {
+    // The span tree is built when the client asks for it (`trace=1`) or the
+    // slow-query log is armed; otherwise tracing costs nothing.
+    let root = (trace_wanted || shared.config.slow_query_ms.is_some()).then(|| {
+        let root = Span::root("query");
+        root.set_attr("query", query.as_str());
+        root.set_attr("trace_id", trace_id.to_string());
+        root
+    });
+    let started = Instant::now();
+    let parsed = match &root {
+        Some(root) => {
+            let parse = root.child("parse");
+            let result = parse.timed(|| parse_cached_tracked(&query));
+            match result {
+                Ok((plan, cache_hit)) => {
+                    parse.set_attr("cache_hit", u64::from(cache_hit));
+                    Ok(plan)
+                }
+                Err(e) => Err(e),
+            }
+        }
+        None => parse_cached(&query),
+    };
+    let plan = match parsed {
         Ok(plan) => plan,
         Err(e) => return HttpResponse::error(400, "Bad Request", e.to_string()),
     };
     let snapshot = shared.store.snapshot();
-    let results = match hbold_sparql::evaluate_with(&snapshot, &plan, &shared.config.eval) {
+    let hooks = EvalHooks {
+        counters: None,
+        trace: root.as_ref(),
+    };
+    let results = match evaluate_with_hooks(&snapshot, &plan, &shared.config.eval, &hooks) {
         Ok(results) => results,
         Err(e) => return HttpResponse::error(400, "Bad Request", e.to_string()),
     };
+    if let Some(root) = &root {
+        let rows = match &results {
+            QueryResults::Select(s) => s.len(),
+            QueryResults::Ask(_) => 1,
+        };
+        root.add_rows(rows as u64);
+        if let Some(threshold) = shared.config.slow_query_ms {
+            let elapsed = started.elapsed();
+            if elapsed.as_millis() as u64 >= threshold {
+                // One line per slow query, machine-parseable: the span tree
+                // carries the join order, per-scan estimates, and actual
+                // rows/elapsed per operator.
+                eprintln!(
+                    "{{\"event\":\"slow_query\",\"trace_id\":{},\"elapsed_us\":{},\"query\":{},\"trace\":{}}}",
+                    json_string(&trace_id.to_string()),
+                    elapsed.as_micros(),
+                    json_string(&query),
+                    root.to_json(),
+                );
+            }
+        }
+    }
+    if trace_wanted {
+        let root = root.expect("trace_wanted implies a root span");
+        let body = format!(
+            "{{\"trace_id\":{},\"rows\":{},\"trace\":{}}}",
+            json_string(&trace_id.to_string()),
+            root.rows(),
+            root.to_json(),
+        );
+        return HttpResponse::ok("application/json; charset=utf-8", body);
+    }
     let body = match (&results, format) {
         (_, ResultFormat::Json) => results.to_sparql_json(),
         (QueryResults::Select(s), ResultFormat::Csv) => s.to_csv(),

@@ -1,109 +1,44 @@
-//! Server telemetry: request counters and per-route latency histograms.
+//! Server telemetry: request counters and per-route latency histograms,
+//! backed by a per-instance [`Registry`].
 //!
-//! Everything is lock-free (`AtomicU64`) so the hot path pays two atomic
-//! increments per request; the `/stats` route renders a JSON snapshot that
-//! folds in the process-wide SPARQL plan-cache counters.
+//! Every figure lives in exactly one place — a counter or histogram handle
+//! registered in the server's own registry — and is rendered two ways: the
+//! back-compatible `/stats` JSON document, and the Prometheus text
+//! exposition served on `/metrics` (which appends the process-wide
+//! [`Registry::global`] families: plan cache, optimizer, WAL/checkpoint,
+//! scheduler). The registry is per-instance rather than global because
+//! parallel tests boot several servers in one process; instance families
+//! use the `hbold_http_*` namespace, disjoint from the global one, so the
+//! concatenated exposition never repeats a family.
+//!
+//! The hot path stays lock-free: handles are `Arc`s over atomics, and the
+//! registry lock is only taken at registration and render time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use hbold_sparql::results::json_string;
-
-/// Number of power-of-two latency buckets: bucket `i` holds samples in
-/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1 µs`), topping out above
-/// half a minute.
-const BUCKETS: usize = 26;
-
-/// A log-scaled latency histogram over microseconds.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// Records one sample.
-    pub fn record(&self, micros: u64) {
-        let idx = (64 - u64::leading_zeros(micros | 1) as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(micros, Ordering::Relaxed);
-        self.max_us.fetch_max(micros, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Largest recorded sample, in microseconds.
-    pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_us(&self) -> u64 {
-        let count = self.count();
-        if count == 0 {
-            0
-        } else {
-            self.sum_us.load(Ordering::Relaxed) / count
-        }
-    }
-
-    /// Upper bound of the bucket containing the `q` quantile (`0.0..=1.0`),
-    /// in microseconds. Bucketed, so accurate to a factor of two — plenty
-    /// for spotting a p99 collapse.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let count = self.count();
-        if count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (idx, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << idx;
-            }
-        }
-        self.max_us()
-    }
-
-    fn to_json(&self) -> String {
-        format!(
-            "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
-            self.count(),
-            self.mean_us(),
-            self.quantile_us(0.50),
-            self.quantile_us(0.95),
-            self.quantile_us(0.99),
-            self.max_us(),
-        )
-    }
-}
+use hbold_telemetry::{Counter, Histogram, Registry};
 
 /// Counters for one route.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone)]
 pub struct RouteStats {
-    /// Request latency distribution.
-    pub latency: LatencyHistogram,
+    /// Request latency distribution, in microseconds.
+    pub latency: Histogram,
 }
 
 /// Aggregate server telemetry, shared across workers.
 #[derive(Debug)]
 pub struct ServerStats {
     started: Instant,
+    registry: Registry,
     /// Accepted TCP connections.
-    pub connections_accepted: AtomicU64,
+    pub connections_accepted: Counter,
     /// Total requests parsed (any route).
-    pub requests_total: AtomicU64,
+    pub requests_total: Counter,
     /// Responses by status class: index 0 → 1xx ... index 4 → 5xx.
-    pub responses_by_class: [AtomicU64; 5],
+    responses_by_class: [Counter; 5],
     /// Requests rejected before routing (malformed HTTP).
-    pub malformed_requests: AtomicU64,
+    pub malformed_requests: Counter,
     /// `/sparql` query route.
     pub sparql: RouteStats,
     /// Every other served route (`/stats`, `/health`, ...).
@@ -112,28 +47,84 @@ pub struct ServerStats {
 
 impl Default for ServerStats {
     fn default() -> Self {
+        // The engine's process-global families register lazily on first use;
+        // touch them now so a scrape of a freshly booted server that has not
+        // served a query (or written to a WAL) already exposes every family
+        // at zero instead of omitting it.
+        let _ = hbold_sparql::plan::stats();
+        let _ = hbold_sparql::plan_stats();
+        hbold_triple_store::persist::register_metrics();
+        let registry = Registry::new();
+        let class_counter = |class: &str| {
+            registry.counter(
+                "hbold_http_responses_total",
+                "HTTP responses by status class.",
+                &[("class", class)],
+            )
+        };
+        let route_hist = |route: &str| RouteStats {
+            latency: registry.histogram(
+                "hbold_http_request_duration_us",
+                "Request service time in microseconds, by route.",
+                &[("route", route)],
+            ),
+        };
         ServerStats {
             started: Instant::now(),
-            connections_accepted: AtomicU64::new(0),
-            requests_total: AtomicU64::new(0),
-            responses_by_class: Default::default(),
-            malformed_requests: AtomicU64::new(0),
-            sparql: RouteStats::default(),
-            other: RouteStats::default(),
+            connections_accepted: registry.counter(
+                "hbold_http_connections_accepted_total",
+                "TCP connections accepted.",
+                &[],
+            ),
+            requests_total: registry.counter(
+                "hbold_http_requests_total",
+                "HTTP requests parsed, any route.",
+                &[],
+            ),
+            responses_by_class: [
+                class_counter("1xx"),
+                class_counter("2xx"),
+                class_counter("3xx"),
+                class_counter("4xx"),
+                class_counter("5xx"),
+            ],
+            malformed_requests: registry.counter(
+                "hbold_http_malformed_requests_total",
+                "Requests rejected before routing (malformed HTTP).",
+                &[],
+            ),
+            sparql: route_hist("/sparql"),
+            other: route_hist("other"),
+            registry,
         }
     }
 }
 
 impl ServerStats {
+    /// The server instance's own metric registry. The `/metrics` handler
+    /// also uses this to refresh scrape-time gauges (store size, index
+    /// tiers, WAL bytes) before rendering.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     /// Records a response's status code.
     pub fn record_status(&self, status: u16) {
         let class = (status / 100).clamp(1, 5) as usize - 1;
-        self.responses_by_class[class].fetch_add(1, Ordering::Relaxed);
+        self.responses_by_class[class].inc();
     }
 
     /// Responses in the 2xx class so far.
     pub fn ok_responses(&self) -> u64 {
-        self.responses_by_class[1].load(Ordering::Relaxed)
+        self.responses_by_class[1].get()
+    }
+
+    /// Renders this instance's families followed by the process-wide ones
+    /// as one Prometheus text exposition document.
+    pub fn render_metrics(&self) -> String {
+        let mut out = self.registry.render();
+        out.push_str(&Registry::global().render());
+        out
     }
 
     /// Renders the `/stats` JSON document, including the process-wide plan
@@ -145,19 +136,19 @@ impl ServerStats {
             .responses_by_class
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("\"{}xx\":{}", i + 1, c.load(Ordering::Relaxed)))
+            .map(|(i, c)| format!("\"{}xx\":{}", i + 1, c.get()))
             .collect();
         format!(
             "{{\"uptime_ms\":{},\"connections_accepted\":{},\"requests_total\":{},\"malformed_requests\":{},\"responses\":{{{}}},\"routes\":{{{}:{},{}:{}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{:.4}}},\"optimizer\":{{\"bgps_planned\":{},\"bgps_reordered\":{},\"filters_pushed\":{},\"heuristic_plans\":{}}}}}",
             self.started.elapsed().as_millis(),
-            self.connections_accepted.load(Ordering::Relaxed),
-            self.requests_total.load(Ordering::Relaxed),
-            self.malformed_requests.load(Ordering::Relaxed),
+            self.connections_accepted.get(),
+            self.requests_total.get(),
+            self.malformed_requests.get(),
             classes.join(","),
             json_string("/sparql"),
-            self.sparql.latency.to_json(),
+            hist_json(&self.sparql.latency),
             json_string("other"),
-            self.other.latency.to_json(),
+            hist_json(&self.other.latency),
             plan.hits,
             plan.misses,
             plan.entries,
@@ -170,39 +161,28 @@ impl ServerStats {
     }
 }
 
+/// The `/stats` JSON rendering of one latency histogram (microseconds).
+fn hist_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+        h.count(),
+        h.mean(),
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99),
+        h.max(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_and_quantiles() {
-        let h = LatencyHistogram::default();
-        for us in [1u64, 2, 3, 100, 100, 100, 100, 100, 100, 8_000] {
-            h.record(us);
-        }
-        assert_eq!(h.count(), 10);
-        assert_eq!(h.max_us(), 8_000);
-        assert!(h.mean_us() > 0);
-        // p50 falls in the 64..128 µs bucket → upper bound 128.
-        assert_eq!(h.quantile_us(0.5), 128);
-        // p100 falls in the 4096..8192 bucket.
-        assert_eq!(h.quantile_us(1.0), 8192);
-        assert_eq!(LatencyHistogram::default().quantile_us(0.5), 0);
-    }
-
-    #[test]
-    fn huge_samples_saturate_the_last_bucket() {
-        let h = LatencyHistogram::default();
-        h.record(u64::MAX);
-        assert_eq!(h.quantile_us(1.0), 1u64 << (BUCKETS - 1));
-        assert_eq!(h.max_us(), u64::MAX);
-    }
-
-    #[test]
     fn stats_json_is_parseable() {
         let stats = ServerStats::default();
-        stats.connections_accepted.fetch_add(3, Ordering::Relaxed);
-        stats.requests_total.fetch_add(5, Ordering::Relaxed);
+        stats.connections_accepted.add(3);
+        stats.requests_total.add(5);
         stats.record_status(200);
         stats.record_status(200);
         stats.record_status(404);
@@ -229,5 +209,44 @@ mod tests {
             assert!(optimizer.get(key).is_some(), "optimizer JSON carries {key}");
         }
         assert_eq!(stats.ok_responses(), 2);
+    }
+
+    #[test]
+    fn stats_and_metrics_read_the_same_handles() {
+        let stats = ServerStats::default();
+        stats.requests_total.add(7);
+        stats.record_status(200);
+        stats.sparql.latency.record(100);
+        stats.other.latency.record(3);
+        let json = stats.to_json();
+        let doc = hbold_sparql::json::JsonValue::parse(&json).unwrap();
+        let text = stats.render_metrics();
+        let expo = hbold_telemetry::expo::parse_exposition(&text).expect("valid exposition");
+        assert!(expo.validate().is_empty(), "{:?}", expo.validate());
+        assert_eq!(
+            expo.value("hbold_http_requests_total", &[]),
+            doc.get("requests_total").unwrap().as_f64()
+        );
+        assert_eq!(
+            expo.value("hbold_http_responses_total", &[("class", "2xx")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            expo.value(
+                "hbold_http_request_duration_us_count",
+                &[("route", "/sparql")]
+            ),
+            Some(1.0)
+        );
+        // The global engine families ride along in the same document.
+        assert!(text.contains("# TYPE hbold_plan_cache_hits_total counter"));
+    }
+
+    #[test]
+    fn two_instances_do_not_share_counters() {
+        let a = ServerStats::default();
+        let b = ServerStats::default();
+        a.requests_total.add(5);
+        assert_eq!(b.requests_total.get(), 0);
     }
 }

@@ -203,13 +203,7 @@ fn keep_alive_serves_many_requests_on_one_connection() {
         assert_eq!(rows.len(), i + 1);
     }
     // One TCP connection for all five requests.
-    assert_eq!(
-        server
-            .stats()
-            .connections_accepted
-            .load(std::sync::atomic::Ordering::Relaxed),
-        1
-    );
+    assert_eq!(server.stats().connections_accepted.get(), 1);
     server.shutdown();
 }
 

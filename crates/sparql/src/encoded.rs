@@ -27,14 +27,17 @@
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::time::Instant;
 
 use hbold_rdf_model::Term;
+use hbold_telemetry::Span;
 use hbold_triple_store::{EncodedScan, TermDictionary, TermId, TripleStore};
 
 use crate::ast::*;
 use crate::error::SparqlError;
 use crate::eval::{aggregate_values, compare_optional_terms, order_solutions, EvalOptions};
 use crate::expr::{evaluate_scoped, filter_passes_scoped, Binding, EvalValue, Scope};
+use crate::optimize::{BgpPlan, PlanCounters};
 use crate::results::SelectResults;
 
 /// Sentinel marking an unbound slot in an [`EncRow`].
@@ -342,6 +345,189 @@ pub(crate) struct EncContext<'a> {
     pub layout: &'a SlotLayout,
     /// Join-ordering strategy the planning pass uses for this evaluation.
     pub optimizer: crate::optimize::JoinOptimizer,
+    /// Caller-private optimizer counters; the planning pass bumps these in
+    /// addition to the process-wide registry when present.
+    pub counters: Option<&'a PlanCounters>,
+    /// Per-operator trace spans for this evaluation. `None` (the default)
+    /// keeps the operators exactly as before — the lookups below happen at
+    /// stream-construction time only, never per row.
+    pub trace: Option<&'a ExecTrace>,
+}
+
+impl<'a> EncContext<'a> {
+    /// A context with neither private counters nor tracing attached.
+    pub(crate) fn new(
+        store: &'a TripleStore,
+        dict: &'a TermDictionary,
+        layout: &'a SlotLayout,
+        optimizer: crate::optimize::JoinOptimizer,
+    ) -> EncContext<'a> {
+        EncContext {
+            store,
+            dict,
+            layout,
+            optimizer,
+            counters: None,
+            trace: None,
+        }
+    }
+}
+
+// ---- execution tracing -----------------------------------------------------------
+
+/// Trace spans for one evaluation, keyed by the address of each node in the
+/// planned [`EncPattern`] tree (and of each [`EncTriplePattern`] scan stage
+/// within its BGP). Addresses stay stable because the pattern is owned by
+/// the evaluating frame for the whole execution and never moved after the
+/// trace is built; clones made by the parallel path have fresh addresses
+/// and simply find no span — but traced runs force sequential execution
+/// anyway, for exact attribution.
+pub(crate) struct ExecTrace {
+    spans: HashMap<usize, Span>,
+}
+
+impl ExecTrace {
+    /// Builds the span tree under `parent` by walking the planned pattern
+    /// in the same order as `crate::optimize::plan_rec`, so `plans` (one
+    /// entry per BGP, in planning order) pairs up with the Bgp nodes.
+    pub(crate) fn build(
+        ctx: &EncContext<'_>,
+        pattern: &EncPattern,
+        plans: &[BgpPlan],
+        parent: &Span,
+    ) -> ExecTrace {
+        let mut trace = ExecTrace {
+            spans: HashMap::new(),
+        };
+        let mut next_plan = 0;
+        trace.walk(ctx, pattern, plans, &mut next_plan, parent);
+        trace
+    }
+
+    fn walk(
+        &mut self,
+        ctx: &EncContext<'_>,
+        pattern: &EncPattern,
+        plans: &[BgpPlan],
+        next_plan: &mut usize,
+        parent: &Span,
+    ) {
+        match pattern {
+            EncPattern::Bgp(tps) => {
+                let span = parent.child("bgp");
+                let plan = plans.get(*next_plan);
+                *next_plan += 1;
+                if let Some(plan) = plan {
+                    span.set_attr(
+                        "order",
+                        plan.order.iter().map(|&i| i as u64).collect::<Vec<u64>>(),
+                    );
+                }
+                // The tps are already permuted into execution order, so the
+                // scan children read top-to-bottom as the pipeline runs;
+                // `estimates` is parallel to that order.
+                for (i, tp) in tps.iter().enumerate() {
+                    let scan = span.child("scan");
+                    scan.set_attr("pattern", render_triple_pattern(ctx, tp));
+                    if let Some(plan) = plan {
+                        if let Some(&written) = plan.order.get(i) {
+                            scan.set_attr("written_index", written);
+                        }
+                        if let Some(&estimate) = plan.estimates.get(i) {
+                            scan.set_attr("estimate", estimate);
+                        }
+                    }
+                    self.spans.insert(tp as *const _ as usize, scan);
+                }
+            }
+            EncPattern::Join(parts) => {
+                let span = parent.child("join");
+                for part in parts {
+                    self.walk(ctx, part, plans, next_plan, &span);
+                }
+            }
+            EncPattern::Optional { left, right } => {
+                let span = parent.child("optional");
+                self.spans
+                    .insert(pattern as *const _ as usize, span.clone());
+                self.walk(ctx, left, plans, next_plan, &span);
+                self.walk(ctx, right, plans, next_plan, &span);
+            }
+            EncPattern::Union(a, b) => {
+                let span = parent.child("union");
+                self.spans
+                    .insert(pattern as *const _ as usize, span.clone());
+                self.walk(ctx, a, plans, next_plan, &span);
+                self.walk(ctx, b, plans, next_plan, &span);
+            }
+            EncPattern::Filter { inner, prebind, .. } => {
+                let span = parent.child("filter");
+                span.set_attr("pushed_prebinds", prebind.len());
+                self.spans
+                    .insert(pattern as *const _ as usize, span.clone());
+                self.walk(ctx, inner, plans, next_plan, &span);
+            }
+        }
+    }
+
+    fn span_of<T>(&self, node: &T) -> Option<&Span> {
+        self.spans.get(&(node as *const T as usize))
+    }
+}
+
+/// Renders an encoded triple pattern back to readable text for trace spans:
+/// variables through the layout, constants through the dictionary.
+fn render_triple_pattern(ctx: &EncContext<'_>, tp: &EncTriplePattern) -> String {
+    let node = |n: EncNode| -> String {
+        match n {
+            EncNode::Var(slot) => format!("?{}", ctx.layout.name_of(slot)),
+            EncNode::Const(Some(id)) => ctx.dict.term(id).to_ntriples(),
+            // A constant the store never interned: the scan is statically
+            // empty, and there is no term to decode.
+            EncNode::Const(None) => "(not interned)".to_string(),
+        }
+    };
+    format!(
+        "{} {} {}",
+        node(tp.subject),
+        node(tp.predicate),
+        node(tp.object)
+    )
+}
+
+/// An [`EncStream`] wrapper feeding a trace span: every pull's wall time is
+/// added to the span (inclusive of upstream work — a child span's elapsed
+/// is therefore cumulative, not self time) and every yielded row counts.
+struct TracedStream<'a> {
+    inner: EncStream<'a>,
+    span: Span,
+}
+
+impl Iterator for TracedStream<'_> {
+    type Item = Result<EncRow, SparqlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let start = Instant::now();
+        let item = self.inner.next();
+        self.span.add_elapsed_ns(start.elapsed().as_nanos() as u64);
+        if let Some(Ok(_)) = &item {
+            self.span.add_rows(1);
+        }
+        item
+    }
+}
+
+/// Wraps `stream` in a [`TracedStream`] when tracing is on and a span was
+/// registered for `node`; the untraced path pays one `Option` check at
+/// construction and nothing per row.
+fn maybe_traced<'a, T>(ctx: &EncContext<'a>, node: &T, stream: EncStream<'a>) -> EncStream<'a> {
+    match ctx.trace.and_then(|trace| trace.span_of(node)) {
+        Some(span) => Box::new(TracedStream {
+            inner: stream,
+            span: span.clone(),
+        }),
+        None => stream,
+    }
 }
 
 // ---- triple-pattern scans --------------------------------------------------------
@@ -464,37 +650,41 @@ pub(crate) fn stream_pattern<'a>(
         }
         EncPattern::Optional { left, right } => {
             let left_stream = stream_pattern(ctx, left, input);
-            Box::new(left_stream.flat_map(move |solution| -> EncStream<'a> {
-                match solution {
-                    Err(e) => Box::new(std::iter::once(Err(e))),
-                    Ok(row) => {
-                        let seed: EncStream<'a> = Box::new(std::iter::once(Ok(row.clone())));
-                        let mut extended = stream_pattern(ctx, right, seed);
-                        match extended.next() {
-                            // Left join: an unmatched left solution survives.
-                            None => Box::new(std::iter::once(Ok(row))),
-                            Some(first) => Box::new(std::iter::once(first).chain(extended)),
+            let stream: EncStream<'a> =
+                Box::new(left_stream.flat_map(move |solution| -> EncStream<'a> {
+                    match solution {
+                        Err(e) => Box::new(std::iter::once(Err(e))),
+                        Ok(row) => {
+                            let seed: EncStream<'a> = Box::new(std::iter::once(Ok(row.clone())));
+                            let mut extended = stream_pattern(ctx, right, seed);
+                            match extended.next() {
+                                // Left join: an unmatched left solution survives.
+                                None => Box::new(std::iter::once(Ok(row))),
+                                Some(first) => Box::new(std::iter::once(first).chain(extended)),
+                            }
                         }
                     }
-                }
-            }))
+                }));
+            maybe_traced(ctx, pattern, stream)
         }
         EncPattern::Union(a, b) => {
             // Feed each input row through branch a then branch b; same
             // multiset as materialized `eval(a) ++ eval(b)`, and sequencing
             // is only observable under ORDER BY where the deterministic
             // sort makes both forms identical.
-            Box::new(input.flat_map(move |solution| -> EncStream<'a> {
-                match solution {
-                    Err(e) => Box::new(std::iter::once(Err(e))),
-                    Ok(row) => {
-                        let left =
-                            stream_pattern(ctx, a, Box::new(std::iter::once(Ok(row.clone()))));
-                        let right = stream_pattern(ctx, b, Box::new(std::iter::once(Ok(row))));
-                        Box::new(left.chain(right))
+            let stream: EncStream<'a> =
+                Box::new(input.flat_map(move |solution| -> EncStream<'a> {
+                    match solution {
+                        Err(e) => Box::new(std::iter::once(Err(e))),
+                        Ok(row) => {
+                            let left =
+                                stream_pattern(ctx, a, Box::new(std::iter::once(Ok(row.clone()))));
+                            let right = stream_pattern(ctx, b, Box::new(std::iter::once(Ok(row))));
+                            Box::new(left.chain(right))
+                        }
                     }
-                }
-            }))
+                }));
+            maybe_traced(ctx, pattern, stream)
         }
         EncPattern::Filter {
             inner,
@@ -515,21 +705,23 @@ pub(crate) fn stream_pattern<'a>(
                 }))
             };
             let stream = stream_pattern(ctx, inner, input);
-            Box::new(stream.filter_map(move |solution| match solution {
-                Ok(row) => {
-                    let scope = EncScope {
-                        row: &row,
-                        layout: ctx.layout,
-                        dict: ctx.dict,
-                    };
-                    match filter_passes_scoped(condition, &scope) {
-                        Ok(true) => Some(Ok(row)),
-                        Ok(false) => None,
-                        Err(e) => Some(Err(e)),
+            let stream: EncStream<'a> =
+                Box::new(stream.filter_map(move |solution| match solution {
+                    Ok(row) => {
+                        let scope = EncScope {
+                            row: &row,
+                            layout: ctx.layout,
+                            dict: ctx.dict,
+                        };
+                        match filter_passes_scoped(condition, &scope) {
+                            Ok(true) => Some(Ok(row)),
+                            Ok(false) => None,
+                            Err(e) => Some(Err(e)),
+                        }
                     }
-                }
-                Err(e) => Some(Err(e)),
-            }))
+                    Err(e) => Some(Err(e)),
+                }));
+            maybe_traced(ctx, pattern, stream)
         }
     }
 }
@@ -548,6 +740,7 @@ fn stream_bgp<'a>(
             Err(e) => RowScan::Failed(Some(e)),
             Ok(row) => RowScan::Scan(ScanRows::new(ctx, tp, row)),
         }));
+        stream = maybe_traced(ctx, tp, stream);
     }
     stream
 }

@@ -27,13 +27,14 @@ use std::cmp::Ordering;
 use std::collections::BTreeSet;
 
 use hbold_rdf_model::Term;
+use hbold_telemetry::Span;
 use hbold_triple_store::TripleStore;
 
 use crate::ast::*;
-use crate::encoded::{compile_pattern, term_row_key, EncContext, SlotLayout};
+use crate::encoded::{compile_pattern, term_row_key, EncContext, ExecTrace, SlotLayout};
 use crate::error::SparqlError;
 use crate::expr::{evaluate_expression, number_term, numeric_value, Binding, EvalValue};
-use crate::optimize::JoinOptimizer;
+use crate::optimize::{JoinOptimizer, PlanCounters};
 use crate::plan::parse_cached;
 use crate::results::QueryResults;
 
@@ -150,33 +151,100 @@ pub fn evaluate(store: &TripleStore, query: &Query) -> Result<QueryResults, Spar
     evaluate_with(store, query, &EvalOptions::sequential())
 }
 
+/// Caller-supplied observation hooks for one evaluation
+/// (see [`evaluate_with_hooks`]). The default observes nothing.
+#[derive(Default)]
+pub struct EvalHooks<'a> {
+    /// Private optimizer decision counters, bumped *in addition to* the
+    /// process-wide registry — a caller that owns one of these (e.g. one
+    /// per endpoint) can assert on it without racing other evaluations.
+    pub counters: Option<&'a PlanCounters>,
+    /// Parent span for an execution trace. When set, the evaluation adds
+    /// `plan` and `execute` children under it, with one span per streaming
+    /// operator below `execute` recording rows produced and cumulative
+    /// wall time. Tracing forces sequential execution (`threads = 1`) so
+    /// operator timings attribute exactly.
+    pub trace: Option<&'a Span>,
+}
+
 /// Evaluates a parsed [`Query`] with the given threading options.
 pub fn evaluate_with(
     store: &TripleStore,
     query: &Query,
     options: &EvalOptions,
 ) -> Result<QueryResults, SparqlError> {
+    evaluate_with_hooks(store, query, options, &EvalHooks::default())
+}
+
+/// Evaluates a parsed [`Query`] with threading options and observation
+/// hooks. This is the widest entry point; [`evaluate_with`] and
+/// [`evaluate`] delegate here with no hooks attached, and the hooks add no
+/// per-row work when absent.
+pub fn evaluate_with_hooks(
+    store: &TripleStore,
+    query: &Query,
+    options: &EvalOptions,
+    hooks: &EvalHooks<'_>,
+) -> Result<QueryResults, SparqlError> {
+    // Tracing forces sequential execution: operator spans then measure one
+    // deterministic pipeline instead of interleaved shards.
+    let sequential;
+    let options = if hooks.trace.is_some() && options.threads > 1 {
+        sequential = EvalOptions {
+            threads: 1,
+            ..options.clone()
+        };
+        &sequential
+    } else {
+        options
+    };
     // Compile the query to the encoded domain: variables get dense slots,
     // constant terms resolve to dictionary ids (a constant the store never
     // interned compiles to a scan that is statically empty).
     let layout = SlotLayout::of_query(query);
     let dict = store.dictionary();
-    let ctx = EncContext {
-        store,
-        dict,
-        layout: &layout,
-        optimizer: options.optimizer,
-    };
+    let mut ctx = EncContext::new(store, dict, &layout, options.optimizer);
+    ctx.counters = hooks.counters;
     let mut pattern = compile_pattern(&query.pattern, &layout, dict);
     // The single planning pass: orders every BGP (cost-based by default)
     // and pushes eligible equality filters down, before any operator runs.
     // Streaming and parallel execution then share one identical plan.
-    crate::optimize::plan_pattern(&ctx, &mut pattern);
+    let plan_span = hooks.trace.map(|root| root.child("plan"));
+    let plans = match &plan_span {
+        Some(span) => span.timed(|| crate::optimize::plan_pattern(&ctx, &mut pattern)),
+        None => crate::optimize::plan_pattern(&ctx, &mut pattern),
+    };
+    if let Some(span) = &plan_span {
+        span.set_attr("bgps", plans.len());
+        span.set_attr("pushed_filters", crate::optimize::count_prebinds(&pattern));
+    }
+    // With tracing on, build the per-operator span tree under an `execute`
+    // child and re-attach it to the context; the pattern is not moved
+    // afterwards, so the node addresses the trace is keyed on stay valid.
+    let exec_span = hooks.trace.map(|root| root.child("execute"));
+    let exec_trace = exec_span
+        .as_ref()
+        .map(|span| ExecTrace::build(&ctx, &pattern, &plans, span));
+    ctx.trace = exec_trace.as_ref();
+    let ctx = ctx;
 
+    let run = || evaluate_form(&ctx, query, &pattern, options);
+    match &exec_span {
+        Some(span) => span.timed(run),
+        None => run(),
+    }
+}
+
+fn evaluate_form(
+    ctx: &EncContext<'_>,
+    query: &Query,
+    pattern: &crate::encoded::EncPattern,
+    options: &EvalOptions,
+) -> Result<QueryResults, SparqlError> {
     match &query.form {
         QueryForm::Ask => {
             // Streaming pays off immediately: the first solution settles it.
-            let mut stream = crate::encoded::root_stream(&ctx, &pattern);
+            let mut stream = crate::encoded::root_stream(ctx, pattern);
             match stream.next() {
                 None => Ok(QueryResults::Ask(false)),
                 Some(Ok(_)) => Ok(QueryResults::Ask(true)),
@@ -192,17 +260,15 @@ pub fn evaluate_with(
                 // Pure-count projections stream without materializing rows.
                 let fast = match projection {
                     Projection::Items(items) => {
-                        crate::encoded::count_only_streaming(&ctx, &pattern, query, items)
+                        crate::encoded::count_only_streaming(ctx, pattern, query, items)
                     }
                     Projection::Star => None,
                 };
                 let mut results = match fast {
                     Some(results) => results?,
                     None => {
-                        let solutions = crate::encoded::collect_solutions(&ctx, &pattern, options)?;
-                        crate::encoded::project_grouped(
-                            &ctx, query, projection, solutions, options,
-                        )?
+                        let solutions = crate::encoded::collect_solutions(ctx, pattern, options)?;
+                        crate::encoded::project_grouped(ctx, query, projection, solutions, options)?
                     }
                 };
                 // Post-aggregation row counts are small; DISTINCT/OFFSET/
@@ -221,12 +287,10 @@ pub fn evaluate_with(
                 results
             } else if query.order_by.is_empty() {
                 crate::encoded::select_streaming(
-                    &ctx, &pattern, query, projection, *distinct, options,
+                    ctx, pattern, query, projection, *distinct, options,
                 )?
             } else {
-                crate::encoded::select_ordered(
-                    &ctx, &pattern, query, projection, *distinct, options,
-                )?
+                crate::encoded::select_ordered(ctx, pattern, query, projection, *distinct, options)?
             };
             Ok(QueryResults::Select(results))
         }
@@ -784,5 +848,120 @@ mod tests {
         let r = select(&store, "SELECT ?x WHERE { ?x <http://e.org/rel> ?x }");
         assert_eq!(r.len(), 1);
         assert_eq!(r.value(0, "x").unwrap().label(), "a");
+    }
+
+    /// Finds every span named `name` in the subtree under `span`.
+    fn find_spans(span: &Span, name: &str, out: &mut Vec<Span>) {
+        if span.name() == name {
+            out.push(span.clone());
+        }
+        for child in span.children() {
+            find_spans(&child, name, out);
+        }
+    }
+
+    #[test]
+    fn traced_evaluation_builds_span_tree() {
+        let store = sample_store();
+        let query = parse_cached(
+            "SELECT ?s ?n WHERE { ?s a <http://e.org/Person> . ?s <http://xmlns.com/foaf/0.1/name> ?n }",
+        )
+        .unwrap();
+        let root = Span::root("query");
+        let hooks = EvalHooks {
+            counters: None,
+            trace: Some(&root),
+        };
+        let results =
+            evaluate_with_hooks(&store, &query, &EvalOptions::sequential(), &hooks).unwrap();
+        assert_eq!(results.into_select().unwrap().len(), 2);
+
+        let children = root.children();
+        let names: Vec<&str> = children.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["plan", "execute"]);
+        let plan = &children[0];
+        assert_eq!(plan.attr("bgps").unwrap().as_u64(), Some(1));
+
+        // One bgp with two scan stages in execution order, each annotated
+        // with the pattern text, its written position and the estimate the
+        // optimizer used — the same figures `explain` reports.
+        let mut scans = Vec::new();
+        find_spans(&root, "scan", &mut scans);
+        assert_eq!(scans.len(), 2);
+        let explanation = crate::optimize::explain(&store, &query);
+        assert_eq!(explanation.bgps.len(), 1);
+        for (i, scan) in scans.iter().enumerate() {
+            assert_eq!(
+                scan.attr("estimate").unwrap().as_u64(),
+                Some(explanation.bgps[0].estimates[i]),
+                "scan {i} estimate matches explain()"
+            );
+            assert_eq!(
+                scan.attr("written_index").unwrap().as_u64(),
+                Some(explanation.bgps[0].order[i] as u64),
+            );
+            assert!(scan.attr("pattern").unwrap().as_str().is_some());
+        }
+        // The last scan stage emits the final joined rows.
+        assert_eq!(scans.last().unwrap().rows(), 2);
+    }
+
+    #[test]
+    fn traced_evaluation_matches_untraced_results() {
+        let store = sample_store();
+        let q = "SELECT ?s ?o WHERE { { ?s <http://e.org/authorOf> ?o } UNION \
+                 { ?s <http://e.org/affiliatedWith> ?o } \
+                 OPTIONAL { ?s <http://xmlns.com/foaf/0.1/name> ?n } \
+                 FILTER(BOUND(?s)) } ORDER BY ?s ?o";
+        let query = parse_cached(q).unwrap();
+        let plain = evaluate(&store, &query).unwrap().to_sparql_json();
+        let root = Span::root("query");
+        let hooks = EvalHooks {
+            counters: None,
+            trace: Some(&root),
+        };
+        // Tracing must not change results, even when threads were requested
+        // (it clamps to sequential execution internally).
+        let traced = evaluate_with_hooks(&store, &query, &EvalOptions::with_threads(4), &hooks)
+            .unwrap()
+            .to_sparql_json();
+        assert_eq!(plain, traced);
+        let mut unions = Vec::new();
+        find_spans(&root, "union", &mut unions);
+        assert_eq!(unions.len(), 1);
+        let mut filters = Vec::new();
+        find_spans(&root, "filter", &mut filters);
+        assert_eq!(filters.len(), 1);
+        // The trace renders as a JSON document.
+        let json = root.to_json();
+        assert!(json.starts_with("{\"name\":\"query\""));
+        assert!(json.contains("\"children\""));
+    }
+
+    #[test]
+    fn private_plan_counters_track_one_evaluation() {
+        let store = sample_store();
+        let query = parse_cached(
+            "SELECT ?s WHERE { ?s a <http://e.org/Person> . ?s <http://e.org/age> ?a }",
+        )
+        .unwrap();
+        let counters = PlanCounters::new();
+        let hooks = EvalHooks {
+            counters: Some(&counters),
+            trace: None,
+        };
+        evaluate_with_hooks(&store, &query, &EvalOptions::sequential(), &hooks).unwrap();
+        let stats = counters.snapshot();
+        assert_eq!(stats.bgps_planned, 1);
+        assert_eq!(stats.heuristic_plans, 0);
+        // A second evaluation with fresh counters sees exactly the same
+        // figures — no other thread can perturb a private counter set.
+        let counters2 = PlanCounters::new();
+        let hooks2 = EvalHooks {
+            counters: Some(&counters2),
+            trace: None,
+        };
+        evaluate_with_hooks(&store, &query, &EvalOptions::sequential(), &hooks2).unwrap();
+        assert_eq!(counters2.snapshot(), stats);
     }
 }

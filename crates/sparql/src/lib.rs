@@ -76,9 +76,14 @@ pub mod results;
 
 pub use encoded::SlotLayout;
 pub use error::SparqlError;
-pub use eval::{evaluate, evaluate_with, execute_query, execute_query_with, EvalOptions};
-pub use optimize::{explain, plan_stats, JoinOptimizer, OptimizerStats, PlanExplanation};
+pub use eval::{
+    evaluate, evaluate_with, evaluate_with_hooks, execute_query, execute_query_with, EvalHooks,
+    EvalOptions,
+};
+pub use optimize::{
+    explain, plan_stats, JoinOptimizer, OptimizerStats, PlanCounters, PlanExplanation,
+};
 pub use parser::parse_query;
-pub use plan::{parse_cached, PlanCacheStats};
+pub use plan::{parse_cached, parse_cached_tracked, PlanCacheStats};
 pub use pretty::print_query;
 pub use results::{CsvTable, QueryResults, ResultsParseError, SelectResults};

@@ -40,8 +40,10 @@
 //! naive reference (see [`crate::fuzz`]).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use hbold_rdf_model::Term;
+use hbold_telemetry::{Counter, Registry};
 use hbold_triple_store::{TermId, TripleStore};
 
 use crate::ast::{ComparisonOp, Expression, Function, Query};
@@ -66,13 +68,112 @@ pub enum JoinOptimizer {
 
 // ---- decision counters (the plan_stats debug surface) ----------------------------
 
-static BGPS_PLANNED: AtomicU64 = AtomicU64::new(0);
-static BGPS_REORDERED: AtomicU64 = AtomicU64::new(0);
-static FILTERS_PUSHED: AtomicU64 = AtomicU64::new(0);
-static HEURISTIC_PLANS: AtomicU64 = AtomicU64::new(0);
+/// The process-wide optimizer counters, registered once in the global
+/// telemetry registry so `/metrics` exposes them as counter families.
+struct GlobalOptimizerCounters {
+    bgps_planned: Counter,
+    bgps_reordered: Counter,
+    filters_pushed: Counter,
+    heuristic_plans: Counter,
+}
 
-/// Process-wide optimizer decision counters, exposed on
-/// `SparqlEndpoint::plan_stats` and the server's `/stats` document.
+fn global_counters() -> &'static GlobalOptimizerCounters {
+    static COUNTERS: OnceLock<GlobalOptimizerCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = Registry::global();
+        GlobalOptimizerCounters {
+            bgps_planned: reg.counter(
+                "hbold_optimizer_bgps_planned_total",
+                "Basic graph patterns planned (either optimizer mode).",
+                &[],
+            ),
+            bgps_reordered: reg.counter(
+                "hbold_optimizer_bgps_reordered_total",
+                "BGPs whose execution order differs from their written order.",
+                &[],
+            ),
+            filters_pushed: reg.counter(
+                "hbold_optimizer_filters_pushed_total",
+                "Equality-filter conjuncts pushed down into scans.",
+                &[],
+            ),
+            heuristic_plans: reg.counter(
+                "hbold_optimizer_heuristic_plans_total",
+                "BGPs planned with the legacy heuristic (fallback mode).",
+                &[],
+            ),
+        }
+    })
+}
+
+/// A private set of optimizer decision counters.
+///
+/// The process-wide aggregate always advances (it backs `/stats` and
+/// `/metrics`); callers that need race-free observation — e.g. one
+/// [`PlanCounters`] per `SparqlEndpoint`, asserted on by parallel tests —
+/// pass their own instance through
+/// [`EvalHooks`](crate::eval::EvalHooks), and every planning decision then
+/// bumps both.
+#[derive(Debug, Default)]
+pub struct PlanCounters {
+    bgps_planned: AtomicU64,
+    bgps_reordered: AtomicU64,
+    filters_pushed: AtomicU64,
+    heuristic_plans: AtomicU64,
+}
+
+impl PlanCounters {
+    /// A fresh all-zero counter set.
+    pub fn new() -> PlanCounters {
+        PlanCounters::default()
+    }
+
+    /// Snapshot of this counter set.
+    pub fn snapshot(&self) -> OptimizerStats {
+        OptimizerStats {
+            bgps_planned: self.bgps_planned.load(Ordering::Relaxed),
+            bgps_reordered: self.bgps_reordered.load(Ordering::Relaxed),
+            filters_pushed: self.filters_pushed.load(Ordering::Relaxed),
+            heuristic_plans: self.heuristic_plans.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Which optimizer decision to count (one helper so every bump site hits
+/// the global registry and the caller's optional [`PlanCounters`] alike).
+#[derive(Clone, Copy)]
+enum Decision {
+    BgpPlanned,
+    BgpReordered,
+    FilterPushed,
+    HeuristicPlan,
+}
+
+fn bump(ctx: &EncContext<'_>, decision: Decision) {
+    let global = global_counters();
+    let (global_counter, local) = match decision {
+        Decision::BgpPlanned => (&global.bgps_planned, ctx.counters.map(|c| &c.bgps_planned)),
+        Decision::BgpReordered => (
+            &global.bgps_reordered,
+            ctx.counters.map(|c| &c.bgps_reordered),
+        ),
+        Decision::FilterPushed => (
+            &global.filters_pushed,
+            ctx.counters.map(|c| &c.filters_pushed),
+        ),
+        Decision::HeuristicPlan => (
+            &global.heuristic_plans,
+            ctx.counters.map(|c| &c.heuristic_plans),
+        ),
+    };
+    global_counter.inc();
+    if let Some(local) = local {
+        local.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Optimizer decision counters, exposed on `SparqlEndpoint::plan_stats` and
+/// the server's `/stats` document.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OptimizerStats {
     /// Basic graph patterns planned (either mode).
@@ -85,22 +186,28 @@ pub struct OptimizerStats {
     pub heuristic_plans: u64,
 }
 
-/// Current optimizer counters.
+/// Current process-wide optimizer counters.
 pub fn plan_stats() -> OptimizerStats {
+    let global = global_counters();
     OptimizerStats {
-        bgps_planned: BGPS_PLANNED.load(Ordering::Relaxed),
-        bgps_reordered: BGPS_REORDERED.load(Ordering::Relaxed),
-        filters_pushed: FILTERS_PUSHED.load(Ordering::Relaxed),
-        heuristic_plans: HEURISTIC_PLANS.load(Ordering::Relaxed),
+        bgps_planned: global.bgps_planned.get(),
+        bgps_reordered: global.bgps_reordered.get(),
+        filters_pushed: global.filters_pushed.get(),
+        heuristic_plans: global.heuristic_plans.get(),
     }
 }
 
-/// Resets the optimizer counters (used by benchmarks and tests).
+/// Resets the process-wide optimizer counters.
+///
+/// Benchmarks only: the counters back monotone Prometheus families, so
+/// nothing in a serving process should ever call this. Tests should prefer
+/// a private [`PlanCounters`] over resetting shared state.
 pub fn reset_plan_stats() {
-    BGPS_PLANNED.store(0, Ordering::Relaxed);
-    BGPS_REORDERED.store(0, Ordering::Relaxed);
-    FILTERS_PUSHED.store(0, Ordering::Relaxed);
-    HEURISTIC_PLANS.store(0, Ordering::Relaxed);
+    let global = global_counters();
+    global.bgps_planned.reset();
+    global.bgps_reordered.reset();
+    global.filters_pushed.reset();
+    global.heuristic_plans.reset();
 }
 
 // ---- per-query explain surface ---------------------------------------------------
@@ -131,12 +238,7 @@ pub struct PlanExplanation {
 pub fn explain(store: &TripleStore, query: &Query) -> PlanExplanation {
     let layout = SlotLayout::of_query(query);
     let dict = store.dictionary();
-    let ctx = EncContext {
-        store,
-        dict,
-        layout: &layout,
-        optimizer: JoinOptimizer::Statistics,
-    };
+    let ctx = EncContext::new(store, dict, &layout, JoinOptimizer::Statistics);
     let mut pattern = compile_pattern(&query.pattern, &layout, dict);
     let bgps = plan_pattern(&ctx, &mut pattern);
     PlanExplanation {
@@ -145,7 +247,7 @@ pub fn explain(store: &TripleStore, query: &Query) -> PlanExplanation {
     }
 }
 
-fn count_prebinds(pattern: &EncPattern) -> usize {
+pub(crate) fn count_prebinds(pattern: &EncPattern) -> usize {
     match pattern {
         EncPattern::Bgp(_) => 0,
         EncPattern::Join(parts) => parts.iter().map(count_prebinds).sum(),
@@ -185,13 +287,13 @@ fn plan_rec(
             let (order, estimates) = match ctx.optimizer {
                 JoinOptimizer::Statistics => stats_join_order(ctx.store, tps, bound),
                 JoinOptimizer::Heuristic => {
-                    HEURISTIC_PLANS.fetch_add(1, Ordering::Relaxed);
+                    bump(ctx, Decision::HeuristicPlan);
                     (bgp_join_order(tps, bound), Vec::new())
                 }
             };
-            BGPS_PLANNED.fetch_add(1, Ordering::Relaxed);
+            bump(ctx, Decision::BgpPlanned);
             if order.iter().enumerate().any(|(i, &idx)| i != idx) {
-                BGPS_REORDERED.fetch_add(1, Ordering::Relaxed);
+                bump(ctx, Decision::BgpReordered);
             }
             *tps = order.iter().map(|&i| tps[i]).collect();
             for tp in tps.iter() {
@@ -455,7 +557,7 @@ fn extract_prebinds(
         // conjunct, so the scan is pruned to nothing.
         prebind.push((slot, ctx.dict.id_of(term)));
         bound[slot as usize] = true;
-        FILTERS_PUSHED.fetch_add(1, Ordering::Relaxed);
+        bump(ctx, Decision::FilterPushed);
     }
 }
 

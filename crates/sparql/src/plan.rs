@@ -12,6 +12,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use hbold_telemetry::{Counter, Registry};
+
 use crate::ast::Query;
 use crate::error::SparqlError;
 use crate::parser::parse_query;
@@ -31,13 +33,38 @@ struct CacheEntry {
 }
 
 static CACHE: OnceLock<Mutex<HashMap<String, CacheEntry>>> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
 /// Logical clock for LRU stamps: bumped on every hit and insert.
 static CLOCK: AtomicU64 = AtomicU64::new(0);
 
 fn cache() -> &'static Mutex<HashMap<String, CacheEntry>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Hit/miss counters live in the process-wide telemetry registry, so the
+/// server's `/metrics` endpoint exposes them without a second bookkeeping
+/// path.
+struct CacheCounters {
+    hits: Counter,
+    misses: Counter,
+}
+
+fn counters() -> &'static CacheCounters {
+    static COUNTERS: OnceLock<CacheCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = Registry::global();
+        CacheCounters {
+            hits: reg.counter(
+                "hbold_plan_cache_hits_total",
+                "Plan-cache lookups answered from the cache.",
+                &[],
+            ),
+            misses: reg.counter(
+                "hbold_plan_cache_misses_total",
+                "Plan-cache lookups that had to parse.",
+                &[],
+            ),
+        }
+    })
 }
 
 /// Cache effectiveness counters (process-wide).
@@ -68,19 +95,28 @@ impl PlanCacheStats {
 /// Parse errors are *not* cached: a malformed query is re-parsed (and fails
 /// again) on every call, which keeps the cache free of garbage keys.
 pub fn parse_cached(text: &str) -> Result<Arc<Query>, SparqlError> {
+    parse_cached_tracked(text).map(|(plan, _)| plan)
+}
+
+/// [`parse_cached`], also reporting whether the lookup hit the cache.
+///
+/// The flag lets callers keep *private* hit/miss counters (e.g. one pair
+/// per endpoint) that parallel users of the process-wide cache cannot
+/// perturb; the process-wide counters advance either way.
+pub fn parse_cached_tracked(text: &str) -> Result<(Arc<Query>, bool), SparqlError> {
     let key = normalize(text);
     {
         let mut cache = cache().lock().expect("plan cache poisoned");
         if let Some(entry) = cache.get_mut(&key) {
             entry.last_used = CLOCK.fetch_add(1, Ordering::Relaxed);
-            HITS.fetch_add(1, Ordering::Relaxed);
-            return Ok(entry.plan.clone());
+            counters().hits.inc();
+            return Ok((entry.plan.clone(), true));
         }
     }
     // Parse outside the lock: parsing is the slow part, and two threads
     // racing on the same fresh query simply both parse it once.
     let plan = Arc::new(parse_query(text)?);
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    counters().misses.inc();
     let mut cache = cache().lock().expect("plan cache poisoned");
     if cache.len() >= MAX_ENTRIES {
         evict_lru_quarter(&mut cache);
@@ -92,7 +128,7 @@ pub fn parse_cached(text: &str) -> Result<Arc<Query>, SparqlError> {
             last_used: CLOCK.fetch_add(1, Ordering::Relaxed),
         },
     );
-    Ok(plan)
+    Ok((plan, false))
 }
 
 /// Drops the least-recently-used quarter of the cache (at least one entry),
@@ -111,17 +147,20 @@ fn evict_lru_quarter(cache: &mut HashMap<String, CacheEntry>) {
 /// Current cache counters.
 pub fn stats() -> PlanCacheStats {
     PlanCacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
+        hits: counters().hits.get(),
+        misses: counters().misses.get(),
         entries: cache().lock().expect("plan cache poisoned").len(),
     }
 }
 
-/// Clears the cache and resets the counters (used by benchmarks).
+/// Clears the cache and resets the counters.
+///
+/// Benchmarks only: the counters back monotone Prometheus families, so a
+/// serving process should never call this.
 pub fn reset() {
     cache().lock().expect("plan cache poisoned").clear();
-    HITS.store(0, Ordering::Relaxed);
-    MISSES.store(0, Ordering::Relaxed);
+    counters().hits.reset();
+    counters().misses.reset();
 }
 
 /// Collapses whitespace runs to a single space and strips `#` comments,

@@ -1,0 +1,397 @@
+//! Parser and validator for the Prometheus text exposition format.
+//!
+//! This is the read half of the telemetry loop: the registry renders the
+//! format, and this module parses it back so tests, the `metrics_check`
+//! binary, and `load_gen --scrape-metrics` can assert on what a live
+//! server actually serves — names/labels valid, `HELP`/`TYPE` present,
+//! histogram buckets cumulative, values equal to other surfaces.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{valid_label_name, valid_metric_name};
+
+/// One sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name as it appears on the line (including any `_bucket` /
+    /// `_sum` / `_count` suffix).
+    pub name: String,
+    /// Label pairs in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// Parsed value (`+Inf`, `-Inf` and `NaN` are accepted).
+    pub value: f64,
+}
+
+impl Sample {
+    /// Value of the label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// `# HELP` lines by family name.
+    pub helps: BTreeMap<String, String>,
+    /// `# TYPE` lines by family name.
+    pub types: BTreeMap<String, String>,
+    /// Every sample line, in order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The value of the series `name{labels}`, requiring every given label
+    /// to match exactly (order-insensitive; the sample must carry exactly
+    /// the given labels, no more).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.label(k).is_some_and(|got| got == *v))
+            })
+            .map(|s| s.value)
+    }
+
+    /// Sum of every series of family `name` (exact name match).
+    pub fn sum(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// Family names that have at least one sample, with histogram series
+    /// collapsed to their base family name.
+    pub fn families(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .samples
+            .iter()
+            .map(|s| base_family(&s.name, &self.types))
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Structural validation beyond what parsing enforces: every sampled
+    /// family carries `HELP` and `TYPE` lines, histogram buckets are
+    /// cumulative with a final `+Inf` equal to `_count`, and counter
+    /// values are finite and non-negative. Returns the list of problems
+    /// (empty when clean).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for family in self.families() {
+            if !self.types.contains_key(&family) {
+                problems.push(format!("family {family} has no # TYPE line"));
+            }
+            if !self.helps.contains_key(&family) {
+                problems.push(format!("family {family} has no # HELP line"));
+            }
+        }
+        for sample in &self.samples {
+            let family = base_family(&sample.name, &self.types);
+            match self.types.get(&family).map(String::as_str) {
+                Some("counter") => {
+                    if !(sample.value.is_finite() && sample.value >= 0.0) {
+                        problems.push(format!(
+                            "counter {} has non-monotone-compatible value {}",
+                            sample.name, sample.value
+                        ));
+                    }
+                }
+                Some("histogram") | Some("gauge") | None => {}
+                Some(other) => {
+                    problems.push(format!("family {family} has unknown type {other:?}"));
+                }
+            }
+        }
+        // Histogram bucket structure, grouped by (series labels minus le).
+        let mut buckets: BTreeMap<(String, Vec<(String, String)>), Vec<(f64, f64)>> =
+            BTreeMap::new();
+        for sample in &self.samples {
+            if let Some(family) = sample.name.strip_suffix("_bucket") {
+                if self.types.get(family).map(String::as_str) != Some("histogram") {
+                    continue;
+                }
+                let le = match sample.label("le") {
+                    Some(le) => parse_value(le).unwrap_or(f64::NAN),
+                    None => {
+                        problems.push(format!("{}_bucket sample without le label", family));
+                        continue;
+                    }
+                };
+                let mut rest: Vec<(String, String)> = sample
+                    .labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .cloned()
+                    .collect();
+                rest.sort();
+                buckets
+                    .entry((family.to_string(), rest))
+                    .or_default()
+                    .push((le, sample.value));
+            }
+        }
+        for ((family, rest), series) in buckets {
+            let mut prev_le = f64::NEG_INFINITY;
+            let mut prev_count = 0.0;
+            for (le, count) in &series {
+                if *le <= prev_le {
+                    problems.push(format!("{family}_bucket le values not increasing"));
+                }
+                if *count < prev_count {
+                    problems.push(format!("{family}_bucket counts not cumulative"));
+                }
+                prev_le = *le;
+                prev_count = *count;
+            }
+            match series.last() {
+                Some((le, inf_count)) if le.is_infinite() => {
+                    let labels: Vec<(&str, &str)> =
+                        rest.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                    if let Some(total) = self.value(&format!("{family}_count"), &labels) {
+                        if total != *inf_count {
+                            problems.push(format!(
+                                "{family}: +Inf bucket {inf_count} != _count {total}"
+                            ));
+                        }
+                    } else {
+                        problems.push(format!("{family}: histogram without _count series"));
+                    }
+                }
+                _ => problems.push(format!("{family}: histogram without le=\"+Inf\" bucket")),
+            }
+        }
+        problems
+    }
+}
+
+/// Collapses histogram sample suffixes onto the declared family name: a
+/// `_bucket`/`_sum`/`_count` sample whose prefix has a histogram `TYPE`
+/// line belongs to that family; everything else is its own family.
+fn base_family(sample_name: &str, types: &BTreeMap<String, String>) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(prefix) = sample_name.strip_suffix(suffix) {
+            if types.get(prefix).map(String::as_str) == Some("histogram") {
+                return prefix.to_string();
+            }
+        }
+    }
+    sample_name.to_string()
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable value {other:?}")),
+    }
+}
+
+/// Parses one `{k="v",...}` label block, returning the pairs and the rest
+/// of the line after the closing brace.
+fn parse_labels(text: &str, line_no: usize) -> Result<(Vec<(String, String)>, &str), String> {
+    let mut labels = Vec::new();
+    let mut rest = text;
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_label_name(&key) {
+            return Err(format!("line {line_no}: invalid label name {key:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("line {line_no}: label value must be quoted")),
+        }
+        let mut value = String::new();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    _ => return Err(format!("line {line_no}: bad escape in label value")),
+                },
+                '"' => {
+                    end = Some(i + 1);
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        let end = end.ok_or_else(|| format!("line {line_no}: unterminated label value"))?;
+        labels.push((key, value));
+        rest = rest[end..].trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after;
+        }
+    }
+}
+
+/// Parses a Prometheus text-format document, enforcing line-level
+/// syntax: valid metric and label names, quoted+escaped label values,
+/// known `TYPE` values, and parseable sample values.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut expo = Exposition::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n, h.to_string()))
+                .unwrap_or((rest, String::new()));
+            if !valid_metric_name(name) {
+                return Err(format!("line {line_no}: invalid HELP metric name {name:?}"));
+            }
+            expo.helps.insert(name.to_string(), help);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {line_no}: TYPE line without a type"))?;
+            if !valid_metric_name(name) {
+                return Err(format!("line {line_no}: invalid TYPE metric name {name:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {line_no}: unknown metric type {kind:?}"));
+            }
+            expo.types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            // Other comments are legal and ignored.
+            continue;
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_whitespace())
+            .ok_or_else(|| format!("line {line_no}: sample without a value"))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(format!("line {line_no}: invalid metric name {name:?}"));
+        }
+        let rest = &line[name_end..];
+        let (labels, rest) = if let Some(inner) = rest.strip_prefix('{') {
+            parse_labels(inner, line_no)?
+        } else {
+            (Vec::new(), rest)
+        };
+        let mut fields = rest.split_whitespace();
+        let value_text = fields
+            .next()
+            .ok_or_else(|| format!("line {line_no}: sample without a value"))?;
+        let value = parse_value(value_text).map_err(|e| format!("line {line_no}: {e}"))?;
+        if let Some(ts) = fields.next() {
+            ts.parse::<i64>()
+                .map_err(|_| format!("line {line_no}: bad timestamp {ts:?}"))?;
+        }
+        if fields.next().is_some() {
+            return Err(format!("line {line_no}: trailing garbage after sample"));
+        }
+        expo.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(expo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn round_trips_registry_output() {
+        let reg = Registry::new();
+        reg.counter("t_total", "requests", &[("route", "/sparql")])
+            .add(5);
+        reg.gauge("t_keys", "keys", &[("tier", "flat")]).set(42);
+        let h = reg.histogram("t_us", "latency", &[]);
+        h.record(3);
+        h.record(900);
+        let expo = parse_exposition(&reg.render()).expect("parses");
+        assert_eq!(expo.value("t_total", &[("route", "/sparql")]), Some(5.0));
+        assert_eq!(expo.value("t_keys", &[("tier", "flat")]), Some(42.0));
+        assert_eq!(expo.value("t_us_count", &[]), Some(2.0));
+        assert_eq!(expo.value("t_us_sum", &[]), Some(903.0));
+        assert_eq!(expo.value("t_us_bucket", &[("le", "4")]), Some(1.0));
+        assert_eq!(expo.value("t_us_bucket", &[("le", "+Inf")]), Some(2.0));
+        assert_eq!(expo.families(), vec!["t_keys", "t_total", "t_us"]);
+        assert!(expo.validate().is_empty(), "{:?}", expo.validate());
+    }
+
+    #[test]
+    fn parses_floats_infinities_and_escapes() {
+        let text = concat!(
+            "# HELP f_val a value\n",
+            "# TYPE f_val gauge\n",
+            "f_val{q=\"a\\\\b\\\"c\\nd\"} 1.25e3\n",
+            "f_val{q=\"inf\"} +Inf\n",
+            "f_val{q=\"nan\"} NaN\n",
+            "f_val{q=\"ts\"} 3.5 1700000000\n",
+        );
+        let expo = parse_exposition(text).expect("parses");
+        assert_eq!(expo.value("f_val", &[("q", "a\\b\"c\nd")]), Some(1250.0));
+        assert_eq!(expo.value("f_val", &[("q", "inf")]), Some(f64::INFINITY));
+        assert!(expo.value("f_val", &[("q", "nan")]).unwrap().is_nan());
+        assert_eq!(expo.value("f_val", &[("q", "ts")]), Some(3.5));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_exposition("9bad 1\n").is_err());
+        assert!(parse_exposition("ok{1bad=\"v\"} 1\n").is_err());
+        assert!(parse_exposition("ok{l=unquoted} 1\n").is_err());
+        assert!(parse_exposition("ok{l=\"v\"} notanumber\n").is_err());
+        assert!(parse_exposition("# TYPE ok sideways\n").is_err());
+        assert!(parse_exposition("ok\n").is_err());
+    }
+
+    #[test]
+    fn validate_flags_structural_problems() {
+        let text = concat!(
+            "no_type_or_help 1\n",
+            "# TYPE h histogram\n",
+            "# HELP h hist\n",
+            "h_bucket{le=\"1\"} 2\n",
+            "h_bucket{le=\"2\"} 1\n",
+        );
+        let expo = parse_exposition(text).expect("parses");
+        let problems = expo.validate();
+        assert!(problems.iter().any(|p| p.contains("no # TYPE")));
+        assert!(problems.iter().any(|p| p.contains("not cumulative")));
+        assert!(problems.iter().any(|p| p.contains("+Inf")));
+    }
+}

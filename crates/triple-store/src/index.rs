@@ -45,6 +45,20 @@ pub enum IndexOrder {
 
 type Key = (TermId, TermId, TermId);
 
+/// Sizes of one positional index's storage tiers (see the module docs for
+/// the tier semantics). Surfaced per index order through
+/// `TripleStore::index_tier_sizes` so the serving layer can export them as
+/// gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierSizes {
+    /// Keys in the sorted bulk tier (including tombstoned ones).
+    pub flat: usize,
+    /// Incremental inserts not yet merged into the flat tier.
+    pub delta: usize,
+    /// Tombstones over the flat tier.
+    pub dead: usize,
+}
+
 /// A single sorted index over one permutation of triple positions.
 #[derive(Debug, Clone, Default)]
 pub struct PositionalIndex {
@@ -85,6 +99,15 @@ impl PositionalIndex {
     /// Returns `true` if the index is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Current per-tier sizes.
+    pub fn tier_sizes(&self) -> TierSizes {
+        TierSizes {
+            flat: self.flat.len(),
+            delta: self.delta.len(),
+            dead: self.dead.len(),
+        }
     }
 
     fn flat_contains(&self, key: &Key) -> bool {

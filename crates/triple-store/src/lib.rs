@@ -36,6 +36,7 @@ pub mod stats;
 pub mod store;
 
 pub use dictionary::{TermDictionary, TermId};
+pub use index::{IndexOrder, TierSizes};
 pub use persist::{PersistError, PersistOptions, RecoveryReport};
 pub use shared::SharedStore;
 pub use stats::StoreStats;

@@ -27,6 +27,9 @@ pub mod wal;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use hbold_telemetry::{Counter, Registry};
 
 use crate::store::TripleStore;
 
@@ -303,7 +306,9 @@ impl Persistence {
     /// Appends one operation to the WAL. The operation counts as committed
     /// once this returns.
     pub fn log(&mut self, op: &WalOp) -> Result<(), PersistError> {
-        self.wal.append(op)
+        self.wal.append(op)?;
+        durability_counters().wal_appends.inc();
+        Ok(())
     }
 
     /// `true` when the auto-checkpoint threshold is configured and the WAL
@@ -336,14 +341,58 @@ impl Persistence {
                 }
             }
         }
+        durability_counters().checkpoints.inc();
         Ok(next)
     }
 
     /// Fsyncs the WAL, making every logged operation power-loss durable
     /// without paying for a full checkpoint.
     pub fn sync(&mut self) -> Result<(), PersistError> {
-        self.wal.sync()
+        self.wal.sync()?;
+        durability_counters().wal_fsyncs.inc();
+        Ok(())
     }
+}
+
+/// Process-wide durability counters in the global telemetry registry.
+/// Successful operations only: a failed append/checkpoint/fsync returns the
+/// error without counting.
+struct DurabilityCounters {
+    wal_appends: Counter,
+    checkpoints: Counter,
+    wal_fsyncs: Counter,
+}
+
+/// Forces registration of the durability counter families
+/// (`hbold_wal_appends_total`, `hbold_checkpoints_total`,
+/// `hbold_wal_fsyncs_total`), so a metrics scrape of a process that has not
+/// yet touched a WAL still exposes them at zero.
+pub fn register_metrics() {
+    let _ = durability_counters();
+}
+
+fn durability_counters() -> &'static DurabilityCounters {
+    static COUNTERS: OnceLock<DurabilityCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = Registry::global();
+        DurabilityCounters {
+            wal_appends: reg.counter(
+                "hbold_wal_appends_total",
+                "Operations appended to the write-ahead log.",
+                &[],
+            ),
+            checkpoints: reg.counter(
+                "hbold_checkpoints_total",
+                "Snapshot checkpoints completed.",
+                &[],
+            ),
+            wal_fsyncs: reg.counter(
+                "hbold_wal_fsyncs_total",
+                "Explicit WAL fsyncs completed.",
+                &[],
+            ),
+        }
+    })
 }
 
 #[cfg(test)]

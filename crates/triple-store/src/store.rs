@@ -3,7 +3,7 @@
 use hbold_rdf_model::{Graph, Iri, Term, Triple, TriplePattern};
 
 use crate::dictionary::{TermDictionary, TermId};
-use crate::index::{IndexOrder, PositionalIndex, PrefixScan};
+use crate::index::{IndexOrder, PositionalIndex, PrefixScan, TierSizes};
 
 /// A triple with all three terms replaced by dictionary identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -108,6 +108,16 @@ impl TripleStore {
     /// Number of distinct terms interned by the store.
     pub fn term_count(&self) -> usize {
         self.dict.len()
+    }
+
+    /// Per-tier sizes of the three positional indexes (flat / delta / dead;
+    /// see [`crate::index`]) — the raw material for storage-tier gauges.
+    pub fn index_tier_sizes(&self) -> [(IndexOrder, TierSizes); 3] {
+        [
+            (IndexOrder::Spo, self.spo.tier_sizes()),
+            (IndexOrder::Pos, self.pos.tier_sizes()),
+            (IndexOrder::Osp, self.osp.tier_sizes()),
+        ]
     }
 
     /// Access to the term dictionary (read-only).
