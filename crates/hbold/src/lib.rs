@@ -25,6 +25,7 @@ pub mod catalog;
 pub mod crawler;
 pub mod exploration;
 pub mod manual;
+pub mod observations;
 pub mod pipeline;
 pub mod query_builder;
 pub mod scheduler;
@@ -34,6 +35,7 @@ pub use catalog::{CatalogEntry, EndpointCatalog, EndpointSource, EndpointStatus}
 pub use crawler::{CrawlReport, PortalCrawler};
 pub use exploration::{ExplorationSession, ExplorationStep, ExplorationView};
 pub use manual::{ManualInsertion, Notification};
+pub use observations::{observation_graph, observation_quads, record_observations};
 pub use pipeline::{ExtractionPipeline, PipelineError, PipelineResult};
 pub use query_builder::VisualQueryBuilder;
 pub use scheduler::{RefreshPolicy, RefreshScheduler, SchedulerStats};

@@ -17,8 +17,10 @@ use hbold_endpoint::SparqlEndpoint;
 use hbold_schema::{
     DatasetIndexes, ExtractionError, ExtractionReport, IndexExtractor, SchemaSummary,
 };
+use hbold_triple_store::SharedStore;
 
 use crate::catalog::{EndpointCatalog, EndpointSource};
+use crate::observations::record_observations;
 
 /// Failure of the pipeline for one endpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +70,10 @@ pub struct ExtractionPipeline {
     extractor: IndexExtractor,
     algorithm: ClusteringAlgorithm,
     seed: u64,
+    /// When set, every successful extraction also lands as VoID observation
+    /// quads in this quad store, in a named graph per endpoint (the graph
+    /// name is the endpoint URL); see [`crate::observations`].
+    observation_store: Option<SharedStore>,
 }
 
 impl ExtractionPipeline {
@@ -78,6 +84,7 @@ impl ExtractionPipeline {
             extractor: IndexExtractor::new(),
             algorithm: ClusteringAlgorithm::Louvain,
             seed: 0,
+            observation_store: None,
         }
     }
 
@@ -85,6 +92,19 @@ impl ExtractionPipeline {
     pub fn with_algorithm(mut self, algorithm: ClusteringAlgorithm) -> Self {
         self.algorithm = algorithm;
         self
+    }
+
+    /// Records every successful extraction's observations into `store`,
+    /// one named graph per endpoint (builder style). Re-extracting an
+    /// endpoint atomically replaces its graph.
+    pub fn with_observation_store(mut self, store: &SharedStore) -> Self {
+        self.observation_store = Some(store.clone());
+        self
+    }
+
+    /// The quad store observations are recorded into, when one was set.
+    pub fn observation_store(&self) -> Option<&SharedStore> {
+        self.observation_store.as_ref()
     }
 
     /// Overrides the index extractor (builder style).
@@ -140,6 +160,9 @@ impl ExtractionPipeline {
             .expect("cluster schema serializes to an object");
         if let Some(catalog) = catalog {
             catalog.record_success(endpoint.url(), day);
+        }
+        if let Some(observations) = &self.observation_store {
+            record_observations(observations, &indexes);
         }
 
         Ok(PipelineResult {
@@ -357,6 +380,47 @@ mod tests {
                 .extracted_on_day,
             8
         );
+    }
+
+    #[test]
+    fn observation_store_gets_one_named_graph_per_endpoint() {
+        let store = DocStore::in_memory();
+        let observations = SharedStore::new();
+        let pipeline = ExtractionPipeline::new(&store).with_observation_store(&observations);
+        let endpoints: Vec<SparqlEndpoint> = (0..3)
+            .map(|i| {
+                let graph = scholarly(&ScholarlyConfig {
+                    conferences: 1,
+                    papers_per_conference: 4,
+                    authors_per_paper: 2,
+                    seed: 40 + i,
+                });
+                SparqlEndpoint::new(
+                    format!("http://obs{i}.example/sparql"),
+                    &graph,
+                    EndpointProfile::full_featured(),
+                )
+            })
+            .collect();
+        for endpoint in &endpoints {
+            pipeline.run(endpoint, 1, None).unwrap();
+        }
+        let snapshot = observations.snapshot();
+        let counts = snapshot.graph_quad_counts();
+        assert_eq!(counts.len(), 3, "one named graph per endpoint: {counts:?}");
+        assert!(counts
+            .iter()
+            .all(|(graph, quads)| { graph.is_some() && *quads > 0 }));
+        assert_eq!(snapshot.default_graph_len(), 0);
+
+        // Re-running an endpoint replaces its graph instead of appending.
+        let before = snapshot.len();
+        pipeline.run(&endpoints[0], 2, None).unwrap();
+        let after = observations.snapshot();
+        // Only the extraction-day quad changes value, so the graph stays
+        // the same size.
+        assert_eq!(after.len(), before);
+        assert_eq!(after.graph_quad_counts().len(), 3);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod graph;
 pub mod literal;
+pub mod quad;
 pub mod term;
 pub mod triple;
 pub mod value;
@@ -31,6 +32,7 @@ pub mod vocab;
 
 pub use graph::Graph;
 pub use literal::Literal;
+pub use quad::Quad;
 pub use term::{BlankNode, Iri, IriParseError, Term, TermKind};
 pub use triple::{Triple, TriplePattern};
 pub use value::LiteralValue;

@@ -1,0 +1,123 @@
+//! Quads: triples tagged with the graph that holds them.
+
+use std::fmt;
+
+use crate::term::Term;
+use crate::triple::{Triple, TriplePositionError};
+
+/// A single RDF quad: a triple plus the graph it belongs to.
+///
+/// `graph` is `None` for the default graph and `Some(term)` for a named
+/// graph (an IRI in valid RDF datasets). The ordering groups the default
+/// graph first, then named graphs by term order — handy for deterministic
+/// dumps and diffing against reference stores.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Quad {
+    /// The graph holding the triple (`None` = default graph).
+    pub graph: Option<Term>,
+    /// The subject term (an IRI or blank node in valid RDF).
+    pub subject: Term,
+    /// The predicate term (an IRI in valid RDF).
+    pub predicate: Term,
+    /// The object term (any term).
+    pub object: Term,
+}
+
+impl Quad {
+    /// Builds a quad from a triple and an optional named graph.
+    pub fn new(triple: Triple, graph: Option<Term>) -> Self {
+        Quad {
+            graph,
+            subject: triple.subject,
+            predicate: triple.predicate,
+            object: triple.object,
+        }
+    }
+
+    /// Builds a quad, rejecting literal subjects, non-IRI predicates and
+    /// non-IRI graph names.
+    pub fn try_new(triple: Triple, graph: Option<Term>) -> Result<Self, TriplePositionError> {
+        let t = Triple::try_new(triple.subject, triple.predicate, triple.object)?;
+        if let Some(g) = &graph {
+            if !g.is_iri() {
+                return Err(TriplePositionError::NonIriPredicate);
+            }
+        }
+        Ok(Quad::new(t, graph))
+    }
+
+    /// The triple component, cloned out of the quad.
+    pub fn triple(&self) -> Triple {
+        Triple {
+            subject: self.subject.clone(),
+            predicate: self.predicate.clone(),
+            object: self.object.clone(),
+        }
+    }
+
+    /// Renders the quad as one N-Quads line (including the terminating
+    /// ` .`); default-graph quads render as N-Triples lines.
+    pub fn to_nquads(&self) -> String {
+        match &self.graph {
+            Some(g) => format!(
+                "{} {} {} {} .",
+                self.subject.to_ntriples(),
+                self.predicate.to_ntriples(),
+                self.object.to_ntriples(),
+                g.to_ntriples()
+            ),
+            None => self.triple().to_ntriples(),
+        }
+    }
+}
+
+impl From<Triple> for Quad {
+    fn from(triple: Triple) -> Self {
+        Quad::new(triple, None)
+    }
+}
+
+impl fmt::Display for Quad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_nquads())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Literal;
+    use crate::term::Iri;
+    use crate::vocab::foaf;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    #[test]
+    fn quad_display_is_nquads() {
+        let t = Triple::new(iri("http://e.org/a"), foaf::name(), Literal::string("A"));
+        let q = Quad::new(t.clone(), Some(iri("http://e.org/g").into()));
+        assert_eq!(
+            q.to_string(),
+            "<http://e.org/a> <http://xmlns.com/foaf/0.1/name> \"A\" <http://e.org/g> ."
+        );
+        assert_eq!(Quad::from(t.clone()).to_string(), t.to_string());
+    }
+
+    #[test]
+    fn try_new_rejects_literal_graphs() {
+        let t = Triple::new(iri("http://e.org/a"), foaf::name(), Literal::string("A"));
+        assert!(Quad::try_new(t.clone(), Some(Literal::string("g").into())).is_err());
+        assert!(Quad::try_new(t.clone(), Some(iri("http://e.org/g").into())).is_ok());
+        assert!(Quad::try_new(t, None).is_ok());
+    }
+
+    #[test]
+    fn ordering_puts_the_default_graph_first() {
+        let t = Triple::new(iri("http://e.org/a"), foaf::name(), Literal::string("A"));
+        let default = Quad::from(t.clone());
+        let named = Quad::new(t, Some(iri("http://e.org/g").into()));
+        assert!(default < named);
+    }
+}

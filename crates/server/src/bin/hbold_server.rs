@@ -255,8 +255,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    println!("hbold-server serving {triples} triples at {}", server.url());
-    println!("routes: /sparql /stats /metrics /health");
+    println!("hbold-server serving {triples} quads at {}", server.url());
+    println!("routes: /sparql /update /stats /metrics /health");
     server.wait();
     if store.is_durable() {
         if store.wal_bytes() == Some(0) {

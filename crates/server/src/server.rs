@@ -16,7 +16,8 @@ use std::time::{Duration, Instant};
 
 use hbold_sparql::results::json_string;
 use hbold_sparql::{
-    evaluate_with_hooks, parse_cached, parse_cached_tracked, EvalHooks, EvalOptions, QueryResults,
+    evaluate_with_hooks, parse_cached, parse_cached_tracked, parse_update, plan_update_op,
+    EvalHooks, EvalOptions, QueryResults, SparqlError,
 };
 use hbold_telemetry::{Span, EXPOSITION_CONTENT_TYPE};
 use hbold_triple_store::SharedStore;
@@ -315,6 +316,8 @@ fn serve_connection(shared: &Shared, conn_id: u64, mut conn: Connection) {
         let elapsed_us = started.elapsed().as_micros() as u64;
         if request.path == "/sparql" {
             shared.stats.sparql.latency.record(elapsed_us);
+        } else if request.path == "/update" {
+            shared.stats.update.latency.record(elapsed_us);
         } else {
             shared.stats.other.latency.record(elapsed_us);
         }
@@ -408,7 +411,7 @@ fn route(shared: &Shared, request: &HttpRequest, trace_id: &TraceId) -> HttpResp
     match (request.method.as_str(), request.path.as_str()) {
         ("GET" | "HEAD", "/health") => HttpResponse::ok("text/plain; charset=utf-8", "ok\n"),
         ("GET", "/stats") => {
-            HttpResponse::ok("application/json; charset=utf-8", shared.stats.to_json())
+            HttpResponse::ok("application/json; charset=utf-8", stats_with_graphs(shared))
         }
         ("GET", "/metrics") => metrics(shared),
         ("GET", "/sparql") => match request.query_param("query") {
@@ -431,6 +434,12 @@ fn route(shared: &Shared, request: &HttpRequest, trace_id: &TraceId) -> HttpResp
                         HttpResponse::error(400, "Bad Request", "query body is not UTF-8")
                     }
                 },
+                "application/sparql-update" => match String::from_utf8(request.body.clone()) {
+                    Ok(update) => execute_update_request(shared, &update),
+                    Err(_) => {
+                        HttpResponse::error(400, "Bad Request", "update body is not UTF-8")
+                    }
+                },
                 "application/x-www-form-urlencoded" => {
                     let body = match std::str::from_utf8(&request.body) {
                         Ok(body) => body,
@@ -446,14 +455,16 @@ fn route(shared: &Shared, request: &HttpRequest, trace_id: &TraceId) -> HttpResp
                         Ok(params) => {
                             let trace = trace_wanted
                                 || params.iter().any(|(k, v)| k == "trace" && v == "1");
-                            match params.into_iter().find(|(k, _)| k == "query") {
-                                Some((_, query)) => {
+                            let mut params = params.into_iter();
+                            match params.find(|(k, _)| k == "query" || k == "update") {
+                                Some((key, query)) if key == "query" => {
                                     execute(shared, query, request, trace, trace_id)
                                 }
+                                Some((_, update)) => execute_update_request(shared, &update),
                                 None => HttpResponse::error(
                                     400,
                                     "Bad Request",
-                                    "form body has no \"query\" field",
+                                    "form body has no \"query\" or \"update\" field",
                                 ),
                             }
                         }
@@ -468,7 +479,59 @@ fn route(shared: &Shared, request: &HttpRequest, trace_id: &TraceId) -> HttpResp
                     415,
                     "Unsupported Media Type",
                     format!(
-                        "unsupported Content-Type {other:?}; use application/sparql-query or application/x-www-form-urlencoded"
+                        "unsupported Content-Type {other:?}; use application/sparql-query, application/sparql-update or application/x-www-form-urlencoded"
+                    ),
+                ),
+            }
+        }
+        ("POST", "/update") => {
+            let content_type = request
+                .header("content-type")
+                .unwrap_or("")
+                .split(';')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_ascii_lowercase();
+            match content_type.as_str() {
+                "application/sparql-update" => match String::from_utf8(request.body.clone()) {
+                    Ok(update) => execute_update_request(shared, &update),
+                    Err(_) => {
+                        HttpResponse::error(400, "Bad Request", "update body is not UTF-8")
+                    }
+                },
+                "application/x-www-form-urlencoded" => {
+                    let body = match std::str::from_utf8(&request.body) {
+                        Ok(body) => body,
+                        Err(_) => {
+                            return HttpResponse::error(
+                                400,
+                                "Bad Request",
+                                "form body is not UTF-8",
+                            )
+                        }
+                    };
+                    match crate::http::parse_query_string(body) {
+                        Ok(params) => match params.into_iter().find(|(k, _)| k == "update") {
+                            Some((_, update)) => execute_update_request(shared, &update),
+                            None => HttpResponse::error(
+                                400,
+                                "Bad Request",
+                                "form body has no \"update\" field",
+                            ),
+                        },
+                        Err(e) => HttpResponse::error(
+                            400,
+                            "Bad Request",
+                            format!("malformed form body: {e}"),
+                        ),
+                    }
+                }
+                other => HttpResponse::error(
+                    415,
+                    "Unsupported Media Type",
+                    format!(
+                        "unsupported Content-Type {other:?}; use application/sparql-update or application/x-www-form-urlencoded"
                     ),
                 ),
             }
@@ -479,6 +542,8 @@ fn route(shared: &Shared, request: &HttpRequest, trace_id: &TraceId) -> HttpResp
             "use GET ?query= or POST on /sparql",
         )
         .with_header("Allow", "GET, POST"),
+        (_, "/update") => HttpResponse::error(405, "Method Not Allowed", "use POST on /update")
+            .with_header("Allow", "POST"),
         ("POST", "/shutdown") if shared.config.enable_shutdown_route => {
             shared.request_shutdown();
             HttpResponse::ok("text/plain; charset=utf-8", "shutting down\n").with_close()
@@ -506,11 +571,7 @@ fn metrics(shared: &Shared) -> HttpResponse {
         )
         .set(snapshot.term_count() as u64);
     for (order, tiers) in snapshot.index_tier_sizes() {
-        let order = match order {
-            hbold_triple_store::IndexOrder::Spo => "spo",
-            hbold_triple_store::IndexOrder::Pos => "pos",
-            hbold_triple_store::IndexOrder::Osp => "osp",
-        };
+        let order = order.label();
         for (tier, entries) in [
             ("flat", tiers.flat),
             ("delta", tiers.delta),
@@ -527,12 +588,130 @@ fn metrics(shared: &Shared) -> HttpResponse {
     }
     registry
         .gauge(
+            "hbold_store_named_graphs",
+            "Named graphs holding at least one quad.",
+            &[],
+        )
+        .set(snapshot.named_graph_ids().len() as u64);
+    for (graph, quads) in snapshot.graph_quad_counts() {
+        let label = match &graph {
+            Some(term) => graph_name(term).to_string(),
+            None => "default".to_string(),
+        };
+        registry
+            .gauge(
+                "hbold_store_graph_quads",
+                "Quads per graph (the default graph is labeled \"default\").",
+                &[("graph", &label)],
+            )
+            .set(quads as u64);
+    }
+    registry
+        .gauge(
             "hbold_plan_cache_entries",
             "Live entries in the query plan cache.",
             &[],
         )
         .set(hbold_sparql::plan::stats().entries as u64);
     HttpResponse::ok(EXPOSITION_CONTENT_TYPE, shared.stats.render_metrics())
+}
+
+/// A named graph's full IRI (graph names are always IRIs; `Term::label`
+/// would shorten one to its local name).
+fn graph_name(term: &hbold_rdf_model::Term) -> &str {
+    match term {
+        hbold_rdf_model::Term::Iri(iri) => iri.as_str(),
+        other => other.label(),
+    }
+}
+
+/// The `/stats` document: the server counters plus a per-graph quad-count
+/// section read from the current store snapshot.
+fn stats_with_graphs(shared: &Shared) -> String {
+    let snapshot = shared.store.snapshot();
+    let named: Vec<String> = snapshot
+        .graph_quad_counts()
+        .into_iter()
+        .filter_map(|(graph, quads)| graph.map(|term| (term, quads)))
+        .map(|(term, quads)| format!("{}:{}", json_string(graph_name(&term)), quads))
+        .collect();
+    let graphs = format!(
+        "\"graphs\":{{\"quads_total\":{},\"default\":{},\"named_count\":{},\"named\":{{{}}}}}",
+        snapshot.len(),
+        snapshot.default_graph_len(),
+        named.len(),
+        named.join(","),
+    );
+    let mut doc = shared.stats.to_json();
+    debug_assert!(doc.ends_with('}'));
+    doc.truncate(doc.len() - 1);
+    doc.push(',');
+    doc.push_str(&graphs);
+    doc.push('}');
+    doc
+}
+
+/// Parses and applies a SPARQL 1.1 Update request. Each operation in the
+/// `;`-separated sequence commits as one atomic, WAL-logged store
+/// transition through `SharedStore::apply_update`, planned against the
+/// state the previous operations produced. Success is `204 No Content`;
+/// a parse or evaluation failure is a 400 (operations already committed
+/// before a mid-sequence failure stay committed, and the error body says
+/// so).
+fn execute_update_request(shared: &Shared, update: &str) -> HttpResponse {
+    let ops = match parse_update(update) {
+        Ok(ops) => ops,
+        Err(e) => {
+            shared.stats.update_error.inc();
+            return HttpResponse::error(400, "Bad Request", e.to_string());
+        }
+    };
+    for (index, op) in ops.iter().enumerate() {
+        // `apply_update`'s planning closure cannot return an error, so a
+        // WHERE-evaluation failure is smuggled out through this slot (the
+        // empty delta it leaves behind commits nothing, not even a WAL
+        // record).
+        let mut eval_error: Option<SparqlError> = None;
+        let (removed, inserted) =
+            shared
+                .store
+                .apply_update(|store| match plan_update_op(store, op) {
+                    Ok(delta) => delta,
+                    Err(e) => {
+                        eval_error = Some(e);
+                        (Vec::new(), Vec::new())
+                    }
+                });
+        if let Some(e) = eval_error {
+            shared.stats.update_error.inc();
+            return HttpResponse::error(
+                400,
+                "Bad Request",
+                format!(
+                    "operation {} of {} failed: {e}{}",
+                    index + 1,
+                    ops.len(),
+                    if index > 0 {
+                        " (earlier operations in this request were committed)"
+                    } else {
+                        ""
+                    },
+                ),
+            );
+        }
+        shared.stats.update_ops.inc();
+        shared.stats.update_quads_removed.add(removed as u64);
+        shared.stats.update_quads_inserted.add(inserted as u64);
+    }
+    shared.stats.update_ok.inc();
+    HttpResponse {
+        status: 204,
+        reason: "No Content",
+        content_type: "text/plain; charset=utf-8".into(),
+        body: Vec::new(),
+        extra_headers: Vec::new(),
+        close: false,
+    }
 }
 
 fn execute(

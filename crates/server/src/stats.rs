@@ -41,8 +41,21 @@ pub struct ServerStats {
     pub malformed_requests: Counter,
     /// `/sparql` query route.
     pub sparql: RouteStats,
+    /// `/update` SPARQL Update route.
+    pub update: RouteStats,
     /// Every other served route (`/stats`, `/health`, ...).
     pub other: RouteStats,
+    /// Update requests that committed (2xx).
+    pub update_ok: Counter,
+    /// Update requests rejected (parse or evaluation failure).
+    pub update_error: Counter,
+    /// Individual update operations committed (one request may carry a
+    /// `;`-separated sequence; each operation is one WAL record).
+    pub update_ops: Counter,
+    /// Quads actually removed by update operations.
+    pub update_quads_removed: Counter,
+    /// Quads actually inserted by update operations.
+    pub update_quads_inserted: Counter,
 }
 
 impl Default for ServerStats {
@@ -94,7 +107,33 @@ impl Default for ServerStats {
                 &[],
             ),
             sparql: route_hist("/sparql"),
+            update: route_hist("/update"),
             other: route_hist("other"),
+            update_ok: registry.counter(
+                "hbold_update_requests_total",
+                "SPARQL Update requests by result.",
+                &[("result", "ok")],
+            ),
+            update_error: registry.counter(
+                "hbold_update_requests_total",
+                "SPARQL Update requests by result.",
+                &[("result", "error")],
+            ),
+            update_ops: registry.counter(
+                "hbold_update_ops_total",
+                "Update operations committed (one WAL record each).",
+                &[],
+            ),
+            update_quads_removed: registry.counter(
+                "hbold_update_quads_removed_total",
+                "Quads removed by update operations.",
+                &[],
+            ),
+            update_quads_inserted: registry.counter(
+                "hbold_update_quads_inserted_total",
+                "Quads inserted by update operations.",
+                &[],
+            ),
             registry,
         }
     }
@@ -139,7 +178,7 @@ impl ServerStats {
             .map(|(i, c)| format!("\"{}xx\":{}", i + 1, c.get()))
             .collect();
         format!(
-            "{{\"uptime_ms\":{},\"connections_accepted\":{},\"requests_total\":{},\"malformed_requests\":{},\"responses\":{{{}}},\"routes\":{{{}:{},{}:{}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{:.4}}},\"optimizer\":{{\"bgps_planned\":{},\"bgps_reordered\":{},\"filters_pushed\":{},\"heuristic_plans\":{}}}}}",
+            "{{\"uptime_ms\":{},\"connections_accepted\":{},\"requests_total\":{},\"malformed_requests\":{},\"responses\":{{{}}},\"routes\":{{{}:{},{}:{},{}:{}}},\"updates\":{{\"requests_ok\":{},\"requests_error\":{},\"ops\":{},\"quads_removed\":{},\"quads_inserted\":{}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{:.4}}},\"optimizer\":{{\"bgps_planned\":{},\"bgps_reordered\":{},\"filters_pushed\":{},\"heuristic_plans\":{}}}}}",
             self.started.elapsed().as_millis(),
             self.connections_accepted.get(),
             self.requests_total.get(),
@@ -147,8 +186,15 @@ impl ServerStats {
             classes.join(","),
             json_string("/sparql"),
             hist_json(&self.sparql.latency),
+            json_string("/update"),
+            hist_json(&self.update.latency),
             json_string("other"),
             hist_json(&self.other.latency),
+            self.update_ok.get(),
+            self.update_error.get(),
+            self.update_ops.get(),
+            self.update_quads_removed.get(),
+            self.update_quads_inserted.get(),
             plan.hits,
             plan.misses,
             plan.entries,
@@ -199,6 +245,16 @@ mod tests {
             Some(1.0)
         );
         assert!(doc.get("plan_cache").unwrap().get("hits").is_some());
+        let updates = doc.get("updates").unwrap();
+        for key in [
+            "requests_ok",
+            "requests_error",
+            "ops",
+            "quads_removed",
+            "quads_inserted",
+        ] {
+            assert!(updates.get(key).is_some(), "updates JSON carries {key}");
+        }
         let optimizer = doc.get("optimizer").unwrap();
         for key in [
             "bgps_planned",
@@ -240,6 +296,21 @@ mod tests {
         );
         // The global engine families ride along in the same document.
         assert!(text.contains("# TYPE hbold_plan_cache_hits_total counter"));
+        // Update families are registered eagerly, so a scrape of a server
+        // that has never served an update still exposes them at zero.
+        assert_eq!(
+            expo.value("hbold_update_requests_total", &[("result", "ok")]),
+            Some(0.0)
+        );
+        assert_eq!(expo.value("hbold_update_ops_total", &[]), Some(0.0));
+        assert_eq!(
+            expo.value("hbold_update_quads_removed_total", &[]),
+            Some(0.0)
+        );
+        assert_eq!(
+            expo.value("hbold_update_quads_inserted_total", &[]),
+            Some(0.0)
+        );
     }
 
     #[test]

@@ -140,6 +140,26 @@ fn http_query(port: u16, query: &str) -> (u16, Vec<u8>) {
     (status, raw[head_end + 4..].to_vec())
 }
 
+/// POST one update request (`application/sparql-update`); returns the status.
+fn http_update(port: u16, update: &str) -> u16 {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let request = format!(
+        "POST /update HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Type: application/sparql-update\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{update}",
+        update.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send update");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let head = String::from_utf8_lossy(&raw);
+    head.split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {head:?}"))
+}
+
 fn wait_until_serving(port: u16) {
     for _ in 0..100 {
         if TcpStream::connect(("127.0.0.1", port)).is_ok() {
@@ -194,6 +214,86 @@ fn killed_server_restarts_with_byte_identical_results() {
     // The pre-crash answer is reproduced byte-for-byte too.
     let (_, post_crash_body) = http_query(restarted.port, QUERIES[0]);
     assert_eq!(post_crash_body, warm_body);
+
+    restarted.child.kill().expect("stop restarted server");
+    let _ = restarted.child.wait();
+    reference.child.kill().expect("stop reference server");
+    let _ = reference.child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGKILL arriving mid-update-stream: a durable server absorbs a sequence
+/// of graph-scoped SPARQL Update requests over HTTP, is killed with no
+/// drain and no checkpoint right after the last acknowledged 204, and the
+/// restart must serve results **byte-identical** to an in-memory server
+/// that received exactly the same acknowledged updates — every committed
+/// named-graph mutation recovered from the WAL alone, nothing extra.
+#[test]
+fn killed_mid_update_stream_restarts_byte_identical() {
+    let dir = temp_dir("kill-mid-updates");
+    let data_dir = dir.join("data");
+    let data_dir_str = data_dir.to_str().unwrap();
+
+    let updates: Vec<String> = (0..24)
+        .map(|i| match i % 3 {
+            0 => format!(
+                "INSERT DATA {{ GRAPH <http://g.example/{}> {{ <http://e.org/s{i}> <http://e.org/p> \"v{i}\" }} }}",
+                i % 4
+            ),
+            1 => format!(
+                "INSERT DATA {{ <http://e.org/s{i}> a <http://xmlns.com/foaf/0.1/Person> . \
+                 <http://e.org/s{i}> <http://xmlns.com/foaf/0.1/name> \"Person {i}\" }}"
+            ),
+            _ => format!(
+                "DELETE WHERE {{ GRAPH <http://g.example/{}> {{ <http://e.org/s{}> ?p ?o }} }}",
+                (i - 2) % 4,
+                i - 2
+            ),
+        })
+        .collect();
+
+    // Durable server, born empty; every update is acknowledged (204 means
+    // the WAL record was appended) before the SIGKILL lands.
+    let mut durable = spawn_server(&["--data-dir", data_dir_str]);
+    wait_until_serving(durable.port);
+    for update in &updates {
+        assert_eq!(http_update(durable.port, update), 204, "update {update:?}");
+    }
+    durable.child.kill().expect("SIGKILL mid update stream");
+    let _ = durable.child.wait();
+    assert!(data_dir.join("wal.log").exists(), "the WAL survived");
+
+    // Restart from the data directory alone.
+    let mut restarted = spawn_server(&["--data-dir", data_dir_str]);
+    wait_until_serving(restarted.port);
+
+    // Reference: an in-memory server replaying the same acknowledged stream.
+    let mut reference = spawn_server(&[]);
+    wait_until_serving(reference.port);
+    for update in &updates {
+        assert_eq!(http_update(reference.port, update), 204);
+    }
+
+    let graph_queries = [
+        "SELECT ?g ?s ?o WHERE { GRAPH ?g { ?s <http://e.org/p> ?o } } ORDER BY ?g ?s ?o",
+        "SELECT (COUNT(?s) AS ?n) WHERE { GRAPH <http://g.example/0> { ?s ?p ?o } }",
+        "SELECT ?s ?name WHERE { ?s <http://xmlns.com/foaf/0.1/name> ?name } ORDER BY ?name",
+        "SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p",
+        "ASK { GRAPH <http://g.example/1> { ?s ?p ?o } }",
+    ];
+    for query in graph_queries {
+        let (restarted_status, restarted_body) = http_query(restarted.port, query);
+        let (reference_status, reference_body) = http_query(reference.port, query);
+        assert_eq!(
+            (restarted_status, reference_status),
+            (200, 200),
+            "{query:?}"
+        );
+        assert_eq!(
+            restarted_body, reference_body,
+            "byte-identical results after SIGKILL mid-update-stream: {query:?}"
+        );
+    }
 
     restarted.child.kill().expect("stop restarted server");
     let _ = restarted.child.wait();

@@ -181,10 +181,10 @@ fn metrics_exposition_agrees_with_stats_json() {
         );
     }
 
-    // Scrape-time gauges: 10 people × 2 triples each, three indexes.
+    // Scrape-time gauges: 10 people × 2 triples each, six quad indexes.
     assert_eq!(metric("hbold_store_triples", &[]), 20.0);
     assert!(metric("hbold_plan_cache_entries", &[]) >= 1.0);
-    for order in ["spo", "pos", "osp"] {
+    for order in ["spog", "posg", "ospg", "gspo", "gpos", "gosp"] {
         let total: f64 = ["flat", "delta", "dead"]
             .iter()
             .map(|tier| {

@@ -7,6 +7,8 @@ use hbold_rdf_model::{Iri, Literal, Term};
 pub struct Query {
     /// The query form (SELECT or ASK) with its form-specific parts.
     pub form: QueryForm,
+    /// The dataset clauses (`FROM` / `FROM NAMED`), if any.
+    pub dataset: Dataset,
     /// The WHERE clause.
     pub pattern: GraphPattern,
     /// GROUP BY variables (empty when not grouping).
@@ -17,6 +19,27 @@ pub struct Query {
     pub limit: Option<usize>,
     /// OFFSET, if present.
     pub offset: Option<usize>,
+}
+
+/// The RDF dataset a query runs against, built from `FROM` / `FROM NAMED`
+/// clauses. An empty dataset (the default) leaves the store's own dataset in
+/// effect: the store's default graph is the query's default graph and every
+/// named graph is visible to `GRAPH`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    /// `FROM <g>` graphs merged (set semantics) into the query's default
+    /// graph. Empty means "no FROM clause".
+    pub default_graphs: Vec<Term>,
+    /// `FROM NAMED <g>` graphs available to `GRAPH`. Empty means "no FROM
+    /// NAMED clause".
+    pub named_graphs: Vec<Term>,
+}
+
+impl Dataset {
+    /// `true` when the query has no dataset clauses at all.
+    pub fn is_empty(&self) -> bool {
+        self.default_graphs.is_empty() && self.named_graphs.is_empty()
+    }
 }
 
 /// The query form.
@@ -89,6 +112,15 @@ pub enum GraphPattern {
         /// The filter condition.
         condition: Expression,
     },
+    /// `GRAPH <g> { ... }` / `GRAPH ?g { ... }` — scopes the inner pattern
+    /// to one named graph (or iterates all named graphs when `name` is an
+    /// unbound variable). Nested `GRAPH` is rejected by the parser.
+    Graph {
+        /// The graph name: an IRI constant or a variable.
+        name: TermOrVariable,
+        /// The scoped pattern.
+        inner: Box<GraphPattern>,
+    },
 }
 
 impl GraphPattern {
@@ -135,6 +167,12 @@ impl GraphPattern {
                 b.collect_variables(out);
             }
             GraphPattern::Filter { inner, .. } => inner.collect_variables(out),
+            GraphPattern::Graph { name, inner } => {
+                if let TermOrVariable::Variable(v) = name {
+                    push(v);
+                }
+                inner.collect_variables(out);
+            }
         }
     }
 }
@@ -148,6 +186,55 @@ pub struct TriplePatternAst {
     pub predicate: TermOrVariable,
     /// Object position.
     pub object: TermOrVariable,
+}
+
+/// A triple pattern together with the graph it is scoped to.
+///
+/// `graph: None` means the default graph; `Some(TermOrVariable::Term(..))`
+/// a constant named graph; `Some(TermOrVariable::Variable(..))` a graph
+/// variable (only meaningful inside `DELETE WHERE` / `MODIFY` templates
+/// where the WHERE clause can bind it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadPatternAst {
+    /// The graph this pattern/template applies to (`None` = default graph).
+    pub graph: Option<TermOrVariable>,
+    /// The triple pattern.
+    pub triple: TriplePatternAst,
+}
+
+/// One SPARQL 1.1 Update operation. An update request is a `;`-separated
+/// sequence of these, applied in order, each atomically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Update {
+    /// `INSERT DATA { ... }` — ground quads to add.
+    InsertData(Vec<QuadData>),
+    /// `DELETE DATA { ... }` — ground quads to remove.
+    DeleteData(Vec<QuadData>),
+    /// `DELETE WHERE { ... }` — the pattern doubles as the delete template.
+    DeleteWhere(Vec<QuadPatternAst>),
+    /// `DELETE { ... } INSERT { ... } WHERE { ... }` (either template may be
+    /// absent, not both).
+    Modify {
+        /// The DELETE template (instantiated per WHERE solution).
+        delete: Vec<QuadPatternAst>,
+        /// The INSERT template (instantiated per WHERE solution).
+        insert: Vec<QuadPatternAst>,
+        /// The WHERE clause producing the solutions.
+        pattern: GraphPattern,
+    },
+}
+
+/// A ground quad in `INSERT DATA` / `DELETE DATA` (no variables allowed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadData {
+    /// The target graph (`None` = default graph; always an IRI otherwise).
+    pub graph: Option<Term>,
+    /// Subject term.
+    pub subject: Term,
+    /// Predicate term.
+    pub predicate: Term,
+    /// Object term.
+    pub object: Term,
 }
 
 /// Either a concrete RDF term or a variable.
@@ -340,6 +427,7 @@ mod tests {
                 distinct: false,
                 projection: Projection::Items(vec![ProjectionItem::Variable("s".into())]),
             },
+            dataset: Dataset::default(),
             pattern: GraphPattern::empty(),
             group_by: vec![],
             order_by: vec![],

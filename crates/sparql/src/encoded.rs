@@ -31,7 +31,7 @@ use std::time::Instant;
 
 use hbold_rdf_model::Term;
 use hbold_telemetry::Span;
-use hbold_triple_store::{EncodedScan, TermDictionary, TermId, TripleStore};
+use hbold_triple_store::{QuadScan, TermDictionary, TermId, TripleStore, DEFAULT_GRAPH};
 
 use crate::ast::*;
 use crate::error::SparqlError;
@@ -140,6 +140,7 @@ impl SlotLayout {
                 self.add_expression_vars(condition);
                 self.add_filter_vars(inner);
             }
+            GraphPattern::Graph { inner, .. } => self.add_filter_vars(inner),
         }
     }
 
@@ -247,17 +248,73 @@ pub(crate) enum EncNode {
     Var(u32),
 }
 
-/// A triple pattern in the encoded domain.
+/// The graph a triple pattern is scoped to, in the encoded domain. `GRAPH`
+/// groups compile *away*: every triple pattern inside a `GRAPH g { ... }`
+/// carries `Named(g)` here, everything else carries `Default`, and the
+/// pattern tree itself has no graph node.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EncGraph {
+    /// The query's default graph (the store default graph, or the `FROM`
+    /// merge when the query has dataset clauses).
+    Default,
+    /// A named graph: an IRI constant or a graph variable.
+    Named(EncNode),
+}
+
+/// A triple pattern in the encoded domain, scoped to a graph.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct EncTriplePattern {
     pub subject: EncNode,
     pub predicate: EncNode,
     pub object: EncNode,
+    pub graph: EncGraph,
 }
 
 impl EncTriplePattern {
     pub(crate) fn nodes(&self) -> [EncNode; 3] {
         [self.subject, self.predicate, self.object]
+    }
+
+    /// The graph variable's slot, when the pattern is scoped to `GRAPH ?g`.
+    pub(crate) fn graph_var(&self) -> Option<u32> {
+        match self.graph {
+            EncGraph::Named(EncNode::Var(slot)) => Some(slot),
+            _ => None,
+        }
+    }
+}
+
+/// The query dataset resolved to graph identifiers.
+///
+/// `None` in either field means the query had **no** dataset clauses at all
+/// and the store's own dataset applies; when any `FROM`/`FROM NAMED` clause
+/// is present both fields are `Some` (possibly-empty — per SPARQL, dataset
+/// clauses *replace* the store dataset rather than extend it). Graphs never
+/// interned by the store resolve to nothing and simply drop out.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EncDataset {
+    /// `FROM` graphs merged into the query's default graph.
+    pub default_graphs: Option<Vec<TermId>>,
+    /// `FROM NAMED` graphs visible to `GRAPH`.
+    pub named_graphs: Option<Vec<TermId>>,
+}
+
+impl EncDataset {
+    /// Resolves a parsed [`Dataset`] against the store dictionary.
+    pub(crate) fn compile(dataset: &Dataset, dict: &TermDictionary) -> EncDataset {
+        if dataset.is_empty() {
+            return EncDataset::default();
+        }
+        let resolve = |graphs: &[Term]| -> Vec<TermId> {
+            let mut ids: Vec<TermId> = graphs.iter().filter_map(|t| dict.id_of(t)).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        };
+        EncDataset {
+            default_graphs: Some(resolve(&dataset.default_graphs)),
+            named_graphs: Some(resolve(&dataset.named_graphs)),
+        }
     }
 }
 
@@ -295,6 +352,18 @@ pub(crate) fn compile_pattern(
     layout: &SlotLayout,
     dict: &TermDictionary,
 ) -> EncPattern {
+    compile_pattern_in(pattern, layout, dict, EncGraph::Default)
+}
+
+/// The recursive compiler, threading the enclosing graph scope: a `GRAPH`
+/// node disappears here, stamping its graph onto every triple pattern of the
+/// scoped subtree.
+fn compile_pattern_in(
+    pattern: &GraphPattern,
+    layout: &SlotLayout,
+    dict: &TermDictionary,
+    graph: EncGraph,
+) -> EncPattern {
     let node = |n: &TermOrVariable| -> EncNode {
         match n {
             TermOrVariable::Term(t) => EncNode::Const(dict.id_of(t)),
@@ -312,28 +381,33 @@ pub(crate) fn compile_pattern(
                     subject: node(&tp.subject),
                     predicate: node(&tp.predicate),
                     object: node(&tp.object),
+                    graph,
                 })
                 .collect(),
         ),
         GraphPattern::Join(parts) => EncPattern::Join(
             parts
                 .iter()
-                .map(|p| compile_pattern(p, layout, dict))
+                .map(|p| compile_pattern_in(p, layout, dict, graph))
                 .collect(),
         ),
         GraphPattern::Optional { left, right } => EncPattern::Optional {
-            left: Box::new(compile_pattern(left, layout, dict)),
-            right: Box::new(compile_pattern(right, layout, dict)),
+            left: Box::new(compile_pattern_in(left, layout, dict, graph)),
+            right: Box::new(compile_pattern_in(right, layout, dict, graph)),
         },
         GraphPattern::Union(a, b) => EncPattern::Union(
-            Box::new(compile_pattern(a, layout, dict)),
-            Box::new(compile_pattern(b, layout, dict)),
+            Box::new(compile_pattern_in(a, layout, dict, graph)),
+            Box::new(compile_pattern_in(b, layout, dict, graph)),
         ),
         GraphPattern::Filter { inner, condition } => EncPattern::Filter {
-            inner: Box::new(compile_pattern(inner, layout, dict)),
+            inner: Box::new(compile_pattern_in(inner, layout, dict, graph)),
             condition: condition.clone(),
             prebind: Vec::new(),
         },
+        GraphPattern::Graph { name, inner } => {
+            let g = EncGraph::Named(node(name));
+            compile_pattern_in(inner, layout, dict, g)
+        }
     }
 }
 
@@ -343,6 +417,8 @@ pub(crate) struct EncContext<'a> {
     pub store: &'a TripleStore,
     pub dict: &'a TermDictionary,
     pub layout: &'a SlotLayout,
+    /// The query dataset (`FROM`/`FROM NAMED`), resolved to graph ids.
+    pub dataset: EncDataset,
     /// Join-ordering strategy the planning pass uses for this evaluation.
     pub optimizer: crate::optimize::JoinOptimizer,
     /// Caller-private optimizer counters; the planning pass bumps these in
@@ -366,6 +442,7 @@ impl<'a> EncContext<'a> {
             store,
             dict,
             layout,
+            dataset: EncDataset::default(),
             optimizer,
             counters: None,
             trace: None,
@@ -487,12 +564,16 @@ fn render_triple_pattern(ctx: &EncContext<'_>, tp: &EncTriplePattern) -> String 
             EncNode::Const(None) => "(not interned)".to_string(),
         }
     };
-    format!(
+    let triple = format!(
         "{} {} {}",
         node(tp.subject),
         node(tp.predicate),
         node(tp.object)
-    )
+    );
+    match tp.graph {
+        EncGraph::Default => triple,
+        EncGraph::Named(g) => format!("GRAPH {} {{ {triple} }}", node(g)),
+    }
 }
 
 /// An [`EncStream`] wrapper feeding a trace span: every pull's wall time is
@@ -532,18 +613,44 @@ fn maybe_traced<'a, T>(ctx: &EncContext<'a>, node: &T, stream: EncStream<'a>) ->
 
 // ---- triple-pattern scans --------------------------------------------------------
 
+/// How one triple pattern's candidate quads are produced, decided once per
+/// input row from the pattern's graph scope and the query dataset.
+enum ScanMode<'a> {
+    /// A constant (or the scoped graph) is absent / excluded: no matches.
+    Empty,
+    /// One concrete graph (the store default graph, a single `FROM` graph,
+    /// a constant `GRAPH <g>`, or `GRAPH ?g` with `?g` already bound): one
+    /// graph-first index range scan. The graph id is fixed, so nothing
+    /// graph-related needs binding per quad.
+    Single(QuadScan<'a>),
+    /// `GRAPH ?g` with `?g` unbound: a graph-last index scan across every
+    /// graph, skipping default-graph quads, optionally restricted to the
+    /// `FROM NAMED` set, binding the graph slot per quad.
+    AnyNamed {
+        scan: QuadScan<'a>,
+        allowed: Option<&'a [TermId]>,
+        slot: u32,
+    },
+    /// A `FROM` merge of two or more graphs: the default graph is their
+    /// *set* union, so matches materialize into a dedup set first.
+    Merged(std::vec::IntoIter<[TermId; 3]>),
+}
+
 /// Lazily extends one encoded row through one triple pattern via an encoded
 /// index scan. Concrete type so BGP stages avoid a heap allocation per
 /// input row.
 pub(crate) struct ScanRows<'a> {
-    /// `None` when a constant of the pattern is absent from the dictionary.
-    scan: Option<EncodedScan<'a>>,
+    mode: ScanMode<'a>,
     tp: &'a EncTriplePattern,
     row: EncRow,
 }
 
 impl<'a> ScanRows<'a> {
-    pub(crate) fn new(ctx: &EncContext<'a>, tp: &'a EncTriplePattern, row: EncRow) -> ScanRows<'a> {
+    pub(crate) fn new(
+        ctx: &'a EncContext<'a>,
+        tp: &'a EncTriplePattern,
+        row: EncRow,
+    ) -> ScanRows<'a> {
         // Resolve each position: a constant uses its pre-compiled id, a
         // variable already bound in the row acts as a constant, and an
         // unbound variable leaves the position open for the range scan.
@@ -557,44 +664,158 @@ impl<'a> ScanRows<'a> {
                 },
             }
         };
-        let scan = match (
+        let (s, p, o) = match (
             resolve(tp.subject),
             resolve(tp.predicate),
             resolve(tp.object),
         ) {
-            (Ok(s), Ok(p), Ok(o)) => Some(ctx.store.matching_encoded_iter(s, p, o)),
-            _ => None,
+            (Ok(s), Ok(p), Ok(o)) => (s, p, o),
+            _ => {
+                return ScanRows {
+                    mode: ScanMode::Empty,
+                    tp,
+                    row,
+                }
+            }
         };
-        ScanRows { scan, tp, row }
+        let mode = match tp.graph {
+            EncGraph::Default => match &ctx.dataset.default_graphs {
+                // No FROM clause: the store's own default graph.
+                None => ScanMode::Single(ctx.store.matching_quads_encoded_iter(
+                    Some(DEFAULT_GRAPH),
+                    s,
+                    p,
+                    o,
+                )),
+                Some(graphs) => match graphs.as_slice() {
+                    [] => ScanMode::Empty,
+                    &[g] => {
+                        ScanMode::Single(ctx.store.matching_quads_encoded_iter(Some(g), s, p, o))
+                    }
+                    graphs => {
+                        let mut set: std::collections::BTreeSet<[TermId; 3]> =
+                            std::collections::BTreeSet::new();
+                        for &g in graphs {
+                            for quad in ctx.store.matching_quads_encoded_iter(Some(g), s, p, o) {
+                                set.insert([quad.subject, quad.predicate, quad.object]);
+                            }
+                        }
+                        ScanMode::Merged(set.into_iter().collect::<Vec<_>>().into_iter())
+                    }
+                },
+            },
+            EncGraph::Named(node) => match resolve(node) {
+                Err(()) => ScanMode::Empty,
+                Ok(Some(g)) => {
+                    // A concrete named graph must be visible in the dataset.
+                    let visible = match &ctx.dataset.named_graphs {
+                        None => true,
+                        Some(named) => named.contains(&g),
+                    };
+                    if visible {
+                        ScanMode::Single(ctx.store.matching_quads_encoded_iter(Some(g), s, p, o))
+                    } else {
+                        ScanMode::Empty
+                    }
+                }
+                Ok(None) => {
+                    let EncGraph::Named(EncNode::Var(slot)) = tp.graph else {
+                        unreachable!("unbound named graph is always a variable")
+                    };
+                    ScanMode::AnyNamed {
+                        scan: ctx.store.matching_quads_encoded_iter(None, s, p, o),
+                        allowed: ctx.dataset.named_graphs.as_deref(),
+                        slot,
+                    }
+                }
+            },
+        };
+        ScanRows { mode, tp, row }
     }
+}
+
+/// Binds the triple positions of one matched quad into a clone of the input
+/// row; `None` when a repeated variable matches conflicting ids.
+fn extend_triple(
+    tp: &EncTriplePattern,
+    row: &EncRow,
+    s: TermId,
+    p: TermId,
+    o: TermId,
+) -> Option<EncRow> {
+    let mut extended = row.clone();
+    for (node, id) in [(tp.subject, s), (tp.predicate, p), (tp.object, o)] {
+        if let EncNode::Var(slot) = node {
+            let cell = &mut extended[slot as usize];
+            if *cell == UNBOUND {
+                *cell = id;
+            } else if *cell != id {
+                // Same variable twice in one pattern with a conflicting
+                // match (e.g. `?x ?p ?x`).
+                return None;
+            }
+        }
+    }
+    Some(extended)
 }
 
 impl Iterator for ScanRows<'_> {
     type Item = Result<EncRow, SparqlError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let scan = self.scan.as_mut()?;
-        'next_triple: for triple in scan {
-            let mut extended = self.row.clone();
-            for (node, id) in [
-                (self.tp.subject, triple.subject),
-                (self.tp.predicate, triple.predicate),
-                (self.tp.object, triple.object),
-            ] {
-                if let EncNode::Var(slot) = node {
-                    let cell = &mut extended[slot as usize];
-                    if *cell == UNBOUND {
-                        *cell = id;
-                    } else if *cell != id {
-                        // Same variable twice in one pattern with a
-                        // conflicting match (e.g. `?x ?p ?x`).
-                        continue 'next_triple;
+        let ScanRows { mode, tp, row } = self;
+        match mode {
+            ScanMode::Empty => None,
+            ScanMode::Single(scan) => {
+                for quad in scan {
+                    if let Some(extended) =
+                        extend_triple(tp, row, quad.subject, quad.predicate, quad.object)
+                    {
+                        return Some(Ok(extended));
                     }
                 }
+                None
             }
-            return Some(Ok(extended));
+            ScanMode::Merged(triples) => {
+                for [s, p, o] in triples.by_ref() {
+                    if let Some(extended) = extend_triple(tp, row, s, p, o) {
+                        return Some(Ok(extended));
+                    }
+                }
+                None
+            }
+            ScanMode::AnyNamed {
+                scan,
+                allowed,
+                slot,
+            } => {
+                for quad in scan {
+                    if quad.graph == DEFAULT_GRAPH {
+                        continue;
+                    }
+                    if let Some(allowed) = allowed {
+                        if !allowed.contains(&quad.graph) {
+                            continue;
+                        }
+                    }
+                    let Some(mut extended) =
+                        extend_triple(tp, row, quad.subject, quad.predicate, quad.object)
+                    else {
+                        continue;
+                    };
+                    // Bind the graph variable (conflict-checked like any
+                    // other position: `GRAPH ?g { ?g ?p ?o }` is legal).
+                    let cell = &mut extended[*slot as usize];
+                    if *cell == UNBOUND {
+                        *cell = quad.graph;
+                    } else if *cell != quad.graph {
+                        continue;
+                    }
+                    return Some(Ok(extended));
+                }
+                None
+            }
         }
-        None
     }
 }
 

@@ -31,7 +31,9 @@ use hbold_telemetry::Span;
 use hbold_triple_store::TripleStore;
 
 use crate::ast::*;
-use crate::encoded::{compile_pattern, term_row_key, EncContext, ExecTrace, SlotLayout};
+use crate::encoded::{
+    compile_pattern, term_row_key, EncContext, EncDataset, ExecTrace, SlotLayout,
+};
 use crate::error::SparqlError;
 use crate::expr::{evaluate_expression, number_term, numeric_value, Binding, EvalValue};
 use crate::optimize::{JoinOptimizer, PlanCounters};
@@ -205,6 +207,7 @@ pub fn evaluate_with_hooks(
     let dict = store.dictionary();
     let mut ctx = EncContext::new(store, dict, &layout, options.optimizer);
     ctx.counters = hooks.counters;
+    ctx.dataset = EncDataset::compile(&query.dataset, dict);
     let mut pattern = compile_pattern(&query.pattern, &layout, dict);
     // The single planning pass: orders every BGP (cost-based by default)
     // and pushes eligible equality filters down, before any operator runs.

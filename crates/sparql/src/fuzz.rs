@@ -1,15 +1,17 @@
-//! Grammar-based SPARQL fuzzing: generators plus a three-way differential
-//! harness.
+//! Grammar-based SPARQL fuzzing: generators plus differential harnesses for
+//! queries and updates.
 //!
 //! Every case is derived from a single `u64` seed through a self-contained
 //! SplitMix64 generator, so any failure reproduces exactly from its seed —
-//! no corpus files, no global state. A case builds a small adversarial graph
-//! and a random query AST covering the full implemented surface (nested
-//! `OPTIONAL`/`UNION`, every `FILTER` operator and function, `DISTINCT`,
-//! `ORDER BY`, `LIMIT`/`OFFSET` in all combinations, `GROUP BY` with
-//! aggregates, and every literal shape: typed numerics at the `i64`/`f64`
-//! boundary, `NaN`, language tags, strings needing CSV/TSV/JSON escaping)
-//! and then checks, via [`check_case`]:
+//! no corpus files, no global state. A case builds a small adversarial
+//! dataset (default graph plus a scatter of named-graph quads) and a random
+//! query AST covering the full implemented surface (nested
+//! `OPTIONAL`/`UNION`, `GRAPH` groups over constants and variables,
+//! `FROM`/`FROM NAMED` dataset clauses, every `FILTER` operator and
+//! function, `DISTINCT`, `ORDER BY`, `LIMIT`/`OFFSET` in all combinations,
+//! `GROUP BY` with aggregates, and every literal shape: typed numerics at
+//! the `i64`/`f64` boundary, `NaN`, language tags, strings needing
+//! CSV/TSV/JSON escaping) and then checks, via [`check_case`]:
 //!
 //! 1. **Syntax round-trip** — the query survives pretty-print → parse →
 //!    pretty-print → parse with a stable AST ([`crate::pretty`] is a
@@ -29,6 +31,17 @@
 //!    TSV encode/decode losslessly, and the CSV output parses back (via
 //!    [`CsvTable`]) to exactly the term string values.
 //!
+//! [`check_update_case`] is the update-side counterpart: it generates a
+//! random sequence of SPARQL 1.1 Update requests (`INSERT DATA` / `DELETE
+//! DATA` / `DELETE WHERE` / `DELETE ... INSERT ... WHERE`, with `GRAPH`
+//! scoping throughout) interleaved with probe queries. Each request must
+//! survive the print → parse fixpoint, and is applied to *two* stores in
+//! lockstep — one through the engine-planned path
+//! ([`crate::update::apply_updates`]), one through the naive-reference path
+//! ([`crate::update::apply_updates_naive`]) — after which the stores'
+//! full quad sets and mutation counts must be identical and every probe
+//! query must pass the complete four-leg differential check above.
+//!
 //! Reproducing a failure: the harness in `tests/fuzz_differential.rs` prints
 //! the offending seed; re-run just that case with
 //! `HBOLD_FUZZ_SEED=<seed> cargo test -p hbold_sparql --test fuzz_differential`,
@@ -36,19 +49,20 @@
 //! which is usually a few clauses and minimizes quickly by deleting parts.
 //! `HBOLD_FUZZ_CASES` scales the sweep (default 512; CI smoke uses the same).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use hbold_rdf_model::vocab::rdf;
-use hbold_rdf_model::{BlankNode, Iri, Literal, Term, Triple};
+use hbold_rdf_model::{BlankNode, Iri, Literal, Quad, Term, Triple};
 use hbold_triple_store::TripleStore;
 
 use crate::ast::*;
 use crate::eval::{self, EvalOptions};
 use crate::expr::term_string_value;
-use crate::parser::parse_query;
-use crate::pretty::print_query;
+use crate::parser::{parse_query, parse_update};
+use crate::pretty::{print_query, print_update};
 use crate::reference;
 use crate::results::{CsvTable, QueryResults, SelectResults};
+use crate::update::{apply_updates, apply_updates_naive};
 
 /// A tiny deterministic RNG (SplitMix64) so the fuzzer needs no external
 /// crates and every case is a pure function of its seed.
@@ -108,6 +122,12 @@ fn predicate_iris() -> Vec<Iri> {
 fn class_iris() -> Vec<Iri> {
     (0..3)
         .map(|i| iri(&format!("http://f.example/C{i}")))
+        .collect()
+}
+
+fn graph_iris() -> Vec<Iri> {
+    (0..3)
+        .map(|i| iri(&format!("http://f.example/g{i}")))
         .collect()
 }
 
@@ -179,6 +199,13 @@ pub fn generate_store(rng: &mut FuzzRng) -> TripleStore {
     };
     let hub_predicate = rng.pick(&predicates).clone();
     let star_subject = rng.pick(&subjects).clone();
+    let random_object = |rng: &mut FuzzRng| match rng.below(10) {
+        0..=3 => Term::Literal(rng.pick(&literals).clone()),
+        4..=5 => Term::Iri(rng.pick(&subjects).clone()),
+        6..=7 => Term::Iri(rng.pick(&classes).clone()),
+        8 => Term::Blank(BlankNode::numbered(rng.below(3) as u64)),
+        _ => Term::Iri(rng.pick(&predicates).clone()),
+    };
     for _ in 0..triples {
         let s = if mode == 3 && rng.chance(75) {
             star_subject.clone()
@@ -190,14 +217,19 @@ pub fn generate_store(rng: &mut FuzzRng) -> TripleStore {
         } else {
             rng.pick(&predicates).clone()
         };
-        let o = match rng.below(10) {
-            0..=3 => Term::Literal(rng.pick(&literals).clone()),
-            4..=5 => Term::Iri(rng.pick(&subjects).clone()),
-            6..=7 => Term::Iri(rng.pick(&classes).clone()),
-            8 => Term::Blank(BlankNode::numbered(rng.below(3) as u64)),
-            _ => Term::Iri(rng.pick(&predicates).clone()),
-        };
+        let o = random_object(rng);
         store.insert(&Triple::new(s, p, o));
+    }
+    // A scatter of named-graph quads (over the same term pools, so graph
+    // scopes overlap the default graph's data): `GRAPH` patterns, dataset
+    // clauses and update templates all need named graphs to bite on.
+    let graphs = graph_iris();
+    for _ in 0..rng.below(12) {
+        let g = rng.pick(&graphs).clone();
+        let s = rng.pick(&subjects).clone();
+        let p = rng.pick(&predicates).clone();
+        let o = random_object(rng);
+        store.insert_quad(&Quad::new(Triple::new(s, p, o), Some(g.into())));
     }
     store
 }
@@ -366,30 +398,48 @@ fn random_comparison_op(rng: &mut FuzzRng) -> ComparisonOp {
     ])
 }
 
-fn random_pattern(rng: &mut FuzzRng, depth: usize) -> GraphPattern {
+/// A random `GRAPH` group name: a variable, a graph IRI the generated
+/// stores actually populate, or (rarely) one they never do.
+fn random_graph_name(rng: &mut FuzzRng) -> TermOrVariable {
+    if rng.chance(50) {
+        TermOrVariable::Variable(random_var(rng))
+    } else if rng.chance(85) {
+        TermOrVariable::Term(Term::Iri(rng.pick(&graph_iris()).clone()))
+    } else {
+        TermOrVariable::Term(Term::Iri(iri("http://f.example/absent-graph")))
+    }
+}
+
+/// `allow_graph` is `false` inside a `GRAPH` group: the parser rejects
+/// nested `GRAPH`, so the generator must never print one.
+fn random_pattern(rng: &mut FuzzRng, depth: usize, allow_graph: bool) -> GraphPattern {
     if depth == 0 {
         return random_bgp(rng);
     }
-    match rng.below(8) {
+    match rng.below(if allow_graph { 10 } else { 8 }) {
         0 | 1 => random_bgp(rng),
         2 => GraphPattern::Join(vec![
-            random_pattern(rng, depth - 1),
-            random_pattern(rng, depth - 1),
+            random_pattern(rng, depth - 1, allow_graph),
+            random_pattern(rng, depth - 1, allow_graph),
         ]),
         3 => GraphPattern::Optional {
-            left: Box::new(random_pattern(rng, depth - 1)),
-            right: Box::new(random_pattern(rng, depth - 1)),
+            left: Box::new(random_pattern(rng, depth - 1, allow_graph)),
+            right: Box::new(random_pattern(rng, depth - 1, allow_graph)),
         },
         4 => GraphPattern::Optional {
             left: Box::new(GraphPattern::empty()),
-            right: Box::new(random_pattern(rng, depth - 1)),
+            right: Box::new(random_pattern(rng, depth - 1, allow_graph)),
         },
         5 => GraphPattern::Union(
-            Box::new(random_pattern(rng, depth - 1)),
-            Box::new(random_pattern(rng, depth - 1)),
+            Box::new(random_pattern(rng, depth - 1, allow_graph)),
+            Box::new(random_pattern(rng, depth - 1, allow_graph)),
         ),
+        8 | 9 => GraphPattern::Graph {
+            name: random_graph_name(rng),
+            inner: Box::new(random_pattern(rng, depth - 1, false)),
+        },
         _ => GraphPattern::Filter {
-            inner: Box::new(random_pattern(rng, depth - 1)),
+            inner: Box::new(random_pattern(rng, depth - 1, allow_graph)),
             condition: random_condition(rng, 2),
         },
     }
@@ -411,12 +461,32 @@ fn random_cut_value(rng: &mut FuzzRng) -> usize {
     ])
 }
 
+/// Random `FROM` / `FROM NAMED` clauses (usually none — the store dataset
+/// stays in effect for most cases).
+fn random_dataset(rng: &mut FuzzRng) -> Dataset {
+    if !rng.chance(15) {
+        return Dataset::default();
+    }
+    let graphs = graph_iris();
+    let pick = |rng: &mut FuzzRng| -> Vec<Term> {
+        (0..rng.below(3))
+            .map(|_| Term::Iri(rng.pick(&graphs).clone()))
+            .collect()
+    };
+    Dataset {
+        default_graphs: pick(rng),
+        named_graphs: pick(rng),
+    }
+}
+
 /// Generates a random query over the full supported surface.
 pub fn generate_query(rng: &mut FuzzRng) -> Query {
-    let pattern = random_pattern(rng, 2);
+    let pattern = random_pattern(rng, 2, true);
+    let dataset = random_dataset(rng);
     if rng.chance(10) {
         return Query {
             form: QueryForm::Ask,
+            dataset,
             pattern,
             group_by: vec![],
             order_by: vec![],
@@ -529,11 +599,123 @@ pub fn generate_query(rng: &mut FuzzRng) -> Query {
             distinct,
             projection,
         },
+        dataset,
         pattern,
         group_by,
         order_by,
         limit,
         offset,
+    }
+}
+
+// ---- update generation ------------------------------------------------------
+
+/// Ground quads for `INSERT DATA` / `DELETE DATA`, drawn from the same term
+/// pools as the store generator so deletes have data to hit.
+fn random_quad_data(rng: &mut FuzzRng) -> Vec<QuadData> {
+    (0..1 + rng.below(3))
+        .map(|_| QuadData {
+            graph: rng
+                .chance(50)
+                .then(|| Term::Iri(rng.pick(&graph_iris()).clone())),
+            subject: Term::Iri(rng.pick(&subject_iris()).clone()),
+            predicate: Term::Iri(rng.pick(&predicate_iris()).clone()),
+            object: random_constant(rng),
+        })
+        .collect()
+}
+
+/// Quad patterns for `DELETE WHERE`: default-graph, constant-graph and
+/// graph-variable scopes all appear.
+fn random_quad_patterns(rng: &mut FuzzRng) -> Vec<QuadPatternAst> {
+    (0..1 + rng.below(2))
+        .map(|_| QuadPatternAst {
+            graph: match rng.below(4) {
+                0 => None,
+                1 => Some(TermOrVariable::Variable(random_var(rng))),
+                _ => Some(TermOrVariable::Term(Term::Iri(
+                    rng.pick(&graph_iris()).clone(),
+                ))),
+            },
+            triple: random_triple_pattern(rng),
+        })
+        .collect()
+}
+
+/// A `DELETE`/`INSERT` template over the WHERE clause's variables. A small
+/// share of positions use a variable *not* bound by the WHERE clause,
+/// exercising the silent-skip rule for unbound template variables.
+fn random_template(rng: &mut FuzzRng, vars: &[String]) -> Vec<QuadPatternAst> {
+    let node = |rng: &mut FuzzRng, ground: Term| -> TermOrVariable {
+        if !vars.is_empty() && rng.chance(55) {
+            TermOrVariable::Variable(rng.pick(vars).clone())
+        } else if rng.chance(15) {
+            TermOrVariable::Variable(random_var(rng))
+        } else {
+            TermOrVariable::Term(ground)
+        }
+    };
+    (0..1 + rng.below(2))
+        .map(|_| {
+            let subject = {
+                let ground = Term::Iri(rng.pick(&subject_iris()).clone());
+                node(rng, ground)
+            };
+            let predicate = {
+                let ground = Term::Iri(rng.pick(&predicate_iris()).clone());
+                node(rng, ground)
+            };
+            let object = {
+                let ground = random_constant(rng);
+                node(rng, ground)
+            };
+            let graph = match rng.below(4) {
+                0 | 1 => None,
+                2 => Some(TermOrVariable::Term(Term::Iri(
+                    rng.pick(&graph_iris()).clone(),
+                ))),
+                _ => {
+                    let ground = Term::Iri(rng.pick(&graph_iris()).clone());
+                    Some(node(rng, ground))
+                }
+            };
+            QuadPatternAst {
+                graph,
+                triple: TriplePatternAst {
+                    subject,
+                    predicate,
+                    object,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Generates one random SPARQL 1.1 Update operation.
+pub fn generate_update_op(rng: &mut FuzzRng) -> Update {
+    match rng.below(10) {
+        0..=3 => Update::InsertData(random_quad_data(rng)),
+        4..=5 => Update::DeleteData(random_quad_data(rng)),
+        6..=7 => Update::DeleteWhere(random_quad_patterns(rng)),
+        _ => {
+            let pattern = random_pattern(rng, 1, true);
+            let vars = pattern.variables();
+            let delete = if rng.chance(70) {
+                random_template(rng, &vars)
+            } else {
+                Vec::new()
+            };
+            let insert = if delete.is_empty() || rng.chance(60) {
+                random_template(rng, &vars)
+            } else {
+                Vec::new()
+            };
+            Update::Modify {
+                delete,
+                insert,
+                pattern,
+            }
+        }
     }
 }
 
@@ -706,8 +888,15 @@ pub fn check_case(seed: u64) -> Result<(), String> {
     let mut rng = FuzzRng::new(seed);
     let store = generate_store(&mut rng);
     let query = generate_query(&mut rng);
-    let printed = print_query(&query);
-    let fail = |msg: String| format!("seed {seed}: {msg}\n  query: {printed}");
+    check_query(&store, &query, &format!("seed {seed}"))
+}
+
+/// All three legs (syntax round-trip, four-way differential evaluation,
+/// serialization round-trips) for one query against one store. Shared by
+/// the query cases and the probe queries of the update cases.
+fn check_query(store: &TripleStore, query: &Query, context: &str) -> Result<(), String> {
+    let printed = print_query(query);
+    let fail = |msg: String| format!("{context}: {msg}\n  query: {printed}");
 
     // Leg 1: parse → pretty-print → re-parse fixpoint.
     let ast =
@@ -727,14 +916,14 @@ pub fn check_case(seed: u64) -> Result<(), String> {
     // Leg 2: differential evaluation — statistics-optimized streaming,
     // sharded parallel, heuristic-ordered streaming, all against the naive
     // reference. The optimizer can change plans, never results.
-    let naive = reference::evaluate(&store, &ast);
-    let sequential = eval::evaluate(&store, &ast);
+    let naive = reference::evaluate(store, &ast);
+    let sequential = eval::evaluate(store, &ast);
     let mut options = EvalOptions::with_threads(3);
     options.parallel_threshold = 1; // force sharding even on tiny stores
-    let parallel = eval::evaluate_with(&store, &ast, &options);
+    let parallel = eval::evaluate_with(store, &ast, &options);
     let mut heuristic_options = EvalOptions::sequential();
     heuristic_options.optimizer = crate::optimize::JoinOptimizer::Heuristic;
-    let heuristic = eval::evaluate_with(&store, &ast, &heuristic_options);
+    let heuristic = eval::evaluate_with(store, &ast, &heuristic_options);
 
     let expected = match naive {
         Err(e) => {
@@ -769,7 +958,7 @@ pub fn check_case(seed: u64) -> Result<(), String> {
         let mut uncut_query = ast.clone();
         uncut_query.limit = None;
         uncut_query.offset = None;
-        let full = reference::evaluate(&store, &uncut_query)
+        let full = reference::evaluate(store, &uncut_query)
             .map_err(|e| fail(format!("uncut reference evaluation failed: {e}")))?;
         full.into_select()
     } else {
@@ -786,6 +975,94 @@ pub fn check_case(seed: u64) -> Result<(), String> {
 
     // Leg 3: serialization round-trips on the streaming engine's result.
     check_serialization(&sequential).map_err(&fail)?;
+    Ok(())
+}
+
+/// The full quad set of a store as N-Quads lines, for whole-store diffing.
+fn store_fingerprint(store: &TripleStore) -> BTreeSet<String> {
+    store.iter_quads().map(|q| q.to_nquads()).collect()
+}
+
+/// Runs one update-sequence fuzz case for `seed`: a random interleaving of
+/// SPARQL 1.1 Update requests and probe queries, applied in lockstep to an
+/// engine-planned store and a naive-reference store.
+///
+/// Checks per request: the print → parse fixpoint holds, both planners
+/// agree on whether the request evaluates at all, the applied mutation
+/// counts match, and the two stores end byte-identical (as N-Quads sets).
+/// Checks per probe: the complete query-side differential suite
+/// ([`check_case`]'s legs) against the updated store.
+pub fn check_update_case(seed: u64) -> Result<(), String> {
+    let mut rng = FuzzRng::new(seed);
+    let mut engine_store = generate_store(&mut rng);
+    let mut naive_store = TripleStore::new();
+    let initial: Vec<Quad> = engine_store.iter_quads().collect();
+    naive_store.insert_quads_batch(initial.iter());
+
+    let steps = 3 + rng.below(4);
+    for step in 0..steps {
+        let ops: Vec<Update> = (0..1 + rng.below(2))
+            .map(|_| generate_update_op(&mut rng))
+            .collect();
+        let printed = print_update(&ops);
+        let fail = |msg: String| format!("seed {seed} step {step}: {msg}\n  update: {printed}");
+
+        // Leg 1: the update request survives print → parse → print → parse.
+        let parsed = parse_update(&printed)
+            .map_err(|e| fail(format!("printed update does not parse: {e}")))?;
+        let reprinted = print_update(&parsed);
+        let parsed2 = parse_update(&reprinted).map_err(|e| {
+            fail(format!(
+                "re-printed update does not parse: {e}\n  reprint: {reprinted}"
+            ))
+        })?;
+        if parsed != parsed2 {
+            return Err(fail(format!(
+                "print → parse is not a fixpoint:\n  first:  {printed}\n  second: {reprinted}"
+            )));
+        }
+
+        // Leg 2: engine-planned and naive-planned application agree — on
+        // acceptance, on the mutation counts, and on the resulting store.
+        let engine_outcome = apply_updates(&mut engine_store, &parsed);
+        let naive_outcome = apply_updates_naive(&mut naive_store, &parsed);
+        match (&engine_outcome, &naive_outcome) {
+            (Ok(_), Err(e)) => {
+                return Err(fail(format!(
+                    "engine applied the update but the naive planner rejected it: {e}"
+                )))
+            }
+            (Err(e), Ok(_)) => {
+                return Err(fail(format!(
+                    "naive planner applied the update but the engine rejected it: {e}"
+                )))
+            }
+            (Ok(engine), Ok(naive)) if engine != naive => {
+                return Err(fail(format!(
+                    "mutation counts diverge: engine {engine:?} vs naive {naive:?}"
+                )))
+            }
+            _ => {}
+        }
+        let engine_quads = store_fingerprint(&engine_store);
+        let naive_quads = store_fingerprint(&naive_store);
+        if engine_quads != naive_quads {
+            let only_engine: Vec<&String> = engine_quads.difference(&naive_quads).collect();
+            let only_naive: Vec<&String> = naive_quads.difference(&engine_quads).collect();
+            return Err(fail(format!(
+                "stores diverge after the update:\n  engine-only: {only_engine:?}\n  naive-only: {only_naive:?}"
+            )));
+        }
+
+        // Leg 3: a probe query over the updated store passes the full
+        // query-side differential suite.
+        let probe = generate_query(&mut rng);
+        check_query(
+            &engine_store,
+            &probe,
+            &format!("seed {seed} step {step} (probe after update)"),
+        )?;
+    }
     Ok(())
 }
 
@@ -834,9 +1111,15 @@ mod tests {
         let mut saw_union = false;
         let mut saw_filter = false;
         let mut saw_distinct = false;
+        let mut saw_graph_const = false;
+        let mut saw_graph_var = false;
+        let mut saw_from = false;
+        let mut saw_from_named = false;
+        let mut saw_named_quads = false;
         for seed in 0..400 {
             let mut rng = FuzzRng::new(seed);
-            let _ = generate_store(&mut rng);
+            let store = generate_store(&mut rng);
+            saw_named_quads |= !store.named_graph_ids().is_empty();
             let q = generate_query(&mut rng);
             saw_ask |= matches!(q.form, QueryForm::Ask);
             saw_group |= !q.group_by.is_empty();
@@ -844,10 +1127,14 @@ mod tests {
             saw_cut_without_order |=
                 q.order_by.is_empty() && (q.limit.is_some() || q.offset.is_some());
             saw_distinct |= matches!(q.form, QueryForm::Select { distinct: true, .. });
+            saw_from |= !q.dataset.default_graphs.is_empty();
+            saw_from_named |= !q.dataset.named_graphs.is_empty();
             let printed = print_query(&q);
             saw_optional |= printed.contains("OPTIONAL");
             saw_union |= printed.contains("UNION");
             saw_filter |= printed.contains("FILTER");
+            saw_graph_const |= printed.contains("GRAPH <");
+            saw_graph_var |= printed.contains("GRAPH ?");
         }
         assert!(
             saw_ask && saw_group && saw_order && saw_cut_without_order,
@@ -856,6 +1143,51 @@ mod tests {
         assert!(
             saw_optional && saw_union && saw_filter && saw_distinct,
             "coverage gap: optional={saw_optional} union={saw_union} filter={saw_filter} distinct={saw_distinct}"
+        );
+        assert!(
+            saw_graph_const && saw_graph_var && saw_from && saw_from_named && saw_named_quads,
+            "coverage gap: graph_const={saw_graph_const} graph_var={saw_graph_var} \
+             from={saw_from} from_named={saw_from_named} named_quads={saw_named_quads}"
+        );
+    }
+
+    #[test]
+    fn update_generator_covers_every_operation_shape() {
+        let mut saw_insert_data = false;
+        let mut saw_delete_data = false;
+        let mut saw_delete_where = false;
+        let mut saw_modify = false;
+        let mut saw_graph_scoped_data = false;
+        let mut saw_graph_var_pattern = false;
+        for seed in 0..400 {
+            let mut rng = FuzzRng::new(seed);
+            let op = generate_update_op(&mut rng);
+            let printed = print_update(std::slice::from_ref(&op));
+            // Every generated op must parse back (the harness relies on it).
+            parse_update(&printed).unwrap_or_else(|e| panic!("unparseable op: {e}\n  {printed}"));
+            match &op {
+                Update::InsertData(quads) => {
+                    saw_insert_data = true;
+                    saw_graph_scoped_data |= quads.iter().any(|q| q.graph.is_some());
+                }
+                Update::DeleteData(_) => saw_delete_data = true,
+                Update::DeleteWhere(patterns) => {
+                    saw_delete_where = true;
+                    saw_graph_var_pattern |= patterns
+                        .iter()
+                        .any(|p| matches!(&p.graph, Some(TermOrVariable::Variable(_))));
+                }
+                Update::Modify { .. } => saw_modify = true,
+            }
+        }
+        assert!(
+            saw_insert_data && saw_delete_data && saw_delete_where && saw_modify,
+            "coverage gap: insert={saw_insert_data} delete={saw_delete_data} \
+             delete_where={saw_delete_where} modify={saw_modify}"
+        );
+        assert!(
+            saw_graph_scoped_data && saw_graph_var_pattern,
+            "coverage gap: graph_data={saw_graph_scoped_data} graph_var={saw_graph_var_pattern}"
         );
     }
 
@@ -870,14 +1202,16 @@ mod tests {
                 .into_select()
                 .unwrap();
             let n: f64 = top.value(0, "n").unwrap().label().parse().unwrap();
-            n / store.len() as f64
+            // The skew lives in the default graph; the probe query scans
+            // only it, so normalize by the default-graph size.
+            n / store.default_graph_len() as f64
         };
         let mut saw_hub = false;
         let mut saw_star = false;
         for seed in 0..200 {
             let mut rng = FuzzRng::new(seed);
             let store = generate_store(&mut rng);
-            if store.len() < 20 {
+            if store.default_graph_len() < 20 {
                 continue;
             }
             saw_hub |= dominant_share(
@@ -897,6 +1231,15 @@ mod tests {
     fn a_smoke_batch_of_cases_passes() {
         for seed in 0..64 {
             if let Err(report) = check_case(seed) {
+                panic!("{report}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_smoke_batch_of_update_cases_passes() {
+        for seed in 0..24 {
+            if let Err(report) = check_update_case(seed) {
                 panic!("{report}");
             }
         }

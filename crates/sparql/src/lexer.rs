@@ -124,6 +124,12 @@ const KEYWORDS: &[&str] = &[
     "IN",
     "NOT",
     "EXISTS",
+    "GRAPH",
+    "FROM",
+    "NAMED",
+    "INSERT",
+    "DELETE",
+    "DATA",
 ];
 
 /// Tokenizes a SPARQL query string.

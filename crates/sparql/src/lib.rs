@@ -34,8 +34,12 @@
 //!   TSV serialization,
 //! * [`json`] — the minimal JSON reader behind the SPARQL-JSON decoder,
 //! * [`pretty`] — pretty-printer whose output re-parses to the same AST,
+//! * [`update`] — SPARQL 1.1 Update: `INSERT DATA` / `DELETE DATA` /
+//!   `DELETE WHERE` / `DELETE ... INSERT ... WHERE`, with `GRAPH`-scoped
+//!   quad templates planned into atomic remove/insert deltas,
 //! * [`fuzz`] — seeded grammar-based query/graph generators and the
-//!   three-way differential + serialization round-trip fuzz harness.
+//!   differential + serialization round-trip fuzz harness (queries under
+//!   four engine legs, update sequences against the naive planner).
 //!
 //! ```
 //! use hbold_rdf_model::{Iri, Triple, vocab::{foaf, rdf}};
@@ -73,6 +77,7 @@ pub mod pretty;
 pub mod reference;
 pub mod regex;
 pub mod results;
+pub mod update;
 
 pub use encoded::SlotLayout;
 pub use error::SparqlError;
@@ -83,7 +88,11 @@ pub use eval::{
 pub use optimize::{
     explain, plan_stats, JoinOptimizer, OptimizerStats, PlanCounters, PlanExplanation,
 };
-pub use parser::parse_query;
+pub use parser::{parse_query, parse_update};
 pub use plan::{parse_cached, parse_cached_tracked, PlanCacheStats};
-pub use pretty::print_query;
+pub use pretty::{print_query, print_update};
 pub use results::{CsvTable, QueryResults, ResultsParseError, SelectResults};
+pub use update::{
+    apply_updates, apply_updates_naive, execute_update, execute_update_naive, plan_update_op,
+    plan_update_op_naive, UpdateOutcome,
+};

@@ -44,11 +44,11 @@ use std::sync::OnceLock;
 
 use hbold_rdf_model::Term;
 use hbold_telemetry::{Counter, Registry};
-use hbold_triple_store::{TermId, TripleStore};
+use hbold_triple_store::{TermId, TripleStore, DEFAULT_GRAPH};
 
 use crate::ast::{ComparisonOp, Expression, Function, Query};
 use crate::encoded::{compile_pattern, EncContext, EncNode, EncPattern, EncTriplePattern};
-use crate::encoded::{SlotLayout, UNBOUND};
+use crate::encoded::{EncDataset, EncGraph, SlotLayout, UNBOUND};
 
 // ---- optimizer selection ---------------------------------------------------------
 
@@ -238,7 +238,8 @@ pub struct PlanExplanation {
 pub fn explain(store: &TripleStore, query: &Query) -> PlanExplanation {
     let layout = SlotLayout::of_query(query);
     let dict = store.dictionary();
-    let ctx = EncContext::new(store, dict, &layout, JoinOptimizer::Statistics);
+    let mut ctx = EncContext::new(store, dict, &layout, JoinOptimizer::Statistics);
+    ctx.dataset = EncDataset::compile(&query.dataset, dict);
     let mut pattern = compile_pattern(&query.pattern, &layout, dict);
     let bgps = plan_pattern(&ctx, &mut pattern);
     PlanExplanation {
@@ -285,7 +286,7 @@ fn plan_rec(
     match pattern {
         EncPattern::Bgp(tps) => {
             let (order, estimates) = match ctx.optimizer {
-                JoinOptimizer::Statistics => stats_join_order(ctx.store, tps, bound),
+                JoinOptimizer::Statistics => stats_join_order(ctx.store, &ctx.dataset, tps, bound),
                 JoinOptimizer::Heuristic => {
                     bump(ctx, Decision::HeuristicPlan);
                     (bgp_join_order(tps, bound), Vec::new())
@@ -336,11 +337,24 @@ fn plan_rec(
 }
 
 fn mark_pattern_vars(tp: &EncTriplePattern, bound: &mut [bool]) {
-    for node in tp.nodes() {
-        if let EncNode::Var(slot) = node {
-            bound[slot as usize] = true;
-        }
+    for slot in pattern_var_slots(tp) {
+        bound[slot as usize] = true;
     }
+}
+
+/// Every variable slot the pattern binds in a solution: the three triple
+/// positions plus the `GRAPH ?g` variable when the pattern is scoped to one
+/// (the scan binds the graph slot on every row it yields, so the graph
+/// variable participates in connectivity and certain-binding analysis like
+/// any triple-position variable).
+fn pattern_var_slots(tp: &EncTriplePattern) -> impl Iterator<Item = u32> {
+    tp.nodes()
+        .into_iter()
+        .filter_map(|node| match node {
+            EncNode::Var(slot) => Some(slot),
+            EncNode::Const(_) => None,
+        })
+        .chain(tp.graph_var())
 }
 
 // ---- cost-based join ordering ----------------------------------------------------
@@ -358,6 +372,7 @@ fn mark_pattern_vars(tp: &EncTriplePattern, bound: &mut [bool]) {
 /// deterministic and identical between the streaming and parallel paths.
 fn stats_join_order(
     store: &TripleStore,
+    dataset: &EncDataset,
     tps: &[EncTriplePattern],
     bound: &[bool],
 ) -> (Vec<usize>, Vec<u64>) {
@@ -372,7 +387,7 @@ fn stats_join_order(
             if any_connected && !is_connected(&tps[idx], &bound) {
                 continue;
             }
-            let est = estimate_pattern(store, &tps[idx], &bound);
+            let est = estimate_pattern(store, dataset, &tps[idx], &bound);
             let heur = pattern_selectivity(&tps[idx], &bound);
             let better = match best {
                 None => true,
@@ -398,13 +413,11 @@ fn stats_join_order(
 fn is_connected(tp: &EncTriplePattern, bound: &[bool]) -> bool {
     let mut has_bound_var = false;
     let mut has_unbound_var = false;
-    for node in tp.nodes() {
-        if let EncNode::Var(slot) = node {
-            if bound[slot as usize] {
-                has_bound_var = true;
-            } else {
-                has_unbound_var = true;
-            }
+    for slot in pattern_var_slots(tp) {
+        if bound[slot as usize] {
+            has_bound_var = true;
+        } else {
+            has_unbound_var = true;
         }
     }
     has_bound_var || !has_unbound_var
@@ -413,13 +426,22 @@ fn is_connected(tp: &EncTriplePattern, bound: &[bool]) -> bool {
 /// Expected number of rows this pattern produces *per input row*, given the
 /// bound slots.
 ///
-/// The constant positions are counted exactly against the store indexes;
-/// each position occupied by a bound variable then divides the count by a
-/// distinct-value estimate for that position (conditioned on a constant
-/// neighbor when one exists — e.g. a bound subject under a constant object
-/// divides by the distinct subjects *of that object*). The estimate is
-/// clamped to at least 1 unless the constant prefix matches nothing.
-fn estimate_pattern(store: &TripleStore, tp: &EncTriplePattern, bound: &[bool]) -> u64 {
+/// The constant positions are counted exactly against the store indexes
+/// *within the pattern's graph scope* — a default-graph pattern counts the
+/// default graph (or the `FROM` merge), `GRAPH <g>` counts graph `g`, and
+/// `GRAPH ?g` counts every visible named graph. Each position occupied by a
+/// bound variable then divides the count by a distinct-value estimate for
+/// that position (conditioned on a constant neighbor when one exists — e.g.
+/// a bound subject under a constant object divides by the distinct subjects
+/// *of that object*); a bound graph variable divides by the number of
+/// visible named graphs. The estimate is clamped to at least 1 unless the
+/// graph scope or constant prefix matches nothing.
+fn estimate_pattern(
+    store: &TripleStore,
+    dataset: &EncDataset,
+    tp: &EncTriplePattern,
+    bound: &[bool],
+) -> u64 {
     let mut consts: [Option<TermId>; 3] = [None; 3];
     let mut bound_var = [false; 3];
     for (i, node) in tp.nodes().into_iter().enumerate() {
@@ -431,11 +453,56 @@ fn estimate_pattern(store: &TripleStore, tp: &EncTriplePattern, bound: &[bool]) 
             EncNode::Var(_) => {}
         }
     }
-    let total = store.count_matching_encoded(consts[0], consts[1], consts[2]) as u64;
+    let count = |g: Option<TermId>| {
+        store.count_matching_quads_encoded(g, consts[0], consts[1], consts[2]) as u64
+    };
+    let (total, graph_divisor): (u64, u64) = match tp.graph {
+        EncGraph::Default => match &dataset.default_graphs {
+            // No FROM clause: the store's own default graph.
+            None => (count(Some(DEFAULT_GRAPH)), 1),
+            // FROM merge: the per-graph sum over-counts duplicates the
+            // set-semantics merge removes, which only makes the estimate
+            // conservative.
+            Some(graphs) => (graphs.iter().map(|&g| count(Some(g))).sum(), 1),
+        },
+        // A graph IRI the store never interned: statically empty.
+        EncGraph::Named(EncNode::Const(None)) => return 0,
+        EncGraph::Named(EncNode::Const(Some(g))) => {
+            let visible = match &dataset.named_graphs {
+                None => true,
+                Some(named) => named.contains(&g),
+            };
+            if !visible {
+                return 0;
+            }
+            (count(Some(g)), 1)
+        }
+        EncGraph::Named(EncNode::Var(slot)) => {
+            let (named_total, graph_count) = match &dataset.named_graphs {
+                Some(named) => (
+                    named.iter().map(|&g| count(Some(g))).sum::<u64>(),
+                    named.len() as u64,
+                ),
+                None => (
+                    // All-graphs count minus the default graph's share: the
+                    // scan skips default-graph quads.
+                    count(None).saturating_sub(count(Some(DEFAULT_GRAPH))),
+                    store.named_graph_ids().len() as u64,
+                ),
+            };
+            if bound[slot as usize] {
+                // A bound graph variable pins the scan to one graph; assume
+                // named quads spread evenly across the visible graphs.
+                (named_total, graph_count.max(1))
+            } else {
+                (named_total, 1)
+            }
+        }
+    };
     if total <= 1 {
         return total;
     }
-    let mut divisor: u64 = 1;
+    let mut divisor: u64 = graph_divisor;
     if bound_var[0] {
         let d = match consts[2] {
             Some(o) => store.distinct_subjects_of_object(o),
@@ -496,7 +563,13 @@ fn pattern_selectivity(tp: &EncTriplePattern, bound: &[bool]) -> i64 {
     let mut score = 0i64;
     let mut has_unbound = false;
     let mut has_bound_var = false;
-    for node in tp.nodes() {
+    // The graph position scores exactly like a triple position: `GRAPH
+    // <g>` is a constant, `GRAPH ?g` a variable.
+    let graph_node = match tp.graph {
+        EncGraph::Default => None,
+        EncGraph::Named(node) => Some(node),
+    };
+    for node in tp.nodes().into_iter().chain(graph_node) {
         match node {
             EncNode::Const(_) => score += 2,
             EncNode::Var(slot) if bound[slot as usize] => {
@@ -710,6 +783,7 @@ mod tests {
             subject: s,
             predicate: p,
             object: o,
+            graph: EncGraph::Default,
         }
     }
 
@@ -730,7 +804,7 @@ mod tests {
         ];
         let bound = vec![false; 2];
         assert_eq!(bgp_join_order(&patterns, &bound), vec![0, 1, 2]);
-        let (order, _) = stats_join_order(&store, &patterns, &bound);
+        let (order, _) = stats_join_order(&store, &EncDataset::default(), &patterns, &bound);
         assert_eq!(order, vec![0, 1, 2]);
     }
 
@@ -763,16 +837,17 @@ mod tests {
     fn estimates_divide_by_distinct_counts_for_bound_vars() {
         let store = skewed_store();
         let hub = store.id_of(&iri("http://e.org/hub").into()).unwrap();
+        let ds = EncDataset::default();
         // (?s hub ?o) with ?s already bound: 60 triples / 20 subjects = 3.
         let pattern = tp(var(0), EncNode::Const(Some(hub)), var(1));
-        let est = estimate_pattern(&store, &pattern, &[true, false]);
+        let est = estimate_pattern(&store, &ds, &pattern, &[true, false]);
         assert_eq!(est, 3);
         // Unbound: the full predicate count.
-        let est = estimate_pattern(&store, &pattern, &[false, false]);
+        let est = estimate_pattern(&store, &ds, &pattern, &[false, false]);
         assert_eq!(est, 60);
         // A never-interned constant is statically empty.
         let pattern = tp(var(0), EncNode::Const(None), var(1));
-        assert_eq!(estimate_pattern(&store, &pattern, &[false, false]), 0);
+        assert_eq!(estimate_pattern(&store, &ds, &pattern, &[false, false]), 0);
     }
 
     #[test]

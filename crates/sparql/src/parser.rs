@@ -15,10 +15,20 @@ pub fn parse_query(input: &str) -> Result<Query, SparqlError> {
     Parser::new(tokens).parse_query()
 }
 
+/// Parses a SPARQL 1.1 Update request: a `;`-separated sequence of update
+/// operations (`INSERT DATA`, `DELETE DATA`, `DELETE WHERE`,
+/// `DELETE/INSERT ... WHERE`), applied in order.
+pub fn parse_update(input: &str) -> Result<Vec<Update>, SparqlError> {
+    let tokens = tokenize(input)?;
+    Parser::new(tokens).parse_update_request()
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     prefixes: HashMap<String, String>,
+    /// Depth of `GRAPH` patterns currently open (nested GRAPH is rejected).
+    graph_depth: usize,
 }
 
 impl Parser {
@@ -27,6 +37,7 @@ impl Parser {
             tokens,
             pos: 0,
             prefixes: HashMap::new(),
+            graph_depth: 0,
         }
     }
 
@@ -99,6 +110,8 @@ impl Parser {
         } else {
             return Err(self.error("expected SELECT or ASK (other query forms are not supported)"));
         };
+
+        let dataset = self.parse_dataset_clauses()?;
 
         // WHERE keyword is optional before the group pattern.
         self.eat_keyword("WHERE");
@@ -201,12 +214,35 @@ impl Parser {
 
         Ok(Query {
             form,
+            dataset,
             pattern,
             group_by,
             order_by,
             limit,
             offset,
         })
+    }
+
+    /// Parses `FROM <g>` / `FROM NAMED <g>` clauses (any number, any order).
+    fn parse_dataset_clauses(&mut self) -> Result<Dataset, SparqlError> {
+        let mut dataset = Dataset::default();
+        while self.eat_keyword("FROM") {
+            let named = self.eat_keyword("NAMED");
+            let iri = match self.bump() {
+                TokenKind::Iri(iri) => self.make_iri(&iri)?,
+                TokenKind::PrefixedName(prefix, local) => self.resolve_prefixed(&prefix, &local)?,
+                other => {
+                    return Err(self.error(format!("FROM expects an IRI, found {other:?}")));
+                }
+            };
+            let term = Term::Iri(iri);
+            if named {
+                dataset.named_graphs.push(term);
+            } else {
+                dataset.default_graphs.push(term);
+            }
+        }
+        Ok(dataset)
     }
 
     fn parse_prologue(&mut self) -> Result<(), SparqlError> {
@@ -326,6 +362,23 @@ impl Parser {
                         right: Box::new(right),
                     }];
                 }
+                TokenKind::Keyword(k) if k == "GRAPH" => {
+                    self.bump();
+                    if self.graph_depth > 0 {
+                        return Err(SparqlError::Unsupported("nested GRAPH patterns".into()));
+                    }
+                    if !current_bgp.is_empty() {
+                        parts.push(GraphPattern::Bgp(std::mem::take(&mut current_bgp)));
+                    }
+                    let name = self.parse_graph_name()?;
+                    self.graph_depth += 1;
+                    let inner = self.parse_group_graph_pattern()?;
+                    self.graph_depth -= 1;
+                    parts.push(GraphPattern::Graph {
+                        name,
+                        inner: Box::new(inner),
+                    });
+                }
                 TokenKind::LBrace => {
                     // Either a nested group or the start of a UNION chain.
                     if !current_bgp.is_empty() {
@@ -399,6 +452,169 @@ impl Parser {
             }
         }
         Ok(())
+    }
+
+    /// Parses a graph name: `?var` or an IRI (plain or prefixed).
+    fn parse_graph_name(&mut self) -> Result<TermOrVariable, SparqlError> {
+        let node = self.parse_term_or_variable()?;
+        match &node {
+            TermOrVariable::Variable(_) | TermOrVariable::Term(Term::Iri(_)) => Ok(node),
+            _ => Err(self.error("a graph name must be an IRI or a variable")),
+        }
+    }
+
+    // ---- updates ----------------------------------------------------------------
+
+    /// Parses a full update request: prologue + `;`-separated operations.
+    fn parse_update_request(mut self) -> Result<Vec<Update>, SparqlError> {
+        self.parse_prologue()?;
+        let mut ops = Vec::new();
+        loop {
+            if self.peek() == &TokenKind::Eof {
+                break;
+            }
+            ops.push(self.parse_update_op()?);
+            if self.peek() == &TokenKind::Semicolon {
+                self.bump();
+                // A trailing `;` before end of input is permitted.
+            } else {
+                break;
+            }
+        }
+        if self.peek() != &TokenKind::Eof {
+            return Err(self.error(format!("unexpected trailing token {:?}", self.peek())));
+        }
+        Ok(ops)
+    }
+
+    fn parse_update_op(&mut self) -> Result<Update, SparqlError> {
+        if self.eat_keyword("INSERT") {
+            if self.eat_keyword("DATA") {
+                return Ok(Update::InsertData(self.parse_quad_data_block()?));
+            }
+            // INSERT { template } WHERE { pattern }
+            let insert = self.parse_quad_pattern_block()?;
+            self.expect_keyword("WHERE")?;
+            let pattern = self.parse_group_graph_pattern()?;
+            return Ok(Update::Modify {
+                delete: Vec::new(),
+                insert,
+                pattern,
+            });
+        }
+        if self.eat_keyword("DELETE") {
+            if self.eat_keyword("DATA") {
+                return Ok(Update::DeleteData(self.parse_quad_data_block()?));
+            }
+            if self.eat_keyword("WHERE") {
+                return Ok(Update::DeleteWhere(self.parse_quad_pattern_block()?));
+            }
+            // DELETE { template } [INSERT { template }] WHERE { pattern }
+            let delete = self.parse_quad_pattern_block()?;
+            let insert = if self.eat_keyword("INSERT") {
+                self.parse_quad_pattern_block()?
+            } else {
+                Vec::new()
+            };
+            self.expect_keyword("WHERE")?;
+            let pattern = self.parse_group_graph_pattern()?;
+            return Ok(Update::Modify {
+                delete,
+                insert,
+                pattern,
+            });
+        }
+        Err(self.error(
+            "expected an update operation (INSERT DATA, DELETE DATA, DELETE WHERE, or DELETE/INSERT ... WHERE)",
+        ))
+    }
+
+    /// Parses a `{ ... }` block of quad patterns: triple patterns in the
+    /// default graph interleaved with `GRAPH <g>/?g { ... }` sub-blocks.
+    fn parse_quad_pattern_block(&mut self) -> Result<Vec<QuadPatternAst>, SparqlError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut out = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Dot => {
+                    self.bump();
+                }
+                TokenKind::Keyword(k) if k == "GRAPH" => {
+                    self.bump();
+                    let name = self.parse_graph_name()?;
+                    self.expect(&TokenKind::LBrace)?;
+                    let mut triples = Vec::new();
+                    loop {
+                        match self.peek() {
+                            TokenKind::RBrace => {
+                                self.bump();
+                                break;
+                            }
+                            TokenKind::Dot => {
+                                self.bump();
+                            }
+                            TokenKind::Eof => {
+                                return Err(
+                                    self.error("unexpected end of update inside GRAPH block")
+                                );
+                            }
+                            _ => self.parse_triples_same_subject(&mut triples)?,
+                        }
+                    }
+                    out.extend(triples.into_iter().map(|triple| QuadPatternAst {
+                        graph: Some(name.clone()),
+                        triple,
+                    }));
+                }
+                TokenKind::Eof => {
+                    return Err(self.error("unexpected end of update inside quad block"));
+                }
+                _ => {
+                    let mut triples = Vec::new();
+                    self.parse_triples_same_subject(&mut triples)?;
+                    out.extend(triples.into_iter().map(|triple| QuadPatternAst {
+                        graph: None,
+                        triple,
+                    }));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses a `{ ... }` block of *ground* quads (`INSERT DATA` /
+    /// `DELETE DATA`): variables anywhere are an error.
+    fn parse_quad_data_block(&mut self) -> Result<Vec<QuadData>, SparqlError> {
+        let patterns = self.parse_quad_pattern_block()?;
+        let mut out = Vec::with_capacity(patterns.len());
+        for qp in patterns {
+            let graph = match qp.graph {
+                None => None,
+                Some(TermOrVariable::Term(t)) => Some(t),
+                Some(TermOrVariable::Variable(v)) => {
+                    return Err(self.error(format!(
+                        "variables are not allowed in INSERT/DELETE DATA (found ?{v})"
+                    )));
+                }
+            };
+            let ground = |node: TermOrVariable| match node {
+                TermOrVariable::Term(t) => Ok(t),
+                TermOrVariable::Variable(v) => Err(self.error(format!(
+                    "variables are not allowed in INSERT/DELETE DATA (found ?{v})"
+                ))),
+            };
+            out.push(QuadData {
+                graph,
+                subject: ground(qp.triple.subject)?,
+                predicate: ground(qp.triple.predicate)?,
+                object: ground(qp.triple.object)?,
+            });
+        }
+        Ok(out)
     }
 
     fn parse_verb(&mut self) -> Result<TermOrVariable, SparqlError> {

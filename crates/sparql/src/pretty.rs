@@ -59,9 +59,21 @@ pub fn print_query(query: &Query) -> String {
                     }
                 }
             }
-            out.push_str("WHERE ");
         }
         QueryForm::Ask => out.push_str("ASK "),
+    }
+    for g in &query.dataset.default_graphs {
+        out.push_str("FROM ");
+        out.push_str(&print_term(g));
+        out.push(' ');
+    }
+    for g in &query.dataset.named_graphs {
+        out.push_str("FROM NAMED ");
+        out.push_str(&print_term(g));
+        out.push(' ');
+    }
+    if matches!(&query.form, QueryForm::Select { .. }) {
+        out.push_str("WHERE ");
     }
     out.push_str("{ ");
     print_group_contents(&query.pattern, &mut out);
@@ -146,6 +158,103 @@ fn print_group_contents(pattern: &GraphPattern, out: &mut String) {
             out.push_str("FILTER(");
             out.push_str(&print_expression(condition));
             out.push_str(") ");
+        }
+        GraphPattern::Graph { name, inner } => {
+            out.push_str("GRAPH ");
+            out.push_str(&print_term_or_variable(name));
+            out.push_str(" { ");
+            print_group_contents(inner, out);
+            out.push_str("} ");
+        }
+    }
+}
+
+/// Renders an update request as SPARQL text the parser maps back to the same
+/// sequence of operations (the update-side print → parse fixpoint).
+pub fn print_update(ops: &[Update]) -> String {
+    let mut rendered: Vec<String> = Vec::with_capacity(ops.len());
+    for op in ops {
+        let mut out = String::new();
+        match op {
+            Update::InsertData(quads) => {
+                out.push_str("INSERT DATA { ");
+                print_quad_data(quads, &mut out);
+                out.push('}');
+            }
+            Update::DeleteData(quads) => {
+                out.push_str("DELETE DATA { ");
+                print_quad_data(quads, &mut out);
+                out.push('}');
+            }
+            Update::DeleteWhere(patterns) => {
+                out.push_str("DELETE WHERE { ");
+                print_quad_patterns(patterns, &mut out);
+                out.push('}');
+            }
+            Update::Modify {
+                delete,
+                insert,
+                pattern,
+            } => {
+                // An empty DELETE template is only printable when an INSERT
+                // template exists (`INSERT ... WHERE` form); the parser
+                // produces `delete: []` exactly for that shape.
+                if !delete.is_empty() || insert.is_empty() {
+                    out.push_str("DELETE { ");
+                    print_quad_patterns(delete, &mut out);
+                    out.push_str("} ");
+                }
+                if !insert.is_empty() {
+                    out.push_str("INSERT { ");
+                    print_quad_patterns(insert, &mut out);
+                    out.push_str("} ");
+                }
+                out.push_str("WHERE { ");
+                print_group_contents(pattern, &mut out);
+                out.push('}');
+            }
+        }
+        rendered.push(out);
+    }
+    rendered.join(" ; ")
+}
+
+/// Each quad prints as its own statement (one `GRAPH` wrapper per named-graph
+/// quad) so re-parsing preserves the exact sequence.
+fn print_quad_data(quads: &[QuadData], out: &mut String) {
+    for q in quads {
+        if let Some(graph) = &q.graph {
+            out.push_str("GRAPH ");
+            out.push_str(&print_term(graph));
+            out.push_str(" { ");
+        }
+        out.push_str(&print_term(&q.subject));
+        out.push(' ');
+        out.push_str(&print_term(&q.predicate));
+        out.push(' ');
+        out.push_str(&print_term(&q.object));
+        out.push_str(" . ");
+        if q.graph.is_some() {
+            out.push_str("} ");
+        }
+    }
+}
+
+fn print_quad_patterns(patterns: &[QuadPatternAst], out: &mut String) {
+    for qp in patterns {
+        if let Some(graph) = &qp.graph {
+            out.push_str("GRAPH ");
+            out.push_str(&print_term_or_variable(graph));
+            out.push_str(" { ");
+        }
+        out.push_str(&print_term_or_variable(&qp.triple.subject));
+        out.push(' ');
+        out.push_str(&print_term_or_variable(&qp.triple.predicate));
+        out.push(' ');
+        out.push_str(&print_term_or_variable(&qp.triple.object));
+        out.push_str(" . ");
+        if qp.graph.is_some() {
+            out.push_str("} ");
         }
     }
 }

@@ -16,7 +16,7 @@
 
 use std::collections::BTreeSet;
 
-use hbold_rdf_model::Term;
+use hbold_rdf_model::{Term, Triple};
 use hbold_triple_store::TripleStore;
 
 use crate::ast::*;
@@ -33,7 +33,13 @@ pub fn execute_query(store: &TripleStore, query: &str) -> Result<QueryResults, S
 
 /// Evaluates a parsed [`Query`] naively.
 pub fn evaluate(store: &TripleStore, query: &Query) -> Result<QueryResults, SparqlError> {
-    let solutions = eval_pattern(store, &query.pattern, vec![Binding::new()])?;
+    let solutions = eval_pattern(
+        store,
+        &query.dataset,
+        GraphScope::Default,
+        &query.pattern,
+        vec![Binding::new()],
+    )?;
 
     match &query.form {
         QueryForm::Ask => Ok(QueryResults::Ask(!solutions.is_empty())),
@@ -70,40 +76,123 @@ fn row_key(row: &[Option<Term>]) -> String {
         .join("\u{1}")
 }
 
+/// The graph scope a pattern evaluates under. Like the encoded engine, the
+/// reference threads the scope *per pattern*: a `GRAPH g { ... }` group
+/// merely switches the scope its inner patterns scan (and bind their graph
+/// variable from) — the group itself contributes nothing.
+#[derive(Clone, Copy)]
+enum GraphScope<'a> {
+    /// The query's default graph: the store default graph, or the `FROM`
+    /// merge when the query has dataset clauses.
+    Default,
+    /// Inside `GRAPH g { ... }`: a concrete IRI or a graph variable.
+    Named(&'a TermOrVariable),
+}
+
+/// Materializes every (triple, graph-to-bind) candidate the scope exposes.
+/// The graph component is `Some` only under a `GRAPH ?var` scope, where
+/// each matched triple also binds the variable to its graph.
+fn scope_candidates(
+    store: &TripleStore,
+    dataset: &Dataset,
+    scope: GraphScope<'_>,
+) -> Vec<(Triple, Option<Term>)> {
+    // Any FROM/FROM NAMED clause replaces the store dataset wholesale.
+    let has_dataset = !dataset.is_empty();
+    match scope {
+        GraphScope::Default => {
+            if !has_dataset {
+                return store.iter().map(|t| (t, None)).collect();
+            }
+            // The FROM merge is a *set* union: a triple present in several
+            // FROM graphs contributes one candidate.
+            let mut merged: BTreeSet<Triple> = BTreeSet::new();
+            for quad in store.iter_quads() {
+                let Some(g) = &quad.graph else { continue };
+                if dataset.default_graphs.contains(g) {
+                    merged.insert(quad.triple());
+                }
+            }
+            merged.into_iter().map(|t| (t, None)).collect()
+        }
+        GraphScope::Named(TermOrVariable::Term(g)) => {
+            if has_dataset && !dataset.named_graphs.contains(g) {
+                return Vec::new();
+            }
+            store
+                .iter_quads()
+                .filter(|quad| quad.graph.as_ref() == Some(g))
+                .map(|quad| (quad.triple(), None))
+                .collect()
+        }
+        GraphScope::Named(TermOrVariable::Variable(_)) => store
+            .iter_quads()
+            .filter_map(|quad| {
+                let g = quad.graph.clone()?;
+                if has_dataset && !dataset.named_graphs.contains(&g) {
+                    return None;
+                }
+                Some((quad.triple(), Some(g)))
+            })
+            .collect(),
+    }
+}
+
 fn eval_pattern(
     store: &TripleStore,
+    dataset: &Dataset,
+    scope: GraphScope<'_>,
     pattern: &GraphPattern,
     input: Vec<Binding>,
 ) -> Result<Vec<Binding>, SparqlError> {
     match pattern {
         // No reordering, no index selection: written order, full scans.
         GraphPattern::Bgp(triple_patterns) => {
+            let candidates = scope_candidates(store, dataset, scope);
             let mut solutions = input;
             for tp in triple_patterns {
                 let mut next = Vec::new();
                 for binding in &solutions {
-                    for triple in store.iter() {
-                        if let Some(extended) = unify(tp, &triple, binding) {
-                            next.push(extended);
+                    for (triple, graph) in &candidates {
+                        let Some(mut extended) = unify(tp, triple, binding) else {
+                            continue;
+                        };
+                        if let Some(g) = graph {
+                            // `GRAPH ?var` scope: bind the graph variable,
+                            // conflict-checked like any other position.
+                            let GraphScope::Named(TermOrVariable::Variable(v)) = scope else {
+                                unreachable!("graph candidates only arise under GRAPH ?var")
+                            };
+                            match extended.get(v) {
+                                Some(existing) if existing != g => continue,
+                                Some(_) => {}
+                                None => {
+                                    extended.insert(v.clone(), g.clone());
+                                }
+                            }
                         }
+                        next.push(extended);
                     }
                 }
                 solutions = next;
             }
             Ok(solutions)
         }
+        GraphPattern::Graph { name, inner } => {
+            eval_pattern(store, dataset, GraphScope::Named(name), inner, input)
+        }
         GraphPattern::Join(parts) => {
             let mut current = input;
             for part in parts {
-                current = eval_pattern(store, part, current)?;
+                current = eval_pattern(store, dataset, scope, part, current)?;
             }
             Ok(current)
         }
         GraphPattern::Optional { left, right } => {
-            let left_solutions = eval_pattern(store, left, input)?;
+            let left_solutions = eval_pattern(store, dataset, scope, left, input)?;
             let mut out = Vec::new();
             for binding in left_solutions {
-                let extended = eval_pattern(store, right, vec![binding.clone()])?;
+                let extended = eval_pattern(store, dataset, scope, right, vec![binding.clone()])?;
                 if extended.is_empty() {
                     out.push(binding);
                 } else {
@@ -113,12 +202,12 @@ fn eval_pattern(
             Ok(out)
         }
         GraphPattern::Union(a, b) => {
-            let mut out = eval_pattern(store, a, input.clone())?;
-            out.extend(eval_pattern(store, b, input)?);
+            let mut out = eval_pattern(store, dataset, scope, a, input.clone())?;
+            out.extend(eval_pattern(store, dataset, scope, b, input)?);
             Ok(out)
         }
         GraphPattern::Filter { inner, condition } => {
-            let solutions = eval_pattern(store, inner, input)?;
+            let solutions = eval_pattern(store, dataset, scope, inner, input)?;
             let mut out = Vec::new();
             for binding in solutions {
                 if filter_passes(condition, &binding)? {

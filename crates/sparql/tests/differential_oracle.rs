@@ -161,6 +161,7 @@ fn random_query(rng: &mut StdRng) -> Query {
     if rng.gen_bool(0.1) {
         return Query {
             form: QueryForm::Ask,
+            dataset: Dataset::default(),
             pattern,
             group_by: vec![],
             order_by: vec![],
@@ -256,6 +257,7 @@ fn random_query(rng: &mut StdRng) -> Query {
             distinct,
             projection,
         },
+        dataset: Dataset::default(),
         pattern,
         group_by,
         order_by,
@@ -466,6 +468,7 @@ fn nested_optional_union_scopes_share_slots() {
         )),
     };
     let query = Query {
+        dataset: Dataset::default(),
         form: QueryForm::Select {
             distinct: false,
             projection: Projection::Items(vec![

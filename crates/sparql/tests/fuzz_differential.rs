@@ -9,7 +9,7 @@
 //! On failure the panic message embeds the seed and the generated query, so
 //! any red run is reproducible with `HBOLD_FUZZ_SEED`.
 
-use hbold_sparql::fuzz::{cases_from_env, check_case, seed_from_env};
+use hbold_sparql::fuzz::{cases_from_env, check_case, check_update_case, seed_from_env};
 
 #[test]
 fn generated_queries_agree_across_engines_and_serializations() {
@@ -33,6 +33,43 @@ fn generated_queries_agree_across_engines_and_serializations() {
     assert!(
         failures.is_empty(),
         "{} fuzz case(s) failed; rerun one with HBOLD_FUZZ_SEED={} \
+         (see stderr for the full reports)",
+        failures.len(),
+        failures[0]
+    );
+}
+
+/// Interleaved update/query sequences: each seeded case plays a random
+/// SPARQL Update sequence against two stores in lockstep — one through the
+/// statistics-driven engine planner, one through the naive reference
+/// planner — and requires identical outcomes, identical N-Quads
+/// fingerprints after every step, a `print_update` → `parse_update`
+/// fixpoint, and agreement on follow-up probe queries. Reruns one case
+/// with `HBOLD_FUZZ_SEED=<seed> cargo test --test fuzz_differential
+/// generated_update_sequences`.
+#[test]
+fn generated_update_sequences_agree_with_naive_reference() {
+    if let Some(seed) = seed_from_env() {
+        if let Err(report) = check_update_case(seed) {
+            panic!("HBOLD_FUZZ_SEED update reproduction failed:\n{report}");
+        }
+        return;
+    }
+    let cases = cases_from_env(512);
+    eprintln!("update-sequence sweep: {cases} cases, seeds 0..{cases}");
+    let mut failures = Vec::new();
+    for seed in 0..cases {
+        if let Err(report) = check_update_case(seed) {
+            eprintln!("update fuzz failure: {report}");
+            failures.push(seed);
+            if failures.len() >= 5 {
+                break;
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} update fuzz case(s) failed; rerun one with HBOLD_FUZZ_SEED={} \
          (see stderr for the full reports)",
         failures.len(),
         failures[0]

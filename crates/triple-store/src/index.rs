@@ -1,8 +1,16 @@
-//! Positional triple indexes over encoded triples.
+//! Positional quad indexes over encoded quads.
 //!
-//! An index stores `(a, b, c)` keys, where `(a, b, c)` is a permutation of
-//! `(subject, predicate, object)` identifiers. A lookup that binds a prefix
-//! of the permutation becomes a range scan.
+//! An index stores `(a, b, c, d)` keys, where `(a, b, c, d)` is a
+//! permutation of `(subject, predicate, object, graph)` identifiers. A
+//! lookup that binds a prefix of the permutation becomes a range scan.
+//!
+//! Six permutations are kept (the SPOG/POSG/OSPG + GSPO/GPOS/GOSP layout):
+//! the three graph-last orders serve any-graph scans with a triple prefix,
+//! and the three graph-first orders serve scans inside one graph — including
+//! the default graph, which is addressed by the reserved
+//! `DEFAULT_GRAPH` identifier (`TermId::MAX`, never interned). Because every
+//! range below is inclusive on both bounds, the sentinel needs no special
+//! casing: `scan_prefix1(TermId::MAX)` is a well-formed range.
 //!
 //! # Hybrid layout: sorted flat vector + B-tree delta
 //!
@@ -32,18 +40,38 @@ use std::ops::Bound;
 
 use crate::dictionary::TermId;
 
-/// The three index orderings kept by the store.
+/// The six index orderings kept by the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IndexOrder {
-    /// subject, predicate, object — serves (s ? ?), (s p ?), (s p o).
-    Spo,
-    /// predicate, object, subject — serves (? p ?), (? p o).
-    Pos,
-    /// object, subject, predicate — serves (? ? o), (s ? o).
-    Osp,
+    /// subject, predicate, object, graph — any-graph (s ? ?), (s p ?), (s p o).
+    Spog,
+    /// predicate, object, subject, graph — any-graph (? p ?), (? p o).
+    Posg,
+    /// object, subject, predicate, graph — any-graph (? ? o), (s ? o).
+    Ospg,
+    /// graph, subject, predicate, object — in-graph (s ? ?), (s p ?), (s p o).
+    Gspo,
+    /// graph, predicate, object, subject — in-graph (? p ?), (? p o).
+    Gpos,
+    /// graph, object, subject, predicate — in-graph (? ? o), (s ? o).
+    Gosp,
 }
 
-type Key = (TermId, TermId, TermId);
+impl IndexOrder {
+    /// The lowercase label used in metrics (`hbold_index_tier_entries`).
+    pub fn label(self) -> &'static str {
+        match self {
+            IndexOrder::Spog => "spog",
+            IndexOrder::Posg => "posg",
+            IndexOrder::Ospg => "ospg",
+            IndexOrder::Gspo => "gspo",
+            IndexOrder::Gpos => "gpos",
+            IndexOrder::Gosp => "gosp",
+        }
+    }
+}
+
+type Key = (TermId, TermId, TermId, TermId);
 
 /// Sizes of one positional index's storage tiers (see the module docs for
 /// the tier semantics). Surfaced per index order through
@@ -59,7 +87,7 @@ pub struct TierSizes {
     pub dead: usize,
 }
 
-/// A single sorted index over one permutation of triple positions.
+/// A single sorted index over one permutation of quad positions.
 #[derive(Debug, Clone, Default)]
 pub struct PositionalIndex {
     /// Sorted, deduplicated bulk tier — see the module docs.
@@ -221,20 +249,44 @@ impl PositionalIndex {
 
     /// Scans keys whose first component equals `first`, in ascending order.
     pub fn scan_prefix1(&self, first: TermId) -> PrefixScan<'_> {
-        self.scan_range((first, 0, 0), (first, TermId::MAX, TermId::MAX))
+        self.scan_range(
+            (first, 0, 0, 0),
+            (first, TermId::MAX, TermId::MAX, TermId::MAX),
+        )
     }
 
     /// Scans keys whose first two components equal `(first, second)`, in
     /// ascending order.
     pub fn scan_prefix2(&self, first: TermId, second: TermId) -> PrefixScan<'_> {
-        self.scan_range((first, second, 0), (first, second, TermId::MAX))
+        self.scan_range(
+            (first, second, 0, 0),
+            (first, second, TermId::MAX, TermId::MAX),
+        )
     }
 
-    /// Scans the (at most one) key equal to `(first, second, third)` — the
-    /// fully-bound pattern shape, expressed as a scan so every pattern
-    /// lookup returns one iterator type.
+    /// Scans keys whose first three components equal
+    /// `(first, second, third)`, in ascending order.
     pub fn scan_prefix3(&self, first: TermId, second: TermId, third: TermId) -> PrefixScan<'_> {
-        self.scan_range((first, second, third), (first, second, third))
+        self.scan_range(
+            (first, second, third, 0),
+            (first, second, third, TermId::MAX),
+        )
+    }
+
+    /// Scans the (at most one) key equal to `(first, second, third, fourth)`
+    /// — the fully-bound pattern shape, expressed as a scan so every pattern
+    /// lookup returns one iterator type.
+    pub fn scan_prefix4(
+        &self,
+        first: TermId,
+        second: TermId,
+        third: TermId,
+        fourth: TermId,
+    ) -> PrefixScan<'_> {
+        self.scan_range(
+            (first, second, third, fourth),
+            (first, second, third, fourth),
+        )
     }
 
     /// Scans every key in ascending order.
@@ -276,13 +328,28 @@ impl PositionalIndex {
     /// walking them. This is the cardinality of a one-constant pattern
     /// lookup and costs two binary searches.
     pub fn count_prefix1(&self, first: TermId) -> usize {
-        self.count_range((first, 0, 0), (first, TermId::MAX, TermId::MAX))
+        self.count_range(
+            (first, 0, 0, 0),
+            (first, TermId::MAX, TermId::MAX, TermId::MAX),
+        )
     }
 
     /// Exact number of keys whose first two components equal
     /// `(first, second)`, without walking them.
     pub fn count_prefix2(&self, first: TermId, second: TermId) -> usize {
-        self.count_range((first, second, 0), (first, second, TermId::MAX))
+        self.count_range(
+            (first, second, 0, 0),
+            (first, second, TermId::MAX, TermId::MAX),
+        )
+    }
+
+    /// Exact number of keys whose first three components equal
+    /// `(first, second, third)`, without walking them.
+    pub fn count_prefix3(&self, first: TermId, second: TermId, third: TermId) -> usize {
+        self.count_range(
+            (first, second, third, 0),
+            (first, second, third, TermId::MAX),
+        )
     }
 
     /// Smallest live key in `[lo, hi]`, merging both tiers.
@@ -312,6 +379,23 @@ impl PositionalIndex {
         best
     }
 
+    /// Every distinct first component, in ascending order, computed exactly
+    /// by galloping from run to run (`O(distinct · log n)`). The store uses
+    /// this on a graph-first index to enumerate graphs.
+    pub fn first_components(&self) -> Vec<TermId> {
+        let mut out = Vec::new();
+        let mut cursor: Key = (0, 0, 0, 0);
+        let hi: Key = (TermId::MAX, TermId::MAX, TermId::MAX, TermId::MAX);
+        while let Some(key) = self.first_in_range(cursor, hi) {
+            out.push(key.0);
+            match key_successor((key.0, TermId::MAX, TermId::MAX, TermId::MAX)) {
+                Some(next) => cursor = next,
+                None => break,
+            }
+        }
+        out
+    }
+
     /// Estimated number of distinct first components across the index.
     ///
     /// Exact when there are at most `DISTINCT_PROBES` (16) distinct leading
@@ -319,18 +403,22 @@ impl PositionalIndex {
     /// run length observed so far. Each probe gallops over one run with two
     /// binary searches, so the cost is `O(DISTINCT_PROBES · log n)`.
     pub fn distinct_first_estimate(&self) -> usize {
-        self.distinct_run_estimate((0, 0, 0), (TermId::MAX, TermId::MAX, TermId::MAX), |k| {
-            (k.0, TermId::MAX, TermId::MAX)
-        })
+        self.distinct_run_estimate(
+            (0, 0, 0, 0),
+            (TermId::MAX, TermId::MAX, TermId::MAX, TermId::MAX),
+            |k| (k.0, TermId::MAX, TermId::MAX, TermId::MAX),
+        )
     }
 
     /// Estimated number of distinct second components among keys whose
     /// first component equals `first` (same probe budget and cost model as
     /// [`PositionalIndex::distinct_first_estimate`]).
     pub fn distinct_second_estimate(&self, first: TermId) -> usize {
-        self.distinct_run_estimate((first, 0, 0), (first, TermId::MAX, TermId::MAX), |k| {
-            (k.0, k.1, TermId::MAX)
-        })
+        self.distinct_run_estimate(
+            (first, 0, 0, 0),
+            (first, TermId::MAX, TermId::MAX, TermId::MAX),
+            |k| (k.0, k.1, TermId::MAX, TermId::MAX),
+        )
     }
 
     /// Counts runs of equal-prefix keys in `[lo, hi]`, where `run_hi` maps
@@ -373,13 +461,15 @@ const DISTINCT_PROBES: usize = 16;
 /// The key immediately after `k` in lexicographic order, or `None` at the
 /// top of the key space.
 fn key_successor(k: Key) -> Option<Key> {
-    let (a, b, c) = k;
-    if c < TermId::MAX {
-        Some((a, b, c + 1))
+    let (a, b, c, d) = k;
+    if d < TermId::MAX {
+        Some((a, b, c, d + 1))
+    } else if c < TermId::MAX {
+        Some((a, b, c + 1, 0))
     } else if b < TermId::MAX {
-        Some((a, b + 1, 0))
+        Some((a, b + 1, 0, 0))
     } else if a < TermId::MAX {
-        Some((a + 1, 0, 0))
+        Some((a + 1, 0, 0, 0))
     } else {
         None
     }
@@ -475,7 +565,7 @@ mod tests {
         for s in 0..3 {
             for p in 0..3 {
                 for o in 0..3 {
-                    idx.insert((s, p, o));
+                    idx.insert((s, p, o, 0));
                 }
             }
         }
@@ -487,7 +577,7 @@ mod tests {
         for s in 0..3 {
             for p in 0..3 {
                 for o in 0..3 {
-                    keys.push((s, p, o));
+                    keys.push((s, p, o, 0));
                 }
             }
         }
@@ -499,11 +589,11 @@ mod tests {
     #[test]
     fn insert_remove_contains() {
         let mut idx = PositionalIndex::new();
-        assert!(idx.insert((1, 2, 3)));
-        assert!(!idx.insert((1, 2, 3)));
-        assert!(idx.contains(&(1, 2, 3)));
-        assert!(idx.remove(&(1, 2, 3)));
-        assert!(!idx.remove(&(1, 2, 3)));
+        assert!(idx.insert((1, 2, 3, 4)));
+        assert!(!idx.insert((1, 2, 3, 4)));
+        assert!(idx.contains(&(1, 2, 3, 4)));
+        assert!(idx.remove(&(1, 2, 3, 4)));
+        assert!(!idx.remove(&(1, 2, 3, 4)));
         assert!(idx.is_empty());
     }
 
@@ -513,60 +603,71 @@ mod tests {
             assert_eq!(idx.len(), 27);
             assert_eq!(idx.scan_prefix1(1).count(), 9);
             assert_eq!(idx.scan_prefix2(1, 2).count(), 3);
+            assert_eq!(idx.scan_prefix3(1, 2, 0).count(), 1);
             assert_eq!(idx.scan_all().count(), 27);
             assert!(idx.scan_prefix1(1).all(|k| k.0 == 1));
             assert!(idx.scan_prefix2(1, 2).all(|k| k.0 == 1 && k.1 == 2));
             assert_eq!(idx.scan_prefix1(7).count(), 0);
+            assert_eq!(idx.scan_prefix4(1, 2, 0, 0).count(), 1);
+            assert_eq!(idx.scan_prefix4(1, 2, 0, 9).count(), 0);
         }
     }
 
     #[test]
     fn prefix_scan_includes_extreme_ids() {
+        // `TermId::MAX` doubles as the reserved default-graph identifier, so
+        // ranges that start or end at the extremes must stay well-formed.
         let mut idx = PositionalIndex::new();
-        idx.insert((5, 0, 0));
-        idx.insert((5, TermId::MAX, TermId::MAX));
-        idx.insert((6, 0, 0));
+        idx.insert((5, 0, 0, TermId::MAX));
+        idx.insert((5, TermId::MAX, TermId::MAX, TermId::MAX));
+        idx.insert((6, 0, 0, 0));
+        idx.insert((TermId::MAX, 1, 1, 1));
         assert_eq!(idx.scan_prefix1(5).count(), 2);
         assert_eq!(idx.scan_prefix2(5, TermId::MAX).count(), 1);
+        assert_eq!(idx.scan_prefix1(TermId::MAX).count(), 1);
+        assert_eq!(idx.scan_prefix3(5, 0, 0).count(), 1);
     }
 
     #[test]
     fn scans_merge_flat_and_delta_in_order() {
         let mut idx = PositionalIndex::new();
-        idx.insert_batch([(1, 1, 1), (1, 1, 3), (2, 0, 0)]);
+        idx.insert_batch([(1, 1, 1, 0), (1, 1, 3, 0), (2, 0, 0, 0)]);
         // Incremental churn interleaves with the flat tier.
-        idx.insert((1, 1, 2));
-        idx.insert((1, 1, 0));
-        idx.insert((0, 9, 9));
+        idx.insert((1, 1, 2, 0));
+        idx.insert((1, 1, 0, 0));
+        idx.insert((0, 9, 9, 0));
         let all: Vec<Key> = idx.scan_all().copied().collect();
         assert_eq!(
             all,
             vec![
-                (0, 9, 9),
-                (1, 1, 0),
-                (1, 1, 1),
-                (1, 1, 2),
-                (1, 1, 3),
-                (2, 0, 0)
+                (0, 9, 9, 0),
+                (1, 1, 0, 0),
+                (1, 1, 1, 0),
+                (1, 1, 2, 0),
+                (1, 1, 3, 0),
+                (2, 0, 0, 0)
             ]
         );
         let ones: Vec<Key> = idx.scan_prefix2(1, 1).copied().collect();
-        assert_eq!(ones, vec![(1, 1, 0), (1, 1, 1), (1, 1, 2), (1, 1, 3)]);
+        assert_eq!(
+            ones,
+            vec![(1, 1, 0, 0), (1, 1, 1, 0), (1, 1, 2, 0), (1, 1, 3, 0)]
+        );
         assert_eq!(idx.len(), 6);
     }
 
     #[test]
     fn tombstones_hide_flat_keys_until_reinserted() {
         let mut idx = PositionalIndex::new();
-        idx.insert_batch([(1, 1, 1), (1, 1, 2), (1, 1, 3)]);
-        assert!(idx.remove(&(1, 1, 2)));
-        assert!(!idx.contains(&(1, 1, 2)));
+        idx.insert_batch([(1, 1, 1, 0), (1, 1, 2, 0), (1, 1, 3, 0)]);
+        assert!(idx.remove(&(1, 1, 2, 0)));
+        assert!(!idx.contains(&(1, 1, 2, 0)));
         assert_eq!(idx.len(), 2);
         assert_eq!(idx.scan_prefix1(1).count(), 2);
-        assert!(idx.scan_all().all(|k| *k != (1, 1, 2)));
+        assert!(idx.scan_all().all(|k| *k != (1, 1, 2, 0)));
         // Re-inserting a tombstoned key resurrects it in place.
-        assert!(idx.insert((1, 1, 2)));
-        assert!(!idx.insert((1, 1, 2)));
+        assert!(idx.insert((1, 1, 2, 0)));
+        assert!(!idx.insert((1, 1, 2, 0)));
         assert_eq!(idx.len(), 3);
         assert_eq!(idx.scan_prefix1(1).count(), 3);
     }
@@ -574,23 +675,23 @@ mod tests {
     #[test]
     fn insert_batch_folds_delta_and_tombstones_away() {
         let mut idx = PositionalIndex::new();
-        idx.insert_batch([(1, 0, 0), (3, 0, 0)]);
-        idx.insert((2, 0, 0)); // delta
-        idx.remove(&(3, 0, 0)); // tombstone
-        idx.insert_batch([(4, 0, 0), (1, 0, 0)]); // dup with flat
+        idx.insert_batch([(1, 0, 0, 0), (3, 0, 0, 0)]);
+        idx.insert((2, 0, 0, 0)); // delta
+        idx.remove(&(3, 0, 0, 0)); // tombstone
+        idx.insert_batch([(4, 0, 0, 0), (1, 0, 0, 0)]); // dup with flat
         let all: Vec<Key> = idx.scan_all().copied().collect();
-        assert_eq!(all, vec![(1, 0, 0), (2, 0, 0), (4, 0, 0)]);
+        assert_eq!(all, vec![(1, 0, 0, 0), (2, 0, 0, 0), (4, 0, 0, 0)]);
         assert_eq!(idx.len(), 3);
-        assert!(!idx.contains(&(3, 0, 0)));
+        assert!(!idx.contains(&(3, 0, 0, 0)));
     }
 
     #[test]
     fn remove_then_batch_reinsert_resurrects() {
         let mut idx = PositionalIndex::new();
-        idx.insert_batch([(1, 0, 0), (2, 0, 0)]);
-        idx.remove(&(2, 0, 0));
-        idx.insert_batch([(2, 0, 0)]);
-        assert!(idx.contains(&(2, 0, 0)));
+        idx.insert_batch([(1, 0, 0, 0), (2, 0, 0, 0)]);
+        idx.remove(&(2, 0, 0, 0));
+        idx.insert_batch([(2, 0, 0, 0)]);
+        assert!(idx.contains(&(2, 0, 0, 0)));
         assert_eq!(idx.len(), 2);
     }
 
@@ -599,10 +700,17 @@ mod tests {
         // A mix of flat, delta, and tombstoned keys: counts must agree with
         // the merged scan on every prefix shape.
         let mut idx = PositionalIndex::new();
-        idx.insert_batch([(1, 1, 1), (1, 1, 3), (1, 2, 0), (2, 0, 0), (3, 5, 5)]);
-        idx.insert((1, 1, 2)); // delta inside a flat run
-        idx.insert((0, 9, 9)); // delta before all flat keys
-        idx.remove(&(1, 2, 0)); // tombstone
+        idx.insert_batch([
+            (1, 1, 1, 0),
+            (1, 1, 3, 0),
+            (1, 1, 3, 2),
+            (1, 2, 0, 0),
+            (2, 0, 0, 0),
+            (3, 5, 5, 0),
+        ]);
+        idx.insert((1, 1, 2, 0)); // delta inside a flat run
+        idx.insert((0, 9, 9, 0)); // delta before all flat keys
+        idx.remove(&(1, 2, 0, 0)); // tombstone
         for first in 0..4 {
             assert_eq!(idx.count_prefix1(first), idx.scan_prefix1(first).count());
             for second in 0..3 {
@@ -610,20 +718,28 @@ mod tests {
                     idx.count_prefix2(first, second),
                     idx.scan_prefix2(first, second).count()
                 );
+                for third in 0..4 {
+                    assert_eq!(
+                        idx.count_prefix3(first, second, third),
+                        idx.scan_prefix3(first, second, third).count()
+                    );
+                }
             }
         }
         assert_eq!(idx.count_prefix1(7), 0);
-        assert_eq!(idx.count_prefix2(1, 1), 3);
+        assert_eq!(idx.count_prefix2(1, 1), 4);
+        assert_eq!(idx.count_prefix3(1, 1, 3), 2);
     }
 
     #[test]
     fn prefix_counts_include_extreme_ids() {
         let mut idx = PositionalIndex::new();
-        idx.insert((5, 0, 0));
-        idx.insert((5, TermId::MAX, TermId::MAX));
-        idx.insert((6, 0, 0));
+        idx.insert((5, 0, 0, 0));
+        idx.insert((5, TermId::MAX, TermId::MAX, TermId::MAX));
+        idx.insert((6, 0, 0, 0));
         assert_eq!(idx.count_prefix1(5), 2);
         assert_eq!(idx.count_prefix2(5, TermId::MAX), 1);
+        assert_eq!(idx.count_prefix3(5, TermId::MAX, TermId::MAX), 1);
     }
 
     #[test]
@@ -647,7 +763,7 @@ mod tests {
         let mut keys = Vec::new();
         for s in 0..100 {
             for o in 0..10 {
-                keys.push((s, 0, o));
+                keys.push((s, 0, o, 0));
             }
         }
         let mut idx = PositionalIndex::new();
@@ -659,20 +775,35 @@ mod tests {
     #[test]
     fn distinct_estimates_respect_tombstones_and_delta() {
         let mut idx = PositionalIndex::new();
-        idx.insert_batch([(1, 0, 0), (2, 0, 0), (3, 0, 0)]);
-        idx.remove(&(2, 0, 0));
-        idx.insert((4, 7, 7));
+        idx.insert_batch([(1, 0, 0, 0), (2, 0, 0, 0), (3, 0, 0, 0)]);
+        idx.remove(&(2, 0, 0, 0));
+        idx.insert((4, 7, 7, 0));
         assert_eq!(idx.distinct_first_estimate(), 3); // 1, 3, 4
         assert_eq!(idx.distinct_second_estimate(4), 1);
         assert_eq!(idx.distinct_second_estimate(2), 0);
     }
 
     #[test]
+    fn first_components_enumerates_runs_exactly() {
+        let mut idx = PositionalIndex::new();
+        assert!(idx.first_components().is_empty());
+        idx.insert_batch([
+            (1, 0, 0, 0),
+            (1, 5, 5, 5),
+            (3, 0, 0, 0),
+            (TermId::MAX, 2, 2, 2),
+        ]);
+        idx.insert((2, 9, 9, 9)); // delta tier participates
+        idx.remove(&(3, 0, 0, 0)); // tombstoned runs disappear
+        assert_eq!(idx.first_components(), vec![1, 2, TermId::MAX]);
+    }
+
+    #[test]
     fn from_sorted_round_trips() {
-        let keys = vec![(0, 0, 1), (0, 1, 0), (5, 5, 5)];
+        let keys = vec![(0, 0, 1, 0), (0, 1, 0, 0), (5, 5, 5, 5)];
         let idx = PositionalIndex::from_sorted(keys.clone());
         assert_eq!(idx.len(), 3);
         assert_eq!(idx.scan_all().copied().collect::<Vec<_>>(), keys);
-        assert!(idx.contains(&(0, 1, 0)));
+        assert!(idx.contains(&(0, 1, 0, 0)));
     }
 }

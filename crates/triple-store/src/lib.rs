@@ -1,14 +1,19 @@
 //! # hbold-triple-store
 //!
-//! A dictionary-encoded, triple-indexed, in-memory RDF store.
+//! A dictionary-encoded, quad-indexed, in-memory RDF store with named
+//! graphs.
 //!
 //! Each SPARQL endpoint simulated by `hbold-endpoint` holds its dataset in a
 //! [`TripleStore`]. The store interns every RDF term once in a
-//! [`TermDictionary`] and keeps the resulting `(u32, u32, u32)` triples in
-//! three sorted indexes (SPO, POS, OSP). A triple-pattern lookup picks the
-//! index whose ordering puts the bound positions first, so it becomes a range
-//! scan — the standard design of native RDF stores, scaled down to what the
-//! H-BOLD experiments need (hundreds of thousands of triples per endpoint).
+//! [`TermDictionary`] and keeps the resulting `(u32, u32, u32, u32)` quads in
+//! six sorted indexes (SPOG, POSG, OSPG, GSPO, GPOS, GOSP). A pattern lookup
+//! picks the index whose ordering puts the bound positions first, so it
+//! becomes a range scan — the standard design of native RDF quad stores,
+//! scaled down to what the H-BOLD experiments need (hundreds of thousands of
+//! triples per endpoint). Triples without an explicit graph live in the
+//! default graph (the reserved id [`store::DEFAULT_GRAPH`]); the triple-level
+//! API is a view of that graph, so triple-only callers are unaffected by
+//! named-graph data.
 //!
 //! ```
 //! use hbold_rdf_model::{Iri, Literal, Triple, TriplePattern, vocab::{foaf, rdf}};
@@ -40,4 +45,4 @@ pub use index::{IndexOrder, TierSizes};
 pub use persist::{PersistError, PersistOptions, RecoveryReport};
 pub use shared::SharedStore;
 pub use stats::StoreStats;
-pub use store::{EncodedScan, EncodedTriple, TripleStore};
+pub use store::{EncodedQuad, EncodedScan, EncodedTriple, QuadScan, TripleStore, DEFAULT_GRAPH};

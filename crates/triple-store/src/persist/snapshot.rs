@@ -6,26 +6,33 @@
 //! ```text
 //! header (44 bytes):
 //!   [ 0.. 8)  magic  "HBLDSNAP"
-//!   [ 8..12)  u32    format version (currently 1)
+//!   [ 8..12)  u32    format version (currently 2; version 1 still decodes)
 //!   [12..20)  u64    term count
-//!   [20..28)  u64    triple count
+//!   [20..28)  u64    quad count
 //!   [28..36)  u64    payload length in bytes
 //!   [36..40)  u32    CRC-32 of the payload
 //!   [40..44)  u32    CRC-32 of header bytes [0..40)
 //! payload:
-//!   term table:   `term count` encoded terms; the i-th entry defines id i
-//!   triple runs:  `triple count` delta-encoded (s, p, o) id triples in
-//!                 ascending SPO order (see below)
+//!   term table:  `term count` encoded terms; the i-th entry defines id i
+//!   quad runs:   `quad count` delta-encoded (g, s, p, o) id quads in
+//!                ascending GSPO order (see below). The default graph is
+//!                the reserved id `u32::MAX`, so it sorts last.
 //! ```
 //!
-//! Triples are sorted, so consecutive entries share long prefixes. Each
-//! triple is encoded against its predecessor as:
+//! Quads are sorted, so consecutive entries share long prefixes. Each quad
+//! is encoded against its predecessor as:
 //!
-//! * `ds = s − prev_s` (varint). If `ds > 0` the subject changed and `p`,
-//!   `o` follow as absolute varints.
+//! * `dg = g − prev_g` (varint). If `dg > 0` the graph changed and `s`,
+//!   `p`, `o` follow as absolute varints.
+//! * Otherwise `ds = s − prev_s` follows; if `ds > 0`, `p` and `o` are
+//!   absolute.
 //! * Otherwise `dp = p − prev_p` follows; if `dp > 0`, `o` is absolute.
 //! * Otherwise only `do = o − prev_o` follows (strictly positive, because
 //!   the sequence is strictly increasing).
+//!
+//! Version 1 files use the same scheme without the graph component
+//! (SPO-ordered triples); they decode as default-graph data, so snapshots
+//! taken before the quad-store upgrade keep restoring.
 //!
 //! A snapshot is written to a temporary file, fsynced, then renamed into
 //! place (and the directory fsynced), so readers only ever observe either
@@ -36,7 +43,7 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 use crate::dictionary::TermDictionary;
-use crate::store::TripleStore;
+use crate::store::{TripleStore, DEFAULT_GRAPH};
 
 use super::codec::{crc32, read_term, read_varint, write_term, write_varint};
 use super::PersistError;
@@ -44,7 +51,9 @@ use super::PersistError;
 /// Magic bytes at the start of every snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"HBLDSNAP";
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
+/// The triples-only format written before the quad-store upgrade.
+const SNAPSHOT_VERSION_TRIPLES: u32 = 1;
 const HEADER_LEN: usize = 44;
 
 /// Serializes `store` into the snapshot byte format (header + payload).
@@ -53,33 +62,42 @@ pub fn encode(store: &TripleStore) -> Vec<u8> {
     for (_, term) in store.dictionary().iter() {
         write_term(&mut payload, term);
     }
-    let mut prev = (0u32, 0u32, 0u32);
+    let mut prev = (0u32, 0u32, 0u32, 0u32);
     let mut first = true;
-    for &(s, p, o) in store.encoded_spo_iter() {
+    for &(g, s, p, o) in store.encoded_gspo_iter() {
         if first {
-            // The first triple is encoded against a virtual (0, 0, 0)
+            // The first quad is encoded against a virtual (0, 0, 0, 0)
             // predecessor with every component treated as "changed".
+            write_varint(&mut payload, g as u64);
             write_varint(&mut payload, s as u64);
             write_varint(&mut payload, p as u64);
             write_varint(&mut payload, o as u64);
             first = false;
         } else {
-            let ds = s - prev.0;
-            write_varint(&mut payload, ds as u64);
-            if ds > 0 {
+            let dg = g - prev.0;
+            write_varint(&mut payload, dg as u64);
+            if dg > 0 {
+                write_varint(&mut payload, s as u64);
                 write_varint(&mut payload, p as u64);
                 write_varint(&mut payload, o as u64);
             } else {
-                let dp = p - prev.1;
-                write_varint(&mut payload, dp as u64);
-                if dp > 0 {
+                let ds = s - prev.1;
+                write_varint(&mut payload, ds as u64);
+                if ds > 0 {
+                    write_varint(&mut payload, p as u64);
                     write_varint(&mut payload, o as u64);
                 } else {
-                    write_varint(&mut payload, (o - prev.2) as u64);
+                    let dp = p - prev.2;
+                    write_varint(&mut payload, dp as u64);
+                    if dp > 0 {
+                        write_varint(&mut payload, o as u64);
+                    } else {
+                        write_varint(&mut payload, (o - prev.3) as u64);
+                    }
                 }
             }
         }
-        prev = (s, p, o);
+        prev = (g, s, p, o);
     }
 
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
@@ -95,7 +113,8 @@ pub fn encode(store: &TripleStore) -> Vec<u8> {
     out
 }
 
-/// Decodes a snapshot produced by [`encode`], validating both checksums.
+/// Decodes a snapshot produced by [`encode`] (or by the pre-quad version 1
+/// writer), validating both checksums.
 pub fn decode(bytes: &[u8]) -> Result<TripleStore, PersistError> {
     if bytes.len() < HEADER_LEN {
         return Err(PersistError::corrupt("snapshot shorter than its header"));
@@ -109,9 +128,9 @@ pub fn decode(bytes: &[u8]) -> Result<TripleStore, PersistError> {
         return Err(PersistError::corrupt("snapshot header checksum mismatch"));
     }
     let version = u32_at(8);
-    if version != SNAPSHOT_VERSION {
+    if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_TRIPLES {
         return Err(PersistError::corrupt(format!(
-            "unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
+            "unsupported snapshot version {version} (expected {SNAPSHOT_VERSION} or {SNAPSHOT_VERSION_TRIPLES})"
         )));
     }
     let len_at = |at: usize| {
@@ -119,7 +138,7 @@ pub fn decode(bytes: &[u8]) -> Result<TripleStore, PersistError> {
             .map_err(|_| PersistError::corrupt("snapshot header count does not fit in usize"))
     };
     let term_count = len_at(12)?;
-    let triple_count = len_at(20)?;
+    let quad_count = len_at(20)?;
     let payload_len = len_at(28)?;
     let payload = bytes
         .get(HEADER_LEN..)
@@ -147,67 +166,150 @@ pub fn decode(bytes: &[u8]) -> Result<TripleStore, PersistError> {
     }
     let dict = TermDictionary::from_terms(terms);
 
-    let mut triples = Vec::with_capacity(triple_count.min(1 << 16));
     let read_id = |payload: &[u8], pos: &mut usize| -> Result<u32, PersistError> {
         let v = read_varint(payload, pos)?;
         u32::try_from(v).map_err(|_| PersistError::corrupt("term id exceeds 32 bits"))
     };
-    let mut prev = (0u32, 0u32, 0u32);
-    for i in 0..triple_count {
-        let triple = if i == 0 {
+    let term_in_range = |id: u32| (id as usize) < dict.len();
+
+    if version == SNAPSHOT_VERSION_TRIPLES {
+        // Version 1: SPO-ordered triples, all in the default graph.
+        let mut triples = Vec::with_capacity(quad_count.min(1 << 16));
+        let mut prev = (0u32, 0u32, 0u32);
+        for i in 0..quad_count {
+            let triple = if i == 0 {
+                (
+                    read_id(payload, &mut pos)?,
+                    read_id(payload, &mut pos)?,
+                    read_id(payload, &mut pos)?,
+                )
+            } else {
+                let ds = read_id(payload, &mut pos)?;
+                if ds > 0 {
+                    (
+                        prev.0
+                            .checked_add(ds)
+                            .ok_or_else(|| PersistError::corrupt("subject delta overflow"))?,
+                        read_id(payload, &mut pos)?,
+                        read_id(payload, &mut pos)?,
+                    )
+                } else {
+                    let dp = read_id(payload, &mut pos)?;
+                    if dp > 0 {
+                        (
+                            prev.0,
+                            prev.1
+                                .checked_add(dp)
+                                .ok_or_else(|| PersistError::corrupt("predicate delta overflow"))?,
+                            read_id(payload, &mut pos)?,
+                        )
+                    } else {
+                        let dd = read_id(payload, &mut pos)?;
+                        if dd == 0 {
+                            return Err(PersistError::corrupt("duplicate triple in snapshot"));
+                        }
+                        (
+                            prev.0,
+                            prev.1,
+                            prev.2
+                                .checked_add(dd)
+                                .ok_or_else(|| PersistError::corrupt("object delta overflow"))?,
+                        )
+                    }
+                }
+            };
+            if !term_in_range(triple.0) || !term_in_range(triple.1) || !term_in_range(triple.2) {
+                return Err(PersistError::corrupt(
+                    "triple references a term id outside the term table",
+                ));
+            }
+            triples.push(triple);
+            prev = triple;
+        }
+        if pos != payload.len() {
+            return Err(PersistError::corrupt("snapshot payload has trailing bytes"));
+        }
+        return Ok(TripleStore::from_snapshot_parts(dict, triples));
+    }
+
+    // Version 2: GSPO-ordered quads; the graph component is either a term
+    // id or the reserved default-graph sentinel.
+    let mut quads = Vec::with_capacity(quad_count.min(1 << 16));
+    let mut prev = (0u32, 0u32, 0u32, 0u32);
+    for i in 0..quad_count {
+        let quad = if i == 0 {
             (
+                read_id(payload, &mut pos)?,
                 read_id(payload, &mut pos)?,
                 read_id(payload, &mut pos)?,
                 read_id(payload, &mut pos)?,
             )
         } else {
-            let ds = read_id(payload, &mut pos)?;
-            if ds > 0 {
+            let dg = read_id(payload, &mut pos)?;
+            if dg > 0 {
                 (
                     prev.0
-                        .checked_add(ds)
-                        .ok_or_else(|| PersistError::corrupt("subject delta overflow"))?,
+                        .checked_add(dg)
+                        .ok_or_else(|| PersistError::corrupt("graph delta overflow"))?,
+                    read_id(payload, &mut pos)?,
                     read_id(payload, &mut pos)?,
                     read_id(payload, &mut pos)?,
                 )
             } else {
-                let dp = read_id(payload, &mut pos)?;
-                if dp > 0 {
+                let ds = read_id(payload, &mut pos)?;
+                if ds > 0 {
                     (
                         prev.0,
                         prev.1
-                            .checked_add(dp)
-                            .ok_or_else(|| PersistError::corrupt("predicate delta overflow"))?,
+                            .checked_add(ds)
+                            .ok_or_else(|| PersistError::corrupt("subject delta overflow"))?,
+                        read_id(payload, &mut pos)?,
                         read_id(payload, &mut pos)?,
                     )
                 } else {
-                    let dd = read_id(payload, &mut pos)?;
-                    if dd == 0 {
-                        return Err(PersistError::corrupt("duplicate triple in snapshot"));
+                    let dp = read_id(payload, &mut pos)?;
+                    if dp > 0 {
+                        (
+                            prev.0,
+                            prev.1,
+                            prev.2
+                                .checked_add(dp)
+                                .ok_or_else(|| PersistError::corrupt("predicate delta overflow"))?,
+                            read_id(payload, &mut pos)?,
+                        )
+                    } else {
+                        let dd = read_id(payload, &mut pos)?;
+                        if dd == 0 {
+                            return Err(PersistError::corrupt("duplicate quad in snapshot"));
+                        }
+                        (
+                            prev.0,
+                            prev.1,
+                            prev.2,
+                            prev.3
+                                .checked_add(dd)
+                                .ok_or_else(|| PersistError::corrupt("object delta overflow"))?,
+                        )
                     }
-                    (
-                        prev.0,
-                        prev.1,
-                        prev.2
-                            .checked_add(dd)
-                            .ok_or_else(|| PersistError::corrupt("object delta overflow"))?,
-                    )
                 }
             }
         };
-        let in_range = |id: u32| (id as usize) < dict.len();
-        if !in_range(triple.0) || !in_range(triple.1) || !in_range(triple.2) {
+        if !(term_in_range(quad.0) || quad.0 == DEFAULT_GRAPH)
+            || !term_in_range(quad.1)
+            || !term_in_range(quad.2)
+            || !term_in_range(quad.3)
+        {
             return Err(PersistError::corrupt(
-                "triple references a term id outside the term table",
+                "quad references a term id outside the term table",
             ));
         }
-        triples.push(triple);
-        prev = triple;
+        quads.push(quad);
+        prev = quad;
     }
     if pos != payload.len() {
         return Err(PersistError::corrupt("snapshot payload has trailing bytes"));
     }
-    Ok(TripleStore::from_snapshot_parts(dict, triples))
+    Ok(TripleStore::from_snapshot_quads(dict, quads))
 }
 
 /// Writes `store` as a snapshot at `path` atomically: the bytes go to
@@ -243,7 +345,7 @@ pub fn read_file(path: &Path) -> Result<TripleStore, PersistError> {
 mod tests {
     use super::*;
     use hbold_rdf_model::vocab::{foaf, rdf};
-    use hbold_rdf_model::{Iri, Literal, Triple};
+    use hbold_rdf_model::{Iri, Literal, Term, Triple};
 
     fn sample(n: usize) -> TripleStore {
         let mut store = TripleStore::new();
@@ -259,6 +361,22 @@ mod tests {
         store
     }
 
+    fn sample_with_graphs(n: usize) -> TripleStore {
+        let mut store = sample(n);
+        for i in 0..n {
+            let g: Term = Iri::new(format!("http://graphs.example/g{}", i % 3))
+                .unwrap()
+                .into();
+            let t = Triple::new(
+                Iri::new(format!("http://e.org/{i}")).unwrap(),
+                rdf::type_(),
+                foaf::organization(),
+            );
+            store.insert_in_graph(&t, Some(&g));
+        }
+        store
+    }
+
     #[test]
     fn snapshot_round_trips_exactly() {
         let store = sample(50);
@@ -270,6 +388,74 @@ mod tests {
         for (id, term) in store.dictionary().iter() {
             assert_eq!(decoded.dictionary().get(id), Some(term));
         }
+    }
+
+    #[test]
+    fn named_graphs_round_trip_exactly() {
+        let store = sample_with_graphs(20);
+        assert!(store.len() > store.default_graph_len());
+        let decoded = decode(&encode(&store)).unwrap();
+        assert_eq!(decoded.len(), store.len());
+        assert_eq!(decoded.default_graph_len(), store.default_graph_len());
+        let original: Vec<_> = store.iter_quads().collect();
+        let restored: Vec<_> = decoded.iter_quads().collect();
+        assert_eq!(original, restored);
+        assert_eq!(decoded.graph_quad_counts(), store.graph_quad_counts());
+    }
+
+    #[test]
+    fn version_1_triple_snapshots_still_decode() {
+        // Re-encode a store's default graph with the legacy v1 layout
+        // (SPO-ordered triples, no graph component) and decode it.
+        use super::super::codec::write_term;
+        let store = sample(10);
+        let mut payload = Vec::new();
+        for (_, term) in store.dictionary().iter() {
+            write_term(&mut payload, term);
+        }
+        let spo: Vec<(u32, u32, u32)> = store
+            .encoded_gspo_iter()
+            .map(|&(_, s, p, o)| (s, p, o))
+            .collect();
+        let mut prev = (0u32, 0u32, 0u32);
+        for (i, &(s, p, o)) in spo.iter().enumerate() {
+            if i == 0 {
+                write_varint(&mut payload, s as u64);
+                write_varint(&mut payload, p as u64);
+                write_varint(&mut payload, o as u64);
+            } else {
+                let ds = s - prev.0;
+                write_varint(&mut payload, ds as u64);
+                if ds > 0 {
+                    write_varint(&mut payload, p as u64);
+                    write_varint(&mut payload, o as u64);
+                } else {
+                    let dp = p - prev.1;
+                    write_varint(&mut payload, dp as u64);
+                    if dp > 0 {
+                        write_varint(&mut payload, o as u64);
+                    } else {
+                        write_varint(&mut payload, (o - prev.2) as u64);
+                    }
+                }
+            }
+            prev = (s, p, o);
+        }
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION_TRIPLES.to_le_bytes());
+        bytes.extend_from_slice(&(store.term_count() as u64).to_le_bytes());
+        bytes.extend_from_slice(&(spo.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        let header_crc = crc32(&bytes[..40]);
+        bytes.extend_from_slice(&header_crc.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded.len(), store.len());
+        assert_eq!(decoded.to_graph(), store.to_graph());
+        assert!(decoded.named_graph_ids().is_empty());
     }
 
     #[test]
@@ -291,7 +477,7 @@ mod tests {
 
     #[test]
     fn payload_corruption_is_detected() {
-        let bytes = encode(&sample(10));
+        let bytes = encode(&sample_with_graphs(10));
         for at in [HEADER_LEN, bytes.len() - 1, (HEADER_LEN + bytes.len()) / 2] {
             let mut copy = bytes.clone();
             copy[at] ^= 0xFF;
@@ -312,7 +498,7 @@ mod tests {
         bytes.extend_from_slice(SNAPSHOT_MAGIC);
         bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
         bytes.extend_from_slice(&2u64.to_le_bytes()); // term count
-        bytes.extend_from_slice(&0u64.to_le_bytes()); // triple count
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // quad count
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
         let header_crc = crc32(&bytes[..40]);
@@ -346,11 +532,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("hbold-snap-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("snapshot-1.hbs");
-        let store = sample(20);
+        let store = sample_with_graphs(20);
         write_file(&store, &path).unwrap();
         assert!(!path.with_extension("hbs.tmp").exists());
         let loaded = read_file(&path).unwrap();
-        assert_eq!(loaded.to_graph(), store.to_graph());
+        let original: Vec<_> = store.iter_quads().collect();
+        let restored: Vec<_> = loaded.iter_quads().collect();
+        assert_eq!(original, restored);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,13 +1,20 @@
 //! The append-only write-ahead log.
 //!
-//! Every durable mutation ([`WalOp::Insert`] / [`WalOp::Remove`] batches)
-//! is appended as one self-validating record *before* it is applied to the
-//! in-memory store, so a crash at any instant loses at most the record
-//! that was mid-write. Record layout:
+//! Every durable mutation is appended as one self-validating record
+//! *before* it is applied to the in-memory store, so a crash at any
+//! instant loses at most the record that was mid-write. Record layout:
 //!
 //! ```text
 //! [u32 LE payload length][u32 LE CRC-32 of payload][payload]
-//! payload: [u8 op tag][varint triple count][count × (term, term, term)]
+//! payload (tags 1/2, triple batches):
+//!   [u8 op tag][varint triple count][count × (term, term, term)]
+//! payload (tags 3/4, quad batches):
+//!   [u8 op tag][varint quad count][count × quad]
+//! payload (tag 5, atomic update):
+//!   [u8 op tag][varint remove count][removes × quad]
+//!              [varint insert count][inserts × quad]
+//! quad: [u8 graph flag: 0 = default graph, 1 = named]
+//!       [named only: graph term][subject][predicate][object]
 //! ```
 //!
 //! Terms are stored by value (the codec of [`super::codec`]), not by
@@ -26,7 +33,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use hbold_rdf_model::Triple;
+use hbold_rdf_model::{Quad, Triple};
 
 use crate::store::TripleStore;
 
@@ -35,15 +42,35 @@ use super::PersistError;
 
 const OP_INSERT: u8 = 1;
 const OP_REMOVE: u8 = 2;
+const OP_INSERT_QUADS: u8 = 3;
+const OP_REMOVE_QUADS: u8 = 4;
+const OP_UPDATE: u8 = 5;
+const GRAPH_DEFAULT: u8 = 0;
+const GRAPH_NAMED: u8 = 1;
 const RECORD_HEADER_LEN: usize = 8;
 
 /// One logical operation recorded in (or replayed from) the log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalOp {
-    /// Insert every triple of the batch (idempotent per triple).
+    /// Insert every triple of the batch into the default graph
+    /// (idempotent per triple).
     Insert(Vec<Triple>),
-    /// Remove every triple of the batch (idempotent per triple).
+    /// Remove every triple of the batch from the default graph
+    /// (idempotent per triple).
     Remove(Vec<Triple>),
+    /// Insert every quad of the batch (idempotent per quad).
+    InsertQuads(Vec<Quad>),
+    /// Remove every quad of the batch (idempotent per quad).
+    RemoveQuads(Vec<Quad>),
+    /// One atomic SPARQL Update step: apply all removes, then all inserts.
+    /// Logged as a single record so a crash can never expose the removes
+    /// without the inserts (or vice versa) after replay.
+    Update {
+        /// Quads removed by the update (applied first).
+        removes: Vec<Quad>,
+        /// Quads inserted by the update (applied second).
+        inserts: Vec<Quad>,
+    },
 }
 
 impl WalOp {
@@ -58,23 +85,103 @@ impl WalOp {
                     store.remove(t);
                 }
             }
+            WalOp::InsertQuads(quads) => {
+                store.insert_quads_batch(quads.iter());
+            }
+            WalOp::RemoveQuads(quads) => {
+                for q in quads {
+                    store.remove_quad(q);
+                }
+            }
+            WalOp::Update { removes, inserts } => {
+                for q in removes {
+                    store.remove_quad(q);
+                }
+                store.insert_quads_batch(inserts.iter());
+            }
         }
     }
 }
 
+fn write_quad(out: &mut Vec<u8>, q: &Quad) {
+    match &q.graph {
+        None => out.push(GRAPH_DEFAULT),
+        Some(g) => {
+            out.push(GRAPH_NAMED);
+            write_term(out, g);
+        }
+    }
+    write_term(out, &q.subject);
+    write_term(out, &q.predicate);
+    write_term(out, &q.object);
+}
+
+fn read_quad(payload: &[u8], pos: &mut usize) -> Result<Quad, PersistError> {
+    let Some(&flag) = payload.get(*pos) else {
+        return Err(PersistError::corrupt("WAL quad truncated at graph flag"));
+    };
+    *pos += 1;
+    let graph = match flag {
+        GRAPH_DEFAULT => None,
+        GRAPH_NAMED => Some(read_term(payload, pos)?),
+        other => {
+            return Err(PersistError::corrupt(format!(
+                "unknown WAL quad graph flag {other}"
+            )))
+        }
+    };
+    let s = read_term(payload, pos)?;
+    let p = read_term(payload, pos)?;
+    let o = read_term(payload, pos)?;
+    Ok(Quad::new(Triple::new(s, p, o), graph))
+}
+
+fn write_quads(out: &mut Vec<u8>, quads: &[Quad]) {
+    write_varint(out, quads.len() as u64);
+    for q in quads {
+        write_quad(out, q);
+    }
+}
+
+fn read_quads(payload: &[u8], pos: &mut usize) -> Result<Vec<Quad>, PersistError> {
+    let count = super::codec::read_len(payload, pos)?;
+    let mut quads = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        quads.push(read_quad(payload, pos)?);
+    }
+    Ok(quads)
+}
+
 /// Serializes one operation into a complete record (header + payload).
 pub fn encode_record(op: &WalOp) -> Vec<u8> {
-    let (tag, triples) = match op {
-        WalOp::Insert(t) => (OP_INSERT, t),
-        WalOp::Remove(t) => (OP_REMOVE, t),
-    };
     let mut payload = Vec::new();
-    payload.push(tag);
-    write_varint(&mut payload, triples.len() as u64);
-    for t in triples.iter() {
-        write_term(&mut payload, &t.subject);
-        write_term(&mut payload, &t.predicate);
-        write_term(&mut payload, &t.object);
+    match op {
+        WalOp::Insert(triples) | WalOp::Remove(triples) => {
+            payload.push(if matches!(op, WalOp::Insert(_)) {
+                OP_INSERT
+            } else {
+                OP_REMOVE
+            });
+            write_varint(&mut payload, triples.len() as u64);
+            for t in triples.iter() {
+                write_term(&mut payload, &t.subject);
+                write_term(&mut payload, &t.predicate);
+                write_term(&mut payload, &t.object);
+            }
+        }
+        WalOp::InsertQuads(quads) | WalOp::RemoveQuads(quads) => {
+            payload.push(if matches!(op, WalOp::InsertQuads(_)) {
+                OP_INSERT_QUADS
+            } else {
+                OP_REMOVE_QUADS
+            });
+            write_quads(&mut payload, quads);
+        }
+        WalOp::Update { removes, inserts } => {
+            payload.push(OP_UPDATE);
+            write_quads(&mut payload, removes);
+            write_quads(&mut payload, inserts);
+        }
     }
     let mut record = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
     record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -89,22 +196,35 @@ fn decode_payload(payload: &[u8]) -> Result<WalOp, PersistError> {
         return Err(PersistError::corrupt("empty WAL record payload"));
     };
     pos += 1;
-    let count = super::codec::read_len(payload, &mut pos)?;
-    let mut triples = Vec::with_capacity(count.min(1 << 16));
-    for _ in 0..count {
-        let s = read_term(payload, &mut pos)?;
-        let p = read_term(payload, &mut pos)?;
-        let o = read_term(payload, &mut pos)?;
-        triples.push(Triple::new(s, p, o));
-    }
+    let op = match tag {
+        OP_INSERT | OP_REMOVE => {
+            let count = super::codec::read_len(payload, &mut pos)?;
+            let mut triples = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                let s = read_term(payload, &mut pos)?;
+                let p = read_term(payload, &mut pos)?;
+                let o = read_term(payload, &mut pos)?;
+                triples.push(Triple::new(s, p, o));
+            }
+            if tag == OP_INSERT {
+                WalOp::Insert(triples)
+            } else {
+                WalOp::Remove(triples)
+            }
+        }
+        OP_INSERT_QUADS => WalOp::InsertQuads(read_quads(payload, &mut pos)?),
+        OP_REMOVE_QUADS => WalOp::RemoveQuads(read_quads(payload, &mut pos)?),
+        OP_UPDATE => {
+            let removes = read_quads(payload, &mut pos)?;
+            let inserts = read_quads(payload, &mut pos)?;
+            WalOp::Update { removes, inserts }
+        }
+        other => return Err(PersistError::corrupt(format!("unknown WAL op tag {other}"))),
+    };
     if pos != payload.len() {
         return Err(PersistError::corrupt("WAL record has trailing bytes"));
     }
-    match tag {
-        OP_INSERT => Ok(WalOp::Insert(triples)),
-        OP_REMOVE => Ok(WalOp::Remove(triples)),
-        other => Err(PersistError::corrupt(format!("unknown WAL op tag {other}"))),
-    }
+    Ok(op)
 }
 
 /// What the recovery scan in [`Wal::open`] found.
@@ -360,6 +480,78 @@ mod tests {
             std::fs::metadata(&path).unwrap().len(),
             recovery.valid_bytes
         );
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn quad_ops_round_trip_and_replay() {
+        let path = temp_wal("quads");
+        let g: hbold_rdf_model::Term = Iri::new("http://graphs.example/g1").unwrap().into();
+        let ops = vec![
+            WalOp::InsertQuads(vec![
+                Quad::new(triple(1), Some(g.clone())),
+                Quad::new(triple(2), None),
+            ]),
+            WalOp::Update {
+                removes: vec![Quad::new(triple(2), None)],
+                inserts: vec![Quad::new(triple(3), Some(g.clone()))],
+            },
+            WalOp::RemoveQuads(vec![Quad::new(triple(1), Some(g.clone()))]),
+        ];
+        {
+            let (mut wal, _) = Wal::open(&path, false).unwrap();
+            for op in &ops {
+                wal.append(op).unwrap();
+            }
+        }
+        let (_, recovery) = Wal::open(&path, false).unwrap();
+        assert_eq!(recovery.ops, ops);
+        let mut store = TripleStore::new();
+        for op in &recovery.ops {
+            op.apply(&mut store);
+        }
+        // Replay twice: quad ops must be idempotent.
+        for op in &recovery.ops {
+            op.apply(&mut store);
+        }
+        assert_eq!(store.len(), 1);
+        assert!(store.contains_in_graph(&triple(3), Some(&g)));
+        assert!(!store.contains(&triple(2)));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn update_record_is_atomic_under_truncation() {
+        // Truncating an update record at *every* byte offset must yield
+        // either "no update at all" or "the whole update" — never removes
+        // without inserts.
+        let path = temp_wal("atomic");
+        let g: hbold_rdf_model::Term = Iri::new("http://graphs.example/g1").unwrap().into();
+        {
+            let (mut wal, _) = Wal::open(&path, false).unwrap();
+            wal.append(&WalOp::InsertQuads(vec![Quad::new(triple(1), None)]))
+                .unwrap();
+            wal.append(&WalOp::Update {
+                removes: vec![Quad::new(triple(1), None)],
+                inserts: vec![Quad::new(triple(2), Some(g.clone()))],
+            })
+            .unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (_, recovery) = Wal::open(&path, false).unwrap();
+            let mut store = TripleStore::new();
+            for op in &recovery.ops {
+                op.apply(&mut store);
+            }
+            let updated = store.contains_in_graph(&triple(2), Some(&g));
+            let original = store.contains(&triple(1));
+            assert!(
+                (updated && !original) || (!updated && (original || store.is_empty())),
+                "partially applied update visible after cut at byte {cut}"
+            );
+        }
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 

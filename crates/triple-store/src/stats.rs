@@ -16,7 +16,8 @@ use crate::store::TripleStore;
 /// Summary statistics of a store.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StoreStats {
-    /// Total number of triples.
+    /// Total number of triples in the default graph (the graph the
+    /// extraction pipeline queries).
     pub triples: usize,
     /// Number of distinct subjects.
     pub distinct_subjects: usize,
@@ -56,7 +57,7 @@ impl StoreStats {
         }
 
         StoreStats {
-            triples: store.len(),
+            triples: store.default_graph_len(),
             distinct_subjects: subjects.len(),
             distinct_predicates: predicates.len(),
             distinct_objects: objects.len(),

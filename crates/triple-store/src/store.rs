@@ -1,9 +1,18 @@
-//! The [`TripleStore`]: dictionary + three positional indexes.
+//! The [`TripleStore`]: dictionary + six positional quad indexes.
 
-use hbold_rdf_model::{Graph, Iri, Term, Triple, TriplePattern};
+use hbold_rdf_model::{Graph, Iri, Quad, Term, Triple, TriplePattern};
 
 use crate::dictionary::{TermDictionary, TermId};
 use crate::index::{IndexOrder, PositionalIndex, PrefixScan, TierSizes};
+
+/// The reserved identifier of the default graph.
+///
+/// It is `TermId::MAX`, which the dictionary can never hand out in practice
+/// (interning 2³²−1 terms would exhaust memory first), so the graph
+/// component of every encoded quad is always a valid `TermId` and the
+/// graph-first indexes need no `Option`. Because index ranges are inclusive
+/// on both bounds, the sentinel scans like any other identifier.
+pub const DEFAULT_GRAPH: TermId = TermId::MAX;
 
 /// A triple with all three terms replaced by dictionary identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -16,7 +25,40 @@ pub struct EncodedTriple {
     pub object: TermId,
 }
 
-/// An in-memory RDF store with dictionary encoding and SPO/POS/OSP indexes.
+/// A quad with all terms replaced by dictionary identifiers; the graph is
+/// [`DEFAULT_GRAPH`] for default-graph quads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EncodedQuad {
+    /// Subject identifier.
+    pub subject: TermId,
+    /// Predicate identifier.
+    pub predicate: TermId,
+    /// Object identifier.
+    pub object: TermId,
+    /// Graph identifier ([`DEFAULT_GRAPH`] = the default graph).
+    pub graph: TermId,
+}
+
+impl EncodedQuad {
+    /// The triple component (drops the graph).
+    pub fn triple(self) -> EncodedTriple {
+        EncodedTriple {
+            subject: self.subject,
+            predicate: self.predicate,
+            object: self.object,
+        }
+    }
+}
+
+/// An in-memory RDF quad store with dictionary encoding and the six-index
+/// SPOG/POSG/OSPG + GSPO/GPOS/GOSP layout.
+///
+/// The three graph-last orders serve any-graph lookups with a triple
+/// prefix; the three graph-first orders serve lookups inside one graph —
+/// including the default graph, addressed by the reserved [`DEFAULT_GRAPH`]
+/// identifier. The triple-level API (insert/remove/matching/iter) operates
+/// on the default graph, so triples-only callers see exactly the pre-quad
+/// behaviour; the `*_in_graph` and quad APIs address named graphs.
 ///
 /// ```
 /// use hbold_rdf_model::{Iri, Triple, TriplePattern, vocab::{foaf, rdf}};
@@ -32,17 +74,41 @@ pub struct EncodedTriple {
 /// let people = store.matching(&TriplePattern::any().with_predicate(rdf::type_()));
 /// assert_eq!(people.len(), 1);
 ///
+/// // The same triple in a named graph is a distinct quad.
+/// let g: hbold_rdf_model::Term = Iri::new("http://example.org/g")?.into();
+/// assert!(store.insert_in_graph(&triple, Some(&g)));
+/// assert_eq!(store.len(), 2, "two quads");
+/// assert_eq!(store.default_graph_len(), 1, "one default-graph triple");
+///
 /// assert!(store.remove(&triple));
-/// assert!(store.is_empty());
+/// assert_eq!(store.default_graph_len(), 0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TripleStore {
     dict: TermDictionary,
-    spo: PositionalIndex,
-    pos: PositionalIndex,
-    osp: PositionalIndex,
+    spog: PositionalIndex,
+    posg: PositionalIndex,
+    ospg: PositionalIndex,
+    gspo: PositionalIndex,
+    gpos: PositionalIndex,
+    gosp: PositionalIndex,
     len: usize,
+}
+
+type QuadKey = (TermId, TermId, TermId, TermId);
+
+/// The six key permutations of one encoded quad `(s, p, o, g)`.
+#[inline]
+fn permutations(s: TermId, p: TermId, o: TermId, g: TermId) -> [QuadKey; 6] {
+    [
+        (s, p, o, g), // spog
+        (p, o, s, g), // posg
+        (o, s, p, g), // ospg
+        (g, s, p, o), // gspo
+        (g, p, o, s), // gpos
+        (g, o, s, p), // gosp
+    ]
 }
 
 impl TripleStore {
@@ -51,56 +117,94 @@ impl TripleStore {
         TripleStore::default()
     }
 
-    /// Builds a store from a [`Graph`] using the batched bulk-load path.
+    /// Builds a store from a [`Graph`] using the batched bulk-load path
+    /// (into the default graph).
     pub fn from_graph(graph: &Graph) -> Self {
         let mut store = TripleStore::new();
         store.insert_batch(graph.iter());
         store
     }
 
-    /// Rebuilds a store from a decoded snapshot: the id-ordered dictionary
-    /// plus the SPO-sorted encoded triples. The POS/OSP indexes are derived
-    /// here rather than stored, halving the snapshot size.
-    ///
-    /// All three indexes are built as pure sorted flat vectors (see
-    /// [`PositionalIndex`]), so a restored store starts on the contiguous
-    /// scan fast path with zero B-tree nodes.
+    /// Rebuilds a store from a decoded v1 snapshot: the id-ordered
+    /// dictionary plus SPO-sorted encoded triples, all placed in the
+    /// default graph.
     pub(crate) fn from_snapshot_parts(
         dict: TermDictionary,
-        mut triples: Vec<(TermId, TermId, TermId)>,
+        triples: Vec<(TermId, TermId, TermId)>,
     ) -> Self {
-        // The snapshot writer emits ascending SPO order, but defend against
+        let quads = triples
+            .into_iter()
+            .map(|(s, p, o)| (DEFAULT_GRAPH, s, p, o))
+            .collect();
+        TripleStore::from_snapshot_quads(dict, quads)
+    }
+
+    /// Rebuilds a store from a decoded snapshot: the id-ordered dictionary
+    /// plus GSPO-ordered encoded quads. The other five permutations are
+    /// derived here rather than stored, keeping the snapshot small.
+    ///
+    /// All six indexes are built as pure sorted flat vectors (see
+    /// [`PositionalIndex`]), so a restored store starts on the contiguous
+    /// scan fast path with zero B-tree nodes.
+    pub(crate) fn from_snapshot_quads(
+        dict: TermDictionary,
+        mut gspo: Vec<(TermId, TermId, TermId, TermId)>,
+    ) -> Self {
+        // The snapshot writer emits ascending GSPO order, but defend against
         // hand-crafted files: sort + dedup is cheap relative to decode.
-        triples.sort_unstable();
-        triples.dedup();
-        let mut pos: Vec<(TermId, TermId, TermId)> =
-            triples.iter().map(|&(s, p, o)| (p, o, s)).collect();
-        pos.sort_unstable();
-        let mut osp: Vec<(TermId, TermId, TermId)> =
-            triples.iter().map(|&(s, p, o)| (o, s, p)).collect();
-        osp.sort_unstable();
-        let len = triples.len();
+        gspo.sort_unstable();
+        gspo.dedup();
+        let sorted = |f: fn(&QuadKey) -> QuadKey| -> PositionalIndex {
+            let mut keys: Vec<QuadKey> = gspo.iter().map(f).collect();
+            keys.sort_unstable();
+            PositionalIndex::from_sorted(keys)
+        };
+        let spog = sorted(|&(g, s, p, o)| (s, p, o, g));
+        let posg = sorted(|&(g, s, p, o)| (p, o, s, g));
+        let ospg = sorted(|&(g, s, p, o)| (o, s, p, g));
+        let gpos = sorted(|&(g, s, p, o)| (g, p, o, s));
+        let gosp = sorted(|&(g, s, p, o)| (g, o, s, p));
+        let len = gspo.len();
         TripleStore {
             dict,
-            spo: PositionalIndex::from_sorted(triples),
-            pos: PositionalIndex::from_sorted(pos),
-            osp: PositionalIndex::from_sorted(osp),
+            spog,
+            posg,
+            ospg,
+            gspo: PositionalIndex::from_sorted(gspo),
+            gpos,
+            gosp,
             len,
         }
     }
 
-    /// Iterates the encoded triples in ascending SPO order (the order the
-    /// snapshot writer delta-encodes them in).
-    pub(crate) fn encoded_spo_iter(&self) -> impl Iterator<Item = &(TermId, TermId, TermId)> {
-        self.spo.scan_all()
+    /// Iterates the encoded quads in ascending GSPO order (the order the
+    /// snapshot writer delta-encodes them in; the default graph sorts
+    /// last because its identifier is `TermId::MAX`).
+    pub(crate) fn encoded_gspo_iter(
+        &self,
+    ) -> impl Iterator<Item = &(TermId, TermId, TermId, TermId)> {
+        self.gspo.scan_all()
     }
 
-    /// Number of triples stored.
+    /// Number of quads stored (across the default and all named graphs).
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// Returns `true` if the store holds no triples.
+    /// Number of triples in the default graph.
+    pub fn default_graph_len(&self) -> usize {
+        self.gspo.count_prefix1(DEFAULT_GRAPH)
+    }
+
+    /// Number of quads in one graph (`None` = the default graph).
+    pub fn graph_len(&self, graph: Option<&Term>) -> usize {
+        match self.graph_id(graph) {
+            Some(g) => self.gspo.count_prefix1(g),
+            None => 0,
+        }
+    }
+
+    /// Returns `true` if the store holds no quads.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -110,13 +214,16 @@ impl TripleStore {
         self.dict.len()
     }
 
-    /// Per-tier sizes of the three positional indexes (flat / delta / dead;
+    /// Per-tier sizes of the six positional indexes (flat / delta / dead;
     /// see [`crate::index`]) — the raw material for storage-tier gauges.
-    pub fn index_tier_sizes(&self) -> [(IndexOrder, TierSizes); 3] {
+    pub fn index_tier_sizes(&self) -> [(IndexOrder, TierSizes); 6] {
         [
-            (IndexOrder::Spo, self.spo.tier_sizes()),
-            (IndexOrder::Pos, self.pos.tier_sizes()),
-            (IndexOrder::Osp, self.osp.tier_sizes()),
+            (IndexOrder::Spog, self.spog.tier_sizes()),
+            (IndexOrder::Posg, self.posg.tier_sizes()),
+            (IndexOrder::Ospg, self.ospg.tier_sizes()),
+            (IndexOrder::Gspo, self.gspo.tier_sizes()),
+            (IndexOrder::Gpos, self.gpos.tier_sizes()),
+            (IndexOrder::Gosp, self.gosp.tier_sizes()),
         ]
     }
 
@@ -125,23 +232,78 @@ impl TripleStore {
         &self.dict
     }
 
-    /// Inserts a triple; returns `true` if it was not already present.
-    pub fn insert(&mut self, triple: &Triple) -> bool {
-        let s = self.dict.intern(&triple.subject);
-        let p = self.dict.intern(&triple.predicate);
-        let o = self.dict.intern(&triple.object);
-        let inserted = self.spo.insert((s, p, o));
+    /// The identifier of a graph name (`None` = [`DEFAULT_GRAPH`]), or
+    /// `None` when a named graph's term was never interned.
+    fn graph_id(&self, graph: Option<&Term>) -> Option<TermId> {
+        match graph {
+            None => Some(DEFAULT_GRAPH),
+            Some(term) => self.dict.id_of(term),
+        }
+    }
+
+    fn insert_encoded(&mut self, s: TermId, p: TermId, o: TermId, g: TermId) -> bool {
+        let [spog, posg, ospg, gspo, gpos, gosp] = permutations(s, p, o, g);
+        let inserted = self.spog.insert(spog);
         if inserted {
-            self.pos.insert((p, o, s));
-            self.osp.insert((o, s, p));
+            self.posg.insert(posg);
+            self.ospg.insert(ospg);
+            self.gspo.insert(gspo);
+            self.gpos.insert(gpos);
+            self.gosp.insert(gosp);
             self.len += 1;
         }
         inserted
     }
 
-    /// Bulk-loads a batch of triples, returning how many were new.
+    fn remove_encoded(&mut self, s: TermId, p: TermId, o: TermId, g: TermId) -> bool {
+        let [spog, posg, ospg, gspo, gpos, gosp] = permutations(s, p, o, g);
+        let removed = self.spog.remove(&spog);
+        if removed {
+            self.posg.remove(&posg);
+            self.ospg.remove(&ospg);
+            self.gspo.remove(&gspo);
+            self.gpos.remove(&gpos);
+            self.gosp.remove(&gosp);
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Inserts a triple into the default graph; returns `true` if it was
+    /// not already present there.
+    pub fn insert(&mut self, triple: &Triple) -> bool {
+        self.insert_in_graph(triple, None)
+    }
+
+    /// Inserts a triple into one graph (`None` = the default graph);
+    /// returns `true` if the quad was new.
+    pub fn insert_in_graph(&mut self, triple: &Triple, graph: Option<&Term>) -> bool {
+        let s = self.dict.intern(&triple.subject);
+        let p = self.dict.intern(&triple.predicate);
+        let o = self.dict.intern(&triple.object);
+        let g = match graph {
+            None => DEFAULT_GRAPH,
+            Some(term) => self.dict.intern(term),
+        };
+        self.insert_encoded(s, p, o, g)
+    }
+
+    /// Inserts a quad; returns `true` if it was new.
+    pub fn insert_quad(&mut self, quad: &Quad) -> bool {
+        self.insert_in_graph(
+            &Triple::new(
+                quad.subject.clone(),
+                quad.predicate.clone(),
+                quad.object.clone(),
+            ),
+            quad.graph.as_ref(),
+        )
+    }
+
+    /// Bulk-loads a batch of triples into the default graph, returning how
+    /// many were new.
     ///
-    /// Terms are interned once per occurrence and the three positional
+    /// Terms are interned once per occurrence and the six positional
     /// indexes are extended in one pass each, which is markedly cheaper than
     /// per-triple [`TripleStore::insert`] calls on large loads.
     pub fn insert_batch<'a>(&mut self, triples: impl IntoIterator<Item = &'a Triple>) -> usize {
@@ -151,56 +313,122 @@ impl TripleStore {
         // dictionary entries — reserving it once beats rehashing mid-load.
         let hint = triples.size_hint().0;
         self.dict.reserve(hint);
-        let mut encoded: Vec<(TermId, TermId, TermId)> = Vec::with_capacity(hint);
-        encoded.extend(triples.map(|t| {
-            (
-                self.dict.intern(&t.subject),
-                self.dict.intern(&t.predicate),
-                self.dict.intern(&t.object),
-            )
-        }));
-        let before = self.spo.len();
-        self.spo.insert_batch(encoded.iter().copied());
-        self.pos
-            .insert_batch(encoded.iter().map(|&(s, p, o)| (p, o, s)));
-        self.osp
-            .insert_batch(encoded.iter().map(|&(s, p, o)| (o, s, p)));
-        let added = self.spo.len() - before;
+        let encoded: Vec<(TermId, TermId, TermId, TermId)> = triples
+            .map(|t| {
+                (
+                    self.dict.intern(&t.subject),
+                    self.dict.intern(&t.predicate),
+                    self.dict.intern(&t.object),
+                    DEFAULT_GRAPH,
+                )
+            })
+            .collect();
+        self.insert_encoded_batch(encoded)
+    }
+
+    /// Bulk-loads a batch of quads, returning how many were new.
+    pub fn insert_quads_batch<'a>(&mut self, quads: impl IntoIterator<Item = &'a Quad>) -> usize {
+        let quads = quads.into_iter();
+        let hint = quads.size_hint().0;
+        self.dict.reserve(hint);
+        let encoded: Vec<(TermId, TermId, TermId, TermId)> = quads
+            .map(|q| {
+                (
+                    self.dict.intern(&q.subject),
+                    self.dict.intern(&q.predicate),
+                    self.dict.intern(&q.object),
+                    match &q.graph {
+                        None => DEFAULT_GRAPH,
+                        Some(term) => self.dict.intern(term),
+                    },
+                )
+            })
+            .collect();
+        self.insert_encoded_batch(encoded)
+    }
+
+    fn insert_encoded_batch(&mut self, encoded: Vec<(TermId, TermId, TermId, TermId)>) -> usize {
+        let before = self.spog.len();
+        self.spog.insert_batch(encoded.iter().copied());
+        self.posg
+            .insert_batch(encoded.iter().map(|&(s, p, o, g)| (p, o, s, g)));
+        self.ospg
+            .insert_batch(encoded.iter().map(|&(s, p, o, g)| (o, s, p, g)));
+        self.gspo
+            .insert_batch(encoded.iter().map(|&(s, p, o, g)| (g, s, p, o)));
+        self.gpos
+            .insert_batch(encoded.iter().map(|&(s, p, o, g)| (g, p, o, s)));
+        self.gosp
+            .insert_batch(encoded.iter().map(|&(s, p, o, g)| (g, o, s, p)));
+        let added = self.spog.len() - before;
         self.len += added;
         added
     }
 
-    /// Removes a triple; returns `true` if it was present.
+    /// Removes a triple from the default graph; returns `true` if it was
+    /// present there.
     ///
     /// The dictionary entries of its terms are kept (interning is
     /// append-only; see [`TermDictionary`]).
     pub fn remove(&mut self, triple: &Triple) -> bool {
-        let (Some(s), Some(p), Some(o)) = (
+        self.remove_in_graph(triple, None)
+    }
+
+    /// Removes a triple from one graph (`None` = the default graph);
+    /// returns `true` if the quad was present.
+    pub fn remove_in_graph(&mut self, triple: &Triple, graph: Option<&Term>) -> bool {
+        let (Some(s), Some(p), Some(o), Some(g)) = (
             self.dict.id_of(&triple.subject),
             self.dict.id_of(&triple.predicate),
             self.dict.id_of(&triple.object),
+            self.graph_id(graph),
         ) else {
             return false;
         };
-        let removed = self.spo.remove(&(s, p, o));
-        if removed {
-            self.pos.remove(&(p, o, s));
-            self.osp.remove(&(o, s, p));
-            self.len -= 1;
-        }
-        removed
+        self.remove_encoded(s, p, o, g)
     }
 
-    /// Returns `true` if the exact triple is present.
+    /// Removes a quad; returns `true` if it was present.
+    pub fn remove_quad(&mut self, quad: &Quad) -> bool {
+        self.remove_in_graph(
+            &Triple::new(
+                quad.subject.clone(),
+                quad.predicate.clone(),
+                quad.object.clone(),
+            ),
+            quad.graph.as_ref(),
+        )
+    }
+
+    /// Returns `true` if the exact triple is present in the default graph.
     pub fn contains(&self, triple: &Triple) -> bool {
+        self.contains_in_graph(triple, None)
+    }
+
+    /// Returns `true` if the triple is present in one graph (`None` = the
+    /// default graph).
+    pub fn contains_in_graph(&self, triple: &Triple, graph: Option<&Term>) -> bool {
         match (
             self.dict.id_of(&triple.subject),
             self.dict.id_of(&triple.predicate),
             self.dict.id_of(&triple.object),
+            self.graph_id(graph),
         ) {
-            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            (Some(s), Some(p), Some(o), Some(g)) => self.spog.contains(&(s, p, o, g)),
             _ => false,
         }
+    }
+
+    /// Returns `true` if the exact quad is present.
+    pub fn contains_quad(&self, quad: &Quad) -> bool {
+        self.contains_in_graph(
+            &Triple::new(
+                quad.subject.clone(),
+                quad.predicate.clone(),
+                quad.object.clone(),
+            ),
+            quad.graph.as_ref(),
+        )
     }
 
     /// The identifier of a term, if it has been interned.
@@ -213,8 +441,9 @@ impl TripleStore {
         self.dict.term(id)
     }
 
-    /// Streams the encoded triples matching the encoded pattern
-    /// `(subject?, predicate?, object?)`, choosing the best index.
+    /// Streams the encoded triples of the **default graph** matching the
+    /// encoded pattern `(subject?, predicate?, object?)`, choosing the best
+    /// index.
     ///
     /// This is the innermost loop of the SPARQL engine's encoded operator
     /// pipeline: it returns a concrete iterator (no boxing, no decoding)
@@ -226,21 +455,58 @@ impl TripleStore {
         predicate: Option<TermId>,
         object: Option<TermId>,
     ) -> EncodedScan<'_> {
-        let (scan, order) = match (subject, predicate, object) {
-            (Some(s), Some(p), Some(o)) => (self.spo.scan_prefix3(s, p, o), IndexOrder::Spo),
-            (Some(s), Some(p), None) => (self.spo.scan_prefix2(s, p), IndexOrder::Spo),
-            (Some(s), None, None) => (self.spo.scan_prefix1(s), IndexOrder::Spo),
-            (None, Some(p), Some(o)) => (self.pos.scan_prefix2(p, o), IndexOrder::Pos),
-            (None, Some(p), None) => (self.pos.scan_prefix1(p), IndexOrder::Pos),
-            (None, None, Some(o)) => (self.osp.scan_prefix1(o), IndexOrder::Osp),
-            (Some(s), None, Some(o)) => (self.osp.scan_prefix2(o, s), IndexOrder::Osp),
-            (None, None, None) => (self.spo.scan_all(), IndexOrder::Spo),
-        };
-        EncodedScan { scan, order }
+        EncodedScan {
+            inner: self.matching_quads_encoded_iter(
+                Some(DEFAULT_GRAPH),
+                subject,
+                predicate,
+                object,
+            ),
+        }
     }
 
-    /// Returns all encoded triples matching the encoded pattern
-    /// `(subject?, predicate?, object?)`, choosing the best index.
+    /// Streams the encoded quads matching the encoded pattern
+    /// `(graph?, subject?, predicate?, object?)`, choosing the best of the
+    /// six indexes. `graph = Some(g)` scans inside one graph (graph-first
+    /// index, pass [`DEFAULT_GRAPH`] for the default graph); `graph = None`
+    /// scans across **all** graphs (graph-last index) and yields each
+    /// quad's graph identifier.
+    pub fn matching_quads_encoded_iter(
+        &self,
+        graph: Option<TermId>,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> QuadScan<'_> {
+        let (scan, order) = match graph {
+            Some(g) => match (subject, predicate, object) {
+                (Some(s), Some(p), Some(o)) => {
+                    (self.gspo.scan_prefix4(g, s, p, o), IndexOrder::Gspo)
+                }
+                (Some(s), Some(p), None) => (self.gspo.scan_prefix3(g, s, p), IndexOrder::Gspo),
+                (Some(s), None, None) => (self.gspo.scan_prefix2(g, s), IndexOrder::Gspo),
+                (None, Some(p), Some(o)) => (self.gpos.scan_prefix3(g, p, o), IndexOrder::Gpos),
+                (None, Some(p), None) => (self.gpos.scan_prefix2(g, p), IndexOrder::Gpos),
+                (None, None, Some(o)) => (self.gosp.scan_prefix2(g, o), IndexOrder::Gosp),
+                (Some(s), None, Some(o)) => (self.gosp.scan_prefix3(g, o, s), IndexOrder::Gosp),
+                (None, None, None) => (self.gspo.scan_prefix1(g), IndexOrder::Gspo),
+            },
+            None => match (subject, predicate, object) {
+                (Some(s), Some(p), Some(o)) => (self.spog.scan_prefix3(s, p, o), IndexOrder::Spog),
+                (Some(s), Some(p), None) => (self.spog.scan_prefix2(s, p), IndexOrder::Spog),
+                (Some(s), None, None) => (self.spog.scan_prefix1(s), IndexOrder::Spog),
+                (None, Some(p), Some(o)) => (self.posg.scan_prefix2(p, o), IndexOrder::Posg),
+                (None, Some(p), None) => (self.posg.scan_prefix1(p), IndexOrder::Posg),
+                (None, None, Some(o)) => (self.ospg.scan_prefix1(o), IndexOrder::Ospg),
+                (Some(s), None, Some(o)) => (self.ospg.scan_prefix2(o, s), IndexOrder::Ospg),
+                (None, None, None) => (self.spog.scan_all(), IndexOrder::Spog),
+            },
+        };
+        QuadScan { scan, order }
+    }
+
+    /// Returns all encoded default-graph triples matching the encoded
+    /// pattern `(subject?, predicate?, object?)`, choosing the best index.
     pub fn matching_encoded(
         &self,
         subject: Option<TermId>,
@@ -251,7 +517,7 @@ impl TripleStore {
             .collect()
     }
 
-    /// Counts the triples matching the encoded pattern
+    /// Counts the default-graph triples matching the encoded pattern
     /// `(subject?, predicate?, object?)` without walking them: the same
     /// index dispatch as [`TripleStore::matching_encoded_iter`], but each
     /// prefix is resolved with two binary searches on the flat tier (plus
@@ -263,46 +529,96 @@ impl TripleStore {
         predicate: Option<TermId>,
         object: Option<TermId>,
     ) -> usize {
-        match (subject, predicate, object) {
-            (Some(s), Some(p), Some(o)) => usize::from(self.spo.contains(&(s, p, o))),
-            (Some(s), Some(p), None) => self.spo.count_prefix2(s, p),
-            (Some(s), None, None) => self.spo.count_prefix1(s),
-            (None, Some(p), Some(o)) => self.pos.count_prefix2(p, o),
-            (None, Some(p), None) => self.pos.count_prefix1(p),
-            (None, None, Some(o)) => self.osp.count_prefix1(o),
-            (Some(s), None, Some(o)) => self.osp.count_prefix2(o, s),
-            (None, None, None) => self.len,
+        self.count_matching_quads_encoded(Some(DEFAULT_GRAPH), subject, predicate, object)
+    }
+
+    /// Counts the quads matching the encoded pattern
+    /// `(graph?, subject?, predicate?, object?)` without walking them —
+    /// the quad-level counterpart of
+    /// [`TripleStore::count_matching_encoded`], with the same graph
+    /// selection semantics as
+    /// [`TripleStore::matching_quads_encoded_iter`].
+    pub fn count_matching_quads_encoded(
+        &self,
+        graph: Option<TermId>,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> usize {
+        match graph {
+            Some(g) => match (subject, predicate, object) {
+                (Some(s), Some(p), Some(o)) => usize::from(self.gspo.contains(&(g, s, p, o))),
+                (Some(s), Some(p), None) => self.gspo.count_prefix3(g, s, p),
+                (Some(s), None, None) => self.gspo.count_prefix2(g, s),
+                (None, Some(p), Some(o)) => self.gpos.count_prefix3(g, p, o),
+                (None, Some(p), None) => self.gpos.count_prefix2(g, p),
+                (None, None, Some(o)) => self.gosp.count_prefix2(g, o),
+                (Some(s), None, Some(o)) => self.gosp.count_prefix3(g, o, s),
+                (None, None, None) => self.gspo.count_prefix1(g),
+            },
+            None => match (subject, predicate, object) {
+                (Some(s), Some(p), Some(o)) => self.spog.count_prefix3(s, p, o),
+                (Some(s), Some(p), None) => self.spog.count_prefix2(s, p),
+                (Some(s), None, None) => self.spog.count_prefix1(s),
+                (None, Some(p), Some(o)) => self.posg.count_prefix2(p, o),
+                (None, Some(p), None) => self.posg.count_prefix1(p),
+                (None, None, Some(o)) => self.ospg.count_prefix1(o),
+                (Some(s), None, Some(o)) => self.ospg.count_prefix2(o, s),
+                (None, None, None) => self.len,
+            },
         }
     }
 
-    /// Estimated number of distinct subjects in the store.
+    /// Identifiers of every named graph holding at least one quad, in
+    /// ascending id order.
+    pub fn named_graph_ids(&self) -> Vec<TermId> {
+        let mut ids = self.gspo.first_components();
+        ids.retain(|&g| g != DEFAULT_GRAPH);
+        ids
+    }
+
+    /// Per-graph quad counts: each named graph (decoded, ascending id
+    /// order) followed by the default graph as `None` when it is
+    /// non-empty.
+    pub fn graph_quad_counts(&self) -> Vec<(Option<Term>, usize)> {
+        self.gspo
+            .first_components()
+            .into_iter()
+            .map(|g| {
+                let name = (g != DEFAULT_GRAPH).then(|| self.dict.term(g).clone());
+                (name, self.gspo.count_prefix1(g))
+            })
+            .collect()
+    }
+
+    /// Estimated number of distinct subjects in the store (all graphs).
     pub fn distinct_subjects_estimate(&self) -> usize {
-        self.spo.distinct_first_estimate()
+        self.spog.distinct_first_estimate()
     }
 
-    /// Estimated number of distinct predicates in the store.
+    /// Estimated number of distinct predicates in the store (all graphs).
     pub fn distinct_predicates_estimate(&self) -> usize {
-        self.pos.distinct_first_estimate()
+        self.posg.distinct_first_estimate()
     }
 
-    /// Estimated number of distinct objects in the store.
+    /// Estimated number of distinct objects in the store (all graphs).
     pub fn distinct_objects_estimate(&self) -> usize {
-        self.osp.distinct_first_estimate()
+        self.ospg.distinct_first_estimate()
     }
 
-    /// Estimated number of distinct predicates on triples with subject `s`.
+    /// Estimated number of distinct predicates on quads with subject `s`.
     pub fn distinct_predicates_of_subject(&self, s: TermId) -> usize {
-        self.spo.distinct_second_estimate(s)
+        self.spog.distinct_second_estimate(s)
     }
 
-    /// Estimated number of distinct objects on triples with predicate `p`.
+    /// Estimated number of distinct objects on quads with predicate `p`.
     pub fn distinct_objects_of_predicate(&self, p: TermId) -> usize {
-        self.pos.distinct_second_estimate(p)
+        self.posg.distinct_second_estimate(p)
     }
 
-    /// Estimated number of distinct subjects on triples with object `o`.
+    /// Estimated number of distinct subjects on quads with object `o`.
     pub fn distinct_subjects_of_object(&self, o: TermId) -> usize {
-        self.osp.distinct_second_estimate(o)
+        self.ospg.distinct_second_estimate(o)
     }
 
     /// Resolves a [`TriplePattern`]'s bound positions to identifiers;
@@ -324,7 +640,8 @@ impl TripleStore {
         ))
     }
 
-    /// Returns all triples (decoded) matching a [`TriplePattern`].
+    /// Returns all default-graph triples (decoded) matching a
+    /// [`TriplePattern`].
     ///
     /// A pattern mentioning a term that has never been interned matches
     /// nothing, without touching the indexes.
@@ -332,10 +649,11 @@ impl TripleStore {
         self.matching_iter(pattern).collect()
     }
 
-    /// Streams the triples matching a [`TriplePattern`] without materializing
-    /// them, decoding each on the way out. Callers that can work on
-    /// identifiers should prefer [`TripleStore::matching_encoded_iter`] and
-    /// decode only what they keep.
+    /// Streams the default-graph triples matching a [`TriplePattern`]
+    /// without materializing them, decoding each on the way out. Callers
+    /// that can work on identifiers should prefer
+    /// [`TripleStore::matching_encoded_iter`] and decode only what they
+    /// keep.
     pub fn matching_iter<'s>(
         &'s self,
         pattern: &TriplePattern,
@@ -346,8 +664,8 @@ impl TripleStore {
         }
     }
 
-    /// Counts the triples matching a pattern without decoding or
-    /// materializing them.
+    /// Counts the default-graph triples matching a pattern without decoding
+    /// or materializing them.
     pub fn count_matching(&self, pattern: &TriplePattern) -> usize {
         match self.encode_pattern(pattern) {
             Err(()) => 0,
@@ -364,9 +682,17 @@ impl TripleStore {
         )
     }
 
-    /// Iterates over every stored triple (decoded, in SPO id order).
+    /// Decodes an encoded quad back into terms.
+    pub fn decode_quad(&self, encoded: EncodedQuad) -> Quad {
+        Quad::new(
+            self.decode(encoded.triple()),
+            (encoded.graph != DEFAULT_GRAPH).then(|| self.dict.term(encoded.graph).clone()),
+        )
+    }
+
+    /// Iterates over every default-graph triple (decoded, in SPO id order).
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo.scan_all().map(|&(s, p, o)| {
+        self.gspo.scan_prefix1(DEFAULT_GRAPH).map(|&(_, s, p, o)| {
             Triple::new(
                 self.dict.term(s).clone(),
                 self.dict.term(p).clone(),
@@ -375,17 +701,32 @@ impl TripleStore {
         })
     }
 
-    /// Exports the store contents as a [`Graph`].
+    /// Iterates over every stored quad (decoded, named graphs in ascending
+    /// graph-id order first, the default graph last).
+    pub fn iter_quads(&self) -> impl Iterator<Item = Quad> + '_ {
+        self.gspo.scan_all().map(|&(g, s, p, o)| {
+            Quad::new(
+                Triple::new(
+                    self.dict.term(s).clone(),
+                    self.dict.term(p).clone(),
+                    self.dict.term(o).clone(),
+                ),
+                (g != DEFAULT_GRAPH).then(|| self.dict.term(g).clone()),
+            )
+        })
+    }
+
+    /// Exports the default-graph contents as a [`Graph`].
     pub fn to_graph(&self) -> Graph {
         self.iter().collect()
     }
 
-    /// All distinct predicate IRIs in use, with the number of triples using
-    /// each (sorted by IRI).
+    /// All distinct predicate IRIs in use (any graph), with the number of
+    /// quads using each (sorted by IRI).
     pub fn predicate_usage(&self) -> Vec<(Iri, usize)> {
         let mut usage: Vec<(Iri, usize)> = Vec::new();
         let mut current: Option<(TermId, usize)> = None;
-        for &(p, _, _) in self.pos.scan_all() {
+        for &(p, _, _, _) in self.posg.scan_all() {
             match current {
                 Some((cur, n)) if cur == p => current = Some((cur, n + 1)),
                 Some((cur, n)) => {
@@ -407,12 +748,46 @@ impl TripleStore {
     }
 }
 
-/// A streaming scan of encoded triples from one positional index, with the
-/// index's key permutation mapped back to subject/predicate/object on the
-/// fly. Concrete (unboxed) so BGP join inner loops monomorphize fully.
-pub struct EncodedScan<'s> {
+/// A streaming scan of encoded quads from one positional index, with the
+/// index's key permutation mapped back to subject/predicate/object/graph
+/// on the fly. Concrete (unboxed) so BGP join inner loops monomorphize
+/// fully.
+pub struct QuadScan<'s> {
     scan: PrefixScan<'s>,
     order: IndexOrder,
+}
+
+impl Iterator for QuadScan<'_> {
+    type Item = EncodedQuad;
+
+    #[inline]
+    fn next(&mut self) -> Option<EncodedQuad> {
+        let &(a, b, c, d) = self.scan.next()?;
+        let (subject, predicate, object, graph) = match self.order {
+            IndexOrder::Spog => (a, b, c, d),
+            IndexOrder::Posg => (c, a, b, d),
+            IndexOrder::Ospg => (b, c, a, d),
+            IndexOrder::Gspo => (b, c, d, a),
+            IndexOrder::Gpos => (d, b, c, a),
+            IndexOrder::Gosp => (c, d, b, a),
+        };
+        Some(EncodedQuad {
+            subject,
+            predicate,
+            object,
+            graph,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.scan.size_hint()
+    }
+}
+
+/// A [`QuadScan`] restricted to one graph, yielding bare encoded triples —
+/// the shape the triple-level read path consumes.
+pub struct EncodedScan<'s> {
+    inner: QuadScan<'s>,
 }
 
 impl Iterator for EncodedScan<'_> {
@@ -420,28 +795,11 @@ impl Iterator for EncodedScan<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<EncodedTriple> {
-        let &(a, b, c) = self.scan.next()?;
-        Some(match self.order {
-            IndexOrder::Spo => EncodedTriple {
-                subject: a,
-                predicate: b,
-                object: c,
-            },
-            IndexOrder::Pos => EncodedTriple {
-                predicate: a,
-                object: b,
-                subject: c,
-            },
-            IndexOrder::Osp => EncodedTriple {
-                object: a,
-                subject: b,
-                predicate: c,
-            },
-        })
+        self.inner.next().map(EncodedQuad::triple)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.scan.size_hint()
+        self.inner.size_hint()
     }
 }
 
@@ -523,6 +881,72 @@ mod tests {
     }
 
     #[test]
+    fn named_graphs_are_disjoint_from_the_default_graph() {
+        let mut store = TripleStore::new();
+        let t = Triple::new(iri("http://e.org/a"), rdf::type_(), foaf::person());
+        let g1: Term = iri("http://e.org/g1").into();
+        let g2: Term = iri("http://e.org/g2").into();
+        assert!(store.insert(&t));
+        assert!(store.insert_in_graph(&t, Some(&g1)));
+        assert!(!store.insert_in_graph(&t, Some(&g1)), "quad set semantics");
+        assert!(store.insert_in_graph(&t, Some(&g2)));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.default_graph_len(), 1);
+        assert_eq!(store.graph_len(Some(&g1)), 1);
+        assert_eq!(store.graph_len(None), 1);
+        assert!(store.contains_in_graph(&t, Some(&g2)));
+        assert!(!store.contains_in_graph(&t, Some(&iri("http://e.org/g3").into())));
+
+        // Removing from one graph leaves the others untouched.
+        assert!(store.remove_in_graph(&t, Some(&g1)));
+        assert!(!store.remove_in_graph(&t, Some(&g1)));
+        assert!(store.contains(&t));
+        assert!(store.contains_in_graph(&t, Some(&g2)));
+        assert_eq!(store.len(), 2);
+
+        // The triple-level read path only sees the default graph.
+        assert_eq!(store.matching(&TriplePattern::any()).len(), 1);
+        assert_eq!(store.iter().count(), 1);
+        assert_eq!(store.iter_quads().count(), 2);
+    }
+
+    #[test]
+    fn quad_api_round_trips() {
+        let mut store = TripleStore::new();
+        let t = Triple::new(iri("http://e.org/a"), foaf::name(), Literal::string("A"));
+        let named = Quad::new(t.clone(), Some(iri("http://e.org/g").into()));
+        let default = Quad::from(t);
+        assert!(store.insert_quad(&named));
+        assert!(store.insert_quad(&default));
+        assert!(store.contains_quad(&named));
+        assert!(store.contains_quad(&default));
+        let mut all: Vec<Quad> = store.iter_quads().collect();
+        all.sort();
+        assert_eq!(all, vec![default.clone(), named.clone()]);
+        assert!(store.remove_quad(&named));
+        assert!(!store.contains_quad(&named));
+        assert!(store.contains_quad(&default));
+    }
+
+    #[test]
+    fn graph_quad_counts_and_ids() {
+        let mut store = sample();
+        let t = Triple::new(iri("http://e.org/x"), rdf::type_(), foaf::person());
+        let g: Term = iri("http://e.org/g").into();
+        store.insert_in_graph(&t, Some(&g));
+        store.insert_in_graph(
+            &Triple::new(iri("http://e.org/y"), rdf::type_(), foaf::person()),
+            Some(&g),
+        );
+        assert_eq!(store.named_graph_ids().len(), 1);
+        let counts = store.graph_quad_counts();
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts[0], (Some(g), 2));
+        assert_eq!(counts[1], (None, 6));
+        assert!(TripleStore::new().graph_quad_counts().is_empty());
+    }
+
+    #[test]
     fn all_pattern_shapes_agree_with_naive_scan() {
         let store = sample();
         let graph = store.to_graph();
@@ -553,21 +977,48 @@ mod tests {
 
     #[test]
     fn encoded_counts_agree_with_scans_on_every_shape() {
-        let store = sample();
+        let mut store = sample();
+        // A couple of named-graph quads so the any-graph arms see several
+        // graphs and the in-graph arms see a non-trivial graph component.
+        let g: Term = iri("http://e.org/g").into();
+        store.insert_in_graph(
+            &Triple::new(iri("http://e.org/alice"), rdf::type_(), foaf::person()),
+            Some(&g),
+        );
+        store.insert_in_graph(
+            &Triple::new(
+                iri("http://e.org/zed"),
+                foaf::knows(),
+                iri("http://e.org/alice"),
+            ),
+            Some(&g),
+        );
         let mut slots: Vec<Option<TermId>> = vec![None];
         slots.extend((0..store.term_count() as TermId).map(Some));
+        let mut graphs: Vec<Option<TermId>> = vec![None, Some(DEFAULT_GRAPH)];
+        graphs.extend(store.named_graph_ids().into_iter().map(Some));
         // Every dispatch arm, for every interned id in every position.
-        for &s in &slots {
-            for &p in &slots {
-                for &o in &slots {
-                    assert_eq!(
-                        store.count_matching_encoded(s, p, o),
-                        store.matching_encoded_iter(s, p, o).count(),
-                        "pattern ({s:?}, {p:?}, {o:?})"
-                    );
+        for &graph in &graphs {
+            for &s in &slots {
+                for &p in &slots {
+                    for &o in &slots {
+                        assert_eq!(
+                            store.count_matching_quads_encoded(graph, s, p, o),
+                            store.matching_quads_encoded_iter(graph, s, p, o).count(),
+                            "pattern ({graph:?}, {s:?}, {p:?}, {o:?})"
+                        );
+                    }
                 }
             }
         }
+        // The triple-level scan sees only the default graph.
+        assert_eq!(
+            store.count_matching_encoded(None, None, None),
+            store.default_graph_len()
+        );
+        assert!(store
+            .matching_quads_encoded_iter(None, None, None, None)
+            .all(|q| q.graph == DEFAULT_GRAPH || store.term(q.graph).is_iri()));
     }
 
     #[test]
@@ -623,5 +1074,24 @@ mod tests {
         assert_eq!(store.len(), 2);
         store.extend(triples);
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn quads_batch_load_dedups_against_existing() {
+        let mut store = TripleStore::new();
+        let g: Term = iri("http://e.org/g").into();
+        let t1 = Triple::new(iri("http://e.org/a"), rdf::type_(), foaf::person());
+        let t2 = Triple::new(iri("http://e.org/b"), rdf::type_(), foaf::person());
+        let quads = vec![
+            Quad::new(t1.clone(), Some(g.clone())),
+            Quad::new(t1.clone(), Some(g.clone())), // in-batch duplicate
+            Quad::from(t1.clone()),
+            Quad::new(t2.clone(), Some(g.clone())),
+        ];
+        assert_eq!(store.insert_quads_batch(&quads), 3);
+        assert_eq!(store.insert_quads_batch(&quads), 0);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.graph_len(Some(&g)), 2);
+        assert_eq!(store.default_graph_len(), 1);
     }
 }

@@ -6,11 +6,12 @@
 //! prove it exhaustively by truncating the log at *every* byte offset of
 //! the final record and reopening.
 
+use std::collections::BTreeSet;
 use std::fs::OpenOptions;
 use std::path::PathBuf;
 
 use hbold_rdf_model::vocab::{foaf, rdf};
-use hbold_rdf_model::{Iri, Literal, Triple, TriplePattern};
+use hbold_rdf_model::{Iri, Literal, Quad, Term, Triple, TriplePattern};
 use hbold_sparql::execute_query;
 use hbold_triple_store::{PersistOptions, SharedStore, TripleStore};
 
@@ -94,6 +95,108 @@ fn recovery_at_every_truncation_offset_of_the_final_record() {
     std::fs::write(&wal, &full_bytes).unwrap();
     let (recovered, report) = SharedStore::open(&dir).unwrap();
     assert_eq!(recovered.len(), committed.len() + 2);
+    assert!(!report.wal_tail_truncated);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same every-byte-offset property for graph-scoped **update** records
+/// (`WalOp::Update`, the record SPARQL 1.1 Update commits through): a log
+/// whose final record is an atomic removes+inserts delta spanning the
+/// default graph and a named graph must recover to exactly the committed
+/// prefix at every truncation offset — the torn update vanishes entirely,
+/// never half-applies.
+#[test]
+fn recovery_at_every_truncation_offset_of_a_graph_update_record() {
+    let dir = temp_dir("update-offset");
+    let g1 = Term::Iri(Iri::new("http://e.org/graph/1").unwrap());
+    let quad = |n: u32, graph: Option<&Term>| {
+        Quad::new(
+            Triple::new(
+                Iri::new(format!("http://e.org/s/{n}")).unwrap(),
+                foaf::name(),
+                Literal::string(format!("v{n}")),
+            ),
+            graph.cloned(),
+        )
+    };
+    let committed_updates: Vec<(Vec<Quad>, Vec<Quad>)> = vec![
+        (Vec::new(), vec![quad(0, Some(&g1)), quad(0, None)]),
+        (Vec::new(), vec![quad(1, Some(&g1)), quad(1, None)]),
+        (Vec::new(), vec![quad(2, Some(&g1)), quad(2, None)]),
+        // A graph-scoped remove+insert delta in one committed record.
+        (vec![quad(1, Some(&g1))], vec![quad(100, Some(&g1))]),
+    ];
+    let final_update: (Vec<Quad>, Vec<Quad>) = (
+        vec![quad(2, Some(&g1)), quad(2, None)],
+        vec![quad(200, Some(&g1)), quad(200, None)],
+    );
+    {
+        let (shared, _) = SharedStore::open(&dir).unwrap();
+        for (removes, inserts) in &committed_updates {
+            shared.apply_update(|_| (removes.clone(), inserts.clone()));
+        }
+        let (removes, inserts) = &final_update;
+        shared.apply_update(|_| (removes.clone(), inserts.clone()));
+    }
+    let wal = dir.join("wal.log");
+    let full_len = std::fs::metadata(&wal).unwrap().len();
+    let full_bytes = std::fs::read(&wal).unwrap();
+
+    let mut offset = 0usize;
+    let mut record_starts = Vec::new();
+    while offset + 8 <= full_bytes.len() {
+        record_starts.push(offset);
+        let len = u32::from_le_bytes(full_bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        offset += 8 + len;
+    }
+    assert_eq!(offset as u64, full_len, "log should parse cleanly");
+    assert_eq!(record_starts.len(), committed_updates.len() + 1);
+    let final_start = *record_starts.last().unwrap() as u64;
+
+    let fingerprint = |store: &TripleStore| -> BTreeSet<String> {
+        store.iter_quads().map(|q| q.to_nquads()).collect()
+    };
+    let mut committed = TripleStore::new();
+    for (removes, inserts) in &committed_updates {
+        for q in removes {
+            committed.remove_quad(q);
+        }
+        for q in inserts {
+            committed.insert_quad(q);
+        }
+    }
+    let committed_fp = fingerprint(&committed);
+
+    for cut in final_start..full_len {
+        std::fs::write(&wal, &full_bytes).unwrap();
+        let file = OpenOptions::new().write(true).open(&wal).unwrap();
+        file.set_len(cut).unwrap();
+        drop(file);
+
+        let (recovered, report) = SharedStore::open(&dir).unwrap();
+        assert_eq!(
+            fingerprint(&recovered.snapshot()),
+            committed_fp,
+            "truncation at byte {cut} of {full_len} must yield exactly the committed updates"
+        );
+        assert_eq!(
+            report.wal_tail_truncated,
+            cut > final_start,
+            "tail-truncation flag at byte {cut}"
+        );
+        assert_eq!(report.wal_ops_replayed, committed_updates.len());
+    }
+
+    // Sanity: the untouched log also recovers the final update.
+    std::fs::write(&wal, &full_bytes).unwrap();
+    let (recovered, report) = SharedStore::open(&dir).unwrap();
+    for q in &final_update.0 {
+        committed.remove_quad(q);
+    }
+    for q in &final_update.1 {
+        committed.insert_quad(q);
+    }
+    assert_eq!(fingerprint(&recovered.snapshot()), fingerprint(&committed));
     assert!(!report.wal_tail_truncated);
     let _ = std::fs::remove_dir_all(&dir);
 }
