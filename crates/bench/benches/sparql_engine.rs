@@ -3,7 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hbold_endpoint::synth::{random_lod, RandomLodConfig};
-use hbold_sparql::{execute_query, execute_query_with, EvalOptions};
+use hbold_sparql::{
+    evaluate_with_hooks, execute_query, execute_query_with, CancellationToken, EvalHooks,
+    EvalOptions,
+};
 use hbold_triple_store::TripleStore;
 
 fn bench(c: &mut Criterion) {
@@ -56,6 +59,44 @@ fn bench(c: &mut Criterion) {
         // intermediate result.
         b.iter(|| {
             execute_query(&store, "SELECT DISTINCT ?c ?p WHERE { ?s a ?c . ?s ?p ?o }").unwrap()
+        })
+    });
+    group.finish();
+
+    // Cancellation-token overhead on the headline join: no token vs an
+    // armed deadline token that never trips (the server's steady state
+    // under --query-timeout-ms). The poll is one relaxed atomic load per
+    // 1024 rows, so the two must be within noise of each other.
+    let mut group = c.benchmark_group("cancellation");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let join_query = hbold_sparql::parse_query("SELECT ?s ?p ?o WHERE { ?s a ?c . ?s ?p ?o }")
+        .expect("bench query parses");
+    group.bench_function("extraction_bgp_join_no_token", |b| {
+        b.iter(|| {
+            evaluate_with_hooks(
+                &store,
+                &join_query,
+                &EvalOptions::sequential(),
+                &EvalHooks::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("extraction_bgp_join_armed_token", |b| {
+        b.iter(|| {
+            let token = CancellationToken::with_timeout(std::time::Duration::from_secs(3600));
+            evaluate_with_hooks(
+                &store,
+                &join_query,
+                &EvalOptions::sequential(),
+                &EvalHooks {
+                    cancel: Some(&token),
+                    ..EvalHooks::default()
+                },
+            )
+            .unwrap()
         })
     });
     group.finish();

@@ -3,16 +3,22 @@
 //! ```text
 //! load_gen --url http://127.0.0.1:8080/sparql [--connections N] [--requests M]
 //!          [--query SPARQL]... [--assert-all-2xx] [--shutdown-after]
+//! load_gen --chaos --url http://127.0.0.1:8080/sparql [--duration-secs S]
 //! ```
 //!
 //! `--assert-all-2xx` exits 1 unless every request was answered 2xx (the CI
 //! smoke gate). `--shutdown-after` POSTs `/shutdown` to the same host when
 //! the burst is done, so one command can drive the whole boot → load →
-//! graceful-stop cycle.
+//! graceful-stop cycle. `--chaos` switches to the hostile soak mode (see
+//! [`hbold_bench::chaos`]): mixed read/update traffic plus slow-loris and
+//! mid-request-disconnect clients, with torn-state / error-taxonomy /
+//! liveness / bounded-tail invariants checked at the end; any violation
+//! exits 1.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use hbold_bench::chaos::{run_chaos, ChaosConfig};
 use hbold_bench::loadgen::{check_scrape_delta, run_load, scrape_metrics, LoadGenConfig};
 use hbold_endpoint::http_client::{parse_http_url, HttpConnection};
 
@@ -35,16 +41,25 @@ OPTIONS:
                         client-side totals (exact when there were no
                         transport errors, lower bounds otherwise)
     --shutdown-after    POST /shutdown to the target host once done
+    --chaos             Hostile soak instead of the closed-loop burst: cheap
+                        readers, deadline-fodder cross joins, marker-triple
+                        updaters, slow-loris clients and mid-request
+                        disconnectors run concurrently for --duration-secs,
+                        then invariants are checked (stable error taxonomy,
+                        no torn update state, post-storm liveness, bounded
+                        cheap-read p99). Any violation exits 1
+    --duration-secs S   Storm duration for --chaos (default 5)
     -h, --help          Print this help and exit 0
 
 EXIT CODES:
     0   burst completed (and every enabled assertion held)
-    1   --assert-all-2xx or --scrape-metrics was set and an assertion failed
+    1   an enabled assertion failed, or --chaos found an invariant violation
     2   usage error (missing --url, unknown flag, malformed value)";
 
 fn usage() -> &'static str {
     "usage: load_gen --url URL [--connections N] [--requests M] [--query SPARQL]... \
-     [--timeout-secs S] [--assert-all-2xx] [--scrape-metrics] [--shutdown-after]\n\
+     [--timeout-secs S] [--assert-all-2xx] [--scrape-metrics] [--shutdown-after] \
+     [--chaos] [--duration-secs S]\n\
      Try `load_gen --help` for details."
 }
 
@@ -58,6 +73,8 @@ fn main() -> ExitCode {
     let mut assert_all_2xx = false;
     let mut scrape = false;
     let mut shutdown_after = false;
+    let mut chaos = false;
+    let mut duration = Duration::from_secs(5);
 
     enum Parsed {
         Continue,
@@ -92,6 +109,14 @@ fn main() -> ExitCode {
                 "--assert-all-2xx" => assert_all_2xx = true,
                 "--scrape-metrics" => scrape = true,
                 "--shutdown-after" => shutdown_after = true,
+                "--chaos" => chaos = true,
+                "--duration-secs" => {
+                    duration = Duration::from_secs(
+                        value("--duration-secs")?
+                            .parse()
+                            .map_err(|_| "--duration-secs expects a number".to_string())?,
+                    )
+                }
                 "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown flag {other}\n{}", usage())),
             }
@@ -114,6 +139,45 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     };
+
+    if chaos {
+        let mut config = ChaosConfig::new(url.clone());
+        config.duration = duration;
+        config.timeout = timeout;
+        println!(
+            "load_gen: chaos soak for {:.0} s against {} ({} readers, {} heavy, {} updaters, \
+             {} slow clients, {} disconnectors)",
+            config.duration.as_secs_f64(),
+            config.url,
+            config.readers,
+            config.heavy_readers,
+            config.updaters,
+            config.slow_clients,
+            config.disconnectors,
+        );
+        let report = match run_chaos(&config) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("load_gen: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        print!("{}", report.render());
+        if shutdown_after {
+            match request_shutdown(&url, timeout) {
+                Ok(status) => println!("load_gen: POST /shutdown -> {status}"),
+                Err(e) => eprintln!("load_gen: shutdown request failed: {e}"),
+            }
+        }
+        if !report.passed() {
+            eprintln!(
+                "load_gen: FAIL: {} chaos invariant violation(s)",
+                report.violations.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
 
     let mut config = LoadGenConfig::new(url.clone());
     config.connections = connections.max(1);

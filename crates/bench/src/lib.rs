@@ -9,10 +9,12 @@
 //! and *algorithms* against each other, so what matters is the shape of the
 //! results, not absolute wall-clock numbers.
 
+pub mod chaos;
 pub mod experiments;
 pub mod fixtures;
 pub mod loadgen;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use experiments::*;
 pub use fixtures::*;
 pub use loadgen::{run_load, LoadGenConfig, LoadReport};

@@ -1,0 +1,85 @@
+//! The chaos soak against a live loopback server: hostile mixed traffic
+//! (readers, deadline-fodder cross joins, updaters, slow-loris clients,
+//! mid-request disconnectors) with every armor knob armed — query deadline,
+//! admission limit, connection read timeout. The in-process twin of the CI
+//! `chaos-smoke` job.
+
+use std::time::Duration;
+
+use hbold_bench::chaos::{run_chaos, ChaosConfig, PATHOLOGICAL_QUERY};
+use hbold_endpoint::synth::{random_lod, RandomLodConfig};
+use hbold_server::{ServerConfig, SparqlServer};
+use hbold_triple_store::SharedStore;
+
+#[test]
+fn chaos_storm_holds_every_invariant() {
+    // Enough triples that the pathological triple cross join cannot finish
+    // inside the 100 ms deadline — every heavy round must hit cancellation.
+    let graph = random_lod(&RandomLodConfig::sized(10, 800, 7));
+    let server = SparqlServer::start(
+        SharedStore::from_graph(&graph),
+        ServerConfig {
+            workers: 8,
+            query_timeout: Some(Duration::from_millis(100)),
+            max_inflight_queries: 6,
+            read_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let mut config = ChaosConfig::new(server.url());
+    config.duration = Duration::from_secs(3);
+    config.timeout = Duration::from_secs(10);
+    let report = run_chaos(&config).expect("chaos runs");
+
+    assert!(
+        report.passed(),
+        "chaos invariants violated:\n{}",
+        report.render()
+    );
+
+    // The storm actually exercised the armor, not just the happy path:
+    // deadline kills on the heavy lane...
+    assert!(
+        report.status_counts.get(&504).copied().unwrap_or(0) > 0,
+        "expected 504s from the pathological lane:\n{}",
+        report.render()
+    );
+    assert!(server.stats().query_timeouts.get() > 0);
+    // ...and committed updates that all survived verbatim.
+    assert!(
+        report.updates_committed > 0,
+        "updater lane never landed a marker:\n{}",
+        report.render()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pathological_query_is_cancelled_not_answered() {
+    // Direct check of the deadline path the heavy lane leans on: the cross
+    // join gets a typed 504 with the JSON error shape, within ~2x deadline.
+    let graph = random_lod(&RandomLodConfig::sized(10, 800, 7));
+    let server = SparqlServer::start(
+        SharedStore::from_graph(&graph),
+        ServerConfig {
+            workers: 2,
+            query_timeout: Some(Duration::from_millis(50)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let client = hbold_endpoint::HttpSparqlClient::new(server.url());
+    let started = std::time::Instant::now();
+    let response = client.raw_query(PATHOLOGICAL_QUERY).expect("transport ok");
+    let elapsed = started.elapsed();
+    assert_eq!(response.status, 504, "body: {}", response.body_text());
+    assert!(response.body_text().contains("\"error\""));
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "cancellation took {elapsed:?} — the deadline is not cooperative"
+    );
+    server.shutdown();
+}

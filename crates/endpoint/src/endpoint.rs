@@ -327,6 +327,7 @@ impl SparqlEndpoint {
                 let hooks = EvalHooks {
                     counters: Some(&self.counters.plan),
                     trace,
+                    cancel: None,
                 };
                 let results =
                     hbold_sparql::evaluate_with_hooks(&snapshot, &parsed, eval_options, &hooks)?;

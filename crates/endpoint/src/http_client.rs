@@ -15,9 +15,11 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use hbold_sparql::QueryResults;
+use hbold_telemetry::{Counter, Registry};
 
 /// Splits an `http://host:port/path` URL into (`host:port`, `path`).
 ///
@@ -115,19 +117,33 @@ impl HttpConnection {
         HttpConnection::connect_with_cap(host_port, timeout, DEFAULT_MAX_RESPONSE_BYTES)
     }
 
-    /// Connects with an explicit response-body cap.
+    /// Connects with an explicit response-body cap and one timeout for
+    /// connect, reads and writes.
     pub fn connect_with_cap(
         host_port: &str,
         timeout: Duration,
+        max_response_bytes: usize,
+    ) -> io::Result<HttpConnection> {
+        HttpConnection::connect_with_timeouts(host_port, timeout, timeout, max_response_bytes)
+    }
+
+    /// Connects with distinct connect and read/write timeouts. A remote
+    /// endpoint that accepts fast but answers slowly (the common failure
+    /// mode on the open web) deserves a short connect budget and a longer
+    /// read budget — one knob forces a bad compromise.
+    pub fn connect_with_timeouts(
+        host_port: &str,
+        connect_timeout: Duration,
+        read_timeout: Duration,
         max_response_bytes: usize,
     ) -> io::Result<HttpConnection> {
         let addr = host_port
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "host resolves to nothing"))?;
-        let stream = TcpStream::connect_timeout(&addr, timeout)?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(read_timeout))?;
         stream.set_nodelay(true)?;
         Ok(HttpConnection {
             stream,
@@ -314,13 +330,108 @@ impl fmt::Display for HttpClientError {
 
 impl std::error::Error for HttpClientError {}
 
+/// A bounded retry budget with decorrelated-jitter backoff, applied only to
+/// *transient* failures (transport errors and 502/503/504 — the server said
+/// "try again", or said nothing at all). Deterministic failures (400s,
+/// malformed results) are never retried: they would fail identically and
+/// the budget would just multiply the damage.
+///
+/// The backoff is the classic decorrelated jitter:
+/// `sleep = min(cap, rand(base, 3 * previous_sleep))`, with a seeded
+/// xorshift64 stream so a chaos-run's retry timing reproduces from its seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` = never retry).
+    pub max_retries: u32,
+    /// Lower bound (and first sleep) of the backoff range.
+    pub base: Duration,
+    /// Upper bound any single sleep is clamped to.
+    pub cap: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries — every failure surfaces immediately (the default).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 1,
+        }
+    }
+
+    /// Three retries, 50 ms base, 2 s cap — a sane interactive budget.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 1,
+        }
+    }
+
+    /// The next backoff sleep. `rng` and `prev` are the caller's loop state
+    /// (seeded from [`RetryPolicy::seed`] and [`RetryPolicy::base`]).
+    fn next_sleep(&self, rng: &mut u64, prev: Duration) -> Duration {
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let base = self.base.as_millis() as u64;
+        let upper = (prev.as_millis() as u64).saturating_mul(3).max(base + 1);
+        let jittered = base + *rng % (upper - base);
+        Duration::from_millis(jittered).min(self.cap)
+    }
+}
+
+/// Whether an HTTP-level failure is worth retrying: transport errors
+/// (connect refused/reset/timeout) and the transient 5xx family. Matches
+/// the `EndpointError::is_transient` taxonomy after `From` conversion.
+fn is_transient(error: &HttpClientError) -> bool {
+    match error {
+        HttpClientError::Io(_) => true,
+        HttpClientError::Status { status, .. } => matches!(status, 502 | 503 | 504),
+        _ => false,
+    }
+}
+
+struct RetryCounters {
+    retries: Counter,
+    exhausted: Counter,
+}
+
+/// Client-side retry telemetry, in the process-wide registry so a chaos
+/// soak (which embeds clients in the load generator) can assert retries
+/// actually happened.
+fn retry_counters() -> &'static RetryCounters {
+    static COUNTERS: OnceLock<RetryCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = Registry::global();
+        RetryCounters {
+            retries: reg.counter(
+                "hbold_client_retries_total",
+                "Transient endpoint failures retried with backoff.",
+                &[],
+            ),
+            exhausted: reg.counter(
+                "hbold_client_retry_exhausted_total",
+                "Requests that failed even after their full retry budget.",
+                &[],
+            ),
+        }
+    })
+}
+
 /// A SPARQL Protocol client bound to one endpoint URL.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpSparqlClient {
     url: String,
     transport: QueryTransport,
-    timeout: Duration,
+    connect_timeout: Duration,
+    read_timeout: Duration,
     max_response_bytes: usize,
+    retry: RetryPolicy,
 }
 
 impl HttpSparqlClient {
@@ -331,8 +442,10 @@ impl HttpSparqlClient {
         HttpSparqlClient {
             url: url.into(),
             transport: QueryTransport::default(),
-            timeout: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(10),
             max_response_bytes: DEFAULT_MAX_RESPONSE_BYTES,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -348,9 +461,28 @@ impl HttpSparqlClient {
         self
     }
 
-    /// Overrides the socket timeout (builder style).
+    /// Overrides both the connect and read/write timeouts (builder style).
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
-        self.timeout = timeout;
+        self.connect_timeout = timeout;
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Overrides only the connect timeout (builder style).
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Overrides only the read/write timeout (builder style).
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Arms a retry budget for transient failures (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -359,8 +491,33 @@ impl HttpSparqlClient {
         &self.url
     }
 
-    /// Sends `query` and decodes the SPARQL-JSON answer.
+    /// Sends `query` and decodes the SPARQL-JSON answer, retrying transient
+    /// failures within the client's [`RetryPolicy`] budget.
     pub fn query(&self, query: &str) -> Result<QueryResults, HttpClientError> {
+        let mut rng = self.retry.seed.max(1); // xorshift has a zero fixed point
+        let mut prev = self.retry.base;
+        let mut retries = 0;
+        loop {
+            match self.query_once(query) {
+                Err(e) if is_transient(&e) && retries < self.retry.max_retries => {
+                    retries += 1;
+                    retry_counters().retries.inc();
+                    prev = self.retry.next_sleep(&mut rng, prev);
+                    std::thread::sleep(prev);
+                }
+                Err(e) => {
+                    if retries > 0 {
+                        retry_counters().exhausted.inc();
+                    }
+                    return Err(e);
+                }
+                ok => return ok,
+            }
+        }
+    }
+
+    /// One attempt: send `query`, decode the SPARQL-JSON answer.
+    fn query_once(&self, query: &str) -> Result<QueryResults, HttpClientError> {
         let response = self.raw_query(query)?;
         if response.status / 100 != 2 {
             return Err(HttpClientError::Status {
@@ -373,12 +530,16 @@ impl HttpSparqlClient {
         QueryResults::from_sparql_json(&text).map_err(|e| HttpClientError::Malformed(e.to_string()))
     }
 
-    /// Sends `query` and returns the raw HTTP response (any status).
+    /// Sends `query` once and returns the raw HTTP response (any status).
     pub fn raw_query(&self, query: &str) -> Result<HttpClientResponse, HttpClientError> {
         let (host_port, path) = parse_http_url(&self.url).map_err(HttpClientError::InvalidUrl)?;
-        let mut conn =
-            HttpConnection::connect_with_cap(&host_port, self.timeout, self.max_response_bytes)
-                .map_err(|e| HttpClientError::Io(e.to_string()))?;
+        let mut conn = HttpConnection::connect_with_timeouts(
+            &host_port,
+            self.connect_timeout,
+            self.read_timeout,
+            self.max_response_bytes,
+        )
+        .map_err(|e| HttpClientError::Io(e.to_string()))?;
         let accept = "application/sparql-results+json";
         let result = match self.transport {
             QueryTransport::Get => {
@@ -506,5 +667,125 @@ mod tests {
             Err(HttpClientError::Io(_)) => {}
             other => panic!("expected Io error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn transient_classification_drives_retries() {
+        assert!(is_transient(&HttpClientError::Io("reset".into())));
+        for status in [502, 503, 504] {
+            assert!(is_transient(&HttpClientError::Status {
+                status,
+                body: String::new()
+            }));
+        }
+        // Deterministic failures must never burn the budget.
+        assert!(!is_transient(&HttpClientError::Status {
+            status: 400,
+            body: String::new()
+        }));
+        assert!(!is_transient(&HttpClientError::Status {
+            status: 500,
+            body: String::new()
+        }));
+        assert!(!is_transient(&HttpClientError::Malformed("x".into())));
+        assert!(!is_transient(&HttpClientError::InvalidUrl("x".into())));
+    }
+
+    #[test]
+    fn decorrelated_jitter_is_bounded_and_deterministic() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            seed: 42,
+        };
+        let roll = || {
+            let mut rng = policy.seed.max(1);
+            let mut prev = policy.base;
+            (0..16)
+                .map(|_| {
+                    prev = policy.next_sleep(&mut rng, prev);
+                    prev
+                })
+                .collect::<Vec<_>>()
+        };
+        let (a, b) = (roll(), roll());
+        assert_eq!(a, b, "same seed, same backoff schedule");
+        for sleep in &a {
+            assert!(*sleep >= policy.base || *sleep == policy.cap.min(*sleep));
+            assert!(*sleep <= policy.cap, "sleep {sleep:?} above the cap");
+        }
+        assert!(
+            a.iter().any(|s| *s == policy.cap),
+            "backoff with prev*3 growth reaches the cap within 16 steps"
+        );
+    }
+
+    #[test]
+    fn retry_budget_recovers_a_flaky_server() {
+        use std::io::{Read, Write};
+
+        // A server that answers 503 twice, then a real ASK result: a client
+        // with a 3-retry budget must succeed; the retry counter must move.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for attempt in 0..3 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut sink = [0u8; 2048];
+                let _ = stream.read(&mut sink);
+                let reply = if attempt < 2 {
+                    "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nRetry-After: 1\r\nConnection: close\r\n\r\n".to_string()
+                } else {
+                    let body = "{\"head\":{},\"boolean\":true}";
+                    format!(
+                        "HTTP/1.1 200 OK\r\nContent-Type: application/sparql-results+json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                        body.len(),
+                        body
+                    )
+                };
+                let _ = stream.write_all(reply.as_bytes());
+            }
+        });
+
+        let before = retry_counters().retries.get();
+        let client = HttpSparqlClient::new(format!("http://{addr}/sparql"))
+            .with_timeout(Duration::from_secs(5))
+            .with_retry(RetryPolicy {
+                max_retries: 3,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(5),
+                seed: 7,
+            });
+        let result = client.query("ASK { ?s ?p ?o }").expect("retries recover");
+        assert_eq!(result, QueryResults::Ask(true));
+        assert_eq!(retry_counters().retries.get() - before, 2);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn deterministic_failures_are_not_retried() {
+        use std::io::{Read, Write};
+
+        // One 400 answer; if the client retried, the second accept would
+        // hang the test (the listener answers exactly once).
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut sink = [0u8; 2048];
+            let _ = stream.read(&mut sink);
+            let _ = stream.write_all(
+                b"HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+            );
+        });
+        let client = HttpSparqlClient::new(format!("http://{addr}/sparql"))
+            .with_timeout(Duration::from_secs(5))
+            .with_retry(RetryPolicy::standard());
+        match client.query("SELEKT nonsense") {
+            Err(HttpClientError::Status { status: 400, .. }) => {}
+            other => panic!("expected unretried 400, got {other:?}"),
+        }
+        server.join().unwrap();
     }
 }

@@ -46,7 +46,7 @@ pub use availability::AvailabilityModel;
 pub use endpoint::{QueryOutcome, SparqlEndpoint};
 pub use error::EndpointError;
 pub use fleet::{EndpointFleet, FleetConfig};
-pub use http_client::{HttpClientError, HttpSparqlClient, QueryTransport};
+pub use http_client::{HttpClientError, HttpSparqlClient, QueryTransport, RetryPolicy};
 pub use latency::LatencyModel;
 pub use portal::OpenDataPortal;
 pub use profile::{EndpointProfile, SparqlImplementation};

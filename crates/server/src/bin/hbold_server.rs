@@ -52,6 +52,16 @@ OPTIONS:
                             join order, estimates vs actuals, per-operator
                             timings, trace id). Traced queries execute
                             single-threaded.
+    --query-timeout-ms N    Cancel any query/update still evaluating after
+                            N ms with a typed 504 (cooperative cancellation
+                            at operator batch boundaries — never a truncated
+                            result). Default: unbounded
+    --max-inflight-queries N
+                            Admit at most N concurrently evaluating
+                            queries/updates; excess requests get an immediate
+                            503 with Retry-After (default 0 = unlimited)
+    --shutdown-drain-ms N   On graceful shutdown, give in-flight queries N ms
+                            to finish before cancelling them (default 5000)
     --enable-shutdown       Enable POST /shutdown for remote graceful stop
     -h, --help              Print this help and exit 0
 
@@ -67,7 +77,8 @@ EXIT CODES:
 fn usage() -> &'static str {
     "usage: hbold-server [--addr HOST:PORT] [--workers N] [--data FILE.{ttl,nt}] \
      [--data-dir DIR] [--checkpoint-wal-bytes N] [--sync-writes] [--demo-people N] \
-     [--max-body-bytes N] [--slow-query-ms N] [--enable-shutdown]\n\
+     [--max-body-bytes N] [--slow-query-ms N] [--query-timeout-ms N] \
+     [--max-inflight-queries N] [--shutdown-drain-ms N] [--enable-shutdown]\n\
      Try `hbold-server --help` for details."
 }
 
@@ -135,6 +146,25 @@ fn parse_args(mut argv: std::env::Args) -> Result<Parsed, String> {
                     value("--slow-query-ms")?
                         .parse()
                         .map_err(|_| "--slow-query-ms expects a number".to_string())?,
+                )
+            }
+            "--query-timeout-ms" => {
+                args.config.query_timeout = Some(std::time::Duration::from_millis(
+                    value("--query-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--query-timeout-ms expects a number".to_string())?,
+                ))
+            }
+            "--max-inflight-queries" => {
+                args.config.max_inflight_queries = value("--max-inflight-queries")?
+                    .parse()
+                    .map_err(|_| "--max-inflight-queries expects a number".to_string())?
+            }
+            "--shutdown-drain-ms" => {
+                args.config.shutdown_drain = std::time::Duration::from_millis(
+                    value("--shutdown-drain-ms")?
+                        .parse()
+                        .map_err(|_| "--shutdown-drain-ms expects a number".to_string())?,
                 )
             }
             "--enable-shutdown" => args.config.enable_shutdown_route = true,

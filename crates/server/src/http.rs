@@ -8,6 +8,8 @@
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 
+use hbold_sparql::results::json_string;
+
 /// Byte budgets for a single request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Limits {
@@ -88,6 +90,11 @@ pub enum RequestError {
     Closed,
     /// The socket timed out or failed mid-request.
     Io(io::ErrorKind),
+    /// The read timeout fired with a partial request on the wire → 408.
+    /// An *idle* timeout (nothing received yet) stays [`RequestError::Io`]:
+    /// reaping a silent keep-alive connection deserves a quiet close, not
+    /// an error response nobody is reading.
+    Timeout,
     /// Malformed request line, header, encoding or body framing → 400.
     BadRequest(String),
     /// The request line exceeded the head budget before its end → 414.
@@ -113,6 +120,7 @@ impl RequestError {
     pub fn status(&self) -> Option<(u16, &'static str)> {
         match self {
             RequestError::Closed | RequestError::Io(_) => None,
+            RequestError::Timeout => Some((408, "Request Timeout")),
             RequestError::BadRequest(_) => Some((400, "Bad Request")),
             RequestError::UriTooLong => Some((414, "URI Too Long")),
             RequestError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
@@ -128,6 +136,7 @@ impl RequestError {
         match self {
             RequestError::Closed => "connection closed".into(),
             RequestError::Io(kind) => format!("transport error: {kind:?}"),
+            RequestError::Timeout => "request not received within the read timeout".into(),
             RequestError::BadRequest(msg) => msg.clone(),
             RequestError::UriTooLong => "request line too long".into(),
             RequestError::HeadersTooLarge => "header block too large".into(),
@@ -177,7 +186,17 @@ impl Connection {
             if self.buf.len() > limits.max_head_bytes {
                 return Err(head_too_large(&self.buf, limits));
             }
-            if self.fill()? == 0 {
+            // A timeout with request bytes already on the wire is a slow
+            // client pinning a worker: answer 408. A timeout on an empty
+            // buffer is an idle keep-alive connection: quiet close.
+            let n = match self.fill() {
+                Ok(n) => n,
+                Err(RequestError::Io(kind)) if is_timeout_kind(kind) && !self.buf.is_empty() => {
+                    return Err(RequestError::Timeout)
+                }
+                Err(e) => return Err(e),
+            };
+            if n == 0 {
                 return Err(if self.buf.is_empty() {
                     RequestError::Closed
                 } else {
@@ -241,7 +260,16 @@ impl Connection {
             });
         }
         while self.buf.len() < body_len {
-            if self.fill()? == 0 {
+            // Mid-body the head has been consumed, so any read timeout here
+            // is by definition a partial request → 408.
+            let n = match self.fill() {
+                Ok(n) => n,
+                Err(RequestError::Io(kind)) if is_timeout_kind(kind) => {
+                    return Err(RequestError::Timeout)
+                }
+                Err(e) => return Err(e),
+            };
+            if n == 0 {
                 return Err(RequestError::BadRequest(
                     "connection closed mid-body".into(),
                 ));
@@ -311,6 +339,17 @@ impl Connection {
         self.stream.flush()
     }
 
+    /// Fault-injection write (`drop_response` chaos family): sends the full
+    /// head — advertising the complete `Content-Length` — but only half the
+    /// body, then gives up. The caller closes the socket, leaving the peer
+    /// with a torn response, exactly what a crashed or partitioned server
+    /// produces mid-write.
+    pub fn write_response_truncated(&mut self, response: &HttpResponse) -> io::Result<()> {
+        self.write_response(response, true)?; // head with the full length
+        self.stream
+            .write_all(&response.body[..response.body.len() / 2])
+    }
+
     /// Politely tears down a connection that is being rejected mid-request:
     /// sends our FIN first, then reads and discards whatever the peer was
     /// still sending, bounded in bytes and by the socket's read timeout.
@@ -331,6 +370,12 @@ impl Connection {
             }
         }
     }
+}
+
+/// `read(2)` reports an expired socket read timeout as `WouldBlock` on Unix
+/// and `TimedOut` on Windows.
+fn is_timeout_kind(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
 struct HeadEnd {
@@ -506,16 +551,20 @@ impl HttpResponse {
         }
     }
 
-    /// An error response with a plain-text body.
+    /// An error response. Every error path — routing, parsing, shedding,
+    /// admission, timeouts — answers with the same JSON body shape, so
+    /// clients and the chaos harness never need per-path parsers:
+    /// `{"error":{"status":503,"reason":"...","detail":"..."}}`.
     pub fn error(status: u16, reason: &'static str, detail: impl Into<String>) -> Self {
-        let mut body = detail.into();
-        if !body.ends_with('\n') {
-            body.push('\n');
-        }
+        let body = format!(
+            "{{\"error\":{{\"status\":{status},\"reason\":{},\"detail\":{}}}}}\n",
+            json_string(reason),
+            json_string(&detail.into()),
+        );
         HttpResponse {
             status,
             reason,
-            content_type: "text/plain; charset=utf-8".into(),
+            content_type: "application/json; charset=utf-8".into(),
             body: body.into_bytes(),
             extra_headers: Vec::new(),
             close: false,
@@ -591,6 +640,37 @@ mod tests {
             parse_request_line(""),
             Err(RequestError::BadRequest(_))
         ));
+    }
+
+    #[test]
+    fn error_responses_share_one_json_shape() {
+        let resp = HttpResponse::error(503, "Service Unavailable", "queue \"full\", retry");
+        assert_eq!(resp.content_type, "application/json; charset=utf-8");
+        let doc = hbold_sparql::json::JsonValue::parse(std::str::from_utf8(&resp.body).unwrap())
+            .expect("error body is JSON");
+        let error = doc.get("error").expect("error envelope");
+        assert_eq!(error.get("status").unwrap().as_f64(), Some(503.0));
+        assert_eq!(
+            error.get("reason").unwrap().as_str(),
+            Some("Service Unavailable")
+        );
+        assert_eq!(
+            error.get("detail").unwrap().as_str(),
+            Some("queue \"full\", retry")
+        );
+    }
+
+    #[test]
+    fn timeout_error_maps_to_408() {
+        assert_eq!(
+            RequestError::Timeout.status(),
+            Some((408, "Request Timeout"))
+        );
+        // Idle reaps must stay a quiet close.
+        assert_eq!(RequestError::Io(io::ErrorKind::WouldBlock).status(), None);
+        assert!(is_timeout_kind(io::ErrorKind::WouldBlock));
+        assert!(is_timeout_kind(io::ErrorKind::TimedOut));
+        assert!(!is_timeout_kind(io::ErrorKind::ConnectionReset));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! socket. Shutdown is graceful: workers finish the connection they hold,
 //! the acceptor is woken with a self-connect, and `join` drains everything.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -16,8 +16,8 @@ use std::time::{Duration, Instant};
 
 use hbold_sparql::results::json_string;
 use hbold_sparql::{
-    evaluate_with_hooks, parse_cached, parse_cached_tracked, parse_update, plan_update_op,
-    EvalHooks, EvalOptions, QueryResults, SparqlError,
+    evaluate_with_hooks, parse_cached, parse_cached_tracked, parse_update, plan_update_op_with,
+    CancellationToken, EvalHooks, EvalOptions, QueryResults, SparqlError,
 };
 use hbold_telemetry::{Span, EXPOSITION_CONTENT_TYPE};
 use hbold_triple_store::SharedStore;
@@ -52,6 +52,20 @@ pub struct ServerConfig {
     /// execution runs single-threaded, so leave this `None` on
     /// latency-critical deployments.
     pub slow_query_ms: Option<u64>,
+    /// Per-query evaluation deadline. The engine polls a cancellation token
+    /// at operator batch boundaries, so an expired deadline surfaces as a
+    /// typed `504` within one batch — never a truncated result. `None`
+    /// (default) lets queries run unbounded.
+    pub query_timeout: Option<Duration>,
+    /// Query-level admission control: at most this many queries/updates
+    /// evaluating at once; excess requests get an immediate `503` with
+    /// `Retry-After` instead of queueing. Distinct from
+    /// [`ServerConfig::max_pending_connections`], which bounds *connections*
+    /// waiting for a worker. `0` (default) means unlimited.
+    pub max_inflight_queries: usize,
+    /// Graceful-shutdown drain window: in-flight queries get this long to
+    /// finish before the remainder are cancelled.
+    pub shutdown_drain: Duration,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +80,9 @@ impl Default for ServerConfig {
             eval: EvalOptions::auto(),
             enable_shutdown_route: false,
             slow_query_ms: None,
+            query_timeout: None,
+            max_inflight_queries: 0,
+            shutdown_drain: Duration::from_secs(5),
         }
     }
 }
@@ -80,6 +97,11 @@ struct Shared {
     queue: Mutex<VecDeque<(u64, TcpStream)>>,
     queue_ready: Condvar,
     addr: SocketAddr,
+    /// Cancellation tokens of queries currently evaluating, keyed by a
+    /// monotonic query id. Doubles as the admission-control census: its size
+    /// is the in-flight query count.
+    active_queries: Mutex<HashMap<u64, CancellationToken>>,
+    next_query_id: AtomicU64,
 }
 
 impl Shared {
@@ -89,6 +111,52 @@ impl Shared {
             // Wake the acceptor out of its blocking accept().
             let _ = TcpStream::connect(self.addr);
         }
+    }
+
+    /// Admission + registration for one query/update evaluation. `Err` is
+    /// the ready-to-send 503 when the in-flight limit is reached; `Ok` is an
+    /// RAII guard whose token the evaluation must poll and whose drop
+    /// deregisters the query.
+    fn begin_query(&self) -> Result<QueryGuard<'_>, HttpResponse> {
+        let mut active = self.active_queries.lock().expect("query census poisoned");
+        let limit = self.config.max_inflight_queries;
+        if limit != 0 && active.len() >= limit {
+            self.stats.admission_rejected.inc();
+            return Err(HttpResponse::error(
+                503,
+                "Service Unavailable",
+                format!("server is evaluating {limit} queries already, retry later"),
+            )
+            .with_header("Retry-After", "1"));
+        }
+        let token = match self.config.query_timeout {
+            Some(timeout) => CancellationToken::with_timeout(timeout),
+            None => CancellationToken::new(),
+        };
+        let id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
+        active.insert(id, token.clone());
+        Ok(QueryGuard {
+            shared: self,
+            id,
+            token,
+        })
+    }
+}
+
+/// A registered, cancellable evaluation (see [`Shared::begin_query`]).
+struct QueryGuard<'a> {
+    shared: &'a Shared,
+    id: u64,
+    token: CancellationToken,
+}
+
+impl Drop for QueryGuard<'_> {
+    fn drop(&mut self) {
+        self.shared
+            .active_queries
+            .lock()
+            .expect("query census poisoned")
+            .remove(&self.id);
     }
 }
 
@@ -114,6 +182,8 @@ impl SparqlServer {
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
             addr,
+            active_queries: Mutex::new(HashMap::new()),
+            next_query_id: AtomicU64::new(1),
         });
 
         let acceptor = {
@@ -172,6 +242,29 @@ impl SparqlServer {
 
     fn stop_and_join(&mut self) {
         self.shared.request_shutdown();
+        // Drain: give in-flight queries a bounded window to finish on their
+        // own, then cancel whatever is left so the worker joins below cannot
+        // block on a pathological join. Cancelled queries answer a typed 503
+        // — their connections still get a response, not a reset.
+        let deadline = Instant::now() + self.shared.config.shutdown_drain;
+        loop {
+            let active = self
+                .shared
+                .active_queries
+                .lock()
+                .expect("query census poisoned");
+            if active.is_empty() {
+                break;
+            }
+            if Instant::now() >= deadline {
+                for token in active.values() {
+                    token.cancel();
+                }
+                break;
+            }
+            drop(active);
+            std::thread::sleep(Duration::from_millis(10));
+        }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
@@ -201,6 +294,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 shared.stats.connections_accepted.inc();
                 let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
                 let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+                // A peer that stops reading must not pin a worker in
+                // write_all forever either.
+                let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
                 let _ = stream.set_nodelay(true);
                 let mut queue = shared.queue.lock().expect("connection queue poisoned");
                 if queue.len() >= shared.config.max_pending_connections {
@@ -220,6 +316,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                             "Service Unavailable",
                             "connection queue is full, retry later",
                         )
+                        .with_header("Retry-After", "1")
                         .with_close(),
                         false,
                     );
@@ -278,7 +375,13 @@ fn serve_connection(shared: &Shared, conn_id: u64, mut conn: Connection) {
                 match error.status() {
                     Some((status, reason)) => {
                         let started = Instant::now();
-                        shared.stats.malformed_requests.inc();
+                        // A reaped slow client sent a well-formed prefix —
+                        // it is counted as a timeout, not as malformed.
+                        if error == crate::http::RequestError::Timeout {
+                            shared.stats.request_timeouts.inc();
+                        } else {
+                            shared.stats.malformed_requests.inc();
+                        }
                         shared.stats.record_status(status);
                         let response =
                             HttpResponse::error(status, reason, error.detail()).with_close();
@@ -329,6 +432,15 @@ fn serve_connection(shared: &Shared, conn_id: u64, mut conn: Connection) {
             || shared.shutdown.load(Ordering::SeqCst);
         response.close = closing;
         let head_only = request.method == "HEAD";
+        // Chaos hook: with `drop_response=N` armed, 1-in-N responses are
+        // torn mid-write and the connection closed — the client sees exactly
+        // what a server crash mid-response produces.
+        if let Some(faults) = hbold_triple_store::FaultInjector::active() {
+            if !head_only && faults.drop_response() {
+                let _ = conn.write_response_truncated(&response);
+                return;
+            }
+        }
         if conn.write_response(&response, head_only).is_err() || closing {
             return;
         }
@@ -651,6 +763,32 @@ fn stats_with_graphs(shared: &Shared) -> String {
     doc
 }
 
+/// Maps an evaluation failure to its response. The cancellation family is
+/// typed — a timed-out query is a `504`, a shutdown-cancelled one a `503`
+/// with `Retry-After` — and counted; anything else is the client's 400.
+fn eval_error_response(shared: &Shared, e: &SparqlError) -> HttpResponse {
+    match e {
+        SparqlError::DeadlineExceeded => {
+            shared.stats.query_timeouts.inc();
+            HttpResponse::error(
+                504,
+                "Gateway Timeout",
+                "query exceeded the server's evaluation deadline and was cancelled",
+            )
+        }
+        SparqlError::Cancelled => {
+            shared.stats.query_cancelled.inc();
+            HttpResponse::error(
+                503,
+                "Service Unavailable",
+                "query was cancelled before completing (server shutting down)",
+            )
+            .with_header("Retry-After", "1")
+        }
+        e => HttpResponse::error(400, "Bad Request", e.to_string()),
+    }
+}
+
 /// Parses and applies a SPARQL 1.1 Update request. Each operation in the
 /// `;`-separated sequence commits as one atomic, WAL-logged store
 /// transition through `SharedStore::apply_update`, planned against the
@@ -659,6 +797,10 @@ fn stats_with_graphs(shared: &Shared) -> String {
 /// before a mid-sequence failure stay committed, and the error body says
 /// so).
 fn execute_update_request(shared: &Shared, update: &str) -> HttpResponse {
+    let guard = match shared.begin_query() {
+        Ok(guard) => guard,
+        Err(rejected) => return rejected,
+    };
     let ops = match parse_update(update) {
         Ok(ops) => ops,
         Err(e) => {
@@ -670,20 +812,24 @@ fn execute_update_request(shared: &Shared, update: &str) -> HttpResponse {
         // `apply_update`'s planning closure cannot return an error, so a
         // WHERE-evaluation failure is smuggled out through this slot (the
         // empty delta it leaves behind commits nothing, not even a WAL
-        // record).
+        // record). Cancellation rides the same path: a deadline that expires
+        // mid-WHERE aborts planning before any delta exists, so the store
+        // and its WAL stay byte-identical — never a half-applied operation.
         let mut eval_error: Option<SparqlError> = None;
-        let (removed, inserted) =
-            shared
-                .store
-                .apply_update(|store| match plan_update_op(store, op) {
-                    Ok(delta) => delta,
-                    Err(e) => {
-                        eval_error = Some(e);
-                        (Vec::new(), Vec::new())
-                    }
-                });
+        let (removed, inserted) = shared.store.apply_update(|store| {
+            match plan_update_op_with(store, op, Some(&guard.token)) {
+                Ok(delta) => delta,
+                Err(e) => {
+                    eval_error = Some(e);
+                    (Vec::new(), Vec::new())
+                }
+            }
+        });
         if let Some(e) = eval_error {
             shared.stats.update_error.inc();
+            if matches!(e, SparqlError::Cancelled | SparqlError::DeadlineExceeded) {
+                return eval_error_response(shared, &e);
+            }
             return HttpResponse::error(
                 400,
                 "Bad Request",
@@ -737,6 +883,11 @@ fn execute(
             }
         }
     };
+    // Admission before parsing: a rejected request must cost no engine work.
+    let guard = match shared.begin_query() {
+        Ok(guard) => guard,
+        Err(rejected) => return rejected,
+    };
     // The span tree is built when the client asks for it (`trace=1`) or the
     // slow-query log is armed; otherwise tracing costs nothing.
     let root = (trace_wanted || shared.config.slow_query_ms.is_some()).then(|| {
@@ -768,10 +919,11 @@ fn execute(
     let hooks = EvalHooks {
         counters: None,
         trace: root.as_ref(),
+        cancel: Some(&guard.token),
     };
     let results = match evaluate_with_hooks(&snapshot, &plan, &shared.config.eval, &hooks) {
         Ok(results) => results,
-        Err(e) => return HttpResponse::error(400, "Bad Request", e.to_string()),
+        Err(e) => return eval_error_response(shared, &e),
     };
     if let Some(root) = &root {
         let rows = match &results {

@@ -56,6 +56,16 @@ pub struct ServerStats {
     pub update_quads_removed: Counter,
     /// Quads actually inserted by update operations.
     pub update_quads_inserted: Counter,
+    /// Queries cancelled because their deadline (`--query-timeout-ms`)
+    /// expired mid-evaluation → 504.
+    pub query_timeouts: Counter,
+    /// Queries cancelled for any other reason (graceful shutdown) → 503.
+    pub query_cancelled: Counter,
+    /// Requests refused by query-level admission control (the in-flight
+    /// query limit, distinct from the connection-queue shed) → 503.
+    pub admission_rejected: Counter,
+    /// Slow clients reaped mid-request by the read timeout → 408.
+    pub request_timeouts: Counter,
 }
 
 impl Default for ServerStats {
@@ -134,6 +144,26 @@ impl Default for ServerStats {
                 "Quads inserted by update operations.",
                 &[],
             ),
+            query_timeouts: registry.counter(
+                "hbold_query_timeouts_total",
+                "Queries cancelled by an expired deadline (504).",
+                &[],
+            ),
+            query_cancelled: registry.counter(
+                "hbold_query_cancelled_total",
+                "Queries cancelled by shutdown or explicit cancel (503).",
+                &[],
+            ),
+            admission_rejected: registry.counter(
+                "hbold_admission_rejected_total",
+                "Requests refused by the in-flight query limit (503).",
+                &[],
+            ),
+            request_timeouts: registry.counter(
+                "hbold_http_request_timeouts_total",
+                "Slow clients reaped mid-request by the read timeout (408).",
+                &[],
+            ),
             registry,
         }
     }
@@ -178,7 +208,7 @@ impl ServerStats {
             .map(|(i, c)| format!("\"{}xx\":{}", i + 1, c.get()))
             .collect();
         format!(
-            "{{\"uptime_ms\":{},\"connections_accepted\":{},\"requests_total\":{},\"malformed_requests\":{},\"responses\":{{{}}},\"routes\":{{{}:{},{}:{},{}:{}}},\"updates\":{{\"requests_ok\":{},\"requests_error\":{},\"ops\":{},\"quads_removed\":{},\"quads_inserted\":{}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{:.4}}},\"optimizer\":{{\"bgps_planned\":{},\"bgps_reordered\":{},\"filters_pushed\":{},\"heuristic_plans\":{}}}}}",
+            "{{\"uptime_ms\":{},\"connections_accepted\":{},\"requests_total\":{},\"malformed_requests\":{},\"responses\":{{{}}},\"routes\":{{{}:{},{}:{},{}:{}}},\"updates\":{{\"requests_ok\":{},\"requests_error\":{},\"ops\":{},\"quads_removed\":{},\"quads_inserted\":{}}},\"armor\":{{\"query_timeouts\":{},\"query_cancelled\":{},\"admission_rejected\":{},\"request_timeouts\":{}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{:.4}}},\"optimizer\":{{\"bgps_planned\":{},\"bgps_reordered\":{},\"filters_pushed\":{},\"heuristic_plans\":{}}}}}",
             self.started.elapsed().as_millis(),
             self.connections_accepted.get(),
             self.requests_total.get(),
@@ -195,6 +225,10 @@ impl ServerStats {
             self.update_ops.get(),
             self.update_quads_removed.get(),
             self.update_quads_inserted.get(),
+            self.query_timeouts.get(),
+            self.query_cancelled.get(),
+            self.admission_rejected.get(),
+            self.request_timeouts.get(),
             plan.hits,
             plan.misses,
             plan.entries,
@@ -265,6 +299,31 @@ mod tests {
             assert!(optimizer.get(key).is_some(), "optimizer JSON carries {key}");
         }
         assert_eq!(stats.ok_responses(), 2);
+    }
+
+    #[test]
+    fn armor_counters_flow_into_stats_and_metrics() {
+        let stats = ServerStats::default();
+        stats.query_timeouts.inc();
+        stats.query_timeouts.inc();
+        stats.admission_rejected.inc();
+        let doc = hbold_sparql::json::JsonValue::parse(&stats.to_json()).unwrap();
+        let armor = doc.get("armor").expect("armor section");
+        assert_eq!(armor.get("query_timeouts").unwrap().as_f64(), Some(2.0));
+        assert_eq!(armor.get("query_cancelled").unwrap().as_f64(), Some(0.0));
+        assert_eq!(armor.get("admission_rejected").unwrap().as_f64(), Some(1.0));
+        assert_eq!(armor.get("request_timeouts").unwrap().as_f64(), Some(0.0));
+        // Registered eagerly: a fresh scrape exposes every family at zero or
+        // its true value, never omits one.
+        let expo =
+            hbold_telemetry::expo::parse_exposition(&stats.render_metrics()).expect("exposition");
+        assert_eq!(expo.value("hbold_query_timeouts_total", &[]), Some(2.0));
+        assert_eq!(expo.value("hbold_query_cancelled_total", &[]), Some(0.0));
+        assert_eq!(expo.value("hbold_admission_rejected_total", &[]), Some(1.0));
+        assert_eq!(
+            expo.value("hbold_http_request_timeouts_total", &[]),
+            Some(0.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Production-armor acceptance tests: query deadlines, admission control,
+//! graceful drain-then-cancel, and update atomicity under cancellation.
+//!
+//! The contract under test: a cancelled query surfaces as a *typed* error
+//! response (504 deadline / 503 shutdown-cancel) with the JSON error body —
+//! never a truncated result — the armor counters move, the worker is
+//! immediately reusable, and a timed-out update commits nothing (store and
+//! WAL stay byte-identical).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use hbold_rdf_model::vocab::{foaf, rdf};
+use hbold_rdf_model::{Graph, Iri, Literal, Triple};
+use hbold_server::{ServerConfig, SparqlServer};
+use hbold_triple_store::{PersistOptions, SharedStore};
+
+/// A triple cross join: astronomically large on any non-trivial store, so
+/// it cannot finish inside a sub-second deadline.
+const CROSS_JOIN: &str = "SELECT (COUNT(*) AS ?n) WHERE { ?a ?b ?c . ?d ?e ?f . ?g ?h ?i }";
+
+fn people_store(n: usize) -> SharedStore {
+    let mut g = Graph::new();
+    for i in 0..n {
+        let s = Iri::new(format!("http://example.org/person/{i}")).unwrap();
+        g.insert(Triple::new(s.clone(), rdf::type_(), foaf::person()));
+        g.insert(Triple::new(
+            s.clone(),
+            foaf::name(),
+            Literal::string(format!("Person {i}")),
+        ));
+        if i > 0 {
+            let other = Iri::new(format!("http://example.org/person/{}", i / 2)).unwrap();
+            g.insert(Triple::new(s, foaf::knows(), other));
+        }
+    }
+    SharedStore::from_graph(&g)
+}
+
+/// One POST round-trip over a fresh connection; returns (status, full text).
+fn post(addr: std::net::SocketAddr, path: &str, content_type: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    let text = String::from_utf8_lossy(&out).into_owned();
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    (status, text)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hbold-armor-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The tentpole acceptance check: a query running past `--query-timeout-ms`
+/// gets a typed 504 within ~2x the deadline, the timeout counter moves, and
+/// the worker that evaluated it answers the very next request.
+#[test]
+fn deadline_produces_a_typed_504_and_a_reusable_worker() {
+    let server = SparqlServer::start(
+        people_store(200),
+        ServerConfig {
+            workers: 1, // one worker: reuse below proves release, not luck
+            query_timeout: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let started = Instant::now();
+    let (status, text) = post(
+        server.addr(),
+        "/sparql",
+        "application/sparql-query",
+        CROSS_JOIN,
+    );
+    let elapsed = started.elapsed();
+    assert_eq!(status, 504, "got: {text}");
+    assert!(text.contains("\"error\""), "JSON error body: {text}");
+    assert!(text.contains("deadline"), "detail names the cause: {text}");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "504 took {elapsed:?} for a 100 ms deadline — cancellation is not cooperative"
+    );
+    assert_eq!(server.stats().query_timeouts.get(), 1);
+
+    // The single worker is immediately reusable: a cheap query answers now.
+    let started = Instant::now();
+    let (status, _) = post(
+        server.addr(),
+        "/sparql",
+        "application/sparql-query",
+        "ASK { ?s ?p ?o }",
+    );
+    assert_eq!(status, 200);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "worker not released after a cancelled query"
+    );
+    server.shutdown();
+}
+
+/// Query-level admission control: with the census full, new queries are
+/// rejected up front with 503 + `Retry-After` (distinct from the
+/// connection-level shed) and the rejection counter moves.
+#[test]
+fn admission_limit_rejects_with_503_and_retry_after() {
+    let server = SparqlServer::start(
+        people_store(200),
+        ServerConfig {
+            workers: 4, // plenty of workers: the *query* census is the limit
+            max_inflight_queries: 1,
+            query_timeout: Some(Duration::from_secs(3)), // bounds the test
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let addr = server.addr();
+    let occupant =
+        std::thread::spawn(move || post(addr, "/sparql", "application/sparql-query", CROSS_JOIN));
+    // Give the occupant time to pass admission and start evaluating.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let (status, text) = post(
+        addr,
+        "/sparql",
+        "application/sparql-query",
+        "ASK { ?s ?p ?o }",
+    );
+    assert_eq!(status, 503, "got: {text}");
+    assert!(text.contains("Retry-After:"), "no Retry-After: {text}");
+    assert!(text.contains("\"error\""), "JSON error body: {text}");
+    assert!(server.stats().admission_rejected.get() >= 1);
+
+    // The occupant's slot frees on completion (here: its own deadline) and
+    // admission opens again.
+    let (status, _) = occupant.join().expect("occupant thread");
+    assert_eq!(status, 504);
+    let (status, _) = post(
+        addr,
+        "/sparql",
+        "application/sparql-query",
+        "ASK { ?s ?p ?o }",
+    );
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+/// Update atomicity under cancellation: an `INSERT ... WHERE` whose WHERE
+/// clause hits the deadline mid-evaluation must leave the durable store
+/// *and its WAL* byte-identical — no partial delta, no torn log record.
+#[test]
+fn timed_out_update_leaves_store_and_wal_byte_identical() {
+    let dir = temp_dir("atomic-update");
+    let (store, _report) = SharedStore::open_with(dir.to_str().unwrap(), PersistOptions::default())
+        .expect("open durable store");
+    let mut g = Graph::new();
+    for i in 0..100 {
+        let s = Iri::new(format!("http://example.org/item/{i}")).unwrap();
+        g.insert(Triple::new(s, rdf::type_(), foaf::person()));
+    }
+    store.bulk_load(g.iter());
+
+    let server = SparqlServer::start(
+        store.clone(),
+        ServerConfig {
+            workers: 2,
+            query_timeout: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let wal_before = std::fs::read(dir.join("wal.log")).expect("wal exists");
+    let len_before = store.len();
+
+    let update = "INSERT { ?a <http://example.org/p> ?c } \
+                  WHERE { ?a ?b ?c . ?d ?e ?f . ?g ?h ?i }";
+    let (status, text) = post(
+        server.addr(),
+        "/update",
+        "application/sparql-update",
+        update,
+    );
+    assert_eq!(status, 504, "got: {text}");
+    assert!(text.contains("deadline"), "typed cause: {text}");
+    assert_eq!(server.stats().query_timeouts.get(), 1);
+
+    let wal_after = std::fs::read(dir.join("wal.log")).expect("wal exists");
+    assert_eq!(
+        wal_before, wal_after,
+        "a cancelled update appended to the WAL"
+    );
+    assert_eq!(
+        store.len(),
+        len_before,
+        "a cancelled update mutated the store"
+    );
+
+    // A well-formed update still commits afterwards — the armor rejected
+    // one update, not the write path.
+    let (status, _) = post(
+        server.addr(),
+        "/update",
+        "application/sparql-update",
+        "INSERT DATA { <http://example.org/ok> <http://example.org/p> \"v\" }",
+    );
+    assert_eq!(status, 204);
+    assert_eq!(store.len(), len_before + 1);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Graceful shutdown with an in-flight query: the server waits out the
+/// drain window, then *cancels* the query (typed 503) instead of hanging
+/// forever or killing the connection mid-response.
+#[test]
+fn shutdown_drains_then_cancels_inflight_queries() {
+    let server = SparqlServer::start(
+        people_store(200),
+        ServerConfig {
+            workers: 2,
+            // No query deadline: only the shutdown cancel can stop the join.
+            shutdown_drain: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let addr = server.addr();
+    let inflight =
+        std::thread::spawn(move || post(addr, "/sparql", "application/sparql-query", CROSS_JOIN));
+    std::thread::sleep(Duration::from_millis(300)); // let it start evaluating
+
+    let started = Instant::now();
+    server.shutdown();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "shutdown took {elapsed:?} with a 200 ms drain window"
+    );
+
+    let (status, text) = inflight.join().expect("in-flight thread");
+    assert_eq!(status, 503, "got: {text}");
+    assert!(
+        text.contains("cancelled") || text.contains("shutting down"),
+        "typed shutdown-cancel body: {text}"
+    );
+}

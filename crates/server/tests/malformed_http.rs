@@ -239,6 +239,76 @@ fn idle_connections_are_reaped_by_the_read_timeout() {
 }
 
 #[test]
+fn slow_partial_requests_get_408_with_the_json_error_shape() {
+    let server = start_server(); // read_timeout = 500 ms
+    let before_timeouts = server.stats().request_timeouts.get();
+    let before_latency = server.stats().other.latency.count();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // A slow client that sent *something* and then stalled: distinct from
+    // the silent idle case (quiet close) — partial progress earns a 408
+    // telling the client what happened.
+    stream.write_all(b"GET /health HT").expect("partial head");
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    let text = String::from_utf8_lossy(&out);
+    assert!(
+        text.starts_with("HTTP/1.1 408"),
+        "expected 408 for a stalled partial request, got {text:?}"
+    );
+    // Same JSON error body shape as every other error response.
+    assert!(text.contains("\"error\""), "JSON body: {text}");
+    assert!(text.contains("\"status\":408"), "JSON body: {text}");
+    assert!(text.contains("read timeout"), "detail explains: {text}");
+    // Counted as a timeout (not malformed traffic), with a latency sample.
+    assert!(server.stats().request_timeouts.get() > before_timeouts);
+    assert!(server.stats().other.latency.count() > before_latency);
+    server.shutdown();
+}
+
+/// Satellite pin: the connection-shed 503 must carry `Retry-After` and the
+/// same JSON error-body shape as every other error response — a client
+/// seeing only sheds should still get machine-readable guidance.
+#[test]
+fn shed_503_carries_retry_after_and_the_json_error_body() {
+    let server = SparqlServer::start(
+        tiny_store(),
+        ServerConfig {
+            workers: 1,
+            max_pending_connections: 1,
+            read_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    // Occupy the only worker, fill the queue of one, then get shed.
+    let _busy = TcpStream::connect(server.addr()).expect("connect busy");
+    std::thread::sleep(Duration::from_millis(100));
+    let _queued = TcpStream::connect(server.addr()).expect("connect queued");
+    std::thread::sleep(Duration::from_millis(100));
+    let mut shed = TcpStream::connect(server.addr()).expect("connect shed");
+    shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut out = Vec::new();
+    shed.read_to_end(&mut out).expect("read shed response");
+    let text = String::from_utf8_lossy(&out);
+    assert!(text.starts_with("HTTP/1.1 503"), "got {text:?}");
+    assert!(
+        text.contains("Retry-After:"),
+        "shed 503 without Retry-After: {text}"
+    );
+    assert!(
+        text.contains("content-type: application/json")
+            || text.contains("Content-Type: application/json"),
+        "shed body is not JSON: {text}"
+    );
+    assert!(text.contains("\"error\""), "JSON body: {text}");
+    assert!(text.contains("\"status\":503"), "JSON body: {text}");
+    server.shutdown();
+}
+
+#[test]
 fn malformed_traffic_is_counted_but_never_fatal() {
     let server = start_server();
     for _ in 0..5 {

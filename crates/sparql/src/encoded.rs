@@ -428,6 +428,10 @@ pub(crate) struct EncContext<'a> {
     /// keeps the operators exactly as before — the lookups below happen at
     /// stream-construction time only, never per row.
     pub trace: Option<&'a ExecTrace>,
+    /// Cooperative cancellation token for this evaluation, polled at batch
+    /// boundaries by [`maybe_cancelled`] streams and at group boundaries by
+    /// the aggregation paths. `None` (the default) adds no per-row work.
+    pub cancel: Option<&'a crate::cancel::CancellationToken>,
 }
 
 impl<'a> EncContext<'a> {
@@ -446,6 +450,7 @@ impl<'a> EncContext<'a> {
             optimizer,
             counters: None,
             trace: None,
+            cancel: None,
         }
     }
 }
@@ -606,6 +611,53 @@ fn maybe_traced<'a, T>(ctx: &EncContext<'a>, node: &T, stream: EncStream<'a>) ->
         Some(span) => Box::new(TracedStream {
             inner: stream,
             span: span.clone(),
+        }),
+        None => stream,
+    }
+}
+
+/// An [`EncStream`] wrapper that polls a
+/// [`CancellationToken`](crate::cancel::CancellationToken) once every
+/// `interval` pulls: a tripped token turns into an in-band `Err`, which the
+/// downstream collectors treat as fatal — so a cancelled query can never
+/// yield a truncated result, only the typed error. Between checks the cost
+/// is one integer decrement per row.
+struct CancelledStream<'a> {
+    inner: EncStream<'a>,
+    token: &'a crate::cancel::CancellationToken,
+    interval: u32,
+    countdown: u32,
+}
+
+impl Iterator for CancelledStream<'_> {
+    type Item = Result<EncRow, SparqlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.countdown == 0 {
+            self.countdown = self.interval;
+            if let Err(e) = self.token.check() {
+                return Some(Err(e));
+            }
+        }
+        self.countdown -= 1;
+        self.inner.next()
+    }
+}
+
+/// Wraps `stream` in a [`CancelledStream`] when a token is attached; with
+/// no token (the default) the stream is returned untouched — zero per-row
+/// cost, exactly like [`maybe_traced`]. The very first pull checks the
+/// token, so an already-tripped token fails before any row is produced.
+fn maybe_cancelled<'b>(
+    cancel: Option<&'b crate::cancel::CancellationToken>,
+    stream: EncStream<'b>,
+) -> EncStream<'b> {
+    match cancel {
+        Some(token) => Box::new(CancelledStream {
+            inner: stream,
+            token,
+            interval: token.check_interval(),
+            countdown: 0,
         }),
         None => stream,
     }
@@ -846,10 +898,15 @@ impl Iterator for RowScan<'_> {
 /// the operators here execute BGPs in their stored order and apply pushed
 /// filter pre-binds, making no ordering decisions of their own.
 pub(crate) fn root_stream<'a>(ctx: &'a EncContext<'a>, pattern: &'a EncPattern) -> EncStream<'a> {
-    stream_pattern(
-        ctx,
-        pattern,
-        Box::new(std::iter::once(Ok(ctx.layout.empty_row()))),
+    // Cancellation is checked at the root of the pipeline: one poll per
+    // batch of *output* rows, covering every operator below it.
+    maybe_cancelled(
+        ctx.cancel,
+        stream_pattern(
+            ctx,
+            pattern,
+            Box::new(std::iter::once(Ok(ctx.layout.empty_row()))),
+        ),
     )
 }
 
@@ -977,11 +1034,17 @@ pub(crate) fn collect_solutions(
 ) -> Result<Vec<EncRow>, SparqlError> {
     if options.threads > 1 {
         if let Some((first, rest, seed)) = split_first_scan(ctx, pattern) {
-            let seeds: Vec<EncRow> = ScanRows::new(ctx, &first, seed).collect::<Result<_, _>>()?;
+            let seeds: Vec<EncRow> =
+                maybe_cancelled(ctx.cancel, Box::new(ScanRows::new(ctx, &first, seed)))
+                    .collect::<Result<_, _>>()?;
             if seeds.len() >= options.parallel_threshold.max(1) {
                 return eval_rest_parallel(ctx, &rest, seeds, options.threads);
             }
-            return stream_pattern(ctx, &rest, Box::new(seeds.into_iter().map(Ok))).collect();
+            return maybe_cancelled(
+                ctx.cancel,
+                stream_pattern(ctx, &rest, Box::new(seeds.into_iter().map(Ok))),
+            )
+            .collect();
         }
     }
     root_stream(ctx, pattern).collect()
@@ -1050,8 +1113,14 @@ fn eval_rest_parallel(
             .into_iter()
             .map(|chunk| {
                 scope.spawn(move || {
-                    stream_pattern(ctx, rest, Box::new(chunk.into_iter().map(Ok)))
-                        .collect::<Result<Vec<_>, _>>()
+                    // Each worker polls the shared token on its own stream:
+                    // one tripped check fails that worker's chunk, and the
+                    // in-band `Err` fails the whole collect below.
+                    maybe_cancelled(
+                        ctx.cancel,
+                        stream_pattern(ctx, rest, Box::new(chunk.into_iter().map(Ok))),
+                    )
+                    .collect::<Result<Vec<_>, _>>()
                 })
             })
             .collect();
@@ -1660,6 +1729,11 @@ pub(crate) fn project_grouped(
                             chunk
                                 .iter()
                                 .map(|(key, members)| {
+                                    // Group boundaries are this path's batch
+                                    // boundaries: one token poll per group.
+                                    if let Some(token) = ctx.cancel {
+                                        token.check()?;
+                                    }
                                     evaluate_group(ctx, query, items, group_slots, key, members)
                                 })
                                 .collect::<Result<Vec<_>, _>>()
@@ -1679,7 +1753,12 @@ pub(crate) fn project_grouped(
         } else {
             groups
                 .iter()
-                .map(|(key, members)| evaluate_group(ctx, query, items, group_slots, key, members))
+                .map(|(key, members)| {
+                    if let Some(token) = ctx.cancel {
+                        token.check()?;
+                    }
+                    evaluate_group(ctx, query, items, group_slots, key, members)
+                })
                 .collect::<Result<Vec<_>, _>>()?
         };
 

@@ -19,6 +19,14 @@ pub enum SparqlError {
     Unsupported(String),
     /// An error raised during evaluation (e.g. invalid regular expression).
     Evaluation(String),
+    /// The evaluation was cancelled through its
+    /// [`CancellationToken`](crate::CancellationToken) (client disconnect,
+    /// server shutdown). Never a truncated result: the whole query fails.
+    Cancelled,
+    /// The evaluation ran past the monotonic deadline attached to its
+    /// [`CancellationToken`](crate::CancellationToken) (e.g. the server's
+    /// `--query-timeout-ms`).
+    DeadlineExceeded,
 }
 
 impl SparqlError {
@@ -47,6 +55,8 @@ impl fmt::Display for SparqlError {
             }
             SparqlError::Unsupported(msg) => write!(f, "unsupported SPARQL feature: {msg}"),
             SparqlError::Evaluation(msg) => write!(f, "SPARQL evaluation error: {msg}"),
+            SparqlError::Cancelled => write!(f, "query cancelled"),
+            SparqlError::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }
@@ -67,5 +77,10 @@ mod tests {
         assert!(SparqlError::Evaluation("bad regex".into())
             .to_string()
             .contains("bad regex"));
+        assert_eq!(SparqlError::Cancelled.to_string(), "query cancelled");
+        assert_eq!(
+            SparqlError::DeadlineExceeded.to_string(),
+            "query deadline exceeded"
+        );
     }
 }

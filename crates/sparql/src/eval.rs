@@ -167,6 +167,12 @@ pub struct EvalHooks<'a> {
     /// wall time. Tracing forces sequential execution (`threads = 1`) so
     /// operator timings attribute exactly.
     pub trace: Option<&'a Span>,
+    /// Cooperative cancellation token, polled at operator batch boundaries
+    /// (one relaxed atomic load per [`crate::cancel::DEFAULT_CHECK_INTERVAL`]
+    /// rows). A tripped token fails the whole evaluation with the typed
+    /// [`SparqlError::Cancelled`] / [`SparqlError::DeadlineExceeded`] —
+    /// never a truncated result.
+    pub cancel: Option<&'a crate::cancel::CancellationToken>,
 }
 
 /// Evaluates a parsed [`Query`] with the given threading options.
@@ -207,6 +213,7 @@ pub fn evaluate_with_hooks(
     let dict = store.dictionary();
     let mut ctx = EncContext::new(store, dict, &layout, options.optimizer);
     ctx.counters = hooks.counters;
+    ctx.cancel = hooks.cancel;
     ctx.dataset = EncDataset::compile(&query.dataset, dict);
     let mut pattern = compile_pattern(&query.pattern, &layout, dict);
     // The single planning pass: orders every BGP (cost-based by default)
@@ -230,6 +237,13 @@ pub fn evaluate_with_hooks(
         .map(|span| ExecTrace::build(&ctx, &pattern, &plans, span));
     ctx.trace = exec_trace.as_ref();
     let ctx = ctx;
+
+    // Chaos hook (inert unless HBOLD_FAULTS is set): artificial latency at
+    // pipeline construction, so chaos soaks can turn any query into
+    // deadline fodder without touching per-row paths.
+    if let Some(faults) = hbold_triple_store::FaultInjector::active() {
+        faults.operator_latency();
+    }
 
     let run = || evaluate_form(&ctx, query, &pattern, options);
     match &exec_span {
@@ -872,8 +886,8 @@ mod tests {
         .unwrap();
         let root = Span::root("query");
         let hooks = EvalHooks {
-            counters: None,
             trace: Some(&root),
+            ..EvalHooks::default()
         };
         let results =
             evaluate_with_hooks(&store, &query, &EvalOptions::sequential(), &hooks).unwrap();
@@ -920,8 +934,8 @@ mod tests {
         let plain = evaluate(&store, &query).unwrap().to_sparql_json();
         let root = Span::root("query");
         let hooks = EvalHooks {
-            counters: None,
             trace: Some(&root),
+            ..EvalHooks::default()
         };
         // Tracing must not change results, even when threads were requested
         // (it clamps to sequential execution internally).
@@ -951,7 +965,7 @@ mod tests {
         let counters = PlanCounters::new();
         let hooks = EvalHooks {
             counters: Some(&counters),
-            trace: None,
+            ..EvalHooks::default()
         };
         evaluate_with_hooks(&store, &query, &EvalOptions::sequential(), &hooks).unwrap();
         let stats = counters.snapshot();
@@ -962,7 +976,7 @@ mod tests {
         let counters2 = PlanCounters::new();
         let hooks2 = EvalHooks {
             counters: Some(&counters2),
-            trace: None,
+            ..EvalHooks::default()
         };
         evaluate_with_hooks(&store, &query, &EvalOptions::sequential(), &hooks2).unwrap();
         assert_eq!(counters2.snapshot(), stats);

@@ -16,6 +16,10 @@
 //!   joins, `FILTER`, `OPTIONAL`, `UNION`, `GROUP BY` + aggregates,
 //!   `ORDER BY` with top-k short-circuit, `DISTINCT`, `LIMIT`/`OFFSET`),
 //!   with optional sharded parallel execution via [`EvalOptions`],
+//! * [`cancel`] — cooperative cancellation: a [`CancellationToken`]
+//!   (shared atomic state + optional monotonic deadline) the evaluator
+//!   polls at operator batch boundaries, surfacing typed
+//!   `Cancelled`/`DeadlineExceeded` errors instead of truncated results,
 //! * [`encoded`] — the dictionary-encoded execution domain the operators
 //!   run in: variable→slot layouts ([`SlotLayout`]) and fixed-width
 //!   `TermId` rows, decoded only at the results boundary,
@@ -63,6 +67,7 @@
 #![deny(missing_docs)]
 
 pub mod ast;
+pub mod cancel;
 pub mod encoded;
 pub mod error;
 pub mod eval;
@@ -79,6 +84,7 @@ pub mod regex;
 pub mod results;
 pub mod update;
 
+pub use cancel::CancellationToken;
 pub use encoded::SlotLayout;
 pub use error::SparqlError;
 pub use eval::{
@@ -94,5 +100,5 @@ pub use pretty::{print_query, print_update};
 pub use results::{CsvTable, QueryResults, ResultsParseError, SelectResults};
 pub use update::{
     apply_updates, apply_updates_naive, execute_update, execute_update_naive, plan_update_op,
-    plan_update_op_naive, UpdateOutcome,
+    plan_update_op_naive, plan_update_op_with, UpdateOutcome,
 };

@@ -28,8 +28,9 @@ use crate::ast::{
     Dataset, GraphPattern, Projection, QuadData, QuadPatternAst, Query, QueryForm, TermOrVariable,
     Update,
 };
+use crate::cancel::CancellationToken;
 use crate::error::SparqlError;
-use crate::eval::{evaluate_with, EvalOptions};
+use crate::eval::{evaluate_with_hooks, EvalHooks, EvalOptions};
 use crate::parser::parse_update;
 use crate::results::QueryResults;
 
@@ -59,7 +60,20 @@ pub fn plan_update_op(
     store: &TripleStore,
     op: &Update,
 ) -> Result<(Vec<Quad>, Vec<Quad>), SparqlError> {
-    plan_with(store, op, WhereSolver::Engine)
+    plan_with(store, op, WhereSolver::Engine, None)
+}
+
+/// [`plan_update_op`] with a cooperative [`CancellationToken`] polled while
+/// the `WHERE` clause evaluates. A trip fails planning with the typed
+/// cancellation error *before* any delta exists — the store and WAL are
+/// untouched, so a timed-out `INSERT ... WHERE` leaves persistent state
+/// byte-identical to before the request.
+pub fn plan_update_op_with(
+    store: &TripleStore,
+    op: &Update,
+    cancel: Option<&CancellationToken>,
+) -> Result<(Vec<Quad>, Vec<Quad>), SparqlError> {
+    plan_with(store, op, WhereSolver::Engine, cancel)
 }
 
 /// [`plan_update_op`] with the `WHERE` clause evaluated by the naive
@@ -68,20 +82,21 @@ pub fn plan_update_op_naive(
     store: &TripleStore,
     op: &Update,
 ) -> Result<(Vec<Quad>, Vec<Quad>), SparqlError> {
-    plan_with(store, op, WhereSolver::Naive)
+    plan_with(store, op, WhereSolver::Naive, None)
 }
 
 fn plan_with(
     store: &TripleStore,
     op: &Update,
     solver: WhereSolver,
+    cancel: Option<&CancellationToken>,
 ) -> Result<(Vec<Quad>, Vec<Quad>), SparqlError> {
     match op {
         Update::InsertData(quads) => Ok((Vec::new(), dedup(quads.iter().map(ground_quad)))),
         Update::DeleteData(quads) => Ok((dedup(quads.iter().map(ground_quad)), Vec::new())),
         Update::DeleteWhere(patterns) => {
             // The pattern doubles as the delete template.
-            let (vars, rows) = solve_where(store, quads_pattern(patterns), solver)?;
+            let (vars, rows) = solve_where(store, quads_pattern(patterns), solver, cancel)?;
             let removes = rows
                 .iter()
                 .flat_map(|row| instantiate(patterns, &vars, row))
@@ -93,7 +108,7 @@ fn plan_with(
             insert,
             pattern,
         } => {
-            let (vars, rows) = solve_where(store, pattern.clone(), solver)?;
+            let (vars, rows) = solve_where(store, pattern.clone(), solver, cancel)?;
             let removes = rows
                 .iter()
                 .flat_map(|row| instantiate(delete, &vars, row))
@@ -153,7 +168,7 @@ fn apply_with(
 ) -> Result<UpdateOutcome, SparqlError> {
     let mut outcome = UpdateOutcome::default();
     for op in ops {
-        let (removes, inserts) = plan_with(store, op, solver)?;
+        let (removes, inserts) = plan_with(store, op, solver, None)?;
         for quad in &removes {
             if store.remove_quad(quad) {
                 outcome.removed += 1;
@@ -214,6 +229,7 @@ fn solve_where(
     store: &TripleStore,
     pattern: GraphPattern,
     solver: WhereSolver,
+    cancel: Option<&CancellationToken>,
 ) -> Result<(Vec<String>, Vec<Vec<Option<Term>>>), SparqlError> {
     let query = Query {
         form: QueryForm::Select {
@@ -228,7 +244,15 @@ fn solve_where(
         offset: None,
     };
     let results = match solver {
-        WhereSolver::Engine => evaluate_with(store, &query, &EvalOptions::sequential())?,
+        WhereSolver::Engine => evaluate_with_hooks(
+            store,
+            &query,
+            &EvalOptions::sequential(),
+            &EvalHooks {
+                cancel,
+                ..EvalHooks::default()
+            },
+        )?,
         WhereSolver::Naive => crate::reference::evaluate(store, &query)?,
     };
     match results {

@@ -1,0 +1,192 @@
+//! Cancellation soundness, fuzzed: for generated queries, tripping a
+//! [`CancellationToken`] after *every possible number of checks* must yield
+//! either the exact uncancelled result (the token tripped too late to
+//! matter) or a typed `Cancelled` error — never a truncated result, a
+//! panic, or a hang.
+//!
+//! * `HBOLD_FUZZ_CASES=<n>` scales the sweep (default 96 seeds here — each
+//!   seed costs up to ~40 evaluations for the boundary sweep).
+//! * `HBOLD_FUZZ_SEED=<seed>` reruns exactly one failing case.
+
+use hbold_sparql::fuzz::{cases_from_env, generate_query, generate_store, seed_from_env, FuzzRng};
+use hbold_sparql::pretty::print_query;
+use hbold_sparql::{
+    evaluate_with_hooks, CancellationToken, EvalHooks, EvalOptions, QueryResults, SparqlError,
+};
+use hbold_triple_store::TripleStore;
+
+/// Longest `cancel_after_checks` sweep per seed. Queries needing more
+/// checks than this finish uncancelled earlier in the sweep and break out.
+const MAX_BOUNDARY: u64 = 40;
+
+/// Order-insensitive fingerprint, so the sharded-parallel engine's
+/// legitimate row reordering (no ORDER BY) doesn't read as divergence.
+fn fingerprint(results: &QueryResults, ordered: bool) -> String {
+    match results {
+        QueryResults::Ask(b) => format!("ask:{b}"),
+        QueryResults::Select(rows) => {
+            let mut lines: Vec<String> = rows.rows.iter().map(|row| format!("{row:?}")).collect();
+            if !ordered {
+                lines.sort();
+            }
+            format!("select:{}:{}", rows.variables.join(","), lines.join("|"))
+        }
+    }
+}
+
+fn eval(
+    store: &TripleStore,
+    query: &hbold_sparql::ast::Query,
+    options: &EvalOptions,
+    token: Option<&CancellationToken>,
+) -> Result<QueryResults, SparqlError> {
+    evaluate_with_hooks(
+        store,
+        query,
+        options,
+        &EvalHooks {
+            cancel: token,
+            ..EvalHooks::default()
+        },
+    )
+}
+
+/// One seed: sweep the token trip point across every batch boundary for
+/// both the sequential and the sharded-parallel engine. Returns the number
+/// of typed cancellations observed (so the caller can assert the sweep
+/// exercised the cancel path at all), or a reproduction report.
+fn check_cancel_case(seed: u64) -> Result<u64, String> {
+    let mut rng = FuzzRng::new(seed);
+    let store = generate_store(&mut rng);
+    let query = generate_query(&mut rng);
+    let printed = print_query(&query);
+    let fail = |msg: String| format!("seed {seed}: {msg}\n  query: {printed}");
+
+    let mut parallel = EvalOptions::with_threads(3);
+    parallel.parallel_threshold = 1;
+    let legs: [(&str, EvalOptions); 2] = [
+        ("sequential", EvalOptions::sequential()),
+        ("parallel", parallel),
+    ];
+
+    let mut cancellations = 0;
+    for (leg, options) in &legs {
+        // The uncancelled run is the ground truth for this leg. Engines may
+        // legitimately reject queries the grammar can generate; then every
+        // cancelled run must reject or cancel too, never succeed.
+        let reference = eval(&store, &query, options, None);
+        let ordered = !query.order_by.is_empty();
+        let expected = match &reference {
+            Ok(results) => Some(fingerprint(results, ordered)),
+            Err(_) => None,
+        };
+
+        let mut finished_in_a_row = 0;
+        for boundary in 1..=MAX_BOUNDARY {
+            let token = CancellationToken::cancel_after_checks(boundary);
+            match eval(&store, &query, options, Some(&token)) {
+                Err(SparqlError::Cancelled) => {
+                    cancellations += 1;
+                    finished_in_a_row = 0;
+                }
+                Err(_) if expected.is_none() => finished_in_a_row += 1,
+                Err(e) => {
+                    return Err(fail(format!(
+                        "{leg} engine at boundary {boundary}: expected the uncancelled \
+                         result or Cancelled, got a different error: {e}"
+                    )))
+                }
+                Ok(results) => {
+                    let Some(expected) = &expected else {
+                        return Err(fail(format!(
+                            "{leg} engine at boundary {boundary} succeeded, but the \
+                             uncancelled run errored"
+                        )));
+                    };
+                    let got = fingerprint(&results, ordered);
+                    if &got != expected {
+                        return Err(fail(format!(
+                            "{leg} engine at boundary {boundary} returned a DIFFERENT \
+                             result than the uncancelled run — truncation?\
+                             \n  expected: {expected}\n  got:      {got}"
+                        )));
+                    }
+                    finished_in_a_row += 1;
+                }
+            }
+            // Once the evaluation finishes before the trip point twice in a
+            // row, later boundaries only finish sooner; stop the sweep.
+            if finished_in_a_row >= 2 {
+                break;
+            }
+        }
+    }
+    Ok(cancellations)
+}
+
+#[test]
+fn cancelling_at_every_batch_boundary_never_truncates() {
+    if let Some(seed) = seed_from_env() {
+        if let Err(report) = check_cancel_case(seed) {
+            panic!("HBOLD_FUZZ_SEED reproduction failed:\n{report}");
+        }
+        return;
+    }
+    let cases = cases_from_env(96);
+    let mut failures = Vec::new();
+    let mut total_cancellations = 0;
+    for seed in 0..cases {
+        match check_cancel_case(seed) {
+            Ok(cancellations) => total_cancellations += cancellations,
+            Err(report) => {
+                eprintln!("cancellation fuzz failure: {report}");
+                failures.push(seed);
+                if failures.len() >= 5 {
+                    break;
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} cancellation case(s) failed; rerun one with HBOLD_FUZZ_SEED={} \
+         (see stderr for the full reports)",
+        failures.len(),
+        failures[0]
+    );
+    // The sweep must have actually exercised the cancel path — a token the
+    // engines never poll would make every case pass vacuously.
+    assert!(
+        total_cancellations > 0,
+        "no boundary in {cases} seeds produced a typed cancellation — are \
+         the engines polling the token at all?"
+    );
+}
+
+/// A deadline token against a pathologically large cross join: the typed
+/// `DeadlineExceeded` must surface promptly — the engine checks the clock
+/// at batch boundaries, not only between operators.
+#[test]
+fn deadlines_cut_off_a_cross_join_mid_operator() {
+    let mut rng = FuzzRng::new(7);
+    let store = generate_store(&mut rng);
+    // Six patterns: on the ~22-triple fuzz store this is 22^6 ≈ 1.1e8
+    // combinations — far past what a release build can count in 30 ms.
+    let query = hbold_sparql::parse_query(
+        "SELECT (COUNT(*) AS ?n) WHERE { \
+         ?a ?b ?c . ?d ?e ?f . ?g ?h ?i . ?j ?k ?l . ?m ?n ?o . ?p ?q ?r }",
+    )
+    .expect("parses");
+    let token = CancellationToken::with_timeout(std::time::Duration::from_millis(30));
+    let started = std::time::Instant::now();
+    let result = eval(&store, &query, &EvalOptions::sequential(), Some(&token));
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(result, Err(SparqlError::DeadlineExceeded)),
+        "expected DeadlineExceeded, got {result:?}"
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "deadline took {elapsed:?} to fire — cancellation is not cooperative"
+    );
+}

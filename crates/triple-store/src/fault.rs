@@ -1,0 +1,237 @@
+//! Deterministic, seed-driven fault injection for chaos testing.
+//!
+//! Production binaries run with this layer fully disarmed: the injector is
+//! parsed **once** from the `HBOLD_FAULTS` environment variable, and when
+//! the variable is unset every hook is a single `Option` check on a
+//! `OnceLock` — no RNG, no clock, no branches in the fault families.
+//!
+//! The variable is a comma-separated `key=value` list:
+//!
+//! ```text
+//! HBOLD_FAULTS=seed=42,wal_io=16,snapshot_io=8,op_latency_us=100,drop_response=32
+//! ```
+//!
+//! * `seed` — the xorshift64 seed; the same seed and call sequence injects
+//!   the same faults, so a chaos failure reproduces from its seed,
+//! * `wal_io=N` — 1-in-N WAL appends fail with an injected I/O error,
+//! * `snapshot_io=N` — 1-in-N snapshot checkpoints fail the same way,
+//! * `op_latency_us=U` — every query-operator pipeline construction sleeps
+//!   `U` microseconds (turns fast queries into deadline fodder),
+//! * `drop_response=N` — 1-in-N HTTP responses are dropped mid-write (the
+//!   server closes the socket instead of finishing the body).
+//!
+//! Injected faults count into the global telemetry registry
+//! (`hbold_faults_injected_total{fault=...}`), so a chaos soak can assert
+//! that faults actually fired, not just that nothing crashed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use hbold_telemetry::{Counter, Registry};
+
+/// The parsed fault configuration plus the shared RNG state. Obtain the
+/// process-wide instance through [`FaultInjector::active`].
+#[derive(Debug)]
+pub struct FaultInjector {
+    /// xorshift64 state; one atomic stream shared by every hook so the
+    /// fault sequence is a deterministic function of (seed, call order).
+    rng: AtomicU64,
+    wal_io: u64,
+    snapshot_io: u64,
+    op_latency_us: u64,
+    drop_response: u64,
+}
+
+struct FaultCounters {
+    wal_io: Counter,
+    snapshot_io: Counter,
+    op_latency: Counter,
+    drop_response: Counter,
+}
+
+fn fault_counters() -> &'static FaultCounters {
+    static COUNTERS: OnceLock<FaultCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = Registry::global();
+        let help = "Faults injected by the HBOLD_FAULTS chaos layer.";
+        FaultCounters {
+            wal_io: reg.counter("hbold_faults_injected_total", help, &[("fault", "wal_io")]),
+            snapshot_io: reg.counter(
+                "hbold_faults_injected_total",
+                help,
+                &[("fault", "snapshot_io")],
+            ),
+            op_latency: reg.counter(
+                "hbold_faults_injected_total",
+                help,
+                &[("fault", "op_latency")],
+            ),
+            drop_response: reg.counter(
+                "hbold_faults_injected_total",
+                help,
+                &[("fault", "drop_response")],
+            ),
+        }
+    })
+}
+
+impl FaultInjector {
+    /// The process-wide injector, parsed from `HBOLD_FAULTS` on first call.
+    /// `None` (the production case: variable unset or empty) means every
+    /// hook is inert.
+    pub fn active() -> Option<&'static FaultInjector> {
+        static INSTANCE: OnceLock<Option<FaultInjector>> = OnceLock::new();
+        INSTANCE
+            .get_or_init(|| match std::env::var("HBOLD_FAULTS") {
+                Ok(spec) if !spec.trim().is_empty() => match FaultInjector::parse(&spec) {
+                    Ok(injector) => Some(injector),
+                    Err(e) => {
+                        eprintln!("HBOLD_FAULTS ignored: {e}");
+                        None
+                    }
+                },
+                _ => None,
+            })
+            .as_ref()
+    }
+
+    /// Parses a `key=value,key=value` spec (see the module docs).
+    pub fn parse(spec: &str) -> Result<FaultInjector, String> {
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        let mut injector = FaultInjector {
+            rng: AtomicU64::new(0),
+            wal_io: 0,
+            snapshot_io: 0,
+            op_latency_us: 0,
+            drop_response: 0,
+        };
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("{key} expects a number, got {value:?}"))?;
+            match key.trim() {
+                "seed" => seed = value,
+                "wal_io" => injector.wal_io = value,
+                "snapshot_io" => injector.snapshot_io = value,
+                "op_latency_us" => injector.op_latency_us = value,
+                "drop_response" => injector.drop_response = value,
+                other => return Err(format!("unknown fault key {other:?}")),
+            }
+        }
+        // xorshift64 has a zero fixed point; nudge it off.
+        injector.rng = AtomicU64::new(seed.max(1));
+        Ok(injector)
+    }
+
+    /// One xorshift64 step off the shared stream.
+    fn next_rand(&self) -> u64 {
+        self.rng
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |mut x| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                Some(x)
+            })
+            .expect("fetch_update closure never returns None")
+    }
+
+    /// True roughly once per `odds` calls (`0` = never).
+    fn roll(&self, odds: u64) -> bool {
+        odds != 0 && self.next_rand() % odds == 0
+    }
+
+    /// WAL-append hook: `Err` when an I/O fault fires for this append.
+    pub fn wal_io_error(&self) -> Result<(), std::io::Error> {
+        if self.roll(self.wal_io) {
+            fault_counters().wal_io.inc();
+            return Err(std::io::Error::other("injected WAL I/O fault"));
+        }
+        Ok(())
+    }
+
+    /// Snapshot/checkpoint hook: `Err` when an I/O fault fires.
+    pub fn snapshot_io_error(&self) -> Result<(), std::io::Error> {
+        if self.roll(self.snapshot_io) {
+            fault_counters().snapshot_io.inc();
+            return Err(std::io::Error::other("injected snapshot I/O fault"));
+        }
+        Ok(())
+    }
+
+    /// Query-operator hook: sleeps the configured artificial latency (a
+    /// no-op at 0). Called at pipeline construction, not per row.
+    pub fn operator_latency(&self) {
+        if self.op_latency_us > 0 {
+            fault_counters().op_latency.inc();
+            std::thread::sleep(Duration::from_micros(self.op_latency_us));
+        }
+    }
+
+    /// Response-write hook: `true` when this HTTP response should be
+    /// dropped mid-write (socket closed without finishing the body).
+    pub fn drop_response(&self) -> bool {
+        let drop = self.roll(self.drop_response);
+        if drop {
+            fault_counters().drop_response.inc();
+        }
+        drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let f = FaultInjector::parse(
+            "seed=7, wal_io=4, snapshot_io=8, op_latency_us=50, drop_response=2",
+        )
+        .unwrap();
+        assert_eq!(f.wal_io, 4);
+        assert_eq!(f.snapshot_io, 8);
+        assert_eq!(f.op_latency_us, 50);
+        assert_eq!(f.drop_response, 2);
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_numbers_are_errors() {
+        assert!(FaultInjector::parse("walio=4").is_err());
+        assert!(FaultInjector::parse("wal_io=often").is_err());
+        assert!(FaultInjector::parse("wal_io").is_err());
+    }
+
+    #[test]
+    fn same_seed_injects_the_same_fault_sequence() {
+        let a = FaultInjector::parse("seed=42,wal_io=3").unwrap();
+        let b = FaultInjector::parse("seed=42,wal_io=3").unwrap();
+        let seq_a: Vec<bool> = (0..64).map(|_| a.wal_io_error().is_err()).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| b.wal_io_error().is_err()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(
+            seq_a.iter().any(|&hit| hit),
+            "1-in-3 odds hit within 64 tries"
+        );
+        assert!(!seq_a.iter().all(|&hit| hit), "odds are not certainty");
+    }
+
+    #[test]
+    fn disarmed_families_never_fire() {
+        let f = FaultInjector::parse("seed=1").unwrap();
+        for _ in 0..256 {
+            assert!(f.wal_io_error().is_ok());
+            assert!(f.snapshot_io_error().is_ok());
+            assert!(!f.drop_response());
+        }
+        f.operator_latency(); // 0µs: returns immediately
+    }
+}

@@ -34,6 +34,7 @@
 #![deny(missing_docs)]
 
 pub mod dictionary;
+pub mod fault;
 pub mod index;
 pub mod persist;
 pub mod shared;
@@ -41,6 +42,7 @@ pub mod stats;
 pub mod store;
 
 pub use dictionary::{TermDictionary, TermId};
+pub use fault::FaultInjector;
 pub use index::{IndexOrder, TierSizes};
 pub use persist::{PersistError, PersistOptions, RecoveryReport};
 pub use shared::SharedStore;

@@ -306,6 +306,14 @@ impl Persistence {
     /// Appends one operation to the WAL. The operation counts as committed
     /// once this returns.
     pub fn log(&mut self, op: &WalOp) -> Result<(), PersistError> {
+        // Chaos hook: an injected fault fails the append *before* any bytes
+        // reach the log, so the error path matches a full-disk/EIO refusal
+        // (nothing committed, nothing torn).
+        if let Some(faults) = crate::fault::FaultInjector::active() {
+            faults
+                .wal_io_error()
+                .map_err(|e| PersistError::from(e).at_path(self.dir.join("wal.log")))?;
+        }
         self.wal.append(op)?;
         durability_counters().wal_appends.inc();
         Ok(())
@@ -329,6 +337,14 @@ impl Persistence {
     pub fn checkpoint(&mut self, store: &TripleStore) -> Result<u64, PersistError> {
         let next = self.generation + 1;
         let path = snapshot_path(&self.dir, next);
+        // Chaos hook: fail before the temp file exists — the same shape as
+        // the snapshot write itself failing, which the rename protocol
+        // already survives.
+        if let Some(faults) = crate::fault::FaultInjector::active() {
+            faults
+                .snapshot_io_error()
+                .map_err(|e| PersistError::from(e).at_path(&path))?;
+        }
         snapshot::write_file(store, &path).map_err(|e| e.at_path(&path))?;
         self.wal.reset()?;
         self.generation = next;
